@@ -1,0 +1,105 @@
+//===- bench/BenchCommon.h - Shared experiment infrastructure -----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infrastructure shared by the experiment harnesses that regenerate the
+/// paper's tables and figures. Scales default to a reduced-but-faithful
+/// campaign and honour environment overrides:
+///
+///   MSEM_TRAIN_N   training design size        (default 200; paper: 400)
+///   MSEM_TEST_N    test design size            (default 50;  paper: 100)
+///   MSEM_INPUT     workload input set          (default "train")
+///   MSEM_CACHE     response cache directory    (default "msem_cache")
+///   MSEM_SEED      campaign master seed        (default 20070311)
+///
+/// All harnesses share the on-disk response cache, so re-runs and
+/// follow-up experiments reuse earlier simulations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_BENCH_BENCHCOMMON_H
+#define MSEM_BENCH_BENCHCOMMON_H
+
+#include "core/ModelBuilder.h"
+#include "core/ResponseSurface.h"
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace msem::bench {
+
+/// Campaign-wide knobs.
+struct BenchScale {
+  size_t TrainN;
+  size_t TestN;
+  InputSet Input;
+  std::string CacheDir;
+  uint64_t Seed;
+};
+
+inline BenchScale readScale() {
+  BenchScale S;
+  S.TrainN = static_cast<size_t>(getEnvInt("MSEM_TRAIN_N", 200));
+  S.TestN = static_cast<size_t>(getEnvInt("MSEM_TEST_N", 50));
+  std::string Input = getEnvString("MSEM_INPUT", "train");
+  S.Input = Input == "ref"    ? InputSet::Ref
+            : Input == "test" ? InputSet::Test
+                              : InputSet::Train;
+  S.CacheDir = getEnvString("MSEM_CACHE", "msem_cache");
+  S.Seed = static_cast<uint64_t>(getEnvInt("MSEM_SEED", 20070311));
+  return S;
+}
+
+inline std::unique_ptr<ResponseSurface>
+makeSurface(const ParameterSpace &Space, const std::string &Workload,
+            const BenchScale &Scale, InputSet Input) {
+  ResponseSurface::Options Opts;
+  Opts.Workload = Workload;
+  Opts.Input = Input;
+  Opts.CacheDir = Scale.CacheDir;
+  if (Input == InputSet::Test)
+    Opts.Smarts.SamplingInterval = 10;
+  return std::make_unique<ResponseSurface>(Space, Opts);
+}
+
+/// Standard model-building options for this campaign (one-shot design of
+/// Scale.TrainN points; the Figure 1 augmentation loop is exercised by
+/// fig5 and by unit tests).
+inline ModelBuilderOptions standardBuild(ModelTechnique T,
+                                         const BenchScale &Scale) {
+  ModelBuilderOptions Opts;
+  Opts.Technique = T;
+  Opts.InitialDesignSize = Scale.TrainN;
+  Opts.MaxDesignSize = Scale.TrainN;
+  Opts.TestSize = Scale.TestN;
+  Opts.TargetMape = 0.0; // Fit exactly once at the requested size.
+  Opts.CandidateCount = std::max<size_t>(1200, Scale.TrainN * 4);
+  Opts.Seed = Scale.Seed;
+  return Opts;
+}
+
+/// Prints the standard harness banner.
+inline void printBanner(const char *Experiment, const BenchScale &Scale) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", Experiment);
+  std::printf("scale: train=%zu test=%zu input=%s seed=%llu (override via "
+              "MSEM_TRAIN_N / MSEM_TEST_N / MSEM_INPUT / MSEM_SEED)\n",
+              Scale.TrainN, Scale.TestN,
+              Scale.Input == InputSet::Ref    ? "ref"
+              : Scale.Input == InputSet::Test ? "test"
+                                              : "train",
+              static_cast<unsigned long long>(Scale.Seed));
+  std::printf("==============================================================="
+              "=\n");
+}
+
+} // namespace msem::bench
+
+#endif // MSEM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,183 @@
+//===- bench/bench_ablations.cpp - Design-choice ablations -----------------------===//
+//
+// Ablations of the methodology choices DESIGN.md calls out, all on one
+// program's cached response surface:
+//
+//   1. RBF kernel: multiquadric (the paper's pick) vs Gaussian.
+//   2. Experimental design: D-optimal vs pure random, across sizes.
+//   3. D-optimality information matrix: linear vs linear+2FI expansion.
+//   4. SMARTS sampling interval: estimate error and detail fraction.
+//   5. Search: GA vs random search of the same evaluation budget,
+//      scored on *actual* (simulated) cycles of the winner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/RbfNetwork.h"
+#include "sampling/Smarts.h"
+#include "search/GeneticSearch.h"
+
+using namespace msem;
+using namespace msem::bench;
+
+int main() {
+  BenchScale Scale = readScale();
+  printBanner("Ablations of the methodology's design choices", Scale);
+  const char *Workload = "vpr";
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  auto Surface = makeSurface(Space, Workload, Scale, Scale.Input);
+
+  Rng R(Scale.Seed ^ 0x7E57);
+  auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
+  auto TestY = Surface->measureAll(TestPoints);
+  Matrix TestX = encodeMatrix(Space, TestPoints);
+
+  Rng CandR(Scale.Seed);
+  auto Candidates = generateLatinHypercube(Space, 1200, CandR);
+
+  auto MeasureSelected = [&](const std::vector<size_t> &Sel, Matrix &X,
+                             std::vector<double> &Y) {
+    std::vector<DesignPoint> Pts;
+    for (size_t I : Sel)
+      Pts.push_back(Candidates[I]);
+    X = encodeMatrix(Space, Pts);
+    Y = Surface->measureAll(Pts);
+  };
+
+  // ---- 1. Kernel choice ---------------------------------------------------
+  {
+    DOptimalOptions DOpt;
+    DOpt.DesignSize = Scale.TrainN;
+    auto Sel = selectDOptimal(Space, Candidates, DOpt).Selected;
+    Matrix X;
+    std::vector<double> Y;
+    MeasureSelected(Sel, X, Y);
+
+    TablePrinter T({"RBF kernel", "test MAPE %", "neurons"});
+    for (RbfKernel K : {RbfKernel::Multiquadric, RbfKernel::Gaussian}) {
+      RbfNetwork::Options Opts;
+      Opts.Kernel = K;
+      RbfNetwork M(Opts);
+      M.train(X, Y);
+      ModelQuality Q = evaluateModel(M, TestX, TestY);
+      T.addRow({K == RbfKernel::Multiquadric ? "multiquadric (paper)"
+                                             : "gaussian",
+                formatString("%.2f", Q.Mape),
+                formatString("%zu", M.numNeurons())});
+    }
+    std::printf("\n[1] kernel choice (%s, n=%zu):\n", Workload,
+                Scale.TrainN);
+    T.print();
+  }
+
+  // ---- 2+3. Design selection and expansion ---------------------------------
+  {
+    TablePrinter T({"design", "n=50", "n=100", "n=200"});
+    struct Row {
+      const char *Name;
+      int Kind; // 0 random, 1 dopt-linear, 2 dopt-2fi
+    };
+    for (const Row &Row : {Row{"random", 0}, Row{"D-optimal (linear)", 1},
+                           Row{"D-optimal (linear+2FI)", 2}}) {
+      std::vector<std::string> Cells{Row.Name};
+      for (size_t N : {50u, 100u, 200u}) {
+        if (N > Scale.TrainN) {
+          Cells.push_back("-");
+          continue;
+        }
+        std::vector<size_t> Sel;
+        if (Row.Kind == 0) {
+          Rng RR(Scale.Seed + N);
+          std::vector<size_t> All(Candidates.size());
+          for (size_t I = 0; I < All.size(); ++I)
+            All[I] = I;
+          RR.shuffle(All);
+          Sel.assign(All.begin(), All.begin() + N);
+        } else {
+          DOptimalOptions DOpt;
+          DOpt.DesignSize = N;
+          DOpt.Expansion = Row.Kind == 1 ? ExpansionKind::Linear
+                                         : ExpansionKind::LinearWith2FI;
+          DOpt.MaxPasses = Row.Kind == 1 ? 20 : 4; // 2FI is expensive.
+          Sel = selectDOptimal(Space, Candidates, DOpt).Selected;
+        }
+        Matrix X;
+        std::vector<double> Y;
+        MeasureSelected(Sel, X, Y);
+        RbfNetwork M;
+        M.train(X, Y);
+        Cells.push_back(
+            formatString("%.2f", evaluateModel(M, TestX, TestY).Mape));
+      }
+      T.addRow(Cells);
+    }
+    std::printf("\n[2/3] design selection vs RBF test MAPE %%:\n");
+    T.print();
+  }
+
+  // ---- 4. SMARTS interval -----------------------------------------------------
+  {
+    MachineProgram Prog = compileWorkloadBinary(Workload, Scale.Input,
+                                                OptimizationConfig::O2());
+    MachineConfig M = MachineConfig::typical();
+    SimulationResult Full = simulateDetailed(Prog, M);
+    TablePrinter T({"sampling interval", "estimate error %",
+                    "detail fraction %"});
+    for (uint64_t Interval : {5u, 10u, 25u, 50u, 100u}) {
+      SmartsConfig SC;
+      SC.SamplingInterval = Interval;
+      SmartsResult S = simulateSmarts(Prog, M, SC);
+      double Err = 100.0 *
+                   std::fabs((double)S.EstimatedCycles - (double)Full.Cycles) /
+                   (double)Full.Cycles;
+      double Frac = 100.0 * (double)S.SampledInstructions /
+                    (double)std::max<uint64_t>(1, S.TotalInstructions);
+      T.addRow({formatString("1/%llu", (unsigned long long)Interval),
+                formatString("%.2f", Err), formatString("%.1f", Frac)});
+    }
+    std::printf("\n[4] SMARTS interval sweep (%s, -O2, typical):\n",
+                Workload);
+    T.print();
+  }
+
+  // ---- 5. GA vs random search ---------------------------------------------------
+  {
+    ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
+    ModelBuildResult Res =
+        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    DesignPoint Frozen = Space.fromConfigs(OptimizationConfig::O2(),
+                                           MachineConfig::typical());
+    GaOptions Ga;
+    Ga.Population = 40;
+    Ga.Generations = 30;
+    GaResult Best = searchOptimalSettings(*Res.FittedModel, Space, Frozen, Ga);
+
+    Rng SR(Scale.Seed ^ 0x5EA);
+    DesignPoint RandomBest = Frozen;
+    double RandomBestPred = 1e300;
+    for (int I = 0; I < 40 * 30; ++I) {
+      DesignPoint P = Space.randomPoint(SR);
+      Space.freezeMachine(P, MachineConfig::typical());
+      double Pred = Res.FittedModel->predict(Space.encode(P));
+      if (Pred < RandomBestPred) {
+        RandomBestPred = Pred;
+        RandomBest = P;
+      }
+    }
+    double CyclesO2 = Surface->measure(Frozen);
+    double CyclesGa = Surface->measure(Best.BestPoint);
+    double CyclesRand = Surface->measure(RandomBest);
+    TablePrinter T({"search", "actual cycles", "speedup over O2"});
+    T.addRow({"-O2 baseline", formatString("%.0f", CyclesO2), "-"});
+    T.addRow({"random (1200 evals)", formatString("%.0f", CyclesRand),
+              formatString("%+.1f%%",
+                           100.0 * (CyclesO2 - CyclesRand) / CyclesO2)});
+    T.addRow({"GA (1200 evals)", formatString("%.0f", CyclesGa),
+              formatString("%+.1f%%",
+                           100.0 * (CyclesO2 - CyclesGa) / CyclesO2)});
+    std::printf("\n[5] model-based search strategies (%s):\n", Workload);
+    T.print();
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/bench_fig6_actual_vs_predicted.cpp - Figure 6 reproduction ---------===//
+//
+// Reproduces Figure 6: actual vs RBF-predicted execution times at the test
+// design points for the three programs the paper highlights (art, vortex,
+// mcf). Rendered as an ASCII scatter plus summary statistics; the paper's
+// claim to check is that the models "capture high level trends and no
+// outliers are observed".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <algorithm>
+
+using namespace msem;
+using namespace msem::bench;
+
+namespace {
+
+void asciiScatter(const std::vector<double> &Actual,
+                  const std::vector<double> &Predicted) {
+  const int W = 56, H = 18;
+  double Lo = 1e300, Hi = -1e300;
+  for (double V : Actual) {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  for (double V : Predicted) {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  if (Hi <= Lo)
+    Hi = Lo + 1;
+  std::vector<std::string> Grid(H, std::string(W, ' '));
+  // The identity line.
+  for (int I = 0; I < std::min(W, H * 3); ++I) {
+    int X = I * W / std::min(W, H * 3);
+    int Y = I * H / std::min(W, H * 3);
+    if (X < W && Y < H)
+      Grid[H - 1 - Y][X] = '.';
+  }
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    int X = static_cast<int>((Actual[I] - Lo) / (Hi - Lo) * (W - 1));
+    int Y = static_cast<int>((Predicted[I] - Lo) / (Hi - Lo) * (H - 1));
+    Grid[H - 1 - Y][X] = 'o';
+  }
+  for (const std::string &Line : Grid)
+    std::printf("    |%s\n", Line.c_str());
+  std::printf("    +%s\n", std::string(W, '-').c_str());
+  std::printf("     actual -> (range %.3g .. %.3g cycles; 'o' points, "
+              "'.' identity)\n",
+              Lo, Hi);
+}
+
+} // namespace
+
+int main() {
+  BenchScale Scale = readScale();
+  printBanner("Figure 6: actual vs predicted execution time (RBF)", Scale);
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  for (const char *Name : {"art", "vortex", "mcf"}) {
+    auto Surface = makeSurface(Space, Name, Scale, Scale.Input);
+    Rng R(Scale.Seed ^ 0x7E57);
+    auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
+    auto TestY = Surface->measureAll(TestPoints);
+
+    ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
+    ModelBuildResult Res =
+        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    auto Pred = Res.FittedModel->predictAll(encodeMatrix(Space, TestPoints));
+
+    std::printf("\n--- %s: %zu test points, MAPE %.2f%%, R2 %.3f ---\n",
+                Name, TestPoints.size(), Res.TestQuality.Mape,
+                Res.TestQuality.R2);
+    asciiScatter(TestY, Pred);
+
+    // Outlier check (the paper's qualitative claim).
+    size_t Outliers = 0;
+    for (size_t I = 0; I < TestY.size(); ++I)
+      if (std::fabs(Pred[I] - TestY[I]) / TestY[I] > 0.30)
+        ++Outliers;
+    std::printf("    points with >30%% error: %zu / %zu\n", Outliers,
+                TestY.size());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/bench_fig7_speedups.cpp - Figure 7 reproduction --------------------===//
+//
+// Reproduces Figure 7: predicted and actual speedup over -O2 at the flag
+// and heuristic settings found by model-based GA search, for the three
+// reference microarchitectures; the -O3 speedup is the baseline bar.
+//
+// Paper's shape: -O3 gains are small (can even be negative on the typical
+// configuration); model-prescribed settings deliver solid actual speedups
+// (~9.5% average, up to ~19%) that track the predicted speedups, with the
+// aggressive (design-space-edge) configuration tracking worst.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "search/GeneticSearch.h"
+
+using namespace msem;
+using namespace msem::bench;
+
+int main() {
+  BenchScale Scale = readScale();
+  printBanner("Figure 7: speedup over -O2 (model-guided settings)", Scale);
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  const MachineConfig Configs[3] = {MachineConfig::constrained(),
+                                    MachineConfig::typical(),
+                                    MachineConfig::aggressive()};
+  const char *ConfigNames[3] = {"constr", "typical", "aggr"};
+
+  TablePrinter T({"Program", "Config", "O3 spd%", "GA pred%", "GA actual%"});
+  double SumO3 = 0, SumPred = 0, SumActual = 0, MaxActual = -1e9;
+  size_t Count = 0;
+
+  for (const WorkloadSpec &Spec : allWorkloads()) {
+    auto Surface = makeSurface(Space, Spec.Name, Scale, Scale.Input);
+    Rng R(Scale.Seed ^ 0x7E57);
+    auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
+    auto TestY = Surface->measureAll(TestPoints);
+    ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
+    ModelBuildResult Res =
+        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    const Model &M = *Res.FittedModel;
+
+    for (int C = 0; C < 3; ++C) {
+      DesignPoint O2Point =
+          Space.fromConfigs(OptimizationConfig::O2(), Configs[C]);
+      DesignPoint O3Point =
+          Space.fromConfigs(OptimizationConfig::O3(), Configs[C]);
+      GaOptions Ga;
+      Ga.Seed = Scale.Seed + C;
+      GaResult BestRes = searchOptimalSettings(M, Space, O2Point, Ga);
+
+      double CyclesO2 = Surface->measure(O2Point);
+      double CyclesO3 = Surface->measure(O3Point);
+      double CyclesGa = Surface->measure(BestRes.BestPoint);
+      double PredGa = M.predict(Space.encode(BestRes.BestPoint));
+      double PredO2 = M.predict(Space.encode(O2Point));
+
+      double O3Spd = 100.0 * (CyclesO2 - CyclesO3) / CyclesO2;
+      double PredSpd = 100.0 * (PredO2 - PredGa) / PredO2;
+      double ActSpd = 100.0 * (CyclesO2 - CyclesGa) / CyclesO2;
+      T.addRow({Spec.Name, ConfigNames[C], formatString("%+.1f", O3Spd),
+                formatString("%+.1f", PredSpd),
+                formatString("%+.1f", ActSpd)});
+      SumO3 += O3Spd;
+      SumPred += PredSpd;
+      SumActual += ActSpd;
+      MaxActual = std::max(MaxActual, ActSpd);
+      ++Count;
+    }
+    std::printf("  evaluated %s\n", Spec.Name.c_str());
+  }
+  double N = static_cast<double>(Count);
+  T.addRow({"Average", "", formatString("%+.1f", SumO3 / N),
+            formatString("%+.1f", SumPred / N),
+            formatString("%+.1f", SumActual / N)});
+  T.print();
+  std::printf("\nPaper reference: O3 speedup small (avg ~-2%% on typical); "
+              "model-guided actual speedup ~9.5%% average, ~19%% max.\n");
+  std::printf("Measured: average actual %+.1f%%, max %+.1f%%.\n",
+              SumActual / N, MaxActual);
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- bench/bench_micro_models.cpp - Model training/prediction throughput ------===//
+//
+// google-benchmark microbenchmarks of the empirical-modeling kernels: the
+// cost of training each technique at the paper's design sizes and the
+// cost of a single prediction (the quantity that makes model-based design
+// space exploration "virtually free" compared to simulation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "design/Doe.h"
+#include "model/LinearModel.h"
+#include "model/Mars.h"
+#include "model/RbfNetwork.h"
+#include "search/GeneticSearch.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace msem;
+
+namespace {
+
+/// Synthetic response over the real 25-parameter space.
+void makeData(size_t N, Matrix &X, std::vector<double> &Y, uint64_t Seed) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(Seed);
+  auto Points = generateLatinHypercube(S, N, R);
+  X = encodeMatrix(S, Points);
+  Y.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    const double *Row = X.rowPtr(I);
+    Y[I] = 1e6 - 2e5 * Row[16] + 1e5 * Row[24] - 4e4 * Row[1] +
+           3e4 * Row[16] * Row[24] + 1e4 * std::max(0.0, Row[12]);
+  }
+}
+
+void BM_TrainLinear(benchmark::State &State) {
+  Matrix X;
+  std::vector<double> Y;
+  makeData(static_cast<size_t>(State.range(0)), X, Y, 1);
+  for (auto _ : State) {
+    LinearModel M;
+    M.train(X, Y);
+    benchmark::DoNotOptimize(M.coefficients().data());
+  }
+}
+BENCHMARK(BM_TrainLinear)->Arg(100)->Arg(400);
+
+void BM_TrainMars(benchmark::State &State) {
+  Matrix X;
+  std::vector<double> Y;
+  makeData(static_cast<size_t>(State.range(0)), X, Y, 2);
+  for (auto _ : State) {
+    MarsModel M;
+    M.train(X, Y);
+    benchmark::DoNotOptimize(M.weights().data());
+  }
+}
+BENCHMARK(BM_TrainMars)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_TrainRbf(benchmark::State &State) {
+  Matrix X;
+  std::vector<double> Y;
+  makeData(static_cast<size_t>(State.range(0)), X, Y, 3);
+  for (auto _ : State) {
+    RbfNetwork M;
+    M.train(X, Y);
+    benchmark::DoNotOptimize(M.numNeurons());
+  }
+}
+BENCHMARK(BM_TrainRbf)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_PredictRbf(benchmark::State &State) {
+  Matrix X;
+  std::vector<double> Y;
+  makeData(400, X, Y, 4);
+  RbfNetwork M;
+  M.train(X, Y);
+  std::vector<double> P = X.row(7);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(M.predict(P));
+    P[0] = -P[0]; // Vary the input a little.
+  }
+}
+BENCHMARK(BM_PredictRbf);
+
+void BM_DOptimalSelection(benchmark::State &State) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(5);
+  auto Candidates = generateLatinHypercube(S, 1200, R);
+  for (auto _ : State) {
+    DOptimalOptions Opts;
+    Opts.DesignSize = static_cast<size_t>(State.range(0));
+    Opts.MaxPasses = 10;
+    benchmark::DoNotOptimize(
+        selectDOptimal(S, Candidates, Opts).LogDetInformation);
+  }
+}
+BENCHMARK(BM_DOptimalSelection)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GaSearch(benchmark::State &State) {
+  Matrix X;
+  std::vector<double> Y;
+  makeData(400, X, Y, 6);
+  RbfNetwork M;
+  M.train(X, Y);
+  ParameterSpace S = ParameterSpace::paperSpace();
+  DesignPoint Frozen =
+      S.fromConfigs(OptimizationConfig::O2(), MachineConfig::typical());
+  for (auto _ : State) {
+    GaOptions Ga;
+    Ga.Generations = 40;
+    benchmark::DoNotOptimize(
+        searchOptimalSettings(M, S, Frozen, Ga).PredictedResponse);
+  }
+}
+BENCHMARK(BM_GaSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+//===- bench/bench_smarts_accuracy.cpp - SMARTS methodology validation ----------===//
+//
+// Validates the simulation methodology claim of Section 5: SMARTS-style
+// systematic sampling estimates execution time within ~1% of the fully
+// detailed simulation (at 99.7% confidence) while simulating only a small
+// fraction of instructions in detail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "sampling/Smarts.h"
+
+using namespace msem;
+using namespace msem::bench;
+
+int main() {
+  BenchScale Scale = readScale();
+  printBanner("Methodology: SMARTS sampling accuracy per benchmark", Scale);
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  TablePrinter T({"Benchmark", "detailed cycles", "sampled estimate",
+                  "error %", "bound %", "detail frac %"});
+  double WorstErr = 0;
+
+  for (const WorkloadSpec &Spec : allWorkloads()) {
+    MachineProgram Prog = compileWorkloadBinary(
+        Spec.Name, Scale.Input, OptimizationConfig::O2());
+    MachineConfig M = MachineConfig::typical();
+
+    SimulationResult Full = simulateDetailed(Prog, M);
+    SmartsConfig SC = ResponseSurface::Options::makeDefaultSmarts();
+    SmartsResult Sampled = simulateSmarts(Prog, M, SC);
+
+    double Err = 100.0 *
+                 std::fabs(static_cast<double>(Sampled.EstimatedCycles) -
+                           static_cast<double>(Full.Cycles)) /
+                 static_cast<double>(Full.Cycles);
+    WorstErr = std::max(WorstErr, Err);
+    double DetailFrac =
+        100.0 * static_cast<double>(Sampled.SampledInstructions) /
+        static_cast<double>(std::max<uint64_t>(1, Sampled.TotalInstructions));
+    T.addRow({Spec.PaperName, formatString("%llu", (unsigned long long)Full.Cycles),
+              formatString("%llu", (unsigned long long)Sampled.EstimatedCycles),
+              formatString("%.2f", Err),
+              formatString("%.2f", 100.0 * Sampled.RelativeErrorBound),
+              formatString("%.1f", DetailFrac)});
+  }
+  T.print();
+  std::printf("\nWorst observed error: %.2f%% (paper claims <1%% at 99.7%% "
+              "confidence for its window/interval choice).\n",
+              WorstErr);
+  return 0;
+}

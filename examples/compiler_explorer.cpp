@@ -1,0 +1,136 @@
+//===- examples/compiler_explorer.cpp - Inspect the compiler substrate ----------===//
+//
+// Drives the compiler stack directly: builds a small program in the IR,
+// shows the IR before and after each optimization flag, disassembles the
+// generated machine code and reports how each flag changes the simulated
+// cycle count on two different microarchitectures -- a miniature of the
+// interactions the paper models.
+//
+// Usage: ./build/examples/compiler_explorer [workload]
+//   workload: one of gzip vpr mesa art mcf vortex bzip2 (default: a small
+//   built-in kernel whose IR is printed in full)
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "ir/IRPrinter.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "uarch/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace msem;
+
+namespace {
+
+/// A small dot-product kernel whose transformations are easy to read.
+std::unique_ptr<Module> makeDemoKernel() {
+  auto M = std::make_unique<Module>("demo");
+  GlobalVariable *A = M->createGlobal("A", 256 * 8);
+  GlobalVariable *Bv = M->createGlobal("B", 256 * 8);
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(256), 1, "init");
+    Value *Fi = B.siToFp(L.indVar());
+    B.storeElem(Fi, A, L.indVar(), MemKind::Float64);
+    B.storeElem(B.fadd(Fi, B.constFloat(1.0)), Bv, L.indVar(),
+                MemKind::Float64);
+    L.finish();
+  }
+  LoopBuilder L(B, B.constInt(0), B.constInt(256), 1, "dot");
+  Value *Acc = L.carried(B.constFloat(0.0));
+  Value *Av = B.loadElem(A, L.indVar(), MemKind::Float64);
+  Value *BvV = B.loadElem(Bv, L.indVar(), MemKind::Float64);
+  L.setNext(Acc, B.fadd(Acc, B.fmul(Av, BvV)));
+  L.finish();
+  Value *R = B.fpToSi(L.exitValue(Acc));
+  B.emit(R);
+  B.ret(R);
+  return M;
+}
+
+void report(const char *Label, Module &M, const OptimizationConfig &C,
+            bool PrintIr) {
+  runPassPipeline(M, C);
+  assertValid(M);
+  if (PrintIr) {
+    std::printf("\n----- IR after %s -----\n%s", Label,
+                printFunction(*M.mainFunction()).c_str());
+  }
+  CodeGenOptions CG;
+  CG.OmitFramePointer = C.OmitFramePointer;
+  CG.PostRaSchedule = C.ScheduleInsns2;
+  MachineProgram Prog = compileToProgram(M, CG);
+
+  SimulationResult Typical = simulateDetailed(Prog, MachineConfig::typical());
+  SimulationResult Constrained =
+      simulateDetailed(Prog, MachineConfig::constrained());
+  std::printf("%-22s static %5zu instrs | typical %8llu cyc (CPI %.2f) | "
+              "constrained %8llu cyc (CPI %.2f)\n",
+              Label, Prog.Code.size(),
+              (unsigned long long)Typical.Cycles, Typical.cpi(),
+              (unsigned long long)Constrained.Cycles, Constrained.cpi());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Workload = Argc > 1 ? Argv[1] : "";
+  bool UseDemo = Workload.empty();
+
+  auto Fresh = [&]() {
+    return UseDemo ? makeDemoKernel()
+                   : buildWorkload(Workload, InputSet::Test);
+  };
+
+  if (UseDemo) {
+    auto M = Fresh();
+    std::printf("----- IR before optimization -----\n%s",
+                printFunction(*M->mainFunction()).c_str());
+  }
+
+  struct Step {
+    const char *Label;
+    OptimizationConfig Config;
+  };
+  OptimizationConfig Unroll;
+  Unroll.UnrollLoops = true;
+  OptimizationConfig Strength;
+  Strength.StrengthReduce = true;
+  OptimizationConfig Sched;
+  Sched.ScheduleInsns2 = true;
+  OptimizationConfig Prefetch;
+  Prefetch.PrefetchLoopArrays = true;
+  OptimizationConfig AllOn = OptimizationConfig::O3();
+  AllOn.UnrollLoops = true;
+
+  const Step Steps[] = {
+      {"O0 (cleanup only)", OptimizationConfig::O0()},
+      {"strength-reduce", Strength},
+      {"unroll (x8)", Unroll},
+      {"schedule-insns2", Sched},
+      {"prefetch", Prefetch},
+      {"O2", OptimizationConfig::O2()},
+      {"O3", OptimizationConfig::O3()},
+      {"O3 + unroll", AllOn},
+  };
+
+  std::printf("\n%s on two microarchitectures:\n",
+              UseDemo ? "demo kernel" : Workload.c_str());
+  for (const Step &S : Steps) {
+    auto M = Fresh();
+    report(S.Label, *M, S.Config, /*PrintIr=*/UseDemo &&
+                                      std::strcmp(S.Label, "O0 (cleanup "
+                                                           "only)") == 0);
+  }
+  std::printf("\nNote how the same flag moves cycles by different amounts "
+              "on the two machines -- the compiler/microarchitecture "
+              "interaction the MSEM models capture.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ---------------===//
+//
+// The end-to-end flow of the paper in ~80 lines:
+//   1. define the joint compiler x microarchitecture design space,
+//   2. measure a D-optimally chosen set of design points on the simulator,
+//   3. fit an RBF-network performance model,
+//   4. use it to predict arbitrary configurations and to find good
+//      compiler settings for a platform.
+//
+// Build:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelBuilder.h"
+#include "core/ResponseSurface.h"
+#include "search/GeneticSearch.h"
+
+#include <cstdio>
+
+using namespace msem;
+
+int main() {
+  // 1. The design space: Table 1's 14 compiler parameters + Table 2's 11
+  //    microarchitectural parameters, all encoded onto [-1, 1].
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  std::printf("design space: %zu parameters (%zu compiler + %zu uarch)\n",
+              Space.size(), Space.numCompilerParams(),
+              Space.size() - Space.numCompilerParams());
+
+  // 2. A response surface for one program: each measurement compiles the
+  //    benchmark at the point's flag settings and simulates the binary on
+  //    the point's microarchitecture (SMARTS-sampled).
+  ResponseSurface::Options SurfOpts;
+  SurfOpts.Workload = "art";
+  SurfOpts.Input = InputSet::Test; // Small input: quickstart-friendly.
+  SurfOpts.Smarts.SamplingInterval = 10;
+  ResponseSurface Surface(Space, SurfOpts);
+
+  // 3. The Figure 1 loop: D-optimal design, measure, fit, evaluate.
+  ModelBuilderOptions Build;
+  Build.Technique = ModelTechnique::Rbf;
+  Build.InitialDesignSize = 60;
+  Build.MaxDesignSize = 60;
+  Build.TestSize = 20;
+  Build.CandidateCount = 500;
+  ModelBuildResult Result = buildModel(Surface, Build);
+  std::printf("fitted %s model on %zu points: test MAPE %.2f%%, R2 %.3f "
+              "(%zu simulations total)\n",
+              Result.FittedModel->name().c_str(),
+              Result.TrainPoints.size(), Result.TestQuality.Mape,
+              Result.TestQuality.R2, Result.SimulationsUsed);
+
+  // 4a. Predict an arbitrary configuration without simulating it.
+  DesignPoint Probe = Space.fromConfigs(OptimizationConfig::O3(),
+                                        MachineConfig::typical());
+  double Predicted = Result.FittedModel->predict(Space.encode(Probe));
+  double Actual = Surface.measure(Probe);
+  std::printf("-O3 on the typical machine: predicted %.0f cycles, "
+              "simulated %.0f cycles (%.1f%% off)\n",
+              Predicted, Actual,
+              100.0 * (Predicted - Actual) / Actual);
+
+  // 4b. Search the compiler subspace for this platform.
+  DesignPoint O2Point = Space.fromConfigs(OptimizationConfig::O2(),
+                                          MachineConfig::typical());
+  GaResult Best = searchOptimalSettings(*Result.FittedModel, Space, O2Point);
+  double CyclesBest = Surface.measure(Best.BestPoint);
+  double CyclesO2 = Surface.measure(O2Point);
+  std::printf("model-guided settings: %.0f cycles vs -O2's %.0f "
+              "(%+.1f%% speedup)\n",
+              CyclesBest, CyclesO2,
+              100.0 * (CyclesO2 - CyclesBest) / CyclesO2);
+  std::printf("prescribed flags: %s\n",
+              Space.toOptimizationConfig(Best.BestPoint).toString().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- codegen/CodeGenerator.h - IR-to-machine compilation -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generation driver: lowers an (already optimized) IR module to a
+/// linked MachineProgram. Consumes the codegen-level halves of the Table 1
+/// flags: -fomit-frame-pointer (frees x30 for allocation and drops frame
+/// setup) and the post-RA half of -fschedule-insns2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CODEGEN_CODEGENERATOR_H
+#define MSEM_CODEGEN_CODEGENERATOR_H
+
+#include "codegen/MachineFunction.h"
+#include "ir/Module.h"
+#include "isa/MachineProgram.h"
+
+namespace msem {
+
+/// Codegen-level options (derived from OptimizationConfig).
+struct CodeGenOptions {
+  bool OmitFramePointer = false;
+  bool PostRaSchedule = false;
+  /// Stack size reserved above the globals in data memory.
+  uint64_t StackBytes = 8ull << 20;
+};
+
+/// Placement of globals in data memory, shared between lowering (absolute
+/// addresses) and linking (initial image).
+struct GlobalLayout {
+  std::vector<LinkedGlobal> Globals;
+  uint64_t DataBase = 4096;
+  uint64_t DataEnd = 4096;
+
+  /// Computes the layout for \p M (16-byte aligned, module order).
+  static GlobalLayout compute(const Module &M);
+
+  /// Base address of a global; asserts if absent.
+  uint64_t baseOf(const GlobalVariable *G) const;
+};
+
+/// Lowers one IR function to machine code over virtual registers.
+/// (Exposed for unit testing; most callers use compileToProgram.)
+MachineFunction lowerFunction(Function &F, const GlobalLayout &Layout);
+
+/// Linear-scan register allocation + frame lowering for one function.
+void allocateRegisters(MachineFunction &MF, const CodeGenOptions &Options);
+
+/// Post-RA list scheduling (no-op unless Options.PostRaSchedule).
+void schedulePostRa(MachineFunction &MF);
+
+/// Links machine functions into an executable image. Function order
+/// follows \p MFs; a startup stub (JAL main; HALT) is prepended.
+MachineProgram linkProgram(const std::vector<MachineFunction> &MFs,
+                           const GlobalLayout &Layout,
+                           const CodeGenOptions &Options);
+
+/// Full pipeline: lower + allocate + schedule + link.
+MachineProgram compileToProgram(Module &M, const CodeGenOptions &Options);
+
+} // namespace msem
+
+#endif // MSEM_CODEGEN_CODEGENERATOR_H

@@ -1,0 +1,145 @@
+//===- codegen/Linker.cpp - Linearization and linking -------------------------===//
+//
+// Emits each function's blocks in layout order, folds branches into
+// fall-throughs (dropping redundant jumps, inverting conditions when the
+// taken side is the next block), and resolves block-index targets and
+// callee-index JAL targets into absolute code indices. A startup stub
+// (JAL main; HALT) occupies indices 0 and 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+/// Emits one function's code into \p Code; returns block-start indices and
+/// records intra-function patches to apply once all blocks are placed.
+void emitFunction(const MachineFunction &MF, std::vector<MachineInstr> &Code) {
+  const size_t NumBlocks = MF.Blocks.size();
+  std::vector<int64_t> BlockStart(NumBlocks, -1);
+  struct Patch {
+    size_t CodeIndex;
+    size_t BlockIndex;
+  };
+  std::vector<Patch> Patches;
+
+  for (size_t Pos = 0; Pos < MF.LayoutOrder.size(); ++Pos) {
+    size_t B = MF.LayoutOrder[Pos];
+    const MachineBasicBlock &BB = MF.Blocks[B];
+    BlockStart[B] = static_cast<int64_t>(Code.size());
+
+    // The next block in layout (for fall-through folding).
+    int64_t NextBlock = Pos + 1 < MF.LayoutOrder.size()
+                            ? static_cast<int64_t>(MF.LayoutOrder[Pos + 1])
+                            : -1;
+
+    bool DropTailJump = false;
+    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+      MachineInstr MI = BB.Instrs[I].MI;
+      bool IsLast = I + 1 == BB.Instrs.size();
+      bool IsPenultimate = I + 2 == BB.Instrs.size();
+
+      if (MI.Op == MOp::J && IsLast &&
+          (DropTailJump || MI.Target == NextBlock))
+        continue; // Fall through (or covered by an inverted branch).
+
+      if (MI.isConditionalBranch() && IsPenultimate &&
+          BB.Instrs.back().MI.Op == MOp::J) {
+        const MachineInstr &Tail = BB.Instrs.back().MI;
+        if (MI.Target == NextBlock) {
+          // bcc next; j other  ->  b!cc other (fall through to next).
+          MI.Op = MI.Op == MOp::BNEZ ? MOp::BEQZ : MOp::BNEZ;
+          MI.Target = Tail.Target;
+          DropTailJump = true;
+        }
+        // (The `j other == next` case is handled when the J is emitted.)
+      }
+
+      if (MI.Op == MOp::J || MI.isConditionalBranch())
+        Patches.push_back({Code.size(), static_cast<size_t>(MI.Target)});
+      Code.push_back(MI);
+    }
+  }
+
+  for (const auto &P : Patches) {
+    assert(BlockStart[P.BlockIndex] >= 0 && "branch to unplaced block");
+    Code[P.CodeIndex].Target = BlockStart[P.BlockIndex];
+  }
+}
+
+} // namespace
+
+MachineProgram msem::linkProgram(const std::vector<MachineFunction> &MFs,
+                                 const GlobalLayout &Layout,
+                                 const CodeGenOptions &Options) {
+  MachineProgram Prog;
+  Prog.Globals = Layout.Globals;
+  Prog.DataBase = Layout.DataBase;
+  Prog.DataEnd = Layout.DataEnd;
+  Prog.MemoryBytes = Layout.DataEnd + Options.StackBytes;
+
+  // Startup stub: call main, then halt.
+  MachineInstr CallMain;
+  CallMain.Op = MOp::JAL;
+  CallMain.Rd = reg::RA;
+  CallMain.Target = -1; // Patched below.
+  Prog.Code.push_back(CallMain);
+  MachineInstr Halt;
+  Halt.Op = MOp::HALT;
+  Prog.Code.push_back(Halt);
+
+  // Place functions; record entries.
+  std::vector<std::pair<size_t, size_t>> JalSites; // (code idx, fn idx)
+  for (const MachineFunction &MF : MFs) {
+    LinkedFunction LF;
+    LF.Name = MF.Name;
+    LF.EntryIndex = Prog.Code.size();
+    size_t Before = Prog.Code.size();
+    emitFunction(MF, Prog.Code);
+    // JAL targets inside the emitted range still hold function indices.
+    for (size_t I = Before; I < Prog.Code.size(); ++I)
+      if (Prog.Code[I].Op == MOp::JAL)
+        JalSites.push_back({I, static_cast<size_t>(Prog.Code[I].Target)});
+    LF.EndIndex = Prog.Code.size();
+    Prog.Functions.push_back(std::move(LF));
+  }
+
+  // Resolve calls (JAL targets are module function indices).
+  for (auto &[CodeIdx, FnIdx] : JalSites) {
+    assert(FnIdx < Prog.Functions.size() && "call to unknown function");
+    Prog.Code[CodeIdx].Target =
+        static_cast<int64_t>(Prog.Functions[FnIdx].EntryIndex);
+  }
+
+  // The stub calls main.
+  int64_t MainEntry = -1;
+  for (const LinkedFunction &LF : Prog.Functions)
+    if (LF.Name == "main")
+      MainEntry = static_cast<int64_t>(LF.EntryIndex);
+  if (MainEntry < 0)
+    fatalError("link error: program has no main function");
+  Prog.Code[0].Target = MainEntry;
+  Prog.EntryIndex = 0;
+  return Prog;
+}
+
+MachineProgram msem::compileToProgram(Module &M,
+                                      const CodeGenOptions &Options) {
+  GlobalLayout Layout = GlobalLayout::compute(M);
+  std::vector<MachineFunction> MFs;
+  MFs.reserve(M.functions().size());
+  for (const auto &F : M.functions()) {
+    MachineFunction MF = lowerFunction(*F, Layout);
+    allocateRegisters(MF, Options);
+    if (Options.PostRaSchedule)
+      schedulePostRa(MF);
+    MFs.push_back(std::move(MF));
+  }
+  return linkProgram(MFs, Layout, Options);
+}

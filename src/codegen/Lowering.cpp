@@ -1,0 +1,549 @@
+//===- codegen/Lowering.cpp - IR to machine instruction selection ------------===//
+//
+// Lowers SSA IR to machine code over virtual registers:
+//   - phis are eliminated with the safe double-copy scheme (sources are
+//     copied into fresh temporaries before the phi registers are written,
+//     which handles the swap and lost-copy problems without analysis);
+//   - critical edges carrying phi values are split;
+//   - constants rematerialize per block (with per-block reuse), immediates
+//     fold into ADDI and memory-operand offsets;
+//   - calls pass arguments on the stack (at [sp - 8*(n-i)]) and return in
+//     x1/f1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace msem;
+
+GlobalLayout GlobalLayout::compute(const Module &M) {
+  GlobalLayout L;
+  uint64_t Base = L.DataBase;
+  for (const auto &G : M.globals()) {
+    LinkedGlobal LG;
+    LG.Name = G->name();
+    LG.Base = Base;
+    LG.Size = G->sizeInBytes();
+    LG.Init = G->initializer();
+    L.Globals.push_back(std::move(LG));
+    Base += (G->sizeInBytes() + 15) & ~15ull;
+  }
+  L.DataEnd = Base;
+  return L;
+}
+
+uint64_t GlobalLayout::baseOf(const GlobalVariable *G) const {
+  for (const LinkedGlobal &LG : Globals)
+    if (LG.Name == G->name())
+      return LG.Base;
+  MSEM_UNREACHABLE("global not in layout");
+}
+
+namespace {
+
+class FunctionLowering {
+public:
+  FunctionLowering(Function &F, const GlobalLayout &Layout)
+      : F(F), Layout(Layout) {}
+
+  MachineFunction run() {
+    MF.Name = F.name();
+    MF.NumArgs = F.numArgs();
+    for (size_t I = 0; I < F.blocks().size(); ++I) {
+      BlockIndex[F.blocks()[I].get()] = I;
+      MF.Blocks.push_back(MachineBasicBlock{F.blocks()[I]->name(), {}});
+      MF.LayoutOrder.push_back(I);
+    }
+    assignAllocaSlots();
+    assignPhiRegs();
+    lowerArguments();
+    for (size_t I = 0; I < F.blocks().size(); ++I)
+      lowerBlock(*F.blocks()[I], I);
+    return std::move(MF);
+  }
+
+private:
+  // -- Emission helpers --------------------------------------------------
+  void emitTo(size_t BlockIdx, MachineInstr MI,
+              FrameRef Frame = FrameRef::None) {
+    MF.Blocks[BlockIdx].Instrs.push_back(CgInstr{MI, Frame});
+  }
+  void emit(MachineInstr MI, FrameRef Frame = FrameRef::None) {
+    emitTo(CurBlock, MI, Frame);
+  }
+
+  static MachineInstr make(MOp Op, int32_t Rd = -1, int32_t Rs1 = -1,
+                           int32_t Rs2 = -1, int64_t Imm = 0) {
+    MachineInstr MI;
+    MI.Op = Op;
+    MI.Rd = Rd;
+    MI.Rs1 = Rs1;
+    MI.Rs2 = Rs2;
+    MI.Imm = Imm;
+    return MI;
+  }
+
+  // -- Value mapping -----------------------------------------------------
+  int32_t vregFor(const Value *V) {
+    auto It = ValueReg.find(V);
+    if (It != ValueReg.end())
+      return It->second;
+    bool IsFp = V->type() == Type::F64;
+    int32_t R = MF.createVReg(IsFp);
+    ValueReg[V] = R;
+    return R;
+  }
+
+  /// Materializes \p V into a register in the current block. Constants are
+  /// cached per (block, constant).
+  int32_t useReg(Value *V) {
+    if (auto *C = dyn_cast<Constant>(V)) {
+      auto Key = std::make_pair(CurBlock, static_cast<const Value *>(C));
+      auto It = BlockConstReg.find(Key);
+      if (It != BlockConstReg.end())
+        return It->second;
+      int32_t R;
+      if (C->type() == Type::I64) {
+        R = MF.createVReg(false);
+        emit(make(MOp::LI, R, -1, -1, C->intValue()));
+      } else {
+        R = MF.createVReg(true);
+        MachineInstr MI = make(MOp::FLI, R);
+        MI.FpImm = C->floatValue();
+        emit(MI);
+      }
+      BlockConstReg[Key] = R;
+      return R;
+    }
+    if (auto *G = dyn_cast<GlobalVariable>(V)) {
+      auto Key = std::make_pair(CurBlock, static_cast<const Value *>(G));
+      auto It = BlockConstReg.find(Key);
+      if (It != BlockConstReg.end())
+        return It->second;
+      int32_t R = MF.createVReg(false);
+      emit(make(MOp::LI, R, -1, -1,
+                static_cast<int64_t>(Layout.baseOf(G))));
+      BlockConstReg[Key] = R;
+      return R;
+    }
+    return vregFor(V);
+  }
+
+  /// Integer constant value if \p V is one.
+  static const Constant *asIntConst(const Value *V) {
+    const auto *C = dyn_cast<Constant>(V);
+    return (C && C->type() == Type::I64) ? C : nullptr;
+  }
+
+  // -- Setup -------------------------------------------------------------
+  void assignAllocaSlots() {
+    uint64_t Offset = 0;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (I->opcode() != Opcode::Alloca)
+          continue;
+        AllocaOffset[I.get()] = Offset;
+        Offset += (I->allocaSize() + 15) & ~15ull;
+      }
+    }
+    MF.AllocaBytes = Offset;
+  }
+
+  void assignPhiRegs() {
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->opcode() == Opcode::Phi)
+          (void)vregFor(I.get());
+  }
+
+  void lowerArguments() {
+    // Incoming argument i lives at [sp + frame - 8*(n-i)]; the exact frame
+    // size is patched by frame lowering (FrameRef::IncomingArg).
+    CurBlock = 0;
+    for (unsigned I = 0; I < F.numArgs(); ++I) {
+      Argument *A = F.arg(I);
+      int32_t R = vregFor(A);
+      int64_t Offset = -8 * static_cast<int64_t>(F.numArgs() - I);
+      MOp Op = A->type() == Type::F64 ? MOp::LDF : MOp::LD64;
+      emit(make(Op, R, reg::SP, -1, Offset), FrameRef::IncomingArg);
+    }
+  }
+
+  // -- Phi elimination ----------------------------------------------------
+  /// Emits the phi copies for edge Pred -> Succ into block \p EmitIdx.
+  void emitPhiCopies(BasicBlock *Pred, BasicBlock *Succ, size_t EmitIdx) {
+    std::vector<std::pair<int32_t, Value *>> Copies; // (phi reg, incoming)
+    for (const auto &I : Succ->instructions()) {
+      if (I->opcode() != Opcode::Phi)
+        break;
+      Copies.push_back({vregFor(I.get()), I->phiIncomingFor(Pred)});
+    }
+    if (Copies.empty())
+      return;
+    size_t Saved = CurBlock;
+    CurBlock = EmitIdx;
+    // Double-copy: read all sources into fresh temps, then write the phi
+    // registers. Immune to the swap/lost-copy problems.
+    std::vector<int32_t> Temps;
+    for (auto &[PhiReg, In] : Copies) {
+      bool IsFp = In->type() == Type::F64;
+      int32_t Tmp = MF.createVReg(IsFp);
+      int32_t Src = useReg(In);
+      emit(make(IsFp ? MOp::FMOV : MOp::MOV, Tmp, Src));
+      Temps.push_back(Tmp);
+    }
+    for (size_t K = 0; K < Copies.size(); ++K) {
+      bool IsFp = Copies[K].second->type() == Type::F64;
+      emit(make(IsFp ? MOp::FMOV : MOp::MOV, Copies[K].first, Temps[K]));
+    }
+    CurBlock = Saved;
+  }
+
+  static bool hasPhis(const BasicBlock *BB) {
+    return !BB->empty() &&
+           BB->instructions().front()->opcode() == Opcode::Phi;
+  }
+
+  // -- Terminator lowering -------------------------------------------------
+  void lowerTerminator(Instruction &I) {
+    switch (I.opcode()) {
+    case Opcode::Jmp: {
+      BasicBlock *Succ = I.successor(0);
+      emitPhiCopies(I.parent(), Succ, CurBlock);
+      emit(make(MOp::J, -1, -1, -1, 0));
+      MF.Blocks[CurBlock].Instrs.back().MI.Target = BlockIndex.at(Succ);
+      break;
+    }
+    case Opcode::Br: {
+      BasicBlock *T = I.successor(0);
+      BasicBlock *E = I.successor(1);
+      int32_t Cond = useReg(I.operand(0));
+      // Phi-carrying successors need their copies on this edge only; with
+      // two successors that means split blocks.
+      size_t TIdx = BlockIndex.at(T);
+      size_t EIdx = BlockIndex.at(E);
+      if (hasPhis(T)) {
+        size_t Split = newSplitBlock(I.parent()->name() + ".t", CurBlock);
+        emitPhiCopies(I.parent(), T, Split);
+        emitTo(Split, make(MOp::J, -1, -1, -1, 0));
+        MF.Blocks[Split].Instrs.back().MI.Target = TIdx;
+        TIdx = Split;
+      }
+      if (hasPhis(E)) {
+        size_t Split = newSplitBlock(I.parent()->name() + ".e", CurBlock);
+        emitPhiCopies(I.parent(), E, Split);
+        emitTo(Split, make(MOp::J, -1, -1, -1, 0));
+        MF.Blocks[Split].Instrs.back().MI.Target = EIdx;
+        EIdx = Split;
+      }
+      MachineInstr B = make(MOp::BNEZ, -1, Cond);
+      B.Target = static_cast<int64_t>(TIdx);
+      emit(B);
+      MachineInstr Jf = make(MOp::J);
+      Jf.Target = static_cast<int64_t>(EIdx);
+      emit(Jf);
+      break;
+    }
+    case Opcode::Ret: {
+      if (I.numOperands() == 1) {
+        Value *V = I.operand(0);
+        int32_t Src = useReg(V);
+        if (V->type() == Type::F64)
+          emit(make(MOp::FMOV, reg::FpBase + 1, Src));
+        else
+          emit(make(MOp::MOV, 1, Src));
+      }
+      emit(make(MOp::JR, -1, reg::RA));
+      break;
+    }
+    default:
+      MSEM_UNREACHABLE("non-terminator in terminator lowering");
+    }
+  }
+
+  /// Creates an edge-split block placed right after \p PredIdx in the
+  /// layout order, so the split's jump back to the real successor can be
+  /// folded into a fall-through where possible.
+  size_t newSplitBlock(const std::string &Name, size_t PredIdx) {
+    MF.Blocks.push_back(MachineBasicBlock{Name, {}});
+    size_t NewIdx = MF.Blocks.size() - 1;
+    for (size_t Pos = 0; Pos < MF.LayoutOrder.size(); ++Pos) {
+      if (MF.LayoutOrder[Pos] == PredIdx) {
+        MF.LayoutOrder.insert(MF.LayoutOrder.begin() + Pos + 1, NewIdx);
+        return NewIdx;
+      }
+    }
+    MF.LayoutOrder.push_back(NewIdx);
+    return NewIdx;
+  }
+
+  // -- Straight-line instruction selection ---------------------------------
+  void lowerBlock(BasicBlock &BB, size_t BlockIdx) {
+    CurBlock = BlockIdx;
+    for (const auto &IPtr : BB.instructions()) {
+      Instruction &I = *IPtr;
+      if (I.opcode() == Opcode::Phi)
+        continue; // Handled on incoming edges.
+      if (I.isTerminator()) {
+        lowerTerminator(I);
+        continue;
+      }
+      lowerInstr(I);
+    }
+  }
+
+  /// Folds a constant byte offset out of a memory address operand.
+  /// Returns (base register, immediate).
+  std::pair<int32_t, int64_t> lowerAddress(Value *Addr) {
+    if (auto *PA = dyn_cast<Instruction>(Addr)) {
+      if (PA->opcode() == Opcode::PtrAdd) {
+        if (const Constant *C = asIntConst(PA->operand(1)))
+          return {useReg(PA->operand(0)), C->intValue()};
+      }
+    }
+    return {useReg(Addr), 0};
+  }
+
+  void lowerBinary(Instruction &I, MOp Op) {
+    // Fold integer add/sub immediates into ADDI.
+    if (Op == MOp::ADD || Op == MOp::SUB) {
+      const Constant *C1 = asIntConst(I.operand(1));
+      if (C1) {
+        int64_t Imm = Op == MOp::ADD ? C1->intValue() : -C1->intValue();
+        emit(make(MOp::ADDI, vregFor(&I), useReg(I.operand(0)), -1, Imm));
+        return;
+      }
+      const Constant *C0 = asIntConst(I.operand(0));
+      if (C0 && Op == MOp::ADD) {
+        emit(make(MOp::ADDI, vregFor(&I), useReg(I.operand(1)), -1,
+                  C0->intValue()));
+        return;
+      }
+    }
+    int32_t A = useReg(I.operand(0));
+    int32_t B = useReg(I.operand(1));
+    emit(make(Op, vregFor(&I), A, B));
+  }
+
+  void lowerInstr(Instruction &I) {
+    switch (I.opcode()) {
+    case Opcode::Add:
+      lowerBinary(I, MOp::ADD);
+      break;
+    case Opcode::Sub:
+      lowerBinary(I, MOp::SUB);
+      break;
+    case Opcode::Mul:
+      lowerBinary(I, MOp::MUL);
+      break;
+    case Opcode::Div:
+      lowerBinary(I, MOp::DIV);
+      break;
+    case Opcode::Rem:
+      lowerBinary(I, MOp::REM);
+      break;
+    case Opcode::And:
+      lowerBinary(I, MOp::AND);
+      break;
+    case Opcode::Or:
+      lowerBinary(I, MOp::OR);
+      break;
+    case Opcode::Xor:
+      lowerBinary(I, MOp::XOR);
+      break;
+    case Opcode::Shl:
+      lowerBinary(I, MOp::SHL);
+      break;
+    case Opcode::Shr:
+      lowerBinary(I, MOp::SHR);
+      break;
+    case Opcode::PtrAdd:
+      lowerBinary(I, MOp::ADD);
+      break;
+    case Opcode::FAdd:
+      lowerBinary(I, MOp::FADD);
+      break;
+    case Opcode::FSub:
+      lowerBinary(I, MOp::FSUB);
+      break;
+    case Opcode::FMul:
+      lowerBinary(I, MOp::FMUL);
+      break;
+    case Opcode::FDiv:
+      lowerBinary(I, MOp::FDIV);
+      break;
+    case Opcode::ICmp: {
+      MachineInstr MI = make(MOp::CMP, vregFor(&I), useReg(I.operand(0)),
+                             useReg(I.operand(1)));
+      MI.Pred = I.cmpPred();
+      emit(MI);
+      break;
+    }
+    case Opcode::FCmp: {
+      MachineInstr MI = make(MOp::FCMP, vregFor(&I), useReg(I.operand(0)),
+                             useReg(I.operand(1)));
+      MI.Pred = I.cmpPred();
+      emit(MI);
+      break;
+    }
+    case Opcode::SIToFP:
+      emit(make(MOp::CVTIF, vregFor(&I), useReg(I.operand(0))));
+      break;
+    case Opcode::FPToSI:
+      emit(make(MOp::CVTFI, vregFor(&I), useReg(I.operand(0))));
+      break;
+    case Opcode::Select: {
+      bool IsFp = I.type() == Type::F64;
+      int32_t Rd = vregFor(&I);
+      int32_t Cond = useReg(I.operand(0));
+      int32_t TrueV = useReg(I.operand(1));
+      int32_t FalseV = useReg(I.operand(2));
+      emit(make(IsFp ? MOp::FMOV : MOp::MOV, Rd, FalseV));
+      emit(make(IsFp ? MOp::FCMOV : MOp::CMOV, Rd, Cond, TrueV));
+      break;
+    }
+    case Opcode::Load: {
+      auto [Base, Imm] = lowerAddress(I.operand(0));
+      MOp Op = MOp::LD64;
+      switch (I.memKind()) {
+      case MemKind::Int8:
+        Op = MOp::LD8;
+        break;
+      case MemKind::Int32:
+        Op = MOp::LD32;
+        break;
+      case MemKind::Int64:
+        Op = MOp::LD64;
+        break;
+      case MemKind::Float64:
+        Op = MOp::LDF;
+        break;
+      }
+      emit(make(Op, vregFor(&I), Base, -1, Imm));
+      break;
+    }
+    case Opcode::Store: {
+      auto [Base, Imm] = lowerAddress(I.operand(1));
+      int32_t Data = useReg(I.operand(0));
+      MOp Op = MOp::ST64;
+      switch (I.memKind()) {
+      case MemKind::Int8:
+        Op = MOp::ST8;
+        break;
+      case MemKind::Int32:
+        Op = MOp::ST32;
+        break;
+      case MemKind::Int64:
+        Op = MOp::ST64;
+        break;
+      case MemKind::Float64:
+        Op = MOp::STF;
+        break;
+      }
+      emit(make(Op, -1, Base, Data, Imm));
+      break;
+    }
+    case Opcode::Prefetch: {
+      auto [Base, Imm] = lowerAddress(I.operand(0));
+      emit(make(MOp::PREF, -1, Base, -1, Imm));
+      break;
+    }
+    case Opcode::Alloca:
+      emit(make(MOp::ADDI, vregFor(&I), reg::SP, -1,
+                static_cast<int64_t>(AllocaOffset.at(&I))),
+           FrameRef::AllocaArea);
+      break;
+    case Opcode::Call: {
+      MF.MakesCalls = true;
+      // Outgoing arguments go just below sp: arg i at [sp - 8*(n-i)].
+      unsigned N = I.numOperands();
+      for (unsigned A = 0; A < N; ++A) {
+        Value *Arg = I.operand(A);
+        int32_t Src = useReg(Arg);
+        int64_t Offset = -8 * static_cast<int64_t>(N - A);
+        MOp Op = Arg->type() == Type::F64 ? MOp::STF : MOp::ST64;
+        emit(make(Op, -1, reg::SP, Src, Offset));
+      }
+      MachineInstr Call = make(MOp::JAL, reg::RA);
+      Call.Target = -1; // Patched by the linker via CalleeName.
+      emit(Call);
+      CalleeOfCall.push_back({CurBlock,
+                              MF.Blocks[CurBlock].Instrs.size() - 1,
+                              I.callee()->name()});
+      if (I.type() != Type::Void) {
+        bool IsFp = I.type() == Type::F64;
+        emit(make(IsFp ? MOp::FMOV : MOp::MOV, vregFor(&I),
+                  IsFp ? reg::FpBase + 1 : 1));
+      }
+      break;
+    }
+    case Opcode::Emit: {
+      Value *V = I.operand(0);
+      int32_t Src = useReg(V);
+      emit(make(V->type() == Type::F64 ? MOp::EMITF : MOp::EMIT, -1, Src));
+      break;
+    }
+    default:
+      MSEM_UNREACHABLE("unhandled opcode in lowering");
+    }
+  }
+
+public:
+  /// (block, instr index, callee name) for every JAL; the linker patches
+  /// targets. Exposed through lowerFunctionWithCalls below.
+  struct CallSite {
+    size_t Block;
+    size_t Instr;
+    std::string Callee;
+  };
+  std::vector<CallSite> CalleeOfCall;
+
+private:
+  Function &F;
+  const GlobalLayout &Layout;
+  MachineFunction MF;
+  size_t CurBlock = 0;
+  std::unordered_map<const BasicBlock *, size_t> BlockIndex;
+  std::unordered_map<const Value *, int32_t> ValueReg;
+  std::unordered_map<const Instruction *, uint64_t> AllocaOffset;
+
+  struct PairHash {
+    size_t operator()(const std::pair<size_t, const Value *> &P) const {
+      return P.first * 1000003 + std::hash<const void *>()(P.second);
+    }
+  };
+  std::unordered_map<std::pair<size_t, const Value *>, int32_t, PairHash>
+      BlockConstReg;
+};
+
+} // namespace
+
+// The call-site table is communicated to the linker via a side channel on
+// the MachineInstr: JAL.Imm holds an index into a per-program callee-name
+// table. To keep MachineFunction self-contained we instead encode the
+// callee by name in a per-function table appended to the function.
+//
+// Simpler contract used here: lowering stores the callee name's index in
+// the module's function list into JAL.Target (the linker resolves it to an
+// entry code index). lowerFunction receives that mapping via the Function's
+// parent module.
+
+MachineFunction msem::lowerFunction(Function &F, const GlobalLayout &Layout) {
+  FunctionLowering Lowering(F, Layout);
+  MachineFunction MF = Lowering.run();
+  // Resolve callee names to module function indices (link-time contract).
+  const Module &M = *F.parent();
+  for (const auto &CS : Lowering.CalleeOfCall) {
+    int64_t FnIndex = -1;
+    for (size_t I = 0; I < M.functions().size(); ++I)
+      if (M.functions()[I]->name() == CS.Callee)
+        FnIndex = static_cast<int64_t>(I);
+    assert(FnIndex >= 0 && "callee not found in module");
+    MF.Blocks[CS.Block].Instrs[CS.Instr].MI.Target = FnIndex;
+  }
+  return MF;
+}

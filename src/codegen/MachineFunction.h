@@ -1,0 +1,86 @@
+//===- codegen/MachineFunction.h - Pre-link machine code ---------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of code generation: machine basic blocks over virtual (then
+/// physical) registers, frame information and the fixup metadata that frame
+/// lowering resolves once the final frame size is known.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CODEGEN_MACHINEFUNCTION_H
+#define MSEM_CODEGEN_MACHINEFUNCTION_H
+
+#include "isa/MachineInstr.h"
+
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Frame-relative references that need fixup after the frame is final.
+enum class FrameRef : uint8_t {
+  None,
+  /// Imm is an offset into the alloca area; add the spill-area size.
+  AllocaArea,
+  /// Imm is the (negative) incoming-argument offset; add the frame size.
+  IncomingArg,
+};
+
+/// A machine instruction plus codegen-time fixup metadata.
+struct CgInstr {
+  MachineInstr MI;
+  FrameRef Frame = FrameRef::None;
+};
+
+/// A machine basic block. Branch targets (MI.Target) are block indices
+/// within the owning MachineFunction until linking.
+struct MachineBasicBlock {
+  std::string Name;
+  std::vector<CgInstr> Instrs;
+};
+
+/// A function's machine code between lowering and linking.
+struct MachineFunction {
+  std::string Name;
+  std::vector<MachineBasicBlock> Blocks;
+  /// Emission order of block indices. Lowering places edge-split blocks
+  /// right after their predecessor so phi-copy code stays on the hot path;
+  /// the linker emits blocks in this order and resolves branch targets
+  /// (which are block indices) accordingly.
+  std::vector<size_t> LayoutOrder;
+  /// Number of virtual registers; ids are reg::FirstVirtual + i.
+  uint32_t NumVRegs = 0;
+  /// Class of each virtual register (true = floating point).
+  std::vector<bool> VRegIsFp;
+  /// Bytes of alloca (static frame) area.
+  uint64_t AllocaBytes = 0;
+  /// Number of incoming arguments (for the incoming-arg fixups).
+  unsigned NumArgs = 0;
+  bool MakesCalls = false;
+
+  /// Allocates a fresh virtual register of the given class and returns its
+  /// unified id.
+  int32_t createVReg(bool IsFp) {
+    VRegIsFp.push_back(IsFp);
+    return reg::FirstVirtual + static_cast<int32_t>(NumVRegs++);
+  }
+
+  bool isVirtualFp(int32_t Reg) const {
+    return VRegIsFp[static_cast<size_t>(Reg - reg::FirstVirtual)];
+  }
+
+  unsigned instructionCount() const {
+    unsigned N = 0;
+    for (const MachineBasicBlock &BB : Blocks)
+      N += BB.Instrs.size();
+    return N;
+  }
+};
+
+} // namespace msem
+
+#endif // MSEM_CODEGEN_MACHINEFUNCTION_H

@@ -1,0 +1,148 @@
+//===- codegen/PostRaScheduler.cpp - Post-RA scheduling (-fschedule-insns2) --===//
+//
+// List scheduling over physical registers: honours RAW/WAR/WAW register
+// dependences, a conservative memory order (stores/calls/emits are ordered
+// against every other memory operation), and treats calls and control
+// transfers as barriers. Long-latency instructions are hoisted away from
+// their consumers; this is the "after register allocation" half of
+// -fschedule-insns2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace msem;
+
+namespace {
+
+unsigned opLatency(const MachineInstr &MI) {
+  switch (MI.fuClass()) {
+  case FuClass::IntMult:
+    return 3;
+  case FuClass::IntDiv:
+    return 20;
+  case FuClass::FpAdd:
+    return 2;
+  case FuClass::FpMult:
+    return 4;
+  case FuClass::FpDiv:
+    return 12;
+  case FuClass::MemPort:
+    return MI.isLoad() ? 3 : 1;
+  default:
+    return 1;
+  }
+}
+
+bool isBarrier(const MachineInstr &MI) {
+  // Calls clobber caller-saved state; control transfers end the window;
+  // EMIT must stay ordered with other emits (program output order).
+  return MI.isBranch() || MI.Op == MOp::HALT || MI.Op == MOp::EMIT ||
+         MI.Op == MOp::EMITF;
+}
+
+void scheduleWindow(std::vector<CgInstr> &Instrs, size_t Begin, size_t End) {
+  size_t N = End - Begin;
+  if (N < 3)
+    return;
+
+  std::vector<std::vector<unsigned>> Succs(N);
+  std::vector<unsigned> PredCount(N, 0);
+  auto AddEdge = [&](unsigned From, unsigned To) {
+    if (From == To)
+      return;
+    Succs[From].push_back(To);
+    ++PredCount[To];
+  };
+
+  // Register dependences. LastWrite/LastReads are per physical register.
+  std::vector<int> LastWrite(64, -1);
+  std::vector<std::vector<unsigned>> LastReads(64);
+  int LastMemWrite = -1;
+  std::vector<unsigned> MemReadsSince;
+
+  for (size_t I = 0; I < N; ++I) {
+    const MachineInstr &MI = Instrs[Begin + I].MI;
+    int32_t Srcs[3];
+    unsigned NS = MI.srcRegs(Srcs);
+    for (unsigned S = 0; S < NS; ++S) {
+      int32_t R = Srcs[S];
+      if (LastWrite[R] >= 0)
+        AddEdge(static_cast<unsigned>(LastWrite[R]), I); // RAW
+      LastReads[R].push_back(I);
+    }
+    int32_t Rd = MI.destReg();
+    if (Rd >= 0) {
+      if (LastWrite[Rd] >= 0)
+        AddEdge(static_cast<unsigned>(LastWrite[Rd]), I); // WAW
+      for (unsigned Reader : LastReads[Rd])
+        AddEdge(Reader, I); // WAR
+      LastReads[Rd].clear();
+      LastWrite[Rd] = static_cast<int>(I);
+    }
+    if (MI.isStore()) {
+      if (LastMemWrite >= 0)
+        AddEdge(static_cast<unsigned>(LastMemWrite), I);
+      for (unsigned Reader : MemReadsSince)
+        AddEdge(Reader, I);
+      MemReadsSince.clear();
+      LastMemWrite = static_cast<int>(I);
+    } else if (MI.isLoad() || MI.isPrefetch()) {
+      if (LastMemWrite >= 0)
+        AddEdge(static_cast<unsigned>(LastMemWrite), I);
+      MemReadsSince.push_back(I);
+    }
+  }
+
+  std::vector<unsigned> Priority(N, 0);
+  for (size_t I = N; I-- > 0;) {
+    unsigned Best = 0;
+    for (unsigned S : Succs[I])
+      Best = std::max(Best, Priority[S]);
+    Priority[I] = Best + opLatency(Instrs[Begin + I].MI);
+  }
+
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  std::vector<unsigned> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (PredCount[I] == 0)
+      Ready.push_back(I);
+  while (!Ready.empty()) {
+    size_t BestIdx = 0;
+    for (size_t R = 1; R < Ready.size(); ++R)
+      if (Priority[Ready[R]] > Priority[Ready[BestIdx]] ||
+          (Priority[Ready[R]] == Priority[Ready[BestIdx]] &&
+           Ready[R] < Ready[BestIdx]))
+        BestIdx = R;
+    unsigned Chosen = Ready[BestIdx];
+    Ready.erase(Ready.begin() + BestIdx);
+    Order.push_back(Chosen);
+    for (unsigned S : Succs[Chosen])
+      if (--PredCount[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Order.size() == N && "post-RA scheduling cycle");
+
+  std::vector<CgInstr> Old(Instrs.begin() + Begin, Instrs.begin() + End);
+  for (size_t I = 0; I < N; ++I)
+    Instrs[Begin + I] = Old[Order[I]];
+}
+
+} // namespace
+
+void msem::schedulePostRa(MachineFunction &MF) {
+  for (MachineBasicBlock &BB : MF.Blocks) {
+    size_t WindowStart = 0;
+    for (size_t I = 0; I <= BB.Instrs.size(); ++I) {
+      bool AtEnd = I == BB.Instrs.size();
+      if (AtEnd || isBarrier(BB.Instrs[I].MI)) {
+        scheduleWindow(BB.Instrs, WindowStart, I);
+        WindowStart = I + 1;
+      }
+    }
+  }
+}

@@ -1,0 +1,635 @@
+//===- codegen/RegAlloc.cpp - Linear-scan register allocation ----------------===//
+//
+// Classic linear scan over live-interval envelopes:
+//   - liveness is computed by backward dataflow over the machine CFG;
+//   - each virtual register gets one envelope interval [start, end];
+//   - intervals crossing a call site may only take callee-saved registers;
+//   - when no register is free the interval with the furthest end point
+//     spills to a frame slot, and a rewrite pass turns spilled operands
+//     into scratch-register reloads/stores.
+//
+// Frame lowering runs afterwards: it lays out spill slots, the alloca area,
+// the callee-saved save area and the incoming-argument area, inserts
+// prologue/epilogue code and resolves FrameRef fixups. -fomit-frame-pointer
+// removes the frame-pointer save/setup and adds x30 to the callee-saved
+// allocation pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+
+#include "support/Error.h"
+
+#include <functional>
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace msem;
+
+namespace {
+
+constexpr int32_t FirstVirtual = reg::FirstVirtual;
+
+bool isVirtual(int32_t R) { return R >= FirstVirtual; }
+
+/// Register pools. Integer: x0..x14 caller-saved, x15..x26 callee-saved
+/// (+x30 with -fomit-frame-pointer); x27/x28 scratch, x29 ra, x31 sp.
+/// Floating: f0..f14 caller-saved, f15..f29 callee-saved; f30/f31 scratch.
+struct RegisterPools {
+  std::vector<int32_t> IntCallerSaved;
+  std::vector<int32_t> IntCalleeSaved;
+  std::vector<int32_t> FpCallerSaved;
+  std::vector<int32_t> FpCalleeSaved;
+
+  explicit RegisterPools(bool OmitFramePointer) {
+    for (int32_t R = 0; R <= 14; ++R)
+      IntCallerSaved.push_back(R);
+    for (int32_t R = 15; R <= 25; ++R)
+      IntCalleeSaved.push_back(R);
+    if (OmitFramePointer)
+      IntCalleeSaved.push_back(reg::FP);
+    for (int32_t R = 0; R <= 14; ++R)
+      FpCallerSaved.push_back(reg::FpBase + R);
+    for (int32_t R = 15; R <= 29; ++R)
+      FpCalleeSaved.push_back(reg::FpBase + R);
+  }
+
+  static bool isCalleeSaved(int32_t R) {
+    if (R >= reg::FpBase)
+      return R - reg::FpBase >= 15 && R - reg::FpBase <= 29;
+    return (R >= 15 && R <= 25) || R == reg::FP;
+  }
+};
+
+struct Interval {
+  int32_t VReg = -1;
+  int64_t Start = -1;
+  int64_t End = -1;
+  bool IsFp = false;
+  bool CrossesCall = false;
+  unsigned UseCount = 0; ///< Static reads; drives spill victim choice.
+  int32_t Assigned = -1; ///< Physical register, or -1 when spilled.
+  int64_t SpillSlot = -1;
+};
+
+class LinearScan {
+public:
+  LinearScan(MachineFunction &MF, const CodeGenOptions &Options)
+      : MF(MF), Pools(Options.OmitFramePointer) {}
+
+  /// Runs allocation; returns the spill-area size in bytes and fills the
+  /// set of callee-saved physical registers that end up written.
+  uint64_t run(std::set<int32_t> &UsedCalleeSaved) {
+    numberInstructions();
+    computeLiveness();
+    buildIntervals();
+    if (coalesceCopies()) {
+      // Coalescing rewrote registers and deleted moves; rebuild the
+      // position numbering, liveness and intervals from scratch.
+      BlockFirst.clear();
+      BlockLast.clear();
+      CallPositions.clear();
+      Intervals.clear();
+      numberInstructions();
+      computeLiveness();
+      buildIntervals();
+    }
+    allocate();
+    rewrite();
+    for (const MachineBasicBlock &BB : MF.Blocks)
+      for (const CgInstr &CI : BB.Instrs) {
+        int32_t Rd = CI.MI.destReg();
+        if (Rd >= 0 && RegisterPools::isCalleeSaved(Rd))
+          UsedCalleeSaved.insert(Rd);
+      }
+    return static_cast<uint64_t>(NextSpillSlot) * 8;
+  }
+
+private:
+  // Position numbering follows the *layout* order (the order code is
+  // actually emitted), so edge-split blocks holding phi copies sit next to
+  // their predecessors. Numbering in raw block-index order would stretch
+  // every loop-carried value's envelope across unrelated code.
+  void numberInstructions() {
+    BlockFirst.assign(MF.Blocks.size(), 0);
+    BlockLast.assign(MF.Blocks.size(), 0);
+    int64_t Pos = 0;
+    for (size_t B : MF.LayoutOrder) {
+      BlockFirst[B] = Pos;
+      for (const CgInstr &CI : MF.Blocks[B].Instrs) {
+        if (CI.MI.Op == MOp::JAL)
+          CallPositions.push_back(Pos);
+        ++Pos;
+      }
+      BlockLast[B] = Pos - 1;
+    }
+  }
+
+  std::vector<size_t> blockSuccessors(size_t B) const {
+    std::vector<size_t> Succ;
+    for (const CgInstr &CI : MF.Blocks[B].Instrs) {
+      const MachineInstr &MI = CI.MI;
+      if (MI.Op == MOp::J || MI.Op == MOp::BEQZ || MI.Op == MOp::BNEZ)
+        Succ.push_back(static_cast<size_t>(MI.Target));
+    }
+    return Succ;
+  }
+
+  void computeLiveness() {
+    size_t NB = MF.Blocks.size();
+    Use.assign(NB, {});
+    Def.assign(NB, {});
+    LiveIn.assign(NB, {});
+    LiveOut.assign(NB, {});
+    for (size_t B = 0; B < NB; ++B) {
+      for (const CgInstr &CI : MF.Blocks[B].Instrs) {
+        int32_t Srcs[3];
+        unsigned NS = CI.MI.srcRegs(Srcs);
+        for (unsigned S = 0; S < NS; ++S)
+          if (isVirtual(Srcs[S]) && !Def[B].count(Srcs[S]))
+            Use[B].insert(Srcs[S]);
+        int32_t Rd = CI.MI.destReg();
+        if (Rd >= 0 && isVirtual(Rd))
+          Def[B].insert(Rd);
+      }
+    }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = NB; B-- > 0;) {
+        std::unordered_set<int32_t> Out;
+        for (size_t S : blockSuccessors(B))
+          for (int32_t V : LiveIn[S])
+            Out.insert(V);
+        std::unordered_set<int32_t> In = Use[B];
+        for (int32_t V : Out)
+          if (!Def[B].count(V))
+            In.insert(V);
+        if (Out != LiveOut[B] || In != LiveIn[B]) {
+          LiveOut[B] = std::move(Out);
+          LiveIn[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void buildIntervals() {
+    std::unordered_map<int32_t, size_t> Index;
+    auto Extend = [&](int32_t V, int64_t Pos) {
+      auto It = Index.find(V);
+      if (It == Index.end()) {
+        Interval I;
+        I.VReg = V;
+        I.Start = I.End = Pos;
+        I.IsFp = MF.isVirtualFp(V);
+        Index[V] = Intervals.size();
+        Intervals.push_back(I);
+        return;
+      }
+      Interval &I = Intervals[It->second];
+      I.Start = std::min(I.Start, Pos);
+      I.End = std::max(I.End, Pos);
+    };
+
+    for (size_t B : MF.LayoutOrder) {
+      int64_t Pos = BlockFirst[B];
+      for (int32_t V : LiveIn[B])
+        Extend(V, BlockFirst[B]);
+      for (int32_t V : LiveOut[B])
+        Extend(V, BlockLast[B]);
+      for (const CgInstr &CI : MF.Blocks[B].Instrs) {
+        int32_t Srcs[3];
+        unsigned NS = CI.MI.srcRegs(Srcs);
+        for (unsigned S = 0; S < NS; ++S)
+          if (isVirtual(Srcs[S])) {
+            Extend(Srcs[S], Pos);
+            ++Intervals[Index.at(Srcs[S])].UseCount;
+          }
+        int32_t Rd = CI.MI.destReg();
+        if (Rd >= 0 && isVirtual(Rd))
+          Extend(Rd, Pos);
+        ++Pos;
+      }
+    }
+    for (Interval &I : Intervals)
+      for (int64_t Call : CallPositions)
+        if (I.Start < Call && Call < I.End)
+          I.CrossesCall = true;
+    std::sort(Intervals.begin(), Intervals.end(),
+              [](const Interval &A, const Interval &B) {
+                if (A.Start != B.Start)
+                  return A.Start < B.Start;
+                return A.VReg < B.VReg;
+              });
+  }
+
+  /// Copy coalescing: merges virtual registers connected by MOV/FMOV when
+  /// their live-interval envelopes do not conflict (the classic fix for
+  /// the copies inserted by phi elimination -- without it every
+  /// loop-carried value pays two moves per iteration). Returns true when
+  /// anything changed; the caller recomputes liveness.
+  bool coalesceCopies() {
+    std::unordered_map<int32_t, size_t> IntervalOf;
+    for (size_t I = 0; I < Intervals.size(); ++I)
+      IntervalOf[Intervals[I].VReg] = I;
+
+    // Union-find over vregs, with a merged envelope per root.
+    std::unordered_map<int32_t, int32_t> Parent;
+    std::unordered_map<int32_t, std::pair<int64_t, int64_t>> Env;
+    std::function<int32_t(int32_t)> Find = [&](int32_t V) {
+      auto It = Parent.find(V);
+      if (It == Parent.end() || It->second == V)
+        return V;
+      int32_t Root = Find(It->second);
+      It->second = Root;
+      return Root;
+    };
+    auto EnvOf = [&](int32_t Root) -> std::pair<int64_t, int64_t> {
+      auto It = Env.find(Root);
+      if (It != Env.end())
+        return It->second;
+      auto IvIt = IntervalOf.find(Root);
+      if (IvIt == IntervalOf.end())
+        return {-1, -1}; // Never-used register: empty envelope.
+      const Interval &Iv = Intervals[IvIt->second];
+      return {Iv.Start, Iv.End};
+    };
+
+    bool Changed = false;
+    for (MachineBasicBlock &BB : MF.Blocks) {
+      for (CgInstr &CI : BB.Instrs) {
+        MachineInstr &MI = CI.MI;
+        if (MI.Op != MOp::MOV && MI.Op != MOp::FMOV)
+          continue;
+        if (!isVirtual(MI.Rd) || !isVirtual(MI.Rs1))
+          continue;
+        int32_t A = Find(MI.Rd), B = Find(MI.Rs1);
+        if (A == B) {
+          Changed = true; // Becomes a self-move, deleted below.
+          continue;
+        }
+        auto [SA, EA] = EnvOf(A);
+        auto [SB, EB] = EnvOf(B);
+        // Compatible when one envelope ends where the other starts (the
+        // move itself is the only shared position; reads precede writes
+        // within an instruction).
+        bool Compatible =
+            SA < 0 || SB < 0 || EB <= SA || EA <= SB;
+        if (!Compatible)
+          continue;
+        Parent[B] = A;
+        Env[A] = {SA < 0 ? SB : std::min(SA, SB),
+                  EA < 0 ? EB : std::max(EA, EB)};
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+
+    // Rewrite registers and drop self-moves.
+    for (MachineBasicBlock &BB : MF.Blocks) {
+      std::vector<CgInstr> Kept;
+      Kept.reserve(BB.Instrs.size());
+      for (CgInstr &CI : BB.Instrs) {
+        MachineInstr &MI = CI.MI;
+        if (isVirtual(MI.Rd))
+          MI.Rd = Find(MI.Rd);
+        if (isVirtual(MI.Rs1))
+          MI.Rs1 = Find(MI.Rs1);
+        if (isVirtual(MI.Rs2))
+          MI.Rs2 = Find(MI.Rs2);
+        bool SelfMove = (MI.Op == MOp::MOV || MI.Op == MOp::FMOV) &&
+                        MI.Rd == MI.Rs1;
+        if (!SelfMove)
+          Kept.push_back(CI);
+      }
+      BB.Instrs = std::move(Kept);
+    }
+    return true;
+  }
+
+  void allocate() {
+    // Active lists per class, ordered by end position.
+    auto ByEnd = [this](size_t A, size_t B) {
+      if (Intervals[A].End != Intervals[B].End)
+        return Intervals[A].End < Intervals[B].End;
+      return A < B;
+    };
+    std::set<size_t, decltype(ByEnd)> Active(ByEnd);
+    std::set<int32_t> FreeRegs;
+    auto SeedFree = [&]() {
+      for (int32_t R : Pools.IntCallerSaved)
+        FreeRegs.insert(R);
+      for (int32_t R : Pools.IntCalleeSaved)
+        FreeRegs.insert(R);
+      for (int32_t R : Pools.FpCallerSaved)
+        FreeRegs.insert(R);
+      for (int32_t R : Pools.FpCalleeSaved)
+        FreeRegs.insert(R);
+    };
+    SeedFree();
+
+    auto IsFpReg = [](int32_t R) { return R >= reg::FpBase; };
+
+    for (size_t Idx = 0; Idx < Intervals.size(); ++Idx) {
+      Interval &Cur = Intervals[Idx];
+      // Expire finished intervals.
+      for (auto It = Active.begin(); It != Active.end();) {
+        if (Intervals[*It].End < Cur.Start) {
+          if (Intervals[*It].Assigned >= 0)
+            FreeRegs.insert(Intervals[*It].Assigned);
+          It = Active.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      // Pick a register: callee-saved first when crossing a call,
+      // caller-saved first otherwise.
+      const std::vector<int32_t> &Primary =
+          Cur.IsFp ? (Cur.CrossesCall ? Pools.FpCalleeSaved
+                                      : Pools.FpCallerSaved)
+                   : (Cur.CrossesCall ? Pools.IntCalleeSaved
+                                      : Pools.IntCallerSaved);
+      const std::vector<int32_t> &Secondary =
+          Cur.IsFp ? Pools.FpCalleeSaved : Pools.IntCalleeSaved;
+
+      int32_t Chosen = -1;
+      for (int32_t R : Primary)
+        if (FreeRegs.count(R)) {
+          Chosen = R;
+          break;
+        }
+      if (Chosen < 0 && !Cur.CrossesCall) {
+        // Fall back to callee-saved even for short intervals.
+        for (int32_t R : Secondary)
+          if (FreeRegs.count(R)) {
+            Chosen = R;
+            break;
+          }
+      }
+      if (Chosen >= 0) {
+        Cur.Assigned = Chosen;
+        FreeRegs.erase(Chosen);
+        Active.insert(Idx);
+        continue;
+      }
+      // Spill: among eligible active intervals (same class, compatible
+      // constraints, later end), evict the one with the worst
+      // length-per-use density -- long-lived rarely-read values (e.g.
+      // after-loop checksums) spill before hot loop-carried phis.
+      auto SpillScore = [](const Interval &I) {
+        return static_cast<double>(I.End - I.Start) /
+               (1.0 + static_cast<double>(I.UseCount));
+      };
+      size_t VictimIdx = Idx;
+      double BestScore = SpillScore(Cur);
+      for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+        Interval &Cand = Intervals[*It];
+        if (Cand.IsFp != Cur.IsFp || Cand.Assigned < 0)
+          continue;
+        // A caller-saved register cannot be inherited by a call-crossing
+        // interval.
+        if (Cur.CrossesCall &&
+            !RegisterPools::isCalleeSaved(Cand.Assigned))
+          continue;
+        if (Cand.End <= Cur.End)
+          continue;
+        if (SpillScore(Cand) > BestScore) {
+          BestScore = SpillScore(Cand);
+          VictimIdx = *It;
+        }
+      }
+      if (VictimIdx != Idx) {
+        Interval &Victim = Intervals[VictimIdx];
+        Cur.Assigned = Victim.Assigned;
+        Victim.Assigned = -1;
+        Victim.SpillSlot = NextSpillSlot++;
+        Active.erase(VictimIdx);
+        Active.insert(Idx);
+      } else {
+        Cur.SpillSlot = NextSpillSlot++;
+      }
+    }
+
+    for (const Interval &I : Intervals) {
+      if (I.Assigned >= 0) {
+        assert(IsFpReg(I.Assigned) == I.IsFp && "class mismatch");
+        Assignment[I.VReg] = I.Assigned;
+      } else {
+        SpillSlotOf[I.VReg] = I.SpillSlot;
+      }
+    }
+    (void)IsFpReg;
+  }
+
+  /// Rewrites virtual operands to physical registers; spilled operands go
+  /// through scratch registers with loads/stores around the instruction.
+  void rewrite() {
+    for (MachineBasicBlock &BB : MF.Blocks) {
+      std::vector<CgInstr> NewInstrs;
+      NewInstrs.reserve(BB.Instrs.size());
+      for (CgInstr &CI : BB.Instrs) {
+        MachineInstr &MI = CI.MI;
+        int NextIntScratch = 0, NextFpScratch = 0;
+        auto ScratchFor = [&](bool IsFp) {
+          if (IsFp) {
+            assert(NextFpScratch < 2 && "out of fp spill scratch");
+            return static_cast<int32_t>(NextFpScratch++ == 0
+                                            ? reg::FpScratch0
+                                            : reg::FpScratch1);
+          }
+          assert(NextIntScratch < 3 && "out of int spill scratch");
+          static const int32_t IntScratches[3] = {
+              reg::IntScratch0, reg::IntScratch1, reg::IntScratch2};
+          return IntScratches[NextIntScratch++];
+        };
+        auto EmitReload = [&](int64_t Slot, bool IsFp, int32_t Scratch) {
+          MachineInstr Reload;
+          Reload.Op = IsFp ? MOp::LDF : MOp::LD64;
+          Reload.Rd = Scratch;
+          Reload.Rs1 = reg::SP;
+          Reload.Imm = Slot * 8;
+          NewInstrs.push_back(CgInstr{Reload, FrameRef::None});
+        };
+
+        // Whether Rd is also read (conditional moves keep the old value).
+        bool RdIsSource = MI.Op == MOp::CMOV || MI.Op == MOp::FCMOV;
+        bool RdIsDest = MI.destReg() >= 0 && MI.destReg() == MI.Rd;
+
+        // Sources: reload spilled ones into scratch registers. If Rd is
+        // both source and destination it shares one scratch.
+        int32_t RdOrig = MI.Rd;
+        int32_t RdScratch = -1;
+        int64_t RdSlot = -1;
+        bool RdIsFp = false;
+
+        auto RewriteSrc = [&](int32_t &R) {
+          if (!isVirtual(R))
+            return;
+          auto AIt = Assignment.find(R);
+          if (AIt != Assignment.end()) {
+            R = AIt->second;
+            return;
+          }
+          int64_t Slot = SpillSlotOf.at(R);
+          bool IsFp = MF.isVirtualFp(R);
+          int32_t Scratch = ScratchFor(IsFp);
+          EmitReload(Slot, IsFp, Scratch);
+          R = Scratch;
+        };
+        RewriteSrc(MI.Rs1);
+        RewriteSrc(MI.Rs2);
+
+        if (RdIsDest && isVirtual(RdOrig)) {
+          auto AIt = Assignment.find(RdOrig);
+          if (AIt != Assignment.end()) {
+            MI.Rd = AIt->second;
+          } else {
+            RdSlot = SpillSlotOf.at(RdOrig);
+            RdIsFp = MF.isVirtualFp(RdOrig);
+            RdScratch = ScratchFor(RdIsFp);
+            if (RdIsSource)
+              EmitReload(RdSlot, RdIsFp, RdScratch);
+            MI.Rd = RdScratch;
+          }
+        } else if (isVirtual(MI.Rd)) {
+          // Rd used purely as a source field (never happens with the
+          // current opcode set, but keep the mapping total).
+          RewriteSrc(MI.Rd);
+        }
+
+        NewInstrs.push_back(CI);
+        if (RdScratch >= 0) {
+          MachineInstr Store;
+          Store.Op = RdIsFp ? MOp::STF : MOp::ST64;
+          Store.Rs1 = reg::SP;
+          Store.Rs2 = RdScratch;
+          Store.Imm = RdSlot * 8;
+          NewInstrs.push_back(CgInstr{Store, FrameRef::None});
+        }
+      }
+      BB.Instrs = std::move(NewInstrs);
+    }
+  }
+
+private:
+  MachineFunction &MF;
+  RegisterPools Pools;
+  std::vector<int64_t> BlockFirst, BlockLast;
+  std::vector<int64_t> CallPositions;
+  std::vector<std::unordered_set<int32_t>> Use, Def, LiveIn, LiveOut;
+  std::vector<Interval> Intervals;
+  std::unordered_map<int32_t, int32_t> Assignment;
+  std::unordered_map<int32_t, int64_t> SpillSlotOf;
+  int64_t NextSpillSlot = 0;
+};
+
+} // namespace
+
+void msem::allocateRegisters(MachineFunction &MF,
+                             const CodeGenOptions &Options) {
+  LinearScan Scan(MF, Options);
+  std::set<int32_t> UsedCalleeSaved;
+  uint64_t SpillBytes = Scan.run(UsedCalleeSaved);
+
+  // ---- Frame layout -----------------------------------------------------
+  // [sp + 0, SpillBytes)                    spill slots
+  // [sp + SpillBytes, +AllocaBytes)         alloca area
+  // [.., +SaveBytes)                        ra / fp / callee-saved saves
+  // [TotalFrame - 8*NumArgs, TotalFrame)    incoming arguments
+  bool SaveRa = MF.MakesCalls;
+  bool SaveFp = !Options.OmitFramePointer;
+  uint64_t SaveBytes =
+      8 * (UsedCalleeSaved.size() + (SaveRa ? 1 : 0) + (SaveFp ? 1 : 0));
+  uint64_t ArgBytes = 8ull * MF.NumArgs;
+  uint64_t TotalFrame =
+      (SpillBytes + MF.AllocaBytes + SaveBytes + ArgBytes + 15) & ~15ull;
+
+  // Resolve frame fixups.
+  for (MachineBasicBlock &BB : MF.Blocks) {
+    for (CgInstr &CI : BB.Instrs) {
+      if (CI.Frame == FrameRef::AllocaArea)
+        CI.MI.Imm += static_cast<int64_t>(SpillBytes);
+      else if (CI.Frame == FrameRef::IncomingArg)
+        CI.MI.Imm += static_cast<int64_t>(TotalFrame);
+      CI.Frame = FrameRef::None;
+    }
+  }
+
+  // ---- Prologue -----------------------------------------------------------
+  auto MakeI = [](MOp Op, int32_t Rd, int32_t Rs1, int32_t Rs2,
+                  int64_t Imm) {
+    MachineInstr MI;
+    MI.Op = Op;
+    MI.Rd = Rd;
+    MI.Rs1 = Rs1;
+    MI.Rs2 = Rs2;
+    MI.Imm = Imm;
+    return MI;
+  };
+
+  std::vector<CgInstr> Prologue;
+  uint64_t SaveBase = SpillBytes + MF.AllocaBytes;
+  if (TotalFrame > 0)
+    Prologue.push_back(CgInstr{MakeI(MOp::ADDI, reg::SP, reg::SP, -1,
+                                     -static_cast<int64_t>(TotalFrame)),
+                               FrameRef::None});
+  uint64_t SaveOffset = SaveBase;
+  std::vector<std::pair<int32_t, uint64_t>> Saves;
+  if (SaveRa) {
+    Saves.push_back({reg::RA, SaveOffset});
+    SaveOffset += 8;
+  }
+  if (SaveFp) {
+    Saves.push_back({reg::FP, SaveOffset});
+    SaveOffset += 8;
+  }
+  for (int32_t R : UsedCalleeSaved) {
+    if (R == reg::FP && SaveFp)
+      continue; // Already saved.
+    Saves.push_back({R, SaveOffset});
+    SaveOffset += 8;
+  }
+  for (auto &[R, Off] : Saves) {
+    bool IsFp = R >= reg::FpBase;
+    Prologue.push_back(CgInstr{MakeI(IsFp ? MOp::STF : MOp::ST64, -1,
+                                     reg::SP, R,
+                                     static_cast<int64_t>(Off)),
+                               FrameRef::None});
+  }
+  if (SaveFp)
+    Prologue.push_back(CgInstr{MakeI(MOp::ADDI, reg::FP, reg::SP, -1,
+                                     static_cast<int64_t>(TotalFrame)),
+                               FrameRef::None});
+
+  auto &Entry = MF.Blocks.front().Instrs;
+  Entry.insert(Entry.begin(), Prologue.begin(), Prologue.end());
+
+  // ---- Epilogues ------------------------------------------------------------
+  for (MachineBasicBlock &BB : MF.Blocks) {
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      if (BB.Instrs[Idx].MI.Op != MOp::JR)
+        continue;
+      std::vector<CgInstr> Epilogue;
+      for (auto &[R, Off] : Saves) {
+        bool IsFp = R >= reg::FpBase;
+        Epilogue.push_back(CgInstr{MakeI(IsFp ? MOp::LDF : MOp::LD64, R,
+                                         reg::SP, -1,
+                                         static_cast<int64_t>(Off)),
+                                   FrameRef::None});
+      }
+      if (TotalFrame > 0)
+        Epilogue.push_back(CgInstr{MakeI(MOp::ADDI, reg::SP, reg::SP, -1,
+                                         static_cast<int64_t>(TotalFrame)),
+                                   FrameRef::None});
+      BB.Instrs.insert(BB.Instrs.begin() + Idx, Epilogue.begin(),
+                       Epilogue.end());
+      Idx += Epilogue.size();
+    }
+  }
+}

@@ -1,0 +1,102 @@
+//===- core/ModelBuilder.cpp - The Figure 1 iterative loop ------------------------===//
+
+#include "core/ModelBuilder.h"
+
+#include "model/LinearModel.h"
+#include "model/Mars.h"
+#include "model/RbfNetwork.h"
+#include "support/Error.h"
+
+using namespace msem;
+
+const char *msem::modelTechniqueName(ModelTechnique T) {
+  switch (T) {
+  case ModelTechnique::Linear:
+    return "linear";
+  case ModelTechnique::Mars:
+    return "mars";
+  case ModelTechnique::Rbf:
+    return "rbf";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> msem::makeModel(ModelTechnique T) {
+  switch (T) {
+  case ModelTechnique::Linear:
+    return std::make_unique<LinearModel>();
+  case ModelTechnique::Mars:
+    return std::make_unique<MarsModel>();
+  case ModelTechnique::Rbf:
+    return std::make_unique<RbfNetwork>();
+  }
+  fatalError("unknown model technique");
+}
+
+ModelBuildResult msem::buildModelWithTestSet(
+    ResponseSurface &Surface, const ModelBuilderOptions &Options,
+    const std::vector<DesignPoint> &TestPoints,
+    const std::vector<double> &TestY) {
+  const ParameterSpace &Space = Surface.space();
+  Rng R(Options.Seed);
+
+  // Candidate set for the D-optimal selection (Latin hypercube, as the
+  // paper suggests for candidate generation).
+  std::vector<DesignPoint> Candidates =
+      generateLatinHypercube(Space, Options.CandidateCount, R);
+
+  Matrix TestX = encodeMatrix(Space, TestPoints);
+
+  ModelBuildResult Result;
+  size_t BaseSimulations = Surface.simulationsRun();
+
+  DOptimalOptions DOpt;
+  DOpt.Expansion = Options.Expansion;
+  DOpt.Seed = Options.Seed ^ 0xD0E;
+
+  std::vector<size_t> SelectedIndices;
+  size_t WantSize = Options.InitialDesignSize;
+
+  while (true) {
+    DOpt.DesignSize = WantSize;
+    DOptimalResult Sel =
+        selectDOptimal(Space, Candidates, DOpt, SelectedIndices);
+    SelectedIndices = Sel.Selected;
+
+    Result.TrainPoints.clear();
+    for (size_t Idx : SelectedIndices)
+      Result.TrainPoints.push_back(Candidates[Idx]);
+    Result.TrainY = Surface.measureAll(Result.TrainPoints);
+
+    Matrix TrainX = encodeMatrix(Space, Result.TrainPoints);
+    Result.FittedModel = makeModel(Options.Technique);
+    Result.FittedModel->train(TrainX, Result.TrainY);
+
+    Result.TestQuality = evaluateModel(*Result.FittedModel, TestX, TestY);
+    Result.ErrorCurve.push_back(
+        {Result.TrainPoints.size(), Result.TestQuality.Mape});
+
+    if (Result.TestQuality.Mape <= Options.TargetMape)
+      break;
+    if (WantSize >= Options.MaxDesignSize)
+      break;
+    WantSize = std::min(Options.MaxDesignSize,
+                        WantSize + Options.AugmentStep);
+  }
+
+  Result.TestPoints = TestPoints;
+  Result.TestY = TestY;
+  Result.SimulationsUsed = Surface.simulationsRun() - BaseSimulations;
+  return Result;
+}
+
+ModelBuildResult msem::buildModel(ResponseSurface &Surface,
+                                  const ModelBuilderOptions &Options) {
+  const ParameterSpace &Space = Surface.space();
+  // Independent random test design.
+  Rng R(Options.Seed ^ 0x7E57);
+  std::vector<DesignPoint> TestPoints =
+      generateRandomCandidates(Space, Options.TestSize, R);
+  std::vector<double> TestY = Surface.measureAll(TestPoints);
+  return buildModelWithTestSet(Surface, Options, TestPoints, TestY);
+}

@@ -1,0 +1,78 @@
+//===- core/ModelBuilder.h - The Figure 1 iterative loop -----------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's empirical model building process (Figure 1):
+///
+///   1. identify predictors and domain (ParameterSpace),
+///   2. choose the functional form (technique: linear / MARS / RBF),
+///   3. measure the response at D-optimally selected design points,
+///   4. estimate the model and its error on an independent test design,
+///   5. augment the design and repeat until the desired accuracy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CORE_MODELBUILDER_H
+#define MSEM_CORE_MODELBUILDER_H
+
+#include "core/ResponseSurface.h"
+#include "design/Doe.h"
+#include "model/Diagnostics.h"
+
+#include <memory>
+
+namespace msem {
+
+/// Which regression technique to fit (the paper's three candidates).
+enum class ModelTechnique { Linear, Mars, Rbf };
+
+const char *modelTechniqueName(ModelTechnique T);
+
+/// Constructs an untrained model of the given technique with the defaults
+/// used throughout the evaluation.
+std::unique_ptr<Model> makeModel(ModelTechnique T);
+
+/// Knobs of the iterative loop.
+struct ModelBuilderOptions {
+  ModelTechnique Technique = ModelTechnique::Rbf;
+  size_t InitialDesignSize = 100;
+  size_t AugmentStep = 50;
+  size_t MaxDesignSize = 400; ///< The paper's conservative choice.
+  size_t TestSize = 100;      ///< The paper's independent test design.
+  double TargetMape = 5.0;    ///< Stop when test error falls below this.
+  size_t CandidateCount = 1500;
+  ExpansionKind Expansion = ExpansionKind::Linear;
+  uint64_t Seed = 0xB11D0001;
+};
+
+/// Everything the evaluation needs from one build.
+struct ModelBuildResult {
+  std::unique_ptr<Model> FittedModel;
+  std::vector<DesignPoint> TrainPoints;
+  std::vector<double> TrainY;
+  std::vector<DesignPoint> TestPoints;
+  std::vector<double> TestY;
+  ModelQuality TestQuality;
+  /// (training size, test MAPE) after each iteration: the Figure 5 curve.
+  std::vector<std::pair<size_t, double>> ErrorCurve;
+  size_t SimulationsUsed = 0;
+};
+
+/// Runs the loop against \p Surface. The test set is measured once up
+/// front (it is independent of the training design).
+ModelBuildResult buildModel(ResponseSurface &Surface,
+                            const ModelBuilderOptions &Options);
+
+/// Variant reusing an externally measured test set (lets several
+/// techniques be compared on identical data, as in Table 3).
+ModelBuildResult buildModelWithTestSet(
+    ResponseSurface &Surface, const ModelBuilderOptions &Options,
+    const std::vector<DesignPoint> &TestPoints,
+    const std::vector<double> &TestY);
+
+} // namespace msem
+
+#endif // MSEM_CORE_MODELBUILDER_H

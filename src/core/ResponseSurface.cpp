@@ -1,0 +1,152 @@
+//===- core/ResponseSurface.cpp - Design point -> cycles --------------------------===//
+
+#include "core/ResponseSurface.h"
+
+#include "codegen/CodeGenerator.h"
+#include "opt/Passes.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "uarch/EnergyModel.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+using namespace msem;
+
+const char *msem::responseMetricName(ResponseMetric Metric) {
+  switch (Metric) {
+  case ResponseMetric::Cycles:
+    return "cycles";
+  case ResponseMetric::EnergyNanojoules:
+    return "energy";
+  case ResponseMetric::CodeBytes:
+    return "codesize";
+  }
+  return "?";
+}
+
+MachineProgram msem::compileWorkloadBinary(const std::string &Workload,
+                                           InputSet Input,
+                                           const OptimizationConfig &Config) {
+  std::unique_ptr<Module> M = buildWorkload(Workload, Input);
+  runPassPipeline(*M, Config);
+  CodeGenOptions CG;
+  CG.OmitFramePointer = Config.OmitFramePointer;
+  CG.PostRaSchedule = Config.ScheduleInsns2;
+  return compileToProgram(*M, CG);
+}
+
+ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
+    : Space(Space), Opts(std::move(Opts)) {
+  if (!this->Opts.CacheDir.empty()) {
+    ::mkdir(this->Opts.CacheDir.c_str(), 0755);
+    CacheFile = this->Opts.CacheDir + "/responses.csv";
+    loadDiskCache();
+  }
+}
+
+std::string ResponseSurface::keyFor(const DesignPoint &Point) const {
+  std::string Key = Opts.Workload;
+  Key += '|';
+  Key += workloadVersion();
+  Key += '|';
+  Key += inputSetName(Opts.Input);
+  Key += '|';
+  Key += responseMetricName(Opts.Metric);
+  Key += Opts.UseSmarts ? "|s" : "|d";
+  for (int64_t V : Point)
+    Key += formatString(",%lld", static_cast<long long>(V));
+  return Key;
+}
+
+void ResponseSurface::loadDiskCache() {
+  std::FILE *F = std::fopen(CacheFile.c_str(), "r");
+  if (!F)
+    return;
+  char Line[4096];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    std::string S(Line);
+    size_t Sep = S.rfind(';');
+    if (Sep == std::string::npos)
+      continue;
+    std::string Key = S.substr(0, Sep);
+    double Cycles = std::strtod(S.c_str() + Sep + 1, nullptr);
+    if (Cycles > 0)
+      Cache[Key] = Cycles;
+  }
+  std::fclose(F);
+}
+
+void ResponseSurface::appendDiskCache(const std::string &Key,
+                                      double Cycles) {
+  if (CacheFile.empty())
+    return;
+  std::FILE *F = std::fopen(CacheFile.c_str(), "a");
+  if (!F)
+    return;
+  std::fprintf(F, "%s;%.1f\n", Key.c_str(), Cycles);
+  std::fclose(F);
+}
+
+double ResponseSurface::measure(const DesignPoint &Point) {
+  std::string Key = keyFor(Point);
+  auto It = Cache.find(Key);
+  if (It != Cache.end()) {
+    ++CacheHits;
+    return It->second;
+  }
+
+  OptimizationConfig Opt = Space.toOptimizationConfig(Point);
+  MachineConfig Machine = Space.toMachineConfig(Point);
+  MachineProgram Prog =
+      compileWorkloadBinary(Opts.Workload, Opts.Input, Opt);
+
+  if (Opts.Metric == ResponseMetric::CodeBytes) {
+    // Static metric: no simulation.
+    double Bytes = static_cast<double>(Prog.Code.size()) * 4.0;
+    ++Simulations;
+    Cache[Key] = Bytes;
+    appendDiskCache(Key, Bytes);
+    return Bytes;
+  }
+  if (Opts.Metric == ResponseMetric::EnergyNanojoules) {
+    // Energy needs the full event counts: always fully detailed.
+    SimulationResult R = simulateDetailed(Prog, Machine);
+    if (R.Exec.Trapped)
+      fatalError("workload trapped during measurement: " +
+                 R.Exec.TrapMessage);
+    double Nj = estimateEnergyNanojoules(R, Machine);
+    ++Simulations;
+    Cache[Key] = Nj;
+    appendDiskCache(Key, Nj);
+    return Nj;
+  }
+
+  double Cycles;
+  if (Opts.UseSmarts) {
+    SmartsResult R = simulateSmarts(Prog, Machine, Opts.Smarts);
+    if (R.Exec.Trapped)
+      fatalError("workload trapped during measurement: " +
+                 R.Exec.TrapMessage);
+    Cycles = static_cast<double>(R.EstimatedCycles);
+  } else {
+    SimulationResult R = simulateDetailed(Prog, Machine);
+    if (R.Exec.Trapped)
+      fatalError("workload trapped during measurement: " +
+                 R.Exec.TrapMessage);
+    Cycles = static_cast<double>(R.Cycles);
+  }
+  ++Simulations;
+  Cache[Key] = Cycles;
+  appendDiskCache(Key, Cycles);
+  return Cycles;
+}
+
+std::vector<double>
+ResponseSurface::measureAll(const std::vector<DesignPoint> &Points) {
+  std::vector<double> Y;
+  Y.reserve(Points.size());
+  for (const DesignPoint &P : Points)
+    Y.push_back(measure(P));
+  return Y;
+}

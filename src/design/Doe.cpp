@@ -1,0 +1,215 @@
+//===- design/Doe.cpp - Design of experiments -----------------------------------===//
+
+#include "design/Doe.h"
+
+#include "linalg/Solve.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace msem;
+
+size_t msem::expansionColumns(ExpansionKind Kind, size_t K) {
+  if (Kind == ExpansionKind::Linear)
+    return 1 + K;
+  return 1 + K + K * (K - 1) / 2;
+}
+
+std::vector<double> msem::expandRow(ExpansionKind Kind,
+                                    const std::vector<double> &Encoded) {
+  size_t K = Encoded.size();
+  std::vector<double> Row;
+  Row.reserve(expansionColumns(Kind, K));
+  Row.push_back(1.0);
+  for (double X : Encoded)
+    Row.push_back(X);
+  if (Kind == ExpansionKind::LinearWith2FI)
+    for (size_t I = 0; I < K; ++I)
+      for (size_t J = I + 1; J < K; ++J)
+        Row.push_back(Encoded[I] * Encoded[J]);
+  return Row;
+}
+
+Matrix msem::expandMatrix(ExpansionKind Kind, const ParameterSpace &Space,
+                          const std::vector<DesignPoint> &Points) {
+  Matrix M(Points.size(), expansionColumns(Kind, Space.size()));
+  for (size_t I = 0; I < Points.size(); ++I)
+    M.setRow(I, expandRow(Kind, Space.encode(Points[I])));
+  return M;
+}
+
+Matrix msem::encodeMatrix(const ParameterSpace &Space,
+                          const std::vector<DesignPoint> &Points) {
+  Matrix M(Points.size(), Space.size());
+  for (size_t I = 0; I < Points.size(); ++I)
+    M.setRow(I, Space.encode(Points[I]));
+  return M;
+}
+
+std::vector<DesignPoint>
+msem::generateRandomCandidates(const ParameterSpace &Space, size_t N,
+                               Rng &R) {
+  std::vector<DesignPoint> Points;
+  Points.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Points.push_back(Space.randomPoint(R));
+  return Points;
+}
+
+std::vector<DesignPoint>
+msem::generateLatinHypercube(const ParameterSpace &Space, size_t N,
+                             Rng &R) {
+  std::vector<DesignPoint> Points(N, DesignPoint(Space.size()));
+  for (size_t P = 0; P < Space.size(); ++P) {
+    const Parameter &Param = Space.param(P);
+    // Stratify: assign level indices in round-robin proportion, shuffle.
+    std::vector<size_t> LevelOf(N);
+    for (size_t I = 0; I < N; ++I)
+      LevelOf[I] = (I * Param.numLevels()) / N;
+    R.shuffle(LevelOf);
+    for (size_t I = 0; I < N; ++I)
+      Points[I][P] = Param.Levels[LevelOf[I]];
+  }
+  return Points;
+}
+
+namespace {
+
+/// Sherman-Morrison helper: updates Minv for M' = M + Sign * x x^T.
+/// Returns false (leaving Minv untouched) when the update is singular.
+bool rankOneUpdate(Matrix &Minv, const std::vector<double> &X,
+                   double Sign) {
+  std::vector<double> Mx = Minv.multiplyVector(X);
+  double Denom = 1.0 + Sign * dotProduct(X, Mx);
+  if (Denom <= 1e-12 && Sign < 0)
+    return false; // Removal would make the matrix singular.
+  if (std::fabs(Denom) < 1e-14)
+    return false;
+  double Scale = Sign / Denom;
+  size_t P = Minv.rows();
+  for (size_t I = 0; I < P; ++I) {
+    double Mi = Mx[I];
+    if (Mi == 0.0)
+      continue;
+    double *Row = Minv.rowPtr(I);
+    for (size_t J = 0; J < P; ++J)
+      Row[J] -= Scale * Mi * Mx[J];
+  }
+  return true;
+}
+
+/// Prediction variance d(x) = x^T Minv x.
+double dispersion(const Matrix &Minv, const std::vector<double> &X) {
+  return dotProduct(X, Minv.multiplyVector(X));
+}
+
+} // namespace
+
+DOptimalResult
+msem::selectDOptimal(const ParameterSpace &Space,
+                     const std::vector<DesignPoint> &Candidates,
+                     const DOptimalOptions &Options,
+                     const std::vector<size_t> &Preselected) {
+  assert(Options.DesignSize >= Preselected.size() &&
+         "design smaller than the preselected set");
+  assert(Candidates.size() >= Options.DesignSize &&
+         "not enough candidates");
+
+  // Expand all candidates once.
+  std::vector<std::vector<double>> Rows(Candidates.size());
+  for (size_t I = 0; I < Candidates.size(); ++I)
+    Rows[I] = expandRow(Options.Expansion, Space.encode(Candidates[I]));
+  const size_t P = Rows.empty() ? 0 : Rows[0].size();
+
+  Rng R(Options.Seed);
+  std::vector<size_t> Selected = Preselected;
+  std::vector<bool> InDesign(Candidates.size(), false);
+  for (size_t I : Preselected)
+    InDesign[I] = true;
+  // Random initial completion.
+  std::vector<size_t> Pool;
+  for (size_t I = 0; I < Candidates.size(); ++I)
+    if (!InDesign[I])
+      Pool.push_back(I);
+  R.shuffle(Pool);
+  for (size_t I = 0; Selected.size() < Options.DesignSize; ++I) {
+    Selected.push_back(Pool[I]);
+    InDesign[Pool[I]] = true;
+  }
+
+  // Information matrix and its inverse (ridge-regularized).
+  auto BuildInverse = [&](const std::vector<size_t> &Sel) {
+    Matrix Info(P, P);
+    Info.addToDiagonal(Options.Ridge);
+    for (size_t Idx : Sel) {
+      const std::vector<double> &X = Rows[Idx];
+      for (size_t I = 0; I < P; ++I) {
+        double Xi = X[I];
+        if (Xi == 0.0)
+          continue;
+        double *Row = Info.rowPtr(I);
+        for (size_t J = 0; J < P; ++J)
+          Row[J] += Xi * X[J];
+      }
+    }
+    return Info;
+  };
+
+  Matrix Info = BuildInverse(Selected);
+  Cholesky Chol(Info);
+  assert(Chol.ok() && "ridge failed to regularize the information matrix");
+  Matrix Minv = Chol.inverse();
+
+  DOptimalResult Result;
+  const size_t FixedCount = Preselected.size();
+
+  for (int Pass = 0; Pass < Options.MaxPasses; ++Pass) {
+    bool Improved = false;
+    // Simple exchange: remove the lowest-leverage free design point and add
+    // the highest-variance candidate, when the swap increases det.
+    for (size_t SlotIdx = FixedCount; SlotIdx < Selected.size(); ++SlotIdx) {
+      size_t Out = Selected[SlotIdx];
+      std::vector<double> MxOut = Minv.multiplyVector(Rows[Out]);
+      double DOut = dotProduct(Rows[Out], MxOut);
+      // Best incoming candidate by the Fedorov exchange criterion.
+      size_t BestIn = SIZE_MAX;
+      double BestGain = 1e-9;
+      for (size_t Cand = 0; Cand < Candidates.size(); ++Cand) {
+        if (InDesign[Cand])
+          continue;
+        double DIn = dispersion(Minv, Rows[Cand]);
+        // Fedorov delta for swapping Out -> Cand.
+        double Cross = dotProduct(Rows[Cand], MxOut);
+        double Delta = DIn - (DIn * DOut - Cross * Cross) - DOut;
+        if (Delta > BestGain) {
+          BestGain = Delta;
+          BestIn = Cand;
+        }
+      }
+      if (BestIn == SIZE_MAX)
+        continue;
+      // Apply the swap: add BestIn, remove Out (SM updates).
+      Matrix Backup = Minv;
+      if (!rankOneUpdate(Minv, Rows[BestIn], +1.0) ||
+          !rankOneUpdate(Minv, Rows[Out], -1.0)) {
+        Minv = Backup;
+        continue;
+      }
+      InDesign[Out] = false;
+      InDesign[BestIn] = true;
+      Selected[SlotIdx] = BestIn;
+      Improved = true;
+    }
+    Result.PassesUsed = Pass + 1;
+    if (!Improved)
+      break;
+  }
+
+  // Final log-determinant (recomputed exactly).
+  Matrix FinalInfo = BuildInverse(Selected);
+  Cholesky FinalChol(FinalInfo);
+  Result.LogDetInformation =
+      FinalChol.ok() ? FinalChol.logDeterminant() : -1e300;
+  Result.Selected = std::move(Selected);
+  return Result;
+}

@@ -1,0 +1,83 @@
+//===- design/Doe.h - Design of experiments -----------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experimental-design machinery (Section 3 of the paper): candidate-set
+/// generation (uniform random and Latin hypercube), model-matrix expansion
+/// (linear or linear + two-factor interactions) and D-optimal subset
+/// selection by Fedorov-style exchange maximizing det(X'X), with
+/// Sherman-Morrison rank-one updates of the dispersion matrix. Designs are
+/// extensible: an existing design can be augmented with additional points,
+/// as the paper's iterative loop (Figure 1) requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_DESIGN_DOE_H
+#define MSEM_DESIGN_DOE_H
+
+#include "design/ParameterSpace.h"
+#include "linalg/Matrix.h"
+#include "support/Rng.h"
+
+namespace msem {
+
+/// Model-matrix expansion applied to encoded points.
+enum class ExpansionKind {
+  Linear,        ///< [1, x1..xk]
+  LinearWith2FI, ///< [1, x1..xk, x1x2, x1x3, ..., x_{k-1}x_k]
+};
+
+/// Number of columns the expansion produces for k predictors.
+size_t expansionColumns(ExpansionKind Kind, size_t K);
+
+/// Expands one encoded point.
+std::vector<double> expandRow(ExpansionKind Kind,
+                              const std::vector<double> &Encoded);
+
+/// Expands a whole set of points into a model matrix.
+Matrix expandMatrix(ExpansionKind Kind, const ParameterSpace &Space,
+                    const std::vector<DesignPoint> &Points);
+
+/// Encodes points into a plain (n x k) matrix without expansion.
+Matrix encodeMatrix(const ParameterSpace &Space,
+                    const std::vector<DesignPoint> &Points);
+
+/// N independent uniform points.
+std::vector<DesignPoint> generateRandomCandidates(const ParameterSpace &Space,
+                                                  size_t N, Rng &R);
+
+/// Latin hypercube sample: every parameter's levels are covered in
+/// (approximately) equal proportions, independently shuffled per dimension.
+std::vector<DesignPoint> generateLatinHypercube(const ParameterSpace &Space,
+                                                size_t N, Rng &R);
+
+/// Options for D-optimal selection.
+struct DOptimalOptions {
+  size_t DesignSize = 100;
+  ExpansionKind Expansion = ExpansionKind::Linear;
+  int MaxPasses = 20;       ///< Exchange passes over the design.
+  double Ridge = 1e-6;      ///< Regularizer keeping X'X invertible.
+  uint64_t Seed = 0xD0E0001;
+};
+
+/// Result of a D-optimal search.
+struct DOptimalResult {
+  std::vector<size_t> Selected; ///< Indices into the candidate set.
+  double LogDetInformation = 0; ///< log det(X'X + ridge I) achieved.
+  int PassesUsed = 0;
+};
+
+/// Selects Options.DesignSize candidate indices approximately maximizing
+/// det(X'X). \p Preselected indices (an existing design being augmented)
+/// are always kept and never exchanged.
+DOptimalResult selectDOptimal(const ParameterSpace &Space,
+                              const std::vector<DesignPoint> &Candidates,
+                              const DOptimalOptions &Options,
+                              const std::vector<size_t> &Preselected = {});
+
+} // namespace msem
+
+#endif // MSEM_DESIGN_DOE_H

@@ -1,0 +1,258 @@
+//===- design/ParameterSpace.cpp - Predictor variables and domain --------------===//
+
+#include "design/ParameterSpace.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+double rawToAxis(const Parameter &P, int64_t Raw) {
+  if (P.Kind == ParamKind::LogDiscrete)
+    return std::log2(static_cast<double>(Raw));
+  return static_cast<double>(Raw);
+}
+
+Parameter makeBinary(const std::string &Name) {
+  return Parameter{Name, ParamKind::Binary, {0, 1}};
+}
+
+Parameter makeRange(const std::string &Name, int64_t Low, int64_t High,
+                    int64_t Step) {
+  Parameter P{Name, ParamKind::Discrete, {}};
+  for (int64_t V = Low; V <= High; V += Step)
+    P.Levels.push_back(V);
+  return P;
+}
+
+Parameter makePow2(const std::string &Name, int64_t Low, int64_t High) {
+  Parameter P{Name, ParamKind::LogDiscrete, {}};
+  for (int64_t V = Low; V <= High; V *= 2)
+    P.Levels.push_back(V);
+  return P;
+}
+
+} // namespace
+
+double Parameter::encode(int64_t Raw) const {
+  double Lo = rawToAxis(*this, low());
+  double Hi = rawToAxis(*this, high());
+  if (Hi == Lo)
+    return 0.0;
+  return -1.0 + 2.0 * (rawToAxis(*this, Raw) - Lo) / (Hi - Lo);
+}
+
+size_t Parameter::nearestLevel(int64_t Raw) const {
+  size_t Best = 0;
+  double BestDist = 1e300;
+  double Axis = rawToAxis(*this, Raw);
+  for (size_t I = 0; I < Levels.size(); ++I) {
+    double D = std::fabs(rawToAxis(*this, Levels[I]) - Axis);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = I;
+    }
+  }
+  return Best;
+}
+
+int64_t Parameter::decode(double Encoded) const {
+  double Lo = rawToAxis(*this, low());
+  double Hi = rawToAxis(*this, high());
+  double Axis = Lo + (Encoded + 1.0) / 2.0 * (Hi - Lo);
+  size_t Best = 0;
+  double BestDist = 1e300;
+  for (size_t I = 0; I < Levels.size(); ++I) {
+    double D = std::fabs(rawToAxis(*this, Levels[I]) - Axis);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = I;
+    }
+  }
+  return Levels[Best];
+}
+
+ParameterSpace ParameterSpace::compilerSpace() {
+  ParameterSpace S;
+  // Table 1, in order.
+  S.Params.push_back(makeBinary("finline-functions"));       // #1
+  S.Params.push_back(makeBinary("funroll-loops"));           // #2
+  S.Params.push_back(makeBinary("fschedule-insns2"));        // #3
+  S.Params.push_back(makeBinary("floop-optimize"));          // #4
+  S.Params.push_back(makeBinary("fgcse"));                   // #5
+  S.Params.push_back(makeBinary("fstrength-reduce"));        // #6
+  S.Params.push_back(makeBinary("fomit-frame-pointer"));     // #7
+  S.Params.push_back(makeBinary("freorder-blocks"));         // #8
+  S.Params.push_back(makeBinary("fprefetch-loop-arrays"));   // #9
+  S.Params.push_back(makeRange("max-inline-insns-auto", 50, 150, 10));
+  S.Params.push_back(makeRange("inline-unit-growth", 25, 75, 5));
+  S.Params.push_back(makeRange("inline-call-cost", 12, 20, 1));
+  S.Params.push_back(makeRange("max-unroll-times", 4, 12, 1));
+  S.Params.push_back(makeRange("max-unrolled-insns", 100, 300, 10));
+  S.CompilerParams = S.Params.size();
+  return S;
+}
+
+ParameterSpace ParameterSpace::paperSpace() {
+  ParameterSpace S = compilerSpace();
+  appendMachineParams(S);
+  return S;
+}
+
+ParameterSpace ParameterSpace::extendedSpace() {
+  ParameterSpace S = compilerSpace();
+  S.Params.push_back(makeBinary("fif-convert"));
+  S.Params.push_back(makeRange("max-ifcvt-insns", 2, 12, 2));
+  S.Params.push_back(makeBinary("ftracer"));
+  S.Params.push_back(makeRange("tail-dup-insns", 2, 16, 2));
+  S.CompilerParams = S.Params.size();
+  appendMachineParams(S);
+  return S;
+}
+
+void ParameterSpace::appendMachineParams(ParameterSpace &S) {
+  // Table 2, in order (parameters 15-25 of the paper space).
+  Parameter IssueWidth{"issue-width", ParamKind::Discrete, {2, 4}};
+  S.Params.push_back(IssueWidth);
+  S.Params.push_back(makePow2("bpred-size", 512, 8192));
+  S.Params.push_back(makePow2("ruu-size", 16, 128));
+  S.Params.push_back(makePow2("il1-size", 8 * 1024, 128 * 1024));
+  S.Params.push_back(makePow2("dl1-size", 8 * 1024, 128 * 1024));
+  S.Params.push_back(Parameter{"dl1-assoc", ParamKind::Discrete, {1, 2}});
+  S.Params.push_back(makeRange("dl1-latency", 1, 3, 1));
+  S.Params.push_back(makePow2("ul2-size", 256 * 1024, 8 * 1024 * 1024));
+  S.Params.push_back(makePow2("ul2-assoc", 1, 8));
+  S.Params.push_back(makeRange("ul2-latency", 6, 16, 1));
+  S.Params.push_back(makeRange("memory-latency", 50, 150, 5));
+}
+
+size_t ParameterSpace::indexOf(const std::string &Name) const {
+  for (size_t I = 0; I < Params.size(); ++I)
+    if (Params[I].Name == Name)
+      return I;
+  fatalError("unknown parameter: " + Name);
+}
+
+std::vector<double> ParameterSpace::encode(const DesignPoint &Point) const {
+  assert(Point.size() == Params.size() && "point arity mismatch");
+  std::vector<double> E(Point.size());
+  for (size_t I = 0; I < Point.size(); ++I)
+    E[I] = Params[I].encode(Point[I]);
+  return E;
+}
+
+DesignPoint
+ParameterSpace::decode(const std::vector<double> &Encoded) const {
+  assert(Encoded.size() == Params.size() && "point arity mismatch");
+  DesignPoint P(Encoded.size());
+  for (size_t I = 0; I < Encoded.size(); ++I)
+    P[I] = Params[I].decode(Encoded[I]);
+  return P;
+}
+
+DesignPoint ParameterSpace::randomPoint(Rng &R) const {
+  DesignPoint P(Params.size());
+  for (size_t I = 0; I < Params.size(); ++I)
+    P[I] = Params[I].Levels[R.nextBelow(Params[I].numLevels())];
+  return P;
+}
+
+OptimizationConfig
+ParameterSpace::toOptimizationConfig(const DesignPoint &Point) const {
+  assert(CompilerParams >= 14 && "space lacks the compiler parameters");
+  OptimizationConfig C;
+  C.InlineFunctions = Point[0] != 0;
+  C.UnrollLoops = Point[1] != 0;
+  C.ScheduleInsns2 = Point[2] != 0;
+  C.LoopOptimize = Point[3] != 0;
+  C.Gcse = Point[4] != 0;
+  C.StrengthReduce = Point[5] != 0;
+  C.OmitFramePointer = Point[6] != 0;
+  C.ReorderBlocks = Point[7] != 0;
+  C.PrefetchLoopArrays = Point[8] != 0;
+  C.MaxInlineInsnsAuto = static_cast<int>(Point[9]);
+  C.InlineUnitGrowth = static_cast<int>(Point[10]);
+  C.InlineCallCost = static_cast<int>(Point[11]);
+  C.MaxUnrollTimes = static_cast<int>(Point[12]);
+  C.MaxUnrolledInsns = static_cast<int>(Point[13]);
+  if (CompilerParams >= 18) {
+    // Extended space: Section 2.2 trace-formation knobs.
+    C.IfConvert = Point[14] != 0;
+    C.MaxIfConvertInsns = static_cast<int>(Point[15]);
+    C.Tracer = Point[16] != 0;
+    C.TailDupInsns = static_cast<int>(Point[17]);
+  }
+  return C;
+}
+
+MachineConfig
+ParameterSpace::toMachineConfig(const DesignPoint &Point) const {
+  assert(Params.size() >= CompilerParams + 11 &&
+         "space lacks the machine parameters");
+  const size_t B = CompilerParams; // Machine parameters follow.
+  MachineConfig M;
+  M.IssueWidth = static_cast<unsigned>(Point[B + 0]);
+  M.BranchPredictorSize = static_cast<unsigned>(Point[B + 1]);
+  M.RuuSize = static_cast<unsigned>(Point[B + 2]);
+  M.IcacheBytes = static_cast<unsigned>(Point[B + 3]);
+  M.DcacheBytes = static_cast<unsigned>(Point[B + 4]);
+  M.DcacheAssoc = static_cast<unsigned>(Point[B + 5]);
+  M.DcacheLatency = static_cast<unsigned>(Point[B + 6]);
+  M.L2Bytes = static_cast<unsigned>(Point[B + 7]);
+  M.L2Assoc = static_cast<unsigned>(Point[B + 8]);
+  M.L2Latency = static_cast<unsigned>(Point[B + 9]);
+  M.MemoryLatency = static_cast<unsigned>(Point[B + 10]);
+  return M;
+}
+
+DesignPoint
+ParameterSpace::fromConfigs(const OptimizationConfig &Opt,
+                            const MachineConfig &Machine) const {
+  assert(Params.size() >= CompilerParams + 11 &&
+         "space lacks the machine parameters");
+  DesignPoint P(Params.size());
+  P[0] = Opt.InlineFunctions;
+  P[1] = Opt.UnrollLoops;
+  P[2] = Opt.ScheduleInsns2;
+  P[3] = Opt.LoopOptimize;
+  P[4] = Opt.Gcse;
+  P[5] = Opt.StrengthReduce;
+  P[6] = Opt.OmitFramePointer;
+  P[7] = Opt.ReorderBlocks;
+  P[8] = Opt.PrefetchLoopArrays;
+  P[9] = Opt.MaxInlineInsnsAuto;
+  P[10] = Opt.InlineUnitGrowth;
+  P[11] = Opt.InlineCallCost;
+  P[12] = Opt.MaxUnrollTimes;
+  P[13] = Opt.MaxUnrolledInsns;
+  if (CompilerParams >= 18) {
+    P[14] = Opt.IfConvert;
+    P[15] = Opt.MaxIfConvertInsns;
+    P[16] = Opt.Tracer;
+    P[17] = Opt.TailDupInsns;
+  }
+  freezeMachine(P, Machine);
+  return P;
+}
+
+void ParameterSpace::freezeMachine(DesignPoint &Point,
+                                   const MachineConfig &M) const {
+  assert(Params.size() >= CompilerParams + 11 &&
+         "space lacks the machine parameters");
+  const size_t B = CompilerParams;
+  Point[B + 0] = M.IssueWidth;
+  Point[B + 1] = M.BranchPredictorSize;
+  Point[B + 2] = M.RuuSize;
+  Point[B + 3] = M.IcacheBytes;
+  Point[B + 4] = M.DcacheBytes;
+  Point[B + 5] = M.DcacheAssoc;
+  Point[B + 6] = M.DcacheLatency;
+  Point[B + 7] = M.L2Bytes;
+  Point[B + 8] = M.L2Assoc;
+  Point[B + 9] = M.L2Latency;
+  Point[B + 10] = M.MemoryLatency;
+}

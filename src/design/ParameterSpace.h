@@ -1,0 +1,113 @@
+//===- design/ParameterSpace.h - Predictor variables and domain --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predictor variables of the paper's Tables 1 and 2: 14 compiler
+/// flags/heuristics and 11 microarchitectural parameters, with the same
+/// ranges and level counts. Parameters marked log-scale in the paper
+/// (cache/table sizes) are log2-transformed before the linear mapping onto
+/// [-1, 1] used by all models ("All compiler parameters are linearly
+/// transformed to a scale -1 to 1 for modeling").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_DESIGN_PARAMETERSPACE_H
+#define MSEM_DESIGN_PARAMETERSPACE_H
+
+#include "opt/OptimizationConfig.h"
+#include "uarch/MachineConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+class Rng;
+
+/// How a parameter's raw values map onto the modeling scale.
+enum class ParamKind : uint8_t {
+  Binary,      ///< Two levels, 0/1 (categorical).
+  Discrete,    ///< Evenly spaced integer levels, linear transform.
+  LogDiscrete, ///< Power-of-two-ish levels, log2 transform (Table 2 "*").
+};
+
+/// One predictor variable.
+struct Parameter {
+  std::string Name;
+  ParamKind Kind = ParamKind::Discrete;
+  std::vector<int64_t> Levels; ///< Raw values, ascending.
+
+  size_t numLevels() const { return Levels.size(); }
+  int64_t low() const { return Levels.front(); }
+  int64_t high() const { return Levels.back(); }
+
+  /// Maps a raw value onto [-1, 1].
+  double encode(int64_t Raw) const;
+  /// Maps an encoded value back to the nearest raw level.
+  int64_t decode(double Encoded) const;
+  /// Index of the level nearest to \p Raw.
+  size_t nearestLevel(int64_t Raw) const;
+};
+
+/// An assignment of raw values to every parameter (one per Levels entry).
+using DesignPoint = std::vector<int64_t>;
+
+/// The joint compiler x microarchitecture design space.
+class ParameterSpace {
+public:
+  /// The paper's full 25-parameter space (Table 1 then Table 2).
+  static ParameterSpace paperSpace();
+  /// Only the 14 compiler parameters (Table 1).
+  static ParameterSpace compilerSpace();
+  /// The 29-parameter extension: Table 1 plus the Section 2.2
+  /// trace-formation knobs (if-conversion and tail duplication, each a
+  /// flag and a budget heuristic), then Table 2. Demonstrates that the
+  /// methodology scales beyond the paper's selection ("this selection ...
+  /// is by no means exhaustive").
+  static ParameterSpace extendedSpace();
+
+  size_t size() const { return Params.size(); }
+  const Parameter &param(size_t I) const { return Params[I]; }
+  const std::vector<Parameter> &params() const { return Params; }
+
+  /// Index of the parameter named \p Name; asserts if absent.
+  size_t indexOf(const std::string &Name) const;
+
+  /// Number of compiler parameters leading the space (14 for paperSpace,
+  /// all for compilerSpace).
+  size_t numCompilerParams() const { return CompilerParams; }
+
+  /// Encodes a point onto [-1, 1]^k.
+  std::vector<double> encode(const DesignPoint &Point) const;
+  /// Decodes per-dimension values back to the nearest levels.
+  DesignPoint decode(const std::vector<double> &Encoded) const;
+
+  /// Uniformly random point (independent uniform level per parameter).
+  DesignPoint randomPoint(Rng &R) const;
+
+  // --- Bridges to the measurement substrate -------------------------------
+  /// Interprets the first 14 coordinates as Table 1 settings.
+  OptimizationConfig toOptimizationConfig(const DesignPoint &Point) const;
+  /// Interprets coordinates 14..24 as Table 2 settings (paperSpace only).
+  MachineConfig toMachineConfig(const DesignPoint &Point) const;
+  /// Builds a full point from explicit configs (paperSpace only).
+  DesignPoint fromConfigs(const OptimizationConfig &Opt,
+                          const MachineConfig &Machine) const;
+  /// Overwrites the microarchitectural coordinates of \p Point.
+  void freezeMachine(DesignPoint &Point, const MachineConfig &M) const;
+
+private:
+  /// Appends the Table 2 microarchitectural parameters to \p S.
+  static void appendMachineParams(ParameterSpace &S);
+
+  std::vector<Parameter> Params;
+  size_t CompilerParams = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_DESIGN_PARAMETERSPACE_H

@@ -1,0 +1,85 @@
+//===- ir/BasicBlock.h - IR basic blocks -------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block owns an ordered list of instructions ending in exactly one
+/// terminator (enforced by the verifier, not the type system, so that passes
+/// can stage partial rewrites).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_BASICBLOCK_H
+#define MSEM_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+class Function;
+
+/// A straight-line sequence of instructions with a single terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Function *parent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  uint32_t id() const { return Id; }
+  void setId(uint32_t NewId) { Id = NewId; }
+
+  // Instruction list ----------------------------------------------------
+  using InstrList = std::vector<std::unique_ptr<Instruction>>;
+  InstrList &instructions() { return Instrs; }
+  const InstrList &instructions() const { return Instrs; }
+  bool empty() const { return Instrs.empty(); }
+  size_t size() const { return Instrs.size(); }
+
+  /// Appends \p I to the end of the block (after any terminator; callers
+  /// building blocks append the terminator last).
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I at position \p Index.
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately before the terminator (which must exist).
+  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I);
+
+  /// Removes and destroys the instruction at \p Index. The caller must have
+  /// already rewritten all uses.
+  void eraseAt(size_t Index);
+
+  /// Removes the instruction at \p Index and returns ownership.
+  std::unique_ptr<Instruction> detachAt(size_t Index);
+
+  /// The terminator, or null if the block is still being built.
+  Instruction *terminator() const;
+
+  /// Index of instruction \p I within this block; asserts if absent.
+  size_t indexOf(const Instruction *I) const;
+
+  /// Successor blocks derived from the terminator (empty if none).
+  std::vector<BasicBlock *> successors() const;
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  uint32_t Id = 0;
+  InstrList Instrs;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_BASICBLOCK_H

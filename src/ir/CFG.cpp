@@ -1,0 +1,88 @@
+//===- ir/CFG.cpp - Control-flow graph utilities ---------------------------===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace msem;
+
+std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+msem::computePredecessors(const Function &F) {
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  for (const auto &BB : F.blocks())
+    Preds[BB.get()]; // Ensure every block has an entry.
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ].push_back(BB.get());
+  return Preds;
+}
+
+static void postOrderVisit(BasicBlock *BB,
+                           std::unordered_set<const BasicBlock *> &Visited,
+                           std::vector<BasicBlock *> &Order) {
+  if (!Visited.insert(BB).second)
+    return;
+  for (BasicBlock *Succ : BB->successors())
+    postOrderVisit(Succ, Visited, Order);
+  Order.push_back(BB);
+}
+
+std::vector<BasicBlock *> msem::reversePostOrder(const Function &F) {
+  std::vector<BasicBlock *> Order;
+  std::unordered_set<const BasicBlock *> Visited;
+  if (!F.blocks().empty())
+    postOrderVisit(F.entry(), Visited, Order);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+bool msem::isReachable(const BasicBlock *From, const BasicBlock *To) {
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> Work{From};
+  while (!Work.empty()) {
+    const BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (BB == To)
+      return true;
+    if (!Visited.insert(BB).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      Work.push_back(Succ);
+  }
+  return false;
+}
+
+unsigned msem::removeUnreachableBlocks(Function &F) {
+  std::unordered_set<const BasicBlock *> Live;
+  for (BasicBlock *BB : reversePostOrder(F))
+    Live.insert(BB);
+
+  // Strip phi incomings that reference dead blocks.
+  for (const auto &BB : F.blocks()) {
+    if (!Live.count(BB.get()))
+      continue;
+    for (auto &I : BB->instructions()) {
+      if (I->opcode() != Opcode::Phi)
+        continue;
+      auto &Blocks = I->phiBlocks();
+      auto &Ops = I->operands();
+      for (size_t Idx = Blocks.size(); Idx-- > 0;) {
+        if (!Live.count(Blocks[Idx])) {
+          Blocks.erase(Blocks.begin() + Idx);
+          Ops.erase(Ops.begin() + Idx);
+        }
+      }
+    }
+  }
+
+  unsigned Removed = 0;
+  auto &Blocks = F.blocks();
+  for (size_t Idx = Blocks.size(); Idx-- > 0;) {
+    if (!Live.count(Blocks[Idx].get())) {
+      Blocks.erase(Blocks.begin() + Idx);
+      ++Removed;
+    }
+  }
+  return Removed;
+}

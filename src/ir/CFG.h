@@ -1,0 +1,43 @@
+//===- ir/CFG.h - Control-flow graph utilities -------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor maps and traversal orders over a Function's CFG. These are
+/// computed on demand (analyses are not cached across mutations; passes
+/// recompute after structural changes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_CFG_H
+#define MSEM_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// Predecessor lists for every block of \p F (unreachable blocks included
+/// with empty lists).
+std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+computePredecessors(const Function &F);
+
+/// Blocks of \p F in reverse post-order from the entry. Unreachable blocks
+/// are omitted.
+std::vector<BasicBlock *> reversePostOrder(const Function &F);
+
+/// True if \p To is reachable from \p From along CFG edges.
+bool isReachable(const BasicBlock *From, const BasicBlock *To);
+
+/// Removes blocks unreachable from the entry (verifier-safe: also strips
+/// phi incomings that reference removed blocks). Returns the number of
+/// removed blocks.
+unsigned removeUnreachableBlocks(Function &F);
+
+} // namespace msem
+
+#endif // MSEM_IR_CFG_H

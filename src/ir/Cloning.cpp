@@ -1,0 +1,59 @@
+//===- ir/Cloning.cpp - IR cloning utilities ---------------------------------===//
+
+#include "ir/Cloning.h"
+
+using namespace msem;
+
+std::unique_ptr<Instruction> msem::cloneInstruction(const Instruction &I) {
+  auto Clone = std::make_unique<Instruction>(I.opcode(), I.type());
+  Clone->setCmpPred(I.cmpPred());
+  Clone->setMemKind(I.memKind());
+  Clone->setAllocaSize(I.allocaSize());
+  Clone->setCallee(I.callee());
+  for (Value *Op : I.operands())
+    Clone->addOperand(Op);
+  for (unsigned S = 0; S < I.numSuccessors(); ++S)
+    Clone->setSuccessor(S, I.successor(S));
+  Clone->phiBlocks() = I.phiBlocks();
+  return Clone;
+}
+
+std::vector<BasicBlock *>
+msem::cloneRegion(const std::vector<BasicBlock *> &Region, Function &Dest,
+                  const std::string &Suffix, CloneMapping &Map) {
+  std::vector<BasicBlock *> NewBlocks;
+  NewBlocks.reserve(Region.size());
+
+  // First pass: create blocks and clone instructions, recording the map.
+  for (BasicBlock *BB : Region) {
+    BasicBlock *NewBB = Dest.createBlock(BB->name() + Suffix);
+    Map.Blocks[BB] = NewBB;
+    NewBlocks.push_back(NewBB);
+    for (const auto &I : BB->instructions()) {
+      Instruction *NewI = NewBB->append(cloneInstruction(*I));
+      Map.Values[I.get()] = NewI;
+    }
+  }
+
+  // Second pass: remap intra-region references.
+  for (BasicBlock *NewBB : NewBlocks) {
+    for (auto &I : NewBB->instructions()) {
+      for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+        auto It = Map.Values.find(I->operand(OpIdx));
+        if (It != Map.Values.end())
+          I->setOperand(OpIdx, It->second);
+      }
+      for (unsigned S = 0; S < I->numSuccessors(); ++S) {
+        auto It = Map.Blocks.find(I->successor(S));
+        if (It != Map.Blocks.end())
+          I->setSuccessor(S, It->second);
+      }
+      for (BasicBlock *&From : I->phiBlocks()) {
+        auto It = Map.Blocks.find(From);
+        if (It != Map.Blocks.end())
+          From = It->second;
+      }
+    }
+  }
+  return NewBlocks;
+}

@@ -1,0 +1,50 @@
+//===- ir/Cloning.h - IR cloning utilities -----------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cloning of instructions and block regions with value remapping; the
+/// machinery underneath inlining and loop unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_CLONING_H
+#define MSEM_IR_CLONING_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// Maps original values/blocks to their clones during region cloning.
+struct CloneMapping {
+  std::unordered_map<Value *, Value *> Values;
+  std::unordered_map<BasicBlock *, BasicBlock *> Blocks;
+
+  /// Returns the clone of \p V if present, else \p V itself.
+  Value *lookup(Value *V) const {
+    auto It = Values.find(V);
+    return It == Values.end() ? V : It->second;
+  }
+};
+
+/// Clones a single instruction. Operands, successors and phi blocks still
+/// reference the originals; callers remap afterwards.
+std::unique_ptr<Instruction> cloneInstruction(const Instruction &I);
+
+/// Clones the blocks \p Region (in order) into \p Dest, appending the new
+/// blocks with names suffixed by \p Suffix and filling \p Map. Operand,
+/// successor and phi references that point inside the region are remapped;
+/// references to values/blocks outside the region are left as-is.
+std::vector<BasicBlock *> cloneRegion(const std::vector<BasicBlock *> &Region,
+                                      Function &Dest,
+                                      const std::string &Suffix,
+                                      CloneMapping &Map);
+
+} // namespace msem
+
+#endif // MSEM_IR_CLONING_H

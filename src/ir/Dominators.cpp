@@ -1,0 +1,88 @@
+//===- ir/Dominators.cpp - Dominator tree -----------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/CFG.h"
+
+using namespace msem;
+
+DominatorTree::DominatorTree(const Function &F) {
+  std::vector<BasicBlock *> RPO = reversePostOrder(F);
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RpoIndex[RPO[I]] = I;
+  auto Preds = computePredecessors(F);
+
+  if (RPO.empty())
+    return;
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // Sentinel; exposed as null by idom().
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex.at(A) > RpoIndex.at(B))
+        A = IDom.at(A);
+      while (RpoIndex.at(B) > RpoIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < RPO.size(); ++I) {
+      BasicBlock *BB = RPO[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : Preds.at(BB)) {
+        if (!IDom.count(Pred))
+          continue; // Unprocessed or unreachable predecessor.
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!RpoIndex.count(A) || !RpoIndex.count(B))
+    return false;
+  const BasicBlock *Runner = B;
+  for (;;) {
+    if (Runner == A)
+      return true;
+    auto It = IDom.find(Runner);
+    if (It == IDom.end() || It->second == Runner)
+      return false; // Reached the entry without meeting A.
+    Runner = It->second;
+  }
+}
+
+bool DominatorTree::valueDominatesUse(const Instruction *Def,
+                                      const Instruction *User,
+                                      unsigned OpIdx) const {
+  const BasicBlock *DefBB = Def->parent();
+  if (User->opcode() == Opcode::Phi) {
+    // A phi use is logically at the end of the incoming edge's source.
+    const BasicBlock *Incoming = User->phiBlocks()[OpIdx];
+    return dominates(DefBB, Incoming);
+  }
+  const BasicBlock *UseBB = User->parent();
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+  // Same block: the definition must appear strictly before the use.
+  return DefBB->indexOf(Def) < UseBB->indexOf(User);
+}

@@ -1,0 +1,56 @@
+//===- ir/Dominators.h - Dominator tree --------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree computed with the Cooper-Harvey-Kennedy iterative
+/// algorithm over reverse post-order. Used by the verifier (SSA dominance)
+/// and the loop analyses (back-edge detection, LICM safety).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_DOMINATORS_H
+#define MSEM_IR_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// Immediate-dominator tree over the reachable blocks of one function.
+class DominatorTree {
+public:
+  /// Builds the tree for \p F. Unreachable blocks have no entry.
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p BB; null for the entry block or blocks
+  /// unreachable from the entry.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True if instruction \p Def dominates the use of it at instruction
+  /// \p User's operand \p OpIdx (phi uses are checked against the incoming
+  /// edge's source block).
+  bool valueDominatesUse(const Instruction *Def, const Instruction *User,
+                         unsigned OpIdx) const;
+
+  /// True if \p BB was reachable when the tree was built.
+  bool isReachableBlock(const BasicBlock *BB) const {
+    return RpoIndex.count(BB) != 0;
+  }
+
+private:
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+  std::unordered_map<const BasicBlock *, size_t> RpoIndex;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_DOMINATORS_H

@@ -1,0 +1,104 @@
+//===- ir/Function.h - IR functions ------------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its arguments and basic blocks (entry block first) and
+/// provides whole-function utilities used by the optimizer: use counting,
+/// bulk operand rewriting and block manipulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_FUNCTION_H
+#define MSEM_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+class Module;
+
+/// A function: signature, arguments and a CFG of basic blocks.
+class Function {
+public:
+  Function(std::string Name, Type ReturnType, std::vector<Type> ArgTypes,
+           std::vector<std::string> ArgNames = {});
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &name() const { return Name; }
+  Type returnType() const { return ReturnType; }
+
+  Module *parent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  // Arguments -----------------------------------------------------------
+  unsigned numArgs() const { return Args.size(); }
+  Argument *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  // Blocks ---------------------------------------------------------------
+  using BlockList = std::vector<std::unique_ptr<BasicBlock>>;
+  BlockList &blocks() { return Blocks; }
+  const BlockList &blocks() const { return Blocks; }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  /// Creates a block appended to the function.
+  BasicBlock *createBlock(const std::string &BlockName);
+
+  /// Inserts an externally created block (takes ownership).
+  BasicBlock *adoptBlock(std::unique_ptr<BasicBlock> BB);
+
+  /// Removes and destroys \p BB. Instructions must already be unused.
+  void eraseBlock(BasicBlock *BB);
+
+  /// Index of \p BB in the block list; asserts if absent.
+  size_t indexOfBlock(const BasicBlock *BB) const;
+
+  /// Reorders blocks to the given permutation (must contain each block
+  /// exactly once and keep the entry block first).
+  void reorderBlocks(const std::vector<BasicBlock *> &NewOrder);
+
+  // Whole-function utilities ---------------------------------------------
+  /// Rewrites every operand V to Map[V] where present. Phi incoming blocks
+  /// are rewritten via \p BlockMap where present.
+  void rewriteOperands(
+      const std::unordered_map<Value *, Value *> &Map,
+      const std::unordered_map<BasicBlock *, BasicBlock *> &BlockMap = {});
+
+  /// Replaces every use of \p Old with \p New.
+  void replaceAllUses(Value *Old, Value *New);
+
+  /// Counts uses of each instruction/argument across the function.
+  std::unordered_map<const Value *, unsigned> countUses() const;
+
+  /// Total instruction count over all blocks (the "size" used by the
+  /// inlining heuristics, mirroring gcc's insns estimate).
+  unsigned instructionCount() const;
+
+  /// Renumbers blocks and instructions for stable printing.
+  void renumber();
+
+private:
+  std::string Name;
+  Type ReturnType;
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockList Blocks;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_FUNCTION_H

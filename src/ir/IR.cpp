@@ -1,0 +1,365 @@
+//===- ir/IR.cpp - Core IR implementation ----------------------------------===//
+//
+// Implements Value, Instruction, BasicBlock, Function and Module.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace msem;
+
+Value::~Value() = default;
+
+const char *msem::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FCmp:
+    return "fcmp";
+  case Opcode::SIToFP:
+    return "sitofp";
+  case Opcode::FPToSI:
+    return "fptosi";
+  case Opcode::PtrAdd:
+    return "ptradd";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Prefetch:
+    return "prefetch";
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Emit:
+    return "emit";
+  }
+  return "?";
+}
+
+const char *msem::cmpPredName(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::LT:
+    return "lt";
+  case CmpPred::LE:
+    return "le";
+  case CmpPred::GT:
+    return "gt";
+  case CmpPred::GE:
+    return "ge";
+  }
+  return "?";
+}
+
+Value *Instruction::phiIncomingFor(const BasicBlock *From) const {
+  assert(Op == Opcode::Phi && "not a phi");
+  for (size_t I = 0; I < PhiBlocks.size(); ++I)
+    if (PhiBlocks[I] == From)
+      return Operands[I];
+  MSEM_UNREACHABLE("phi has no incoming value for predecessor");
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  I->setParent(this);
+  Instrs.push_back(std::move(I));
+  return Instrs.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index,
+                                  std::unique_ptr<Instruction> I) {
+  assert(Index <= Instrs.size() && "insert position out of range");
+  I->setParent(this);
+  auto It = Instrs.insert(Instrs.begin() + Index, std::move(I));
+  return It->get();
+}
+
+Instruction *BasicBlock::insertBeforeTerminator(
+    std::unique_ptr<Instruction> I) {
+  assert(!Instrs.empty() && Instrs.back()->isTerminator() &&
+         "block has no terminator");
+  return insertAt(Instrs.size() - 1, std::move(I));
+}
+
+void BasicBlock::eraseAt(size_t Index) {
+  assert(Index < Instrs.size() && "erase position out of range");
+  Instrs.erase(Instrs.begin() + Index);
+}
+
+std::unique_ptr<Instruction> BasicBlock::detachAt(size_t Index) {
+  assert(Index < Instrs.size() && "detach position out of range");
+  std::unique_ptr<Instruction> I = std::move(Instrs[Index]);
+  Instrs.erase(Instrs.begin() + Index);
+  I->setParent(nullptr);
+  return I;
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Instrs.empty())
+    return nullptr;
+  Instruction *Last = Instrs.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+size_t BasicBlock::indexOf(const Instruction *I) const {
+  for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+    if (Instrs[Idx].get() == I)
+      return Idx;
+  MSEM_UNREACHABLE("instruction not in block");
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  if (const Instruction *Term = terminator())
+    for (unsigned I = 0, E = Term->numSuccessors(); I < E; ++I)
+      Result.push_back(Term->successor(I));
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(std::string Name, Type ReturnType,
+                   std::vector<Type> ArgTypes,
+                   std::vector<std::string> ArgNames)
+    : Name(std::move(Name)), ReturnType(ReturnType) {
+  for (size_t I = 0; I < ArgTypes.size(); ++I) {
+    std::string ArgName =
+        I < ArgNames.size() ? ArgNames[I] : ("arg" + std::to_string(I));
+    Args.push_back(std::make_unique<Argument>(ArgTypes[I],
+                                              static_cast<unsigned>(I),
+                                              std::move(ArgName)));
+  }
+}
+
+BasicBlock *Function::createBlock(const std::string &BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(BlockName));
+  Blocks.back()->setParent(this);
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::adoptBlock(std::unique_ptr<BasicBlock> BB) {
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  size_t Index = indexOfBlock(BB);
+  Blocks.erase(Blocks.begin() + Index);
+}
+
+size_t Function::indexOfBlock(const BasicBlock *BB) const {
+  for (size_t I = 0; I < Blocks.size(); ++I)
+    if (Blocks[I].get() == BB)
+      return I;
+  MSEM_UNREACHABLE("block not in function");
+}
+
+void Function::reorderBlocks(const std::vector<BasicBlock *> &NewOrder) {
+  assert(NewOrder.size() == Blocks.size() && "reorder must be a permutation");
+  assert(!NewOrder.empty() && NewOrder.front() == entry() &&
+         "entry block must stay first");
+  BlockList Reordered;
+  Reordered.reserve(Blocks.size());
+  for (BasicBlock *Wanted : NewOrder) {
+    bool Found = false;
+    for (auto &Slot : Blocks) {
+      if (Slot.get() == Wanted) {
+        assert(Slot && "block listed twice in reorder");
+        Reordered.push_back(std::move(Slot));
+        Found = true;
+        break;
+      }
+    }
+    assert(Found && "reorder names a foreign block");
+    (void)Found;
+  }
+  Blocks = std::move(Reordered);
+}
+
+void Function::rewriteOperands(
+    const std::unordered_map<Value *, Value *> &Map,
+    const std::unordered_map<BasicBlock *, BasicBlock *> &BlockMap) {
+  for (auto &BB : Blocks) {
+    for (auto &I : BB->instructions()) {
+      for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+        auto It = Map.find(I->operand(OpIdx));
+        if (It != Map.end())
+          I->setOperand(OpIdx, It->second);
+      }
+      if (!BlockMap.empty()) {
+        for (unsigned S = 0; S < I->numSuccessors(); ++S) {
+          auto It = BlockMap.find(I->successor(S));
+          if (It != BlockMap.end())
+            I->setSuccessor(S, It->second);
+        }
+        for (BasicBlock *&Incoming : I->phiBlocks()) {
+          auto It = BlockMap.find(Incoming);
+          if (It != BlockMap.end())
+            Incoming = It->second;
+        }
+      }
+    }
+  }
+}
+
+void Function::replaceAllUses(Value *Old, Value *New) {
+  std::unordered_map<Value *, Value *> Map{{Old, New}};
+  rewriteOperands(Map);
+}
+
+std::unordered_map<const Value *, unsigned> Function::countUses() const {
+  std::unordered_map<const Value *, unsigned> Uses;
+  for (const auto &BB : Blocks)
+    for (const auto &I : BB->instructions())
+      for (const Value *Op : I->operands())
+        ++Uses[Op];
+  return Uses;
+}
+
+unsigned Function::instructionCount() const {
+  unsigned Count = 0;
+  for (const auto &BB : Blocks)
+    Count += BB->size();
+  return Count;
+}
+
+void Function::renumber() {
+  uint32_t NextId = 1;
+  for (auto &A : Args)
+    A->setId(NextId++);
+  uint32_t BlockId = 0;
+  for (auto &BB : Blocks) {
+    BB->setId(BlockId++);
+    for (auto &I : BB->instructions())
+      I->setId(NextId++);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(const std::string &FnName, Type ReturnType,
+                                 std::vector<Type> ArgTypes,
+                                 std::vector<std::string> ArgNames) {
+  assert(!findFunction(FnName) && "duplicate function name");
+  Functions.push_back(std::make_unique<Function>(
+      FnName, ReturnType, std::move(ArgTypes), std::move(ArgNames)));
+  Functions.back()->setParent(this);
+  return Functions.back().get();
+}
+
+Function *Module::findFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+Function *Module::mainFunction() const {
+  Function *Main = findFunction("main");
+  assert(Main && "module has no main function");
+  return Main;
+}
+
+GlobalVariable *Module::createGlobal(const std::string &GlobalName,
+                                     uint64_t SizeBytes) {
+  assert(!findGlobal(GlobalName) && "duplicate global name");
+  Globals.push_back(std::make_unique<GlobalVariable>(GlobalName, SizeBytes));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::findGlobal(const std::string &GlobalName) const {
+  for (const auto &G : Globals)
+    if (G->name() == GlobalName)
+      return G.get();
+  return nullptr;
+}
+
+Constant *Module::constInt(int64_t V) {
+  auto It = IntConstants.find(V);
+  if (It != IntConstants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(Type::I64, V, 0.0);
+  Constant *Ptr = C.get();
+  IntConstants.emplace(V, std::move(C));
+  return Ptr;
+}
+
+Constant *Module::constFloat(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  auto It = FloatConstants.find(Bits);
+  if (It != FloatConstants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(Type::F64, 0, V);
+  Constant *Ptr = C.get();
+  FloatConstants.emplace(Bits, std::move(C));
+  return Ptr;
+}
+
+void Module::renumber() {
+  for (auto &F : Functions)
+    F->renumber();
+}
+
+unsigned Module::instructionCount() const {
+  unsigned Count = 0;
+  for (const auto &F : Functions)
+    Count += F->instructionCount();
+  return Count;
+}

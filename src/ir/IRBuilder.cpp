@@ -1,0 +1,166 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ----------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace msem;
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I) {
+  assert(Block && "no insertion point set");
+  return Block->append(std::move(I));
+}
+
+Value *IRBuilder::binary(Opcode Op, Value *A, Value *B) {
+  Type Expected = (Op >= Opcode::FAdd && Op <= Opcode::FDiv) ? Type::F64
+                                                             : Type::I64;
+  assert(A->type() == Expected && B->type() == Expected &&
+         "binary operand type mismatch");
+  auto I = std::make_unique<Instruction>(Op, Expected);
+  I->addOperand(A);
+  I->addOperand(B);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::icmp(CmpPred Pred, Value *A, Value *B) {
+  assert(A->type() == Type::I64 && B->type() == Type::I64 &&
+         "icmp requires integer operands");
+  auto I = std::make_unique<Instruction>(Opcode::ICmp, Type::I64);
+  I->setCmpPred(Pred);
+  I->addOperand(A);
+  I->addOperand(B);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::fcmp(CmpPred Pred, Value *A, Value *B) {
+  assert(A->type() == Type::F64 && B->type() == Type::F64 &&
+         "fcmp requires float operands");
+  auto I = std::make_unique<Instruction>(Opcode::FCmp, Type::I64);
+  I->setCmpPred(Pred);
+  I->addOperand(A);
+  I->addOperand(B);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::siToFp(Value *A) {
+  assert(A->type() == Type::I64 && "sitofp requires an integer");
+  auto I = std::make_unique<Instruction>(Opcode::SIToFP, Type::F64);
+  I->addOperand(A);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::fpToSi(Value *A) {
+  assert(A->type() == Type::F64 && "fptosi requires a float");
+  auto I = std::make_unique<Instruction>(Opcode::FPToSI, Type::I64);
+  I->addOperand(A);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::select(Value *Cond, Value *A, Value *B) {
+  assert(Cond->type() == Type::I64 && "select condition must be i64");
+  assert(A->type() == B->type() && "select arm type mismatch");
+  auto I = std::make_unique<Instruction>(Opcode::Select, A->type());
+  I->addOperand(Cond);
+  I->addOperand(A);
+  I->addOperand(B);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::ptrAdd(Value *Base, Value *OffsetBytes) {
+  assert(Base->type() == Type::Ptr && "ptradd base must be a pointer");
+  assert(OffsetBytes->type() == Type::I64 && "ptradd offset must be i64");
+  auto I = std::make_unique<Instruction>(Opcode::PtrAdd, Type::Ptr);
+  I->addOperand(Base);
+  I->addOperand(OffsetBytes);
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::elemPtr(Value *Base, Value *Index, MemKind MK) {
+  Value *Offset = mul(Index, constInt(memKindSize(MK)));
+  return ptrAdd(Base, Offset);
+}
+
+Value *IRBuilder::load(Value *Ptr, MemKind MK) {
+  assert(Ptr->type() == Type::Ptr && "load address must be a pointer");
+  auto I = std::make_unique<Instruction>(Opcode::Load, memKindValueType(MK));
+  I->setMemKind(MK);
+  I->addOperand(Ptr);
+  return insert(std::move(I));
+}
+
+void IRBuilder::store(Value *V, Value *Ptr, MemKind MK) {
+  assert(Ptr->type() == Type::Ptr && "store address must be a pointer");
+  assert(V->type() == memKindValueType(MK) && "store value type mismatch");
+  auto I = std::make_unique<Instruction>(Opcode::Store, Type::Void);
+  I->setMemKind(MK);
+  I->addOperand(V);
+  I->addOperand(Ptr);
+  insert(std::move(I));
+}
+
+void IRBuilder::prefetch(Value *Ptr) {
+  assert(Ptr->type() == Type::Ptr && "prefetch address must be a pointer");
+  auto I = std::make_unique<Instruction>(Opcode::Prefetch, Type::Void);
+  I->addOperand(Ptr);
+  insert(std::move(I));
+}
+
+Value *IRBuilder::alloca(uint64_t Bytes) {
+  auto I = std::make_unique<Instruction>(Opcode::Alloca, Type::Ptr);
+  I->setAllocaSize(Bytes);
+  return insert(std::move(I));
+}
+
+void IRBuilder::br(Value *Cond, BasicBlock *Then, BasicBlock *Else) {
+  assert(Cond->type() == Type::I64 && "branch condition must be i64");
+  auto I = std::make_unique<Instruction>(Opcode::Br, Type::Void);
+  I->addOperand(Cond);
+  I->setSuccessor(0, Then);
+  I->setSuccessor(1, Else);
+  insert(std::move(I));
+}
+
+void IRBuilder::jmp(BasicBlock *Dest) {
+  auto I = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+  I->setSuccessor(0, Dest);
+  insert(std::move(I));
+}
+
+void IRBuilder::ret(Value *V) {
+  auto I = std::make_unique<Instruction>(Opcode::Ret, Type::Void);
+  if (V)
+    I->addOperand(V);
+  insert(std::move(I));
+}
+
+Value *IRBuilder::call(Function *Callee, std::vector<Value *> Args) {
+  assert(Callee && "call requires a callee");
+  assert(Args.size() == Callee->numArgs() && "call argument count mismatch");
+  for (size_t I = 0; I < Args.size(); ++I) {
+    assert(Args[I]->type() == Callee->arg(I)->type() &&
+           "call argument type mismatch");
+    (void)I;
+  }
+  auto I = std::make_unique<Instruction>(Opcode::Call, Callee->returnType());
+  I->setCallee(Callee);
+  for (Value *A : Args)
+    I->addOperand(A);
+  return insert(std::move(I));
+}
+
+Instruction *IRBuilder::phi(Type Ty) {
+  auto I = std::make_unique<Instruction>(Opcode::Phi, Ty);
+  // Phis must appear at the head of the block, after any existing phis.
+  assert(Block && "no insertion point set");
+  size_t Pos = 0;
+  while (Pos < Block->size() &&
+         Block->instructions()[Pos]->opcode() == Opcode::Phi)
+    ++Pos;
+  return Block->insertAt(Pos, std::move(I));
+}
+
+void IRBuilder::emit(Value *V) {
+  assert((V->type() == Type::I64 || V->type() == Type::F64) &&
+         "emit requires a value");
+  auto I = std::make_unique<Instruction>(Opcode::Emit, Type::Void);
+  I->addOperand(V);
+  insert(std::move(I));
+}

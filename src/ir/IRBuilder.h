@@ -1,0 +1,97 @@
+//===- ir/IRBuilder.h - Convenience IR construction --------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder constructs instructions at an insertion point with full type
+/// checking. The workloads (synthetic SPEC programs) are written against
+/// this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_IRBUILDER_H
+#define MSEM_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace msem {
+
+/// Builds instructions appended to the end of the current block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  /// Sets the insertion block; new instructions are appended to its end.
+  void setInsertPoint(BasicBlock *BB) { Block = BB; }
+  BasicBlock *insertBlock() const { return Block; }
+
+  // Constants -----------------------------------------------------------
+  Constant *constInt(int64_t V) { return M.constInt(V); }
+  Constant *constFloat(double V) { return M.constFloat(V); }
+
+  // Integer arithmetic ----------------------------------------------------
+  Value *add(Value *A, Value *B) { return binary(Opcode::Add, A, B); }
+  Value *sub(Value *A, Value *B) { return binary(Opcode::Sub, A, B); }
+  Value *mul(Value *A, Value *B) { return binary(Opcode::Mul, A, B); }
+  Value *divS(Value *A, Value *B) { return binary(Opcode::Div, A, B); }
+  Value *rem(Value *A, Value *B) { return binary(Opcode::Rem, A, B); }
+  Value *andOp(Value *A, Value *B) { return binary(Opcode::And, A, B); }
+  Value *orOp(Value *A, Value *B) { return binary(Opcode::Or, A, B); }
+  Value *xorOp(Value *A, Value *B) { return binary(Opcode::Xor, A, B); }
+  Value *shl(Value *A, Value *B) { return binary(Opcode::Shl, A, B); }
+  Value *shr(Value *A, Value *B) { return binary(Opcode::Shr, A, B); }
+
+  // Floating point ---------------------------------------------------------
+  Value *fadd(Value *A, Value *B) { return binary(Opcode::FAdd, A, B); }
+  Value *fsub(Value *A, Value *B) { return binary(Opcode::FSub, A, B); }
+  Value *fmul(Value *A, Value *B) { return binary(Opcode::FMul, A, B); }
+  Value *fdiv(Value *A, Value *B) { return binary(Opcode::FDiv, A, B); }
+
+  // Comparisons and conversions --------------------------------------------
+  Value *icmp(CmpPred Pred, Value *A, Value *B);
+  Value *fcmp(CmpPred Pred, Value *A, Value *B);
+  Value *siToFp(Value *A);
+  Value *fpToSi(Value *A);
+  Value *select(Value *Cond, Value *A, Value *B);
+
+  // Memory -------------------------------------------------------------
+  /// Pointer plus byte offset.
+  Value *ptrAdd(Value *Base, Value *OffsetBytes);
+  /// Pointer to element \p Index of an array of \p MK elements at \p Base.
+  Value *elemPtr(Value *Base, Value *Index, MemKind MK);
+  Value *load(Value *Ptr, MemKind MK);
+  void store(Value *V, Value *Ptr, MemKind MK);
+  void prefetch(Value *Ptr);
+  Value *alloca(uint64_t Bytes);
+
+  // Array helpers (load/store element Index of array at Base) ------------
+  Value *loadElem(Value *Base, Value *Index, MemKind MK) {
+    return load(elemPtr(Base, Index, MK), MK);
+  }
+  void storeElem(Value *V, Value *Base, Value *Index, MemKind MK) {
+    store(V, elemPtr(Base, Index, MK), MK);
+  }
+
+  // Control flow -----------------------------------------------------------
+  void br(Value *Cond, BasicBlock *Then, BasicBlock *Else);
+  void jmp(BasicBlock *Dest);
+  void ret(Value *V = nullptr);
+  Value *call(Function *Callee, std::vector<Value *> Args);
+  Instruction *phi(Type Ty);
+  void emit(Value *V);
+
+private:
+  Value *binary(Opcode Op, Value *A, Value *B);
+  Instruction *insert(std::unique_ptr<Instruction> I);
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_IRBUILDER_H

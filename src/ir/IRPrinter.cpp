@@ -1,0 +1,99 @@
+//===- ir/IRPrinter.cpp - Textual IR dumping --------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/Format.h"
+
+using namespace msem;
+
+std::string msem::printValueRef(const Value *V) {
+  switch (V->kind()) {
+  case ValueKind::Constant: {
+    const auto *C = cast<Constant>(V);
+    if (C->type() == Type::I64)
+      return formatString("%lld", static_cast<long long>(C->intValue()));
+    return formatString("%g", C->floatValue());
+  }
+  case ValueKind::Argument:
+    return "%" + cast<Argument>(V)->name();
+  case ValueKind::Global:
+    return "@" + cast<GlobalVariable>(V)->name();
+  case ValueKind::Instruction:
+    return formatString("%%%u", V->id());
+  }
+  return "?";
+}
+
+std::string msem::printInstruction(const Instruction &I) {
+  std::string Text;
+  if (I.type() != Type::Void)
+    Text += formatString("%%%u = ", I.id());
+  Text += opcodeName(I.opcode());
+
+  switch (I.opcode()) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    Text += std::string(".") + cmpPredName(I.cmpPred());
+    break;
+  case Opcode::Load:
+  case Opcode::Store:
+    Text += std::string(".") + memKindName(I.memKind());
+    break;
+  case Opcode::Alloca:
+    Text += formatString(" %llu", (unsigned long long)I.allocaSize());
+    break;
+  case Opcode::Call:
+    Text += " @" + I.callee()->name();
+    break;
+  default:
+    break;
+  }
+
+  if (I.opcode() == Opcode::Phi) {
+    for (size_t Idx = 0; Idx < I.numOperands(); ++Idx) {
+      Text += Idx ? ", " : " ";
+      Text += "[" + printValueRef(I.operand(Idx)) + ", " +
+              I.phiBlocks()[Idx]->name() + "]";
+    }
+  } else {
+    for (size_t Idx = 0; Idx < I.numOperands(); ++Idx) {
+      Text += Idx ? ", " : " ";
+      Text += printValueRef(I.operand(Idx));
+    }
+  }
+
+  if (I.opcode() == Opcode::Br)
+    Text += " -> " + I.successor(0)->name() + ", " + I.successor(1)->name();
+  else if (I.opcode() == Opcode::Jmp)
+    Text += " -> " + I.successor(0)->name();
+  return Text;
+}
+
+std::string msem::printFunction(Function &F) {
+  F.renumber();
+  std::string Text = "func @" + F.name() + "(";
+  for (unsigned I = 0; I < F.numArgs(); ++I) {
+    if (I)
+      Text += ", ";
+    Text += std::string(typeName(F.arg(I)->type())) + " %" +
+            F.arg(I)->name();
+  }
+  Text += std::string(") -> ") + typeName(F.returnType()) + " {\n";
+  for (const auto &BB : F.blocks()) {
+    Text += BB->name() + ":\n";
+    for (const auto &I : BB->instructions())
+      Text += "  " + printInstruction(*I) + "\n";
+  }
+  Text += "}\n";
+  return Text;
+}
+
+std::string msem::printModule(Module &M) {
+  std::string Text = "module " + M.name() + "\n";
+  for (const auto &G : M.globals())
+    Text += formatString("global @%s[%llu]\n", G->name().c_str(),
+                         (unsigned long long)G->sizeInBytes());
+  for (const auto &F : M.functions())
+    Text += "\n" + printFunction(*F);
+  return Text;
+}

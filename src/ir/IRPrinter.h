@@ -1,0 +1,36 @@
+//===- ir/IRPrinter.h - Textual IR dumping -----------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules/functions as human-readable text for debugging and test
+/// golden-output checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_IRPRINTER_H
+#define MSEM_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace msem {
+
+/// Renders one value reference (e.g. "%5", "42", "@table").
+std::string printValueRef(const Value *V);
+
+/// Renders one instruction (without trailing newline).
+std::string printInstruction(const Instruction &I);
+
+/// Renders a function. Calls Function::renumber() for stable ids.
+std::string printFunction(Function &F);
+
+/// Renders a whole module.
+std::string printModule(Module &M);
+
+} // namespace msem
+
+#endif // MSEM_IR_IRPRINTER_H

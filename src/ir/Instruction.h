@@ -1,0 +1,201 @@
+//===- ir/Instruction.h - IR instructions ------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the MSEM IR. Instructions are in SSA form: an
+/// instruction that produces a value *is* that value. Control flow uses
+/// explicit successor block pointers; phi nodes carry parallel vectors of
+/// incoming values and blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_INSTRUCTION_H
+#define MSEM_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <vector>
+
+namespace msem {
+
+class BasicBlock;
+class Function;
+
+/// Every IR operation.
+enum class Opcode : uint8_t {
+  // Integer arithmetic / logic (I64 x I64 -> I64).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr, // Arithmetic shift right.
+  // Integer compare (I64 x I64 -> I64 producing 0/1).
+  ICmp,
+  // Floating point (F64 x F64 -> F64).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Floating compare (F64 x F64 -> I64 producing 0/1).
+  FCmp,
+  // Conversions.
+  SIToFP, // I64 -> F64
+  FPToSI, // F64 -> I64
+  // Memory. Addresses are Ptr values; PtrAdd does byte arithmetic.
+  PtrAdd,   // (Ptr, I64) -> Ptr
+  Load,     // (Ptr) -> I64/F64 according to MemKind
+  Store,    // (value, Ptr) -> void
+  Prefetch, // (Ptr) -> void; non-binding software prefetch
+  Alloca,   // () -> Ptr; static frame slot of allocaSize() bytes
+  // Control flow and calls.
+  Br,     // (I64 cond); successors: taken(=succ0), fallthrough(=succ1)
+  Jmp,    // unconditional; successor succ0
+  Ret,    // optional value
+  Call,   // (args...) -> callee return type
+  Phi,    // SSA phi node
+  Select, // (I64 cond, a, b) -> type of a/b
+  Emit,   // (I64/F64 value) -> void; appends to the program's output stream
+};
+
+/// Comparison predicates for ICmp/FCmp.
+enum class CmpPred : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Returns a printable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns a printable name for \p Pred.
+const char *cmpPredName(CmpPred Pred);
+
+/// An SSA instruction. Owns no operands; operand lifetime is managed by the
+/// enclosing Module/Function.
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type Ty) : Value(ValueKind::Instruction, Ty), Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  // Operands -----------------------------------------------------------
+  unsigned numOperands() const { return Operands.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  void addOperand(Value *V) { Operands.push_back(V); }
+  std::vector<Value *> &operands() { return Operands; }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  // Compare ------------------------------------------------------------
+  CmpPred cmpPred() const { return Pred; }
+  void setCmpPred(CmpPred P) { Pred = P; }
+
+  // Memory -------------------------------------------------------------
+  MemKind memKind() const { return Mem; }
+  void setMemKind(MemKind MK) { Mem = MK; }
+  uint64_t allocaSize() const { return AllocaBytes; }
+  void setAllocaSize(uint64_t Bytes) { AllocaBytes = Bytes; }
+
+  // Control flow -------------------------------------------------------
+  BasicBlock *successor(unsigned I) const {
+    assert(I < 2 && "successor index out of range");
+    return I == 0 ? Succ0 : Succ1;
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < 2 && "successor index out of range");
+    (I == 0 ? Succ0 : Succ1) = BB;
+  }
+  unsigned numSuccessors() const {
+    if (Op == Opcode::Br)
+      return 2;
+    if (Op == Opcode::Jmp)
+      return 1;
+    return 0;
+  }
+
+  // Calls ---------------------------------------------------------------
+  Function *callee() const { return Callee; }
+  void setCallee(Function *F) { Callee = F; }
+
+  // Phi nodes ------------------------------------------------------------
+  /// Incoming blocks; parallel to operands().
+  std::vector<BasicBlock *> &phiBlocks() { return PhiBlocks; }
+  const std::vector<BasicBlock *> &phiBlocks() const { return PhiBlocks; }
+  void addPhiIncoming(Value *V, BasicBlock *From) {
+    assert(Op == Opcode::Phi && "not a phi");
+    addOperand(V);
+    PhiBlocks.push_back(From);
+  }
+  /// Incoming value for predecessor \p From; asserts if absent.
+  Value *phiIncomingFor(const BasicBlock *From) const;
+
+  // Classification -------------------------------------------------------
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+  }
+  bool isBinaryIntOp() const {
+    return Op >= Opcode::Add && Op <= Opcode::Shr;
+  }
+  bool isBinaryFpOp() const {
+    return Op >= Opcode::FAdd && Op <= Opcode::FDiv;
+  }
+  bool isMemoryAccess() const {
+    return Op == Opcode::Load || Op == Opcode::Store;
+  }
+  /// True if the instruction has no side effects and produces a value that
+  /// depends only on its operands (candidates for CSE/LICM/DCE).
+  bool isPure() const {
+    switch (Op) {
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Prefetch:
+    case Opcode::Alloca:
+    case Opcode::Br:
+    case Opcode::Jmp:
+    case Opcode::Ret:
+    case Opcode::Call:
+    case Opcode::Phi:
+    case Opcode::Emit:
+      return false;
+    default:
+      return true;
+    }
+  }
+  /// True if the instruction may write memory or produce output.
+  bool hasSideEffects() const {
+    return Op == Opcode::Store || Op == Opcode::Call || Op == Opcode::Emit;
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Instruction;
+  }
+
+private:
+  Opcode Op;
+  CmpPred Pred = CmpPred::EQ;
+  MemKind Mem = MemKind::Int64;
+  uint64_t AllocaBytes = 0;
+  BasicBlock *Parent = nullptr;
+  BasicBlock *Succ0 = nullptr;
+  BasicBlock *Succ1 = nullptr;
+  Function *Callee = nullptr;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> PhiBlocks;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_INSTRUCTION_H

@@ -1,0 +1,409 @@
+//===- ir/Interpreter.cpp - Reference IR interpreter -------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+/// A runtime value: both representations are kept; the static type of the
+/// producing Value says which one is meaningful.
+struct RtValue {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static RtValue ofInt(int64_t V) {
+    RtValue R;
+    R.I = V;
+    return R;
+  }
+  static RtValue ofFloat(double V) {
+    RtValue R;
+    R.F = V;
+    return R;
+  }
+};
+
+class Machine {
+public:
+  Machine(const Module &M, uint64_t MemoryBytes, uint64_t MaxInstructions)
+      : M(M), MaxInstructions(MaxInstructions) {
+    Memory.resize(MemoryBytes, 0);
+    layoutGlobals();
+    // Stack occupies the top of memory and grows down.
+    StackPtr = MemoryBytes;
+  }
+
+  InterpResult run() {
+    const Function *Main = M.mainFunction();
+    RtValue Ret = callFunction(*Main, {});
+    if (!Result.Trapped)
+      Result.ReturnValue = Ret.I;
+    return std::move(Result);
+  }
+
+private:
+  void layoutGlobals() {
+    uint64_t Base = 4096; // Keep address 0 unmapped.
+    for (const auto &G : M.globals()) {
+      GlobalBase[G.get()] = Base;
+      const auto &Init = G->initializer();
+      if (!Init.empty() && Base + Init.size() <= Memory.size())
+        std::memcpy(Memory.data() + Base, Init.data(), Init.size());
+      Base += (G->sizeInBytes() + 15) & ~15ull; // 16-byte align each global.
+    }
+    GlobalsEnd = Base;
+  }
+
+  void trap(const std::string &Message) {
+    if (Result.Trapped)
+      return;
+    Result.Trapped = true;
+    Result.TrapMessage = Message;
+  }
+
+  bool checkAccess(uint64_t Addr, unsigned Size) {
+    if (Addr < 4096 || Addr + Size > Memory.size()) {
+      trap(formatString("memory access out of bounds: addr=%llu size=%u",
+                        (unsigned long long)Addr, Size));
+      return false;
+    }
+    return true;
+  }
+
+  RtValue loadMem(uint64_t Addr, MemKind MK) {
+    if (!checkAccess(Addr, memKindSize(MK)))
+      return RtValue();
+    switch (MK) {
+    case MemKind::Int8:
+      return RtValue::ofInt(Memory[Addr]);
+    case MemKind::Int32: {
+      int32_t V;
+      std::memcpy(&V, Memory.data() + Addr, 4);
+      return RtValue::ofInt(V);
+    }
+    case MemKind::Int64: {
+      int64_t V;
+      std::memcpy(&V, Memory.data() + Addr, 8);
+      return RtValue::ofInt(V);
+    }
+    case MemKind::Float64: {
+      double V;
+      std::memcpy(&V, Memory.data() + Addr, 8);
+      return RtValue::ofFloat(V);
+    }
+    }
+    return RtValue();
+  }
+
+  void storeMem(uint64_t Addr, MemKind MK, RtValue V) {
+    if (!checkAccess(Addr, memKindSize(MK)))
+      return;
+    switch (MK) {
+    case MemKind::Int8: {
+      uint8_t B = static_cast<uint8_t>(V.I);
+      Memory[Addr] = B;
+      break;
+    }
+    case MemKind::Int32: {
+      int32_t W = static_cast<int32_t>(V.I);
+      std::memcpy(Memory.data() + Addr, &W, 4);
+      break;
+    }
+    case MemKind::Int64:
+      std::memcpy(Memory.data() + Addr, &V.I, 8);
+      break;
+    case MemKind::Float64:
+      std::memcpy(Memory.data() + Addr, &V.F, 8);
+      break;
+    }
+  }
+
+  RtValue callFunction(const Function &F, const std::vector<RtValue> &Args) {
+    if (Result.Trapped)
+      return RtValue();
+    if (++CallDepth > 1000) {
+      trap("call stack overflow (depth > 1000)");
+      --CallDepth;
+      return RtValue();
+    }
+    uint64_t SavedStack = StackPtr;
+
+    std::unordered_map<const Value *, RtValue> Env;
+    for (unsigned I = 0; I < F.numArgs(); ++I)
+      Env[F.arg(I)] = Args[I];
+
+    auto Eval = [&](const Value *V) -> RtValue {
+      switch (V->kind()) {
+      case ValueKind::Constant: {
+        const auto *C = cast<Constant>(V);
+        return C->type() == Type::I64 ? RtValue::ofInt(C->intValue())
+                                      : RtValue::ofFloat(C->floatValue());
+      }
+      case ValueKind::Global:
+        return RtValue::ofInt(
+            static_cast<int64_t>(GlobalBase.at(cast<GlobalVariable>(V))));
+      default: {
+        auto It = Env.find(V);
+        assert(It != Env.end() && "use of undefined value at run time");
+        return It->second;
+      }
+      }
+    };
+
+    const BasicBlock *Block = F.entry();
+    const BasicBlock *PrevBlock = nullptr;
+    RtValue RetVal;
+
+    while (!Result.Trapped) {
+      // Evaluate all phis in parallel against PrevBlock.
+      std::vector<std::pair<const Instruction *, RtValue>> PhiUpdates;
+      size_t Idx = 0;
+      const auto &Instrs = Block->instructions();
+      while (Idx < Instrs.size() && Instrs[Idx]->opcode() == Opcode::Phi) {
+        const Instruction *Phi = Instrs[Idx].get();
+        PhiUpdates.push_back(
+            {Phi, Eval(Phi->phiIncomingFor(PrevBlock))});
+        ++Idx;
+      }
+      for (auto &[Phi, V] : PhiUpdates)
+        Env[Phi] = V;
+      Result.InstructionsExecuted += PhiUpdates.size();
+
+      bool Transferred = false;
+      for (; Idx < Instrs.size() && !Result.Trapped; ++Idx) {
+        const Instruction &I = *Instrs[Idx];
+        if (++Result.InstructionsExecuted > MaxInstructions) {
+          trap("instruction budget exhausted");
+          break;
+        }
+        switch (I.opcode()) {
+        case Opcode::Add:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I +
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Sub:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I -
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Mul:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I *
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Div: {
+          int64_t B = Eval(I.operand(1)).I;
+          if (B == 0) {
+            trap("integer division by zero");
+            break;
+          }
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I / B);
+          break;
+        }
+        case Opcode::Rem: {
+          int64_t B = Eval(I.operand(1)).I;
+          if (B == 0) {
+            trap("integer remainder by zero");
+            break;
+          }
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I % B);
+          break;
+        }
+        case Opcode::And:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I &
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Or:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I |
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Xor:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I ^
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Shl:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I
+                                   << (Eval(I.operand(1)).I & 63));
+          break;
+        case Opcode::Shr:
+          Env[&I] =
+              RtValue::ofInt(Eval(I.operand(0)).I >> (Eval(I.operand(1)).I & 63));
+          break;
+        case Opcode::ICmp: {
+          int64_t A = Eval(I.operand(0)).I, B = Eval(I.operand(1)).I;
+          Env[&I] = RtValue::ofInt(compareInt(I.cmpPred(), A, B));
+          break;
+        }
+        case Opcode::FAdd:
+          Env[&I] = RtValue::ofFloat(Eval(I.operand(0)).F +
+                                     Eval(I.operand(1)).F);
+          break;
+        case Opcode::FSub:
+          Env[&I] = RtValue::ofFloat(Eval(I.operand(0)).F -
+                                     Eval(I.operand(1)).F);
+          break;
+        case Opcode::FMul:
+          Env[&I] = RtValue::ofFloat(Eval(I.operand(0)).F *
+                                     Eval(I.operand(1)).F);
+          break;
+        case Opcode::FDiv:
+          Env[&I] = RtValue::ofFloat(Eval(I.operand(0)).F /
+                                     Eval(I.operand(1)).F);
+          break;
+        case Opcode::FCmp: {
+          double A = Eval(I.operand(0)).F, B = Eval(I.operand(1)).F;
+          Env[&I] = RtValue::ofInt(compareFloat(I.cmpPred(), A, B));
+          break;
+        }
+        case Opcode::SIToFP:
+          Env[&I] =
+              RtValue::ofFloat(static_cast<double>(Eval(I.operand(0)).I));
+          break;
+        case Opcode::FPToSI:
+          Env[&I] =
+              RtValue::ofInt(static_cast<int64_t>(Eval(I.operand(0)).F));
+          break;
+        case Opcode::PtrAdd:
+          Env[&I] = RtValue::ofInt(Eval(I.operand(0)).I +
+                                   Eval(I.operand(1)).I);
+          break;
+        case Opcode::Load:
+          Env[&I] = loadMem(static_cast<uint64_t>(Eval(I.operand(0)).I),
+                            I.memKind());
+          break;
+        case Opcode::Store:
+          storeMem(static_cast<uint64_t>(Eval(I.operand(1)).I), I.memKind(),
+                   Eval(I.operand(0)));
+          break;
+        case Opcode::Prefetch:
+          break; // Semantically a no-op.
+        case Opcode::Alloca: {
+          uint64_t Bytes = (I.allocaSize() + 15) & ~15ull;
+          if (StackPtr < GlobalsEnd + Bytes) {
+            trap("stack overflow in alloca");
+            break;
+          }
+          StackPtr -= Bytes;
+          Env[&I] = RtValue::ofInt(static_cast<int64_t>(StackPtr));
+          break;
+        }
+        case Opcode::Select: {
+          RtValue C = Eval(I.operand(0));
+          Env[&I] = C.I != 0 ? Eval(I.operand(1)) : Eval(I.operand(2));
+          break;
+        }
+        case Opcode::Call: {
+          std::vector<RtValue> CallArgs;
+          CallArgs.reserve(I.numOperands());
+          for (const Value *A : I.operands())
+            CallArgs.push_back(Eval(A));
+          RtValue R = callFunction(*I.callee(), CallArgs);
+          if (I.type() != Type::Void)
+            Env[&I] = R;
+          break;
+        }
+        case Opcode::Emit: {
+          EmitRecord Rec;
+          RtValue V = Eval(I.operand(0));
+          if (I.operand(0)->type() == Type::F64) {
+            Rec.IsFloat = true;
+            Rec.FpVal = V.F;
+          } else {
+            Rec.IntVal = V.I;
+          }
+          Result.Output.push_back(Rec);
+          break;
+        }
+        case Opcode::Br: {
+          PrevBlock = Block;
+          Block = Eval(I.operand(0)).I != 0 ? I.successor(0)
+                                            : I.successor(1);
+          Transferred = true;
+          break;
+        }
+        case Opcode::Jmp:
+          PrevBlock = Block;
+          Block = I.successor(0);
+          Transferred = true;
+          break;
+        case Opcode::Ret:
+          if (I.numOperands() == 1)
+            RetVal = Eval(I.operand(0));
+          StackPtr = SavedStack;
+          --CallDepth;
+          return RetVal;
+        case Opcode::Phi:
+          assert(false && "phi past the phi prefix");
+          break;
+        }
+        if (Transferred)
+          break;
+      }
+      if (!Transferred && !Result.Trapped) {
+        trap("control fell off the end of block " + Block->name());
+      }
+      if (Result.Trapped)
+        break;
+    }
+    StackPtr = SavedStack;
+    --CallDepth;
+    return RetVal;
+  }
+
+  static int64_t compareInt(CmpPred P, int64_t A, int64_t B) {
+    switch (P) {
+    case CmpPred::EQ:
+      return A == B;
+    case CmpPred::NE:
+      return A != B;
+    case CmpPred::LT:
+      return A < B;
+    case CmpPred::LE:
+      return A <= B;
+    case CmpPred::GT:
+      return A > B;
+    case CmpPred::GE:
+      return A >= B;
+    }
+    return 0;
+  }
+
+  static int64_t compareFloat(CmpPred P, double A, double B) {
+    switch (P) {
+    case CmpPred::EQ:
+      return A == B;
+    case CmpPred::NE:
+      return A != B;
+    case CmpPred::LT:
+      return A < B;
+    case CmpPred::LE:
+      return A <= B;
+    case CmpPred::GT:
+      return A > B;
+    case CmpPred::GE:
+      return A >= B;
+    }
+    return 0;
+  }
+
+  const Module &M;
+  uint64_t MaxInstructions;
+  std::vector<uint8_t> Memory;
+  std::unordered_map<const GlobalVariable *, uint64_t> GlobalBase;
+  uint64_t GlobalsEnd = 4096;
+  uint64_t StackPtr = 0;
+  unsigned CallDepth = 0;
+  InterpResult Result;
+};
+
+} // namespace
+
+InterpResult Interpreter::run(const Module &M) {
+  Machine Mach(M, MemoryBytes, MaxInstructions);
+  return Mach.run();
+}

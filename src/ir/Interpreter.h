@@ -1,0 +1,66 @@
+//===- ir/Interpreter.h - Reference IR interpreter ---------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for the IR. It defines the reference semantics of a
+/// program: tests compare its observable behaviour (return value and Emit
+/// stream) against the optimizer's output and against compiled machine code
+/// to prove transformations are semantics-preserving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_INTERPRETER_H
+#define MSEM_IR_INTERPRETER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// One value appended by an Emit instruction.
+struct EmitRecord {
+  bool IsFloat = false;
+  int64_t IntVal = 0;
+  double FpVal = 0.0;
+
+  bool operator==(const EmitRecord &Other) const {
+    if (IsFloat != Other.IsFloat)
+      return false;
+    return IsFloat ? FpVal == Other.FpVal : IntVal == Other.IntVal;
+  }
+};
+
+/// Outcome of interpreting a program.
+struct InterpResult {
+  bool Trapped = false;        ///< Out-of-bounds access, div by zero, ...
+  std::string TrapMessage;     ///< Human-readable trap description.
+  int64_t ReturnValue = 0;     ///< main's return value.
+  uint64_t InstructionsExecuted = 0;
+  std::vector<EmitRecord> Output; ///< Emit stream in program order.
+};
+
+/// Interprets IR modules against a flat byte-addressed memory image.
+class Interpreter {
+public:
+  /// \p MemoryBytes bounds the address space (globals + stack).
+  /// \p MaxInstructions guards against runaway programs.
+  explicit Interpreter(uint64_t MemoryBytes = 64ull << 20,
+                       uint64_t MaxInstructions = 2'000'000'000ull)
+      : MemoryBytes(MemoryBytes), MaxInstructions(MaxInstructions) {}
+
+  /// Runs \p M's main function to completion.
+  InterpResult run(const Module &M);
+
+private:
+  uint64_t MemoryBytes;
+  uint64_t MaxInstructions;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_INTERPRETER_H

@@ -1,0 +1,99 @@
+//===- ir/LoopBuilder.cpp - Canonical counted-loop construction --------------===//
+
+#include "ir/LoopBuilder.h"
+
+#include "support/Error.h"
+
+using namespace msem;
+
+LoopBuilder::LoopBuilder(IRBuilder &B, Value *Init, Value *Bound,
+                         int64_t Step, const std::string &Name)
+    : B(B), Init(Init), Bound(Bound), Step(Step) {
+  assert(Step != 0 && "loop step must be non-zero");
+  assert(Init->type() == Type::I64 && Bound->type() == Type::I64 &&
+         "loop bounds must be i64");
+  Function *F = B.insertBlock()->parent();
+  GuardBlock = B.insertBlock();
+  Preheader = F->createBlock(Name + ".preheader");
+  Body = F->createBlock(Name + ".body");
+  Exit = F->createBlock(Name + ".exit");
+  Join = F->createBlock(Name + ".join");
+
+  // Guard: enter the loop only if it runs at least once.
+  Value *Enter = Step > 0 ? B.icmp(CmpPred::LT, Init, Bound)
+                          : B.icmp(CmpPred::GT, Init, Bound);
+  B.br(Enter, Preheader, Join);
+
+  B.setInsertPoint(Preheader);
+  B.jmp(Body);
+
+  B.setInsertPoint(Body);
+  IndVar = B.phi(Type::I64);
+  IndVar->addPhiIncoming(Init, Preheader);
+  IvRecord.Phi = IndVar;
+  IvRecord.InitVal = Init;
+}
+
+Value *LoopBuilder::carried(Value *InitVal) {
+  assert(!Finished && "loop already finished");
+  BasicBlock *Saved = B.insertBlock();
+  B.setInsertPoint(Body);
+  Instruction *Phi = B.phi(InitVal->type());
+  Phi->addPhiIncoming(InitVal, Preheader);
+  B.setInsertPoint(Saved);
+  CarriedVals.push_back({Phi, InitVal, nullptr, nullptr});
+  return Phi;
+}
+
+void LoopBuilder::setNext(Value *Phi, Value *Next) {
+  for (Carried &C : CarriedVals) {
+    if (C.Phi == Phi) {
+      C.NextVal = Next;
+      return;
+    }
+  }
+  MSEM_UNREACHABLE("setNext on a value not declared as carried");
+}
+
+void LoopBuilder::finish() {
+  assert(!Finished && "loop already finished");
+  Finished = true;
+  BasicBlock *Latch = B.insertBlock();
+
+  Value *Next = B.add(IndVar, B.constInt(Step));
+  IvRecord.NextVal = Next;
+  Value *Again = Step > 0 ? B.icmp(CmpPred::LT, Next, Bound)
+                          : B.icmp(CmpPred::GT, Next, Bound);
+  B.br(Again, Body, Exit);
+
+  IndVar->addPhiIncoming(Next, Latch);
+  for (Carried &C : CarriedVals) {
+    assert(C.NextVal && "carried value missing its next-iteration value");
+    C.Phi->addPhiIncoming(C.NextVal, Latch);
+  }
+
+  B.setInsertPoint(Exit);
+  // LCSSA-style join phis: merge the init value (guard skipped the loop)
+  // with the final value (latch exit).
+  B.jmp(Join);
+  B.setInsertPoint(Join);
+  auto MakeJoinPhi = [&](Carried &C) {
+    Instruction *P = B.phi(C.Phi->type());
+    P->addPhiIncoming(C.InitVal, GuardBlock);
+    P->addPhiIncoming(C.NextVal, Exit);
+    C.JoinPhi = P;
+  };
+  MakeJoinPhi(IvRecord);
+  for (Carried &C : CarriedVals)
+    MakeJoinPhi(C);
+}
+
+Value *LoopBuilder::exitValue(Value *Phi) {
+  assert(Finished && "exitValue before finish");
+  if (Phi == IvRecord.Phi)
+    return IvRecord.JoinPhi;
+  for (Carried &C : CarriedVals)
+    if (C.Phi == Phi)
+      return C.JoinPhi;
+  MSEM_UNREACHABLE("exitValue of a value not declared as carried");
+}

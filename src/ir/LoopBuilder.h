@@ -1,0 +1,95 @@
+//===- ir/LoopBuilder.h - Canonical counted-loop construction ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the canonical guarded, bottom-test counted loop the optimizer's
+/// loop passes recognize:
+///
+///   guard:      if (init < bound) goto preheader else goto join
+///   preheader:  goto body
+///   body:       iv = phi [init, preheader], [iv.next, latch]
+///               <carried-value phis>
+///               ... caller-emitted body (may create inner blocks) ...
+///   latch:      iv.next = iv + step
+///               if (iv.next < bound) goto body else goto exit
+///   exit:       goto join
+///   join:       <phis merging guard-skip and loop-exit values>
+///
+/// The workloads use this for every loop, which keeps them unrollable,
+/// strength-reducible and prefetchable exactly when the corresponding flags
+/// are enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_LOOPBUILDER_H
+#define MSEM_IR_LOOPBUILDER_H
+
+#include "ir/IRBuilder.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// Incrementally builds one counted loop. Construction positions the
+/// IRBuilder inside the loop body; finish() positions it in the join block.
+class LoopBuilder {
+public:
+  /// Starts the loop. \p Init and \p Bound are i64 values valid at the
+  /// current insert point; \p Step must be a non-zero constant.
+  LoopBuilder(IRBuilder &B, Value *Init, Value *Bound, int64_t Step,
+              const std::string &Name);
+
+  /// The induction variable phi, valid inside the body.
+  Value *indVar() const { return IndVar; }
+
+  /// Declares a loop-carried value initialized to \p InitVal (valid at the
+  /// loop's entry); returns the phi to use inside the body. Every carried
+  /// value must receive its next-iteration value via setNext() before
+  /// finish().
+  Value *carried(Value *InitVal);
+
+  /// Sets the next-iteration value of a carried phi.
+  void setNext(Value *Phi, Value *Next);
+
+  /// The body's first block (where the phis live).
+  BasicBlock *bodyBlock() const { return Body; }
+
+  /// Closes the loop: the *current* insert block becomes the latch.
+  /// Afterwards the builder is positioned in the join block.
+  void finish();
+
+  /// After finish(): the value of a carried phi (or the induction
+  /// variable) at the join point, merging the guard-skip and loop-exit
+  /// paths.
+  Value *exitValue(Value *Phi);
+
+private:
+  IRBuilder &B;
+  Value *Init;
+  Value *Bound;
+  int64_t Step;
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Body = nullptr;
+  BasicBlock *Exit = nullptr;
+  BasicBlock *Join = nullptr;
+  BasicBlock *GuardBlock = nullptr;
+  Instruction *IndVar = nullptr;
+  bool Finished = false;
+
+  struct Carried {
+    Instruction *Phi;
+    Value *InitVal;
+    Value *NextVal = nullptr;
+    Value *JoinPhi = nullptr;
+  };
+  std::vector<Carried> CarriedVals;
+  Carried IvRecord{nullptr, nullptr, nullptr, nullptr};
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_LOOPBUILDER_H

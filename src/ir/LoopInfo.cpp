@@ -1,0 +1,223 @@
+//===- ir/LoopInfo.cpp - Natural loop detection ------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+
+using namespace msem;
+
+LoopAnalysis::LoopAnalysis(Function &F, const DominatorTree &DT) {
+  auto Preds = computePredecessors(F);
+
+  // Find back edges and collect the loop body per header.
+  // Multiple back edges to one header form a single natural loop.
+  std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> HeaderLatches;
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB.get()))
+        HeaderLatches[Succ].push_back(BB.get());
+
+  for (auto &[Header, Latches] : HeaderLatches) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+
+    // Body = header + all blocks that reach a latch without passing through
+    // the header (classic natural-loop body computation).
+    std::unordered_set<BasicBlock *> Body{Header};
+    std::vector<BasicBlock *> Work;
+    for (BasicBlock *Latch : Latches)
+      if (Body.insert(Latch).second)
+        Work.push_back(Latch);
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *Pred : Preds.at(BB))
+        if (Body.insert(Pred).second)
+          Work.push_back(Pred);
+    }
+    // Keep a deterministic function-order block list.
+    for (const auto &BB : F.blocks())
+      if (Body.count(BB.get()))
+        L->Blocks.push_back(BB.get());
+
+    // Preheader: unique out-of-loop predecessor of the header.
+    BasicBlock *Pre = nullptr;
+    bool Unique = true;
+    for (BasicBlock *Pred : Preds.at(Header)) {
+      if (Body.count(Pred))
+        continue;
+      if (Pre && Pre != Pred)
+        Unique = false;
+      Pre = Pred;
+    }
+    if (Unique && Pre && Pre->successors().size() == 1)
+      L->Preheader = Pre;
+
+    // Exit blocks.
+    std::unordered_set<BasicBlock *> Exits;
+    for (BasicBlock *BB : L->Blocks)
+      for (BasicBlock *Succ : BB->successors())
+        if (!Body.count(Succ) && Exits.insert(Succ).second)
+          L->ExitBlocks.push_back(Succ);
+
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B if B contains A's header and A != B.
+  for (auto &A : Loops) {
+    for (auto &B : Loops) {
+      if (A == B || !B->contains(A->Header))
+        continue;
+      // Choose the smallest enclosing loop as parent.
+      if (!A->ParentLoop || B->Blocks.size() < A->ParentLoop->Blocks.size())
+        A->ParentLoop = B.get();
+    }
+  }
+  for (auto &L : Loops) {
+    unsigned Depth = 1;
+    for (Loop *P = L->ParentLoop; P; P = P->ParentLoop)
+      ++Depth;
+    L->Depth = Depth;
+  }
+
+  // Innermost-loop map: the smallest loop containing each block.
+  for (auto &L : Loops) {
+    for (BasicBlock *BB : L->Blocks) {
+      auto It = InnermostLoop.find(BB);
+      if (It == InnermostLoop.end() ||
+          L->Blocks.size() < It->second->Blocks.size())
+        InnermostLoop[BB] = L.get();
+    }
+  }
+
+  // Deterministic order: sort outermost first, then by header block index.
+  std::sort(Loops.begin(), Loops.end(), [&](const auto &A, const auto &B) {
+    if (A->Depth != B->Depth)
+      return A->Depth < B->Depth;
+    return F.indexOfBlock(A->Header) < F.indexOfBlock(B->Header);
+  });
+}
+
+Loop *LoopAnalysis::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+bool LoopAnalysis::matchCountedLoop(const Loop &L, CountedLoop &Out) {
+  if (L.Latches.size() != 1)
+    return false;
+  BasicBlock *Latch = L.Latches.front();
+  Instruction *Term = Latch->terminator();
+  if (!Term || Term->opcode() != Opcode::Br)
+    return false;
+  // One side of the branch must re-enter the header.
+  if (Term->successor(0) != L.Header && Term->successor(1) != L.Header)
+    return false;
+
+  auto *Cond = dyn_cast<Instruction>(Term->operand(0));
+  if (!Cond || Cond->opcode() != Opcode::ICmp)
+    return false;
+
+  // Find an induction phi in the header: iv = phi [init, pre], [next, latch]
+  // where next = add iv, constant-step and the compare reads iv or next.
+  for (const auto &I : L.Header->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      continue;
+    if (I->numOperands() != 2)
+      continue;
+    Instruction *Phi = I.get();
+    // Identify the latch-incoming value.
+    Value *FromLatch = nullptr;
+    Value *FromPre = nullptr;
+    for (size_t Idx = 0; Idx < 2; ++Idx) {
+      if (Phi->phiBlocks()[Idx] == Latch)
+        FromLatch = Phi->operand(Idx);
+      else
+        FromPre = Phi->operand(Idx);
+    }
+    if (!FromLatch || !FromPre)
+      continue;
+    auto *Next = dyn_cast<Instruction>(FromLatch);
+    if (!Next || Next->opcode() != Opcode::Add)
+      continue;
+    // Step must be add(phi, const) in either operand order.
+    Value *Other = nullptr;
+    if (Next->operand(0) == Phi)
+      Other = Next->operand(1);
+    else if (Next->operand(1) == Phi)
+      Other = Next->operand(0);
+    if (!Other)
+      continue;
+    auto *StepC = dyn_cast<Constant>(Other);
+    if (!StepC || StepC->intValue() == 0)
+      continue;
+    // Compare must read the phi or the next value against a loop-invariant
+    // bound (we only require the other operand not be phi/next here; full
+    // invariance is the unroller's job to verify).
+    Value *CmpA = Cond->operand(0);
+    Value *CmpB = Cond->operand(1);
+    bool OnNext = (CmpA == Next || CmpB == Next);
+    bool OnPhi = (CmpA == Phi || CmpB == Phi);
+    if (!OnNext && !OnPhi)
+      continue;
+    Value *Bound = nullptr;
+    if (CmpA == Next || CmpA == Phi)
+      Bound = CmpB;
+    else
+      Bound = CmpA;
+
+    Out.IndVar = Phi;
+    Out.Step = Next;
+    Out.Init = FromPre;
+    Out.Bound = Bound;
+    Out.Cond = Cond;
+    Out.LatchBr = Term;
+    Out.StepValue = StepC->intValue();
+    Out.CondOnNext = OnNext;
+    return true;
+  }
+  return false;
+}
+
+BasicBlock *LoopAnalysis::ensurePreheader(Function &F, Loop &L) {
+  if (L.Preheader)
+    return L.Preheader;
+  auto Preds = computePredecessors(F);
+
+  BasicBlock *Pre = F.createBlock(L.Header->name() + ".preheader");
+  auto Jump = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+  Jump->setSuccessor(0, L.Header);
+  Pre->append(std::move(Jump));
+
+  // Redirect all out-of-loop entry edges to the new preheader and retarget
+  // the header phis' out-of-loop incomings.
+  for (BasicBlock *Pred : Preds.at(L.Header)) {
+    if (L.contains(Pred))
+      continue;
+    Instruction *Term = Pred->terminator();
+    for (unsigned S = 0; S < Term->numSuccessors(); ++S)
+      if (Term->successor(S) == L.Header)
+        Term->setSuccessor(S, Pre);
+  }
+  for (auto &I : L.Header->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    // Merge all out-of-loop incomings into one via the preheader. The
+    // builder-produced loops always have a single entry edge, so a simple
+    // retarget suffices; assert that assumption.
+    unsigned OutOfLoop = 0;
+    for (BasicBlock *&From : I->phiBlocks()) {
+      if (!L.contains(From)) {
+        From = Pre;
+        ++OutOfLoop;
+      }
+    }
+    assert(OutOfLoop <= 1 && "multi-entry loop needs phi merging");
+    (void)OutOfLoop;
+  }
+  L.Preheader = Pre;
+  return Pre;
+}

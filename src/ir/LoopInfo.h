@@ -1,0 +1,99 @@
+//===- ir/LoopInfo.h - Natural loop detection --------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop analysis: back edges (latch -> header where the header
+/// dominates the latch), loop bodies, nesting depth, preheaders and the
+/// canonical induction-variable/trip-count pattern used by the unroller and
+/// prefetcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_LOOPINFO_H
+#define MSEM_IR_LOOPINFO_H
+
+#include "ir/Dominators.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace msem {
+
+/// One natural loop.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  /// All blocks in the loop, header included.
+  std::vector<BasicBlock *> Blocks;
+  /// Latches: in-loop predecessors of the header.
+  std::vector<BasicBlock *> Latches;
+  /// Unique out-of-loop predecessor of the header, if any.
+  BasicBlock *Preheader = nullptr;
+  /// Blocks outside the loop targeted by edges leaving the loop.
+  std::vector<BasicBlock *> ExitBlocks;
+  unsigned Depth = 1;
+  Loop *ParentLoop = nullptr;
+
+  bool contains(const BasicBlock *BB) const {
+    for (const BasicBlock *B : Blocks)
+      if (B == BB)
+        return true;
+    return false;
+  }
+
+  /// Total instruction count over the loop body.
+  unsigned instructionCount() const {
+    unsigned N = 0;
+    for (const BasicBlock *BB : Blocks)
+      N += BB->size();
+    return N;
+  }
+};
+
+/// The canonical counted-loop shape recognized by unrolling/prefetching:
+///   header: iv = phi [Init, preheader], [Next, latch]
+///           ... body ...
+///   latch:  Next = iv + Step
+///           cond = icmp LT/LE/NE (Next|iv), Bound ; br cond, header, exit
+struct CountedLoop {
+  Instruction *IndVar = nullptr;  ///< The phi in the header.
+  Instruction *Step = nullptr;    ///< The add producing the next value.
+  Value *Init = nullptr;          ///< Initial value (from preheader edge).
+  Value *Bound = nullptr;         ///< Loop bound operand of the compare.
+  Instruction *Cond = nullptr;    ///< The compare controlling the latch.
+  Instruction *LatchBr = nullptr; ///< Conditional branch in the latch.
+  int64_t StepValue = 0;          ///< Constant step (non-zero when valid).
+  bool CondOnNext = false;        ///< Compare reads Step (vs the phi).
+};
+
+/// Loops of one function, innermost-last within each top-level nest.
+class LoopAnalysis {
+public:
+  /// Runs the analysis. \p DT must be built for the same (unmutated) F.
+  LoopAnalysis(Function &F, const DominatorTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Attempts to match \p L against the canonical counted-loop shape.
+  /// Returns true and fills \p Out on success. Requires a single latch.
+  static bool matchCountedLoop(const Loop &L, CountedLoop &Out);
+
+  /// Ensures \p L has a dedicated preheader, creating one if necessary
+  /// (splits the entry edges). Returns the preheader. May invalidate
+  /// dominator trees; callers recompute analyses afterwards.
+  static BasicBlock *ensurePreheader(Function &F, Loop &L);
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_LOOPINFO_H

@@ -1,0 +1,78 @@
+//===- ir/Module.h - IR modules ----------------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions, globals and the uniqued constant pool. It is the
+/// unit handed to the optimizer and the code generator. The function named
+/// "main" (taking no arguments, returning i64) is the program entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_MODULE_H
+#define MSEM_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// A whole program: functions, globals, constants.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  // Functions -------------------------------------------------------------
+  Function *createFunction(const std::string &FnName, Type ReturnType,
+                           std::vector<Type> ArgTypes,
+                           std::vector<std::string> ArgNames = {});
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  std::vector<std::unique_ptr<Function>> &functions() { return Functions; }
+  /// Looks up a function by name; null if absent.
+  Function *findFunction(const std::string &FnName) const;
+  /// The program entry point ("main"); asserts if absent.
+  Function *mainFunction() const;
+
+  // Globals ----------------------------------------------------------------
+  GlobalVariable *createGlobal(const std::string &GlobalName,
+                               uint64_t SizeBytes);
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+  GlobalVariable *findGlobal(const std::string &GlobalName) const;
+
+  // Constants ----------------------------------------------------------------
+  /// Uniqued integer constant.
+  Constant *constInt(int64_t V);
+  /// Uniqued floating constant (uniqued by bit pattern).
+  Constant *constFloat(double V);
+
+  /// Renumbers all functions for stable printing.
+  void renumber();
+
+  /// Total instruction count across all functions.
+  unsigned instructionCount() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<int64_t, std::unique_ptr<Constant>> IntConstants;
+  std::map<uint64_t, std::unique_ptr<Constant>> FloatConstants;
+};
+
+} // namespace msem
+
+#endif // MSEM_IR_MODULE_H

@@ -1,0 +1,90 @@
+//===- ir/Type.h - IR value and memory access types -------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny type system of the MSEM IR: 64-bit integers, 64-bit floats,
+/// byte-addressed pointers and void. Memory accesses additionally carry an
+/// access width so that workloads can build realistically sized data
+/// structures (byte buffers, 32-bit arrays) that exercise the caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_TYPE_H
+#define MSEM_IR_TYPE_H
+
+#include <cstdint>
+
+namespace msem {
+
+/// Value types of the IR.
+enum class Type : uint8_t {
+  Void, ///< No value (stores, branches, returns).
+  I64,  ///< 64-bit signed integer.
+  F64,  ///< IEEE double.
+  Ptr,  ///< Byte-addressed pointer (64-bit).
+};
+
+/// Width/interpretation of a memory access.
+enum class MemKind : uint8_t {
+  Int8,    ///< 1 byte, zero-extended on load.
+  Int32,   ///< 4 bytes, sign-extended on load.
+  Int64,   ///< 8 bytes.
+  Float64, ///< 8-byte IEEE double.
+};
+
+/// Size in bytes of one element accessed with \p MK.
+inline unsigned memKindSize(MemKind MK) {
+  switch (MK) {
+  case MemKind::Int8:
+    return 1;
+  case MemKind::Int32:
+    return 4;
+  case MemKind::Int64:
+    return 8;
+  case MemKind::Float64:
+    return 8;
+  }
+  return 8;
+}
+
+/// Value type produced by loading with \p MK.
+inline Type memKindValueType(MemKind MK) {
+  return MK == MemKind::Float64 ? Type::F64 : Type::I64;
+}
+
+/// Printable name of a type.
+inline const char *typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  case Type::Ptr:
+    return "ptr";
+  }
+  return "?";
+}
+
+/// Printable name of a memory access kind.
+inline const char *memKindName(MemKind MK) {
+  switch (MK) {
+  case MemKind::Int8:
+    return "i8";
+  case MemKind::Int32:
+    return "i32";
+  case MemKind::Int64:
+    return "i64";
+  case MemKind::Float64:
+    return "f64";
+  }
+  return "?";
+}
+
+} // namespace msem
+
+#endif // MSEM_IR_TYPE_H

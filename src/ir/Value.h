@@ -1,0 +1,160 @@
+//===- ir/Value.h - IR value hierarchy ---------------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the base of everything an instruction can reference: constants,
+/// function arguments, globals and instruction results. A lightweight Kind
+/// tag provides LLVM-style isa/cast dispatch without RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_VALUE_H
+#define MSEM_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+class Function;
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind : uint8_t {
+  Constant,
+  Argument,
+  Global,
+  Instruction,
+};
+
+/// Base class of all IR values.
+class Value {
+public:
+  Value(ValueKind K, Type Ty) : Kind(K), Ty(Ty) {}
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+  Type type() const { return Ty; }
+
+  /// Sequential id for printing; assigned by the owning container.
+  uint32_t id() const { return Id; }
+  void setId(uint32_t NewId) { Id = NewId; }
+
+protected:
+  void setType(Type NewTy) { Ty = NewTy; }
+
+private:
+  ValueKind Kind;
+  Type Ty;
+  uint32_t Id = 0;
+};
+
+/// An immutable constant (int or double, by type).
+class Constant : public Value {
+public:
+  static Constant makeInt(int64_t V) { return Constant(Type::I64, V, 0.0); }
+  static Constant makeFloat(double V) { return Constant(Type::F64, 0, V); }
+
+  Constant(Type Ty, int64_t IntV, double FpV)
+      : Value(ValueKind::Constant, Ty), IntVal(IntV), FpVal(FpV) {
+    assert((Ty == Type::I64 || Ty == Type::F64) && "bad constant type");
+  }
+
+  int64_t intValue() const {
+    assert(type() == Type::I64 && "not an integer constant");
+    return IntVal;
+  }
+  double floatValue() const {
+    assert(type() == Type::F64 && "not a float constant");
+    return FpVal;
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Constant;
+  }
+
+private:
+  int64_t IntVal;
+  double FpVal;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned Index, std::string Name)
+      : Value(ValueKind::Argument, Ty), Index(Index), Name(std::move(Name)) {}
+
+  unsigned index() const { return Index; }
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+  std::string Name;
+};
+
+/// A module-level byte array. Its Value is the base address (Ptr).
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, uint64_t SizeBytes)
+      : Value(ValueKind::Global, Type::Ptr), Name(std::move(Name)),
+        SizeBytes(SizeBytes) {}
+
+  const std::string &name() const { return Name; }
+  uint64_t sizeInBytes() const { return SizeBytes; }
+
+  /// Optional initial bytes (zero-filled beyond the initializer).
+  const std::vector<uint8_t> &initializer() const { return Init; }
+  void setInitializer(std::vector<uint8_t> Bytes) {
+    assert(Bytes.size() <= SizeBytes && "initializer larger than global");
+    Init = std::move(Bytes);
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Global;
+  }
+
+private:
+  std::string Name;
+  uint64_t SizeBytes;
+  std::vector<uint8_t> Init;
+};
+
+/// LLVM-style isa<> without RTTI, driven by ValueKind.
+template <typename To> bool isa(const Value *V) {
+  assert(V && "isa on null value");
+  return To::classof(V);
+}
+
+template <typename To> To *cast(Value *V) {
+  assert(isa<To>(V) && "invalid cast");
+  return static_cast<To *>(V);
+}
+
+template <typename To> const To *cast(const Value *V) {
+  assert(isa<To>(V) && "invalid cast");
+  return static_cast<const To *>(V);
+}
+
+template <typename To> To *dyn_cast(Value *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To> const To *dyn_cast(const Value *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace msem
+
+#endif // MSEM_IR_VALUE_H

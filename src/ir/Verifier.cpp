@@ -1,0 +1,258 @@
+//===- ir/Verifier.cpp - IR structural validation ----------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/IRPrinter.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <unordered_set>
+
+using namespace msem;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function &F) : F(F), DT(F) {}
+
+  std::vector<std::string> run() {
+    if (F.blocks().empty()) {
+      fail("function has no blocks");
+      return Errors;
+    }
+    collectDefinedValues();
+    auto Preds = computePredecessors(F);
+
+    for (const auto &BB : F.blocks()) {
+      checkTerminator(*BB);
+      bool SeenNonPhi = false;
+      for (const auto &I : BB->instructions()) {
+        if (I->opcode() == Opcode::Phi) {
+          if (SeenNonPhi)
+            fail("phi after non-phi in block " + BB->name());
+          checkPhi(*I, Preds.at(BB.get()));
+        } else {
+          SeenNonPhi = true;
+        }
+        checkInstruction(*I);
+      }
+    }
+    checkDominance();
+    return Errors;
+  }
+
+private:
+  void fail(const std::string &Message) {
+    Errors.push_back("in @" + F.name() + ": " + Message);
+  }
+
+  void collectDefinedValues() {
+    for (unsigned I = 0; I < F.numArgs(); ++I)
+      Defined.insert(F.arg(I));
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        Defined.insert(I.get());
+  }
+
+  void checkTerminator(const BasicBlock &BB) {
+    if (BB.empty()) {
+      fail("empty block " + BB.name());
+      return;
+    }
+    unsigned Terminators = 0;
+    for (const auto &I : BB.instructions())
+      if (I->isTerminator())
+        ++Terminators;
+    if (Terminators != 1 || !BB.instructions().back()->isTerminator())
+      fail("block " + BB.name() +
+           " must end in exactly one terminator (found " +
+           std::to_string(Terminators) + ")");
+  }
+
+  void checkPhi(const Instruction &Phi,
+                const std::vector<BasicBlock *> &Preds) {
+    if (Phi.numOperands() != Phi.phiBlocks().size()) {
+      fail("phi operand/block count mismatch");
+      return;
+    }
+    if (Phi.numOperands() != Preds.size()) {
+      fail(formatString("phi in %s has %u incomings but %zu predecessors",
+                        Phi.parent()->name().c_str(), Phi.numOperands(),
+                        Preds.size()));
+      return;
+    }
+    std::unordered_set<const BasicBlock *> Seen;
+    for (const BasicBlock *From : Phi.phiBlocks()) {
+      if (!Seen.insert(From).second)
+        fail("phi has duplicate incoming block " + From->name());
+      bool IsPred = false;
+      for (const BasicBlock *P : Preds)
+        if (P == From)
+          IsPred = true;
+      if (!IsPred)
+        fail("phi incoming block " + From->name() + " is not a predecessor");
+    }
+    for (const Value *V : Phi.operands())
+      if (V->type() != Phi.type())
+        fail("phi incoming value type mismatch");
+  }
+
+  void checkOperandTypes(const Instruction &I) {
+    auto Expect = [&](unsigned Idx, Type Ty) {
+      if (Idx >= I.numOperands()) {
+        fail(formatString("%s missing operand %u", opcodeName(I.opcode()),
+                          Idx));
+        return;
+      }
+      if (I.operand(Idx)->type() != Ty)
+        fail(formatString("%s operand %u has type %s, expected %s",
+                          opcodeName(I.opcode()), Idx,
+                          typeName(I.operand(Idx)->type()), typeName(Ty)));
+    };
+
+    if (I.isBinaryIntOp() || I.opcode() == Opcode::ICmp) {
+      Expect(0, Type::I64);
+      Expect(1, Type::I64);
+      return;
+    }
+    if (I.isBinaryFpOp() || I.opcode() == Opcode::FCmp) {
+      Expect(0, Type::F64);
+      Expect(1, Type::F64);
+      return;
+    }
+    switch (I.opcode()) {
+    case Opcode::SIToFP:
+      Expect(0, Type::I64);
+      break;
+    case Opcode::FPToSI:
+      Expect(0, Type::F64);
+      break;
+    case Opcode::PtrAdd:
+      Expect(0, Type::Ptr);
+      Expect(1, Type::I64);
+      break;
+    case Opcode::Load:
+      Expect(0, Type::Ptr);
+      if (I.type() != memKindValueType(I.memKind()))
+        fail("load result type disagrees with access kind");
+      break;
+    case Opcode::Store:
+      Expect(0, memKindValueType(I.memKind()));
+      Expect(1, Type::Ptr);
+      break;
+    case Opcode::Prefetch:
+      Expect(0, Type::Ptr);
+      break;
+    case Opcode::Br:
+      Expect(0, Type::I64);
+      break;
+    case Opcode::Select:
+      Expect(0, Type::I64);
+      if (I.numOperands() == 3 &&
+          (I.operand(1)->type() != I.type() ||
+           I.operand(2)->type() != I.type()))
+        fail("select arm types disagree with result");
+      break;
+    case Opcode::Ret:
+      if (F.returnType() == Type::Void) {
+        if (I.numOperands() != 0)
+          fail("void function returns a value");
+      } else if (I.numOperands() != 1 ||
+                 I.operand(0)->type() != F.returnType()) {
+        fail("return value type disagrees with function signature");
+      }
+      break;
+    case Opcode::Call: {
+      const Function *Callee = I.callee();
+      if (!Callee) {
+        fail("call without callee");
+        break;
+      }
+      if (I.numOperands() != Callee->numArgs()) {
+        fail("call argument count mismatch for @" + Callee->name());
+        break;
+      }
+      for (unsigned A = 0; A < I.numOperands(); ++A)
+        if (I.operand(A)->type() != Callee->arg(A)->type())
+          fail("call argument type mismatch for @" + Callee->name());
+      if (I.type() != Callee->returnType())
+        fail("call result type disagrees with callee return type");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void checkInstruction(const Instruction &I) {
+    for (const Value *Op : I.operands()) {
+      if (const auto *OpI = dyn_cast<Instruction>(Op)) {
+        if (!Defined.count(OpI))
+          fail("use of instruction from another function");
+      } else if (const auto *OpA = dyn_cast<Argument>(Op)) {
+        if (!Defined.count(OpA))
+          fail("use of argument from another function");
+      }
+    }
+    if (I.numSuccessors() > 0)
+      for (unsigned S = 0; S < I.numSuccessors(); ++S)
+        if (!I.successor(S) || I.successor(S)->parent() != &F)
+          fail("terminator targets a foreign or null block");
+    checkOperandTypes(I);
+  }
+
+  void checkDominance() {
+    for (const auto &BB : F.blocks()) {
+      if (!DT.isReachableBlock(BB.get()))
+        continue;
+      for (const auto &I : BB->instructions()) {
+        for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+          const auto *Def = dyn_cast<Instruction>(I->operand(OpIdx));
+          if (!Def || !Defined.count(Def))
+            continue;
+          if (!DT.isReachableBlock(Def->parent()))
+            continue;
+          if (!DT.valueDominatesUse(Def, I.get(), OpIdx))
+            fail(formatString("definition %%%u does not dominate its use in "
+                              "block %s",
+                              Def->id(), BB->name().c_str()));
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  DominatorTree DT;
+  std::unordered_set<const Value *> Defined;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> msem::verifyFunction(const Function &F) {
+  // Ids must be fresh for readable messages.
+  const_cast<Function &>(F).renumber();
+  return FunctionVerifier(F).run();
+}
+
+std::vector<std::string> msem::verifyModule(const Module &M) {
+  std::vector<std::string> Errors;
+  for (const auto &F : M.functions()) {
+    auto FnErrors = verifyFunction(*F);
+    Errors.insert(Errors.end(), FnErrors.begin(), FnErrors.end());
+  }
+  return Errors;
+}
+
+void msem::assertValid(const Module &M) {
+  auto Errors = verifyModule(M);
+  if (Errors.empty())
+    return;
+  std::string All;
+  for (const auto &E : Errors)
+    All += E + "\n";
+  fatalError("module verification failed:\n" + All);
+}

@@ -1,0 +1,35 @@
+//===- ir/Verifier.h - IR structural validation ------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates modules after construction and after every optimization pass:
+/// terminator discipline, operand typing, phi/predecessor agreement and SSA
+/// dominance. Tests run the verifier around every pass application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_IR_VERIFIER_H
+#define MSEM_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Verifies \p M; returns all violations found (empty = valid).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Verifies one function.
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Convenience: asserts that \p M verifies, printing violations on failure.
+void assertValid(const Module &M);
+
+} // namespace msem
+
+#endif // MSEM_IR_VERIFIER_H

@@ -1,0 +1,365 @@
+//===- isa/Executor.h - Functional execution of machine programs --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural (functional) execution of linked machine programs. The run
+/// loop is templated over a sink that observes every retired instruction
+/// (program counter, memory address, branch outcome); the cycle-level
+/// timing model and the SMARTS sampler are such sinks. Execution with the
+/// null sink defines the ISA's architectural semantics and is compared
+/// against the IR interpreter in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_ISA_EXECUTOR_H
+#define MSEM_ISA_EXECUTOR_H
+
+#include "ir/Interpreter.h" // EmitRecord
+#include "isa/MachineProgram.h"
+#include "support/Format.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Everything a timing model needs to know about one retired instruction.
+struct RetiredInstr {
+  uint64_t CodeIndex = 0;     ///< Index of this instruction in Code.
+  const MachineInstr *MI = nullptr;
+  uint64_t MemAddr = 0;       ///< Effective address (memory ops only).
+  bool BranchTaken = false;   ///< For branches: did control transfer.
+  uint64_t NextCodeIndex = 0; ///< Architecturally next instruction.
+};
+
+/// Outcome of a functional run.
+struct ExecResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  int64_t ReturnValue = 0;
+  uint64_t InstructionsExecuted = 0;
+  std::vector<EmitRecord> Output;
+};
+
+/// The architectural state and run loop.
+class Executor {
+public:
+  /// \p MaxInstructions bounds runaway programs.
+  explicit Executor(const MachineProgram &Prog,
+                    uint64_t MaxInstructions = 4'000'000'000ull)
+      : Prog(Prog), MaxInstructions(MaxInstructions) {
+    reset();
+  }
+
+  /// Re-initializes registers and memory to the program's initial image.
+  void reset() {
+    Memory.assign(Prog.MemoryBytes, 0);
+    for (const LinkedGlobal &G : Prog.Globals)
+      if (!G.Init.empty())
+        std::memcpy(Memory.data() + G.Base, G.Init.data(), G.Init.size());
+    std::memset(X, 0, sizeof(X));
+    std::memset(F, 0, sizeof(F));
+    X[reg::SP] = static_cast<int64_t>(Prog.MemoryBytes);
+    Pc = 0; // Startup stub: JAL main; HALT.
+    Result = ExecResult();
+    Halted = false;
+  }
+
+  bool halted() const { return Halted || Result.Trapped; }
+  const ExecResult &result() const { return Result; }
+
+  /// Runs up to \p Budget instructions (default: to completion), invoking
+  /// \p Sink(const RetiredInstr&) after each retired instruction.
+  /// Returns the number of instructions retired in this call.
+  template <typename SinkT>
+  uint64_t run(SinkT &&Sink, uint64_t Budget = UINT64_MAX) {
+    uint64_t Retired = 0;
+    while (!halted() && Retired < Budget) {
+      if (Result.InstructionsExecuted >= MaxInstructions) {
+        trap("instruction budget exhausted");
+        break;
+      }
+      if (Pc >= Prog.Code.size()) {
+        trap(formatString("pc out of range: %llu",
+                          (unsigned long long)Pc));
+        break;
+      }
+      const MachineInstr &MI = Prog.Code[Pc];
+      RetiredInstr RI;
+      RI.CodeIndex = Pc;
+      RI.MI = &MI;
+      uint64_t NextPc = Pc + 1;
+
+      switch (MI.Op) {
+      case MOp::LI:
+        X[MI.Rd] = MI.Imm;
+        break;
+      case MOp::FLI:
+        F[MI.Rd - reg::FpBase] = MI.FpImm;
+        break;
+      case MOp::MOV:
+        X[MI.Rd] = X[MI.Rs1];
+        break;
+      case MOp::FMOV:
+        F[MI.Rd - reg::FpBase] = F[MI.Rs1 - reg::FpBase];
+        break;
+      case MOp::ADD:
+        X[MI.Rd] = X[MI.Rs1] + X[MI.Rs2];
+        break;
+      case MOp::SUB:
+        X[MI.Rd] = X[MI.Rs1] - X[MI.Rs2];
+        break;
+      case MOp::MUL:
+        X[MI.Rd] = X[MI.Rs1] * X[MI.Rs2];
+        break;
+      case MOp::DIV:
+        if (X[MI.Rs2] == 0) {
+          trap("integer division by zero");
+          break;
+        }
+        X[MI.Rd] = X[MI.Rs1] / X[MI.Rs2];
+        break;
+      case MOp::REM:
+        if (X[MI.Rs2] == 0) {
+          trap("integer remainder by zero");
+          break;
+        }
+        X[MI.Rd] = X[MI.Rs1] % X[MI.Rs2];
+        break;
+      case MOp::AND:
+        X[MI.Rd] = X[MI.Rs1] & X[MI.Rs2];
+        break;
+      case MOp::OR:
+        X[MI.Rd] = X[MI.Rs1] | X[MI.Rs2];
+        break;
+      case MOp::XOR:
+        X[MI.Rd] = X[MI.Rs1] ^ X[MI.Rs2];
+        break;
+      case MOp::SHL:
+        X[MI.Rd] = X[MI.Rs1] << (X[MI.Rs2] & 63);
+        break;
+      case MOp::SHR:
+        X[MI.Rd] = X[MI.Rs1] >> (X[MI.Rs2] & 63);
+        break;
+      case MOp::CMP:
+        X[MI.Rd] = compareInt(MI.Pred, X[MI.Rs1], X[MI.Rs2]);
+        break;
+      case MOp::ADDI:
+        X[MI.Rd] = X[MI.Rs1] + MI.Imm;
+        break;
+      case MOp::CMOV:
+        if (X[MI.Rs1] != 0)
+          X[MI.Rd] = X[MI.Rs2];
+        break;
+      case MOp::FCMOV:
+        if (X[MI.Rs1] != 0)
+          F[MI.Rd - reg::FpBase] = F[MI.Rs2 - reg::FpBase];
+        break;
+      case MOp::FADD:
+        F[MI.Rd - reg::FpBase] =
+            F[MI.Rs1 - reg::FpBase] + F[MI.Rs2 - reg::FpBase];
+        break;
+      case MOp::FSUB:
+        F[MI.Rd - reg::FpBase] =
+            F[MI.Rs1 - reg::FpBase] - F[MI.Rs2 - reg::FpBase];
+        break;
+      case MOp::FMUL:
+        F[MI.Rd - reg::FpBase] =
+            F[MI.Rs1 - reg::FpBase] * F[MI.Rs2 - reg::FpBase];
+        break;
+      case MOp::FDIV:
+        F[MI.Rd - reg::FpBase] =
+            F[MI.Rs1 - reg::FpBase] / F[MI.Rs2 - reg::FpBase];
+        break;
+      case MOp::FCMP:
+        X[MI.Rd] = compareFloat(MI.Pred, F[MI.Rs1 - reg::FpBase],
+                                F[MI.Rs2 - reg::FpBase]);
+        break;
+      case MOp::CVTIF:
+        F[MI.Rd - reg::FpBase] = static_cast<double>(X[MI.Rs1]);
+        break;
+      case MOp::CVTFI:
+        X[MI.Rd] = static_cast<int64_t>(F[MI.Rs1 - reg::FpBase]);
+        break;
+      case MOp::LD8:
+      case MOp::LD32:
+      case MOp::LD64:
+      case MOp::LDF:
+      case MOp::ST8:
+      case MOp::ST32:
+      case MOp::ST64:
+      case MOp::STF:
+      case MOp::PREF: {
+        uint64_t Ea = static_cast<uint64_t>(X[MI.Rs1] + MI.Imm);
+        RI.MemAddr = Ea;
+        if (MI.Op == MOp::PREF)
+          break; // Non-binding; never faults.
+        if (Ea < Prog.DataBase || Ea + MI.accessSize() > Memory.size()) {
+          trap(formatString("memory access out of bounds at pc %llu: "
+                            "addr=%llu",
+                            (unsigned long long)Pc, (unsigned long long)Ea));
+          break;
+        }
+        switch (MI.Op) {
+        case MOp::LD8:
+          X[MI.Rd] = Memory[Ea];
+          break;
+        case MOp::LD32: {
+          int32_t V;
+          std::memcpy(&V, Memory.data() + Ea, 4);
+          X[MI.Rd] = V;
+          break;
+        }
+        case MOp::LD64:
+          std::memcpy(&X[MI.Rd], Memory.data() + Ea, 8);
+          break;
+        case MOp::LDF:
+          std::memcpy(&F[MI.Rd - reg::FpBase], Memory.data() + Ea, 8);
+          break;
+        case MOp::ST8:
+          Memory[Ea] = static_cast<uint8_t>(X[MI.Rs2]);
+          break;
+        case MOp::ST32: {
+          int32_t V = static_cast<int32_t>(X[MI.Rs2]);
+          std::memcpy(Memory.data() + Ea, &V, 4);
+          break;
+        }
+        case MOp::ST64:
+          std::memcpy(Memory.data() + Ea, &X[MI.Rs2], 8);
+          break;
+        case MOp::STF:
+          std::memcpy(Memory.data() + Ea, &F[MI.Rs2 - reg::FpBase], 8);
+          break;
+        default:
+          break;
+        }
+        break;
+      }
+      case MOp::BEQZ:
+        if (X[MI.Rs1] == 0) {
+          NextPc = static_cast<uint64_t>(MI.Target);
+          RI.BranchTaken = true;
+        }
+        break;
+      case MOp::BNEZ:
+        if (X[MI.Rs1] != 0) {
+          NextPc = static_cast<uint64_t>(MI.Target);
+          RI.BranchTaken = true;
+        }
+        break;
+      case MOp::J:
+        NextPc = static_cast<uint64_t>(MI.Target);
+        RI.BranchTaken = true;
+        break;
+      case MOp::JAL:
+        X[reg::RA] = static_cast<int64_t>(Pc + 1);
+        NextPc = static_cast<uint64_t>(MI.Target);
+        RI.BranchTaken = true;
+        break;
+      case MOp::JR:
+        NextPc = static_cast<uint64_t>(X[MI.Rs1]);
+        RI.BranchTaken = true;
+        break;
+      case MOp::EMIT: {
+        EmitRecord Rec;
+        Rec.IntVal = X[MI.Rs1];
+        Result.Output.push_back(Rec);
+        break;
+      }
+      case MOp::EMITF: {
+        EmitRecord Rec;
+        Rec.IsFloat = true;
+        Rec.FpVal = F[MI.Rs1 - reg::FpBase];
+        Result.Output.push_back(Rec);
+        break;
+      }
+      case MOp::HALT:
+        Halted = true;
+        Result.ReturnValue = X[1]; // Return value convention: x1.
+        break;
+      }
+
+      if (Result.Trapped)
+        break;
+      ++Result.InstructionsExecuted;
+      ++Retired;
+      RI.NextCodeIndex = NextPc;
+      Sink(static_cast<const RetiredInstr &>(RI));
+      if (Halted)
+        break;
+      Pc = NextPc;
+    }
+    return Retired;
+  }
+
+  /// Runs with no observer.
+  ExecResult runToCompletion() {
+    run([](const RetiredInstr &) {});
+    return Result;
+  }
+
+  /// Direct access for tests.
+  int64_t intReg(unsigned R) const { return X[R]; }
+  double fpReg(unsigned R) const { return F[R]; }
+  uint64_t pc() const { return Pc; }
+
+private:
+  void trap(const std::string &Message) {
+    if (Result.Trapped)
+      return;
+    Result.Trapped = true;
+    Result.TrapMessage = Message;
+  }
+
+  static int64_t compareInt(CmpPred P, int64_t A, int64_t B) {
+    switch (P) {
+    case CmpPred::EQ:
+      return A == B;
+    case CmpPred::NE:
+      return A != B;
+    case CmpPred::LT:
+      return A < B;
+    case CmpPred::LE:
+      return A <= B;
+    case CmpPred::GT:
+      return A > B;
+    case CmpPred::GE:
+      return A >= B;
+    }
+    return 0;
+  }
+  static int64_t compareFloat(CmpPred P, double A, double B) {
+    switch (P) {
+    case CmpPred::EQ:
+      return A == B;
+    case CmpPred::NE:
+      return A != B;
+    case CmpPred::LT:
+      return A < B;
+    case CmpPred::LE:
+      return A <= B;
+    case CmpPred::GT:
+      return A > B;
+    case CmpPred::GE:
+      return A >= B;
+    }
+    return 0;
+  }
+
+  const MachineProgram &Prog;
+  uint64_t MaxInstructions;
+  std::vector<uint8_t> Memory;
+  int64_t X[32];
+  double F[32];
+  uint64_t Pc = 0;
+  bool Halted = false;
+  ExecResult Result;
+};
+
+} // namespace msem
+
+#endif // MSEM_ISA_EXECUTOR_H

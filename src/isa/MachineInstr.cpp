@@ -1,0 +1,184 @@
+//===- isa/MachineInstr.cpp - Synthetic RISC instruction set -----------------===//
+
+#include "isa/MachineInstr.h"
+#include "isa/MachineProgram.h"
+
+#include "support/Format.h"
+
+using namespace msem;
+
+const char *msem::machineOpName(MOp Op) {
+  switch (Op) {
+  case MOp::LI:
+    return "li";
+  case MOp::FLI:
+    return "fli";
+  case MOp::MOV:
+    return "mov";
+  case MOp::FMOV:
+    return "fmov";
+  case MOp::ADD:
+    return "add";
+  case MOp::SUB:
+    return "sub";
+  case MOp::MUL:
+    return "mul";
+  case MOp::DIV:
+    return "div";
+  case MOp::REM:
+    return "rem";
+  case MOp::AND:
+    return "and";
+  case MOp::OR:
+    return "or";
+  case MOp::XOR:
+    return "xor";
+  case MOp::SHL:
+    return "shl";
+  case MOp::SHR:
+    return "shr";
+  case MOp::CMP:
+    return "cmp";
+  case MOp::ADDI:
+    return "addi";
+  case MOp::CMOV:
+    return "cmov";
+  case MOp::FCMOV:
+    return "fcmov";
+  case MOp::FADD:
+    return "fadd";
+  case MOp::FSUB:
+    return "fsub";
+  case MOp::FMUL:
+    return "fmul";
+  case MOp::FDIV:
+    return "fdiv";
+  case MOp::FCMP:
+    return "fcmp";
+  case MOp::CVTIF:
+    return "cvtif";
+  case MOp::CVTFI:
+    return "cvtfi";
+  case MOp::LD8:
+    return "ld8";
+  case MOp::LD32:
+    return "ld32";
+  case MOp::LD64:
+    return "ld64";
+  case MOp::LDF:
+    return "ldf";
+  case MOp::ST8:
+    return "st8";
+  case MOp::ST32:
+    return "st32";
+  case MOp::ST64:
+    return "st64";
+  case MOp::STF:
+    return "stf";
+  case MOp::PREF:
+    return "pref";
+  case MOp::BEQZ:
+    return "beqz";
+  case MOp::BNEZ:
+    return "bnez";
+  case MOp::J:
+    return "j";
+  case MOp::JAL:
+    return "jal";
+  case MOp::JR:
+    return "jr";
+  case MOp::EMIT:
+    return "emit";
+  case MOp::EMITF:
+    return "emitf";
+  case MOp::HALT:
+    return "halt";
+  }
+  return "?";
+}
+
+static std::string regName(int32_t R) {
+  if (R < 0)
+    return "-";
+  if (R >= reg::FirstVirtual)
+    return formatString("v%d", R - reg::FirstVirtual);
+  if (R >= reg::FpBase)
+    return formatString("f%d", R - reg::FpBase);
+  return formatString("x%d", R);
+}
+
+std::string msem::printMachineInstr(const MachineInstr &MI) {
+  std::string S = machineOpName(MI.Op);
+  if (MI.Op == MOp::CMP || MI.Op == MOp::FCMP)
+    S += std::string(".") + cmpPredName(MI.Pred);
+  S += " ";
+  switch (MI.Op) {
+  case MOp::LI:
+    S += regName(MI.Rd) + ", " +
+         formatString("%lld", static_cast<long long>(MI.Imm));
+    break;
+  case MOp::FLI:
+    S += regName(MI.Rd) + ", " + formatString("%g", MI.FpImm);
+    break;
+  case MOp::ADDI:
+    S += regName(MI.Rd) + ", " + regName(MI.Rs1) + ", " +
+         formatString("%lld", static_cast<long long>(MI.Imm));
+    break;
+  case MOp::LD8:
+  case MOp::LD32:
+  case MOp::LD64:
+  case MOp::LDF:
+    S += regName(MI.Rd) + ", [" + regName(MI.Rs1) +
+         formatString("%+lld]", static_cast<long long>(MI.Imm));
+    break;
+  case MOp::ST8:
+  case MOp::ST32:
+  case MOp::ST64:
+  case MOp::STF:
+    S += regName(MI.Rs2) + ", [" + regName(MI.Rs1) +
+         formatString("%+lld]", static_cast<long long>(MI.Imm));
+    break;
+  case MOp::PREF:
+    S += "[" + regName(MI.Rs1) +
+         formatString("%+lld]", static_cast<long long>(MI.Imm));
+    break;
+  case MOp::BEQZ:
+  case MOp::BNEZ:
+    S += regName(MI.Rs1) + ", " +
+         formatString("@%lld", static_cast<long long>(MI.Target));
+    break;
+  case MOp::J:
+  case MOp::JAL:
+    S += formatString("@%lld", static_cast<long long>(MI.Target));
+    break;
+  case MOp::JR:
+  case MOp::EMIT:
+  case MOp::EMITF:
+    S += regName(MI.Rs1);
+    break;
+  case MOp::HALT:
+    break;
+  default:
+    // Three-register forms.
+    S += regName(MI.Rd) + ", " + regName(MI.Rs1);
+    if (MI.Rs2 >= 0)
+      S += ", " + regName(MI.Rs2);
+    break;
+  }
+  return S;
+}
+
+std::string MachineProgram::disassemble() const {
+  std::string Out;
+  size_t NextFn = 0;
+  for (size_t Idx = 0; Idx < Code.size(); ++Idx) {
+    while (NextFn < Functions.size() &&
+           Functions[NextFn].EntryIndex == Idx) {
+      Out += "\n" + Functions[NextFn].Name + ":\n";
+      ++NextFn;
+    }
+    Out += formatString("%6zu:  %s\n", Idx,
+                        printMachineInstr(Code[Idx]).c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,278 @@
+//===- isa/MachineInstr.h - Synthetic RISC instruction set -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target ISA: a load/store RISC with 32 integer and 32 floating
+/// registers, in the spirit of the Alpha backend the paper compiled for.
+/// Instructions are 4 "bytes" of instruction-address space each (so the
+/// instruction cache sees realistic code footprints).
+///
+/// Register convention:
+///   x0..x25  allocatable (x0..x14 caller-saved, x15..x25 callee-saved),
+///   x26..x28 spill scratch
+///   x29 = ra (link), x30 = fp (frame pointer; allocatable under
+///   -fomit-frame-pointer), x31 = sp
+///   f0..f29  allocatable (f1..f8 arguments), f30/f31 spill scratch
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_ISA_MACHINEINSTR_H
+#define MSEM_ISA_MACHINEINSTR_H
+
+#include "ir/Type.h" // For MemKind and CmpPred reuse.
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <string>
+
+namespace msem {
+
+/// Machine opcodes.
+enum class MOp : uint8_t {
+  // Immediates and moves.
+  LI,   ///< rd = imm
+  FLI,  ///< fd = fimm
+  MOV,  ///< rd = rs1
+  FMOV, ///< fd = fs1
+  // Integer ALU, register-register.
+  ADD,
+  SUB,
+  MUL,
+  DIV,
+  REM,
+  AND,
+  OR,
+  XOR,
+  SHL,
+  SHR,
+  CMP, ///< rd = (rs1 <pred> rs2) ? 1 : 0
+  // Integer ALU, immediate.
+  ADDI, ///< rd = rs1 + imm
+  // Conditional moves (if-converted selects).
+  CMOV,  ///< if (rs1 != 0) rd = rs2 (rd is also a source)
+  FCMOV, ///< if (rs1 != 0) fd = fs2 (fd is also a source)
+  // Floating point.
+  FADD,
+  FSUB,
+  FMUL,
+  FDIV,
+  FCMP,  ///< rd = (fs1 <pred> fs2) ? 1 : 0
+  CVTIF, ///< fd = (double)rs1
+  CVTFI, ///< rd = (int64)fs1
+  // Memory. Effective address is rs1 + imm.
+  LD8,  ///< rd = zext(mem8[ea])
+  LD32, ///< rd = sext(mem32[ea])
+  LD64, ///< rd = mem64[ea]
+  LDF,  ///< fd = memf64[ea]
+  ST8,  ///< mem8[ea] = rs2
+  ST32, ///< mem32[ea] = rs2
+  ST64, ///< mem64[ea] = rs2
+  STF,  ///< memf64[ea] = fs2
+  PREF, ///< non-binding prefetch of ea
+  // Control.
+  BEQZ, ///< if (rs1 == 0) goto Target
+  BNEZ, ///< if (rs1 != 0) goto Target
+  J,    ///< goto Target
+  JAL,  ///< ra = pc + 1; goto Target (function entry)
+  JR,   ///< goto rs1 (returns: rs1 = ra)
+  // Observability and termination.
+  EMIT,  ///< append int rs1 to the output stream
+  EMITF, ///< append fp fs1 to the output stream
+  HALT,  ///< stop execution (end of main)
+};
+
+/// Physical register ids: integer registers are 0..31, floating registers
+/// are 32..63 in the unified numbering used for dependence tracking.
+namespace reg {
+constexpr int16_t RA = 29;
+constexpr int16_t FP = 30;
+constexpr int16_t SP = 31;
+constexpr int16_t IntScratch0 = 27;
+constexpr int16_t IntScratch1 = 28;
+constexpr int16_t IntScratch2 = 26; ///< Third scratch for CMOV spills.
+constexpr int16_t FpBase = 32;
+constexpr int16_t FpScratch0 = FpBase + 30;
+constexpr int16_t FpScratch1 = FpBase + 31;
+/// First virtual register id used during code generation.
+constexpr int32_t FirstVirtual = 1024;
+} // namespace reg
+
+/// Functional unit classes (SimpleScalar's resource classes).
+enum class FuClass : uint8_t {
+  None,    ///< Consumes no FU (HALT).
+  IntAlu,  ///< 1-cycle integer/branch operations.
+  IntMult, ///< Integer multiplier (3 cycles).
+  IntDiv,  ///< Integer divider (20 cycles, unpipelined).
+  FpAdd,   ///< FP adder/compare/convert (2 cycles).
+  FpMult,  ///< FP multiplier (4 cycles).
+  FpDiv,   ///< FP divider (12 cycles, unpipelined).
+  MemPort, ///< Load/store port (address generation + access).
+};
+
+/// One machine instruction. `Rd`/`Rs1`/`Rs2` use the unified register
+/// numbering (or virtual ids >= reg::FirstVirtual during codegen).
+struct MachineInstr {
+  MOp Op = MOp::HALT;
+  CmpPred Pred = CmpPred::EQ;
+  int32_t Rd = -1;
+  int32_t Rs1 = -1;
+  int32_t Rs2 = -1;
+  int64_t Imm = 0;
+  double FpImm = 0.0;
+  /// Branch/jump/call target: code index, patched at link time. Before
+  /// linking it holds a block index (branches) or callee index (JAL).
+  int64_t Target = -1;
+
+  /// The destination register, or -1.
+  int32_t destReg() const {
+    switch (Op) {
+    case MOp::ST8:
+    case MOp::ST32:
+    case MOp::ST64:
+    case MOp::STF:
+    case MOp::PREF:
+    case MOp::BEQZ:
+    case MOp::BNEZ:
+    case MOp::J:
+    case MOp::JR:
+    case MOp::EMIT:
+    case MOp::EMITF:
+    case MOp::HALT:
+      return -1;
+    default:
+      return Rd;
+    }
+  }
+
+  /// Source registers into \p Out (size >= 3); returns the count.
+  /// CMOV/FCMOV read their destination as well.
+  unsigned srcRegs(int32_t Out[3]) const {
+    unsigned N = 0;
+    auto Push = [&](int32_t R) {
+      if (R >= 0)
+        Out[N++] = R;
+    };
+    switch (Op) {
+    case MOp::LI:
+    case MOp::FLI:
+    case MOp::J:
+    case MOp::HALT:
+      break;
+    case MOp::JAL:
+      break;
+    case MOp::MOV:
+    case MOp::FMOV:
+    case MOp::ADDI:
+    case MOp::CVTIF:
+    case MOp::CVTFI:
+    case MOp::BEQZ:
+    case MOp::BNEZ:
+    case MOp::JR:
+    case MOp::EMIT:
+    case MOp::EMITF:
+    case MOp::PREF:
+    case MOp::LD8:
+    case MOp::LD32:
+    case MOp::LD64:
+    case MOp::LDF:
+      Push(Rs1);
+      break;
+    case MOp::CMOV:
+    case MOp::FCMOV:
+      Push(Rs1);
+      Push(Rs2);
+      Push(Rd); // Old value survives when the condition is false.
+      break;
+    default:
+      Push(Rs1);
+      Push(Rs2);
+      break;
+    }
+    return N;
+  }
+
+  bool isLoad() const {
+    return Op == MOp::LD8 || Op == MOp::LD32 || Op == MOp::LD64 ||
+           Op == MOp::LDF;
+  }
+  bool isStore() const {
+    return Op == MOp::ST8 || Op == MOp::ST32 || Op == MOp::ST64 ||
+           Op == MOp::STF;
+  }
+  bool isPrefetch() const { return Op == MOp::PREF; }
+  bool isBranch() const {
+    return Op == MOp::BEQZ || Op == MOp::BNEZ || Op == MOp::J ||
+           Op == MOp::JAL || Op == MOp::JR;
+  }
+  bool isConditionalBranch() const {
+    return Op == MOp::BEQZ || Op == MOp::BNEZ;
+  }
+
+  /// Bytes moved by a memory access (0 for non-memory instructions).
+  unsigned accessSize() const {
+    switch (Op) {
+    case MOp::LD8:
+    case MOp::ST8:
+      return 1;
+    case MOp::LD32:
+    case MOp::ST32:
+      return 4;
+    case MOp::LD64:
+    case MOp::LDF:
+    case MOp::ST64:
+    case MOp::STF:
+    case MOp::PREF:
+      return 8;
+    default:
+      return 0;
+    }
+  }
+
+  /// The functional unit class this instruction occupies.
+  FuClass fuClass() const {
+    switch (Op) {
+    case MOp::MUL:
+      return FuClass::IntMult;
+    case MOp::DIV:
+    case MOp::REM:
+      return FuClass::IntDiv;
+    case MOp::FADD:
+    case MOp::FSUB:
+    case MOp::FCMP:
+    case MOp::CVTIF:
+    case MOp::CVTFI:
+      return FuClass::FpAdd;
+    case MOp::FMUL:
+      return FuClass::FpMult;
+    case MOp::FDIV:
+      return FuClass::FpDiv;
+    case MOp::LD8:
+    case MOp::LD32:
+    case MOp::LD64:
+    case MOp::LDF:
+    case MOp::ST8:
+    case MOp::ST32:
+    case MOp::ST64:
+    case MOp::STF:
+    case MOp::PREF:
+      return FuClass::MemPort;
+    case MOp::HALT:
+      return FuClass::None;
+    default:
+      return FuClass::IntAlu;
+    }
+  }
+};
+
+/// Printable mnemonic.
+const char *machineOpName(MOp Op);
+
+/// Renders one instruction for disassembly listings.
+std::string printMachineInstr(const MachineInstr &MI);
+
+} // namespace msem
+
+#endif // MSEM_ISA_MACHINEINSTR_H

@@ -1,0 +1,62 @@
+//===- isa/MachineProgram.h - Linked executable image -------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fully linked program: flat code array (branch/call targets resolved to
+/// code indices), global data layout and the initial memory image
+/// parameters. Consumed by the functional executor and, through it, by the
+/// timing models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_ISA_MACHINEPROGRAM_H
+#define MSEM_ISA_MACHINEPROGRAM_H
+
+#include "isa/MachineInstr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// One linked function's extent in the code array (for profiling and
+/// disassembly only; control transfers use resolved indices).
+struct LinkedFunction {
+  std::string Name;
+  uint64_t EntryIndex = 0;
+  uint64_t EndIndex = 0;
+};
+
+/// One global's placement in data memory.
+struct LinkedGlobal {
+  std::string Name;
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+  std::vector<uint8_t> Init;
+};
+
+/// A linked executable.
+struct MachineProgram {
+  std::vector<MachineInstr> Code;
+  std::vector<LinkedFunction> Functions;
+  std::vector<LinkedGlobal> Globals;
+  uint64_t EntryIndex = 0;   ///< main's first instruction.
+  uint64_t DataBase = 4096;  ///< First byte of global data.
+  uint64_t DataEnd = 4096;   ///< One past the last global byte.
+  uint64_t MemoryBytes = 0;  ///< Total data memory (globals + stack).
+
+  /// Instruction-space byte address of code index \p Index (4 bytes per
+  /// instruction; the instruction cache indexes this space).
+  static uint64_t codeAddress(uint64_t Index) { return Index * 4; }
+
+  /// Renders a disassembly listing.
+  std::string disassemble() const;
+};
+
+} // namespace msem
+
+#endif // MSEM_ISA_MACHINEPROGRAM_H

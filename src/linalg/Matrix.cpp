@@ -1,0 +1,148 @@
+//===- linalg/Matrix.cpp - Dense row-major matrix --------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace msem;
+
+Matrix Matrix::fromRows(const std::vector<std::vector<double>> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows[0].size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    assert(Rows[R].size() == M.NumCols && "ragged rows");
+    std::copy(Rows[R].begin(), Rows[R].end(), M.rowPtr(R));
+  }
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+std::vector<double> Matrix::row(size_t R) const {
+  const double *P = rowPtr(R);
+  return std::vector<double>(P, P + NumCols);
+}
+
+std::vector<double> Matrix::col(size_t C) const {
+  assert(C < NumCols && "column out of range");
+  std::vector<double> Result(NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    Result[R] = at(R, C);
+  return Result;
+}
+
+void Matrix::setRow(size_t R, const std::vector<double> &Values) {
+  assert(Values.size() == NumCols && "row width mismatch");
+  std::copy(Values.begin(), Values.end(), rowPtr(R));
+}
+
+void Matrix::appendRow(const std::vector<double> &Values) {
+  if (NumRows == 0 && NumCols == 0)
+    NumCols = Values.size();
+  assert(Values.size() == NumCols && "row width mismatch");
+  Data.insert(Data.end(), Values.begin(), Values.end());
+  ++NumRows;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.NumRows && "inner dimension mismatch");
+  Matrix Result(NumRows, Other.NumCols);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *ARow = rowPtr(R);
+    double *CRow = Result.rowPtr(R);
+    for (size_t K = 0; K < NumCols; ++K) {
+      double A = ARow[K];
+      if (A == 0.0)
+        continue;
+      const double *BRow = Other.rowPtr(K);
+      for (size_t C = 0; C < Other.NumCols; ++C)
+        CRow[C] += A * BRow[C];
+    }
+  }
+  return Result;
+}
+
+Matrix Matrix::gram() const {
+  Matrix G(NumCols, NumCols);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowPtr(R);
+    for (size_t I = 0; I < NumCols; ++I) {
+      double A = Row[I];
+      if (A == 0.0)
+        continue;
+      double *GRow = G.rowPtr(I);
+      for (size_t J = I; J < NumCols; ++J)
+        GRow[J] += A * Row[J];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t I = 0; I < NumCols; ++I)
+    for (size_t J = I + 1; J < NumCols; ++J)
+      G.at(J, I) = G.at(I, J);
+  return G;
+}
+
+std::vector<double> Matrix::multiplyVector(const std::vector<double> &V) const {
+  assert(V.size() == NumCols && "vector length mismatch");
+  std::vector<double> Result(NumRows, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowPtr(R);
+    double Sum = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += Row[C] * V[C];
+    Result[R] = Sum;
+  }
+  return Result;
+}
+
+std::vector<double>
+Matrix::transposeMultiplyVector(const std::vector<double> &V) const {
+  assert(V.size() == NumRows && "vector length mismatch");
+  std::vector<double> Result(NumCols, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowPtr(R);
+    double Scale = V[R];
+    if (Scale == 0.0)
+      continue;
+    for (size_t C = 0; C < NumCols; ++C)
+      Result[C] += Scale * Row[C];
+  }
+  return Result;
+}
+
+void Matrix::addToDiagonal(double Lambda) {
+  size_t N = std::min(NumRows, NumCols);
+  for (size_t I = 0; I < N; ++I)
+    at(I, I) += Lambda;
+}
+
+double Matrix::maxAbs() const {
+  double M = 0.0;
+  for (double X : Data)
+    M = std::max(M, std::fabs(X));
+  return M;
+}
+
+double msem::dotProduct(const std::vector<double> &A,
+                        const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot product length mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}

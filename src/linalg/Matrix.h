@@ -1,0 +1,105 @@
+//===- linalg/Matrix.h - Dense row-major matrix -----------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense row-major matrix of doubles with the operations the
+/// empirical-modeling stack needs: products, transposes, Gram matrices and
+/// row extraction. Deliberately minimal; factorizations live in Solve.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_LINALG_MATRIX_H
+#define MSEM_LINALG_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace msem {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  /// Creates a matrix from rows; all rows must have equal length.
+  static Matrix fromRows(const std::vector<std::vector<double>> &Rows);
+
+  /// Identity matrix of order \p N.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Pointer to the start of row \p R.
+  double *rowPtr(size_t R) {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+  const double *rowPtr(size_t R) const {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Copies row \p R into a vector.
+  std::vector<double> row(size_t R) const;
+
+  /// Copies column \p C into a vector.
+  std::vector<double> col(size_t C) const;
+
+  /// Overwrites row \p R with \p Values (size must equal cols()).
+  void setRow(size_t R, const std::vector<double> &Values);
+
+  /// Appends a row (matrix must be empty or have matching width).
+  void appendRow(const std::vector<double> &Values);
+
+  Matrix transposed() const;
+
+  /// this * Other. Column count must match Other's row count.
+  Matrix multiply(const Matrix &Other) const;
+
+  /// this^T * this: the (symmetric) Gram / information matrix.
+  Matrix gram() const;
+
+  /// Matrix-vector product; V.size() must equal cols().
+  std::vector<double> multiplyVector(const std::vector<double> &V) const;
+
+  /// this^T * V; V.size() must equal rows().
+  std::vector<double> transposeMultiplyVector(
+      const std::vector<double> &V) const;
+
+  /// Adds Lambda to every diagonal entry (ridge regularization).
+  void addToDiagonal(double Lambda);
+
+  /// Maximum absolute entry; 0 for an empty matrix.
+  double maxAbs() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Dot product of equal-length vectors.
+double dotProduct(const std::vector<double> &A, const std::vector<double> &B);
+
+} // namespace msem
+
+#endif // MSEM_LINALG_MATRIX_H

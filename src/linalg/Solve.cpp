@@ -1,0 +1,159 @@
+//===- linalg/Solve.cpp - Factorizations and least squares ----------------===//
+
+#include "linalg/Solve.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+Cholesky::Cholesky(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Cholesky requires a square matrix");
+  size_t N = A.rows();
+  L = Matrix(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = A.at(I, J);
+      for (size_t K = 0; K < J; ++K)
+        Sum -= L.at(I, K) * L.at(J, K);
+      if (I == J) {
+        if (Sum <= 0.0 || !std::isfinite(Sum))
+          return; // Not numerically SPD; Valid stays false.
+        L.at(I, I) = std::sqrt(Sum);
+      } else {
+        L.at(I, J) = Sum / L.at(J, J);
+      }
+    }
+  }
+  Valid = true;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double> &B) const {
+  assert(Valid && "solve on failed factorization");
+  size_t N = L.rows();
+  assert(B.size() == N && "rhs length mismatch");
+  // Forward substitution L y = b.
+  std::vector<double> Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Sum = B[I];
+    for (size_t K = 0; K < I; ++K)
+      Sum -= L.at(I, K) * Y[K];
+    Y[I] = Sum / L.at(I, I);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> X(N);
+  for (size_t I = N; I-- > 0;) {
+    double Sum = Y[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= L.at(K, I) * X[K];
+    X[I] = Sum / L.at(I, I);
+  }
+  return X;
+}
+
+double Cholesky::logDeterminant() const {
+  assert(Valid && "logDeterminant on failed factorization");
+  double Sum = 0.0;
+  for (size_t I = 0; I < L.rows(); ++I)
+    Sum += std::log(L.at(I, I));
+  return 2.0 * Sum;
+}
+
+Matrix Cholesky::inverse() const {
+  assert(Valid && "inverse on failed factorization");
+  size_t N = L.rows();
+  Matrix Inv(N, N);
+  std::vector<double> E(N, 0.0);
+  for (size_t C = 0; C < N; ++C) {
+    E[C] = 1.0;
+    std::vector<double> X = solve(E);
+    for (size_t R = 0; R < N; ++R)
+      Inv.at(R, C) = X[R];
+    E[C] = 0.0;
+  }
+  return Inv;
+}
+
+std::vector<double> msem::leastSquaresQR(const Matrix &A,
+                                         const std::vector<double> &B) {
+  size_t M = A.rows(), N = A.cols();
+  assert(B.size() == M && "rhs length mismatch");
+  assert(M >= N && "least squares requires rows >= cols");
+
+  // Working copies; R is computed in place in W, Q is applied to Rhs.
+  Matrix W = A;
+  std::vector<double> Rhs = B;
+  std::vector<bool> DeadColumn(N, false);
+
+  for (size_t K = 0; K < N; ++K) {
+    // Householder vector for column K below the diagonal.
+    double Norm = 0.0;
+    for (size_t I = K; I < M; ++I)
+      Norm += W.at(I, K) * W.at(I, K);
+    Norm = std::sqrt(Norm);
+    if (Norm < 1e-12) {
+      DeadColumn[K] = true;
+      continue;
+    }
+    double Alpha = W.at(K, K) > 0 ? -Norm : Norm;
+    std::vector<double> V(M - K);
+    V[0] = W.at(K, K) - Alpha;
+    for (size_t I = K + 1; I < M; ++I)
+      V[I - K] = W.at(I, K);
+    double VNorm2 = 0.0;
+    for (double X : V)
+      VNorm2 += X * X;
+    if (VNorm2 < 1e-24) {
+      W.at(K, K) = Alpha;
+      continue;
+    }
+    // Apply H = I - 2 v v^T / (v^T v) to remaining columns and the RHS.
+    for (size_t C = K; C < N; ++C) {
+      double Dot = 0.0;
+      for (size_t I = K; I < M; ++I)
+        Dot += V[I - K] * W.at(I, C);
+      double Scale = 2.0 * Dot / VNorm2;
+      for (size_t I = K; I < M; ++I)
+        W.at(I, C) -= Scale * V[I - K];
+    }
+    double Dot = 0.0;
+    for (size_t I = K; I < M; ++I)
+      Dot += V[I - K] * Rhs[I];
+    double Scale = 2.0 * Dot / VNorm2;
+    for (size_t I = K; I < M; ++I)
+      Rhs[I] -= Scale * V[I - K];
+  }
+
+  // Back substitution on the upper-triangular system, skipping dead columns.
+  std::vector<double> X(N, 0.0);
+  for (size_t I = N; I-- > 0;) {
+    if (DeadColumn[I] || std::fabs(W.at(I, I)) < 1e-12) {
+      X[I] = 0.0;
+      continue;
+    }
+    double Sum = Rhs[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= W.at(I, K) * X[K];
+    X[I] = Sum / W.at(I, I);
+  }
+  return X;
+}
+
+std::vector<double> msem::ridgeLeastSquares(const Matrix &A,
+                                            const std::vector<double> &B,
+                                            double Lambda) {
+  assert(Lambda >= 0.0 && "negative ridge penalty");
+  Matrix G = A.gram();
+  std::vector<double> Aty = A.transposeMultiplyVector(B);
+  double Jitter = Lambda > 0 ? Lambda : 1e-10 * (1.0 + G.maxAbs());
+  for (int Attempt = 0; Attempt < 7; ++Attempt) {
+    Matrix GJ = G;
+    GJ.addToDiagonal(Jitter);
+    Cholesky Chol(GJ);
+    if (Chol.ok())
+      return Chol.solve(Aty);
+    Jitter *= 10.0;
+  }
+  // Pathological conditioning: fall back to QR which zeroes dead columns.
+  return leastSquaresQR(A, B);
+}

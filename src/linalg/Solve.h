@@ -1,0 +1,65 @@
+//===- linalg/Solve.h - Factorizations and least squares --------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorization for symmetric positive definite systems,
+/// Householder QR least squares, log-determinants and explicit inverses.
+/// These back every model fit (Equation 3 of the paper) and the D-optimal
+/// design search (det(X'X) maximization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_LINALG_SOLVE_H
+#define MSEM_LINALG_SOLVE_H
+
+#include "linalg/Matrix.h"
+
+#include <vector>
+
+namespace msem {
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+///
+/// Construction reports failure (via ok()) instead of asserting so that
+/// callers probing near-singular information matrices can back off or add
+/// ridge jitter.
+class Cholesky {
+public:
+  /// Factorizes \p A (must be square and symmetric).
+  explicit Cholesky(const Matrix &A);
+
+  /// True if the factorization succeeded (matrix was numerically SPD).
+  bool ok() const { return Valid; }
+
+  /// Solves A x = b. Requires ok().
+  std::vector<double> solve(const std::vector<double> &B) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)). Requires ok().
+  double logDeterminant() const;
+
+  /// Explicit inverse of A. Requires ok(). O(n^3); used to seed the
+  /// Fedorov-exchange dispersion matrix which is then updated incrementally.
+  Matrix inverse() const;
+
+private:
+  Matrix L;
+  bool Valid = false;
+};
+
+/// Solves the linear least squares problem min ||A x - b||_2 by Householder
+/// QR with column norm checks. Rank-deficient columns get zero coefficients.
+std::vector<double> leastSquaresQR(const Matrix &A,
+                                   const std::vector<double> &B);
+
+/// Ridge least squares: solves (A'A + Lambda I) x = A'b via Cholesky.
+/// Falls back to increasing Lambda (up to 1e6x) if the system is not SPD.
+std::vector<double> ridgeLeastSquares(const Matrix &A,
+                                      const std::vector<double> &B,
+                                      double Lambda);
+
+} // namespace msem
+
+#endif // MSEM_LINALG_SOLVE_H

@@ -1,0 +1,85 @@
+//===- model/Diagnostics.cpp - Model quality and effect analysis -----------------===//
+
+#include "model/Diagnostics.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace msem;
+
+ModelQuality msem::evaluateModel(const Model &M, const Matrix &X,
+                                 const std::vector<double> &Y) {
+  std::vector<double> Pred = M.predictAll(X);
+  ModelQuality Q;
+  Q.Mape = meanAbsolutePercentError(Y, Pred);
+  Q.Rmse = rootMeanSquaredError(Y, Pred);
+  Q.R2 = rSquared(Y, Pred);
+  return Q;
+}
+
+double msem::mainEffect(const Model &M, const ParameterSpace &Space,
+                        size_t Var, size_t Samples, Rng &R) {
+  double Sum = 0.0;
+  for (size_t S = 0; S < Samples; ++S) {
+    DesignPoint P = Space.randomPoint(R);
+    std::vector<double> Hi = Space.encode(P);
+    std::vector<double> Lo = Hi;
+    Hi[Var] = 1.0;
+    Lo[Var] = -1.0;
+    Sum += M.predict(Hi) - M.predict(Lo);
+  }
+  return Sum / (2.0 * static_cast<double>(Samples));
+}
+
+double msem::interactionEffect(const Model &M, const ParameterSpace &Space,
+                               size_t VarA, size_t VarB, size_t Samples,
+                               Rng &R) {
+  double Sum = 0.0;
+  for (size_t S = 0; S < Samples; ++S) {
+    DesignPoint P = Space.randomPoint(R);
+    std::vector<double> Base = Space.encode(P);
+    auto At = [&](double A, double B) {
+      std::vector<double> X = Base;
+      X[VarA] = A;
+      X[VarB] = B;
+      return M.predict(X);
+    };
+    Sum += At(1, 1) - At(1, -1) - At(-1, 1) + At(-1, -1);
+  }
+  return Sum / (4.0 * static_cast<double>(Samples));
+}
+
+std::vector<EffectEstimate>
+msem::rankEffects(const Model &M, const ParameterSpace &Space,
+                  size_t Samples, size_t TopInteractions, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<EffectEstimate> Mains;
+  for (size_t V = 0; V < Space.size(); ++V) {
+    EffectEstimate E;
+    E.Label = Space.param(V).Name;
+    E.Coefficient = mainEffect(M, Space, V, Samples, R);
+    Mains.push_back(E);
+  }
+  std::vector<EffectEstimate> Inters;
+  for (size_t A = 0; A < Space.size(); ++A) {
+    for (size_t Bv = A + 1; Bv < Space.size(); ++Bv) {
+      EffectEstimate E;
+      E.Label = Space.param(A).Name + " * " + Space.param(Bv).Name;
+      E.Coefficient = interactionEffect(M, Space, A, Bv, Samples, R);
+      Inters.push_back(E);
+    }
+  }
+  auto ByMagnitude = [](const EffectEstimate &A, const EffectEstimate &B) {
+    return std::fabs(A.Coefficient) > std::fabs(B.Coefficient);
+  };
+  std::sort(Inters.begin(), Inters.end(), ByMagnitude);
+  if (Inters.size() > TopInteractions)
+    Inters.resize(TopInteractions);
+
+  std::vector<EffectEstimate> All = std::move(Mains);
+  All.insert(All.end(), Inters.begin(), Inters.end());
+  std::sort(All.begin(), All.end(), ByMagnitude);
+  return All;
+}

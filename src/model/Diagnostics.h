@@ -1,0 +1,64 @@
+//===- model/Diagnostics.h - Model quality and effect analysis ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model diagnostics (Section 6.1) and significance analysis (Section 6.2):
+/// prediction-error metrics on held-out test sets, and estimation of
+/// main-effect / two-factor-interaction coefficients from any fitted model
+/// by averaged finite differences over the design space. The paper reads
+/// such coefficients directly off the simplified MARS form; the
+/// finite-difference estimator recovers the same quantity ("one-half the
+/// change in response caused by moving the variable(s) from low to high")
+/// for any model family.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_DIAGNOSTICS_H
+#define MSEM_MODEL_DIAGNOSTICS_H
+
+#include "design/ParameterSpace.h"
+#include "model/Model.h"
+#include "support/Rng.h"
+
+namespace msem {
+
+/// Error metrics of a model on a labelled set.
+struct ModelQuality {
+  double Mape = 0.0; ///< Mean absolute percent error (the paper's metric).
+  double Rmse = 0.0;
+  double R2 = 0.0;
+};
+
+/// Evaluates \p M on (X, Y).
+ModelQuality evaluateModel(const Model &M, const Matrix &X,
+                           const std::vector<double> &Y);
+
+/// Estimated effect of one parameter or one pair.
+struct EffectEstimate {
+  std::string Label;       ///< e.g. "ruu-size" or "inlining * ruu-size".
+  double Coefficient = 0.0; ///< Half the low-to-high response change.
+};
+
+/// Main effect of parameter \p Var: E[f(x | xv=high) - f(x | xv=low)] / 2
+/// averaged over \p Samples random base points.
+double mainEffect(const Model &M, const ParameterSpace &Space, size_t Var,
+                  size_t Samples, Rng &R);
+
+/// Two-factor interaction effect:
+/// E[f(hi,hi) - f(hi,lo) - f(lo,hi) + f(lo,lo)] / 4 over random bases.
+double interactionEffect(const Model &M, const ParameterSpace &Space,
+                         size_t VarA, size_t VarB, size_t Samples, Rng &R);
+
+/// All main effects plus the \p TopInteractions largest interactions,
+/// sorted by |coefficient| descending (the Table 4 listing).
+std::vector<EffectEstimate> rankEffects(const Model &M,
+                                        const ParameterSpace &Space,
+                                        size_t Samples, size_t TopInteractions,
+                                        uint64_t Seed);
+
+} // namespace msem
+
+#endif // MSEM_MODEL_DIAGNOSTICS_H

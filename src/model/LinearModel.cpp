@@ -1,0 +1,49 @@
+//===- model/LinearModel.cpp - Linear regression ---------------------------------===//
+
+#include "model/LinearModel.h"
+
+#include "linalg/Solve.h"
+
+#include <cassert>
+
+using namespace msem;
+
+std::vector<double>
+LinearModel::expand(const std::vector<double> &XEnc) const {
+  std::vector<double> Row;
+  size_t K = XEnc.size();
+  Row.reserve(1 + K + (Opts.TwoFactorInteractions ? K * (K - 1) / 2 : 0));
+  Row.push_back(1.0);
+  for (double V : XEnc)
+    Row.push_back(V);
+  if (Opts.TwoFactorInteractions)
+    for (size_t I = 0; I < K; ++I)
+      for (size_t J = I + 1; J < K; ++J)
+        Row.push_back(XEnc[I] * XEnc[J]);
+  return Row;
+}
+
+void LinearModel::train(const Matrix &X, const std::vector<double> &Y) {
+  assert(X.rows() == Y.size() && "design/response size mismatch");
+  NumVars = X.cols();
+  Matrix Expanded;
+  for (size_t I = 0; I < X.rows(); ++I)
+    Expanded.appendRow(expand(X.row(I)));
+  Beta = ridgeLeastSquares(Expanded, Y, Opts.Ridge);
+
+  Sse = 0.0;
+  std::vector<double> Pred = Expanded.multiplyVector(Beta);
+  for (size_t I = 0; I < Y.size(); ++I)
+    Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
+  Bic = bicScore(Sse, Y.size(), Beta.size());
+}
+
+double LinearModel::predict(const std::vector<double> &XEnc) const {
+  assert(XEnc.size() == NumVars && "arity mismatch");
+  std::vector<double> Row = expand(XEnc);
+  assert(Row.size() == Beta.size() && "model not trained");
+  double Sum = 0.0;
+  for (size_t I = 0; I < Row.size(); ++I)
+    Sum += Row[I] * Beta[I];
+  return Sum;
+}

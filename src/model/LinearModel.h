@@ -1,0 +1,56 @@
+//===- model/LinearModel.h - Linear regression (Section 4.1) ------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global parametric linear regression, optionally with two-factor
+/// interaction terms (the paper's Equation 2). Coefficients are the least
+/// squares estimates of Equation 3, computed by ridge-stabilized normal
+/// equations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_LINEARMODEL_H
+#define MSEM_MODEL_LINEARMODEL_H
+
+#include "model/Model.h"
+
+namespace msem {
+
+/// y = b0 + sum bi xi (+ sum bij xi xj).
+class LinearModel : public Model {
+public:
+  struct Options {
+    bool TwoFactorInteractions = true;
+    double Ridge = 1e-8;
+  };
+
+  LinearModel() = default;
+  explicit LinearModel(Options Opts) : Opts(Opts) {}
+
+  void train(const Matrix &X, const std::vector<double> &Y) override;
+  double predict(const std::vector<double> &XEnc) const override;
+  std::string name() const override { return "linear"; }
+
+  /// Fitted coefficients: [intercept, main effects..., interactions...].
+  const std::vector<double> &coefficients() const { return Beta; }
+  /// Training SSE after the fit.
+  double trainingSse() const { return Sse; }
+  /// BIC of the fitted model.
+  double bic() const { return Bic; }
+
+private:
+  std::vector<double> expand(const std::vector<double> &XEnc) const;
+
+  Options Opts;
+  size_t NumVars = 0;
+  std::vector<double> Beta;
+  double Sse = 0.0;
+  double Bic = 0.0;
+};
+
+} // namespace msem
+
+#endif // MSEM_MODEL_LINEARMODEL_H

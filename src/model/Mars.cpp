@@ -1,0 +1,214 @@
+//===- model/Mars.cpp - Multivariate Adaptive Regression Splines -----------------===//
+
+#include "model/Mars.h"
+
+#include "linalg/Solve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// Evaluates a basis set over all samples into an n x m matrix.
+Matrix basisMatrix(const std::vector<MarsBasis> &Basis, const Matrix &X) {
+  Matrix B(X.rows(), Basis.size());
+  for (size_t I = 0; I < X.rows(); ++I) {
+    std::vector<double> Row = X.row(I);
+    for (size_t M = 0; M < Basis.size(); ++M)
+      B.at(I, M) = Basis[M].evaluate(Row);
+  }
+  return B;
+}
+
+/// Candidate knots for a variable: distinct quantiles of its sample values
+/// (endpoints excluded -- a hinge at the extreme value is degenerate).
+std::vector<double> candidateKnots(const Matrix &X, unsigned Var,
+                                   size_t MaxKnots) {
+  std::vector<double> Values = X.col(Var);
+  std::sort(Values.begin(), Values.end());
+  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+  if (Values.size() <= 2)
+    return Values.size() == 2
+               ? std::vector<double>{(Values[0] + Values[1]) / 2}
+               : std::vector<double>{};
+  std::vector<double> Knots;
+  size_t Interior = Values.size() - 2;
+  size_t Take = std::min(MaxKnots, Interior);
+  for (size_t K = 0; K < Take; ++K) {
+    size_t Idx = 1 + (K * Interior) / Take;
+    Knots.push_back(Values[Idx]);
+  }
+  Knots.erase(std::unique(Knots.begin(), Knots.end()), Knots.end());
+  return Knots;
+}
+
+} // namespace
+
+double MarsModel::fitWeights(const Matrix &BasisMat,
+                             const std::vector<double> &Y,
+                             std::vector<double> &W) const {
+  W = ridgeLeastSquares(BasisMat, Y, Opts.Ridge);
+  std::vector<double> Pred = BasisMat.multiplyVector(W);
+  double Sse = 0.0;
+  for (size_t I = 0; I < Y.size(); ++I)
+    Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
+  return Sse;
+}
+
+void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
+  assert(X.rows() == Y.size() && "design/response size mismatch");
+  NumVars = X.cols();
+  const size_t N = X.rows();
+
+  Basis.clear();
+  Basis.push_back(MarsBasis{}); // The constant term.
+
+  // Cache candidate knots per variable.
+  std::vector<std::vector<double>> Knots(NumVars);
+  for (unsigned V = 0; V < NumVars; ++V)
+    Knots[V] = candidateKnots(X, V, Opts.KnotsPerVar);
+
+  // ---- Forward pass -------------------------------------------------------
+  // Candidates are scored cheaply by how much of the *current residual*
+  // the mirrored hinge pair explains (a 2x2 least squares); the full set
+  // of weights is refit exactly after each accepted pair. This is the
+  // standard fast approximation of Friedman's forward step.
+  Matrix BMat = basisMatrix(Basis, X);
+  std::vector<double> W;
+  double CurSse = fitWeights(BMat, Y, W);
+  std::vector<double> Residual(N);
+  auto RefreshResidual = [&]() {
+    std::vector<double> Pred = BMat.multiplyVector(W);
+    for (size_t I = 0; I < N; ++I)
+      Residual[I] = Y[I] - Pred[I];
+  };
+  RefreshResidual();
+
+  while (Basis.size() + 2 <= Opts.MaxBasis + 1) {
+    double BestReduction = 1e-9 * (1.0 + CurSse);
+    int BestParent = -1;
+    unsigned BestVar = 0;
+    double BestKnot = 0.0;
+
+    std::vector<double> ColPos(N), ColNeg(N);
+    for (size_t Parent = 0; Parent < Basis.size(); ++Parent) {
+      if (Basis[Parent].Factors.size() >= Opts.MaxInteraction)
+        continue;
+      for (unsigned Var = 0; Var < NumVars; ++Var) {
+        if (Basis[Parent].usesVar(Var))
+          continue;
+        for (double Knot : Knots[Var]) {
+          bool NonTrivial = false;
+          for (size_t I = 0; I < N; ++I) {
+            double ParentVal = BMat.at(I, Parent);
+            double Xi = X.at(I, Var);
+            ColPos[I] = ParentVal * std::max(0.0, Xi - Knot);
+            ColNeg[I] = ParentVal * std::max(0.0, Knot - Xi);
+            if (ColPos[I] != 0.0 || ColNeg[I] != 0.0)
+              NonTrivial = true;
+          }
+          if (!NonTrivial)
+            continue;
+          // Regress the residual on [c1 c2]: 2x2 normal equations.
+          double A11 = 0, A12 = 0, A22 = 0, B1 = 0, B2 = 0;
+          for (size_t I = 0; I < N; ++I) {
+            A11 += ColPos[I] * ColPos[I];
+            A12 += ColPos[I] * ColNeg[I];
+            A22 += ColNeg[I] * ColNeg[I];
+            B1 += ColPos[I] * Residual[I];
+            B2 += ColNeg[I] * Residual[I];
+          }
+          double Det = A11 * A22 - A12 * A12;
+          double Reduction;
+          if (std::fabs(Det) > 1e-12 * (1.0 + A11 * A22)) {
+            double Ca = (B1 * A22 - B2 * A12) / Det;
+            double Cb = (B2 * A11 - B1 * A12) / Det;
+            Reduction = Ca * B1 + Cb * B2;
+          } else if (A11 > 1e-12) {
+            Reduction = B1 * B1 / A11;
+          } else if (A22 > 1e-12) {
+            Reduction = B2 * B2 / A22;
+          } else {
+            continue;
+          }
+          if (Reduction > BestReduction) {
+            BestReduction = Reduction;
+            BestParent = static_cast<int>(Parent);
+            BestVar = Var;
+            BestKnot = Knot;
+          }
+        }
+      }
+    }
+    if (BestParent < 0)
+      break; // No improving pair.
+    MarsBasis Pos = Basis[static_cast<size_t>(BestParent)];
+    Pos.Factors.push_back({BestVar, BestKnot, true});
+    MarsBasis Neg = Basis[static_cast<size_t>(BestParent)];
+    Neg.Factors.push_back({BestVar, BestKnot, false});
+    Basis.push_back(std::move(Pos));
+    Basis.push_back(std::move(Neg));
+    BMat = basisMatrix(Basis, X);
+    double NewSse = fitWeights(BMat, Y, W);
+    if (NewSse >= CurSse)
+      break; // The exact refit disagrees; stop growing.
+    CurSse = NewSse;
+    RefreshResidual();
+  }
+
+  // ---- Backward pruning (GCV) ----------------------------------------------
+  auto EffectiveParams = [&](size_t NumBasis) {
+    // Friedman: C(M) = m + d * (m - 1) / 2 where m counts basis functions.
+    double Md = static_cast<double>(NumBasis);
+    return Md + Opts.GcvPenalty * (Md - 1.0) / 2.0;
+  };
+
+  std::vector<double> FullW;
+  double FullSse = fitWeights(BMat, Y, FullW);
+  double BestGcv = gcvScore(FullSse, N, EffectiveParams(Basis.size()));
+  std::vector<MarsBasis> BestBasis = Basis;
+
+  std::vector<MarsBasis> Working = Basis;
+  while (Working.size() > 1) {
+    double RoundBestGcv = 1e300;
+    int RoundBestVictim = -1;
+    for (size_t Victim = 1; Victim < Working.size(); ++Victim) {
+      std::vector<MarsBasis> Reduced;
+      for (size_t I = 0; I < Working.size(); ++I)
+        if (I != Victim)
+          Reduced.push_back(Working[I]);
+      Matrix RM = basisMatrix(Reduced, X);
+      std::vector<double> RW;
+      double Sse = fitWeights(RM, Y, RW);
+      double Gcv0 = gcvScore(Sse, N, EffectiveParams(Reduced.size()));
+      if (Gcv0 < RoundBestGcv) {
+        RoundBestGcv = Gcv0;
+        RoundBestVictim = static_cast<int>(Victim);
+      }
+    }
+    if (RoundBestVictim < 0)
+      break;
+    Working.erase(Working.begin() + RoundBestVictim);
+    if (RoundBestGcv < BestGcv) {
+      BestGcv = RoundBestGcv;
+      BestBasis = Working;
+    }
+  }
+
+  Basis = std::move(BestBasis);
+  Matrix FinalMat = basisMatrix(Basis, X);
+  double FinalSse = fitWeights(FinalMat, Y, Weights);
+  Gcv = gcvScore(FinalSse, N, EffectiveParams(Basis.size()));
+}
+
+double MarsModel::predict(const std::vector<double> &XEnc) const {
+  assert(XEnc.size() == NumVars && "arity mismatch");
+  assert(Weights.size() == Basis.size() && "model not trained");
+  double Sum = 0.0;
+  for (size_t M = 0; M < Basis.size(); ++M)
+    Sum += Weights[M] * Basis[M].evaluate(XEnc);
+  return Sum;
+}

@@ -1,0 +1,90 @@
+//===- model/Mars.h - Multivariate Adaptive Regression Splines ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MARS (Friedman 1991), the paper's Section 4.2 technique: a forward
+/// stepwise pass greedily adds mirrored pairs of hinge basis functions
+/// max(0, x - t) / max(0, t - x) (optionally multiplied into an existing
+/// basis function, giving interactions up to a configured degree), and a
+/// backward pruning pass deletes terms while the GCV criterion improves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_MARS_H
+#define MSEM_MODEL_MARS_H
+
+#include "model/Model.h"
+
+namespace msem {
+
+/// One factor of a MARS basis function: a hinge on a single variable.
+struct HingeFactor {
+  unsigned Var = 0;
+  double Knot = 0.0;
+  bool Positive = true; ///< max(0, x - knot) vs max(0, knot - x).
+};
+
+/// A basis function: a product of zero or more hinge factors (the empty
+/// product is the constant 1).
+struct MarsBasis {
+  std::vector<HingeFactor> Factors;
+
+  double evaluate(const std::vector<double> &X) const {
+    double V = 1.0;
+    for (const HingeFactor &F : Factors) {
+      double T = F.Positive ? X[F.Var] - F.Knot : F.Knot - X[F.Var];
+      if (T <= 0.0)
+        return 0.0;
+      V *= T;
+    }
+    return V;
+  }
+
+  bool usesVar(unsigned Var) const {
+    for (const HingeFactor &F : Factors)
+      if (F.Var == Var)
+        return true;
+    return false;
+  }
+};
+
+/// The MARS model (Equation 6): f(x) = w0 + sum wm Bm(x).
+class MarsModel : public Model {
+public:
+  struct Options {
+    size_t MaxBasis = 24;       ///< Forward-pass budget (pairs count as 2).
+    unsigned MaxInteraction = 2; ///< Maximum factors per basis function.
+    size_t KnotsPerVar = 8;      ///< Candidate knots per variable.
+    double GcvPenalty = 3.0;     ///< Friedman's d (cost per basis).
+    double Ridge = 1e-8;
+  };
+
+  MarsModel() = default;
+  explicit MarsModel(Options Opts) : Opts(Opts) {}
+
+  void train(const Matrix &X, const std::vector<double> &Y) override;
+  double predict(const std::vector<double> &XEnc) const override;
+  std::string name() const override { return "mars"; }
+
+  const std::vector<MarsBasis> &basis() const { return Basis; }
+  const std::vector<double> &weights() const { return Weights; }
+  double gcv() const { return Gcv; }
+
+private:
+  /// Fits weights for a basis set; returns SSE.
+  double fitWeights(const Matrix &BasisMatrix, const std::vector<double> &Y,
+                    std::vector<double> &W) const;
+
+  Options Opts;
+  size_t NumVars = 0;
+  std::vector<MarsBasis> Basis; ///< Basis[0] is the constant.
+  std::vector<double> Weights;
+  double Gcv = 0.0;
+};
+
+} // namespace msem
+
+#endif // MSEM_MODEL_MARS_H

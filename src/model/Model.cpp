@@ -1,0 +1,34 @@
+//===- model/Model.cpp - Empirical model interface -------------------------------===//
+
+#include "model/Model.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+Model::~Model() = default;
+
+std::vector<double> Model::predictAll(const Matrix &X) const {
+  std::vector<double> P(X.rows());
+  for (size_t I = 0; I < X.rows(); ++I)
+    P[I] = predict(X.row(I));
+  return P;
+}
+
+double msem::bicScore(double SSE, size_t SampleCount, size_t ParamCount) {
+  double P = static_cast<double>(SampleCount);
+  double Gamma = static_cast<double>(ParamCount);
+  if (Gamma >= P)
+    return 1e300; // Saturated model: infinitely penalized.
+  return (P + (std::log(P) - 1.0) * Gamma) / (P * (P - Gamma)) * SSE;
+}
+
+double msem::gcvScore(double SSE, size_t SampleCount,
+                      double EffectiveParams) {
+  double N = static_cast<double>(SampleCount);
+  if (EffectiveParams >= N)
+    return 1e300;
+  double Denom = 1.0 - EffectiveParams / N;
+  return (SSE / N) / (Denom * Denom);
+}

@@ -1,0 +1,55 @@
+//===- model/Model.h - Empirical model interface -------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the three empirical modeling techniques the
+/// paper evaluates (Section 4): linear regression, MARS and RBF networks.
+/// Models consume the *encoded* design matrix (rows in [-1, 1]^k) and the
+/// response vector (execution time in cycles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_MODEL_H
+#define MSEM_MODEL_MODEL_H
+
+#include "linalg/Matrix.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Abstract empirical model y = f(x) + eps.
+class Model {
+public:
+  virtual ~Model();
+
+  /// Fits the model; X is n x k (encoded), Y has n entries.
+  virtual void train(const Matrix &X, const std::vector<double> &Y) = 0;
+
+  /// Predicts the response at one encoded point.
+  virtual double predict(const std::vector<double> &XEnc) const = 0;
+
+  /// Human-readable technique name ("linear", "mars", "rbf").
+  virtual std::string name() const = 0;
+
+  /// Convenience: predicts every row of \p X.
+  std::vector<double> predictAll(const Matrix &X) const;
+};
+
+/// Bayesian Information Criterion as defined in the paper (Equation 9):
+/// BIC = (p + (ln(p) - 1) * gamma) / (p * (p - gamma)) * SSE, where p is
+/// the sample count and gamma the number of model parameters.
+double bicScore(double SSE, size_t SampleCount, size_t ParamCount);
+
+/// Generalized cross validation: GCV = SSE/n / (1 - C/n)^2 with effective
+/// parameter count C.
+double gcvScore(double SSE, size_t SampleCount, double EffectiveParams);
+
+} // namespace msem
+
+#endif // MSEM_MODEL_MODEL_H

@@ -1,0 +1,109 @@
+//===- model/RbfNetwork.cpp - RBF networks ----------------------------------------===//
+
+#include "model/RbfNetwork.h"
+
+#include "linalg/Solve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+double RbfNetwork::kernelValue(double Dist2, double Radius) const {
+  double R2 = Radius * Radius;
+  switch (Opts.Kernel) {
+  case RbfKernel::Gaussian:
+    return std::exp(-Dist2 / (2.0 * R2));
+  case RbfKernel::Multiquadric:
+    return std::sqrt(1.0 + Dist2 / (2.0 * R2));
+  }
+  return 0.0;
+}
+
+Matrix RbfNetwork::hiddenMatrix(
+    const Matrix &X, const std::vector<std::vector<double>> &Ctrs,
+    const std::vector<double> &Rad) const {
+  Matrix H(X.rows(), Ctrs.size() + 1);
+  for (size_t I = 0; I < X.rows(); ++I) {
+    H.at(I, 0) = 1.0;
+    const double *Row = X.rowPtr(I);
+    for (size_t C = 0; C < Ctrs.size(); ++C) {
+      double Dist2 = 0.0;
+      for (size_t D = 0; D < X.cols(); ++D) {
+        double Delta = Row[D] - Ctrs[C][D];
+        Dist2 += Delta * Delta;
+      }
+      H.at(I, C + 1) = kernelValue(Dist2, Rad[C]);
+    }
+  }
+  return H;
+}
+
+void RbfNetwork::train(const Matrix &X, const std::vector<double> &Y) {
+  assert(X.rows() == Y.size() && "design/response size mismatch");
+  NumVars = X.cols();
+  const size_t N = X.rows();
+
+  double BestBic = 1e300;
+  for (size_t Want : Opts.CenterCounts) {
+    size_t MaxFeasible = N / std::max<size_t>(1, Opts.MinLeafSize);
+    size_t LeafTarget = std::min(Want, std::max<size_t>(2, MaxFeasible));
+    if (LeafTarget + 1 >= N)
+      continue; // Would saturate.
+
+    // Regression tree partition -> centers and radii.
+    RegressionTree::Options TreeOpts;
+    TreeOpts.MaxLeaves = LeafTarget;
+    TreeOpts.MinLeafSize = Opts.MinLeafSize;
+    RegressionTree Tree(TreeOpts);
+    Tree.train(X, Y);
+
+    std::vector<std::vector<double>> Ctrs;
+    std::vector<double> Rad;
+    for (const TreeRegion &Leaf : Tree.leaves()) {
+      if (Leaf.Samples.empty())
+        continue;
+      Ctrs.push_back(Leaf.Centroid);
+      double Diag2 = 0.0;
+      for (double HW : Leaf.HalfWidth)
+        Diag2 += HW * HW;
+      double Radius =
+          std::max(Opts.MinRadius, Opts.RadiusScale * std::sqrt(Diag2));
+      Rad.push_back(Radius);
+    }
+    if (Ctrs.empty())
+      continue;
+
+    Matrix H = hiddenMatrix(X, Ctrs, Rad);
+    std::vector<double> W = ridgeLeastSquares(H, Y, Opts.Ridge);
+    std::vector<double> Pred = H.multiplyVector(W);
+    double Sse = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
+    double Score = bicScore(Sse, N, W.size());
+    if (Score < BestBic) {
+      BestBic = Score;
+      Centers = std::move(Ctrs);
+      Radii = std::move(Rad);
+      Weights = std::move(W);
+    }
+  }
+  Bic = BestBic;
+  assert(!Weights.empty() && "no feasible RBF configuration");
+}
+
+double RbfNetwork::predict(const std::vector<double> &XEnc) const {
+  assert(XEnc.size() == NumVars && "arity mismatch");
+  assert(!Weights.empty() && "model not trained");
+  double Sum = Weights[0];
+  for (size_t C = 0; C < Centers.size(); ++C) {
+    double Dist2 = 0.0;
+    for (size_t D = 0; D < NumVars; ++D) {
+      double Delta = XEnc[D] - Centers[C][D];
+      Dist2 += Delta * Delta;
+    }
+    Sum += Weights[C + 1] * kernelValue(Dist2, Radii[C]);
+  }
+  return Sum;
+}

@@ -1,0 +1,75 @@
+//===- model/RbfNetwork.h - RBF networks (Section 4.3) ------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Radial basis function networks, the paper's most accurate technique:
+/// f(x) = w0 + sum wi h_i(x) with localized kernels. Neuron centers and
+/// radii come from a regression tree over the training data (the paper's
+/// "RBF-RT", after Orr et al.); the number of neurons is chosen by the BIC
+/// criterion (Equation 9) to avoid overfitting; output weights are ridge
+/// least squares. Gaussian and multiquadric kernels are supported -- the
+/// paper found the multiquadric the most accurate and so does this
+/// reproduction's default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_RBFNETWORK_H
+#define MSEM_MODEL_RBFNETWORK_H
+
+#include "model/Model.h"
+#include "model/RegressionTree.h"
+
+namespace msem {
+
+/// Kernel families (the paper's Equation 8).
+enum class RbfKernel {
+  Gaussian,     ///< exp(-d^2 / (2 r^2))
+  Multiquadric, ///< sqrt(1 + d^2 / (2 r^2))
+};
+
+/// The RBF network model.
+class RbfNetwork : public Model {
+public:
+  struct Options {
+    RbfKernel Kernel = RbfKernel::Multiquadric;
+    /// Candidate neuron counts tried during BIC selection (clamped to the
+    /// sample count).
+    std::vector<size_t> CenterCounts = {8, 12, 16, 24, 32, 48, 64};
+    size_t MinLeafSize = 3;
+    double Ridge = 1e-6;
+    /// Radii are the tree-region half-diagonals scaled by this factor.
+    double RadiusScale = 1.0;
+    double MinRadius = 0.35;
+  };
+
+  RbfNetwork() = default;
+  explicit RbfNetwork(Options Opts) : Opts(std::move(Opts)) {}
+
+  void train(const Matrix &X, const std::vector<double> &Y) override;
+  double predict(const std::vector<double> &XEnc) const override;
+  std::string name() const override { return "rbf"; }
+
+  size_t numNeurons() const { return Centers.size(); }
+  double bic() const { return Bic; }
+
+private:
+  double kernelValue(double Dist2, double Radius) const;
+  /// Builds the (n x centers+1) design matrix for the given neurons.
+  Matrix hiddenMatrix(const Matrix &X,
+                      const std::vector<std::vector<double>> &Ctrs,
+                      const std::vector<double> &Radii) const;
+
+  Options Opts;
+  size_t NumVars = 0;
+  std::vector<std::vector<double>> Centers;
+  std::vector<double> Radii;
+  std::vector<double> Weights; ///< [bias, w1..wm].
+  double Bic = 0.0;
+};
+
+} // namespace msem
+
+#endif // MSEM_MODEL_RBFNETWORK_H

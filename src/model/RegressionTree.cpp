@@ -1,0 +1,206 @@
+//===- model/RegressionTree.cpp - CART for RBF center selection ------------------===//
+
+#include "model/RegressionTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// Statistics of a candidate split evaluated over a sample subset.
+struct SplitChoice {
+  bool Valid = false;
+  unsigned Var = 0;
+  double Value = 0.0;
+  double SseAfter = 1e300;
+};
+
+double subsetSse(const std::vector<size_t> &Samples,
+                 const std::vector<double> &Y) {
+  if (Samples.empty())
+    return 0.0;
+  double Mean = 0.0;
+  for (size_t I : Samples)
+    Mean += Y[I];
+  Mean /= static_cast<double>(Samples.size());
+  double Sse = 0.0;
+  for (size_t I : Samples)
+    Sse += (Y[I] - Mean) * (Y[I] - Mean);
+  return Sse;
+}
+
+SplitChoice bestSplit(const Matrix &X, const std::vector<double> &Y,
+                      const std::vector<size_t> &Samples,
+                      size_t MinLeafSize) {
+  SplitChoice Best;
+  size_t K = X.cols();
+  for (unsigned Var = 0; Var < K; ++Var) {
+    // Sort samples by this coordinate; scan split positions maintaining
+    // running sums (O(n) per variable after the sort).
+    std::vector<size_t> Order = Samples;
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return X.at(A, Var) < X.at(B, Var);
+    });
+    double SumL = 0, SumSqL = 0;
+    double SumR = 0, SumSqR = 0;
+    for (size_t I : Order) {
+      SumR += Y[I];
+      SumSqR += Y[I] * Y[I];
+    }
+    for (size_t Pos = 0; Pos + 1 < Order.size(); ++Pos) {
+      double Yi = Y[Order[Pos]];
+      SumL += Yi;
+      SumSqL += Yi * Yi;
+      SumR -= Yi;
+      SumSqR -= Yi * Yi;
+      size_t NL = Pos + 1, NR = Order.size() - NL;
+      if (NL < MinLeafSize || NR < MinLeafSize)
+        continue;
+      double Xl = X.at(Order[Pos], Var);
+      double Xr = X.at(Order[Pos + 1], Var);
+      if (Xl == Xr)
+        continue; // Can't separate equal coordinates.
+      double SseL = SumSqL - SumL * SumL / static_cast<double>(NL);
+      double SseR = SumSqR - SumR * SumR / static_cast<double>(NR);
+      double Total = SseL + SseR;
+      if (Total < Best.SseAfter) {
+        Best.Valid = true;
+        Best.Var = Var;
+        Best.Value = (Xl + Xr) / 2.0;
+        Best.SseAfter = Total;
+      }
+    }
+  }
+  return Best;
+}
+
+TreeRegion makeRegion(const Matrix &X, const std::vector<double> &Y,
+                      std::vector<size_t> Samples, unsigned Depth) {
+  TreeRegion R;
+  size_t K = X.cols();
+  R.Samples = std::move(Samples);
+  R.Depth = Depth;
+  R.Centroid.assign(K, 0.0);
+  std::vector<double> Lo(K, 1e300), Hi(K, -1e300);
+  double Mean = 0.0;
+  for (size_t I : R.Samples) {
+    Mean += Y[I];
+    for (size_t D = 0; D < K; ++D) {
+      double V = X.at(I, D);
+      R.Centroid[D] += V;
+      Lo[D] = std::min(Lo[D], V);
+      Hi[D] = std::max(Hi[D], V);
+    }
+  }
+  double N = static_cast<double>(R.Samples.size());
+  if (N > 0) {
+    Mean /= N;
+    for (size_t D = 0; D < K; ++D)
+      R.Centroid[D] /= N;
+  }
+  R.MeanResponse = Mean;
+  R.HalfWidth.assign(K, 0.0);
+  for (size_t D = 0; D < K; ++D)
+    R.HalfWidth[D] = R.Samples.empty() ? 0.0 : (Hi[D] - Lo[D]) / 2.0;
+  return R;
+}
+
+} // namespace
+
+void RegressionTree::train(const Matrix &X, const std::vector<double> &Y) {
+  assert(X.rows() == Y.size() && "design/response size mismatch");
+  Nodes.clear();
+  Leaves.clear();
+
+  struct Pending {
+    int NodeIndex;
+    std::vector<size_t> Samples;
+    unsigned Depth;
+    double Sse;
+  };
+
+  std::vector<size_t> All(X.rows());
+  for (size_t I = 0; I < X.rows(); ++I)
+    All[I] = I;
+
+  Nodes.push_back(Node());
+  std::vector<Pending> Frontier;
+  Frontier.push_back({0, All, 0, subsetSse(All, Y)});
+  size_t LeafBudget = Opts.MaxLeaves;
+
+  // Greedy best-first growth: always split the frontier node with the
+  // largest SSE (the least-uniform region), as in the paper's description
+  // of recursively partitioning until regions have uniform response.
+  while (Frontier.size() < LeafBudget) {
+    // Pick the frontier entry with the largest SSE that can split.
+    int BestIdx = -1;
+    double BestSse = 1e-12;
+    for (size_t I = 0; I < Frontier.size(); ++I) {
+      if (Frontier[I].Samples.size() < 2 * Opts.MinLeafSize)
+        continue;
+      if (Frontier[I].Sse > BestSse) {
+        BestSse = Frontier[I].Sse;
+        BestIdx = static_cast<int>(I);
+      }
+    }
+    if (BestIdx < 0)
+      break;
+    Pending Cur = std::move(Frontier[static_cast<size_t>(BestIdx)]);
+    Frontier.erase(Frontier.begin() + BestIdx);
+
+    SplitChoice Split = bestSplit(X, Y, Cur.Samples, Opts.MinLeafSize);
+    if (!Split.Valid || Split.SseAfter >= Cur.Sse) {
+      Frontier.push_back(std::move(Cur));
+      // Mark as unsplittable by zeroing its SSE so we don't loop forever.
+      Frontier.back().Sse = 0.0;
+      continue;
+    }
+    std::vector<size_t> LeftSamples, RightSamples;
+    for (size_t I : Cur.Samples) {
+      if (X.at(I, Split.Var) <= Split.Value)
+        LeftSamples.push_back(I);
+      else
+        RightSamples.push_back(I);
+    }
+    Node &N = Nodes[static_cast<size_t>(Cur.NodeIndex)];
+    N.IsLeaf = false;
+    N.SplitVar = Split.Var;
+    N.SplitValue = Split.Value;
+    N.Left = static_cast<int>(Nodes.size());
+    Nodes.push_back(Node());
+    Nodes[static_cast<size_t>(Cur.NodeIndex)].Right =
+        static_cast<int>(Nodes.size());
+    Nodes.push_back(Node());
+    int LeftNode = Nodes[static_cast<size_t>(Cur.NodeIndex)].Left;
+    int RightNode = Nodes[static_cast<size_t>(Cur.NodeIndex)].Right;
+    Frontier.push_back({LeftNode, std::move(LeftSamples), Cur.Depth + 1,
+                        0.0});
+    Frontier.back().Sse = subsetSse(Frontier.back().Samples, Y);
+    Frontier.push_back({RightNode, std::move(RightSamples), Cur.Depth + 1,
+                        0.0});
+    Frontier.back().Sse = subsetSse(Frontier.back().Samples, Y);
+  }
+
+  // Materialize leaves.
+  for (Pending &P : Frontier) {
+    Node &N = Nodes[static_cast<size_t>(P.NodeIndex)];
+    N.IsLeaf = true;
+    N.LeafIndex = Leaves.size();
+    Leaves.push_back(makeRegion(X, Y, std::move(P.Samples), P.Depth));
+  }
+}
+
+double RegressionTree::predict(const std::vector<double> &XEnc) const {
+  assert(!Nodes.empty() && "model not trained");
+  const Node *N = &Nodes[0];
+  while (!N->IsLeaf) {
+    if (XEnc[N->SplitVar] <= N->SplitValue)
+      N = &Nodes[static_cast<size_t>(N->Left)];
+    else
+      N = &Nodes[static_cast<size_t>(N->Right)];
+  }
+  return Leaves[N->LeafIndex].MeanResponse;
+}

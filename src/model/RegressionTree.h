@@ -1,0 +1,66 @@
+//===- model/RegressionTree.h - CART for RBF center selection -----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CART-style regression tree. Its primary role here is the one the
+/// paper assigns it (after Orr et al.): partitioning the design space into
+/// regions of roughly uniform response whose centers and extents seed the
+/// RBF network's neurons. It is also a usable (if crude) predictor on its
+/// own, which the tests exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_REGRESSIONTREE_H
+#define MSEM_MODEL_REGRESSIONTREE_H
+
+#include "model/Model.h"
+
+namespace msem {
+
+/// A leaf region: sample members, centroid and per-dimension extent.
+struct TreeRegion {
+  std::vector<size_t> Samples;
+  std::vector<double> Centroid;
+  std::vector<double> HalfWidth; ///< Half of the bounding-box extent.
+  double MeanResponse = 0.0;
+  unsigned Depth = 0;
+};
+
+/// Greedy variance-reduction regression tree.
+class RegressionTree : public Model {
+public:
+  struct Options {
+    size_t MaxLeaves = 32;
+    size_t MinLeafSize = 4;
+  };
+
+  RegressionTree() = default;
+  explicit RegressionTree(Options Opts) : Opts(Opts) {}
+
+  void train(const Matrix &X, const std::vector<double> &Y) override;
+  double predict(const std::vector<double> &XEnc) const override;
+  std::string name() const override { return "tree"; }
+
+  /// Leaf regions after training (in creation order: coarse first).
+  const std::vector<TreeRegion> &leaves() const { return Leaves; }
+
+private:
+  struct Node {
+    bool IsLeaf = true;
+    unsigned SplitVar = 0;
+    double SplitValue = 0.0;
+    int Left = -1, Right = -1;
+    size_t LeafIndex = 0; ///< Valid when IsLeaf.
+  };
+
+  Options Opts;
+  std::vector<Node> Nodes;
+  std::vector<TreeRegion> Leaves;
+};
+
+} // namespace msem
+
+#endif // MSEM_MODEL_REGRESSIONTREE_H

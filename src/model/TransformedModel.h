@@ -1,0 +1,55 @@
+//===- model/TransformedModel.h - Response transformations --------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decorator fitting an inner model to a transformed response. The
+/// standard use is the log transform for responses that vary
+/// multiplicatively (energy dominated by leakage x capacity, code size
+/// dominated by unroll factors): the inner model sees log(y), predictions
+/// are mapped back through exp. Section 2.3 of the paper applies the same
+/// idea on the *predictor* side (log-transforming power-of-two parameters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_MODEL_TRANSFORMEDMODEL_H
+#define MSEM_MODEL_TRANSFORMEDMODEL_H
+
+#include "model/Model.h"
+
+#include <cmath>
+
+namespace msem {
+
+/// Fits the wrapped model on log(y); predicts exp(inner(x)).
+class LogResponseModel : public Model {
+public:
+  explicit LogResponseModel(std::unique_ptr<Model> Inner)
+      : Inner(std::move(Inner)) {}
+
+  void train(const Matrix &X, const std::vector<double> &Y) override {
+    std::vector<double> LogY(Y.size());
+    for (size_t I = 0; I < Y.size(); ++I) {
+      assert(Y[I] > 0.0 && "log transform requires a positive response");
+      LogY[I] = std::log(Y[I]);
+    }
+    Inner->train(X, LogY);
+  }
+
+  double predict(const std::vector<double> &XEnc) const override {
+    return std::exp(Inner->predict(XEnc));
+  }
+
+  std::string name() const override { return "log-" + Inner->name(); }
+
+  const Model &inner() const { return *Inner; }
+
+private:
+  std::unique_ptr<Model> Inner;
+};
+
+} // namespace msem
+
+#endif // MSEM_MODEL_TRANSFORMEDMODEL_H

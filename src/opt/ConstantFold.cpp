@@ -1,0 +1,270 @@
+//===- opt/ConstantFold.cpp - Constant folding & algebraic simplify ---------===//
+//
+// Folds pure instructions with constant operands, applies algebraic
+// identities and collapses single-value phis. Replacements are batched per
+// sweep; sweeps repeat until a fixpoint (bounded).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+Constant *getIntConst(Value *V) {
+  auto *C = dyn_cast<Constant>(V);
+  return (C && C->type() == Type::I64) ? C : nullptr;
+}
+
+Constant *getFloatConst(Value *V) {
+  auto *C = dyn_cast<Constant>(V);
+  return (C && C->type() == Type::F64) ? C : nullptr;
+}
+
+bool isIntConstValue(Value *V, int64_t X) {
+  Constant *C = getIntConst(V);
+  return C && C->intValue() == X;
+}
+
+int64_t evalICmp(CmpPred P, int64_t A, int64_t B) {
+  switch (P) {
+  case CmpPred::EQ:
+    return A == B;
+  case CmpPred::NE:
+    return A != B;
+  case CmpPred::LT:
+    return A < B;
+  case CmpPred::LE:
+    return A <= B;
+  case CmpPred::GT:
+    return A > B;
+  case CmpPred::GE:
+    return A >= B;
+  }
+  return 0;
+}
+
+int64_t evalFCmp(CmpPred P, double A, double B) {
+  switch (P) {
+  case CmpPred::EQ:
+    return A == B;
+  case CmpPred::NE:
+    return A != B;
+  case CmpPred::LT:
+    return A < B;
+  case CmpPred::LE:
+    return A <= B;
+  case CmpPred::GT:
+    return A > B;
+  case CmpPred::GE:
+    return A >= B;
+  }
+  return 0;
+}
+
+/// Returns the value \p I simplifies to, or null if it does not simplify.
+Value *simplify(Module &M, Instruction &I) {
+  Opcode Op = I.opcode();
+
+  // Phi with a single distinct incoming value (ignoring self-references)
+  // collapses to that value.
+  if (Op == Opcode::Phi) {
+    Value *Unique = nullptr;
+    for (Value *In : I.operands()) {
+      if (In == &I)
+        continue;
+      if (Unique && Unique != In)
+        return nullptr;
+      Unique = In;
+    }
+    return Unique;
+  }
+
+  if (Op == Opcode::Select) {
+    if (Constant *C = getIntConst(I.operand(0)))
+      return C->intValue() != 0 ? I.operand(1) : I.operand(2);
+    if (I.operand(1) == I.operand(2))
+      return I.operand(1);
+    return nullptr;
+  }
+
+  if (I.isBinaryIntOp()) {
+    Value *A = I.operand(0), *B = I.operand(1);
+    Constant *CA = getIntConst(A);
+    Constant *CB = getIntConst(B);
+    if (CA && CB) {
+      int64_t X = CA->intValue(), Y = CB->intValue();
+      switch (Op) {
+      case Opcode::Add:
+        return M.constInt(X + Y);
+      case Opcode::Sub:
+        return M.constInt(X - Y);
+      case Opcode::Mul:
+        return M.constInt(X * Y);
+      case Opcode::Div:
+        return Y == 0 ? nullptr : M.constInt(X / Y);
+      case Opcode::Rem:
+        return Y == 0 ? nullptr : M.constInt(X % Y);
+      case Opcode::And:
+        return M.constInt(X & Y);
+      case Opcode::Or:
+        return M.constInt(X | Y);
+      case Opcode::Xor:
+        return M.constInt(X ^ Y);
+      case Opcode::Shl:
+        return M.constInt(X << (Y & 63));
+      case Opcode::Shr:
+        return M.constInt(X >> (Y & 63));
+      default:
+        return nullptr;
+      }
+    }
+    // Algebraic identities.
+    switch (Op) {
+    case Opcode::Add:
+      if (isIntConstValue(B, 0))
+        return A;
+      if (isIntConstValue(A, 0))
+        return B;
+      break;
+    case Opcode::Sub:
+      if (isIntConstValue(B, 0))
+        return A;
+      if (A == B)
+        return M.constInt(0);
+      break;
+    case Opcode::Mul:
+      if (isIntConstValue(B, 1))
+        return A;
+      if (isIntConstValue(A, 1))
+        return B;
+      if (isIntConstValue(B, 0) || isIntConstValue(A, 0))
+        return M.constInt(0);
+      break;
+    case Opcode::Div:
+      if (isIntConstValue(B, 1))
+        return A;
+      break;
+    case Opcode::And:
+      if (A == B)
+        return A;
+      if (isIntConstValue(B, 0) || isIntConstValue(A, 0))
+        return M.constInt(0);
+      break;
+    case Opcode::Or:
+      if (A == B)
+        return A;
+      if (isIntConstValue(B, 0))
+        return A;
+      if (isIntConstValue(A, 0))
+        return B;
+      break;
+    case Opcode::Xor:
+      if (A == B)
+        return M.constInt(0);
+      if (isIntConstValue(B, 0))
+        return A;
+      break;
+    case Opcode::Shl:
+    case Opcode::Shr:
+      if (isIntConstValue(B, 0))
+        return A;
+      break;
+    default:
+      break;
+    }
+    return nullptr;
+  }
+
+  if (Op == Opcode::ICmp) {
+    Constant *CA = getIntConst(I.operand(0));
+    Constant *CB = getIntConst(I.operand(1));
+    if (CA && CB)
+      return M.constInt(evalICmp(I.cmpPred(), CA->intValue(),
+                                 CB->intValue()));
+    return nullptr;
+  }
+
+  if (I.isBinaryFpOp()) {
+    Constant *CA = getFloatConst(I.operand(0));
+    Constant *CB = getFloatConst(I.operand(1));
+    if (!CA || !CB)
+      return nullptr;
+    double X = CA->floatValue(), Y = CB->floatValue();
+    switch (Op) {
+    case Opcode::FAdd:
+      return M.constFloat(X + Y);
+    case Opcode::FSub:
+      return M.constFloat(X - Y);
+    case Opcode::FMul:
+      return M.constFloat(X * Y);
+    case Opcode::FDiv:
+      return M.constFloat(X / Y);
+    default:
+      return nullptr;
+    }
+  }
+
+  if (Op == Opcode::FCmp) {
+    Constant *CA = getFloatConst(I.operand(0));
+    Constant *CB = getFloatConst(I.operand(1));
+    if (CA && CB)
+      return M.constInt(evalFCmp(I.cmpPred(), CA->floatValue(),
+                                 CB->floatValue()));
+    return nullptr;
+  }
+
+  if (Op == Opcode::SIToFP) {
+    if (Constant *C = getIntConst(I.operand(0)))
+      return M.constFloat(static_cast<double>(C->intValue()));
+    return nullptr;
+  }
+  if (Op == Opcode::FPToSI) {
+    if (Constant *C = getFloatConst(I.operand(0)))
+      return M.constInt(static_cast<int64_t>(C->floatValue()));
+    return nullptr;
+  }
+  if (Op == Opcode::PtrAdd) {
+    if (isIntConstValue(I.operand(1), 0))
+      return I.operand(0);
+    return nullptr;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+bool msem::runConstantFold(Function &F) {
+  Module &M = *F.parent();
+  bool EverChanged = false;
+  for (int Sweep = 0; Sweep < 8; ++Sweep) {
+    std::unordered_map<Value *, Value *> Replacements;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (Replacements.count(I.get()))
+          continue;
+        if (Value *S = simplify(M, *I)) {
+          // Chase chains that were already replaced this sweep.
+          while (true) {
+            auto It = Replacements.find(S);
+            if (It == Replacements.end())
+              break;
+            S = It->second;
+          }
+          if (S != I.get())
+            Replacements[I.get()] = S;
+        }
+      }
+    }
+    if (Replacements.empty())
+      break;
+    F.rewriteOperands(Replacements);
+    EverChanged = true;
+  }
+  return EverChanged;
+}

@@ -1,0 +1,56 @@
+//===- opt/DeadCodeElim.cpp - Mark-and-sweep dead code elimination ----------===//
+//
+// Liveness roots are side-effecting instructions and terminators; everything
+// reachable through operands is live. Unreferenced pure instructions --
+// including cyclic dead phi webs -- are removed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace msem;
+
+bool msem::runDeadCodeElim(Function &F) {
+  std::unordered_set<const Instruction *> Live;
+  std::vector<const Instruction *> Work;
+
+  auto MarkOperands = [&](const Instruction *I) {
+    for (const Value *Op : I->operands()) {
+      const auto *OpI = dyn_cast<Instruction>(Op);
+      if (OpI && Live.insert(OpI).second)
+        Work.push_back(OpI);
+    }
+  };
+
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      // Roots: anything whose execution is observable. Prefetch is kept:
+      // it has no uses but exists to change timing behaviour.
+      bool IsRoot = I->isTerminator() || I->hasSideEffects() ||
+                    I->opcode() == Opcode::Prefetch;
+      if (IsRoot && Live.insert(I.get()).second)
+        Work.push_back(I.get());
+    }
+  }
+  while (!Work.empty()) {
+    const Instruction *I = Work.back();
+    Work.pop_back();
+    MarkOperands(I);
+  }
+
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    auto &Instrs = BB->instructions();
+    for (size_t Idx = Instrs.size(); Idx-- > 0;) {
+      if (!Live.count(Instrs[Idx].get())) {
+        BB->eraseAt(Idx);
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}

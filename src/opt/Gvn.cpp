@@ -1,0 +1,110 @@
+//===- opt/Gvn.cpp - Global value numbering CSE (-fgcse) ---------------------===//
+//
+// Dominator-scoped common subexpression elimination over pure instructions.
+// Blocks are visited in reverse post-order; an instruction is replaced by an
+// equivalent earlier one when the earlier definition dominates it.
+// Commutative integer/float operations are canonicalized by operand order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+bool isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::FAdd:
+  case Opcode::FMul:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct ExprKey {
+  Opcode Op;
+  CmpPred Pred;
+  const Value *A;
+  const Value *B;
+
+  bool operator==(const ExprKey &Other) const {
+    return Op == Other.Op && Pred == Other.Pred && A == Other.A &&
+           B == Other.B;
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const {
+    size_t H = static_cast<size_t>(K.Op) * 131 +
+               static_cast<size_t>(K.Pred) * 17;
+    H ^= std::hash<const void *>()(K.A) + 0x9e3779b97f4a7c15ULL + (H << 6);
+    H ^= std::hash<const void *>()(K.B) + 0x9e3779b97f4a7c15ULL + (H << 6);
+    return H;
+  }
+};
+
+} // namespace
+
+bool msem::runGvn(Function &F) {
+  DominatorTree DT(F);
+  std::unordered_map<ExprKey, std::vector<Instruction *>, ExprKeyHash> Table;
+  std::unordered_map<Value *, Value *> Replacements;
+
+  auto Resolve = [&](Value *V) {
+    while (true) {
+      auto It = Replacements.find(V);
+      if (It == Replacements.end())
+        return V;
+      V = It->second;
+    }
+  };
+
+  for (BasicBlock *BB : reversePostOrder(F)) {
+    for (auto &I : BB->instructions()) {
+      if (!I->isPure())
+        continue;
+      if (I->numOperands() == 0 || I->numOperands() > 2)
+        continue;
+      Value *A = Resolve(I->operand(0));
+      Value *B = I->numOperands() == 2 ? Resolve(I->operand(1)) : nullptr;
+      if (isCommutative(I->opcode()) && B && B < A)
+        std::swap(A, B);
+      ExprKey Key{I->opcode(), I->cmpPred(), A, B};
+
+      auto &Candidates = Table[Key];
+      Instruction *Found = nullptr;
+      for (Instruction *Cand : Candidates) {
+        if (Cand->parent() == BB ||
+            DT.dominates(Cand->parent(), BB)) {
+          Found = Cand;
+          break;
+        }
+      }
+      if (Found) {
+        Replacements[I.get()] = Found;
+        continue;
+      }
+      Candidates.push_back(I.get());
+    }
+  }
+
+  if (Replacements.empty())
+    return false;
+  F.rewriteOperands(Replacements);
+  // The replaced instructions are now dead; let DCE collect them.
+  runDeadCodeElim(F);
+  return true;
+}

@@ -1,0 +1,163 @@
+//===- opt/IfConvert.cpp - If-conversion to conditional moves --------------------===//
+//
+// Converts small, side-effect-free branch hammocks into straight-line code
+// with selects (lowered to conditional moves), trading instruction count
+// for branch-predictor pressure -- the classic if-conversion trade-off
+// whose profitability depends on the branch predictor configuration, an
+// interaction the extended design space (Section 2.2's "other variables a
+// compiler writer may be interested in modeling") lets the models see.
+//
+// Shapes handled, for a block P ending in `br cond, T, E`:
+//
+//   diamond:  T and E are single-predecessor, pure, small, both jump to
+//             the same join J;
+//   triangle: T is single-predecessor, pure, small, jumps to J == E.
+//
+// The side block(s) are speculated into P and every join phi becomes a
+// select. The speculation budget (#instructions) is the pass's heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+using namespace msem;
+
+namespace {
+
+/// True if every instruction of \p BB (except the terminator) may be
+/// speculated: pure, no phis, and within the size budget.
+bool isSpeculatable(const BasicBlock &BB, unsigned MaxInsns) {
+  if (BB.size() == 0 || BB.size() - 1 > MaxInsns)
+    return false;
+  for (size_t I = 0; I + 1 < BB.size(); ++I) {
+    const Instruction &Ins = *BB.instructions()[I];
+    if (!Ins.isPure() || Ins.opcode() == Opcode::Phi)
+      return false;
+  }
+  const Instruction *Term = BB.terminator();
+  return Term && Term->opcode() == Opcode::Jmp;
+}
+
+/// Moves all non-terminator instructions of \p From to the end of \p To
+/// (before To's terminator slot -- To's terminator must already be gone).
+void hoistBody(BasicBlock &From, BasicBlock &To) {
+  while (From.size() > 1) {
+    auto I = From.detachAt(0);
+    To.append(std::move(I));
+  }
+}
+
+bool convertOne(Function &F, unsigned MaxInsns) {
+  auto Preds = computePredecessors(F);
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock *P = BBPtr.get();
+    Instruction *Term = P->terminator();
+    if (!Term || Term->opcode() != Opcode::Br)
+      continue;
+    BasicBlock *T = Term->successor(0);
+    BasicBlock *E = Term->successor(1);
+    if (T == E)
+      continue;
+    Value *Cond = Term->operand(0);
+
+    auto SinglePredOf = [&](BasicBlock *BB) {
+      const auto &Ps = Preds.at(BB);
+      return Ps.size() == 1 && Ps.front() == P;
+    };
+
+    BasicBlock *Join = nullptr;
+    bool Diamond = false;
+    if (SinglePredOf(T) && SinglePredOf(E) && isSpeculatable(*T, MaxInsns) &&
+        isSpeculatable(*E, MaxInsns) &&
+        T->terminator()->successor(0) == E->terminator()->successor(0)) {
+      Join = T->terminator()->successor(0);
+      Diamond = true;
+    } else if (SinglePredOf(T) && isSpeculatable(*T, MaxInsns) &&
+               T->terminator()->successor(0) == E) {
+      Join = E; // Triangle with the fall-through edge as the join.
+    } else {
+      continue;
+    }
+    // The join must not be a loop header relative to P (converting a back
+    // edge would break the loop's phi structure); requiring that the join
+    // has exactly the expected predecessors keeps this safe.
+    {
+      const auto &JoinPreds = Preds.at(Join);
+      size_t Expected = Diamond ? 2u : 2u; // {T,E} or {T,P}.
+      if (JoinPreds.size() != Expected)
+        continue;
+      if (Join == P || Join == T || Join == E)
+        continue;
+    }
+
+    // Rewrite the join's phis into selects (placed in P after the hoisted
+    // bodies). Gather replacements first.
+    std::vector<std::pair<Instruction *, std::unique_ptr<Instruction>>>
+        PhiToSelect;
+    bool AllPhisConvertible = true;
+    for (const auto &I : Join->instructions()) {
+      if (I->opcode() != Opcode::Phi)
+        break;
+      Value *TVal = nullptr, *EVal = nullptr;
+      for (size_t Idx = 0; Idx < I->phiBlocks().size(); ++Idx) {
+        if (I->phiBlocks()[Idx] == T)
+          TVal = I->operand(Idx);
+        else if (I->phiBlocks()[Idx] == (Diamond ? E : P))
+          EVal = I->operand(Idx);
+      }
+      if (!TVal || !EVal) {
+        AllPhisConvertible = false;
+        break;
+      }
+      auto Sel = std::make_unique<Instruction>(Opcode::Select, I->type());
+      Sel->addOperand(Cond);
+      Sel->addOperand(TVal);
+      Sel->addOperand(EVal);
+      PhiToSelect.push_back({I.get(), std::move(Sel)});
+    }
+    if (!AllPhisConvertible)
+      continue;
+
+    // Commit: drop P's branch, splice the side bodies, emit selects, jump.
+    P->eraseAt(P->indexOf(Term));
+    hoistBody(*T, *P);
+    if (Diamond)
+      hoistBody(*E, *P);
+    std::unordered_map<Value *, Value *> Replacements;
+    for (auto &[Phi, Sel] : PhiToSelect) {
+      Instruction *Placed = P->append(std::move(Sel));
+      Replacements[Phi] = Placed;
+    }
+    auto Jump = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+    Jump->setSuccessor(0, Join);
+    P->append(std::move(Jump));
+
+    // Remove the converted phis and dead side blocks.
+    while (!Join->empty() &&
+           Join->instructions().front()->opcode() == Opcode::Phi)
+      Join->eraseAt(0);
+    if (!Replacements.empty())
+      F.rewriteOperands(Replacements);
+    F.eraseBlock(T);
+    if (Diamond)
+      F.eraseBlock(E);
+    return true; // CFG changed; caller re-runs with fresh analyses.
+  }
+  return false;
+}
+
+} // namespace
+
+bool msem::runIfConvert(Function &F, const OptimizationConfig &Config) {
+  if (!Config.IfConvert)
+    return false;
+  bool Changed = false;
+  for (int Round = 0; Round < 64; ++Round) {
+    if (!convertOne(F, static_cast<unsigned>(Config.MaxIfConvertInsns)))
+      break;
+    Changed = true;
+  }
+  return Changed;
+}

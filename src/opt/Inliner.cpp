@@ -1,0 +1,155 @@
+//===- opt/Inliner.cpp - Function inlining (-finline-functions) --------------===//
+//
+// Inlines call sites bottom-up, governed by the three Table 1 heuristics:
+//
+//   #10 max-inline-insns-auto: hard cap on the callee's instruction count;
+//   #12 inline-call-cost: profitability gate -- a callee is worth inlining
+//       when its body is small relative to the saved call overhead
+//       (callee size <= 8 * inline-call-cost), so larger call costs admit
+//       larger callees;
+//   #11 inline-unit-growth: global budget -- the module may grow by at most
+//       this percentage over its pre-inlining size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Cloning.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+/// Inlines one call site. \p CallIdx is the index of the call in \p CallBB.
+void inlineCallSite(Function &Caller, BasicBlock *CallBB, size_t CallIdx) {
+  Instruction *Call = CallBB->instructions()[CallIdx].get();
+  Function *Callee = Call->callee();
+
+  // 1. Split the block after the call: the continuation gets everything
+  //    after the call, including the terminator.
+  BasicBlock *Cont = Caller.createBlock(CallBB->name() + ".cont");
+  while (CallBB->size() > CallIdx + 1) {
+    auto I = CallBB->detachAt(CallIdx + 1);
+    Cont->append(std::move(I));
+  }
+  // Successor phis that named CallBB now receive control from Cont.
+  for (BasicBlock *Succ : Cont->successors()) {
+    for (auto &I : Succ->instructions()) {
+      if (I->opcode() != Opcode::Phi)
+        break;
+      for (BasicBlock *&From : I->phiBlocks())
+        if (From == CallBB)
+          From = Cont;
+    }
+  }
+
+  // 2. Clone the callee body into the caller, mapping formals to actuals.
+  CloneMapping Map;
+  for (unsigned A = 0; A < Callee->numArgs(); ++A)
+    Map.Values[Callee->arg(A)] = Call->operand(A);
+  std::vector<BasicBlock *> Region;
+  for (const auto &BB : Callee->blocks())
+    Region.push_back(BB.get());
+  std::vector<BasicBlock *> Cloned =
+      cloneRegion(Region, Caller, "." + Callee->name(), Map);
+  BasicBlock *ClonedEntry = Map.Blocks.at(Callee->entry());
+
+  // 3. Rewrite cloned returns into jumps to the continuation, collecting
+  //    the returned values for the result phi.
+  std::vector<std::pair<Value *, BasicBlock *>> Returns;
+  for (BasicBlock *BB : Cloned) {
+    Instruction *Term = BB->terminator();
+    if (!Term || Term->opcode() != Opcode::Ret)
+      continue;
+    Value *RetVal = Term->numOperands() ? Term->operand(0) : nullptr;
+    size_t TermIdx = BB->indexOf(Term);
+    BB->eraseAt(TermIdx);
+    auto Jump = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+    Jump->setSuccessor(0, Cont);
+    BB->append(std::move(Jump));
+    Returns.push_back({RetVal, BB});
+  }
+
+  // 4. Replace the call's value with a phi over the returned values.
+  if (Call->type() != Type::Void) {
+    auto Phi = std::make_unique<Instruction>(Opcode::Phi, Call->type());
+    for (auto &[V, BB] : Returns)
+      Phi->addPhiIncoming(V, BB);
+    Instruction *ResultPhi = Cont->insertAt(0, std::move(Phi));
+    Caller.replaceAllUses(Call, ResultPhi);
+  }
+
+  // 5. The call block now jumps into the cloned entry.
+  CallBB->eraseAt(CallIdx); // Drop the call itself.
+  auto Jump = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+  Jump->setSuccessor(0, ClonedEntry);
+  CallBB->append(std::move(Jump));
+
+  // 6. Hoist cloned allocas into the caller's entry block so that frame
+  //    slots are allocated once per activation, not per loop iteration.
+  BasicBlock *Entry = Caller.entry();
+  for (BasicBlock *BB : Cloned) {
+    auto &Instrs = BB->instructions();
+    for (size_t Idx = 0; Idx < Instrs.size();) {
+      if (Instrs[Idx]->opcode() == Opcode::Alloca && BB != Entry) {
+        auto I = BB->detachAt(Idx);
+        Entry->insertAt(0, std::move(I));
+      } else {
+        ++Idx;
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool msem::runInline(Module &M, const OptimizationConfig &Config) {
+  if (!Config.InlineFunctions)
+    return false;
+
+  const unsigned OriginalSize = M.instructionCount();
+  const unsigned Budget =
+      OriginalSize +
+      OriginalSize * static_cast<unsigned>(Config.InlineUnitGrowth) / 100;
+  const unsigned SizeCap = static_cast<unsigned>(
+      std::min<int>(Config.MaxInlineInsnsAuto, 8 * Config.InlineCallCost));
+
+  bool EverChanged = false;
+  // Iterate: inlining may expose further (cloned) call sites.
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    for (const auto &F : M.functions()) {
+      bool FunctionChanged = true;
+      while (FunctionChanged) {
+        FunctionChanged = false;
+        for (const auto &BB : F->blocks()) {
+          for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+            Instruction *I = BB->instructions()[Idx].get();
+            if (I->opcode() != Opcode::Call)
+              continue;
+            Function *Callee = I->callee();
+            if (Callee == F.get())
+              continue; // No direct self-inlining.
+            unsigned CalleeSize = Callee->instructionCount();
+            if (CalleeSize > SizeCap)
+              continue;
+            if (M.instructionCount() + CalleeSize > Budget)
+              continue;
+            inlineCallSite(*F, BB.get(), Idx);
+            Changed = FunctionChanged = true;
+            break; // Block structure changed; rescan the function.
+          }
+          if (FunctionChanged)
+            break;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+    EverChanged = true;
+  }
+  return EverChanged;
+}

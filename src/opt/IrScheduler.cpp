@@ -1,0 +1,163 @@
+//===- opt/IrScheduler.cpp - Pre-RA list scheduling (-fschedule-insns2) ------===//
+//
+// Reorders instructions within each basic block by critical-path list
+// scheduling so that long-latency producers (loads, multiplies, FP ops)
+// start as early as possible. Dependences: SSA def-use within the block,
+// plus a conservative memory order (loads may reorder among themselves;
+// stores, calls and emits are ordered with all other memory operations).
+// Phis stay at the block head, the terminator at the end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+unsigned estimatedLatency(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Load:
+    return 3;
+  case Opcode::Mul:
+    return 3;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return 20;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+    return 4;
+  case Opcode::FDiv:
+    return 12;
+  case Opcode::Call:
+    return 8;
+  default:
+    return 1;
+  }
+}
+
+bool isMemoryBarrier(const Instruction &I) {
+  return I.opcode() == Opcode::Store || I.opcode() == Opcode::Call ||
+         I.opcode() == Opcode::Emit;
+}
+
+bool readsMemory(const Instruction &I) {
+  return I.opcode() == Opcode::Load || I.opcode() == Opcode::Prefetch;
+}
+
+bool scheduleBlock(BasicBlock &BB) {
+  auto &Instrs = BB.instructions();
+  // The schedulable window: after the phi prefix, before the terminator.
+  size_t Begin = 0;
+  while (Begin < Instrs.size() && Instrs[Begin]->opcode() == Opcode::Phi)
+    ++Begin;
+  if (Instrs.empty() || !Instrs.back()->isTerminator())
+    return false;
+  size_t End = Instrs.size() - 1;
+  if (End <= Begin + 1)
+    return false;
+
+  size_t N = End - Begin;
+  std::vector<Instruction *> Window(N);
+  for (size_t I = 0; I < N; ++I)
+    Window[I] = Instrs[Begin + I].get();
+
+  // Dependence edges: Succs[i] lists successors of node i; PredCount[i]
+  // counts unscheduled predecessors.
+  std::vector<std::vector<unsigned>> Succs(N);
+  std::vector<unsigned> PredCount(N, 0);
+  std::unordered_map<const Value *, unsigned> DefIndex;
+  for (size_t I = 0; I < N; ++I)
+    DefIndex[Window[I]] = I;
+
+  auto AddEdge = [&](unsigned From, unsigned To) {
+    Succs[From].push_back(To);
+    ++PredCount[To];
+  };
+
+  int LastBarrier = -1;
+  std::vector<unsigned> ReadersSinceBarrier;
+  for (size_t I = 0; I < N; ++I) {
+    const Instruction &Ins = *Window[I];
+    for (const Value *Op : Ins.operands()) {
+      auto It = DefIndex.find(Op);
+      if (It != DefIndex.end())
+        AddEdge(It->second, I);
+    }
+    if (isMemoryBarrier(Ins)) {
+      if (LastBarrier >= 0)
+        AddEdge(static_cast<unsigned>(LastBarrier), I);
+      for (unsigned Reader : ReadersSinceBarrier)
+        AddEdge(Reader, I);
+      ReadersSinceBarrier.clear();
+      LastBarrier = static_cast<int>(I);
+    } else if (readsMemory(Ins)) {
+      if (LastBarrier >= 0)
+        AddEdge(static_cast<unsigned>(LastBarrier), I);
+      ReadersSinceBarrier.push_back(I);
+    }
+  }
+
+  // Critical-path priority: longest latency path to any sink.
+  std::vector<unsigned> Priority(N, 0);
+  for (size_t I = N; I-- > 0;) {
+    unsigned Best = 0;
+    for (unsigned S : Succs[I])
+      Best = std::max(Best, Priority[S]);
+    Priority[I] = Best + estimatedLatency(*Window[I]);
+  }
+
+  // List scheduling; ties broken by original order for determinism.
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  std::vector<unsigned> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (PredCount[I] == 0)
+      Ready.push_back(I);
+  while (!Ready.empty()) {
+    size_t BestIdx = 0;
+    for (size_t R = 1; R < Ready.size(); ++R) {
+      if (Priority[Ready[R]] > Priority[Ready[BestIdx]] ||
+          (Priority[Ready[R]] == Priority[Ready[BestIdx]] &&
+           Ready[R] < Ready[BestIdx]))
+        BestIdx = R;
+    }
+    unsigned Chosen = Ready[BestIdx];
+    Ready.erase(Ready.begin() + BestIdx);
+    Order.push_back(Chosen);
+    for (unsigned S : Succs[Chosen])
+      if (--PredCount[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Order.size() == N && "scheduling dependence cycle");
+
+  bool Changed = false;
+  for (size_t I = 0; I < N; ++I)
+    if (Order[I] != I)
+      Changed = true;
+  if (!Changed)
+    return false;
+
+  // Rebuild the window in the new order.
+  std::vector<std::unique_ptr<Instruction>> NewWindow(N);
+  std::vector<std::unique_ptr<Instruction>> OldWindow(N);
+  for (size_t I = 0; I < N; ++I)
+    OldWindow[I] = std::move(Instrs[Begin + I]);
+  for (size_t I = 0; I < N; ++I)
+    Instrs[Begin + I] = std::move(OldWindow[Order[I]]);
+  return true;
+}
+
+} // namespace
+
+bool msem::runIrSchedule(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks())
+    Changed |= scheduleBlock(*BB);
+  return Changed;
+}

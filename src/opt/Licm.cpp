@@ -1,0 +1,81 @@
+//===- opt/Licm.cpp - Loop-invariant code motion (-floop-optimize) -----------===//
+//
+// Hoists pure instructions whose operands are loop-invariant into the loop
+// preheader, innermost loops first, iterating to a fixpoint per loop. This
+// models gcc's -floop-optimize ("move constant expressions out of loops,
+// simplify exit test conditions").
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_set>
+
+using namespace msem;
+
+namespace {
+
+/// Hoists from one loop; returns true on change.
+bool hoistFromLoop(Function &F, Loop &L) {
+  BasicBlock *Pre = LoopAnalysis::ensurePreheader(F, L);
+
+  std::unordered_set<const Value *> InLoop;
+  for (BasicBlock *BB : L.Blocks)
+    for (const auto &I : BB->instructions())
+      InLoop.insert(I.get());
+
+  auto IsInvariant = [&](const Instruction &I) {
+    if (!I.isPure())
+      return false;
+    for (const Value *Op : I.operands())
+      if (InLoop.count(Op))
+        return false;
+    return true;
+  };
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (BasicBlock *BB : L.Blocks) {
+      auto &Instrs = BB->instructions();
+      for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+        Instruction *I = Instrs[Idx].get();
+        if (!IsInvariant(*I))
+          continue;
+        // Move to the preheader, before its terminator. The definition
+        // then dominates the whole loop.
+        std::unique_ptr<Instruction> Detached = BB->detachAt(Idx);
+        InLoop.erase(I);
+        Pre->insertBeforeTerminator(std::move(Detached));
+        Progress = true;
+        Changed = true;
+        --Idx; // Re-examine the instruction that slid into this slot.
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool msem::runLicm(Function &F) {
+  bool EverChanged = false;
+  // ensurePreheader may add blocks, invalidating the analyses; recompute
+  // until a pass over all loops makes no change (bounded).
+  for (int Round = 0; Round < 8; ++Round) {
+    DominatorTree DT(F);
+    LoopAnalysis LA(F, DT);
+    bool Changed = false;
+    // Innermost first: deeper loops appear later in the sorted loop list.
+    const auto &Loops = LA.loops();
+    for (size_t Idx = Loops.size(); Idx-- > 0;)
+      Changed |= hoistFromLoop(F, *Loops[Idx]);
+    if (!Changed)
+      break;
+    EverChanged = true;
+  }
+  return EverChanged;
+}

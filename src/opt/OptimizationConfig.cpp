@@ -1,0 +1,42 @@
+//===- opt/OptimizationConfig.cpp - Table 1 compiler parameters -------------===//
+
+#include "opt/OptimizationConfig.h"
+
+#include "support/Format.h"
+
+using namespace msem;
+
+OptimizationConfig OptimizationConfig::O0() { return OptimizationConfig(); }
+
+OptimizationConfig OptimizationConfig::O1() { return OptimizationConfig(); }
+
+OptimizationConfig OptimizationConfig::O2() {
+  OptimizationConfig C;
+  C.ScheduleInsns2 = true;
+  C.LoopOptimize = true;
+  C.Gcse = true;
+  C.StrengthReduce = true;
+  C.ReorderBlocks = true;
+  return C;
+}
+
+OptimizationConfig OptimizationConfig::O3() {
+  OptimizationConfig C = O2();
+  C.InlineFunctions = true;
+  C.OmitFramePointer = true;
+  C.PrefetchLoopArrays = true;
+  return C;
+}
+
+std::string OptimizationConfig::toString() const {
+  std::string S = formatString(
+      "%d%d%d%d%d%d%d%d%d i%d g%d c%d u%d n%d", InlineFunctions,
+      UnrollLoops, ScheduleInsns2, LoopOptimize, Gcse, StrengthReduce,
+      OmitFramePointer, ReorderBlocks, PrefetchLoopArrays,
+      MaxInlineInsnsAuto, InlineUnitGrowth, InlineCallCost, MaxUnrollTimes,
+      MaxUnrolledInsns);
+  if (IfConvert || Tracer)
+    S += formatString(" [ifc%d/%d td%d/%d]", IfConvert, MaxIfConvertInsns,
+                      Tracer, TailDupInsns);
+  return S;
+}

@@ -1,0 +1,71 @@
+//===- opt/OptimizationConfig.h - Table 1 compiler parameters ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 14 compiler optimization flags and heuristics of the paper's Table 1,
+/// with the same ranges. This struct is the "compiler half" of a design
+/// point: the empirical models relate these settings (plus the
+/// microarchitectural parameters) to execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_OPT_OPTIMIZATIONCONFIG_H
+#define MSEM_OPT_OPTIMIZATIONCONFIG_H
+
+#include <string>
+
+namespace msem {
+
+/// Settings for every optimization the pipeline implements. Field order
+/// matches the parameter numbering of the paper's Table 1.
+struct OptimizationConfig {
+  // Binary optimization flags (Table 1, #1-#9).
+  bool InlineFunctions = false;    ///< #1 -finline-functions
+  bool UnrollLoops = false;        ///< #2 -funroll-loops
+  bool ScheduleInsns2 = false;     ///< #3 -fschedule-insns2 (pre & post RA)
+  bool LoopOptimize = false;       ///< #4 -floop-optimize (LICM et al.)
+  bool Gcse = false;               ///< #5 -fgcse (GVN + const/copy prop)
+  bool StrengthReduce = false;     ///< #6 -fstrength-reduce
+  bool OmitFramePointer = false;   ///< #7 -fomit-frame-pointer
+  bool ReorderBlocks = false;      ///< #8 -freorder-blocks
+  bool PrefetchLoopArrays = false; ///< #9 -fprefetch-loop-arrays
+
+  // Numeric heuristics (Table 1, #10-#14), with the paper's ranges.
+  int MaxInlineInsnsAuto = 100; ///< #10 in [50, 150]
+  int InlineUnitGrowth = 50;    ///< #11 in [25, 75] (percent)
+  int InlineCallCost = 16;      ///< #12 in [12, 20]
+  int MaxUnrollTimes = 8;       ///< #13 in [4, 12]
+  int MaxUnrolledInsns = 200;   ///< #14 in [100, 300]
+
+  // Extension parameters (not part of the paper's Table 1; enabled via
+  // ParameterSpace::extendedSpace(), following the paper's Section 2.2
+  // remarks on trace-scheduling heuristics as further modelable
+  // variables).
+  bool IfConvert = false;    ///< ext: convert hammocks to selects.
+  int MaxIfConvertInsns = 6; ///< ext: speculation budget, in [2, 12].
+  bool Tracer = false;       ///< ext: tail-duplicate small joins.
+  int TailDupInsns = 8;      ///< ext: join-size budget, in [2, 16].
+
+  /// No optimization at all (baseline correctness testing).
+  static OptimizationConfig O0();
+  /// Cleanup only (constant folding, DCE, CFG simplification are always
+  /// performed by the pipeline regardless of flags).
+  static OptimizationConfig O1();
+  /// The paper's -O2 reference point.
+  static OptimizationConfig O2();
+  /// The paper's default -O3 (Table 6 last row: all flags on except
+  /// -funroll-loops, heuristics at 100/50/16/8/200).
+  static OptimizationConfig O3();
+
+  /// Short textual form, e.g. "111011101 i100 g50 c16 u8 n200".
+  std::string toString() const;
+
+  bool operator==(const OptimizationConfig &Other) const = default;
+};
+
+} // namespace msem
+
+#endif // MSEM_OPT_OPTIMIZATIONCONFIG_H

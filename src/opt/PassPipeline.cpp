@@ -1,0 +1,107 @@
+//===- opt/PassPipeline.cpp - Flag-driven optimization pipeline --------------===//
+//
+// Orders the passes the way gcc 4.x does: inlining first (whole-module),
+// then per-function loop optimizations, redundancy elimination, strength
+// reduction, unrolling, prefetch planning, scheduling and block layout,
+// with cleanup (fold/DCE/CFG-simplify) interleaved. OmitFramePointer and
+// the post-RA half of ScheduleInsns2 are consumed by the code generator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Verifier.h"
+#include "support/Env.h"
+#include "support/Error.h"
+
+using namespace msem;
+
+namespace {
+
+/// When MSEM_VERIFY_PASSES=1, the pipeline re-verifies the module after
+/// every pass group and aborts with the violation list on breakage --
+/// the debugging mode used while developing new passes.
+bool verifyAfterPasses() {
+  static const bool Enabled = getEnvInt("MSEM_VERIFY_PASSES", 0) != 0;
+  return Enabled;
+}
+
+void maybeVerify(Module &M, const char *After) {
+  if (!verifyAfterPasses())
+    return;
+  auto Errors = verifyModule(M);
+  if (Errors.empty())
+    return;
+  std::string All = std::string("after ") + After + ":\n";
+  for (const auto &E : Errors)
+    All += E + "\n";
+  fatalError("MSEM_VERIFY_PASSES: " + All);
+}
+
+} // namespace
+
+static void cleanupFunction(Function &F) {
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= runConstantFold(F);
+    Changed |= runSimplifyCfg(F);
+    Changed |= runDeadCodeElim(F);
+    if (!Changed)
+      break;
+  }
+}
+
+void msem::runCleanup(Module &M) {
+  for (const auto &F : M.functions())
+    cleanupFunction(*F);
+}
+
+void msem::runPassPipeline(Module &M, const OptimizationConfig &Config) {
+  runCleanup(M);
+
+  if (Config.InlineFunctions) {
+    runInline(M, Config);
+    runCleanup(M);
+    maybeVerify(M, "inline");
+  }
+
+  for (const auto &F : M.functions()) {
+    if (Config.LoopOptimize) {
+      runLicm(*F);
+      cleanupFunction(*F);
+    }
+    if (Config.Gcse) {
+      runGvn(*F);
+      cleanupFunction(*F);
+    }
+    if (Config.StrengthReduce) {
+      runStrengthReduce(*F);
+      cleanupFunction(*F);
+    }
+    if (Config.UnrollLoops) {
+      runUnroll(*F, Config);
+      cleanupFunction(*F);
+      // Unrolling exposes cross-copy redundancies.
+      if (Config.Gcse) {
+        runGvn(*F);
+        cleanupFunction(*F);
+      }
+    }
+    if (Config.PrefetchLoopArrays)
+      runPrefetch(*F);
+    if (Config.IfConvert) {
+      runIfConvert(*F, Config);
+      cleanupFunction(*F);
+    }
+    if (Config.Tracer) {
+      runTailDup(*F, Config);
+      cleanupFunction(*F);
+    }
+    if (Config.ScheduleInsns2)
+      runIrSchedule(*F);
+    if (Config.ReorderBlocks)
+      runReorderBlocks(*F);
+  }
+  maybeVerify(M, "per-function passes");
+  M.renumber();
+}

@@ -1,0 +1,78 @@
+//===- opt/Passes.h - Optimization pass entry points -------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry points of all IR-level optimization passes and the flag-driven
+/// pipeline. Each pass returns true when it changed the IR. Passes keep the
+/// module verifier-clean; tests assert this around every invocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_OPT_PASSES_H
+#define MSEM_OPT_PASSES_H
+
+#include "ir/Module.h"
+#include "opt/OptimizationConfig.h"
+
+namespace msem {
+
+/// Constant folding, algebraic simplification and phi collapsing.
+bool runConstantFold(Function &F);
+
+/// Mark-and-sweep dead code elimination (handles dead phi cycles).
+bool runDeadCodeElim(Function &F);
+
+/// Folds constant branches, removes unreachable blocks and merges
+/// trivially linear block pairs.
+bool runSimplifyCfg(Function &F);
+
+/// Global value numbering CSE over pure instructions (-fgcse).
+bool runGvn(Function &F);
+
+/// Loop-invariant code motion of pure instructions (-floop-optimize).
+bool runLicm(Function &F);
+
+/// Induction-variable strength reduction: mul(iv, c) becomes an additive
+/// recurrence (-fstrength-reduce).
+bool runStrengthReduce(Function &F);
+
+/// Loop unrolling with retained exit tests (-funroll-loops). Honours
+/// MaxUnrollTimes and MaxUnrolledInsns from \p Config.
+bool runUnroll(Function &F, const OptimizationConfig &Config);
+
+/// Software prefetch insertion for strided loads in counted loops
+/// (-fprefetch-loop-arrays).
+bool runPrefetch(Function &F);
+
+/// Pre-RA list scheduling within blocks: hoists loads away from their uses
+/// by estimated latency (-fschedule-insns2, the "before RA" half; the
+/// "after RA" half runs in codegen).
+bool runIrSchedule(Function &F);
+
+/// Static branch-probability-driven block layout (-freorder-blocks).
+bool runReorderBlocks(Function &F);
+
+/// Function inlining driven by the Table 1 heuristics (#10-#12).
+bool runInline(Module &M, const OptimizationConfig &Config);
+
+/// If-conversion of small pure hammocks into selects (extension knob).
+bool runIfConvert(Function &F, const OptimizationConfig &Config);
+
+/// Tail duplication of small join blocks (extension knob).
+bool runTailDup(Function &F, const OptimizationConfig &Config);
+
+/// Runs cleanup (fold + DCE + CFG simplification) on every function until
+/// fixpoint (bounded).
+void runCleanup(Module &M);
+
+/// The full flag-driven pipeline in gcc-like order. Cleanup passes always
+/// run; optimization passes run according to \p Config. OmitFramePointer
+/// and the post-RA half of ScheduleInsns2 are consumed by codegen.
+void runPassPipeline(Module &M, const OptimizationConfig &Config);
+
+} // namespace msem
+
+#endif // MSEM_OPT_PASSES_H

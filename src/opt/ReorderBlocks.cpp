@@ -1,0 +1,98 @@
+//===- opt/ReorderBlocks.cpp - Block layout (-freorder-blocks) ---------------===//
+//
+// Lays blocks out so that statically likely successors fall through.
+// The machine model fetches past not-taken branches but breaks the fetch
+// group at every taken branch, so a layout that keeps the hot path
+// sequential reduces taken branches and improves icache locality -- the
+// effects gcc's -freorder-blocks targets.
+//
+// Likelihood heuristics (no profile available, as in the paper's setup):
+//   - a successor that stays in the current loop beats one that leaves it;
+//   - a successor entering a deeper loop beats a shallower one;
+//   - otherwise the fall-through (false) successor is considered likely
+//     (forward branches predicted not-taken).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_set>
+
+using namespace msem;
+
+namespace {
+
+unsigned loopDepthOf(const LoopAnalysis &LA, const BasicBlock *BB) {
+  const Loop *L = LA.loopFor(BB);
+  return L ? L->Depth : 0;
+}
+
+} // namespace
+
+bool msem::runReorderBlocks(Function &F) {
+  if (F.blocks().size() < 3)
+    return false;
+  DominatorTree DT(F);
+  LoopAnalysis LA(F, DT);
+
+  std::vector<BasicBlock *> Layout;
+  Layout.reserve(F.blocks().size());
+  std::unordered_set<const BasicBlock *> Placed;
+
+  // Depth-first placement following the likely successor, so that the hot
+  // path becomes one long fall-through chain.
+  std::vector<BasicBlock *> Stack{F.entry()};
+  while (!Stack.empty()) {
+    BasicBlock *BB = Stack.back();
+    Stack.pop_back();
+    if (!Placed.insert(BB).second)
+      continue;
+    Layout.push_back(BB);
+
+    std::vector<BasicBlock *> Succ = BB->successors();
+    if (Succ.empty())
+      continue;
+    if (Succ.size() == 1) {
+      Stack.push_back(Succ[0]);
+      continue;
+    }
+    BasicBlock *Taken = Succ[0], *Fallthrough = Succ[1];
+    const Loop *Cur = LA.loopFor(BB);
+    auto StaysInLoop = [&](const BasicBlock *S) {
+      return Cur && Cur->contains(S);
+    };
+    BasicBlock *Likely = Fallthrough;
+    BasicBlock *Unlikely = Taken;
+    if (StaysInLoop(Taken) && !StaysInLoop(Fallthrough)) {
+      Likely = Taken;
+      Unlikely = Fallthrough;
+    } else if (StaysInLoop(Fallthrough) && !StaysInLoop(Taken)) {
+      Likely = Fallthrough;
+      Unlikely = Taken;
+    } else if (loopDepthOf(LA, Taken) > loopDepthOf(LA, Fallthrough)) {
+      Likely = Taken;
+      Unlikely = Fallthrough;
+    }
+    // DFS stack: push unlikely first so likely is visited (placed) next.
+    Stack.push_back(Unlikely);
+    Stack.push_back(Likely);
+  }
+
+  // Unreachable blocks (if any) keep their relative order at the end.
+  for (const auto &BB : F.blocks())
+    if (!Placed.count(BB.get()))
+      Layout.push_back(BB.get());
+
+  // No-op check.
+  bool Same = true;
+  for (size_t I = 0; I < Layout.size(); ++I)
+    if (F.blocks()[I].get() != Layout[I])
+      Same = false;
+  if (Same)
+    return false;
+
+  F.reorderBlocks(Layout);
+  return true;
+}

@@ -1,0 +1,127 @@
+//===- opt/SimplifyCfg.cpp - CFG cleanup -------------------------------------===//
+//
+// Three conservative transforms run to a bounded fixpoint:
+//   1. br on a constant condition -> jmp (phi incomings on the dead edge are
+//      dropped).
+//   2. unreachable block removal.
+//   3. merging a block into its unique jmp-predecessor when it is that
+//      predecessor's unique successor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+/// Drops the phi incoming entries for edge From->To.
+void removePhiIncoming(BasicBlock *To, BasicBlock *From) {
+  for (auto &I : To->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    auto &Blocks = I->phiBlocks();
+    auto &Ops = I->operands();
+    for (size_t Idx = Blocks.size(); Idx-- > 0;) {
+      if (Blocks[Idx] == From) {
+        Blocks.erase(Blocks.begin() + Idx);
+        Ops.erase(Ops.begin() + Idx);
+      }
+    }
+  }
+}
+
+bool foldConstantBranches(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    Instruction *Term = BB->terminator();
+    if (!Term || Term->opcode() != Opcode::Br)
+      continue;
+    auto *C = dyn_cast<Constant>(Term->operand(0));
+    if (!C)
+      continue;
+    BasicBlock *Taken = C->intValue() != 0 ? Term->successor(0)
+                                           : Term->successor(1);
+    BasicBlock *Dead = C->intValue() != 0 ? Term->successor(1)
+                                          : Term->successor(0);
+    if (Dead != Taken)
+      removePhiIncoming(Dead, BB.get());
+    // Rewrite the branch into a jump in place.
+    size_t TermIdx = BB->indexOf(Term);
+    BB->eraseAt(TermIdx);
+    auto Jump = std::make_unique<Instruction>(Opcode::Jmp, Type::Void);
+    Jump->setSuccessor(0, Taken);
+    BB->append(std::move(Jump));
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Merges S into P when P ends in `jmp S`, S has P as its only predecessor
+/// and S is not the function entry.
+bool mergeLinearPairs(Function &F) {
+  auto Preds = computePredecessors(F);
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock *P = BBPtr.get();
+    Instruction *Term = P->terminator();
+    if (!Term || Term->opcode() != Opcode::Jmp)
+      continue;
+    BasicBlock *S = Term->successor(0);
+    if (S == P || S == F.entry())
+      continue;
+    const auto &SPreds = Preds.at(S);
+    if (SPreds.size() != 1 || SPreds.front() != P)
+      continue;
+
+    // Collapse S's phis (single incoming, from P).
+    std::unordered_map<Value *, Value *> Replacements;
+    while (!S->empty() && S->instructions().front()->opcode() == Opcode::Phi) {
+      Instruction *Phi = S->instructions().front().get();
+      assert(Phi->numOperands() == 1 && "single-pred block phi arity");
+      Replacements[Phi] = Phi->operand(0);
+      S->eraseAt(0);
+    }
+    if (!Replacements.empty())
+      F.rewriteOperands(Replacements);
+
+    // Drop P's jmp, move S's instructions into P.
+    P->eraseAt(P->indexOf(Term));
+    while (!S->empty()) {
+      auto I = S->detachAt(0);
+      P->append(std::move(I));
+    }
+    // Phis in S's successors referenced S; they now come from P.
+    for (BasicBlock *Succ : P->successors()) {
+      for (auto &I : Succ->instructions()) {
+        if (I->opcode() != Opcode::Phi)
+          break;
+        for (BasicBlock *&From : I->phiBlocks())
+          if (From == S)
+            From = P;
+      }
+    }
+    F.eraseBlock(S);
+    return true; // Predecessor map is stale; caller re-runs.
+  }
+  return false;
+}
+
+} // namespace
+
+bool msem::runSimplifyCfg(Function &F) {
+  bool EverChanged = false;
+  for (int Round = 0; Round < 64; ++Round) {
+    bool Changed = false;
+    Changed |= foldConstantBranches(F);
+    Changed |= removeUnreachableBlocks(F) > 0;
+    Changed |= mergeLinearPairs(F);
+    if (!Changed)
+      break;
+    EverChanged = true;
+  }
+  return EverChanged;
+}

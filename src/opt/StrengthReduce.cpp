@@ -1,0 +1,214 @@
+//===- opt/StrengthReduce.cpp - IV strength reduction (-fstrength-reduce) ----===//
+//
+// Rewrites mul(iv, C) inside a counted loop as an additive recurrence:
+//
+//   pre:    acc.init = mul(init, C)          ; loop-invariant, folds often
+//   header: acc = phi [acc.init, pre], [acc.next, latch]
+//   latch:  acc.next = add acc, C*step
+//
+// replacing a per-iteration multiply (3-cycle FU latency on our machine
+// model) with an add. Element-address computations produced by the
+// workloads (index * element-size) are the dominant beneficiaries,
+// exactly like gcc's array-indexing strength reduction.
+//
+// A second phase performs linear function test replacement (LFTR): when
+// the original induction variable survives only to drive the loop's exit
+// compare, the compare is rewritten against one of the reduced
+// recurrences (with a pre-scaled bound computed in the preheader) so that
+// dead-code elimination can delete the induction variable entirely --
+// gcc's induction variable elimination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+using namespace msem;
+
+namespace {
+
+/// Flips an ordering predicate for a negative scale factor.
+CmpPred flipForNegativeScale(CmpPred P) {
+  switch (P) {
+  case CmpPred::LT:
+    return CmpPred::GT;
+  case CmpPred::LE:
+    return CmpPred::GE;
+  case CmpPred::GT:
+    return CmpPred::LT;
+  case CmpPred::GE:
+    return CmpPred::LE;
+  default:
+    return P; // EQ/NE are scale-invariant (C != 0).
+  }
+}
+
+/// Attempts linear function test replacement on one counted loop.
+/// Requires a prior DCE run so that stale uses do not pin the IV.
+bool lftrLoop(Function &F, Loop &L) {
+  CountedLoop CL;
+  if (!LoopAnalysis::matchCountedLoop(L, CL))
+    return false;
+  if (!L.Preheader)
+    return false;
+  Module &M = *F.parent();
+
+  // The IV must be used only by its step and the exit compare; the step
+  // only by the phi and the compare.
+  auto Uses = F.countUses();
+  auto UseCount = [&](const Value *V) {
+    auto It = Uses.find(V);
+    return It == Uses.end() ? 0u : It->second;
+  };
+  unsigned IvUses = UseCount(CL.IndVar);
+  unsigned StepUses = UseCount(CL.Step);
+  unsigned IvExpected = CL.CondOnNext ? 1u : 2u;   // step (+ cond).
+  unsigned StepExpected = CL.CondOnNext ? 2u : 1u; // phi (+ cond).
+  if (IvUses != IvExpected || StepUses != StepExpected)
+    return false;
+
+  // Find a replacement recurrence: another header phi with a constant
+  // step K that is an exact multiple of the IV step.
+  BasicBlock *Latch = L.Latches.front();
+  for (const auto &I : L.Header->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    Instruction *Acc = I.get();
+    if (Acc == CL.IndVar || Acc->type() != Type::I64)
+      continue;
+    if (Acc->numOperands() != 2)
+      continue;
+    auto *AccNext = dyn_cast<Instruction>(Acc->phiIncomingFor(Latch));
+    if (!AccNext || AccNext->opcode() != Opcode::Add)
+      continue;
+    Value *Other = nullptr;
+    if (AccNext->operand(0) == Acc)
+      Other = AccNext->operand(1);
+    else if (AccNext->operand(1) == Acc)
+      Other = AccNext->operand(0);
+    auto *KConst = Other ? dyn_cast<Constant>(Other) : nullptr;
+    if (!KConst || KConst->type() != Type::I64)
+      continue;
+    int64_t K = KConst->intValue();
+    if (K == 0 || K % CL.StepValue != 0)
+      continue;
+    int64_t Scale = K / CL.StepValue;
+    if (Scale == 0)
+      continue;
+
+    // Preheader: boundScaled = accInit + (bound - init) * Scale.
+    Value *AccInit = Acc->phiIncomingFor(L.Preheader);
+    auto MakePre = [&](Opcode Op, Value *A, Value *B) {
+      auto NI = std::make_unique<Instruction>(Op, Type::I64);
+      NI->addOperand(A);
+      NI->addOperand(B);
+      return L.Preheader->insertBeforeTerminator(std::move(NI));
+    };
+    Value *Span = MakePre(Opcode::Sub, CL.Bound, CL.Init);
+    Value *Scaled = MakePre(Opcode::Mul, Span, M.constInt(Scale));
+    Value *BoundScaled = MakePre(Opcode::Add, AccInit, Scaled);
+
+    // Rewrite the compare in place.
+    Value *NewIv = CL.CondOnNext ? static_cast<Value *>(AccNext)
+                                 : static_cast<Value *>(Acc);
+    for (unsigned OpIdx = 0; OpIdx < CL.Cond->numOperands(); ++OpIdx) {
+      Value *Op = CL.Cond->operand(OpIdx);
+      if (Op == CL.IndVar || Op == CL.Step)
+        CL.Cond->setOperand(OpIdx, NewIv);
+      else if (Op == CL.Bound)
+        CL.Cond->setOperand(OpIdx, BoundScaled);
+    }
+    if (Scale < 0)
+      CL.Cond->setCmpPred(flipForNegativeScale(CL.Cond->cmpPred()));
+    return true; // The dead IV is collected by the next DCE run.
+  }
+  return false;
+}
+
+bool reduceLoop(Function &F, Loop &L) {
+  CountedLoop CL;
+  if (!LoopAnalysis::matchCountedLoop(L, CL))
+    return false;
+  BasicBlock *Pre = LoopAnalysis::ensurePreheader(F, L);
+  BasicBlock *Latch = L.Latches.front();
+  Module &M = *F.parent();
+
+  // Collect mul(iv, C) / mul(C, iv) instructions in the loop.
+  std::vector<Instruction *> Candidates;
+  for (BasicBlock *BB : L.Blocks) {
+    for (auto &I : BB->instructions()) {
+      if (I->opcode() != Opcode::Mul)
+        continue;
+      Value *A = I->operand(0), *B = I->operand(1);
+      bool AIsIv = A == CL.IndVar;
+      bool BIsIv = B == CL.IndVar;
+      Value *Other = AIsIv ? B : A;
+      if ((AIsIv ^ BIsIv) && isa<Constant>(Other))
+        Candidates.push_back(I.get());
+    }
+  }
+  if (Candidates.empty())
+    return false;
+
+  for (Instruction *MulI : Candidates) {
+    Value *A = MulI->operand(0);
+    auto *C = cast<Constant>(A == CL.IndVar ? MulI->operand(1) : A);
+    int64_t Scale = C->intValue();
+
+    // acc.init = init * Scale, computed in the preheader.
+    auto InitMul = std::make_unique<Instruction>(Opcode::Mul, Type::I64);
+    InitMul->addOperand(CL.Init);
+    InitMul->addOperand(M.constInt(Scale));
+    Instruction *AccInit = Pre->insertBeforeTerminator(std::move(InitMul));
+
+    // acc = phi [acc.init, pre], [acc.next, latch] at the header.
+    auto Phi = std::make_unique<Instruction>(Opcode::Phi, Type::I64);
+    Instruction *Acc = L.Header->insertAt(0, std::move(Phi));
+
+    // acc.next = acc + Scale*step, placed right after the IV step (which
+    // SSA guarantees dominates the back edge).
+    auto NextAdd = std::make_unique<Instruction>(Opcode::Add, Type::I64);
+    NextAdd->addOperand(Acc);
+    NextAdd->addOperand(M.constInt(Scale * CL.StepValue));
+    BasicBlock *StepBB = CL.Step->parent();
+    size_t StepIdx = StepBB->indexOf(CL.Step);
+    Instruction *AccNext = StepBB->insertAt(StepIdx + 1, std::move(NextAdd));
+
+    Acc->addPhiIncoming(AccInit, Pre);
+    Acc->addPhiIncoming(AccNext, Latch);
+
+    F.replaceAllUses(MulI, Acc);
+    MulI->parent()->eraseAt(MulI->parent()->indexOf(MulI));
+  }
+  return true;
+}
+
+} // namespace
+
+bool msem::runStrengthReduce(Function &F) {
+  bool EverChanged = false;
+  for (int Round = 0; Round < 4; ++Round) {
+    DominatorTree DT(F);
+    LoopAnalysis LA(F, DT);
+    bool Changed = false;
+    for (const auto &L : LA.loops())
+      Changed |= reduceLoop(F, *L);
+    if (!Changed)
+      break;
+    EverChanged = true;
+  }
+  // IV elimination: clear dead uses first, then retarget exit tests onto
+  // the reduced recurrences, then collect the dead IVs.
+  if (EverChanged) {
+    runDeadCodeElim(F);
+    DominatorTree DT(F);
+    LoopAnalysis LA(F, DT);
+    bool Replaced = false;
+    for (const auto &L : LA.loops())
+      Replaced |= lftrLoop(F, *L);
+    if (Replaced)
+      runDeadCodeElim(F);
+  }
+  return EverChanged;
+}

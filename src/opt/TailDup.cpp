@@ -1,0 +1,149 @@
+//===- opt/TailDup.cpp - Tail duplication (trace formation) ----------------------===//
+//
+// Duplicates small join blocks into their predecessors so each incoming
+// path gets its own straight-line copy -- the code-growth half of trace
+// scheduling the paper's Section 2.2 describes ("the optimizer can be
+// tuned to limit the increase in code size due to tail duplication").
+// Removing merge points lengthens fall-through runs (fewer taken
+// branches) at an instruction-cache cost; the growth budget is the pass's
+// heuristic.
+//
+// A join J qualifies when:
+//   - it has >= 2 predecessors and is not the entry block;
+//   - it is not a loop header (duplicating one would break the canonical
+//     loop shape the other loop passes rely on);
+//   - its body is within the size budget;
+//   - it ends in `ret` or `jmp` (single successor keeps phi fixups local).
+//
+// Each predecessor other than the first receives a private copy with J's
+// phis resolved to that predecessor's incoming values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Cloning.h"
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_set>
+
+using namespace msem;
+
+namespace {
+
+bool duplicateOne(Function &F, unsigned MaxInsns) {
+  DominatorTree DT(F);
+  LoopAnalysis LA(F, DT);
+  std::unordered_set<const BasicBlock *> Headers;
+  for (const auto &L : LA.loops())
+    Headers.insert(L->Header);
+  auto Preds = computePredecessors(F);
+
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock *J = BBPtr.get();
+    if (J == F.entry() || Headers.count(J))
+      continue;
+    const auto &JPreds = Preds.at(J);
+    if (JPreds.size() < 2 || J->size() > MaxInsns)
+      continue;
+    Instruction *Term = J->terminator();
+    if (!Term ||
+        (Term->opcode() != Opcode::Ret && Term->opcode() != Opcode::Jmp))
+      continue;
+    // Values defined in J and used elsewhere would need cross-copy phis;
+    // keep the transform local by requiring all uses internal.
+    {
+      std::unordered_set<const Value *> Defined;
+      for (const auto &I : J->instructions())
+        Defined.insert(I.get());
+      bool Escapes = false;
+      for (const auto &OtherBB : F.blocks()) {
+        if (OtherBB.get() == J)
+          continue;
+        for (const auto &I : OtherBB->instructions())
+          for (const Value *Op : I->operands())
+            if (Defined.count(Op))
+              Escapes = true;
+      }
+      if (Escapes)
+        continue;
+    }
+    BasicBlock *Succ =
+        Term->opcode() == Opcode::Jmp ? Term->successor(0) : nullptr;
+    if (Succ == J)
+      continue; // Self-loop (shouldn't happen for a non-header, but safe).
+
+    // Duplicate for every predecessor after the first.
+    for (size_t PI = 1; PI < JPreds.size(); ++PI) {
+      BasicBlock *P = JPreds[PI];
+      CloneMapping Map;
+      std::vector<BasicBlock *> Region{J};
+      cloneRegion(Region, F, ".td" + std::to_string(PI), Map);
+      BasicBlock *Copy = Map.Blocks.at(J);
+
+      // Resolve the copy's phis to this predecessor's incoming values.
+      std::unordered_map<Value *, Value *> Repl;
+      for (const auto &I : J->instructions()) {
+        if (I->opcode() != Opcode::Phi)
+          break;
+        Repl[Map.Values.at(I.get())] = I->phiIncomingFor(P);
+      }
+      while (!Copy->empty() &&
+             Copy->instructions().front()->opcode() == Opcode::Phi)
+        Copy->eraseAt(0);
+      if (!Repl.empty())
+        F.rewriteOperands(Repl);
+
+      // Retarget P's edge J -> Copy, and drop P's phi contributions to J.
+      Instruction *PTerm = P->terminator();
+      for (unsigned S = 0; S < PTerm->numSuccessors(); ++S)
+        if (PTerm->successor(S) == J)
+          PTerm->setSuccessor(S, Copy);
+      for (auto &I : J->instructions()) {
+        if (I->opcode() != Opcode::Phi)
+          break;
+        auto &Blocks = I->phiBlocks();
+        auto &Ops = I->operands();
+        for (size_t Idx = Blocks.size(); Idx-- > 0;) {
+          if (Blocks[Idx] == P) {
+            Blocks.erase(Blocks.begin() + Idx);
+            Ops.erase(Ops.begin() + Idx);
+          }
+        }
+      }
+      // The successor gains a predecessor: extend its phis.
+      if (Succ) {
+        for (auto &I : Succ->instructions()) {
+          if (I->opcode() != Opcode::Phi)
+            break;
+          Value *FromJ = I->phiIncomingFor(J);
+          auto It = Map.Values.find(FromJ);
+          I->addPhiIncoming(It == Map.Values.end() ? FromJ : It->second,
+                            Copy);
+        }
+      }
+    }
+    // J keeps its first predecessor only; its remaining phis collapse via
+    // the cleanup passes.
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool msem::runTailDup(Function &F, const OptimizationConfig &Config) {
+  if (!Config.Tracer)
+    return false;
+  bool Changed = false;
+  // One join per round (analyses go stale); budget-bounded.
+  for (int Round = 0; Round < 16; ++Round) {
+    if (!duplicateOne(F, static_cast<unsigned>(Config.TailDupInsns)))
+      break;
+    Changed = true;
+    runConstantFold(F);
+    runDeadCodeElim(F);
+  }
+  return Changed;
+}

@@ -1,0 +1,252 @@
+//===- opt/Unroller.cpp - Loop unrolling (-funroll-loops) --------------------===//
+//
+// Unrolls counted innermost loops by replicating the loop body
+// MaxUnrollTimes-1 times with the exit test retained in every copy. This is
+// semantics-preserving for any runtime trip count ("loops whose number of
+// iterations can be determined ... at loop entry", as gcc's flag describes)
+// and, combined with the always-on cleanup passes, fully collapses loops
+// with small constant trip counts.
+//
+// Eligibility (mirrors Table 1's heuristics):
+//   - the loop matches the canonical counted shape with a single latch;
+//   - all loop exits leave from the latch, to a dedicated exit block;
+//   - the body has at most MaxUnrolledInsns instructions (#14);
+//   - the unroll factor is MaxUnrollTimes (#13).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Cloning.h"
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "opt/Passes.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace msem;
+
+namespace {
+
+/// True if no other loop nests inside \p L.
+bool isInnermost(const LoopAnalysis &LA, const Loop &L) {
+  for (const auto &Other : LA.loops())
+    if (Other.get() != &L && Other->ParentLoop == &L)
+      return false;
+  return true;
+}
+
+/// Inserts LCSSA phis in \p Exit for every loop-defined value used outside
+/// the loop, so that adding new exit edges preserves dominance.
+void formLcssa(Function &F, Loop &L, BasicBlock *Latch, BasicBlock *Exit) {
+  std::unordered_set<const BasicBlock *> InLoop(L.Blocks.begin(),
+                                                L.Blocks.end());
+  std::vector<Instruction *> Escaping;
+  // Find loop-defined values with uses outside the loop.
+  std::unordered_set<const Value *> EscapeSet;
+  for (const auto &BB : F.blocks()) {
+    if (InLoop.count(BB.get()))
+      continue;
+    for (const auto &I : BB->instructions()) {
+      for (Value *Op : I->operands()) {
+        auto *Def = dyn_cast<Instruction>(Op);
+        if (!Def || !InLoop.count(Def->parent()))
+          continue;
+        if (EscapeSet.insert(Def).second)
+          Escaping.push_back(Def);
+      }
+    }
+  }
+  if (Escaping.empty())
+    return;
+
+  std::unordered_map<Value *, Value *> Replacements;
+  std::vector<Instruction *> NewPhis;
+  for (Instruction *Def : Escaping) {
+    auto Phi = std::make_unique<Instruction>(Opcode::Phi, Def->type());
+    Phi->addPhiIncoming(Def, Latch);
+    Instruction *P = Exit->insertAt(0, std::move(Phi));
+    Replacements[Def] = P;
+    NewPhis.push_back(P);
+  }
+  // Rewrite only uses outside the loop; then restore the phi incomings that
+  // the blanket rewrite redirected to themselves.
+  for (const auto &BB : F.blocks()) {
+    if (InLoop.count(BB.get()))
+      continue;
+    for (auto &I : BB->instructions()) {
+      bool IsNewPhi = false;
+      for (Instruction *P : NewPhis)
+        if (I.get() == P)
+          IsNewPhi = true;
+      if (IsNewPhi)
+        continue;
+      for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+        auto It = Replacements.find(I->operand(OpIdx));
+        if (It != Replacements.end())
+          I->setOperand(OpIdx, It->second);
+      }
+    }
+  }
+}
+
+bool unrollLoop(Function &F, Loop &L, unsigned Factor) {
+  if (Factor < 2)
+    return false;
+  CountedLoop CL;
+  if (!LoopAnalysis::matchCountedLoop(L, CL))
+    return false;
+  BasicBlock *Latch = L.Latches.front();
+
+  // All exits must leave from the latch.
+  for (BasicBlock *BB : L.Blocks) {
+    if (BB == Latch)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      if (!L.contains(Succ))
+        return false;
+  }
+  // The latch's exit edge must target a dedicated exit block.
+  BasicBlock *Exit = CL.LatchBr->successor(0) == L.Header
+                         ? CL.LatchBr->successor(1)
+                         : CL.LatchBr->successor(0);
+  if (Exit == L.Header)
+    return false; // Degenerate self-loop-on-both-edges.
+  auto Preds = computePredecessors(F);
+  if (Preds.at(Exit).size() != 1)
+    return false;
+  // No allocas inside the loop (replication would grow the frame).
+  for (BasicBlock *BB : L.Blocks)
+    for (const auto &I : BB->instructions())
+      if (I->opcode() == Opcode::Alloca)
+        return false;
+
+  formLcssa(F, L, Latch, Exit);
+
+  // Record the header phis and their latch-incoming values.
+  struct PhiInfo {
+    Instruction *Phi;
+    Value *FromLatch;
+  };
+  std::vector<PhiInfo> HeaderPhis;
+  for (const auto &I : L.Header->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    HeaderPhis.push_back({I.get(), I->phiIncomingFor(Latch)});
+  }
+  // Exit phis and their latch-incoming values (includes the LCSSA phis).
+  struct ExitPhiInfo {
+    Instruction *Phi;
+    Value *FromLatch;
+  };
+  std::vector<ExitPhiInfo> ExitPhis;
+  for (const auto &I : Exit->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    ExitPhis.push_back({I.get(), I->phiIncomingFor(Latch)});
+  }
+
+  // Clone the body Factor-1 times from the pristine region (the original
+  // blocks are not rewired until every copy exists), then chain the copies.
+  const std::vector<BasicBlock *> Region = L.Blocks;
+  std::vector<CloneMapping> Maps;
+  Maps.reserve(Factor - 1);
+  CloneMapping Identity; // Empty map: lookup() is the identity.
+
+  for (unsigned Copy = 1; Copy < Factor; ++Copy) {
+    const CloneMapping &PrevMap = Copy == 1 ? Identity : Maps[Copy - 2];
+    CloneMapping Map;
+    cloneRegion(Region, F, ".u" + std::to_string(Copy), Map);
+    BasicBlock *NewHeader = Map.Blocks.at(L.Header);
+    BasicBlock *NewLatch = Map.Blocks.at(Latch);
+
+    // Replace this copy's header phis with the previous copy's values.
+    std::unordered_map<Value *, Value *> PhiRepl;
+    for (const PhiInfo &PI : HeaderPhis)
+      PhiRepl[Map.Values.at(PI.Phi)] = PrevMap.lookup(PI.FromLatch);
+    F.rewriteOperands(PhiRepl);
+    // Later Map lookups (exit phis, chaining) must see the replacement, not
+    // the soon-to-be-deleted cloned phi.
+    for (const PhiInfo &PI : HeaderPhis)
+      Map.Values[PI.Phi] = PrevMap.lookup(PI.FromLatch);
+    while (!NewHeader->empty() &&
+           NewHeader->instructions().front()->opcode() == Opcode::Phi)
+      NewHeader->eraseAt(0);
+
+    // This copy's exit edge contributes new incomings to the exit phis.
+    for (const ExitPhiInfo &EPI : ExitPhis)
+      EPI.Phi->addPhiIncoming(Map.lookup(EPI.FromLatch), NewLatch);
+
+    Maps.push_back(std::move(Map));
+  }
+
+  // Chain the copies: each latch's back edge (which currently re-enters its
+  // own copy's header) advances to the next copy; the last returns to the
+  // real header.
+  for (unsigned Copy = 0; Copy < Maps.size(); ++Copy) {
+    Instruction *PrevBr = Copy == 0
+                              ? CL.LatchBr
+                              : cast<Instruction>(
+                                    Maps[Copy - 1].Values.at(CL.LatchBr));
+    BasicBlock *OwnHeader =
+        Copy == 0 ? L.Header : Maps[Copy - 1].Blocks.at(L.Header);
+    for (unsigned S = 0; S < PrevBr->numSuccessors(); ++S)
+      if (PrevBr->successor(S) == OwnHeader)
+        PrevBr->setSuccessor(S, Maps[Copy].Blocks.at(L.Header));
+  }
+  const CloneMapping &LastMap = Maps.back();
+  Instruction *LastBr = cast<Instruction>(LastMap.Values.at(CL.LatchBr));
+  BasicBlock *LastOwnHeader = LastMap.Blocks.at(L.Header);
+  for (unsigned S = 0; S < LastBr->numSuccessors(); ++S)
+    if (LastBr->successor(S) == LastOwnHeader)
+      LastBr->setSuccessor(S, L.Header);
+
+  // The real header's phis now receive the last copy's values via the last
+  // copy's latch.
+  BasicBlock *LastLatch = LastMap.Blocks.at(Latch);
+  for (const PhiInfo &PI : HeaderPhis) {
+    for (size_t Idx = 0; Idx < PI.Phi->phiBlocks().size(); ++Idx) {
+      if (PI.Phi->phiBlocks()[Idx] == Latch) {
+        PI.Phi->phiBlocks()[Idx] = LastLatch;
+        PI.Phi->setOperand(Idx, LastMap.lookup(PI.FromLatch));
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool msem::runUnroll(Function &F, const OptimizationConfig &Config) {
+  if (!Config.UnrollLoops || Config.MaxUnrollTimes < 2)
+    return false;
+  bool EverChanged = false;
+  // Unroll one loop per analysis round; cloning invalidates the analyses.
+  // Each original innermost loop is unrolled once (its clones produce no
+  // new counted innermost loops that still match the eligibility size gate
+  // growth-free, and re-unrolling is prevented by marking via name suffix).
+  std::unordered_set<std::string> Done;
+  for (int Round = 0; Round < 64; ++Round) {
+    DominatorTree DT(F);
+    LoopAnalysis LA(F, DT);
+    bool Changed = false;
+    for (const auto &L : LA.loops()) {
+      if (!isInnermost(LA, *L))
+        continue;
+      if (Done.count(L->Header->name()))
+        continue;
+      Done.insert(L->Header->name());
+      if (L->instructionCount() >
+          static_cast<unsigned>(Config.MaxUnrolledInsns))
+        continue;
+      if (unrollLoop(F, *L, static_cast<unsigned>(Config.MaxUnrollTimes))) {
+        Changed = true;
+        break; // Analyses are stale.
+      }
+    }
+    if (!Changed)
+      break;
+    EverChanged = true;
+  }
+  return EverChanged;
+}

@@ -1,0 +1,125 @@
+//===- sampling/Smarts.cpp - SMARTS statistical sampling -----------------------===//
+
+#include "sampling/Smarts.h"
+
+#include "support/Statistics.h"
+
+using namespace msem;
+
+namespace {
+
+/// Functional warming: architectural state advances (the executor does
+/// that), caches and predictors are kept warm, no timing is computed.
+class WarmingSink {
+public:
+  WarmingSink(MemoryHierarchy &Memory, CombinedPredictor &Predictor)
+      : Memory(Memory), Predictor(Predictor) {}
+
+  void operator()(const RetiredInstr &RI) {
+    const MachineInstr &MI = *RI.MI;
+    uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
+    uint64_t Line = Pc / MachineConfig::L1LineBytes;
+    if (Line != LastLine) {
+      LastLine = Line;
+      Memory.touchInstr(Pc);
+    }
+    if (MI.isLoad())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
+    else if (MI.isStore())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/true);
+    else if (MI.isPrefetch())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
+
+    if (MI.isConditionalBranch())
+      Predictor.updateConditional(Pc, RI.BranchTaken);
+    else if (MI.Op == MOp::JAL)
+      Predictor.pushReturn(MachineProgram::codeAddress(RI.CodeIndex + 1));
+    else if (MI.Op == MOp::JR)
+      (void)Predictor.predictReturn(
+          MachineProgram::codeAddress(RI.NextCodeIndex));
+  }
+
+private:
+  MemoryHierarchy &Memory;
+  CombinedPredictor &Predictor;
+  uint64_t LastLine = ~0ull;
+};
+
+} // namespace
+
+SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
+                                  const MachineConfig &Config,
+                                  const SmartsConfig &Sampling,
+                                  uint64_t MaxInstructions) {
+  MemoryHierarchy Memory(Config);
+  CombinedPredictor Predictor(Config.BranchPredictorSize,
+                              MachineConfig::ReturnStackEntries);
+  OoOCore Core(Config, Memory, Predictor);
+  WarmingSink Warm(Memory, Predictor);
+  auto Detail = [&Core](const RetiredInstr &RI) { Core.consume(RI); };
+
+  Executor Exec(Prog, MaxInstructions);
+  OnlineStats WindowCpi;
+
+  const uint64_t W = Sampling.WindowSize;
+  const uint64_t WarmupInstrs = Sampling.DetailedWarmupWindows * W;
+  // One period = (interval-1-warmup) warm windows, warmup detailed
+  // windows, then 1 measured window.
+  uint64_t FunctionalPerPeriod =
+      Sampling.SamplingInterval > 1 + Sampling.DetailedWarmupWindows
+          ? (Sampling.SamplingInterval - 1 -
+             Sampling.DetailedWarmupWindows) *
+                W
+          : 0;
+
+  auto NoWarm = [](const RetiredInstr &) {};
+
+  uint64_t Sampled = 0;
+  while (!Exec.halted()) {
+    if (FunctionalPerPeriod > 0) {
+      if (Sampling.FunctionalWarming)
+        Exec.run(Warm, FunctionalPerPeriod);
+      else
+        Exec.run(NoWarm, FunctionalPerPeriod);
+      if (Exec.halted())
+        break;
+    }
+    if (WarmupInstrs > 0) {
+      Exec.run(Detail, WarmupInstrs);
+      if (Exec.halted())
+        break;
+    }
+    uint64_t Before = Core.cycles();
+    uint64_t Retired = Exec.run(Detail, W);
+    Sampled += Retired;
+    if (Retired == W) {
+      uint64_t Delta = Core.cycles() - Before;
+      WindowCpi.add(static_cast<double>(Delta) / static_cast<double>(W));
+    }
+  }
+
+  SmartsResult R;
+  R.Exec = Exec.result();
+  R.TotalInstructions = R.Exec.InstructionsExecuted;
+  R.SampledInstructions = Sampled;
+  R.MeasuredWindows = WindowCpi.count();
+
+  if (WindowCpi.count() == 0) {
+    // Program too short to sample: whatever ran in detail is the estimate;
+    // re-simulate fully detailed for a usable number.
+    R.FellBackToDetailed = true;
+    SimulationResult Full = simulateDetailed(Prog, Config, MaxInstructions);
+    R.EstimatedCpi = Full.cpi();
+    R.EstimatedCycles = Full.Cycles;
+    return R;
+  }
+
+  R.EstimatedCpi = WindowCpi.mean();
+  R.EstimatedCycles = static_cast<uint64_t>(
+      R.EstimatedCpi * static_cast<double>(R.TotalInstructions));
+  double Z = zValueForConfidence(Sampling.Confidence);
+  if (WindowCpi.mean() > 0)
+    R.RelativeErrorBound =
+        Z * WindowCpi.standardError() / WindowCpi.mean();
+  return R;
+}

@@ -1,0 +1,115 @@
+//===- search/GeneticSearch.cpp - GA over compiler settings ----------------------===//
+
+#include "search/GeneticSearch.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// A genome: one level index per searched parameter.
+using Genome = std::vector<size_t>;
+
+} // namespace
+
+GaResult msem::searchOptimalSettings(const Model &M,
+                                     const ParameterSpace &Space,
+                                     const DesignPoint &Frozen,
+                                     const GaOptions &Options) {
+  assert(Frozen.size() == Space.size() && "frozen point arity mismatch");
+  const size_t SearchVars = Space.numCompilerParams();
+  Rng R(Options.Seed);
+
+  auto ToPoint = [&](const Genome &G) {
+    DesignPoint P = Frozen;
+    for (size_t V = 0; V < SearchVars; ++V)
+      P[V] = Space.param(V).Levels[G[V]];
+    return P;
+  };
+  auto Fitness = [&](const Genome &G) {
+    return M.predict(Space.encode(ToPoint(G)));
+  };
+  auto RandomGenome = [&]() {
+    Genome G(SearchVars);
+    for (size_t V = 0; V < SearchVars; ++V)
+      G[V] = R.nextBelow(Space.param(V).numLevels());
+    return G;
+  };
+
+  std::vector<Genome> Population;
+  std::vector<double> Scores;
+  Population.reserve(Options.Population);
+  for (size_t I = 0; I < Options.Population; ++I)
+    Population.push_back(RandomGenome());
+  Scores.resize(Population.size());
+  for (size_t I = 0; I < Population.size(); ++I)
+    Scores[I] = Fitness(Population[I]);
+
+  auto Tournament = [&]() -> const Genome & {
+    size_t Best = R.nextBelow(Population.size());
+    for (size_t T = 1; T < Options.TournamentSize; ++T) {
+      size_t Cand = R.nextBelow(Population.size());
+      if (Scores[Cand] < Scores[Best])
+        Best = Cand;
+    }
+    return Population[Best];
+  };
+
+  GaResult Result;
+  double BestSoFar = 1e300;
+  int SinceImprovement = 0;
+  int Gen = 0;
+  for (; Gen < Options.Generations; ++Gen) {
+    // Convergence-based early stop.
+    double GenBest = *std::min_element(Scores.begin(), Scores.end());
+    if (GenBest < BestSoFar - 1e-12 * (1.0 + std::fabs(BestSoFar))) {
+      BestSoFar = GenBest;
+      SinceImprovement = 0;
+    } else if (Options.StallGenerations > 0 &&
+               ++SinceImprovement >= Options.StallGenerations) {
+      break;
+    }
+    // Rank for elitism.
+    std::vector<size_t> Order(Population.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(),
+              [&](size_t A, size_t B) { return Scores[A] < Scores[B]; });
+
+    std::vector<Genome> Next;
+    Next.reserve(Population.size());
+    for (size_t E = 0; E < Options.EliteCount && E < Order.size(); ++E)
+      Next.push_back(Population[Order[E]]);
+
+    while (Next.size() < Population.size()) {
+      Genome Child = Tournament();
+      if (R.chance(Options.CrossoverRate)) {
+        const Genome &Other = Tournament();
+        for (size_t V = 0; V < SearchVars; ++V)
+          if (R.chance(0.5))
+            Child[V] = Other[V];
+      }
+      for (size_t V = 0; V < SearchVars; ++V)
+        if (R.chance(Options.MutationRate))
+          Child[V] = R.nextBelow(Space.param(V).numLevels());
+      Next.push_back(std::move(Child));
+    }
+    Population = std::move(Next);
+    for (size_t I = 0; I < Population.size(); ++I)
+      Scores[I] = Fitness(Population[I]);
+  }
+
+  size_t Best = 0;
+  for (size_t I = 1; I < Population.size(); ++I)
+    if (Scores[I] < Scores[Best])
+      Best = I;
+  Result.BestPoint = ToPoint(Population[Best]);
+  Result.PredictedResponse = Scores[Best];
+  Result.GenerationsRun = Gen;
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- search/GeneticSearch.h - GA over compiler settings ---------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6.3 search: a genetic algorithm that explores the
+/// compiler-flag/heuristic subspace for a *frozen* microarchitectural
+/// configuration, using an empirical model as a zero-cost fitness oracle.
+/// Population members are level-index genomes; selection is tournament,
+/// crossover is uniform, mutation re-draws a level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SEARCH_GENETICSEARCH_H
+#define MSEM_SEARCH_GENETICSEARCH_H
+
+#include "design/ParameterSpace.h"
+#include "model/Model.h"
+
+namespace msem {
+
+/// GA knobs.
+struct GaOptions {
+  size_t Population = 48;
+  int Generations = 40;
+  /// Stop early after this many generations without improvement of the
+  /// best fitness (the paper's GA "terminates either when the optimal
+  /// design point is reached or the number of generations exceeds a user
+  /// specified threshold"). 0 disables early stopping.
+  int StallGenerations = 12;
+  double CrossoverRate = 0.9;
+  double MutationRate = 0.08;
+  size_t EliteCount = 2;
+  size_t TournamentSize = 3;
+  uint64_t Seed = 0x6A5EED;
+};
+
+/// Result of the model-based search.
+struct GaResult {
+  DesignPoint BestPoint;       ///< Full point (search vars + frozen vars).
+  double PredictedResponse = 0; ///< Model's prediction at the optimum.
+  int GenerationsRun = 0;
+};
+
+/// Minimizes Model.predict over the first numCompilerParams() coordinates
+/// of \p Space; the remaining coordinates stay frozen at \p Frozen's
+/// values (the platform configuration).
+GaResult searchOptimalSettings(const Model &M, const ParameterSpace &Space,
+                               const DesignPoint &Frozen,
+                               const GaOptions &Options = GaOptions());
+
+} // namespace msem
+
+#endif // MSEM_SEARCH_GENETICSEARCH_H

@@ -1,0 +1,36 @@
+//===- support/Env.cpp - Environment variable knobs -----------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+
+using namespace msem;
+
+int64_t msem::getEnvInt(const char *Name, int64_t Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value, &End, 10);
+  if (End == Value)
+    return Default;
+  return Parsed;
+}
+
+double msem::getEnvDouble(const char *Name, double Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  char *End = nullptr;
+  double Parsed = std::strtod(Value, &End);
+  if (End == Value)
+    return Default;
+  return Parsed;
+}
+
+std::string msem::getEnvString(const char *Name, const std::string &Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return Default;
+  return std::string(Value);
+}

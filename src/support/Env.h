@@ -1,0 +1,35 @@
+//===- support/Env.h - Environment variable knobs ---------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment-scale knobs read from the environment. The paper's full
+/// campaign (400 train + 100 test simulations per program) takes hours; the
+/// bench harnesses default to a reduced scale and honour these overrides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_ENV_H
+#define MSEM_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace msem {
+
+/// Returns the integer value of environment variable \p Name, or \p Default
+/// if unset or unparsable.
+int64_t getEnvInt(const char *Name, int64_t Default);
+
+/// Returns the floating-point value of environment variable \p Name, or
+/// \p Default if unset or unparsable.
+double getEnvDouble(const char *Name, double Default);
+
+/// Returns the string value of environment variable \p Name, or \p Default.
+std::string getEnvString(const char *Name, const std::string &Default);
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_ENV_H

@@ -1,0 +1,26 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace msem;
+
+void msem::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void msem::reportWarning(const std::string &Message) {
+  std::fprintf(stderr, "warning: %s\n", Message.c_str());
+}
+
+void msem::unreachableInternal(const char *Message, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::fflush(stderr);
+  std::abort();
+}

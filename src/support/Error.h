@@ -1,0 +1,38 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling utilities. The library is exception-free; internal
+/// invariant violations use assert, unrecoverable environmental failures use
+/// fatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_ERROR_H
+#define MSEM_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace msem {
+
+/// Prints "fatal error: <Message>" to stderr and aborts. Use only for
+/// conditions that cannot be reported to the caller (OOM-class failures,
+/// corrupt cache files, impossible configurations reached at run time).
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Prints "warning: <Message>" to stderr and continues.
+void reportWarning(const std::string &Message);
+
+/// Marks a point in code that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace msem
+
+#define MSEM_UNREACHABLE(MSG)                                                  \
+  ::msem::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // MSEM_SUPPORT_ERROR_H

@@ -1,0 +1,58 @@
+//===- support/Format.cpp - printf-style string formatting ----------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace msem;
+
+std::string msem::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string msem::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> msem::splitString(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (;;) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string msem::trimString(const std::string &Text) {
+  size_t Begin = Text.find_first_not_of(" \t\r\n");
+  if (Begin == std::string::npos)
+    return std::string();
+  size_t End = Text.find_last_not_of(" \t\r\n");
+  return Text.substr(Begin, End - Begin + 1);
+}

@@ -1,0 +1,37 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers returning std::string. Used instead
+/// of iostreams throughout the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_FORMAT_H
+#define MSEM_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Formats like printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Splits \p Text on the single character \p Sep (no empty-trailing trim).
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Strips leading/trailing whitespace.
+std::string trimString(const std::string &Text);
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_FORMAT_H

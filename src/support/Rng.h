@@ -1,0 +1,142 @@
+//===- support/Rng.h - Deterministic random number generation -*- C++ -*-===//
+//
+// Part of the MSEM project: a reproduction of "Microarchitecture Sensitive
+// Empirical Models for Compiler Optimizations" (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used across the project.
+/// All stochastic components (experimental designs, model fitting, genetic
+/// search, workload input generation) draw from explicitly seeded instances
+/// of this generator so that every experiment is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_RNG_H
+#define MSEM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace msem {
+
+/// SplitMix64 generator, used to expand a single 64-bit seed into the
+/// larger state of Xoshiro256**.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// The generator is deliberately small and header-only; it is on the hot
+/// path of the cycle-level simulator's workload generators.
+class Rng {
+public:
+  /// Seeds the full 256-bit state from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  void reseed(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : S)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    const uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    const uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Uniform integer in [0, N). Requires N > 0.
+  uint64_t nextBelow(uint64_t N) {
+    assert(N > 0 && "nextBelow(0) is meaningless");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t Threshold = (0 - N) % N;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % N;
+    }
+  }
+
+  /// Uniform integer in the closed range [Lo, Hi].
+  int64_t intInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty integer range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli trial with probability \p P of returning true.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Standard normal deviate (Box-Muller, no caching for determinism).
+  double normal() {
+    double U1 = uniform();
+    // Guard against log(0).
+    if (U1 <= 0.0)
+      U1 = 0x1.0p-53;
+    double U2 = uniform();
+    return std::sqrt(-2.0 * std::log(U1)) *
+           std::cos(2.0 * 3.14159265358979323846 * U2);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double Mean, double Sigma) { return Mean + Sigma * normal(); }
+
+  /// Fisher-Yates shuffle of \p V.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I)
+      std::swap(V[I - 1], V[nextBelow(I)]);
+  }
+
+  /// Uniformly picks one element of non-empty \p V.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "cannot pick from an empty vector");
+    return V[nextBelow(V.size())];
+  }
+
+  /// Derives an independent child generator; used to hand sub-components
+  /// their own streams without correlating them.
+  Rng split() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_RNG_H

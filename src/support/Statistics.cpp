@@ -1,0 +1,166 @@
+//===- support/Statistics.cpp - Descriptive statistics --------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace msem;
+
+void OnlineStats::add(double X) {
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double OnlineStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::standardError() const {
+  if (N == 0)
+    return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(N));
+}
+
+void OnlineStats::merge(const OnlineStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  double Delta = Other.Mean - Mean;
+  size_t Total = N + Other.N;
+  Mean += Delta * static_cast<double>(Other.N) / static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Total);
+  N = Total;
+}
+
+double msem::mean(const std::vector<double> &V) {
+  if (V.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : V)
+    Sum += X;
+  return Sum / static_cast<double>(V.size());
+}
+
+double msem::stddev(const std::vector<double> &V) {
+  if (V.size() < 2)
+    return 0.0;
+  double M = mean(V);
+  double Sum = 0.0;
+  for (double X : V)
+    Sum += (X - M) * (X - M);
+  return std::sqrt(Sum / static_cast<double>(V.size() - 1));
+}
+
+double msem::percentile(std::vector<double> V, double P) {
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  if (V.size() == 1)
+    return V[0];
+  double Rank = (P / 100.0) * static_cast<double>(V.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, V.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return V[Lo] * (1.0 - Frac) + V[Hi] * Frac;
+}
+
+double msem::zValueForConfidence(double Confidence) {
+  // Common levels first so callers get the textbook constants exactly.
+  if (Confidence >= 0.9965 && Confidence <= 0.9975)
+    return 2.9677; // The "3 sigma" level SMARTS quotes as 99.7%.
+  if (Confidence >= 0.985 && Confidence <= 0.995)
+    return 2.5758;
+  if (Confidence >= 0.945 && Confidence <= 0.955)
+    return 1.9600;
+  if (Confidence >= 0.895 && Confidence <= 0.905)
+    return 1.6449;
+  // Beasley-Springer-Moro style rational approximation via Acklam's
+  // inverse-normal for arbitrary levels.
+  double P = 0.5 + Confidence / 2.0;
+  if (P <= 0.5)
+    return 0.0;
+  if (P >= 1.0)
+    P = 1.0 - 1e-12;
+  // Acklam's approximation, upper region only (P > 0.5).
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double PLow = 0.02425;
+  double Q, R;
+  if (P < 1.0 - PLow) {
+    Q = P - 0.5;
+    R = Q * Q;
+    return (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+            A[5]) *
+           Q /
+           (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R + 1.0);
+  }
+  Q = std::sqrt(-2.0 * std::log(1.0 - P));
+  return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+           C[5]) /
+         ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+}
+
+double msem::meanAbsolutePercentError(const std::vector<double> &Actual,
+                                      const std::vector<double> &Predicted) {
+  assert(Actual.size() == Predicted.size() && "size mismatch");
+  if (Actual.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    assert(Actual[I] != 0.0 && "MAPE undefined for zero actual");
+    Sum += std::fabs((Actual[I] - Predicted[I]) / Actual[I]);
+  }
+  return 100.0 * Sum / static_cast<double>(Actual.size());
+}
+
+double msem::rootMeanSquaredError(const std::vector<double> &Actual,
+                                  const std::vector<double> &Predicted) {
+  assert(Actual.size() == Predicted.size() && "size mismatch");
+  if (Actual.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    double E = Actual[I] - Predicted[I];
+    Sum += E * E;
+  }
+  return std::sqrt(Sum / static_cast<double>(Actual.size()));
+}
+
+double msem::rSquared(const std::vector<double> &Actual,
+                      const std::vector<double> &Predicted) {
+  assert(Actual.size() == Predicted.size() && "size mismatch");
+  if (Actual.empty())
+    return 0.0;
+  double M = mean(Actual);
+  double SSE = 0.0, SST = 0.0;
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    SSE += (Actual[I] - Predicted[I]) * (Actual[I] - Predicted[I]);
+    SST += (Actual[I] - M) * (Actual[I] - M);
+  }
+  if (SST == 0.0)
+    return 0.0;
+  return 1.0 - SSE / SST;
+}

@@ -1,0 +1,72 @@
+//===- support/Statistics.h - Descriptive statistics ------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics used by model diagnostics and SMARTS sampling:
+/// mean/variance (Welford online form), percentiles, and normal confidence
+/// intervals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_STATISTICS_H
+#define MSEM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace msem {
+
+/// Welford online accumulator for mean and variance.
+class OnlineStats {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Sample variance (divides by N-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double standardError() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const OnlineStats &Other);
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Arithmetic mean of \p V; 0 for empty input.
+double mean(const std::vector<double> &V);
+
+/// Sample standard deviation of \p V; 0 for fewer than two samples.
+double stddev(const std::vector<double> &V);
+
+/// Linear-interpolated percentile, \p P in [0, 100].
+double percentile(std::vector<double> V, double P);
+
+/// Two-sided z value for the given confidence level, e.g. 0.997 -> ~2.97.
+/// Supports the levels used by SMARTS-style sampling (0.90/0.95/0.99/0.997);
+/// other inputs fall back to a rational approximation of the normal quantile.
+double zValueForConfidence(double Confidence);
+
+/// Mean absolute percentage error of predictions vs. actuals (in percent).
+double meanAbsolutePercentError(const std::vector<double> &Actual,
+                                const std::vector<double> &Predicted);
+
+/// Root mean squared error.
+double rootMeanSquaredError(const std::vector<double> &Actual,
+                            const std::vector<double> &Predicted);
+
+/// Coefficient of determination R^2 (1 - SSE/SST); 0 when SST is 0.
+double rSquared(const std::vector<double> &Actual,
+                const std::vector<double> &Predicted);
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_STATISTICS_H

@@ -1,0 +1,51 @@
+//===- support/TablePrinter.cpp - ASCII table formatting ------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace msem;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Headers.size(); ++C) {
+      const std::string &Cell = C < Row.size() ? Row[C] : std::string();
+      Line += " " + Cell + std::string(Widths[C] - Cell.size(), ' ') + " |";
+    }
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Sep = "+";
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Sep += std::string(Widths[C] + 2, '-') + "+";
+  Sep += "\n";
+
+  std::string Result = Sep + RenderRow(Headers) + Sep;
+  for (const auto &Row : Rows)
+    Result += RenderRow(Row);
+  Result += Sep;
+  return Result;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fflush(Out);
+}

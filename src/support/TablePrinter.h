@@ -1,0 +1,51 @@
+//===- support/TablePrinter.h - ASCII table formatting ----------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats experiment results as aligned ASCII tables matching the layout of
+/// the paper's tables. Used by the benchmark harnesses and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_TABLEPRINTER_H
+#define MSEM_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: appends a row from already formatted cells.
+  template <typename... Ts> void addRowCells(Ts &&...Cells) {
+    addRow(std::vector<std::string>{std::forward<Ts>(Cells)...});
+  }
+
+  /// Renders the table to a string (header, separator, rows).
+  std::string render() const;
+
+  /// Renders and writes to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_TABLEPRINTER_H

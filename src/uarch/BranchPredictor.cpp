@@ -1,0 +1,36 @@
+//===- uarch/BranchPredictor.cpp - Combined branch prediction -----------------===//
+
+#include "uarch/BranchPredictor.h"
+
+using namespace msem;
+
+CombinedPredictor::CombinedPredictor(unsigned TableEntries,
+                                     unsigned RasEntries)
+    : Bimodal(TableEntries), TwoLevel(TableEntries), Meta(TableEntries),
+      Ras(RasEntries, 0) {}
+
+bool CombinedPredictor::predictConditional(uint64_t Pc) const {
+  bool UseTwoLevel = Meta.taken(metaIndex(Pc));
+  return UseTwoLevel ? TwoLevel.predict(Pc) : Bimodal.predict(Pc);
+}
+
+void CombinedPredictor::updateConditional(uint64_t Pc, bool Taken) {
+  bool BimodalRight = Bimodal.predict(Pc) == Taken;
+  bool TwoLevelRight = TwoLevel.predict(Pc) == Taken;
+  // The meta table learns which component is more accurate per branch.
+  if (BimodalRight != TwoLevelRight)
+    Meta.update(metaIndex(Pc), TwoLevelRight);
+  Bimodal.update(Pc, Taken);
+  TwoLevel.update(Pc, Taken);
+}
+
+void CombinedPredictor::pushReturn(uint64_t ReturnPc) {
+  RasTop = (RasTop + 1) % Ras.size();
+  Ras[RasTop] = ReturnPc;
+}
+
+bool CombinedPredictor::predictReturn(uint64_t ActualTarget) {
+  uint64_t Predicted = Ras[RasTop];
+  RasTop = (RasTop + Ras.size() - 1) % Ras.size();
+  return Predicted == ActualTarget;
+}

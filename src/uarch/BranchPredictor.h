@@ -1,0 +1,120 @@
+//===- uarch/BranchPredictor.h - Combined branch prediction ------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's predictor: a combined predictor built from a bimodal table
+/// and a 2-level (global history) predictor of equal sizes, selected by a
+/// meta chooser, plus a return address stack for indirect returns. The
+/// "branch predictor size" design parameter sets the table sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_BRANCHPREDICTOR_H
+#define MSEM_UARCH_BRANCHPREDICTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msem {
+
+/// Saturating 2-bit counter helpers over a byte table.
+class CounterTable {
+public:
+  explicit CounterTable(unsigned Entries, uint8_t InitValue = 1)
+      : Table(Entries, InitValue) {}
+
+  bool taken(unsigned Index) const { return Table[Index] >= 2; }
+  void update(unsigned Index, bool Taken) {
+    uint8_t &C = Table[Index];
+    if (Taken && C < 3)
+      ++C;
+    else if (!Taken && C > 0)
+      --C;
+  }
+  unsigned size() const { return Table.size(); }
+
+private:
+  std::vector<uint8_t> Table;
+};
+
+/// Bimodal (PC-indexed) direction predictor.
+class BimodalPredictor {
+public:
+  explicit BimodalPredictor(unsigned Entries) : Counters(Entries) {}
+  bool predict(uint64_t Pc) const { return Counters.taken(index(Pc)); }
+  void update(uint64_t Pc, bool Taken) {
+    Counters.update(index(Pc), Taken);
+  }
+
+private:
+  unsigned index(uint64_t Pc) const {
+    return static_cast<unsigned>((Pc >> 2) & (Counters.size() - 1));
+  }
+  CounterTable Counters;
+};
+
+/// 2-level predictor: global history XOR PC indexes a pattern table.
+class TwoLevelPredictor {
+public:
+  explicit TwoLevelPredictor(unsigned Entries) : Counters(Entries) {}
+  bool predict(uint64_t Pc) const { return Counters.taken(index(Pc)); }
+  void update(uint64_t Pc, bool Taken) {
+    Counters.update(index(Pc), Taken);
+    History = (History << 1) | (Taken ? 1 : 0);
+  }
+
+private:
+  unsigned index(uint64_t Pc) const {
+    return static_cast<unsigned>(((Pc >> 2) ^ History) &
+                                 (Counters.size() - 1));
+  }
+  CounterTable Counters;
+  uint64_t History = 0;
+};
+
+/// The combined predictor with meta chooser and return-address stack.
+class CombinedPredictor {
+public:
+  /// \p TableEntries is the paper's "branch predictor size" parameter: the
+  /// size of each component table.
+  CombinedPredictor(unsigned TableEntries, unsigned RasEntries);
+
+  /// Predicts the direction of the conditional branch at \p Pc.
+  bool predictConditional(uint64_t Pc) const;
+
+  /// Updates all component tables with the outcome.
+  void updateConditional(uint64_t Pc, bool Taken);
+
+  /// Call at \p Pc returning to \p ReturnPc: pushes the RAS.
+  void pushReturn(uint64_t ReturnPc);
+
+  /// Return (JR): pops a predicted target; prediction is correct when it
+  /// equals \p ActualTarget.
+  bool predictReturn(uint64_t ActualTarget);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t mispredicts() const { return Mispredicts; }
+  void noteMispredict() { ++Mispredicts; }
+  void noteLookup() { ++Lookups; }
+
+private:
+  unsigned metaIndex(uint64_t Pc) const {
+    return static_cast<unsigned>((Pc >> 2) & (Meta.size() - 1));
+  }
+
+  BimodalPredictor Bimodal;
+  TwoLevelPredictor TwoLevel;
+  CounterTable Meta; ///< >=2 selects the 2-level component.
+  std::vector<uint64_t> Ras;
+  size_t RasTop = 0;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_BRANCHPREDICTOR_H

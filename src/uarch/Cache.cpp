@@ -1,0 +1,158 @@
+//===- uarch/Cache.cpp - Set-associative caches and the hierarchy -------------===//
+
+#include "uarch/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace msem;
+
+static bool isPowerOfTwo(uint64_t X) { return X && !(X & (X - 1)); }
+
+static unsigned log2u(uint64_t X) {
+  unsigned L = 0;
+  while (X > 1) {
+    X >>= 1;
+    ++L;
+  }
+  return L;
+}
+
+Cache::Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes)
+    : Assoc(Assoc), LineBytes(LineBytes) {
+  assert(isPowerOfTwo(LineBytes) && "line size must be a power of two");
+  uint64_t NumLines = SizeBytes / LineBytes;
+  assert(NumLines % Assoc == 0 && "size/assoc mismatch");
+  NumSets = static_cast<unsigned>(NumLines / Assoc);
+  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
+  SetShift = log2u(LineBytes);
+  Lines.assign(static_cast<size_t>(NumSets) * Assoc, Line());
+}
+
+bool Cache::access(uint64_t Addr, bool IsWrite, bool *WasDirtyEviction) {
+  uint64_t LineAddr = Addr >> SetShift;
+  unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
+  uint64_t Tag = LineAddr >> log2u(NumSets);
+  Line *SetBase = &Lines[static_cast<size_t>(Set) * Assoc];
+  ++Clock;
+
+  for (unsigned W = 0; W < Assoc; ++W) {
+    Line &L = SetBase[W];
+    if (L.Valid && L.Tag == Tag) {
+      L.LruStamp = Clock;
+      L.Dirty |= IsWrite;
+      ++Hits;
+      return true;
+    }
+  }
+  ++Misses;
+  // Choose the LRU victim (prefer invalid ways).
+  Line *Victim = SetBase;
+  for (unsigned W = 0; W < Assoc; ++W) {
+    Line &L = SetBase[W];
+    if (!L.Valid) {
+      Victim = &L;
+      break;
+    }
+    if (L.LruStamp < Victim->LruStamp)
+      Victim = &L;
+  }
+  if (WasDirtyEviction)
+    *WasDirtyEviction = Victim->Valid && Victim->Dirty;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Dirty = IsWrite;
+  Victim->LruStamp = Clock;
+  return false;
+}
+
+bool Cache::probe(uint64_t Addr) const {
+  uint64_t LineAddr = Addr >> SetShift;
+  unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
+  uint64_t Tag = LineAddr >> log2u(NumSets);
+  const Line *SetBase = &Lines[static_cast<size_t>(Set) * Assoc];
+  for (unsigned W = 0; W < Assoc; ++W)
+    if (SetBase[W].Valid && SetBase[W].Tag == Tag)
+      return true;
+  return false;
+}
+
+void Cache::reset() {
+  std::fill(Lines.begin(), Lines.end(), Line());
+  Clock = Hits = Misses = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryHierarchy
+//===----------------------------------------------------------------------===//
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig &Config)
+    : Config(Config),
+      Icache(Config.IcacheBytes, MachineConfig::IcacheAssoc,
+             MachineConfig::L1LineBytes),
+      Dcache(Config.DcacheBytes, Config.DcacheAssoc,
+             MachineConfig::L1LineBytes),
+      L2(Config.L2Bytes, Config.L2Assoc, MachineConfig::L2LineBytes) {}
+
+uint64_t MemoryHierarchy::accessL2(uint64_t Addr, bool IsWrite,
+                                   uint64_t Cycle) {
+  bool DirtyEvict = false;
+  if (L2.access(Addr, IsWrite, &DirtyEvict)) {
+    if (DirtyEvict)
+      ++Stats.Writebacks;
+    return Cycle + Config.L2Latency;
+  }
+  ++Stats.L2Misses;
+  if (DirtyEvict) {
+    // Dirty L2 eviction occupies the bus for one transfer.
+    ++Stats.Writebacks;
+    MemBusFree = std::max(MemBusFree, Cycle) +
+                 MachineConfig::MemoryBusOccupancy;
+  }
+  uint64_t Start = std::max(Cycle + Config.L2Latency, MemBusFree);
+  MemBusFree = Start + MachineConfig::MemoryBusOccupancy;
+  return Start + Config.MemoryLatency;
+}
+
+uint64_t MemoryHierarchy::accessInstr(uint64_t Pc, uint64_t Cycle) {
+  ++Stats.IcacheAccesses;
+  if (Icache.access(Pc, /*IsWrite=*/false))
+    return Cycle + MachineConfig::IcacheLatency;
+  ++Stats.IcacheMisses;
+  return accessL2(Pc | (1ull << 60), /*IsWrite=*/false,
+                  Cycle + MachineConfig::IcacheLatency);
+}
+
+uint64_t MemoryHierarchy::accessData(uint64_t Addr, bool IsWrite,
+                                     bool IsPrefetch, uint64_t Cycle) {
+  ++Stats.DcacheAccesses;
+  if (IsPrefetch)
+    ++Stats.Prefetches;
+  bool DirtyEvict = false;
+  if (Dcache.access(Addr, IsWrite, &DirtyEvict)) {
+    return Cycle + Config.DcacheLatency;
+  }
+  ++Stats.DcacheMisses;
+  if (DirtyEvict)
+    // Writeback to L2: bandwidth effect folded into an L2 access.
+    ++Stats.Writebacks;
+  return accessL2(Addr, IsWrite, Cycle + Config.DcacheLatency);
+}
+
+void MemoryHierarchy::touchInstr(uint64_t Pc) {
+  ++Stats.IcacheAccesses;
+  if (!Icache.access(Pc, false)) {
+    ++Stats.IcacheMisses;
+    if (!L2.access(Pc | (1ull << 60), false))
+      ++Stats.L2Misses;
+  }
+}
+
+void MemoryHierarchy::touchData(uint64_t Addr, bool IsWrite) {
+  ++Stats.DcacheAccesses;
+  if (!Dcache.access(Addr, IsWrite)) {
+    ++Stats.DcacheMisses;
+    if (!L2.access(Addr, IsWrite))
+      ++Stats.L2Misses;
+  }
+}

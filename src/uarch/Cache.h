@@ -1,0 +1,116 @@
+//===- uarch/Cache.h - Set-associative caches and the hierarchy --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-associative LRU caches (tag state only -- the simulator is
+/// trace-driven, data lives in the functional executor) and the two-level
+/// hierarchy with a finite-bandwidth memory bus. The hierarchy supports
+/// both timed accesses (returning completion cycles, used by the detailed
+/// core) and untimed touches (used for SMARTS functional warming).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_CACHE_H
+#define MSEM_UARCH_CACHE_H
+
+#include "uarch/MachineConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace msem {
+
+/// One level of set-associative cache with true-LRU replacement.
+class Cache {
+public:
+  /// \p SizeBytes and \p Assoc must yield a power-of-two number of sets.
+  Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes);
+
+  /// Looks up \p Addr; on hit updates LRU and returns true. On miss, fills
+  /// the line (evicting LRU; *WasDirtyEviction reports a dirty writeback)
+  /// and returns false. \p IsWrite marks the line dirty.
+  bool access(uint64_t Addr, bool IsWrite, bool *WasDirtyEviction = nullptr);
+
+  /// Invalidate-free probe: true if the line is present (no LRU update).
+  bool probe(uint64_t Addr) const;
+
+  void reset();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  unsigned lineBytes() const { return LineBytes; }
+
+private:
+  struct Line {
+    uint64_t Tag = ~0ull;
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t LruStamp = 0;
+  };
+
+  unsigned NumSets;
+  unsigned Assoc;
+  unsigned LineBytes;
+  unsigned SetShift;
+  std::vector<Line> Lines; // NumSets * Assoc.
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Per-run memory system statistics.
+struct MemoryStats {
+  uint64_t IcacheMisses = 0;
+  uint64_t DcacheMisses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t DcacheAccesses = 0;
+  uint64_t IcacheAccesses = 0;
+  uint64_t Writebacks = 0;
+  uint64_t Prefetches = 0;
+};
+
+/// IL1 + DL1 + unified L2 + finite memory bus.
+///
+/// Timed accesses return the cycle at which the requested data is
+/// available, serializing on the (single) memory bus when both levels
+/// miss. Instruction and data addresses live in disjoint spaces (code
+/// addresses come from MachineProgram::codeAddress).
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MachineConfig &Config);
+
+  /// Timed instruction fetch of the line containing \p Pc starting at
+  /// \p Cycle; returns data-ready cycle.
+  uint64_t accessInstr(uint64_t Pc, uint64_t Cycle);
+
+  /// Timed data access at \p Cycle; returns data-ready cycle. Prefetches
+  /// fill caches and consume bus bandwidth but their completion time is
+  /// irrelevant to the consumer.
+  uint64_t accessData(uint64_t Addr, bool IsWrite, bool IsPrefetch,
+                      uint64_t Cycle);
+
+  /// Untimed warming (SMARTS functional warming between detailed windows).
+  void touchInstr(uint64_t Pc);
+  void touchData(uint64_t Addr, bool IsWrite);
+
+  const MemoryStats &stats() const { return Stats; }
+  void resetStats() { Stats = MemoryStats(); }
+
+private:
+  /// L2 + bus path shared by both L1s; returns ready cycle.
+  uint64_t accessL2(uint64_t Addr, bool IsWrite, uint64_t Cycle);
+
+  MachineConfig Config;
+  Cache Icache;
+  Cache Dcache;
+  Cache L2;
+  uint64_t MemBusFree = 0;
+  MemoryStats Stats;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_CACHE_H

@@ -1,0 +1,54 @@
+//===- uarch/EnergyModel.h - Event-based energy estimation --------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Wattch-style event-count energy model over the detailed simulator's
+/// statistics. The paper notes (Section 2.2) that the empirical modeling
+/// methodology applies to "other metrics such as power consumption or code
+/// size"; this model supplies the power response. Dynamic energy is
+/// per-event (instruction class, cache accesses scaled by structure size,
+/// bus transfers, predictor lookups); static energy is leakage per cycle
+/// proportional to the total SRAM capacity configured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_ENERGYMODEL_H
+#define MSEM_UARCH_ENERGYMODEL_H
+
+#include "uarch/Simulator.h"
+
+namespace msem {
+
+/// Energy coefficients (picojoules per event; loosely Wattch-class 90nm
+/// numbers -- the absolute scale is irrelevant to the empirical models,
+/// the *structure* of the response is what matters).
+struct EnergyParams {
+  double IntOpPj = 8.0;
+  double MulDivPj = 24.0;
+  double FpOpPj = 30.0;
+  double BranchPj = 6.0;
+  /// Per-access base cost of a cache, plus a size-dependent term:
+  /// access = Base + PerKb * (bytes / 1024)^0.5 (bitline/wordline growth).
+  double CacheAccessBasePj = 10.0;
+  double CacheAccessPerSqrtKbPj = 2.0;
+  /// A miss adds the next level's access plus fill overhead.
+  double MissOverheadPj = 20.0;
+  double BusTransferPj = 120.0;
+  double PredictorLookupPj = 2.5;
+  /// Leakage per cycle per KB of SRAM (caches + predictor + RUU).
+  double LeakagePerCyclePerKbPj = 0.02;
+  /// Fixed core leakage per cycle, scaled by issue width.
+  double CoreLeakagePerCyclePj = 4.0;
+};
+
+/// Total energy for one simulated run, in nanojoules.
+double estimateEnergyNanojoules(const SimulationResult &Run,
+                                const MachineConfig &Config,
+                                const EnergyParams &Params = EnergyParams());
+
+} // namespace msem
+
+#endif // MSEM_UARCH_ENERGYMODEL_H

@@ -1,0 +1,64 @@
+//===- uarch/MachineConfig.cpp - Table 2 microarchitecture params -------------===//
+
+#include "uarch/MachineConfig.h"
+
+#include "support/Format.h"
+
+using namespace msem;
+
+MachineConfig MachineConfig::constrained() {
+  MachineConfig C;
+  C.IssueWidth = 2;
+  C.BranchPredictorSize = 512;
+  C.RuuSize = 16;
+  C.IcacheBytes = 8 * 1024;
+  C.DcacheBytes = 8 * 1024;
+  C.DcacheAssoc = 1;
+  C.DcacheLatency = 1;
+  C.L2Bytes = 256 * 1024;
+  C.L2Assoc = 2;
+  C.L2Latency = 6;
+  C.MemoryLatency = 50;
+  return C;
+}
+
+MachineConfig MachineConfig::typical() {
+  MachineConfig C;
+  C.IssueWidth = 4;
+  C.BranchPredictorSize = 2048;
+  C.RuuSize = 64;
+  C.IcacheBytes = 32 * 1024;
+  C.DcacheBytes = 32 * 1024;
+  C.DcacheAssoc = 1;
+  C.DcacheLatency = 2;
+  C.L2Bytes = 1024 * 1024;
+  C.L2Assoc = 4;
+  C.L2Latency = 10;
+  C.MemoryLatency = 100;
+  return C;
+}
+
+MachineConfig MachineConfig::aggressive() {
+  MachineConfig C;
+  C.IssueWidth = 4;
+  C.BranchPredictorSize = 8192;
+  C.RuuSize = 128;
+  C.IcacheBytes = 128 * 1024;
+  C.DcacheBytes = 128 * 1024;
+  C.DcacheAssoc = 2;
+  C.DcacheLatency = 3;
+  C.L2Bytes = 8 * 1024 * 1024;
+  C.L2Assoc = 8;
+  C.L2Latency = 16;
+  C.MemoryLatency = 150;
+  return C;
+}
+
+std::string MachineConfig::toString() const {
+  return formatString("w%u bp%u ruu%u il1:%uK dl1:%uK/%u/%u l2:%uK/%u/%u "
+                      "mem%u",
+                      IssueWidth, BranchPredictorSize, RuuSize,
+                      IcacheBytes / 1024, DcacheBytes / 1024, DcacheAssoc,
+                      DcacheLatency, L2Bytes / 1024, L2Assoc, L2Latency,
+                      MemoryLatency);
+}

@@ -1,0 +1,121 @@
+//===- uarch/MachineConfig.h - Table 2 microarchitecture params --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 11 microarchitectural parameters of the paper's Table 2, with the
+/// same ranges, plus the three reference configurations of Table 5
+/// (constrained / typical / aggressive) and the derived constants the
+/// timing model needs (line sizes, functional-unit counts per issue width,
+/// front-end penalties).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_MACHINECONFIG_H
+#define MSEM_UARCH_MACHINECONFIG_H
+
+#include "isa/MachineInstr.h"
+
+#include <cstdint>
+#include <string>
+
+namespace msem {
+
+/// One microarchitectural configuration (the paper's Table 2 parameters).
+struct MachineConfig {
+  unsigned IssueWidth = 4;           ///< #15: 2 or 4.
+  unsigned BranchPredictorSize = 2048; ///< #16: 512..8192 entries (pow2).
+  unsigned RuuSize = 64;             ///< #17: 16..128 entries (pow2).
+  unsigned IcacheBytes = 32 * 1024;  ///< #18: 8KB..128KB (pow2).
+  unsigned DcacheBytes = 32 * 1024;  ///< #19: 8KB..128KB (pow2).
+  unsigned DcacheAssoc = 1;          ///< #20: 1 or 2.
+  unsigned DcacheLatency = 2;        ///< #21: 1..3 cycles.
+  unsigned L2Bytes = 1024 * 1024;    ///< #22: 256KB..8MB (pow2).
+  unsigned L2Assoc = 4;              ///< #23: 1..8 (pow2).
+  unsigned L2Latency = 10;           ///< #24: 6..16 cycles.
+  unsigned MemoryLatency = 100;      ///< #25: 50..150 cycles.
+
+  // Derived constants (fixed across the design space, as in the paper's
+  // simulator setup).
+  static constexpr unsigned L1LineBytes = 32;
+  static constexpr unsigned L2LineBytes = 64;
+  static constexpr unsigned IcacheAssoc = 2;
+  static constexpr unsigned IcacheLatency = 1;
+  static constexpr unsigned MispredictPenalty = 3;
+  static constexpr unsigned StoreBufferEntries = 8;
+  static constexpr unsigned MemoryBusOccupancy = 4; ///< Cycles per transfer.
+  static constexpr unsigned ReturnStackEntries = 8;
+
+  /// Load/store queue size scales with the RUU, as in SimpleScalar.
+  unsigned lsqSize() const { return RuuSize / 2; }
+
+  /// Functional-unit count for \p Class at this issue width (SimpleScalar
+  /// style resource table, scaled by width).
+  unsigned fuCount(FuClass Class) const {
+    bool Wide = IssueWidth >= 4;
+    switch (Class) {
+    case FuClass::IntAlu:
+      return IssueWidth;
+    case FuClass::IntMult:
+      return Wide ? 2 : 1;
+    case FuClass::IntDiv:
+      return 1;
+    case FuClass::FpAdd:
+      return Wide ? 2 : 1;
+    case FuClass::FpMult:
+      return 1;
+    case FuClass::FpDiv:
+      return 1;
+    case FuClass::MemPort:
+      return Wide ? 2 : 1;
+    case FuClass::None:
+      return 0;
+    }
+    return 0;
+  }
+
+  /// Execution latency for \p Class (cycles until the result is ready).
+  static unsigned fuLatency(FuClass Class) {
+    switch (Class) {
+    case FuClass::IntAlu:
+      return 1;
+    case FuClass::IntMult:
+      return 3;
+    case FuClass::IntDiv:
+      return 20;
+    case FuClass::FpAdd:
+      return 2;
+    case FuClass::FpMult:
+      return 4;
+    case FuClass::FpDiv:
+      return 12;
+    case FuClass::MemPort:
+      return 1; // Address generation; cache adds the access time.
+    case FuClass::None:
+      return 1;
+    }
+    return 1;
+  }
+
+  /// True when the unit blocks for its full latency (unpipelined).
+  static bool fuUnpipelined(FuClass Class) {
+    return Class == FuClass::IntDiv || Class == FuClass::FpDiv;
+  }
+
+  /// Table 5: the "constrained" configuration.
+  static MachineConfig constrained();
+  /// Table 5: the "typical" configuration.
+  static MachineConfig typical();
+  /// Table 5: the "aggressive" configuration.
+  static MachineConfig aggressive();
+
+  std::string toString() const;
+
+  bool operator==(const MachineConfig &Other) const = default;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_MACHINECONFIG_H

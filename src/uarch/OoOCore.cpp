@@ -1,0 +1,206 @@
+//===- uarch/OoOCore.cpp - Out-of-order timing model ---------------------------===//
+
+#include "uarch/OoOCore.h"
+
+#include <algorithm>
+
+using namespace msem;
+
+OoOCore::OoOCore(const MachineConfig &Config, MemoryHierarchy &Memory,
+                 CombinedPredictor &Predictor)
+    : Config(Config), Memory(Memory), Predictor(Predictor) {
+  for (unsigned C = 0; C < 8; ++C) {
+    unsigned N = Config.fuCount(static_cast<FuClass>(C));
+    Units[C].assign(std::max(1u, N), 0);
+  }
+  RuuCommitRing.assign(Config.RuuSize, 0);
+  StoreBuffer.assign(MachineConfig::StoreBufferEntries, 0);
+  StoreDataFifo.assign(Config.lsqSize(), ~0ull);
+}
+
+uint64_t OoOCore::fetch(const RetiredInstr &RI) {
+  // New cycle if the current fetch group is full.
+  if (FetchedThisCycle >= Config.IssueWidth) {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+  }
+  // Instruction cache: one access per new line.
+  uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
+  uint64_t Line = Pc / MachineConfig::L1LineBytes;
+  if (Line != LastFetchLine) {
+    LastFetchLine = Line;
+    uint64_t Ready = Memory.accessInstr(Pc, FetchCycle);
+    // A hit costs the (pipelined) L1 latency; a miss stalls fetch.
+    if (Ready > FetchCycle + MachineConfig::IcacheLatency) {
+      FetchCycle = Ready;
+      FetchedThisCycle = 0;
+    }
+  }
+  ++FetchedThisCycle;
+  return FetchCycle;
+}
+
+void OoOCore::handleBranch(const RetiredInstr &RI, uint64_t ResolveCycle) {
+  const MachineInstr &MI = *RI.MI;
+  ++Stats.Branches;
+  if (RI.BranchTaken)
+    ++Stats.TakenBranches;
+
+  bool Mispredicted = false;
+  if (MI.isConditionalBranch()) {
+    Predictor.noteLookup();
+    uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
+    bool Predicted = Predictor.predictConditional(Pc);
+    Predictor.updateConditional(Pc, RI.BranchTaken);
+    Mispredicted = Predicted != RI.BranchTaken;
+  } else if (MI.Op == MOp::JR) {
+    Predictor.noteLookup();
+    Mispredicted = !Predictor.predictReturn(
+        MachineProgram::codeAddress(RI.NextCodeIndex));
+  } else if (MI.Op == MOp::JAL) {
+    Predictor.pushReturn(MachineProgram::codeAddress(RI.CodeIndex + 1));
+  }
+  // Direct J/JAL are always predicted correctly (known targets).
+
+  if (Mispredicted) {
+    Predictor.noteMispredict();
+    ++Stats.Mispredicts;
+    // Fetch restarts after the branch resolves plus the redirect penalty.
+    uint64_t Restart = ResolveCycle + MachineConfig::MispredictPenalty;
+    if (Restart > FetchCycle) {
+      FetchCycle = Restart;
+      FetchedThisCycle = 0;
+    }
+    LastFetchLine = ~0ull;
+  } else if (RI.BranchTaken) {
+    // Correctly predicted taken branch still ends the fetch group.
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+    LastFetchLine = ~0ull;
+  }
+}
+
+void OoOCore::consume(const RetiredInstr &RI) {
+  const MachineInstr &MI = *RI.MI;
+  ++Stats.Instructions;
+
+  // ---- Fetch -------------------------------------------------------------
+  uint64_t FetchDone = fetch(RI);
+
+  // ---- Dispatch (in-order, width-limited, RUU-limited) -------------------
+  uint64_t Dispatch = FetchDone + 1; // Decode/rename stage.
+  if (Dispatch < DispatchCycle)
+    Dispatch = DispatchCycle;
+  if (Dispatch > DispatchCycle) {
+    DispatchCycle = Dispatch;
+    DispatchedThisCycle = 0;
+  }
+  if (DispatchedThisCycle >= Config.IssueWidth) {
+    ++DispatchCycle;
+    DispatchedThisCycle = 0;
+    Dispatch = DispatchCycle;
+  }
+  ++DispatchedThisCycle;
+  // RUU space: the entry of the instruction RuuSize older must have
+  // committed.
+  uint64_t OldestCommit = RuuCommitRing[RuuPos];
+  if (Dispatch < OldestCommit)
+    Dispatch = OldestCommit;
+
+  // ---- Operand readiness --------------------------------------------------
+  uint64_t Ready = Dispatch;
+  int32_t Srcs[3];
+  unsigned NS = MI.srcRegs(Srcs);
+  for (unsigned S = 0; S < NS; ++S)
+    Ready = std::max(Ready, RegReady[Srcs[S]]);
+
+  // ---- Issue to a functional unit ----------------------------------------
+  FuClass Class = MI.fuClass();
+  uint64_t Issue = Ready;
+  if (Class != FuClass::None) {
+    auto &Pool = Units[static_cast<unsigned>(Class)];
+    size_t Best = 0;
+    for (size_t U = 1; U < Pool.size(); ++U)
+      if (Pool[U] < Pool[Best])
+        Best = U;
+    Issue = std::max(Ready, Pool[Best]);
+    Pool[Best] = Issue + (MachineConfig::fuUnpipelined(Class)
+                              ? MachineConfig::fuLatency(Class)
+                              : 1);
+  }
+
+  // ---- Execute / memory ----------------------------------------------------
+  uint64_t Complete;
+  if (MI.isLoad()) {
+    ++Stats.Loads;
+    uint64_t AddrReady = Issue + 1; // Address generation.
+    uint64_t Key = RI.MemAddr & ~7ull;
+    auto Fwd = StoreData.find(Key);
+    if (Fwd != StoreData.end()) {
+      ++Stats.LoadForwards;
+      Complete = std::max(AddrReady, Fwd->second) + 1;
+    } else {
+      Complete = Memory.accessData(RI.MemAddr, /*IsWrite=*/false,
+                                   /*IsPrefetch=*/false, AddrReady);
+    }
+  } else if (MI.isStore()) {
+    ++Stats.Stores;
+    Complete = Issue + 1;
+    // Record for store-to-load forwarding (bounded by LSQ size).
+    uint64_t Key = RI.MemAddr & ~7ull;
+    uint64_t Evict = StoreDataFifo[StoreDataPos];
+    if (Evict != ~0ull)
+      StoreData.erase(Evict);
+    StoreDataFifo[StoreDataPos] = Key;
+    StoreDataPos = (StoreDataPos + 1) % StoreDataFifo.size();
+    StoreData[Key] = Complete;
+  } else if (MI.isPrefetch()) {
+    // The prefetch fills caches (consuming bandwidth) but nothing waits
+    // for it.
+    Memory.accessData(RI.MemAddr, /*IsWrite=*/false, /*IsPrefetch=*/true,
+                      Issue + 1);
+    Complete = Issue + 1;
+  } else {
+    Complete = Issue + MachineConfig::fuLatency(Class);
+  }
+
+  int32_t Rd = MI.destReg();
+  if (Rd >= 0)
+    RegReady[Rd] = Complete;
+
+  // ---- Commit (in-order, width-limited) -----------------------------------
+  uint64_t Commit = std::max(Complete, LastCommitCycle);
+  if (Commit > CommitGroupCycle) {
+    CommitGroupCycle = Commit;
+    CommittedThisCycle = 0;
+  }
+  if (CommittedThisCycle >= Config.IssueWidth) {
+    ++CommitGroupCycle;
+    CommittedThisCycle = 0;
+    Commit = CommitGroupCycle;
+  }
+  ++CommittedThisCycle;
+
+  // Stores drain through the store buffer at commit.
+  if (MI.isStore()) {
+    size_t Best = 0;
+    for (size_t E = 1; E < StoreBuffer.size(); ++E)
+      if (StoreBuffer[E] < StoreBuffer[Best])
+        Best = E;
+    if (StoreBuffer[Best] > Commit) {
+      ++Stats.StoreBufferStalls;
+      Commit = StoreBuffer[Best];
+    }
+    uint64_t Done = Memory.accessData(RI.MemAddr, /*IsWrite=*/true,
+                                      /*IsPrefetch=*/false, Commit);
+    StoreBuffer[Best] = Done;
+  }
+
+  LastCommitCycle = Commit;
+  RuuCommitRing[RuuPos] = Commit;
+  RuuPos = (RuuPos + 1) % RuuCommitRing.size();
+
+  // ---- Branch resolution ----------------------------------------------------
+  if (MI.isBranch())
+    handleBranch(RI, Complete);
+}

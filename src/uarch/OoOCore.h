@@ -1,0 +1,114 @@
+//===- uarch/OoOCore.h - Out-of-order timing model ----------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven, timestamp-based out-of-order core in the SimpleScalar RUU
+/// tradition. Each committed instruction from the functional executor flows
+/// through fetch -> dispatch -> issue -> execute -> commit with explicit
+/// cycle timestamps:
+///
+///   - fetch: up to IssueWidth sequential instructions per cycle; the group
+///     breaks at taken branches; instruction-cache misses stall fetch;
+///     mispredicted branches restart fetch after resolution + penalty;
+///   - dispatch: in-order, bounded by the RUU size (an instruction cannot
+///     dispatch until the entry of the instruction RuuSize older commits);
+///   - issue: when operands are ready and a functional unit of the class is
+///     free (dividers are unpipelined);
+///   - memory: loads access the hierarchy (with store-to-load forwarding
+///     from in-flight stores); stores drain through a finite store buffer
+///     at commit; prefetches consume a memory port and bus bandwidth;
+///   - commit: in-order, up to IssueWidth per cycle.
+///
+/// Wrong-path fetch is not simulated; its cost is folded into the fixed
+/// mispredict penalty (documented in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_OOOCORE_H
+#define MSEM_UARCH_OOOCORE_H
+
+#include "isa/Executor.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/MachineConfig.h"
+
+#include <unordered_map>
+
+namespace msem {
+
+/// Counters accumulated by the detailed core.
+struct PipelineStats {
+  uint64_t Instructions = 0;
+  uint64_t Branches = 0;
+  uint64_t TakenBranches = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t LoadForwards = 0;
+  uint64_t StoreBufferStalls = 0;
+};
+
+/// The detailed timing model. Consume the retired-instruction stream and
+/// read cycles() at the end (or around SMARTS windows).
+class OoOCore {
+public:
+  OoOCore(const MachineConfig &Config, MemoryHierarchy &Memory,
+          CombinedPredictor &Predictor);
+
+  /// Advances the model by one committed instruction.
+  void consume(const RetiredInstr &RI);
+
+  /// Cycle of the most recent commit: the program's execution time so far.
+  uint64_t cycles() const { return LastCommitCycle; }
+
+  const PipelineStats &stats() const { return Stats; }
+
+private:
+  uint64_t fetch(const RetiredInstr &RI);
+  void handleBranch(const RetiredInstr &RI, uint64_t ResolveCycle);
+
+  const MachineConfig &Config;
+  MemoryHierarchy &Memory;
+  CombinedPredictor &Predictor;
+  PipelineStats Stats;
+
+  // Fetch state.
+  uint64_t FetchCycle = 0;
+  unsigned FetchedThisCycle = 0;
+  uint64_t LastFetchLine = ~0ull;
+
+  // Dispatch state.
+  uint64_t DispatchCycle = 0;
+  unsigned DispatchedThisCycle = 0;
+
+  // Register availability (unified numbering, 64 registers).
+  uint64_t RegReady[64] = {};
+
+  // Functional units: next-free cycle per unit, per class.
+  std::vector<uint64_t> Units[8];
+
+  // RUU occupancy: ring of the commit cycles of the last RuuSize instrs.
+  std::vector<uint64_t> RuuCommitRing;
+  size_t RuuPos = 0;
+
+  // Commit state.
+  uint64_t LastCommitCycle = 0;
+  uint64_t CommitGroupCycle = 0;
+  unsigned CommittedThisCycle = 0;
+
+  // Store buffer: next-free cycle per entry.
+  std::vector<uint64_t> StoreBuffer;
+
+  // In-flight store forwarding: 8-byte-aligned address -> data-ready cycle.
+  // Bounded by the LSQ size with FIFO eviction.
+  std::unordered_map<uint64_t, uint64_t> StoreData;
+  std::vector<uint64_t> StoreDataFifo;
+  size_t StoreDataPos = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_OOOCORE_H

@@ -1,0 +1,26 @@
+//===- uarch/Simulator.cpp - Whole-program detailed simulation -----------------===//
+
+#include "uarch/Simulator.h"
+
+using namespace msem;
+
+SimulationResult msem::simulateDetailed(const MachineProgram &Prog,
+                                        const MachineConfig &Config,
+                                        uint64_t MaxInstructions) {
+  MemoryHierarchy Memory(Config);
+  CombinedPredictor Predictor(Config.BranchPredictorSize,
+                              MachineConfig::ReturnStackEntries);
+  OoOCore Core(Config, Memory, Predictor);
+
+  Executor Exec(Prog, MaxInstructions);
+  Exec.run([&Core](const RetiredInstr &RI) { Core.consume(RI); });
+
+  SimulationResult R;
+  R.Exec = Exec.result();
+  R.Cycles = Core.cycles();
+  R.Pipeline = Core.stats();
+  R.Memory = Memory.stats();
+  R.BranchLookups = Predictor.lookups();
+  R.BranchMispredicts = Predictor.mispredicts();
+  return R;
+}

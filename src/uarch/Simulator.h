@@ -1,0 +1,47 @@
+//===- uarch/Simulator.h - Whole-program detailed simulation ------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience driver tying the functional executor to the detailed
+/// out-of-order timing model: runs a linked program to completion in fully
+/// detailed mode and reports cycles plus all pipeline/memory statistics.
+/// (The SMARTS sampling path lives in src/sampling.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_SIMULATOR_H
+#define MSEM_UARCH_SIMULATOR_H
+
+#include "isa/Executor.h"
+#include "uarch/OoOCore.h"
+
+namespace msem {
+
+/// Result of a detailed whole-program simulation.
+struct SimulationResult {
+  ExecResult Exec;          ///< Architectural outcome (return, output).
+  uint64_t Cycles = 0;      ///< Total execution time.
+  PipelineStats Pipeline;   ///< Core counters.
+  MemoryStats Memory;       ///< Cache/bus counters.
+  uint64_t BranchLookups = 0;
+  uint64_t BranchMispredicts = 0;
+
+  double cpi() const {
+    return Pipeline.Instructions
+               ? static_cast<double>(Cycles) /
+                     static_cast<double>(Pipeline.Instructions)
+               : 0.0;
+  }
+};
+
+/// Runs \p Prog to completion with every instruction simulated in detail.
+SimulationResult simulateDetailed(const MachineProgram &Prog,
+                                  const MachineConfig &Config,
+                                  uint64_t MaxInstructions = 4'000'000'000ull);
+
+} // namespace msem
+
+#endif // MSEM_UARCH_SIMULATOR_H

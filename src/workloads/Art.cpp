@@ -1,0 +1,160 @@
+//===- workloads/Art.cpp - Neural-network archetype ------------------------------===//
+//
+// Stands in for 179.art: an adaptive-resonance-style network. Each epoch
+// computes F1 activations as dense dot products of the input against every
+// neuron's weight row (the tight FP inner loop whose unrolling behaviour
+// the paper's Figure 3 studies), picks the winner, and blends the winner's
+// weights toward the input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildArt(InputSet Set) {
+  int64_t InputLen = 0, Neurons = 0, Epochs = 0;
+  switch (Set) {
+  case InputSet::Test:
+    InputLen = 350;
+    Neurons = 8;
+    Epochs = 3;
+    break;
+  case InputSet::Train:
+    InputLen = 1100;
+    Neurons = 12;
+    Epochs = 7;
+    break;
+  case InputSet::Ref:
+    InputLen = 2400;
+    Neurons = 14;
+    Epochs = 12;
+    break;
+  }
+
+  auto M = std::make_unique<Module>("art");
+  GlobalVariable *In =
+      M->createGlobal("input", static_cast<uint64_t>(InputLen) * 8);
+  GlobalVariable *Wt = M->createGlobal(
+      "weights", static_cast<uint64_t>(Neurons * InputLen) * 8);
+  GlobalVariable *Act =
+      M->createGlobal("act", static_cast<uint64_t>(Neurons) * 8);
+  LcgStream Lcg(*M, "rng", 0xA27u + static_cast<uint64_t>(InputLen));
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(InputLen), 1, "in_init");
+    Value *F = B.fmul(B.siToFp(Lcg.nextBelow(B, 1000)),
+                      B.constFloat(0.001));
+    B.storeElem(F, In, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(Neurons * InputLen), 1,
+                  "wt_init");
+    Value *F = B.fmul(B.siToFp(Lcg.nextBelow(B, 2000)),
+                      B.constFloat(0.0005));
+    B.storeElem(F, Wt, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+
+  LoopBuilder Le(B, B.constInt(0), B.constInt(Epochs), 1, "epoch");
+  Value *Score0 = Le.carried(B.constInt(0));
+
+  // F1 activations: act[n] = dot(weights[n], input).
+  {
+    LoopBuilder Ln(B, B.constInt(0), B.constInt(Neurons), 1, "neuron");
+    Value *Row = B.mul(Ln.indVar(), B.constInt(InputLen));
+    LoopBuilder Lk(B, B.constInt(0), B.constInt(InputLen), 1, "dot");
+    Value *Acc = Lk.carried(B.constFloat(0.0));
+    Value *Wv = B.loadElem(Wt, B.add(Row, Lk.indVar()), MemKind::Float64);
+    Value *Iv = B.loadElem(In, Lk.indVar(), MemKind::Float64);
+    Lk.setNext(Acc, B.fadd(Acc, B.fmul(Wv, Iv)));
+    Lk.finish();
+    B.storeElem(Lk.exitValue(Acc), Act, Ln.indVar(), MemKind::Float64);
+    Ln.finish();
+  }
+  // Winner-take-all (branchy argmax).
+  Value *Winner;
+  {
+    LoopBuilder Lw(B, B.constInt(0), B.constInt(Neurons), 1, "wta");
+    Value *BestIdx = Lw.carried(B.constInt(0));
+    Value *BestVal = Lw.carried(B.constFloat(-1.0e30));
+    Value *V = B.loadElem(Act, Lw.indVar(), MemKind::Float64);
+    Value *Better = B.fcmp(CmpPred::GT, V, BestVal);
+    Lw.setNext(BestVal, B.select(Better, V, BestVal));
+    Lw.setNext(BestIdx, B.select(Better, Lw.indVar(), BestIdx));
+    Lw.finish();
+    Winner = Lw.exitValue(BestIdx);
+  }
+  // Blend the winner's weights toward the input (second hot FP loop).
+  {
+    Value *Row = B.mul(Winner, B.constInt(InputLen));
+    LoopBuilder Lu(B, B.constInt(0), B.constInt(InputLen), 1, "learn");
+    Value *Wv = B.loadElem(Wt, B.add(Row, Lu.indVar()), MemKind::Float64);
+    Value *Iv = B.loadElem(In, Lu.indVar(), MemKind::Float64);
+    Value *NewW = B.fadd(B.fmul(Wv, B.constFloat(0.9)),
+                         B.fmul(Iv, B.constFloat(0.1)));
+    B.storeElem(NewW, Wt, B.add(Row, Lu.indVar()), MemKind::Float64);
+    Lu.finish();
+  }
+  // F2 feedback: normalize the winner row (norm pass + scale pass), then
+  // apply a vigilance-style contrast pass to the input. Three more tight
+  // FP loops per epoch; with unrolling enabled they replicate and the
+  // epoch cycles between them, so the unrolled-code footprint vs the
+  // instruction cache becomes the interaction Figure 3 studies.
+  {
+    Value *Row = B.mul(Winner, B.constInt(InputLen));
+    LoopBuilder Ln(B, B.constInt(0), B.constInt(InputLen), 1, "norm");
+    Value *Acc = Ln.carried(B.constFloat(1.0e-9));
+    Value *Wv = B.loadElem(Wt, B.add(Row, Ln.indVar()), MemKind::Float64);
+    Ln.setNext(Acc, B.fadd(Acc, B.fmul(Wv, Wv)));
+    Ln.finish();
+    Value *Norm = Ln.exitValue(Acc);
+    Value *Scale = B.fdiv(B.constFloat(30.0),
+                          B.fadd(Norm, B.constFloat(25.0)));
+
+    LoopBuilder Lsc(B, B.constInt(0), B.constInt(InputLen), 1, "rescale");
+    Value *Wv2 = B.loadElem(Wt, B.add(Row, Lsc.indVar()), MemKind::Float64);
+    Value *Scaled = B.fadd(B.fmul(Wv2, B.constFloat(0.98)),
+                           B.fmul(Wv2, B.fmul(Scale,
+                                              B.constFloat(0.02))));
+    B.storeElem(Scaled, Wt, B.add(Row, Lsc.indVar()), MemKind::Float64);
+    Lsc.finish();
+
+    LoopBuilder Lv(B, B.constInt(0), B.constInt(InputLen), 1, "vigilance");
+    Value *Iv = B.loadElem(In, Lv.indVar(), MemKind::Float64);
+    Value *Wv3 = B.loadElem(Wt, B.add(Row, Lv.indVar()), MemKind::Float64);
+    Value *Diff = B.fsub(Iv, Wv3);
+    Value *Contrast = B.fadd(Iv, B.fmul(Diff, B.constFloat(0.01)));
+    B.storeElem(Contrast, In, Lv.indVar(), MemKind::Float64);
+    Lv.finish();
+  }
+  // Perturb the input so later epochs pick different winners.
+  {
+    LoopBuilder Lp(B, B.constInt(0), B.constInt(InputLen), 13, "perturb");
+    Value *Iv = B.loadElem(In, Lp.indVar(), MemKind::Float64);
+    B.storeElem(B.fadd(Iv, B.constFloat(0.003)), In, Lp.indVar(),
+                MemKind::Float64);
+    Lp.finish();
+  }
+  Le.setNext(Score0, B.add(Score0, B.add(Winner, B.constInt(1))));
+  Le.finish();
+
+  // Checksum over final activations.
+  LoopBuilder Ls(B, B.constInt(0), B.constInt(Neurons), 1, "csum");
+  Value *Acc = Ls.carried(B.constFloat(0.0));
+  Ls.setNext(Acc, B.fadd(Acc, B.loadElem(Act, Ls.indVar(),
+                                         MemKind::Float64)));
+  Ls.finish();
+  Value *Result = B.add(Le.exitValue(Score0),
+                        B.fpToSi(B.fmul(Ls.exitValue(Acc),
+                                        B.constFloat(100.0))));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

@@ -1,0 +1,180 @@
+//===- workloads/Bzip2.cpp - Block-sorting archetype ------------------------------===//
+//
+// Stands in for 256.bzip2: the block-sorting phase as a recursive
+// quicksort (with an insertion-sort base case built from a hand-rolled
+// while loop -- heavily data-dependent branches, the classic
+// branch-predictor stressor), followed by histogram and run-length
+// checksum passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildBzip2(InputSet Set) {
+  int64_t N = 0;
+  switch (Set) {
+  case InputSet::Test:
+    N = 3000;
+    break;
+  case InputSet::Train:
+    N = 15000;
+    break;
+  case InputSet::Ref:
+    N = 42000;
+    break;
+  }
+
+  auto M = std::make_unique<Module>("bzip2");
+  GlobalVariable *Data =
+      M->createGlobal("data", static_cast<uint64_t>(N) * 4);
+  GlobalVariable *Hist = M->createGlobal("hist", 256 * 8);
+  LcgStream Lcg(*M, "rng", 0xB21Bull + static_cast<uint64_t>(N));
+
+  // qsort(lo, hi): in-place quicksort of data[lo..hi] (inclusive).
+  Function *Qsort = M->createFunction("qsort_range", Type::Void,
+                                      {Type::I64, Type::I64}, {"lo", "hi"});
+  {
+    IRBuilder B(*M);
+    Value *Lo = Qsort->arg(0);
+    Value *Hi = Qsort->arg(1);
+    BasicBlock *Entry = Qsort->createBlock("entry");
+    BasicBlock *Small = Qsort->createBlock("insertion");
+    BasicBlock *Large = Qsort->createBlock("partition");
+    B.setInsertPoint(Entry);
+    Value *Span = B.sub(Hi, Lo);
+    B.br(B.icmp(CmpPred::LT, Span, B.constInt(12)), Small, Large);
+
+    // --- Insertion sort base case --------------------------------------
+    B.setInsertPoint(Small);
+    LoopBuilder Li(B, B.add(Lo, B.constInt(1)), B.add(Hi, B.constInt(1)),
+                   1, "ins");
+    {
+      Value *I = Li.indVar();
+      Value *V = B.loadElem(Data, I, MemKind::Int32);
+      // Hand-rolled sift-down while loop:
+      //   j = i; while (j > lo && data[j-1] > v) { data[j]=data[j-1]; --j; }
+      BasicBlock *Pre = B.insertBlock();
+      BasicBlock *WhileHead = Qsort->createBlock("sift.head");
+      BasicBlock *CheckPrev = Qsort->createBlock("sift.check");
+      BasicBlock *WhileBody = Qsort->createBlock("sift.body");
+      BasicBlock *WhileExit = Qsort->createBlock("sift.exit");
+      B.jmp(WhileHead);
+
+      B.setInsertPoint(WhileHead);
+      Instruction *J = B.phi(Type::I64);
+      J->addPhiIncoming(I, Pre);
+      Value *CanMove = B.icmp(CmpPred::GT, J, Lo);
+      B.br(CanMove, CheckPrev, WhileExit);
+
+      B.setInsertPoint(CheckPrev);
+      Value *Prev =
+          B.loadElem(Data, B.sub(J, B.constInt(1)), MemKind::Int32);
+      Value *Bigger = B.icmp(CmpPred::GT, Prev, V);
+      B.br(Bigger, WhileBody, WhileExit);
+
+      B.setInsertPoint(WhileBody);
+      B.storeElem(Prev, Data, J, MemKind::Int32);
+      Value *JNext = B.sub(J, B.constInt(1));
+      B.jmp(WhileHead);
+      J->addPhiIncoming(JNext, WhileBody);
+
+      B.setInsertPoint(WhileExit);
+      B.storeElem(V, Data, J, MemKind::Int32);
+      Li.finish();
+    }
+    B.ret();
+
+    // --- Partition + recurse --------------------------------------------
+    B.setInsertPoint(Large);
+    Value *Pivot = B.loadElem(Data, Hi, MemKind::Int32);
+    LoopBuilder Lp(B, Lo, Hi, 1, "part");
+    Value *Store = Lp.carried(Lo);
+    {
+      Value *J = Lp.indVar();
+      Value *Dj = B.loadElem(Data, J, MemKind::Int32);
+      Value *Le = B.icmp(CmpPred::LE, Dj, Pivot);
+      BasicBlock *Swap = Qsort->createBlock("part.swap");
+      BasicBlock *Keep = Qsort->createBlock("part.keep");
+      BasicBlock *Merge = Qsort->createBlock("part.merge");
+      B.br(Le, Swap, Keep);
+      B.setInsertPoint(Swap);
+      Value *Tmp = B.loadElem(Data, Store, MemKind::Int32);
+      B.storeElem(Dj, Data, Store, MemKind::Int32);
+      B.storeElem(Tmp, Data, J, MemKind::Int32);
+      Value *StoreInc = B.add(Store, B.constInt(1));
+      B.jmp(Merge);
+      B.setInsertPoint(Keep);
+      B.jmp(Merge);
+      B.setInsertPoint(Merge);
+      Instruction *StoreNew = B.phi(Type::I64);
+      StoreNew->addPhiIncoming(StoreInc, Swap);
+      StoreNew->addPhiIncoming(Store, Keep);
+      Lp.setNext(Store, StoreNew);
+      Lp.finish();
+    }
+    Value *P = Lp.exitValue(Store);
+    // Swap the pivot into place.
+    Value *AtP = B.loadElem(Data, P, MemKind::Int32);
+    B.storeElem(Pivot, Data, P, MemKind::Int32);
+    B.storeElem(AtP, Data, Hi, MemKind::Int32);
+    // Recurse on both halves.
+    B.call(Qsort, {Lo, B.sub(P, B.constInt(1))});
+    B.call(Qsort, {B.add(P, B.constInt(1)), Hi});
+    B.ret();
+  }
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  emitFillRandom(B, Lcg, Data, N, MemKind::Int32, 10000, "fill");
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(256), 1, "hclear");
+    B.storeElem(B.constInt(0), Hist, L.indVar(), MemKind::Int64);
+    L.finish();
+  }
+  B.call(Qsort, {B.constInt(0), B.constInt(N - 1)});
+
+  // Verify sortedness (counts violations; must be zero) and histogram.
+  LoopBuilder Lv(B, B.constInt(1), B.constInt(N), 1, "verify");
+  Value *Bad = Lv.carried(B.constInt(0));
+  Value *Cur = B.loadElem(Data, Lv.indVar(), MemKind::Int32);
+  Value *Before =
+      B.loadElem(Data, B.sub(Lv.indVar(), B.constInt(1)), MemKind::Int32);
+  Lv.setNext(Bad, B.add(Bad, B.icmp(CmpPred::GT, Before, Cur)));
+  Value *Bucket = B.rem(Cur, B.constInt(256));
+  Value *H = B.loadElem(Hist, Bucket, MemKind::Int64);
+  B.storeElem(B.add(H, B.constInt(1)), Hist, Bucket, MemKind::Int64);
+  Lv.finish();
+
+  // Run-length checksum over the sorted data.
+  LoopBuilder Lr(B, B.constInt(1), B.constInt(N), 1, "rle");
+  Value *Run = Lr.carried(B.constInt(0));
+  Value *Sum = Lr.carried(B.constInt(0));
+  Value *A = B.loadElem(Data, Lr.indVar(), MemKind::Int32);
+  Value *Pv =
+      B.loadElem(Data, B.sub(Lr.indVar(), B.constInt(1)), MemKind::Int32);
+  Value *Same = B.icmp(CmpPred::EQ, A, Pv);
+  Value *NewRun = B.select(Same, B.add(Run, B.constInt(1)), B.constInt(0));
+  Lr.setNext(Run, NewRun);
+  Lr.setNext(Sum, B.add(Sum, B.add(NewRun, A)));
+  Lr.finish();
+
+  // Fold in a histogram sample.
+  LoopBuilder Lh(B, B.constInt(0), B.constInt(256), 1, "hsum");
+  Value *HAcc = Lh.carried(B.constInt(0));
+  Value *Hv = B.loadElem(Hist, Lh.indVar(), MemKind::Int64);
+  Lh.setNext(HAcc, B.add(HAcc, B.mul(Hv, Lh.indVar())));
+  Lh.finish();
+
+  Value *Penalty = B.mul(Lv.exitValue(Bad), B.constInt(1 << 30));
+  Value *Result = B.rem(
+      B.add(B.add(Lr.exitValue(Sum), Lh.exitValue(HAcc)), Penalty),
+      B.constInt(1000000007));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

@@ -1,0 +1,136 @@
+//===- workloads/Gzip.cpp - LZ77-style compression archetype -------------------===//
+//
+// Stands in for 164.gzip: a hash-chain LZ match search over a byte buffer
+// of synthetically compressible data. The hot loop does byte loads, a hash
+// computation (helper function -> inlining target), a hash-table probe, a
+// data-dependent match/literal branch and a fixed-width match-length scan
+// (counted inner loop -> unrolling target).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildGzip(InputSet Set) {
+  int64_t N = 0;
+  switch (Set) {
+  case InputSet::Test:
+    N = 12 * 1024;
+    break;
+  case InputSet::Train:
+    N = 72 * 1024;
+    break;
+  case InputSet::Ref:
+    N = 192 * 1024;
+    break;
+  }
+  const int64_t HashBits = 13;
+  const int64_t HashSize = 1 << HashBits;
+  const int64_t Window = 16 * 1024;
+
+  auto M = std::make_unique<Module>("gzip");
+  GlobalVariable *Input =
+      M->createGlobal("input", static_cast<uint64_t>(N));
+  GlobalVariable *Head =
+      M->createGlobal("head", static_cast<uint64_t>(HashSize) * 4);
+  LcgStream Lcg(*M, "rng", 0x67A1Fu + static_cast<uint64_t>(N));
+
+  // hash3(b0, b1, b2) = ((b0*33 + b1)*33 + b2) & (HashSize-1)
+  Function *Hash3 = M->createFunction(
+      "hash3", Type::I64, {Type::I64, Type::I64, Type::I64},
+      {"b0", "b1", "b2"});
+  {
+    IRBuilder B(*M);
+    B.setInsertPoint(Hash3->createBlock("entry"));
+    Value *H = B.mul(Hash3->arg(0), B.constInt(33));
+    H = B.add(H, Hash3->arg(1));
+    H = B.mul(H, B.constInt(33));
+    H = B.add(H, Hash3->arg(2));
+    B.ret(B.andOp(H, B.constInt(HashSize - 1)));
+  }
+
+  // matchLen8(p1, p2): length of the common prefix of two 8-byte regions,
+  // computed branch-free with the prefix-product trick (unrollable).
+  Function *MatchLen = M->createFunction("match_len8", Type::I64,
+                                         {Type::Ptr, Type::Ptr},
+                                         {"p1", "p2"});
+  {
+    IRBuilder B(*M);
+    B.setInsertPoint(MatchLen->createBlock("entry"));
+    LoopBuilder L(B, B.constInt(0), B.constInt(8), 1, "scan");
+    Value *Len = L.carried(B.constInt(0));
+    Value *Prefix = L.carried(B.constInt(1));
+    Value *A = B.load(B.ptrAdd(MatchLen->arg(0), L.indVar()), MemKind::Int8);
+    Value *Bb = B.load(B.ptrAdd(MatchLen->arg(1), L.indVar()), MemKind::Int8);
+    Value *Eq = B.icmp(CmpPred::EQ, A, Bb);
+    Value *NewPrefix = B.mul(Prefix, Eq);
+    L.setNext(Prefix, NewPrefix);
+    L.setNext(Len, B.add(Len, NewPrefix));
+    L.finish();
+    B.ret(L.exitValue(Len));
+  }
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  // Generate compressible input: ~60% of bytes repeat their predecessor.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "gen");
+    Value *Prev = L.carried(B.constInt(65));
+    Value *R = Lcg.nextBelow(B, 32);
+    Value *Repeat = B.icmp(CmpPred::LT, R, B.constInt(19));
+    Value *Byte = B.select(Repeat, Prev, B.add(R, B.constInt(48)));
+    B.storeElem(Byte, Input, L.indVar(), MemKind::Int8);
+    L.setNext(Prev, Byte);
+    L.finish();
+  }
+
+  // Deflate-style cover loop.
+  LoopBuilder L(B, B.constInt(0), B.constInt(N - 8), 1, "deflate");
+  Value *Csum = L.carried(B.constInt(0));
+  Value *I = L.indVar();
+  Value *B0 = B.loadElem(Input, I, MemKind::Int8);
+  Value *B1 = B.loadElem(Input, B.add(I, B.constInt(1)), MemKind::Int8);
+  Value *B2 = B.loadElem(Input, B.add(I, B.constInt(2)), MemKind::Int8);
+  Value *H = B.call(Hash3, {B0, B1, B2});
+  Value *Cand = B.loadElem(Head, H, MemKind::Int32); // Position + 1, 0=none.
+  B.storeElem(B.add(I, B.constInt(1)), Head, H, MemKind::Int32);
+
+  Value *CandPos = B.sub(Cand, B.constInt(1));
+  Value *Dist = B.sub(I, CandPos);
+  Value *HasCand = B.icmp(CmpPred::GT, Cand, B.constInt(0));
+  Value *InWindow = B.icmp(CmpPred::LE, Dist, B.constInt(Window));
+  Value *Fresh = B.icmp(CmpPred::GT, Dist, B.constInt(0));
+  Value *TryMatch = B.andOp(B.andOp(HasCand, InWindow), Fresh);
+
+  BasicBlock *MatchBB = Main->createBlock("match");
+  BasicBlock *LiteralBB = Main->createBlock("literal");
+  BasicBlock *Merge = Main->createBlock("cont");
+  B.br(TryMatch, MatchBB, LiteralBB);
+
+  B.setInsertPoint(MatchBB);
+  Value *P1 = B.elemPtr(Input, I, MemKind::Int8);
+  Value *P2 = B.elemPtr(Input, CandPos, MemKind::Int8);
+  Value *Len = B.call(MatchLen, {P1, P2});
+  Value *MatchScore = B.add(B.mul(Len, B.constInt(3)), B.constInt(1));
+  B.jmp(Merge);
+
+  B.setInsertPoint(LiteralBB);
+  Value *LitScore = B.andOp(B0, B.constInt(255));
+  B.jmp(Merge);
+
+  B.setInsertPoint(Merge);
+  Instruction *Score = B.phi(Type::I64);
+  Score->addPhiIncoming(MatchScore, MatchBB);
+  Score->addPhiIncoming(LitScore, LiteralBB);
+  L.setNext(Csum, B.add(Csum, Score));
+  L.finish();
+
+  Value *Result = B.rem(L.exitValue(Csum), B.constInt(1000000007));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

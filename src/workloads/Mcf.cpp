@@ -1,0 +1,93 @@
+//===- workloads/Mcf.cpp - Pointer-chasing archetype ------------------------------===//
+//
+// Stands in for 181.mcf: network-simplex-style traversal of a node pool
+// far larger than the L1 cache (multi-MB at ref scale). The hot loop
+// chases pseudo-random successor indices -- every access is a likely
+// cache miss, so L2 capacity and memory latency dominate, exactly the
+// signature the paper's Table 4 reports for mcf.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildMcf(InputSet Set) {
+  int64_t Nodes = 0, Chains = 0, Steps = 0;
+  switch (Set) {
+  case InputSet::Test:
+    Nodes = 16 * 1024; // 256KB pool.
+    Chains = 10;
+    Steps = 2500;
+    break;
+  case InputSet::Train:
+    Nodes = 96 * 1024; // 1.5MB pool.
+    Chains = 40;
+    Steps = 4500;
+    break;
+  case InputSet::Ref:
+    Nodes = 320 * 1024; // 5MB pool.
+    Chains = 64;
+    Steps = 7000;
+    break;
+  }
+
+  auto M = std::make_unique<Module>("mcf");
+  GlobalVariable *Next =
+      M->createGlobal("next", static_cast<uint64_t>(Nodes) * 4);
+  GlobalVariable *Cost =
+      M->createGlobal("cost", static_cast<uint64_t>(Nodes) * 4);
+  GlobalVariable *Flow =
+      M->createGlobal("flow", static_cast<uint64_t>(Nodes) * 8);
+  LcgStream Lcg(*M, "rng", 0x3C0FFEEull + static_cast<uint64_t>(Nodes));
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(Nodes), 1, "init");
+    B.storeElem(Lcg.nextBelow(B, Nodes), Next, L.indVar(), MemKind::Int32);
+    B.storeElem(Lcg.nextBelow(B, 100), Cost, L.indVar(), MemKind::Int32);
+    B.storeElem(B.constInt(0), Flow, L.indVar(), MemKind::Int64);
+    L.finish();
+  }
+
+  LoopBuilder Lc(B, B.constInt(0), B.constInt(Chains), 1, "chain");
+  Value *Total0 = Lc.carried(B.constInt(0));
+  Value *Start = B.rem(B.mul(Lc.indVar(), B.constInt(7919)),
+                       B.constInt(Nodes));
+
+  LoopBuilder Ls(B, B.constInt(0), B.constInt(Steps), 1, "chase");
+  Value *Cur = Ls.carried(Start);
+  Value *Total = Ls.carried(Total0);
+  Value *Nx = B.loadElem(Next, Cur, MemKind::Int32);
+  Value *C = B.loadElem(Cost, Cur, MemKind::Int32);
+  Value *NewTotal = B.add(Total, C);
+
+  // Augment flow along odd-cost arcs (data-dependent branch + RMW store).
+  Value *Odd = B.andOp(C, B.constInt(1));
+  BasicBlock *AugBB = Main->createBlock("augment");
+  BasicBlock *SkipBB = Main->createBlock("noaug");
+  BasicBlock *Merge = Main->createBlock("step");
+  B.br(Odd, AugBB, SkipBB);
+  B.setInsertPoint(AugBB);
+  Value *F = B.loadElem(Flow, Cur, MemKind::Int64);
+  B.storeElem(B.add(F, B.constInt(1)), Flow, Cur, MemKind::Int64);
+  B.jmp(Merge);
+  B.setInsertPoint(SkipBB);
+  B.jmp(Merge);
+  B.setInsertPoint(Merge);
+
+  Ls.setNext(Cur, Nx);
+  Ls.setNext(Total, NewTotal);
+  Ls.finish();
+  Lc.setNext(Total0, Ls.exitValue(Total));
+  Lc.finish();
+
+  Value *Result = B.rem(Lc.exitValue(Total0), B.constInt(1000000007));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

@@ -1,0 +1,218 @@
+//===- workloads/Mesa.cpp - FP rasterization archetype ---------------------------===//
+//
+// Stands in for 177.mesa: frames of vertex transformation (4x4 matrix
+// times vec4, with a fully-counted inner product loop -- the classic
+// unrolling target), perspective division (FP divides) and a z-buffered
+// point rasterizer with an FP depth-test branch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildMesa(InputSet Set) {
+  int64_t NumVerts = 0, Frames = 0, ZDim = 0;
+  switch (Set) {
+  case InputSet::Test:
+    NumVerts = 500;
+    Frames = 2;
+    ZDim = 48;
+    break;
+  case InputSet::Train:
+    NumVerts = 2200;
+    Frames = 4;
+    ZDim = 96;
+    break;
+  case InputSet::Ref:
+    NumVerts = 5000;
+    Frames = 7;
+    ZDim = 144;
+    break;
+  }
+  const int64_t ZCells = ZDim * ZDim;
+
+  auto M = std::make_unique<Module>("mesa");
+  GlobalVariable *Verts =
+      M->createGlobal("verts", static_cast<uint64_t>(NumVerts) * 4 * 8);
+  GlobalVariable *TVerts =
+      M->createGlobal("tverts", static_cast<uint64_t>(NumVerts) * 4 * 8);
+  GlobalVariable *Mat = M->createGlobal("matrix", 16 * 8);
+  GlobalVariable *ZBuf =
+      M->createGlobal("zbuf", static_cast<uint64_t>(ZCells) * 8);
+  LcgStream Lcg(*M, "rng", 0x3E5Au + static_cast<uint64_t>(NumVerts));
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  // Vertex soup in [-1, 1]^3 with w = 1 + small jitter.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(NumVerts * 4), 1, "verts");
+    Value *R = Lcg.nextBelow(B, 2000);
+    Value *F = B.fmul(B.siToFp(B.sub(R, B.constInt(1000))),
+                      B.constFloat(0.001));
+    Value *IsW = B.icmp(CmpPred::EQ, B.andOp(L.indVar(), B.constInt(3)),
+                        B.constInt(3));
+    Value *V = B.select(IsW, B.fadd(B.constFloat(2.0), F), F);
+    B.storeElem(V, Verts, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+  // A perspective-ish matrix.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(16), 1, "mat");
+    Value *OnDiag = B.icmp(CmpPred::EQ, B.divS(L.indVar(), B.constInt(4)),
+                           B.rem(L.indVar(), B.constInt(4)));
+    Value *Jitter = B.fmul(B.siToFp(Lcg.nextBelow(B, 100)),
+                           B.constFloat(0.002));
+    Value *V = B.select(OnDiag, B.fadd(B.constFloat(1.0), Jitter), Jitter);
+    B.storeElem(V, Mat, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+
+  LoopBuilder Lf(B, B.constInt(0), B.constInt(Frames), 1, "frame");
+  Value *Hits0 = Lf.carried(B.constInt(0));
+
+  // Clear the z-buffer.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(ZCells), 1, "clear");
+    B.storeElem(B.constFloat(1.0e30), ZBuf, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+  // Animate the matrix a little each frame.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(16), 1, "anim");
+    Value *V = B.loadElem(Mat, L.indVar(), MemKind::Float64);
+    Value *NewV = B.fadd(B.fmul(V, B.constFloat(0.999)),
+                         B.constFloat(0.0005));
+    B.storeElem(NewV, Mat, L.indVar(), MemKind::Float64);
+    L.finish();
+  }
+  // Transform: tvert[v][row] = sum_k mat[row*4+k] * vert[v][k].
+  {
+    LoopBuilder Lv(B, B.constInt(0), B.constInt(NumVerts), 1, "xform");
+    Value *VBase = B.mul(Lv.indVar(), B.constInt(4));
+    {
+      LoopBuilder Lr(B, B.constInt(0), B.constInt(4), 1, "row");
+      Value *RBase = B.mul(Lr.indVar(), B.constInt(4));
+      LoopBuilder Lk(B, B.constInt(0), B.constInt(4), 1, "dotk");
+      Value *Acc = Lk.carried(B.constFloat(0.0));
+      Value *Mv = B.loadElem(Mat, B.add(RBase, Lk.indVar()),
+                             MemKind::Float64);
+      Value *Vv = B.loadElem(Verts, B.add(VBase, Lk.indVar()),
+                             MemKind::Float64);
+      Lk.setNext(Acc, B.fadd(Acc, B.fmul(Mv, Vv)));
+      Lk.finish();
+      B.storeElem(Lk.exitValue(Acc), TVerts, B.add(VBase, Lr.indVar()),
+                  MemKind::Float64);
+      Lr.finish();
+    }
+    Lv.finish();
+  }
+  // Rasterize points with a depth test.
+  LoopBuilder Lv(B, B.constInt(0), B.constInt(NumVerts), 1, "raster");
+  Value *Hits = Lv.carried(Hits0);
+  Value *VBase = B.mul(Lv.indVar(), B.constInt(4));
+  Value *Tx = B.loadElem(TVerts, VBase, MemKind::Float64);
+  Value *Ty =
+      B.loadElem(TVerts, B.add(VBase, B.constInt(1)), MemKind::Float64);
+  Value *Tz =
+      B.loadElem(TVerts, B.add(VBase, B.constInt(2)), MemKind::Float64);
+  Value *Tw =
+      B.loadElem(TVerts, B.add(VBase, B.constInt(3)), MemKind::Float64);
+  Value *InvW = B.fdiv(B.constFloat(1.0), Tw);
+  Value *Half = B.constFloat(static_cast<double>(ZDim) / 2.0);
+  Value *Px = B.fpToSi(
+      B.fadd(B.fmul(B.fmul(Tx, InvW), Half), Half));
+  Value *Py = B.fpToSi(
+      B.fadd(B.fmul(B.fmul(Ty, InvW), Half), Half));
+  Value *Z = B.fmul(Tz, InvW);
+  Value *CPx = emitMax(B, B.constInt(0), emitMin(B, Px, B.constInt(ZDim - 1)));
+  Value *CPy = emitMax(B, B.constInt(0), emitMin(B, Py, B.constInt(ZDim - 1)));
+  Value *Idx = B.add(B.mul(CPy, B.constInt(ZDim)), CPx);
+  Value *OldZ = B.loadElem(ZBuf, Idx, MemKind::Float64);
+  Value *Nearer = B.fcmp(CmpPred::LT, Z, OldZ);
+
+  // Four distinct shading pipelines selected per vertex (flat, gouraud,
+  // specular-ish, fog-ish): data-dependent dispatch over separate FP code
+  // paths, giving mesa the large instruction working set of a real
+  // rasterizer (the paper's Table 4 reports a large il1 effect for mesa).
+  Value *Mode = B.andOp(Lv.indVar(), B.constInt(3));
+  BasicBlock *Sh0 = Main->createBlock("shade.flat");
+  BasicBlock *Sh1 = Main->createBlock("shade.gouraud");
+  BasicBlock *Sh2 = Main->createBlock("shade.spec");
+  BasicBlock *Sh3 = Main->createBlock("shade.fog");
+  BasicBlock *ShMerge = Main->createBlock("shade.merge");
+  BasicBlock *Lo2 = Main->createBlock("shade.lo");
+  BasicBlock *Hi2 = Main->createBlock("shade.hi");
+  B.br(B.icmp(CmpPred::LE, Mode, B.constInt(1)), Lo2, Hi2);
+  B.setInsertPoint(Lo2);
+  B.br(B.icmp(CmpPred::EQ, Mode, B.constInt(0)), Sh0, Sh1);
+  B.setInsertPoint(Hi2);
+  B.br(B.icmp(CmpPred::EQ, Mode, B.constInt(2)), Sh2, Sh3);
+
+  auto Chain = [&](Value *Seed, double A, double Bc, double Cc) {
+    Value *S = B.fmul(Seed, B.constFloat(A));
+    S = B.fadd(S, B.constFloat(Bc));
+    S = B.fmul(S, B.fadd(Tx, B.constFloat(Cc)));
+    S = B.fadd(S, B.fmul(Ty, B.constFloat(A * 0.5)));
+    S = B.fmul(S, B.fadd(S, B.constFloat(Bc * 0.25)));
+    S = B.fadd(S, B.fmul(Tz, B.constFloat(Cc * 0.125)));
+    S = B.fmul(S, B.constFloat(0.03125));
+    return S;
+  };
+  B.setInsertPoint(Sh0);
+  Value *C0 = Chain(Z, 0.50, 1.00, 0.25);
+  B.jmp(ShMerge);
+  B.setInsertPoint(Sh1);
+  Value *C1 = Chain(Z, 0.75, 0.50, 0.75);
+  B.jmp(ShMerge);
+  B.setInsertPoint(Sh2);
+  Value *C2 = Chain(Z, 1.25, 0.25, 1.25);
+  B.jmp(ShMerge);
+  B.setInsertPoint(Sh3);
+  Value *C3 = Chain(Z, 0.25, 2.00, 0.50);
+  B.jmp(ShMerge);
+  B.setInsertPoint(ShMerge);
+  Instruction *Color = B.phi(Type::F64);
+  Color->addPhiIncoming(C0, Sh0);
+  Color->addPhiIncoming(C1, Sh1);
+  Color->addPhiIncoming(C2, Sh2);
+  Color->addPhiIncoming(C3, Sh3);
+  Value *ZShaded = B.fadd(Z, B.fmul(Color, B.constFloat(1e-12)));
+
+  BasicBlock *WriteBB = Main->createBlock("zwrite");
+  BasicBlock *KeepBB = Main->createBlock("zkeep");
+  BasicBlock *Merge = Main->createBlock("zmerge");
+  B.br(Nearer, WriteBB, KeepBB);
+  B.setInsertPoint(WriteBB);
+  B.storeElem(ZShaded, ZBuf, Idx, MemKind::Float64);
+  Value *HitsInc = B.add(Hits, B.constInt(1));
+  B.jmp(Merge);
+  B.setInsertPoint(KeepBB);
+  B.jmp(Merge);
+  B.setInsertPoint(Merge);
+  Instruction *HitsNew = B.phi(Type::I64);
+  HitsNew->addPhiIncoming(HitsInc, WriteBB);
+  HitsNew->addPhiIncoming(Hits, KeepBB);
+  Lv.setNext(Hits, HitsNew);
+  Lv.finish();
+  Lf.setNext(Hits0, Lv.exitValue(Hits));
+  Lf.finish();
+
+  // Checksum: hit count plus a sampled z-buffer reduction.
+  LoopBuilder Ls(B, B.constInt(0), B.constInt(ZCells), 17, "zsum");
+  Value *ZAcc = Ls.carried(B.constFloat(0.0));
+  Value *Zv = B.loadElem(ZBuf, Ls.indVar(), MemKind::Float64);
+  Value *Zc = B.select(B.fcmp(CmpPred::LT, Zv, B.constFloat(1.0e29)), Zv,
+                       B.constFloat(0.0));
+  Ls.setNext(ZAcc, B.fadd(ZAcc, Zc));
+  Ls.finish();
+  Value *Result =
+      B.add(Lf.exitValue(Hits0),
+            B.fpToSi(B.fmul(Ls.exitValue(ZAcc), B.constFloat(1000.0))));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

@@ -1,0 +1,40 @@
+//===- workloads/Registry.cpp - Benchmark registry ------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Error.h"
+
+using namespace msem;
+
+const char *msem::inputSetName(InputSet Set) {
+  switch (Set) {
+  case InputSet::Test:
+    return "test";
+  case InputSet::Train:
+    return "train";
+  case InputSet::Ref:
+    return "ref";
+  }
+  return "?";
+}
+
+const std::vector<WorkloadSpec> &msem::allWorkloads() {
+  static const std::vector<WorkloadSpec> Specs = {
+      {"gzip", "164.gzip-graphic", buildGzip},
+      {"vpr", "175.vpr-route", buildVpr},
+      {"mesa", "177.mesa", buildMesa},
+      {"art", "179.art", buildArt},
+      {"mcf", "181.mcf", buildMcf},
+      {"vortex", "255.vortex-lendian1", buildVortex},
+      {"bzip2", "256.bzip2-graphic", buildBzip2},
+  };
+  return Specs;
+}
+
+std::unique_ptr<Module> msem::buildWorkload(const std::string &Name,
+                                            InputSet Set) {
+  for (const WorkloadSpec &Spec : allWorkloads())
+    if (Spec.Name == Name)
+      return Spec.Build(Set);
+  fatalError("unknown workload: " + Name);
+}

@@ -1,0 +1,220 @@
+//===- workloads/Vortex.cpp - Object-store archetype ------------------------------===//
+//
+// Stands in for 255.vortex: a call-heavy object store. The main loop goes
+// through several layers of small functions (key derivation, hashing,
+// open-addressing probe, record validation) per operation, so call
+// overhead and instruction-cache locality dominate -- the benchmark where
+// -finline-functions pays or backfires depending on the icache, one of the
+// interactions the paper's models discover.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+#include "support/Format.h"
+
+#include <functional>
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildVortex(InputSet Set) {
+  int64_t Records = 0, Lookups = 0;
+  switch (Set) {
+  case InputSet::Test:
+    Records = 900;
+    Lookups = 2500;
+    break;
+  case InputSet::Train:
+    Records = 4000;
+    Lookups = 12000;
+    break;
+  case InputSet::Ref:
+    Records = 9000;
+    Lookups = 30000;
+    break;
+  }
+  const int64_t TableBits = 14;
+  const int64_t TableSize = 1 << TableBits; // 16K slots.
+  const int64_t ProbeLimit = 12;
+
+  auto M = std::make_unique<Module>("vortex");
+  GlobalVariable *Keys =
+      M->createGlobal("keys", static_cast<uint64_t>(TableSize) * 8);
+  GlobalVariable *Vals =
+      M->createGlobal("vals", static_cast<uint64_t>(TableSize) * 8);
+  LcgStream Lcg(*M, "rng", 0x707E1ull + static_cast<uint64_t>(Records));
+
+  IRBuilder B(*M);
+
+  // makeKey(i): a little arithmetic shuffle producing non-zero keys.
+  Function *MakeKey =
+      M->createFunction("make_key", Type::I64, {Type::I64}, {"i"});
+  {
+    B.setInsertPoint(MakeKey->createBlock("entry"));
+    Value *K = B.add(B.mul(MakeKey->arg(0), B.constInt(2654435761LL)),
+                     B.constInt(11));
+    B.ret(B.orOp(B.andOp(K, B.constInt((1LL << 40) - 1)), B.constInt(1)));
+  }
+
+  // hashKey(k): multiplicative hash into the table.
+  Function *HashKey =
+      M->createFunction("hash_key", Type::I64, {Type::I64}, {"k"});
+  {
+    B.setInsertPoint(HashKey->createBlock("entry"));
+    Value *H = B.mul(HashKey->arg(0), B.constInt(0x2545F4914F6CDD1DLL));
+    B.ret(B.andOp(B.shr(H, B.constInt(24)),
+                  B.constInt(TableSize - 1)));
+  }
+
+  // probe(k): open-addressing scan (bounded, branch-free accumulation)
+  // returning the slot holding k or the first free slot.
+  Function *Probe =
+      M->createFunction("probe", Type::I64, {Type::I64}, {"k"});
+  {
+    B.setInsertPoint(Probe->createBlock("entry"));
+    Value *H = B.call(HashKey, {Probe->arg(0)});
+    LoopBuilder L(B, B.constInt(0), B.constInt(ProbeLimit), 1, "scan");
+    Value *Slot = L.carried(H);
+    Value *Done = L.carried(B.constInt(0));
+    Value *Idx = B.andOp(B.add(H, L.indVar()), B.constInt(TableSize - 1));
+    Value *Kv = B.loadElem(Keys, Idx, MemKind::Int64);
+    Value *Free = B.icmp(CmpPred::EQ, Kv, B.constInt(0));
+    Value *Match = B.icmp(CmpPred::EQ, Kv, Probe->arg(0));
+    Value *Hit = B.orOp(Free, Match);
+    Value *Take = B.andOp(B.xorOp(Done, B.constInt(1)), Hit);
+    L.setNext(Slot, B.select(Take, Idx, Slot));
+    L.setNext(Done, B.orOp(Done, Take));
+    L.finish();
+    B.ret(L.exitValue(Slot));
+  }
+
+  // Sixteen distinct validation routines, one per record class. Real
+  // vortex touches a large instruction working set because each object
+  // type has its own handling code; the data-dependent dispatch below
+  // reproduces that: across queries the touched code set spans all
+  // sixteen routines, stressing small instruction caches (and interacting
+  // with -finline-functions, as the paper's Table 4 reports).
+  std::vector<Function *> Validators;
+  for (int V = 0; V < 32; ++V) {
+    Function *F = M->createFunction(formatString("check_class%d", V), Type::I64,
+                                    {Type::I64}, {"v"});
+    B.setInsertPoint(F->createBlock("entry"));
+    Value *X = F->arg(0);
+    // A distinct straight-line arithmetic pipeline per class.
+    int64_t C1 = 0x9E37 + 131 * V;
+    int64_t C2 = 0x85EB + 17 * V;
+    Value *T = B.xorOp(X, B.shr(X, B.constInt(7 + (V & 3))));
+    T = B.add(B.mul(T, B.constInt(C1)), B.constInt(C2));
+    T = B.xorOp(T, B.shr(T, B.constInt(11)));
+    T = B.mul(T, B.constInt(C2 | 1));
+    T = B.add(T, B.shl(B.andOp(T, B.constInt(0xFF)),
+                       B.constInt(3 + (V & 7))));
+    T = B.xorOp(T, B.shr(T, B.constInt(13)));
+    T = B.add(B.mul(T, B.constInt(C1 ^ 0x5A5A)), B.constInt(V));
+    T = B.xorOp(T, B.shr(T, B.constInt(9)));
+    T = B.orOp(T, B.shl(B.andOp(T, B.constInt(0x3F)),
+                        B.constInt(5 + (V & 1))));
+    T = B.add(B.mul(T, B.constInt(C2 ^ 0x3C3C)), B.constInt(2 * V + 1));
+    T = B.xorOp(T, B.shr(T, B.constInt(6 + (V & 3))));
+    T = B.add(T, B.andOp(B.mul(T, B.constInt(C1 | 1)),
+                         B.constInt(0xFFFF)));
+    T = B.xorOp(T, B.shr(T, B.constInt(15)));
+    B.ret(B.andOp(T, B.constInt(0xFFFFFF)));
+    Validators.push_back(F);
+  }
+
+  // checkRecord(v): dispatches to the class validator via a binary tree
+  // of branches on the value's low bits.
+  Function *Check =
+      M->createFunction("check_record", Type::I64, {Type::I64}, {"v"});
+  {
+    B.setInsertPoint(Check->createBlock("entry"));
+    Value *V = Check->arg(0);
+    Value *Class = B.andOp(B.shr(V, B.constInt(3)), B.constInt(31));
+    // Binary dispatch tree: 5 levels of branches.
+    BasicBlock *Ret = Check->createBlock("ret");
+    B.setInsertPoint(Ret);
+    Instruction *Result = B.phi(Type::I64);
+    B.ret(Result);
+
+    std::function<void(BasicBlock *, int, int)> Emit =
+        [&](BasicBlock *BB, int Lo, int Hi) {
+          B.setInsertPoint(BB);
+          if (Lo == Hi) {
+            Value *R = B.call(Validators[static_cast<size_t>(Lo)], {V});
+            Result->addPhiIncoming(R, B.insertBlock());
+            B.jmp(Ret);
+            return;
+          }
+          int Mid = (Lo + Hi) / 2;
+          BasicBlock *L = Check->createBlock(
+              "d" + std::to_string(Lo) + "_" + std::to_string(Mid));
+          BasicBlock *R = Check->createBlock(
+              "d" + std::to_string(Mid + 1) + "_" + std::to_string(Hi));
+          Value *Cond = B.icmp(CmpPred::LE, Class, B.constInt(Mid));
+          B.br(Cond, L, R);
+          Emit(L, Lo, Mid);
+          Emit(R, Mid + 1, Hi);
+        };
+    BasicBlock *Root = Check->createBlock("dispatch");
+    // Entry falls into the dispatch tree.
+    B.setInsertPoint(Check->entry());
+    B.jmp(Root);
+    Emit(Root, 0, 31);
+  }
+
+  // insert(k, v): probe, then store key and accumulate the value.
+  Function *Insert = M->createFunction("insert", Type::I64,
+                                       {Type::I64, Type::I64}, {"k", "v"});
+  {
+    B.setInsertPoint(Insert->createBlock("entry"));
+    Value *Idx = B.call(Probe, {Insert->arg(0)});
+    B.storeElem(Insert->arg(0), Keys, Idx, MemKind::Int64);
+    Value *Old = B.loadElem(Vals, Idx, MemKind::Int64);
+    B.storeElem(B.add(Old, Insert->arg(1)), Vals, Idx, MemKind::Int64);
+    B.ret(Idx);
+  }
+
+  // lookup(k): probe and return the value when the key matches.
+  Function *Lookup =
+      M->createFunction("lookup", Type::I64, {Type::I64}, {"k"});
+  {
+    B.setInsertPoint(Lookup->createBlock("entry"));
+    Value *Idx = B.call(Probe, {Lookup->arg(0)});
+    Value *Kv = B.loadElem(Keys, Idx, MemKind::Int64);
+    Value *Vv = B.loadElem(Vals, Idx, MemKind::Int64);
+    Value *Match = B.icmp(CmpPred::EQ, Kv, Lookup->arg(0));
+    B.ret(B.select(Match, Vv, B.constInt(0)));
+  }
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  // Build phase.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(Records), 1, "build");
+    Value *K = B.call(MakeKey, {L.indVar()});
+    Value *V = B.add(B.mul(L.indVar(), B.constInt(3)), B.constInt(7));
+    B.call(Insert, {K, V});
+    L.finish();
+  }
+  // Query phase: 70% hits, 30% misses.
+  LoopBuilder L(B, B.constInt(0), B.constInt(Lookups), 1, "query");
+  Value *Acc = L.carried(B.constInt(0));
+  Value *R = Lcg.nextBelow(B, 10);
+  Value *HitId = Lcg.nextBelow(B, Records);
+  Value *MissId = B.add(Lcg.nextBelow(B, Records), B.constInt(Records * 4));
+  Value *Id = B.select(B.icmp(CmpPred::LT, R, B.constInt(7)), HitId,
+                       MissId);
+  Value *K = B.call(MakeKey, {Id});
+  Value *V = B.call(Lookup, {K});
+  Value *Checked = B.call(Check, {V});
+  L.setNext(Acc, B.add(Acc, Checked));
+  L.finish();
+
+  Value *Result = B.rem(L.exitValue(Acc), B.constInt(1000000007));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

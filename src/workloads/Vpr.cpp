@@ -1,0 +1,115 @@
+//===- workloads/Vpr.cpp - Grid-routing archetype --------------------------------===//
+//
+// Stands in for 175.vpr (route): Bellman-Ford-style wavefront relaxation
+// over a 2D maze of per-cell costs. The inner loop mixes strided i32
+// loads (four neighbours), branch-free min reductions (conditional moves)
+// and a real data-dependent obstacle branch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadLib.h"
+#include "workloads/Workloads.h"
+
+using namespace msem;
+
+std::unique_ptr<Module> msem::buildVpr(InputSet Set) {
+  int64_t W = 0, Passes = 0;
+  switch (Set) {
+  case InputSet::Test:
+    W = 40;
+    Passes = 4;
+    break;
+  case InputSet::Train:
+    W = 96;
+    Passes = 8;
+    break;
+  case InputSet::Ref:
+    W = 150;
+    Passes = 12;
+    break;
+  }
+  const int64_t Cells = W * W;
+  const int64_t Infinity = 1 << 28;
+
+  auto M = std::make_unique<Module>("vpr");
+  GlobalVariable *Cost =
+      M->createGlobal("cost", static_cast<uint64_t>(Cells) * 4);
+  GlobalVariable *Dist =
+      M->createGlobal("dist", static_cast<uint64_t>(Cells) * 4);
+  LcgStream Lcg(*M, "rng", 0xBADC0DEu + static_cast<uint64_t>(W));
+
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  // Costs 1..10 (values > 8 act as obstacles), distances start at infinity
+  // except a handful of sources on the top row.
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(Cells), 1, "costs");
+    Value *C = B.add(Lcg.nextBelow(B, 10), B.constInt(1));
+    B.storeElem(C, Cost, L.indVar(), MemKind::Int32);
+    B.storeElem(B.constInt(Infinity), Dist, L.indVar(), MemKind::Int32);
+    L.finish();
+  }
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(W), 7, "sources");
+    B.storeElem(B.constInt(0), Dist, L.indVar(), MemKind::Int32);
+    L.finish();
+  }
+
+  // Relaxation sweeps.
+  {
+    LoopBuilder Lp(B, B.constInt(0), B.constInt(Passes), 1, "pass");
+    {
+      LoopBuilder Ly(B, B.constInt(1), B.constInt(W - 1), 1, "row");
+      {
+        LoopBuilder Lx(B, B.constInt(1), B.constInt(W - 1), 1, "col");
+        Value *Idx = B.add(B.mul(Ly.indVar(), B.constInt(W)), Lx.indVar());
+        Value *C = B.loadElem(Cost, Idx, MemKind::Int32);
+        Value *IsWall = B.icmp(CmpPred::GT, C, B.constInt(8));
+
+        BasicBlock *Work = Main->createBlock("work");
+        BasicBlock *Skip = Main->createBlock("skip");
+        BasicBlock *Merge = Main->createBlock("merge");
+        B.br(IsWall, Skip, Work);
+
+        B.setInsertPoint(Work);
+        Value *Up =
+            B.loadElem(Dist, B.sub(Idx, B.constInt(W)), MemKind::Int32);
+        Value *Down =
+            B.loadElem(Dist, B.add(Idx, B.constInt(W)), MemKind::Int32);
+        Value *Left =
+            B.loadElem(Dist, B.sub(Idx, B.constInt(1)), MemKind::Int32);
+        Value *Right =
+            B.loadElem(Dist, B.add(Idx, B.constInt(1)), MemKind::Int32);
+        Value *Best = emitMin(B, emitMin(B, Up, Down),
+                              emitMin(B, Left, Right));
+        Value *Cand = B.add(Best, C);
+        Value *Cur = B.loadElem(Dist, Idx, MemKind::Int32);
+        Value *New = emitMin(B, Cur, Cand);
+        B.storeElem(New, Dist, Idx, MemKind::Int32);
+        B.jmp(Merge);
+
+        B.setInsertPoint(Skip);
+        B.jmp(Merge);
+
+        B.setInsertPoint(Merge);
+        Lx.finish();
+      }
+      Ly.finish();
+    }
+    Lp.finish();
+  }
+
+  // Checksum: clamp-summed distances.
+  LoopBuilder Ls(B, B.constInt(0), B.constInt(Cells), 1, "sum");
+  Value *Acc = Ls.carried(B.constInt(0));
+  Value *D = B.loadElem(Dist, Ls.indVar(), MemKind::Int32);
+  Value *Clamped = emitMin(B, D, B.constInt(100000));
+  Ls.setNext(Acc, B.add(Acc, Clamped));
+  Ls.finish();
+  Value *Result = B.rem(Ls.exitValue(Acc), B.constInt(1000000007));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}

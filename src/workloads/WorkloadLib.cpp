@@ -1,0 +1,45 @@
+//===- workloads/WorkloadLib.cpp - Shared IR-building helpers ------------------===//
+
+#include "workloads/WorkloadLib.h"
+
+using namespace msem;
+
+LcgStream::LcgStream(Module &M, const std::string &Name, uint64_t Seed) {
+  State = M.createGlobal(Name, 8);
+  std::vector<uint8_t> Init(8);
+  for (int I = 0; I < 8; ++I)
+    Init[I] = static_cast<uint8_t>(Seed >> (8 * I));
+  State->setInitializer(Init);
+}
+
+Value *LcgStream::next(IRBuilder &B) {
+  Value *S = B.load(State, MemKind::Int64);
+  Value *Mul = B.mul(S, B.constInt(6364136223846793005LL));
+  Value *Next = B.add(Mul, B.constInt(1442695040888963407LL));
+  B.store(Next, State, MemKind::Int64);
+  // Take the top bits and clear the sign.
+  return B.andOp(B.shr(Next, B.constInt(17)),
+                 B.constInt(0x7fffffffffffLL));
+}
+
+Value *LcgStream::nextBelow(IRBuilder &B, int64_t Mod) {
+  assert(Mod > 0 && "modulus must be positive");
+  return B.rem(next(B), B.constInt(Mod));
+}
+
+Value *msem::emitMin(IRBuilder &B, Value *A, Value *Bv) {
+  return B.select(B.icmp(CmpPred::LE, A, Bv), A, Bv);
+}
+
+Value *msem::emitMax(IRBuilder &B, Value *A, Value *Bv) {
+  return B.select(B.icmp(CmpPred::GE, A, Bv), A, Bv);
+}
+
+void msem::emitFillRandom(IRBuilder &B, LcgStream &Lcg, GlobalVariable *Arr,
+                          int64_t N, MemKind MK, int64_t Mod,
+                          const std::string &LoopName) {
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, LoopName);
+  Value *V = Lcg.nextBelow(B, Mod);
+  B.storeElem(V, Arr, L.indVar(), MK);
+  L.finish();
+}

@@ -1,0 +1,52 @@
+//===- workloads/WorkloadLib.h - Shared IR-building helpers -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers the workload builders share: a linear congruential generator
+/// kept in a global (so deterministic pseudo-random data can be produced
+/// *inside* the benchmark, like SPEC input parsing does), array fills and
+/// branch-free min/max.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_WORKLOADS_WORKLOADLIB_H
+#define MSEM_WORKLOADS_WORKLOADLIB_H
+
+#include "ir/IRBuilder.h"
+#include "ir/LoopBuilder.h"
+
+namespace msem {
+
+/// Deterministic pseudo-random stream held in an 8-byte global.
+class LcgStream {
+public:
+  /// Creates the state global (named \p Name) seeded with \p Seed.
+  LcgStream(Module &M, const std::string &Name, uint64_t Seed);
+
+  /// Emits code advancing the state and yielding a non-negative i64.
+  Value *next(IRBuilder &B);
+
+  /// Emits code yielding a value in [0, Mod). \p Mod must be positive.
+  Value *nextBelow(IRBuilder &B, int64_t Mod);
+
+private:
+  GlobalVariable *State;
+};
+
+/// Branch-free minimum of two i64 values.
+Value *emitMin(IRBuilder &B, Value *A, Value *Bv);
+
+/// Branch-free maximum of two i64 values.
+Value *emitMax(IRBuilder &B, Value *A, Value *Bv);
+
+/// Fills Arr[0..N) (element kind MK) with LCG values in [0, Mod).
+void emitFillRandom(IRBuilder &B, LcgStream &Lcg, GlobalVariable *Arr,
+                    int64_t N, MemKind MK, int64_t Mod,
+                    const std::string &LoopName);
+
+} // namespace msem
+
+#endif // MSEM_WORKLOADS_WORKLOADLIB_H

@@ -1,0 +1,71 @@
+//===- workloads/Workloads.h - SPEC CPU2000 archetype programs ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven benchmark programs standing in for the paper's SPEC CPU2000
+/// selection. Each builder returns a verified IR module whose computational
+/// archetype matches the original benchmark:
+///
+///   gzip    LZ77-style compression: hash-chain match search over bytes.
+///   vpr     Grid routing: wavefront cost relaxation over a 2D maze.
+///   mesa    FP rasterization: vertex transform + z-buffered span fill.
+///   art     Neural network: dense FP matvec layers, winner-take-all.
+///   mcf     Network simplex: pointer chasing over a multi-MB node pool.
+///   vortex  Object store: call-heavy hash-table insert/lookup layers.
+///   bzip2   Block sorting: recursive quicksort + histogram/RLE passes.
+///
+/// Input sets scale the dynamic instruction count: Test (unit tests),
+/// Train (model building, as in the paper) and Ref (the evaluation run of
+/// Table 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_WORKLOADS_WORKLOADS_H
+#define MSEM_WORKLOADS_WORKLOADS_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Input scale, mirroring SPEC's data sets.
+enum class InputSet { Test, Train, Ref };
+
+const char *inputSetName(InputSet Set);
+
+/// Version tag of the workload definitions. Bump when any builder changes
+/// observable code or data so that persisted response caches invalidate.
+inline const char *workloadVersion() { return "v2"; }
+
+/// One benchmark: metadata + builder.
+struct WorkloadSpec {
+  std::string Name;      ///< Short name, e.g. "gzip".
+  std::string PaperName; ///< Paper's row label, e.g. "164.gzip-graphic".
+  std::function<std::unique_ptr<Module>(InputSet)> Build;
+};
+
+/// All seven benchmarks, in the paper's Table 3 order.
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/// Builds one benchmark by short name; asserts if unknown.
+std::unique_ptr<Module> buildWorkload(const std::string &Name, InputSet Set);
+
+// Individual builders (exposed for focused tests).
+std::unique_ptr<Module> buildGzip(InputSet Set);
+std::unique_ptr<Module> buildVpr(InputSet Set);
+std::unique_ptr<Module> buildMesa(InputSet Set);
+std::unique_ptr<Module> buildArt(InputSet Set);
+std::unique_ptr<Module> buildMcf(InputSet Set);
+std::unique_ptr<Module> buildVortex(InputSet Set);
+std::unique_ptr<Module> buildBzip2(InputSet Set);
+
+} // namespace msem
+
+#endif // MSEM_WORKLOADS_WORKLOADS_H

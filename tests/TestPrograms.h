@@ -1,0 +1,198 @@
+//===- tests/TestPrograms.h - Shared IR test programs -------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR programs shared by the optimizer, codegen and simulator tests. Each
+/// builder returns a verified module whose observable behaviour (return
+/// value + Emit stream) the tests compare across the interpreter, the
+/// optimizer and compiled machine code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TESTS_TESTPROGRAMS_H
+#define MSEM_TESTS_TESTPROGRAMS_H
+
+#include "ir/IRBuilder.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace msem::testing {
+
+/// sum_{i=0}^{n-1} i*3 + 7, computed with a counted loop; emits the sum.
+inline std::unique_ptr<Module> makeSumLoop(int64_t N) {
+  auto M = std::make_unique<Module>("sumloop");
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "sum");
+  Value *Acc = L.carried(B.constInt(7));
+  Value *Term = B.mul(L.indVar(), B.constInt(3));
+  L.setNext(Acc, B.add(Acc, Term));
+  L.finish();
+  Value *Result = L.exitValue(Acc);
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+/// Array workout: writes a[i] = i*i into a global, then reduces with a
+/// stride; exercises loads/stores/prefetchable strides. Emits the total.
+inline std::unique_ptr<Module> makeArraySum(int64_t N) {
+  auto M = std::make_unique<Module>("arraysum");
+  GlobalVariable *Arr =
+      M->createGlobal("arr", static_cast<uint64_t>(N) * 8);
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "fill");
+    Value *Sq = B.mul(L.indVar(), L.indVar());
+    B.storeElem(Sq, Arr, L.indVar(), MemKind::Int64);
+    L.finish();
+  }
+  LoopBuilder L2(B, B.constInt(0), B.constInt(N), 1, "reduce");
+  Value *Acc = L2.carried(B.constInt(0));
+  Value *V = B.loadElem(Arr, L2.indVar(), MemKind::Int64);
+  L2.setNext(Acc, B.add(Acc, V));
+  L2.finish();
+  Value *Result = L2.exitValue(Acc);
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+/// Calls a helper (a*b+c) in a loop; exercises calls/inlining/arguments.
+inline std::unique_ptr<Module> makeCallLoop(int64_t N) {
+  auto M = std::make_unique<Module>("callloop");
+  Function *Madd =
+      M->createFunction("madd", Type::I64, {Type::I64, Type::I64, Type::I64},
+                        {"a", "b", "c"});
+  {
+    IRBuilder B(*M);
+    B.setInsertPoint(Madd->createBlock("entry"));
+    Value *P = B.mul(Madd->arg(0), Madd->arg(1));
+    B.ret(B.add(P, Madd->arg(2)));
+  }
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "calls");
+  Value *Acc = L.carried(B.constInt(1));
+  Value *R = B.call(Madd, {L.indVar(), B.constInt(5), Acc});
+  L.setNext(Acc, B.rem(R, B.constInt(1000003)));
+  L.finish();
+  Value *Result = L.exitValue(Acc);
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+/// Branchy program: collatz-style iteration with data-dependent branches;
+/// emits the step count. Exercises branch prediction and select-free CFs.
+inline std::unique_ptr<Module> makeBranchy(int64_t Seed, int64_t Iters) {
+  auto M = std::make_unique<Module>("branchy");
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  LoopBuilder L(B, B.constInt(0), B.constInt(Iters), 1, "steps");
+  Value *X = L.carried(B.constInt(Seed));
+  // if (x & 1) x = 3x + 1 else x = x / 2; then clamp small values up.
+  Value *Odd = B.andOp(X, B.constInt(1));
+  Function *F = Main;
+  BasicBlock *ThenBB = F->createBlock("odd");
+  BasicBlock *ElseBB = F->createBlock("even");
+  BasicBlock *Merge = F->createBlock("merge");
+  B.br(Odd, ThenBB, ElseBB);
+  B.setInsertPoint(ThenBB);
+  Value *X1 = B.add(B.mul(X, B.constInt(3)), B.constInt(1));
+  B.jmp(Merge);
+  B.setInsertPoint(ElseBB);
+  Value *X2 = B.divS(X, B.constInt(2));
+  B.jmp(Merge);
+  B.setInsertPoint(Merge);
+  Instruction *XNew = B.phi(Type::I64);
+  XNew->addPhiIncoming(X1, ThenBB);
+  XNew->addPhiIncoming(X2, ElseBB);
+  Value *Small = B.icmp(CmpPred::LE, XNew, B.constInt(1));
+  Value *Bumped = B.select(Small, B.add(XNew, B.constInt(97)), XNew);
+  L.setNext(X, Bumped);
+  L.finish();
+  Value *Result = L.exitValue(X);
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+/// Floating-point kernel: dot products with conversions; emits the result
+/// rounded to an integer (exact comparisons stay valid: all operations are
+/// identical across interpreter and machine code).
+inline std::unique_ptr<Module> makeFpKernel(int64_t N) {
+  auto M = std::make_unique<Module>("fpkernel");
+  GlobalVariable *A = M->createGlobal("A", static_cast<uint64_t>(N) * 8);
+  GlobalVariable *Bv = M->createGlobal("B", static_cast<uint64_t>(N) * 8);
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "init");
+    Value *Fi = B.siToFp(L.indVar());
+    B.storeElem(B.fmul(Fi, B.constFloat(0.5)), A, L.indVar(),
+                MemKind::Float64);
+    B.storeElem(B.fadd(Fi, B.constFloat(1.25)), Bv, L.indVar(),
+                MemKind::Float64);
+    L.finish();
+  }
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "dot");
+  Value *Acc = L.carried(B.constFloat(0.0));
+  Value *Av = B.loadElem(A, L.indVar(), MemKind::Float64);
+  Value *BvV = B.loadElem(Bv, L.indVar(), MemKind::Float64);
+  L.setNext(Acc, B.fadd(Acc, B.fmul(Av, BvV)));
+  L.finish();
+  Value *Result = B.fpToSi(L.exitValue(Acc));
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+/// Nested loops over a small 2D grid with byte and i32 accesses.
+inline std::unique_ptr<Module> makeNestedGrid(int64_t Rows, int64_t Cols) {
+  auto M = std::make_unique<Module>("grid");
+  GlobalVariable *G = M->createGlobal(
+      "grid", static_cast<uint64_t>(Rows * Cols) * 4);
+  Function *Main = M->createFunction("main", Type::I64, {});
+  IRBuilder B(*M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  {
+    LoopBuilder Lr(B, B.constInt(0), B.constInt(Rows), 1, "r");
+    {
+      LoopBuilder Lc(B, B.constInt(0), B.constInt(Cols), 1, "c");
+      Value *Idx = B.add(B.mul(Lr.indVar(), B.constInt(Cols)), Lc.indVar());
+      Value *V = B.xorOp(B.mul(Lr.indVar(), B.constInt(31)),
+                         B.mul(Lc.indVar(), B.constInt(17)));
+      B.storeElem(V, G, Idx, MemKind::Int32);
+      Lc.finish();
+    }
+    Lr.finish();
+  }
+  LoopBuilder L(B, B.constInt(0), B.constInt(Rows * Cols), 1, "sum");
+  Value *Acc = L.carried(B.constInt(0));
+  Value *V = B.loadElem(G, L.indVar(), MemKind::Int32);
+  L.setNext(Acc, B.add(Acc, V));
+  L.finish();
+  Value *Result = L.exitValue(Acc);
+  B.emit(Result);
+  B.ret(Result);
+  return M;
+}
+
+} // namespace msem::testing
+
+#endif // MSEM_TESTS_TESTPROGRAMS_H

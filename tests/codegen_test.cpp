@@ -1,0 +1,384 @@
+//===- tests/codegen_test.cpp - Code generation and execution tests -----------===//
+//
+// The golden invariant: for every program and every optimization config,
+// compiled machine code observed by the Executor behaves exactly like the
+// IR interpreter (return value and Emit stream).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "isa/Executor.h"
+#include "opt/Passes.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+using namespace msem::testing;
+
+namespace {
+
+void expectMatchesInterpreter(Module &M, const CodeGenOptions &Opts,
+                              const std::string &What) {
+  InterpResult Ref = Interpreter().run(M);
+  ASSERT_FALSE(Ref.Trapped) << What << ": interpreter trapped";
+  MachineProgram Prog = compileToProgram(M, Opts);
+  Executor Exec(Prog);
+  ExecResult Got = Exec.runToCompletion();
+  ASSERT_FALSE(Got.Trapped) << What << ": " << Got.TrapMessage << "\n"
+                            << Prog.disassemble();
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << What;
+  ASSERT_EQ(Ref.Output.size(), Got.Output.size()) << What;
+  for (size_t I = 0; I < Ref.Output.size(); ++I)
+    EXPECT_TRUE(Ref.Output[I] == Got.Output[I]) << What << " output " << I;
+}
+
+TEST(CodegenTest, SumLoopO0) {
+  auto M = makeSumLoop(25);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "sum O0");
+}
+
+TEST(CodegenTest, ArraySumO0) {
+  auto M = makeArraySum(40);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "arr O0");
+}
+
+TEST(CodegenTest, CallLoopO0) {
+  auto M = makeCallLoop(30);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "call O0");
+}
+
+TEST(CodegenTest, BranchyO0) {
+  auto M = makeBranchy(27, 60);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "branchy O0");
+}
+
+TEST(CodegenTest, FpKernelO0) {
+  auto M = makeFpKernel(48);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "fp O0");
+}
+
+TEST(CodegenTest, NestedGridO0) {
+  auto M = makeNestedGrid(9, 11);
+  expectMatchesInterpreter(*M, CodeGenOptions(), "grid O0");
+}
+
+TEST(CodegenTest, OmitFramePointerVariants) {
+  for (bool Omit : {false, true}) {
+    auto M = makeCallLoop(20);
+    CodeGenOptions Opts;
+    Opts.OmitFramePointer = Omit;
+    expectMatchesInterpreter(*M, Opts,
+                             Omit ? "call omit-fp" : "call keep-fp");
+  }
+}
+
+TEST(CodegenTest, PostRaScheduleIsSemanticsPreserving) {
+  for (auto Make : {makeArraySum, makeFpKernel}) {
+    auto M = Make(33);
+    CodeGenOptions Opts;
+    Opts.PostRaSchedule = true;
+    expectMatchesInterpreter(*M, Opts, "post-ra sched");
+  }
+}
+
+TEST(CodegenTest, SpillStressManyLiveValues) {
+  // More simultaneously live values than allocatable registers.
+  Module M("spill");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  GlobalVariable *G = M.createGlobal("seed", 8 * 64);
+  std::vector<Value *> Vals;
+  for (int I = 0; I < 48; ++I) {
+    B.storeElem(B.constInt(I * 7 + 1), G, B.constInt(I), MemKind::Int64);
+    Vals.push_back(B.loadElem(G, B.constInt(I), MemKind::Int64));
+  }
+  // Combine them in reverse so everything stays live across the block.
+  Value *Acc = B.constInt(0);
+  for (int I = 47; I >= 0; --I)
+    Acc = B.add(B.mul(Acc, B.constInt(3)), Vals[I]);
+  B.emit(Acc);
+  B.ret(Acc);
+  ASSERT_TRUE(verifyModule(M).empty());
+  expectMatchesInterpreter(M, CodeGenOptions(), "spill stress");
+}
+
+TEST(CodegenTest, FpSpillStress) {
+  Module M("fpspill");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  std::vector<Value *> Vals;
+  for (int I = 0; I < 40; ++I)
+    Vals.push_back(B.fmul(B.constFloat(I + 0.5), B.constFloat(1.25)));
+  Value *Acc = B.constFloat(0.0);
+  for (int I = 39; I >= 0; --I)
+    Acc = B.fadd(Acc, Vals[static_cast<size_t>(I)]);
+  B.ret(B.fpToSi(Acc));
+  expectMatchesInterpreter(M, CodeGenOptions(), "fp spill");
+}
+
+TEST(CodegenTest, DeepCallChain) {
+  // f3(x) = x+1; f2 = f3(x)*2; f1 = f2(x)+f3(x); main sums f1 over a loop.
+  Module M("deep");
+  Function *F3 = M.createFunction("f3", Type::I64, {Type::I64}, {"x"});
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(F3->createBlock("entry"));
+    B.ret(B.add(F3->arg(0), B.constInt(1)));
+  }
+  Function *F2 = M.createFunction("f2", Type::I64, {Type::I64}, {"x"});
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(F2->createBlock("entry"));
+    Value *T = B.call(F3, {F2->arg(0)});
+    B.ret(B.mul(T, B.constInt(2)));
+  }
+  Function *F1 = M.createFunction("f1", Type::I64, {Type::I64}, {"x"});
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(F1->createBlock("entry"));
+    Value *A = B.call(F2, {F1->arg(0)});
+    Value *Bv = B.call(F3, {F1->arg(0)});
+    B.ret(B.add(A, Bv));
+  }
+  Function *Main = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(10), 1, "l");
+  Value *Acc = L.carried(B.constInt(0));
+  Value *R = B.call(F1, {L.indVar()});
+  L.setNext(Acc, B.add(Acc, R));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+  ASSERT_TRUE(verifyModule(M).empty());
+  expectMatchesInterpreter(M, CodeGenOptions(), "deep calls");
+}
+
+TEST(CodegenTest, ManyArguments) {
+  Module M("args8");
+  std::vector<Type> ArgTys(8, Type::I64);
+  Function *F = M.createFunction("sum8", Type::I64, ArgTys);
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(F->createBlock("entry"));
+    Value *S = F->arg(0);
+    for (unsigned I = 1; I < 8; ++I)
+      S = B.add(S, F->arg(I));
+    B.ret(S);
+  }
+  Function *Main = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  std::vector<Value *> Args;
+  for (int I = 1; I <= 8; ++I)
+    Args.push_back(B.constInt(I * I));
+  B.ret(B.call(F, Args));
+  expectMatchesInterpreter(M, CodeGenOptions(), "8 args");
+}
+
+TEST(CodegenTest, MixedIntFpArguments) {
+  Module M("mixargs");
+  Function *F = M.createFunction(
+      "mix", Type::F64, {Type::I64, Type::F64, Type::I64, Type::F64});
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(F->createBlock("entry"));
+    Value *A = B.siToFp(F->arg(0));
+    Value *C = B.siToFp(F->arg(2));
+    Value *S = B.fadd(B.fmul(A, F->arg(1)), B.fmul(C, F->arg(3)));
+    B.ret(S);
+  }
+  Function *Main = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(Main->createBlock("entry"));
+  Value *R = B.call(F, {B.constInt(2), B.constFloat(1.5), B.constInt(3),
+                        B.constFloat(2.5)});
+  B.ret(B.fpToSi(R)); // 2*1.5 + 3*2.5 = 10.5 -> 10
+  InterpResult Ref = Interpreter().run(M);
+  EXPECT_EQ(Ref.ReturnValue, 10);
+  expectMatchesInterpreter(M, CodeGenOptions(), "mixed args");
+}
+
+// Full matrix: every pipeline config x every program, compiled and executed.
+struct FullCase {
+  const char *Name;
+  OptimizationConfig Opt;
+  bool OmitFp;
+  bool PostRa;
+};
+
+class FullCompileTest : public ::testing::TestWithParam<FullCase> {};
+
+TEST_P(FullCompileTest, CompiledCodeMatchesInterpreter) {
+  const FullCase &FC = GetParam();
+  auto Cases =
+      std::vector<std::pair<std::string,
+                            std::function<std::unique_ptr<Module>()>>>{
+          {"sum", [] { return makeSumLoop(31); }},
+          {"arr", [] { return makeArraySum(37); }},
+          {"call", [] { return makeCallLoop(17); }},
+          {"branchy", [] { return makeBranchy(41, 70); }},
+          {"fp", [] { return makeFpKernel(21); }},
+          {"grid", [] { return makeNestedGrid(6, 8); }},
+      };
+  for (auto &[Name, Make] : Cases) {
+    auto RefM = Make();
+    InterpResult Ref = Interpreter().run(*RefM);
+    auto M = Make();
+    runPassPipeline(*M, FC.Opt);
+    ASSERT_TRUE(verifyModule(*M).empty()) << FC.Name << "/" << Name;
+    CodeGenOptions Opts;
+    Opts.OmitFramePointer = FC.OmitFp;
+    Opts.PostRaSchedule = FC.PostRa;
+    MachineProgram Prog = compileToProgram(*M, Opts);
+    ExecResult Got = Executor(Prog).runToCompletion();
+    ASSERT_FALSE(Got.Trapped)
+        << FC.Name << "/" << Name << ": " << Got.TrapMessage;
+    EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << FC.Name << "/" << Name;
+    ASSERT_EQ(Ref.Output.size(), Got.Output.size())
+        << FC.Name << "/" << Name;
+    for (size_t I = 0; I < Ref.Output.size(); ++I)
+      EXPECT_TRUE(Ref.Output[I] == Got.Output[I])
+          << FC.Name << "/" << Name << " output " << I;
+  }
+}
+
+OptimizationConfig everythingOn() {
+  OptimizationConfig C = OptimizationConfig::O3();
+  C.UnrollLoops = true;
+  C.MaxUnrollTimes = 5;
+  return C;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FullCompileTest,
+    ::testing::Values(
+        FullCase{"O0_plain", OptimizationConfig::O0(), false, false},
+        FullCase{"O2_plain", OptimizationConfig::O2(), false, true},
+        FullCase{"O3_omitfp", OptimizationConfig::O3(), true, true},
+        FullCase{"AllOn_omitfp", everythingOn(), true, true},
+        FullCase{"AllOn_keepfp", everythingOn(), false, false},
+        FullCase{"UnrollOnly", [] {
+                   OptimizationConfig C;
+                   C.UnrollLoops = true;
+                   C.MaxUnrollTimes = 8;
+                   return C;
+                 }(),
+                 false, false}),
+    [](const ::testing::TestParamInfo<FullCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(LinkerTest, DisassemblyListsFunctions) {
+  auto M = makeCallLoop(3);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  std::string Dis = Prog.disassemble();
+  EXPECT_NE(Dis.find("main:"), std::string::npos);
+  EXPECT_NE(Dis.find("madd:"), std::string::npos);
+  EXPECT_NE(Dis.find("jal"), std::string::npos);
+}
+
+TEST(LinkerTest, StartupStubCallsMainThenHalts) {
+  auto M = makeSumLoop(2);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  ASSERT_GE(Prog.Code.size(), 2u);
+  EXPECT_EQ(Prog.Code[0].Op, MOp::JAL);
+  EXPECT_EQ(Prog.Code[1].Op, MOp::HALT);
+}
+
+TEST(ExecutorTest, ReportsInstructionCount) {
+  auto M = makeSumLoop(10);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  ExecResult R = Executor(Prog).runToCompletion();
+  EXPECT_GT(R.InstructionsExecuted, 10u);
+  EXPECT_FALSE(R.Trapped);
+}
+
+TEST(ExecutorTest, BudgetTrap) {
+  auto M = makeSumLoop(1000000);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  Executor Exec(Prog, /*MaxInstructions=*/1000);
+  ExecResult R = Exec.runToCompletion();
+  EXPECT_TRUE(R.Trapped);
+}
+
+} // namespace
+
+namespace {
+
+// ------------------------------------------------------- Copy coalescing
+TEST(CoalescingTest, PhiCopiesCoalesceWhenValueDiesInLoop) {
+  // A loop whose carried value is NOT used after the loop: the
+  // double-copy phi lowering must coalesce down to one MOV per carried
+  // value on the back edge.
+  Module M("tight");
+  GlobalVariable *G = M.createGlobal("out", 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(100), 1, "l");
+  B.storeElem(L.indVar(), G, B.constInt(0), MemKind::Int64);
+  L.finish();
+  B.ret(B.load(G, MemKind::Int64));
+  runPassPipeline(M, OptimizationConfig::O0()); // Cleanup: drop dead join phis.
+  MachineProgram Prog = compileToProgram(M, CodeGenOptions());
+  size_t Movs = 0;
+  for (const MachineInstr &MI : Prog.Code)
+    Movs += MI.Op == MOp::MOV || MI.Op == MOp::FMOV;
+  // One carried value (the induction variable) -> at most one MOV on the
+  // back edge plus the zero-trip entry path.
+  EXPECT_LE(Movs, 2u) << Prog.disassemble();
+}
+
+TEST(CoalescingTest, ExitLiveValuesStayConservative) {
+  // When the carried values ARE used after the loop (join phis), the
+  // envelope coalescer must keep enough copies to stay correct; this
+  // bounds the cost rather than the exact shape.
+  auto M = msem::testing::makeSumLoop(100);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  size_t Movs = 0;
+  for (const MachineInstr &MI : Prog.Code)
+    Movs += MI.Op == MOp::MOV || MI.Op == MOp::FMOV;
+  EXPECT_LE(Movs, 12u) << Prog.disassemble();
+}
+
+TEST(CoalescingTest, NoSpillsInSimpleLoops) {
+  auto M = msem::testing::makeArraySum(64);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  size_t SpillOps = 0;
+  for (const MachineInstr &MI : Prog.Code)
+    if ((MI.isLoad() || MI.isStore()) && MI.Rs1 == reg::SP)
+      ++SpillOps;
+  EXPECT_LE(SpillOps, 2u) << Prog.disassemble();
+}
+
+TEST(CoalescingTest, SwapPatternStaysCorrect) {
+  // Classic swap: two phis exchanging values each iteration. Coalescing
+  // must not merge them into one register.
+  Module M("swap");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(9), 1, "l");
+  Value *A = L.carried(B.constInt(1));
+  Value *Bv = L.carried(B.constInt(100));
+  L.setNext(A, Bv);
+  L.setNext(Bv, B.add(A, Bv));
+  L.finish();
+  Value *R = B.add(B.mul(L.exitValue(A), B.constInt(100000)),
+                   L.exitValue(Bv));
+  B.emit(R);
+  B.ret(R);
+  ASSERT_TRUE(verifyModule(M).empty());
+  InterpResult Ref = Interpreter().run(M);
+  MachineProgram Prog = compileToProgram(M, CodeGenOptions());
+  ExecResult Got = Executor(Prog).runToCompletion();
+  ASSERT_FALSE(Got.Trapped);
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue);
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tests/design_test.cpp - Parameter space and DoE tests --------------------===//
+
+#include "design/Doe.h"
+#include "design/ParameterSpace.h"
+#include "linalg/Solve.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace msem;
+
+namespace {
+
+TEST(ParameterSpaceTest, PaperSpaceMatchesTables) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  ASSERT_EQ(S.size(), 25u);
+  EXPECT_EQ(S.numCompilerParams(), 14u);
+
+  // Table 1 spot checks.
+  const Parameter &Inline = S.param(S.indexOf("max-inline-insns-auto"));
+  EXPECT_EQ(Inline.low(), 50);
+  EXPECT_EQ(Inline.high(), 150);
+  EXPECT_EQ(Inline.numLevels(), 11u);
+  const Parameter &CallCost = S.param(S.indexOf("inline-call-cost"));
+  EXPECT_EQ(CallCost.numLevels(), 9u);
+  const Parameter &UnrollInsns = S.param(S.indexOf("max-unrolled-insns"));
+  EXPECT_EQ(UnrollInsns.numLevels(), 21u);
+
+  // Table 2 spot checks.
+  const Parameter &Bpred = S.param(S.indexOf("bpred-size"));
+  EXPECT_EQ(Bpred.numLevels(), 5u);
+  EXPECT_EQ(Bpred.Kind, ParamKind::LogDiscrete);
+  const Parameter &L2 = S.param(S.indexOf("ul2-size"));
+  EXPECT_EQ(L2.numLevels(), 6u);
+  const Parameter &Mem = S.param(S.indexOf("memory-latency"));
+  EXPECT_EQ(Mem.numLevels(), 21u);
+  const Parameter &L2Lat = S.param(S.indexOf("ul2-latency"));
+  EXPECT_EQ(L2Lat.numLevels(), 11u);
+}
+
+TEST(ParameterSpaceTest, EncodeDecodeRoundTrip) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(42);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    DesignPoint P = S.randomPoint(R);
+    std::vector<double> E = S.encode(P);
+    for (double V : E) {
+      EXPECT_GE(V, -1.0);
+      EXPECT_LE(V, 1.0);
+    }
+    EXPECT_EQ(S.decode(E), P);
+  }
+}
+
+TEST(ParameterSpaceTest, LogTransformIsEquispaced) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  const Parameter &L2 = S.param(S.indexOf("ul2-size"));
+  // Power-of-two levels must be evenly spaced after encoding.
+  double Prev = L2.encode(L2.Levels[0]);
+  double Step0 = L2.encode(L2.Levels[1]) - Prev;
+  for (size_t I = 1; I < L2.numLevels(); ++I) {
+    double Cur = L2.encode(L2.Levels[I]);
+    EXPECT_NEAR(Cur - Prev, Step0, 1e-9);
+    Prev = Cur;
+  }
+}
+
+TEST(ParameterSpaceTest, ConfigBridgesRoundTrip) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  OptimizationConfig Opt = OptimizationConfig::O3();
+  Opt.MaxUnrollTimes = 9;
+  MachineConfig Mach = MachineConfig::aggressive();
+  DesignPoint P = S.fromConfigs(Opt, Mach);
+  EXPECT_EQ(S.toOptimizationConfig(P), Opt);
+  EXPECT_EQ(S.toMachineConfig(P), Mach);
+}
+
+TEST(ParameterSpaceTest, FreezeMachineOverwritesTail) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(7);
+  DesignPoint P = S.randomPoint(R);
+  S.freezeMachine(P, MachineConfig::constrained());
+  EXPECT_EQ(S.toMachineConfig(P), MachineConfig::constrained());
+}
+
+TEST(DoeTest, LatinHypercubeCoversLevels) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(3);
+  auto Points = generateLatinHypercube(S, 100, R);
+  ASSERT_EQ(Points.size(), 100u);
+  // Binary parameters must be split ~50/50.
+  size_t Ones = 0;
+  for (const DesignPoint &P : Points)
+    Ones += P[0] != 0;
+  EXPECT_EQ(Ones, 50u);
+  // Every level of an 11-level parameter appears at least several times.
+  size_t Idx = S.indexOf("max-inline-insns-auto");
+  std::set<int64_t> Seen;
+  for (const DesignPoint &P : Points)
+    Seen.insert(P[Idx]);
+  EXPECT_EQ(Seen.size(), 11u);
+}
+
+TEST(DoeTest, ExpansionColumnCounts) {
+  EXPECT_EQ(expansionColumns(ExpansionKind::Linear, 25), 26u);
+  EXPECT_EQ(expansionColumns(ExpansionKind::LinearWith2FI, 25),
+            1u + 25u + 300u);
+  std::vector<double> X{0.5, -1.0};
+  auto Lin = expandRow(ExpansionKind::Linear, X);
+  ASSERT_EQ(Lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(Lin[0], 1.0);
+  auto Fi = expandRow(ExpansionKind::LinearWith2FI, X);
+  ASSERT_EQ(Fi.size(), 4u);
+  EXPECT_DOUBLE_EQ(Fi[3], -0.5);
+}
+
+double logDetOf(const ParameterSpace &S,
+                const std::vector<DesignPoint> &Candidates,
+                const std::vector<size_t> &Sel, ExpansionKind Kind) {
+  std::vector<DesignPoint> Pts;
+  for (size_t I : Sel)
+    Pts.push_back(Candidates[I]);
+  Matrix X = expandMatrix(Kind, S, Pts);
+  Matrix Info = X.gram();
+  Info.addToDiagonal(1e-6);
+  Cholesky C(Info);
+  return C.ok() ? C.logDeterminant() : -1e300;
+}
+
+TEST(DoeTest, DOptimalBeatsRandomSelection) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(11);
+  auto Candidates = generateRandomCandidates(S, 400, R);
+
+  DOptimalOptions Opt;
+  Opt.DesignSize = 60;
+  Opt.Expansion = ExpansionKind::Linear;
+  DOptimalResult Res = selectDOptimal(S, Candidates, Opt);
+  ASSERT_EQ(Res.Selected.size(), 60u);
+
+  // Average log-det of random picks of the same size.
+  double RandomBest = -1e300;
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    std::vector<size_t> Pick;
+    std::vector<size_t> All(Candidates.size());
+    for (size_t I = 0; I < All.size(); ++I)
+      All[I] = I;
+    R.shuffle(All);
+    Pick.assign(All.begin(), All.begin() + 60);
+    RandomBest = std::max(
+        RandomBest, logDetOf(S, Candidates, Pick, ExpansionKind::Linear));
+  }
+  EXPECT_GT(Res.LogDetInformation, RandomBest);
+}
+
+TEST(DoeTest, DOptimalSelectsDistinctPoints) {
+  ParameterSpace S = ParameterSpace::compilerSpace();
+  Rng R(5);
+  auto Candidates = generateLatinHypercube(S, 300, R);
+  DOptimalOptions Opt;
+  Opt.DesignSize = 40;
+  DOptimalResult Res = selectDOptimal(S, Candidates, Opt);
+  std::set<size_t> Unique(Res.Selected.begin(), Res.Selected.end());
+  EXPECT_EQ(Unique.size(), Res.Selected.size());
+}
+
+TEST(DoeTest, AugmentationKeepsPreselected) {
+  ParameterSpace S = ParameterSpace::compilerSpace();
+  Rng R(9);
+  auto Candidates = generateLatinHypercube(S, 300, R);
+  DOptimalOptions Opt;
+  Opt.DesignSize = 30;
+  DOptimalResult First = selectDOptimal(S, Candidates, Opt);
+  Opt.DesignSize = 50;
+  DOptimalResult Second = selectDOptimal(S, Candidates, Opt, First.Selected);
+  ASSERT_EQ(Second.Selected.size(), 50u);
+  for (size_t I = 0; I < First.Selected.size(); ++I)
+    EXPECT_EQ(Second.Selected[I], First.Selected[I])
+        << "preselected point was exchanged";
+  // More points never reduce the information determinant.
+  EXPECT_GE(Second.LogDetInformation, First.LogDetInformation);
+}
+
+TEST(DoeTest, DeterministicGivenSeed) {
+  ParameterSpace S = ParameterSpace::compilerSpace();
+  Rng R1(21), R2(21);
+  auto C1 = generateLatinHypercube(S, 200, R1);
+  auto C2 = generateLatinHypercube(S, 200, R2);
+  EXPECT_EQ(C1, C2);
+  DOptimalOptions Opt;
+  Opt.DesignSize = 25;
+  EXPECT_EQ(selectDOptimal(S, C1, Opt).Selected,
+            selectDOptimal(S, C2, Opt).Selected);
+}
+
+} // namespace
+
+namespace {
+
+TEST(ExtendedSpaceTest, LayoutAndRoundTrip) {
+  ParameterSpace S = ParameterSpace::extendedSpace();
+  EXPECT_EQ(S.size(), 29u);
+  EXPECT_EQ(S.numCompilerParams(), 18u);
+  EXPECT_EQ(S.param(14).Name, "fif-convert");
+  EXPECT_EQ(S.param(17).Name, "tail-dup-insns");
+  EXPECT_EQ(S.param(18).Name, "issue-width");
+
+  OptimizationConfig Opt = OptimizationConfig::O3();
+  Opt.IfConvert = true;
+  Opt.MaxIfConvertInsns = 8;
+  Opt.Tracer = true;
+  Opt.TailDupInsns = 12;
+  MachineConfig Mach = MachineConfig::constrained();
+  DesignPoint P = S.fromConfigs(Opt, Mach);
+  EXPECT_EQ(S.toOptimizationConfig(P), Opt);
+  EXPECT_EQ(S.toMachineConfig(P), Mach);
+
+  // Paper space must ignore/zero the extension fields.
+  ParameterSpace Paper = ParameterSpace::paperSpace();
+  OptimizationConfig Plain = OptimizationConfig::O3();
+  DesignPoint PP = Paper.fromConfigs(Plain, Mach);
+  EXPECT_EQ(Paper.toOptimizationConfig(PP), Plain);
+}
+
+TEST(ExtendedSpaceTest, EncodeDecodeRoundTrip) {
+  ParameterSpace S = ParameterSpace::extendedSpace();
+  Rng R(77);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    DesignPoint P = S.randomPoint(R);
+    EXPECT_EQ(S.decode(S.encode(P)), P);
+  }
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/fuzz_test.cpp - Randomized end-to-end equivalence ------------------===//
+//
+// Property-based testing of the whole compiler: a generator builds random
+// (but well-formed) IR programs -- nested counted loops, data-dependent
+// branches, arrays, calls -- and every program must behave identically
+// under the interpreter, under every optimization configuration, and as
+// machine code on the executor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "ir/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Verifier.h"
+#include "isa/Executor.h"
+#include "opt/Passes.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+
+namespace {
+
+/// Generates a random program: a few globals, a helper function, and a
+/// main with nested loops and branches combining values through a
+/// wrap-around accumulator (no div/rem on data paths, so no traps).
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::unique_ptr<Module> generate() {
+    auto M = std::make_unique<Module>("fuzz");
+    B.emplace(*M);
+    G1 = M->createGlobal("g1", 512 * 8);
+    G2 = M->createGlobal("g2", 1024);
+
+    Helper = M->createFunction("helper", Type::I64,
+                               {Type::I64, Type::I64}, {"a", "b"});
+    B->setInsertPoint(Helper->createBlock("entry"));
+    Value *H = B->add(B->mul(Helper->arg(0), B->constInt(17)),
+                      B->xorOp(Helper->arg(1), B->constInt(0x5A)));
+    B->ret(B->andOp(H, B->constInt(0xFFFFFF)));
+
+    Function *Main = M->createFunction("main", Type::I64, {});
+    B->setInsertPoint(Main->createBlock("entry"));
+    Value *Result = emitBlockOfCode(Main, B->constInt(7), 0);
+    B->emit(Result);
+    B->ret(Result);
+    return M;
+  }
+
+private:
+  /// Emits a random straight-line expression over i64 values.
+  Value *randomExpr(Value *A, Value *Bv) {
+    switch (R.nextBelow(8)) {
+    case 0:
+      return B->add(A, Bv);
+    case 1:
+      return B->sub(A, Bv);
+    case 2:
+      return B->mul(B->andOp(A, B->constInt(0xFFFF)),
+                    B->andOp(Bv, B->constInt(0xFF)));
+    case 3:
+      return B->xorOp(A, Bv);
+    case 4:
+      return B->orOp(A, Bv);
+    case 5:
+      return B->shl(B->andOp(A, B->constInt(0xFFFFFF)),
+                    B->andOp(Bv, B->constInt(7)));
+    case 6:
+      return B->select(B->icmp(CmpPred::LT, A, Bv), A, Bv);
+    default:
+      return B->add(B->shr(A, B->constInt(3)), Bv);
+    }
+  }
+
+  /// Emits a nest of code returning a value; Depth bounds recursion.
+  Value *emitBlockOfCode(Function *F, Value *Seed, int Depth) {
+    Value *Acc = Seed;
+    unsigned Items = 2 + R.nextBelow(3);
+    for (unsigned I = 0; I < Items; ++I) {
+      switch (R.nextBelow(Depth < 2 ? 5u : 3u)) {
+      case 0: { // Arithmetic.
+        Acc = randomExpr(Acc, B->constInt(R.intInRange(1, 1000)));
+        break;
+      }
+      case 1: { // Array traffic.
+        Value *Idx = B->andOp(Acc, B->constInt(511));
+        B->storeElem(Acc, G1, Idx, MemKind::Int64);
+        Value *Back = B->loadElem(G1, Idx, MemKind::Int64);
+        Value *ByteIdx = B->andOp(Acc, B->constInt(1023));
+        B->storeElem(B->andOp(Acc, B->constInt(255)), G2, ByteIdx,
+                     MemKind::Int8);
+        Acc = B->add(Back, B->loadElem(G2, ByteIdx, MemKind::Int8));
+        break;
+      }
+      case 2: { // Call.
+        Acc = B->call(Helper, {Acc, B->constInt(R.intInRange(0, 99))});
+        break;
+      }
+      case 3: { // Counted loop with a carried accumulator.
+        int64_t Trip = R.intInRange(0, 12);
+        int64_t Step = R.chance(0.2) ? 2 : 1;
+        LoopBuilder L(*B, B->constInt(0), B->constInt(Trip), Step,
+                      "f" + std::to_string(Counter++));
+        Value *Carried = L.carried(Acc);
+        Value *Body = emitBlockOfCode(F, B->add(Carried, L.indVar()),
+                                      Depth + 1);
+        L.setNext(Carried, B->andOp(Body, B->constInt(0x7FFFFFFF)));
+        L.finish();
+        Acc = L.exitValue(Carried);
+        break;
+      }
+      default: { // Branch diamond.
+        Value *Cond = B->icmp(CmpPred::GT, B->andOp(Acc, B->constInt(7)),
+                              B->constInt(R.intInRange(0, 7)));
+        BasicBlock *T = F->createBlock("t" + std::to_string(Counter));
+        BasicBlock *E = F->createBlock("e" + std::to_string(Counter));
+        BasicBlock *J = F->createBlock("j" + std::to_string(Counter));
+        ++Counter;
+        B->br(Cond, T, E);
+        B->setInsertPoint(T);
+        Value *VT = emitBlockOfCode(F, B->add(Acc, B->constInt(3)),
+                                    Depth + 1);
+        BasicBlock *TEnd = B->insertBlock();
+        B->jmp(J);
+        B->setInsertPoint(E);
+        Value *VE = randomExpr(Acc, B->constInt(11));
+        BasicBlock *EEnd = B->insertBlock();
+        B->jmp(J);
+        B->setInsertPoint(J);
+        Instruction *Phi = B->phi(Type::I64);
+        Phi->addPhiIncoming(VT, TEnd);
+        Phi->addPhiIncoming(VE, EEnd);
+        Acc = Phi;
+        break;
+      }
+      }
+    }
+    return Acc;
+  }
+
+  Rng R;
+  std::optional<IRBuilder> B;
+  GlobalVariable *G1 = nullptr;
+  GlobalVariable *G2 = nullptr;
+  Function *Helper = nullptr;
+  int Counter = 0;
+};
+
+OptimizationConfig randomConfig(Rng &R) {
+  OptimizationConfig C;
+  C.InlineFunctions = R.chance(0.5);
+  C.UnrollLoops = R.chance(0.5);
+  C.ScheduleInsns2 = R.chance(0.5);
+  C.LoopOptimize = R.chance(0.5);
+  C.Gcse = R.chance(0.5);
+  C.StrengthReduce = R.chance(0.5);
+  C.OmitFramePointer = R.chance(0.5);
+  C.ReorderBlocks = R.chance(0.5);
+  C.PrefetchLoopArrays = R.chance(0.5);
+  C.MaxInlineInsnsAuto = static_cast<int>(R.intInRange(50, 150));
+  C.InlineUnitGrowth = static_cast<int>(R.intInRange(25, 75));
+  C.InlineCallCost = static_cast<int>(R.intInRange(12, 20));
+  C.MaxUnrollTimes = static_cast<int>(R.intInRange(4, 12));
+  C.MaxUnrolledInsns = static_cast<int>(R.intInRange(100, 300));
+  C.IfConvert = R.chance(0.5);
+  C.MaxIfConvertInsns = static_cast<int>(R.intInRange(2, 12));
+  C.Tracer = R.chance(0.5);
+  C.TailDupInsns = static_cast<int>(R.intInRange(2, 16));
+  return C;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomProgramSurvivesEverything) {
+  uint64_t Seed = 0xF0220000ull + static_cast<uint64_t>(GetParam());
+  ProgramGenerator Gen(Seed);
+  auto M = Gen.generate();
+  ASSERT_TRUE(verifyModule(*M).empty()) << printModule(*M);
+
+  InterpResult Ref = Interpreter().run(*M);
+  ASSERT_FALSE(Ref.Trapped) << Ref.TrapMessage;
+
+  Rng R(Seed ^ 0xC0FF);
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    ProgramGenerator Gen2(Seed);
+    auto M2 = Gen2.generate();
+    OptimizationConfig C = randomConfig(R);
+
+    runPassPipeline(*M2, C);
+    ASSERT_TRUE(verifyModule(*M2).empty())
+        << "config " << C.toString() << "\n"
+        << printModule(*M2);
+    InterpResult Opt = Interpreter().run(*M2);
+    ASSERT_FALSE(Opt.Trapped) << C.toString() << ": " << Opt.TrapMessage;
+    ASSERT_EQ(Ref.ReturnValue, Opt.ReturnValue) << C.toString();
+    ASSERT_EQ(Ref.Output.size(), Opt.Output.size());
+
+    CodeGenOptions CG;
+    CG.OmitFramePointer = C.OmitFramePointer;
+    CG.PostRaSchedule = C.ScheduleInsns2;
+    MachineProgram Prog = compileToProgram(*M2, CG);
+    ExecResult Got = Executor(Prog).runToCompletion();
+    ASSERT_FALSE(Got.Trapped) << C.toString() << ": " << Got.TrapMessage;
+    ASSERT_EQ(Ref.ReturnValue, Got.ReturnValue) << C.toString();
+    for (size_t I = 0; I < Ref.Output.size(); ++I)
+      ASSERT_TRUE(Ref.Output[I] == Got.Output[I]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+} // namespace

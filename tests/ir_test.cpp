@@ -1,0 +1,361 @@
+//===- tests/ir_test.cpp - IR construction/analysis/interpretation tests -----===//
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interpreter.h"
+#include "ir/LoopInfo.h"
+#include "ir/Verifier.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+using namespace msem::testing;
+
+namespace {
+
+TEST(IrBuilderTest, SumLoopVerifiesAndRuns) {
+  auto M = makeSumLoop(10);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  Interpreter Interp;
+  InterpResult R = Interp.run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  // 7 + 3*sum(0..9) = 7 + 3*45 = 142.
+  EXPECT_EQ(R.ReturnValue, 142);
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0].IntVal, 142);
+}
+
+TEST(IrBuilderTest, ZeroTripLoopSkipsBody) {
+  auto M = makeSumLoop(0);
+  Interpreter Interp;
+  InterpResult R = Interp.run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ReturnValue, 7); // Initial accumulator value.
+}
+
+TEST(IrBuilderTest, NegativeBoundSkipsBody) {
+  auto M = makeSumLoop(-5);
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 7);
+}
+
+TEST(IrBuilderTest, ArraySumComputesSquares) {
+  auto M = makeArraySum(20);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  int64_t Expected = 0;
+  for (int64_t I = 0; I < 20; ++I)
+    Expected += I * I;
+  EXPECT_EQ(R.ReturnValue, Expected);
+}
+
+TEST(IrBuilderTest, CallLoopRuns) {
+  auto M = makeCallLoop(50);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  int64_t Acc = 1;
+  for (int64_t I = 0; I < 50; ++I)
+    Acc = (I * 5 + Acc) % 1000003;
+  EXPECT_EQ(R.ReturnValue, Acc);
+}
+
+TEST(IrBuilderTest, BranchyMatchesReference) {
+  auto M = makeBranchy(27, 100);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  int64_t X = 27;
+  for (int64_t I = 0; I < 100; ++I) {
+    X = (X & 1) ? 3 * X + 1 : X / 2;
+    if (X <= 1)
+      X += 97;
+  }
+  EXPECT_EQ(R.ReturnValue, X);
+}
+
+TEST(IrBuilderTest, FpKernelMatchesReference) {
+  auto M = makeFpKernel(64);
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  double Acc = 0;
+  for (int64_t I = 0; I < 64; ++I)
+    Acc += (0.5 * static_cast<double>(I)) *
+           (static_cast<double>(I) + 1.25);
+  EXPECT_EQ(R.ReturnValue, static_cast<int64_t>(Acc));
+}
+
+TEST(IrBuilderTest, NestedGridMatchesReference) {
+  auto M = makeNestedGrid(8, 12);
+  InterpResult R = Interpreter().run(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  int64_t Expected = 0;
+  for (int64_t R0 = 0; R0 < 8; ++R0)
+    for (int64_t C = 0; C < 12; ++C)
+      Expected += static_cast<int32_t>((R0 * 31) ^ (C * 17));
+  EXPECT_EQ(R.ReturnValue, Expected);
+}
+
+TEST(VerifierTest, CatchesMissingTerminator) {
+  Module M("bad");
+  Function *F = M.createFunction("main", Type::I64, {});
+  F->createBlock("entry"); // Left empty: no terminator.
+  EXPECT_FALSE(verifyFunction(*F).empty());
+}
+
+TEST(VerifierTest, CatchesTypeMismatch) {
+  Module M("bad");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  // Hand-build an add with a float operand (IRBuilder would assert).
+  auto I = std::make_unique<Instruction>(Opcode::Add, Type::I64);
+  I->addOperand(M.constInt(1));
+  I->addOperand(M.constFloat(2.0));
+  Value *BadAdd = F->entry()->append(std::move(I));
+  B.ret(BadAdd);
+  EXPECT_FALSE(verifyFunction(*F).empty());
+}
+
+TEST(VerifierTest, CatchesUseBeforeDef) {
+  Module M("bad");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  // use = add(x, 1) where x is defined *after* the use in the same block.
+  auto Use = std::make_unique<Instruction>(Opcode::Add, Type::I64);
+  auto Def = std::make_unique<Instruction>(Opcode::Add, Type::I64);
+  Def->addOperand(M.constInt(1));
+  Def->addOperand(M.constInt(2));
+  Instruction *DefI = Def.get();
+  Use->addOperand(DefI);
+  Use->addOperand(M.constInt(1));
+  Value *UseI = Entry->append(std::move(Use));
+  Entry->append(std::move(Def));
+  B.ret(UseI);
+  EXPECT_FALSE(verifyFunction(*F).empty());
+}
+
+TEST(DominatorsTest, LinearChain) {
+  Module M("dom");
+  Function *F = M.createFunction("main", Type::Void, {});
+  IRBuilder B(M);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  BasicBlock *C = F->createBlock("c");
+  B.setInsertPoint(A);
+  B.jmp(Bb);
+  B.setInsertPoint(Bb);
+  B.jmp(C);
+  B.setInsertPoint(C);
+  B.ret();
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(A, C));
+  EXPECT_TRUE(DT.dominates(Bb, C));
+  EXPECT_FALSE(DT.dominates(C, A));
+  EXPECT_EQ(DT.idom(C), Bb);
+  EXPECT_EQ(DT.idom(Bb), A);
+  EXPECT_EQ(DT.idom(A), nullptr);
+}
+
+TEST(DominatorsTest, DiamondJoinDominatedByTop) {
+  Module M("dom2");
+  Function *F = M.createFunction("main", Type::Void, {});
+  IRBuilder B(M);
+  BasicBlock *Top = F->createBlock("top");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Top);
+  B.br(M.constInt(1), L, R);
+  B.setInsertPoint(L);
+  B.jmp(Join);
+  B.setInsertPoint(R);
+  B.jmp(Join);
+  B.setInsertPoint(Join);
+  B.ret();
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.idom(Join), Top);
+  EXPECT_FALSE(DT.dominates(L, Join));
+  EXPECT_FALSE(DT.dominates(R, Join));
+}
+
+TEST(LoopInfoTest, FindsCountedLoop) {
+  auto M = makeSumLoop(10);
+  Function *F = M->mainFunction();
+  DominatorTree DT(*F);
+  LoopAnalysis LA(*F, DT);
+  ASSERT_EQ(LA.loops().size(), 1u);
+  const Loop &L = *LA.loops()[0];
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_NE(L.Preheader, nullptr);
+  ASSERT_EQ(L.Latches.size(), 1u);
+  CountedLoop CL;
+  ASSERT_TRUE(LoopAnalysis::matchCountedLoop(L, CL));
+  EXPECT_EQ(CL.StepValue, 1);
+  EXPECT_TRUE(CL.CondOnNext);
+}
+
+TEST(LoopInfoTest, NestedLoopsHaveDepths) {
+  auto M = makeNestedGrid(4, 4);
+  Function *F = M->mainFunction();
+  DominatorTree DT(*F);
+  LoopAnalysis LA(*F, DT);
+  // Outer+inner for the fill nest plus the reduce loop = 3 loops.
+  ASSERT_EQ(LA.loops().size(), 3u);
+  unsigned Depth2 = 0;
+  for (const auto &L : LA.loops())
+    if (L->Depth == 2)
+      ++Depth2;
+  EXPECT_EQ(Depth2, 1u);
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry) {
+  auto M = makeBranchy(7, 10);
+  Function *F = M->mainFunction();
+  auto RPO = reversePostOrder(*F);
+  ASSERT_FALSE(RPO.empty());
+  EXPECT_EQ(RPO.front(), F->entry());
+  // RPO visits every reachable block exactly once.
+  EXPECT_EQ(RPO.size(), F->blocks().size());
+}
+
+TEST(CfgTest, RemoveUnreachableBlocks) {
+  Module M("unreach");
+  Function *F = M.createFunction("main", Type::Void, {});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertPoint(Entry);
+  B.ret();
+  B.setInsertPoint(Dead);
+  B.ret();
+  EXPECT_EQ(removeUnreachableBlocks(*F), 1u);
+  EXPECT_EQ(F->blocks().size(), 1u);
+}
+
+TEST(InterpreterTest, TrapsOnDivByZero) {
+  Module M("div0");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  // Hide the zero behind a load so constant folding can't see it.
+  GlobalVariable *G = M.createGlobal("zero", 8);
+  Value *Z = B.load(G, MemKind::Int64);
+  B.ret(B.divS(B.constInt(1), Z));
+  InterpResult R = Interpreter().run(M);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpreterTest, TrapsOnOutOfBounds) {
+  Module M("oob");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  GlobalVariable *G = M.createGlobal("small", 8);
+  Value *P = B.ptrAdd(G, B.constInt(1 << 30));
+  B.ret(B.load(P, MemKind::Int64));
+  InterpResult R = Interpreter().run(M);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpreterTest, GlobalInitializerIsVisible) {
+  Module M("ginit");
+  GlobalVariable *G = M.createGlobal("data", 16);
+  std::vector<uint8_t> Init(16, 0);
+  Init[0] = 42;
+  G->setInitializer(Init);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.load(G, MemKind::Int8));
+  InterpResult R = Interpreter().run(M);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 42);
+}
+
+TEST(PrinterTest, RoundTripContainsStructure) {
+  auto M = makeSumLoop(3);
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("func @main"), std::string::npos);
+  EXPECT_NE(Text.find("phi"), std::string::npos);
+  EXPECT_NE(Text.find("br"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(InterpreterTest, TrapsOnRunawayRecursion) {
+  Module M("recurse");
+  Function *F = M.createFunction("spin", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.call(F, {B.add(F->arg(0), B.constInt(1))}));
+  Function *Main = M.createFunction("main", Type::I64, {});
+  B.setInsertPoint(Main->createBlock("entry"));
+  B.ret(B.call(F, {B.constInt(0)}));
+  InterpResult R = Interpreter().run(M);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("stack"), std::string::npos);
+}
+
+TEST(InterpreterTest, InstructionBudgetEnforced) {
+  auto M = makeSumLoop(1'000'000);
+  Interpreter Interp(/*MemoryBytes=*/1 << 20, /*MaxInstructions=*/5000);
+  InterpResult R = Interp.run(*M);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(LoopBuilderTest, StepGreaterThanOne) {
+  Module M("step3");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(10), 3, "l");
+  Value *Acc = L.carried(B.constInt(0));
+  L.setNext(Acc, B.add(Acc, L.indVar()));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+  // Iterations: 0, 3, 6, 9 -> sum 18.
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, 18);
+}
+
+TEST(LoopBuilderTest, NegativeStepCountsDown) {
+  Module M("down");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(5), B.constInt(0), -1, "l");
+  Value *Acc = L.carried(B.constInt(0));
+  L.setNext(Acc, B.add(Acc, L.indVar()));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+  // Iterations: 5, 4, 3, 2, 1 -> sum 15.
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, 15);
+}
+
+TEST(LoopBuilderTest, RuntimeBoundsWork) {
+  Module M("rt");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  GlobalVariable *G = M.createGlobal("n", 8);
+  std::vector<uint8_t> Init(8, 0);
+  Init[0] = 7;
+  G->setInitializer(Init);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *N = B.load(G, MemKind::Int64);
+  LoopBuilder L(B, B.constInt(0), N, 1, "l");
+  Value *Acc = L.carried(B.constInt(0));
+  L.setNext(Acc, B.add(Acc, B.constInt(2)));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, 14);
+}
+
+} // namespace

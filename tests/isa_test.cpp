@@ -1,0 +1,223 @@
+//===- tests/isa_test.cpp - ISA metadata and executor unit tests ----------------===//
+//
+// Exhaustive checks of the machine-instruction metadata the timing model
+// relies on (destination/source registers, access sizes, functional-unit
+// classes) plus focused executor semantics that the end-to-end tests
+// exercise only incidentally.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Executor.h"
+#include "isa/MachineProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+
+namespace {
+
+MachineInstr make(MOp Op, int32_t Rd = -1, int32_t Rs1 = -1,
+                  int32_t Rs2 = -1, int64_t Imm = 0) {
+  MachineInstr MI;
+  MI.Op = Op;
+  MI.Rd = Rd;
+  MI.Rs1 = Rs1;
+  MI.Rs2 = Rs2;
+  MI.Imm = Imm;
+  return MI;
+}
+
+TEST(MachineInstrTest, DestRegConventions) {
+  EXPECT_EQ(make(MOp::ADD, 3, 1, 2).destReg(), 3);
+  EXPECT_EQ(make(MOp::LD64, 5, 31).destReg(), 5);
+  EXPECT_EQ(make(MOp::ST64, -1, 31, 5).destReg(), -1);
+  EXPECT_EQ(make(MOp::BEQZ, -1, 4).destReg(), -1);
+  EXPECT_EQ(make(MOp::PREF, -1, 4).destReg(), -1);
+  EXPECT_EQ(make(MOp::EMIT, -1, 4).destReg(), -1);
+  EXPECT_EQ(make(MOp::J).destReg(), -1);
+  EXPECT_EQ(make(MOp::JR, -1, reg::RA).destReg(), -1);
+  // JAL writes the link register.
+  MachineInstr Jal = make(MOp::JAL, reg::RA);
+  EXPECT_EQ(Jal.destReg(), reg::RA);
+  EXPECT_EQ(make(MOp::HALT).destReg(), -1);
+}
+
+TEST(MachineInstrTest, SrcRegConventions) {
+  int32_t Srcs[3];
+  EXPECT_EQ(make(MOp::ADD, 3, 1, 2).srcRegs(Srcs), 2u);
+  EXPECT_EQ(Srcs[0], 1);
+  EXPECT_EQ(Srcs[1], 2);
+  EXPECT_EQ(make(MOp::LI, 3).srcRegs(Srcs), 0u);
+  EXPECT_EQ(make(MOp::LD64, 3, 7).srcRegs(Srcs), 1u);
+  EXPECT_EQ(Srcs[0], 7);
+  // Stores read base and data.
+  EXPECT_EQ(make(MOp::ST64, -1, 7, 9).srcRegs(Srcs), 2u);
+  // CMOV reads condition, source AND its own destination.
+  EXPECT_EQ(make(MOp::CMOV, 4, 1, 2).srcRegs(Srcs), 3u);
+  EXPECT_EQ(Srcs[2], 4);
+  EXPECT_EQ(make(MOp::JAL, reg::RA).srcRegs(Srcs), 0u);
+  EXPECT_EQ(make(MOp::JR, -1, reg::RA).srcRegs(Srcs), 1u);
+}
+
+TEST(MachineInstrTest, AccessSizes) {
+  EXPECT_EQ(make(MOp::LD8, 1, 2).accessSize(), 1u);
+  EXPECT_EQ(make(MOp::LD32, 1, 2).accessSize(), 4u);
+  EXPECT_EQ(make(MOp::LD64, 1, 2).accessSize(), 8u);
+  EXPECT_EQ(make(MOp::LDF, 33, 2).accessSize(), 8u);
+  EXPECT_EQ(make(MOp::ST8, -1, 2, 3).accessSize(), 1u);
+  EXPECT_EQ(make(MOp::PREF, -1, 2).accessSize(), 8u);
+  EXPECT_EQ(make(MOp::ADD, 1, 2, 3).accessSize(), 0u);
+}
+
+TEST(MachineInstrTest, FuClasses) {
+  EXPECT_EQ(make(MOp::ADD, 1, 2, 3).fuClass(), FuClass::IntAlu);
+  EXPECT_EQ(make(MOp::MUL, 1, 2, 3).fuClass(), FuClass::IntMult);
+  EXPECT_EQ(make(MOp::DIV, 1, 2, 3).fuClass(), FuClass::IntDiv);
+  EXPECT_EQ(make(MOp::REM, 1, 2, 3).fuClass(), FuClass::IntDiv);
+  EXPECT_EQ(make(MOp::FADD, 33, 34, 35).fuClass(), FuClass::FpAdd);
+  EXPECT_EQ(make(MOp::FMUL, 33, 34, 35).fuClass(), FuClass::FpMult);
+  EXPECT_EQ(make(MOp::FDIV, 33, 34, 35).fuClass(), FuClass::FpDiv);
+  EXPECT_EQ(make(MOp::LD64, 1, 2).fuClass(), FuClass::MemPort);
+  EXPECT_EQ(make(MOp::PREF, -1, 2).fuClass(), FuClass::MemPort);
+  EXPECT_EQ(make(MOp::BEQZ, -1, 2).fuClass(), FuClass::IntAlu);
+  EXPECT_EQ(make(MOp::HALT).fuClass(), FuClass::None);
+}
+
+TEST(MachineInstrTest, Classification) {
+  EXPECT_TRUE(make(MOp::BEQZ, -1, 1).isConditionalBranch());
+  EXPECT_TRUE(make(MOp::BNEZ, -1, 1).isConditionalBranch());
+  EXPECT_FALSE(make(MOp::J).isConditionalBranch());
+  EXPECT_TRUE(make(MOp::J).isBranch());
+  EXPECT_TRUE(make(MOp::JAL, reg::RA).isBranch());
+  EXPECT_TRUE(make(MOp::JR, -1, reg::RA).isBranch());
+  EXPECT_TRUE(make(MOp::LDF, 33, 1).isLoad());
+  EXPECT_TRUE(make(MOp::STF, -1, 1, 34).isStore());
+  EXPECT_TRUE(make(MOp::PREF, -1, 1).isPrefetch());
+}
+
+/// Builds a tiny program by hand: stub + body.
+MachineProgram handProgram(std::vector<MachineInstr> Body) {
+  MachineProgram P;
+  MachineInstr Call = make(MOp::JAL, reg::RA);
+  Call.Target = 2;
+  P.Code.push_back(Call);
+  P.Code.push_back(make(MOp::HALT));
+  for (MachineInstr &MI : Body)
+    P.Code.push_back(MI);
+  P.DataBase = 4096;
+  P.DataEnd = 8192;
+  P.MemoryBytes = 64 * 1024;
+  LinkedFunction Main;
+  Main.Name = "main";
+  Main.EntryIndex = 2;
+  Main.EndIndex = P.Code.size();
+  P.Functions.push_back(Main);
+  return P;
+}
+
+TEST(ExecutorTest, ReturnValueConvention) {
+  // main: li x1, 77; jr ra  -> program returns 77.
+  auto P = handProgram({make(MOp::LI, 1, -1, -1, 77),
+                        make(MOp::JR, -1, reg::RA)});
+  ExecResult R = Executor(P).runToCompletion();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ReturnValue, 77);
+  EXPECT_EQ(R.InstructionsExecuted, 4u); // jal, li, jr, halt.
+}
+
+TEST(ExecutorTest, EmitFloatStream) {
+  MachineInstr Fli = make(MOp::FLI, reg::FpBase + 2);
+  Fli.FpImm = 2.75;
+  auto P = handProgram({Fli, make(MOp::EMITF, -1, reg::FpBase + 2),
+                        make(MOp::LI, 1, -1, -1, 0),
+                        make(MOp::JR, -1, reg::RA)});
+  ExecResult R = Executor(P).runToCompletion();
+  ASSERT_FALSE(R.Trapped);
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_TRUE(R.Output[0].IsFloat);
+  EXPECT_DOUBLE_EQ(R.Output[0].FpVal, 2.75);
+}
+
+TEST(ExecutorTest, MemoryRoundTripAllWidths) {
+  // Store 0x1122334455667788 as i64, read back pieces.
+  auto P = handProgram({
+      make(MOp::LI, 2, -1, -1, 4096),
+      make(MOp::LI, 3, -1, -1, 0x1122334455667788LL),
+      make(MOp::ST64, -1, 2, 3, 0),
+      make(MOp::LD8, 4, 2, -1, 0),  // 0x88 zero-extended.
+      make(MOp::LD32, 5, 2, -1, 0), // 0x55667788 sign-extended.
+      make(MOp::ADD, 1, 4, 5),
+      make(MOp::JR, -1, reg::RA),
+  });
+  ExecResult R = Executor(P).runToCompletion();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ReturnValue, 0x88 + 0x55667788LL);
+}
+
+TEST(ExecutorTest, TrapsOnWildStore) {
+  auto P = handProgram({
+      make(MOp::LI, 2, -1, -1, 1 << 30),
+      make(MOp::ST64, -1, 2, 2, 0),
+      make(MOp::JR, -1, reg::RA),
+  });
+  ExecResult R = Executor(P).runToCompletion();
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(ExecutorTest, PrefetchNeverFaults) {
+  auto P = handProgram({
+      make(MOp::LI, 2, -1, -1, 1 << 30),
+      make(MOp::PREF, -1, 2, -1, 0), // Way out of bounds: must not trap.
+      make(MOp::LI, 1, -1, -1, 5),
+      make(MOp::JR, -1, reg::RA),
+  });
+  ExecResult R = Executor(P).runToCompletion();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 5);
+}
+
+TEST(ExecutorTest, CmovSemantics) {
+  auto P = handProgram({
+      make(MOp::LI, 1, -1, -1, 10),  // dst
+      make(MOp::LI, 2, -1, -1, 0),   // cond false
+      make(MOp::LI, 3, -1, -1, 99),  // src
+      make(MOp::CMOV, 1, 2, 3),      // no move
+      make(MOp::LI, 2, -1, -1, 1),   // cond true
+      make(MOp::CMOV, 1, 2, 3),      // move
+      make(MOp::JR, -1, reg::RA),
+  });
+  ExecResult R = Executor(P).runToCompletion();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 99);
+}
+
+TEST(ExecutorTest, ResetRestoresInitialState) {
+  auto P = handProgram({make(MOp::LI, 1, -1, -1, 3),
+                        make(MOp::JR, -1, reg::RA)});
+  Executor E(P);
+  ExecResult First = E.runToCompletion();
+  E.reset();
+  ExecResult Second = E.runToCompletion();
+  EXPECT_EQ(First.ReturnValue, Second.ReturnValue);
+  EXPECT_EQ(First.InstructionsExecuted, Second.InstructionsExecuted);
+}
+
+TEST(DisassemblerTest, PrintsAllForms) {
+  EXPECT_EQ(printMachineInstr(make(MOp::ADDI, 3, 31, -1, -16)),
+            "addi x3, x31, -16");
+  EXPECT_EQ(printMachineInstr(make(MOp::LD64, 5, 31, -1, 8)),
+            "ld64 x5, [x31+8]");
+  EXPECT_EQ(printMachineInstr(make(MOp::ST8, -1, 2, 7, 1)),
+            "st8 x7, [x2+1]");
+  MachineInstr Cmp = make(MOp::CMP, 1, 2, 3);
+  Cmp.Pred = CmpPred::LE;
+  EXPECT_EQ(printMachineInstr(Cmp), "cmp.le x1, x2, x3");
+  MachineInstr B = make(MOp::BNEZ, -1, 4);
+  B.Target = 17;
+  EXPECT_EQ(printMachineInstr(B), "bnez x4, @17");
+  EXPECT_EQ(printMachineInstr(make(MOp::FMOV, reg::FpBase + 1,
+                                   reg::FpBase + 2)),
+            "fmov f1, f2");
+}
+
+} // namespace

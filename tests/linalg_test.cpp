@@ -1,0 +1,193 @@
+//===- tests/linalg_test.cpp - Matrix and solver tests -------------------------===//
+
+#include "linalg/Matrix.h"
+#include "linalg/Solve.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+TEST(MatrixTest, BasicAccessors) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  M.at(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(M.at(1, 2), -4.0);
+  EXPECT_DOUBLE_EQ(M.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(M.maxAbs(), 4.0);
+}
+
+TEST(MatrixTest, FromRowsAndTranspose) {
+  Matrix M = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix T = M.transposed();
+  EXPECT_EQ(T.rows(), 3u);
+  EXPECT_EQ(T.cols(), 2u);
+  EXPECT_DOUBLE_EQ(T.at(2, 1), 6);
+  EXPECT_DOUBLE_EQ(T.at(0, 0), 1);
+}
+
+TEST(MatrixTest, MultiplyMatchesHand) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(MatrixTest, GramEqualsAtA) {
+  Rng R(5);
+  Matrix A(7, 4);
+  for (size_t I = 0; I < 7; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.normal();
+  Matrix G = A.gram();
+  Matrix Ref = A.transposed().multiply(A);
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      EXPECT_NEAR(G.at(I, J), Ref.at(I, J), 1e-10);
+}
+
+TEST(MatrixTest, VectorProducts) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> X{1, -1};
+  auto Y = A.multiplyVector(X);
+  ASSERT_EQ(Y.size(), 3u);
+  EXPECT_DOUBLE_EQ(Y[0], -1);
+  EXPECT_DOUBLE_EQ(Y[2], -1);
+  std::vector<double> Z{1, 0, 2};
+  auto W = A.transposeMultiplyVector(Z);
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_DOUBLE_EQ(W[0], 11);
+  EXPECT_DOUBLE_EQ(W[1], 14);
+}
+
+TEST(MatrixTest, AppendRowGrows) {
+  Matrix M;
+  M.appendRow({1, 2});
+  M.appendRow({3, 4});
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_DOUBLE_EQ(M.at(1, 1), 4);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // SPD: A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  Cholesky C(A);
+  ASSERT_TRUE(C.ok());
+  auto X = C.solve({6, 5});
+  EXPECT_NEAR(X[0], 1.0, 1e-12);
+  EXPECT_NEAR(X[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, LogDeterminantMatches) {
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  Cholesky C(A);
+  ASSERT_TRUE(C.ok());
+  // det = 4*3 - 2*2 = 8.
+  EXPECT_NEAR(C.logDeterminant(), std::log(8.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 1}}); // Eigenvalues 3, -1.
+  Cholesky C(A);
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(CholeskyTest, InverseTimesAIsIdentity) {
+  Rng R(17);
+  Matrix B(6, 4);
+  for (size_t I = 0; I < 6; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      B.at(I, J) = R.normal();
+  Matrix A = B.gram();
+  A.addToDiagonal(0.5);
+  Cholesky C(A);
+  ASSERT_TRUE(C.ok());
+  Matrix Inv = C.inverse();
+  Matrix P = A.multiply(Inv);
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      EXPECT_NEAR(P.at(I, J), I == J ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, RecoversExactCoefficients) {
+  // y = 2 + 3*x1 - x2, noise-free.
+  Rng R(23);
+  Matrix A(50, 3);
+  std::vector<double> Y(50);
+  for (size_t I = 0; I < 50; ++I) {
+    double X1 = R.uniform(-1, 1), X2 = R.uniform(-1, 1);
+    A.at(I, 0) = 1;
+    A.at(I, 1) = X1;
+    A.at(I, 2) = X2;
+    Y[I] = 2 + 3 * X1 - X2;
+  }
+  auto Beta = leastSquaresQR(A, Y);
+  EXPECT_NEAR(Beta[0], 2, 1e-9);
+  EXPECT_NEAR(Beta[1], 3, 1e-9);
+  EXPECT_NEAR(Beta[2], -1, 1e-9);
+}
+
+TEST(LeastSquaresTest, HandlesRankDeficiency) {
+  // Third column duplicates the second; solver must not blow up.
+  Matrix A(4, 3);
+  std::vector<double> Y{1, 2, 3, 4};
+  for (size_t I = 0; I < 4; ++I) {
+    A.at(I, 0) = 1;
+    A.at(I, 1) = static_cast<double>(I);
+    A.at(I, 2) = static_cast<double>(I);
+  }
+  auto Beta = leastSquaresQR(A, Y);
+  // Residual must still be (near) minimal: predictions match y.
+  for (size_t I = 0; I < 4; ++I) {
+    double Pred = Beta[0] + Beta[1] * static_cast<double>(I) +
+                  Beta[2] * static_cast<double>(I);
+    EXPECT_NEAR(Pred, Y[I], 1e-9);
+  }
+}
+
+TEST(RidgeTest, ShrinksTowardZero) {
+  Rng R(31);
+  Matrix A(30, 2);
+  std::vector<double> Y(30);
+  for (size_t I = 0; I < 30; ++I) {
+    double X = R.uniform(-1, 1);
+    A.at(I, 0) = 1;
+    A.at(I, 1) = X;
+    Y[I] = 5 * X;
+  }
+  auto Small = ridgeLeastSquares(A, Y, 1e-8);
+  auto Large = ridgeLeastSquares(A, Y, 1e3);
+  EXPECT_NEAR(Small[1], 5.0, 1e-3);
+  EXPECT_LT(std::fabs(Large[1]), std::fabs(Small[1]));
+}
+
+TEST(RidgeTest, AgreesWithQROnWellConditioned) {
+  Rng R(41);
+  Matrix A(40, 4);
+  std::vector<double> Y(40);
+  for (size_t I = 0; I < 40; ++I) {
+    A.at(I, 0) = 1;
+    for (size_t J = 1; J < 4; ++J)
+      A.at(I, J) = R.normal();
+    Y[I] = 1 + 2 * A.at(I, 1) - 3 * A.at(I, 2) + 0.5 * A.at(I, 3) +
+           0.01 * R.normal();
+  }
+  auto Qr = leastSquaresQR(A, Y);
+  auto Ridge = ridgeLeastSquares(A, Y, 0.0);
+  for (size_t J = 0; J < 4; ++J)
+    EXPECT_NEAR(Qr[J], Ridge[J], 1e-5);
+}
+
+TEST(DotProductTest, Basic) {
+  EXPECT_DOUBLE_EQ(dotProduct({1, 2, 3}, {4, 5, 6}), 32);
+}
+
+} // namespace

@@ -1,0 +1,431 @@
+//===- tests/model_test.cpp - Empirical model tests ------------------------------===//
+
+#include "model/Diagnostics.h"
+#include "model/LinearModel.h"
+#include "model/Mars.h"
+#include "model/RbfNetwork.h"
+#include "model/RegressionTree.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+using namespace msem;
+
+namespace {
+
+/// Samples a synthetic response surface over [-1,1]^K.
+void sampleSurface(std::function<double(const std::vector<double> &)> F,
+                   size_t N, size_t K, uint64_t Seed, Matrix &X,
+                   std::vector<double> &Y, double Noise = 0.0) {
+  Rng R(Seed);
+  X = Matrix(N, K);
+  Y.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Row(K);
+    for (size_t D = 0; D < K; ++D)
+      Row[D] = R.uniform(-1, 1);
+    X.setRow(I, Row);
+    Y[I] = F(Row) + (Noise > 0 ? R.normal(0, Noise) : 0.0);
+  }
+}
+
+// --------------------------------------------------------------- LinearModel
+TEST(LinearModelTest, RecoversLinearFunction) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) {
+        return 10 + 3 * V[0] - 2 * V[1] + 0.5 * V[2];
+      },
+      120, 3, 1, X, Y);
+  LinearModel M;
+  M.train(X, Y);
+  EXPECT_NEAR(M.coefficients()[0], 10, 1e-6);
+  EXPECT_NEAR(M.coefficients()[1], 3, 1e-6);
+  EXPECT_NEAR(M.coefficients()[2], -2, 1e-6);
+  EXPECT_NEAR(M.coefficients()[3], 0.5, 1e-6);
+  EXPECT_NEAR(M.trainingSse(), 0.0, 1e-9);
+}
+
+TEST(LinearModelTest, RecoversInteractionTerm) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) { return 5 + 2 * V[0] * V[1]; },
+      150, 2, 2, X, Y);
+  LinearModel M;
+  M.train(X, Y);
+  // Coefficients: [b0, b1, b2, b12].
+  EXPECT_NEAR(M.coefficients()[3], 2.0, 1e-6);
+  std::vector<double> P{0.5, -0.5};
+  EXPECT_NEAR(M.predict(P), 5 + 2 * 0.25 * -1, 1e-6);
+}
+
+TEST(LinearModelTest, FailsOnStrongNonlinearity) {
+  // The Figure 3 lesson: a hinge-shaped response defeats linear models.
+  Matrix X;
+  std::vector<double> Y;
+  auto Hinge = [](const std::vector<double> &V) {
+    return V[0] < 0.2 ? 100 - 50 * V[0] : 90 + 80 * (V[0] - 0.2);
+  };
+  sampleSurface(Hinge, 200, 1, 3, X, Y);
+  LinearModel Lin;
+  Lin.train(X, Y);
+  MarsModel Mars;
+  Mars.train(X, Y);
+  ModelQuality QLin = evaluateModel(Lin, X, Y);
+  ModelQuality QMars = evaluateModel(Mars, X, Y);
+  EXPECT_LT(QMars.Mape, QLin.Mape);
+}
+
+TEST(ModelCriteriaTest, BicAndGcvFormulas) {
+  // BIC (Equation 9) at p=100, gamma=10, SSE=50.
+  double Bic = bicScore(50.0, 100, 10);
+  double Expected = (100 + (std::log(100.0) - 1) * 10) / (100.0 * 90.0) * 50;
+  EXPECT_NEAR(Bic, Expected, 1e-12);
+  EXPECT_GT(bicScore(50.0, 100, 60), Bic); // More params, worse score.
+  EXPECT_GE(bicScore(50.0, 10, 10), 1e299); // Saturated.
+
+  double Gcv = gcvScore(50.0, 100, 10);
+  EXPECT_NEAR(Gcv, (50.0 / 100) / (0.9 * 0.9), 1e-12);
+}
+
+// --------------------------------------------------------------------- MARS
+TEST(MarsTest, FitsHingeExactly) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) {
+        return 3 + 4 * std::max(0.0, V[0] - 0.1);
+      },
+      150, 2, 4, X, Y);
+  MarsModel M;
+  M.train(X, Y);
+  ModelQuality Q = evaluateModel(M, X, Y);
+  EXPECT_LT(Q.Mape, 2.0);
+  EXPECT_GT(Q.R2, 0.98);
+}
+
+TEST(MarsTest, CapturesInteractions) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) {
+        return 20 + 5 * V[0] + 5 * V[1] + 6 * V[0] * V[1];
+      },
+      200, 3, 5, X, Y);
+  MarsModel M;
+  M.train(X, Y);
+  ModelQuality Q = evaluateModel(M, X, Y);
+  EXPECT_GT(Q.R2, 0.9);
+}
+
+TEST(MarsTest, PruningControlsBasisCount) {
+  Matrix X;
+  std::vector<double> Y;
+  // Pure noise: pruning should collapse toward the constant model.
+  sampleSurface([](const std::vector<double> &) { return 100.0; }, 100, 4,
+                6, X, Y, /*Noise=*/1.0);
+  MarsModel M;
+  M.train(X, Y);
+  EXPECT_LE(M.basis().size(), 6u);
+}
+
+TEST(MarsTest, GeneralizesOutOfSample) {
+  auto F = [](const std::vector<double> &V) {
+    return 50 + 10 * std::max(0.0, V[0]) - 8 * std::max(0.0, -V[1]) +
+           3 * V[2];
+  };
+  Matrix XTrain, XTest;
+  std::vector<double> YTrain, YTest;
+  sampleSurface(F, 250, 4, 7, XTrain, YTrain);
+  sampleSurface(F, 100, 4, 8, XTest, YTest);
+  MarsModel M;
+  M.train(XTrain, YTrain);
+  ModelQuality Q = evaluateModel(M, XTest, YTest);
+  EXPECT_LT(Q.Mape, 5.0);
+}
+
+// ----------------------------------------------------------- RegressionTree
+TEST(RegressionTreeTest, LearnsStepFunction) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) { return V[0] > 0 ? 10.0 : -10.0; },
+      200, 2, 9, X, Y);
+  RegressionTree T;
+  T.train(X, Y);
+  EXPECT_NEAR(T.predict({0.5, 0.0}), 10.0, 0.5);
+  EXPECT_NEAR(T.predict({-0.5, 0.0}), -10.0, 0.5);
+  EXPECT_GE(T.leaves().size(), 2u);
+}
+
+TEST(RegressionTreeTest, RespectsLeafBudget) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) { return std::sin(3 * V[0]); }, 300,
+      3, 10, X, Y);
+  RegressionTree::Options Opts;
+  Opts.MaxLeaves = 8;
+  RegressionTree T(Opts);
+  T.train(X, Y);
+  EXPECT_LE(T.leaves().size(), 8u);
+  // Region metadata is populated.
+  for (const TreeRegion &L : T.leaves()) {
+    EXPECT_FALSE(L.Samples.empty());
+    EXPECT_EQ(L.Centroid.size(), 3u);
+    EXPECT_EQ(L.HalfWidth.size(), 3u);
+  }
+}
+
+// ---------------------------------------------------------------------- RBF
+TEST(RbfTest, FitsSmoothNonlinearSurface) {
+  auto F = [](const std::vector<double> &V) {
+    return 100 + 30 * std::exp(-3 * (V[0] * V[0] + V[1] * V[1])) +
+           10 * V[2];
+  };
+  Matrix XTrain, XTest;
+  std::vector<double> YTrain, YTest;
+  sampleSurface(F, 300, 3, 11, XTrain, YTrain);
+  sampleSurface(F, 100, 3, 12, XTest, YTest);
+  RbfNetwork M;
+  M.train(XTrain, YTrain);
+  ModelQuality Q = evaluateModel(M, XTest, YTest);
+  EXPECT_LT(Q.Mape, 5.0);
+  EXPECT_GT(M.numNeurons(), 0u);
+}
+
+TEST(RbfTest, BothKernelsWork) {
+  auto F = [](const std::vector<double> &V) {
+    return 10 + 5 * V[0] * V[0];
+  };
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(F, 200, 2, 13, X, Y);
+  for (RbfKernel K : {RbfKernel::Gaussian, RbfKernel::Multiquadric}) {
+    RbfNetwork::Options Opts;
+    Opts.Kernel = K;
+    RbfNetwork M(Opts);
+    M.train(X, Y);
+    ModelQuality Q = evaluateModel(M, X, Y);
+    EXPECT_LT(Q.Mape, 8.0) << "kernel " << static_cast<int>(K);
+  }
+}
+
+TEST(RbfTest, BeatsLinearOnNonlinearResponse) {
+  // The paper's central Table 3 finding, on a synthetic stand-in.
+  auto F = [](const std::vector<double> &V) {
+    double Unroll = V[0];
+    double Cache = V[1];
+    // Saturating benefit + interaction cliff, like Figure 3.
+    return 200 - 40 * std::min(0.5, Unroll + 0.3) +
+           30 * std::max(0.0, -Cache) * std::max(0.0, Unroll);
+  };
+  Matrix XTrain, XTest;
+  std::vector<double> YTrain, YTest;
+  sampleSurface(F, 250, 4, 14, XTrain, YTrain);
+  sampleSurface(F, 120, 4, 15, XTest, YTest);
+  LinearModel Lin;
+  Lin.train(XTrain, YTrain);
+  RbfNetwork Rbf;
+  Rbf.train(XTrain, YTrain);
+  double LinMape = evaluateModel(Lin, XTest, YTest).Mape;
+  double RbfMape = evaluateModel(Rbf, XTest, YTest).Mape;
+  EXPECT_LT(RbfMape, LinMape);
+}
+
+// ---------------------------------------------------------------- Diagnostics
+TEST(DiagnosticsTest, MainEffectRecoversCoefficient) {
+  ParameterSpace S = ParameterSpace::compilerSpace();
+  // A hand-made "model" whose response is linear in encoded coordinates.
+  class FakeModel : public Model {
+  public:
+    void train(const Matrix &, const std::vector<double> &) override {}
+    double predict(const std::vector<double> &X) const override {
+      return 100 + 7 * X[0] - 4 * X[5] + 3 * X[0] * X[5];
+    }
+    std::string name() const override { return "fake"; }
+  };
+  FakeModel M;
+  Rng R(16);
+  // Effect of var 0: d f / d x0 averaged = 7 + 3 * E[x5] ~ 7.
+  double E0 = mainEffect(M, S, 0, 400, R);
+  EXPECT_NEAR(E0, 7.0, 0.5);
+  double E5 = mainEffect(M, S, 5, 400, R);
+  EXPECT_NEAR(E5, -4.0, 0.5);
+  double I05 = interactionEffect(M, S, 0, 5, 200, R);
+  EXPECT_NEAR(I05, 3.0, 0.2);
+  // A variable the model ignores has a null effect.
+  double E7 = mainEffect(M, S, 7, 200, R);
+  EXPECT_NEAR(E7, 0.0, 0.3);
+}
+
+TEST(DiagnosticsTest, RankEffectsOrdersByMagnitude) {
+  ParameterSpace S = ParameterSpace::compilerSpace();
+  class FakeModel : public Model {
+  public:
+    void train(const Matrix &, const std::vector<double> &) override {}
+    double predict(const std::vector<double> &X) const override {
+      return 10 * X[1] + 2 * X[2];
+    }
+    std::string name() const override { return "fake"; }
+  };
+  FakeModel M;
+  auto Effects = rankEffects(M, S, 200, 5, 99);
+  ASSERT_GE(Effects.size(), 2u);
+  EXPECT_EQ(Effects[0].Label, "funroll-loops"); // Var index 1.
+  EXPECT_NEAR(Effects[0].Coefficient, 10.0, 0.8);
+}
+
+TEST(DiagnosticsTest, EvaluateModelMetrics) {
+  class IdModel : public Model {
+  public:
+    void train(const Matrix &, const std::vector<double> &) override {}
+    double predict(const std::vector<double> &X) const override {
+      return X[0];
+    }
+    std::string name() const override { return "id"; }
+  };
+  Matrix X = Matrix::fromRows({{100.0}, {200.0}});
+  std::vector<double> Y{110.0, 190.0};
+  IdModel M;
+  ModelQuality Q = evaluateModel(M, X, Y);
+  EXPECT_NEAR(Q.Mape, (10.0 / 110 + 10.0 / 190) / 2 * 100, 1e-9);
+}
+
+// Property sweep: every technique stays finite and sane on random data.
+class TechniqueTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TechniqueTest, FiniteOnRandomData) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) {
+        return 1000 + 100 * V[0] + 50 * V[1] * V[2] +
+               30 * std::max(0.0, V[3]);
+      },
+      150, 5, 17 + GetParam(), X, Y, 5.0);
+  std::unique_ptr<Model> M;
+  switch (GetParam()) {
+  case 0:
+    M = std::make_unique<LinearModel>();
+    break;
+  case 1:
+    M = std::make_unique<MarsModel>();
+    break;
+  case 2:
+    M = std::make_unique<RbfNetwork>();
+    break;
+  default:
+    M = std::make_unique<RegressionTree>();
+    break;
+  }
+  M->train(X, Y);
+  Rng R(100);
+  for (int I = 0; I < 200; ++I) {
+    std::vector<double> P(5);
+    for (auto &V : P)
+      V = R.uniform(-1, 1);
+    double Pred = M->predict(P);
+    EXPECT_TRUE(std::isfinite(Pred));
+    EXPECT_GT(Pred, 0.0);    // Response scale is ~1000.
+    EXPECT_LT(Pred, 5000.0); // No wild extrapolation inside the domain.
+  }
+}
+
+std::string techniqueCaseName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"linear", "mars", "rbf", "tree"};
+  return Names[Info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, TechniqueTest,
+                         ::testing::Values(0, 1, 2, 3), techniqueCaseName);
+
+} // namespace
+
+#include "model/TransformedModel.h"
+
+namespace {
+
+TEST(TransformedModelTest, LogResponseFitsMultiplicativeSurface) {
+  // y = 1000 * 8^x0 * 2^x1: huge relative range; the raw model's MAPE
+  // collapses under the log transform.
+  Matrix X;
+  std::vector<double> Y;
+  Rng R(55);
+  X = Matrix(250, 3);
+  Y.resize(250);
+  for (size_t I = 0; I < 250; ++I) {
+    std::vector<double> Row{R.uniform(-1, 1), R.uniform(-1, 1),
+                            R.uniform(-1, 1)};
+    X.setRow(I, Row);
+    Y[I] = 1000.0 * std::pow(8.0, Row[0]) * std::pow(2.0, Row[1]);
+  }
+  RbfNetwork Raw;
+  Raw.train(X, Y);
+  LogResponseModel Logged(std::make_unique<RbfNetwork>());
+  Logged.train(X, Y);
+  double RawMape = evaluateModel(Raw, X, Y).Mape;
+  double LogMape = evaluateModel(Logged, X, Y).Mape;
+  EXPECT_LT(LogMape, RawMape);
+  EXPECT_LT(LogMape, 5.0);
+  EXPECT_EQ(Logged.name(), "log-rbf");
+}
+
+TEST(TransformedModelTest, PredictionsArePositive) {
+  Matrix X = Matrix::fromRows({{-1.0}, {0.0}, {1.0}});
+  std::vector<double> Y{10.0, 100.0, 1000.0};
+  LogResponseModel M(std::make_unique<LinearModel>());
+  M.train(X, Y);
+  for (double V : {-1.0, -0.3, 0.6, 1.0})
+    EXPECT_GT(M.predict({V}), 0.0);
+}
+
+} // namespace
+
+namespace {
+
+TEST(MarsTest, AdditiveModeForbidsInteractions) {
+  MarsModel::Options Opts;
+  Opts.MaxInteraction = 1;
+  MarsModel M(Opts);
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(
+      [](const std::vector<double> &V) {
+        return 10 + 4 * std::max(0.0, V[0]) + 2 * V[1];
+      },
+      150, 3, 31, X, Y);
+  M.train(X, Y);
+  for (const MarsBasis &Basis : M.basis())
+    EXPECT_LE(Basis.Factors.size(), 1u);
+  EXPECT_LT(evaluateModel(M, X, Y).Mape, 5.0);
+}
+
+TEST(RbfTest, SurvivesTinySamples) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface([](const std::vector<double> &V) { return 5 + V[0]; }, 12,
+                2, 32, X, Y);
+  RbfNetwork M;
+  M.train(X, Y);
+  EXPECT_TRUE(std::isfinite(M.predict({0.0, 0.0})));
+}
+
+TEST(RegressionTreeTest, ConstantResponseSingleLeaf) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface([](const std::vector<double> &) { return 42.0; }, 60, 2,
+                33, X, Y);
+  RegressionTree T;
+  T.train(X, Y);
+  EXPECT_EQ(T.leaves().size(), 1u);
+  EXPECT_DOUBLE_EQ(T.predict({0.3, -0.7}), 42.0);
+}
+
+} // namespace

@@ -1,0 +1,833 @@
+//===- tests/opt_test.cpp - Optimization pass tests ----------------------------===//
+//
+// Every pass is tested two ways: (1) it preserves observable behaviour
+// (interpreter equivalence on the Emit stream and return value), and
+// (2) it has the intended structural effect on the IR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/LoopInfo.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "tests/TestPrograms.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+using namespace msem::testing;
+
+namespace {
+
+void expectSameBehavior(const InterpResult &Ref, const InterpResult &Got,
+                        const std::string &What) {
+  ASSERT_FALSE(Ref.Trapped) << What << ": reference trapped";
+  ASSERT_FALSE(Got.Trapped) << What << ": " << Got.TrapMessage;
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << What;
+  ASSERT_EQ(Ref.Output.size(), Got.Output.size()) << What;
+  for (size_t I = 0; I < Ref.Output.size(); ++I)
+    EXPECT_TRUE(Ref.Output[I] == Got.Output[I]) << What << " output " << I;
+}
+
+unsigned countOpcode(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (I->opcode() == Op)
+        ++N;
+  return N;
+}
+
+// ---------------------------------------------------------------- ConstantFold
+TEST(ConstantFoldTest, FoldsConstantChain) {
+  Module M("fold");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *V = B.add(B.constInt(2), B.constInt(3));
+  V = B.mul(V, B.constInt(4));
+  V = B.sub(V, B.constInt(20)); // (2+3)*4 - 20 = 0
+  B.ret(V);
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(F->instructionCount(), 1u); // Just the ret.
+  InterpResult R = Interpreter().run(M);
+  EXPECT_EQ(R.ReturnValue, 0);
+}
+
+TEST(ConstantFoldTest, AlgebraicIdentities) {
+  Module M("ident");
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *X = F->arg(0);
+  Value *V = B.add(X, B.constInt(0)); // x
+  V = B.mul(V, B.constInt(1));        // x
+  V = B.xorOp(V, B.constInt(0));      // x
+  B.ret(V);
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_EQ(F->instructionCount(), 1u);
+  // The ret must now return the argument directly.
+  Instruction *Ret = F->entry()->terminator();
+  EXPECT_EQ(Ret->operand(0), X);
+}
+
+TEST(ConstantFoldTest, MulByZeroCollapses) {
+  Module M("mzero");
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.mul(F->arg(0), B.constInt(0)));
+  runConstantFold(*F);
+  Instruction *Ret = F->entry()->terminator();
+  auto *C = dyn_cast<Constant>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->intValue(), 0);
+}
+
+TEST(ConstantFoldTest, FoldsFloatOpsAndCompares) {
+  Module M("ffold");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *FV = B.fmul(B.constFloat(2.0), B.constFloat(3.5)); // 7.0
+  Value *C = B.fcmp(CmpPred::GT, FV, B.constFloat(6.0));    // 1
+  B.ret(C);
+  runConstantFold(*F);
+  Instruction *Ret = F->entry()->terminator();
+  auto *CC = dyn_cast<Constant>(Ret->operand(0));
+  ASSERT_NE(CC, nullptr);
+  EXPECT_EQ(CC->intValue(), 1);
+}
+
+// ------------------------------------------------------------------------ DCE
+TEST(DceTest, RemovesDeadPureCode) {
+  Module M("dce");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.add(B.constInt(1), B.constInt(2)); // Dead.
+  B.mul(B.constInt(3), B.constInt(4)); // Dead.
+  B.ret(B.constInt(9));
+  EXPECT_TRUE(runDeadCodeElim(*F));
+  EXPECT_EQ(F->instructionCount(), 1u);
+}
+
+TEST(DceTest, KeepsSideEffects) {
+  Module M("dce2");
+  GlobalVariable *G = M.createGlobal("g", 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.store(B.constInt(1), G, MemKind::Int64); // Kept.
+  B.emit(B.constInt(5));                     // Kept.
+  B.ret(B.constInt(0));
+  runDeadCodeElim(*F);
+  EXPECT_EQ(countOpcode(*F, Opcode::Store), 1u);
+  EXPECT_EQ(countOpcode(*F, Opcode::Emit), 1u);
+}
+
+TEST(DceTest, RemovesDeadPhiCycle) {
+  // Two phis referencing each other across a loop, never otherwise used.
+  auto M = makeSumLoop(5);
+  Function *F = M->mainFunction();
+  IRBuilder B(*M);
+  // Find the body block (has phis) and add a dead mutually-referencing pair.
+  BasicBlock *Body = nullptr;
+  for (const auto &BB : F->blocks())
+    if (!BB->empty() && BB->instructions()[0]->opcode() == Opcode::Phi)
+      Body = BB.get();
+  ASSERT_NE(Body, nullptr);
+  Instruction *IvPhi = Body->instructions()[0].get();
+  // deadPhi = phi [0, pre], [deadPhi+1 computed in latch...]. Use the same
+  // incoming blocks as the existing phi.
+  B.setInsertPoint(Body);
+  Instruction *DeadPhi = B.phi(Type::I64);
+  for (size_t I = 0; I < IvPhi->phiBlocks().size(); ++I)
+    DeadPhi->addPhiIncoming(DeadPhi, IvPhi->phiBlocks()[I]);
+  unsigned Before = F->instructionCount();
+  EXPECT_TRUE(runDeadCodeElim(*F));
+  EXPECT_LT(F->instructionCount(), Before);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+}
+
+// ----------------------------------------------------------------- SimplifyCFG
+TEST(SimplifyCfgTest, FoldsConstantBranch) {
+  Module M("scfg");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  B.setInsertPoint(Entry);
+  B.br(M.constInt(1), T, E);
+  B.setInsertPoint(T);
+  B.ret(B.constInt(10));
+  B.setInsertPoint(E);
+  B.ret(B.constInt(20));
+  EXPECT_TRUE(runSimplifyCfg(*F));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // Dead branch removed; blocks merged into one.
+  EXPECT_EQ(F->blocks().size(), 1u);
+  InterpResult R = Interpreter().run(M);
+  EXPECT_EQ(R.ReturnValue, 10);
+}
+
+TEST(SimplifyCfgTest, MergesLinearChain) {
+  Module M("chain");
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  BasicBlock *C = F->createBlock("c");
+  B.setInsertPoint(A);
+  B.jmp(Bb);
+  B.setInsertPoint(Bb);
+  B.jmp(C);
+  B.setInsertPoint(C);
+  B.ret(B.constInt(3));
+  EXPECT_TRUE(runSimplifyCfg(*F));
+  EXPECT_EQ(F->blocks().size(), 1u);
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, 3);
+}
+
+TEST(SimplifyCfgTest, PreservesLoopSemantics) {
+  auto Ref = Interpreter().run(*makeSumLoop(9));
+  auto M = makeSumLoop(9);
+  for (const auto &F : M->functions())
+    runSimplifyCfg(*F);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  expectSameBehavior(Ref, Interpreter().run(*M), "simplifycfg sumloop");
+}
+
+// ------------------------------------------------------------------------ GVN
+TEST(GvnTest, EliminatesRedundantExpressions) {
+  Module M("gvn");
+  Function *F = M.createFunction("main", Type::I64,
+                                 {Type::I64, Type::I64}, {"a", "b"});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *S1 = B.add(F->arg(0), F->arg(1));
+  Value *S2 = B.add(F->arg(0), F->arg(1)); // Redundant.
+  Value *S3 = B.add(F->arg(1), F->arg(0)); // Commutative-redundant.
+  B.ret(B.add(B.mul(S1, S2), S3));
+  unsigned Before = F->instructionCount();
+  EXPECT_TRUE(runGvn(*F));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_LT(F->instructionCount(), Before);
+  EXPECT_EQ(countOpcode(*F, Opcode::Add), 2u); // One a+b, one final add.
+}
+
+TEST(GvnTest, RespectsDominance) {
+  // Same expression in two sibling branches must NOT merge.
+  Module M("gvn2");
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  B.setInsertPoint(Entry);
+  B.br(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  Value *V1 = B.mul(F->arg(0), B.constInt(3));
+  B.ret(V1);
+  B.setInsertPoint(E);
+  Value *V2 = B.mul(F->arg(0), B.constInt(3));
+  B.ret(V2);
+  runGvn(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(countOpcode(*F, Opcode::Mul), 2u);
+}
+
+TEST(GvnTest, PreservesBehavior) {
+  auto Ref = Interpreter().run(*makeNestedGrid(6, 7));
+  auto M = makeNestedGrid(6, 7);
+  for (const auto &F : M->functions())
+    runGvn(*F);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  expectSameBehavior(Ref, Interpreter().run(*M), "gvn grid");
+}
+
+// ----------------------------------------------------------------------- LICM
+TEST(LicmTest, HoistsInvariantComputation) {
+  Module M("licm");
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"n"});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(100), 1, "l");
+  Value *Acc = L.carried(B.constInt(0));
+  // Invariant: n*n+5 recomputed every iteration.
+  Value *Inv = B.add(B.mul(F->arg(0), F->arg(0)), B.constInt(5));
+  L.setNext(Acc, B.add(Acc, Inv));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+
+  DominatorTree DT(*F);
+  LoopAnalysis LA(*F, DT);
+  ASSERT_EQ(LA.loops().size(), 1u);
+  Loop *Lp = LA.loops()[0].get();
+  auto InLoopMuls = [&](Loop *Loop0) {
+    unsigned N = 0;
+    for (BasicBlock *BB : Loop0->Blocks)
+      for (const auto &I : BB->instructions())
+        if (I->opcode() == Opcode::Mul)
+          ++N;
+    return N;
+  };
+  EXPECT_EQ(InLoopMuls(Lp), 1u);
+  EXPECT_TRUE(runLicm(*F));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  DominatorTree DT2(*F);
+  LoopAnalysis LA2(*F, DT2);
+  EXPECT_EQ(InLoopMuls(LA2.loops()[0].get()), 0u);
+}
+
+TEST(LicmTest, PreservesBehavior) {
+  auto Ref = Interpreter().run(*makeFpKernel(32));
+  auto M = makeFpKernel(32);
+  for (const auto &F : M->functions())
+    runLicm(*F);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  expectSameBehavior(Ref, Interpreter().run(*M), "licm fp");
+}
+
+// ------------------------------------------------------------- StrengthReduce
+TEST(StrengthReduceTest, ReplacesIvMultiply) {
+  auto M = makeArraySum(16);
+  Function *F = M->mainFunction();
+  // elemPtr emits mul(iv, 8) in both loops.
+  unsigned MulsBefore = countOpcode(*F, Opcode::Mul);
+  ASSERT_GE(MulsBefore, 2u);
+  EXPECT_TRUE(runStrengthReduce(*F));
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // The iv*8 multiplies are gone (the fill loop's i*i data multiply stays).
+  EXPECT_LT(countOpcode(*F, Opcode::Mul), MulsBefore);
+  auto Ref = Interpreter().run(*makeArraySum(16));
+  expectSameBehavior(Ref, Interpreter().run(*M), "strength-reduce");
+}
+
+TEST(StrengthReduceTest, HandlesNegativeStride) {
+  Module M("sr2");
+  GlobalVariable *G = M.createGlobal("a", 64 * 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(63), B.constInt(-1), -1, "down");
+  Value *Acc = L.carried(B.constInt(0));
+  B.storeElem(L.indVar(), G, L.indVar(), MemKind::Int64);
+  Value *V = B.loadElem(G, L.indVar(), MemKind::Int64);
+  L.setNext(Acc, B.add(Acc, V));
+  L.finish();
+  B.ret(L.exitValue(Acc));
+  auto RefRet = Interpreter().run(M).ReturnValue;
+  EXPECT_TRUE(runStrengthReduce(*F));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, RefRet);
+}
+
+// --------------------------------------------------------------------- Unroll
+TEST(UnrollTest, GrowsCodeAndPreservesSemantics) {
+  for (int64_t N : {0, 1, 3, 7, 8, 9, 100}) {
+    auto Ref = Interpreter().run(*makeSumLoop(N));
+    auto M = makeSumLoop(N);
+    Function *F = M->mainFunction();
+    unsigned Before = F->instructionCount();
+    OptimizationConfig C;
+    C.UnrollLoops = true;
+    C.MaxUnrollTimes = 4;
+    C.MaxUnrolledInsns = 300;
+    EXPECT_TRUE(runUnroll(*F, C));
+    EXPECT_TRUE(verifyFunction(*F).empty()) << "N=" << N;
+    EXPECT_GT(F->instructionCount(), Before);
+    expectSameBehavior(Ref, Interpreter().run(*M),
+                       "unroll N=" + std::to_string(N));
+  }
+}
+
+TEST(UnrollTest, RespectsSizeGate) {
+  auto M = makeSumLoop(10);
+  Function *F = M->mainFunction();
+  OptimizationConfig C;
+  C.UnrollLoops = true;
+  C.MaxUnrollTimes = 4;
+  C.MaxUnrolledInsns = 2; // Too small for any loop body.
+  EXPECT_FALSE(runUnroll(*F, C));
+}
+
+TEST(UnrollTest, UnrollsBranchyBody) {
+  auto Ref = Interpreter().run(*makeBranchy(27, 50));
+  auto M = makeBranchy(27, 50);
+  Function *F = M->mainFunction();
+  OptimizationConfig C;
+  C.UnrollLoops = true;
+  C.MaxUnrollTimes = 3;
+  C.MaxUnrolledInsns = 300;
+  EXPECT_TRUE(runUnroll(*F, C));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  expectSameBehavior(Ref, Interpreter().run(*M), "unroll branchy");
+}
+
+TEST(UnrollTest, UsesExitValuesCorrectly) {
+  // The induction variable's exit value is used after the loop; unrolling
+  // must keep it correct via LCSSA phis.
+  for (int64_t N : {5, 12}) {
+    auto Ref = Interpreter().run(*makeArraySum(N));
+    auto M = makeArraySum(N);
+    OptimizationConfig C;
+    C.UnrollLoops = true;
+    C.MaxUnrollTimes = 5;
+    C.MaxUnrolledInsns = 300;
+    runUnroll(*M->mainFunction(), C);
+    EXPECT_TRUE(verifyModule(*M).empty());
+    expectSameBehavior(Ref, Interpreter().run(*M), "unroll arraysum");
+  }
+}
+
+// ------------------------------------------------------------------- Prefetch
+TEST(PrefetchTest, InsertsPrefetchForStridedLoads) {
+  auto M = makeArraySum(64);
+  Function *F = M->mainFunction();
+  EXPECT_EQ(countOpcode(*F, Opcode::Prefetch), 0u);
+  EXPECT_TRUE(runPrefetch(*F));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_GE(countOpcode(*F, Opcode::Prefetch), 1u);
+  auto Ref = Interpreter().run(*makeArraySum(64));
+  expectSameBehavior(Ref, Interpreter().run(*M), "prefetch");
+}
+
+TEST(PrefetchTest, SkipsNonStridedLoads) {
+  // Pointer-chasing load (address loaded from memory) gets no prefetch.
+  Module M("chase");
+  GlobalVariable *G = M.createGlobal("nodes", 128 * 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(10), 1, "chase");
+  Value *P = L.carried(B.constInt(0));
+  Value *Next = B.loadElem(G, P, MemKind::Int64);
+  L.setNext(P, B.andOp(Next, B.constInt(127)));
+  L.finish();
+  B.ret(L.exitValue(P));
+  runPrefetch(*F);
+  EXPECT_EQ(countOpcode(*F, Opcode::Prefetch), 0u);
+}
+
+// ------------------------------------------------------------------- Schedule
+TEST(IrScheduleTest, PreservesBehaviorEverywhere) {
+  auto Progs = {makeSumLoop(20), makeArraySum(24), makeBranchy(19, 40),
+                makeFpKernel(16), makeNestedGrid(5, 5), makeCallLoop(12)};
+  for (auto &M : Progs) {
+    // Fresh reference (the module list above is moved-from one by one).
+    Interpreter I;
+    auto Ref = I.run(*M);
+    for (const auto &F : M->functions())
+      runIrSchedule(*F);
+    EXPECT_TRUE(verifyModule(*M).empty());
+    expectSameBehavior(Ref, Interpreter().run(*M), "irsched " + M->name());
+  }
+}
+
+TEST(IrScheduleTest, KeepsStoreLoadOrder) {
+  Module M("memorder");
+  GlobalVariable *G = M.createGlobal("g", 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.store(B.constInt(11), G, MemKind::Int64);
+  Value *V1 = B.load(G, MemKind::Int64);
+  B.store(B.constInt(22), G, MemKind::Int64);
+  Value *V2 = B.load(G, MemKind::Int64);
+  B.ret(B.add(B.mul(V1, B.constInt(100)), V2));
+  runIrSchedule(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, 11 * 100 + 22);
+}
+
+// -------------------------------------------------------------- ReorderBlocks
+TEST(ReorderBlocksTest, KeepsEntryFirstAndSemantics) {
+  auto Ref = Interpreter().run(*makeBranchy(33, 64));
+  auto M = makeBranchy(33, 64);
+  Function *F = M->mainFunction();
+  runReorderBlocks(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(F->blocks().front()->name(), "entry");
+  expectSameBehavior(Ref, Interpreter().run(*M), "reorder");
+}
+
+// --------------------------------------------------------------------- Inline
+TEST(InlineTest, InlinesSmallCallee) {
+  auto M = makeCallLoop(20);
+  OptimizationConfig C;
+  C.InlineFunctions = true;
+  C.MaxInlineInsnsAuto = 100;
+  C.InlineUnitGrowth = 75;
+  C.InlineCallCost = 20;
+  auto Ref = Interpreter().run(*makeCallLoop(20));
+  EXPECT_TRUE(runInline(*M, C));
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_EQ(countOpcode(*M->mainFunction(), Opcode::Call), 0u);
+  expectSameBehavior(Ref, Interpreter().run(*M), "inline");
+}
+
+TEST(InlineTest, RespectsSizeCap) {
+  auto M = makeCallLoop(20);
+  OptimizationConfig C;
+  C.InlineFunctions = true;
+  C.MaxInlineInsnsAuto = 1; // Callee (4 instrs) exceeds the cap.
+  C.InlineCallCost = 20;
+  EXPECT_FALSE(runInline(*M, C));
+  EXPECT_EQ(countOpcode(*M->mainFunction(), Opcode::Call), 1u);
+}
+
+TEST(InlineTest, CallCostGatesProfitability) {
+  auto M = makeCallLoop(20);
+  OptimizationConfig C;
+  C.InlineFunctions = true;
+  C.MaxInlineInsnsAuto = 150;
+  C.InlineCallCost = 0; // 8*0 = 0: nothing is profitable.
+  EXPECT_FALSE(runInline(*M, C));
+}
+
+TEST(InlineTest, DisabledFlagIsNoOp) {
+  auto M = makeCallLoop(5);
+  OptimizationConfig C; // InlineFunctions = false.
+  EXPECT_FALSE(runInline(*M, C));
+}
+
+// ------------------------------------------------------------------- Pipeline
+struct PipelineCase {
+  const char *Name;
+  OptimizationConfig Config;
+};
+
+class PipelineEquivalenceTest
+    : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquivalenceTest, AllProgramsBehaveIdentically) {
+  const OptimizationConfig &C = GetParam().Config;
+  struct Prog {
+    const char *Name;
+    std::unique_ptr<Module> (*Make)();
+  };
+  auto Cases = std::vector<std::pair<std::string,
+                                     std::function<std::unique_ptr<Module>()>>>{
+      {"sum", [] { return makeSumLoop(37); }},
+      {"arr", [] { return makeArraySum(41); }},
+      {"call", [] { return makeCallLoop(23); }},
+      {"branchy", [] { return makeBranchy(27, 80); }},
+      {"fp", [] { return makeFpKernel(29); }},
+      {"grid", [] { return makeNestedGrid(7, 9); }},
+  };
+  for (auto &[Name, Make] : Cases) {
+    auto RefM = Make();
+    auto Ref = Interpreter().run(*RefM);
+    auto M = Make();
+    runPassPipeline(*M, C);
+    ASSERT_TRUE(verifyModule(*M).empty())
+        << GetParam().Name << "/" << Name;
+    expectSameBehavior(Ref, Interpreter().run(*M),
+                       std::string(GetParam().Name) + "/" + Name);
+  }
+}
+
+OptimizationConfig allOn() {
+  OptimizationConfig C = OptimizationConfig::O3();
+  C.UnrollLoops = true;
+  C.MaxUnrollTimes = 6;
+  return C;
+}
+
+OptimizationConfig onlyFlag(int Which) {
+  OptimizationConfig C;
+  switch (Which) {
+  case 1:
+    C.InlineFunctions = true;
+    break;
+  case 2:
+    C.UnrollLoops = true;
+    break;
+  case 3:
+    C.ScheduleInsns2 = true;
+    break;
+  case 4:
+    C.LoopOptimize = true;
+    break;
+  case 5:
+    C.Gcse = true;
+    break;
+  case 6:
+    C.StrengthReduce = true;
+    break;
+  case 8:
+    C.ReorderBlocks = true;
+    break;
+  case 9:
+    C.PrefetchLoopArrays = true;
+    break;
+  }
+  return C;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineEquivalenceTest,
+    ::testing::Values(
+        PipelineCase{"O0", OptimizationConfig::O0()},
+        PipelineCase{"O2", OptimizationConfig::O2()},
+        PipelineCase{"O3", OptimizationConfig::O3()},
+        PipelineCase{"AllOn", allOn()},
+        PipelineCase{"OnlyInline", onlyFlag(1)},
+        PipelineCase{"OnlyUnroll", onlyFlag(2)},
+        PipelineCase{"OnlySched", onlyFlag(3)},
+        PipelineCase{"OnlyLoopOpt", onlyFlag(4)},
+        PipelineCase{"OnlyGcse", onlyFlag(5)},
+        PipelineCase{"OnlyStrength", onlyFlag(6)},
+        PipelineCase{"OnlyReorder", onlyFlag(8)},
+        PipelineCase{"OnlyPrefetch", onlyFlag(9)}),
+    [](const ::testing::TestParamInfo<PipelineCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+} // namespace
+
+namespace {
+
+// ------------------------------------------------- StrengthReduce + LFTR
+TEST(LftrTest, EliminatesInductionVariable) {
+  // Loop where the IV is used only for addressing and the exit test:
+  // after strength reduction + LFTR + DCE only the reduced recurrence
+  // should remain (one phi instead of two).
+  Module M("lftr");
+  GlobalVariable *G = M.createGlobal("a", 128 * 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(128), 1, "l");
+  B.storeElem(B.constInt(5), G, L.indVar(), MemKind::Int64);
+  L.finish();
+  B.ret(B.constInt(0));
+
+  auto CountPhis = [&]() {
+    unsigned N = 0;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        N += I->opcode() == Opcode::Phi;
+    return N;
+  };
+  runConstantFold(*F);
+  runDeadCodeElim(*F); // Drop the unused join phis first.
+  unsigned PhisBefore = CountPhis();
+  EXPECT_TRUE(runStrengthReduce(*F));
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // LFTR retargets the exit test onto the byte-offset recurrence, so the
+  // original IV dies: the phi count must not grow.
+  EXPECT_LE(CountPhis(), PhisBefore);
+  // And no multiply remains in the loop.
+  unsigned Muls = 0;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      Muls += I->opcode() == Opcode::Mul;
+  EXPECT_EQ(Muls, 0u);
+  InterpResult R = Interpreter().run(M);
+  ASSERT_FALSE(R.Trapped);
+}
+
+TEST(LftrTest, KeepsIvWhenUsedAfterLoop) {
+  // The IV's final value is returned: LFTR must not break it.
+  Module M("lftr2");
+  GlobalVariable *G = M.createGlobal("a", 64 * 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(0), B.constInt(50), 1, "l");
+  B.storeElem(L.indVar(), G, L.indVar(), MemKind::Int64);
+  L.finish();
+  B.ret(L.exitValue(L.indVar()));
+  int64_t Before = Interpreter().run(M).ReturnValue;
+  runStrengthReduce(*F);
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, Before);
+  EXPECT_EQ(Before, 50);
+}
+
+TEST(LftrTest, NegativeStrideSemanticsPreserved) {
+  Module M("lftr3");
+  GlobalVariable *G = M.createGlobal("a", 64 * 8);
+  Function *F = M.createFunction("main", Type::I64, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  LoopBuilder L(B, B.constInt(63), B.constInt(-1), -1, "down");
+  B.storeElem(B.constInt(9), G, L.indVar(), MemKind::Int64);
+  L.finish();
+  LoopBuilder L2(B, B.constInt(0), B.constInt(64), 1, "sum");
+  Value *Acc = L2.carried(B.constInt(0));
+  L2.setNext(Acc, B.add(Acc, B.loadElem(G, L2.indVar(), MemKind::Int64)));
+  L2.finish();
+  B.ret(L2.exitValue(Acc));
+  int64_t Before = Interpreter().run(M).ReturnValue;
+  EXPECT_EQ(Before, 64 * 9);
+  runStrengthReduce(*F);
+  runConstantFold(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_EQ(Interpreter().run(M).ReturnValue, Before);
+}
+
+} // namespace
+
+namespace {
+
+// ------------------------------------------------------------- IfConvert
+TEST(IfConvertTest, ConvertsDiamondToSelects) {
+  auto Make = [] { return makeBranchy(27, 80); };
+  auto Ref = Interpreter().run(*Make());
+  auto M = Make();
+  Function *F = M->mainFunction();
+  unsigned BranchesBefore = countOpcode(*F, Opcode::Br);
+  OptimizationConfig C;
+  C.IfConvert = true;
+  C.MaxIfConvertInsns = 8;
+  EXPECT_TRUE(runIfConvert(*F, C));
+  runConstantFold(*F);
+  runSimplifyCfg(*F);
+  runDeadCodeElim(*F);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // The odd/even diamond becomes selects; one conditional branch gone.
+  EXPECT_LT(countOpcode(*F, Opcode::Br), BranchesBefore);
+  EXPECT_GE(countOpcode(*F, Opcode::Select), 1u);
+  expectSameBehavior(Ref, Interpreter().run(*M), "ifconvert branchy");
+}
+
+TEST(IfConvertTest, RespectsSpeculationBudget) {
+  auto M = makeBranchy(27, 40);
+  Function *F = M->mainFunction();
+  OptimizationConfig C;
+  C.IfConvert = true;
+  C.MaxIfConvertInsns = 0; // Nothing may be speculated.
+  EXPECT_FALSE(runIfConvert(*F, C));
+}
+
+TEST(IfConvertTest, RefusesSideEffectingBlocks) {
+  // A diamond whose arms store to memory must NOT be converted
+  // (speculating a store is wrong).
+  Module M("ifc");
+  GlobalVariable *G = M.createGlobal("g", 16);
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *J = F->createBlock("j");
+  B.setInsertPoint(Entry);
+  B.br(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  B.store(B.constInt(1), G, MemKind::Int64);
+  B.jmp(J);
+  B.setInsertPoint(E);
+  B.store(B.constInt(2), G, MemKind::Int64);
+  B.jmp(J);
+  B.setInsertPoint(J);
+  B.ret(B.load(G, MemKind::Int64));
+  OptimizationConfig C;
+  C.IfConvert = true;
+  C.MaxIfConvertInsns = 12;
+  EXPECT_FALSE(runIfConvert(*F, C));
+}
+
+TEST(IfConvertTest, PreservesAllWorkloads) {
+  for (const WorkloadSpec &Spec : allWorkloads()) {
+    auto Ref = Interpreter().run(*Spec.Build(InputSet::Test));
+    auto M = Spec.Build(InputSet::Test);
+    OptimizationConfig C = OptimizationConfig::O2();
+    C.IfConvert = true;
+    C.MaxIfConvertInsns = 10;
+    runPassPipeline(*M, C);
+    ASSERT_TRUE(verifyModule(*M).empty()) << Spec.Name;
+    InterpResult Got = Interpreter().run(*M);
+    ASSERT_FALSE(Got.Trapped) << Spec.Name << ": " << Got.TrapMessage;
+    EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << Spec.Name;
+  }
+}
+
+// --------------------------------------------------------------- TailDup
+TEST(TailDupTest, DuplicatesSmallJoin) {
+  // Two paths converge on a tiny return block: tracing duplicates it.
+  Module M("td");
+  Function *F = M.createFunction("main", Type::I64, {Type::I64}, {"x"});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *J = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.br(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  Value *VT = B.add(F->arg(0), B.constInt(10));
+  B.jmp(J);
+  B.setInsertPoint(E);
+  Value *VE = B.mul(F->arg(0), B.constInt(3));
+  B.jmp(J);
+  B.setInsertPoint(J);
+  Instruction *Phi = B.phi(Type::I64);
+  Phi->addPhiIncoming(VT, T);
+  Phi->addPhiIncoming(VE, E);
+  B.emit(Phi);
+  B.ret(Phi);
+  ASSERT_TRUE(verifyModule(M).empty());
+
+  size_t BlocksBefore = F->blocks().size();
+  OptimizationConfig C;
+  C.Tracer = true;
+  C.TailDupInsns = 8;
+  EXPECT_TRUE(runTailDup(*F, C));
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  EXPECT_GT(F->blocks().size(), BlocksBefore);
+}
+
+TEST(TailDupTest, PreservesWorkloadSemantics) {
+  for (const char *Name : {"bzip2", "vpr", "mcf"}) {
+    auto Ref = Interpreter().run(*buildWorkload(Name, InputSet::Test));
+    auto M = buildWorkload(Name, InputSet::Test);
+    OptimizationConfig C = OptimizationConfig::O2();
+    C.Tracer = true;
+    C.TailDupInsns = 12;
+    runPassPipeline(*M, C);
+    ASSERT_TRUE(verifyModule(*M).empty()) << Name;
+    InterpResult Got = Interpreter().run(*M);
+    ASSERT_FALSE(Got.Trapped) << Name << ": " << Got.TrapMessage;
+    EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << Name;
+  }
+}
+
+TEST(TailDupTest, RespectsGrowthBudget) {
+  auto M = buildWorkload("bzip2", InputSet::Test);
+  Function *F = M->mainFunction();
+  OptimizationConfig C;
+  C.Tracer = true;
+  C.TailDupInsns = 0; // No block fits the budget.
+  EXPECT_FALSE(runTailDup(*F, C));
+}
+
+} // namespace
+
+namespace {
+
+TEST(PipelineVerifyTest, VerifyPassesKnobRunsCleanly) {
+  ::setenv("MSEM_VERIFY_PASSES", "1", 1);
+  auto M = makeCallLoop(10);
+  OptimizationConfig C = OptimizationConfig::O3();
+  C.UnrollLoops = true;
+  runPassPipeline(*M, C); // Would fatalError on any verifier breakage.
+  ::unsetenv("MSEM_VERIFY_PASSES");
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+} // namespace

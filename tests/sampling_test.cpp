@@ -1,0 +1,145 @@
+//===- tests/sampling_test.cpp - SMARTS sampling tests -------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "opt/Passes.h"
+#include "sampling/Smarts.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace msem;
+using namespace msem::testing;
+
+namespace {
+
+MachineProgram compileO2(Module &M) {
+  OptimizationConfig C = OptimizationConfig::O2();
+  runPassPipeline(M, C);
+  CodeGenOptions Opts;
+  Opts.PostRaSchedule = true;
+  return compileToProgram(M, Opts);
+}
+
+TEST(SmartsTest, EstimateTracksDetailedSimulation) {
+  auto M = makeNestedGrid(192, 192); // ~1M+ dynamic instructions.
+  MachineProgram Prog = compileO2(*M);
+  MachineConfig Cfg = MachineConfig::typical();
+
+  SimulationResult Full = simulateDetailed(Prog, Cfg);
+  ASSERT_FALSE(Full.Exec.Trapped);
+
+  SmartsConfig SC;
+  SC.WindowSize = 1000;
+  SC.SamplingInterval = 10; // Denser than the paper: short program.
+  SmartsResult Sampled = simulateSmarts(Prog, Cfg, SC);
+  ASSERT_FALSE(Sampled.Exec.Trapped);
+  EXPECT_FALSE(Sampled.FellBackToDetailed);
+  EXPECT_GT(Sampled.MeasuredWindows, 20u);
+
+  double Rel = std::fabs(static_cast<double>(Sampled.EstimatedCycles) -
+                         static_cast<double>(Full.Cycles)) /
+               static_cast<double>(Full.Cycles);
+  EXPECT_LT(Rel, 0.05) << "sampled=" << Sampled.EstimatedCycles
+                       << " full=" << Full.Cycles;
+}
+
+TEST(SmartsTest, SamplesFractionOfInstructions) {
+  auto M = makeNestedGrid(128, 128);
+  MachineProgram Prog = compileO2(*M);
+  SmartsConfig SC;
+  SC.WindowSize = 500;
+  SC.SamplingInterval = 20;
+  SmartsResult R = simulateSmarts(Prog, MachineConfig::typical(), SC);
+  ASSERT_FALSE(R.Exec.Trapped);
+  // Detailed portion ~ (1 warmup + 1 measured)/20 = 10%; sampled counter
+  // only counts measured windows ~5%.
+  EXPECT_LT(static_cast<double>(R.SampledInstructions),
+            0.2 * static_cast<double>(R.TotalInstructions));
+  EXPECT_GT(R.SampledInstructions, 0u);
+}
+
+TEST(SmartsTest, ReportsErrorBound) {
+  auto M = makeNestedGrid(128, 128);
+  MachineProgram Prog = compileO2(*M);
+  SmartsConfig SC;
+  SC.WindowSize = 500;
+  SC.SamplingInterval = 10;
+  SmartsResult R = simulateSmarts(Prog, MachineConfig::typical(), SC);
+  EXPECT_GT(R.RelativeErrorBound, 0.0);
+  EXPECT_LT(R.RelativeErrorBound, 1.0);
+}
+
+TEST(SmartsTest, ShortProgramFallsBackToDetailed) {
+  auto M = makeSumLoop(10);
+  MachineProgram Prog = compileO2(*M);
+  SmartsConfig SC; // Interval 1000 x window 1000 >> program length.
+  SmartsResult R = simulateSmarts(Prog, MachineConfig::typical(), SC);
+  EXPECT_TRUE(R.FellBackToDetailed);
+  EXPECT_GT(R.EstimatedCycles, 0u);
+}
+
+TEST(SmartsTest, ArchitecturalBehaviorUnchanged) {
+  auto RefM = makeBranchy(23, 30000);
+  InterpResult Ref = Interpreter().run(*RefM);
+  auto M = makeBranchy(23, 30000);
+  MachineProgram Prog = compileO2(*M);
+  SmartsConfig SC;
+  SC.WindowSize = 200;
+  SC.SamplingInterval = 5;
+  SmartsResult R = simulateSmarts(Prog, MachineConfig::constrained(), SC);
+  EXPECT_EQ(R.Exec.ReturnValue, Ref.ReturnValue);
+}
+
+TEST(SmartsTest, DenserSamplingTightensBound) {
+  auto M = makeNestedGrid(160, 160);
+  MachineProgram Prog = compileO2(*M);
+  SmartsConfig Sparse;
+  Sparse.WindowSize = 500;
+  Sparse.SamplingInterval = 40;
+  SmartsConfig Dense = Sparse;
+  Dense.SamplingInterval = 5;
+  SmartsResult RSparse =
+      simulateSmarts(Prog, MachineConfig::typical(), Sparse);
+  SmartsResult RDense =
+      simulateSmarts(Prog, MachineConfig::typical(), Dense);
+  ASSERT_FALSE(RSparse.FellBackToDetailed);
+  ASSERT_FALSE(RDense.FellBackToDetailed);
+  EXPECT_GT(RDense.MeasuredWindows, RSparse.MeasuredWindows);
+}
+
+} // namespace
+
+namespace {
+
+TEST(SmartsTest, FunctionalWarmingImprovesEstimate) {
+  // The defining SMARTS property: with warming off, detailed windows open
+  // on stale cache/predictor state and the CPI estimate degrades.
+  auto M = makeNestedGrid(160, 160);
+  MachineProgram Prog = compileO2(*M);
+  MachineConfig Cfg = MachineConfig::typical();
+  Cfg.DcacheBytes = 8 * 1024; // Make cache state matter.
+  SimulationResult Full = simulateDetailed(Prog, Cfg);
+
+  SmartsConfig Warm;
+  Warm.WindowSize = 500;
+  Warm.SamplingInterval = 20;
+  SmartsConfig Cold = Warm;
+  Cold.FunctionalWarming = false;
+
+  auto RelErr = [&](const SmartsResult &R) {
+    return std::fabs(static_cast<double>(R.EstimatedCycles) -
+                     static_cast<double>(Full.Cycles)) /
+           static_cast<double>(Full.Cycles);
+  };
+  SmartsResult RWarm = simulateSmarts(Prog, Cfg, Warm);
+  SmartsResult RCold = simulateSmarts(Prog, Cfg, Cold);
+  ASSERT_FALSE(RWarm.FellBackToDetailed);
+  ASSERT_FALSE(RCold.FellBackToDetailed);
+  EXPECT_LE(RelErr(RWarm), RelErr(RCold) + 1e-9)
+      << "warm " << RWarm.EstimatedCycles << " cold "
+      << RCold.EstimatedCycles << " full " << Full.Cycles;
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/search_test.cpp - Genetic search tests -------------------------------===//
+
+#include "search/GeneticSearch.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// A model with a known optimum over the compiler subspace.
+class QuadraticModel : public Model {
+public:
+  void train(const Matrix &, const std::vector<double> &) override {}
+  double predict(const std::vector<double> &X) const override {
+    // Minimized when x0=-1 (flag off), x1=+1 (flag on), x9=0.4,
+    // x12=-0.2; the frozen machine vars contribute a constant shift.
+    double V = 100;
+    V += 5 * (X[0] + 1) * (X[0] + 1);
+    V += 5 * (X[1] - 1) * (X[1] - 1);
+    V += 10 * (X[9] - 0.4) * (X[9] - 0.4);
+    V += 10 * (X[12] + 0.2) * (X[12] + 0.2);
+    V += 2 * X[14]; // Machine coordinate: frozen during search.
+    return V;
+  }
+  std::string name() const override { return "quad"; }
+};
+
+TEST(GaTest, FindsKnownOptimum) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::typical());
+  GaOptions Opts;
+  Opts.Generations = 60;
+  GaResult R = searchOptimalSettings(M, S, Frozen, Opts);
+
+  EXPECT_EQ(R.BestPoint[0], 0); // Flag 1 off.
+  EXPECT_EQ(R.BestPoint[1], 1); // Flag 2 on.
+  // Heuristic 10 (max-inline-insns-auto, 50..150): encoded 0.4 -> 120.
+  EXPECT_NEAR(static_cast<double>(R.BestPoint[9]), 120.0, 10.0);
+  // Heuristic 13 (max-unroll-times 4..12): encoded -0.2 -> ~7.
+  EXPECT_NEAR(static_cast<double>(R.BestPoint[12]), 7.0, 1.0);
+}
+
+TEST(GaTest, FrozenMachineCoordinatesUntouched) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::aggressive());
+  GaResult R = searchOptimalSettings(M, S, Frozen);
+  EXPECT_EQ(S.toMachineConfig(R.BestPoint), MachineConfig::aggressive());
+}
+
+TEST(GaTest, DeterministicForSeed) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::typical());
+  GaOptions Opts;
+  Opts.Seed = 1234;
+  GaResult A = searchOptimalSettings(M, S, Frozen, Opts);
+  GaResult B = searchOptimalSettings(M, S, Frozen, Opts);
+  EXPECT_EQ(A.BestPoint, B.BestPoint);
+  EXPECT_DOUBLE_EQ(A.PredictedResponse, B.PredictedResponse);
+}
+
+TEST(GaTest, BeatsRandomSearchOfSameBudget) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::typical());
+  GaOptions Opts;
+  Opts.Population = 30;
+  Opts.Generations = 30;
+  GaResult Ga = searchOptimalSettings(M, S, Frozen, Opts);
+
+  // Random search with the same number of evaluations.
+  Rng R(777);
+  double RandomBest = 1e300;
+  for (int I = 0; I < 30 * 30; ++I) {
+    DesignPoint P = S.randomPoint(R);
+    S.freezeMachine(P, S.toMachineConfig(Frozen));
+    RandomBest = std::min(RandomBest, M.predict(S.encode(P)));
+  }
+  EXPECT_LE(Ga.PredictedResponse, RandomBest + 1e-9);
+}
+
+TEST(GaTest, MoreGenerationsNeverWorse) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::typical());
+  GaOptions Short;
+  Short.Generations = 3;
+  Short.Seed = 99;
+  GaOptions Long = Short;
+  Long.Generations = 50;
+  double ShortBest =
+      searchOptimalSettings(M, S, Frozen, Short).PredictedResponse;
+  double LongBest =
+      searchOptimalSettings(M, S, Frozen, Long).PredictedResponse;
+  EXPECT_LE(LongBest, ShortBest + 1e-9);
+}
+
+} // namespace
+
+namespace {
+
+TEST(GaTest, EarlyStopTerminatesSooner) {
+  ParameterSpace S = ParameterSpace::paperSpace();
+  QuadraticModel M;
+  DesignPoint Frozen = S.fromConfigs(OptimizationConfig::O2(),
+                                     MachineConfig::typical());
+  GaOptions Patient;
+  Patient.Generations = 200;
+  Patient.StallGenerations = 0; // Disabled: must run all generations.
+  GaOptions Impatient = Patient;
+  Impatient.StallGenerations = 5;
+  GaResult RPatient = searchOptimalSettings(M, S, Frozen, Patient);
+  GaResult RImpatient = searchOptimalSettings(M, S, Frozen, Impatient);
+  EXPECT_EQ(RPatient.GenerationsRun, 200);
+  EXPECT_LT(RImpatient.GenerationsRun, 200);
+  // Early stopping must not cost solution quality on this easy surface.
+  EXPECT_NEAR(RImpatient.PredictedResponse, RPatient.PredictedResponse,
+              1.0);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/support_test.cpp - Support library tests -------------------------===//
+
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace msem;
+
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng R(11);
+  OnlineStats S;
+  for (int I = 0; I < 100000; ++I)
+    S.add(R.uniform());
+  EXPECT_NEAR(S.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, IntInRangeCoversEndpoints) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.intInRange(2, 5);
+    EXPECT_GE(V, 2);
+    EXPECT_LE(V, 5);
+    SawLo |= V == 2;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng R(42);
+  OnlineStats S;
+  for (int I = 0; I < 100000; ++I)
+    S.add(R.normal());
+  EXPECT_NEAR(S.mean(), 0.0, 0.02);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(5);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  auto Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng R(9);
+  Rng Child = R.split();
+  // Child and parent produce different sequences.
+  EXPECT_NE(R.next(), Child.next());
+}
+
+TEST(OnlineStatsTest, MatchesBatchFormulas) {
+  std::vector<double> Data{1.0, 2.5, -3.0, 4.25, 0.5};
+  OnlineStats S;
+  for (double X : Data)
+    S.add(X);
+  EXPECT_NEAR(S.mean(), mean(Data), 1e-12);
+  EXPECT_NEAR(S.stddev(), stddev(Data), 1e-12);
+  EXPECT_EQ(S.count(), Data.size());
+}
+
+TEST(OnlineStatsTest, MergeEqualsCombined) {
+  Rng R(77);
+  OnlineStats A, B, All;
+  for (int I = 0; I < 500; ++I) {
+    double X = R.normal(3.0, 2.0);
+    (I % 2 ? A : B).add(X);
+    All.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> V{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 25);
+}
+
+TEST(StatisticsTest, ZValuesMatchTables) {
+  EXPECT_NEAR(zValueForConfidence(0.95), 1.96, 0.001);
+  EXPECT_NEAR(zValueForConfidence(0.99), 2.576, 0.001);
+  EXPECT_NEAR(zValueForConfidence(0.997), 2.968, 0.001);
+  // Arbitrary level via the approximation.
+  EXPECT_NEAR(zValueForConfidence(0.80), 1.2816, 0.01);
+}
+
+TEST(StatisticsTest, ErrorMetrics) {
+  std::vector<double> Actual{100, 200};
+  std::vector<double> Pred{110, 180};
+  EXPECT_NEAR(meanAbsolutePercentError(Actual, Pred), 10.0, 1e-9);
+  EXPECT_NEAR(rootMeanSquaredError(Actual, Pred),
+              std::sqrt((100.0 + 400.0) / 2.0), 1e-9);
+  EXPECT_GT(rSquared(Actual, Pred), 0.5);
+  EXPECT_NEAR(rSquared(Actual, Actual), 1.0, 1e-12);
+}
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+}
+
+TEST(FormatTest, JoinAndSplit) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ","), "a,b,c");
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(trimString("  hi \n"), "hi");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"Name", "Value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22222"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(Out.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(EnvTest, DefaultsAndParses) {
+  ::unsetenv("MSEM_TEST_KNOB");
+  EXPECT_EQ(getEnvInt("MSEM_TEST_KNOB", 7), 7);
+  ::setenv("MSEM_TEST_KNOB", "42", 1);
+  EXPECT_EQ(getEnvInt("MSEM_TEST_KNOB", 7), 42);
+  ::setenv("MSEM_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(getEnvDouble("MSEM_TEST_KNOB", 0.0), 2.5);
+  ::setenv("MSEM_TEST_KNOB", "abc", 1);
+  EXPECT_EQ(getEnvInt("MSEM_TEST_KNOB", 7), 7);
+  EXPECT_EQ(getEnvString("MSEM_TEST_KNOB", ""), "abc");
+  ::unsetenv("MSEM_TEST_KNOB");
+}
+
+} // namespace

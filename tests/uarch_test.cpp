@@ -1,0 +1,342 @@
+//===- tests/uarch_test.cpp - Cache/predictor/core timing tests ----------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "opt/Passes.h"
+#include "tests/TestPrograms.h"
+#include "uarch/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+using namespace msem::testing;
+
+namespace {
+
+// ----------------------------------------------------------------- Cache unit
+TEST(CacheTest, HitAfterFill) {
+  Cache C(1024, 1, 32);
+  EXPECT_FALSE(C.access(0x100, false)); // Cold miss.
+  EXPECT_TRUE(C.access(0x100, false));  // Hit.
+  EXPECT_TRUE(C.access(0x11F, false));  // Same 32B line.
+  EXPECT_FALSE(C.access(0x120, false)); // Next line.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(CacheTest, DirectMappedConflict) {
+  // 1KB direct mapped, 32B lines -> 32 sets; addresses 1KB apart conflict.
+  Cache C(1024, 1, 32);
+  C.access(0x0, false);
+  C.access(0x400, false); // Evicts 0x0.
+  EXPECT_FALSE(C.access(0x0, false));
+}
+
+TEST(CacheTest, TwoWayAvoidsPingPong) {
+  Cache C(1024, 2, 32);
+  C.access(0x0, false);
+  C.access(0x400, false);
+  EXPECT_TRUE(C.access(0x0, false));
+  EXPECT_TRUE(C.access(0x400, false));
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  Cache C(1024, 2, 32); // 16 sets; 0x0, 0x200(?)... use set 0: 0x0,0x200*?
+  // Set index = (addr/32) % 16. Addresses 0x0, 0x200, 0x400 share set 0.
+  C.access(0x0, false);
+  C.access(0x200, false);
+  C.access(0x0, false);   // Refresh 0x0; LRU is 0x200.
+  C.access(0x400, false); // Evicts 0x200.
+  EXPECT_TRUE(C.probe(0x0));
+  EXPECT_FALSE(C.probe(0x200));
+  EXPECT_TRUE(C.probe(0x400));
+}
+
+TEST(CacheTest, DirtyEvictionReported) {
+  Cache C(1024, 1, 32);
+  C.access(0x0, true); // Dirty fill.
+  bool Dirty = false;
+  C.access(0x400, false, &Dirty); // Evicts dirty 0x0.
+  EXPECT_TRUE(Dirty);
+}
+
+// ----------------------------------------------------------- MemoryHierarchy
+TEST(HierarchyTest, LatencyComposition) {
+  MachineConfig Cfg = MachineConfig::typical(); // dl1 2, l2 10, mem 100.
+  MemoryHierarchy H(Cfg);
+  // Cold miss: dl1 + l2 + mem (plus possible bus wait, none here).
+  uint64_t Ready = H.accessData(0x10000, false, false, 1000);
+  EXPECT_EQ(Ready, 1000 + 2 + 10 + 100);
+  // Now everything is cached: dl1 hit.
+  EXPECT_EQ(H.accessData(0x10000, false, false, 2000), 2000 + 2);
+  EXPECT_EQ(H.stats().DcacheMisses, 1u);
+  EXPECT_EQ(H.stats().L2Misses, 1u);
+}
+
+TEST(HierarchyTest, L2HitSkipsMemory) {
+  MachineConfig Cfg = MachineConfig::typical();
+  MemoryHierarchy H(Cfg);
+  H.accessData(0x20000, false, false, 0); // Fill both levels.
+  // Evict from tiny... instead use a second address mapping to a different
+  // dl1 set is hard to force; use touch of a conflicting dl1 line: dl1 is
+  // 32KB direct-mapped -> lines 32KB apart conflict, but L2 (1MB) keeps
+  // both.
+  H.accessData(0x20000 + 32 * 1024, false, false, 0);
+  uint64_t Ready = H.accessData(0x20000, false, false, 5000);
+  EXPECT_EQ(Ready, 5000 + 2 + 10); // dl1 miss, L2 hit.
+}
+
+TEST(HierarchyTest, BusContentionSerializes) {
+  MachineConfig Cfg = MachineConfig::typical();
+  MemoryHierarchy H(Cfg);
+  // Two simultaneous cold misses: the second waits for the bus.
+  uint64_t R1 = H.accessData(0x100000, false, false, 0);
+  uint64_t R2 = H.accessData(0x200000, false, false, 0);
+  EXPECT_GT(R2, R1 - Cfg.MemoryLatency + MachineConfig::MemoryBusOccupancy -
+                    1);
+  EXPECT_GT(R2, R1); // Strictly later due to bus occupancy.
+}
+
+TEST(HierarchyTest, WarmingTouchFillsWithoutTiming) {
+  MachineConfig Cfg = MachineConfig::typical();
+  MemoryHierarchy H(Cfg);
+  H.touchData(0x30000, false);
+  EXPECT_EQ(H.accessData(0x30000, false, false, 100), 100 + 2); // Warm hit.
+}
+
+// ------------------------------------------------------------ BranchPredictor
+TEST(PredictorTest, BimodalLearnsBias) {
+  BimodalPredictor P(512);
+  for (int I = 0; I < 10; ++I)
+    P.update(0x40, true);
+  EXPECT_TRUE(P.predict(0x40));
+  for (int I = 0; I < 20; ++I)
+    P.update(0x40, false);
+  EXPECT_FALSE(P.predict(0x40));
+}
+
+TEST(PredictorTest, TwoLevelLearnsAlternation) {
+  // Strict alternation defeats bimodal but is captured by global history.
+  TwoLevelPredictor P(4096);
+  bool Dir = false;
+  int Correct = 0;
+  for (int I = 0; I < 2000; ++I) {
+    Dir = !Dir;
+    if (I > 1000 && P.predict(0x80) == Dir)
+      ++Correct;
+    P.update(0x80, Dir);
+  }
+  EXPECT_GT(Correct, 900); // Near-perfect after warm-up.
+}
+
+TEST(PredictorTest, CombinedTracksBetterComponent) {
+  CombinedPredictor P(2048, 8);
+  bool Dir = false;
+  int Correct = 0;
+  for (int I = 0; I < 4000; ++I) {
+    Dir = !Dir;
+    if (I > 2000 && P.predictConditional(0x80) == Dir)
+      ++Correct;
+    P.updateConditional(0x80, Dir);
+  }
+  EXPECT_GT(Correct, 1800);
+}
+
+TEST(PredictorTest, ReturnStackPredictsNestedReturns) {
+  CombinedPredictor P(512, 8);
+  P.pushReturn(100);
+  P.pushReturn(200);
+  EXPECT_TRUE(P.predictReturn(200));
+  EXPECT_TRUE(P.predictReturn(100));
+  EXPECT_FALSE(P.predictReturn(300)); // Stack empty/garbage.
+}
+
+// ------------------------------------------------------------- Detailed core
+MachineProgram compile(Module &M,
+                       OptimizationConfig C = OptimizationConfig::O2()) {
+  runPassPipeline(M, C);
+  CodeGenOptions Opts;
+  Opts.OmitFramePointer = C.OmitFramePointer;
+  Opts.PostRaSchedule = C.ScheduleInsns2;
+  return compileToProgram(M, Opts);
+}
+
+TEST(CoreTest, ProducesPlausibleCpi) {
+  auto M = makeArraySum(4096);
+  MachineProgram Prog = compile(*M);
+  SimulationResult R = simulateDetailed(Prog, MachineConfig::typical());
+  ASSERT_FALSE(R.Exec.Trapped) << R.Exec.TrapMessage;
+  EXPECT_GT(R.Cycles, 0u);
+  double Cpi = R.cpi();
+  EXPECT_GT(Cpi, 0.25); // Cannot beat issue width 4.
+  EXPECT_LT(Cpi, 30.0); // Sanity upper bound.
+}
+
+TEST(CoreTest, ArchitecturalResultsUnaffectedByTiming) {
+  auto M = makeBranchy(27, 500);
+  InterpResult Ref = Interpreter().run(*M);
+  MachineProgram Prog = compile(*M);
+  SimulationResult R = simulateDetailed(Prog, MachineConfig::constrained());
+  EXPECT_EQ(R.Exec.ReturnValue, Ref.ReturnValue);
+}
+
+TEST(CoreTest, WiderIssueIsNotSlower) {
+  auto M = makeFpKernel(2048);
+  MachineProgram Prog = compile(*M);
+  MachineConfig Narrow = MachineConfig::typical();
+  Narrow.IssueWidth = 2;
+  MachineConfig Wide = MachineConfig::typical();
+  Wide.IssueWidth = 4;
+  uint64_t CyclesNarrow = simulateDetailed(Prog, Narrow).Cycles;
+  uint64_t CyclesWide = simulateDetailed(Prog, Wide).Cycles;
+  EXPECT_LE(CyclesWide, CyclesNarrow);
+}
+
+TEST(CoreTest, LargerDcacheHelpsBigArrays) {
+  // A 64KB array swept repeatedly: reuse misses in an 8KB cache, hits in a
+  // 128KB one (streaming-only workloads see no difference -- reuse is what
+  // cache capacity buys).
+  Module M0("sweep");
+  constexpr int64_t N = 8192; // 64KB of i64.
+  GlobalVariable *G = M0.createGlobal("buf", N * 8);
+  Function *F = M0.createFunction("main", Type::I64, {});
+  IRBuilder B(M0);
+  B.setInsertPoint(F->createBlock("entry"));
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "fill");
+    B.storeElem(L.indVar(), G, L.indVar(), MemKind::Int64);
+    L.finish();
+  }
+  LoopBuilder Passes(B, B.constInt(0), B.constInt(6), 1, "pass");
+  Value *Acc0 = Passes.carried(B.constInt(0));
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "sum");
+  Value *Acc = L.carried(Acc0);
+  L.setNext(Acc, B.add(Acc, B.loadElem(G, L.indVar(), MemKind::Int64)));
+  L.finish();
+  Passes.setNext(Acc0, L.exitValue(Acc));
+  Passes.finish();
+  B.ret(Passes.exitValue(Acc0));
+  MachineProgram Prog = compile(M0);
+  MachineConfig Small = MachineConfig::typical();
+  Small.DcacheBytes = 8 * 1024;
+  MachineConfig Big = MachineConfig::typical();
+  Big.DcacheBytes = 128 * 1024;
+  SimulationResult RS = simulateDetailed(Prog, Small);
+  SimulationResult RB = simulateDetailed(Prog, Big);
+  EXPECT_LT(RB.Memory.DcacheMisses, RS.Memory.DcacheMisses);
+  EXPECT_LT(RB.Cycles, RS.Cycles);
+}
+
+TEST(CoreTest, MemoryLatencyHurts) {
+  auto M = makeNestedGrid(256, 256);
+  MachineProgram Prog = compile(*M);
+  MachineConfig Fast = MachineConfig::typical();
+  Fast.MemoryLatency = 50;
+  Fast.L2Bytes = 256 * 1024; // Force memory traffic.
+  MachineConfig Slow = Fast;
+  Slow.MemoryLatency = 150;
+  EXPECT_LT(simulateDetailed(Prog, Fast).Cycles,
+            simulateDetailed(Prog, Slow).Cycles);
+}
+
+TEST(CoreTest, BiggerPredictorReducesMispredicts) {
+  auto M = makeBranchy(29, 20000);
+  MachineProgram Prog = compile(*M);
+  MachineConfig Small = MachineConfig::typical();
+  Small.BranchPredictorSize = 512;
+  MachineConfig Big = MachineConfig::typical();
+  Big.BranchPredictorSize = 8192;
+  SimulationResult RS = simulateDetailed(Prog, Small);
+  SimulationResult RB = simulateDetailed(Prog, Big);
+  EXPECT_LE(RB.BranchMispredicts, RS.BranchMispredicts);
+}
+
+TEST(CoreTest, RuuSizeBoundsIlp) {
+  auto M = makeFpKernel(4096);
+  MachineProgram Prog = compile(*M);
+  MachineConfig Tiny = MachineConfig::typical();
+  Tiny.RuuSize = 16;
+  MachineConfig Huge = MachineConfig::typical();
+  Huge.RuuSize = 128;
+  EXPECT_LE(simulateDetailed(Prog, Huge).Cycles,
+            simulateDetailed(Prog, Tiny).Cycles);
+}
+
+TEST(CoreTest, StatsAreConsistent) {
+  auto M = makeCallLoop(200);
+  MachineProgram Prog = compile(*M);
+  SimulationResult R = simulateDetailed(Prog, MachineConfig::typical());
+  EXPECT_EQ(R.Pipeline.Instructions, R.Exec.InstructionsExecuted);
+  EXPECT_GE(R.Pipeline.Branches, 200u); // At least the loop back edges.
+  EXPECT_GE(R.BranchLookups, R.BranchMispredicts);
+  EXPECT_GT(R.Pipeline.Loads, 0u);
+  EXPECT_GT(R.Pipeline.Stores, 0u);
+}
+
+} // namespace
+
+#include "uarch/EnergyModel.h"
+
+namespace {
+
+TEST(EnergyModelTest, ScalesWithWorkAndCapacity) {
+  auto M1 = makeArraySum(512);
+  MachineProgram P1 = compile(*M1);
+  MachineConfig Typ = MachineConfig::typical();
+  SimulationResult RSmallWork = simulateDetailed(P1, Typ);
+
+  auto M2 = makeArraySum(4096);
+  MachineProgram P2 = compile(*M2);
+  SimulationResult RBigWork = simulateDetailed(P2, Typ);
+
+  double ESmall = estimateEnergyNanojoules(RSmallWork, Typ);
+  double EBig = estimateEnergyNanojoules(RBigWork, Typ);
+  EXPECT_GT(ESmall, 0);
+  EXPECT_GT(EBig, ESmall); // More instructions, more energy.
+
+  // Same run costed against a larger-capacity machine leaks more.
+  MachineConfig BigCaches = Typ;
+  BigCaches.L2Bytes = 8 * 1024 * 1024;
+  EXPECT_GT(estimateEnergyNanojoules(RBigWork, BigCaches), EBig);
+}
+
+TEST(EnergyModelTest, CacheTrafficCostsEnergy) {
+  // The same program with a thrashing dcache burns more energy in the
+  // L2/bus than with a big one (miss overheads + transfers), even though
+  // leakage is lower.
+  Module M0("sweep2");
+  constexpr int64_t N = 8192;
+  GlobalVariable *G = M0.createGlobal("buf", N * 8);
+  Function *F = M0.createFunction("main", Type::I64, {});
+  IRBuilder B(M0);
+  B.setInsertPoint(F->createBlock("entry"));
+  {
+    LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "fill");
+    B.storeElem(L.indVar(), G, L.indVar(), MemKind::Int64);
+    L.finish();
+  }
+  LoopBuilder Passes(B, B.constInt(0), B.constInt(6), 1, "pass");
+  Value *Acc0 = Passes.carried(B.constInt(0));
+  LoopBuilder L(B, B.constInt(0), B.constInt(N), 1, "sum");
+  Value *Acc = L.carried(Acc0);
+  L.setNext(Acc, B.add(Acc, B.loadElem(G, L.indVar(), MemKind::Int64)));
+  L.finish();
+  Passes.setNext(Acc0, L.exitValue(Acc));
+  Passes.finish();
+  B.ret(Passes.exitValue(Acc0));
+  MachineProgram Prog = compile(M0);
+
+  MachineConfig Small = MachineConfig::typical();
+  Small.DcacheBytes = 8 * 1024;
+  SimulationResult RS = simulateDetailed(Prog, Small);
+  MachineConfig Big = Small;
+  Big.DcacheBytes = 128 * 1024;
+  SimulationResult RB = simulateDetailed(Prog, Big);
+  ASSERT_GT(RS.Memory.DcacheMisses, RB.Memory.DcacheMisses);
+  // Compare on the SAME config constants (isolate the traffic term) by
+  // costing both runs against the small config.
+  double ETrafficHeavy = estimateEnergyNanojoules(RS, Small);
+  double ETrafficLight = estimateEnergyNanojoules(RB, Small);
+  EXPECT_GT(ETrafficHeavy, ETrafficLight);
+}
+
+} // namespace

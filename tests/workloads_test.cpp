@@ -1,0 +1,137 @@
+//===- tests/workloads_test.cpp - SPEC-archetype workload tests ----------------===//
+//
+// Every workload must: verify, run deterministically in the interpreter,
+// and behave identically when compiled at various optimization levels and
+// executed as machine code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "isa/Executor.h"
+#include "opt/Passes.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace msem;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadTest, VerifiesAndRunsDeterministically) {
+  auto M1 = buildWorkload(GetParam(), InputSet::Test);
+  ASSERT_TRUE(verifyModule(*M1).empty());
+  InterpResult R1 = Interpreter().run(*M1);
+  ASSERT_FALSE(R1.Trapped) << R1.TrapMessage;
+  EXPECT_FALSE(R1.Output.empty());
+
+  auto M2 = buildWorkload(GetParam(), InputSet::Test);
+  InterpResult R2 = Interpreter().run(*M2);
+  EXPECT_EQ(R1.ReturnValue, R2.ReturnValue);
+  EXPECT_GT(R1.InstructionsExecuted, 10000u)
+      << "workload too small to be a meaningful benchmark";
+}
+
+TEST_P(WorkloadTest, CompiledO0MatchesInterpreter) {
+  auto M = buildWorkload(GetParam(), InputSet::Test);
+  InterpResult Ref = Interpreter().run(*M);
+  MachineProgram Prog = compileToProgram(*M, CodeGenOptions());
+  ExecResult Got = Executor(Prog).runToCompletion();
+  ASSERT_FALSE(Got.Trapped) << Got.TrapMessage;
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue);
+  ASSERT_EQ(Ref.Output.size(), Got.Output.size());
+  for (size_t I = 0; I < Ref.Output.size(); ++I)
+    EXPECT_TRUE(Ref.Output[I] == Got.Output[I]);
+}
+
+TEST_P(WorkloadTest, CompiledEverythingOnMatchesInterpreter) {
+  auto Ref = Interpreter().run(*buildWorkload(GetParam(), InputSet::Test));
+  auto M = buildWorkload(GetParam(), InputSet::Test);
+  OptimizationConfig C = OptimizationConfig::O3();
+  C.UnrollLoops = true;
+  C.MaxUnrollTimes = 6;
+  runPassPipeline(*M, C);
+  ASSERT_TRUE(verifyModule(*M).empty());
+  CodeGenOptions Opts;
+  Opts.OmitFramePointer = true;
+  Opts.PostRaSchedule = true;
+  MachineProgram Prog = compileToProgram(*M, Opts);
+  ExecResult Got = Executor(Prog).runToCompletion();
+  ASSERT_FALSE(Got.Trapped) << Got.TrapMessage;
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue);
+}
+
+TEST_P(WorkloadTest, OptimizationPreservesBehaviorPerFlag) {
+  auto Ref = Interpreter().run(*buildWorkload(GetParam(), InputSet::Test));
+  for (int Flag = 0; Flag < 4; ++Flag) {
+    auto M = buildWorkload(GetParam(), InputSet::Test);
+    OptimizationConfig C;
+    switch (Flag) {
+    case 0:
+      C.InlineFunctions = true;
+      break;
+    case 1:
+      C.UnrollLoops = true;
+      C.MaxUnrollTimes = 4;
+      break;
+    case 2:
+      C.Gcse = true;
+      C.StrengthReduce = true;
+      break;
+    case 3:
+      C.LoopOptimize = true;
+      C.PrefetchLoopArrays = true;
+      break;
+    }
+    runPassPipeline(*M, C);
+    ASSERT_TRUE(verifyModule(*M).empty()) << "flag set " << Flag;
+    InterpResult Got = Interpreter().run(*M);
+    ASSERT_FALSE(Got.Trapped) << Got.TrapMessage;
+    EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue) << "flag set " << Flag;
+  }
+}
+
+TEST_P(WorkloadTest, TrainInputIsLargerThanTest) {
+  auto MT = buildWorkload(GetParam(), InputSet::Test);
+  auto MTr = buildWorkload(GetParam(), InputSet::Train);
+  InterpResult RT = Interpreter().run(*MT);
+  InterpResult RTr = Interpreter().run(*MTr);
+  ASSERT_FALSE(RTr.Trapped) << RTr.TrapMessage;
+  EXPECT_GT(RTr.InstructionsExecuted, RT.InstructionsExecuted);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::Values("gzip", "vpr", "mesa", "art",
+                                           "mcf", "vortex", "bzip2"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(WorkloadRegistryTest, HasSevenPaperBenchmarks) {
+  const auto &All = allWorkloads();
+  ASSERT_EQ(All.size(), 7u);
+  EXPECT_EQ(All[0].PaperName, "164.gzip-graphic");
+  EXPECT_EQ(All[4].Name, "mcf");
+}
+
+TEST(WorkloadScaleTest, InstructionCountsAreBenchmarkSized) {
+  // Log dynamic sizes (documenting the scales used by the benches).
+  for (const WorkloadSpec &Spec : allWorkloads()) {
+    auto M = Spec.Build(InputSet::Train);
+    InterpResult R = Interpreter().run(*M);
+    ASSERT_FALSE(R.Trapped) << Spec.Name << ": " << R.TrapMessage;
+    // Train inputs: large enough to exercise the memory system, small
+    // enough for a few hundred simulations.
+    EXPECT_GT(R.InstructionsExecuted, 300000u) << Spec.Name;
+    EXPECT_LT(R.InstructionsExecuted, 80000000u) << Spec.Name;
+    printf("[ scale ] %-8s train: %llu instrs, checksum %lld\n",
+           Spec.Name.c_str(),
+           static_cast<unsigned long long>(R.InstructionsExecuted),
+           static_cast<long long>(R.ReturnValue));
+  }
+}
+
+} // namespace
