@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_space.dir/bench_extended_space.cpp.o"
+  "CMakeFiles/bench_extended_space.dir/bench_extended_space.cpp.o.d"
+  "bench_extended_space"
+  "bench_extended_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_unroll_icache.dir/bench_fig3_unroll_icache.cpp.o"
+  "CMakeFiles/bench_fig3_unroll_icache.dir/bench_fig3_unroll_icache.cpp.o.d"
+  "bench_fig3_unroll_icache"
+  "bench_fig3_unroll_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unroll_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

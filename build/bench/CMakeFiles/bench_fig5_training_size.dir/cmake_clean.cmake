@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_training_size.dir/bench_fig5_training_size.cpp.o"
+  "CMakeFiles/bench_fig5_training_size.dir/bench_fig5_training_size.cpp.o.d"
+  "bench_fig5_training_size"
+  "bench_fig5_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

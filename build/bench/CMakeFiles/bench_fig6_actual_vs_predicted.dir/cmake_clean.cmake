@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_actual_vs_predicted.dir/bench_fig6_actual_vs_predicted.cpp.o"
+  "CMakeFiles/bench_fig6_actual_vs_predicted.dir/bench_fig6_actual_vs_predicted.cpp.o.d"
+  "bench_fig6_actual_vs_predicted"
+  "bench_fig6_actual_vs_predicted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_actual_vs_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_models.dir/bench_micro_models.cpp.o"
+  "CMakeFiles/bench_micro_models.dir/bench_micro_models.cpp.o.d"
+  "bench_micro_models"
+  "bench_micro_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

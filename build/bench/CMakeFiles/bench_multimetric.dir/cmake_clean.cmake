@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multimetric.dir/bench_multimetric.cpp.o"
+  "CMakeFiles/bench_multimetric.dir/bench_multimetric.cpp.o.d"
+  "bench_multimetric"
+  "bench_multimetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multimetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smarts_accuracy.dir/bench_smarts_accuracy.cpp.o"
+  "CMakeFiles/bench_smarts_accuracy.dir/bench_smarts_accuracy.cpp.o.d"
+  "bench_smarts_accuracy"
+  "bench_smarts_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smarts_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_table2_space.cpp" "bench/CMakeFiles/bench_table1_table2_space.dir/bench_table1_table2_space.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_table2_space.dir/bench_table1_table2_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/msem_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/msem_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/msem_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/msem_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/msem_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/msem_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/msem_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msem_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/msem_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_table2_space.dir/bench_table1_table2_space.cpp.o"
+  "CMakeFiles/bench_table1_table2_space.dir/bench_table1_table2_space.cpp.o.d"
+  "bench_table1_table2_space"
+  "bench_table1_table2_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_table2_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_model_accuracy.dir/bench_table3_model_accuracy.cpp.o"
+  "CMakeFiles/bench_table3_model_accuracy.dir/bench_table3_model_accuracy.cpp.o.d"
+  "bench_table3_model_accuracy"
+  "bench_table3_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

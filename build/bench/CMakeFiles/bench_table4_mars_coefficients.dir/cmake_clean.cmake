@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mars_coefficients.dir/bench_table4_mars_coefficients.cpp.o"
+  "CMakeFiles/bench_table4_mars_coefficients.dir/bench_table4_mars_coefficients.cpp.o.d"
+  "bench_table4_mars_coefficients"
+  "bench_table4_mars_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mars_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

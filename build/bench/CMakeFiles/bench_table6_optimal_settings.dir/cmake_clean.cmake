@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_optimal_settings.dir/bench_table6_optimal_settings.cpp.o"
+  "CMakeFiles/bench_table6_optimal_settings.dir/bench_table6_optimal_settings.cpp.o.d"
+  "bench_table6_optimal_settings"
+  "bench_table6_optimal_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_optimal_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

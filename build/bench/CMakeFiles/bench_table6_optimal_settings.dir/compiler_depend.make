@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table6_optimal_settings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_profile_guided.dir/bench_table7_profile_guided.cpp.o"
+  "CMakeFiles/bench_table7_profile_guided.dir/bench_table7_profile_guided.cpp.o.d"
+  "bench_table7_profile_guided"
+  "bench_table7_profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

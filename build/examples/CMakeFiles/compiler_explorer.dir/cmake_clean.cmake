@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_explorer.dir/compiler_explorer.cpp.o"
+  "CMakeFiles/compiler_explorer.dir/compiler_explorer.cpp.o.d"
+  "compiler_explorer"
+  "compiler_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

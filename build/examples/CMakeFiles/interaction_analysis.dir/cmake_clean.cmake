@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interaction_analysis.dir/interaction_analysis.cpp.o"
+  "CMakeFiles/interaction_analysis.dir/interaction_analysis.cpp.o.d"
+  "interaction_analysis"
+  "interaction_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interaction_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_tuner.dir/platform_tuner.cpp.o"
+  "CMakeFiles/platform_tuner.dir/platform_tuner.cpp.o.d"
+  "platform_tuner"
+  "platform_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_demo.dir/simulator_demo.cpp.o"
+  "CMakeFiles/simulator_demo.dir/simulator_demo.cpp.o.d"
+  "simulator_demo"
+  "simulator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

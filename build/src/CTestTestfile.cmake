@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("ir")
+subdirs("opt")
+subdirs("isa")
+subdirs("codegen")
+subdirs("uarch")
+subdirs("sampling")
+subdirs("workloads")
+subdirs("design")
+subdirs("model")
+subdirs("search")
+subdirs("core")

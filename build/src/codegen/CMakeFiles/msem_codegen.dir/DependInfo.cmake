@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Linker.cpp" "src/codegen/CMakeFiles/msem_codegen.dir/Linker.cpp.o" "gcc" "src/codegen/CMakeFiles/msem_codegen.dir/Linker.cpp.o.d"
+  "/root/repo/src/codegen/Lowering.cpp" "src/codegen/CMakeFiles/msem_codegen.dir/Lowering.cpp.o" "gcc" "src/codegen/CMakeFiles/msem_codegen.dir/Lowering.cpp.o.d"
+  "/root/repo/src/codegen/PostRaScheduler.cpp" "src/codegen/CMakeFiles/msem_codegen.dir/PostRaScheduler.cpp.o" "gcc" "src/codegen/CMakeFiles/msem_codegen.dir/PostRaScheduler.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/codegen/CMakeFiles/msem_codegen.dir/RegAlloc.cpp.o" "gcc" "src/codegen/CMakeFiles/msem_codegen.dir/RegAlloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/msem_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

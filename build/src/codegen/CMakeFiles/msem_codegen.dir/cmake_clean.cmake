@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_codegen.dir/Linker.cpp.o"
+  "CMakeFiles/msem_codegen.dir/Linker.cpp.o.d"
+  "CMakeFiles/msem_codegen.dir/Lowering.cpp.o"
+  "CMakeFiles/msem_codegen.dir/Lowering.cpp.o.d"
+  "CMakeFiles/msem_codegen.dir/PostRaScheduler.cpp.o"
+  "CMakeFiles/msem_codegen.dir/PostRaScheduler.cpp.o.d"
+  "CMakeFiles/msem_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/msem_codegen.dir/RegAlloc.cpp.o.d"
+  "libmsem_codegen.a"
+  "libmsem_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_core.dir/ModelBuilder.cpp.o"
+  "CMakeFiles/msem_core.dir/ModelBuilder.cpp.o.d"
+  "CMakeFiles/msem_core.dir/ResponseSurface.cpp.o"
+  "CMakeFiles/msem_core.dir/ResponseSurface.cpp.o.d"
+  "libmsem_core.a"
+  "libmsem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

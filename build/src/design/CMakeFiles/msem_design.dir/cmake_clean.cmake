@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_design.dir/Doe.cpp.o"
+  "CMakeFiles/msem_design.dir/Doe.cpp.o.d"
+  "CMakeFiles/msem_design.dir/ParameterSpace.cpp.o"
+  "CMakeFiles/msem_design.dir/ParameterSpace.cpp.o.d"
+  "libmsem_design.a"
+  "libmsem_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CFG.cpp" "src/ir/CMakeFiles/msem_ir.dir/CFG.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/ir/CMakeFiles/msem_ir.dir/Cloning.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/msem_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/msem_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/msem_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/msem_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/msem_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/LoopBuilder.cpp" "src/ir/CMakeFiles/msem_ir.dir/LoopBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/LoopBuilder.cpp.o.d"
+  "/root/repo/src/ir/LoopInfo.cpp" "src/ir/CMakeFiles/msem_ir.dir/LoopInfo.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/msem_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/msem_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_ir.dir/CFG.cpp.o"
+  "CMakeFiles/msem_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/Cloning.cpp.o"
+  "CMakeFiles/msem_ir.dir/Cloning.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/msem_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/IR.cpp.o"
+  "CMakeFiles/msem_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/msem_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/msem_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/msem_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/LoopBuilder.cpp.o"
+  "CMakeFiles/msem_ir.dir/LoopBuilder.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/LoopInfo.cpp.o"
+  "CMakeFiles/msem_ir.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/msem_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/msem_ir.dir/Verifier.cpp.o.d"
+  "libmsem_ir.a"
+  "libmsem_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

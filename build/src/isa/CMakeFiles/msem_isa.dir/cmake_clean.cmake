@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_isa.dir/MachineInstr.cpp.o"
+  "CMakeFiles/msem_isa.dir/MachineInstr.cpp.o.d"
+  "libmsem_isa.a"
+  "libmsem_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

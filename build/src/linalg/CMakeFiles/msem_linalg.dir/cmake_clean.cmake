@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/msem_linalg.dir/Matrix.cpp.o.d"
+  "CMakeFiles/msem_linalg.dir/Solve.cpp.o"
+  "CMakeFiles/msem_linalg.dir/Solve.cpp.o.d"
+  "libmsem_linalg.a"
+  "libmsem_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsem_linalg.a"
+)

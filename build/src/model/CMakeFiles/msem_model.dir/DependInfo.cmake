@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/Diagnostics.cpp" "src/model/CMakeFiles/msem_model.dir/Diagnostics.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/model/LinearModel.cpp" "src/model/CMakeFiles/msem_model.dir/LinearModel.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/LinearModel.cpp.o.d"
+  "/root/repo/src/model/Mars.cpp" "src/model/CMakeFiles/msem_model.dir/Mars.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/Mars.cpp.o.d"
+  "/root/repo/src/model/Model.cpp" "src/model/CMakeFiles/msem_model.dir/Model.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/Model.cpp.o.d"
+  "/root/repo/src/model/RbfNetwork.cpp" "src/model/CMakeFiles/msem_model.dir/RbfNetwork.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/RbfNetwork.cpp.o.d"
+  "/root/repo/src/model/RegressionTree.cpp" "src/model/CMakeFiles/msem_model.dir/RegressionTree.cpp.o" "gcc" "src/model/CMakeFiles/msem_model.dir/RegressionTree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/msem_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/msem_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/msem_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/msem_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msem_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

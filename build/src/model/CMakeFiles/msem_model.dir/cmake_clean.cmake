@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_model.dir/Diagnostics.cpp.o"
+  "CMakeFiles/msem_model.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/msem_model.dir/LinearModel.cpp.o"
+  "CMakeFiles/msem_model.dir/LinearModel.cpp.o.d"
+  "CMakeFiles/msem_model.dir/Mars.cpp.o"
+  "CMakeFiles/msem_model.dir/Mars.cpp.o.d"
+  "CMakeFiles/msem_model.dir/Model.cpp.o"
+  "CMakeFiles/msem_model.dir/Model.cpp.o.d"
+  "CMakeFiles/msem_model.dir/RbfNetwork.cpp.o"
+  "CMakeFiles/msem_model.dir/RbfNetwork.cpp.o.d"
+  "CMakeFiles/msem_model.dir/RegressionTree.cpp.o"
+  "CMakeFiles/msem_model.dir/RegressionTree.cpp.o.d"
+  "libmsem_model.a"
+  "libmsem_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ConstantFold.cpp" "src/opt/CMakeFiles/msem_opt.dir/ConstantFold.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/opt/CMakeFiles/msem_opt.dir/DeadCodeElim.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/Gvn.cpp" "src/opt/CMakeFiles/msem_opt.dir/Gvn.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/Gvn.cpp.o.d"
+  "/root/repo/src/opt/IfConvert.cpp" "src/opt/CMakeFiles/msem_opt.dir/IfConvert.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/IfConvert.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/opt/CMakeFiles/msem_opt.dir/Inliner.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/Inliner.cpp.o.d"
+  "/root/repo/src/opt/IrScheduler.cpp" "src/opt/CMakeFiles/msem_opt.dir/IrScheduler.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/IrScheduler.cpp.o.d"
+  "/root/repo/src/opt/Licm.cpp" "src/opt/CMakeFiles/msem_opt.dir/Licm.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/Licm.cpp.o.d"
+  "/root/repo/src/opt/OptimizationConfig.cpp" "src/opt/CMakeFiles/msem_opt.dir/OptimizationConfig.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/OptimizationConfig.cpp.o.d"
+  "/root/repo/src/opt/PassPipeline.cpp" "src/opt/CMakeFiles/msem_opt.dir/PassPipeline.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/PassPipeline.cpp.o.d"
+  "/root/repo/src/opt/Prefetcher.cpp" "src/opt/CMakeFiles/msem_opt.dir/Prefetcher.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/Prefetcher.cpp.o.d"
+  "/root/repo/src/opt/ReorderBlocks.cpp" "src/opt/CMakeFiles/msem_opt.dir/ReorderBlocks.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/ReorderBlocks.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCfg.cpp" "src/opt/CMakeFiles/msem_opt.dir/SimplifyCfg.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/SimplifyCfg.cpp.o.d"
+  "/root/repo/src/opt/StrengthReduce.cpp" "src/opt/CMakeFiles/msem_opt.dir/StrengthReduce.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/StrengthReduce.cpp.o.d"
+  "/root/repo/src/opt/TailDup.cpp" "src/opt/CMakeFiles/msem_opt.dir/TailDup.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/TailDup.cpp.o.d"
+  "/root/repo/src/opt/Unroller.cpp" "src/opt/CMakeFiles/msem_opt.dir/Unroller.cpp.o" "gcc" "src/opt/CMakeFiles/msem_opt.dir/Unroller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_opt.dir/ConstantFold.cpp.o"
+  "CMakeFiles/msem_opt.dir/ConstantFold.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/DeadCodeElim.cpp.o"
+  "CMakeFiles/msem_opt.dir/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/Gvn.cpp.o"
+  "CMakeFiles/msem_opt.dir/Gvn.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/IfConvert.cpp.o"
+  "CMakeFiles/msem_opt.dir/IfConvert.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/Inliner.cpp.o"
+  "CMakeFiles/msem_opt.dir/Inliner.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/IrScheduler.cpp.o"
+  "CMakeFiles/msem_opt.dir/IrScheduler.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/Licm.cpp.o"
+  "CMakeFiles/msem_opt.dir/Licm.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/OptimizationConfig.cpp.o"
+  "CMakeFiles/msem_opt.dir/OptimizationConfig.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/PassPipeline.cpp.o"
+  "CMakeFiles/msem_opt.dir/PassPipeline.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/Prefetcher.cpp.o"
+  "CMakeFiles/msem_opt.dir/Prefetcher.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/ReorderBlocks.cpp.o"
+  "CMakeFiles/msem_opt.dir/ReorderBlocks.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/SimplifyCfg.cpp.o"
+  "CMakeFiles/msem_opt.dir/SimplifyCfg.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/StrengthReduce.cpp.o"
+  "CMakeFiles/msem_opt.dir/StrengthReduce.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/TailDup.cpp.o"
+  "CMakeFiles/msem_opt.dir/TailDup.cpp.o.d"
+  "CMakeFiles/msem_opt.dir/Unroller.cpp.o"
+  "CMakeFiles/msem_opt.dir/Unroller.cpp.o.d"
+  "libmsem_opt.a"
+  "libmsem_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

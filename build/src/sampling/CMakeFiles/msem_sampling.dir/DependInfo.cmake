@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/Smarts.cpp" "src/sampling/CMakeFiles/msem_sampling.dir/Smarts.cpp.o" "gcc" "src/sampling/CMakeFiles/msem_sampling.dir/Smarts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/msem_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msem_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_sampling.dir/Smarts.cpp.o"
+  "CMakeFiles/msem_sampling.dir/Smarts.cpp.o.d"
+  "libmsem_sampling.a"
+  "libmsem_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_search.dir/GeneticSearch.cpp.o"
+  "CMakeFiles/msem_search.dir/GeneticSearch.cpp.o.d"
+  "libmsem_search.a"
+  "libmsem_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

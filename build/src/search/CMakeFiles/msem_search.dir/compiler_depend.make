@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msem_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Env.cpp" "src/support/CMakeFiles/msem_support.dir/Env.cpp.o" "gcc" "src/support/CMakeFiles/msem_support.dir/Env.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/msem_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/msem_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/support/CMakeFiles/msem_support.dir/Format.cpp.o" "gcc" "src/support/CMakeFiles/msem_support.dir/Format.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/msem_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/msem_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/msem_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/msem_support.dir/TablePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_support.dir/Env.cpp.o"
+  "CMakeFiles/msem_support.dir/Env.cpp.o.d"
+  "CMakeFiles/msem_support.dir/Error.cpp.o"
+  "CMakeFiles/msem_support.dir/Error.cpp.o.d"
+  "CMakeFiles/msem_support.dir/Format.cpp.o"
+  "CMakeFiles/msem_support.dir/Format.cpp.o.d"
+  "CMakeFiles/msem_support.dir/Statistics.cpp.o"
+  "CMakeFiles/msem_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/msem_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/msem_support.dir/TablePrinter.cpp.o.d"
+  "libmsem_support.a"
+  "libmsem_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

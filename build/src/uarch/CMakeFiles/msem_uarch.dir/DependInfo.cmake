@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/BranchPredictor.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/BranchPredictor.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/BranchPredictor.cpp.o.d"
+  "/root/repo/src/uarch/Cache.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/Cache.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/Cache.cpp.o.d"
+  "/root/repo/src/uarch/EnergyModel.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/EnergyModel.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/EnergyModel.cpp.o.d"
+  "/root/repo/src/uarch/MachineConfig.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/MachineConfig.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/uarch/OoOCore.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/OoOCore.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/OoOCore.cpp.o.d"
+  "/root/repo/src/uarch/Simulator.cpp" "src/uarch/CMakeFiles/msem_uarch.dir/Simulator.cpp.o" "gcc" "src/uarch/CMakeFiles/msem_uarch.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/msem_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_uarch.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/msem_uarch.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/msem_uarch.dir/Cache.cpp.o"
+  "CMakeFiles/msem_uarch.dir/Cache.cpp.o.d"
+  "CMakeFiles/msem_uarch.dir/EnergyModel.cpp.o"
+  "CMakeFiles/msem_uarch.dir/EnergyModel.cpp.o.d"
+  "CMakeFiles/msem_uarch.dir/MachineConfig.cpp.o"
+  "CMakeFiles/msem_uarch.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/msem_uarch.dir/OoOCore.cpp.o"
+  "CMakeFiles/msem_uarch.dir/OoOCore.cpp.o.d"
+  "CMakeFiles/msem_uarch.dir/Simulator.cpp.o"
+  "CMakeFiles/msem_uarch.dir/Simulator.cpp.o.d"
+  "libmsem_uarch.a"
+  "libmsem_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

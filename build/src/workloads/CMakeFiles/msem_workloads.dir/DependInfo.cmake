@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Art.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Art.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Art.cpp.o.d"
+  "/root/repo/src/workloads/Bzip2.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Bzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Bzip2.cpp.o.d"
+  "/root/repo/src/workloads/Gzip.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Gzip.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Gzip.cpp.o.d"
+  "/root/repo/src/workloads/Mcf.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/Mesa.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Mesa.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Mesa.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Vortex.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Vortex.cpp.o.d"
+  "/root/repo/src/workloads/Vpr.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/Vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/Vpr.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadLib.cpp" "src/workloads/CMakeFiles/msem_workloads.dir/WorkloadLib.cpp.o" "gcc" "src/workloads/CMakeFiles/msem_workloads.dir/WorkloadLib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msem_workloads.dir/Art.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Art.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Bzip2.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Bzip2.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Gzip.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Gzip.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Mcf.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Mcf.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Mesa.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Mesa.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Vortex.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Vortex.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/Vpr.cpp.o"
+  "CMakeFiles/msem_workloads.dir/Vpr.cpp.o.d"
+  "CMakeFiles/msem_workloads.dir/WorkloadLib.cpp.o"
+  "CMakeFiles/msem_workloads.dir/WorkloadLib.cpp.o.d"
+  "libmsem_workloads.a"
+  "libmsem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

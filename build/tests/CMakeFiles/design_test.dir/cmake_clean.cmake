@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_test.dir/design_test.cpp.o"
+  "CMakeFiles/design_test.dir/design_test.cpp.o.d"
+  "design_test"
+  "design_test.pdb"
+  "design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/opt_test.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/msem_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

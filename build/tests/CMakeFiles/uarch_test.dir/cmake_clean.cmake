@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_test.dir/uarch_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/uarch_test.cpp.o.d"
+  "uarch_test"
+  "uarch_test.pdb"
+  "uarch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
