@@ -149,7 +149,7 @@ void BM_MispredictSensitivity(benchmark::State &State) {
   for (auto _ : State) {
     SimulationResult R = simulateDetailed(Prog, M);
     Cycles = R.Cycles;
-    Misp = R.BranchMispredicts;
+    Misp = R.Branch.Mispredicts;
   }
   State.counters["cycles"] = static_cast<double>(Cycles);
   State.counters["mispredicts"] = static_cast<double>(Misp);

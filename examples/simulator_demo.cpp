@@ -85,7 +85,7 @@ int main(int Argc, char **Argv) {
   };
   Add("branches", Det.Pipeline.Branches);
   Add("taken branches", Det.Pipeline.TakenBranches);
-  Add("mispredictions", Det.BranchMispredicts);
+  Add("mispredictions", Det.Branch.Mispredicts);
   Add("loads", Det.Pipeline.Loads);
   Add("stores", Det.Pipeline.Stores);
   Add("store-to-load forwards", Det.Pipeline.LoadForwards);

@@ -6,6 +6,7 @@
 #include "model/Mars.h"
 #include "model/RbfNetwork.h"
 #include "support/Error.h"
+#include "telemetry/Telemetry.h"
 
 using namespace msem;
 
@@ -37,6 +38,7 @@ ModelBuildResult msem::buildModelWithTestSet(
     ResponseSurface &Surface, const ModelBuilderOptions &Options,
     const std::vector<DesignPoint> &TestPoints,
     const std::vector<double> &TestY) {
+  telemetry::ScopedTimer Span("model.build");
   const ParameterSpace &Space = Surface.space();
   Rng R(Options.Seed);
 
@@ -66,15 +68,27 @@ ModelBuildResult msem::buildModelWithTestSet(
     Result.TrainPoints.clear();
     for (size_t Idx : SelectedIndices)
       Result.TrainPoints.push_back(Candidates[Idx]);
-    Result.TrainY = Surface.measureAll(Result.TrainPoints);
+    {
+      telemetry::ScopedTimer MeasureSpan("model.measure");
+      Result.TrainY = Surface.measureAll(Result.TrainPoints);
+    }
 
     Matrix TrainX = encodeMatrix(Space, Result.TrainPoints);
     Result.FittedModel = makeModel(Options.Technique);
-    Result.FittedModel->train(TrainX, Result.TrainY);
+    {
+      telemetry::ScopedTimer FitSpan(
+          std::string("model.fit.") + modelTechniqueName(Options.Technique));
+      Result.FittedModel->train(TrainX, Result.TrainY);
+    }
+    telemetry::count("model.fits");
 
     Result.TestQuality = evaluateModel(*Result.FittedModel, TestX, TestY);
     Result.ErrorCurve.push_back(
         {Result.TrainPoints.size(), Result.TestQuality.Mape});
+    // The Figure 5 learning curve: test MAPE vs. training-design size.
+    telemetry::record("model.error_curve",
+                      static_cast<double>(Result.TrainPoints.size()),
+                      Result.TestQuality.Mape);
 
     if (Result.TestQuality.Mape <= Options.TargetMape)
       break;
@@ -87,6 +101,11 @@ ModelBuildResult msem::buildModelWithTestSet(
   Result.TestPoints = TestPoints;
   Result.TestY = TestY;
   Result.SimulationsUsed = Surface.simulationsRun() - BaseSimulations;
+  if (telemetry::enabled()) {
+    telemetry::counter("model.simulations").add(Result.SimulationsUsed);
+    telemetry::gauge("model.test_mape.last").set(Result.TestQuality.Mape);
+    telemetry::gauge("model.test_r2.last").set(Result.TestQuality.R2);
+  }
   return Result;
 }
 

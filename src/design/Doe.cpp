@@ -3,6 +3,7 @@
 #include "design/Doe.h"
 
 #include "linalg/Solve.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -110,6 +111,7 @@ msem::selectDOptimal(const ParameterSpace &Space,
                      const std::vector<DesignPoint> &Candidates,
                      const DOptimalOptions &Options,
                      const std::vector<size_t> &Preselected) {
+  telemetry::ScopedTimer Span("doe.select");
   assert(Options.DesignSize >= Preselected.size() &&
          "design smaller than the preselected set");
   assert(Candidates.size() >= Options.DesignSize &&
@@ -199,17 +201,21 @@ msem::selectDOptimal(const ParameterSpace &Space,
       InDesign[BestIn] = true;
       Selected[SlotIdx] = BestIn;
       Improved = true;
+      telemetry::count("doe.exchanges");
     }
     Result.PassesUsed = Pass + 1;
     if (!Improved)
       break;
   }
+  telemetry::count("doe.selections");
+  telemetry::count("doe.passes", Result.PassesUsed);
 
   // Final log-determinant (recomputed exactly).
   Matrix FinalInfo = BuildInverse(Selected);
   Cholesky FinalChol(FinalInfo);
   Result.LogDetInformation =
       FinalChol.ok() ? FinalChol.logDeterminant() : -1e300;
+  telemetry::gaugeSet("doe.logdet.last", Result.LogDetInformation);
   Result.Selected = std::move(Selected);
   return Result;
 }

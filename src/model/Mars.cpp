@@ -3,6 +3,7 @@
 #include "model/Mars.h"
 
 #include "linalg/Solve.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -59,6 +60,7 @@ double MarsModel::fitWeights(const Matrix &BasisMat,
 }
 
 void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
+  telemetry::ScopedTimer Span("fit.mars");
   assert(X.rows() == Y.size() && "design/response size mismatch");
   NumVars = X.cols();
   const size_t N = X.rows();
@@ -170,6 +172,8 @@ void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
   double FullSse = fitWeights(BMat, Y, FullW);
   double BestGcv = gcvScore(FullSse, N, EffectiveParams(Basis.size()));
   std::vector<MarsBasis> BestBasis = Basis;
+  // GCV trajectory over the pruning sequence (x = basis count).
+  telemetry::record("mars.gcv", static_cast<double>(Basis.size()), BestGcv);
 
   std::vector<MarsBasis> Working = Basis;
   while (Working.size() > 1) {
@@ -192,6 +196,8 @@ void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
     if (RoundBestVictim < 0)
       break;
     Working.erase(Working.begin() + RoundBestVictim);
+    telemetry::record("mars.gcv", static_cast<double>(Working.size()),
+                      RoundBestGcv);
     if (RoundBestGcv < BestGcv) {
       BestGcv = RoundBestGcv;
       BestBasis = Working;
@@ -202,6 +208,13 @@ void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
   Matrix FinalMat = basisMatrix(Basis, X);
   double FinalSse = fitWeights(FinalMat, Y, Weights);
   Gcv = gcvScore(FinalSse, N, EffectiveParams(Basis.size()));
+
+  if (telemetry::enabled()) {
+    telemetry::counter("mars.fits").add(1);
+    telemetry::gauge("mars.basis_count")
+        .set(static_cast<double>(Basis.size()));
+    telemetry::gauge("mars.gcv.final").set(Gcv);
+  }
 }
 
 double MarsModel::predict(const std::vector<double> &XEnc) const {

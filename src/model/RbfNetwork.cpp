@@ -3,6 +3,7 @@
 #include "model/RbfNetwork.h"
 
 #include "linalg/Solve.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -41,6 +42,7 @@ Matrix RbfNetwork::hiddenMatrix(
 }
 
 void RbfNetwork::train(const Matrix &X, const std::vector<double> &Y) {
+  telemetry::ScopedTimer Span("fit.rbf");
   assert(X.rows() == Y.size() && "design/response size mismatch");
   NumVars = X.cols();
   const size_t N = X.rows();
@@ -82,6 +84,8 @@ void RbfNetwork::train(const Matrix &X, const std::vector<double> &Y) {
     for (size_t I = 0; I < N; ++I)
       Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
     double Score = bicScore(Sse, N, W.size());
+    // BIC trajectory over candidate center counts (x = centers used).
+    telemetry::record("rbf.bic", static_cast<double>(Ctrs.size()), Score);
     if (Score < BestBic) {
       BestBic = Score;
       Centers = std::move(Ctrs);
@@ -91,6 +95,12 @@ void RbfNetwork::train(const Matrix &X, const std::vector<double> &Y) {
   }
   Bic = BestBic;
   assert(!Weights.empty() && "no feasible RBF configuration");
+
+  if (telemetry::enabled()) {
+    telemetry::counter("rbf.fits").add(1);
+    telemetry::gauge("rbf.centers").set(static_cast<double>(Centers.size()));
+    telemetry::gauge("rbf.bic.final").set(Bic);
+  }
 }
 
 double RbfNetwork::predict(const std::vector<double> &XEnc) const {

@@ -13,10 +13,44 @@
 #include "ir/Verifier.h"
 #include "support/Env.h"
 #include "support/Error.h"
+#include "telemetry/Telemetry.h"
 
 using namespace msem;
 
 namespace {
+
+size_t countInstructions(const Function &F) {
+  size_t N = 0;
+  for (const auto &B : F.blocks())
+    N += B->size();
+  return N;
+}
+
+size_t countInstructions(const Module &M) {
+  size_t N = 0;
+  for (const auto &F : M.functions())
+    N += countInstructions(*F);
+  return N;
+}
+
+/// Runs one pass invocation under a "pass.<name>" timer and accumulates
+/// the IR size change into "pass.<name>.ir_delta" (the -time-passes view).
+/// The size recount only happens with telemetry on; the disabled path is
+/// a single atomic load plus the pass itself.
+template <typename UnitT, typename Fn>
+bool timedPass(const char *Name, UnitT &U, Fn &&Run) {
+  if (!telemetry::enabled())
+    return Run();
+  telemetry::ScopedTimer Span(std::string("pass.") + Name);
+  size_t Before = countInstructions(U);
+  bool Changed = Run();
+  size_t After = countInstructions(U);
+  telemetry::gauge(std::string("pass.") + Name + ".ir_delta")
+      .add(static_cast<double>(After) - static_cast<double>(Before));
+  if (Changed)
+    telemetry::counter(std::string("pass.") + Name + ".changed").add(1);
+  return Changed;
+}
 
 /// When MSEM_VERIFY_PASSES=1, the pipeline re-verifies the module after
 /// every pass group and aborts with the violation list on breakage --
@@ -43,9 +77,9 @@ void maybeVerify(Module &M, const char *After) {
 static void cleanupFunction(Function &F) {
   for (int Round = 0; Round < 8; ++Round) {
     bool Changed = false;
-    Changed |= runConstantFold(F);
-    Changed |= runSimplifyCfg(F);
-    Changed |= runDeadCodeElim(F);
+    Changed |= timedPass("fold", F, [&] { return runConstantFold(F); });
+    Changed |= timedPass("simplifycfg", F, [&] { return runSimplifyCfg(F); });
+    Changed |= timedPass("dce", F, [&] { return runDeadCodeElim(F); });
     if (!Changed)
       break;
   }
@@ -57,50 +91,54 @@ void msem::runCleanup(Module &M) {
 }
 
 void msem::runPassPipeline(Module &M, const OptimizationConfig &Config) {
+  telemetry::ScopedTimer Span("opt.pipeline");
+  telemetry::count("opt.pipeline.runs");
+
   runCleanup(M);
 
   if (Config.InlineFunctions) {
-    runInline(M, Config);
+    timedPass("inline", M, [&] { return runInline(M, Config); });
     runCleanup(M);
     maybeVerify(M, "inline");
   }
 
   for (const auto &F : M.functions()) {
     if (Config.LoopOptimize) {
-      runLicm(*F);
+      timedPass("licm", *F, [&] { return runLicm(*F); });
       cleanupFunction(*F);
     }
     if (Config.Gcse) {
-      runGvn(*F);
+      timedPass("gvn", *F, [&] { return runGvn(*F); });
       cleanupFunction(*F);
     }
     if (Config.StrengthReduce) {
-      runStrengthReduce(*F);
+      timedPass("strength-reduce", *F,
+                [&] { return runStrengthReduce(*F); });
       cleanupFunction(*F);
     }
     if (Config.UnrollLoops) {
-      runUnroll(*F, Config);
+      timedPass("unroll", *F, [&] { return runUnroll(*F, Config); });
       cleanupFunction(*F);
       // Unrolling exposes cross-copy redundancies.
       if (Config.Gcse) {
-        runGvn(*F);
+        timedPass("gvn", *F, [&] { return runGvn(*F); });
         cleanupFunction(*F);
       }
     }
     if (Config.PrefetchLoopArrays)
-      runPrefetch(*F);
+      timedPass("prefetch", *F, [&] { return runPrefetch(*F); });
     if (Config.IfConvert) {
-      runIfConvert(*F, Config);
+      timedPass("if-convert", *F, [&] { return runIfConvert(*F, Config); });
       cleanupFunction(*F);
     }
     if (Config.Tracer) {
-      runTailDup(*F, Config);
+      timedPass("tail-dup", *F, [&] { return runTailDup(*F, Config); });
       cleanupFunction(*F);
     }
     if (Config.ScheduleInsns2)
-      runIrSchedule(*F);
+      timedPass("ir-schedule", *F, [&] { return runIrSchedule(*F); });
     if (Config.ReorderBlocks)
-      runReorderBlocks(*F);
+      timedPass("reorder-blocks", *F, [&] { return runReorderBlocks(*F); });
   }
   maybeVerify(M, "per-function passes");
   M.renumber();

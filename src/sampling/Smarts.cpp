@@ -3,6 +3,7 @@
 #include "sampling/Smarts.h"
 
 #include "support/Statistics.h"
+#include "telemetry/Telemetry.h"
 
 using namespace msem;
 
@@ -51,6 +52,8 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
                                   const MachineConfig &Config,
                                   const SmartsConfig &Sampling,
                                   uint64_t MaxInstructions) {
+  telemetry::ScopedTimer Span("sim.smarts");
+
   MemoryHierarchy Memory(Config);
   CombinedPredictor Predictor(Config.BranchPredictorSize,
                               MachineConfig::ReturnStackEntries);
@@ -94,7 +97,19 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
     Sampled += Retired;
     if (Retired == W) {
       uint64_t Delta = Core.cycles() - Before;
-      WindowCpi.add(static_cast<double>(Delta) / static_cast<double>(W));
+      double Cpi = static_cast<double>(Delta) / static_cast<double>(W);
+      WindowCpi.add(Cpi);
+      if (telemetry::enabled()) {
+        telemetry::histogram("smarts.window_cpi",
+                             {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0})
+            .observe(Cpi);
+        // CI convergence trajectory: relative half-width after each window.
+        if (WindowCpi.count() > 1 && WindowCpi.mean() > 0)
+          telemetry::series("smarts.ci_rel_error")
+              .record(static_cast<double>(WindowCpi.count()),
+                      zValueForConfidence(Sampling.Confidence) *
+                          WindowCpi.standardError() / WindowCpi.mean());
+      }
     }
   }
 
@@ -104,10 +119,23 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
   R.SampledInstructions = Sampled;
   R.MeasuredWindows = WindowCpi.count();
 
+  if (telemetry::enabled()) {
+    telemetry::counter("smarts.runs").add(1);
+    telemetry::counter("smarts.instructions.total")
+        .add(R.TotalInstructions);
+    telemetry::counter("smarts.instructions.sampled").add(Sampled);
+    telemetry::counter("smarts.windows.measured").add(WindowCpi.count());
+    if (R.TotalInstructions)
+      telemetry::gauge("smarts.sampled_fraction")
+          .set(static_cast<double>(Sampled) /
+               static_cast<double>(R.TotalInstructions));
+  }
+
   if (WindowCpi.count() == 0) {
     // Program too short to sample: whatever ran in detail is the estimate;
     // re-simulate fully detailed for a usable number.
     R.FellBackToDetailed = true;
+    telemetry::count("smarts.detailed_fallbacks");
     SimulationResult Full = simulateDetailed(Prog, Config, MaxInstructions);
     R.EstimatedCpi = Full.cpi();
     R.EstimatedCycles = Full.Cycles;
@@ -121,5 +149,6 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
   if (WindowCpi.mean() > 0)
     R.RelativeErrorBound =
         Z * WindowCpi.standardError() / WindowCpi.mean();
+  telemetry::gaugeSet("smarts.ci_rel_error.last", R.RelativeErrorBound);
   return R;
 }

@@ -3,10 +3,12 @@
 #include "search/GeneticSearch.h"
 
 #include "support/Rng.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 using namespace msem;
 
@@ -15,12 +17,50 @@ namespace {
 /// A genome: one level index per searched parameter.
 using Genome = std::vector<size_t>;
 
+struct GenomeHash {
+  size_t operator()(const Genome &G) const {
+    size_t H = 0xcbf29ce484222325ull;
+    for (size_t V : G) {
+      H ^= V + 0x9e3779b97f4a7c15ull;
+      H *= 0x100000001b3ull;
+    }
+    return H;
+  }
+};
+
+/// Memoizes Model::predict per genome. Elitism and convergence make
+/// re-evaluations frequent, so this is both a speedup and the source of
+/// the "ga.cache_hit_rate" telemetry gauge.
+class FitnessCache {
+public:
+  template <typename Fn> double get(const Genome &G, Fn &&Eval) {
+    ++Evaluations;
+    auto It = Memo.find(G);
+    if (It != Memo.end()) {
+      ++Hits;
+      return It->second;
+    }
+    double Fit = Eval();
+    Memo.emplace(G, Fit);
+    return Fit;
+  }
+
+  uint64_t evaluations() const { return Evaluations; }
+  uint64_t hits() const { return Hits; }
+
+private:
+  std::unordered_map<Genome, double, GenomeHash> Memo;
+  uint64_t Evaluations = 0;
+  uint64_t Hits = 0;
+};
+
 } // namespace
 
 GaResult msem::searchOptimalSettings(const Model &M,
                                      const ParameterSpace &Space,
                                      const DesignPoint &Frozen,
                                      const GaOptions &Options) {
+  telemetry::ScopedTimer Span("ga.search");
   assert(Frozen.size() == Space.size() && "frozen point arity mismatch");
   const size_t SearchVars = Space.numCompilerParams();
   Rng R(Options.Seed);
@@ -31,8 +71,9 @@ GaResult msem::searchOptimalSettings(const Model &M,
       P[V] = Space.param(V).Levels[G[V]];
     return P;
   };
+  FitnessCache Cache;
   auto Fitness = [&](const Genome &G) {
-    return M.predict(Space.encode(ToPoint(G)));
+    return Cache.get(G, [&] { return M.predict(Space.encode(ToPoint(G))); });
   };
   auto RandomGenome = [&]() {
     Genome G(SearchVars);
@@ -67,6 +108,16 @@ GaResult msem::searchOptimalSettings(const Model &M,
   for (; Gen < Options.Generations; ++Gen) {
     // Convergence-based early stop.
     double GenBest = *std::min_element(Scores.begin(), Scores.end());
+    if (telemetry::enabled()) {
+      double Sum = 0.0;
+      for (double S : Scores)
+        Sum += S;
+      telemetry::series("ga.best_fitness")
+          .record(static_cast<double>(Gen), GenBest);
+      telemetry::series("ga.mean_fitness")
+          .record(static_cast<double>(Gen),
+                  Sum / static_cast<double>(Scores.size()));
+    }
     if (GenBest < BestSoFar - 1e-12 * (1.0 + std::fabs(BestSoFar))) {
       BestSoFar = GenBest;
       SinceImprovement = 0;
@@ -111,5 +162,15 @@ GaResult msem::searchOptimalSettings(const Model &M,
   Result.BestPoint = ToPoint(Population[Best]);
   Result.PredictedResponse = Scores[Best];
   Result.GenerationsRun = Gen;
+  if (telemetry::enabled()) {
+    telemetry::counter("ga.searches").add(1);
+    telemetry::counter("ga.generations").add(static_cast<uint64_t>(Gen));
+    telemetry::counter("ga.evaluations").add(Cache.evaluations());
+    telemetry::counter("ga.cache_hits").add(Cache.hits());
+    if (Cache.evaluations())
+      telemetry::gauge("ga.cache_hit_rate")
+          .set(static_cast<double>(Cache.hits()) /
+               static_cast<double>(Cache.evaluations()));
+  }
   return Result;
 }

@@ -1,0 +1,469 @@
+//===- telemetry/Telemetry.cpp - Counters, timers, trace export ---------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Global state
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fast-path flags, readable without the registry mutex.
+std::atomic<bool> AnyEnabled{false};
+std::atomic<bool> TraceOn{false};
+std::atomic<bool> ConfigLatched{false};
+
+struct Registry {
+  std::mutex Mutex;
+  Config Cfg;
+  bool AtExitRegistered = false;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+
+  // Ordered maps give deterministic sink output. Metric objects are
+  // heap-allocated so references survive rehash-free forever.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> Timers;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> Series_;
+
+  std::vector<SpanEvent> Spans;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // Intentionally leaked: atexit-safe.
+  return *R;
+}
+
+void applyConfigLocked(Registry &R, const Config &C) {
+  R.Cfg = C;
+  AnyEnabled.store(C.Sinks != SinkNone, std::memory_order_relaxed);
+  TraceOn.store((C.Sinks & SinkTrace) != 0, std::memory_order_relaxed);
+  ConfigLatched.store(true, std::memory_order_release);
+  if (C.Sinks != SinkNone && !R.AtExitRegistered) {
+    R.AtExitRegistered = true;
+    std::atexit([] { telemetry::flush(); });
+  }
+}
+
+/// Latches the env-derived config on first use.
+void ensureLatched() {
+  if (ConfigLatched.load(std::memory_order_acquire))
+    return;
+  Config C = configFromEnv();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  if (!ConfigLatched.load(std::memory_order_relaxed))
+    applyConfigLocked(R, C);
+}
+
+/// Small dense per-thread id for trace events.
+uint32_t threadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+std::string escapeJson(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void writeFileOrWarn(const std::string &Path, const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "msem telemetry: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fwrite(Content.data(), 1, Content.size(), F);
+  std::fclose(F);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+Config telemetry::configFromEnv() {
+  Config C;
+  const char *Sinks = std::getenv("MSEM_TELEMETRY");
+  if (Sinks && *Sinks) {
+    for (const std::string &Raw : splitString(Sinks, ',')) {
+      std::string Name = trimString(Raw);
+      if (Name == "summary")
+        C.Sinks |= SinkSummary;
+      else if (Name == "jsonl")
+        C.Sinks |= SinkJsonl;
+      else if (Name == "trace")
+        C.Sinks |= SinkTrace;
+      else if (Name == "all")
+        C.Sinks |= SinkSummary | SinkJsonl | SinkTrace;
+      else if (!Name.empty())
+        std::fprintf(stderr,
+                     "msem telemetry: unknown sink '%s' in MSEM_TELEMETRY "
+                     "(expected summary, jsonl, trace, all)\n",
+                     Name.c_str());
+    }
+  }
+  if (const char *F = std::getenv("MSEM_TRACE_FILE"); F && *F)
+    C.TraceFile = F;
+  if (const char *F = std::getenv("MSEM_METRICS_FILE"); F && *F)
+    C.MetricsFile = F;
+  return C;
+}
+
+void telemetry::configure(const Config &C) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  applyConfigLocked(R, C);
+}
+
+Config telemetry::currentConfig() {
+  ensureLatched();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Cfg;
+}
+
+bool telemetry::enabled() {
+  ensureLatched();
+  return AnyEnabled.load(std::memory_order_relaxed);
+}
+
+bool telemetry::traceEnabled() {
+  ensureLatched();
+  return TraceOn.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Metric types
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)) {
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+  Buckets = std::make_unique<std::atomic<uint64_t>[]>(Bounds.size() + 1);
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double X) {
+  size_t I =
+      std::lower_bound(Bounds.begin(), Bounds.end(), X) - Bounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::totalCount() const {
+  uint64_t Total = 0;
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Total += Buckets[I].load(std::memory_order_relaxed);
+  return Total;
+}
+
+void Series::record(double X, double Y) {
+  uint64_t Ts = traceEnabled() ? nowNs() : 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Points.push_back({X, Y, Ts});
+}
+
+std::vector<Series::Point> Series::points() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Points;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Points.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry access
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename MapT, typename... Args>
+auto &findOrCreate(MapT &Map, std::string_view Name, Args &&...CtorArgs) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = Map.find(Name);
+  if (It == Map.end())
+    It = Map.emplace(std::string(Name),
+                     std::make_unique<typename MapT::mapped_type::element_type>(
+                         std::forward<Args>(CtorArgs)...))
+             .first;
+  return *It->second;
+}
+
+} // namespace
+
+Counter &telemetry::counter(std::string_view Name) {
+  return findOrCreate(registry().Counters, Name);
+}
+
+Gauge &telemetry::gauge(std::string_view Name) {
+  return findOrCreate(registry().Gauges, Name);
+}
+
+Timer &telemetry::timer(std::string_view Name) {
+  return findOrCreate(registry().Timers, Name);
+}
+
+Series &telemetry::series(std::string_view Name) {
+  return findOrCreate(registry().Series_, Name);
+}
+
+Histogram &telemetry::histogram(std::string_view Name,
+                                std::vector<double> UpperBounds) {
+  return findOrCreate(registry().Histograms, Name, std::move(UpperBounds));
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+uint64_t telemetry::nowNs() {
+  Registry &R = registry();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - R.Epoch)
+          .count());
+}
+
+ScopedTimer::ScopedTimer(std::string_view Name) {
+  if (!enabled())
+    return;
+  Active = true;
+  this->Name = std::string(Name);
+  StartNs = nowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!Active)
+    return;
+  uint64_t End = nowNs();
+  uint64_t Dur = End > StartNs ? End - StartNs : 0;
+  timer(Name).add(Dur);
+  if (traceEnabled()) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Spans.push_back({std::move(Name), StartNs, Dur, threadId()});
+  }
+}
+
+uint64_t ScopedTimer::elapsedNs() const {
+  return Active ? nowNs() - StartNs : 0;
+}
+
+std::vector<SpanEvent> telemetry::spans() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Spans;
+}
+
+//===----------------------------------------------------------------------===//
+// Sinks
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::renderSummary() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+
+  if (!R.Counters.empty()) {
+    TablePrinter T({"Counter", "Value"});
+    for (const auto &[Name, C] : R.Counters)
+      T.addRow({Name, formatString("%llu", (unsigned long long)C->value())});
+    Out += "-- telemetry: counters --\n" + T.render();
+  }
+  if (!R.Gauges.empty()) {
+    TablePrinter T({"Gauge", "Value"});
+    for (const auto &[Name, G] : R.Gauges)
+      T.addRow({Name, formatString("%.6g", G->value())});
+    Out += "-- telemetry: gauges --\n" + T.render();
+  }
+  if (!R.Timers.empty()) {
+    // Sorted by total time descending, the -time-passes convention.
+    std::vector<std::pair<std::string, const Timer *>> Sorted;
+    for (const auto &[Name, T] : R.Timers)
+      Sorted.emplace_back(Name, T.get());
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second->totalNs() > B.second->totalNs();
+                     });
+    TablePrinter T({"Timer", "Calls", "Total ms", "Mean ms"});
+    for (const auto &[Name, Tm] : Sorted) {
+      double TotalMs = Tm->totalNs() / 1e6;
+      uint64_t N = Tm->count();
+      T.addRow({Name, formatString("%llu", (unsigned long long)N),
+                formatString("%.3f", TotalMs),
+                formatString("%.3f", N ? TotalMs / N : 0.0)});
+    }
+    Out += "-- telemetry: timers --\n" + T.render();
+  }
+  if (!R.Histograms.empty()) {
+    TablePrinter T({"Histogram", "Count", "Buckets (<=bound: n)"});
+    for (const auto &[Name, H] : R.Histograms) {
+      std::vector<std::string> Parts;
+      for (size_t I = 0; I < H->bounds().size(); ++I)
+        if (uint64_t N = H->bucketCount(I))
+          Parts.push_back(formatString("<=%g: %llu", H->bounds()[I],
+                                       (unsigned long long)N));
+      if (uint64_t N = H->bucketCount(H->bounds().size()))
+        Parts.push_back(formatString(">: %llu", (unsigned long long)N));
+      T.addRow({Name,
+                formatString("%llu", (unsigned long long)H->totalCount()),
+                joinStrings(Parts, "  ")});
+    }
+    Out += "-- telemetry: histograms --\n" + T.render();
+  }
+  if (!R.Series_.empty()) {
+    TablePrinter T({"Series", "Points", "First (x, y)", "Last (x, y)"});
+    for (const auto &[Name, S] : R.Series_) {
+      auto Pts = S->points();
+      std::string First =
+          Pts.empty() ? "-"
+                      : formatString("(%g, %g)", Pts.front().X, Pts.front().Y);
+      std::string Last =
+          Pts.empty() ? "-"
+                      : formatString("(%g, %g)", Pts.back().X, Pts.back().Y);
+      T.addRow({Name, formatString("%zu", Pts.size()), First, Last});
+    }
+    Out += "-- telemetry: series --\n" + T.render();
+  }
+  return Out;
+}
+
+std::string telemetry::renderMetricsJsonl() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+
+  for (const auto &[Name, C] : R.Counters)
+    Out += formatString("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                        escapeJson(Name).c_str(),
+                        (unsigned long long)C->value());
+  for (const auto &[Name, G] : R.Gauges)
+    Out += formatString("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.17g}\n",
+                        escapeJson(Name).c_str(), G->value());
+  for (const auto &[Name, T] : R.Timers)
+    Out += formatString("{\"type\":\"timer\",\"name\":\"%s\",\"count\":%llu,"
+                        "\"total_ns\":%llu}\n",
+                        escapeJson(Name).c_str(),
+                        (unsigned long long)T->count(),
+                        (unsigned long long)T->totalNs());
+  for (const auto &[Name, H] : R.Histograms) {
+    std::vector<std::string> BoundStrs, CountStrs;
+    for (double B : H->bounds())
+      BoundStrs.push_back(formatString("%.17g", B));
+    for (size_t I = 0; I <= H->bounds().size(); ++I)
+      CountStrs.push_back(
+          formatString("%llu", (unsigned long long)H->bucketCount(I)));
+    Out += formatString(
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"bounds\":[%s],"
+        "\"counts\":[%s]}\n",
+        escapeJson(Name).c_str(), joinStrings(BoundStrs, ",").c_str(),
+        joinStrings(CountStrs, ",").c_str());
+  }
+  for (const auto &[Name, S] : R.Series_) {
+    std::vector<std::string> PointStrs;
+    for (const Series::Point &P : S->points())
+      PointStrs.push_back(formatString("[%.17g,%.17g]", P.X, P.Y));
+    Out += formatString("{\"type\":\"series\",\"name\":\"%s\",\"points\":[%s]}\n",
+                        escapeJson(Name).c_str(),
+                        joinStrings(PointStrs, ",").c_str());
+  }
+  return Out;
+}
+
+std::string telemetry::renderTraceJson() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::string> Events;
+
+  // Complete ("X") events: ts/dur in microseconds per the trace format.
+  for (const SpanEvent &S : R.Spans)
+    Events.push_back(formatString(
+        "{\"name\":\"%s\",\"cat\":\"msem\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+        escapeJson(S.Name).c_str(), S.StartNs / 1e3, S.DurationNs / 1e3,
+        S.ThreadId));
+
+  // Series with timestamps export as counter ("C") tracks.
+  for (const auto &[Name, S] : R.Series_)
+    for (const Series::Point &P : S->points())
+      if (P.TsNs)
+        Events.push_back(formatString(
+            "{\"name\":\"%s\",\"cat\":\"msem\",\"ph\":\"C\",\"ts\":%.3f,"
+            "\"pid\":1,\"args\":{\"value\":%.17g}}",
+            escapeJson(Name).c_str(), P.TsNs / 1e3, P.Y));
+
+  return "{\"traceEvents\":[\n" + joinStrings(Events, ",\n") +
+         "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void telemetry::flush() {
+  Config C = currentConfig();
+  if (C.Sinks & SinkSummary) {
+    std::string Summary = renderSummary();
+    std::fwrite(Summary.data(), 1, Summary.size(), stderr);
+  }
+  if (C.Sinks & SinkJsonl)
+    writeFileOrWarn(C.MetricsFile, renderMetricsJsonl());
+  if (C.Sinks & SinkTrace)
+    writeFileOrWarn(C.TraceFile, renderTraceJson());
+}
+
+void telemetry::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Counters.clear();
+  R.Gauges.clear();
+  R.Timers.clear();
+  R.Histograms.clear();
+  R.Series_.clear();
+  R.Spans.clear();
+  R.Cfg = Config();
+  AnyEnabled.store(false, std::memory_order_relaxed);
+  TraceOn.store(false, std::memory_order_relaxed);
+  // Leave ConfigLatched set: a reset configuration means "disabled", not
+  // "re-read the environment".
+  ConfigLatched.store(true, std::memory_order_release);
+}

@@ -1,0 +1,270 @@
+//===- telemetry/Telemetry.h - Counters, timers, trace export ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight instrumentation for the whole experiment pipeline: a global
+/// registry of named counters / gauges / histograms / timers / series, RAII
+/// span timers with nesting, and pluggable output sinks:
+///
+///   - "summary": aligned tables on stderr (TablePrinter),
+///   - "jsonl":   one JSON object per metric in MSEM_METRICS_FILE,
+///   - "trace":   Chrome trace-event JSON in MSEM_TRACE_FILE, loadable in
+///                chrome://tracing or https://ui.perfetto.dev.
+///
+/// Sinks are selected via MSEM_TELEMETRY (comma-separated list, e.g.
+/// "summary,trace") or programmatically with telemetry::configure(). When
+/// no sink is configured every convenience entry point is a branch on one
+/// relaxed atomic load and nothing allocates; instrumented code guards any
+/// expensive argument computation behind telemetry::enabled().
+///
+/// Metric objects returned from the registry have stable addresses for the
+/// lifetime of the process, so hot paths may cache the reference. All
+/// mutation is thread-safe: scalar metrics use plain atomics; the registry
+/// and span/series buffers take a mutex on the (rare) slow paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_TELEMETRY_H
+#define MSEM_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace msem {
+namespace telemetry {
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+/// Bitmask of output sinks.
+enum Sink : unsigned {
+  SinkNone = 0,
+  SinkSummary = 1u << 0, ///< Human-readable tables on stderr.
+  SinkJsonl = 1u << 1,   ///< One JSON object per metric, one per line.
+  SinkTrace = 1u << 2,   ///< Chrome trace-event JSON.
+};
+
+struct Config {
+  unsigned Sinks = SinkNone;
+  std::string TraceFile = "msem_trace.json";
+  std::string MetricsFile = "msem_metrics.jsonl";
+};
+
+/// Parses MSEM_TELEMETRY / MSEM_TRACE_FILE / MSEM_METRICS_FILE. Unknown
+/// sink names are ignored.
+Config configFromEnv();
+
+/// Overrides the environment-derived configuration (tests and demos).
+/// Safe to call at any time; an earlier env-latch is replaced.
+void configure(const Config &C);
+
+/// The active configuration (latched from the environment on first use).
+Config currentConfig();
+
+/// True when at least one sink is active. One relaxed atomic load.
+bool enabled();
+
+/// True when the trace sink is active (spans and series timestamps are
+/// only buffered in that case).
+bool traceEnabled();
+
+//===----------------------------------------------------------------------===//
+// Metric types
+//===----------------------------------------------------------------------===//
+
+/// Monotonic unsigned counter.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Last-write-wins floating-point value with a signed accumulate option.
+class Gauge {
+public:
+  void set(double X) { Value.store(X, std::memory_order_relaxed); }
+  void add(double Delta) {
+    double Cur = Value.load(std::memory_order_relaxed);
+    while (!Value.compare_exchange_weak(Cur, Cur + Delta,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Value{0.0};
+};
+
+/// Accumulated wall time plus invocation count (what -time-passes shows).
+class Timer {
+public:
+  void add(uint64_t Ns) {
+    TotalNs.fetch_add(Ns, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t totalNs() const { return TotalNs.load(std::memory_order_relaxed); }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> TotalNs{0};
+  std::atomic<uint64_t> Count{0};
+};
+
+/// Fixed-bucket histogram. Bucket I counts observations <= Bounds[I]; one
+/// implicit overflow bucket counts the rest.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double X);
+
+  size_t numBuckets() const { return Bounds.size() + 1; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t totalCount() const;
+  const std::vector<double> &bounds() const { return Bounds; }
+
+private:
+  std::vector<double> Bounds; ///< Sorted ascending.
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+};
+
+/// An append-only (x, y) trajectory -- GCV per pruning step, GA best per
+/// generation, CI bound per window. When the trace sink is active each
+/// point also carries a wall-clock timestamp and is exported as a Chrome
+/// counter event, so trajectories render as counter tracks in Perfetto.
+class Series {
+public:
+  void record(double X, double Y);
+
+  struct Point {
+    double X, Y;
+    uint64_t TsNs; ///< Monotonic, 0 when the trace sink was inactive.
+  };
+  std::vector<Point> points() const;
+  size_t size() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<Point> Points;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry access
+//===----------------------------------------------------------------------===//
+
+/// Finds or creates the named metric. References stay valid until reset().
+/// Always functional, even with every sink disabled.
+Counter &counter(std::string_view Name);
+Gauge &gauge(std::string_view Name);
+Timer &timer(std::string_view Name);
+Series &series(std::string_view Name);
+/// \p UpperBounds is consulted only on first registration of \p Name.
+Histogram &histogram(std::string_view Name, std::vector<double> UpperBounds);
+
+//===----------------------------------------------------------------------===//
+// Convenience entry points (no-ops when telemetry is disabled)
+//===----------------------------------------------------------------------===//
+
+inline void count(std::string_view Name, uint64_t Delta = 1) {
+  if (enabled())
+    counter(Name).add(Delta);
+}
+inline void gaugeSet(std::string_view Name, double X) {
+  if (enabled())
+    gauge(Name).set(X);
+}
+inline void gaugeAdd(std::string_view Name, double Delta) {
+  if (enabled())
+    gauge(Name).add(Delta);
+}
+inline void observe(std::string_view Name, double X,
+                    std::vector<double> UpperBounds) {
+  if (enabled())
+    histogram(Name, std::move(UpperBounds)).observe(X);
+}
+inline void record(std::string_view Name, double X, double Y) {
+  if (enabled())
+    series(Name).record(X, Y);
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+/// Monotonic nanoseconds since telemetry initialization.
+uint64_t nowNs();
+
+/// RAII wall-time span. Accumulates into timer(Name) and, when the trace
+/// sink is active, buffers a trace event. Nesting falls out of Chrome's
+/// containment semantics for same-thread "X" events. Costs one atomic
+/// load when telemetry is disabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string_view Name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Nanoseconds since construction (0 when telemetry was disabled).
+  uint64_t elapsedNs() const;
+
+private:
+  std::string Name; ///< Empty when inactive.
+  uint64_t StartNs = 0;
+  bool Active = false;
+};
+
+/// A completed span, exposed for tests and custom sinks.
+struct SpanEvent {
+  std::string Name;
+  uint64_t StartNs = 0;
+  uint64_t DurationNs = 0;
+  uint32_t ThreadId = 0; ///< Small dense index, not the OS tid.
+};
+
+/// Snapshot of all completed spans (trace sink active only).
+std::vector<SpanEvent> spans();
+
+//===----------------------------------------------------------------------===//
+// Output
+//===----------------------------------------------------------------------===//
+
+/// Renders the summary tables (counters, gauges, timers sorted by total
+/// time, histograms, series) regardless of configured sinks.
+std::string renderSummary();
+
+/// Renders every metric as one JSON object per line.
+std::string renderMetricsJsonl();
+
+/// Renders buffered spans and series as a Chrome trace-event JSON document.
+std::string renderTraceJson();
+
+/// Writes all configured sinks: summary to stderr, jsonl/trace to their
+/// configured files. Also registered via atexit on first initialization
+/// with any sink active, so programs need no explicit call.
+void flush();
+
+/// Drops all metrics, spans and the latched configuration (tests).
+void reset();
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_TELEMETRY_H

@@ -32,6 +32,8 @@ uint64_t OoOCore::fetch(const RetiredInstr &RI) {
     uint64_t Ready = Memory.accessInstr(Pc, FetchCycle);
     // A hit costs the (pipelined) L1 latency; a miss stalls fetch.
     if (Ready > FetchCycle + MachineConfig::IcacheLatency) {
+      Stats.FetchIcacheStallCycles +=
+          Ready - (FetchCycle + MachineConfig::IcacheLatency);
       FetchCycle = Ready;
       FetchedThisCycle = 0;
     }
@@ -68,6 +70,7 @@ void OoOCore::handleBranch(const RetiredInstr &RI, uint64_t ResolveCycle) {
     // Fetch restarts after the branch resolves plus the redirect penalty.
     uint64_t Restart = ResolveCycle + MachineConfig::MispredictPenalty;
     if (Restart > FetchCycle) {
+      Stats.FetchRedirectStallCycles += Restart - FetchCycle;
       FetchCycle = Restart;
       FetchedThisCycle = 0;
     }
@@ -104,8 +107,10 @@ void OoOCore::consume(const RetiredInstr &RI) {
   // RUU space: the entry of the instruction RuuSize older must have
   // committed.
   uint64_t OldestCommit = RuuCommitRing[RuuPos];
-  if (Dispatch < OldestCommit)
+  if (Dispatch < OldestCommit) {
+    Stats.DispatchRuuStallCycles += OldestCommit - Dispatch;
     Dispatch = OldestCommit;
+  }
 
   // ---- Operand readiness --------------------------------------------------
   uint64_t Ready = Dispatch;
@@ -113,6 +118,7 @@ void OoOCore::consume(const RetiredInstr &RI) {
   unsigned NS = MI.srcRegs(Srcs);
   for (unsigned S = 0; S < NS; ++S)
     Ready = std::max(Ready, RegReady[Srcs[S]]);
+  Stats.IssueOperandStallCycles += Ready - Dispatch;
 
   // ---- Issue to a functional unit ----------------------------------------
   FuClass Class = MI.fuClass();
@@ -124,6 +130,7 @@ void OoOCore::consume(const RetiredInstr &RI) {
       if (Pool[U] < Pool[Best])
         Best = U;
     Issue = std::max(Ready, Pool[Best]);
+    Stats.IssueFuStallCycles += Issue - Ready;
     Pool[Best] = Issue + (MachineConfig::fuUnpipelined(Class)
                               ? MachineConfig::fuLatency(Class)
                               : 1);
@@ -189,6 +196,7 @@ void OoOCore::consume(const RetiredInstr &RI) {
         Best = E;
     if (StoreBuffer[Best] > Commit) {
       ++Stats.StoreBufferStalls;
+      Stats.CommitDrainStallCycles += StoreBuffer[Best] - Commit;
       Commit = StoreBuffer[Best];
     }
     uint64_t Done = Memory.accessData(RI.MemAddr, /*IsWrite=*/true,

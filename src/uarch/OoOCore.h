@@ -49,6 +49,17 @@ struct PipelineStats {
   uint64_t Stores = 0;
   uint64_t LoadForwards = 0;
   uint64_t StoreBufferStalls = 0;
+
+  // Stall attribution: cycles an instruction waited in each stage beyond
+  // the structural minimum. Per-instruction sums, so overlapping waits of
+  // independent instructions are counted once each (they measure queueing
+  // pressure, not a cycle-exact breakdown of execution time).
+  uint64_t FetchIcacheStallCycles = 0;   ///< Fetch frozen on an I-miss.
+  uint64_t FetchRedirectStallCycles = 0; ///< Fetch frozen on a mispredict.
+  uint64_t DispatchRuuStallCycles = 0;   ///< Waiting for RUU space.
+  uint64_t IssueOperandStallCycles = 0;  ///< Waiting for source operands.
+  uint64_t IssueFuStallCycles = 0;       ///< Waiting for a functional unit.
+  uint64_t CommitDrainStallCycles = 0;   ///< Waiting for store-buffer drain.
 };
 
 /// The detailed timing model. Consume the retired-instruction stream and

@@ -2,11 +2,54 @@
 
 #include "uarch/Simulator.h"
 
+#include "telemetry/Telemetry.h"
+
 using namespace msem;
+
+/// Exports one simulation's counters into the global telemetry registry.
+/// Counters accumulate across runs, giving campaign-wide totals.
+void msem::exportSimulationTelemetry(const SimulationResult &R) {
+  namespace tl = telemetry;
+  if (!tl::enabled())
+    return;
+  tl::counter("sim.runs").add(1);
+  tl::counter("sim.instructions").add(R.Pipeline.Instructions);
+  tl::counter("sim.cycles").add(R.Cycles);
+  if (R.Cycles)
+    tl::gauge("sim.ipc").set(static_cast<double>(R.Pipeline.Instructions) /
+                             static_cast<double>(R.Cycles));
+
+  tl::counter("sim.branch.lookups").add(R.Branch.Lookups);
+  tl::counter("sim.branch.mispredicts").add(R.Branch.Mispredicts);
+  tl::counter("sim.pipeline.branches").add(R.Pipeline.Branches);
+  tl::counter("sim.pipeline.loads").add(R.Pipeline.Loads);
+  tl::counter("sim.pipeline.stores").add(R.Pipeline.Stores);
+  tl::counter("sim.pipeline.load_forwards").add(R.Pipeline.LoadForwards);
+
+  tl::counter("sim.mem.icache.accesses").add(R.Memory.IcacheAccesses);
+  tl::counter("sim.mem.icache.misses").add(R.Memory.IcacheMisses);
+  tl::counter("sim.mem.dcache.accesses").add(R.Memory.DcacheAccesses);
+  tl::counter("sim.mem.dcache.misses").add(R.Memory.DcacheMisses);
+  tl::counter("sim.mem.l2.misses").add(R.Memory.L2Misses);
+  tl::counter("sim.mem.writebacks").add(R.Memory.Writebacks);
+  tl::counter("sim.mem.prefetches").add(R.Memory.Prefetches);
+
+  tl::counter("sim.stall.fetch_icache").add(R.Pipeline.FetchIcacheStallCycles);
+  tl::counter("sim.stall.fetch_redirect")
+      .add(R.Pipeline.FetchRedirectStallCycles);
+  tl::counter("sim.stall.dispatch_ruu").add(R.Pipeline.DispatchRuuStallCycles);
+  tl::counter("sim.stall.issue_operand")
+      .add(R.Pipeline.IssueOperandStallCycles);
+  tl::counter("sim.stall.issue_fu").add(R.Pipeline.IssueFuStallCycles);
+  tl::counter("sim.stall.commit_drain")
+      .add(R.Pipeline.CommitDrainStallCycles);
+}
 
 SimulationResult msem::simulateDetailed(const MachineProgram &Prog,
                                         const MachineConfig &Config,
                                         uint64_t MaxInstructions) {
+  telemetry::ScopedTimer Span("sim.detailed");
+
   MemoryHierarchy Memory(Config);
   CombinedPredictor Predictor(Config.BranchPredictorSize,
                               MachineConfig::ReturnStackEntries);
@@ -20,7 +63,13 @@ SimulationResult msem::simulateDetailed(const MachineProgram &Prog,
   R.Cycles = Core.cycles();
   R.Pipeline = Core.stats();
   R.Memory = Memory.stats();
-  R.BranchLookups = Predictor.lookups();
-  R.BranchMispredicts = Predictor.mispredicts();
+  R.Branch.Lookups = Predictor.lookups();
+  R.Branch.Mispredicts = Predictor.mispredicts();
+
+  exportSimulationTelemetry(R);
+  if (uint64_t Ns = Span.elapsedNs(); Ns > 0 && R.Pipeline.Instructions)
+    telemetry::gauge("sim.detailed.minstr_per_sec")
+        .set(static_cast<double>(R.Pipeline.Instructions) * 1e3 /
+             static_cast<double>(Ns));
   return R;
 }

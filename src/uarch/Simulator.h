@@ -20,14 +20,27 @@
 
 namespace msem {
 
+/// Branch-predictor counters, kept as a struct alongside Pipeline/Memory
+/// so all three stat groups export uniformly (telemetry names
+/// "sim.branch.*").
+struct BranchStats {
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+
+  double mispredictRate() const {
+    return Lookups ? static_cast<double>(Mispredicts) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
+  }
+};
+
 /// Result of a detailed whole-program simulation.
 struct SimulationResult {
   ExecResult Exec;          ///< Architectural outcome (return, output).
   uint64_t Cycles = 0;      ///< Total execution time.
   PipelineStats Pipeline;   ///< Core counters.
   MemoryStats Memory;       ///< Cache/bus counters.
-  uint64_t BranchLookups = 0;
-  uint64_t BranchMispredicts = 0;
+  BranchStats Branch;       ///< Predictor counters.
 
   double cpi() const {
     return Pipeline.Instructions
@@ -41,6 +54,11 @@ struct SimulationResult {
 SimulationResult simulateDetailed(const MachineProgram &Prog,
                                   const MachineConfig &Config,
                                   uint64_t MaxInstructions = 4'000'000'000ull);
+
+/// Adds one run's pipeline/memory/branch counters to the global telemetry
+/// registry under "sim.*" names. No-op when telemetry is disabled; called
+/// automatically by simulateDetailed.
+void exportSimulationTelemetry(const SimulationResult &R);
 
 } // namespace msem
 

@@ -1,0 +1,371 @@
+//===- tests/telemetry_test.cpp - Telemetry library tests ---------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+
+using namespace msem;
+namespace tl = msem::telemetry;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON well-formedness checker (objects, arrays, strings,
+// numbers, literals). Used to parse the trace/JSONL output back.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view Text) : Text(Text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\')
+        ++Pos;
+      ++Pos;
+    }
+    if (Pos >= Text.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(std::string_view L) {
+    if (Text.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// Fixture: every test starts from a clean registry with all sinks on
+/// (in-memory only -- render*() is called directly, flush() never is).
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    tl::reset();
+    tl::Config C;
+    C.Sinks = tl::SinkSummary | tl::SinkJsonl | tl::SinkTrace;
+    tl::configure(C);
+  }
+  void TearDown() override { tl::reset(); }
+};
+
+TEST_F(TelemetryTest, CounterRegistrationIsIdempotent) {
+  tl::Counter &A = tl::counter("test.counter");
+  tl::Counter &B = tl::counter("test.counter");
+  EXPECT_EQ(&A, &B);
+  A.add(3);
+  B.add(4);
+  EXPECT_EQ(A.value(), 7u);
+}
+
+TEST_F(TelemetryTest, ConcurrentCounterAddsMerge) {
+  tl::Counter &C = tl::counter("test.concurrent");
+  std::thread T1([&] {
+    for (int I = 0; I < 10000; ++I)
+      C.add(1);
+  });
+  std::thread T2([&] {
+    for (int I = 0; I < 10000; ++I)
+      C.add(2);
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(C.value(), 30000u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndMerge) {
+  tl::Histogram &H = tl::histogram("test.hist", {1.0, 2.0, 4.0});
+  std::thread T1([&] {
+    for (int I = 0; I < 100; ++I)
+      H.observe(0.5); // Bucket 0 (<= 1).
+  });
+  std::thread T2([&] {
+    for (int I = 0; I < 50; ++I)
+      H.observe(3.0); // Bucket 2 (<= 4).
+    H.observe(100.0); // Overflow bucket.
+  });
+  T1.join();
+  T2.join();
+  ASSERT_EQ(H.numBuckets(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 100u);
+  EXPECT_EQ(H.bucketCount(1), 0u);
+  EXPECT_EQ(H.bucketCount(2), 50u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.totalCount(), 151u);
+}
+
+TEST_F(TelemetryTest, HistogramBoundsFixedAtFirstRegistration) {
+  tl::histogram("test.hist2", {1.0, 2.0});
+  tl::Histogram &H = tl::histogram("test.hist2", {9.0, 10.0, 11.0});
+  EXPECT_EQ(H.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(TelemetryTest, GaugeSetAndSignedAccumulate) {
+  tl::Gauge &G = tl::gauge("test.gauge");
+  G.set(1.5);
+  G.add(-3.0);
+  EXPECT_DOUBLE_EQ(G.value(), -1.5);
+}
+
+TEST_F(TelemetryTest, NestedScopedTimersRecordContainedSpans) {
+  {
+    tl::ScopedTimer Outer("test.outer");
+    {
+      tl::ScopedTimer Inner("test.inner");
+      tl::counter("test.work").add(1);
+    }
+  }
+  std::vector<tl::SpanEvent> Spans = tl::spans();
+  ASSERT_EQ(Spans.size(), 2u);
+  // Destruction order: inner completes first.
+  EXPECT_EQ(Spans[0].Name, "test.inner");
+  EXPECT_EQ(Spans[1].Name, "test.outer");
+  const tl::SpanEvent &Inner = Spans[0], &Outer = Spans[1];
+  // Chrome's nesting rule: the inner span is contained in the outer.
+  EXPECT_GE(Inner.StartNs, Outer.StartNs);
+  EXPECT_LE(Inner.StartNs + Inner.DurationNs,
+            Outer.StartNs + Outer.DurationNs);
+  // And both accumulated into their timers.
+  EXPECT_EQ(tl::timer("test.outer").count(), 1u);
+  EXPECT_EQ(tl::timer("test.inner").count(), 1u);
+  EXPECT_GE(tl::timer("test.outer").totalNs(),
+            tl::timer("test.inner").totalNs());
+}
+
+TEST_F(TelemetryTest, TraceJsonParsesBack) {
+  {
+    tl::ScopedTimer A("phase \"quoted\"\\slashed");
+    tl::ScopedTimer B("phase.inner");
+  }
+  tl::series("test.series").record(0, 1.5);
+  tl::series("test.series").record(1, 2.5);
+
+  std::string Trace = tl::renderTraceJson();
+  EXPECT_TRUE(JsonChecker(Trace).valid()) << Trace;
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"ph\":\"X\""), std::string::npos);
+  // Series points recorded with trace on become counter events.
+  EXPECT_NE(Trace.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MetricsJsonlEveryLineParses) {
+  tl::counter("test.counter").add(42);
+  tl::gauge("test.gauge").set(3.25);
+  tl::timer("test.timer").add(1000);
+  tl::histogram("test.hist", {1.0}).observe(0.5);
+  tl::series("test.series").record(1, 2);
+
+  std::string Jsonl = tl::renderMetricsJsonl();
+  size_t Lines = 0, Pos = 0;
+  while (Pos < Jsonl.size()) {
+    size_t Nl = Jsonl.find('\n', Pos);
+    ASSERT_NE(Nl, std::string::npos);
+    std::string_view Line(Jsonl.data() + Pos, Nl - Pos);
+    EXPECT_TRUE(JsonChecker(Line).valid()) << Line;
+    Pos = Nl + 1;
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 5u);
+  EXPECT_NE(Jsonl.find("\"value\":42"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SummaryIncludesAllMetricKinds) {
+  tl::counter("test.counter").add(7);
+  tl::gauge("test.gauge").set(2.5);
+  {
+    tl::ScopedTimer T("test.span");
+  }
+  tl::histogram("test.hist", {1.0}).observe(0.5);
+  tl::series("test.series").record(3, 4);
+
+  std::string Summary = tl::renderSummary();
+  EXPECT_NE(Summary.find("test.counter"), std::string::npos);
+  EXPECT_NE(Summary.find("test.gauge"), std::string::npos);
+  EXPECT_NE(Summary.find("test.span"), std::string::npos);
+  EXPECT_NE(Summary.find("test.hist"), std::string::npos);
+  EXPECT_NE(Summary.find("test.series"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SeriesKeepsOrderedTrajectory) {
+  tl::Series &S = tl::series("test.traj");
+  for (int I = 0; I < 5; ++I)
+    S.record(I, 10.0 - I);
+  auto Pts = S.points();
+  ASSERT_EQ(Pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(Pts[0].Y, 10.0);
+  EXPECT_DOUBLE_EQ(Pts[4].Y, 6.0);
+  // Trace sink was on, so timestamps are monotonic non-decreasing.
+  for (size_t I = 1; I < Pts.size(); ++I)
+    EXPECT_GE(Pts[I].TsNs, Pts[I - 1].TsNs);
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled path
+//===----------------------------------------------------------------------===//
+
+class TelemetryDisabledTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    tl::reset(); // Leaves everything disabled, no env re-read.
+  }
+  void TearDown() override { tl::reset(); }
+};
+
+TEST_F(TelemetryDisabledTest, RegistryStillSafeWhenDisabled) {
+  EXPECT_FALSE(tl::enabled());
+  EXPECT_FALSE(tl::traceEnabled());
+  // Direct registry access keeps working.
+  tl::counter("off.counter").add(5);
+  EXPECT_EQ(tl::counter("off.counter").value(), 5u);
+  // Convenience entry points are no-ops: nothing is registered.
+  tl::count("off.convenience", 3);
+  tl::gaugeSet("off.gauge", 1.0);
+  tl::record("off.series", 1, 2);
+  std::string Jsonl = tl::renderMetricsJsonl();
+  EXPECT_EQ(Jsonl.find("off.convenience"), std::string::npos);
+  EXPECT_EQ(Jsonl.find("off.gauge"), std::string::npos);
+  EXPECT_EQ(Jsonl.find("off.series"), std::string::npos);
+}
+
+TEST_F(TelemetryDisabledTest, ScopedTimerIsInertWhenDisabled) {
+  {
+    tl::ScopedTimer T("off.span");
+    EXPECT_EQ(T.elapsedNs(), 0u);
+  }
+  EXPECT_TRUE(tl::spans().empty());
+  EXPECT_EQ(tl::timer("off.span").count(), 0u);
+}
+
+TEST_F(TelemetryDisabledTest, ConfigureEnablesAndReconfigures) {
+  tl::Config C;
+  C.Sinks = tl::SinkTrace;
+  C.TraceFile = "custom_trace.json";
+  tl::configure(C);
+  EXPECT_TRUE(tl::enabled());
+  EXPECT_TRUE(tl::traceEnabled());
+  EXPECT_EQ(tl::currentConfig().TraceFile, "custom_trace.json");
+  C.Sinks = tl::SinkNone;
+  tl::configure(C);
+  EXPECT_FALSE(tl::enabled());
+}
+
+TEST_F(TelemetryDisabledTest, ConfigFromEnvParsesSinkList) {
+  setenv("MSEM_TELEMETRY", "summary, trace", 1);
+  setenv("MSEM_TRACE_FILE", "t.json", 1);
+  tl::Config C = tl::configFromEnv();
+  EXPECT_EQ(C.Sinks, tl::SinkSummary | tl::SinkTrace);
+  EXPECT_EQ(C.TraceFile, "t.json");
+  unsetenv("MSEM_TELEMETRY");
+  unsetenv("MSEM_TRACE_FILE");
+  EXPECT_EQ(tl::configFromEnv().Sinks, tl::SinkNone + 0u);
+}
+
+} // namespace

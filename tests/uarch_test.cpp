@@ -247,7 +247,7 @@ TEST(CoreTest, BiggerPredictorReducesMispredicts) {
   Big.BranchPredictorSize = 8192;
   SimulationResult RS = simulateDetailed(Prog, Small);
   SimulationResult RB = simulateDetailed(Prog, Big);
-  EXPECT_LE(RB.BranchMispredicts, RS.BranchMispredicts);
+  EXPECT_LE(RB.Branch.Mispredicts, RS.Branch.Mispredicts);
 }
 
 TEST(CoreTest, RuuSizeBoundsIlp) {
@@ -267,7 +267,7 @@ TEST(CoreTest, StatsAreConsistent) {
   SimulationResult R = simulateDetailed(Prog, MachineConfig::typical());
   EXPECT_EQ(R.Pipeline.Instructions, R.Exec.InstructionsExecuted);
   EXPECT_GE(R.Pipeline.Branches, 200u); // At least the loop back edges.
-  EXPECT_GE(R.BranchLookups, R.BranchMispredicts);
+  EXPECT_GE(R.Branch.Lookups, R.Branch.Mispredicts);
   EXPECT_GT(R.Pipeline.Loads, 0u);
   EXPECT_GT(R.Pipeline.Stores, 0u);
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# msem_lint: strict build + instrumented test run.
+#
+# Builds the whole tree with -Wall -Wextra -Werror in a dedicated build
+# directory, then runs the full test suite with MSEM_TELEMETRY=summary so
+# every telemetry-instrumented code path is exercised (metrics go to
+# stderr; test results are unaffected).
+#
+# Usage: tools/msem_lint.sh [build-dir]   (default: build-lint)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-lint}"
+
+cmake -B "$BUILD_DIR" -S . -DMSEM_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+MSEM_TELEMETRY=summary ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on)"
