@@ -6,9 +6,14 @@
 #include "opt/Passes.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 #include "uarch/EnergyModel.h"
 
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <unistd.h>
 #include <sys/stat.h>
 
 using namespace msem;
@@ -38,6 +43,14 @@ MachineProgram msem::compileWorkloadBinary(const std::string &Workload,
 
 ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
     : Space(Space), Opts(std::move(Opts)) {
+  DiskKeyPrefix = this->Opts.Workload;
+  DiskKeyPrefix += '|';
+  DiskKeyPrefix += workloadVersion();
+  DiskKeyPrefix += '|';
+  DiskKeyPrefix += inputSetName(this->Opts.Input);
+  DiskKeyPrefix += '|';
+  DiskKeyPrefix += responseMetricName(this->Opts.Metric);
+  DiskKeyPrefix += this->Opts.UseSmarts ? "|s" : "|d";
   if (!this->Opts.CacheDir.empty()) {
     ::mkdir(this->Opts.CacheDir.c_str(), 0755);
     CacheFile = this->Opts.CacheDir + "/responses.csv";
@@ -45,57 +58,129 @@ ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
   }
 }
 
-std::string ResponseSurface::keyFor(const DesignPoint &Point) const {
-  std::string Key = Opts.Workload;
-  Key += '|';
-  Key += workloadVersion();
-  Key += '|';
-  Key += inputSetName(Opts.Input);
-  Key += '|';
-  Key += responseMetricName(Opts.Metric);
-  Key += Opts.UseSmarts ? "|s" : "|d";
+ResponseSurface::~ResponseSurface() { flushDiskCache(); }
+
+size_t ResponseSurface::simulationsRun() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Simulations;
+}
+
+size_t ResponseSurface::cacheHits() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return CacheHits;
+}
+
+std::string ResponseSurface::diskKeyFor(const DesignPoint &Point) const {
+  std::string Key = DiskKeyPrefix;
   for (int64_t V : Point)
     Key += formatString(",%lld", static_cast<long long>(V));
   return Key;
 }
 
+namespace {
+
+/// Parses the ",v1,v2,..." tail of a disk-cache key. Returns false on any
+/// malformed coordinate.
+bool parsePointSuffix(const char *S, size_t Arity, DesignPoint &Out) {
+  Out.clear();
+  Out.reserve(Arity);
+  while (*S) {
+    if (*S != ',')
+      return false;
+    ++S;
+    char *End = nullptr;
+    long long V = std::strtoll(S, &End, 10);
+    if (End == S)
+      return false;
+    Out.push_back(V);
+    S = End;
+  }
+  return Out.size() == Arity;
+}
+
+} // namespace
+
 void ResponseSurface::loadDiskCache() {
   std::FILE *F = std::fopen(CacheFile.c_str(), "r");
   if (!F)
     return;
+  // Tolerant of a concurrently-appended or partially-written file: a line
+  // is accepted only when it is newline-terminated (a truncated last line
+  // is dropped), splits on ';', carries this surface's prefix and a
+  // well-formed point of the right arity, and has a positive value.
   char Line[4096];
+  DesignPoint Point;
   while (std::fgets(Line, sizeof(Line), F)) {
-    std::string S(Line);
-    size_t Sep = S.rfind(';');
-    if (Sep == std::string::npos)
+    size_t Len = std::strlen(Line);
+    if (Len == 0 || Line[Len - 1] != '\n')
       continue;
-    std::string Key = S.substr(0, Sep);
-    double Cycles = std::strtod(S.c_str() + Sep + 1, nullptr);
-    if (Cycles > 0)
-      Cache[Key] = Cycles;
+    Line[--Len] = '\0';
+    char *Sep = std::strrchr(Line, ';');
+    if (!Sep)
+      continue;
+    *Sep = '\0';
+    if (std::strncmp(Line, DiskKeyPrefix.c_str(), DiskKeyPrefix.size()) != 0)
+      continue;
+    if (!parsePointSuffix(Line + DiskKeyPrefix.size(), Space.size(), Point))
+      continue;
+    char *End = nullptr;
+    double Value = std::strtod(Sep + 1, &End);
+    if (End == Sep + 1 || !(Value > 0))
+      continue;
+    Cache.emplace(Point, Value);
   }
   std::fclose(F);
 }
 
-void ResponseSurface::appendDiskCache(const std::string &Key,
-                                      double Cycles) {
+void ResponseSurface::flushDiskCache() {
   if (CacheFile.empty())
     return;
-  std::FILE *F = std::fopen(CacheFile.c_str(), "a");
+  // Snapshot our rows, then merge-rewrite outside the memo lock.
+  std::map<std::string, double> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    if (!DiskDirty)
+      return;
+    for (const auto &[Point, Value] : Cache)
+      Rows[diskKeyFor(Point)] = Value;
+    DiskDirty = false;
+  }
+  // Preserve rows belonging to other surfaces (and newer rows from other
+  // processes): re-read the current file and overlay ours.
+  if (std::FILE *F = std::fopen(CacheFile.c_str(), "r")) {
+    char Line[4096];
+    while (std::fgets(Line, sizeof(Line), F)) {
+      size_t Len = std::strlen(Line);
+      if (Len == 0 || Line[Len - 1] != '\n')
+        continue;
+      Line[--Len] = '\0';
+      char *Sep = std::strrchr(Line, ';');
+      if (!Sep)
+        continue;
+      *Sep = '\0';
+      char *End = nullptr;
+      double Value = std::strtod(Sep + 1, &End);
+      if (End == Sep + 1 || !(Value > 0))
+        continue;
+      Rows.emplace(Line, Value); // Our overlay wins on key collision.
+    }
+    std::fclose(F);
+  }
+  // Atomic publish: write a sibling temp file, then rename over. Readers
+  // never observe a half-written cache.
+  std::string TmpFile =
+      CacheFile + formatString(".tmp.%ld", static_cast<long>(::getpid()));
+  std::FILE *F = std::fopen(TmpFile.c_str(), "w");
   if (!F)
     return;
-  std::fprintf(F, "%s;%.1f\n", Key.c_str(), Cycles);
+  for (const auto &[Key, Value] : Rows)
+    std::fprintf(F, "%s;%.17g\n", Key.c_str(), Value);
   std::fclose(F);
+  if (std::rename(TmpFile.c_str(), CacheFile.c_str()) != 0)
+    std::remove(TmpFile.c_str());
 }
 
-double ResponseSurface::measure(const DesignPoint &Point) {
-  std::string Key = keyFor(Point);
-  auto It = Cache.find(Key);
-  if (It != Cache.end()) {
-    ++CacheHits;
-    return It->second;
-  }
-
+double ResponseSurface::computeResponse(const DesignPoint &Point) const {
   OptimizationConfig Opt = Space.toOptimizationConfig(Point);
   MachineConfig Machine = Space.toMachineConfig(Point);
   MachineProgram Prog =
@@ -103,11 +188,7 @@ double ResponseSurface::measure(const DesignPoint &Point) {
 
   if (Opts.Metric == ResponseMetric::CodeBytes) {
     // Static metric: no simulation.
-    double Bytes = static_cast<double>(Prog.Code.size()) * 4.0;
-    ++Simulations;
-    Cache[Key] = Bytes;
-    appendDiskCache(Key, Bytes);
-    return Bytes;
+    return static_cast<double>(Prog.Code.size()) * 4.0;
   }
   if (Opts.Metric == ResponseMetric::EnergyNanojoules) {
     // Energy needs the full event counts: always fully detailed.
@@ -115,38 +196,86 @@ double ResponseSurface::measure(const DesignPoint &Point) {
     if (R.Exec.Trapped)
       fatalError("workload trapped during measurement: " +
                  R.Exec.TrapMessage);
-    double Nj = estimateEnergyNanojoules(R, Machine);
-    ++Simulations;
-    Cache[Key] = Nj;
-    appendDiskCache(Key, Nj);
-    return Nj;
+    return estimateEnergyNanojoules(R, Machine);
   }
 
-  double Cycles;
   if (Opts.UseSmarts) {
     SmartsResult R = simulateSmarts(Prog, Machine, Opts.Smarts);
     if (R.Exec.Trapped)
       fatalError("workload trapped during measurement: " +
                  R.Exec.TrapMessage);
-    Cycles = static_cast<double>(R.EstimatedCycles);
-  } else {
-    SimulationResult R = simulateDetailed(Prog, Machine);
-    if (R.Exec.Trapped)
-      fatalError("workload trapped during measurement: " +
-                 R.Exec.TrapMessage);
-    Cycles = static_cast<double>(R.Cycles);
+    return static_cast<double>(R.EstimatedCycles);
   }
-  ++Simulations;
-  Cache[Key] = Cycles;
-  appendDiskCache(Key, Cycles);
-  return Cycles;
+  SimulationResult R = simulateDetailed(Prog, Machine);
+  if (R.Exec.Trapped)
+    fatalError("workload trapped during measurement: " +
+               R.Exec.TrapMessage);
+  return static_cast<double>(R.Cycles);
+}
+
+double ResponseSurface::measure(const DesignPoint &Point) {
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Point);
+    if (It != Cache.end()) {
+      ++CacheHits;
+      return It->second;
+    }
+  }
+  double Value = computeResponse(Point);
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto [It, Inserted] = Cache.emplace(Point, Value);
+    ++Simulations;
+    if (Inserted)
+      DiskDirty = true;
+    Value = It->second; // A concurrent first writer wins (same number).
+  }
+  flushDiskCache();
+  return Value;
 }
 
 std::vector<double>
 ResponseSurface::measureAll(const std::vector<DesignPoint> &Points) {
+  telemetry::ScopedTimer Span("surface.measure_all");
+
+  // Distinct unmeasured points, in first-occurrence order. Each point's
+  // response is a pure function of the point (workload generation, the
+  // pass pipeline and SMARTS are all deterministically seeded per point),
+  // so the fan-out below is bitwise deterministic.
+  std::vector<const DesignPoint *> ToMeasure;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    std::unordered_map<DesignPoint, size_t, DesignPointHash> Pending;
+    for (const DesignPoint &P : Points) {
+      if (Cache.count(P) || Pending.count(P))
+        continue;
+      Pending.emplace(P, ToMeasure.size());
+      ToMeasure.push_back(&P);
+    }
+  }
+
+  std::vector<double> Fresh(ToMeasure.size());
+  globalThreadPool().parallelFor(
+      0, ToMeasure.size(),
+      [&](size_t I) { Fresh[I] = computeResponse(*ToMeasure[I]); },
+      "measure");
+
   std::vector<double> Y;
   Y.reserve(Points.size());
-  for (const DesignPoint &P : Points)
-    Y.push_back(measure(P));
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    for (size_t I = 0; I < ToMeasure.size(); ++I)
+      Cache.emplace(*ToMeasure[I], Fresh[I]);
+    // Sequential counting semantics: the first occurrence of each new
+    // point is a simulation, every other lookup is a hit.
+    Simulations += ToMeasure.size();
+    CacheHits += Points.size() - ToMeasure.size();
+    if (!ToMeasure.empty())
+      DiskDirty = true;
+    for (const DesignPoint &P : Points)
+      Y.push_back(Cache.at(P));
+  }
+  flushDiskCache();
   return Y;
 }

@@ -13,6 +13,14 @@
 /// incremental ("each design point may correspond to a different program
 /// binary" -- so each measurement includes a full recompile).
 ///
+/// measureAll fans the compile+simulate of distinct unmeasured points
+/// across the global thread pool; each point's response is a pure function
+/// of the point (workload generation and SMARTS sampling are deterministic
+/// and re-entrant), so results are bitwise identical to a sequential run
+/// regardless of MSEM_THREADS. The in-memory memo is mutex-guarded; the
+/// disk cache is rewritten atomically (temp file + rename) and its loader
+/// tolerates partial or concurrently-written files.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_CORE_RESPONSESURFACE_H
@@ -22,6 +30,7 @@
 #include "sampling/Smarts.h"
 #include "workloads/Workloads.h"
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -43,6 +52,19 @@ const char *responseMetricName(ResponseMetric Metric);
 MachineProgram compileWorkloadBinary(const std::string &Workload,
                                      InputSet Input,
                                      const OptimizationConfig &Config);
+
+/// FNV-1a over the raw level values: the memo key on the hottest path
+/// (replaces the formatted-string key, which allocated per lookup).
+struct DesignPointHash {
+  size_t operator()(const DesignPoint &Point) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (int64_t V : Point) {
+      H ^= static_cast<uint64_t>(V);
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
 
 /// Measures cycles for (workload, input) across design points.
 class ResponseSurface {
@@ -69,30 +91,48 @@ public:
   };
 
   ResponseSurface(const ParameterSpace &Space, Options Opts);
+  ~ResponseSurface();
 
   /// The configured response (cycles / energy / code size) at one design
-  /// point.
+  /// point. Thread-safe; concurrent callers of the same point may both
+  /// simulate but always agree on the result.
   double measure(const DesignPoint &Point);
 
-  /// Measures many points (with memoization).
+  /// Measures many points (with memoization). Distinct unmeasured points
+  /// are compiled and simulated in parallel on the global thread pool.
   std::vector<double> measureAll(const std::vector<DesignPoint> &Points);
 
-  size_t simulationsRun() const { return Simulations; }
-  size_t cacheHits() const { return CacheHits; }
+  /// Persists the memo to the disk cache (temp file + atomic rename),
+  /// merging with whatever another process wrote in the meantime. Called
+  /// automatically after each measurement batch and on destruction.
+  void flushDiskCache();
+
+  size_t simulationsRun() const;
+  size_t cacheHits() const;
   const Options &options() const { return Opts; }
   const ParameterSpace &space() const { return Space; }
 
 private:
-  std::string keyFor(const DesignPoint &Point) const;
+  /// The compile+simulate kernel: a pure, re-entrant function of the
+  /// point. No surface state is touched.
+  double computeResponse(const DesignPoint &Point) const;
+
+  /// Disk-cache line key for one point: the surface prefix plus the raw
+  /// level values.
+  std::string diskKeyFor(const DesignPoint &Point) const;
   void loadDiskCache();
-  void appendDiskCache(const std::string &Key, double Cycles);
 
   const ParameterSpace &Space;
   Options Opts;
-  std::unordered_map<std::string, double> Cache;
+  /// Identifies this surface's rows in the shared on-disk cache.
+  std::string DiskKeyPrefix;
   std::string CacheFile;
+
+  mutable std::mutex CacheMutex; ///< Guards the four members below.
+  std::unordered_map<DesignPoint, double, DesignPointHash> Cache;
   size_t Simulations = 0;
   size_t CacheHits = 0;
+  bool DiskDirty = false;
 };
 
 } // namespace msem

@@ -3,6 +3,7 @@
 #include "design/Doe.h"
 
 #include "linalg/Solve.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -165,6 +166,13 @@ msem::selectDOptimal(const ParameterSpace &Space,
   DOptimalResult Result;
   const size_t FixedCount = Preselected.size();
 
+  // Per-candidate exchange deltas, recomputed for every slot scan. The
+  // scoring fans across the thread pool (each candidate's delta is an
+  // independent O(P^2) dispersion computation against the read-only Minv);
+  // the argmax reduction stays sequential in candidate order, so the
+  // selected exchange is bitwise identical to a single-threaded scan.
+  std::vector<double> Delta(Candidates.size());
+
   for (int Pass = 0; Pass < Options.MaxPasses; ++Pass) {
     bool Improved = false;
     // Simple exchange: remove the lowest-leverage free design point and add
@@ -173,18 +181,27 @@ msem::selectDOptimal(const ParameterSpace &Space,
       size_t Out = Selected[SlotIdx];
       std::vector<double> MxOut = Minv.multiplyVector(Rows[Out]);
       double DOut = dotProduct(Rows[Out], MxOut);
+      globalThreadPool().parallelFor(
+          0, Candidates.size(),
+          [&](size_t Cand) {
+            if (InDesign[Cand]) {
+              Delta[Cand] = -1e300;
+              return;
+            }
+            double DIn = dispersion(Minv, Rows[Cand]);
+            // Fedorov delta for swapping Out -> Cand.
+            double Cross = dotProduct(Rows[Cand], MxOut);
+            Delta[Cand] = DIn - (DIn * DOut - Cross * Cross) - DOut;
+          },
+          "doe");
       // Best incoming candidate by the Fedorov exchange criterion.
       size_t BestIn = SIZE_MAX;
       double BestGain = 1e-9;
       for (size_t Cand = 0; Cand < Candidates.size(); ++Cand) {
         if (InDesign[Cand])
           continue;
-        double DIn = dispersion(Minv, Rows[Cand]);
-        // Fedorov delta for swapping Out -> Cand.
-        double Cross = dotProduct(Rows[Cand], MxOut);
-        double Delta = DIn - (DIn * DOut - Cross * Cross) - DOut;
-        if (Delta > BestGain) {
-          BestGain = Delta;
+        if (Delta[Cand] > BestGain) {
+          BestGain = Delta[Cand];
           BestIn = Cand;
         }
       }

@@ -3,6 +3,7 @@
 #include "model/Mars.h"
 
 #include "linalg/Solve.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -89,60 +90,85 @@ void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
   };
   RefreshResidual();
 
+  // Each (parent basis, variable) pair scans its candidate knots
+  // independently; the pairs fan across the thread pool and the winner is
+  // reduced sequentially in pair order afterwards, which reproduces the
+  // sequential scan's earliest-maximum tie-breaking bit for bit.
+  struct PairBest {
+    double Reduction = 0.0; ///< Valid only when Found.
+    double Knot = 0.0;
+    bool Found = false;
+  };
+
   while (Basis.size() + 2 <= Opts.MaxBasis + 1) {
-    double BestReduction = 1e-9 * (1.0 + CurSse);
+    const double Threshold = 1e-9 * (1.0 + CurSse);
+    const size_t NumPairs = Basis.size() * NumVars;
+    std::vector<PairBest> PairBests = globalThreadPool().parallelMap(
+        NumPairs,
+        [&](size_t Pair) {
+          PairBest PB;
+          size_t Parent = Pair / NumVars;
+          unsigned Var = static_cast<unsigned>(Pair % NumVars);
+          if (Basis[Parent].Factors.size() >= Opts.MaxInteraction ||
+              Basis[Parent].usesVar(Var))
+            return PB;
+          PB.Reduction = Threshold;
+          std::vector<double> ColPos(N), ColNeg(N);
+          for (double Knot : Knots[Var]) {
+            bool NonTrivial = false;
+            for (size_t I = 0; I < N; ++I) {
+              double ParentVal = BMat.at(I, Parent);
+              double Xi = X.at(I, Var);
+              ColPos[I] = ParentVal * std::max(0.0, Xi - Knot);
+              ColNeg[I] = ParentVal * std::max(0.0, Knot - Xi);
+              if (ColPos[I] != 0.0 || ColNeg[I] != 0.0)
+                NonTrivial = true;
+            }
+            if (!NonTrivial)
+              continue;
+            // Regress the residual on [c1 c2]: 2x2 normal equations.
+            double A11 = 0, A12 = 0, A22 = 0, B1 = 0, B2 = 0;
+            for (size_t I = 0; I < N; ++I) {
+              A11 += ColPos[I] * ColPos[I];
+              A12 += ColPos[I] * ColNeg[I];
+              A22 += ColNeg[I] * ColNeg[I];
+              B1 += ColPos[I] * Residual[I];
+              B2 += ColNeg[I] * Residual[I];
+            }
+            double Det = A11 * A22 - A12 * A12;
+            double Reduction;
+            if (std::fabs(Det) > 1e-12 * (1.0 + A11 * A22)) {
+              double Ca = (B1 * A22 - B2 * A12) / Det;
+              double Cb = (B2 * A11 - B1 * A12) / Det;
+              Reduction = Ca * B1 + Cb * B2;
+            } else if (A11 > 1e-12) {
+              Reduction = B1 * B1 / A11;
+            } else if (A22 > 1e-12) {
+              Reduction = B2 * B2 / A22;
+            } else {
+              continue;
+            }
+            if (Reduction > PB.Reduction) {
+              PB.Reduction = Reduction;
+              PB.Knot = Knot;
+              PB.Found = true;
+            }
+          }
+          return PB;
+        },
+        "mars.forward");
+
+    double BestReduction = Threshold;
     int BestParent = -1;
     unsigned BestVar = 0;
     double BestKnot = 0.0;
-
-    std::vector<double> ColPos(N), ColNeg(N);
-    for (size_t Parent = 0; Parent < Basis.size(); ++Parent) {
-      if (Basis[Parent].Factors.size() >= Opts.MaxInteraction)
-        continue;
-      for (unsigned Var = 0; Var < NumVars; ++Var) {
-        if (Basis[Parent].usesVar(Var))
-          continue;
-        for (double Knot : Knots[Var]) {
-          bool NonTrivial = false;
-          for (size_t I = 0; I < N; ++I) {
-            double ParentVal = BMat.at(I, Parent);
-            double Xi = X.at(I, Var);
-            ColPos[I] = ParentVal * std::max(0.0, Xi - Knot);
-            ColNeg[I] = ParentVal * std::max(0.0, Knot - Xi);
-            if (ColPos[I] != 0.0 || ColNeg[I] != 0.0)
-              NonTrivial = true;
-          }
-          if (!NonTrivial)
-            continue;
-          // Regress the residual on [c1 c2]: 2x2 normal equations.
-          double A11 = 0, A12 = 0, A22 = 0, B1 = 0, B2 = 0;
-          for (size_t I = 0; I < N; ++I) {
-            A11 += ColPos[I] * ColPos[I];
-            A12 += ColPos[I] * ColNeg[I];
-            A22 += ColNeg[I] * ColNeg[I];
-            B1 += ColPos[I] * Residual[I];
-            B2 += ColNeg[I] * Residual[I];
-          }
-          double Det = A11 * A22 - A12 * A12;
-          double Reduction;
-          if (std::fabs(Det) > 1e-12 * (1.0 + A11 * A22)) {
-            double Ca = (B1 * A22 - B2 * A12) / Det;
-            double Cb = (B2 * A11 - B1 * A12) / Det;
-            Reduction = Ca * B1 + Cb * B2;
-          } else if (A11 > 1e-12) {
-            Reduction = B1 * B1 / A11;
-          } else if (A22 > 1e-12) {
-            Reduction = B2 * B2 / A22;
-          } else {
-            continue;
-          }
-          if (Reduction > BestReduction) {
-            BestReduction = Reduction;
-            BestParent = static_cast<int>(Parent);
-            BestVar = Var;
-            BestKnot = Knot;
-          }
-        }
+    for (size_t Pair = 0; Pair < NumPairs; ++Pair) {
+      const PairBest &PB = PairBests[Pair];
+      if (PB.Found && PB.Reduction > BestReduction) {
+        BestReduction = PB.Reduction;
+        BestParent = static_cast<int>(Pair / NumVars);
+        BestVar = static_cast<unsigned>(Pair % NumVars);
+        BestKnot = PB.Knot;
       }
     }
     if (BestParent < 0)
@@ -177,19 +203,29 @@ void MarsModel::train(const Matrix &X, const std::vector<double> &Y) {
 
   std::vector<MarsBasis> Working = Basis;
   while (Working.size() > 1) {
+    // Score every candidate victim in parallel (each is an independent
+    // refit of the reduced basis), then pick the round's best in victim
+    // order -- same earliest-minimum tie-breaking as the sequential loop.
+    std::vector<double> VictimGcv = globalThreadPool().parallelMap(
+        Working.size() - 1,
+        [&](size_t VIdx) {
+          size_t Victim = VIdx + 1;
+          std::vector<MarsBasis> Reduced;
+          Reduced.reserve(Working.size() - 1);
+          for (size_t I = 0; I < Working.size(); ++I)
+            if (I != Victim)
+              Reduced.push_back(Working[I]);
+          Matrix RM = basisMatrix(Reduced, X);
+          std::vector<double> RW;
+          double Sse = fitWeights(RM, Y, RW);
+          return gcvScore(Sse, N, EffectiveParams(Reduced.size()));
+        },
+        "mars.prune");
     double RoundBestGcv = 1e300;
     int RoundBestVictim = -1;
     for (size_t Victim = 1; Victim < Working.size(); ++Victim) {
-      std::vector<MarsBasis> Reduced;
-      for (size_t I = 0; I < Working.size(); ++I)
-        if (I != Victim)
-          Reduced.push_back(Working[I]);
-      Matrix RM = basisMatrix(Reduced, X);
-      std::vector<double> RW;
-      double Sse = fitWeights(RM, Y, RW);
-      double Gcv0 = gcvScore(Sse, N, EffectiveParams(Reduced.size()));
-      if (Gcv0 < RoundBestGcv) {
-        RoundBestGcv = Gcv0;
+      if (VictimGcv[Victim - 1] < RoundBestGcv) {
+        RoundBestGcv = VictimGcv[Victim - 1];
         RoundBestVictim = static_cast<int>(Victim);
       }
     }

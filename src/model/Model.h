@@ -31,7 +31,9 @@ public:
   /// Fits the model; X is n x k (encoded), Y has n entries.
   virtual void train(const Matrix &X, const std::vector<double> &Y) = 0;
 
-  /// Predicts the response at one encoded point.
+  /// Predicts the response at one encoded point. Implementations must be
+  /// pure readers of the fitted state: the GA and the parallel fitting
+  /// engine call predict concurrently from pool workers.
   virtual double predict(const std::vector<double> &XEnc) const = 0;
 
   /// Human-readable technique name ("linear", "mars", "rbf").

@@ -3,6 +3,7 @@
 #include "model/RbfNetwork.h"
 
 #include "linalg/Solve.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -47,50 +48,72 @@ void RbfNetwork::train(const Matrix &X, const std::vector<double> &Y) {
   NumVars = X.cols();
   const size_t N = X.rows();
 
-  double BestBic = 1e300;
-  for (size_t Want : Opts.CenterCounts) {
-    size_t MaxFeasible = N / std::max<size_t>(1, Opts.MinLeafSize);
-    size_t LeafTarget = std::min(Want, std::max<size_t>(2, MaxFeasible));
-    if (LeafTarget + 1 >= N)
-      continue; // Would saturate.
-
-    // Regression tree partition -> centers and radii.
-    RegressionTree::Options TreeOpts;
-    TreeOpts.MaxLeaves = LeafTarget;
-    TreeOpts.MinLeafSize = Opts.MinLeafSize;
-    RegressionTree Tree(TreeOpts);
-    Tree.train(X, Y);
-
+  // Every candidate center count is an independent fit (tree partition,
+  // hidden-layer evaluation, ridge solve): fan them across the pool, then
+  // reduce sequentially in the configured order so telemetry ordering and
+  // the selected configuration match the single-threaded run exactly.
+  struct CountFit {
+    bool Feasible = false;
+    double Score = 0.0;
     std::vector<std::vector<double>> Ctrs;
     std::vector<double> Rad;
-    for (const TreeRegion &Leaf : Tree.leaves()) {
-      if (Leaf.Samples.empty())
-        continue;
-      Ctrs.push_back(Leaf.Centroid);
-      double Diag2 = 0.0;
-      for (double HW : Leaf.HalfWidth)
-        Diag2 += HW * HW;
-      double Radius =
-          std::max(Opts.MinRadius, Opts.RadiusScale * std::sqrt(Diag2));
-      Rad.push_back(Radius);
-    }
-    if (Ctrs.empty())
-      continue;
+    std::vector<double> W;
+  };
+  std::vector<CountFit> Fits = globalThreadPool().parallelMap(
+      Opts.CenterCounts.size(),
+      [&](size_t CI) {
+        CountFit Fit;
+        size_t Want = Opts.CenterCounts[CI];
+        size_t MaxFeasible = N / std::max<size_t>(1, Opts.MinLeafSize);
+        size_t LeafTarget = std::min(Want, std::max<size_t>(2, MaxFeasible));
+        if (LeafTarget + 1 >= N)
+          return Fit; // Would saturate.
 
-    Matrix H = hiddenMatrix(X, Ctrs, Rad);
-    std::vector<double> W = ridgeLeastSquares(H, Y, Opts.Ridge);
-    std::vector<double> Pred = H.multiplyVector(W);
-    double Sse = 0.0;
-    for (size_t I = 0; I < N; ++I)
-      Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
-    double Score = bicScore(Sse, N, W.size());
+        // Regression tree partition -> centers and radii.
+        RegressionTree::Options TreeOpts;
+        TreeOpts.MaxLeaves = LeafTarget;
+        TreeOpts.MinLeafSize = Opts.MinLeafSize;
+        RegressionTree Tree(TreeOpts);
+        Tree.train(X, Y);
+
+        for (const TreeRegion &Leaf : Tree.leaves()) {
+          if (Leaf.Samples.empty())
+            continue;
+          Fit.Ctrs.push_back(Leaf.Centroid);
+          double Diag2 = 0.0;
+          for (double HW : Leaf.HalfWidth)
+            Diag2 += HW * HW;
+          double Radius =
+              std::max(Opts.MinRadius, Opts.RadiusScale * std::sqrt(Diag2));
+          Fit.Rad.push_back(Radius);
+        }
+        if (Fit.Ctrs.empty())
+          return Fit;
+
+        Matrix H = hiddenMatrix(X, Fit.Ctrs, Fit.Rad);
+        Fit.W = ridgeLeastSquares(H, Y, Opts.Ridge);
+        std::vector<double> Pred = H.multiplyVector(Fit.W);
+        double Sse = 0.0;
+        for (size_t I = 0; I < N; ++I)
+          Sse += (Y[I] - Pred[I]) * (Y[I] - Pred[I]);
+        Fit.Score = bicScore(Sse, N, Fit.W.size());
+        Fit.Feasible = true;
+        return Fit;
+      },
+      "rbf.train");
+
+  double BestBic = 1e300;
+  for (CountFit &Fit : Fits) {
+    if (!Fit.Feasible)
+      continue;
     // BIC trajectory over candidate center counts (x = centers used).
-    telemetry::record("rbf.bic", static_cast<double>(Ctrs.size()), Score);
-    if (Score < BestBic) {
-      BestBic = Score;
-      Centers = std::move(Ctrs);
-      Radii = std::move(Rad);
-      Weights = std::move(W);
+    telemetry::record("rbf.bic", static_cast<double>(Fit.Ctrs.size()),
+                      Fit.Score);
+    if (Fit.Score < BestBic) {
+      BestBic = Fit.Score;
+      Centers = std::move(Fit.Ctrs);
+      Radii = std::move(Fit.Rad);
+      Weights = std::move(Fit.W);
     }
   }
   Bic = BestBic;

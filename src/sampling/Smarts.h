@@ -51,6 +51,13 @@ struct SmartsResult {
 };
 
 /// Runs \p Prog under systematic sampling.
+///
+/// Re-entrant: every piece of simulation state (executor, memory
+/// hierarchy, predictors, OoO core, CPI statistics) is constructed per
+/// call, so concurrent invocations from thread-pool workers are
+/// independent and each is bitwise deterministic in its inputs. The
+/// parallel measurement engine (ResponseSurface::measureAll) depends on
+/// this; keep new simulator state per-call, never static.
 SmartsResult simulateSmarts(const MachineProgram &Prog,
                             const MachineConfig &Config,
                             const SmartsConfig &Sampling,

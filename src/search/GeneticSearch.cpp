@@ -3,12 +3,14 @@
 #include "search/GeneticSearch.h"
 
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace msem;
 
@@ -31,18 +33,35 @@ struct GenomeHash {
 /// Memoizes Model::predict per genome. Elitism and convergence make
 /// re-evaluations frequent, so this is both a speedup and the source of
 /// the "ga.cache_hit_rate" telemetry gauge.
+///
+/// Thread-safety by construction: scoreAll collects the distinct unscored
+/// genomes on the calling thread, fans only the pure Model::predict calls
+/// across the pool, and merges results back on the calling thread -- the
+/// memo itself is never touched concurrently, and the hit/evaluation
+/// counters are identical for every MSEM_THREADS setting.
 class FitnessCache {
 public:
-  template <typename Fn> double get(const Genome &G, Fn &&Eval) {
-    ++Evaluations;
-    auto It = Memo.find(G);
-    if (It != Memo.end()) {
-      ++Hits;
-      return It->second;
-    }
-    double Fit = Eval();
-    Memo.emplace(G, Fit);
-    return Fit;
+  /// Fills Scores[I] with the fitness of Pop[I], evaluating unseen
+  /// genomes in parallel through \p Eval (which must be re-entrant).
+  template <typename Fn>
+  void scoreAll(const std::vector<Genome> &Pop, std::vector<double> &Scores,
+                Fn &&Eval) {
+    std::vector<const Genome *> Fresh;
+    for (const Genome &G : Pop)
+      if (!Memo.count(G) && Pending.insert(G).second)
+        Fresh.push_back(&G);
+    Pending.clear();
+
+    std::vector<double> Fit = globalThreadPool().parallelMap(
+        Fresh.size(), [&](size_t I) { return Eval(*Fresh[I]); }, "ga.eval");
+    for (size_t I = 0; I < Fresh.size(); ++I)
+      Memo.emplace(*Fresh[I], Fit[I]);
+
+    Evaluations += Pop.size();
+    Hits += Pop.size() - Fresh.size();
+    Scores.resize(Pop.size());
+    for (size_t I = 0; I < Pop.size(); ++I)
+      Scores[I] = Memo.at(Pop[I]);
   }
 
   uint64_t evaluations() const { return Evaluations; }
@@ -50,6 +69,7 @@ public:
 
 private:
   std::unordered_map<Genome, double, GenomeHash> Memo;
+  std::unordered_set<Genome, GenomeHash> Pending; ///< Batch-local dedup.
   uint64_t Evaluations = 0;
   uint64_t Hits = 0;
 };
@@ -72,8 +92,10 @@ GaResult msem::searchOptimalSettings(const Model &M,
     return P;
   };
   FitnessCache Cache;
+  // The fitness oracle: pure and re-entrant (Model::predict is const on
+  // immutable fitted state), so generations evaluate in parallel.
   auto Fitness = [&](const Genome &G) {
-    return Cache.get(G, [&] { return M.predict(Space.encode(ToPoint(G))); });
+    return M.predict(Space.encode(ToPoint(G)));
   };
   auto RandomGenome = [&]() {
     Genome G(SearchVars);
@@ -87,9 +109,7 @@ GaResult msem::searchOptimalSettings(const Model &M,
   Population.reserve(Options.Population);
   for (size_t I = 0; I < Options.Population; ++I)
     Population.push_back(RandomGenome());
-  Scores.resize(Population.size());
-  for (size_t I = 0; I < Population.size(); ++I)
-    Scores[I] = Fitness(Population[I]);
+  Cache.scoreAll(Population, Scores, Fitness);
 
   auto Tournament = [&]() -> const Genome & {
     size_t Best = R.nextBelow(Population.size());
@@ -151,8 +171,7 @@ GaResult msem::searchOptimalSettings(const Model &M,
       Next.push_back(std::move(Child));
     }
     Population = std::move(Next);
-    for (size_t I = 0; I < Population.size(); ++I)
-      Scores[I] = Fitness(Population[I]);
+    Cache.scoreAll(Population, Scores, Fitness);
   }
 
   size_t Best = 0;

@@ -1,0 +1,213 @@
+//===- support/ThreadPool.cpp - Deterministic parallel execution ----------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Env.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+using namespace msem;
+
+namespace {
+
+thread_local bool InWorkerThread = false;
+
+} // namespace
+
+size_t msem::defaultThreadCount() {
+  int64_t FromEnv = getEnvInt("MSEM_THREADS", 0);
+  if (FromEnv > 0)
+    return static_cast<size_t>(FromEnv);
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw ? Hw : 1;
+}
+
+/// One parallel region. Lives on the caller's stack; the caller does not
+/// return from parallelFor until every queued task has left the batch, so
+/// worker references never dangle.
+struct ThreadPool::Batch {
+  size_t Begin = 0;
+  size_t Count = 0;
+  size_t Grain = 1;
+  size_t NumChunks = 0;
+  const std::function<void(size_t)> *Body = nullptr;
+
+  std::atomic<size_t> NextChunk{0};
+  std::atomic<bool> Cancelled{false};
+  std::atomic<uint64_t> BusyNs{0};
+
+  std::mutex Mutex;
+  std::condition_variable Done;
+  size_t Outstanding = 0; ///< Queued worker tasks not yet finished.
+  std::exception_ptr Error;
+};
+
+ThreadPool::ThreadPool(size_t Threads)
+    : NumThreads(Threads ? Threads : defaultThreadCount()) {
+  for (size_t I = 0; I + 1 < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool ThreadPool::inWorker() { return InWorkerThread; }
+
+void ThreadPool::workerLoop() {
+  InWorkerThread = true;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void ThreadPool::runChunks(Batch &B) {
+  const bool Telemetry = telemetry::enabled();
+  uint64_t Start = Telemetry ? telemetry::nowNs() : 0;
+  for (;;) {
+    size_t Chunk = B.NextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (Chunk >= B.NumChunks || B.Cancelled.load(std::memory_order_relaxed))
+      break;
+    size_t Lo = B.Begin + Chunk * B.Grain;
+    size_t Hi = std::min(B.Begin + B.Count, Lo + B.Grain);
+    try {
+      for (size_t I = Lo; I < Hi; ++I) {
+        if (B.Cancelled.load(std::memory_order_relaxed))
+          break;
+        (*B.Body)(I);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> Lock(B.Mutex);
+        if (!B.Error)
+          B.Error = std::current_exception();
+      }
+      B.Cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (Telemetry)
+    B.BusyNs.fetch_add(telemetry::nowNs() - Start,
+                       std::memory_order_relaxed);
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Body,
+                             const char *Tag) {
+  if (End <= Begin)
+    return;
+  const size_t N = End - Begin;
+  const bool Telemetry = telemetry::enabled();
+  const std::string Stage = Tag ? Tag : "untagged";
+
+  // Inline when there is nothing to fan out to, or when already inside a
+  // worker (nested regions run sequentially -- no deadlock, outermost
+  // region keeps the parallelism).
+  if (Workers.empty() || N == 1 || InWorkerThread) {
+    uint64_t Start = Telemetry && !InWorkerThread ? telemetry::nowNs() : 0;
+    for (size_t I = Begin; I < End; ++I)
+      Body(I);
+    if (Telemetry && !InWorkerThread) {
+      telemetry::counter("pool.regions").add(1);
+      telemetry::counter("pool.tasks." + Stage).add(N);
+      telemetry::timer("pool.region." + Stage)
+          .add(telemetry::nowNs() - Start);
+      telemetry::gauge("pool.threads")
+          .set(static_cast<double>(NumThreads));
+      telemetry::gauge("pool.utilization").set(1.0);
+    }
+    return;
+  }
+
+  Batch B;
+  B.Begin = Begin;
+  B.Count = N;
+  // ~8 chunks per thread balances load without shredding cache locality;
+  // the heavy stages (one simulation per index) get one index per chunk
+  // anyway because N is small relative to the pool.
+  B.Grain = std::max<size_t>(1, N / (NumThreads * 8));
+  B.NumChunks = (N + B.Grain - 1) / B.Grain;
+  B.Body = &Body;
+
+  const size_t Spawn = std::min(Workers.size(), B.NumChunks);
+  B.Outstanding = Spawn;
+  uint64_t EnqueueNs = Telemetry ? telemetry::nowNs() : 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (size_t I = 0; I < Spawn; ++I)
+      Queue.push_back([&B, EnqueueNs, Telemetry] {
+        if (Telemetry)
+          telemetry::timer("pool.queue_wait")
+              .add(telemetry::nowNs() - EnqueueNs);
+        runChunks(B);
+        // Notify under the lock: the caller may destroy the batch the
+        // instant it observes Outstanding == 0, so nothing may touch B
+        // after this mutex is released.
+        std::lock_guard<std::mutex> BatchLock(B.Mutex);
+        --B.Outstanding;
+        B.Done.notify_one();
+      });
+  }
+  QueueCv.notify_all();
+
+  runChunks(B); // The caller is a full participant.
+
+  {
+    std::unique_lock<std::mutex> Lock(B.Mutex);
+    B.Done.wait(Lock, [&B] { return B.Outstanding == 0; });
+  }
+
+  if (Telemetry) {
+    uint64_t WallNs = telemetry::nowNs() - EnqueueNs;
+    telemetry::counter("pool.regions").add(1);
+    telemetry::counter("pool.tasks." + Stage).add(N);
+    telemetry::timer("pool.region." + Stage).add(WallNs);
+    telemetry::gauge("pool.threads").set(static_cast<double>(NumThreads));
+    if (WallNs > 0)
+      telemetry::gauge("pool.utilization")
+          .set(static_cast<double>(
+                   B.BusyNs.load(std::memory_order_relaxed)) /
+               (static_cast<double>(WallNs) *
+                static_cast<double>(Spawn + 1)));
+  }
+
+  if (B.Error)
+    std::rethrow_exception(B.Error);
+}
+
+namespace {
+
+std::mutex GlobalPoolMutex;
+std::unique_ptr<ThreadPool> GlobalPool;
+
+} // namespace
+
+ThreadPool &msem::globalThreadPool() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<ThreadPool>();
+  return *GlobalPool;
+}
+
+void msem::setGlobalThreadCount(size_t Threads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  GlobalPool.reset(); // Join the old workers before replacing the pool.
+  GlobalPool = std::make_unique<ThreadPool>(Threads);
+}

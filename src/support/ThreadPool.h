@@ -1,0 +1,117 @@
+//===- support/ThreadPool.h - Deterministic parallel execution ---*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool driving the measurement and fitting stack: the
+/// response surface fans compile+simulate jobs across workers, the D-optimal
+/// exchange scores candidate rows in parallel, MARS/RBF parallelize their
+/// candidate scans, and the GA evaluates populations concurrently.
+///
+/// The design constraint is *determinism*: parallelFor runs independent
+/// iterations that write disjoint result slots; every reduction over those
+/// results happens sequentially afterwards, in index order, so outputs are
+/// bitwise identical to a single-threaded run regardless of MSEM_THREADS.
+///
+/// Sizing: the global pool reads MSEM_THREADS (via support/Env), defaulting
+/// to std::thread::hardware_concurrency(). MSEM_THREADS=1 makes every
+/// region run inline on the calling thread.
+///
+/// Nesting: a parallelFor issued from inside a worker runs inline (no new
+/// tasks are enqueued), so nested parallel regions cannot deadlock and the
+/// outermost region keeps the parallelism.
+///
+/// Exceptions: the first exception thrown by an iteration cancels the
+/// remaining chunks and is rethrown on the calling thread once the region
+/// drains. (The msem library itself is exception-free; this matters for
+/// harness/test code running under the pool.)
+///
+/// Telemetry (all no-ops when disabled): counter "pool.regions", per-stage
+/// counters "pool.tasks.<tag>", per-stage region timers "pool.region.<tag>",
+/// queue-wait timer "pool.queue_wait", gauges "pool.threads" and
+/// "pool.utilization" (busy-time fraction of the last parallel region).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_THREADPOOL_H
+#define MSEM_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace msem {
+
+/// MSEM_THREADS when set to a positive value, otherwise
+/// hardware_concurrency() (at least 1).
+size_t defaultThreadCount();
+
+class ThreadPool {
+public:
+  /// \p Threads counts the calling thread: a pool of N runs regions on
+  /// N - 1 workers plus the caller. 0 means defaultThreadCount().
+  explicit ThreadPool(size_t Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads a region may use (workers + the calling thread).
+  size_t threadCount() const { return NumThreads; }
+
+  /// Runs Body(I) for every I in [Begin, End), blocking until all
+  /// iterations finish. The calling thread participates. \p Tag labels the
+  /// stage in telemetry ("measure", "doe", ...). Iterations must write
+  /// disjoint state; any cross-iteration reduction belongs after the call.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Body,
+                   const char *Tag = nullptr);
+
+  /// Maps F over [0, N) into a vector (slot I gets F(I)). The result type
+  /// must be default-constructible and movable.
+  template <typename Fn>
+  auto parallelMap(size_t N, Fn &&F, const char *Tag = nullptr)
+      -> std::vector<std::decay_t<decltype(F(size_t(0)))>> {
+    std::vector<std::decay_t<decltype(F(size_t(0)))>> Out(N);
+    parallelFor(
+        0, N, [&](size_t I) { Out[I] = F(I); }, Tag);
+    return Out;
+  }
+
+  /// True on a pool worker thread (used to run nested regions inline).
+  static bool inWorker();
+
+private:
+  struct Batch;
+
+  void workerLoop();
+  static void runChunks(Batch &B);
+
+  size_t NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+};
+
+/// The process-wide pool used by the measurement/fitting stack. Created on
+/// first use, sized by defaultThreadCount().
+ThreadPool &globalThreadPool();
+
+/// Replaces the global pool with one of \p Threads threads (0 restores the
+/// environment-derived default). For tests and the scaling bench; must not
+/// race with concurrent users of the old pool.
+void setGlobalThreadCount(size_t Threads);
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_THREADPOOL_H

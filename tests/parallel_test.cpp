@@ -1,0 +1,272 @@
+//===- tests/parallel_test.cpp - Parallel engine determinism tests ----------------===//
+//
+// The parallel measurement & fitting engine promises bitwise-identical
+// outputs for every MSEM_THREADS setting: parallel regions write disjoint
+// slots and every reduction runs sequentially in index order. These tests
+// pin that contract by running the same campaigns with a 1-thread and an
+// 8-thread global pool and comparing results with exact equality. The
+// disk-cache tests cover the atomic (temp file + rename) rewrite and the
+// tolerant loader.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelBuilder.h"
+#include "core/ResponseSurface.h"
+#include "design/Doe.h"
+#include "search/GeneticSearch.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+ResponseSurface::Options testSurface(const std::string &Workload) {
+  ResponseSurface::Options Opts;
+  Opts.Workload = Workload;
+  Opts.Input = InputSet::Test;
+  Opts.UseSmarts = true;
+  Opts.Smarts.SamplingInterval = 10; // Test inputs are short.
+  return Opts;
+}
+
+/// Restores the environment-derived global pool when a test ends, so the
+/// thread-count games here never leak into other tests in the binary.
+struct PoolGuard {
+  ~PoolGuard() { setGlobalThreadCount(0); }
+};
+
+TEST(ParallelDeterminismTest, MeasureAllMatchesSequentialBitwise) {
+  PoolGuard Guard;
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(42);
+  std::vector<DesignPoint> Points = generateRandomCandidates(S, 10, R);
+  // Duplicates exercise the distinct-point dedup and the hit accounting.
+  Points.push_back(Points[0]);
+  Points.push_back(Points[3]);
+
+  setGlobalThreadCount(1);
+  ResponseSurface Seq(S, testSurface("art"));
+  std::vector<double> YSeq = Seq.measureAll(Points);
+  EXPECT_EQ(Seq.simulationsRun(), 10u);
+  EXPECT_EQ(Seq.cacheHits(), 2u);
+
+  setGlobalThreadCount(8);
+  ResponseSurface Par(S, testSurface("art"));
+  std::vector<double> YPar = Par.measureAll(Points);
+
+  ASSERT_EQ(YSeq.size(), YPar.size());
+  for (size_t I = 0; I < YSeq.size(); ++I)
+    EXPECT_EQ(YSeq[I], YPar[I]) << "point " << I;
+  // The counters follow sequential semantics at every thread count.
+  EXPECT_EQ(Par.simulationsRun(), Seq.simulationsRun());
+  EXPECT_EQ(Par.cacheHits(), Seq.cacheHits());
+}
+
+/// Everything comparable out of one full Figure-1 build.
+struct BuildSnapshot {
+  std::vector<DesignPoint> TrainPoints, TestPoints;
+  std::vector<double> TrainY, TestY, Pred;
+  std::vector<std::pair<size_t, double>> ErrorCurve;
+  double Mape = 0;
+  size_t Sims = 0;
+};
+
+BuildSnapshot buildCampaignAt(size_t Threads) {
+  setGlobalThreadCount(Threads);
+  ParameterSpace S = ParameterSpace::paperSpace();
+  ResponseSurface Surface(S, testSurface("art"));
+  ModelBuilderOptions Opts;
+  Opts.Technique = ModelTechnique::Mars; // Exercises the knot-scan fan-out.
+  Opts.InitialDesignSize = 20;
+  Opts.AugmentStep = 10;
+  Opts.MaxDesignSize = 30;
+  Opts.TestSize = 10;
+  Opts.TargetMape = 0.0; // Unreachable: forces the augmentation loop.
+  Opts.CandidateCount = 200;
+  ModelBuildResult R = buildModel(Surface, Opts);
+
+  BuildSnapshot Snap;
+  Snap.TrainPoints = R.TrainPoints;
+  Snap.TestPoints = R.TestPoints;
+  Snap.TrainY = R.TrainY;
+  Snap.TestY = R.TestY;
+  Snap.Pred = R.FittedModel->predictAll(encodeMatrix(S, R.TestPoints));
+  Snap.ErrorCurve = R.ErrorCurve;
+  Snap.Mape = R.TestQuality.Mape;
+  Snap.Sims = R.SimulationsUsed;
+  return Snap;
+}
+
+TEST(ParallelDeterminismTest, FullModelBuildMatchesSequentialBitwise) {
+  PoolGuard Guard;
+  BuildSnapshot A = buildCampaignAt(1);
+  BuildSnapshot B = buildCampaignAt(8);
+  // Exact, not approximate: the whole DOE -> measure -> fit -> augment
+  // loop must be reproduced bit for bit.
+  EXPECT_EQ(A.TrainPoints, B.TrainPoints);
+  EXPECT_EQ(A.TestPoints, B.TestPoints);
+  EXPECT_EQ(A.TrainY, B.TrainY);
+  EXPECT_EQ(A.TestY, B.TestY);
+  EXPECT_EQ(A.Pred, B.Pred);
+  EXPECT_EQ(A.ErrorCurve, B.ErrorCurve);
+  EXPECT_EQ(A.Mape, B.Mape);
+  EXPECT_EQ(A.Sims, B.Sims);
+}
+
+TEST(ParallelDeterminismTest, DOptimalSelectionMatchesSequential) {
+  PoolGuard Guard;
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(7);
+  std::vector<DesignPoint> Candidates = generateRandomCandidates(S, 400, R);
+  DOptimalOptions Opt;
+  Opt.DesignSize = 24;
+
+  setGlobalThreadCount(1);
+  DOptimalResult A = selectDOptimal(S, Candidates, Opt);
+  setGlobalThreadCount(8);
+  DOptimalResult B = selectDOptimal(S, Candidates, Opt);
+
+  EXPECT_EQ(A.Selected, B.Selected);
+  EXPECT_EQ(A.LogDetInformation, B.LogDetInformation);
+  EXPECT_EQ(A.PassesUsed, B.PassesUsed);
+}
+
+TEST(ParallelDeterminismTest, ModelTrainingMatchesSequential) {
+  PoolGuard Guard;
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(11);
+  std::vector<DesignPoint> Pts = generateRandomCandidates(S, 60, R);
+  Matrix X = encodeMatrix(S, Pts);
+  // A synthetic but nontrivial response: linear trend + curvature.
+  std::vector<double> Y(X.rows());
+  for (size_t I = 0; I < X.rows(); ++I) {
+    double V = 100.0;
+    for (size_t J = 0; J < X.cols(); ++J)
+      V += static_cast<double>(J + 1) * X.at(I, J) +
+           3.0 * X.at(I, J) * X.at(I, J);
+    Y[I] = V;
+  }
+  std::vector<DesignPoint> Probe = generateRandomCandidates(S, 40, R);
+  Matrix P = encodeMatrix(S, Probe);
+
+  for (ModelTechnique T : {ModelTechnique::Mars, ModelTechnique::Rbf}) {
+    setGlobalThreadCount(1);
+    std::unique_ptr<Model> Seq = makeModel(T);
+    Seq->train(X, Y);
+    setGlobalThreadCount(8);
+    std::unique_ptr<Model> Par = makeModel(T);
+    Par->train(X, Y);
+    EXPECT_EQ(Seq->predictAll(P), Par->predictAll(P))
+        << modelTechniqueName(T);
+  }
+}
+
+TEST(ParallelDeterminismTest, GaSearchMatchesSequential) {
+  PoolGuard Guard;
+  ParameterSpace S = ParameterSpace::paperSpace();
+  Rng R(13);
+  std::vector<DesignPoint> Pts = generateRandomCandidates(S, 80, R);
+  Matrix X = encodeMatrix(S, Pts);
+  std::vector<double> Y(X.rows());
+  for (size_t I = 0; I < X.rows(); ++I) {
+    double V = 1000.0;
+    for (size_t J = 0; J < X.cols(); ++J)
+      V += static_cast<double>(J + 1) * X.at(I, J);
+    Y[I] = V;
+  }
+  std::unique_ptr<Model> M = makeModel(ModelTechnique::Rbf);
+  M->train(X, Y);
+
+  DesignPoint Frozen =
+      S.fromConfigs(OptimizationConfig::O2(), MachineConfig::typical());
+  GaOptions Ga;
+  Ga.Generations = 30;
+
+  setGlobalThreadCount(1);
+  GaResult A = searchOptimalSettings(*M, S, Frozen, Ga);
+  setGlobalThreadCount(8);
+  GaResult B = searchOptimalSettings(*M, S, Frozen, Ga);
+
+  EXPECT_EQ(A.BestPoint, B.BestPoint);
+  EXPECT_EQ(A.PredictedResponse, B.PredictedResponse);
+  EXPECT_EQ(A.GenerationsRun, B.GenerationsRun);
+}
+
+TEST(DiskCacheTest, LoaderToleratesGarbageAndPartialLines) {
+  std::string Dir = ::testing::TempDir() + "/msem_parallel_cache";
+  ParameterSpace S = ParameterSpace::paperSpace();
+  DesignPoint P =
+      S.fromConfigs(OptimizationConfig::O2(), MachineConfig::typical());
+  double First;
+  {
+    ResponseSurface::Options O = testSurface("art");
+    O.CacheDir = Dir;
+    ResponseSurface Surface(S, O);
+    First = Surface.measure(P);
+    EXPECT_EQ(Surface.simulationsRun(), 1u);
+  }
+  // Corrupt the cache the ways a crashed or concurrent writer could:
+  // unparseable junk, a non-positive value, a wrong-arity point, and a
+  // truncated (newline-less) final line.
+  std::string File = Dir + "/responses.csv";
+  std::FILE *F = std::fopen(File.c_str(), "a");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "not a cache line at all\n");
+  std::fprintf(F, "other|v|test|cycles|s,1,2;-5\n");
+  std::fprintf(F, "garbage;;;\n");
+  std::fprintf(F, "art|truncated-mid-wri"); // No newline: must be dropped.
+  std::fclose(F);
+  {
+    ResponseSurface::Options O = testSurface("art");
+    O.CacheDir = Dir;
+    ResponseSurface Surface(S, O);
+    EXPECT_EQ(Surface.measure(P), First) << "valid row lost";
+    EXPECT_EQ(Surface.simulationsRun(), 0u) << "valid row not loaded";
+  }
+  std::remove(File.c_str());
+}
+
+TEST(DiskCacheTest, AtomicRewritePreservesForeignRows) {
+  std::string Dir = ::testing::TempDir() + "/msem_parallel_cache2";
+  ::mkdir(Dir.c_str(), 0755);
+  std::string File = Dir + "/responses.csv";
+  {
+    std::FILE *F = std::fopen(File.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fprintf(F, "foreign|surface|row,9;123.5\n");
+    std::fclose(F);
+  }
+  ParameterSpace S = ParameterSpace::paperSpace();
+  DesignPoint P =
+      S.fromConfigs(OptimizationConfig::O2(), MachineConfig::typical());
+  {
+    ResponseSurface::Options O = testSurface("art");
+    O.CacheDir = Dir;
+    ResponseSurface Surface(S, O);
+    Surface.measure(P); // Flushes (merge + atomic rename) on destruction.
+  }
+  std::FILE *F = std::fopen(File.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  while (std::fgets(Buf, sizeof(Buf), F))
+    Content += Buf;
+  std::fclose(F);
+  EXPECT_NE(Content.find("foreign|surface|row,9;123.5"), std::string::npos)
+      << "merge-rewrite dropped another surface's row";
+  EXPECT_NE(Content.find("art|"), std::string::npos)
+      << "our own row missing";
+  // The temp file was renamed away, not left behind.
+  std::string Tmp = File + ".tmp." + std::to_string(::getpid());
+  EXPECT_NE(::access(Tmp.c_str(), F_OK), 0);
+  std::remove(File.c_str());
+}
+
+} // namespace

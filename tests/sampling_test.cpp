@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 using namespace msem;
 using namespace msem::testing;
@@ -140,6 +141,39 @@ TEST(SmartsTest, FunctionalWarmingImprovesEstimate) {
   EXPECT_LE(RelErr(RWarm), RelErr(RCold) + 1e-9)
       << "warm " << RWarm.EstimatedCycles << " cold "
       << RCold.EstimatedCycles << " full " << Full.Cycles;
+}
+
+TEST(SmartsTest, ReentrantAcrossConcurrentThreads) {
+  // The parallel measurement engine runs simulateSmarts concurrently from
+  // pool workers; the simulator must keep all state per-call. Two threads
+  // simulating the same binary must each reproduce the sequential result.
+  auto M = makeNestedGrid(96, 96);
+  MachineProgram Prog = compileO2(*M);
+  MachineConfig Cfg = MachineConfig::typical();
+  SmartsConfig SC;
+  SC.SamplingInterval = 10;
+
+  SmartsResult Base = simulateSmarts(Prog, Cfg, SC);
+  ASSERT_FALSE(Base.Exec.Trapped);
+
+  uint64_t CyclesA = 0, CyclesB = 0;
+  size_t WindowsA = 0, WindowsB = 0;
+  std::thread T1([&] {
+    SmartsResult R = simulateSmarts(Prog, Cfg, SC);
+    CyclesA = R.EstimatedCycles;
+    WindowsA = R.MeasuredWindows;
+  });
+  std::thread T2([&] {
+    SmartsResult R = simulateSmarts(Prog, Cfg, SC);
+    CyclesB = R.EstimatedCycles;
+    WindowsB = R.MeasuredWindows;
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(CyclesA, Base.EstimatedCycles);
+  EXPECT_EQ(CyclesB, Base.EstimatedCycles);
+  EXPECT_EQ(WindowsA, Base.MeasuredWindows);
+  EXPECT_EQ(WindowsB, Base.MeasuredWindows);
 }
 
 } // namespace

@@ -5,11 +5,15 @@
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 using namespace msem;
 
@@ -157,6 +161,108 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(Out.find("| alpha | 1     |"), std::string::npos);
   EXPECT_NE(Out.find("| b     | 22222 |"), std::string::npos);
   EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(0, Hits.size(),
+                   [&](size_t I) { Hits[I].fetch_add(1); });
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapFillsSlotsInIndexOrder) {
+  ThreadPool Pool(3);
+  std::vector<size_t> Out =
+      Pool.parallelMap(257, [](size_t I) { return I * I; });
+  ASSERT_EQ(Out.size(), 257u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ThreadPoolTest, ZeroAndEmptyRegionsAreNoOps) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(5, 5, [&](size_t) { Ran = true; });
+  Pool.parallelFor(7, 3, [&](size_t) { Ran = true; }); // End < Begin.
+  EXPECT_FALSE(Ran);
+  EXPECT_TRUE(Pool.parallelMap(0, [](size_t I) { return I; }).empty());
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateAndPoolStaysUsable) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [](size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The failed region drained cleanly: the pool still works.
+  std::atomic<size_t> Sum{0};
+  Pool.parallelFor(0, 10, [&](size_t I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletesWithoutDeadlock) {
+  ThreadPool Pool(4);
+  constexpr size_t Outer = 48, Inner = 16;
+  std::vector<std::atomic<int>> Cells(Outer * Inner);
+  Pool.parallelFor(0, Outer, [&](size_t I) {
+    Pool.parallelFor(I * Inner, (I + 1) * Inner, [&](size_t J) {
+      // A nested region issued from a worker runs inline on that worker.
+      if (ThreadPool::inWorker())
+        EXPECT_TRUE(ThreadPool::inWorker());
+      Cells[J].fetch_add(1);
+    });
+  });
+  for (const auto &C : Cells)
+    EXPECT_EQ(C.load(), 1);
+}
+
+TEST(ThreadPoolTest, MainThreadIsNotAWorker) {
+  EXPECT_FALSE(ThreadPool::inWorker());
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineDeterministically) {
+  ThreadPool Pool(1);
+  // With one thread there are no workers; iterations run in index order
+  // on the caller, so even order-sensitive bodies behave sequentially.
+  std::vector<size_t> Trace;
+  Pool.parallelFor(0, 20, [&](size_t I) { Trace.push_back(I); });
+  ASSERT_EQ(Trace.size(), 20u);
+  for (size_t I = 0; I < Trace.size(); ++I)
+    EXPECT_EQ(Trace[I], I);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {
+  ::setenv("MSEM_THREADS", "3", 1);
+  EXPECT_EQ(defaultThreadCount(), 3u);
+  ThreadPool Pool;
+  EXPECT_EQ(Pool.threadCount(), 3u);
+  ::unsetenv("MSEM_THREADS");
+  EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, EmitsStageTelemetry) {
+  namespace tl = msem::telemetry;
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkSummary;
+  tl::configure(C);
+  {
+    ThreadPool Pool(4);
+    Pool.parallelFor(0, 100, [](size_t) {}, "testtag");
+  }
+  EXPECT_EQ(tl::counter("pool.regions").value(), 1u);
+  EXPECT_EQ(tl::counter("pool.tasks.testtag").value(), 100u);
+  EXPECT_EQ(tl::timer("pool.region.testtag").count(), 1u);
+  EXPECT_DOUBLE_EQ(tl::gauge("pool.threads").value(), 4.0);
+  double Util = tl::gauge("pool.utilization").value();
+  EXPECT_GT(Util, 0.0);
+  EXPECT_LE(Util, 1.0 + 1e-9);
+  tl::reset();
 }
 
 TEST(EnvTest, DefaultsAndParses) {

@@ -357,6 +357,46 @@ TEST_F(TelemetryDisabledTest, ConfigureEnablesAndReconfigures) {
   EXPECT_FALSE(tl::enabled());
 }
 
+TEST_F(TelemetryDisabledTest, ConcurrentMetricUpdatesAreConsistent) {
+  // The parallel engine hammers the registry from pool workers; this is
+  // the stress test the TSan target runs to certify the implementation
+  // (atomics for scalars, a mutex for registry/series/span buffers).
+  tl::Config C;
+  C.Sinks = tl::SinkTrace; // Buffers spans and series timestamps too.
+  C.TraceFile = ::testing::TempDir() + "/msem_tl_stress_trace.json";
+  tl::configure(C);
+
+  constexpr int NumThreads = 4;
+  constexpr int Iters = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I < Iters; ++I) {
+        tl::counter("stress.count").add(1);
+        tl::gauge("stress.acc").add(1.0);
+        tl::timer("stress.timer").add(3);
+        tl::series("stress.series")
+            .record(static_cast<double>(I), static_cast<double>(T));
+        tl::histogram("stress.hist", {5.0, 50.0})
+            .observe(static_cast<double>(I % 100));
+        tl::ScopedTimer Span("stress.span");
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  constexpr uint64_t Total = uint64_t(NumThreads) * Iters;
+  EXPECT_EQ(tl::counter("stress.count").value(), Total);
+  EXPECT_DOUBLE_EQ(tl::gauge("stress.acc").value(),
+                   static_cast<double>(Total));
+  EXPECT_EQ(tl::timer("stress.timer").count(), Total);
+  EXPECT_EQ(tl::timer("stress.timer").totalNs(), 3 * Total);
+  EXPECT_EQ(tl::series("stress.series").size(), Total);
+  EXPECT_EQ(tl::histogram("stress.hist", {}).totalCount(), Total);
+  EXPECT_EQ(tl::timer("stress.span").count(), Total);
+  EXPECT_EQ(tl::spans().size(), Total);
+}
+
 TEST_F(TelemetryDisabledTest, ConfigFromEnvParsesSinkList) {
   setenv("MSEM_TELEMETRY", "summary, trace", 1);
   setenv("MSEM_TRACE_FILE", "t.json", 1);

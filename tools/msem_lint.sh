@@ -4,7 +4,9 @@
 # Builds the whole tree with -Wall -Wextra -Werror in a dedicated build
 # directory, then runs the full test suite with MSEM_TELEMETRY=summary so
 # every telemetry-instrumented code path is exercised (metrics go to
-# stderr; test results are unaffected).
+# stderr; test results are unaffected). Finally hands off to
+# tools/msem_tsan.sh, which rebuilds the concurrency-sensitive tests under
+# -fsanitize=thread and runs them with MSEM_THREADS=4.
 #
 # Usage: tools/msem_lint.sh [build-dir]   (default: build-lint)
 
@@ -17,4 +19,6 @@ cmake -B "$BUILD_DIR" -S . -DMSEM_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 MSEM_TELEMETRY=summary ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on)"
+tools/msem_tsan.sh
+
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, tsan clean)"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# msem_tsan: ThreadSanitizer run of the concurrency-sensitive test suite.
+#
+# Builds the tree with -fsanitize=thread in a dedicated build directory,
+# then runs the tests that exercise the parallel engine -- the thread-pool
+# unit tests, the MSEM_THREADS=1-vs-8 determinism suite, the telemetry
+# stress test and the simulator re-entrancy test -- with a 4-thread global
+# pool and telemetry enabled, so every lock and atomic in the parallel
+# measurement/fitting stack is exercised under the race detector. Any TSan
+# report fails the run (halt_on_error).
+#
+# Usage: tools/msem_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+TESTS=(support_test parallel_test telemetry_test sampling_test)
+
+cmake -B "$BUILD_DIR" -S . -DMSEM_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export MSEM_THREADS=4
+export MSEM_TELEMETRY=summary
+for T in "${TESTS[@]}"; do
+  echo "== tsan: $T (MSEM_THREADS=$MSEM_THREADS) =="
+  "$BUILD_DIR/tests/$T"
+done
+
+echo "msem_tsan: OK (no data races reported)"
