@@ -23,6 +23,7 @@
 #ifndef MSEM_BENCH_BENCHCOMMON_H
 #define MSEM_BENCH_BENCHCOMMON_H
 
+#include "campaign/Experiment.h"
 #include "core/ModelBuilder.h"
 #include "core/ResponseSurface.h"
 #include "support/Env.h"
@@ -44,15 +45,15 @@ struct BenchScale {
 };
 
 inline BenchScale readScale() {
+  const EnvConfig &E = env();
   BenchScale S;
-  S.TrainN = static_cast<size_t>(getEnvInt("MSEM_TRAIN_N", 200));
-  S.TestN = static_cast<size_t>(getEnvInt("MSEM_TEST_N", 50));
-  std::string Input = getEnvString("MSEM_INPUT", "train");
-  S.Input = Input == "ref"    ? InputSet::Ref
-            : Input == "test" ? InputSet::Test
-                              : InputSet::Train;
-  S.CacheDir = getEnvString("MSEM_CACHE", "msem_cache");
-  S.Seed = static_cast<uint64_t>(getEnvInt("MSEM_SEED", 20070311));
+  S.TrainN = static_cast<size_t>(E.TrainN);
+  S.TestN = static_cast<size_t>(E.TestN);
+  S.Input = E.Input == "ref"    ? InputSet::Ref
+            : E.Input == "test" ? InputSet::Test
+                                : InputSet::Train;
+  S.CacheDir = E.CacheDir;
+  S.Seed = E.Seed;
   return S;
 }
 
@@ -66,6 +67,24 @@ makeSurface(const ParameterSpace &Space, const std::string &Workload,
   if (Input == InputSet::Test)
     Opts.Smarts.SamplingInterval = 10;
   return std::make_unique<ResponseSurface>(Space, Opts);
+}
+
+/// The facade equivalent of standardBuild: an ExperimentSpec at this
+/// campaign's scale, with one-shot designs of Scale.TrainN points. The
+/// harness adds its jobs (and any platforms) and calls runExperiment.
+inline ExperimentSpec standardSpec(const char *Name, const BenchScale &Scale) {
+  ExperimentSpec Spec;
+  Spec.Name = Name;
+  Spec.InitialDesignSize = Scale.TrainN;
+  Spec.MaxDesignSize = Scale.TrainN;
+  Spec.TestSize = Scale.TestN;
+  Spec.TargetMape = 0.0; // Fit exactly once at the requested size.
+  Spec.CandidateCount = std::max<size_t>(1200, Scale.TrainN * 4);
+  Spec.Seed = Scale.Seed;
+  Spec.CacheDir = Scale.CacheDir;
+  // SmartsInterval stays 0 (auto): jobs on the Test input get the same
+  // dense sampling makeSurface applies.
+  return Spec;
 }
 
 /// Standard model-building options for this campaign (one-shot design of

@@ -20,7 +20,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Figure 5: RBF error vs training-set size", Scale);
 
-  size_t Reps = static_cast<size_t>(getEnvInt("MSEM_FIG5_REPS", 2));
+  size_t Reps = static_cast<size_t>(env().Fig5Reps);
   std::vector<size_t> Sizes;
   for (size_t N : {25u, 50u, 100u, 150u, 200u, 300u, 400u})
     if (N <= Scale.TrainN)

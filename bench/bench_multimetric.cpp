@@ -37,26 +37,27 @@ int main() {
       {ResponseMetric::CodeBytes, "bytes"},
   };
 
+  // One campaign, three jobs -- the same workload modeled against each
+  // response. Energy simulations are fully detailed, so that job's design
+  // is capped smaller.
+  ExperimentSpec Spec = standardSpec("multimetric", Scale);
   for (const MetricCase &MC : Cases) {
-    ResponseSurface::Options SurfOpts;
-    SurfOpts.Workload = Workload;
-    SurfOpts.Input = Scale.Input;
-    SurfOpts.Metric = MC.Metric;
-    SurfOpts.CacheDir = Scale.CacheDir;
-    ResponseSurface Surface(Space, SurfOpts);
+    size_t Cap = MC.Metric == ResponseMetric::EnergyNanojoules
+                     ? std::min<size_t>(Scale.TrainN, 120)
+                     : 0;
+    Spec.Jobs.push_back(
+        {Workload, Scale.Input, MC.Metric, ModelTechnique::Rbf, Cap});
+  }
+  ExperimentResult Result = runExperiment(Spec);
+  if (!Result.ok()) {
+    std::printf("campaign %s: %s\n", campaignStatusName(Result.Status),
+                Result.Error.c_str());
+    return 1;
+  }
 
-    Rng R(Scale.Seed ^ 0x7E57);
-    auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
-    auto TestY = Surface.measureAll(TestPoints);
-
-    ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-    // Energy simulations are fully detailed; keep that campaign smaller.
-    if (MC.Metric == ResponseMetric::EnergyNanojoules) {
-      Opts.InitialDesignSize = std::min<size_t>(Opts.InitialDesignSize, 120);
-      Opts.MaxDesignSize = Opts.InitialDesignSize;
-    }
-    ModelBuildResult Res =
-        buildModelWithTestSet(Surface, Opts, TestPoints, TestY);
+  for (size_t CI = 0; CI < 3; ++CI) {
+    const MetricCase &MC = Cases[CI];
+    ModelBuildResult &Res = Result.Jobs[CI].Build;
 
     // Energy and code size vary multiplicatively (leakage x capacity,
     // unroll-factor code growth): refit through the log-response
@@ -69,7 +70,7 @@ int main() {
           makeModel(ModelTechnique::Rbf));
       LogModel->train(TrainX, Res.TrainY);
       ModelQuality LogQ = evaluateModel(
-          *LogModel, encodeMatrix(Space, TestPoints), TestY);
+          *LogModel, encodeMatrix(Space, Res.TestPoints), Res.TestY);
       std::printf("  (%s: raw-response MAPE %.2f%% vs log-response "
                   "%.2f%%)\n",
                   responseMetricName(MC.Metric), Quality.Mape, LogQ.Mape);

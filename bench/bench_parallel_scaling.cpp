@@ -67,7 +67,7 @@ bool identical(const RunResult &A, const RunResult &B) {
 int main() {
   BenchScale Scale = readScale();
   // A full campaign per thread count: keep the default size moderate.
-  if (getEnvInt("MSEM_TRAIN_N", -1) < 0) {
+  if (!env().TrainNSet) {
     Scale.TrainN = 60;
     Scale.TestN = 20;
   }

@@ -23,7 +23,7 @@ int main() {
               Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
-  size_t TopN = static_cast<size_t>(getEnvInt("MSEM_TABLE4_TOP", 12));
+  size_t TopN = static_cast<size_t>(env().Table4Top);
 
   for (const WorkloadSpec &Spec : allWorkloads()) {
     auto Surface = makeSurface(Space, Spec.Name, Scale, Scale.Input);

@@ -6,17 +6,18 @@
 // settings -- "absolving developers from the tedious task of tuning these
 // flags and heuristics for different platforms".
 //
-// This example builds one model for a chosen workload, then tunes it for
-// several platforms (including a custom one given on the command line as
-// 11 Table 2 values) and verifies the predicted winners on the simulator.
+// The whole campaign -- one model build, six platform searches, simulator
+// verification of every prescription -- is a single ExperimentSpec. With a
+// checkpoint path it is also durable: kill the process at any point and
+// rerun with the same arguments, and the campaign resumes where it
+// stopped, producing the identical table.
 //
-// Usage: ./build/examples/platform_tuner [workload] [train|test]
+// Usage: ./build/examples/platform_tuner [workload] [train|test] [ckpt.json]
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/ModelBuilder.h"
-#include "core/ResponseSurface.h"
-#include "search/GeneticSearch.h"
+#include "campaign/Campaign.h"
+#include "campaign/Experiment.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
@@ -29,31 +30,8 @@ int main(int Argc, char **Argv) {
   InputSet Input = (Argc > 2 && std::strcmp(Argv[2], "train") == 0)
                        ? InputSet::Train
                        : InputSet::Test;
+  std::string CheckpointPath = Argc > 3 ? Argv[3] : "";
 
-  ParameterSpace Space = ParameterSpace::paperSpace();
-  ResponseSurface::Options SurfOpts;
-  SurfOpts.Workload = Workload;
-  SurfOpts.Input = Input;
-  if (Input == InputSet::Test)
-    SurfOpts.Smarts.SamplingInterval = 10;
-  ResponseSurface Surface(Space, SurfOpts);
-
-  std::printf("building RBF model for %s (%s input)...\n", Workload.c_str(),
-              inputSetName(Input));
-  ModelBuilderOptions Build;
-  Build.Technique = ModelTechnique::Rbf;
-  Build.InitialDesignSize = Input == InputSet::Test ? 80 : 150;
-  Build.MaxDesignSize = Build.InitialDesignSize;
-  Build.TestSize = 25;
-  Build.CandidateCount = 800;
-  ModelBuildResult Model = buildModel(Surface, Build);
-  std::printf("model ready: test MAPE %.2f%% after %zu simulations\n\n",
-              Model.TestQuality.Mape, Model.SimulationsUsed);
-
-  struct Platform {
-    const char *Name;
-    MachineConfig Config;
-  };
   MachineConfig Embedded = MachineConfig::constrained();
   Embedded.MemoryLatency = 75;
   MachineConfig Server = MachineConfig::aggressive();
@@ -61,7 +39,16 @@ int main(int Argc, char **Argv) {
   MachineConfig CacheStarved = MachineConfig::typical();
   CacheStarved.IcacheBytes = 8 * 1024;
   CacheStarved.DcacheBytes = 8 * 1024;
-  const Platform Platforms[] = {
+
+  ExperimentSpec Spec;
+  Spec.Name = "platform-tuner";
+  Spec.Jobs = {{Workload, Input, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}};
+  Spec.InitialDesignSize = Input == InputSet::Test ? 80 : 150;
+  Spec.MaxDesignSize = Spec.InitialDesignSize;
+  Spec.TestSize = 25;
+  Spec.CandidateCount = 800;
+  Spec.TunePlatforms = {
       {"constrained", MachineConfig::constrained()},
       {"typical", MachineConfig::typical()},
       {"aggressive", MachineConfig::aggressive()},
@@ -69,26 +56,47 @@ int main(int Argc, char **Argv) {
       {"server-ish", Server},
       {"cache-starved", CacheStarved},
   };
+  Spec.VerifyTunings = true;
+  Spec.CheckpointPath = CheckpointPath;
 
+  std::printf("building RBF model for %s (%s input)...\n", Workload.c_str(),
+              inputSetName(Input));
+  // A fresh run and a resumed one go through the same facade; an existing
+  // checkpoint wins, so rerunning after a kill continues the campaign.
+  ExperimentResult Result;
+  bool HaveCheckpoint = false;
+  if (!CheckpointPath.empty()) {
+    if (std::FILE *F = std::fopen(CheckpointPath.c_str(), "rb")) {
+      std::fclose(F);
+      HaveCheckpoint = true;
+    }
+  }
+  if (HaveCheckpoint) {
+    std::printf("resuming from %s\n", CheckpointPath.c_str());
+    Result = Campaign::resume(CheckpointPath);
+  } else {
+    Result = runExperiment(Spec);
+  }
+  if (!Result.ok()) {
+    std::printf("campaign %s: %s\n", campaignStatusName(Result.Status),
+                Result.Error.c_str());
+    return 1;
+  }
+
+  const ExperimentJobResult &Job = Result.Jobs[0];
+  std::printf("model ready: test MAPE %.2f%% after %zu simulations\n\n",
+              Job.Build.TestQuality.Mape, Result.SimulationsUsed);
+
+  ParameterSpace Space = makeSpace(Spec.Space);
   TablePrinter T({"Platform", "O2 cycles", "O3 cycles", "tuned cycles",
                   "tuned vs O2", "prescribed flags"});
-  for (const Platform &P : Platforms) {
-    DesignPoint O2Point =
-        Space.fromConfigs(OptimizationConfig::O2(), P.Config);
-    DesignPoint O3Point =
-        Space.fromConfigs(OptimizationConfig::O3(), P.Config);
-    GaResult Best =
-        searchOptimalSettings(*Model.FittedModel, Space, O2Point);
-
-    double CyclesO2 = Surface.measure(O2Point);
-    double CyclesO3 = Surface.measure(O3Point);
-    double CyclesBest = Surface.measure(Best.BestPoint);
-    T.addRow({P.Name, formatString("%.0f", CyclesO2),
-              formatString("%.0f", CyclesO3),
-              formatString("%.0f", CyclesBest),
-              formatString("%+.1f%%",
-                           100.0 * (CyclesO2 - CyclesBest) / CyclesO2),
-              Space.toOptimizationConfig(Best.BestPoint).toString()});
+  for (const PlatformTuning &P : Job.Tunings) {
+    T.addRow({P.Platform, formatString("%.0f", P.MeasuredO2),
+              formatString("%.0f", P.MeasuredO3),
+              formatString("%.0f", P.MeasuredBest),
+              formatString("%+.1f%%", 100.0 * (P.MeasuredO2 - P.MeasuredBest) /
+                                          P.MeasuredO2),
+              Space.toOptimizationConfig(P.Search.BestPoint).toString()});
   }
   T.print();
   std::printf("\nEach platform gets its own settings from the same model "

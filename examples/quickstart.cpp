@@ -1,76 +1,82 @@
 //===- examples/quickstart.cpp - Five-minute tour of the library ---------------===//
 //
-// The end-to-end flow of the paper in ~80 lines:
-//   1. define the joint compiler x microarchitecture design space,
-//   2. measure a D-optimally chosen set of design points on the simulator,
-//   3. fit an RBF-network performance model,
-//   4. use it to predict arbitrary configurations and to find good
-//      compiler settings for a platform.
+// The end-to-end flow of the paper in one runExperiment call:
+//   1. describe the experiment -- workload, design scale, target platform
+//      -- in an ExperimentSpec,
+//   2. the campaign engine measures a D-optimally chosen set of design
+//      points on the simulator and fits an RBF performance model,
+//   3. the fitted model predicts arbitrary configurations without
+//      simulating them and prescribes compiler settings for the platform.
 //
 // Build:  cmake --build build && ./build/examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/ModelBuilder.h"
-#include "core/ResponseSurface.h"
-#include "search/GeneticSearch.h"
+#include "campaign/Experiment.h"
 
 #include <cstdio>
 
 using namespace msem;
 
 int main() {
-  // 1. The design space: Table 1's 14 compiler parameters + Table 2's 11
-  //    microarchitectural parameters, all encoded onto [-1, 1].
-  ParameterSpace Space = ParameterSpace::paperSpace();
+  // 1. The experiment, declaratively: Table 1's 14 compiler parameters +
+  //    Table 2's 11 microarchitectural parameters, one RBF model of art's
+  //    execution time, tuned for one target platform. Each measurement
+  //    compiles the benchmark at the point's flag settings and simulates
+  //    the binary on the point's microarchitecture (SMARTS-sampled).
+  ExperimentSpec Spec;
+  Spec.Name = "quickstart";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}}; // Small input: quickstart-friendly.
+  Spec.InitialDesignSize = 60;
+  Spec.MaxDesignSize = 60;
+  Spec.TestSize = 20;
+  Spec.CandidateCount = 500;
+  Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+  Spec.VerifyTunings = true; // Measure the prescription, don't just trust it.
+
+  ParameterSpace Space = makeSpace(Spec.Space);
   std::printf("design space: %zu parameters (%zu compiler + %zu uarch)\n",
               Space.size(), Space.numCompilerParams(),
               Space.size() - Space.numCompilerParams());
 
-  // 2. A response surface for one program: each measurement compiles the
-  //    benchmark at the point's flag settings and simulates the binary on
-  //    the point's microarchitecture (SMARTS-sampled).
-  ResponseSurface::Options SurfOpts;
-  SurfOpts.Workload = "art";
-  SurfOpts.Input = InputSet::Test; // Small input: quickstart-friendly.
-  SurfOpts.Smarts.SamplingInterval = 10;
-  ResponseSurface Surface(Space, SurfOpts);
-
-  // 3. The Figure 1 loop: D-optimal design, measure, fit, evaluate.
-  ModelBuilderOptions Build;
-  Build.Technique = ModelTechnique::Rbf;
-  Build.InitialDesignSize = 60;
-  Build.MaxDesignSize = 60;
-  Build.TestSize = 20;
-  Build.CandidateCount = 500;
-  ModelBuildResult Result = buildModel(Surface, Build);
+  // 2. Run it: D-optimal design, measurement, RBF fit, GA platform search
+  //    -- the whole Figure 1 lifecycle behind one call.
+  ExperimentResult Result = runExperiment(Spec);
+  if (!Result.ok()) {
+    std::printf("experiment %s: %s\n", campaignStatusName(Result.Status),
+                Result.Error.c_str());
+    return 1;
+  }
+  const ExperimentJobResult &Job = Result.Jobs[0];
   std::printf("fitted %s model on %zu points: test MAPE %.2f%%, R2 %.3f "
               "(%zu simulations total)\n",
-              Result.FittedModel->name().c_str(),
-              Result.TrainPoints.size(), Result.TestQuality.Mape,
-              Result.TestQuality.R2, Result.SimulationsUsed);
+              Job.Build.FittedModel->name().c_str(),
+              Job.Build.TrainPoints.size(), Job.Build.TestQuality.Mape,
+              Job.Build.TestQuality.R2, Result.SimulationsUsed);
 
-  // 4a. Predict an arbitrary configuration without simulating it.
+  // 3a. Predict an arbitrary configuration without simulating it. The
+  //     tuning phase measured -O3 on the typical machine, so the model's
+  //     prediction can be checked against the simulator's answer.
+  const PlatformTuning &Tuned = Job.Tunings[0];
   DesignPoint Probe = Space.fromConfigs(OptimizationConfig::O3(),
                                         MachineConfig::typical());
-  double Predicted = Result.FittedModel->predict(Space.encode(Probe));
-  double Actual = Surface.measure(Probe);
+  double Predicted = Job.Build.FittedModel->predict(Space.encode(Probe));
   std::printf("-O3 on the typical machine: predicted %.0f cycles, "
               "simulated %.0f cycles (%.1f%% off)\n",
-              Predicted, Actual,
-              100.0 * (Predicted - Actual) / Actual);
+              Predicted, Tuned.MeasuredO3,
+              100.0 * (Predicted - Tuned.MeasuredO3) / Tuned.MeasuredO3);
 
-  // 4b. Search the compiler subspace for this platform.
-  DesignPoint O2Point = Space.fromConfigs(OptimizationConfig::O2(),
-                                          MachineConfig::typical());
-  GaResult Best = searchOptimalSettings(*Result.FittedModel, Space, O2Point);
-  double CyclesBest = Surface.measure(Best.BestPoint);
-  double CyclesO2 = Surface.measure(O2Point);
+  // 3b. The campaign already searched the compiler subspace for the
+  //     platform and verified the winner on the simulator.
   std::printf("model-guided settings: %.0f cycles vs -O2's %.0f "
               "(%+.1f%% speedup)\n",
-              CyclesBest, CyclesO2,
-              100.0 * (CyclesO2 - CyclesBest) / CyclesO2);
+              Tuned.MeasuredBest, Tuned.MeasuredO2,
+              100.0 * (Tuned.MeasuredO2 - Tuned.MeasuredBest) /
+                  Tuned.MeasuredO2);
   std::printf("prescribed flags: %s\n",
-              Space.toOptimizationConfig(Best.BestPoint).toString().c_str());
+              Space.toOptimizationConfig(Tuned.Search.BestPoint)
+                  .toString()
+                  .c_str());
   return 0;
 }

@@ -1,0 +1,308 @@
+//===- campaign/Campaign.cpp - Fault-tolerant campaign engine --------------===//
+
+#include "campaign/Campaign.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// Surface identity within a campaign: jobs agreeing on this key share
+/// measurements (and their checkpoint shard).
+std::string surfaceKey(const ExperimentJob &Job) {
+  return Job.Workload + "|" + inputSetName(Job.Input) + "|" +
+         responseMetricName(Job.Metric);
+}
+
+} // namespace
+
+Campaign::Campaign(ExperimentSpec S)
+    : Spec(std::move(S)), Space(makeSpace(Spec.Space)) {
+  if (Spec.Jobs.empty())
+    Spec.Jobs.emplace_back();
+  Progress.resize(Spec.Jobs.size());
+}
+
+Campaign::~Campaign() = default;
+
+ResponseSurface &Campaign::surfaceFor(const ExperimentJob &Job) {
+  std::string Key = surfaceKey(Job);
+  auto It = Surfaces.find(Key);
+  if (It != Surfaces.end())
+    return *It->second;
+
+  ResponseSurface::Options Opts;
+  Opts.Workload = Job.Workload;
+  Opts.Input = Job.Input;
+  Opts.Metric = Job.Metric;
+  Opts.UseSmarts = Spec.UseSmarts;
+  if (Spec.SmartsInterval > 0)
+    Opts.Smarts.SamplingInterval = Spec.SmartsInterval;
+  else if (Job.Input == InputSet::Test)
+    Opts.Smarts.SamplingInterval = 10; // Short runs want dense sampling.
+  Opts.CacheDir = Spec.CacheDir;
+  // The campaign flushes at checkpoint time, keeping the cache file and
+  // the checkpoint that references it in step.
+  Opts.AutoFlush = false;
+  Opts.Faults = Spec.Faults;
+
+  auto Surface = std::make_unique<ResponseSurface>(Space, std::move(Opts));
+  auto Restored = RestoredSurfaces.find(Key);
+  if (Restored != RestoredSurfaces.end())
+    Surface->preload(Restored->second.Points, Restored->second.Values);
+  return *Surfaces.emplace(Key, std::move(Surface)).first->second;
+}
+
+size_t Campaign::totalSimulations() const {
+  size_t N = RestoredSimulations;
+  for (const auto &[Key, S] : Surfaces)
+    N += S->simulationsRun();
+  return N;
+}
+
+double Campaign::totalWallSeconds() const {
+  return RestoredWallSeconds +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       RunStart)
+             .count();
+}
+
+bool Campaign::budgetExceeded() const {
+  if (Spec.Budget.MaxSimulations &&
+      totalSimulations() >= Spec.Budget.MaxSimulations)
+    return true;
+  if (Spec.Budget.MaxWallSeconds > 0 &&
+      totalWallSeconds() >= Spec.Budget.MaxWallSeconds)
+    return true;
+  return false;
+}
+
+void Campaign::writeCheckpoint() {
+  if (Spec.CheckpointPath.empty())
+    return;
+  telemetry::ScopedTimer Span("campaign.checkpoint");
+  CampaignCheckpoint Ckpt;
+  Ckpt.Spec = Spec;
+  Ckpt.Jobs = Progress;
+  for (const auto &[Key, S] : Surfaces) {
+    S->flush();
+    if (Ckpt.CachePath.empty())
+      Ckpt.CachePath = S->cachePath();
+    SurfaceShard Shard;
+    for (auto &[Point, Value] : S->snapshot()) {
+      Shard.Points.push_back(std::move(Point));
+      Shard.Values.push_back(Value);
+    }
+    Ckpt.Surfaces.emplace(Key, std::move(Shard));
+  }
+  Ckpt.SimulationsSpent = totalSimulations();
+  Ckpt.WallSecondsSpent = totalWallSeconds();
+
+  std::string Error;
+  if (!saveCheckpoint(Ckpt, Spec.CheckpointPath, &Error))
+    fatalError("campaign checkpoint failed: " + Error);
+  ++CheckpointsWritten;
+  telemetry::count("campaign.checkpoints");
+  if (Spec.OnCheckpointWritten)
+    Spec.OnCheckpointWritten(CheckpointsWritten);
+}
+
+bool Campaign::runBuildPhase(size_t J, ExperimentJobResult &JR,
+                             ExperimentResult &Result) {
+  const ExperimentJob &Job = Spec.Jobs[J];
+  ResponseSurface &Surface = surfaceFor(Job);
+
+  ModelBuilderOptions Build;
+  Build.Technique = Job.Technique;
+  Build.InitialDesignSize = Spec.InitialDesignSize;
+  Build.AugmentStep = Spec.AugmentStep;
+  Build.MaxDesignSize = Spec.MaxDesignSize;
+  if (Job.DesignSizeCap) {
+    Build.InitialDesignSize =
+        std::min(Build.InitialDesignSize, Job.DesignSizeCap);
+    Build.MaxDesignSize = std::min(Build.MaxDesignSize, Job.DesignSizeCap);
+  }
+  Build.TestSize = Spec.TestSize;
+  Build.TargetMape = Spec.TargetMape;
+  Build.CandidateCount = Spec.CandidateCount;
+  Build.Expansion = Spec.Expansion;
+  Build.Seed = Spec.Seed;
+  Build.OnIteration = [this, J](const ModelBuildResult &Partial) {
+    Progress[J].State = JobState::Modeling;
+    Progress[J].ErrorCurve = Partial.ErrorCurve;
+    writeCheckpoint();
+    return !budgetExceeded();
+  };
+
+  Progress[J].State = JobState::Modeling;
+  JR.Build = buildModel(Surface, Build);
+  Progress[J].ErrorCurve = JR.Build.ErrorCurve;
+
+  if (JR.Build.Stop == BuildStop::Failed) {
+    JR.State = JobState::Failed;
+    JR.Error = JR.Build.Error;
+    Progress[J].State = JobState::Failed;
+    Progress[J].Error = JR.Error;
+    writeCheckpoint();
+    Result.Status = CampaignStatus::Failed;
+    Result.Error = formatString("job %zu (%s): ", J, Job.Workload.c_str()) +
+                   JR.Error;
+    return false;
+  }
+  if (JR.Build.Stop == BuildStop::Paused) {
+    // Budget hit between iterations; the iteration hook already wrote the
+    // checkpoint covering everything measured so far.
+    JR.State = JobState::Modeling;
+    Result.Status = CampaignStatus::BudgetExhausted;
+    return false;
+  }
+  return true;
+}
+
+bool Campaign::runTuningPhase(size_t J, ExperimentJobResult &JR,
+                              ExperimentResult &Result) {
+  // The per-platform search needs the Table 1/Table 2 bridge, which only
+  // the paper space provides.
+  if (Spec.TunePlatforms.empty() || Spec.Space != SpaceKind::Paper)
+    return true;
+
+  const ExperimentJob &Job = Spec.Jobs[J];
+  ResponseSurface &Surface = surfaceFor(Job);
+  JobProgress *Restored = J < RestoredJobs.size() ? &RestoredJobs[J] : nullptr;
+
+  for (size_t P = 0; P < Spec.TunePlatforms.size(); ++P) {
+    const PlatformSpec &Platform = Spec.TunePlatforms[P];
+    DesignPoint O2Point =
+        Space.fromConfigs(OptimizationConfig::O2(), Platform.Config);
+
+    GaOptions Ga = Spec.Ga;
+    if (Restored && Restored->HasGaState && Restored->TuningsDone == P) {
+      // Continue the search that was in flight when the checkpoint was
+      // cut; consumed once so later platforms start fresh.
+      Ga.ResumeFrom = &Restored->Ga;
+      Restored->HasGaState = false;
+    }
+    Ga.OnGeneration = [this, J, P](const GaState &S) {
+      Progress[J].State = JobState::Tuning;
+      Progress[J].TuningsDone = P;
+      Progress[J].Ga = S;
+      Progress[J].HasGaState = true;
+      bool Continue = !budgetExceeded();
+      if (!Continue || (Spec.GaCheckpointEvery > 0 &&
+                        S.Generation % Spec.GaCheckpointEvery == 0))
+        writeCheckpoint();
+      return Continue;
+    };
+
+    GaResult Search =
+        searchOptimalSettings(*JR.Build.FittedModel, Space, O2Point, Ga);
+    if (Search.Paused) {
+      JR.State = JobState::Tuning;
+      Result.Status = CampaignStatus::BudgetExhausted;
+      return false;
+    }
+
+    PlatformTuning Tuning;
+    Tuning.Platform = Platform.Name;
+    Tuning.Search = std::move(Search);
+    if (Spec.VerifyTunings) {
+      DesignPoint O3Point =
+          Space.fromConfigs(OptimizationConfig::O3(), Platform.Config);
+      MeasurementReport Report;
+      std::vector<double> Measured = Surface.measureAll(
+          {Tuning.Search.BestPoint, O2Point, O3Point}, &Report);
+      if (Report.Aborted) {
+        JR.State = JobState::Failed;
+        JR.Error = Report.Error;
+        Progress[J].State = JobState::Failed;
+        Progress[J].Error = JR.Error;
+        writeCheckpoint();
+        Result.Status = CampaignStatus::Failed;
+        Result.Error =
+            formatString("job %zu (%s), platform %s: ", J,
+                         Job.Workload.c_str(), Platform.Name.c_str()) +
+            JR.Error;
+        return false;
+      }
+      Tuning.MeasuredBest = Measured[0];
+      Tuning.MeasuredO2 = Measured[1];
+      Tuning.MeasuredO3 = Measured[2];
+    }
+    JR.Tunings.push_back(std::move(Tuning));
+
+    Progress[J].TuningsDone = P + 1;
+    Progress[J].HasGaState = false;
+    writeCheckpoint();
+  }
+  return true;
+}
+
+ExperimentResult Campaign::run() {
+  telemetry::ScopedTimer Span("campaign.run");
+  RunStart = std::chrono::steady_clock::now();
+
+  ExperimentResult Result;
+  Result.CheckpointPath = Spec.CheckpointPath;
+
+  for (size_t J = 0; J < Spec.Jobs.size(); ++J) {
+    ExperimentJobResult JR;
+    JR.Job = Spec.Jobs[J];
+
+    if (Result.Status == CampaignStatus::Complete && budgetExceeded()) {
+      writeCheckpoint();
+      Result.Status = CampaignStatus::BudgetExhausted;
+    }
+    if (Result.Status != CampaignStatus::Complete) {
+      // Campaign already stopped: record the job untouched.
+      Result.Jobs.push_back(std::move(JR));
+      continue;
+    }
+
+    bool Continue = runBuildPhase(J, JR, Result) &&
+                    runTuningPhase(J, JR, Result);
+    if (Continue) {
+      JR.State = JobState::Done;
+      Progress[J].State = JobState::Done;
+      writeCheckpoint();
+    }
+    Result.Jobs.push_back(std::move(JR));
+  }
+
+  Result.SimulationsUsed = totalSimulations();
+  Result.WallSeconds = totalWallSeconds();
+  telemetry::counter("campaign.simulations")
+      .add(static_cast<uint64_t>(Result.SimulationsUsed));
+  return Result;
+}
+
+ExperimentResult Campaign::resume(const std::string &Path,
+                                  const ExperimentBudget *NewBudget) {
+  CampaignCheckpoint Ckpt;
+  std::string Error;
+  if (!loadCheckpoint(Path, Ckpt, &Error)) {
+    ExperimentResult Result;
+    Result.Status = CampaignStatus::Failed;
+    Result.Error = Error;
+    return Result;
+  }
+  // Run the *embedded* spec -- the checkpoint is the contract, so a
+  // drifted caller cannot silently alter a half-finished campaign. The
+  // budget is the exception: raising it is exactly why one resumes.
+  if (NewBudget)
+    Ckpt.Spec.Budget = *NewBudget;
+  Ckpt.Spec.CheckpointPath = Path;
+
+  Campaign C(std::move(Ckpt.Spec));
+  C.RestoredSurfaces = std::move(Ckpt.Surfaces);
+  C.RestoredJobs = std::move(Ckpt.Jobs);
+  C.RestoredSimulations = Ckpt.SimulationsSpent;
+  C.RestoredWallSeconds = Ckpt.WallSecondsSpent;
+  telemetry::count("campaign.resumes");
+  return C.run();
+}

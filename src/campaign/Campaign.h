@@ -1,0 +1,105 @@
+//===- campaign/Campaign.h - Fault-tolerant campaign engine -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine behind runExperiment: runs an ExperimentSpec's jobs through
+/// the Figure-1 build loop and the Section 6.3 tuning searches, enforcing
+/// budgets between iterations/generations and writing atomic checkpoints
+/// as it goes.
+///
+/// Fault tolerance is resume-by-replay. Every quantity the campaign
+/// computes is a deterministic function of the spec's seeds plus the
+/// measured responses, and measured responses are pure functions of their
+/// design points -- so the checkpoint persists only measurements, GA
+/// state and budget spend. Campaign::resume reconstructs the engine from
+/// the embedded spec, preloads the measurement memo, and re-runs the
+/// campaign: finished work replays from the memo at zero simulator cost,
+/// and the run continues seamlessly from wherever the checkpoint was cut,
+/// producing results bitwise identical to a run that was never
+/// interrupted -- at any MSEM_THREADS setting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_CAMPAIGN_H
+#define MSEM_CAMPAIGN_CAMPAIGN_H
+
+#include "campaign/Checkpoint.h"
+#include "campaign/Experiment.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+namespace msem {
+
+/// One campaign execution: construct with a spec (or via resume from a
+/// checkpoint file) and call run() once.
+class Campaign {
+public:
+  explicit Campaign(ExperimentSpec Spec);
+  ~Campaign();
+
+  Campaign(const Campaign &) = delete;
+  Campaign &operator=(const Campaign &) = delete;
+
+  /// Executes the campaign: every job, tuning included, until complete,
+  /// budget-exhausted (checkpointed, resumable) or failed (structured
+  /// error).
+  ExperimentResult run();
+
+  /// Loads the checkpoint at \p Path and continues the campaign it
+  /// describes. \p NewBudget, when given, replaces the spec's budget --
+  /// the usual way to give a budget-exhausted campaign more headroom.
+  /// A load failure returns CampaignStatus::Failed with a diagnostic.
+  static ExperimentResult resume(const std::string &Path,
+                                 const ExperimentBudget *NewBudget = nullptr);
+
+private:
+  /// The surface for one job, created (and preloaded from any restored
+  /// checkpoint shard) on first use. Jobs sharing (workload, input,
+  /// metric) share the surface, so e.g. a technique-comparison campaign
+  /// measures each design point once.
+  ResponseSurface &surfaceFor(const ExperimentJob &Job);
+
+  /// Simulations across all surfaces plus restored prior spend.
+  size_t totalSimulations() const;
+  /// Seconds since run() started plus restored prior spend.
+  double totalWallSeconds() const;
+  bool budgetExceeded() const;
+
+  /// Flushes surfaces and publishes the checkpoint file atomically
+  /// (no-op without Spec.CheckpointPath). Invokes OnCheckpointWritten.
+  void writeCheckpoint();
+
+  /// Runs job \p J's build loop. Returns false when the campaign must
+  /// stop (budget pause or failure), with \p Result updated.
+  bool runBuildPhase(size_t J, ExperimentJobResult &JR,
+                     ExperimentResult &Result);
+  /// Runs job \p J's per-platform tuning searches. Same contract.
+  bool runTuningPhase(size_t J, ExperimentJobResult &JR,
+                      ExperimentResult &Result);
+
+  ExperimentSpec Spec;
+  ParameterSpace Space;
+  /// Surfaces keyed "workload|input|metric"; values are stable (surfaces
+  /// hand out references into themselves).
+  std::map<std::string, std::unique_ptr<ResponseSurface>> Surfaces;
+
+  /// State carried in from a checkpoint (empty on a fresh campaign).
+  std::map<std::string, SurfaceShard> RestoredSurfaces;
+  std::vector<JobProgress> RestoredJobs;
+  size_t RestoredSimulations = 0;
+  double RestoredWallSeconds = 0;
+
+  /// Live progress, mirrored into every checkpoint.
+  std::vector<JobProgress> Progress;
+  std::chrono::steady_clock::time_point RunStart;
+  size_t CheckpointsWritten = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_CAMPAIGN_H

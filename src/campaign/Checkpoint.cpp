@@ -1,0 +1,556 @@
+//===- campaign/Checkpoint.cpp - Resumable campaign state ------------------===//
+
+#include "campaign/Checkpoint.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace msem;
+
+//===----------------------------------------------------------------------===//
+// Enum <-> string (parsers mirror the library's *Name functions)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parseSpaceKind(const std::string &S, SpaceKind &Out) {
+  if (S == "paper")
+    Out = SpaceKind::Paper;
+  else if (S == "extended")
+    Out = SpaceKind::Extended;
+  else
+    return false;
+  return true;
+}
+
+bool parseInputSet(const std::string &S, InputSet &Out) {
+  if (S == "test")
+    Out = InputSet::Test;
+  else if (S == "train")
+    Out = InputSet::Train;
+  else if (S == "ref")
+    Out = InputSet::Ref;
+  else
+    return false;
+  return true;
+}
+
+bool parseMetric(const std::string &S, ResponseMetric &Out) {
+  if (S == "cycles")
+    Out = ResponseMetric::Cycles;
+  else if (S == "energy")
+    Out = ResponseMetric::EnergyNanojoules;
+  else if (S == "codesize")
+    Out = ResponseMetric::CodeBytes;
+  else
+    return false;
+  return true;
+}
+
+bool parseTechnique(const std::string &S, ModelTechnique &Out) {
+  if (S == "linear")
+    Out = ModelTechnique::Linear;
+  else if (S == "mars")
+    Out = ModelTechnique::Mars;
+  else if (S == "rbf")
+    Out = ModelTechnique::Rbf;
+  else
+    return false;
+  return true;
+}
+
+const char *expansionName(ExpansionKind Kind) {
+  return Kind == ExpansionKind::Linear ? "linear" : "linear+2fi";
+}
+
+bool parseExpansion(const std::string &S, ExpansionKind &Out) {
+  if (S == "linear")
+    Out = ExpansionKind::Linear;
+  else if (S == "linear+2fi")
+    Out = ExpansionKind::LinearWith2FI;
+  else
+    return false;
+  return true;
+}
+
+bool parseFaultAction(const std::string &S, FaultAction &Out) {
+  if (S == "retry")
+    Out = FaultAction::Retry;
+  else if (S == "skip")
+    Out = FaultAction::Skip;
+  else if (S == "abort")
+    Out = FaultAction::Abort;
+  else
+    return false;
+  return true;
+}
+
+bool parseJobState(const std::string &S, JobState &Out) {
+  if (S == "pending")
+    Out = JobState::Pending;
+  else if (S == "modeling")
+    Out = JobState::Modeling;
+  else if (S == "tuning")
+    Out = JobState::Tuning;
+  else if (S == "done")
+    Out = JobState::Done;
+  else if (S == "failed")
+    Out = JobState::Failed;
+  else
+    return false;
+  return true;
+}
+
+bool failWith(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf serializers
+//===----------------------------------------------------------------------===//
+
+Json pointToJson(const DesignPoint &Point) {
+  Json A = Json::array();
+  for (int64_t V : Point)
+    A.push(Json::number(static_cast<double>(V)));
+  return A;
+}
+
+DesignPoint pointFromJson(const Json &J) {
+  DesignPoint P;
+  P.reserve(J.size());
+  for (const Json &V : J.items())
+    P.push_back(V.asInt());
+  return P;
+}
+
+Json machineToJson(const MachineConfig &M) {
+  Json J = Json::object();
+  J.set("issue_width", Json::number(M.IssueWidth));
+  J.set("bpred_size", Json::number(M.BranchPredictorSize));
+  J.set("ruu_size", Json::number(M.RuuSize));
+  J.set("icache_bytes", Json::number(M.IcacheBytes));
+  J.set("dcache_bytes", Json::number(M.DcacheBytes));
+  J.set("dcache_assoc", Json::number(M.DcacheAssoc));
+  J.set("dcache_latency", Json::number(M.DcacheLatency));
+  J.set("l2_bytes", Json::number(M.L2Bytes));
+  J.set("l2_assoc", Json::number(M.L2Assoc));
+  J.set("l2_latency", Json::number(M.L2Latency));
+  J.set("memory_latency", Json::number(M.MemoryLatency));
+  return J;
+}
+
+MachineConfig machineFromJson(const Json &J) {
+  MachineConfig M;
+  M.IssueWidth = static_cast<unsigned>(J["issue_width"].asInt(M.IssueWidth));
+  M.BranchPredictorSize =
+      static_cast<unsigned>(J["bpred_size"].asInt(M.BranchPredictorSize));
+  M.RuuSize = static_cast<unsigned>(J["ruu_size"].asInt(M.RuuSize));
+  M.IcacheBytes =
+      static_cast<unsigned>(J["icache_bytes"].asInt(M.IcacheBytes));
+  M.DcacheBytes =
+      static_cast<unsigned>(J["dcache_bytes"].asInt(M.DcacheBytes));
+  M.DcacheAssoc =
+      static_cast<unsigned>(J["dcache_assoc"].asInt(M.DcacheAssoc));
+  M.DcacheLatency =
+      static_cast<unsigned>(J["dcache_latency"].asInt(M.DcacheLatency));
+  M.L2Bytes = static_cast<unsigned>(J["l2_bytes"].asInt(M.L2Bytes));
+  M.L2Assoc = static_cast<unsigned>(J["l2_assoc"].asInt(M.L2Assoc));
+  M.L2Latency = static_cast<unsigned>(J["l2_latency"].asInt(M.L2Latency));
+  M.MemoryLatency =
+      static_cast<unsigned>(J["memory_latency"].asInt(M.MemoryLatency));
+  return M;
+}
+
+Json gaStateToJson(const GaState &S) {
+  Json J = Json::object();
+  J.set("generation", Json::number(S.Generation));
+  Json Pop = Json::array();
+  for (const GaGenome &G : S.Population) {
+    Json Row = Json::array();
+    for (size_t V : G)
+      Row.push(Json::number(static_cast<double>(V)));
+    Pop.push(std::move(Row));
+  }
+  J.set("population", std::move(Pop));
+  Json Scores = Json::array();
+  for (double V : S.Scores)
+    Scores.push(Json::number(V));
+  J.set("scores", std::move(Scores));
+  J.set("best_so_far", Json::number(S.BestSoFar));
+  J.set("since_improvement", Json::number(S.SinceImprovement));
+  Json RngState = Json::array();
+  for (uint64_t W : S.RngState)
+    RngState.push(Json::hexU64(W));
+  J.set("rng", std::move(RngState));
+  return J;
+}
+
+bool gaStateFromJson(const Json &J, GaState &Out, std::string *Error) {
+  Out.Generation = static_cast<int>(J["generation"].asInt());
+  Out.Population.clear();
+  for (const Json &Row : J["population"].items()) {
+    GaGenome G;
+    G.reserve(Row.size());
+    for (const Json &V : Row.items())
+      G.push_back(static_cast<size_t>(V.asInt()));
+    Out.Population.push_back(std::move(G));
+  }
+  Out.Scores.clear();
+  for (const Json &V : J["scores"].items())
+    Out.Scores.push_back(V.asDouble());
+  if (Out.Scores.size() != Out.Population.size())
+    return failWith(Error, "GA state: population/score arity mismatch");
+  Out.BestSoFar = J["best_so_far"].asDouble(1e300);
+  Out.SinceImprovement = static_cast<int>(J["since_improvement"].asInt());
+  const Json &R = J["rng"];
+  if (R.size() != Out.RngState.size())
+    return failWith(Error, "GA state: RNG state must have 4 words");
+  for (size_t I = 0; I < Out.RngState.size(); ++I)
+    Out.RngState[I] = R.at(I).asHexU64();
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec <-> JSON
+//===----------------------------------------------------------------------===//
+
+Json msem::serializeSpec(const ExperimentSpec &Spec) {
+  Json J = Json::object();
+  J.set("name", Json::string(Spec.Name));
+  J.set("space", Json::string(spaceKindName(Spec.Space)));
+
+  Json Jobs = Json::array();
+  for (const ExperimentJob &Job : Spec.Jobs) {
+    Json JJ = Json::object();
+    JJ.set("workload", Json::string(Job.Workload));
+    JJ.set("input", Json::string(inputSetName(Job.Input)));
+    JJ.set("metric", Json::string(responseMetricName(Job.Metric)));
+    JJ.set("technique", Json::string(modelTechniqueName(Job.Technique)));
+    if (Job.DesignSizeCap)
+      JJ.set("design_size_cap",
+             Json::number(static_cast<double>(Job.DesignSizeCap)));
+    Jobs.push(std::move(JJ));
+  }
+  J.set("jobs", std::move(Jobs));
+
+  Json Design = Json::object();
+  Design.set("initial", Json::number(static_cast<double>(Spec.InitialDesignSize)));
+  Design.set("augment_step", Json::number(static_cast<double>(Spec.AugmentStep)));
+  Design.set("max", Json::number(static_cast<double>(Spec.MaxDesignSize)));
+  Design.set("test", Json::number(static_cast<double>(Spec.TestSize)));
+  Design.set("target_mape", Json::number(Spec.TargetMape));
+  Design.set("candidates", Json::number(static_cast<double>(Spec.CandidateCount)));
+  Design.set("expansion", Json::string(expansionName(Spec.Expansion)));
+  Design.set("seed", Json::hexU64(Spec.Seed));
+  J.set("design", std::move(Design));
+
+  Json Measure = Json::object();
+  Measure.set("use_smarts", Json::boolean(Spec.UseSmarts));
+  Measure.set("smarts_interval", Json::number(Spec.SmartsInterval));
+  Measure.set("cache_dir", Json::string(Spec.CacheDir));
+  Json Faults = Json::object();
+  Faults.set("on_fault", Json::string(faultActionName(Spec.Faults.OnFault)));
+  Faults.set("max_attempts", Json::number(Spec.Faults.MaxAttempts));
+  Faults.set("backoff_micros", Json::number(Spec.Faults.BackoffBaseMicros));
+  Faults.set("inject_rate", Json::number(Spec.Faults.InjectRate));
+  Measure.set("faults", std::move(Faults));
+  J.set("measure", std::move(Measure));
+
+  Json Orchestration = Json::object();
+  Orchestration.set("checkpoint_path", Json::string(Spec.CheckpointPath));
+  Orchestration.set("ga_checkpoint_every", Json::number(Spec.GaCheckpointEvery));
+  Orchestration.set("max_simulations",
+                    Json::number(static_cast<double>(Spec.Budget.MaxSimulations)));
+  Orchestration.set("max_wall_seconds", Json::number(Spec.Budget.MaxWallSeconds));
+  J.set("orchestration", std::move(Orchestration));
+
+  Json Tuning = Json::object();
+  Json Platforms = Json::array();
+  for (const PlatformSpec &P : Spec.TunePlatforms) {
+    Json PJ = Json::object();
+    PJ.set("name", Json::string(P.Name));
+    PJ.set("machine", machineToJson(P.Config));
+    Platforms.push(std::move(PJ));
+  }
+  Tuning.set("platforms", std::move(Platforms));
+  Json Ga = Json::object();
+  Ga.set("population", Json::number(static_cast<double>(Spec.Ga.Population)));
+  Ga.set("generations", Json::number(Spec.Ga.Generations));
+  Ga.set("stall_generations", Json::number(Spec.Ga.StallGenerations));
+  Ga.set("crossover_rate", Json::number(Spec.Ga.CrossoverRate));
+  Ga.set("mutation_rate", Json::number(Spec.Ga.MutationRate));
+  Ga.set("elite", Json::number(static_cast<double>(Spec.Ga.EliteCount)));
+  Ga.set("tournament", Json::number(static_cast<double>(Spec.Ga.TournamentSize)));
+  Ga.set("seed", Json::hexU64(Spec.Ga.Seed));
+  Tuning.set("ga", std::move(Ga));
+  Tuning.set("verify", Json::boolean(Spec.VerifyTunings));
+  J.set("tuning", std::move(Tuning));
+  return J;
+}
+
+bool msem::deserializeSpec(const Json &Doc, ExperimentSpec &Out,
+                           std::string *Error) {
+  if (Doc.kind() != Json::Kind::Object)
+    return failWith(Error, "spec: expected an object");
+  ExperimentSpec Spec;
+  Spec.Name = Doc["name"].asString(Spec.Name);
+  if (!parseSpaceKind(Doc["space"].asString("paper"), Spec.Space))
+    return failWith(Error, "spec: unknown space kind '" +
+                               Doc["space"].asString() + "'");
+
+  Spec.Jobs.clear();
+  for (const Json &JJ : Doc["jobs"].items()) {
+    ExperimentJob Job;
+    Job.Workload = JJ["workload"].asString(Job.Workload);
+    if (!parseInputSet(JJ["input"].asString("train"), Job.Input))
+      return failWith(Error, "spec: unknown input set '" +
+                                 JJ["input"].asString() + "'");
+    if (!parseMetric(JJ["metric"].asString("cycles"), Job.Metric))
+      return failWith(Error, "spec: unknown metric '" +
+                                 JJ["metric"].asString() + "'");
+    if (!parseTechnique(JJ["technique"].asString("rbf"), Job.Technique))
+      return failWith(Error, "spec: unknown technique '" +
+                                 JJ["technique"].asString() + "'");
+    Job.DesignSizeCap = static_cast<size_t>(JJ["design_size_cap"].asInt(0));
+    Spec.Jobs.push_back(std::move(Job));
+  }
+
+  const Json &Design = Doc["design"];
+  Spec.InitialDesignSize =
+      static_cast<size_t>(Design["initial"].asInt(
+          static_cast<int64_t>(Spec.InitialDesignSize)));
+  Spec.AugmentStep = static_cast<size_t>(
+      Design["augment_step"].asInt(static_cast<int64_t>(Spec.AugmentStep)));
+  Spec.MaxDesignSize = static_cast<size_t>(
+      Design["max"].asInt(static_cast<int64_t>(Spec.MaxDesignSize)));
+  Spec.TestSize = static_cast<size_t>(
+      Design["test"].asInt(static_cast<int64_t>(Spec.TestSize)));
+  Spec.TargetMape = Design["target_mape"].asDouble(Spec.TargetMape);
+  Spec.CandidateCount = static_cast<size_t>(
+      Design["candidates"].asInt(static_cast<int64_t>(Spec.CandidateCount)));
+  if (!parseExpansion(Design["expansion"].asString("linear"), Spec.Expansion))
+    return failWith(Error, "spec: unknown expansion '" +
+                               Design["expansion"].asString() + "'");
+  Spec.Seed = Design["seed"].asHexU64(Spec.Seed);
+
+  const Json &Measure = Doc["measure"];
+  Spec.UseSmarts = Measure["use_smarts"].asBool(Spec.UseSmarts);
+  Spec.SmartsInterval =
+      static_cast<int>(Measure["smarts_interval"].asInt(Spec.SmartsInterval));
+  Spec.CacheDir = Measure["cache_dir"].asString(Spec.CacheDir);
+  const Json &Faults = Measure["faults"];
+  if (!parseFaultAction(Faults["on_fault"].asString("retry"),
+                        Spec.Faults.OnFault))
+    return failWith(Error, "spec: unknown fault action '" +
+                               Faults["on_fault"].asString() + "'");
+  Spec.Faults.MaxAttempts =
+      static_cast<int>(Faults["max_attempts"].asInt(Spec.Faults.MaxAttempts));
+  Spec.Faults.BackoffBaseMicros = static_cast<unsigned>(
+      Faults["backoff_micros"].asInt(Spec.Faults.BackoffBaseMicros));
+  Spec.Faults.InjectRate = Faults["inject_rate"].asDouble(-1.0);
+
+  const Json &Orchestration = Doc["orchestration"];
+  Spec.CheckpointPath =
+      Orchestration["checkpoint_path"].asString(Spec.CheckpointPath);
+  Spec.GaCheckpointEvery = static_cast<int>(
+      Orchestration["ga_checkpoint_every"].asInt(Spec.GaCheckpointEvery));
+  Spec.Budget.MaxSimulations = static_cast<size_t>(
+      Orchestration["max_simulations"].asInt(0));
+  Spec.Budget.MaxWallSeconds =
+      Orchestration["max_wall_seconds"].asDouble(0);
+
+  const Json &Tuning = Doc["tuning"];
+  Spec.TunePlatforms.clear();
+  for (const Json &PJ : Tuning["platforms"].items()) {
+    PlatformSpec P;
+    P.Name = PJ["name"].asString();
+    P.Config = machineFromJson(PJ["machine"]);
+    Spec.TunePlatforms.push_back(std::move(P));
+  }
+  const Json &Ga = Tuning["ga"];
+  Spec.Ga.Population = static_cast<size_t>(
+      Ga["population"].asInt(static_cast<int64_t>(Spec.Ga.Population)));
+  Spec.Ga.Generations =
+      static_cast<int>(Ga["generations"].asInt(Spec.Ga.Generations));
+  Spec.Ga.StallGenerations = static_cast<int>(
+      Ga["stall_generations"].asInt(Spec.Ga.StallGenerations));
+  Spec.Ga.CrossoverRate = Ga["crossover_rate"].asDouble(Spec.Ga.CrossoverRate);
+  Spec.Ga.MutationRate = Ga["mutation_rate"].asDouble(Spec.Ga.MutationRate);
+  Spec.Ga.EliteCount = static_cast<size_t>(
+      Ga["elite"].asInt(static_cast<int64_t>(Spec.Ga.EliteCount)));
+  Spec.Ga.TournamentSize = static_cast<size_t>(
+      Ga["tournament"].asInt(static_cast<int64_t>(Spec.Ga.TournamentSize)));
+  Spec.Ga.Seed = Ga["seed"].asHexU64(Spec.Ga.Seed);
+  Spec.VerifyTunings = Tuning["verify"].asBool(Spec.VerifyTunings);
+
+  Out = std::move(Spec);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint <-> JSON
+//===----------------------------------------------------------------------===//
+
+Json msem::serializeCheckpoint(const CampaignCheckpoint &Ckpt) {
+  Json J = Json::object();
+  J.set("version", Json::number(Ckpt.Version));
+  J.set("spec", serializeSpec(Ckpt.Spec));
+
+  Json Jobs = Json::array();
+  for (const JobProgress &P : Ckpt.Jobs) {
+    Json JJ = Json::object();
+    JJ.set("state", Json::string(jobStateName(P.State)));
+    if (!P.ErrorCurve.empty()) {
+      Json Curve = Json::array();
+      for (const auto &[Size, Mape] : P.ErrorCurve) {
+        Json Row = Json::array();
+        Row.push(Json::number(static_cast<double>(Size)));
+        Row.push(Json::number(Mape));
+        Curve.push(std::move(Row));
+      }
+      JJ.set("error_curve", std::move(Curve));
+    }
+    if (P.TuningsDone)
+      JJ.set("tunings_done",
+             Json::number(static_cast<double>(P.TuningsDone)));
+    if (P.HasGaState)
+      JJ.set("ga", gaStateToJson(P.Ga));
+    if (!P.Error.empty())
+      JJ.set("error", Json::string(P.Error));
+    Jobs.push(std::move(JJ));
+  }
+  J.set("jobs", std::move(Jobs));
+
+  Json Surfaces = Json::object();
+  for (const auto &[Key, Shard] : Ckpt.Surfaces) {
+    Json SJ = Json::object();
+    Json Points = Json::array();
+    for (const DesignPoint &P : Shard.Points)
+      Points.push(pointToJson(P));
+    SJ.set("points", std::move(Points));
+    Json Values = Json::array();
+    for (double V : Shard.Values)
+      Values.push(Json::number(V));
+    SJ.set("values", std::move(Values));
+    Surfaces.set(Key, std::move(SJ));
+  }
+  J.set("surfaces", std::move(Surfaces));
+
+  J.set("simulations_spent",
+        Json::number(static_cast<double>(Ckpt.SimulationsSpent)));
+  J.set("wall_seconds_spent", Json::number(Ckpt.WallSecondsSpent));
+  J.set("cache_path", Json::string(Ckpt.CachePath));
+  return J;
+}
+
+bool msem::deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
+                                 std::string *Error) {
+  if (Doc.kind() != Json::Kind::Object)
+    return failWith(Error, "checkpoint: expected a JSON object");
+  CampaignCheckpoint Ckpt;
+  Ckpt.Version = static_cast<int>(Doc["version"].asInt(0));
+  if (Ckpt.Version != 1)
+    return failWith(Error,
+                    formatString("checkpoint: unsupported version %d",
+                                 Ckpt.Version));
+  if (!deserializeSpec(Doc["spec"], Ckpt.Spec, Error))
+    return false;
+
+  for (const Json &JJ : Doc["jobs"].items()) {
+    JobProgress P;
+    if (!parseJobState(JJ["state"].asString("pending"), P.State))
+      return failWith(Error, "checkpoint: unknown job state '" +
+                                 JJ["state"].asString() + "'");
+    for (const Json &Row : JJ["error_curve"].items())
+      P.ErrorCurve.emplace_back(static_cast<size_t>(Row.at(0).asInt()),
+                                Row.at(1).asDouble());
+    P.TuningsDone = static_cast<size_t>(JJ["tunings_done"].asInt(0));
+    if (JJ.has("ga")) {
+      if (!gaStateFromJson(JJ["ga"], P.Ga, Error))
+        return false;
+      P.HasGaState = true;
+    }
+    P.Error = JJ["error"].asString();
+    Ckpt.Jobs.push_back(std::move(P));
+  }
+  if (Ckpt.Jobs.size() !=
+      (Ckpt.Spec.Jobs.empty() ? 1 : Ckpt.Spec.Jobs.size()))
+    return failWith(Error, "checkpoint: job progress/spec arity mismatch");
+
+  for (const auto &[Key, SJ] : Doc["surfaces"].members()) {
+    SurfaceShard Shard;
+    for (const Json &PJ : SJ["points"].items())
+      Shard.Points.push_back(pointFromJson(PJ));
+    for (const Json &V : SJ["values"].items())
+      Shard.Values.push_back(V.asDouble());
+    if (Shard.Points.size() != Shard.Values.size())
+      return failWith(Error, "checkpoint: surface '" + Key +
+                                 "' point/value arity mismatch");
+    Ckpt.Surfaces.emplace(Key, std::move(Shard));
+  }
+
+  Ckpt.SimulationsSpent =
+      static_cast<size_t>(Doc["simulations_spent"].asInt(0));
+  Ckpt.WallSecondsSpent = Doc["wall_seconds_spent"].asDouble(0);
+  Ckpt.CachePath = Doc["cache_path"].asString();
+  Out = std::move(Ckpt);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// File IO (atomic publish, tolerant load)
+//===----------------------------------------------------------------------===//
+
+bool msem::saveCheckpoint(const CampaignCheckpoint &Ckpt,
+                          const std::string &Path, std::string *Error) {
+  std::string Doc = serializeCheckpoint(Ckpt).dumpPretty();
+  // Atomic publish, same discipline as the response disk cache: write a
+  // sibling temp file, then rename over the destination. A kill at any
+  // instant leaves either the previous checkpoint or the new one.
+  std::string TmpFile = Path + ".tmp";
+  std::FILE *F = std::fopen(TmpFile.c_str(), "wb");
+  if (!F)
+    return failWith(Error, "cannot write '" + TmpFile +
+                               "': " + std::strerror(errno));
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  bool Flushed = std::fflush(F) == 0;
+  std::fclose(F);
+  if (Written != Doc.size() || !Flushed) {
+    std::remove(TmpFile.c_str());
+    return failWith(Error, "short write to '" + TmpFile + "'");
+  }
+  if (std::rename(TmpFile.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpFile.c_str());
+    return failWith(Error, "cannot rename '" + TmpFile + "' to '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  return true;
+}
+
+bool msem::loadCheckpoint(const std::string &Path, CampaignCheckpoint &Out,
+                          std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return failWith(Error, "cannot open checkpoint '" + Path +
+                               "': " + std::strerror(errno));
+  std::string Text;
+  char Buffer[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Text.append(Buffer, N);
+  std::fclose(F);
+
+  std::string ParseError;
+  Json Doc = Json::parse(Text, &ParseError);
+  if (!ParseError.empty())
+    return failWith(Error, "checkpoint '" + Path + "': " + ParseError);
+  return deserializeCheckpoint(Doc, Out, Error);
+}

@@ -1,0 +1,115 @@
+//===- campaign/Checkpoint.h - Resumable campaign state -----------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable state of a campaign: everything needed to continue after a
+/// kill -9 and still produce results bitwise identical to an uninterrupted
+/// run. The campaign engine is deterministic-by-replay -- designs, fits
+/// and GA streams are pure functions of the spec's seeds -- so a
+/// checkpoint does not serialize models or builder internals. It records
+/// the three things replay cannot cheaply regenerate:
+///
+///   * every measured (design point, response) pair per response surface
+///     (replay then hits the memo instead of the simulator),
+///   * the in-flight GA search's GaState, population and RNG included
+///     (model predictions are cheap, but mid-search resume is required
+///     to honor budgets at generation granularity),
+///   * budget spend carried over from prior runs (simulations, seconds).
+///
+/// Checkpoints are single JSON documents, written atomically (sibling temp
+/// file + rename) so a crash mid-write leaves the previous checkpoint
+/// intact. Loading is tolerant: structural problems produce a structured
+/// error string, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_CHECKPOINT_H
+#define MSEM_CAMPAIGN_CHECKPOINT_H
+
+#include "campaign/Experiment.h"
+#include "campaign/Json.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msem {
+
+/// One job's durable progress. States map to resume behavior: Done /
+/// Failed jobs replay entirely from the measurement memo; a Modeling or
+/// Tuning job replays its finished part and continues; Pending jobs run
+/// from scratch.
+struct JobProgress {
+  JobState State = JobState::Pending;
+  /// The (training size, test MAPE) curve so far -- informational, for
+  /// humans inspecting a checkpoint; replay regenerates it.
+  std::vector<std::pair<size_t, double>> ErrorCurve;
+  /// Completed per-platform tunings (resume replays them from the warm
+  /// memo; the count marks where the in-flight GA below belongs).
+  size_t TuningsDone = 0;
+  /// Captured state of the in-flight GA search for platform index
+  /// TuningsDone, valid when HasGaState.
+  bool HasGaState = false;
+  GaState Ga;
+  std::string Error; ///< Diagnostic when State == Failed.
+};
+
+/// Measured responses of one surface, as parallel point/value arrays
+/// (sorted by point -- the ResponseSurface::snapshot order).
+struct SurfaceShard {
+  std::vector<DesignPoint> Points;
+  std::vector<double> Values;
+};
+
+/// The whole campaign, durably.
+struct CampaignCheckpoint {
+  int Version = 1;
+  /// The spec this checkpoint belongs to (hooks are not serialized).
+  /// Resume runs this embedded spec, not whatever the caller has on hand,
+  /// so a drifted caller cannot silently corrupt a resumed campaign.
+  ExperimentSpec Spec;
+  std::vector<JobProgress> Jobs;
+  /// Measured (point, response) pairs keyed by surface identity
+  /// ("workload|input|metric").
+  std::map<std::string, SurfaceShard> Surfaces;
+  /// Budget spend accumulated across all prior runs of this campaign.
+  size_t SimulationsSpent = 0;
+  double WallSecondsSpent = 0;
+  /// The disk-cache file backing the campaign's surfaces at save time
+  /// ("" when the campaign is memory-only). Informational cross-reference:
+  /// the checkpoint itself carries all measurements, so resume works even
+  /// if the cache file is gone.
+  std::string CachePath;
+};
+
+/// Checkpoint -> JSON document.
+Json serializeCheckpoint(const CampaignCheckpoint &Ckpt);
+
+/// JSON document -> checkpoint. Returns false (with a diagnostic in
+/// \p Error) on version or structure mismatches.
+bool deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
+                           std::string *Error);
+
+/// Serializes and writes \p Ckpt to \p Path atomically: the document is
+/// written to a sibling temp file which is then renamed over \p Path, so
+/// readers (and crashes) see either the old or the new checkpoint, never
+/// a torn one.
+bool saveCheckpoint(const CampaignCheckpoint &Ckpt, const std::string &Path,
+                    std::string *Error);
+
+/// Reads and deserializes \p Path. Returns false with a diagnostic on a
+/// missing file, malformed JSON or structural mismatch.
+bool loadCheckpoint(const std::string &Path, CampaignCheckpoint &Out,
+                    std::string *Error);
+
+// Spec <-> JSON (exposed for tests; hooks are not serialized).
+Json serializeSpec(const ExperimentSpec &Spec);
+bool deserializeSpec(const Json &Doc, ExperimentSpec &Out, std::string *Error);
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_CHECKPOINT_H

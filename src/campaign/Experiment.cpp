@@ -1,0 +1,49 @@
+//===- campaign/Experiment.cpp - The unified experiment facade -------------===//
+
+#include "campaign/Experiment.h"
+
+#include "campaign/Campaign.h"
+
+using namespace msem;
+
+const char *msem::spaceKindName(SpaceKind Kind) {
+  return Kind == SpaceKind::Paper ? "paper" : "extended";
+}
+
+const char *msem::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Pending:
+    return "pending";
+  case JobState::Modeling:
+    return "modeling";
+  case JobState::Tuning:
+    return "tuning";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+const char *msem::campaignStatusName(CampaignStatus Status) {
+  switch (Status) {
+  case CampaignStatus::Complete:
+    return "complete";
+  case CampaignStatus::BudgetExhausted:
+    return "budget-exhausted";
+  case CampaignStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+ParameterSpace msem::makeSpace(SpaceKind Kind) {
+  return Kind == SpaceKind::Paper ? ParameterSpace::paperSpace()
+                                  : ParameterSpace::extendedSpace();
+}
+
+ExperimentResult msem::runExperiment(const ExperimentSpec &Spec) {
+  Campaign C(Spec);
+  return C.run();
+}

@@ -1,0 +1,185 @@
+//===- campaign/Experiment.h - The unified experiment facade ------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public face of the measurement/modeling stack. One typed spec
+/// replaces the scatter of ResponseSurface::Options + ModelBuilderOptions +
+/// GaOptions + environment variables that every driver used to wire by
+/// hand:
+///
+///   ExperimentSpec Spec;
+///   Spec.Jobs = {{"art", InputSet::Train}};
+///   Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+///   Spec.CheckpointPath = "msem_cache/art.ckpt.json";
+///   ExperimentResult R = runExperiment(Spec);
+///
+/// runExperiment owns the full Figure-1 lifecycle per job -- D-optimal
+/// design, measurement, fitting, augmentation, and optionally the paper's
+/// Section 6.3 per-platform GA tuning -- under a wall-clock/simulation
+/// budget, with periodic atomic JSON checkpoints and a fault policy for
+/// flaky measurements. A killed campaign resumes from its checkpoint via
+/// Campaign::resume (campaign/Campaign.h) and produces results bitwise
+/// identical to an uninterrupted run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_EXPERIMENT_H
+#define MSEM_CAMPAIGN_EXPERIMENT_H
+
+#include "core/ModelBuilder.h"
+#include "search/GeneticSearch.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// Which predictor space the campaign models.
+enum class SpaceKind {
+  Paper,    ///< Tables 1+2: 14 compiler + 11 microarchitectural parameters.
+  Extended, ///< Paper + Section 2.2 trace-formation knobs (29 parameters).
+};
+
+const char *spaceKindName(SpaceKind Kind);
+
+/// One model-building job: which program, input, response and technique.
+struct ExperimentJob {
+  std::string Workload = "art";
+  InputSet Input = InputSet::Train;
+  ResponseMetric Metric = ResponseMetric::Cycles;
+  ModelTechnique Technique = ModelTechnique::Rbf;
+  /// Per-job design-size override (0 = use the spec-wide sizes). Both the
+  /// initial and maximum design size are clamped to this, turning off
+  /// augmentation for the job -- e.g. the smaller fully-detailed energy
+  /// campaigns of bench_multimetric.
+  size_t DesignSizeCap = 0;
+};
+
+/// A target machine for the Section 6.3 per-platform flag search.
+struct PlatformSpec {
+  std::string Name;
+  MachineConfig Config;
+};
+
+/// Campaign-level resource limits (0 = unlimited). Budgets are checked
+/// between iterations / generations, so a campaign overshoots by at most
+/// one unit of work before pausing with a resumable checkpoint.
+struct ExperimentBudget {
+  /// Simulator measurements across all jobs (resume carries prior spend).
+  size_t MaxSimulations = 0;
+  /// Wall-clock seconds across all jobs (resume carries prior spend).
+  double MaxWallSeconds = 0;
+};
+
+/// Everything a campaign needs, in one typed, serializable struct.
+struct ExperimentSpec {
+  /// Display name; also recorded in checkpoints.
+  std::string Name = "experiment";
+  SpaceKind Space = SpaceKind::Paper;
+  /// The (workload, input, metric, technique) jobs, run in order. Empty
+  /// defaults to one job with ExperimentJob's defaults.
+  std::vector<ExperimentJob> Jobs;
+
+  // --- Design scale (the Figure 1 loop) ------------------------------------
+  size_t InitialDesignSize = 100;
+  size_t AugmentStep = 50;
+  size_t MaxDesignSize = 400;
+  size_t TestSize = 100;
+  double TargetMape = 5.0;
+  size_t CandidateCount = 1500;
+  ExpansionKind Expansion = ExpansionKind::Linear;
+  uint64_t Seed = 0xB11D0001;
+
+  // --- Measurement ---------------------------------------------------------
+  bool UseSmarts = true;
+  /// SMARTS sampling interval (0 = auto: dense sampling for the short
+  /// Test inputs, the standard interval otherwise).
+  int SmartsInterval = 0;
+  /// Response disk-cache directory ("" = memory only).
+  std::string CacheDir;
+  FaultPolicy Faults;
+
+  // --- Fault tolerance / orchestration -------------------------------------
+  /// Checkpoint file path ("" = no checkpointing). Written atomically
+  /// (temp file + rename) after every model iteration, every
+  /// GaCheckpointEvery GA generations, and at every job boundary.
+  std::string CheckpointPath;
+  int GaCheckpointEvery = 5;
+  ExperimentBudget Budget;
+
+  // --- Per-platform tuning (Section 6.3), Paper space only -----------------
+  std::vector<PlatformSpec> TunePlatforms;
+  GaOptions Ga;
+  /// Measure (don't just predict) each platform's tuned point plus its O2
+  /// and O3 baselines on the simulator.
+  bool VerifyTunings = false;
+
+  /// Test/progress hook: called after each checkpoint write with the
+  /// number of checkpoints written so far this process. Not serialized.
+  std::function<void(size_t)> OnCheckpointWritten;
+};
+
+/// One platform's tuning outcome.
+struct PlatformTuning {
+  std::string Platform;
+  GaResult Search;
+  /// Simulator verification (only when ExperimentSpec::VerifyTunings).
+  double MeasuredBest = 0;
+  double MeasuredO2 = 0;
+  double MeasuredO3 = 0;
+};
+
+/// Per-job progress, also the unit of checkpointing.
+enum class JobState { Pending, Modeling, Tuning, Done, Failed };
+
+const char *jobStateName(JobState State);
+
+/// One job's results.
+struct ExperimentJobResult {
+  ExperimentJob Job;
+  JobState State = JobState::Pending;
+  ModelBuildResult Build;
+  std::vector<PlatformTuning> Tunings;
+  std::string Error; ///< Set when State == Failed.
+};
+
+/// How the campaign ended.
+enum class CampaignStatus {
+  Complete,        ///< Every job ran to completion.
+  BudgetExhausted, ///< Paused at the budget; resume from the checkpoint.
+  Failed,          ///< A job aborted (fault policy) or the spec/checkpoint
+                   ///< was invalid; see Error.
+};
+
+const char *campaignStatusName(CampaignStatus Status);
+
+/// Everything a campaign returns.
+struct ExperimentResult {
+  CampaignStatus Status = CampaignStatus::Complete;
+  std::vector<ExperimentJobResult> Jobs;
+  /// Simulator measurements spent, including prior runs when resumed.
+  size_t SimulationsUsed = 0;
+  /// Wall-clock seconds spent, including prior runs when resumed.
+  double WallSeconds = 0;
+  /// The checkpoint this campaign wrote (empty when checkpointing is off).
+  std::string CheckpointPath;
+  std::string Error; ///< Set when Status == Failed.
+
+  bool ok() const { return Status == CampaignStatus::Complete; }
+};
+
+/// Runs the campaign described by \p Spec to completion (or to its budget
+/// / first abort). The single public entry point; examples and benches
+/// drive everything through this.
+ExperimentResult runExperiment(const ExperimentSpec &Spec);
+
+/// The parameter space a spec models.
+ParameterSpace makeSpace(SpaceKind Kind);
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_EXPERIMENT_H

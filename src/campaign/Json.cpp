@@ -1,0 +1,518 @@
+//===- campaign/Json.cpp - Minimal JSON reader/writer ----------------------===//
+
+#include "campaign/Json.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace msem;
+
+//===----------------------------------------------------------------------===//
+// Construction and access
+//===----------------------------------------------------------------------===//
+
+Json Json::boolean(bool B) {
+  Json J;
+  J.K = Kind::Bool;
+  J.B = B;
+  return J;
+}
+
+Json Json::number(double N) {
+  Json J;
+  J.K = Kind::Number;
+  J.Num = N;
+  return J;
+}
+
+Json Json::string(std::string S) {
+  Json J;
+  J.K = Kind::String;
+  J.Str = std::move(S);
+  return J;
+}
+
+Json Json::array() {
+  Json J;
+  J.K = Kind::Array;
+  return J;
+}
+
+Json Json::object() {
+  Json J;
+  J.K = Kind::Object;
+  return J;
+}
+
+Json Json::hexU64(uint64_t V) {
+  return string(formatString("0x%llx", static_cast<unsigned long long>(V)));
+}
+
+const std::string &Json::emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+bool Json::asBool(bool Fallback) const {
+  return K == Kind::Bool ? B : Fallback;
+}
+
+double Json::asDouble(double Fallback) const {
+  return K == Kind::Number ? Num : Fallback;
+}
+
+int64_t Json::asInt(int64_t Fallback) const {
+  return K == Kind::Number ? static_cast<int64_t>(Num) : Fallback;
+}
+
+const std::string &Json::asString(const std::string &Fallback) const {
+  return K == Kind::String ? Str : Fallback;
+}
+
+uint64_t Json::asHexU64(uint64_t Fallback) const {
+  if (K != Kind::String || Str.rfind("0x", 0) != 0)
+    return Fallback;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Str.c_str() + 2, &End, 16);
+  if (End == Str.c_str() + 2 || *End)
+    return Fallback;
+  return V;
+}
+
+const Json &Json::operator[](const std::string &Key) const {
+  static const Json Null;
+  if (K != Kind::Object)
+    return Null;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? Null : It->second;
+}
+
+const Json &Json::at(size_t Index) const {
+  static const Json Null;
+  if (K != Kind::Array || Index >= Arr.size())
+    return Null;
+  return Arr[Index];
+}
+
+size_t Json::size() const {
+  if (K == Kind::Array)
+    return Arr.size();
+  if (K == Kind::Object)
+    return Obj.size();
+  return 0;
+}
+
+bool Json::has(const std::string &Key) const {
+  return K == Kind::Object && Obj.count(Key) != 0;
+}
+
+Json &Json::set(const std::string &Key, Json Value) {
+  assert((K == Kind::Object || K == Kind::Null) && "set() on non-object");
+  K = Kind::Object;
+  Obj[Key] = std::move(Value);
+  return *this;
+}
+
+Json &Json::push(Json Value) {
+  assert((K == Kind::Array || K == Kind::Null) && "push() on non-array");
+  K = Kind::Array;
+  Arr.push_back(std::move(Value));
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void appendNumber(std::string &Out, double N) {
+  // Integers (the common case: design-point levels, sizes) print without
+  // an exponent or trailing zeros; everything else uses 17 significant
+  // digits, which round-trips any IEEE-754 double exactly.
+  if (N == static_cast<double>(static_cast<long long>(N)) &&
+      N >= -9.0e15 && N <= 9.0e15) {
+    Out += formatString("%lld", static_cast<long long>(N));
+    return;
+  }
+  Out += formatString("%.17g", N);
+}
+
+void appendNewline(std::string &Out, int Indent, int Depth) {
+  if (Indent <= 0)
+    return;
+  Out += '\n';
+  Out.append(static_cast<size_t>(Indent * Depth), ' ');
+}
+
+} // namespace
+
+void Json::dumpTo(std::string &Out, int Indent, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    return;
+  case Kind::Number:
+    appendNumber(Out, Num);
+    return;
+  case Kind::String:
+    appendEscaped(Out, Str);
+    return;
+  case Kind::Array: {
+    if (Arr.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      appendNewline(Out, Indent, Depth + 1);
+      Arr[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    appendNewline(Out, Indent, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Obj.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Value] : Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      appendNewline(Out, Indent, Depth + 1);
+      appendEscaped(Out, Key);
+      Out += Indent > 0 ? ": " : ":";
+      Value.dumpTo(Out, Indent, Depth + 1);
+    }
+    appendNewline(Out, Indent, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpTo(Out, 0, 0);
+  return Out;
+}
+
+std::string Json::dumpPretty() const {
+  std::string Out;
+  dumpTo(Out, 2, 0);
+  Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  Json run() {
+    Json V;
+    skipWs();
+    if (!parseValue(V))
+      return Json();
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after value");
+      return Json();
+    }
+    return V;
+  }
+
+  bool failed() const { return Failed; }
+
+private:
+  void fail(const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    if (!Error)
+      return;
+    size_t Line = 1, Col = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    *Error = formatString("%zu:%zu: ", Line, Col) + Message;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C) {
+    if (consume(C))
+      return true;
+    fail(formatString("expected '%c'", C));
+    return false;
+  }
+
+  bool parseLiteral(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (Text.compare(Pos, Len, Lit) != 0) {
+      fail(formatString("invalid literal (expected '%s')", Lit));
+      return false;
+    }
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return false;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("invalid \\u escape");
+            return false;
+          }
+        }
+        // Checkpoints only ever escape control characters; encode the
+        // code point as UTF-8 for completeness.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseValue(Json &Out) {
+    if (Failed)
+      return false;
+    if (++Depth > 200) {
+      fail("nesting too deep");
+      return false;
+    }
+    bool Ok = parseValueInner(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueInner(Json &Out) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = Json::object();
+      skipWs();
+      if (consume('}'))
+        return true;
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!expect(':'))
+          return false;
+        Json Value;
+        if (!parseValue(Value))
+          return false;
+        Out.set(Key, std::move(Value));
+        skipWs();
+        if (consume(','))
+          continue;
+        return expect('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = Json::array();
+      skipWs();
+      if (consume(']'))
+        return true;
+      while (true) {
+        Json Value;
+        if (!parseValue(Value))
+          return false;
+        Out.push(std::move(Value));
+        skipWs();
+        if (consume(','))
+          continue;
+        return expect(']');
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json::string(std::move(S));
+      return true;
+    }
+    if (C == 't') {
+      Out = Json::boolean(true);
+      return parseLiteral("true");
+    }
+    if (C == 'f') {
+      Out = Json::boolean(false);
+      return parseLiteral("false");
+    }
+    if (C == 'n') {
+      Out = Json();
+      return parseLiteral("null");
+    }
+    // Number.
+    const char *Start = Text.c_str() + Pos;
+    char *End = nullptr;
+    double N = std::strtod(Start, &End);
+    if (End == Start) {
+      fail("invalid value");
+      return false;
+    }
+    Pos += static_cast<size_t>(End - Start);
+    Out = Json::number(N);
+    return true;
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+  int Depth = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+Json Json::parse(const std::string &Text, std::string *Error) {
+  if (Error)
+    Error->clear();
+  Parser P(Text, Error);
+  Json V = P.run();
+  if (P.failed())
+    return Json();
+  return V;
+}

@@ -1,0 +1,100 @@
+//===- campaign/Json.h - Minimal JSON reader/writer ---------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-contained JSON value used by campaign checkpoints: parse,
+/// navigate, build, serialize. Deliberately small -- objects are
+/// std::map-backed so serialization order (and therefore checkpoint diffs)
+/// is deterministic, and doubles are written with 17 significant digits so
+/// every IEEE-754 value round-trips bitwise through a checkpoint. 64-bit
+/// integers that must survive exactly (seeds, RNG state) are stored as
+/// hex strings, since JSON numbers are doubles.
+///
+/// Error handling is exception-free to match the library: parse() returns
+/// a Null value and an error string on malformed input, and the typed
+/// accessors return fallback defaults on kind mismatches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_JSON_H
+#define MSEM_CAMPAIGN_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// One JSON value (null / bool / number / string / array / object).
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  static Json boolean(bool B);
+  static Json number(double N);
+  static Json string(std::string S);
+  static Json array();
+  static Json object();
+  /// A uint64 encoded losslessly as a "0x..." hex string.
+  static Json hexU64(uint64_t V);
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  // --- Typed reads (fallback on kind mismatch) -----------------------------
+  bool asBool(bool Fallback = false) const;
+  double asDouble(double Fallback = 0.0) const;
+  int64_t asInt(int64_t Fallback = 0) const;
+  const std::string &asString(const std::string &Fallback = emptyString()) const;
+  /// Decodes a hexU64-encoded value.
+  uint64_t asHexU64(uint64_t Fallback = 0) const;
+
+  // --- Containers ----------------------------------------------------------
+  /// Object member by key; a shared Null value when absent or not an
+  /// object. Lookup never inserts.
+  const Json &operator[](const std::string &Key) const;
+  /// Array element by index; a shared Null value when out of range.
+  const Json &at(size_t Index) const;
+  size_t size() const;
+  bool has(const std::string &Key) const;
+
+  const std::vector<Json> &items() const { return Arr; }
+  const std::map<std::string, Json> &members() const { return Obj; }
+
+  // --- Builders ------------------------------------------------------------
+  /// Sets an object member (value semantics; asserts kind Object/Null).
+  Json &set(const std::string &Key, Json Value);
+  /// Appends an array element (asserts kind Array/Null).
+  Json &push(Json Value);
+
+  // --- Serialization -------------------------------------------------------
+  /// Compact single-line form.
+  std::string dump() const;
+  /// Indented multi-line form (2-space indent), for human-readable
+  /// checkpoints.
+  std::string dumpPretty() const;
+
+  /// Parses \p Text. On failure returns a Null value and, when \p Error is
+  /// non-null, a "line:col: message" diagnostic.
+  static Json parse(const std::string &Text, std::string *Error = nullptr);
+
+private:
+  static const std::string &emptyString();
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Json> Arr;
+  std::map<std::string, Json> Obj;
+};
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_JSON_H

@@ -8,6 +8,8 @@
 #include "support/Error.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
+
 using namespace msem;
 
 const char *msem::modelTechniqueName(ModelTechnique T) {
@@ -18,6 +20,20 @@ const char *msem::modelTechniqueName(ModelTechnique T) {
     return "mars";
   case ModelTechnique::Rbf:
     return "rbf";
+  }
+  return "?";
+}
+
+const char *msem::buildStopName(BuildStop Stop) {
+  switch (Stop) {
+  case BuildStop::Converged:
+    return "converged";
+  case BuildStop::DesignExhausted:
+    return "design-exhausted";
+  case BuildStop::Paused:
+    return "paused";
+  case BuildStop::Failed:
+    return "failed";
   }
   return "?";
 }
@@ -34,23 +50,78 @@ std::unique_ptr<Model> msem::makeModel(ModelTechnique T) {
   fatalError("unknown model technique");
 }
 
-ModelBuildResult msem::buildModelWithTestSet(
-    ResponseSurface &Surface, const ModelBuilderOptions &Options,
-    const std::vector<DesignPoint> &TestPoints,
-    const std::vector<double> &TestY) {
+namespace {
+
+/// Records \p Point in \p Skipped unless an identical point is already
+/// there (a skip-on-fault point recurs every iteration it is reselected).
+void recordSkip(std::vector<DesignPoint> &Skipped, const DesignPoint &Point) {
+  if (std::find(Skipped.begin(), Skipped.end(), Point) == Skipped.end())
+    Skipped.push_back(Point);
+}
+
+/// Drops the entries of \p Points / \p Y named by \p Report.SkippedIndices
+/// (which is sorted ascending), recording each dropped point.
+void dropSkipped(const MeasurementReport &Report,
+                 std::vector<DesignPoint> &Points, std::vector<double> &Y,
+                 std::vector<DesignPoint> &Skipped) {
+  if (Report.SkippedIndices.empty())
+    return;
+  std::vector<DesignPoint> KeptPoints;
+  std::vector<double> KeptY;
+  KeptPoints.reserve(Points.size());
+  KeptY.reserve(Y.size());
+  size_t NextSkip = 0;
+  for (size_t I = 0; I < Points.size(); ++I) {
+    if (NextSkip < Report.SkippedIndices.size() &&
+        Report.SkippedIndices[NextSkip] == I) {
+      ++NextSkip;
+      recordSkip(Skipped, Points[I]);
+      continue;
+    }
+    KeptPoints.push_back(std::move(Points[I]));
+    KeptY.push_back(Y[I]);
+  }
+  Points = std::move(KeptPoints);
+  Y = std::move(KeptY);
+}
+
+} // namespace
+
+ModelBuildResult msem::buildModel(ResponseSurface &Surface,
+                                  const ModelBuilderOptions &Options) {
   telemetry::ScopedTimer Span("model.build");
   const ParameterSpace &Space = Surface.space();
-  Rng R(Options.Seed);
-
-  // Candidate set for the D-optimal selection (Latin hypercube, as the
-  // paper suggests for candidate generation).
-  std::vector<DesignPoint> Candidates =
-      generateLatinHypercube(Space, Options.CandidateCount, R);
-
-  Matrix TestX = encodeMatrix(Space, TestPoints);
 
   ModelBuildResult Result;
   size_t BaseSimulations = Surface.simulationsRun();
+
+  // The independent test design: external if supplied, measured up front
+  // otherwise (it does not depend on the training design).
+  if (Options.ExternalTest) {
+    Result.TestPoints = Options.ExternalTest->Points;
+    Result.TestY = Options.ExternalTest->Y;
+  } else {
+    Rng TestR(Options.Seed ^ 0x7E57);
+    Result.TestPoints =
+        generateRandomCandidates(Space, Options.TestSize, TestR);
+    MeasurementReport Report;
+    Result.TestY = Surface.measureAll(Result.TestPoints, &Report);
+    if (Report.Aborted) {
+      Result.Stop = BuildStop::Failed;
+      Result.Error = Report.Error;
+      Result.SimulationsUsed = Surface.simulationsRun() - BaseSimulations;
+      return Result;
+    }
+    dropSkipped(Report, Result.TestPoints, Result.TestY,
+                Result.SkippedPoints);
+  }
+  Matrix TestX = encodeMatrix(Space, Result.TestPoints);
+
+  // Candidate set for the D-optimal selection (Latin hypercube, as the
+  // paper suggests for candidate generation).
+  Rng R(Options.Seed);
+  std::vector<DesignPoint> Candidates =
+      generateLatinHypercube(Space, Options.CandidateCount, R);
 
   DOptimalOptions DOpt;
   DOpt.Expansion = Options.Expansion;
@@ -70,7 +141,16 @@ ModelBuildResult msem::buildModelWithTestSet(
       Result.TrainPoints.push_back(Candidates[Idx]);
     {
       telemetry::ScopedTimer MeasureSpan("model.measure");
-      Result.TrainY = Surface.measureAll(Result.TrainPoints);
+      MeasurementReport Report;
+      Result.TrainY = Surface.measureAll(Result.TrainPoints, &Report);
+      if (Report.Aborted) {
+        Result.Stop = BuildStop::Failed;
+        Result.Error = Report.Error;
+        Result.SimulationsUsed = Surface.simulationsRun() - BaseSimulations;
+        return Result;
+      }
+      dropSkipped(Report, Result.TrainPoints, Result.TrainY,
+                  Result.SkippedPoints);
     }
 
     Matrix TrainX = encodeMatrix(Space, Result.TrainPoints);
@@ -82,7 +162,8 @@ ModelBuildResult msem::buildModelWithTestSet(
     }
     telemetry::count("model.fits");
 
-    Result.TestQuality = evaluateModel(*Result.FittedModel, TestX, TestY);
+    Result.TestQuality = evaluateModel(*Result.FittedModel, TestX,
+                                       Result.TestY);
     Result.ErrorCurve.push_back(
         {Result.TrainPoints.size(), Result.TestQuality.Mape});
     // The Figure 5 learning curve: test MAPE vs. training-design size.
@@ -90,16 +171,25 @@ ModelBuildResult msem::buildModelWithTestSet(
                       static_cast<double>(Result.TrainPoints.size()),
                       Result.TestQuality.Mape);
 
-    if (Result.TestQuality.Mape <= Options.TargetMape)
+    if (Result.TestQuality.Mape <= Options.TargetMape) {
+      Result.Stop = BuildStop::Converged;
       break;
-    if (WantSize >= Options.MaxDesignSize)
+    }
+    if (WantSize >= Options.MaxDesignSize) {
+      Result.Stop = BuildStop::DesignExhausted;
       break;
+    }
+    // The checkpoint hook: campaigns persist progress between iterations
+    // and pause here when the budget runs out. Invoked only when the loop
+    // will continue, so a completed build never reports Paused.
+    if (Options.OnIteration && !Options.OnIteration(Result)) {
+      Result.Stop = BuildStop::Paused;
+      break;
+    }
     WantSize = std::min(Options.MaxDesignSize,
                         WantSize + Options.AugmentStep);
   }
 
-  Result.TestPoints = TestPoints;
-  Result.TestY = TestY;
   Result.SimulationsUsed = Surface.simulationsRun() - BaseSimulations;
   if (telemetry::enabled()) {
     telemetry::counter("model.simulations").add(Result.SimulationsUsed);
@@ -109,13 +199,11 @@ ModelBuildResult msem::buildModelWithTestSet(
   return Result;
 }
 
-ModelBuildResult msem::buildModel(ResponseSurface &Surface,
-                                  const ModelBuilderOptions &Options) {
-  const ParameterSpace &Space = Surface.space();
-  // Independent random test design.
-  Rng R(Options.Seed ^ 0x7E57);
-  std::vector<DesignPoint> TestPoints =
-      generateRandomCandidates(Space, Options.TestSize, R);
-  std::vector<double> TestY = Surface.measureAll(TestPoints);
-  return buildModelWithTestSet(Surface, Options, TestPoints, TestY);
+ModelBuildResult msem::buildModelWithTestSet(
+    ResponseSurface &Surface, const ModelBuilderOptions &Options,
+    const std::vector<DesignPoint> &TestPoints,
+    const std::vector<double> &TestY) {
+  ModelBuilderOptions WithTest = Options;
+  WithTest.ExternalTest = TestSet{TestPoints, TestY};
+  return buildModel(Surface, WithTest);
 }

@@ -13,6 +13,14 @@
 ///   4. estimate the model and its error on an independent test design,
 ///   5. augment the design and repeat until the desired accuracy.
 ///
+/// One entry point runs the loop: buildModel(Surface, Options). The test
+/// design is measured up front by default; callers comparing several
+/// techniques on identical data (Table 3) supply Options.ExternalTest
+/// instead. The loop is deterministic given (Options, Surface options):
+/// re-running it with the same seeds and a warm response cache replays the
+/// same designs, fits and error curve bitwise -- the property campaign
+/// resume is built on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_CORE_MODELBUILDER_H
@@ -22,7 +30,9 @@
 #include "design/Doe.h"
 #include "model/Diagnostics.h"
 
+#include <functional>
 #include <memory>
+#include <optional>
 
 namespace msem {
 
@@ -35,6 +45,15 @@ const char *modelTechniqueName(ModelTechnique T);
 /// used throughout the evaluation.
 std::unique_ptr<Model> makeModel(ModelTechnique T);
 
+struct ModelBuildResult;
+
+/// An externally measured test design (lets several techniques be
+/// compared on identical data, as in Table 3).
+struct TestSet {
+  std::vector<DesignPoint> Points;
+  std::vector<double> Y;
+};
+
 /// Knobs of the iterative loop.
 struct ModelBuilderOptions {
   ModelTechnique Technique = ModelTechnique::Rbf;
@@ -46,7 +65,24 @@ struct ModelBuilderOptions {
   size_t CandidateCount = 1500;
   ExpansionKind Expansion = ExpansionKind::Linear;
   uint64_t Seed = 0xB11D0001;
+  /// When set, skip measuring a test design and evaluate against these
+  /// points instead (TestSize is then ignored).
+  std::optional<TestSet> ExternalTest;
+  /// Called after every Figure-1 iteration (measure + fit + evaluate)
+  /// with the partial result; campaigns checkpoint here. Returning false
+  /// pauses the loop: the result is valid but marked BuildStop::Paused.
+  std::function<bool(const ModelBuildResult &)> OnIteration;
 };
+
+/// Why the iterative loop ended.
+enum class BuildStop {
+  Converged,       ///< Test MAPE reached TargetMape.
+  DesignExhausted, ///< MaxDesignSize reached without convergence.
+  Paused,          ///< OnIteration requested a pause (resumable).
+  Failed,          ///< Measurement aborted; see ModelBuildResult::Error.
+};
+
+const char *buildStopName(BuildStop Stop);
 
 /// Everything the evaluation needs from one build.
 struct ModelBuildResult {
@@ -59,15 +95,25 @@ struct ModelBuildResult {
   /// (training size, test MAPE) after each iteration: the Figure 5 curve.
   std::vector<std::pair<size_t, double>> ErrorCurve;
   size_t SimulationsUsed = 0;
+  /// How the loop ended. Paused and Failed results may carry no fitted
+  /// model if the first iteration did not complete.
+  BuildStop Stop = BuildStop::Converged;
+  /// Design points dropped by a skip-on-fault measurement policy (they
+  /// appear in neither TrainPoints nor TestPoints).
+  std::vector<DesignPoint> SkippedPoints;
+  /// Diagnostic for Stop == Failed.
+  std::string Error;
 };
 
-/// Runs the loop against \p Surface. The test set is measured once up
-/// front (it is independent of the training design).
+/// Runs the Figure 1 loop against \p Surface. The single entry point: an
+/// external test set, iteration callbacks and fault handling are all
+/// carried by \p Options.
 ModelBuildResult buildModel(ResponseSurface &Surface,
                             const ModelBuilderOptions &Options);
 
-/// Variant reusing an externally measured test set (lets several
-/// techniques be compared on identical data, as in Table 3).
+/// \deprecated Thin wrapper from before ExternalTest existed; copies the
+/// test set into Options and calls buildModel. Prefer setting
+/// ModelBuilderOptions::ExternalTest directly.
 ModelBuildResult buildModelWithTestSet(
     ResponseSurface &Surface, const ModelBuilderOptions &Options,
     const std::vector<DesignPoint> &TestPoints,

@@ -4,15 +4,22 @@
 
 #include "codegen/CodeGenerator.h"
 #include "opt/Passes.h"
+#include "support/Env.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 #include "uarch/EnergyModel.h"
 
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <thread>
 #include <unistd.h>
 #include <sys/stat.h>
 
@@ -30,6 +37,18 @@ const char *msem::responseMetricName(ResponseMetric Metric) {
   return "?";
 }
 
+const char *msem::faultActionName(FaultAction Action) {
+  switch (Action) {
+  case FaultAction::Retry:
+    return "retry";
+  case FaultAction::Skip:
+    return "skip";
+  case FaultAction::Abort:
+    return "abort";
+  }
+  return "?";
+}
+
 MachineProgram msem::compileWorkloadBinary(const std::string &Workload,
                                            InputSet Input,
                                            const OptimizationConfig &Config) {
@@ -43,6 +62,9 @@ MachineProgram msem::compileWorkloadBinary(const std::string &Workload,
 
 ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
     : Space(Space), Opts(std::move(Opts)) {
+  FaultRate = this->Opts.Faults.InjectRate >= 0.0
+                  ? std::min(this->Opts.Faults.InjectRate, 1.0)
+                  : env().FaultRate;
   DiskKeyPrefix = this->Opts.Workload;
   DiskKeyPrefix += '|';
   DiskKeyPrefix += workloadVersion();
@@ -58,7 +80,7 @@ ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
   }
 }
 
-ResponseSurface::~ResponseSurface() { flushDiskCache(); }
+ResponseSurface::~ResponseSurface() { flush(); }
 
 size_t ResponseSurface::simulationsRun() const {
   std::lock_guard<std::mutex> Lock(CacheMutex);
@@ -98,6 +120,27 @@ bool parsePointSuffix(const char *S, size_t Arity, DesignPoint &Out) {
   return Out.size() == Arity;
 }
 
+/// The MSEM_FAULT_RATE injection decision for one measurement attempt: a
+/// pure hash of (point, attempt) mapped onto [0, 1) and compared against
+/// the rate. Deterministic across runs, thread counts and processes, so
+/// fault-injected campaigns stay reproducible; independent retries see
+/// fresh draws, so Retry converges with probability 1 - rate^attempts.
+bool injectedFault(const DesignPoint &Point, int Attempt, double Rate) {
+  if (Rate <= 0.0)
+    return false;
+  uint64_t H = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(Attempt);
+  for (int64_t V : Point) {
+    H ^= static_cast<uint64_t>(V) + 0x9E3779B97F4A7C15ull + (H << 6) +
+         (H >> 2);
+    H *= 0xFF51AFD7ED558CCDull;
+    H ^= H >> 33;
+  }
+  H *= 0xC4CEB9FE1A85EC53ull;
+  H ^= H >> 33;
+  double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+  return U < Rate;
+}
+
 } // namespace
 
 void ResponseSurface::loadDiskCache() {
@@ -132,7 +175,7 @@ void ResponseSurface::loadDiskCache() {
   std::fclose(F);
 }
 
-void ResponseSurface::flushDiskCache() {
+void ResponseSurface::flush() {
   if (CacheFile.empty())
     return;
   // Snapshot our rows, then merge-rewrite outside the memo lock.
@@ -180,6 +223,26 @@ void ResponseSurface::flushDiskCache() {
     std::remove(TmpFile.c_str());
 }
 
+void ResponseSurface::preload(const std::vector<DesignPoint> &Points,
+                              const std::vector<double> &Values) {
+  assert(Points.size() == Values.size() && "preload arity mismatch");
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  for (size_t I = 0; I < Points.size(); ++I)
+    if (Cache.emplace(Points[I], Values[I]).second)
+      DiskDirty = true;
+}
+
+std::vector<std::pair<DesignPoint, double>> ResponseSurface::snapshot() const {
+  std::vector<std::pair<DesignPoint, double>> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    Rows.assign(Cache.begin(), Cache.end());
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Rows;
+}
+
 double ResponseSurface::computeResponse(const DesignPoint &Point) const {
   OptimizationConfig Opt = Space.toOptimizationConfig(Point);
   MachineConfig Machine = Space.toMachineConfig(Point);
@@ -213,6 +276,36 @@ double ResponseSurface::computeResponse(const DesignPoint &Point) const {
   return static_cast<double>(R.Cycles);
 }
 
+bool ResponseSurface::measureWithPolicy(const DesignPoint &Point,
+                                        double &Value, size_t &Faults,
+                                        size_t &Retries) const {
+  const FaultPolicy &Policy = Opts.Faults;
+  int Attempts = Policy.OnFault == FaultAction::Retry
+                     ? std::max(1, Policy.MaxAttempts)
+                     : 1;
+  for (int Attempt = 0; Attempt < Attempts; ++Attempt) {
+    if (Attempt > 0) {
+      ++Retries;
+      if (Policy.BackoffBaseMicros > 0) {
+        // Exponential backoff, capped at ~1s so a stuck campaign still
+        // makes one attempt per second.
+        uint64_t Micros = static_cast<uint64_t>(Policy.BackoffBaseMicros)
+                          << std::min(Attempt - 1, 20);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<uint64_t>(Micros, 1000000)));
+      }
+    }
+    if (injectedFault(Point, Attempt, FaultRate)) {
+      ++Faults;
+      telemetry::count("surface.faults_injected");
+      continue;
+    }
+    Value = computeResponse(Point);
+    return true;
+  }
+  return false;
+}
+
 double ResponseSurface::measure(const DesignPoint &Point) {
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
@@ -222,7 +315,14 @@ double ResponseSurface::measure(const DesignPoint &Point) {
       return It->second;
     }
   }
-  double Value = computeResponse(Point);
+  double Value = 0;
+  size_t Faults = 0, Retries = 0;
+  if (!measureWithPolicy(Point, Value, Faults, Retries))
+    fatalError(formatString(
+        "measurement failed at a design point after %zu injected fault(s) "
+        "(policy %s); use measureAll with a MeasurementReport for "
+        "structured failure handling",
+        Faults, faultActionName(Opts.Faults.OnFault)));
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto [It, Inserted] = Cache.emplace(Point, Value);
@@ -231,13 +331,18 @@ double ResponseSurface::measure(const DesignPoint &Point) {
       DiskDirty = true;
     Value = It->second; // A concurrent first writer wins (same number).
   }
-  flushDiskCache();
+  if (Opts.AutoFlush)
+    flush();
   return Value;
 }
 
 std::vector<double>
-ResponseSurface::measureAll(const std::vector<DesignPoint> &Points) {
+ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
+                            MeasurementReport *Report) {
   telemetry::ScopedTimer Span("surface.measure_all");
+  MeasurementReport Local;
+  MeasurementReport &Rep = Report ? *Report : Local;
+  Rep = MeasurementReport();
 
   // Distinct unmeasured points, in first-occurrence order. Each point's
   // response is a pure function of the point (workload generation, the
@@ -255,27 +360,82 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points) {
     }
   }
 
+  // Per-slot results; reductions over them run sequentially below, in
+  // index order, so fault statistics are as deterministic as the values.
   std::vector<double> Fresh(ToMeasure.size());
+  std::vector<uint8_t> Ok(ToMeasure.size(), 1);
+  std::vector<size_t> Faults(ToMeasure.size(), 0);
+  std::vector<size_t> Retries(ToMeasure.size(), 0);
   globalThreadPool().parallelFor(
       0, ToMeasure.size(),
-      [&](size_t I) { Fresh[I] = computeResponse(*ToMeasure[I]); },
+      [&](size_t I) {
+        Ok[I] = measureWithPolicy(*ToMeasure[I], Fresh[I], Faults[I],
+                                  Retries[I])
+                    ? 1
+                    : 0;
+      },
       "measure");
+
+  std::unordered_map<DesignPoint, uint8_t, DesignPointHash> Failed;
+  for (size_t I = 0; I < ToMeasure.size(); ++I) {
+    Rep.FaultsInjected += Faults[I];
+    Rep.Retries += Retries[I];
+    if (!Ok[I] && !Rep.Aborted) {
+      if (Opts.Faults.OnFault == FaultAction::Abort) {
+        Rep.Aborted = true;
+        Rep.Error = formatString(
+            "measurement aborted by fault policy at design point %s "
+            "(workload %s, %zu injected fault(s) in batch)",
+            diskKeyFor(*ToMeasure[I]).c_str(), Opts.Workload.c_str(),
+            Rep.FaultsInjected);
+      } else {
+        Failed.emplace(*ToMeasure[I], 1);
+      }
+    }
+  }
+  if (Rep.Aborted) {
+    // Keep the successful measurements: they are valid and paid for.
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    for (size_t I = 0; I < ToMeasure.size(); ++I)
+      if (Ok[I] && Cache.emplace(*ToMeasure[I], Fresh[I]).second) {
+        ++Simulations;
+        DiskDirty = true;
+      }
+    if (!Report)
+      fatalError(Rep.Error);
+    if (Opts.AutoFlush)
+      flush();
+    return {};
+  }
 
   std::vector<double> Y;
   Y.reserve(Points.size());
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     for (size_t I = 0; I < ToMeasure.size(); ++I)
-      Cache.emplace(*ToMeasure[I], Fresh[I]);
+      if (Ok[I])
+        Cache.emplace(*ToMeasure[I], Fresh[I]);
     // Sequential counting semantics: the first occurrence of each new
     // point is a simulation, every other lookup is a hit.
-    Simulations += ToMeasure.size();
+    Simulations += ToMeasure.size() - Failed.size();
     CacheHits += Points.size() - ToMeasure.size();
-    if (!ToMeasure.empty())
+    if (ToMeasure.size() > Failed.size())
       DiskDirty = true;
-    for (const DesignPoint &P : Points)
-      Y.push_back(Cache.at(P));
+    for (size_t I = 0; I < Points.size(); ++I) {
+      if (Failed.count(Points[I])) {
+        Rep.SkippedIndices.push_back(I);
+        Y.push_back(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        Y.push_back(Cache.at(Points[I]));
+      }
+    }
   }
-  flushDiskCache();
+  if (!Report && !Rep.SkippedIndices.empty())
+    fatalError(formatString(
+        "%zu measurement(s) skipped by fault policy with no report "
+        "consumer (workload %s); pass a MeasurementReport to measureAll",
+        Rep.SkippedIndices.size(), Opts.Workload.c_str()));
+  if (Opts.AutoFlush)
+    flush();
   return Y;
 }

@@ -21,6 +21,13 @@
 /// disk cache is rewritten atomically (temp file + rename) and its loader
 /// tolerates partial or concurrently-written files.
 ///
+/// Fault tolerance: long campaigns must survive flaky measurements. The
+/// MSEM_FAULT_RATE test hook injects deterministic per-(point, attempt)
+/// failures into the measurement path, and a FaultPolicy decides whether a
+/// failed attempt is retried (with exponential backoff), skipped and
+/// recorded, or aborts the batch with a structured error in the
+/// MeasurementReport -- never a crash.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_CORE_RESPONSESURFACE_H
@@ -33,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace msem {
 
@@ -46,6 +54,49 @@ enum class ResponseMetric {
 };
 
 const char *responseMetricName(ResponseMetric Metric);
+
+/// What to do when a single measurement attempt fails.
+enum class FaultAction {
+  Retry, ///< Re-attempt with exponential backoff, up to MaxAttempts.
+  Skip,  ///< Record the point as skipped (NaN response) and continue.
+  Abort, ///< Stop the batch; the report carries a structured error.
+};
+
+const char *faultActionName(FaultAction Action);
+
+/// How ResponseSurface handles measurement failures. Today the only
+/// failure source is the MSEM_FAULT_RATE injection hook (real compiles
+/// and simulations are deterministic), but the policy machinery is what a
+/// campaign on real hardware would need verbatim.
+struct FaultPolicy {
+  FaultAction OnFault = FaultAction::Retry;
+  /// Total attempts per point under Retry (>= 1).
+  int MaxAttempts = 8;
+  /// First retry waits this long, doubling per attempt (0 = no backoff;
+  /// injected faults are instant, so tests keep this at 0).
+  unsigned BackoffBaseMicros = 0;
+  /// Injected-fault probability in [0, 1]; negative means "use the
+  /// MSEM_FAULT_RATE environment default". The decision is a pure hash of
+  /// (point, attempt), so injection is reproducible across runs, thread
+  /// counts and process restarts.
+  double InjectRate = -1.0;
+};
+
+/// Outcome of one measureAll batch beyond the response vector.
+struct MeasurementReport {
+  /// Indices into the request vector whose measurement was skipped (their
+  /// response slot is NaN). Only non-empty under FaultAction::Skip.
+  std::vector<size_t> SkippedIndices;
+  /// Injected faults encountered across all attempts.
+  size_t FaultsInjected = 0;
+  /// Attempts beyond the first, summed over all points.
+  size_t Retries = 0;
+  /// True when FaultAction::Abort stopped the batch; Error says why.
+  bool Aborted = false;
+  std::string Error;
+
+  bool ok() const { return !Aborted && SkippedIndices.empty(); }
+};
 
 /// Compiles one workload at the given settings into a linked binary
 /// (pass pipeline + codegen flags derived from the config).
@@ -77,6 +128,12 @@ public:
     SmartsConfig Smarts = makeDefaultSmarts();
     /// Directory for the persistent response cache ("" = memory only).
     std::string CacheDir;
+    /// Rewrite the disk cache after every measurement batch. Campaigns
+    /// that checkpoint turn this off and call flush() at checkpoint time,
+    /// so the cache file and the checkpoint referencing it stay in step.
+    bool AutoFlush = true;
+    /// Failure handling for the measurement path.
+    FaultPolicy Faults;
 
     static SmartsConfig makeDefaultSmarts() {
       SmartsConfig S;
@@ -95,17 +152,44 @@ public:
 
   /// The configured response (cycles / energy / code size) at one design
   /// point. Thread-safe; concurrent callers of the same point may both
-  /// simulate but always agree on the result.
+  /// simulate but always agree on the result. Under fault injection this
+  /// retries per the policy and aborts fatally if the policy gives up; use
+  /// measureAll with a report for structured failure handling.
   double measure(const DesignPoint &Point);
 
   /// Measures many points (with memoization). Distinct unmeasured points
   /// are compiled and simulated in parallel on the global thread pool.
-  std::vector<double> measureAll(const std::vector<DesignPoint> &Points);
+  /// With \p Report, measurement failures are returned structurally:
+  /// skipped points get NaN responses and their indices are listed, and an
+  /// aborted batch sets Report->Aborted instead of crashing. Without a
+  /// report, any unrecovered failure is fatal (the legacy contract).
+  std::vector<double> measureAll(const std::vector<DesignPoint> &Points,
+                                 MeasurementReport *Report = nullptr);
+
+  /// Seeds the in-memory memo with externally known responses (e.g. from a
+  /// campaign checkpoint). Preloaded values count as neither simulations
+  /// nor cache hits; they behave exactly like rows loaded from disk.
+  void preload(const std::vector<DesignPoint> &Points,
+               const std::vector<double> &Values);
+
+  /// Snapshot of every memoized (point, response) pair, sorted by point
+  /// for deterministic serialization.
+  std::vector<std::pair<DesignPoint, double>> snapshot() const;
 
   /// Persists the memo to the disk cache (temp file + atomic rename),
   /// merging with whatever another process wrote in the meantime. Called
-  /// automatically after each measurement batch and on destruction.
-  void flushDiskCache();
+  /// automatically after each measurement batch while Options::AutoFlush
+  /// is set, and always on destruction.
+  void flush();
+
+  /// \deprecated Old name of flush(); kept for source compatibility.
+  void flushDiskCache() { flush(); }
+
+  /// Absolute or cwd-relative path of the disk-cache file this surface
+  /// reads and rewrites ("" when the surface is memory-only). Campaign
+  /// checkpoints record this path so a resume can verify the cache it
+  /// depends on still exists.
+  const std::string &cachePath() const { return CacheFile; }
 
   size_t simulationsRun() const;
   size_t cacheHits() const;
@@ -117,6 +201,13 @@ private:
   /// point. No surface state is touched.
   double computeResponse(const DesignPoint &Point) const;
 
+  /// One fault-aware measurement: attempts computeResponse under the
+  /// configured policy. Returns true on success; on failure returns false
+  /// with \p Value untouched. \p Faults and \p Retries accumulate this
+  /// point's injection statistics (the caller aggregates them).
+  bool measureWithPolicy(const DesignPoint &Point, double &Value,
+                         size_t &Faults, size_t &Retries) const;
+
   /// Disk-cache line key for one point: the surface prefix plus the raw
   /// level values.
   std::string diskKeyFor(const DesignPoint &Point) const;
@@ -124,6 +215,9 @@ private:
 
   const ParameterSpace &Space;
   Options Opts;
+  /// Resolved injection probability (Options.Faults.InjectRate, with the
+  /// environment default applied).
+  double FaultRate = 0.0;
   /// Identifies this surface's rows in the shared on-disk cache.
   std::string DiskKeyPrefix;
   std::string CacheFile;

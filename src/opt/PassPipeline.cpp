@@ -55,10 +55,7 @@ bool timedPass(const char *Name, UnitT &U, Fn &&Run) {
 /// When MSEM_VERIFY_PASSES=1, the pipeline re-verifies the module after
 /// every pass group and aborts with the violation list on breakage --
 /// the debugging mode used while developing new passes.
-bool verifyAfterPasses() {
-  static const bool Enabled = getEnvInt("MSEM_VERIFY_PASSES", 0) != 0;
-  return Enabled;
-}
+bool verifyAfterPasses() { return env().VerifyPasses; }
 
 void maybeVerify(Module &M, const char *After) {
   if (!verifyAfterPasses())

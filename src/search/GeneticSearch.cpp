@@ -17,7 +17,7 @@ using namespace msem;
 namespace {
 
 /// A genome: one level index per searched parameter.
-using Genome = std::vector<size_t>;
+using Genome = GaGenome;
 
 struct GenomeHash {
   size_t operator()(const Genome &G) const {
@@ -106,10 +106,29 @@ GaResult msem::searchOptimalSettings(const Model &M,
 
   std::vector<Genome> Population;
   std::vector<double> Scores;
-  Population.reserve(Options.Population);
-  for (size_t I = 0; I < Options.Population; ++I)
-    Population.push_back(RandomGenome());
-  Cache.scoreAll(Population, Scores, Fitness);
+  double BestSoFar = 1e300;
+  int SinceImprovement = 0;
+  int Gen = 0;
+  if (Options.ResumeFrom) {
+    // Continue a checkpointed search: the captured state was taken at the
+    // top of a generation, so restoring it and re-entering the loop there
+    // replays the remainder bitwise (Model::predict is pure; the fitness
+    // memo only affects telemetry counters).
+    const GaState &S = *Options.ResumeFrom;
+    assert(S.Population.size() == S.Scores.size() &&
+           "corrupt GA state: population/score arity mismatch");
+    Population = S.Population;
+    Scores = S.Scores;
+    BestSoFar = S.BestSoFar;
+    SinceImprovement = S.SinceImprovement;
+    Gen = S.Generation;
+    R.setState(S.RngState);
+  } else {
+    Population.reserve(Options.Population);
+    for (size_t I = 0; I < Options.Population; ++I)
+      Population.push_back(RandomGenome());
+    Cache.scoreAll(Population, Scores, Fitness);
+  }
 
   auto Tournament = [&]() -> const Genome & {
     size_t Best = R.nextBelow(Population.size());
@@ -122,10 +141,22 @@ GaResult msem::searchOptimalSettings(const Model &M,
   };
 
   GaResult Result;
-  double BestSoFar = 1e300;
-  int SinceImprovement = 0;
-  int Gen = 0;
   for (; Gen < Options.Generations; ++Gen) {
+    // The checkpoint hook, at the exact point GaState reconstructs: a
+    // state captured here and resumed continues as if never interrupted.
+    if (Options.OnGeneration) {
+      GaState Snapshot;
+      Snapshot.Generation = Gen;
+      Snapshot.Population = Population;
+      Snapshot.Scores = Scores;
+      Snapshot.BestSoFar = BestSoFar;
+      Snapshot.SinceImprovement = SinceImprovement;
+      Snapshot.RngState = R.state();
+      if (!Options.OnGeneration(Snapshot)) {
+        Result.Paused = true;
+        break;
+      }
+    }
     // Convergence-based early stop.
     double GenBest = *std::min_element(Scores.begin(), Scores.end());
     if (telemetry::enabled()) {

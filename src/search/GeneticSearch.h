@@ -11,6 +11,12 @@
 /// Population members are level-index genomes; selection is tournament,
 /// crossover is uniform, mutation re-draws a level.
 ///
+/// The search is checkpointable at generation granularity: GaOptions can
+/// install an OnGeneration observer that sees the full GaState (population,
+/// scores, stall counters, RNG state) at the top of every generation, and a
+/// search resumed from a captured GaState continues bitwise identically to
+/// one that never stopped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_SEARCH_GENETICSEARCH_H
@@ -19,7 +25,25 @@
 #include "design/ParameterSpace.h"
 #include "model/Model.h"
 
+#include <array>
+#include <functional>
+
 namespace msem {
+
+/// One population member: a level index per searched parameter.
+using GaGenome = std::vector<size_t>;
+
+/// Everything the GA loop carries between generations -- capturing this at
+/// the top of generation G and resuming from it replays the remainder of
+/// the search exactly.
+struct GaState {
+  int Generation = 0;
+  std::vector<GaGenome> Population;
+  std::vector<double> Scores; ///< Fitness of Population (same order).
+  double BestSoFar = 1e300;
+  int SinceImprovement = 0;
+  std::array<uint64_t, 4> RngState{};
+};
 
 /// GA knobs.
 struct GaOptions {
@@ -35,6 +59,14 @@ struct GaOptions {
   size_t EliteCount = 2;
   size_t TournamentSize = 3;
   uint64_t Seed = 0x6A5EED;
+  /// Called at the top of every generation with the resumable state;
+  /// campaigns checkpoint here. Returning false pauses the search: the
+  /// result carries the best point seen so far and Paused = true.
+  std::function<bool(const GaState &)> OnGeneration;
+  /// When non-null, skip initialization and continue from this captured
+  /// state (Seed is then only used for stream-compatibility of a state
+  /// captured from a run with the same options).
+  const GaState *ResumeFrom = nullptr;
 };
 
 /// Result of the model-based search.
@@ -42,6 +74,7 @@ struct GaResult {
   DesignPoint BestPoint;       ///< Full point (search vars + frozen vars).
   double PredictedResponse = 0; ///< Model's prediction at the optimum.
   int GenerationsRun = 0;
+  bool Paused = false; ///< OnGeneration requested a pause (resumable).
 };
 
 /// Minimizes Model.predict over the first numCompilerParams() coordinates

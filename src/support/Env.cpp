@@ -2,6 +2,7 @@
 
 #include "support/Env.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 using namespace msem;
@@ -33,4 +34,31 @@ std::string msem::getEnvString(const char *Name, const std::string &Default) {
   if (!Value)
     return Default;
   return std::string(Value);
+}
+
+EnvConfig msem::parseEnv() {
+  EnvConfig C;
+  C.Threads = std::max<int64_t>(0, getEnvInt("MSEM_THREADS", C.Threads));
+  C.VerifyPasses = getEnvInt("MSEM_VERIFY_PASSES", 0) != 0;
+  C.Telemetry = getEnvString("MSEM_TELEMETRY", C.Telemetry);
+  C.TraceFile = getEnvString("MSEM_TRACE_FILE", C.TraceFile);
+  C.MetricsFile = getEnvString("MSEM_METRICS_FILE", C.MetricsFile);
+  C.FaultRate =
+      std::clamp(getEnvDouble("MSEM_FAULT_RATE", C.FaultRate), 0.0, 1.0);
+  C.TrainNSet = getEnvInt("MSEM_TRAIN_N", -1) >= 0;
+  C.TrainN = std::max<int64_t>(1, getEnvInt("MSEM_TRAIN_N", C.TrainN));
+  C.TestN = std::max<int64_t>(1, getEnvInt("MSEM_TEST_N", C.TestN));
+  C.Input = getEnvString("MSEM_INPUT", C.Input);
+  C.CacheDir = getEnvString("MSEM_CACHE", C.CacheDir);
+  C.Seed = static_cast<uint64_t>(
+      getEnvInt("MSEM_SEED", static_cast<int64_t>(C.Seed)));
+  C.Fig5Reps = std::max<int64_t>(1, getEnvInt("MSEM_FIG5_REPS", C.Fig5Reps));
+  C.Table4Top =
+      std::max<int64_t>(1, getEnvInt("MSEM_TABLE4_TOP", C.Table4Top));
+  return C;
+}
+
+const EnvConfig &msem::env() {
+  static const EnvConfig Cached = parseEnv();
+  return Cached;
 }

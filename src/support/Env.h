@@ -5,9 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Experiment-scale knobs read from the environment. The paper's full
-/// campaign (400 train + 100 test simulations per program) takes hours; the
-/// bench harnesses default to a reduced scale and honour these overrides.
+/// Every environment variable the project reads, parsed once into one typed
+/// configuration struct. No other translation unit calls getenv: the
+/// telemetry sinks, the thread pool, the pass verifier, the fault-injection
+/// hook and the bench harness scales all pull from env(), so the full knob
+/// inventory is greppable in one place (and documented in README.md).
+///
+/// The paper's full campaign (400 train + 100 test simulations per program)
+/// takes hours; the bench harnesses default to a reduced scale and honour
+/// the MSEM_TRAIN_N / MSEM_TEST_N / MSEM_INPUT overrides below.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +24,61 @@
 #include <string>
 
 namespace msem {
+
+/// Typed snapshot of every MSEM_* environment variable.
+struct EnvConfig {
+  // --- Execution -----------------------------------------------------------
+  /// MSEM_THREADS: threads per parallel region (0 = hardware_concurrency,
+  /// 1 = fully sequential).
+  int64_t Threads = 0;
+  /// MSEM_VERIFY_PASSES: run the IR verifier after every optimization pass.
+  bool VerifyPasses = false;
+
+  // --- Observability -------------------------------------------------------
+  /// MSEM_TELEMETRY: comma-separated sink list (summary, jsonl, trace, all).
+  std::string Telemetry;
+  /// MSEM_TRACE_FILE: Chrome trace-event JSON output path.
+  std::string TraceFile;
+  /// MSEM_METRICS_FILE: JSONL metrics output path.
+  std::string MetricsFile;
+
+  // --- Fault injection (test hook) -----------------------------------------
+  /// MSEM_FAULT_RATE: probability in [0, 1] that any single measurement
+  /// attempt fails with an injected fault (0 = off). Deterministic per
+  /// (design point, attempt), so campaigns remain reproducible under
+  /// injection. See FaultPolicy in core/ResponseSurface.h.
+  double FaultRate = 0.0;
+
+  // --- Campaign / bench scale ----------------------------------------------
+  /// MSEM_TRAIN_N: training design size (paper: 400).
+  int64_t TrainN = 200;
+  /// Whether MSEM_TRAIN_N was explicitly set (harnesses that substitute
+  /// their own default scale check this rather than re-reading getenv).
+  bool TrainNSet = false;
+  /// MSEM_TEST_N: test design size (paper: 100).
+  int64_t TestN = 50;
+  /// MSEM_INPUT: workload input set ("test", "train" or "ref").
+  std::string Input = "train";
+  /// MSEM_CACHE: response cache directory shared by the harnesses.
+  std::string CacheDir = "msem_cache";
+  /// MSEM_SEED: campaign master seed.
+  uint64_t Seed = 20070311;
+  /// MSEM_FIG5_REPS: repetitions per design size in the Figure 5 harness.
+  int64_t Fig5Reps = 2;
+  /// MSEM_TABLE4_TOP: number of MARS terms shown by the Table 4 harness.
+  int64_t Table4Top = 12;
+};
+
+/// The process-wide configuration, parsed from the environment once on
+/// first use. Prefer this accessor everywhere outside tests.
+const EnvConfig &env();
+
+/// Parses a fresh EnvConfig from the current environment (no caching).
+/// For tests that setenv() mid-process; production code uses env().
+EnvConfig parseEnv();
+
+// --- Raw accessors (implementation detail of parseEnv, kept public for
+// --- tests and one-off harness knobs) --------------------------------------
 
 /// Returns the integer value of environment variable \p Name, or \p Default
 /// if unset or unparsable.

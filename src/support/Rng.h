@@ -16,6 +16,7 @@
 #ifndef MSEM_SUPPORT_RNG_H
 #define MSEM_SUPPORT_RNG_H
 
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -128,6 +129,16 @@ public:
   /// Derives an independent child generator; used to hand sub-components
   /// their own streams without correlating them.
   Rng split() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+  /// The full 256-bit generator state, for checkpointing. A generator
+  /// restored with setState continues the exact sequence.
+  std::array<uint64_t, 4> state() const { return {S[0], S[1], S[2], S[3]}; }
+
+  /// Restores a state captured by state().
+  void setState(const std::array<uint64_t, 4> &State) {
+    for (size_t I = 0; I < 4; ++I)
+      S[I] = State[I];
+  }
 
 private:
   static uint64_t rotl(uint64_t X, int K) {

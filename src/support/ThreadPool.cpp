@@ -18,7 +18,7 @@ thread_local bool InWorkerThread = false;
 } // namespace
 
 size_t msem::defaultThreadCount() {
-  int64_t FromEnv = getEnvInt("MSEM_THREADS", 0);
+  int64_t FromEnv = env().Threads;
   if (FromEnv > 0)
     return static_cast<size_t>(FromEnv);
   unsigned Hw = std::thread::hardware_concurrency();

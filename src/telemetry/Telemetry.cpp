@@ -2,6 +2,7 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "support/Env.h"
 #include "support/Format.h"
 #include "support/TablePrinter.h"
 
@@ -122,9 +123,12 @@ void writeFileOrWarn(const std::string &Path, const std::string &Content) {
 
 Config telemetry::configFromEnv() {
   Config C;
-  const char *Sinks = std::getenv("MSEM_TELEMETRY");
-  if (Sinks && *Sinks) {
-    for (const std::string &Raw : splitString(Sinks, ',')) {
+  // A fresh parse, not the process-wide env() snapshot: this function's
+  // contract is "what does the environment say right now" (tests setenv
+  // mid-process and re-read), and it only runs at configuration time.
+  EnvConfig E = parseEnv();
+  if (!E.Telemetry.empty()) {
+    for (const std::string &Raw : splitString(E.Telemetry, ',')) {
       std::string Name = trimString(Raw);
       if (Name == "summary")
         C.Sinks |= SinkSummary;
@@ -141,10 +145,10 @@ Config telemetry::configFromEnv() {
                      Name.c_str());
     }
   }
-  if (const char *F = std::getenv("MSEM_TRACE_FILE"); F && *F)
-    C.TraceFile = F;
-  if (const char *F = std::getenv("MSEM_METRICS_FILE"); F && *F)
-    C.MetricsFile = F;
+  if (!E.TraceFile.empty())
+    C.TraceFile = E.TraceFile;
+  if (!E.MetricsFile.empty())
+    C.MetricsFile = E.MetricsFile;
   return C;
 }
 

@@ -1,0 +1,575 @@
+//===- tests/campaign_test.cpp - Campaign engine tests ----------------------------===//
+//
+// The fault-tolerance contract of src/campaign/: checkpoints round-trip
+// exactly, a budget-paused or SIGKILLed campaign resumes to results
+// bitwise identical to an uninterrupted run (at any thread count), and
+// the fault policies retry / skip / abort behave structurally.
+//
+// The kill test re-executes this binary (fork + exec of /proc/self/exe
+// with a gtest filter) so the child can SIGKILL itself from the
+// checkpoint-written hook at a deterministic point; a plain fork would
+// duplicate a process whose thread-pool workers do not survive it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+#include "campaign/Checkpoint.h"
+#include "campaign/Experiment.h"
+#include "campaign/Json.h"
+#include "core/ModelBuilder.h"
+#include "design/Doe.h"
+#include "model/LinearModel.h"
+#include "search/GeneticSearch.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+/// Restores the default global pool when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { setGlobalThreadCount(0); }
+};
+
+/// A campaign small enough for tests but big enough to exercise every
+/// checkpoint site: three build iterations (24 -> 36 -> 48), then a GA
+/// tuning search that checkpoints every other generation.
+ExperimentSpec smallSpec() {
+  ExperimentSpec Spec;
+  Spec.Name = "campaign-test";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}};
+  Spec.InitialDesignSize = 24;
+  Spec.AugmentStep = 12;
+  Spec.MaxDesignSize = 48;
+  Spec.TestSize = 8;
+  Spec.TargetMape = 0.1; // Unreachably strict: always runs to MaxDesignSize.
+  Spec.CandidateCount = 200;
+  Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+  Spec.Ga.Population = 12;
+  Spec.Ga.Generations = 6;
+  Spec.Ga.StallGenerations = 0; // Exactly 6 generations, deterministically.
+  Spec.GaCheckpointEvery = 2;
+  Spec.VerifyTunings = true;
+  return Spec;
+}
+
+std::string tempCheckpointPath(const char *Tag) {
+  return formatString("campaign_test_%s_%d.ckpt.json", Tag,
+                      static_cast<int>(getpid()));
+}
+
+/// The bitwise-identity oracle: every number a campaign produces --
+/// measured responses, designs, error curves, tuning results and the
+/// fitted model's predictions -- must match exactly.
+void expectIdenticalResults(const ExperimentResult &A,
+                            const ExperimentResult &B) {
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.SimulationsUsed, B.SimulationsUsed);
+  ASSERT_EQ(A.Jobs.size(), B.Jobs.size());
+  for (size_t J = 0; J < A.Jobs.size(); ++J) {
+    const ModelBuildResult &BA = A.Jobs[J].Build;
+    const ModelBuildResult &BB = B.Jobs[J].Build;
+    EXPECT_EQ(A.Jobs[J].State, B.Jobs[J].State);
+    EXPECT_EQ(BA.TrainPoints, BB.TrainPoints);
+    EXPECT_EQ(BA.TrainY, BB.TrainY);
+    EXPECT_EQ(BA.TestPoints, BB.TestPoints);
+    EXPECT_EQ(BA.TestY, BB.TestY);
+    EXPECT_EQ(BA.ErrorCurve, BB.ErrorCurve);
+    EXPECT_EQ(BA.TestQuality.Mape, BB.TestQuality.Mape);
+    EXPECT_EQ(BA.TestQuality.R2, BB.TestQuality.R2);
+    ASSERT_EQ(BA.FittedModel != nullptr, BB.FittedModel != nullptr);
+    if (BA.FittedModel) {
+      // Model identity, observably: equal predictions at probe points.
+      ParameterSpace Space = ParameterSpace::paperSpace();
+      Rng Probe(0xBEEF);
+      for (const DesignPoint &P :
+           generateRandomCandidates(Space, 5, Probe)) {
+        std::vector<double> X = Space.encode(P);
+        EXPECT_EQ(BA.FittedModel->predict(X), BB.FittedModel->predict(X));
+      }
+    }
+    ASSERT_EQ(A.Jobs[J].Tunings.size(), B.Jobs[J].Tunings.size());
+    for (size_t P = 0; P < A.Jobs[J].Tunings.size(); ++P) {
+      const PlatformTuning &TA = A.Jobs[J].Tunings[P];
+      const PlatformTuning &TB = B.Jobs[J].Tunings[P];
+      EXPECT_EQ(TA.Platform, TB.Platform);
+      EXPECT_EQ(TA.Search.BestPoint, TB.Search.BestPoint);
+      EXPECT_EQ(TA.Search.PredictedResponse, TB.Search.PredictedResponse);
+      EXPECT_EQ(TA.Search.GenerationsRun, TB.Search.GenerationsRun);
+      EXPECT_EQ(TA.MeasuredBest, TB.MeasuredBest);
+      EXPECT_EQ(TA.MeasuredO2, TB.MeasuredO2);
+      EXPECT_EQ(TA.MeasuredO3, TB.MeasuredO3);
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, BuildNavigateDump) {
+  Json Doc = Json::object();
+  Doc.set("flag", Json::boolean(true));
+  Doc.set("count", Json::number(42));
+  Doc.set("name", Json::string("a\"b\\c\nd"));
+  Json Arr = Json::array();
+  Arr.push(Json::number(1)).push(Json::number(2.5));
+  Doc.set("values", std::move(Arr));
+
+  EXPECT_TRUE(Doc["flag"].asBool());
+  EXPECT_EQ(Doc["count"].asInt(), 42);
+  EXPECT_EQ(Doc["values"].size(), 2u);
+  EXPECT_EQ(Doc["values"].at(1).asDouble(), 2.5);
+  EXPECT_TRUE(Doc["missing"].isNull());
+  EXPECT_EQ(Doc["missing"].asInt(-7), -7);
+
+  std::string Error;
+  Json Back = Json::parse(Doc.dump(), &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back["name"].asString(), "a\"b\\c\nd");
+  EXPECT_EQ(Back.dump(), Doc.dump());
+  // Pretty form parses back to the same document too.
+  EXPECT_EQ(Json::parse(Doc.dumpPretty()).dump(), Doc.dump());
+}
+
+TEST(JsonTest, DoublesRoundTripBitwise) {
+  const double Cases[] = {0.0,    -0.0,       1.0 / 3.0, 3.141592653589793,
+                          1e-300, 1.7976e308, 123456789.123456789};
+  for (double V : Cases) {
+    Json Back = Json::parse(Json::number(V).dump());
+    EXPECT_EQ(Back.asDouble(), V) << V;
+  }
+}
+
+TEST(JsonTest, HexU64RoundTripsExactly) {
+  // JSON numbers are doubles; 64-bit seeds and RNG words go through hex
+  // strings instead, losslessly.
+  const uint64_t Cases[] = {0ull, 1ull, 0xDEADBEEFCAFEBABEull,
+                            ~0ull, 1ull << 63};
+  for (uint64_t V : Cases) {
+    Json Back = Json::parse(Json::hexU64(V).dump());
+    EXPECT_EQ(Back.asHexU64(), V);
+  }
+  EXPECT_EQ(Json::string("not hex").asHexU64(7u), 7u);
+}
+
+TEST(JsonTest, ParseErrorsAreDiagnosed) {
+  const char *Bad[] = {"",        "{",       "[1,]",     "{\"a\":}",
+                       "nul",     "\"open",  "{\"a\" 1}", "1 2"};
+  for (const char *Text : Bad) {
+    std::string Error;
+    Json V = Json::parse(Text, &Error);
+    EXPECT_TRUE(V.isNull()) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+  // Errors carry a position.
+  std::string Error;
+  Json::parse("{\n  \"a\": nope\n}", &Error);
+  EXPECT_NE(Error.find("2:"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint serialization
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, SpecRoundTrips) {
+  ExperimentSpec Spec = smallSpec();
+  Spec.Space = SpaceKind::Extended;
+  Spec.Jobs.push_back({"gzip", InputSet::Ref, ResponseMetric::CodeBytes,
+                       ModelTechnique::Mars, 64});
+  Spec.Seed = 0xFEEDFACE12345678ull;
+  Spec.CacheDir = "some/cache";
+  Spec.Faults.OnFault = FaultAction::Skip;
+  Spec.Faults.MaxAttempts = 3;
+  Spec.Faults.InjectRate = 0.25;
+  Spec.Budget.MaxSimulations = 1234;
+  Spec.Budget.MaxWallSeconds = 5.5;
+  Spec.Ga.Seed = ~0ull;
+
+  ExperimentSpec Back;
+  std::string Error;
+  ASSERT_TRUE(deserializeSpec(serializeSpec(Spec), Back, &Error)) << Error;
+  EXPECT_EQ(Back.Name, Spec.Name);
+  EXPECT_EQ(Back.Space, Spec.Space);
+  ASSERT_EQ(Back.Jobs.size(), Spec.Jobs.size());
+  EXPECT_EQ(Back.Jobs[1].Workload, "gzip");
+  EXPECT_EQ(Back.Jobs[1].Input, InputSet::Ref);
+  EXPECT_EQ(Back.Jobs[1].Metric, ResponseMetric::CodeBytes);
+  EXPECT_EQ(Back.Jobs[1].Technique, ModelTechnique::Mars);
+  EXPECT_EQ(Back.Jobs[1].DesignSizeCap, 64u);
+  EXPECT_EQ(Back.InitialDesignSize, Spec.InitialDesignSize);
+  EXPECT_EQ(Back.MaxDesignSize, Spec.MaxDesignSize);
+  EXPECT_EQ(Back.TargetMape, Spec.TargetMape);
+  EXPECT_EQ(Back.Seed, Spec.Seed);
+  EXPECT_EQ(Back.CacheDir, Spec.CacheDir);
+  EXPECT_EQ(Back.Faults.OnFault, FaultAction::Skip);
+  EXPECT_EQ(Back.Faults.MaxAttempts, 3);
+  EXPECT_EQ(Back.Faults.InjectRate, 0.25);
+  EXPECT_EQ(Back.Budget.MaxSimulations, 1234u);
+  EXPECT_EQ(Back.Budget.MaxWallSeconds, 5.5);
+  ASSERT_EQ(Back.TunePlatforms.size(), 1u);
+  EXPECT_EQ(Back.TunePlatforms[0].Config.RuuSize,
+            MachineConfig::typical().RuuSize);
+  EXPECT_EQ(Back.Ga.Seed, ~0ull);
+  EXPECT_EQ(Back.Ga.Generations, 6);
+  EXPECT_TRUE(Back.VerifyTunings);
+}
+
+TEST(CheckpointTest, CheckpointRoundTripsThroughDisk) {
+  CampaignCheckpoint Ckpt;
+  Ckpt.Spec = smallSpec();
+  JobProgress P;
+  P.State = JobState::Tuning;
+  P.ErrorCurve = {{24, 12.5}, {36, 0.1 + 0.2}};
+  P.TuningsDone = 1;
+  P.HasGaState = true;
+  P.Ga.Generation = 4;
+  P.Ga.Population = {{0, 1, 2}, {3, 4, 5}};
+  P.Ga.Scores = {1.0 / 3.0, 2.5};
+  P.Ga.BestSoFar = 0.125;
+  P.Ga.SinceImprovement = 2;
+  P.Ga.RngState = {1ull, ~0ull, 0xDEADBEEFull, 1ull << 62};
+  Ckpt.Jobs.push_back(P);
+  SurfaceShard Shard;
+  Shard.Points = {{1, 0, 1}, {0, 1, 0}};
+  Shard.Values = {3.14159, 2.71828};
+  Ckpt.Surfaces.emplace("art|test|cycles", Shard);
+  Ckpt.SimulationsSpent = 99;
+  Ckpt.WallSecondsSpent = 1.5;
+  Ckpt.CachePath = "msem_cache/responses.csv";
+
+  std::string Path = tempCheckpointPath("roundtrip");
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Ckpt, Path, &Error)) << Error;
+
+  CampaignCheckpoint Back;
+  ASSERT_TRUE(loadCheckpoint(Path, Back, &Error)) << Error;
+  std::remove(Path.c_str());
+
+  ASSERT_EQ(Back.Jobs.size(), 1u);
+  EXPECT_EQ(Back.Jobs[0].State, JobState::Tuning);
+  EXPECT_EQ(Back.Jobs[0].ErrorCurve, P.ErrorCurve);
+  EXPECT_EQ(Back.Jobs[0].TuningsDone, 1u);
+  ASSERT_TRUE(Back.Jobs[0].HasGaState);
+  EXPECT_EQ(Back.Jobs[0].Ga.Generation, 4);
+  EXPECT_EQ(Back.Jobs[0].Ga.Population, P.Ga.Population);
+  EXPECT_EQ(Back.Jobs[0].Ga.Scores, P.Ga.Scores);
+  EXPECT_EQ(Back.Jobs[0].Ga.BestSoFar, 0.125);
+  EXPECT_EQ(Back.Jobs[0].Ga.RngState, P.Ga.RngState);
+  ASSERT_EQ(Back.Surfaces.count("art|test|cycles"), 1u);
+  EXPECT_EQ(Back.Surfaces["art|test|cycles"].Points, Shard.Points);
+  EXPECT_EQ(Back.Surfaces["art|test|cycles"].Values, Shard.Values);
+  EXPECT_EQ(Back.SimulationsSpent, 99u);
+  EXPECT_EQ(Back.WallSecondsSpent, 1.5);
+  EXPECT_EQ(Back.CachePath, "msem_cache/responses.csv");
+
+  // The atomic publish leaves no temp file behind.
+  std::FILE *Tmp = std::fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(Tmp, nullptr);
+  if (Tmp)
+    std::fclose(Tmp);
+}
+
+TEST(CheckpointTest, LoadFailuresAreStructured) {
+  CampaignCheckpoint Out;
+  std::string Error;
+  EXPECT_FALSE(loadCheckpoint("no/such/checkpoint.json", Out, &Error));
+  EXPECT_FALSE(Error.empty());
+
+  std::string Path = tempCheckpointPath("malformed");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("{\"version\": 1, \"spec\": {", F);
+  std::fclose(F);
+  EXPECT_FALSE(loadCheckpoint(Path, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Budget pause + resume
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, BudgetPauseResumeChainMatchesUninterrupted) {
+  PoolGuard Guard;
+  std::string Path = tempCheckpointPath("budget");
+  std::remove(Path.c_str());
+
+  // Reference: uninterrupted, 4 threads.
+  setGlobalThreadCount(4);
+  ExperimentResult Ref = runExperiment(smallSpec());
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  // Same campaign at 1 thread, strangled by a simulation budget: pauses
+  // mid-modeling, then (budget 45) mid-GA-search, then completes.
+  setGlobalThreadCount(1);
+  ExperimentSpec Budgeted = smallSpec();
+  Budgeted.CheckpointPath = Path;
+  Budgeted.Budget.MaxSimulations = 20;
+  ExperimentResult R1 = runExperiment(Budgeted);
+  EXPECT_EQ(R1.Status, CampaignStatus::BudgetExhausted);
+  EXPECT_EQ(R1.Jobs[0].Build.Stop, BuildStop::Paused);
+
+  ExperimentBudget MidBudget;
+  MidBudget.MaxSimulations = 45;
+  ExperimentResult R2 = Campaign::resume(Path, &MidBudget);
+  EXPECT_EQ(R2.Status, CampaignStatus::BudgetExhausted);
+  // This pause lands in the GA phase: its state is in the checkpoint.
+  CampaignCheckpoint Mid;
+  std::string Error;
+  ASSERT_TRUE(loadCheckpoint(Path, Mid, &Error)) << Error;
+  EXPECT_EQ(Mid.Jobs[0].State, JobState::Tuning);
+  EXPECT_TRUE(Mid.Jobs[0].HasGaState);
+  EXPECT_EQ(Mid.Jobs[0].Ga.Population.size(), smallSpec().Ga.Population);
+
+  ExperimentBudget Unlimited;
+  ExperimentResult R3 = Campaign::resume(Path, &Unlimited);
+  ASSERT_TRUE(R3.ok()) << R3.Error;
+
+  expectIdenticalResults(Ref, R3);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Kill -9 + resume
+//===----------------------------------------------------------------------===//
+
+/// Child body for the kill test: runs the checkpointed campaign and
+/// SIGKILLs itself right after the fourth checkpoint (mid-GA-search).
+/// Skipped unless the parent re-executed this binary with the hook
+/// environment set.
+TEST(CampaignKillChild, Run) {
+  const char *Path = std::getenv("MSEM_CAMPAIGN_KILL_CKPT");
+  if (!Path)
+    GTEST_SKIP() << "kill-test child body; run by the parent test only";
+  ExperimentSpec Spec = smallSpec();
+  Spec.CheckpointPath = Path;
+  Spec.OnCheckpointWritten = [](size_t N) {
+    if (N >= 4)
+      raise(SIGKILL);
+  };
+  runExperiment(Spec);
+  FAIL() << "child was supposed to die at the fourth checkpoint";
+}
+
+TEST(CampaignTest, KilledCampaignResumesBitwiseIdentical) {
+  PoolGuard Guard;
+  std::string Path = tempCheckpointPath("kill");
+  std::remove(Path.c_str());
+
+  // Reference: uninterrupted, 1 thread.
+  setGlobalThreadCount(1);
+  ExperimentResult Ref = runExperiment(smallSpec());
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  // Child: same campaign, killed -9 after checkpoint 4 (two model
+  // iterations plus two GA checkpoints). exec'd rather than forked so the
+  // child gets a working thread pool.
+  setenv("MSEM_CAMPAIGN_KILL_CKPT", Path.c_str(), 1);
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    execl("/proc/self/exe", "campaign_test",
+          "--gtest_filter=CampaignKillChild.Run", nullptr);
+    _exit(127); // exec failed.
+  }
+  unsetenv("MSEM_CAMPAIGN_KILL_CKPT");
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFSIGNALED(Status))
+      << "child should die by signal, status=" << Status;
+  EXPECT_EQ(WTERMSIG(Status), SIGKILL);
+
+  // The checkpoint the child left behind is valid and mid-flight.
+  CampaignCheckpoint Ckpt;
+  std::string Error;
+  ASSERT_TRUE(loadCheckpoint(Path, Ckpt, &Error)) << Error;
+  EXPECT_EQ(Ckpt.Jobs[0].State, JobState::Tuning);
+  EXPECT_TRUE(Ckpt.Jobs[0].HasGaState);
+  EXPECT_FALSE(Ckpt.Surfaces.empty());
+
+  // Resume at a different thread count; the completed campaign must be
+  // bitwise identical to the never-killed reference.
+  setGlobalThreadCount(4);
+  ExperimentResult Resumed = Campaign::resume(Path);
+  ASSERT_TRUE(Resumed.ok()) << Resumed.Error;
+  expectIdenticalResults(Ref, Resumed);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault policies
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPolicyTest, RetryConvergesToFaultFreeMeasurements) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  ResponseSurface::Options Clean;
+  Clean.Workload = "art";
+  Clean.Input = InputSet::Test;
+  Clean.Smarts.SamplingInterval = 10;
+  Clean.Faults.InjectRate = 0.0;
+
+  ResponseSurface::Options Flaky = Clean;
+  Flaky.Faults.InjectRate = 0.5;
+  Flaky.Faults.OnFault = FaultAction::Retry;
+  Flaky.Faults.MaxAttempts = 16;
+
+  Rng R(7);
+  std::vector<DesignPoint> Points = generateRandomCandidates(Space, 8, R);
+
+  ResponseSurface CleanSurface(Space, Clean);
+  ResponseSurface FlakySurface(Space, Flaky);
+  MeasurementReport CleanReport, FlakyReport;
+  std::vector<double> Want = CleanSurface.measureAll(Points, &CleanReport);
+  std::vector<double> Got = FlakySurface.measureAll(Points, &FlakyReport);
+
+  // Retried measurements converge to exactly the fault-free responses.
+  EXPECT_EQ(Want, Got);
+  EXPECT_TRUE(FlakyReport.ok());
+  EXPECT_EQ(CleanReport.FaultsInjected, 0u);
+  EXPECT_GT(FlakyReport.FaultsInjected, 0u);
+  EXPECT_GT(FlakyReport.Retries, 0u);
+  // Injection is a pure function of (point, attempt): a second flaky
+  // surface sees the identical fault pattern.
+  ResponseSurface FlakyAgain(Space, Flaky);
+  MeasurementReport AgainReport;
+  FlakyAgain.measureAll(Points, &AgainReport);
+  EXPECT_EQ(AgainReport.FaultsInjected, FlakyReport.FaultsInjected);
+  EXPECT_EQ(AgainReport.Retries, FlakyReport.Retries);
+}
+
+TEST(FaultPolicyTest, SkipPolicyRecordsSkippedPoints) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  ResponseSurface::Options Opts;
+  Opts.Workload = "art";
+  Opts.Input = InputSet::Test;
+  Opts.Smarts.SamplingInterval = 10;
+  Opts.Faults.InjectRate = 0.3;
+  Opts.Faults.OnFault = FaultAction::Skip;
+  ResponseSurface Surface(Space, Opts);
+
+  ModelBuilderOptions Build;
+  Build.Technique = ModelTechnique::Rbf;
+  Build.InitialDesignSize = 30;
+  Build.MaxDesignSize = 30;
+  Build.TestSize = 6;
+  Build.CandidateCount = 150;
+  ModelBuildResult Result = buildModel(Surface, Build);
+
+  // The build completes on the surviving points and reports the rest.
+  EXPECT_EQ(Result.Stop, BuildStop::DesignExhausted);
+  EXPECT_FALSE(Result.SkippedPoints.empty());
+  EXPECT_LT(Result.TrainPoints.size(), 30u);
+  EXPECT_EQ(Result.TrainPoints.size(), Result.TrainY.size());
+  ASSERT_NE(Result.FittedModel, nullptr);
+  EXPECT_GT(Result.TestQuality.Mape, 0.0);
+}
+
+TEST(FaultPolicyTest, AbortPolicySurfacesStructuredError) {
+  ExperimentSpec Spec = smallSpec();
+  Spec.TunePlatforms.clear();
+  Spec.Faults.InjectRate = 0.9;
+  Spec.Faults.OnFault = FaultAction::Abort;
+
+  // No crash, no exception: a failed campaign is a structured result.
+  ExperimentResult Result = runExperiment(Spec);
+  EXPECT_EQ(Result.Status, CampaignStatus::Failed);
+  EXPECT_FALSE(Result.Error.empty());
+  ASSERT_EQ(Result.Jobs.size(), 1u);
+  EXPECT_EQ(Result.Jobs[0].State, JobState::Failed);
+  EXPECT_EQ(Result.Jobs[0].Build.Stop, BuildStop::Failed);
+  EXPECT_FALSE(Result.Jobs[0].Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// GA checkpoint/resume (model-level, no simulator)
+//===----------------------------------------------------------------------===//
+
+TEST(GaResumeTest, PausedSearchResumesBitwiseIdentical) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  // A cheap deterministic fitness oracle: a linear model fitted to a
+  // synthetic response.
+  Rng R(5);
+  std::vector<DesignPoint> Points = generateRandomCandidates(Space, 60, R);
+  Matrix X = encodeMatrix(Space, Points);
+  std::vector<double> Y(Points.size());
+  for (size_t I = 0; I < Points.size(); ++I) {
+    double V = 100.0;
+    for (size_t J = 0; J < X.cols(); ++J)
+      V += static_cast<double>(J + 1) * X.at(I, J);
+    Y[I] = V;
+  }
+  LinearModel M;
+  M.train(X, Y);
+
+  DesignPoint Frozen = Space.fromConfigs(OptimizationConfig::O2(),
+                                         MachineConfig::typical());
+  GaOptions Options;
+  Options.Population = 16;
+  Options.Generations = 10;
+  Options.StallGenerations = 0;
+
+  GaResult Straight = searchOptimalSettings(M, Space, Frozen, Options);
+  EXPECT_FALSE(Straight.Paused);
+  EXPECT_EQ(Straight.GenerationsRun, 10);
+
+  // Pause at generation 4, capturing the state...
+  GaState Captured;
+  GaOptions Pausing = Options;
+  Pausing.OnGeneration = [&Captured](const GaState &S) {
+    if (S.Generation == 4) {
+      Captured = S;
+      return false;
+    }
+    return true;
+  };
+  GaResult Paused = searchOptimalSettings(M, Space, Frozen, Pausing);
+  EXPECT_TRUE(Paused.Paused);
+  EXPECT_EQ(Captured.Generation, 4);
+
+  // ...and resume from it: the finished search matches the uninterrupted
+  // one exactly.
+  GaOptions Resuming = Options;
+  Resuming.ResumeFrom = &Captured;
+  GaResult Resumed = searchOptimalSettings(M, Space, Frozen, Resuming);
+  EXPECT_FALSE(Resumed.Paused);
+  EXPECT_EQ(Resumed.GenerationsRun, Straight.GenerationsRun);
+  EXPECT_EQ(Resumed.BestPoint, Straight.BestPoint);
+  EXPECT_EQ(Resumed.PredictedResponse, Straight.PredictedResponse);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache path exposure
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, SurfaceExposesCachePath) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  ResponseSurface::Options Memory;
+  Memory.Workload = "art";
+  Memory.Input = InputSet::Test;
+  ResponseSurface InMemory(Space, Memory);
+  EXPECT_TRUE(InMemory.cachePath().empty());
+
+  ResponseSurface::Options OnDisk = Memory;
+  OnDisk.CacheDir = formatString("campaign_test_cache_%d",
+                                 static_cast<int>(getpid()));
+  {
+    ResponseSurface Cached(Space, OnDisk);
+    EXPECT_EQ(Cached.cachePath(), OnDisk.CacheDir + "/responses.csv");
+  }
+  std::remove((OnDisk.CacheDir + "/responses.csv").c_str());
+  rmdir(OnDisk.CacheDir.c_str());
+}

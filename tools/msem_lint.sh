@@ -19,6 +19,13 @@ cmake -B "$BUILD_DIR" -S . -DMSEM_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 MSEM_TELEMETRY=summary ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# One explicit checkpoint/resume cycle through the campaign engine: the
+# budget-pause chain (two resumes) and the SIGKILL + resume test, both of
+# which must reproduce the uninterrupted run bitwise.
+echo "== campaign resume cycle =="
+MSEM_TELEMETRY=summary "$BUILD_DIR/tests/campaign_test" \
+  --gtest_filter='CampaignTest.*:FaultPolicyTest.*'
+
 tools/msem_tsan.sh
 
 echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, tsan clean)"
