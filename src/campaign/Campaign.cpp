@@ -101,6 +101,15 @@ void Campaign::writeCheckpoint() {
     }
     Ckpt.Surfaces.emplace(Key, std::move(Shard));
   }
+  // Restored shards whose surface has not been materialized yet (e.g.
+  // later jobs' measurements while job 0 replays) must survive every
+  // checkpoint, or a second kill would lose them -- re-simulating work
+  // that RestoredSimulations already charged to the budget. Materialized
+  // surfaces snapshot a superset of their shard, so only absent keys are
+  // copied.
+  for (const auto &[Key, Shard] : RestoredSurfaces)
+    if (!Ckpt.Surfaces.count(Key))
+      Ckpt.Surfaces.emplace(Key, Shard);
   Ckpt.SimulationsSpent = totalSimulations();
   Ckpt.WallSecondsSpent = totalWallSeconds();
 

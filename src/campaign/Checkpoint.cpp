@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace msem;
 
@@ -514,7 +516,10 @@ bool msem::saveCheckpoint(const CampaignCheckpoint &Ckpt,
   std::string Doc = serializeCheckpoint(Ckpt).dumpPretty();
   // Atomic publish, same discipline as the response disk cache: write a
   // sibling temp file, then rename over the destination. A kill at any
-  // instant leaves either the previous checkpoint or the new one.
+  // instant leaves either the previous checkpoint or the new one. The
+  // data is fsync'd before the rename because fflush only reaches the
+  // kernel: on power loss (unlike SIGKILL) the rename could otherwise
+  // become durable while the bytes are not, publishing a truncated file.
   std::string TmpFile = Path + ".tmp";
   std::FILE *F = std::fopen(TmpFile.c_str(), "wb");
   if (!F)
@@ -522,8 +527,9 @@ bool msem::saveCheckpoint(const CampaignCheckpoint &Ckpt,
                                "': " + std::strerror(errno));
   size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
   bool Flushed = std::fflush(F) == 0;
+  bool Synced = Flushed && fsync(fileno(F)) == 0;
   std::fclose(F);
-  if (Written != Doc.size() || !Flushed) {
+  if (Written != Doc.size() || !Synced) {
     std::remove(TmpFile.c_str());
     return failWith(Error, "short write to '" + TmpFile + "'");
   }
@@ -531,6 +537,14 @@ bool msem::saveCheckpoint(const CampaignCheckpoint &Ckpt,
     std::remove(TmpFile.c_str());
     return failWith(Error, "cannot rename '" + TmpFile + "' to '" + Path +
                                "': " + std::strerror(errno));
+  }
+  // Best effort: make the rename itself durable too.
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  int DirFd = open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    fsync(DirFd);
+    close(DirFd);
   }
   return true;
 }

@@ -5,9 +5,11 @@
 #include "support/Format.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 using namespace msem;
 
@@ -62,7 +64,20 @@ bool Json::asBool(bool Fallback) const {
 }
 
 double Json::asDouble(double Fallback) const {
-  return K == Kind::Number ? Num : Fallback;
+  if (K == Kind::Number)
+    return Num;
+  // Non-finite doubles have no JSON number form; the writer encodes them
+  // as these strings (see appendNumber) so e.g. a degenerate fit score
+  // still round-trips through a checkpoint.
+  if (K == Kind::String) {
+    if (Str == "NaN")
+      return std::numeric_limits<double>::quiet_NaN();
+    if (Str == "Infinity")
+      return std::numeric_limits<double>::infinity();
+    if (Str == "-Infinity")
+      return -std::numeric_limits<double>::infinity();
+  }
+  return Fallback;
 }
 
 int64_t Json::asInt(int64_t Fallback) const {
@@ -160,6 +175,14 @@ void appendEscaped(std::string &Out, const std::string &S) {
 }
 
 void appendNumber(std::string &Out, double N) {
+  // NaN and infinities have no JSON number form (and casting them to an
+  // integer below would be UB); encode them as the strings asDouble()
+  // decodes, so a degenerate value yields a loadable document rather
+  // than 'nan' the parser rejects.
+  if (!std::isfinite(N)) {
+    Out += std::isnan(N) ? "\"NaN\"" : (N > 0 ? "\"Infinity\"" : "\"-Infinity\"");
+    return;
+  }
   // Integers (the common case: design-point levels, sizes) print without
   // an exponent or trailing zeros; everything else uses 17 significant
   // digits, which round-trips any IEEE-754 double exactly.

@@ -11,7 +11,9 @@
 /// is deterministic, and doubles are written with 17 significant digits so
 /// every IEEE-754 value round-trips bitwise through a checkpoint. 64-bit
 /// integers that must survive exactly (seeds, RNG state) are stored as
-/// hex strings, since JSON numbers are doubles.
+/// hex strings, since JSON numbers are doubles. Non-finite doubles, which
+/// have no JSON number form, are encoded as the strings "NaN",
+/// "Infinity" and "-Infinity"; asDouble() decodes them back.
 ///
 /// Error handling is exception-free to match the library: parse() returns
 /// a Null value and an error string on malformed input, and the typed

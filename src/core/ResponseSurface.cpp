@@ -381,7 +381,9 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
     Rep.FaultsInjected += Faults[I];
     Rep.Retries += Retries[I];
     if (!Ok[I] && !Rep.Aborted) {
-      if (Opts.Faults.OnFault == FaultAction::Abort) {
+      if (Opts.Faults.OnFault == FaultAction::Skip) {
+        Failed.emplace(*ToMeasure[I], 1);
+      } else if (Opts.Faults.OnFault == FaultAction::Abort) {
         Rep.Aborted = true;
         Rep.Error = formatString(
             "measurement aborted by fault policy at design point %s "
@@ -389,7 +391,17 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
             diskKeyFor(*ToMeasure[I]).c_str(), Opts.Workload.c_str(),
             Rep.FaultsInjected);
       } else {
-        Failed.emplace(*ToMeasure[I], 1);
+        // Retry exhaustion. Callers choosing Retry never opted into
+        // losing design points, so this aborts the batch structurally
+        // rather than degrading into the Skip path.
+        Rep.Aborted = true;
+        Rep.Error = formatString(
+            "measurement failed %d attempt(s) at design point %s "
+            "(workload %s, %zu injected fault(s) in batch); retry "
+            "policy exhausted",
+            std::max(1, Opts.Faults.MaxAttempts),
+            diskKeyFor(*ToMeasure[I]).c_str(), Opts.Workload.c_str(),
+            Rep.FaultsInjected);
       }
     }
   }

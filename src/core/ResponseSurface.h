@@ -57,7 +57,11 @@ const char *responseMetricName(ResponseMetric Metric);
 
 /// What to do when a single measurement attempt fails.
 enum class FaultAction {
-  Retry, ///< Re-attempt with exponential backoff, up to MaxAttempts.
+  /// Re-attempt with exponential backoff, up to MaxAttempts. A point that
+  /// exhausts its attempts aborts the batch with a structured error:
+  /// retrying callers never opted into losing design points, so
+  /// exhaustion is never silently degraded into Skip.
+  Retry,
   Skip,  ///< Record the point as skipped (NaN response) and continue.
   Abort, ///< Stop the batch; the report carries a structured error.
 };
@@ -91,7 +95,8 @@ struct MeasurementReport {
   size_t FaultsInjected = 0;
   /// Attempts beyond the first, summed over all points.
   size_t Retries = 0;
-  /// True when FaultAction::Abort stopped the batch; Error says why.
+  /// True when the batch stopped: FaultAction::Abort hit a fault, or a
+  /// Retry policy exhausted MaxAttempts on some point. Error says why.
   bool Aborted = false;
   std::string Error;
 

@@ -26,9 +26,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -152,6 +154,25 @@ TEST(JsonTest, DoublesRoundTripBitwise) {
     Json Back = Json::parse(Json::number(V).dump());
     EXPECT_EQ(Back.asDouble(), V) << V;
   }
+}
+
+TEST(JsonTest, NonFiniteDoublesRoundTrip) {
+  // NaN and infinities have no JSON number form; they serialize as
+  // strings asDouble() decodes, so a degenerate score (say, a NaN fit
+  // quality reaching GaState.Scores) cannot produce a checkpoint that
+  // fails to load.
+  const double Inf = std::numeric_limits<double>::infinity();
+  for (double V : {std::numeric_limits<double>::quiet_NaN(), Inf, -Inf}) {
+    std::string Error;
+    Json Back = Json::parse(Json::number(V).dump(), &Error);
+    EXPECT_TRUE(Error.empty()) << Error;
+    if (std::isnan(V))
+      EXPECT_TRUE(std::isnan(Back.asDouble()));
+    else
+      EXPECT_EQ(Back.asDouble(), V);
+  }
+  // An ordinary string is still not a number.
+  EXPECT_EQ(Json::string("Infinite").asDouble(-1.0), -1.0);
 }
 
 TEST(JsonTest, HexU64RoundTripsExactly) {
@@ -343,6 +364,56 @@ TEST(CampaignTest, BudgetPauseResumeChainMatchesUninterrupted) {
   std::remove(Path.c_str());
 }
 
+TEST(CampaignTest, CheckpointsOnResumePreserveUnmaterializedShards) {
+  PoolGuard Guard;
+  setGlobalThreadCount(2);
+  std::string Path = tempCheckpointPath("multijob");
+  std::remove(Path.c_str());
+
+  // Two jobs with distinct surface keys, so the checkpoint carries two
+  // measurement shards. The second job's static metric keeps it cheap.
+  ExperimentSpec Spec = smallSpec();
+  Spec.TunePlatforms.clear();
+  Spec.Jobs.push_back({"art", InputSet::Test, ResponseMetric::CodeBytes,
+                       ModelTechnique::Rbf, 0});
+  Spec.CheckpointPath = Path;
+  ExperimentResult Ref = runExperiment(Spec);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  CampaignCheckpoint Full;
+  std::string Error;
+  ASSERT_TRUE(loadCheckpoint(Path, Full, &Error)) << Error;
+  ASSERT_EQ(Full.Surfaces.size(), 2u);
+
+  // Resume with an instantly-exhausted budget: the campaign writes a
+  // checkpoint before materializing any surface, so every shard it
+  // keeps must come from the restored state. Losing one here would
+  // force re-simulation on the next resume while the restored
+  // simulation count still charges for the original measurements.
+  ExperimentBudget Tiny;
+  Tiny.MaxSimulations = 1;
+  ExperimentResult Paused = Campaign::resume(Path, &Tiny);
+  EXPECT_EQ(Paused.Status, CampaignStatus::BudgetExhausted);
+
+  CampaignCheckpoint After;
+  ASSERT_TRUE(loadCheckpoint(Path, After, &Error)) << Error;
+  ASSERT_EQ(After.Surfaces.size(), 2u);
+  for (auto &[Key, Shard] : Full.Surfaces) {
+    ASSERT_EQ(After.Surfaces.count(Key), 1u) << Key;
+    EXPECT_EQ(After.Surfaces[Key].Points, Shard.Points) << Key;
+    EXPECT_EQ(After.Surfaces[Key].Values, Shard.Values) << Key;
+  }
+
+  // With the shards intact, a second resume replays every measurement
+  // from the checkpoint: bitwise-identical results, equal simulation
+  // count (expectIdenticalResults compares SimulationsUsed).
+  ExperimentBudget Unlimited;
+  ExperimentResult Final = Campaign::resume(Path, &Unlimited);
+  ASSERT_TRUE(Final.ok()) << Final.Error;
+  expectIdenticalResults(Ref, Final);
+  std::remove(Path.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Kill -9 + resume
 //===----------------------------------------------------------------------===//
@@ -449,6 +520,31 @@ TEST(FaultPolicyTest, RetryConvergesToFaultFreeMeasurements) {
   FlakyAgain.measureAll(Points, &AgainReport);
   EXPECT_EQ(AgainReport.FaultsInjected, FlakyReport.FaultsInjected);
   EXPECT_EQ(AgainReport.Retries, FlakyReport.Retries);
+}
+
+TEST(FaultPolicyTest, RetryExhaustionAbortsStructurally) {
+  // A point whose every attempt faults must not silently degrade into
+  // the Skip path: retrying callers never opted into losing design
+  // points, so exhaustion aborts the batch with a structured error.
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  ResponseSurface::Options Opts;
+  Opts.Workload = "art";
+  Opts.Input = InputSet::Test;
+  Opts.Smarts.SamplingInterval = 10;
+  Opts.Faults.InjectRate = 1.0; // Every attempt fails.
+  Opts.Faults.OnFault = FaultAction::Retry;
+  Opts.Faults.MaxAttempts = 3;
+  ResponseSurface Surface(Space, Opts);
+
+  Rng R(11);
+  std::vector<DesignPoint> Points = generateRandomCandidates(Space, 4, R);
+  MeasurementReport Report;
+  std::vector<double> Y = Surface.measureAll(Points, &Report);
+  EXPECT_TRUE(Y.empty());
+  EXPECT_TRUE(Report.Aborted);
+  EXPECT_TRUE(Report.SkippedIndices.empty());
+  EXPECT_NE(Report.Error.find("retry"), std::string::npos) << Report.Error;
+  EXPECT_EQ(Report.FaultsInjected, 12u); // 4 points x 3 attempts.
 }
 
 TEST(FaultPolicyTest, SkipPolicyRecordsSkippedPoints) {
