@@ -144,8 +144,8 @@ int main() {
   // ---- 5. GA vs random search ---------------------------------------------------
   {
     ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-    ModelBuildResult Res =
-        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(*Surface, Opts);
     DesignPoint Frozen = Space.fromConfigs(OptimizationConfig::O2(),
                                            MachineConfig::typical());
     GaOptions Ga;

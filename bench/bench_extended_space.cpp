@@ -37,8 +37,8 @@ int main() {
   auto TestY = Surface.measureAll(TestPoints);
 
   ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-  ModelBuildResult Res =
-      buildModelWithTestSet(Surface, Opts, TestPoints, TestY);
+  Opts.ExternalTest = TestSet{TestPoints, TestY};
+  ModelBuildResult Res = buildModel(Surface, Opts);
   std::printf("RBF on 29 parameters: test MAPE %.2f%% (R2 %.3f) after %zu "
               "simulations\n\n",
               Res.TestQuality.Mape, Res.TestQuality.R2,

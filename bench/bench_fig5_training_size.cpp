@@ -50,8 +50,8 @@ int main() {
         Opts.InitialDesignSize = N;
         Opts.MaxDesignSize = N;
         Opts.Seed = Scale.Seed + 101 * Rep;
-        ModelBuildResult Res =
-            buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+        Opts.ExternalTest = TestSet{TestPoints, TestY};
+        ModelBuildResult Res = buildModel(*Surface, Opts);
         Stats.add(Res.TestQuality.Mape);
       }
       Row.push_back(formatString("%.1f+-%.1f", Stats.mean(),

@@ -66,8 +66,8 @@ int main() {
     auto TestY = Surface->measureAll(TestPoints);
 
     ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-    ModelBuildResult Res =
-        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(*Surface, Opts);
     auto Pred = Res.FittedModel->predictAll(encodeMatrix(Space, TestPoints));
 
     std::printf("\n--- %s: %zu test points, MAPE %.2f%%, R2 %.3f ---\n",

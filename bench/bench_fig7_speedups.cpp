@@ -37,8 +37,8 @@ int main() {
     auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
     auto TestY = Surface->measureAll(TestPoints);
     ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-    ModelBuildResult Res =
-        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(*Surface, Opts);
     const Model &M = *Res.FittedModel;
 
     for (int C = 0; C < 3; ++C) {

@@ -1,0 +1,190 @@
+//===- bench/bench_predict_throughput.cpp - Serving-engine throughput -----------===//
+//
+// Quantifies the paper's economic argument in served-model form: once a
+// fitted model is published as an artifact, how many predictions per
+// second does the serving path deliver, and how does that compare to
+// paying the simulator for each configuration instead?
+//
+// For every serializable model kind (linear, MARS, RBF, regression tree,
+// log-RBF) the harness trains a model on a Latin-hypercube design over
+// the joint paper space, publishes it to a throwaway registry, fetches it
+// back (so the measured path is exactly what msem_predict runs: artifact
+// -> deserialized model -> batched predict), and times a large request
+// batch on a 1-thread and a default-size global pool. A handful of real
+// simulator measurements calibrates the "simulations replaced per second
+// of serving" column. The 1-thread and N-thread prediction vectors are
+// compared bitwise; any divergence exits nonzero.
+//
+// Scale overrides: MSEM_TRAIN_N (training design), MSEM_SEED, and the
+// request batch is MSEM_TEST_N * 1000 (50000 at the default).
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/LinearModel.h"
+#include "model/Mars.h"
+#include "model/RbfNetwork.h"
+#include "model/RegressionTree.h"
+#include "model/TransformedModel.h"
+#include "registry/ModelRegistry.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <unistd.h>
+#include <vector>
+
+using namespace msem;
+using namespace msem::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Times one batched predict of \p X rows on a \p Threads-sized pool.
+struct ServeTiming {
+  double Seconds = 0;
+  std::vector<double> Predictions;
+};
+
+ServeTiming serveBatch(const Model &M, const Matrix &X, size_t Threads) {
+  setGlobalThreadCount(Threads);
+  ServeTiming T;
+  auto Start = std::chrono::steady_clock::now();
+  T.Predictions = globalThreadPool().parallelMap(
+      X.rows(), [&](size_t I) { return M.predict(X.row(I)); }, "predict");
+  T.Seconds = secondsSince(Start);
+  return T;
+}
+
+} // namespace
+
+int main() {
+  BenchScale Scale = readScale();
+  if (!env().TrainNSet)
+    Scale.TrainN = 160;
+  size_t BatchSize = Scale.TestN * 1000; // 50k at the default MSEM_TEST_N.
+  printBanner("Performance: artifact serving throughput vs. simulator cost",
+              Scale);
+  std::printf("batch = %zu requests, pool = 1 vs %zu threads\n\n", BatchSize,
+              defaultThreadCount());
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  Rng R(Scale.Seed);
+
+  // Training design + synthetic-but-structured response: throughput does
+  // not depend on what the model learned, only on its evaluated form, so
+  // the simulator is not needed to *train* here.
+  std::vector<DesignPoint> TrainPoints =
+      generateLatinHypercube(Space, Scale.TrainN, R);
+  Matrix TrainX = encodeMatrix(Space, TrainPoints);
+  std::vector<double> TrainY;
+  for (size_t I = 0; I < TrainX.rows(); ++I) {
+    const std::vector<double> &Row = TrainX.row(I);
+    double V = 4e6 + 9.1e5 * Row[0] - 3.3e5 * Row[4] +
+               2.2e5 * Row[1] * Row[16] + R.normal(0, 5e4);
+    TrainY.push_back(V);
+  }
+
+  // Calibrate the alternative: real compile+simulate cost per point.
+  double SimSecondsPerPoint;
+  {
+    ResponseSurface::Options SurfOpts;
+    SurfOpts.Workload = "art";
+    SurfOpts.Input = InputSet::Test;
+    SurfOpts.Smarts.SamplingInterval = 10;
+    ResponseSurface Surface(Space, SurfOpts);
+    Rng SimR(Scale.Seed ^ 0x51);
+    std::vector<DesignPoint> Probe = generateRandomCandidates(Space, 6, SimR);
+    setGlobalThreadCount(1);
+    auto Start = std::chrono::steady_clock::now();
+    Surface.measureAll(Probe);
+    SimSecondsPerPoint = secondsSince(Start) / Probe.size();
+  }
+  std::printf("simulator: %.3f s per configuration (art/test, single "
+              "thread)\n\n",
+              SimSecondsPerPoint);
+
+  // The request batch (raw joint-space configurations, like msem_predict
+  // --gen would produce).
+  Rng ReqR(Scale.Seed ^ 0xBA7C4);
+  std::vector<DesignPoint> Requests =
+      generateRandomCandidates(Space, BatchSize, ReqR);
+  Matrix ReqX = encodeMatrix(Space, Requests);
+
+  struct Kind {
+    const char *Name;
+    std::unique_ptr<Model> M;
+  };
+  std::vector<Kind> Kinds;
+  Kinds.push_back({"linear", std::make_unique<LinearModel>()});
+  Kinds.push_back({"mars", std::make_unique<MarsModel>()});
+  Kinds.push_back({"rbf", std::make_unique<RbfNetwork>()});
+  Kinds.push_back({"tree", std::make_unique<RegressionTree>()});
+  Kinds.push_back(
+      {"log-rbf",
+       std::make_unique<LogResponseModel>(std::make_unique<RbfNetwork>())});
+
+  std::string RegistryDir =
+      formatString("msem_bench_predict_reg_%d", static_cast<int>(getpid()));
+  std::filesystem::remove_all(RegistryDir);
+  ModelRegistry Registry({RegistryDir, 8});
+
+  TablePrinter Table({"model", "preds/s x1", "preds/s xN", "speedup",
+                      "us/pred", "sims replaced/s"});
+  bool Diverged = false;
+  for (Kind &K : Kinds) {
+    K.M->train(TrainX, TrainY);
+
+    ModelArtifactInfo Info;
+    Info.Key.Workload = "art";
+    Info.Key.Technique = K.Name;
+    Info.Space = Space;
+    Info.Campaign = "bench-predict-throughput";
+    Info.Seed = Scale.Seed;
+    Info.TrainSize = TrainPoints.size();
+    std::string Error;
+    if (!Registry.publish(Info, *K.M, &Error))
+      fatalError("publish failed: " + Error);
+    std::shared_ptr<const ModelArtifact> Artifact =
+        Registry.fetch(Info.Key, &Error);
+    if (!Artifact)
+      fatalError("fetch failed: " + Error);
+
+    ServeTiming One = serveBatch(*Artifact->M, ReqX, 1);
+    ServeTiming Many = serveBatch(*Artifact->M, ReqX, 0);
+    if (One.Predictions != Many.Predictions) {
+      std::printf("DIVERGENCE: %s predictions differ across thread counts\n",
+                  K.Name);
+      Diverged = true;
+    }
+
+    double RateOne = BatchSize / One.Seconds;
+    double RateMany = BatchSize / Many.Seconds;
+    Table.addRowCells(K.Name, formatString("%.0f", RateOne),
+                      formatString("%.0f", RateMany),
+                      formatString("%.2fx", RateMany / RateOne),
+                      formatString("%.2f", 1e6 * Many.Seconds / BatchSize),
+                      formatString("%.0f", RateMany * SimSecondsPerPoint));
+  }
+  Table.print();
+  std::printf("\n'sims replaced/s': simulator configurations one second of "
+              "serving stands in for (throughput x %.3f s/sim).\n",
+              SimSecondsPerPoint);
+
+  std::filesystem::remove_all(RegistryDir);
+  setGlobalThreadCount(0);
+  if (Diverged) {
+    std::printf("\nFAIL: served predictions were not thread-count "
+                "invariant\n");
+    return 1;
+  }
+  return 0;
+}

@@ -32,8 +32,8 @@ int main() {
     auto TestY = Surface->measureAll(TestPoints);
 
     ModelBuilderOptions Opts = standardBuild(ModelTechnique::Mars, Scale);
-    ModelBuildResult Res =
-        buildModelWithTestSet(*Surface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(*Surface, Opts);
 
     auto Effects = rankEffects(*Res.FittedModel, Space, /*Samples=*/300,
                                /*TopInteractions=*/20, Scale.Seed);

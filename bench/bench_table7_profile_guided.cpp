@@ -39,8 +39,8 @@ int main() {
     auto TestPoints = generateRandomCandidates(Space, Scale.TestN, R);
     auto TestY = TrainSurface->measureAll(TestPoints);
     ModelBuilderOptions Opts = standardBuild(ModelTechnique::Rbf, Scale);
-    ModelBuildResult Res =
-        buildModelWithTestSet(*TrainSurface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(*TrainSurface, Opts);
 
     // Settings evaluated on the ref input.
     auto RefSurface = makeSurface(Space, Spec.Name, Scale, InputSet::Ref);

@@ -2,6 +2,8 @@
 
 #include "campaign/Campaign.h"
 
+#include "registry/ModelRegistry.h"
+#include "support/Env.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "telemetry/Telemetry.h"
@@ -171,7 +173,56 @@ bool Campaign::runBuildPhase(size_t J, ExperimentJobResult &JR,
     Result.Status = CampaignStatus::BudgetExhausted;
     return false;
   }
+  publishModels(J, JR);
   return true;
+}
+
+void Campaign::publishModels(size_t J, const ExperimentJobResult &JR) {
+  std::string Dir =
+      Spec.RegistryDir.empty() ? env().RegistryDir : Spec.RegistryDir;
+  if (Dir.empty() || !JR.Build.FittedModel)
+    return;
+  if (!Registry) {
+    ModelRegistry::Options Opts;
+    Opts.Dir = Dir;
+    Opts.CacheCapacity = static_cast<size_t>(env().RegistryCacheCap);
+    Registry = std::make_unique<ModelRegistry>(std::move(Opts));
+  }
+
+  telemetry::ScopedTimer Span("campaign.publish");
+  const ExperimentJob &Job = Spec.Jobs[J];
+  ModelArtifactInfo Info;
+  Info.Key.Workload = Job.Workload;
+  Info.Key.Input = Job.Input;
+  Info.Key.Metric = Job.Metric;
+  Info.Key.Technique = modelTechniqueName(Job.Technique);
+  Info.Key.Platform = "joint";
+  Info.Space = Space;
+  Info.Campaign = Spec.Name;
+  Info.Seed = Spec.Seed;
+  Info.TrainSize = JR.Build.TrainPoints.size();
+  Info.TestSize = JR.Build.TestPoints.size();
+  Info.SimulationsUsed = JR.Build.SimulationsUsed;
+  Info.StopReason = buildStopName(JR.Build.Stop);
+  Info.Quality = JR.Build.TestQuality;
+
+  std::string Error;
+  if (!Registry->publish(Info, *JR.Build.FittedModel, &Error))
+    fatalError("model publish failed: " + Error);
+
+  // One frozen-machine artifact per tuning platform: the same model, but
+  // the envelope pins the Table-2 coordinates so a serving process can
+  // answer compiler-only requests for that platform (needs the paper
+  // space's Table 1 / Table 2 bridge).
+  if (Spec.Space != SpaceKind::Paper)
+    return;
+  for (const PlatformSpec &Platform : Spec.TunePlatforms) {
+    Info.Key.Platform = Platform.Name;
+    Info.HasFrozenMachine = true;
+    Info.Machine = Platform.Config;
+    if (!Registry->publish(Info, *JR.Build.FittedModel, &Error))
+      fatalError("model publish failed: " + Error);
+  }
 }
 
 bool Campaign::runTuningPhase(size_t J, ExperimentJobResult &JR,

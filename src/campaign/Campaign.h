@@ -35,6 +35,8 @@
 
 namespace msem {
 
+class ModelRegistry;
+
 /// One campaign execution: construct with a spec (or via resume from a
 /// checkpoint file) and call run() once.
 class Campaign {
@@ -82,6 +84,12 @@ private:
   bool runTuningPhase(size_t J, ExperimentJobResult &JR,
                       ExperimentResult &Result);
 
+  /// Publishes job \p J's fitted model to the registry (no-op when no
+  /// registry directory is configured): the joint-space artifact, plus
+  /// one frozen-machine artifact per tuning platform so cross-platform
+  /// serving can encode requests without a MachineConfig of its own.
+  void publishModels(size_t J, const ExperimentJobResult &JR);
+
   ExperimentSpec Spec;
   ParameterSpace Space;
   /// Surfaces keyed "workload|input|metric"; values are stable (surfaces
@@ -93,6 +101,9 @@ private:
   std::vector<JobProgress> RestoredJobs;
   size_t RestoredSimulations = 0;
   double RestoredWallSeconds = 0;
+
+  /// Artifact store, opened lazily on the first publish.
+  std::unique_ptr<ModelRegistry> Registry;
 
   /// Live progress, mirrored into every checkpoint.
   std::vector<JobProgress> Progress;

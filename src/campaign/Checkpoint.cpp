@@ -2,13 +2,9 @@
 
 #include "campaign/Checkpoint.h"
 
+#include "registry/ModelArtifact.h"
+#include "support/FileSystem.h"
 #include "support/Format.h"
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fcntl.h>
-#include <unistd.h>
 
 using namespace msem;
 
@@ -28,41 +24,9 @@ bool parseSpaceKind(const std::string &S, SpaceKind &Out) {
   return true;
 }
 
-bool parseInputSet(const std::string &S, InputSet &Out) {
-  if (S == "test")
-    Out = InputSet::Test;
-  else if (S == "train")
-    Out = InputSet::Train;
-  else if (S == "ref")
-    Out = InputSet::Ref;
-  else
-    return false;
-  return true;
-}
-
-bool parseMetric(const std::string &S, ResponseMetric &Out) {
-  if (S == "cycles")
-    Out = ResponseMetric::Cycles;
-  else if (S == "energy")
-    Out = ResponseMetric::EnergyNanojoules;
-  else if (S == "codesize")
-    Out = ResponseMetric::CodeBytes;
-  else
-    return false;
-  return true;
-}
-
-bool parseTechnique(const std::string &S, ModelTechnique &Out) {
-  if (S == "linear")
-    Out = ModelTechnique::Linear;
-  else if (S == "mars")
-    Out = ModelTechnique::Mars;
-  else if (S == "rbf")
-    Out = ModelTechnique::Rbf;
-  else
-    return false;
-  return true;
-}
+// Input set, metric and technique parse via the shared library helpers
+// (inputSetFromName, responseMetricFromName, modelTechniqueFromName);
+// machine configs via registry/ModelArtifact.h's machineConfigFrom/ToJson.
 
 const char *expansionName(ExpansionKind Kind) {
   return Kind == ExpansionKind::Linear ? "linear" : "linear+2fi";
@@ -129,44 +93,6 @@ DesignPoint pointFromJson(const Json &J) {
   for (const Json &V : J.items())
     P.push_back(V.asInt());
   return P;
-}
-
-Json machineToJson(const MachineConfig &M) {
-  Json J = Json::object();
-  J.set("issue_width", Json::number(M.IssueWidth));
-  J.set("bpred_size", Json::number(M.BranchPredictorSize));
-  J.set("ruu_size", Json::number(M.RuuSize));
-  J.set("icache_bytes", Json::number(M.IcacheBytes));
-  J.set("dcache_bytes", Json::number(M.DcacheBytes));
-  J.set("dcache_assoc", Json::number(M.DcacheAssoc));
-  J.set("dcache_latency", Json::number(M.DcacheLatency));
-  J.set("l2_bytes", Json::number(M.L2Bytes));
-  J.set("l2_assoc", Json::number(M.L2Assoc));
-  J.set("l2_latency", Json::number(M.L2Latency));
-  J.set("memory_latency", Json::number(M.MemoryLatency));
-  return J;
-}
-
-MachineConfig machineFromJson(const Json &J) {
-  MachineConfig M;
-  M.IssueWidth = static_cast<unsigned>(J["issue_width"].asInt(M.IssueWidth));
-  M.BranchPredictorSize =
-      static_cast<unsigned>(J["bpred_size"].asInt(M.BranchPredictorSize));
-  M.RuuSize = static_cast<unsigned>(J["ruu_size"].asInt(M.RuuSize));
-  M.IcacheBytes =
-      static_cast<unsigned>(J["icache_bytes"].asInt(M.IcacheBytes));
-  M.DcacheBytes =
-      static_cast<unsigned>(J["dcache_bytes"].asInt(M.DcacheBytes));
-  M.DcacheAssoc =
-      static_cast<unsigned>(J["dcache_assoc"].asInt(M.DcacheAssoc));
-  M.DcacheLatency =
-      static_cast<unsigned>(J["dcache_latency"].asInt(M.DcacheLatency));
-  M.L2Bytes = static_cast<unsigned>(J["l2_bytes"].asInt(M.L2Bytes));
-  M.L2Assoc = static_cast<unsigned>(J["l2_assoc"].asInt(M.L2Assoc));
-  M.L2Latency = static_cast<unsigned>(J["l2_latency"].asInt(M.L2Latency));
-  M.MemoryLatency =
-      static_cast<unsigned>(J["memory_latency"].asInt(M.MemoryLatency));
-  return M;
 }
 
 Json gaStateToJson(const GaState &S) {
@@ -272,6 +198,7 @@ Json msem::serializeSpec(const ExperimentSpec &Spec) {
   Orchestration.set("max_simulations",
                     Json::number(static_cast<double>(Spec.Budget.MaxSimulations)));
   Orchestration.set("max_wall_seconds", Json::number(Spec.Budget.MaxWallSeconds));
+  Orchestration.set("registry_dir", Json::string(Spec.RegistryDir));
   J.set("orchestration", std::move(Orchestration));
 
   Json Tuning = Json::object();
@@ -279,7 +206,7 @@ Json msem::serializeSpec(const ExperimentSpec &Spec) {
   for (const PlatformSpec &P : Spec.TunePlatforms) {
     Json PJ = Json::object();
     PJ.set("name", Json::string(P.Name));
-    PJ.set("machine", machineToJson(P.Config));
+    PJ.set("machine", machineConfigToJson(P.Config));
     Platforms.push(std::move(PJ));
   }
   Tuning.set("platforms", std::move(Platforms));
@@ -312,13 +239,13 @@ bool msem::deserializeSpec(const Json &Doc, ExperimentSpec &Out,
   for (const Json &JJ : Doc["jobs"].items()) {
     ExperimentJob Job;
     Job.Workload = JJ["workload"].asString(Job.Workload);
-    if (!parseInputSet(JJ["input"].asString("train"), Job.Input))
+    if (!inputSetFromName(JJ["input"].asString("train"), Job.Input))
       return failWith(Error, "spec: unknown input set '" +
                                  JJ["input"].asString() + "'");
-    if (!parseMetric(JJ["metric"].asString("cycles"), Job.Metric))
+    if (!responseMetricFromName(JJ["metric"].asString("cycles"), Job.Metric))
       return failWith(Error, "spec: unknown metric '" +
                                  JJ["metric"].asString() + "'");
-    if (!parseTechnique(JJ["technique"].asString("rbf"), Job.Technique))
+    if (!modelTechniqueFromName(JJ["technique"].asString("rbf"), Job.Technique))
       return failWith(Error, "spec: unknown technique '" +
                                  JJ["technique"].asString() + "'");
     Job.DesignSizeCap = static_cast<size_t>(JJ["design_size_cap"].asInt(0));
@@ -368,13 +295,14 @@ bool msem::deserializeSpec(const Json &Doc, ExperimentSpec &Out,
       Orchestration["max_simulations"].asInt(0));
   Spec.Budget.MaxWallSeconds =
       Orchestration["max_wall_seconds"].asDouble(0);
+  Spec.RegistryDir = Orchestration["registry_dir"].asString(Spec.RegistryDir);
 
   const Json &Tuning = Doc["tuning"];
   Spec.TunePlatforms.clear();
   for (const Json &PJ : Tuning["platforms"].items()) {
     PlatformSpec P;
     P.Name = PJ["name"].asString();
-    P.Config = machineFromJson(PJ["machine"]);
+    P.Config = machineConfigFromJson(PJ["machine"]);
     Spec.TunePlatforms.push_back(std::move(P));
   }
   const Json &Ga = Tuning["ga"];
@@ -513,54 +441,17 @@ bool msem::deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
 
 bool msem::saveCheckpoint(const CampaignCheckpoint &Ckpt,
                           const std::string &Path, std::string *Error) {
-  std::string Doc = serializeCheckpoint(Ckpt).dumpPretty();
-  // Atomic publish, same discipline as the response disk cache: write a
-  // sibling temp file, then rename over the destination. A kill at any
-  // instant leaves either the previous checkpoint or the new one. The
-  // data is fsync'd before the rename because fflush only reaches the
-  // kernel: on power loss (unlike SIGKILL) the rename could otherwise
-  // become durable while the bytes are not, publishing a truncated file.
-  std::string TmpFile = Path + ".tmp";
-  std::FILE *F = std::fopen(TmpFile.c_str(), "wb");
-  if (!F)
-    return failWith(Error, "cannot write '" + TmpFile +
-                               "': " + std::strerror(errno));
-  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
-  bool Flushed = std::fflush(F) == 0;
-  bool Synced = Flushed && fsync(fileno(F)) == 0;
-  std::fclose(F);
-  if (Written != Doc.size() || !Synced) {
-    std::remove(TmpFile.c_str());
-    return failWith(Error, "short write to '" + TmpFile + "'");
-  }
-  if (std::rename(TmpFile.c_str(), Path.c_str()) != 0) {
-    std::remove(TmpFile.c_str());
-    return failWith(Error, "cannot rename '" + TmpFile + "' to '" + Path +
-                               "': " + std::strerror(errno));
-  }
-  // Best effort: make the rename itself durable too.
-  size_t Slash = Path.find_last_of('/');
-  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
-  int DirFd = open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (DirFd >= 0) {
-    fsync(DirFd);
-    close(DirFd);
-  }
-  return true;
+  return writeFileAtomic(Path, serializeCheckpoint(Ckpt).dumpPretty(), Error);
 }
 
 bool msem::loadCheckpoint(const std::string &Path, CampaignCheckpoint &Out,
                           std::string *Error) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return failWith(Error, "cannot open checkpoint '" + Path +
-                               "': " + std::strerror(errno));
   std::string Text;
-  char Buffer[1 << 16];
-  size_t N;
-  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
-    Text.append(Buffer, N);
-  std::fclose(F);
+  if (!readFileText(Path, Text, Error)) {
+    if (Error)
+      *Error = "cannot open checkpoint: " + *Error;
+    return false;
+  }
 
   std::string ParseError;
   Json Doc = Json::parse(Text, &ParseError);

@@ -30,7 +30,7 @@
 #define MSEM_CAMPAIGN_CHECKPOINT_H
 
 #include "campaign/Experiment.h"
-#include "campaign/Json.h"
+#include "support/Json.h"
 
 #include <map>
 #include <string>

@@ -110,6 +110,11 @@ struct ExperimentSpec {
   std::string CheckpointPath;
   int GaCheckpointEvery = 5;
   ExperimentBudget Budget;
+  /// Model-artifact registry root. Every model the campaign fits is
+  /// published there (joint-space, plus one frozen-machine artifact per
+  /// tuning platform) for msem_predict to serve. "" falls back to
+  /// MSEM_REGISTRY_DIR; publishing is off when both are empty.
+  std::string RegistryDir;
 
   // --- Per-platform tuning (Section 6.3), Paper space only -----------------
   std::vector<PlatformSpec> TunePlatforms;

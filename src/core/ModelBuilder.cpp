@@ -24,6 +24,19 @@ const char *msem::modelTechniqueName(ModelTechnique T) {
   return "?";
 }
 
+bool msem::modelTechniqueFromName(const std::string &Name,
+                                  ModelTechnique &Out) {
+  if (Name == "linear")
+    Out = ModelTechnique::Linear;
+  else if (Name == "mars")
+    Out = ModelTechnique::Mars;
+  else if (Name == "rbf")
+    Out = ModelTechnique::Rbf;
+  else
+    return false;
+  return true;
+}
+
 const char *msem::buildStopName(BuildStop Stop) {
   switch (Stop) {
   case BuildStop::Converged:
@@ -197,13 +210,4 @@ ModelBuildResult msem::buildModel(ResponseSurface &Surface,
     telemetry::gauge("model.test_r2.last").set(Result.TestQuality.R2);
   }
   return Result;
-}
-
-ModelBuildResult msem::buildModelWithTestSet(
-    ResponseSurface &Surface, const ModelBuilderOptions &Options,
-    const std::vector<DesignPoint> &TestPoints,
-    const std::vector<double> &TestY) {
-  ModelBuilderOptions WithTest = Options;
-  WithTest.ExternalTest = TestSet{TestPoints, TestY};
-  return buildModel(Surface, WithTest);
 }

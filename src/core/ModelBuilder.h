@@ -41,6 +41,10 @@ enum class ModelTechnique { Linear, Mars, Rbf };
 
 const char *modelTechniqueName(ModelTechnique T);
 
+/// Parses the modelTechniqueName form back ("linear"/"mars"/"rbf").
+/// Returns false on an unknown name, leaving \p Out untouched.
+bool modelTechniqueFromName(const std::string &Name, ModelTechnique &Out);
+
 /// Constructs an untrained model of the given technique with the defaults
 /// used throughout the evaluation.
 std::unique_ptr<Model> makeModel(ModelTechnique T);
@@ -110,14 +114,6 @@ struct ModelBuildResult {
 /// carried by \p Options.
 ModelBuildResult buildModel(ResponseSurface &Surface,
                             const ModelBuilderOptions &Options);
-
-/// \deprecated Thin wrapper from before ExternalTest existed; copies the
-/// test set into Options and calls buildModel. Prefer setting
-/// ModelBuilderOptions::ExternalTest directly.
-ModelBuildResult buildModelWithTestSet(
-    ResponseSurface &Surface, const ModelBuilderOptions &Options,
-    const std::vector<DesignPoint> &TestPoints,
-    const std::vector<double> &TestY);
 
 } // namespace msem
 

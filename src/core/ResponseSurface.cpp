@@ -37,6 +37,19 @@ const char *msem::responseMetricName(ResponseMetric Metric) {
   return "?";
 }
 
+bool msem::responseMetricFromName(const std::string &Name,
+                                  ResponseMetric &Out) {
+  if (Name == "cycles")
+    Out = ResponseMetric::Cycles;
+  else if (Name == "energy")
+    Out = ResponseMetric::EnergyNanojoules;
+  else if (Name == "codesize")
+    Out = ResponseMetric::CodeBytes;
+  else
+    return false;
+  return true;
+}
+
 const char *msem::faultActionName(FaultAction Action) {
   switch (Action) {
   case FaultAction::Retry:

@@ -55,6 +55,10 @@ enum class ResponseMetric {
 
 const char *responseMetricName(ResponseMetric Metric);
 
+/// Parses the responseMetricName form back ("cycles"/"energy"/"codesize").
+/// Returns false on an unknown name, leaving \p Out untouched.
+bool responseMetricFromName(const std::string &Name, ResponseMetric &Out);
+
 /// What to do when a single measurement attempt fails.
 enum class FaultAction {
   /// Re-attempt with exponential backoff, up to MaxAttempts. A point that
@@ -186,9 +190,6 @@ public:
   /// automatically after each measurement batch while Options::AutoFlush
   /// is set, and always on destruction.
   void flush();
-
-  /// \deprecated Old name of flush(); kept for source compatibility.
-  void flushDiskCache() { flush(); }
 
   /// Absolute or cwd-relative path of the disk-cache file this surface
   /// reads and rewrites ("" when the surface is memory-only). Campaign

@@ -5,6 +5,7 @@
 #include "support/Error.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace msem;
@@ -100,6 +101,14 @@ ParameterSpace ParameterSpace::compilerSpace() {
 ParameterSpace ParameterSpace::paperSpace() {
   ParameterSpace S = compilerSpace();
   appendMachineParams(S);
+  return S;
+}
+
+ParameterSpace ParameterSpace::fromParams(std::vector<Parameter> Params,
+                                          size_t CompilerParams) {
+  ParameterSpace S;
+  S.Params = std::move(Params);
+  S.CompilerParams = std::min(CompilerParams, S.Params.size());
   return S;
 }
 

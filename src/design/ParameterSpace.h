@@ -70,6 +70,13 @@ public:
   /// is by no means exhaustive").
   static ParameterSpace extendedSpace();
 
+  /// Reconstructs a space from an explicit parameter list -- the
+  /// model-artifact load path: artifacts embed their full predictor-space
+  /// description, so a serving process can encode requests without
+  /// knowing which named space the model was trained on.
+  static ParameterSpace fromParams(std::vector<Parameter> Params,
+                                   size_t CompilerParams);
+
   size_t size() const { return Params.size(); }
   const Parameter &param(size_t I) const { return Params[I]; }
   const std::vector<Parameter> &params() const { return Params; }

@@ -38,6 +38,40 @@ void LinearModel::train(const Matrix &X, const std::vector<double> &Y) {
   Bic = bicScore(Sse, Y.size(), Beta.size());
 }
 
+void LinearModel::save(Json &Out) const {
+  Out = Json::object();
+  Out.set("kind", Json::string("linear"));
+  Json O = Json::object();
+  O.set("two_factor_interactions", Json::boolean(Opts.TwoFactorInteractions));
+  O.set("ridge", Json::number(Opts.Ridge));
+  Out.set("options", std::move(O));
+  Out.set("num_vars", Json::number(static_cast<double>(NumVars)));
+  Out.set("beta", Json::numberArray(Beta));
+  Out.set("sse", Json::number(Sse));
+  Out.set("bic", Json::number(Bic));
+}
+
+bool LinearModel::load(const Json &In, std::string *Error) {
+  if (!checkModelKind(In, "linear", Error))
+    return false;
+  Opts.TwoFactorInteractions =
+      In["options"]["two_factor_interactions"].asBool(true);
+  Opts.Ridge = In["options"]["ridge"].asDouble(Opts.Ridge);
+  NumVars = static_cast<size_t>(In["num_vars"].asInt());
+  Beta = In["beta"].toDoubleVector();
+  size_t Expected =
+      1 + NumVars +
+      (Opts.TwoFactorInteractions ? NumVars * (NumVars - 1) / 2 : 0);
+  if (NumVars == 0 || Beta.size() != Expected) {
+    if (Error)
+      *Error = "linear: coefficient arity mismatch";
+    return false;
+  }
+  Sse = In["sse"].asDouble();
+  Bic = In["bic"].asDouble();
+  return true;
+}
+
 double LinearModel::predict(const std::vector<double> &XEnc) const {
   assert(XEnc.size() == NumVars && "arity mismatch");
   std::vector<double> Row = expand(XEnc);

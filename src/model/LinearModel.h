@@ -33,6 +33,8 @@ public:
   void train(const Matrix &X, const std::vector<double> &Y) override;
   double predict(const std::vector<double> &XEnc) const override;
   std::string name() const override { return "linear"; }
+  void save(Json &Out) const override;
+  bool load(const Json &In, std::string *Error) override;
 
   /// Fitted coefficients: [intercept, main effects..., interactions...].
   const std::vector<double> &coefficients() const { return Beta; }

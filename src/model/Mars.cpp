@@ -261,3 +261,71 @@ double MarsModel::predict(const std::vector<double> &XEnc) const {
     Sum += Weights[M] * Basis[M].evaluate(XEnc);
   return Sum;
 }
+
+void MarsModel::save(Json &Out) const {
+  Out = Json::object();
+  Out.set("kind", Json::string("mars"));
+  Json O = Json::object();
+  O.set("max_basis", Json::number(static_cast<double>(Opts.MaxBasis)));
+  O.set("max_interaction", Json::number(Opts.MaxInteraction));
+  O.set("knots_per_var", Json::number(static_cast<double>(Opts.KnotsPerVar)));
+  O.set("gcv_penalty", Json::number(Opts.GcvPenalty));
+  O.set("ridge", Json::number(Opts.Ridge));
+  Out.set("options", std::move(O));
+  Out.set("num_vars", Json::number(static_cast<double>(NumVars)));
+  Json B = Json::array();
+  for (const MarsBasis &Bm : Basis) {
+    Json Factors = Json::array();
+    for (const HingeFactor &F : Bm.Factors) {
+      Json FJ = Json::object();
+      FJ.set("var", Json::number(F.Var));
+      FJ.set("knot", Json::number(F.Knot));
+      FJ.set("positive", Json::boolean(F.Positive));
+      Factors.push(std::move(FJ));
+    }
+    B.push(std::move(Factors));
+  }
+  Out.set("basis", std::move(B));
+  Out.set("weights", Json::numberArray(Weights));
+  Out.set("gcv", Json::number(Gcv));
+}
+
+bool MarsModel::load(const Json &In, std::string *Error) {
+  if (!checkModelKind(In, "mars", Error))
+    return false;
+  const Json &O = In["options"];
+  Opts.MaxBasis = static_cast<size_t>(
+      O["max_basis"].asInt(static_cast<int64_t>(Opts.MaxBasis)));
+  Opts.MaxInteraction =
+      static_cast<unsigned>(O["max_interaction"].asInt(Opts.MaxInteraction));
+  Opts.KnotsPerVar = static_cast<size_t>(
+      O["knots_per_var"].asInt(static_cast<int64_t>(Opts.KnotsPerVar)));
+  Opts.GcvPenalty = O["gcv_penalty"].asDouble(Opts.GcvPenalty);
+  Opts.Ridge = O["ridge"].asDouble(Opts.Ridge);
+  NumVars = static_cast<size_t>(In["num_vars"].asInt());
+  Basis.clear();
+  for (const Json &Factors : In["basis"].items()) {
+    MarsBasis B;
+    for (const Json &FJ : Factors.items()) {
+      HingeFactor F;
+      F.Var = static_cast<unsigned>(FJ["var"].asInt());
+      F.Knot = FJ["knot"].asDouble();
+      F.Positive = FJ["positive"].asBool(true);
+      if (F.Var >= NumVars) {
+        if (Error)
+          *Error = "mars: hinge variable out of range";
+        return false;
+      }
+      B.Factors.push_back(F);
+    }
+    Basis.push_back(std::move(B));
+  }
+  Weights = In["weights"].toDoubleVector();
+  if (Basis.empty() || Weights.size() != Basis.size()) {
+    if (Error)
+      *Error = "mars: basis/weight arity mismatch";
+    return false;
+  }
+  Gcv = In["gcv"].asDouble();
+  return true;
+}

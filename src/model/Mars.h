@@ -68,6 +68,8 @@ public:
   void train(const Matrix &X, const std::vector<double> &Y) override;
   double predict(const std::vector<double> &XEnc) const override;
   std::string name() const override { return "mars"; }
+  void save(Json &Out) const override;
+  bool load(const Json &In, std::string *Error) override;
 
   const std::vector<MarsBasis> &basis() const { return Basis; }
   const std::vector<double> &weights() const { return Weights; }

@@ -2,12 +2,71 @@
 
 #include "model/Model.h"
 
+#include "model/LinearModel.h"
+#include "model/Mars.h"
+#include "model/RbfNetwork.h"
+#include "model/RegressionTree.h"
+#include "model/TransformedModel.h"
+
 #include <cassert>
 #include <cmath>
 
 using namespace msem;
 
 Model::~Model() = default;
+
+bool msem::checkModelKind(const Json &In, const std::string &Expected,
+                          std::string *Error) {
+  const std::string &Kind = In["kind"].asString();
+  if (Kind == Expected)
+    return true;
+  if (Error)
+    *Error = "model: expected kind '" + Expected + "', found '" + Kind + "'";
+  return false;
+}
+
+std::unique_ptr<Model> Model::fromJson(const Json &In, std::string *Error) {
+  const std::string &Kind = In["kind"].asString();
+  std::unique_ptr<Model> M;
+  if (Kind == "linear")
+    M = std::make_unique<LinearModel>();
+  else if (Kind == "mars")
+    M = std::make_unique<MarsModel>();
+  else if (Kind == "rbf")
+    M = std::make_unique<RbfNetwork>();
+  else if (Kind == "tree")
+    M = std::make_unique<RegressionTree>();
+  else if (Kind == "log")
+    M = std::make_unique<LogResponseModel>(nullptr);
+  else {
+    if (Error)
+      *Error = "model: unknown kind '" + Kind + "'";
+    return nullptr;
+  }
+  if (!M->load(In, Error))
+    return nullptr;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// LogResponseModel (defined here: TransformedModel.h is header-only)
+//===----------------------------------------------------------------------===//
+
+void LogResponseModel::save(Json &Out) const {
+  assert(Inner && "log model has no inner model");
+  Out = Json::object();
+  Out.set("kind", Json::string("log"));
+  Json InnerDoc;
+  Inner->save(InnerDoc);
+  Out.set("inner", std::move(InnerDoc));
+}
+
+bool LogResponseModel::load(const Json &In, std::string *Error) {
+  if (!checkModelKind(In, "log", Error))
+    return false;
+  Inner = Model::fromJson(In["inner"], Error);
+  return Inner != nullptr;
+}
 
 std::vector<double> Model::predictAll(const Matrix &X) const {
   std::vector<double> P(X.rows());

@@ -16,6 +16,7 @@
 #define MSEM_MODEL_MODEL_H
 
 #include "linalg/Matrix.h"
+#include "support/Json.h"
 
 #include <memory>
 #include <string>
@@ -39,9 +40,32 @@ public:
   /// Human-readable technique name ("linear", "mars", "rbf").
   virtual std::string name() const = 0;
 
+  /// Serializes the fitted state -- options included -- into \p Out as a
+  /// JSON object tagged with a "kind" discriminator understood by
+  /// fromJson. Doubles are written in the DOM's bitwise round-trip form,
+  /// so a saved-then-loaded model predicts bit-identically to the
+  /// original at every input.
+  virtual void save(Json &Out) const = 0;
+
+  /// Restores the state written by save. Returns false with a structured
+  /// diagnostic in \p Error (kind mismatch, arity mismatch, truncated
+  /// document); the model is unusable after a failed load.
+  virtual bool load(const Json &In, std::string *Error) = 0;
+
+  /// Constructs and loads the model serialized in \p In, dispatching on
+  /// its "kind" tag ("linear", "mars", "rbf", "tree", "log"). Returns
+  /// null with a diagnostic on an unknown kind or a failed load.
+  static std::unique_ptr<Model> fromJson(const Json &In,
+                                         std::string *Error = nullptr);
+
   /// Convenience: predicts every row of \p X.
   std::vector<double> predictAll(const Matrix &X) const;
 };
+
+/// Shared helper for Model::load implementations: verifies the document's
+/// "kind" tag. Returns false with a diagnostic on mismatch.
+bool checkModelKind(const Json &In, const std::string &Expected,
+                    std::string *Error);
 
 /// Bayesian Information Criterion as defined in the paper (Equation 9):
 /// BIC = (p + (ln(p) - 1) * gamma) / (p * (p - gamma)) * SSE, where p is

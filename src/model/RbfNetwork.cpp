@@ -140,3 +140,67 @@ double RbfNetwork::predict(const std::vector<double> &XEnc) const {
   }
   return Sum;
 }
+
+void RbfNetwork::save(Json &Out) const {
+  Out = Json::object();
+  Out.set("kind", Json::string("rbf"));
+  Json O = Json::object();
+  O.set("kernel", Json::string(Opts.Kernel == RbfKernel::Gaussian
+                                   ? "gaussian"
+                                   : "multiquadric"));
+  O.set("min_leaf_size",
+        Json::number(static_cast<double>(Opts.MinLeafSize)));
+  O.set("ridge", Json::number(Opts.Ridge));
+  O.set("radius_scale", Json::number(Opts.RadiusScale));
+  O.set("min_radius", Json::number(Opts.MinRadius));
+  Out.set("options", std::move(O));
+  Out.set("num_vars", Json::number(static_cast<double>(NumVars)));
+  Json Ctrs = Json::array();
+  for (const std::vector<double> &C : Centers)
+    Ctrs.push(Json::numberArray(C));
+  Out.set("centers", std::move(Ctrs));
+  Out.set("radii", Json::numberArray(Radii));
+  Out.set("weights", Json::numberArray(Weights));
+  Out.set("bic", Json::number(Bic));
+}
+
+bool RbfNetwork::load(const Json &In, std::string *Error) {
+  if (!checkModelKind(In, "rbf", Error))
+    return false;
+  const Json &O = In["options"];
+  const std::string &Kernel = O["kernel"].asString("multiquadric");
+  if (Kernel == "gaussian")
+    Opts.Kernel = RbfKernel::Gaussian;
+  else if (Kernel == "multiquadric")
+    Opts.Kernel = RbfKernel::Multiquadric;
+  else {
+    if (Error)
+      *Error = "rbf: unknown kernel '" + Kernel + "'";
+    return false;
+  }
+  Opts.MinLeafSize = static_cast<size_t>(
+      O["min_leaf_size"].asInt(static_cast<int64_t>(Opts.MinLeafSize)));
+  Opts.Ridge = O["ridge"].asDouble(Opts.Ridge);
+  Opts.RadiusScale = O["radius_scale"].asDouble(Opts.RadiusScale);
+  Opts.MinRadius = O["min_radius"].asDouble(Opts.MinRadius);
+  NumVars = static_cast<size_t>(In["num_vars"].asInt());
+  Centers.clear();
+  for (const Json &C : In["centers"].items()) {
+    Centers.push_back(C.toDoubleVector());
+    if (Centers.back().size() != NumVars) {
+      if (Error)
+        *Error = "rbf: center dimensionality mismatch";
+      return false;
+    }
+  }
+  Radii = In["radii"].toDoubleVector();
+  Weights = In["weights"].toDoubleVector();
+  if (Centers.empty() || Radii.size() != Centers.size() ||
+      Weights.size() != Centers.size() + 1) {
+    if (Error)
+      *Error = "rbf: center/radius/weight arity mismatch";
+    return false;
+  }
+  Bic = In["bic"].asDouble();
+  return true;
+}

@@ -51,6 +51,8 @@ public:
   void train(const Matrix &X, const std::vector<double> &Y) override;
   double predict(const std::vector<double> &XEnc) const override;
   std::string name() const override { return "rbf"; }
+  void save(Json &Out) const override;
+  bool load(const Json &In, std::string *Error) override;
 
   size_t numNeurons() const { return Centers.size(); }
   double bic() const { return Bic; }

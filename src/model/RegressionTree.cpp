@@ -204,3 +204,89 @@ double RegressionTree::predict(const std::vector<double> &XEnc) const {
   }
   return Leaves[N->LeafIndex].MeanResponse;
 }
+
+void RegressionTree::save(Json &Out) const {
+  Out = Json::object();
+  Out.set("kind", Json::string("tree"));
+  Json O = Json::object();
+  O.set("max_leaves", Json::number(static_cast<double>(Opts.MaxLeaves)));
+  O.set("min_leaf_size",
+        Json::number(static_cast<double>(Opts.MinLeafSize)));
+  Out.set("options", std::move(O));
+  Json NJ = Json::array();
+  for (const Node &N : Nodes) {
+    Json J = Json::object();
+    J.set("leaf", Json::boolean(N.IsLeaf));
+    if (N.IsLeaf) {
+      J.set("leaf_index", Json::number(static_cast<double>(N.LeafIndex)));
+    } else {
+      J.set("var", Json::number(N.SplitVar));
+      J.set("value", Json::number(N.SplitValue));
+      J.set("left", Json::number(N.Left));
+      J.set("right", Json::number(N.Right));
+    }
+    NJ.push(std::move(J));
+  }
+  Out.set("nodes", std::move(NJ));
+  Json LJ = Json::array();
+  for (const TreeRegion &L : Leaves) {
+    Json J = Json::object();
+    J.set("centroid", Json::numberArray(L.Centroid));
+    J.set("half_width", Json::numberArray(L.HalfWidth));
+    J.set("mean_response", Json::number(L.MeanResponse));
+    J.set("depth", Json::number(L.Depth));
+    LJ.push(std::move(J));
+  }
+  Out.set("leaves", std::move(LJ));
+}
+
+bool RegressionTree::load(const Json &In, std::string *Error) {
+  if (!checkModelKind(In, "tree", Error))
+    return false;
+  const Json &O = In["options"];
+  Opts.MaxLeaves = static_cast<size_t>(
+      O["max_leaves"].asInt(static_cast<int64_t>(Opts.MaxLeaves)));
+  Opts.MinLeafSize = static_cast<size_t>(
+      O["min_leaf_size"].asInt(static_cast<int64_t>(Opts.MinLeafSize)));
+  Leaves.clear();
+  for (const Json &J : In["leaves"].items()) {
+    TreeRegion L;
+    L.Centroid = J["centroid"].toDoubleVector();
+    L.HalfWidth = J["half_width"].toDoubleVector();
+    L.MeanResponse = J["mean_response"].asDouble();
+    L.Depth = static_cast<unsigned>(J["depth"].asInt());
+    Leaves.push_back(std::move(L));
+  }
+  Nodes.clear();
+  int64_t NodeCount = static_cast<int64_t>(In["nodes"].size());
+  for (const Json &J : In["nodes"].items()) {
+    Node N;
+    N.IsLeaf = J["leaf"].asBool(true);
+    if (N.IsLeaf) {
+      N.LeafIndex = static_cast<size_t>(J["leaf_index"].asInt());
+      if (N.LeafIndex >= Leaves.size()) {
+        if (Error)
+          *Error = "tree: leaf index out of range";
+        return false;
+      }
+    } else {
+      N.SplitVar = static_cast<unsigned>(J["var"].asInt());
+      N.SplitValue = J["value"].asDouble();
+      N.Left = static_cast<int>(J["left"].asInt(-1));
+      N.Right = static_cast<int>(J["right"].asInt(-1));
+      if (N.Left < 0 || N.Left >= NodeCount || N.Right < 0 ||
+          N.Right >= NodeCount) {
+        if (Error)
+          *Error = "tree: child index out of range";
+        return false;
+      }
+    }
+    Nodes.push_back(N);
+  }
+  if (Nodes.empty()) {
+    if (Error)
+      *Error = "tree: empty node table";
+    return false;
+  }
+  return true;
+}

@@ -43,6 +43,10 @@ public:
   void train(const Matrix &X, const std::vector<double> &Y) override;
   double predict(const std::vector<double> &XEnc) const override;
   std::string name() const override { return "tree"; }
+  /// Serializes structure and leaf statistics; leaf sample-index lists are
+  /// training-time scaffolding and are not persisted.
+  void save(Json &Out) const override;
+  bool load(const Json &In, std::string *Error) override;
 
   /// Leaf regions after training (in creation order: coarse first).
   const std::vector<TreeRegion> &leaves() const { return Leaves; }

@@ -44,6 +44,11 @@ public:
 
   std::string name() const override { return "log-" + Inner->name(); }
 
+  // Defined in Model.cpp (this header stays implementation-free beyond
+  // the trivial forwarding above).
+  void save(Json &Out) const override;
+  bool load(const Json &In, std::string *Error) override;
+
   const Model &inner() const { return *Inner; }
 
 private:

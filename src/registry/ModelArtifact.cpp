@@ -1,0 +1,272 @@
+//===- registry/ModelArtifact.cpp - Versioned model artifacts ---------------===//
+
+#include "registry/ModelArtifact.h"
+
+#include "core/ModelBuilder.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+
+using namespace msem;
+
+//===----------------------------------------------------------------------===//
+// ModelKey
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Maps any character outside [a-zA-Z0-9._-] to '_' so ids are safe as
+/// file names and manifest keys on every filesystem we care about.
+std::string sanitize(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    Out.push_back(Safe ? C : '_');
+  }
+  return Out;
+}
+
+bool failWith(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+const char *paramKindName(ParamKind Kind) {
+  switch (Kind) {
+  case ParamKind::Binary:
+    return "binary";
+  case ParamKind::Discrete:
+    return "discrete";
+  case ParamKind::LogDiscrete:
+    return "log2";
+  }
+  return "?";
+}
+
+bool paramKindFromName(const std::string &Name, ParamKind &Out) {
+  if (Name == "binary")
+    Out = ParamKind::Binary;
+  else if (Name == "discrete")
+    Out = ParamKind::Discrete;
+  else if (Name == "log2")
+    Out = ParamKind::LogDiscrete;
+  else
+    return false;
+  return true;
+}
+
+Json spaceToJson(const ParameterSpace &Space) {
+  Json J = Json::object();
+  J.set("compiler_params",
+        Json::number(static_cast<double>(Space.numCompilerParams())));
+  Json Params = Json::array();
+  for (const Parameter &P : Space.params()) {
+    Json PJ = Json::object();
+    PJ.set("name", Json::string(P.Name));
+    PJ.set("kind", Json::string(paramKindName(P.Kind)));
+    Json Levels = Json::array();
+    for (int64_t V : P.Levels)
+      Levels.push(Json::number(static_cast<double>(V)));
+    PJ.set("levels", std::move(Levels));
+    Params.push(std::move(PJ));
+  }
+  J.set("params", std::move(Params));
+  return J;
+}
+
+bool spaceFromJson(const Json &J, ParameterSpace &Out, std::string *Error) {
+  std::vector<Parameter> Params;
+  for (const Json &PJ : J["params"].items()) {
+    Parameter P;
+    P.Name = PJ["name"].asString();
+    if (!paramKindFromName(PJ["kind"].asString(), P.Kind))
+      return failWith(Error, "artifact: unknown parameter kind '" +
+                                 PJ["kind"].asString() + "'");
+    for (const Json &V : PJ["levels"].items())
+      P.Levels.push_back(V.asInt());
+    if (P.Levels.empty())
+      return failWith(Error,
+                      "artifact: parameter '" + P.Name + "' has no levels");
+    Params.push_back(std::move(P));
+  }
+  if (Params.empty())
+    return failWith(Error, "artifact: empty parameter space");
+  size_t CompilerParams =
+      static_cast<size_t>(J["compiler_params"].asInt(0));
+  Out = ParameterSpace::fromParams(std::move(Params), CompilerParams);
+  return true;
+}
+
+} // namespace
+
+std::string ModelKey::id() const {
+  return sanitize(Workload) + "-" + inputSetName(Input) + "-" +
+         responseMetricName(Metric) + "-" + sanitize(Technique) + "-" +
+         sanitize(Platform);
+}
+
+//===----------------------------------------------------------------------===//
+// MachineConfig <-> JSON
+//===----------------------------------------------------------------------===//
+
+Json msem::machineConfigToJson(const MachineConfig &M) {
+  Json J = Json::object();
+  J.set("issue_width", Json::number(M.IssueWidth));
+  J.set("bpred_size", Json::number(M.BranchPredictorSize));
+  J.set("ruu_size", Json::number(M.RuuSize));
+  J.set("icache_bytes", Json::number(M.IcacheBytes));
+  J.set("dcache_bytes", Json::number(M.DcacheBytes));
+  J.set("dcache_assoc", Json::number(M.DcacheAssoc));
+  J.set("dcache_latency", Json::number(M.DcacheLatency));
+  J.set("l2_bytes", Json::number(M.L2Bytes));
+  J.set("l2_assoc", Json::number(M.L2Assoc));
+  J.set("l2_latency", Json::number(M.L2Latency));
+  J.set("memory_latency", Json::number(M.MemoryLatency));
+  return J;
+}
+
+MachineConfig msem::machineConfigFromJson(const Json &J) {
+  MachineConfig M;
+  M.IssueWidth = static_cast<unsigned>(J["issue_width"].asInt(M.IssueWidth));
+  M.BranchPredictorSize =
+      static_cast<unsigned>(J["bpred_size"].asInt(M.BranchPredictorSize));
+  M.RuuSize = static_cast<unsigned>(J["ruu_size"].asInt(M.RuuSize));
+  M.IcacheBytes =
+      static_cast<unsigned>(J["icache_bytes"].asInt(M.IcacheBytes));
+  M.DcacheBytes =
+      static_cast<unsigned>(J["dcache_bytes"].asInt(M.DcacheBytes));
+  M.DcacheAssoc =
+      static_cast<unsigned>(J["dcache_assoc"].asInt(M.DcacheAssoc));
+  M.DcacheLatency =
+      static_cast<unsigned>(J["dcache_latency"].asInt(M.DcacheLatency));
+  M.L2Bytes = static_cast<unsigned>(J["l2_bytes"].asInt(M.L2Bytes));
+  M.L2Assoc = static_cast<unsigned>(J["l2_assoc"].asInt(M.L2Assoc));
+  M.L2Latency = static_cast<unsigned>(J["l2_latency"].asInt(M.L2Latency));
+  M.MemoryLatency =
+      static_cast<unsigned>(J["memory_latency"].asInt(M.MemoryLatency));
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Envelope <-> JSON
+//===----------------------------------------------------------------------===//
+
+Json msem::serializeArtifact(const ModelArtifactInfo &Info, const Model &M) {
+  Json Doc = Json::object();
+  Doc.set("schema_version", Json::number(kModelArtifactSchemaVersion));
+
+  Json Key = Json::object();
+  Key.set("workload", Json::string(Info.Key.Workload));
+  Key.set("input", Json::string(inputSetName(Info.Key.Input)));
+  Key.set("metric", Json::string(responseMetricName(Info.Key.Metric)));
+  Key.set("technique", Json::string(Info.Key.Technique));
+  Key.set("platform", Json::string(Info.Key.Platform));
+  Doc.set("key", std::move(Key));
+
+  Doc.set("space", spaceToJson(Info.Space));
+  if (Info.HasFrozenMachine)
+    Doc.set("machine", machineConfigToJson(Info.Machine));
+
+  Json Training = Json::object();
+  Training.set("campaign", Json::string(Info.Campaign));
+  Training.set("seed", Json::hexU64(Info.Seed));
+  Training.set("train_size",
+               Json::number(static_cast<double>(Info.TrainSize)));
+  Training.set("test_size", Json::number(static_cast<double>(Info.TestSize)));
+  Training.set("simulations",
+               Json::number(static_cast<double>(Info.SimulationsUsed)));
+  Training.set("stop", Json::string(Info.StopReason));
+  Doc.set("training", std::move(Training));
+
+  Json Quality = Json::object();
+  Quality.set("mape", Json::number(Info.Quality.Mape));
+  Quality.set("rmse", Json::number(Info.Quality.Rmse));
+  Quality.set("r2", Json::number(Info.Quality.R2));
+  Doc.set("quality", std::move(Quality));
+
+  Json Payload = Json::object();
+  M.save(Payload);
+  Doc.set("model", std::move(Payload));
+  return Doc;
+}
+
+bool msem::deserializeArtifact(const Json &Doc, ModelArtifact &Out,
+                               std::string *Error) {
+  if (Doc.kind() != Json::Kind::Object)
+    return failWith(Error, "artifact: expected a JSON object");
+
+  ModelArtifact A;
+  A.SchemaVersion = static_cast<int>(Doc["schema_version"].asInt(0));
+  if (A.SchemaVersion != kModelArtifactSchemaVersion)
+    return failWith(
+        Error, formatString("artifact: unsupported schema_version %d "
+                            "(this build reads version %d)",
+                            A.SchemaVersion, kModelArtifactSchemaVersion));
+
+  const Json &Key = Doc["key"];
+  A.Info.Key.Workload = Key["workload"].asString(A.Info.Key.Workload);
+  if (!inputSetFromName(Key["input"].asString("train"), A.Info.Key.Input))
+    return failWith(Error, "artifact: unknown input set '" +
+                               Key["input"].asString() + "'");
+  if (!responseMetricFromName(Key["metric"].asString("cycles"),
+                              A.Info.Key.Metric))
+    return failWith(Error, "artifact: unknown metric '" +
+                               Key["metric"].asString() + "'");
+  A.Info.Key.Technique = Key["technique"].asString(A.Info.Key.Technique);
+  A.Info.Key.Platform = Key["platform"].asString(A.Info.Key.Platform);
+
+  if (!spaceFromJson(Doc["space"], A.Info.Space, Error))
+    return false;
+  if (Doc.has("machine")) {
+    A.Info.HasFrozenMachine = true;
+    A.Info.Machine = machineConfigFromJson(Doc["machine"]);
+  }
+
+  const Json &Training = Doc["training"];
+  A.Info.Campaign = Training["campaign"].asString();
+  A.Info.Seed = Training["seed"].asHexU64(0);
+  A.Info.TrainSize = static_cast<size_t>(Training["train_size"].asInt(0));
+  A.Info.TestSize = static_cast<size_t>(Training["test_size"].asInt(0));
+  A.Info.SimulationsUsed =
+      static_cast<size_t>(Training["simulations"].asInt(0));
+  A.Info.StopReason = Training["stop"].asString();
+
+  const Json &Quality = Doc["quality"];
+  A.Info.Quality.Mape = Quality["mape"].asDouble(0);
+  A.Info.Quality.Rmse = Quality["rmse"].asDouble(0);
+  A.Info.Quality.R2 = Quality["r2"].asDouble(0);
+
+  A.M = Model::fromJson(Doc["model"], Error);
+  if (!A.M)
+    return false;
+
+  Out = std::move(A);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// File IO
+//===----------------------------------------------------------------------===//
+
+bool msem::saveArtifact(const ModelArtifactInfo &Info, const Model &M,
+                        const std::string &Path, std::string *Error) {
+  return writeFileAtomic(Path, serializeArtifact(Info, M).dumpPretty(),
+                         Error);
+}
+
+bool msem::loadArtifact(const std::string &Path, ModelArtifact &Out,
+                        std::string *Error) {
+  std::string Text;
+  if (!readFileText(Path, Text, Error)) {
+    if (Error)
+      *Error = "cannot open artifact: " + *Error;
+    return false;
+  }
+  std::string ParseError;
+  Json Doc = Json::parse(Text, &ParseError);
+  if (!ParseError.empty())
+    return failWith(Error, "artifact '" + Path + "': " + ParseError);
+  return deserializeArtifact(Doc, Out, Error);
+}

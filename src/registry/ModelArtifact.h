@@ -1,0 +1,125 @@
+//===- registry/ModelArtifact.h - Versioned model artifacts -------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable form of a fitted empirical model. The paper's central
+/// economic argument is that once a model is trained, predictions at
+/// arbitrary compiler x microarchitecture configurations are near-free;
+/// an artifact is what makes that true *across process boundaries*: a
+/// single JSON document carrying the model payload (Model::save, bitwise
+/// round-trip doubles) inside a versioned envelope with everything a
+/// serving process needs to answer requests without re-fitting --
+///
+///   * the identity key (workload, input, metric, technique, platform),
+///   * the full predictor-space description (parameter names, kinds and
+///     levels, so raw configuration vectors can be encoded and validated
+///     with no knowledge of how the space was constructed),
+///   * the frozen machine configuration for platform-specialized
+///     artifacts (the Table 5/7 cross-platform use case),
+///   * training metadata (campaign, seed, design sizes, simulator cost)
+///     and held-out quality statistics (ModelQuality).
+///
+/// Schema versioning is strict: deserializeArtifact rejects any document
+/// whose schema_version it does not support with a structured error, so a
+/// registry written by a future incompatible build fails loudly instead
+/// of predicting garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_REGISTRY_MODELARTIFACT_H
+#define MSEM_REGISTRY_MODELARTIFACT_H
+
+#include "core/ResponseSurface.h"
+#include "model/Diagnostics.h"
+#include "model/Model.h"
+#include "support/Json.h"
+#include "uarch/MachineConfig.h"
+
+#include <memory>
+#include <string>
+
+namespace msem {
+
+/// The artifact schema this build reads and writes.
+constexpr int kModelArtifactSchemaVersion = 1;
+
+/// Registry identity of one model: which program/input/response it
+/// predicts, which technique fitted it, and which platform (if any) it is
+/// specialized to. Campaign-published joint-space models use platform
+/// "joint"; platform-specialized artifacts carry the platform's name and
+/// a frozen MachineConfig in the envelope.
+struct ModelKey {
+  std::string Workload = "art";
+  InputSet Input = InputSet::Train;
+  ResponseMetric Metric = ResponseMetric::Cycles;
+  /// Technique tag; the fitted model's name() ("rbf", "mars", "linear",
+  /// "log-rbf", ...).
+  std::string Technique = "rbf";
+  std::string Platform = "joint";
+
+  /// Filesystem-safe identity: the five components joined with '-', any
+  /// non [a-zA-Z0-9._-] character mapped to '_'. Also the manifest key.
+  std::string id() const;
+
+  bool operator==(const ModelKey &O) const {
+    return Workload == O.Workload && Input == O.Input && Metric == O.Metric &&
+           Technique == O.Technique && Platform == O.Platform;
+  }
+  bool operator<(const ModelKey &O) const { return id() < O.id(); }
+};
+
+/// Everything in the envelope except the model payload itself. Split from
+/// ModelArtifact so the publish path can serialize a live (borrowed)
+/// model without transferring ownership.
+struct ModelArtifactInfo {
+  ModelKey Key;
+  /// The predictor space the model was trained over (embedded in full).
+  ParameterSpace Space;
+  /// Platform-specialized artifacts freeze the microarchitectural
+  /// coordinates of every request to this configuration before encoding.
+  bool HasFrozenMachine = false;
+  MachineConfig Machine;
+  // --- Training metadata ---------------------------------------------------
+  std::string Campaign;       ///< Producing campaign's display name.
+  uint64_t Seed = 0;          ///< Build seed (exact, hex-encoded).
+  size_t TrainSize = 0;       ///< Final training-design size.
+  size_t TestSize = 0;        ///< Held-out test-design size.
+  size_t SimulationsUsed = 0; ///< Simulator measurements the build spent.
+  std::string StopReason;     ///< buildStopName of the producing build.
+  /// Held-out quality at publish time (the Table 3 statistics).
+  ModelQuality Quality;
+};
+
+/// A deserialized artifact: envelope plus the loaded model.
+struct ModelArtifact {
+  int SchemaVersion = kModelArtifactSchemaVersion;
+  ModelArtifactInfo Info;
+  std::unique_ptr<Model> M;
+};
+
+// --- MachineConfig <-> JSON (shared with campaign checkpoints) -------------
+Json machineConfigToJson(const MachineConfig &M);
+MachineConfig machineConfigFromJson(const Json &J);
+
+/// Envelope + payload -> one JSON document.
+Json serializeArtifact(const ModelArtifactInfo &Info, const Model &M);
+
+/// JSON document -> artifact. Returns false with a structured diagnostic
+/// on schema-version, kind or structure mismatches.
+bool deserializeArtifact(const Json &Doc, ModelArtifact &Out,
+                         std::string *Error);
+
+/// Serializes and writes atomically (temp file + rename).
+bool saveArtifact(const ModelArtifactInfo &Info, const Model &M,
+                  const std::string &Path, std::string *Error);
+
+/// Reads and deserializes \p Path.
+bool loadArtifact(const std::string &Path, ModelArtifact &Out,
+                  std::string *Error);
+
+} // namespace msem
+
+#endif // MSEM_REGISTRY_MODELARTIFACT_H

@@ -1,0 +1,220 @@
+//===- registry/ModelRegistry.cpp - Directory-backed model store -----------===//
+
+#include "registry/ModelRegistry.h"
+
+#include "support/Env.h"
+#include "support/FileSystem.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+
+using namespace msem;
+
+namespace {
+
+bool failWith(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+constexpr int kManifestVersion = 1;
+
+Json entryToJson(const RegistryEntry &Entry) {
+  Json J = Json::object();
+  J.set("workload", Json::string(Entry.Key.Workload));
+  J.set("input", Json::string(inputSetName(Entry.Key.Input)));
+  J.set("metric", Json::string(responseMetricName(Entry.Key.Metric)));
+  J.set("technique", Json::string(Entry.Key.Technique));
+  J.set("platform", Json::string(Entry.Key.Platform));
+  J.set("file", Json::string(Entry.File));
+  Json Quality = Json::object();
+  Quality.set("mape", Json::number(Entry.Quality.Mape));
+  Quality.set("rmse", Json::number(Entry.Quality.Rmse));
+  Quality.set("r2", Json::number(Entry.Quality.R2));
+  J.set("quality", std::move(Quality));
+  return J;
+}
+
+bool entryFromJson(const Json &J, RegistryEntry &Out, std::string *Error) {
+  Out.Key.Workload = J["workload"].asString();
+  if (!inputSetFromName(J["input"].asString("train"), Out.Key.Input))
+    return failWith(Error, "manifest: unknown input set '" +
+                               J["input"].asString() + "'");
+  if (!responseMetricFromName(J["metric"].asString("cycles"),
+                              Out.Key.Metric))
+    return failWith(Error, "manifest: unknown metric '" +
+                               J["metric"].asString() + "'");
+  Out.Key.Technique = J["technique"].asString();
+  Out.Key.Platform = J["platform"].asString("joint");
+  Out.File = J["file"].asString();
+  Out.Quality.Mape = J["quality"]["mape"].asDouble(0);
+  Out.Quality.Rmse = J["quality"]["rmse"].asDouble(0);
+  Out.Quality.R2 = J["quality"]["r2"].asDouble(0);
+  return true;
+}
+
+/// Loads the manifest document, or a fresh empty one when the file does
+/// not exist yet. A present-but-corrupt manifest is an error: silently
+/// starting over would orphan every published artifact.
+bool readManifest(const std::string &Path, Json &Out, std::string *Error) {
+  if (!pathExists(Path)) {
+    Out = Json::object();
+    Out.set("version", Json::number(kManifestVersion));
+    Out.set("models", Json::object());
+    return true;
+  }
+  std::string Text;
+  if (!readFileText(Path, Text, Error))
+    return false;
+  std::string ParseError;
+  Out = Json::parse(Text, &ParseError);
+  if (!ParseError.empty())
+    return failWith(Error, "manifest '" + Path + "': " + ParseError);
+  int Version = static_cast<int>(Out["version"].asInt(0));
+  if (Version != kManifestVersion)
+    return failWith(Error, "manifest '" + Path + "': unsupported version " +
+                               std::to_string(Version));
+  return true;
+}
+
+} // namespace
+
+ModelRegistry::ModelRegistry(Options Opts) : Opts(std::move(Opts)) {}
+
+ModelRegistry ModelRegistry::fromEnv(const std::string &Dir) {
+  Options O;
+  O.Dir = Dir.empty() ? env().RegistryDir : Dir;
+  O.CacheCapacity = static_cast<size_t>(env().RegistryCacheCap);
+  return ModelRegistry(std::move(O));
+}
+
+std::string ModelRegistry::artifactPath(const ModelKey &Key) const {
+  return Opts.Dir + "/models/" + Key.id() + ".json";
+}
+
+std::string ModelRegistry::manifestPath() const {
+  return Opts.Dir + "/manifest.json";
+}
+
+bool ModelRegistry::publish(const ModelArtifactInfo &Info, const Model &M,
+                            std::string *Error) {
+  if (Opts.Dir.empty())
+    return failWith(Error, "registry: no directory configured");
+  if (!createDirectories(Opts.Dir + "/models", Error))
+    return false;
+
+  const std::string Id = Info.Key.id();
+  if (!saveArtifact(Info, M, artifactPath(Info.Key), Error))
+    return false;
+
+  RegistryEntry Entry;
+  Entry.Key = Info.Key;
+  Entry.File = "models/" + Id + ".json";
+  Entry.Quality = Info.Quality;
+  if (!updateManifest(Entry, Error))
+    return false;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = CacheById.find(Id);
+    if (It != CacheById.end()) {
+      Lru.erase(It->second.LruIt);
+      CacheById.erase(It);
+    }
+    ++Counts.Publishes;
+  }
+  telemetry::count("registry.publishes");
+  return true;
+}
+
+bool ModelRegistry::updateManifest(const RegistryEntry &Entry,
+                                   std::string *Error) {
+  // In-process publishers serialize on the lock; cross-process writers are
+  // protected only by the atomic rename (last manifest write wins, exactly
+  // like concurrent checkpoint writers).
+  std::lock_guard<std::mutex> Lock(ManifestMutex);
+  Json Doc;
+  if (!readManifest(manifestPath(), Doc, Error))
+    return false;
+  Json Models = std::move(Doc["models"]);
+  if (Models.kind() != Json::Kind::Object)
+    Models = Json::object();
+  Models.set(Entry.Key.id(), entryToJson(Entry));
+  Doc.set("models", std::move(Models));
+  return writeFileAtomic(manifestPath(), Doc.dumpPretty(), Error);
+}
+
+std::shared_ptr<const ModelArtifact>
+ModelRegistry::fetch(const ModelKey &Key, std::string *Error) {
+  const std::string Id = Key.id();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = CacheById.find(Id);
+    if (It != CacheById.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      ++Counts.CacheHits;
+      telemetry::count("registry.cache_hits");
+      return It->second.Artifact;
+    }
+  }
+
+  // Deserialize outside the lock: artifact loads dominate, and concurrent
+  // fetches of distinct keys should not serialize on each other.
+  auto Loaded = std::make_shared<ModelArtifact>();
+  if (!loadArtifact(artifactPath(Key), *Loaded, Error))
+    return nullptr;
+  std::shared_ptr<const ModelArtifact> Artifact = std::move(Loaded);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counts.Loads;
+  telemetry::count("registry.loads");
+  if (Opts.CacheCapacity == 0)
+    return Artifact;
+  auto It = CacheById.find(Id);
+  if (It != CacheById.end()) {
+    // Another thread cached the same key while we were reading; keep its
+    // copy so all callers share one deserialized artifact.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return It->second.Artifact;
+  }
+  Lru.push_front(Id);
+  CacheById.emplace(Id, CacheSlot{Artifact, Lru.begin()});
+  while (CacheById.size() > Opts.CacheCapacity) {
+    CacheById.erase(Lru.back());
+    Lru.pop_back();
+    ++Counts.Evictions;
+    telemetry::count("registry.evictions");
+  }
+  return Artifact;
+}
+
+bool ModelRegistry::contains(const ModelKey &Key) const {
+  return pathExists(artifactPath(Key));
+}
+
+std::vector<RegistryEntry> ModelRegistry::list(std::string *Error) const {
+  std::vector<RegistryEntry> Entries;
+  Json Doc;
+  {
+    std::lock_guard<std::mutex> Lock(ManifestMutex);
+    if (!readManifest(manifestPath(), Doc, Error))
+      return Entries;
+  }
+  // The manifest object is map-backed, so members() iterates ids in
+  // sorted order and the listing is deterministic.
+  for (const auto &[Id, EJ] : Doc["models"].members()) {
+    RegistryEntry Entry;
+    if (!entryFromJson(EJ, Entry, Error)) {
+      Entries.clear();
+      return Entries;
+    }
+    Entries.push_back(std::move(Entry));
+  }
+  return Entries;
+}
+
+ModelRegistry::Stats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counts;
+}

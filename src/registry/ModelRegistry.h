@@ -1,0 +1,127 @@
+//===- registry/ModelRegistry.h - Directory-backed model store ---*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A versioned, directory-backed store of model artifacts keyed by
+/// (workload, input, metric, technique, platform). The registry is the
+/// handoff point between training and serving: campaigns publish every
+/// model they fit, and msem_predict answers prediction requests from the
+/// published artifacts alone -- no simulator, no re-fitting.
+///
+/// Layout under the registry directory:
+///
+///   manifest.json          index of every published model (id -> key,
+///                          file, quality) -- what `msem_predict --list`
+///                          and ModelRegistry::list read
+///   models/<id>.json       one artifact per key (see ModelArtifact.h)
+///
+/// Durability matches the campaign checkpoints: every write (artifact and
+/// manifest alike) goes through a sibling temp file, fsync and rename, so
+/// a crash mid-publish leaves the previous state intact and readers never
+/// observe a half-written document. Re-publishing a key overwrites its
+/// artifact in place (last write wins), mirroring how a re-run campaign
+/// supersedes its own results.
+///
+/// Reads go through a bounded in-memory LRU cache of deserialized
+/// artifacts (shared_ptr, so eviction never invalidates a model a caller
+/// is still predicting with). All operations are thread-safe; telemetry
+/// counters (registry.*) record publishes, loads, hits and evictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_REGISTRY_MODELREGISTRY_H
+#define MSEM_REGISTRY_MODELREGISTRY_H
+
+#include "registry/ModelArtifact.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// One manifest row: where an artifact lives and how good it was at
+/// publish time (enough for listing without loading model payloads).
+struct RegistryEntry {
+  ModelKey Key;
+  std::string File; ///< Path relative to the registry root.
+  ModelQuality Quality;
+};
+
+class ModelRegistry {
+public:
+  struct Options {
+    /// Registry root; created (mkdir -p) on first publish.
+    std::string Dir = "msem-registry";
+    /// Artifacts kept deserialized in memory (0 disables the cache; every
+    /// fetch then round-trips through disk).
+    size_t CacheCapacity = 32;
+  };
+
+  /// Cumulative operation counts (also exported as telemetry counters).
+  struct Stats {
+    size_t Publishes = 0;
+    size_t Loads = 0;     ///< Disk deserializations (cache misses).
+    size_t CacheHits = 0;
+    size_t Evictions = 0;
+  };
+
+  explicit ModelRegistry(Options Opts);
+
+  /// Opens a registry on EnvConfig defaults (MSEM_REGISTRY_DIR,
+  /// MSEM_REGISTRY_CACHE); \p Dir overrides the directory when non-empty.
+  static ModelRegistry fromEnv(const std::string &Dir = "");
+
+  /// Serializes (Info, M) to models/<id>.json (temp + rename), then folds
+  /// the entry into manifest.json (same discipline). Any cached copy of
+  /// the key is dropped, so the next fetch observes the new artifact.
+  bool publish(const ModelArtifactInfo &Info, const Model &M,
+               std::string *Error = nullptr);
+
+  /// The artifact for \p Key, from cache or disk. Returns nullptr with a
+  /// structured error when absent, unreadable or schema-incompatible. The
+  /// returned artifact is immutable and safe to share across threads.
+  std::shared_ptr<const ModelArtifact> fetch(const ModelKey &Key,
+                                             std::string *Error = nullptr);
+
+  /// True when \p Key has a published artifact on disk (no cache effect).
+  bool contains(const ModelKey &Key) const;
+
+  /// Every manifest row, sorted by id for deterministic output.
+  std::vector<RegistryEntry> list(std::string *Error = nullptr) const;
+
+  /// Absolute-ish path (Dir-relative join) of \p Key's artifact file.
+  std::string artifactPath(const ModelKey &Key) const;
+  std::string manifestPath() const;
+
+  const Options &options() const { return Opts; }
+  Stats stats() const;
+
+private:
+  /// Reads manifest.json, folds in \p Entry, rewrites atomically (under
+  /// ManifestMutex, so in-process publishers never lose updates).
+  bool updateManifest(const RegistryEntry &Entry, std::string *Error);
+
+  Options Opts;
+
+  mutable std::mutex ManifestMutex; ///< Serializes manifest read-modify-write.
+  mutable std::mutex Mutex;         ///< Guards the cache and stats.
+  struct CacheSlot {
+    std::shared_ptr<const ModelArtifact> Artifact;
+    std::list<std::string>::iterator LruIt;
+  };
+  /// Most-recently-used id at the front.
+  std::list<std::string> Lru;
+  std::unordered_map<std::string, CacheSlot> CacheById;
+  Stats Counts;
+};
+
+} // namespace msem
+
+#endif // MSEM_REGISTRY_MODELREGISTRY_H

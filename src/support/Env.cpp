@@ -52,6 +52,9 @@ EnvConfig msem::parseEnv() {
   C.CacheDir = getEnvString("MSEM_CACHE", C.CacheDir);
   C.Seed = static_cast<uint64_t>(
       getEnvInt("MSEM_SEED", static_cast<int64_t>(C.Seed)));
+  C.RegistryDir = getEnvString("MSEM_REGISTRY_DIR", C.RegistryDir);
+  C.RegistryCacheCap = std::max<int64_t>(
+      0, getEnvInt("MSEM_REGISTRY_CACHE", C.RegistryCacheCap));
   C.Fig5Reps = std::max<int64_t>(1, getEnvInt("MSEM_FIG5_REPS", C.Fig5Reps));
   C.Table4Top =
       std::max<int64_t>(1, getEnvInt("MSEM_TABLE4_TOP", C.Table4Top));

@@ -63,6 +63,12 @@ struct EnvConfig {
   std::string CacheDir = "msem_cache";
   /// MSEM_SEED: campaign master seed.
   uint64_t Seed = 20070311;
+  /// MSEM_REGISTRY_DIR: model-artifact registry root ("" = campaigns do
+  /// not publish; serving tools require an explicit directory).
+  std::string RegistryDir;
+  /// MSEM_REGISTRY_CACHE: deserialized artifacts the registry keeps in
+  /// its in-memory LRU cache (0 = uncached, every fetch reads disk).
+  int64_t RegistryCacheCap = 32;
   /// MSEM_FIG5_REPS: repetitions per design size in the Figure 5 harness.
   int64_t Fig5Reps = 2;
   /// MSEM_TABLE4_TOP: number of MARS terms shown by the Table 4 harness.

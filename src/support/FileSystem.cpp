@@ -1,0 +1,106 @@
+//===- support/FileSystem.cpp - Atomic file IO helpers ---------------------===//
+
+#include "support/FileSystem.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+bool failWith(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+std::string msem::parentPath(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+bool msem::pathExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+bool msem::createDirectories(const std::string &Dir, std::string *Error) {
+  if (Dir.empty() || Dir == "." || Dir == "/")
+    return true;
+  std::string Partial;
+  size_t Pos = 0;
+  while (Pos <= Dir.size()) {
+    size_t Slash = Dir.find('/', Pos);
+    if (Slash == std::string::npos)
+      Slash = Dir.size();
+    Partial = Dir.substr(0, Slash);
+    Pos = Slash + 1;
+    if (Partial.empty())
+      continue; // Leading '/'.
+    if (::mkdir(Partial.c_str(), 0777) != 0 && errno != EEXIST)
+      return failWith(Error, "cannot create directory '" + Partial +
+                                 "': " + std::strerror(errno));
+  }
+  return true;
+}
+
+bool msem::writeFileAtomic(const std::string &Path,
+                           const std::string &Contents, std::string *Error) {
+  // Atomic publish: write a sibling temp file, then rename over the
+  // destination. A kill at any instant leaves either the previous file or
+  // the new one. The data is fsync'd before the rename because fflush only
+  // reaches the kernel: on power loss (unlike SIGKILL) the rename could
+  // otherwise become durable while the bytes are not, publishing a
+  // truncated file.
+  std::string TmpFile = Path + ".tmp";
+  std::FILE *F = std::fopen(TmpFile.c_str(), "wb");
+  if (!F)
+    return failWith(Error, "cannot write '" + TmpFile +
+                               "': " + std::strerror(errno));
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  bool Flushed = std::fflush(F) == 0;
+  bool Synced = Flushed && ::fsync(fileno(F)) == 0;
+  std::fclose(F);
+  if (Written != Contents.size() || !Synced) {
+    std::remove(TmpFile.c_str());
+    return failWith(Error, "short write to '" + TmpFile + "'");
+  }
+  if (std::rename(TmpFile.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpFile.c_str());
+    return failWith(Error, "cannot rename '" + TmpFile + "' to '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  // Best effort: make the rename itself durable too.
+  int DirFd = ::open(parentPath(Path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
+bool msem::readFileText(const std::string &Path, std::string &Out,
+                        std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return failWith(Error, "cannot open '" + Path +
+                               "': " + std::strerror(errno));
+  Out.clear();
+  char Buffer[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Out.append(Buffer, N);
+  std::fclose(F);
+  return true;
+}

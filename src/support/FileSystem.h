@@ -1,0 +1,52 @@
+//===- support/FileSystem.h - Atomic file IO helpers --------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small set of filesystem operations the durable-state layers share:
+/// atomic publish (sibling temp file + fsync + rename, so readers and
+/// crashes see either the old document or the new one, never a torn one),
+/// whole-file reads, and recursive directory creation. Campaign
+/// checkpoints, model artifacts and the registry manifest all go through
+/// writeFileAtomic, so the durability discipline lives in exactly one
+/// place. Error handling is exception-free to match the library: failures
+/// return false with a strerror-style diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_FILESYSTEM_H
+#define MSEM_SUPPORT_FILESYSTEM_H
+
+#include <string>
+
+namespace msem {
+
+/// Writes \p Contents to \p Path atomically: the bytes go to a sibling
+/// ".tmp" file which is fsync'd and then renamed over \p Path, and the
+/// containing directory is fsync'd afterwards (best effort) so the rename
+/// itself survives power loss. Returns false with a diagnostic in
+/// \p Error on any failure; the destination is never left torn.
+bool writeFileAtomic(const std::string &Path, const std::string &Contents,
+                     std::string *Error = nullptr);
+
+/// Reads the whole of \p Path into \p Out. Returns false with a
+/// diagnostic on a missing or unreadable file.
+bool readFileText(const std::string &Path, std::string &Out,
+                  std::string *Error = nullptr);
+
+/// Creates \p Dir and any missing parents (mkdir -p). Returns false with
+/// a diagnostic when a component cannot be created; an existing directory
+/// is success.
+bool createDirectories(const std::string &Dir, std::string *Error = nullptr);
+
+/// True when \p Path names an existing file or directory.
+bool pathExists(const std::string &Path);
+
+/// The directory part of \p Path ("." when there is no separator).
+std::string parentPath(const std::string &Path);
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_FILESYSTEM_H

@@ -1,6 +1,6 @@
-//===- campaign/Json.cpp - Minimal JSON reader/writer ----------------------===//
+//===- support/Json.cpp - Minimal JSON reader/writer ----------------------===//
 
-#include "campaign/Json.h"
+#include "support/Json.h"
 
 #include "support/Format.h"
 
@@ -538,4 +538,19 @@ Json Json::parse(const std::string &Text, std::string *Error) {
   if (P.failed())
     return Json();
   return V;
+}
+
+Json Json::numberArray(const std::vector<double> &Values) {
+  Json A = Json::array();
+  for (double V : Values)
+    A.push(Json::number(V));
+  return A;
+}
+
+std::vector<double> Json::toDoubleVector() const {
+  std::vector<double> Out;
+  Out.reserve(Arr.size());
+  for (const Json &V : Arr)
+    Out.push_back(V.asDouble());
+  return Out;
 }

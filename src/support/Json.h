@@ -1,15 +1,16 @@
-//===- campaign/Json.h - Minimal JSON reader/writer ---------------*- C++ -*-===//
+//===- support/Json.h - Minimal JSON reader/writer ---------------*- C++ -*-===//
 //
 // Part of the MSEM project (CGO 2007 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The self-contained JSON value used by campaign checkpoints: parse,
-/// navigate, build, serialize. Deliberately small -- objects are
-/// std::map-backed so serialization order (and therefore checkpoint diffs)
-/// is deterministic, and doubles are written with 17 significant digits so
-/// every IEEE-754 value round-trips bitwise through a checkpoint. 64-bit
+/// The self-contained JSON value shared by campaign checkpoints, model
+/// artifacts and the registry manifest: parse, navigate, build, serialize.
+/// Deliberately small -- objects are std::map-backed so serialization order
+/// (and therefore checkpoint/artifact diffs) is deterministic, and doubles
+/// are written with 17 significant digits so every IEEE-754 value
+/// round-trips bitwise through a document. 64-bit
 /// integers that must survive exactly (seeds, RNG state) are stored as
 /// hex strings, since JSON numbers are doubles. Non-finite doubles, which
 /// have no JSON number form, are encoded as the strings "NaN",
@@ -21,8 +22,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef MSEM_CAMPAIGN_JSON_H
-#define MSEM_CAMPAIGN_JSON_H
+#ifndef MSEM_SUPPORT_JSON_H
+#define MSEM_SUPPORT_JSON_H
 
 #include <cstdint>
 #include <map>
@@ -85,6 +86,14 @@ public:
   /// non-null, a "line:col: message" diagnostic.
   static Json parse(const std::string &Text, std::string *Error = nullptr);
 
+  // --- Array helpers (the shape model artifacts are made of) ---------------
+  /// An array of numbers from a double vector (17-significant-digit,
+  /// bitwise round-trip like every number this DOM writes).
+  static Json numberArray(const std::vector<double> &Values);
+  /// The reverse: this array's elements as doubles (empty when not an
+  /// array; kind mismatches fall back to 0.0 per asDouble).
+  std::vector<double> toDoubleVector() const;
+
 private:
   static const std::string &emptyString();
   void dumpTo(std::string &Out, int Indent, int Depth) const;
@@ -99,4 +108,4 @@ private:
 
 } // namespace msem
 
-#endif // MSEM_CAMPAIGN_JSON_H
+#endif // MSEM_SUPPORT_JSON_H

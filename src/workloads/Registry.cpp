@@ -18,6 +18,18 @@ const char *msem::inputSetName(InputSet Set) {
   return "?";
 }
 
+bool msem::inputSetFromName(const std::string &Name, InputSet &Out) {
+  if (Name == "test")
+    Out = InputSet::Test;
+  else if (Name == "train")
+    Out = InputSet::Train;
+  else if (Name == "ref")
+    Out = InputSet::Ref;
+  else
+    return false;
+  return true;
+}
+
 const std::vector<WorkloadSpec> &msem::allWorkloads() {
   static const std::vector<WorkloadSpec> Specs = {
       {"gzip", "164.gzip-graphic", buildGzip},

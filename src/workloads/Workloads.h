@@ -40,6 +40,10 @@ enum class InputSet { Test, Train, Ref };
 
 const char *inputSetName(InputSet Set);
 
+/// Parses the inputSetName form back ("test"/"train"/"ref"). Returns
+/// false on an unknown name, leaving \p Out untouched.
+bool inputSetFromName(const std::string &Name, InputSet &Out);
+
 /// Version tag of the workload definitions. Bump when any builder changes
 /// observable code or data so that persisted response caches invalidate.
 inline const char *workloadVersion() { return "v2"; }

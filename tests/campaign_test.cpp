@@ -15,7 +15,7 @@
 #include "campaign/Campaign.h"
 #include "campaign/Checkpoint.h"
 #include "campaign/Experiment.h"
-#include "campaign/Json.h"
+#include "support/Json.h"
 #include "core/ModelBuilder.h"
 #include "design/Doe.h"
 #include "model/LinearModel.h"

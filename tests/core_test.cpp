@@ -151,8 +151,8 @@ TEST(ModelBuilderTest, SharedTestSetAcrossTechniques) {
   for (ModelTechnique T :
        {ModelTechnique::Linear, ModelTechnique::Mars, ModelTechnique::Rbf}) {
     Opts.Technique = T;
-    ModelBuildResult Res =
-        buildModelWithTestSet(Surface, Opts, TestPoints, TestY);
+    Opts.ExternalTest = TestSet{TestPoints, TestY};
+    ModelBuildResult Res = buildModel(Surface, Opts);
     EXPECT_TRUE(std::isfinite(Res.TestQuality.Mape))
         << modelTechniqueName(T);
     std::printf("[ vpr/test ] %-6s MAPE = %.2f%%\n", modelTechniqueName(T),

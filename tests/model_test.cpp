@@ -5,6 +5,7 @@
 #include "model/Mars.h"
 #include "model/RbfNetwork.h"
 #include "model/RegressionTree.h"
+#include "model/TransformedModel.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 
@@ -250,6 +251,8 @@ TEST(DiagnosticsTest, MainEffectRecoversCoefficient) {
       return 100 + 7 * X[0] - 4 * X[5] + 3 * X[0] * X[5];
     }
     std::string name() const override { return "fake"; }
+    void save(Json &) const override {}
+    bool load(const Json &, std::string *) override { return false; }
   };
   FakeModel M;
   Rng R(16);
@@ -274,6 +277,8 @@ TEST(DiagnosticsTest, RankEffectsOrdersByMagnitude) {
       return 10 * X[1] + 2 * X[2];
     }
     std::string name() const override { return "fake"; }
+    void save(Json &) const override {}
+    bool load(const Json &, std::string *) override { return false; }
   };
   FakeModel M;
   auto Effects = rankEffects(M, S, 200, 5, 99);
@@ -290,6 +295,8 @@ TEST(DiagnosticsTest, EvaluateModelMetrics) {
       return X[0];
     }
     std::string name() const override { return "id"; }
+    void save(Json &) const override {}
+    bool load(const Json &, std::string *) override { return false; }
   };
   Matrix X = Matrix::fromRows({{100.0}, {200.0}});
   std::vector<double> Y{110.0, 190.0};
@@ -426,6 +433,160 @@ TEST(RegressionTreeTest, ConstantResponseSingleLeaf) {
   T.train(X, Y);
   EXPECT_EQ(T.leaves().size(), 1u);
   EXPECT_DOUBLE_EQ(T.predict({0.3, -0.7}), 42.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: save -> dump -> parse -> load must reproduce predictions
+// bitwise for every model kind (artifacts depend on it).
+//===----------------------------------------------------------------------===//
+
+/// Serializes \p M through JSON *text* (not just the DOM) and rebuilds it
+/// via the Model::fromJson factory, so the test covers the 17-digit
+/// double round-trip that artifacts rely on.
+std::unique_ptr<Model> roundTripThroughText(const Model &M) {
+  Json Out = Json::object();
+  M.save(Out);
+  std::string ParseError;
+  Json Back = Json::parse(Out.dumpPretty(), &ParseError);
+  EXPECT_TRUE(ParseError.empty()) << ParseError;
+  std::string Error;
+  std::unique_ptr<Model> Loaded = Model::fromJson(Back, &Error);
+  EXPECT_NE(Loaded, nullptr) << Error;
+  return Loaded;
+}
+
+/// Predictions of \p A and \p B must agree bitwise on random probes.
+void expectBitwiseEqualPredictions(const Model &A, const Model &B, size_t K,
+                                   uint64_t Seed) {
+  Rng R(Seed);
+  for (int Probe = 0; Probe < 64; ++Probe) {
+    std::vector<double> X(K);
+    for (double &V : X)
+      V = R.uniform(-1, 1);
+    double PA = A.predict(X);
+    double PB = B.predict(X);
+    ASSERT_EQ(PA, PB) << "probe " << Probe << " diverged";
+  }
+}
+
+/// The irrational surface all round-trip tests train on: coefficients
+/// with no short binary representation, so any formatting loss shows.
+double irrationalSurface(const std::vector<double> &V) {
+  double Y = 1000 * std::sqrt(2.0);
+  Y += 31.4159 * V[0] - 27.1828 * V[1];
+  Y += 17.32 * std::max(0.0, V[2] - 0.123456789);
+  Y += 9.81 * V[0] * V[3];
+  return Y;
+}
+
+TEST(SerializationTest, LinearRoundTripsBitwise) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 150, 4, 41, X, Y, 3.0);
+  LinearModel M;
+  M.train(X, Y);
+  std::unique_ptr<Model> Back = roundTripThroughText(M);
+  EXPECT_EQ(Back->name(), "linear");
+  expectBitwiseEqualPredictions(M, *Back, 4, 141);
+}
+
+TEST(SerializationTest, LinearMainEffectsOnlyRoundTripsBitwise) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 120, 4, 42, X, Y, 2.0);
+  LinearModel M(LinearModel::Options{/*TwoFactorInteractions=*/false,
+                                     /*Ridge=*/1e-6});
+  M.train(X, Y);
+  std::unique_ptr<Model> Back = roundTripThroughText(M);
+  expectBitwiseEqualPredictions(M, *Back, 4, 142);
+}
+
+TEST(SerializationTest, MarsRoundTripsBitwise) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 200, 4, 43, X, Y, 2.0);
+  MarsModel M;
+  M.train(X, Y);
+  std::unique_ptr<Model> Back = roundTripThroughText(M);
+  EXPECT_EQ(Back->name(), "mars");
+  expectBitwiseEqualPredictions(M, *Back, 4, 143);
+}
+
+TEST(SerializationTest, RbfRoundTripsBitwiseBothKernels) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 150, 4, 44, X, Y, 2.0);
+  for (RbfKernel Kernel : {RbfKernel::Gaussian, RbfKernel::Multiquadric}) {
+    RbfNetwork::Options Opts;
+    Opts.Kernel = Kernel;
+    RbfNetwork M(Opts);
+    M.train(X, Y);
+    std::unique_ptr<Model> Back = roundTripThroughText(M);
+    EXPECT_EQ(Back->name(), "rbf");
+    expectBitwiseEqualPredictions(M, *Back, 4, 144);
+  }
+}
+
+TEST(SerializationTest, TreeRoundTripsBitwise) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 200, 4, 45, X, Y);
+  RegressionTree M;
+  M.train(X, Y);
+  std::unique_ptr<Model> Back = roundTripThroughText(M);
+  EXPECT_EQ(Back->name(), "tree");
+  expectBitwiseEqualPredictions(M, *Back, 4, 145);
+}
+
+TEST(SerializationTest, LogResponseRoundTripsBitwise) {
+  Matrix X;
+  std::vector<double> Y;
+  // Strictly positive response for the log transform.
+  sampleSurface(irrationalSurface, 150, 4, 46, X, Y);
+  LogResponseModel M(std::make_unique<RbfNetwork>());
+  M.train(X, Y);
+  std::unique_ptr<Model> Back = roundTripThroughText(M);
+  EXPECT_EQ(Back->name(), "log-rbf");
+  expectBitwiseEqualPredictions(M, *Back, 4, 146);
+}
+
+TEST(SerializationTest, FactoryRejectsUnknownKind) {
+  Json Doc = Json::object();
+  Doc.set("kind", Json::string("neural-net"));
+  std::string Error;
+  EXPECT_EQ(Model::fromJson(Doc, &Error), nullptr);
+  EXPECT_NE(Error.find("neural-net"), std::string::npos) << Error;
+}
+
+TEST(SerializationTest, LoadRejectsCoefficientArityMismatch) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 100, 4, 47, X, Y);
+  LinearModel M;
+  M.train(X, Y);
+  Json Doc = Json::object();
+  M.save(Doc);
+  // Truncate the coefficient vector: load must refuse, not mispredict.
+  Json Beta = Json::array();
+  Beta.push(Json::number(1.0));
+  Doc.set("beta", std::move(Beta));
+  std::string Error;
+  EXPECT_EQ(Model::fromJson(Doc, &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SerializationTest, LoadRejectsKindMismatch) {
+  Matrix X;
+  std::vector<double> Y;
+  sampleSurface(irrationalSurface, 100, 4, 48, X, Y);
+  MarsModel M;
+  M.train(X, Y);
+  Json Doc = Json::object();
+  M.save(Doc);
+  LinearModel Wrong;
+  std::string Error;
+  EXPECT_FALSE(Wrong.load(Doc, &Error));
+  EXPECT_FALSE(Error.empty());
 }
 
 } // namespace

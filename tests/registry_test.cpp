@@ -1,0 +1,370 @@
+//===- tests/registry_test.cpp - Model registry tests -----------------------===//
+
+#include "registry/ModelRegistry.h"
+
+#include "campaign/Experiment.h"
+#include "design/Doe.h"
+#include "model/LinearModel.h"
+#include "model/RbfNetwork.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+/// Per-process temp registry root (tests run concurrently per binary).
+std::string tempRegistryDir(const char *Tag) {
+  return formatString("registry_test_%s_%d", Tag, static_cast<int>(getpid()));
+}
+
+/// RAII cleanup of a registry directory tree.
+struct DirGuard {
+  std::string Dir;
+  explicit DirGuard(std::string D) : Dir(std::move(D)) {
+    std::filesystem::remove_all(Dir);
+  }
+  ~DirGuard() { std::filesystem::remove_all(Dir); }
+};
+
+/// A small trained model over the compiler space, deterministic per seed.
+std::unique_ptr<Model> trainSmallModel(const ParameterSpace &Space,
+                                       uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<DesignPoint> Points;
+  std::vector<double> Y;
+  for (int I = 0; I < 60; ++I) {
+    DesignPoint P = Space.randomPoint(R);
+    std::vector<double> X = Space.encode(P);
+    double V = 500 + 33.07 * X[0] - 12.9 * X[3] + 7.77 * X[0] * X[5] +
+               R.normal(0, 2.0);
+    Points.push_back(std::move(P));
+    Y.push_back(V);
+  }
+  Matrix X = encodeMatrix(Space, Points);
+  auto M = std::make_unique<LinearModel>();
+  M->train(X, Y);
+  return M;
+}
+
+ModelArtifactInfo makeInfo(const std::string &Workload,
+                           const std::string &Platform = "joint") {
+  ModelArtifactInfo Info;
+  Info.Key.Workload = Workload;
+  Info.Key.Input = InputSet::Train;
+  Info.Key.Metric = ResponseMetric::Cycles;
+  Info.Key.Technique = "linear";
+  Info.Key.Platform = Platform;
+  Info.Space = ParameterSpace::compilerSpace();
+  Info.Campaign = "registry-test";
+  Info.Seed = 0xABCDEF0123456789ull;
+  Info.TrainSize = 60;
+  Info.TestSize = 8;
+  Info.SimulationsUsed = 68;
+  Info.StopReason = "design-exhausted";
+  Info.Quality = {3.5, 120.25, 0.93};
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact envelope
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactTest, EnvelopeRoundTripsMetadataAndSpace) {
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 7);
+  Json Doc = serializeArtifact(Info, *M);
+
+  ModelArtifact Back;
+  std::string Error;
+  ASSERT_TRUE(deserializeArtifact(Doc, Back, &Error)) << Error;
+  EXPECT_EQ(Back.SchemaVersion, kModelArtifactSchemaVersion);
+  EXPECT_EQ(Back.Info.Key, Info.Key);
+  EXPECT_EQ(Back.Info.Key.id(), "art-train-cycles-linear-joint");
+  EXPECT_EQ(Back.Info.Seed, Info.Seed);
+  EXPECT_EQ(Back.Info.TrainSize, Info.TrainSize);
+  EXPECT_EQ(Back.Info.StopReason, Info.StopReason);
+  EXPECT_DOUBLE_EQ(Back.Info.Quality.Mape, Info.Quality.Mape);
+  EXPECT_DOUBLE_EQ(Back.Info.Quality.R2, Info.Quality.R2);
+  EXPECT_FALSE(Back.Info.HasFrozenMachine);
+
+  // The embedded space reproduces names, kinds, levels and the encode map.
+  ASSERT_EQ(Back.Info.Space.size(), Info.Space.size());
+  EXPECT_EQ(Back.Info.Space.numCompilerParams(),
+            Info.Space.numCompilerParams());
+  for (size_t I = 0; I < Info.Space.size(); ++I) {
+    EXPECT_EQ(Back.Info.Space.param(I).Name, Info.Space.param(I).Name);
+    EXPECT_EQ(Back.Info.Space.param(I).Levels, Info.Space.param(I).Levels);
+  }
+  Rng R(70);
+  for (int I = 0; I < 20; ++I) {
+    DesignPoint P = Info.Space.randomPoint(R);
+    EXPECT_EQ(Back.Info.Space.encode(P), Info.Space.encode(P));
+  }
+}
+
+TEST(ArtifactTest, FrozenMachineRoundTrips) {
+  ModelArtifactInfo Info = makeInfo("art", "aggressive");
+  Info.Space = ParameterSpace::paperSpace();
+  Info.HasFrozenMachine = true;
+  Info.Machine = MachineConfig::aggressive();
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 8);
+
+  ModelArtifact Back;
+  std::string Error;
+  ASSERT_TRUE(deserializeArtifact(serializeArtifact(Info, *M), Back, &Error))
+      << Error;
+  ASSERT_TRUE(Back.Info.HasFrozenMachine);
+  EXPECT_EQ(Back.Info.Machine, MachineConfig::aggressive());
+}
+
+TEST(ArtifactTest, RejectsUnsupportedSchemaVersion) {
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 9);
+  Json Doc = serializeArtifact(Info, *M);
+  Doc.set("schema_version", Json::number(99));
+
+  ModelArtifact Back;
+  std::string Error;
+  EXPECT_FALSE(deserializeArtifact(Doc, Back, &Error));
+  EXPECT_NE(Error.find("schema_version"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry store
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, PublishFetchReproducesPredictionsBitwise) {
+  DirGuard Guard(tempRegistryDir("roundtrip"));
+  ModelRegistry Reg({Guard.Dir, 8});
+
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 10);
+  std::string Error;
+  ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  ASSERT_TRUE(Reg.contains(Info.Key));
+
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Info.Key, &Error);
+  ASSERT_NE(A, nullptr) << Error;
+  Rng R(110);
+  for (int I = 0; I < 40; ++I) {
+    DesignPoint P = Info.Space.randomPoint(R);
+    std::vector<double> X = Info.Space.encode(P);
+    ASSERT_EQ(A->M->predict(X), M->predict(X)) << "probe " << I;
+  }
+}
+
+TEST(RegistryTest, ManifestListsEveryPublishSorted) {
+  DirGuard Guard(tempRegistryDir("manifest"));
+  ModelRegistry Reg({Guard.Dir, 8});
+
+  std::string Error;
+  for (const char *Workload : {"gzip", "art", "mcf"}) {
+    ModelArtifactInfo Info = makeInfo(Workload);
+    std::unique_ptr<Model> M = trainSmallModel(Info.Space, 11);
+    ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  }
+
+  std::vector<RegistryEntry> Entries = Reg.list(&Error);
+  ASSERT_EQ(Entries.size(), 3u) << Error;
+  EXPECT_EQ(Entries[0].Key.Workload, "art");
+  EXPECT_EQ(Entries[1].Key.Workload, "gzip");
+  EXPECT_EQ(Entries[2].Key.Workload, "mcf");
+  for (const RegistryEntry &E : Entries) {
+    EXPECT_DOUBLE_EQ(E.Quality.Mape, 3.5);
+    EXPECT_TRUE(pathExists(Guard.Dir + "/" + E.File)) << E.File;
+  }
+}
+
+TEST(RegistryTest, RepublishOverwritesAndInvalidatesCache) {
+  DirGuard Guard(tempRegistryDir("republish"));
+  ModelRegistry Reg({Guard.Dir, 8});
+
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> First = trainSmallModel(Info.Space, 12);
+  std::unique_ptr<Model> Second = trainSmallModel(Info.Space, 13);
+  std::string Error;
+  ASSERT_TRUE(Reg.publish(Info, *First, &Error)) << Error;
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Info.Key, &Error);
+  ASSERT_NE(A, nullptr) << Error;
+
+  ASSERT_TRUE(Reg.publish(Info, *Second, &Error)) << Error;
+  std::shared_ptr<const ModelArtifact> B = Reg.fetch(Info.Key, &Error);
+  ASSERT_NE(B, nullptr) << Error;
+
+  // One manifest row, and the fetch observed the new model.
+  EXPECT_EQ(Reg.list().size(), 1u);
+  Rng R(113);
+  std::vector<double> X = Info.Space.encode(Info.Space.randomPoint(R));
+  EXPECT_EQ(B->M->predict(X), Second->predict(X));
+  EXPECT_EQ(A->M->predict(X), First->predict(X)) << "old handle must stay "
+                                                    "valid after republish";
+}
+
+TEST(RegistryTest, LruCacheEvictsLeastRecentlyUsed) {
+  DirGuard Guard(tempRegistryDir("lru"));
+  ModelRegistry Reg({Guard.Dir, 2});
+
+  std::string Error;
+  ModelKey Keys[3];
+  const char *Workloads[3] = {"art", "gzip", "mcf"};
+  for (int I = 0; I < 3; ++I) {
+    ModelArtifactInfo Info = makeInfo(Workloads[I]);
+    Keys[I] = Info.Key;
+    std::unique_ptr<Model> M = trainSmallModel(Info.Space, 20 + I);
+    ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  }
+
+  auto A = Reg.fetch(Keys[0], &Error); // load; cache [A]
+  ASSERT_NE(A, nullptr) << Error;
+  auto B = Reg.fetch(Keys[1], &Error); // load; cache [B A]
+  ASSERT_NE(B, nullptr) << Error;
+  EXPECT_EQ(Reg.fetch(Keys[0], &Error), A); // hit (same shared artifact)
+  auto C = Reg.fetch(Keys[2], &Error); // load; evicts B -> cache [C A]
+  ASSERT_NE(C, nullptr) << Error;
+  auto B2 = Reg.fetch(Keys[1], &Error); // load again; evicts A
+  ASSERT_NE(B2, nullptr) << Error;
+
+  ModelRegistry::Stats S = Reg.stats();
+  EXPECT_EQ(S.Publishes, 3u);
+  EXPECT_EQ(S.Loads, 4u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.Evictions, 2u);
+  // Eviction must not invalidate handed-out artifacts.
+  EXPECT_TRUE(std::isfinite(B->M->predict(std::vector<double>(
+      B->Info.Space.size(), 0.0))));
+}
+
+TEST(RegistryTest, CacheCapacityZeroAlwaysReadsDisk) {
+  DirGuard Guard(tempRegistryDir("uncached"));
+  ModelRegistry Reg({Guard.Dir, 0});
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 30);
+  std::string Error;
+  ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  ASSERT_NE(Reg.fetch(Info.Key, &Error), nullptr) << Error;
+  ASSERT_NE(Reg.fetch(Info.Key, &Error), nullptr) << Error;
+  ModelRegistry::Stats S = Reg.stats();
+  EXPECT_EQ(S.Loads, 2u);
+  EXPECT_EQ(S.CacheHits, 0u);
+}
+
+TEST(RegistryTest, FetchRejectsVersionMismatchWithStructuredError) {
+  DirGuard Guard(tempRegistryDir("version"));
+  ModelRegistry Reg({Guard.Dir, 0});
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 31);
+  std::string Error;
+  ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+
+  // Corrupt the on-disk artifact into a future schema version.
+  std::string Path = Reg.artifactPath(Info.Key);
+  std::string Text;
+  ASSERT_TRUE(readFileText(Path, Text, &Error)) << Error;
+  Json Doc = Json::parse(Text, &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  Doc.set("schema_version", Json::number(99));
+  ASSERT_TRUE(writeFileAtomic(Path, Doc.dumpPretty(), &Error)) << Error;
+
+  EXPECT_EQ(Reg.fetch(Info.Key, &Error), nullptr);
+  EXPECT_NE(Error.find("schema_version 99"), std::string::npos) << Error;
+}
+
+TEST(RegistryTest, FetchMissingKeyReturnsStructuredError) {
+  DirGuard Guard(tempRegistryDir("missing"));
+  ModelRegistry Reg({Guard.Dir, 4});
+  ModelKey Key = makeInfo("nonexistent").Key;
+  std::string Error;
+  EXPECT_EQ(Reg.fetch(Key, &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Reg.contains(Key));
+}
+
+TEST(RegistryTest, PublishLeavesNoTempFiles) {
+  DirGuard Guard(tempRegistryDir("atomic"));
+  ModelRegistry Reg({Guard.Dir, 4});
+  std::string Error;
+  for (const char *Workload : {"art", "gzip"}) {
+    ModelArtifactInfo Info = makeInfo(Workload);
+    std::unique_ptr<Model> M = trainSmallModel(Info.Space, 40);
+    ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  }
+  size_t Artifacts = 0;
+  for (const auto &Entry :
+       std::filesystem::recursive_directory_iterator(Guard.Dir)) {
+    std::string Name = Entry.path().filename().string();
+    EXPECT_EQ(Name.find(".tmp"), std::string::npos) << Name;
+    if (Entry.is_regular_file())
+      ++Artifacts;
+  }
+  EXPECT_EQ(Artifacts, 3u); // manifest.json + two artifacts.
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign integration: every fitted model is published automatically
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, CampaignPublishesJointAndPlatformArtifacts) {
+  DirGuard Guard(tempRegistryDir("campaign"));
+
+  ExperimentSpec Spec;
+  Spec.Name = "registry-campaign";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}};
+  Spec.InitialDesignSize = 8;
+  Spec.MaxDesignSize = 8;
+  Spec.TestSize = 4;
+  Spec.TargetMape = 0.0;
+  Spec.CandidateCount = 100;
+  Spec.RegistryDir = Guard.Dir;
+  Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+  Spec.Ga.Population = 8;
+  Spec.Ga.Generations = 2;
+  Spec.Ga.StallGenerations = 0;
+
+  ExperimentResult R = runExperiment(Spec);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const ModelBuildResult &Build = R.Jobs[0].Build;
+  ASSERT_NE(Build.FittedModel, nullptr);
+
+  ModelRegistry Reg({Guard.Dir, 4});
+  std::vector<RegistryEntry> Entries = Reg.list();
+  ASSERT_EQ(Entries.size(), 2u); // joint + typical
+
+  ModelKey Key;
+  Key.Workload = "art";
+  Key.Input = InputSet::Test;
+  Key.Metric = ResponseMetric::Cycles;
+  Key.Technique = "rbf";
+  Key.Platform = "joint";
+  std::string Error;
+  std::shared_ptr<const ModelArtifact> Joint = Reg.fetch(Key, &Error);
+  ASSERT_NE(Joint, nullptr) << Error;
+  EXPECT_EQ(Joint->Info.Campaign, "registry-campaign");
+  EXPECT_EQ(Joint->Info.TrainSize, Build.TrainPoints.size());
+  EXPECT_DOUBLE_EQ(Joint->Info.Quality.Mape, Build.TestQuality.Mape);
+
+  // Served predictions match the in-process model bitwise on the
+  // campaign's own test design.
+  ParameterSpace Space = makeSpace(Spec.Space);
+  for (const DesignPoint &P : Build.TestPoints) {
+    std::vector<double> X = Space.encode(P);
+    ASSERT_EQ(Joint->M->predict(X), Build.FittedModel->predict(X));
+  }
+
+  // The platform artifact pins the Table-2 coordinates.
+  Key.Platform = "typical";
+  std::shared_ptr<const ModelArtifact> Platform = Reg.fetch(Key, &Error);
+  ASSERT_NE(Platform, nullptr) << Error;
+  ASSERT_TRUE(Platform->Info.HasFrozenMachine);
+  EXPECT_EQ(Platform->Info.Machine, MachineConfig::typical());
+}
+
+} // namespace

@@ -27,6 +27,8 @@ public:
     return V;
   }
   std::string name() const override { return "quad"; }
+  void save(Json &) const override {}
+  bool load(const Json &, std::string *) override { return false; }
 };
 
 TEST(GaTest, FindsKnownOptimum) {

@@ -26,6 +26,15 @@ echo "== campaign resume cycle =="
 MSEM_TELEMETRY=summary "$BUILD_DIR/tests/campaign_test" \
   --gtest_filter='CampaignTest.*:FaultPolicyTest.*'
 
+# One publish -> serve cycle through the model registry: a tiny campaign
+# publishes its artifacts, then msem_predict reloads them from disk and
+# must reproduce the in-process predictions bitwise.
+echo "== registry publish/predict smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/registry"
+"$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" --list
+
 tools/msem_tsan.sh
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, tsan clean)"
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, tsan clean)"

@@ -1,0 +1,584 @@
+//===- tools/msem_predict.cpp - Batched model-serving engine ----------------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Serves predictions from published model artifacts -- the paper's payoff
+// made operational: once a campaign has trained and published a model,
+// answering "how many cycles would this configuration take?" needs no
+// simulator, no workload and no re-fitting, just the registry directory.
+//
+//   msem_predict --registry DIR --list
+//       every published model with its held-out quality
+//
+//   msem_predict --registry DIR --key art,train,cycles,rbf,joint \
+//                --in requests.csv [--out predictions.csv]
+//       batched serving: requests in (CSV with a parameter-name header, or
+//       JSON-lines arrays), predictions out. Batches run on the global
+//       thread pool (MSEM_THREADS); output is bitwise identical at any
+//       thread count.
+//
+//   msem_predict --registry DIR --key art,train,cycles,rbf,constrained \
+//                --compare aggressive --in requests.csv
+//       cross-platform mode (the Table 5/7 question): predicts every
+//       request under two platforms' frozen-machine artifacts and reports
+//       the cycle ratio.
+//
+//   msem_predict --registry DIR --key ... --gen 64 [--seed S]
+//       emits a random request CSV for the keyed artifact's space (handy
+//       for smoke tests and benchmarks).
+//
+//   msem_predict --smoke DIR
+//       end-to-end self-check: runs a tiny campaign that publishes into
+//       DIR, then re-serves the campaign's own test design purely from the
+//       artifacts and verifies the predictions match bitwise.
+//
+// Requests are raw parameter values (one column per parameter, in the
+// artifact's embedded parameter order). Rows may carry all parameters or
+// only the leading compiler parameters; frozen-machine artifacts pin the
+// microarchitectural coordinates either way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Experiment.h"
+#include "registry/ModelRegistry.h"
+#include "support/Env.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace msem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small CLI / IO helpers
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t End = S.find(Sep, Start);
+    Out.push_back(S.substr(Start, End == std::string::npos ? End
+                                                           : End - Start));
+    if (End == std::string::npos)
+      break;
+    Start = End + 1;
+  }
+  return Out;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+/// "workload,input,metric,technique[,platform]" -> ModelKey.
+bool parseKey(const std::string &Spec, ModelKey &Out, std::string &Error) {
+  std::vector<std::string> Parts = splitOn(Spec, ',');
+  if (Parts.size() < 4 || Parts.size() > 5) {
+    Error = "--key wants workload,input,metric,technique[,platform]";
+    return false;
+  }
+  Out.Workload = trim(Parts[0]);
+  if (!inputSetFromName(trim(Parts[1]), Out.Input)) {
+    Error = "unknown input set '" + Parts[1] + "'";
+    return false;
+  }
+  if (!responseMetricFromName(trim(Parts[2]), Out.Metric)) {
+    Error = "unknown metric '" + Parts[2] + "'";
+    return false;
+  }
+  Out.Technique = trim(Parts[3]);
+  Out.Platform = Parts.size() == 5 ? trim(Parts[4]) : "joint";
+  return true;
+}
+
+bool readLines(const std::string &Path, std::vector<std::string> &Out,
+               std::string &Error) {
+  FILE *F = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 14];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  if (F != stdin)
+    std::fclose(F);
+  for (const std::string &Line : splitOn(Text, '\n')) {
+    std::string T = trim(Line);
+    if (!T.empty())
+      Out.push_back(std::move(T));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+/// Parsed request file: raw-valued rows, all the same width.
+struct RequestSet {
+  std::vector<DesignPoint> Rows;
+  bool FromJsonl = false;
+};
+
+bool parseCsvRow(const std::string &Line, DesignPoint &Out,
+                 std::string &Error) {
+  for (const std::string &Cell : splitOn(Line, ',')) {
+    std::string T = trim(Cell);
+    char *End = nullptr;
+    long long V = std::strtoll(T.c_str(), &End, 10);
+    if (End == T.c_str() || *End != '\0') {
+      Error = "bad integer '" + T + "'";
+      return false;
+    }
+    Out.push_back(V);
+  }
+  return true;
+}
+
+/// Reads requests from \p Path. JSON-lines when every line starts with
+/// '[' (each line one array of raw values); CSV with a header line of
+/// parameter names otherwise.
+bool readRequests(const std::string &Path, RequestSet &Out,
+                  std::string &Error) {
+  std::vector<std::string> Lines;
+  if (!readLines(Path, Lines, Error))
+    return false;
+  if (Lines.empty()) {
+    Error = "'" + Path + "' holds no requests";
+    return false;
+  }
+
+  if (Lines.front()[0] == '[') {
+    Out.FromJsonl = true;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      std::string ParseError;
+      Json Row = Json::parse(Lines[I], &ParseError);
+      if (!ParseError.empty() || Row.kind() != Json::Kind::Array) {
+        Error = "request line " + std::to_string(I + 1) + ": " +
+                (ParseError.empty() ? "expected an array" : ParseError);
+        return false;
+      }
+      DesignPoint P;
+      P.reserve(Row.size());
+      for (const Json &V : Row.items())
+        P.push_back(V.asInt());
+      Out.Rows.push_back(std::move(P));
+    }
+  } else {
+    // CSV; line 0 is the parameter-name header.
+    for (size_t I = 1; I < Lines.size(); ++I) {
+      DesignPoint P;
+      if (!parseCsvRow(Lines[I], P, Error)) {
+        Error = "request line " + std::to_string(I + 1) + ": " + Error;
+        return false;
+      }
+      Out.Rows.push_back(std::move(P));
+    }
+  }
+
+  for (size_t I = 1; I < Out.Rows.size(); ++I)
+    if (Out.Rows[I].size() != Out.Rows.front().size()) {
+      Error = "request rows disagree on width";
+      return false;
+    }
+  return !Out.Rows.empty() || (Error = "no request rows", false);
+}
+
+/// Turns one raw request row into the full design point the artifact's
+/// model expects: full-width rows pass through, compiler-only rows are
+/// padded, and frozen-machine artifacts pin the Table-2 coordinates.
+bool requestToPoint(const DesignPoint &Row, const ModelArtifact &A,
+                    DesignPoint &Out, std::string &Error) {
+  const ParameterSpace &Space = A.Info.Space;
+  if (Row.size() == Space.size()) {
+    Out = Row;
+  } else if (Row.size() == Space.numCompilerParams() &&
+             Row.size() < Space.size()) {
+    if (!A.Info.HasFrozenMachine) {
+      Error = "compiler-only request against artifact '" + A.Info.Key.id() +
+              "', which has no frozen machine configuration";
+      return false;
+    }
+    Out = Row;
+    for (size_t I = Row.size(); I < Space.size(); ++I)
+      Out.push_back(Space.param(I).low());
+  } else {
+    Error = "request width " + std::to_string(Row.size()) +
+            " matches neither the full space (" +
+            std::to_string(Space.size()) + ") nor the compiler prefix (" +
+            std::to_string(Space.numCompilerParams()) + ")";
+    return false;
+  }
+  if (A.Info.HasFrozenMachine)
+    Space.freezeMachine(Out, A.Info.Machine);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched prediction
+//===----------------------------------------------------------------------===//
+
+/// Predicts every request with \p A's model on the global thread pool.
+/// Each slot is an independent pure function of its row, so the output is
+/// bitwise identical at any MSEM_THREADS. Returns false on the first
+/// malformed row (checked up front, before any prediction).
+bool predictAll(const ModelArtifact &A, const std::vector<DesignPoint> &Rows,
+                std::vector<double> &Out, std::string &Error) {
+  std::vector<DesignPoint> Points(Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I)
+    if (!requestToPoint(Rows[I], A, Points[I], Error)) {
+      Error = "request " + std::to_string(I + 1) + ": " + Error;
+      return false;
+    }
+
+  telemetry::ScopedTimer Span("predict.batch");
+  Out = globalThreadPool().parallelMap(
+      Points.size(),
+      [&](size_t I) {
+        return A.M->predict(A.Info.Space.encode(Points[I]));
+      },
+      "predict");
+  telemetry::count("predict.requests", Rows.size());
+  telemetry::count("predict.batches");
+  if (telemetry::enabled() && !Rows.empty()) {
+    // Per-request latency in microseconds, amortized over the batch.
+    double PerRequestUs =
+        static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows.size();
+    telemetry::observe("predict.request_us", PerRequestUs,
+                       {1, 10, 100, 1000, 10000});
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Modes
+//===----------------------------------------------------------------------===//
+
+int runList(ModelRegistry &Reg) {
+  std::string Error;
+  std::vector<RegistryEntry> Entries = Reg.list(&Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("workload,input,metric,technique,platform,mape,rmse,r2,file\n");
+  for (const RegistryEntry &E : Entries)
+    std::printf("%s,%s,%s,%s,%s,%.4g,%.6g,%.6g,%s\n", E.Key.Workload.c_str(),
+                inputSetName(E.Key.Input), responseMetricName(E.Key.Metric),
+                E.Key.Technique.c_str(), E.Key.Platform.c_str(),
+                E.Quality.Mape, E.Quality.Rmse, E.Quality.R2,
+                E.File.c_str());
+  return 0;
+}
+
+int runGen(ModelRegistry &Reg, const ModelKey &Key, size_t N, uint64_t Seed,
+           FILE *Out) {
+  std::string Error;
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Key, &Error);
+  if (!A) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+  const ParameterSpace &Space = A->Info.Space;
+  for (size_t I = 0; I < Space.size(); ++I)
+    std::fprintf(Out, "%s%s", I ? "," : "", Space.param(I).Name.c_str());
+  std::fprintf(Out, "\n");
+  Rng R(Seed);
+  for (size_t I = 0; I < N; ++I) {
+    DesignPoint P = Space.randomPoint(R);
+    for (size_t J = 0; J < P.size(); ++J)
+      std::fprintf(Out, "%s%lld", J ? "," : "",
+                   static_cast<long long>(P[J]));
+    std::fprintf(Out, "\n");
+  }
+  return 0;
+}
+
+void printArtifactBanner(const ModelArtifact &A) {
+  std::fprintf(stderr,
+               "# model %s: campaign '%s', %s at train=%zu/test=%zu, "
+               "mape=%.3g%% r2=%.4g%s\n",
+               A.Info.Key.id().c_str(), A.Info.Campaign.c_str(),
+               A.Info.StopReason.c_str(), A.Info.TrainSize, A.Info.TestSize,
+               A.Info.Quality.Mape, A.Info.Quality.R2,
+               A.Info.HasFrozenMachine ? ", frozen machine" : "");
+}
+
+int runServe(ModelRegistry &Reg, const ModelKey &Key,
+             const std::string &InPath, const std::string &ComparePlatform,
+             FILE *Out) {
+  std::string Error;
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Key, &Error);
+  if (!A) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+  printArtifactBanner(*A);
+
+  RequestSet Requests;
+  if (!readRequests(InPath, Requests, Error)) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::vector<double> Pred;
+  if (!predictAll(*A, Requests.Rows, Pred, Error)) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const char *Metric = responseMetricName(Key.Metric);
+  if (ComparePlatform.empty()) {
+    if (Requests.FromJsonl) {
+      for (size_t I = 0; I < Pred.size(); ++I)
+        std::fprintf(Out, "{\"request\": %zu, \"prediction\": %.17g}\n", I,
+                     Pred[I]);
+    } else {
+      std::fprintf(Out, "predicted_%s\n", Metric);
+      for (double P : Pred)
+        std::fprintf(Out, "%.17g\n", P);
+    }
+    return 0;
+  }
+
+  // Cross-platform mode: the same requests under a second platform's
+  // artifact, plus the ratio (the Table 5/7 "how much does the best
+  // configuration shift across machines" question).
+  ModelKey OtherKey = Key;
+  OtherKey.Platform = ComparePlatform;
+  std::shared_ptr<const ModelArtifact> B = Reg.fetch(OtherKey, &Error);
+  if (!B) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+  printArtifactBanner(*B);
+  std::vector<double> PredB;
+  if (!predictAll(*B, Requests.Rows, PredB, Error)) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "predicted_%s_%s,predicted_%s_%s,ratio\n", Metric,
+               Key.Platform.c_str(), Metric, ComparePlatform.c_str());
+  for (size_t I = 0; I < Pred.size(); ++I)
+    std::fprintf(Out, "%.17g,%.17g,%.6g\n", Pred[I], PredB[I],
+                 PredB[I] != 0 ? Pred[I] / PredB[I] : 0.0);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --smoke: publish -> serve -> bitwise verification
+//===----------------------------------------------------------------------===//
+
+int runSmoke(const std::string &Dir) {
+  // A tiny but complete campaign: one RBF job plus one tuning platform,
+  // publishing into Dir.
+  ExperimentSpec Spec;
+  Spec.Name = "predict-smoke";
+  Spec.Jobs = {{"art", InputSet::Train, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}};
+  Spec.InitialDesignSize = 10;
+  Spec.MaxDesignSize = 10;
+  Spec.TestSize = 5;
+  Spec.TargetMape = 0.0;
+  Spec.CandidateCount = 150;
+  Spec.RegistryDir = Dir;
+  Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+  Spec.Ga.Population = 8;
+  Spec.Ga.Generations = 2;
+  Spec.Ga.StallGenerations = 2;
+
+  ExperimentResult R = runExperiment(Spec);
+  if (!R.ok()) {
+    std::fprintf(stderr, "smoke: campaign failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  const ModelBuildResult &Build = R.Jobs[0].Build;
+  ParameterSpace Space = makeSpace(Spec.Space);
+
+  // Serve the campaign's own test design from the artifacts alone, in a
+  // fresh registry handle (nothing shared with the campaign's publisher).
+  ModelRegistry Reg({Dir, 4});
+  std::string Error;
+  ModelKey Key;
+  Key.Workload = "art";
+  Key.Input = InputSet::Train;
+  Key.Metric = ResponseMetric::Cycles;
+  Key.Technique = "rbf";
+  Key.Platform = "joint";
+  std::shared_ptr<const ModelArtifact> Joint = Reg.fetch(Key, &Error);
+  if (!Joint) {
+    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::vector<double> Served;
+  if (!predictAll(*Joint, Build.TestPoints, Served, Error)) {
+    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
+    return 1;
+  }
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Build.TestPoints.size(); ++I) {
+    double Expected =
+        Build.FittedModel->predict(Space.encode(Build.TestPoints[I]));
+    if (Served[I] != Expected) // Bitwise: save/load must be exact.
+      ++Mismatches;
+  }
+
+  // The frozen-machine artifact must agree with freezing in-process.
+  Key.Platform = "typical";
+  std::shared_ptr<const ModelArtifact> Platform = Reg.fetch(Key, &Error);
+  if (!Platform) {
+    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<double> ServedFrozen;
+  if (!predictAll(*Platform, Build.TestPoints, ServedFrozen, Error)) {
+    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
+    return 1;
+  }
+  for (size_t I = 0; I < Build.TestPoints.size(); ++I) {
+    DesignPoint Frozen = Build.TestPoints[I];
+    Space.freezeMachine(Frozen, MachineConfig::typical());
+    double Expected = Build.FittedModel->predict(Space.encode(Frozen));
+    if (ServedFrozen[I] != Expected)
+      ++Mismatches;
+  }
+
+  std::vector<RegistryEntry> Entries = Reg.list(&Error);
+  if (Entries.size() < 2) {
+    std::fprintf(stderr, "smoke: manifest lists %zu models, expected >= 2\n",
+                 Entries.size());
+    return 1;
+  }
+  if (Mismatches) {
+    std::fprintf(stderr,
+                 "smoke: FAIL -- %zu served predictions differ from the "
+                 "in-process model\n",
+                 Mismatches);
+    return 1;
+  }
+  std::printf("smoke: OK -- %zu models published, %zu predictions served "
+              "bitwise-identical from artifacts\n",
+              Entries.size(), 2 * Build.TestPoints.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msem_predict --registry DIR --list\n"
+      "       msem_predict --registry DIR --key W,I,M,T[,P] --in FILE "
+      "[--out FILE] [--compare PLATFORM]\n"
+      "       msem_predict --registry DIR --key W,I,M,T[,P] --gen N "
+      "[--seed S] [--out FILE]\n"
+      "       msem_predict --smoke DIR\n"
+      "\n"
+      "key fields: workload, input (test|train|ref), metric "
+      "(cycles|energy|codesize),\n"
+      "            technique (linear|mars|rbf), platform (default: joint)\n"
+      "requests:   CSV with a parameter-name header, or JSON-lines arrays; "
+      "'-' = stdin\n"
+      "registry:   --registry overrides MSEM_REGISTRY_DIR\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string RegistryDir = env().RegistryDir;
+  std::string KeySpec, InPath, OutPath, ComparePlatform, SmokeDir;
+  bool List = false;
+  size_t GenN = 0;
+  uint64_t GenSeed = 0x5EED;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "msem_predict: %s wants a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--registry")
+      RegistryDir = Value("--registry");
+    else if (Arg == "--key")
+      KeySpec = Value("--key");
+    else if (Arg == "--in")
+      InPath = Value("--in");
+    else if (Arg == "--out")
+      OutPath = Value("--out");
+    else if (Arg == "--compare")
+      ComparePlatform = Value("--compare");
+    else if (Arg == "--gen")
+      GenN = static_cast<size_t>(std::strtoull(Value("--gen"), nullptr, 10));
+    else if (Arg == "--seed")
+      GenSeed = std::strtoull(Value("--seed"), nullptr, 0);
+    else if (Arg == "--list")
+      List = true;
+    else if (Arg == "--smoke")
+      SmokeDir = Value("--smoke");
+    else
+      return usage();
+  }
+
+  if (!SmokeDir.empty())
+    return runSmoke(SmokeDir);
+  if (RegistryDir.empty()) {
+    std::fprintf(stderr,
+                 "msem_predict: no registry (--registry or "
+                 "MSEM_REGISTRY_DIR)\n");
+    return 2;
+  }
+
+  ModelRegistry Reg = ModelRegistry::fromEnv(RegistryDir);
+  if (List)
+    return runList(Reg);
+
+  ModelKey Key;
+  std::string Error;
+  if (KeySpec.empty() || !parseKey(KeySpec, Key, Error)) {
+    if (!Error.empty())
+      std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return usage();
+  }
+
+  FILE *Out = stdout;
+  if (!OutPath.empty() && OutPath != "-") {
+    Out = std::fopen(OutPath.c_str(), "wb");
+    if (!Out) {
+      std::fprintf(stderr, "msem_predict: cannot write '%s'\n",
+                   OutPath.c_str());
+      return 1;
+    }
+  }
+
+  int Rc;
+  if (GenN)
+    Rc = runGen(Reg, Key, GenN, GenSeed, Out);
+  else if (!InPath.empty())
+    Rc = runServe(Reg, Key, InPath, ComparePlatform, Out);
+  else
+    Rc = usage();
+
+  if (Out != stdout)
+    std::fclose(Out);
+  return Rc;
+}

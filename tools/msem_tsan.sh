@@ -4,11 +4,11 @@
 # Builds the tree with -fsanitize=thread in a dedicated build directory,
 # then runs the tests that exercise the parallel engine -- the thread-pool
 # unit tests, the MSEM_THREADS=1-vs-8 determinism suite, the telemetry
-# stress test, the simulator re-entrancy test and the campaign
-# checkpoint/resume suite -- with a 4-thread global
-# pool and telemetry enabled, so every lock and atomic in the parallel
-# measurement/fitting stack is exercised under the race detector. Any TSan
-# report fails the run (halt_on_error).
+# stress test, the simulator re-entrancy test, the campaign
+# checkpoint/resume suite and the registry publish/fetch suite -- with a
+# 4-thread global pool and telemetry enabled, so every lock and atomic in
+# the parallel measurement/fitting/serving stack is exercised under the
+# race detector. Any TSan report fails the run (halt_on_error).
 #
 # Usage: tools/msem_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
-TESTS=(support_test parallel_test telemetry_test sampling_test campaign_test)
+TESTS=(support_test parallel_test telemetry_test sampling_test registry_test campaign_test)
 
 cmake -B "$BUILD_DIR" -S . -DMSEM_TSAN=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
