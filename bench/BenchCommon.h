@@ -18,6 +18,12 @@
 /// All harnesses share the on-disk response cache, so re-runs and
 /// follow-up experiments reuse earlier simulations.
 ///
+/// Every harness also writes a standardized machine-readable result file,
+/// results/BENCH_<name>.json (MSEM_RESULTS_DIR overrides the directory),
+/// via BenchReport: schema "msem.bench.v1" carrying the build stamp, the
+/// scale configuration, the harness's headline metrics and wall time, so
+/// cross-build comparisons need no output scraping.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_BENCH_BENCHCOMMON_H
@@ -26,10 +32,14 @@
 #include "campaign/Experiment.h"
 #include "core/ModelBuilder.h"
 #include "core/ResponseSurface.h"
+#include "support/BuildInfo.h"
 #include "support/Env.h"
+#include "support/FileSystem.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/TablePrinter.h"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -118,6 +128,66 @@ inline void printBanner(const char *Experiment, const BenchScale &Scale) {
   std::printf("==============================================================="
               "=\n");
 }
+
+/// Collects a harness's headline numbers and publishes them as
+/// results/BENCH_<name>.json on destruction (schema "msem.bench.v1").
+/// Construct one in main after readScale(); add metrics as they are
+/// computed. Writing is best-effort: a read-only working directory warns
+/// on stderr but never fails the bench.
+class BenchReport {
+public:
+  BenchReport(const char *Name, const BenchScale &Scale)
+      : Name(Name), Start(std::chrono::steady_clock::now()) {
+    Doc = Json::object();
+    Doc.set("schema", Json::string("msem.bench.v1"));
+    Doc.set("name", Json::string(Name));
+    Doc.set("build", Json::string(buildStamp()));
+    Json Config = Json::object();
+    Config.set("train_n", Json::number(static_cast<double>(Scale.TrainN)));
+    Config.set("test_n", Json::number(static_cast<double>(Scale.TestN)));
+    Config.set("input", Json::string(Scale.Input == InputSet::Ref    ? "ref"
+                                     : Scale.Input == InputSet::Test ? "test"
+                                                                     : "train"));
+    Config.set("seed", Json::hexU64(Scale.Seed));
+    Doc.set("config", std::move(Config));
+    Metrics = Json::object();
+  }
+
+  /// Records one headline number ("mape.rbf", "speedup.p8"...).
+  void metric(const std::string &Key, double Value) {
+    Metrics.set(Key, Json::number(Value));
+  }
+
+  /// Records a free-form annotation.
+  void note(const std::string &Key, const std::string &Value) {
+    Metrics.set(Key, Json::string(Value));
+  }
+
+  ~BenchReport() {
+    double WallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    Doc.set("wall_seconds", Json::number(WallSeconds));
+    Doc.set("metrics", std::move(Metrics));
+    const std::string Dir = env().ResultsDir;
+    std::string Error;
+    if (!createDirectories(Dir, &Error) ||
+        !writeFileAtomic(Dir + "/BENCH_" + Name + ".json",
+                         Doc.dumpPretty(), &Error))
+      std::fprintf(stderr, "bench: cannot write result file: %s\n",
+                   Error.c_str());
+  }
+
+  BenchReport(const BenchReport &) = delete;
+  BenchReport &operator=(const BenchReport &) = delete;
+
+private:
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+  Json Doc;
+  Json Metrics;
+};
 
 } // namespace msem::bench
 

@@ -23,6 +23,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Ablations of the methodology's design choices", Scale);
+  BenchReport Report("ablations", Scale);
   const char *Workload = "vpr";
 
   ParameterSpace Space = ParameterSpace::paperSpace();

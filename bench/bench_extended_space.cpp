@@ -23,6 +23,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Extended 29-parameter space (Section 2.2 knobs)", Scale);
+  BenchReport Report("extended_space", Scale);
   const char *Workload = "bzip2"; // Branch-heavy: if-conversion's arena.
 
   ParameterSpace Space = ParameterSpace::extendedSpace();

@@ -20,6 +20,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Figure 3: art execution time vs max-unroll-times x icache",
               Scale);
+  BenchReport Report("fig3_unroll_icache", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   auto Surface = makeSurface(Space, "art", Scale, Scale.Input);

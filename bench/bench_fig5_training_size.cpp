@@ -19,6 +19,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Figure 5: RBF error vs training-set size", Scale);
+  BenchReport Report("fig5_training_size", Scale);
 
   size_t Reps = static_cast<size_t>(env().Fig5Reps);
   std::vector<size_t> Sizes;

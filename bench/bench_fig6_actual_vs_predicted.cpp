@@ -57,6 +57,7 @@ void asciiScatter(const std::vector<double> &Actual,
 int main() {
   BenchScale Scale = readScale();
   printBanner("Figure 6: actual vs predicted execution time (RBF)", Scale);
+  BenchReport Report("fig6_actual_vs_predicted", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   for (const char *Name : {"art", "vortex", "mcf"}) {

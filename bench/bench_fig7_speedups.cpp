@@ -20,6 +20,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Figure 7: speedup over -O2 (model-guided settings)", Scale);
+  BenchReport Report("fig7_speedups", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   const MachineConfig Configs[3] = {MachineConfig::constrained(),

@@ -23,6 +23,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Section 2.2 extension: time / energy / code-size models",
               Scale);
+  BenchReport Report("multimetric", Scale);
   const char *Workload = "gzip";
 
   ParameterSpace Space = ParameterSpace::paperSpace();

@@ -74,6 +74,7 @@ int main() {
   printBanner("Performance: thread-pool scaling of the measurement + "
               "fitting engine",
               Scale);
+  BenchReport Report("parallel_scaling", Scale);
   std::printf("hardware_concurrency = %u, MSEM_THREADS default = %zu\n\n",
               std::thread::hardware_concurrency(), defaultThreadCount());
 
@@ -86,11 +87,12 @@ int main() {
   for (size_t N : Counts) {
     RunResult R = runCampaign(N, Scale);
     bool Same = Results.empty() || identical(Results.front(), R);
+    double Speedup =
+        Results.empty() ? 1.0 : Results.front().Seconds / R.Seconds;
     T.addRow({formatString("%zu", N), formatString("%.2f", R.Seconds),
-              formatString("%.2fx", Results.empty()
-                                        ? 1.0
-                                        : Results.front().Seconds / R.Seconds),
-              Same ? "yes" : "NO"});
+              formatString("%.2fx", Speedup), Same ? "yes" : "NO"});
+    Report.metric(formatString("wall_seconds.p%zu", N), R.Seconds);
+    Report.metric(formatString("speedup.p%zu", N), Speedup);
     Results.push_back(std::move(R));
   }
   setGlobalThreadCount(0);
@@ -107,6 +109,8 @@ int main() {
   std::printf("\nOutputs bitwise identical across all thread counts "
               "(MAPE %.2f%% in every run).\n",
               Results.front().Mape);
+  Report.metric("mape", Results.front().Mape);
+  Report.metric("deterministic", AllSame ? 1 : 0);
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("Note: this host exposes a single hardware thread; wall "
                 "times above measure pool overhead, not scaling.\n");

@@ -73,6 +73,7 @@ int main() {
   size_t BatchSize = Scale.TestN * 1000; // 50k at the default MSEM_TEST_N.
   printBanner("Performance: artifact serving throughput vs. simulator cost",
               Scale);
+  BenchReport Report("predict_throughput", Scale);
   std::printf("batch = %zu requests, pool = 1 vs %zu threads\n\n", BatchSize,
               defaultThreadCount());
 
@@ -111,6 +112,7 @@ int main() {
   std::printf("simulator: %.3f s per configuration (art/test, single "
               "thread)\n\n",
               SimSecondsPerPoint);
+  Report.metric("sim_seconds_per_point", SimSecondsPerPoint);
 
   // The request batch (raw joint-space configurations, like msem_predict
   // --gen would produce).
@@ -168,6 +170,7 @@ int main() {
 
     double RateOne = BatchSize / One.Seconds;
     double RateMany = BatchSize / Many.Seconds;
+    Report.metric(formatString("preds_per_sec.%s", K.Name), RateMany);
     Table.addRowCells(K.Name, formatString("%.0f", RateOne),
                       formatString("%.0f", RateMany),
                       formatString("%.2fx", RateMany / RateOne),

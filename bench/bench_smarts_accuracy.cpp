@@ -16,6 +16,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Methodology: SMARTS sampling accuracy per benchmark", Scale);
+  BenchReport Report("smarts_accuracy", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   TablePrinter T({"Benchmark", "detailed cycles", "sampled estimate",

@@ -16,6 +16,7 @@ using namespace msem::bench;
 int main() {
   BenchScale Scale = readScale();
   printBanner("Tables 1 & 2: predictor variables and ranges", Scale);
+  BenchReport Report("table1_table2_space", Scale);
 
   ParameterSpace S = ParameterSpace::paperSpace();
   TablePrinter T({"#", "Parameter", "Kind", "Low", "High", "#levels"});

@@ -25,6 +25,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Table 3: average prediction error (%) per technique",
               Scale);
+  BenchReport Report("table3_model_accuracy", Scale);
 
   // Paper's reported errors for reference (Table 3).
   struct PaperRow {
@@ -88,6 +89,10 @@ int main() {
                          PaperSum[1] / N, PaperSum[2] / N)});
   T.print();
   std::printf("campaign: %zu simulations total\n", Result.SimulationsUsed);
+  Report.metric("mape.linear", Sum[0] / N);
+  Report.metric("mape.mars", Sum[1] / N);
+  Report.metric("mape.rbf", Sum[2] / N);
+  Report.metric("simulations", static_cast<double>(Result.SimulationsUsed));
 
   bool RbfBeatsLinear = Sum[2] < Sum[0];
   bool MarsBeatsLinear = Sum[1] < Sum[0];

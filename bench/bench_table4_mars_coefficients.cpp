@@ -21,6 +21,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Table 4: key parameters/interactions from MARS models",
               Scale);
+  BenchReport Report("table4_mars_coefficients", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   size_t TopN = static_cast<size_t>(env().Table4Top);

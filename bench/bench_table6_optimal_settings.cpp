@@ -20,6 +20,7 @@ int main() {
   BenchScale Scale = readScale();
   printBanner("Tables 5 & 6: model-prescribed settings per platform",
               Scale);
+  BenchReport Report("table6_optimal_settings", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   const MachineConfig Configs[3] = {MachineConfig::constrained(),

@@ -21,6 +21,7 @@ int main() {
   printBanner("Table 7: profile-guided scenario (train-built models, ref "
               "runs)",
               Scale);
+  BenchReport Report("table7_profile_guided", Scale);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   const MachineConfig Configs[3] = {MachineConfig::constrained(),

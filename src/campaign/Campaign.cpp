@@ -3,6 +3,7 @@
 #include "campaign/Campaign.h"
 
 #include "registry/ModelRegistry.h"
+#include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -114,6 +115,7 @@ void Campaign::writeCheckpoint() {
       Ckpt.Surfaces.emplace(Key, Shard);
   Ckpt.SimulationsSpent = totalSimulations();
   Ckpt.WallSecondsSpent = totalWallSeconds();
+  Ckpt.Build = buildStamp();
 
   std::string Error;
   if (!saveCheckpoint(Ckpt, Spec.CheckpointPath, &Error))
@@ -127,6 +129,8 @@ void Campaign::writeCheckpoint() {
 bool Campaign::runBuildPhase(size_t J, ExperimentJobResult &JR,
                              ExperimentResult &Result) {
   const ExperimentJob &Job = Spec.Jobs[J];
+  telemetry::ScopedTimer Span("campaign.build");
+  Span.setDetail(Job.Workload);
   ResponseSurface &Surface = surfaceFor(Job);
 
   ModelBuilderOptions Build;
@@ -204,6 +208,7 @@ void Campaign::publishModels(size_t J, const ExperimentJobResult &JR) {
   Info.TestSize = JR.Build.TestPoints.size();
   Info.SimulationsUsed = JR.Build.SimulationsUsed;
   Info.StopReason = buildStopName(JR.Build.Stop);
+  Info.Build = buildStamp();
   Info.Quality = JR.Build.TestQuality;
 
   std::string Error;
@@ -238,6 +243,8 @@ bool Campaign::runTuningPhase(size_t J, ExperimentJobResult &JR,
 
   for (size_t P = 0; P < Spec.TunePlatforms.size(); ++P) {
     const PlatformSpec &Platform = Spec.TunePlatforms[P];
+    telemetry::ScopedTimer TuneSpan("campaign.tune", P);
+    TuneSpan.setDetail(Platform.Name);
     DesignPoint O2Point =
         Space.fromConfigs(OptimizationConfig::O2(), Platform.Config);
 
@@ -304,13 +311,22 @@ bool Campaign::runTuningPhase(size_t J, ExperimentJobResult &JR,
 }
 
 ExperimentResult Campaign::run() {
-  telemetry::ScopedTimer Span("campaign.run");
+  // The campaign is a trace root; its id derives from (name, seed), so a
+  // resumed campaign rejoins the same trace and the tree is identical at
+  // any MSEM_THREADS.
+  telemetry::ScopedTimer Span(
+      "campaign.run",
+      telemetry::ScopedTimer::TraceRoot{
+          telemetry::deriveTraceId(Spec.Name, Spec.Seed)});
+  Span.setDetail(Spec.Name);
   RunStart = std::chrono::steady_clock::now();
 
   ExperimentResult Result;
   Result.CheckpointPath = Spec.CheckpointPath;
 
   for (size_t J = 0; J < Spec.Jobs.size(); ++J) {
+    telemetry::ScopedTimer JobSpan("campaign.job", J);
+    JobSpan.setDetail(surfaceKey(Spec.Jobs[J]));
     ExperimentJobResult JR;
     JR.Job = Spec.Jobs[J];
 

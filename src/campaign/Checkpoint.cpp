@@ -378,6 +378,8 @@ Json msem::serializeCheckpoint(const CampaignCheckpoint &Ckpt) {
         Json::number(static_cast<double>(Ckpt.SimulationsSpent)));
   J.set("wall_seconds_spent", Json::number(Ckpt.WallSecondsSpent));
   J.set("cache_path", Json::string(Ckpt.CachePath));
+  if (!Ckpt.Build.empty())
+    J.set("build", Json::string(Ckpt.Build));
   return J;
 }
 
@@ -431,6 +433,7 @@ bool msem::deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
       static_cast<size_t>(Doc["simulations_spent"].asInt(0));
   Ckpt.WallSecondsSpent = Doc["wall_seconds_spent"].asDouble(0);
   Ckpt.CachePath = Doc["cache_path"].asString();
+  Ckpt.Build = Doc["build"].asString();
   Out = std::move(Ckpt);
   return true;
 }

@@ -84,6 +84,10 @@ struct CampaignCheckpoint {
   /// the checkpoint itself carries all measurements, so resume works even
   /// if the cache file is gone.
   std::string CachePath;
+  /// Build identity (msem::buildStamp()) of the binary that wrote this
+  /// checkpoint. Informational only -- resume accepts checkpoints from any
+  /// build; the stamp tells a human which binary produced the state.
+  std::string Build;
 };
 
 /// Checkpoint -> JSON document.

@@ -382,6 +382,12 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
   globalThreadPool().parallelFor(
       0, ToMeasure.size(),
       [&](size_t I) {
+        // Keyed on the slot index so the span id is order-independent
+        // across thread schedules; the point's disk key identifies it
+        // for trace readers (slowest-point reports).
+        telemetry::ScopedTimer PointSpan("surface.point", I);
+        if (PointSpan.capturing())
+          PointSpan.setDetail(diskKeyFor(*ToMeasure[I]));
         Ok[I] = measureWithPolicy(*ToMeasure[I], Fresh[I], Faults[I],
                                   Retries[I])
                     ? 1

@@ -178,6 +178,8 @@ Json msem::serializeArtifact(const ModelArtifactInfo &Info, const Model &M) {
   Training.set("simulations",
                Json::number(static_cast<double>(Info.SimulationsUsed)));
   Training.set("stop", Json::string(Info.StopReason));
+  if (!Info.Build.empty())
+    Training.set("build", Json::string(Info.Build));
   Doc.set("training", std::move(Training));
 
   Json Quality = Json::object();
@@ -232,6 +234,7 @@ bool msem::deserializeArtifact(const Json &Doc, ModelArtifact &Out,
   A.Info.SimulationsUsed =
       static_cast<size_t>(Training["simulations"].asInt(0));
   A.Info.StopReason = Training["stop"].asString();
+  A.Info.Build = Training["build"].asString();
 
   const Json &Quality = Doc["quality"];
   A.Info.Quality.Mape = Quality["mape"].asDouble(0);

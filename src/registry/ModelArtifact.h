@@ -89,6 +89,9 @@ struct ModelArtifactInfo {
   size_t TestSize = 0;        ///< Held-out test-design size.
   size_t SimulationsUsed = 0; ///< Simulator measurements the build spent.
   std::string StopReason;     ///< buildStopName of the producing build.
+  /// Build identity (msem::buildStamp()) of the publishing binary.
+  /// Informational; loading accepts artifacts from any build.
+  std::string Build;
   /// Held-out quality at publish time (the Table 3 statistics).
   ModelQuality Quality;
 };

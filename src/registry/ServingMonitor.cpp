@@ -1,0 +1,164 @@
+//===- registry/ServingMonitor.cpp - Prediction-quality monitoring --------===//
+
+#include "registry/ServingMonitor.h"
+
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
+
+#include <cmath>
+
+using namespace msem;
+
+namespace {
+
+/// Per-row serving latency buckets, microseconds. A tree walk is ~1us, an
+/// RBF evaluation tens of us; the tail buckets catch cold artifact loads.
+const std::vector<double> kLatencyBoundsUs = {1,  2.5, 5,   10,   25,
+                                              50, 100, 250, 1000, 10000};
+
+double meanOf(const std::deque<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+} // namespace
+
+ServingMonitor::ServingMonitor(Options O) : Opts(O) {}
+
+ServingMonitor::Options ServingMonitor::optionsFromEnv() {
+  Options O;
+  O.DriftThreshold = env().DriftThreshold;
+  return O;
+}
+
+void ServingMonitor::recordBatch(const std::string &ModelId, size_t Rows,
+                                 uint64_t BatchNs, double BaselineMape) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ModelState &S = Models[ModelId];
+  S.Requests += Rows;
+  S.Batches += 1;
+  S.BaselineMape = BaselineMape;
+  if (telemetry::enabled()) {
+    telemetry::counter("serving.requests." + ModelId).add(Rows);
+    if (Rows > 0) {
+      double PerRowUs =
+          static_cast<double>(BatchNs) / 1000.0 / static_cast<double>(Rows);
+      telemetry::Histogram &H = telemetry::histogram(
+          "serving.latency_us." + ModelId, kLatencyBoundsUs);
+      for (size_t I = 0; I < Rows; ++I)
+        H.observe(PerRowUs);
+    }
+    publishQualityMetricsLocked(ModelId, S);
+  }
+}
+
+void ServingMonitor::recordError(const std::string &ModelId) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ModelState &S = Models[ModelId];
+  S.Errors += 1;
+  telemetry::count("serving.errors." + ModelId);
+}
+
+void ServingMonitor::recordResidual(const std::string &ModelId,
+                                    double Predicted, double Actual) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ModelState &S = Models[ModelId];
+  double Err = Predicted - Actual;
+  S.SqErr.push_back(Err * Err);
+  if (S.SqErr.size() > Opts.ResidualWindow)
+    S.SqErr.pop_front();
+  if (Actual != 0.0) {
+    S.AbsPctErr.push_back(std::fabs(Err / Actual) * 100.0);
+    if (S.AbsPctErr.size() > Opts.ResidualWindow)
+      S.AbsPctErr.pop_front();
+  }
+  if (telemetry::enabled()) {
+    telemetry::counter("serving.residuals." + ModelId).add(1);
+    publishQualityMetricsLocked(ModelId, S);
+  }
+}
+
+void ServingMonitor::publishQualityMetricsLocked(const std::string &ModelId,
+                                                 const ModelState &S) {
+  ServingModelStats St = statsForLocked(ModelId, S);
+  telemetry::gauge("serving.rolling_mape." + ModelId).set(St.RollingMape);
+  telemetry::gauge("serving.rolling_rmse." + ModelId).set(St.RollingRmse);
+  telemetry::gauge("serving.drift_ratio." + ModelId).set(St.DriftRatio);
+  telemetry::gauge("serving.drift_flag." + ModelId)
+      .set(St.DriftFlagged ? 1.0 : 0.0);
+}
+
+ServingModelStats
+ServingMonitor::statsForLocked(const std::string &ModelId,
+                               const ModelState &S) const {
+  ServingModelStats St;
+  St.ModelId = ModelId;
+  St.Requests = S.Requests;
+  St.Batches = S.Batches;
+  St.Errors = S.Errors;
+  St.Residuals = S.SqErr.size();
+  St.RollingMape = meanOf(S.AbsPctErr);
+  St.RollingRmse = std::sqrt(meanOf(S.SqErr));
+  St.BaselineMape = S.BaselineMape;
+  if (S.BaselineMape > 0 && !S.AbsPctErr.empty())
+    St.DriftRatio = St.RollingMape / S.BaselineMape;
+  St.DriftFlagged = Opts.DriftThreshold > 0 &&
+                    S.AbsPctErr.size() >= Opts.MinResiduals &&
+                    St.DriftRatio > Opts.DriftThreshold;
+  return St;
+}
+
+std::vector<ServingModelStats> ServingMonitor::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<ServingModelStats> Out;
+  for (const auto &[Id, S] : Models)
+    Out.push_back(statsForLocked(Id, S));
+  return Out;
+}
+
+bool ServingMonitor::anyDrift() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Id, S] : Models)
+    if (statsForLocked(Id, S).DriftFlagged)
+      return true;
+  return false;
+}
+
+std::string ServingMonitor::renderSummary() const {
+  std::vector<ServingModelStats> All = stats();
+  TablePrinter T({"Model", "Requests", "Errors", "p50 us", "p95 us",
+                  "p99 us", "Residuals", "Roll MAPE", "Pub MAPE", "Drift",
+                  "Flag"});
+  for (ServingModelStats &St : All) {
+    // Latency quantiles come from the telemetry histogram (the monitor
+    // itself only counts); absent when telemetry is disabled.
+    double P50 = 0, P95 = 0, P99 = 0;
+    if (telemetry::enabled()) {
+      telemetry::Histogram &H = telemetry::histogram(
+          "serving.latency_us." + St.ModelId, kLatencyBoundsUs);
+      P50 = H.quantile(0.50);
+      P95 = H.quantile(0.95);
+      P99 = H.quantile(0.99);
+    }
+    T.addRowCells(St.ModelId, formatString("%llu",
+                                           (unsigned long long)St.Requests),
+                  formatString("%llu", (unsigned long long)St.Errors),
+                  formatString("%.1f", P50), formatString("%.1f", P95),
+                  formatString("%.1f", P99),
+                  formatString("%zu", St.Residuals),
+                  St.Residuals ? formatString("%.3g%%", St.RollingMape)
+                               : std::string("-"),
+                  St.BaselineMape > 0 ? formatString("%.3g%%", St.BaselineMape)
+                                      : std::string("-"),
+                  St.DriftRatio > 0 ? formatString("%.2fx", St.DriftRatio)
+                                    : std::string("-"),
+                  St.DriftFlagged ? std::string("DRIFT") : std::string("ok"));
+  }
+  return T.render();
+}

@@ -1,0 +1,138 @@
+//===- registry/ServingMonitor.h - Prediction-quality monitoring -*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serving-side observability for the prediction engine: per-model rolling
+/// latency distributions, rolling prediction-error statistics against
+/// ground truth (when the caller supplies actuals), and drift detection
+/// against the quality each artifact recorded at publish time.
+///
+/// The drift rule is the paper's own acceptance criterion turned into a
+/// monitor: an artifact ships with its held-out ModelQuality (test MAPE);
+/// while serving, the monitor maintains a rolling MAPE over the most
+/// recent residuals, and flags the model once
+///
+///     rolling MAPE > DriftThreshold x published MAPE
+///
+/// with at least MinResiduals residuals observed (so one outlier on a
+/// fresh window cannot flag). A flagged model is still served -- the
+/// monitor reports, it does not gate -- but msem_predict exits non-zero
+/// under --check-drift so CI can gate on it.
+///
+/// Every statistic is mirrored into the telemetry registry under
+/// "serving.<stat>.<model>" names that the OpenMetrics sink maps onto
+/// families with a {model="..."} label:
+///
+///   serving.requests.<model>      counter   rows predicted
+///   serving.errors.<model>        counter   failed batches
+///   serving.latency_us.<model>    histogram per-row latency (amortized)
+///   serving.residuals.<model>     counter   residuals observed
+///   serving.rolling_mape.<model>  gauge     rolling MAPE, percent
+///   serving.rolling_rmse.<model>  gauge     rolling RMSE
+///   serving.drift_ratio.<model>   gauge     rolling / published MAPE
+///   serving.drift_flag.<model>    gauge     1 when flagged
+///
+/// The monitor itself is deterministic: statistics depend only on the
+/// sequence of record* calls, never on wall-clock (latency feeds only the
+/// telemetry histogram, which is reporting, not results).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_REGISTRY_SERVINGMONITOR_H
+#define MSEM_REGISTRY_SERVINGMONITOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// One model's monitored state, as a value snapshot.
+struct ServingModelStats {
+  std::string ModelId;
+  uint64_t Requests = 0; ///< Rows predicted (all batches).
+  uint64_t Batches = 0;
+  uint64_t Errors = 0; ///< Failed batches (malformed rows...).
+  // Rolling latency (microseconds per row, amortized over each batch).
+  double P50Us = 0, P95Us = 0, P99Us = 0, MaxUs = 0;
+  // Rolling residual window.
+  size_t Residuals = 0;    ///< Residuals currently in the window.
+  double RollingMape = 0;  ///< Percent, like ModelQuality::Mape.
+  double RollingRmse = 0;
+  double BaselineMape = 0; ///< Published held-out MAPE (0 = unknown).
+  double DriftRatio = 0;   ///< RollingMape / BaselineMape (0 = n/a).
+  bool DriftFlagged = false;
+};
+
+/// Aggregates serving statistics per model id. Thread-safe; one instance
+/// per serving process is the expected shape.
+class ServingMonitor {
+public:
+  struct Options {
+    /// Flag when rolling MAPE exceeds this multiple of the published MAPE
+    /// (MSEM_DRIFT_THRESHOLD; <= 0 disables drift detection).
+    double DriftThreshold = 2.0;
+    /// Residuals kept in the rolling window.
+    size_t ResidualWindow = 256;
+    /// Minimum residuals before the drift rule may flag.
+    size_t MinResiduals = 8;
+  };
+
+  explicit ServingMonitor(Options O);
+  ServingMonitor() : ServingMonitor(Options()) {}
+
+  /// Options with DriftThreshold taken from the environment.
+  static Options optionsFromEnv();
+
+  /// Records one served batch: \p Rows rows in \p BatchNs wall nanoseconds
+  /// against the model with published held-out MAPE \p BaselineMape.
+  void recordBatch(const std::string &ModelId, size_t Rows, uint64_t BatchNs,
+                   double BaselineMape);
+
+  /// Records a failed batch (rows rejected before prediction).
+  void recordError(const std::string &ModelId);
+
+  /// Records one (predicted, actual) pair. Rows with actual == 0 count
+  /// into RMSE but not MAPE (the percentage is undefined there).
+  void recordResidual(const std::string &ModelId, double Predicted,
+                      double Actual);
+
+  /// Snapshot of every model seen so far, sorted by model id.
+  std::vector<ServingModelStats> stats() const;
+
+  /// True when any model is currently drift-flagged.
+  bool anyDrift() const;
+
+  /// The serving SLO table (TablePrinter-rendered; one row per model).
+  std::string renderSummary() const;
+
+private:
+  struct ModelState {
+    uint64_t Requests = 0;
+    uint64_t Batches = 0;
+    uint64_t Errors = 0;
+    double BaselineMape = 0;
+    std::deque<double> AbsPctErr; ///< |pred-actual|/|actual| * 100.
+    std::deque<double> SqErr;     ///< (pred-actual)^2.
+  };
+
+  void publishQualityMetricsLocked(const std::string &ModelId,
+                                   const ModelState &S);
+  ServingModelStats statsForLocked(const std::string &ModelId,
+                                   const ModelState &S) const;
+
+  Options Opts;
+  mutable std::mutex Mutex;
+  std::map<std::string, ModelState> Models;
+};
+
+} // namespace msem
+
+#endif // MSEM_REGISTRY_SERVINGMONITOR_H

@@ -78,7 +78,13 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
   auto NoWarm = [](const RetiredInstr &) {};
 
   uint64_t Sampled = 0;
+  uint64_t Period = 0;
   while (!Exec.halted()) {
+    // Keyed on the period ordinal: the simulation runs single-threaded,
+    // but the enclosing measurement fan-out does not, so the key keeps
+    // span ids schedule-independent. MSEM_TRACE_SAMPLE bounds the volume
+    // on long runs.
+    telemetry::ScopedTimer WindowSpan("smarts.window", Period++);
     if (FunctionalPerPeriod > 0) {
       if (Sampling.FunctionalWarming)
         Exec.run(Warm, FunctionalPerPeriod);

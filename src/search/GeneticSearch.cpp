@@ -142,6 +142,9 @@ GaResult msem::searchOptimalSettings(const Model &M,
 
   GaResult Result;
   for (; Gen < Options.Generations; ++Gen) {
+    // Keyed on the generation number so resumed searches produce the same
+    // span ids as an uninterrupted run.
+    telemetry::ScopedTimer GenSpan("ga.generation", Gen);
     // The checkpoint hook, at the exact point GaState reconstructs: a
     // state captured here and resumed continues as if never interrupted.
     if (Options.OnGeneration) {

@@ -1,0 +1,18 @@
+//===- support/BuildInfo.cpp - Build identity stamp -----------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "BuildInfo.inc"
+
+using namespace msem;
+
+const BuildInfo &msem::buildInfo() {
+  static const BuildInfo Info{MSEM_GIT_DESCRIBE, MSEM_BUILD_TYPE,
+                              MSEM_COMPILER};
+  return Info;
+}
+
+std::string msem::buildStamp() {
+  const BuildInfo &I = buildInfo();
+  return I.GitDescribe + " " + I.BuildType + " " + I.Compiler;
+}

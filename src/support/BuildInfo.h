@@ -1,0 +1,42 @@
+//===- support/BuildInfo.h - Build identity stamp ---------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identity of the binary that produced an artifact: git describe output,
+/// CMake build type and compiler. Captured at configure time into a
+/// generated BuildInfo.inc, so every model artifact, campaign checkpoint,
+/// bench result and telemetry event log can record which build wrote it --
+/// the first question when two runs disagree.
+///
+/// The values are best-effort: building from a tarball (no git) yields
+/// "unknown" rather than a configure failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_BUILDINFO_H
+#define MSEM_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace msem {
+
+/// Build identity of this binary, captured at CMake configure time.
+struct BuildInfo {
+  std::string GitDescribe; ///< `git describe --always --dirty` ("unknown" without git).
+  std::string BuildType;   ///< CMAKE_BUILD_TYPE (e.g. "RelWithDebInfo").
+  std::string Compiler;    ///< Compiler id + version (e.g. "GNU 13.2.0").
+};
+
+/// The process-wide build identity. Values never change at runtime.
+const BuildInfo &buildInfo();
+
+/// One-line form for logs, --version output and artifact stamps:
+/// "<git> <build-type> <compiler>".
+std::string buildStamp();
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_BUILDINFO_H

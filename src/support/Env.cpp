@@ -43,6 +43,13 @@ EnvConfig msem::parseEnv() {
   C.Telemetry = getEnvString("MSEM_TELEMETRY", C.Telemetry);
   C.TraceFile = getEnvString("MSEM_TRACE_FILE", C.TraceFile);
   C.MetricsFile = getEnvString("MSEM_METRICS_FILE", C.MetricsFile);
+  C.EventsFile = getEnvString("MSEM_EVENTS_FILE", C.EventsFile);
+  C.MetricsFormat = getEnvString("MSEM_METRICS_FORMAT", C.MetricsFormat);
+  C.TraceSample =
+      std::clamp(getEnvDouble("MSEM_TRACE_SAMPLE", C.TraceSample), 0.0, 1.0);
+  C.DriftThreshold =
+      std::max(0.0, getEnvDouble("MSEM_DRIFT_THRESHOLD", C.DriftThreshold));
+  C.ResultsDir = getEnvString("MSEM_RESULTS_DIR", C.ResultsDir);
   C.FaultRate =
       std::clamp(getEnvDouble("MSEM_FAULT_RATE", C.FaultRate), 0.0, 1.0);
   C.TrainNSet = getEnvInt("MSEM_TRAIN_N", -1) >= 0;

@@ -39,8 +39,24 @@ struct EnvConfig {
   std::string Telemetry;
   /// MSEM_TRACE_FILE: Chrome trace-event JSON output path.
   std::string TraceFile;
-  /// MSEM_METRICS_FILE: JSONL metrics output path.
+  /// MSEM_METRICS_FILE: metrics snapshot output path.
   std::string MetricsFile;
+  /// MSEM_EVENTS_FILE: structured JSONL event-log output path.
+  std::string EventsFile;
+  /// MSEM_METRICS_FORMAT: metrics snapshot format ("jsonl" or
+  /// "openmetrics").
+  std::string MetricsFormat = "jsonl";
+  /// MSEM_TRACE_SAMPLE: fraction of traces kept in the span buffers, in
+  /// [0, 1]. Sampling is decided per trace id (a deterministic hash), so a
+  /// trace is either fully present or fully absent.
+  double TraceSample = 1.0;
+  /// MSEM_DRIFT_THRESHOLD: serving drift multiplier -- a model is flagged
+  /// when its rolling MAPE exceeds this multiple of the held-out MAPE
+  /// recorded in its artifact.
+  double DriftThreshold = 2.0;
+  /// MSEM_RESULTS_DIR: directory where bench harnesses write their
+  /// machine-readable BENCH_<name>.json results.
+  std::string ResultsDir = "results";
 
   // --- Fault injection (test hook) -----------------------------------------
   /// MSEM_FAULT_RATE: probability in [0, 1] that any single measurement

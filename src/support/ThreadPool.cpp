@@ -34,6 +34,12 @@ struct ThreadPool::Batch {
   size_t Grain = 1;
   size_t NumChunks = 0;
   const std::function<void(size_t)> *Body = nullptr;
+  /// The enqueuing span's trace context, re-established around every chunk
+  /// runner (workers *and* the participating caller) so spans created
+  /// inside iterations parent to the span that issued the region -- and so
+  /// every iteration body sees the same adopted-context ordinal rules
+  /// regardless of which thread runs it.
+  telemetry::TraceContext Ctx;
 
   std::atomic<size_t> NextChunk{0};
   std::atomic<bool> Cancelled{false};
@@ -81,6 +87,9 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::runChunks(Batch &B) {
   const bool Telemetry = telemetry::enabled();
+  // Adopt the region's trace context on this thread for the duration of
+  // the chunk loop (restores the previous context on scope exit).
+  telemetry::ContextGuard Guard(B.Ctx);
   uint64_t Start = Telemetry ? telemetry::nowNs() : 0;
   for (;;) {
     size_t Chunk = B.NextChunk.fetch_add(1, std::memory_order_relaxed);
@@ -122,8 +131,15 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   // region keeps the parallelism).
   if (Workers.empty() || N == 1 || InWorkerThread) {
     uint64_t Start = Telemetry && !InWorkerThread ? telemetry::nowNs() : 0;
-    for (size_t I = Begin; I < End; ++I)
-      Body(I);
+    {
+      // Same adopted-context rules as the fanned-out path, so span
+      // identity inside iteration bodies does not depend on whether the
+      // region ran inline (ids must be bitwise identical at any
+      // MSEM_THREADS).
+      telemetry::ContextGuard Guard(telemetry::currentContext());
+      for (size_t I = Begin; I < End; ++I)
+        Body(I);
+    }
     if (Telemetry && !InWorkerThread) {
       telemetry::counter("pool.regions").add(1);
       telemetry::counter("pool.tasks." + Stage).add(N);
@@ -132,6 +148,7 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
       telemetry::gauge("pool.threads")
           .set(static_cast<double>(NumThreads));
       telemetry::gauge("pool.utilization").set(1.0);
+      telemetry::maybeDumpMetrics();
     }
     return;
   }
@@ -145,6 +162,7 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   B.Grain = std::max<size_t>(1, N / (NumThreads * 8));
   B.NumChunks = (N + B.Grain - 1) / B.Grain;
   B.Body = &Body;
+  B.Ctx = telemetry::currentContext();
 
   const size_t Spawn = std::min(Workers.size(), B.NumChunks);
   B.Outstanding = Spawn;
@@ -186,6 +204,7 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
                    B.BusyNs.load(std::memory_order_relaxed)) /
                (static_cast<double>(WallNs) *
                 static_cast<double>(Spawn + 1)));
+    telemetry::maybeDumpMetrics();
   }
 
   if (B.Error)

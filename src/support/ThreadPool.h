@@ -33,6 +33,14 @@
 /// queue-wait timer "pool.queue_wait", gauges "pool.threads" and
 /// "pool.utilization" (busy-time fraction of the last parallel region).
 ///
+/// Trace propagation: parallelFor captures the calling thread's trace
+/// context (telemetry::currentContext) and re-establishes it around every
+/// iteration body -- on workers and on the participating caller alike --
+/// so spans created inside iterations parent to the enqueuing span, with
+/// identical deterministic ids at any thread count. Iteration bodies that
+/// open spans should use keyed spans (ScopedTimer(Name, I)) so sibling
+/// identity is order-independent.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MSEM_SUPPORT_THREADPOOL_H

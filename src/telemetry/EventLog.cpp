@@ -1,0 +1,307 @@
+//===- telemetry/EventLog.cpp - Structured event-log ingestion ------------===//
+
+#include "telemetry/EventLog.h"
+
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parseHex64(const Json &V, uint64_t &Out) {
+  const std::string &S = V.asString();
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 16);
+  return End && *End == '\0';
+}
+
+} // namespace
+
+bool telemetry::parseEventsJsonl(std::string_view Text, EventLog &Out,
+                                 std::string *Error) {
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = formatString("events line %zu: %s", LineNo, Msg.c_str());
+    return false;
+  };
+
+  Out = EventLog();
+  size_t Pos = 0;
+  bool SawMeta = false;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Line(Nl == std::string_view::npos
+                         ? Text.substr(Pos)
+                         : Text.substr(Pos, Nl - Pos));
+    Pos = Nl == std::string_view::npos ? Text.size() : Nl + 1;
+    if (Line.empty())
+      continue;
+    ++LineNo;
+
+    std::string JsonError;
+    Json V = Json::parse(Line, &JsonError);
+    if (V.isNull() && !JsonError.empty())
+      return Fail("malformed JSON (" + JsonError + ")");
+    if (V.kind() != Json::Kind::Object)
+      return Fail("expected a JSON object");
+    const std::string &Event = V["event"].asString();
+    if (Event == "meta") {
+      if (SawMeta)
+        return Fail("duplicate meta line");
+      if (LineNo != 1)
+        return Fail("meta line must come first");
+      SawMeta = true;
+      Out.Schema = V["schema"].asString();
+      Out.Build = V["build"].asString();
+      if (Out.Schema != "msem.events.v1")
+        return Fail("unknown schema '" + Out.Schema + "'");
+      continue;
+    }
+    if (!SawMeta)
+      return Fail("first line must be the meta record");
+    if (Event != "span")
+      return Fail("unknown event kind '" + Event + "'");
+
+    SpanEvent S;
+    if (V["name"].kind() != Json::Kind::String)
+      return Fail("span without name");
+    S.Name = V["name"].asString();
+    S.Detail = V["detail"].asString();
+    if (!parseHex64(V["trace"], S.TraceId) ||
+        !parseHex64(V["span"], S.SpanId) ||
+        !parseHex64(V["parent"], S.ParentSpanId))
+      return Fail("span with malformed trace/span/parent id");
+    if (S.TraceId == 0 || S.SpanId == 0)
+      return Fail("span with zero trace or span id");
+    if (V["start_ns"].kind() != Json::Kind::Number ||
+        V["dur_ns"].kind() != Json::Kind::Number)
+      return Fail("span without start_ns/dur_ns");
+    S.StartNs = static_cast<uint64_t>(V["start_ns"].asDouble());
+    S.DurationNs = static_cast<uint64_t>(V["dur_ns"].asDouble());
+    S.ThreadId = static_cast<uint32_t>(V["tid"].asInt());
+    Out.Spans.push_back(std::move(S));
+  }
+  if (!SawMeta)
+    return Fail("empty document (no meta line)");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Span forest
+//===----------------------------------------------------------------------===//
+
+SpanTree telemetry::buildSpanTree(const std::vector<SpanEvent> &Spans) {
+  SpanTree Tree;
+  Tree.Nodes.resize(Spans.size());
+  // First occurrence wins for duplicate span ids (same-named ordinal-0
+  // siblings under an adopted context share identity by design).
+  std::unordered_map<uint64_t, size_t> ById;
+  ById.reserve(Spans.size());
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    Tree.Nodes[I].SpanIndex = I;
+    ById.emplace(Spans[I].SpanId, I);
+  }
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    uint64_t Parent = Spans[I].ParentSpanId;
+    auto It = Parent ? ById.find(Parent) : ById.end();
+    if (It != ById.end() && It->second != I)
+      Tree.Nodes[It->second].Children.push_back(I);
+    else
+      Tree.Roots.push_back(I);
+  }
+  return Tree;
+}
+
+size_t SpanTree::depth() const {
+  size_t Max = 0;
+  // Explicit stack; the visit cap guards against pathological id cycles
+  // from a corrupted log.
+  std::vector<std::pair<size_t, size_t>> Stack; // (node, depth)
+  for (size_t R : Roots)
+    Stack.push_back({R, 1});
+  size_t Visited = 0;
+  while (!Stack.empty() && Visited <= Nodes.size()) {
+    auto [N, D] = Stack.back();
+    Stack.pop_back();
+    ++Visited;
+    Max = std::max(Max, D);
+    for (size_t C : Nodes[N].Children)
+      Stack.push_back({C, D + 1});
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Duration minus child-covered time (clamped: clock jitter can make the
+/// child sum slightly exceed the parent).
+uint64_t selfNs(const std::vector<SpanEvent> &Spans, const SpanTree &Tree,
+                size_t Node) {
+  uint64_t ChildNs = 0;
+  for (size_t C : Tree.Nodes[Node].Children)
+    ChildNs += Spans[C].DurationNs;
+  uint64_t Dur = Spans[Node].DurationNs;
+  return ChildNs >= Dur ? 0 : Dur - ChildNs;
+}
+
+} // namespace
+
+std::vector<PhaseStat>
+telemetry::aggregatePhases(const std::vector<SpanEvent> &Spans,
+                           const SpanTree &Tree) {
+  std::map<std::string, PhaseStat> ByName;
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    PhaseStat &P = ByName[Spans[I].Name];
+    P.Name = Spans[I].Name;
+    P.Count += 1;
+    P.TotalNs += Spans[I].DurationNs;
+    P.SelfNs += selfNs(Spans, Tree, I);
+    P.MaxNs = std::max(P.MaxNs, Spans[I].DurationNs);
+  }
+  std::vector<PhaseStat> Out;
+  for (auto &[Name, P] : ByName)
+    Out.push_back(std::move(P));
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const PhaseStat &A, const PhaseStat &B) {
+                     if (A.SelfNs != B.SelfNs)
+                       return A.SelfNs > B.SelfNs;
+                     return A.Name < B.Name;
+                   });
+  return Out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+telemetry::collapseStacks(const std::vector<SpanEvent> &Spans,
+                          const SpanTree &Tree) {
+  std::map<std::string, uint64_t> Stacks;
+  // DFS with the running name path; self time accumulates at each frame.
+  struct Frame {
+    size_t Node;
+    std::string Path;
+  };
+  std::vector<Frame> Stack;
+  for (size_t R : Tree.Roots)
+    Stack.push_back({R, Spans[R].Name});
+  size_t Visited = 0;
+  while (!Stack.empty() && Visited <= Tree.Nodes.size()) {
+    Frame F = std::move(Stack.back());
+    Stack.pop_back();
+    ++Visited;
+    Stacks[F.Path] += selfNs(Spans, Tree, F.Node);
+    for (size_t C : Tree.Nodes[F.Node].Children)
+      Stack.push_back({C, F.Path + ";" + Spans[C].Name});
+  }
+  std::vector<std::pair<std::string, uint64_t>> Out(Stacks.begin(),
+                                                    Stacks.end());
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const auto &A, const auto &B) {
+                     if (A.second != B.second)
+                       return A.second > B.second;
+                     return A.first < B.first;
+                   });
+  return Out;
+}
+
+std::vector<SpanEvent>
+telemetry::slowestSpans(const std::vector<SpanEvent> &Spans,
+                        std::string_view Name, size_t N) {
+  std::vector<SpanEvent> Matching;
+  for (const SpanEvent &S : Spans)
+    if (S.Name == Name)
+      Matching.push_back(S);
+  std::stable_sort(Matching.begin(), Matching.end(),
+                   [](const SpanEvent &A, const SpanEvent &B) {
+                     if (A.DurationNs != B.DurationNs)
+                       return A.DurationNs > B.DurationNs;
+                     return std::tie(A.TraceId, A.SpanId, A.Detail) <
+                            std::tie(B.TraceId, B.SpanId, B.Detail);
+                   });
+  if (Matching.size() > N)
+    Matching.resize(N);
+  return Matching;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics snapshot ingestion
+//===----------------------------------------------------------------------===//
+
+bool telemetry::parseMetricsJsonl(std::string_view Text, MetricsSnapshot &Out,
+                                  std::string *Error) {
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = formatString("metrics line %zu: %s", LineNo, Msg.c_str());
+    return false;
+  };
+
+  Out = MetricsSnapshot();
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Line(Nl == std::string_view::npos
+                         ? Text.substr(Pos)
+                         : Text.substr(Pos, Nl - Pos));
+    Pos = Nl == std::string_view::npos ? Text.size() : Nl + 1;
+    if (Line.empty())
+      continue;
+    ++LineNo;
+
+    std::string JsonError;
+    Json V = Json::parse(Line, &JsonError);
+    if (V.kind() != Json::Kind::Object)
+      return Fail("malformed JSON (" + JsonError + ")");
+    const std::string &Type = V["type"].asString();
+    const std::string &Name = V["name"].asString();
+    if (Name.empty())
+      return Fail("metric without name");
+    if (Type == "counter") {
+      Out.Counters.push_back(
+          {Name, static_cast<uint64_t>(V["value"].asDouble())});
+    } else if (Type == "gauge") {
+      Out.Gauges.push_back({Name, V["value"].asDouble()});
+    } else if (Type == "timer") {
+      Out.Timers.push_back({Name,
+                            static_cast<uint64_t>(V["count"].asDouble()),
+                            static_cast<uint64_t>(V["total_ns"].asDouble())});
+    } else if (Type == "histogram") {
+      MetricsSnapshot::HistogramValue H;
+      H.Name = Name;
+      H.Bounds = V["bounds"].toDoubleVector();
+      for (const Json &C : V["counts"].items())
+        H.Counts.push_back(static_cast<uint64_t>(C.asDouble()));
+      if (H.Counts.size() != H.Bounds.size() + 1)
+        return Fail("histogram counts/bounds size mismatch");
+      H.Sum = V["sum"].asDouble();
+      H.Max = V["max"].asDouble();
+      Out.Histograms.push_back(std::move(H));
+    } else if (Type == "series") {
+      MetricsSnapshot::SeriesValue S;
+      S.Name = Name;
+      for (const Json &P : V["points"].items())
+        S.Points.push_back({P.at(0).asDouble(), P.at(1).asDouble(), 0});
+      Out.SeriesList.push_back(std::move(S));
+    } else {
+      return Fail("unknown metric type '" + Type + "'");
+    }
+  }
+  return true;
+}

@@ -1,0 +1,97 @@
+//===- telemetry/EventLog.h - Structured event-log ingestion ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the "events" sink: parses and validates the
+/// "msem.events.v1" JSONL schema written by renderEventsJsonl(), rebuilds
+/// the span forest, and aggregates it into the views tools/msem_report
+/// renders -- per-phase time breakdown with self-time attribution,
+/// collapsed flamegraph stacks, and the slowest spans of a given name.
+///
+/// Schema (one JSON object per line, stable field names):
+///   {"event":"meta","schema":"msem.events.v1","build":"<stamp>"}
+///   {"event":"span","name":...,"detail":...,"trace":"<hex64>",
+///    "span":"<hex64>","parent":"<hex64>","start_ns":N,"dur_ns":N,"tid":N}
+///
+/// The meta line must come first; unknown "event" kinds are rejected (the
+/// schema is versioned -- new kinds belong in a v2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_EVENTLOG_H
+#define MSEM_TELEMETRY_EVENTLOG_H
+
+#include "telemetry/Telemetry.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msem {
+namespace telemetry {
+
+/// A parsed events file: header plus the span list in file order.
+struct EventLog {
+  std::string Schema; ///< "msem.events.v1".
+  std::string Build;  ///< buildStamp() of the producing binary.
+  std::vector<SpanEvent> Spans;
+};
+
+/// Parses and validates an events JSONL document. Returns false with a
+/// line-numbered diagnostic in \p Error (when non-null) on malformed JSON,
+/// a missing/misplaced meta line, an unknown schema version or missing
+/// span fields.
+bool parseEventsJsonl(std::string_view Text, EventLog &Out,
+                      std::string *Error);
+
+/// The span forest reassembled from parent ids. Spans whose parent is 0 or
+/// absent from the log (sampled-out or cross-file) are roots.
+struct SpanTree {
+  struct Node {
+    size_t SpanIndex;             ///< Into the originating span vector.
+    std::vector<size_t> Children; ///< Node indices, canonical order.
+  };
+  std::vector<Node> Nodes; ///< Node I describes span I.
+  std::vector<size_t> Roots;
+
+  /// Maximum nesting depth (0 for an empty forest, 1 for flat spans).
+  size_t depth() const;
+};
+
+SpanTree buildSpanTree(const std::vector<SpanEvent> &Spans);
+
+/// Per-name aggregation over a span forest. SelfNs excludes time covered
+/// by child spans, so phases sum to (roughly) the traced wall time.
+struct PhaseStat {
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t SelfNs = 0;
+  uint64_t MaxNs = 0;
+};
+
+/// Phases sorted by SelfNs descending (the report's time breakdown).
+std::vector<PhaseStat> aggregatePhases(const std::vector<SpanEvent> &Spans,
+                                       const SpanTree &Tree);
+
+/// Collapsed flamegraph stacks: "root;child;leaf" -> self nanoseconds,
+/// sorted by self time descending. The classic flamegraph.pl input shape.
+std::vector<std::pair<std::string, uint64_t>>
+collapseStacks(const std::vector<SpanEvent> &Spans, const SpanTree &Tree);
+
+/// The N slowest spans named \p Name (by duration), descending.
+std::vector<SpanEvent> slowestSpans(const std::vector<SpanEvent> &Spans,
+                                    std::string_view Name, size_t N);
+
+/// Parses a JSONL metrics snapshot (renderMetricsJsonl output) back into a
+/// MetricsSnapshot. Returns false with a diagnostic on malformed input.
+bool parseMetricsJsonl(std::string_view Text, MetricsSnapshot &Out,
+                       std::string *Error);
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_EVENTLOG_H

@@ -1,0 +1,502 @@
+//===- telemetry/OpenMetrics.cpp - Prometheus text exposition -------------===//
+
+#include "telemetry/OpenMetrics.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "pool.tasks.measure" -> family "msem_pool_tasks" + label stage="measure".
+struct LabelRule {
+  std::string_view Prefix; ///< Includes the trailing dot.
+  std::string_view Label;
+  /// When set, only the remainder up to its first '.' becomes the label
+  /// value; anything after it folds into the family name. This keeps
+  /// "pass.dce" (timer), "pass.dce.changed" (counter) and
+  /// "pass.dce.ir_delta" (gauge) in three distinct same-typed families
+  /// (msem_pass / msem_pass_changed / msem_pass_ir_delta), all labeled
+  /// pass="dce". Off for serving rules, whose model ids may contain dots.
+  bool SplitRest = false;
+};
+
+constexpr LabelRule kLabelRules[] = {
+    {"pool.tasks.", "stage"},
+    {"pool.region.", "stage"},
+    {"serving.latency_us.", "model"},
+    {"serving.requests.", "model"},
+    {"serving.errors.", "model"},
+    {"serving.residuals.", "model"},
+    {"serving.rolling_mape.", "model"},
+    {"serving.rolling_rmse.", "model"},
+    {"serving.drift_ratio.", "model"},
+    {"serving.drift_flag.", "model"},
+    {"pass.", "pass", true},
+};
+
+std::string sanitizeFamily(std::string_view Name) {
+  std::string Out = "msem_";
+  for (char C : Name)
+    Out += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+  return Out;
+}
+
+std::string escapeLabelValue(std::string_view V) {
+  std::string Out;
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Splits a metric name into (family, label string without braces). The
+/// label string is "" for unlabeled metrics, else `key="value"`.
+std::pair<std::string, std::string> mapMetricName(const std::string &Name) {
+  for (const LabelRule &R : kLabelRules) {
+    if (Name.size() > R.Prefix.size() &&
+        std::string_view(Name).substr(0, R.Prefix.size()) == R.Prefix) {
+      // Drop the prefix's trailing dot for the family base.
+      std::string FamilyBase(R.Prefix.substr(0, R.Prefix.size() - 1));
+      std::string Value = Name.substr(R.Prefix.size());
+      if (R.SplitRest) {
+        size_t Dot = Value.find('.');
+        if (Dot != std::string::npos) {
+          FamilyBase += "_" + Value.substr(Dot + 1);
+          Value.resize(Dot);
+        }
+      }
+      return {sanitizeFamily(FamilyBase), std::string(R.Label) + "=\"" +
+                                              escapeLabelValue(Value) + "\""};
+    }
+  }
+  return {sanitizeFamily(Name), ""};
+}
+
+std::string formatOmDouble(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  return formatString("%.17g", V);
+}
+
+std::string withLabels(const std::string &Sample, const std::string &Labels) {
+  if (Labels.empty())
+    return Sample;
+  return Sample + "{" + Labels + "}";
+}
+
+/// One metric family being assembled: its OpenMetrics type plus the sample
+/// lines, grouped so a single # TYPE header covers every label set.
+struct FamilyOut {
+  std::string Type;
+  std::vector<std::string> Lines;
+};
+
+} // namespace
+
+std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
+  // std::map keys keep families sorted; within a family, samples arrive in
+  // snapshot (name-sorted) order, so the document is deterministic.
+  std::map<std::string, FamilyOut> Families;
+
+  auto Family = [&](const std::string &Name,
+                    const char *Type) -> FamilyOut & {
+    FamilyOut &F = Families[Name];
+    if (F.Type.empty())
+      F.Type = Type;
+    return F;
+  };
+
+  for (const auto &C : S.Counters) {
+    auto [Fam, Labels] = mapMetricName(C.Name);
+    Family(Fam, "counter")
+        .Lines.push_back(withLabels(Fam + "_total", Labels) + " " +
+                         formatString("%llu", (unsigned long long)C.Value));
+  }
+  for (const auto &G : S.Gauges) {
+    auto [Fam, Labels] = mapMetricName(G.Name);
+    Family(Fam, "gauge").Lines.push_back(withLabels(Fam, Labels) + " " +
+                                         formatOmDouble(G.Value));
+  }
+  for (const auto &T : S.Timers) {
+    auto [Fam, Labels] = mapMetricName(T.Name);
+    FamilyOut &F = Family(Fam, "summary");
+    F.Lines.push_back(withLabels(Fam + "_count", Labels) + " " +
+                      formatString("%llu", (unsigned long long)T.Count));
+    F.Lines.push_back(withLabels(Fam + "_sum", Labels) + " " +
+                      formatOmDouble(T.TotalNs / 1e9));
+  }
+  for (const auto &H : S.Histograms) {
+    auto [Fam, Labels] = mapMetricName(H.Name);
+    FamilyOut &F = Family(Fam, "histogram");
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < H.Bounds.size(); ++I) {
+      Cum += H.Counts[I];
+      std::string Le = "le=\"" + formatOmDouble(H.Bounds[I]) + "\"";
+      std::string All = Labels.empty() ? Le : Labels + "," + Le;
+      F.Lines.push_back(Fam + "_bucket{" + All + "} " +
+                        formatString("%llu", (unsigned long long)Cum));
+    }
+    Cum += H.Counts.empty() ? 0 : H.Counts.back();
+    std::string Le = "le=\"+Inf\"";
+    std::string All = Labels.empty() ? Le : Labels + "," + Le;
+    F.Lines.push_back(Fam + "_bucket{" + All + "} " +
+                      formatString("%llu", (unsigned long long)Cum));
+    F.Lines.push_back(withLabels(Fam + "_sum", Labels) + " " +
+                      formatOmDouble(H.Sum));
+    F.Lines.push_back(withLabels(Fam + "_count", Labels) + " " +
+                      formatString("%llu", (unsigned long long)Cum));
+  }
+  // Series have no OpenMetrics equivalent and are deliberately omitted
+  // (they remain available in the JSONL snapshot and the trace sink).
+
+  std::string Out;
+  for (const auto &[Name, F] : Families) {
+    Out += "# TYPE " + Name + " " + F.Type + "\n";
+    for (const std::string &Line : F.Lines)
+      Out += Line + "\n";
+  }
+  Out += "# EOF\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation (promtool-check-metrics style)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool validMetricName(std::string_view Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == ':';
+  };
+  auto Tail = [&](char C) {
+    return Head(C) || std::isdigit(static_cast<unsigned char>(C));
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name.substr(1))
+    if (!Tail(C))
+      return false;
+  return true;
+}
+
+bool validLabelName(std::string_view Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name.substr(1))
+    if (!Head(C) && !std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+bool parseOmValue(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  std::string Buf(S);
+  char *End = nullptr;
+  Out = std::strtod(Buf.c_str(), &End);
+  return End && *End == '\0' && End != Buf.c_str();
+}
+
+/// Per-(family, label-set) histogram bookkeeping for cumulativity checks.
+struct HistSeries {
+  double LastLe = -HUGE_VAL;
+  uint64_t LastCum = 0;
+  bool SawInf = false;
+  uint64_t InfValue = 0;
+  bool SawCount = false;
+  uint64_t CountValue = 0;
+};
+
+} // namespace
+
+bool telemetry::validateOpenMetrics(std::string_view Text,
+                                    std::string *Error) {
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = formatString("line %zu: %s", LineNo, Msg.c_str());
+    return false;
+  };
+
+  std::map<std::string, std::string> Types; ///< family -> type
+  std::set<std::string> Closed;
+  std::string CurFamily;
+  std::map<std::string, HistSeries> CurHist; ///< label-set -> bookkeeping
+  bool SawEof = false;
+
+  auto CloseFamily = [&]() -> bool {
+    if (CurFamily.empty())
+      return true;
+    if (Types[CurFamily] == "histogram") {
+      for (const auto &[Labels, H] : CurHist) {
+        if (!H.SawInf)
+          return Fail("histogram " + CurFamily + "{" + Labels +
+                      "} missing le=\"+Inf\" bucket");
+        if (H.SawCount && H.CountValue != H.InfValue)
+          return Fail("histogram " + CurFamily + "{" + Labels +
+                      "} _count != +Inf bucket");
+      }
+    }
+    Closed.insert(CurFamily);
+    CurFamily.clear();
+    CurHist.clear();
+    return true;
+  };
+
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string_view Line = Nl == std::string_view::npos
+                                ? Text.substr(Pos)
+                                : Text.substr(Pos, Nl - Pos);
+    Pos = Nl == std::string_view::npos ? Text.size() + 1 : Nl + 1;
+    if (Line.empty() && Pos > Text.size())
+      break; // Trailing newline.
+    ++LineNo;
+
+    if (SawEof)
+      return Fail("content after # EOF");
+    if (Line.empty())
+      return Fail("empty line");
+
+    if (Line[0] == '#') {
+      if (Line == "# EOF") {
+        if (!CloseFamily())
+          return false;
+        SawEof = true;
+        continue;
+      }
+      // "# TYPE <name> <type>" / "# HELP <name> <text>" / "# UNIT ...".
+      std::vector<std::string> Parts = splitString(std::string(Line), ' ');
+      if (Parts.size() < 3 || Parts[0] != "#")
+        return Fail("malformed comment line (expected TYPE/HELP/UNIT/EOF)");
+      const std::string &Directive = Parts[1];
+      const std::string &Name = Parts[2];
+      if (Directive == "TYPE") {
+        if (Parts.size() != 4)
+          return Fail("malformed TYPE line");
+        const std::string &Type = Parts[3];
+        static const std::set<std::string> KnownTypes = {
+            "counter", "gauge",   "histogram", "summary",
+            "unknown", "info",    "stateset",  "gaugehistogram"};
+        if (!validMetricName(Name))
+          return Fail("invalid metric family name '" + Name + "'");
+        if (!KnownTypes.count(Type))
+          return Fail("unknown metric type '" + Type + "'");
+        if (Types.count(Name))
+          return Fail("family '" + Name + "' redeclared");
+        if (Closed.count(Name))
+          return Fail("family '" + Name + "' declared after its samples");
+        if (!CloseFamily())
+          return false;
+        Types[Name] = Type;
+        CurFamily = Name;
+      } else if (Directive == "HELP" || Directive == "UNIT") {
+        if (!validMetricName(Name))
+          return Fail("invalid metric family name '" + Name + "'");
+      } else {
+        return Fail("unknown directive '# " + Directive + "'");
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp].
+    size_t NameEnd = 0;
+    while (NameEnd < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[NameEnd])) ||
+            Line[NameEnd] == '_' || Line[NameEnd] == ':'))
+      ++NameEnd;
+    std::string SampleName(Line.substr(0, NameEnd));
+    if (!validMetricName(SampleName))
+      return Fail("invalid sample name");
+    std::string_view Rest = Line.substr(NameEnd);
+
+    // Labels.
+    std::map<std::string, std::string> Labels;
+    if (!Rest.empty() && Rest[0] == '{') {
+      size_t I = 1;
+      bool First = true;
+      while (true) {
+        if (I >= Rest.size())
+          return Fail("unterminated label set");
+        if (Rest[I] == '}') {
+          ++I;
+          break;
+        }
+        if (!First) {
+          if (Rest[I] != ',')
+            return Fail("expected ',' between labels");
+          ++I;
+        }
+        First = false;
+        size_t KeyStart = I;
+        while (I < Rest.size() && Rest[I] != '=')
+          ++I;
+        if (I >= Rest.size())
+          return Fail("label without '='");
+        std::string Key(Rest.substr(KeyStart, I - KeyStart));
+        if (!validLabelName(Key))
+          return Fail("invalid label name '" + Key + "'");
+        ++I; // '='
+        if (I >= Rest.size() || Rest[I] != '"')
+          return Fail("label value must be quoted");
+        ++I;
+        std::string Value;
+        while (I < Rest.size() && Rest[I] != '"') {
+          if (Rest[I] == '\\') {
+            ++I;
+            if (I >= Rest.size())
+              return Fail("dangling escape in label value");
+            char E = Rest[I];
+            if (E == 'n')
+              Value += '\n';
+            else if (E == '\\' || E == '"')
+              Value += E;
+            else
+              return Fail("invalid escape in label value");
+          } else {
+            Value += Rest[I];
+          }
+          ++I;
+        }
+        if (I >= Rest.size())
+          return Fail("unterminated label value");
+        ++I; // closing quote
+        if (Labels.count(Key))
+          return Fail("duplicate label '" + Key + "'");
+        Labels[Key] = Value;
+      }
+      Rest = Rest.substr(I);
+    }
+
+    if (Rest.empty() || Rest[0] != ' ')
+      return Fail("missing value");
+    Rest = Rest.substr(1);
+    // Optional timestamp after the value.
+    size_t Space = Rest.find(' ');
+    std::string_view ValueStr =
+        Space == std::string_view::npos ? Rest : Rest.substr(0, Space);
+    double Value;
+    if (!parseOmValue(ValueStr, Value))
+      return Fail("unparsable sample value '" + std::string(ValueStr) + "'");
+    if (Space != std::string_view::npos) {
+      double Ts;
+      if (!parseOmValue(Rest.substr(Space + 1), Ts))
+        return Fail("unparsable timestamp");
+    }
+
+    // Resolve the sample to its declared family via the per-type suffix
+    // rules, and forbid interleaving.
+    std::string Family;
+    std::string Suffix;
+    for (std::string_view Cand :
+         {std::string_view("_total"), std::string_view("_bucket"),
+          std::string_view("_sum"), std::string_view("_count"),
+          std::string_view("_created"), std::string_view("")}) {
+      if (SampleName.size() > Cand.size() &&
+          std::string_view(SampleName)
+                  .substr(SampleName.size() - Cand.size()) == Cand) {
+        std::string Base =
+            SampleName.substr(0, SampleName.size() - Cand.size());
+        if (Types.count(Base)) {
+          Family = Base;
+          Suffix = std::string(Cand);
+          break;
+        }
+      }
+    }
+    if (Family.empty())
+      return Fail("sample '" + SampleName + "' has no preceding # TYPE");
+    if (Family != CurFamily)
+      return Fail("sample for family '" + Family +
+                  "' interleaved with family '" + CurFamily + "'");
+
+    const std::string &Type = Types[Family];
+    auto SuffixOk = [&]() {
+      if (Type == "counter")
+        return Suffix == "_total" || Suffix == "_created";
+      if (Type == "gauge")
+        return Suffix.empty();
+      if (Type == "summary")
+        return Suffix == "_count" || Suffix == "_sum" || Suffix.empty() ||
+               Suffix == "_created";
+      if (Type == "histogram")
+        return Suffix == "_bucket" || Suffix == "_sum" ||
+               Suffix == "_count" || Suffix == "_created";
+      return true; // unknown/info/...: lenient.
+    };
+    if (!SuffixOk())
+      return Fail("sample '" + SampleName + "' invalid for " + Type +
+                  " family '" + Family + "'");
+
+    if (Type == "histogram") {
+      // Canonical label set without 'le' keys the bucket series.
+      std::string Key;
+      for (const auto &[K, V] : Labels)
+        if (K != "le")
+          Key += K + "=\"" + V + "\",";
+      HistSeries &H = CurHist[Key];
+      if (Suffix == "_bucket") {
+        auto It = Labels.find("le");
+        if (It == Labels.end())
+          return Fail("histogram bucket without le label");
+        double Le;
+        if (It->second == "+Inf")
+          Le = HUGE_VAL;
+        else if (!parseOmValue(It->second, Le))
+          return Fail("unparsable le value '" + It->second + "'");
+        uint64_t Cum = static_cast<uint64_t>(Value);
+        if (Le <= H.LastLe)
+          return Fail("histogram buckets not in increasing le order");
+        if (Cum < H.LastCum)
+          return Fail("histogram bucket counts not cumulative");
+        H.LastLe = Le;
+        H.LastCum = Cum;
+        if (It->second == "+Inf") {
+          H.SawInf = true;
+          H.InfValue = Cum;
+        }
+      } else if (Suffix == "_count") {
+        H.SawCount = true;
+        H.CountValue = static_cast<uint64_t>(Value);
+      }
+    }
+    if (Type == "counter" && Value < 0)
+      return Fail("negative counter value");
+  }
+
+  if (!SawEof)
+    return Fail("missing # EOF terminator");
+  return true;
+}

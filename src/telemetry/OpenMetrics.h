@@ -1,0 +1,57 @@
+//===- telemetry/OpenMetrics.h - Prometheus text exposition -----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenMetrics / Prometheus text exposition for the telemetry registry:
+/// renders a MetricsSnapshot as a typed text document, and validates such
+/// documents the way `promtool check metrics` would (the validator is the
+/// acceptance test for the format -- no external tooling is required).
+///
+/// Mapping from msem metric names:
+///   - counters    -> `# TYPE msem_x counter`, sample `msem_x_total`
+///   - gauges      -> `# TYPE msem_x gauge`
+///   - timers      -> `# TYPE msem_x summary` (_count, _sum in seconds)
+///   - histograms  -> `# TYPE msem_x histogram` (cumulative _bucket{le=},
+///                    +Inf bucket, _sum, _count)
+///   - series      -> omitted (no OpenMetrics equivalent; they live in the
+///                    JSONL snapshot and the trace sink)
+///
+/// Dynamic name suffixes become labels so cardinality lives in labels, not
+/// metric families: "pool.tasks.<stage>" -> msem_pool_tasks{stage="..."},
+/// "pool.region.<stage>" -> msem_pool_region{stage="..."},
+/// "serving.<what>.<model>" -> msem_serving_<what>{model="..."},
+/// "pass.<name>" -> msem_pass{pass="..."}. Everything else maps 1:1 with
+/// non-alphanumerics folded to '_' and an "msem_" prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_OPENMETRICS_H
+#define MSEM_TELEMETRY_OPENMETRICS_H
+
+#include "telemetry/Telemetry.h"
+
+#include <string>
+#include <string_view>
+
+namespace msem {
+namespace telemetry {
+
+/// Renders \p S as an OpenMetrics text document (terminated by "# EOF").
+/// Deterministic: families and label sets are emitted in sorted order.
+std::string renderOpenMetrics(const MetricsSnapshot &S);
+
+/// Validates an OpenMetrics text document: TYPE declarations precede their
+/// samples, sample names follow the per-type suffix rules, label syntax
+/// and float values parse, histogram buckets are cumulative and end in
+/// +Inf, families are not interleaved or redeclared, and the document ends
+/// with "# EOF". Returns true when valid; otherwise false with a
+/// line-numbered diagnostic in \p Error (when non-null).
+bool validateOpenMetrics(std::string_view Text, std::string *Error);
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_OPENMETRICS_H

@@ -2,15 +2,20 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/Format.h"
 #include "support/TablePrinter.h"
+#include "telemetry/OpenMetrics.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <tuple>
 
 using namespace msem;
 using namespace msem::telemetry;
@@ -25,11 +30,15 @@ namespace {
 std::atomic<bool> AnyEnabled{false};
 std::atomic<bool> TraceOn{false};
 std::atomic<bool> ConfigLatched{false};
+std::atomic<double> SampleRate{1.0};
+/// Set by SIGUSR1 / requestMetricsDump, drained by maybeDumpMetrics.
+std::atomic<bool> DumpRequested{false};
 
 struct Registry {
   std::mutex Mutex;
   Config Cfg;
   bool AtExitRegistered = false;
+  bool SignalInstalled = false;
   std::chrono::steady_clock::time_point Epoch =
       std::chrono::steady_clock::now();
 
@@ -49,15 +58,30 @@ Registry &registry() {
   return *R;
 }
 
+extern "C" void msemDumpSignalHandler(int) {
+  // Async-signal-safe: one lock-free atomic store; the actual snapshot is
+  // written at the next instrumentation point (maybeDumpMetrics).
+  DumpRequested.store(true, std::memory_order_relaxed);
+}
+
 void applyConfigLocked(Registry &R, const Config &C) {
   R.Cfg = C;
   AnyEnabled.store(C.Sinks != SinkNone, std::memory_order_relaxed);
-  TraceOn.store((C.Sinks & SinkTrace) != 0, std::memory_order_relaxed);
+  TraceOn.store((C.Sinks & (SinkTrace | SinkEvents)) != 0,
+                std::memory_order_relaxed);
+  SampleRate.store(std::clamp(C.TraceSample, 0.0, 1.0),
+                   std::memory_order_relaxed);
   ConfigLatched.store(true, std::memory_order_release);
   if (C.Sinks != SinkNone && !R.AtExitRegistered) {
     R.AtExitRegistered = true;
     std::atexit([] { telemetry::flush(); });
   }
+#ifdef SIGUSR1
+  if (C.Sinks != SinkNone && !R.SignalInstalled) {
+    R.SignalInstalled = true;
+    std::signal(SIGUSR1, msemDumpSignalHandler);
+  }
+#endif
 }
 
 /// Latches the env-derived config on first use.
@@ -76,6 +100,68 @@ uint32_t threadId() {
   static std::atomic<uint32_t> Next{1};
   thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
   return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic span identity
+//===----------------------------------------------------------------------===//
+
+// All span/trace ids are FNV-64 derived from names, explicit keys and
+// sibling ordinals -- never wall-clock or thread identity -- so the span
+// tree is reproducible across thread counts and process restarts.
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+/// Domain tags keeping root / keyed-child / ordinal-child ids disjoint.
+constexpr uint64_t kTagRoot = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kTagKeyed = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kTagOrdinal = 0x165667b19e3779f9ull;
+
+uint64_t fnv64(std::string_view S) {
+  uint64_t H = kFnvOffset;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= kFnvPrime;
+  }
+  return H;
+}
+
+uint64_t mix64(uint64_t H, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= kFnvPrime;
+  }
+  return H;
+}
+
+uint64_t nonZero(uint64_t H) { return H ? H : 1; }
+
+/// Whole-trace sampling: a pure function of the trace id, so a trace is
+/// either fully buffered or fully dropped, identically on every run.
+bool sampleKeep(uint64_t TraceId) {
+  double Rate = SampleRate.load(std::memory_order_relaxed);
+  if (Rate >= 1.0)
+    return true;
+  if (Rate <= 0.0)
+    return false;
+  uint64_t H = mix64(kFnvOffset, TraceId);
+  return static_cast<double>(H % 1000000) < Rate * 1e6;
+}
+
+/// The innermost live span on this thread (implicit parent for children).
+thread_local ScopedTimer *CurrentSpan = nullptr;
+/// Cross-thread context adopted via ContextGuard (consulted only when no
+/// span object is live on this thread).
+thread_local TraceContext AdoptedCtx;
+
+/// Canonical span order: ids first, timing last, so sorting is stable
+/// across runs and the timing-free projection is thread-count invariant.
+bool spanLessCanonical(const SpanEvent &A, const SpanEvent &B) {
+  auto Key = [](const SpanEvent &S) {
+    return std::tie(S.TraceId, S.ParentSpanId, S.SpanId, S.Name, S.Detail,
+                    S.StartNs, S.DurationNs, S.ThreadId);
+  };
+  return Key(A) < Key(B);
 }
 
 std::string escapeJson(std::string_view S) {
@@ -115,6 +201,12 @@ void writeFileOrWarn(const std::string &Path, const std::string &Content) {
   std::fclose(F);
 }
 
+std::string renderMetricsSnapshotFile(const Config &C) {
+  if (C.MetricsFormat == "openmetrics")
+    return renderOpenMetrics(snapshotMetrics());
+  return renderMetricsJsonl();
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -136,12 +228,14 @@ Config telemetry::configFromEnv() {
         C.Sinks |= SinkJsonl;
       else if (Name == "trace")
         C.Sinks |= SinkTrace;
+      else if (Name == "events")
+        C.Sinks |= SinkEvents;
       else if (Name == "all")
-        C.Sinks |= SinkSummary | SinkJsonl | SinkTrace;
+        C.Sinks |= SinkSummary | SinkJsonl | SinkTrace | SinkEvents;
       else if (!Name.empty())
         std::fprintf(stderr,
                      "msem telemetry: unknown sink '%s' in MSEM_TELEMETRY "
-                     "(expected summary, jsonl, trace, all)\n",
+                     "(expected summary, jsonl, trace, events, all)\n",
                      Name.c_str());
     }
   }
@@ -149,6 +243,17 @@ Config telemetry::configFromEnv() {
     C.TraceFile = E.TraceFile;
   if (!E.MetricsFile.empty())
     C.MetricsFile = E.MetricsFile;
+  if (!E.EventsFile.empty())
+    C.EventsFile = E.EventsFile;
+  if (E.MetricsFormat == "jsonl" || E.MetricsFormat == "openmetrics") {
+    C.MetricsFormat = E.MetricsFormat;
+  } else if (!E.MetricsFormat.empty()) {
+    std::fprintf(stderr,
+                 "msem telemetry: unknown MSEM_METRICS_FORMAT '%s' "
+                 "(expected jsonl or openmetrics)\n",
+                 E.MetricsFormat.c_str());
+  }
+  C.TraceSample = E.TraceSample;
   return C;
 }
 
@@ -192,6 +297,14 @@ void Histogram::observe(double X) {
   size_t I =
       std::lower_bound(Bounds.begin(), Bounds.end(), X) - Bounds.begin();
   Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + X,
+                                    std::memory_order_relaxed)) {
+  }
+  double CurMax = Max.load(std::memory_order_relaxed);
+  while (X > CurMax && !Max.compare_exchange_weak(
+                           CurMax, X, std::memory_order_relaxed)) {
+  }
 }
 
 uint64_t Histogram::totalCount() const {
@@ -199,6 +312,50 @@ uint64_t Histogram::totalCount() const {
   for (size_t I = 0; I <= Bounds.size(); ++I)
     Total += Buckets[I].load(std::memory_order_relaxed);
   return Total;
+}
+
+double Histogram::quantile(double Q) const {
+  uint64_t Total = totalCount();
+  if (Total == 0)
+    return 0.0;
+  double ObservedMax = max();
+  double Rank = std::clamp(Q, 0.0, 1.0) * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < numBuckets(); ++I) {
+    uint64_t N = bucketCount(I);
+    if (N == 0)
+      continue;
+    if (static_cast<double>(Cum + N) < Rank) {
+      Cum += N;
+      continue;
+    }
+    // Rank falls inside bucket I: interpolate linearly between its edges
+    // (lower edge 0 for the first bucket, the observed max for the
+    // overflow bucket) and clamp to the observed maximum.
+    double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+    double Hi = I < Bounds.size() ? Bounds[I] : ObservedMax;
+    if (Hi < Lo)
+      Hi = Lo;
+    double Frac =
+        std::clamp((Rank - static_cast<double>(Cum)) / static_cast<double>(N),
+                   0.0, 1.0);
+    return std::min(Lo + (Hi - Lo) * Frac, ObservedMax);
+  }
+  return ObservedMax;
+}
+
+std::string_view telemetry::unitForMetricName(std::string_view Name) {
+  auto EndsWith = [&](std::string_view Suffix) {
+    return Name.size() >= Suffix.size() &&
+           Name.substr(Name.size() - Suffix.size()) == Suffix;
+  };
+  if (EndsWith("_us"))
+    return "us";
+  if (EndsWith("_ns"))
+    return "ns";
+  if (EndsWith("_ms"))
+    return "ms";
+  return "";
 }
 
 void Series::record(double X, double Y) {
@@ -260,7 +417,7 @@ Histogram &telemetry::histogram(std::string_view Name,
 }
 
 //===----------------------------------------------------------------------===//
-// Spans
+// Spans and trace contexts
 //===----------------------------------------------------------------------===//
 
 uint64_t telemetry::nowNs() {
@@ -271,35 +428,143 @@ uint64_t telemetry::nowNs() {
           .count());
 }
 
-ScopedTimer::ScopedTimer(std::string_view Name) {
+uint64_t telemetry::deriveTraceId(std::string_view Identity, uint64_t Salt) {
+  return nonZero(mix64(fnv64(Identity), Salt));
+}
+
+TraceContext telemetry::currentContext() {
+  if (CurrentSpan)
+    return {CurrentSpan->TraceId, CurrentSpan->SpanId, CurrentSpan->Sampled};
+  return AdoptedCtx;
+}
+
+ContextGuard::ContextGuard(const TraceContext &Ctx) {
+  SavedSpan = CurrentSpan;
+  SavedCtx = AdoptedCtx;
+  CurrentSpan = nullptr;
+  AdoptedCtx = Ctx;
+}
+
+ContextGuard::~ContextGuard() {
+  AdoptedCtx = SavedCtx;
+  CurrentSpan = static_cast<ScopedTimer *>(SavedSpan);
+}
+
+void ScopedTimer::init(std::string_view NameIn, bool HasKey, uint64_t Key,
+                       bool IsRoot, uint64_t RootId) {
   if (!enabled())
     return;
   Active = true;
-  this->Name = std::string(Name);
+  Name = std::string(NameIn);
+  uint64_t NameHash = fnv64(NameIn);
+  TraceContext Ctx = currentContext();
+  if (IsRoot) {
+    TraceId = nonZero(RootId);
+    ParentSpanId = 0;
+    SpanId = nonZero(mix64(mix64(TraceId, kTagRoot), NameHash));
+    Sampled = sampleKeep(TraceId);
+  } else if (Ctx.valid()) {
+    TraceId = Ctx.TraceId;
+    ParentSpanId = Ctx.SpanId;
+    Sampled = Ctx.Sampled;
+    uint64_t Tag, Sibling;
+    if (HasKey) {
+      Tag = kTagKeyed;
+      Sibling = Key;
+    } else {
+      // Same-thread sibling ordinal: deterministic for sequential code.
+      // Under an adopted context there is no parent object on this thread,
+      // so every unkeyed child gets ordinal 0 -- parallel regions must use
+      // keyed spans for per-sibling identity.
+      Tag = kTagOrdinal;
+      Sibling = CurrentSpan ? CurrentSpan->NextChild++ : 0;
+    }
+    SpanId = nonZero(mix64(
+        mix64(mix64(mix64(TraceId, ParentSpanId), NameHash), Tag), Sibling));
+  } else {
+    // No surrounding context: the span roots its own trace.
+    TraceId = nonZero(
+        mix64(NameHash, HasKey ? mix64(kTagKeyed, Key) : kTagRoot));
+    ParentSpanId = 0;
+    SpanId = nonZero(mix64(mix64(TraceId, kTagRoot), NameHash));
+    Sampled = sampleKeep(TraceId);
+  }
+  Capture = traceEnabled() && Sampled;
+  PrevSpan = CurrentSpan;
+  CurrentSpan = this;
   StartNs = nowNs();
+}
+
+ScopedTimer::ScopedTimer(std::string_view Name) {
+  init(Name, /*HasKey=*/false, 0, /*IsRoot=*/false, 0);
+}
+
+ScopedTimer::ScopedTimer(std::string_view Name, uint64_t Key) {
+  init(Name, /*HasKey=*/true, Key, /*IsRoot=*/false, 0);
+}
+
+ScopedTimer::ScopedTimer(std::string_view Name, TraceRoot Root) {
+  init(Name, /*HasKey=*/false, 0, /*IsRoot=*/true, Root.Id);
 }
 
 ScopedTimer::~ScopedTimer() {
   if (!Active)
     return;
+  CurrentSpan = PrevSpan;
   uint64_t End = nowNs();
   uint64_t Dur = End > StartNs ? End - StartNs : 0;
   timer(Name).add(Dur);
-  if (traceEnabled()) {
+  if (Capture) {
     Registry &R = registry();
     std::lock_guard<std::mutex> Lock(R.Mutex);
-    R.Spans.push_back({std::move(Name), StartNs, Dur, threadId()});
+    R.Spans.push_back({std::move(Name), std::move(Detail), TraceId, SpanId,
+                       ParentSpanId, StartNs, Dur, threadId()});
   }
+  maybeDumpMetrics();
 }
 
 uint64_t ScopedTimer::elapsedNs() const {
   return Active ? nowNs() - StartNs : 0;
 }
 
+void ScopedTimer::setDetail(std::string_view D) {
+  if (Capture)
+    Detail = std::string(D);
+}
+
 std::vector<SpanEvent> telemetry::spans() {
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   return R.Spans;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics snapshot
+//===----------------------------------------------------------------------===//
+
+MetricsSnapshot telemetry::snapshotMetrics() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : R.Counters)
+    S.Counters.push_back({Name, C->value()});
+  for (const auto &[Name, G] : R.Gauges)
+    S.Gauges.push_back({Name, G->value()});
+  for (const auto &[Name, T] : R.Timers)
+    S.Timers.push_back({Name, T->count(), T->totalNs()});
+  for (const auto &[Name, H] : R.Histograms) {
+    MetricsSnapshot::HistogramValue V;
+    V.Name = Name;
+    V.Bounds = H->bounds();
+    for (size_t I = 0; I <= H->bounds().size(); ++I)
+      V.Counts.push_back(H->bucketCount(I));
+    V.Sum = H->sum();
+    V.Max = H->max();
+    S.Histograms.push_back(std::move(V));
+  }
+  for (const auto &[Name, Sr] : R.Series_)
+    S.SeriesList.push_back({Name, Sr->points()});
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -343,7 +608,8 @@ std::string telemetry::renderSummary() {
     Out += "-- telemetry: timers --\n" + T.render();
   }
   if (!R.Histograms.empty()) {
-    TablePrinter T({"Histogram", "Count", "Buckets (<=bound: n)"});
+    TablePrinter T({"Histogram", "Count", "p50", "p95", "p99", "Max", "Unit",
+                    "Buckets (<=bound: n)"});
     for (const auto &[Name, H] : R.Histograms) {
       std::vector<std::string> Parts;
       for (size_t I = 0; I < H->bounds().size(); ++I)
@@ -352,8 +618,14 @@ std::string telemetry::renderSummary() {
                                        (unsigned long long)N));
       if (uint64_t N = H->bucketCount(H->bounds().size()))
         Parts.push_back(formatString(">: %llu", (unsigned long long)N));
+      std::string_view Unit = unitForMetricName(Name);
       T.addRow({Name,
                 formatString("%llu", (unsigned long long)H->totalCount()),
+                formatString("%.4g", H->quantile(0.50)),
+                formatString("%.4g", H->quantile(0.95)),
+                formatString("%.4g", H->quantile(0.99)),
+                formatString("%.4g", H->max()),
+                Unit.empty() ? "-" : std::string(Unit),
                 joinStrings(Parts, "  ")});
     }
     Out += "-- telemetry: histograms --\n" + T.render();
@@ -402,9 +674,9 @@ std::string telemetry::renderMetricsJsonl() {
           formatString("%llu", (unsigned long long)H->bucketCount(I)));
     Out += formatString(
         "{\"type\":\"histogram\",\"name\":\"%s\",\"bounds\":[%s],"
-        "\"counts\":[%s]}\n",
+        "\"counts\":[%s],\"sum\":%.17g,\"max\":%.17g}\n",
         escapeJson(Name).c_str(), joinStrings(BoundStrs, ",").c_str(),
-        joinStrings(CountStrs, ",").c_str());
+        joinStrings(CountStrs, ",").c_str(), H->sum(), H->max());
   }
   for (const auto &[Name, S] : R.Series_) {
     std::vector<std::string> PointStrs;
@@ -417,18 +689,38 @@ std::string telemetry::renderMetricsJsonl() {
   return Out;
 }
 
+namespace {
+
+std::vector<SpanEvent> sortedSpansCopy() {
+  Registry &R = registry();
+  std::vector<SpanEvent> Sorted;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    Sorted = R.Spans;
+  }
+  std::stable_sort(Sorted.begin(), Sorted.end(), spanLessCanonical);
+  return Sorted;
+}
+
+} // namespace
+
 std::string telemetry::renderTraceJson() {
+  std::vector<SpanEvent> Sorted = sortedSpansCopy();
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   std::vector<std::string> Events;
 
   // Complete ("X") events: ts/dur in microseconds per the trace format.
-  for (const SpanEvent &S : R.Spans)
+  // args carries the causal ids so the tree survives the format.
+  for (const SpanEvent &S : Sorted)
     Events.push_back(formatString(
         "{\"name\":\"%s\",\"cat\":\"msem\",\"ph\":\"X\",\"ts\":%.3f,"
-        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"trace\":\"%016llx\","
+        "\"span\":\"%016llx\",\"parent\":\"%016llx\",\"detail\":\"%s\"}}",
         escapeJson(S.Name).c_str(), S.StartNs / 1e3, S.DurationNs / 1e3,
-        S.ThreadId));
+        S.ThreadId, (unsigned long long)S.TraceId,
+        (unsigned long long)S.SpanId, (unsigned long long)S.ParentSpanId,
+        escapeJson(S.Detail).c_str()));
 
   // Series with timestamps export as counter ("C") tracks.
   for (const auto &[Name, S] : R.Series_)
@@ -443,6 +735,46 @@ std::string telemetry::renderTraceJson() {
          "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
+std::string telemetry::renderEventsJsonl() {
+  std::vector<SpanEvent> Sorted = sortedSpansCopy();
+  std::string Out = formatString(
+      "{\"event\":\"meta\",\"schema\":\"msem.events.v1\",\"build\":\"%s\"}\n",
+      escapeJson(buildStamp()).c_str());
+  for (const SpanEvent &S : Sorted)
+    Out += formatString(
+        "{\"event\":\"span\",\"name\":\"%s\",\"detail\":\"%s\","
+        "\"trace\":\"%016llx\",\"span\":\"%016llx\",\"parent\":\"%016llx\","
+        "\"start_ns\":%llu,\"dur_ns\":%llu,\"tid\":%u}\n",
+        escapeJson(S.Name).c_str(), escapeJson(S.Detail).c_str(),
+        (unsigned long long)S.TraceId, (unsigned long long)S.SpanId,
+        (unsigned long long)S.ParentSpanId,
+        (unsigned long long)S.StartNs, (unsigned long long)S.DurationNs,
+        S.ThreadId);
+  return Out;
+}
+
+std::string telemetry::renderCanonicalSpans() {
+  std::vector<SpanEvent> Sorted = sortedSpansCopy();
+  // Re-sort on the timing-free key only, so the projection is identical
+  // across thread counts (where timestamps differ but ids do not).
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const SpanEvent &A, const SpanEvent &B) {
+                     return std::tie(A.TraceId, A.ParentSpanId, A.SpanId,
+                                     A.Name, A.Detail) <
+                            std::tie(B.TraceId, B.ParentSpanId, B.SpanId,
+                                     B.Name, B.Detail);
+                   });
+  std::string Out;
+  for (const SpanEvent &S : Sorted)
+    Out += formatString("trace=%016llx span=%016llx parent=%016llx "
+                        "name=%s detail=%s\n",
+                        (unsigned long long)S.TraceId,
+                        (unsigned long long)S.SpanId,
+                        (unsigned long long)S.ParentSpanId, S.Name.c_str(),
+                        S.Detail.c_str());
+  return Out;
+}
+
 void telemetry::flush() {
   Config C = currentConfig();
   if (C.Sinks & SinkSummary) {
@@ -450,9 +782,26 @@ void telemetry::flush() {
     std::fwrite(Summary.data(), 1, Summary.size(), stderr);
   }
   if (C.Sinks & SinkJsonl)
-    writeFileOrWarn(C.MetricsFile, renderMetricsJsonl());
+    writeFileOrWarn(C.MetricsFile, renderMetricsSnapshotFile(C));
   if (C.Sinks & SinkTrace)
     writeFileOrWarn(C.TraceFile, renderTraceJson());
+  if (C.Sinks & SinkEvents)
+    writeFileOrWarn(C.EventsFile, renderEventsJsonl());
+  // A dump requested just before exit is satisfied by this flush.
+  DumpRequested.store(false, std::memory_order_relaxed);
+}
+
+void telemetry::requestMetricsDump() {
+  DumpRequested.store(true, std::memory_order_relaxed);
+}
+
+void telemetry::maybeDumpMetrics() {
+  if (!DumpRequested.load(std::memory_order_relaxed))
+    return;
+  if (!DumpRequested.exchange(false, std::memory_order_relaxed))
+    return;
+  Config C = currentConfig();
+  writeFileOrWarn(C.MetricsFile, renderMetricsSnapshotFile(C));
 }
 
 void telemetry::reset() {
@@ -467,6 +816,8 @@ void telemetry::reset() {
   R.Cfg = Config();
   AnyEnabled.store(false, std::memory_order_relaxed);
   TraceOn.store(false, std::memory_order_relaxed);
+  SampleRate.store(1.0, std::memory_order_relaxed);
+  DumpRequested.store(false, std::memory_order_relaxed);
   // Leave ConfigLatched set: a reset configuration means "disabled", not
   // "re-read the environment".
   ConfigLatched.store(true, std::memory_order_release);

@@ -7,18 +7,40 @@
 /// \file
 /// Lightweight instrumentation for the whole experiment pipeline: a global
 /// registry of named counters / gauges / histograms / timers / series, RAII
-/// span timers with nesting, and pluggable output sinks:
+/// span timers with causal trace contexts, and pluggable output sinks:
 ///
 ///   - "summary": aligned tables on stderr (TablePrinter),
-///   - "jsonl":   one JSON object per metric in MSEM_METRICS_FILE,
+///   - "jsonl":   metrics snapshot in MSEM_METRICS_FILE (JSONL by default;
+///                MSEM_METRICS_FORMAT=openmetrics switches to OpenMetrics
+///                text exposition, see telemetry/OpenMetrics.h),
 ///   - "trace":   Chrome trace-event JSON in MSEM_TRACE_FILE, loadable in
-///                chrome://tracing or https://ui.perfetto.dev.
+///                chrome://tracing or https://ui.perfetto.dev,
+///   - "events":  structured span-tree JSONL in MSEM_EVENTS_FILE with
+///                stable field names (schema "msem.events.v1"), the input
+///                to tools/msem_report.
 ///
 /// Sinks are selected via MSEM_TELEMETRY (comma-separated list, e.g.
 /// "summary,trace") or programmatically with telemetry::configure(). When
 /// no sink is configured every convenience entry point is a branch on one
 /// relaxed atomic load and nothing allocates; instrumented code guards any
 /// expensive argument computation behind telemetry::enabled().
+///
+/// Causal tracing: every ScopedTimer is a *span* with a (trace id, span id,
+/// parent span id) triple. The innermost live span on the current thread is
+/// the implicit parent; crossing a thread boundary (ThreadPool tasks) the
+/// enqueuing span's context is carried along and re-established with a
+/// ContextGuard, so spans created inside pool tasks parent correctly to the
+/// span that issued the region. All ids are *deterministic*: they are FNV
+/// hashes of (parent ids, span name, explicit key or sibling ordinal) --
+/// never wall-clock or thread identity -- so the span tree is bitwise
+/// identical across MSEM_THREADS settings and across checkpoint resumes.
+/// Within a parallel region iterations must use *keyed* spans
+/// (ScopedTimer(Name, Key) with the iteration index) so sibling identity
+/// does not depend on execution order.
+///
+/// MSEM_TRACE_SAMPLE in [0, 1] keeps that fraction of traces in the span
+/// buffers (decided per trace id by hash, so sampling is deterministic and
+/// whole-trace). Timers always accumulate regardless of sampling.
 ///
 /// Metric objects returned from the registry have stable addresses for the
 /// lifetime of the process, so hot paths may cache the reference. All
@@ -50,17 +72,26 @@ namespace telemetry {
 enum Sink : unsigned {
   SinkNone = 0,
   SinkSummary = 1u << 0, ///< Human-readable tables on stderr.
-  SinkJsonl = 1u << 1,   ///< One JSON object per metric, one per line.
+  SinkJsonl = 1u << 1,   ///< Metrics snapshot (JSONL or OpenMetrics).
   SinkTrace = 1u << 2,   ///< Chrome trace-event JSON.
+  SinkEvents = 1u << 3,  ///< Structured span-tree JSONL event log.
 };
 
 struct Config {
   unsigned Sinks = SinkNone;
   std::string TraceFile = "msem_trace.json";
   std::string MetricsFile = "msem_metrics.jsonl";
+  std::string EventsFile = "msem_events.jsonl";
+  /// "jsonl" (default) or "openmetrics" -- how the SinkJsonl metrics
+  /// snapshot is rendered (both to MetricsFile).
+  std::string MetricsFormat = "jsonl";
+  /// Fraction of traces kept in the span buffers, in [0, 1]. Decided per
+  /// trace id, deterministically.
+  double TraceSample = 1.0;
 };
 
-/// Parses MSEM_TELEMETRY / MSEM_TRACE_FILE / MSEM_METRICS_FILE. Unknown
+/// Parses MSEM_TELEMETRY / MSEM_TRACE_FILE / MSEM_METRICS_FILE /
+/// MSEM_EVENTS_FILE / MSEM_METRICS_FORMAT / MSEM_TRACE_SAMPLE. Unknown
 /// sink names are ignored.
 Config configFromEnv();
 
@@ -74,8 +105,7 @@ Config currentConfig();
 /// True when at least one sink is active. One relaxed atomic load.
 bool enabled();
 
-/// True when the trace sink is active (spans and series timestamps are
-/// only buffered in that case).
+/// True when a span-buffering sink (trace or events) is active.
 bool traceEnabled();
 
 //===----------------------------------------------------------------------===//
@@ -126,7 +156,9 @@ private:
 };
 
 /// Fixed-bucket histogram. Bucket I counts observations <= Bounds[I]; one
-/// implicit overflow bucket counts the rest.
+/// implicit overflow bucket counts the rest. Also tracks the running sum
+/// and maximum so quantiles can be estimated and OpenMetrics exposition
+/// can emit the standard _sum series.
 class Histogram {
 public:
   explicit Histogram(std::vector<double> UpperBounds);
@@ -138,12 +170,25 @@ public:
     return Buckets[I].load(std::memory_order_relaxed);
   }
   uint64_t totalCount() const;
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  double max() const { return Max.load(std::memory_order_relaxed); }
   const std::vector<double> &bounds() const { return Bounds; }
+
+  /// Estimated Q-quantile (Q in [0, 1]) by linear interpolation within the
+  /// containing bucket, clamped to the observed maximum. 0 when empty.
+  double quantile(double Q) const;
 
 private:
   std::vector<double> Bounds; ///< Sorted ascending.
   std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<double> Sum{0.0};
+  std::atomic<double> Max{0.0};
 };
+
+/// Unit label inferred from a histogram/timer name suffix ("_us" -> "us",
+/// "_ns" -> "ns", "_ms" -> "ms"; "" otherwise). Rendered next to quantile
+/// columns and as the OpenMetrics unit hint.
+std::string_view unitForMetricName(std::string_view Name);
 
 /// An append-only (x, y) trajectory -- GCV per pruning step, GA best per
 /// generation, CI bound per window. When the trace sink is active each
@@ -205,19 +250,79 @@ inline void record(std::string_view Name, double X, double Y) {
 }
 
 //===----------------------------------------------------------------------===//
-// Spans
+// Spans and trace contexts
 //===----------------------------------------------------------------------===//
 
 /// Monotonic nanoseconds since telemetry initialization.
 uint64_t nowNs();
 
-/// RAII wall-time span. Accumulates into timer(Name) and, when the trace
-/// sink is active, buffers a trace event. Nesting falls out of Chrome's
-/// containment semantics for same-thread "X" events. Costs one atomic
-/// load when telemetry is disabled.
+/// Deterministic trace-id derivation from a stable identity (campaign
+/// name, artifact id, input path...) plus a salt (seed, request ordinal).
+/// Never returns 0 (0 means "no trace").
+uint64_t deriveTraceId(std::string_view Identity, uint64_t Salt);
+
+/// The causal coordinates a span hands to its children: which trace it
+/// belongs to and its own span id (the child's parent id). Copyable across
+/// threads; re-established on the destination thread with a ContextGuard.
+struct TraceContext {
+  uint64_t TraceId = 0; ///< 0 = no active trace.
+  uint64_t SpanId = 0;  ///< Parent span id for children (0 = root).
+  bool Sampled = true;  ///< Whether this trace's spans are buffered.
+
+  bool valid() const { return TraceId != 0; }
+};
+
+/// The innermost live span's context on the current thread (or the adopted
+/// cross-thread context established by a ContextGuard; invalid context when
+/// neither exists).
+TraceContext currentContext();
+
+/// RAII adoption of a trace context captured on another thread (or earlier
+/// on this one). While alive, spans created on this thread parent to
+/// \p Ctx.SpanId. ThreadPool wraps every parallel iteration in one, so
+/// spans inside pool tasks join the enqueuing span's tree. Restores the
+/// previous context (adopted or natural) on destruction.
+class ContextGuard {
+public:
+  explicit ContextGuard(const TraceContext &Ctx);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard &) = delete;
+  ContextGuard &operator=(const ContextGuard &) = delete;
+
+private:
+  TraceContext SavedCtx;
+  void *SavedSpan = nullptr;
+};
+
+/// RAII wall-time span. Accumulates into timer(Name) and, when a span sink
+/// is active and the trace is sampled, buffers a SpanEvent carrying its
+/// deterministic (trace, span, parent) ids. Costs one atomic load when
+/// telemetry is disabled.
+///
+/// Identity rules (all FNV-64 derived, no wall-clock):
+///   - ScopedTimer(Name, TraceRoot{Id}) starts a new trace with the given
+///     id; use deriveTraceId() on stable job/request identity.
+///   - ScopedTimer(Name, Key) is a keyed child: its span id mixes the
+///     explicit key, so siblings created in any order (parallel regions)
+///     have order-independent identity. Key should be the iteration index
+///     or another stable per-sibling value.
+///   - ScopedTimer(Name) is an ordinal child: its span id mixes a sibling
+///     ordinal taken from the parent span on the same thread (deterministic
+///     for sequential code). Under an adopted (cross-thread) context the
+///     ordinal is always 0 -- same-named unkeyed siblings share identity
+///     there, so parallel regions should use keyed spans.
+///   - With no surrounding context at all the span roots its own trace,
+///     with the id derived from the name (and key, if any).
 class ScopedTimer {
 public:
+  /// Tag type selecting the root-span constructor.
+  struct TraceRoot {
+    uint64_t Id;
+  };
+
   explicit ScopedTimer(std::string_view Name);
+  ScopedTimer(std::string_view Name, uint64_t Key);
+  ScopedTimer(std::string_view Name, TraceRoot Root);
   ~ScopedTimer();
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
@@ -225,41 +330,138 @@ public:
   /// Nanoseconds since construction (0 when telemetry was disabled).
   uint64_t elapsedNs() const;
 
+  uint64_t traceId() const { return TraceId; }
+  uint64_t spanId() const { return SpanId; }
+  uint64_t parentSpanId() const { return ParentSpanId; }
+
+  /// True when this span will be buffered on destruction (span sink active
+  /// and trace sampled). Guard expensive detail computation on this.
+  bool capturing() const { return Capture; }
+
+  /// Free-form annotation carried into the span event ("detail" field):
+  /// the design-point cache key, artifact id, input file...
+  void setDetail(std::string_view D);
+
 private:
+  friend TraceContext currentContext();
+
+  void init(std::string_view NameIn, bool HasKey, uint64_t Key, bool IsRoot,
+            uint64_t RootId);
+
   std::string Name; ///< Empty when inactive.
+  std::string Detail;
   uint64_t StartNs = 0;
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentSpanId = 0;
+  uint64_t NextChild = 0; ///< Ordinal source for same-thread unkeyed children.
+  ScopedTimer *PrevSpan = nullptr;
   bool Active = false;
+  bool Capture = false;
+  bool Sampled = false;
 };
 
 /// A completed span, exposed for tests and custom sinks.
 struct SpanEvent {
   std::string Name;
+  std::string Detail;      ///< Optional annotation ("" when unset).
+  uint64_t TraceId = 0;    ///< Deterministic trace identity.
+  uint64_t SpanId = 0;     ///< Deterministic span identity.
+  uint64_t ParentSpanId = 0; ///< 0 for trace roots.
   uint64_t StartNs = 0;
   uint64_t DurationNs = 0;
   uint32_t ThreadId = 0; ///< Small dense index, not the OS tid.
 };
 
-/// Snapshot of all completed spans (trace sink active only).
+/// Snapshot of all completed spans (span sink active only).
 std::vector<SpanEvent> spans();
+
+//===----------------------------------------------------------------------===//
+// Metrics snapshot (for exposition formats and tests)
+//===----------------------------------------------------------------------===//
+
+/// A consistent copy of every registered metric, decoupled from the live
+/// registry. Input to the OpenMetrics renderer and msem_report.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string Name;
+    uint64_t Value;
+  };
+  struct GaugeValue {
+    std::string Name;
+    double Value;
+  };
+  struct TimerValue {
+    std::string Name;
+    uint64_t Count;
+    uint64_t TotalNs;
+  };
+  struct HistogramValue {
+    std::string Name;
+    std::vector<double> Bounds;
+    std::vector<uint64_t> Counts; ///< Bounds.size() + 1 (overflow last).
+    double Sum;
+    double Max;
+  };
+  struct SeriesValue {
+    std::string Name;
+    std::vector<Series::Point> Points;
+  };
+
+  std::vector<CounterValue> Counters;
+  std::vector<GaugeValue> Gauges;
+  std::vector<TimerValue> Timers;
+  std::vector<HistogramValue> Histograms;
+  std::vector<SeriesValue> SeriesList;
+};
+
+/// Snapshots every registered metric (sorted by name, deterministic).
+MetricsSnapshot snapshotMetrics();
 
 //===----------------------------------------------------------------------===//
 // Output
 //===----------------------------------------------------------------------===//
 
 /// Renders the summary tables (counters, gauges, timers sorted by total
-/// time, histograms, series) regardless of configured sinks.
+/// time, histograms with p50/p95/p99/max, series) regardless of configured
+/// sinks.
 std::string renderSummary();
 
 /// Renders every metric as one JSON object per line.
 std::string renderMetricsJsonl();
 
 /// Renders buffered spans and series as a Chrome trace-event JSON document.
+/// Spans are emitted in canonical (id-sorted) order and carry their trace /
+/// span / parent ids in args.
 std::string renderTraceJson();
 
-/// Writes all configured sinks: summary to stderr, jsonl/trace to their
+/// Renders the structured event log: a "meta" line (schema version + build
+/// stamp) followed by one "span" object per buffered span, sorted into
+/// canonical order so the file is byte-comparable across runs with
+/// identical timing. Schema: "msem.events.v1" (see telemetry/EventLog.h).
+std::string renderEventsJsonl();
+
+/// The timing-free projection of the span tree: one line per span with its
+/// ids, name and detail, sorted canonically. Identical across MSEM_THREADS
+/// settings for a deterministic workload -- the determinism oracle used by
+/// tests.
+std::string renderCanonicalSpans();
+
+/// Writes all configured sinks: summary to stderr, metrics (JSONL or
+/// OpenMetrics per Config::MetricsFormat) / trace / events to their
 /// configured files. Also registered via atexit on first initialization
 /// with any sink active, so programs need no explicit call.
 void flush();
+
+/// Requests an on-demand metrics snapshot: the next maybeDumpMetrics()
+/// call writes the metrics file. Also triggered by SIGUSR1 (the handler
+/// only sets a flag; the write happens at the next instrumentation point).
+void requestMetricsDump();
+
+/// Writes the metrics snapshot now if a dump was requested (SIGUSR1 or
+/// requestMetricsDump). Polled from span completion and thread-pool region
+/// boundaries; cheap (one relaxed load) when no dump is pending.
+void maybeDumpMetrics();
 
 /// Drops all metrics, spans and the latched configuration (tests).
 void reset();

@@ -271,6 +271,7 @@ TEST(CheckpointTest, CheckpointRoundTripsThroughDisk) {
   Ckpt.SimulationsSpent = 99;
   Ckpt.WallSecondsSpent = 1.5;
   Ckpt.CachePath = "msem_cache/responses.csv";
+  Ckpt.Build = "abc1234 Release GNU 12.2.0";
 
   std::string Path = tempCheckpointPath("roundtrip");
   std::string Error;
@@ -296,6 +297,7 @@ TEST(CheckpointTest, CheckpointRoundTripsThroughDisk) {
   EXPECT_EQ(Back.SimulationsSpent, 99u);
   EXPECT_EQ(Back.WallSecondsSpent, 1.5);
   EXPECT_EQ(Back.CachePath, "msem_cache/responses.csv");
+  EXPECT_EQ(Back.Build, "abc1234 Release GNU 12.2.0");
 
   // The atomic publish leaves no temp file behind.
   std::FILE *Tmp = std::fopen((Path + ".tmp").c_str(), "rb");

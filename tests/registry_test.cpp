@@ -2,6 +2,8 @@
 
 #include "registry/ModelRegistry.h"
 
+#include "registry/ServingMonitor.h"
+
 #include "campaign/Experiment.h"
 #include "design/Doe.h"
 #include "model/LinearModel.h"
@@ -365,6 +367,118 @@ TEST(RegistryTest, CampaignPublishesJointAndPlatformArtifacts) {
   ASSERT_NE(Platform, nullptr) << Error;
   ASSERT_TRUE(Platform->Info.HasFrozenMachine);
   EXPECT_EQ(Platform->Info.Machine, MachineConfig::typical());
+}
+
+
+//===----------------------------------------------------------------------===//
+// ServingMonitor: rolling quality statistics and drift detection
+//===----------------------------------------------------------------------===//
+
+TEST(ServingMonitorTest, RollingErrorStatsMatchHandComputation) {
+  ServingMonitor Mon;
+  // Residuals: pred 110 vs 100 (10%), pred 90 vs 100 (10%).
+  Mon.recordResidual("m", 110.0, 100.0);
+  Mon.recordResidual("m", 90.0, 100.0);
+  std::vector<ServingModelStats> S = Mon.stats();
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0].ModelId, "m");
+  EXPECT_EQ(S[0].Residuals, 2u);
+  EXPECT_NEAR(S[0].RollingMape, 10.0, 1e-9);
+  EXPECT_NEAR(S[0].RollingRmse, 10.0, 1e-9);
+}
+
+TEST(ServingMonitorTest, ZeroActualCountsIntoRmseOnly) {
+  ServingMonitor Mon;
+  Mon.recordResidual("m", 4.0, 0.0); // MAPE undefined; RMSE gets 4^2.
+  std::vector<ServingModelStats> S = Mon.stats();
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_NEAR(S[0].RollingRmse, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(S[0].RollingMape, 0.0);
+}
+
+TEST(ServingMonitorTest, DriftFlagsOnlyAfterMinResiduals) {
+  ServingMonitor::Options O;
+  O.DriftThreshold = 2.0;
+  O.MinResiduals = 8;
+  ServingMonitor Mon(O);
+  // Published MAPE 10%; every residual is 50% off -> ratio 5x.
+  Mon.recordBatch("m", 1, 1000, /*BaselineMape=*/10.0);
+  for (int I = 0; I < 7; ++I)
+    Mon.recordResidual("m", 150.0, 100.0);
+  EXPECT_FALSE(Mon.anyDrift()) << "must not flag below MinResiduals";
+  Mon.recordResidual("m", 150.0, 100.0);
+  EXPECT_TRUE(Mon.anyDrift());
+  std::vector<ServingModelStats> S = Mon.stats();
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S[0].DriftFlagged);
+  EXPECT_NEAR(S[0].DriftRatio, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(S[0].BaselineMape, 10.0);
+}
+
+TEST(ServingMonitorTest, AccurateServingNeverFlags) {
+  ServingMonitor Mon;
+  Mon.recordBatch("m", 4, 1000, /*BaselineMape=*/10.0);
+  for (int I = 0; I < 64; ++I)
+    Mon.recordResidual("m", 105.0, 100.0); // 5% < 2 x 10%.
+  EXPECT_FALSE(Mon.anyDrift());
+  std::vector<ServingModelStats> S = Mon.stats();
+  EXPECT_NEAR(S[0].DriftRatio, 0.5, 1e-9);
+}
+
+TEST(ServingMonitorTest, DisabledThresholdNeverFlags) {
+  ServingMonitor::Options O;
+  O.DriftThreshold = 0.0; // <= 0 disables.
+  ServingMonitor Mon(O);
+  Mon.recordBatch("m", 1, 1000, 1.0);
+  for (int I = 0; I < 32; ++I)
+    Mon.recordResidual("m", 1000.0, 1.0);
+  EXPECT_FALSE(Mon.anyDrift());
+}
+
+TEST(ServingMonitorTest, ResidualWindowEvictsOldEntries) {
+  ServingMonitor::Options O;
+  O.ResidualWindow = 4;
+  O.MinResiduals = 2;
+  ServingMonitor Mon(O);
+  Mon.recordBatch("m", 1, 1000, /*BaselineMape=*/10.0);
+  // Fill the window with terrible residuals, then wash them out with
+  // perfect ones; only the last 4 (all perfect) remain.
+  for (int I = 0; I < 4; ++I)
+    Mon.recordResidual("m", 200.0, 100.0);
+  EXPECT_TRUE(Mon.anyDrift());
+  for (int I = 0; I < 4; ++I)
+    Mon.recordResidual("m", 100.0, 100.0);
+  std::vector<ServingModelStats> S = Mon.stats();
+  EXPECT_EQ(S[0].Residuals, 4u);
+  EXPECT_DOUBLE_EQ(S[0].RollingMape, 0.0);
+  EXPECT_FALSE(Mon.anyDrift());
+}
+
+TEST(ServingMonitorTest, CountsRequestsBatchesAndErrors) {
+  ServingMonitor Mon;
+  Mon.recordBatch("a", 5, 2000, 0.0);
+  Mon.recordBatch("a", 3, 1000, 0.0);
+  Mon.recordError("a");
+  Mon.recordBatch("b", 1, 100, 0.0);
+  std::vector<ServingModelStats> S = Mon.stats();
+  ASSERT_EQ(S.size(), 2u); // Sorted by model id.
+  EXPECT_EQ(S[0].ModelId, "a");
+  EXPECT_EQ(S[0].Requests, 8u);
+  EXPECT_EQ(S[0].Batches, 2u);
+  EXPECT_EQ(S[0].Errors, 1u);
+  EXPECT_EQ(S[1].ModelId, "b");
+  EXPECT_EQ(S[1].Requests, 1u);
+}
+
+TEST(ServingMonitorTest, SummaryTableNamesModelsAndFlagsDrift) {
+  ServingMonitor::Options O;
+  O.MinResiduals = 1;
+  ServingMonitor Mon(O);
+  Mon.recordBatch("drifty-model", 1, 1000, /*BaselineMape=*/1.0);
+  Mon.recordResidual("drifty-model", 300.0, 100.0);
+  std::string Table = Mon.renderSummary();
+  EXPECT_NE(Table.find("drifty-model"), std::string::npos);
+  EXPECT_NE(Table.find("DRIFT"), std::string::npos);
 }
 
 } // namespace

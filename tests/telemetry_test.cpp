@@ -2,9 +2,15 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "support/FileSystem.h"
+#include "support/ThreadPool.h"
+#include "telemetry/EventLog.h"
+#include "telemetry/OpenMetrics.h"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
@@ -406,6 +412,431 @@ TEST_F(TelemetryDisabledTest, ConfigFromEnvParsesSinkList) {
   unsetenv("MSEM_TELEMETRY");
   unsetenv("MSEM_TRACE_FILE");
   EXPECT_EQ(tl::configFromEnv().Sinks, tl::SinkNone + 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Causal tracing: deterministic span identity, context propagation
+//===----------------------------------------------------------------------===//
+
+/// Span-capturing fixture: events sink on, no files written (render only).
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    tl::reset();
+    tl::Config C;
+    C.Sinks = tl::SinkEvents;
+    tl::configure(C);
+  }
+  void TearDown() override {
+    setGlobalThreadCount(0);
+    tl::reset();
+  }
+};
+
+TEST_F(TraceTest, DeriveTraceIdIsStableAndNonZero) {
+  uint64_t A = tl::deriveTraceId("campaign-x", 7);
+  EXPECT_EQ(A, tl::deriveTraceId("campaign-x", 7));
+  EXPECT_NE(A, tl::deriveTraceId("campaign-x", 8));
+  EXPECT_NE(A, tl::deriveTraceId("campaign-y", 7));
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(tl::deriveTraceId("", 0), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansParentCorrectly) {
+  uint64_t Root, Mid, Leaf;
+  {
+    tl::ScopedTimer R("root", tl::ScopedTimer::TraceRoot{42});
+    Root = R.spanId();
+    EXPECT_EQ(R.traceId(), 42u);
+    EXPECT_EQ(R.parentSpanId(), 0u);
+    {
+      tl::ScopedTimer M("mid");
+      Mid = M.spanId();
+      EXPECT_EQ(M.traceId(), 42u);
+      EXPECT_EQ(M.parentSpanId(), Root);
+      tl::ScopedTimer L("leaf", 3);
+      Leaf = L.spanId();
+      EXPECT_EQ(L.parentSpanId(), Mid);
+    }
+  }
+  std::vector<tl::SpanEvent> Spans = tl::spans();
+  ASSERT_EQ(Spans.size(), 3u);
+  for (const tl::SpanEvent &S : Spans)
+    EXPECT_EQ(S.TraceId, 42u);
+  (void)Leaf;
+}
+
+TEST_F(TraceTest, UnkeyedSiblingsGetDistinctOrdinals) {
+  uint64_t A, B;
+  {
+    tl::ScopedTimer R("root", tl::ScopedTimer::TraceRoot{1});
+    {
+      tl::ScopedTimer S1("step");
+      A = S1.spanId();
+    }
+    {
+      tl::ScopedTimer S2("step");
+      B = S2.spanId();
+    }
+  }
+  EXPECT_NE(A, B); // Same name, consecutive ordinals.
+}
+
+TEST_F(TraceTest, SpansWithNoContextSelfRoot) {
+  uint64_t Trace;
+  {
+    tl::ScopedTimer S("lonely");
+    Trace = S.traceId();
+    EXPECT_NE(Trace, 0u);
+    EXPECT_EQ(S.parentSpanId(), 0u);
+  }
+  // Deterministic: the same name roots the same trace id again.
+  tl::ScopedTimer T("lonely");
+  EXPECT_EQ(T.traceId(), Trace);
+}
+
+TEST_F(TraceTest, ParallelForSpansParentToEnqueuingSpan) {
+  setGlobalThreadCount(4);
+  uint64_t RootSpan;
+  {
+    tl::ScopedTimer R("region", tl::ScopedTimer::TraceRoot{99});
+    RootSpan = R.spanId();
+    globalThreadPool().parallelFor(
+        0, 16,
+        [&](size_t I) { tl::ScopedTimer S("iter", I); },
+        "test");
+  }
+  std::vector<tl::SpanEvent> Spans = tl::spans();
+  size_t Iters = 0;
+  for (const tl::SpanEvent &S : Spans) {
+    if (S.Name != "iter")
+      continue;
+    ++Iters;
+    EXPECT_EQ(S.TraceId, 99u);
+    EXPECT_EQ(S.ParentSpanId, RootSpan);
+  }
+  EXPECT_EQ(Iters, 16u);
+}
+
+namespace {
+
+/// The deterministic traced workload used by the thread-count-invariance
+/// oracle: a root, a parallel region of keyed spans, a nested child per
+/// iteration, and a sequential coda.
+void runTracedWorkload() {
+  tl::ScopedTimer Root("work.root",
+                       tl::ScopedTimer::TraceRoot{tl::deriveTraceId("w", 1)});
+  Root.setDetail("oracle");
+  globalThreadPool().parallelFor(
+      0, 24,
+      [&](size_t I) {
+        tl::ScopedTimer S("work.item", I);
+        tl::ScopedTimer Inner("work.inner");
+      },
+      "oracle");
+  tl::ScopedTimer Coda("work.coda");
+}
+
+} // namespace
+
+TEST_F(TraceTest, CanonicalSpansIdenticalAcrossThreadCounts) {
+  setGlobalThreadCount(1);
+  runTracedWorkload();
+  std::string OneThread = tl::renderCanonicalSpans();
+
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkEvents;
+  tl::configure(C);
+  setGlobalThreadCount(8);
+  runTracedWorkload();
+  std::string EightThreads = tl::renderCanonicalSpans();
+
+  EXPECT_FALSE(OneThread.empty());
+  EXPECT_EQ(OneThread, EightThreads);
+}
+
+TEST_F(TraceTest, TraceSampleZeroDropsSpansButKeepsTimers) {
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkEvents;
+  C.TraceSample = 0.0;
+  tl::configure(C);
+  {
+    tl::ScopedTimer S("sampled.out", tl::ScopedTimer::TraceRoot{7});
+    EXPECT_FALSE(S.capturing());
+  }
+  EXPECT_TRUE(tl::spans().empty());
+  EXPECT_EQ(tl::timer("sampled.out").count(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Events JSONL: render -> parse round trip, validation, aggregation
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, EventsJsonlRoundTripsAndTreeIsDeep) {
+  {
+    tl::ScopedTimer A("a", tl::ScopedTimer::TraceRoot{5});
+    tl::ScopedTimer B("b");
+    tl::ScopedTimer Inner("c", 0);
+    Inner.setDetail("leaf \"quoted\"");
+  }
+  std::string Text = tl::renderEventsJsonl();
+
+  tl::EventLog Log;
+  std::string Error;
+  ASSERT_TRUE(tl::parseEventsJsonl(Text, Log, &Error)) << Error;
+  EXPECT_EQ(Log.Schema, "msem.events.v1");
+  EXPECT_FALSE(Log.Build.empty());
+  ASSERT_EQ(Log.Spans.size(), 3u);
+
+  tl::SpanTree Tree = tl::buildSpanTree(Log.Spans);
+  EXPECT_EQ(Tree.Roots.size(), 1u);
+  EXPECT_EQ(Tree.depth(), 3u);
+
+  // The detail string with quotes survived the JSON round trip.
+  bool FoundDetail = false;
+  for (const tl::SpanEvent &S : Log.Spans)
+    FoundDetail = FoundDetail || S.Detail == "leaf \"quoted\"";
+  EXPECT_TRUE(FoundDetail);
+}
+
+TEST_F(TraceTest, EventsParserRejectsMalformedLogs) {
+  tl::EventLog Log;
+  std::string Error;
+  EXPECT_FALSE(tl::parseEventsJsonl("", Log, &Error));
+  EXPECT_FALSE(tl::parseEventsJsonl(
+      "{\"event\":\"span\",\"name\":\"x\"}\n", Log, &Error));
+  EXPECT_FALSE(tl::parseEventsJsonl(
+      "{\"event\":\"meta\",\"schema\":\"msem.events.v999\"}\n", Log,
+      &Error));
+  std::string Meta =
+      "{\"event\":\"meta\",\"schema\":\"msem.events.v1\",\"build\":\"t\"}\n";
+  EXPECT_FALSE(tl::parseEventsJsonl(
+      Meta + "{\"event\":\"span\",\"name\":\"x\",\"trace\":\"0\","
+             "\"span\":\"1\",\"parent\":\"0\",\"start_ns\":0,"
+             "\"dur_ns\":1,\"tid\":0}\n",
+      Log, &Error))
+      << "zero trace id must be rejected";
+  EXPECT_FALSE(tl::parseEventsJsonl(
+      Meta + "{\"event\":\"widget\"}\n", Log, &Error));
+  EXPECT_TRUE(tl::parseEventsJsonl(
+      Meta + "{\"event\":\"span\",\"name\":\"x\",\"trace\":\"2\","
+             "\"span\":\"1\",\"parent\":\"0\",\"start_ns\":0,"
+             "\"dur_ns\":1,\"tid\":0}\n",
+      Log, &Error))
+      << Error;
+}
+
+TEST_F(TraceTest, PhaseAggregationAndSlowestSpans) {
+  {
+    tl::ScopedTimer R("phase.root", tl::ScopedTimer::TraceRoot{11});
+    for (int I = 0; I < 3; ++I)
+      tl::ScopedTimer S("phase.leaf", static_cast<uint64_t>(I));
+  }
+  std::string Text = tl::renderEventsJsonl();
+  tl::EventLog Log;
+  std::string Error;
+  ASSERT_TRUE(tl::parseEventsJsonl(Text, Log, &Error)) << Error;
+  tl::SpanTree Tree = tl::buildSpanTree(Log.Spans);
+
+  std::vector<tl::PhaseStat> Phases = tl::aggregatePhases(Log.Spans, Tree);
+  ASSERT_EQ(Phases.size(), 2u);
+  const tl::PhaseStat *Leaf = nullptr;
+  for (const tl::PhaseStat &P : Phases)
+    if (P.Name == "phase.leaf")
+      Leaf = &P;
+  ASSERT_NE(Leaf, nullptr);
+  EXPECT_EQ(Leaf->Count, 3u);
+
+  std::vector<tl::SpanEvent> Slow =
+      tl::slowestSpans(Log.Spans, "phase.leaf", 2);
+  ASSERT_EQ(Slow.size(), 2u);
+  EXPECT_GE(Slow[0].DurationNs, Slow[1].DurationNs);
+
+  std::vector<std::pair<std::string, uint64_t>> Stacks =
+      tl::collapseStacks(Log.Spans, Tree);
+  bool SawPath = false;
+  for (const auto &[Path, SelfNs] : Stacks)
+    SawPath = SawPath || Path == "phase.root;phase.leaf";
+  EXPECT_TRUE(SawPath);
+}
+
+//===----------------------------------------------------------------------===//
+// OpenMetrics exposition
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, OpenMetricsRenderPassesValidator) {
+  tl::counter("campaign.simulations").add(15);
+  tl::counter("pool.tasks.measure").add(7);
+  tl::counter("pass.dce.changed").add(3);
+  tl::gauge("pool.utilization").set(0.75);
+  tl::gauge("pass.dce.ir_delta").set(-415);
+  tl::gauge("serving.rolling_mape.m-1").set(12.5);
+  tl::timer("pass.dce").add(1000);
+  tl::timer("campaign.run").add(5000000);
+  tl::histogram("serving.latency_us.m-1", {1, 10, 100}).observe(5.0);
+  tl::histogram("serving.latency_us.m-1", {}).observe(50000.0);
+  tl::series("ga.best_fitness").record(0, 1.5); // Omitted from exposition.
+
+  std::string Text = tl::renderOpenMetrics(tl::snapshotMetrics());
+  std::string Error;
+  EXPECT_TRUE(tl::validateOpenMetrics(Text, &Error)) << Error << "\n" << Text;
+  EXPECT_NE(Text.find("# TYPE msem_campaign_simulations counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("msem_campaign_simulations_total 15"),
+            std::string::npos);
+  EXPECT_NE(Text.find("msem_pool_tasks_total{stage=\"measure\"} 7"),
+            std::string::npos);
+  EXPECT_NE(Text.find("msem_pass_changed_total{pass=\"dce\"} 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(Text.find("model=\"m-1\""), std::string::npos);
+  EXPECT_EQ(Text.find("ga_best_fitness"), std::string::npos);
+  EXPECT_EQ(Text.substr(Text.size() - 6), "# EOF\n");
+}
+
+TEST_F(TraceTest, OpenMetricsValidatorRejectsBadDocuments) {
+  std::string Error;
+  // Missing EOF.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\na_total 1\n", &Error));
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(tl::validateOpenMetrics("a_total 1\n# EOF\n", &Error));
+  // Wrong suffix for the declared type.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\na 1\n# EOF\n", &Error));
+  // Histogram buckets not cumulative.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n# EOF\n",
+      &Error));
+  // Histogram without +Inf.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n# EOF\n", &Error));
+  // Interleaved families.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\n# TYPE b counter\na_total 1\nb_total 1\n# EOF\n",
+      &Error));
+  // Unquoted label value.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\na_total{x=1} 1\n# EOF\n", &Error));
+  // Negative counter.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\na_total -1\n# EOF\n", &Error));
+  // Content after EOF.
+  EXPECT_FALSE(tl::validateOpenMetrics(
+      "# TYPE a counter\na_total 1\n# EOF\na_total 2\n", &Error));
+  // A correct document passes.
+  EXPECT_TRUE(tl::validateOpenMetrics(
+      "# TYPE a counter\na_total{x=\"y\"} 1\n# EOF\n", &Error))
+      << Error;
+}
+
+TEST_F(TraceTest, HistogramQuantilesInterpolateAndClamp) {
+  tl::Histogram &H = tl::histogram("q.test_us", {10, 100, 1000});
+  for (int I = 0; I < 50; ++I)
+    H.observe(5.0); // First bucket.
+  for (int I = 0; I < 50; ++I)
+    H.observe(50.0); // Second bucket.
+  EXPECT_EQ(H.totalCount(), 100u);
+  EXPECT_DOUBLE_EQ(H.max(), 50.0);
+  EXPECT_NEAR(H.sum(), 50 * 5.0 + 50 * 50.0, 1e-9);
+  double P50 = H.quantile(0.50);
+  EXPECT_GE(P50, 0.0);
+  EXPECT_LE(P50, 10.0); // Median sits at the first-bucket boundary.
+  double P99 = H.quantile(0.99);
+  EXPECT_GT(P99, 10.0);
+  EXPECT_LE(P99, 50.0); // Clamped to the observed max.
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 50.0);
+  EXPECT_EQ(tl::histogram("q.empty", {1}).quantile(0.5), 0.0);
+
+  EXPECT_EQ(tl::unitForMetricName("q.test_us"), "us");
+  EXPECT_EQ(tl::unitForMetricName("a.b_ns"), "ns");
+  EXPECT_EQ(tl::unitForMetricName("a.b_ms"), "ms");
+  EXPECT_EQ(tl::unitForMetricName("plain"), "");
+}
+
+//===----------------------------------------------------------------------===//
+// On-demand metrics dumps (SIGUSR1 / requestMetricsDump)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, RequestedDumpWritesMetricsFile) {
+  std::string Path = ::testing::TempDir() + "msem_dump_test.jsonl";
+  std::remove(Path.c_str());
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkJsonl;
+  C.MetricsFile = Path;
+  tl::configure(C);
+  tl::counter("dump.test").add(3);
+
+  tl::maybeDumpMetrics(); // No request pending: must not write.
+  EXPECT_FALSE(pathExists(Path));
+
+  tl::requestMetricsDump();
+  tl::maybeDumpMetrics();
+  ASSERT_TRUE(pathExists(Path));
+  std::string Text;
+  ASSERT_TRUE(readFileText(Path, Text));
+  tl::MetricsSnapshot Snap;
+  std::string Error;
+  ASSERT_TRUE(tl::parseMetricsJsonl(Text, Snap, &Error)) << Error;
+  bool Found = false;
+  for (const auto &Cv : Snap.Counters)
+    Found = Found || (Cv.Name == "dump.test" && Cv.Value == 3);
+  EXPECT_TRUE(Found);
+  std::remove(Path.c_str());
+}
+
+#ifdef SIGUSR1
+TEST_F(TraceTest, Sigusr1TriggersDumpAtNextPollPoint) {
+  std::string Path = ::testing::TempDir() + "msem_sigusr1_test.txt";
+  std::remove(Path.c_str());
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkJsonl;
+  C.MetricsFile = Path;
+  C.MetricsFormat = "openmetrics";
+  tl::configure(C);
+  tl::counter("sig.test").add(1);
+
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  { tl::ScopedTimer Poll("sig.poll"); } // Dtor polls the dump flag.
+  ASSERT_TRUE(pathExists(Path));
+  std::string Text;
+  ASSERT_TRUE(readFileText(Path, Text));
+  std::string Error;
+  EXPECT_TRUE(tl::validateOpenMetrics(Text, &Error)) << Error;
+  EXPECT_NE(Text.find("msem_sig_test_total 1"), std::string::npos);
+  std::remove(Path.c_str());
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Metrics snapshot JSONL round trip
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, MetricsJsonlRoundTripsThroughSnapshotParser) {
+  tl::counter("rt.count").add(2);
+  tl::gauge("rt.gauge").set(1.25);
+  tl::timer("rt.timer").add(500);
+  tl::histogram("rt.hist", {1, 10}).observe(5);
+  tl::series("rt.series").record(1, 2);
+
+  tl::MetricsSnapshot Snap;
+  std::string Error;
+  ASSERT_TRUE(tl::parseMetricsJsonl(tl::renderMetricsJsonl(), Snap, &Error))
+      << Error;
+  ASSERT_EQ(Snap.Counters.size(), 1u);
+  EXPECT_EQ(Snap.Counters[0].Value, 2u);
+  ASSERT_EQ(Snap.Histograms.size(), 1u);
+  EXPECT_EQ(Snap.Histograms[0].Counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(Snap.Histograms[0].Sum, 5.0);
+  EXPECT_DOUBLE_EQ(Snap.Histograms[0].Max, 5.0);
+  ASSERT_EQ(Snap.SeriesList.size(), 1u);
+  ASSERT_EQ(Snap.SeriesList[0].Points.size(), 1u);
+  EXPECT_DOUBLE_EQ(Snap.SeriesList[0].Points[0].Y, 2.0);
 }
 
 } // namespace

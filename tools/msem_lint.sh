@@ -35,6 +35,24 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/registry"
 "$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" --list
 
+# Observability smoke: a tiny traced campaign (the predict smoke runs a
+# full campaign + serve cycle) with the events and metrics sinks on, then
+# msem_report over the output. --check fails on schema-invalid events or
+# an empty span forest; the OpenMetrics snapshot must pass the
+# promtool-style validator msem_report applies to '#'-prefixed files.
+echo "== observability smoke =="
+MSEM_TELEMETRY=events,jsonl \
+  MSEM_EVENTS_FILE="$SMOKE_DIR/events.jsonl" \
+  MSEM_METRICS_FILE="$SMOKE_DIR/metrics.txt" \
+  MSEM_METRICS_FORMAT=openmetrics \
+  "$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/obs-registry"
+"$BUILD_DIR/tools/msem_report" --check \
+  --events "$SMOKE_DIR/events.jsonl" --metrics "$SMOKE_DIR/metrics.txt"
+"$BUILD_DIR/tools/msem_report" \
+  --events "$SMOKE_DIR/events.jsonl" --metrics "$SMOKE_DIR/metrics.txt" \
+  > "$SMOKE_DIR/report.txt"
+grep -q "slowest phase" "$SMOKE_DIR/report.txt"
+
 tools/msem_tsan.sh
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, tsan clean)"
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, observability smoke reported, tsan clean)"

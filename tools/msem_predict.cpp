@@ -43,6 +43,8 @@
 
 #include "campaign/Experiment.h"
 #include "registry/ModelRegistry.h"
+#include "registry/ServingMonitor.h"
+#include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
@@ -238,20 +240,29 @@ bool requestToPoint(const DesignPoint &Row, const ModelArtifact &A,
 /// Predicts every request with \p A's model on the global thread pool.
 /// Each slot is an independent pure function of its row, so the output is
 /// bitwise identical at any MSEM_THREADS. Returns false on the first
-/// malformed row (checked up front, before any prediction).
+/// malformed row (checked up front, before any prediction). \p Monitor
+/// (optional) accumulates the serving statistics.
 bool predictAll(const ModelArtifact &A, const std::vector<DesignPoint> &Rows,
-                std::vector<double> &Out, std::string &Error) {
+                std::vector<double> &Out, std::string &Error,
+                ServingMonitor *Monitor = nullptr) {
   std::vector<DesignPoint> Points(Rows.size());
   for (size_t I = 0; I < Rows.size(); ++I)
     if (!requestToPoint(Rows[I], A, Points[I], Error)) {
       Error = "request " + std::to_string(I + 1) + ": " + Error;
+      if (Monitor)
+        Monitor->recordError(A.Info.Key.id());
       return false;
     }
 
   telemetry::ScopedTimer Span("predict.batch");
+  if (Span.capturing())
+    Span.setDetail(A.Info.Key.id());
   Out = globalThreadPool().parallelMap(
       Points.size(),
       [&](size_t I) {
+        // Keyed on the row index: rows run in parallel, so the key keeps
+        // span identity independent of the schedule.
+        telemetry::ScopedTimer RowSpan("predict.row", I);
         return A.M->predict(A.Info.Space.encode(Points[I]));
       },
       "predict");
@@ -263,6 +274,35 @@ bool predictAll(const ModelArtifact &A, const std::vector<DesignPoint> &Rows,
         static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows.size();
     telemetry::observe("predict.request_us", PerRequestUs,
                        {1, 10, 100, 1000, 10000});
+  }
+  if (Monitor)
+    Monitor->recordBatch(A.Info.Key.id(), Rows.size(), Span.elapsedNs(),
+                         A.Info.Quality.Mape);
+  return true;
+}
+
+/// Reads ground-truth values for --actuals: one numeric per line (an
+/// unparseable first line is treated as a CSV header and skipped).
+bool readActuals(const std::string &Path, std::vector<double> &Out,
+                 std::string &Error) {
+  std::vector<std::string> Lines;
+  if (!readLines(Path, Lines, Error))
+    return false;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    char *End = nullptr;
+    double V = std::strtod(Lines[I].c_str(), &End);
+    if (End == Lines[I].c_str() || *End != '\0') {
+      if (I == 0)
+        continue; // Header line.
+      Error = "actuals line " + std::to_string(I + 1) + ": bad number '" +
+              Lines[I] + "'";
+      return false;
+    }
+    Out.push_back(V);
+  }
+  if (Out.empty()) {
+    Error = "'" + Path + "' holds no actuals";
+    return false;
   }
   return true;
 }
@@ -323,7 +363,8 @@ void printArtifactBanner(const ModelArtifact &A) {
 
 int runServe(ModelRegistry &Reg, const ModelKey &Key,
              const std::string &InPath, const std::string &ComparePlatform,
-             FILE *Out) {
+             FILE *Out, const std::string &ActualsPath,
+             ServingMonitor &Monitor, bool CheckDrift) {
   std::string Error;
   std::shared_ptr<const ModelArtifact> A = Reg.fetch(Key, &Error);
   if (!A) {
@@ -338,11 +379,50 @@ int runServe(ModelRegistry &Reg, const ModelKey &Key,
     return 1;
   }
 
+  // One trace per serving request, rooted on the (artifact, input)
+  // identity so re-serving the same file reproduces the same span tree.
+  telemetry::ScopedTimer ReqSpan(
+      "predict.request",
+      telemetry::ScopedTimer::TraceRoot{
+          telemetry::deriveTraceId(A->Info.Key.id() + "|" + InPath, 0)});
+  if (ReqSpan.capturing())
+    ReqSpan.setDetail(A->Info.Key.id());
+
   std::vector<double> Pred;
-  if (!predictAll(*A, Requests.Rows, Pred, Error)) {
+  if (!predictAll(*A, Requests.Rows, Pred, Error, &Monitor)) {
     std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
     return 1;
   }
+
+  if (!ActualsPath.empty()) {
+    std::vector<double> Actuals;
+    if (!readActuals(ActualsPath, Actuals, Error)) {
+      std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Actuals.size() != Pred.size()) {
+      std::fprintf(stderr,
+                   "msem_predict: %zu actuals for %zu requests\n",
+                   Actuals.size(), Pred.size());
+      return 1;
+    }
+    for (size_t I = 0; I < Pred.size(); ++I)
+      Monitor.recordResidual(A->Info.Key.id(), Pred[I], Actuals[I]);
+  }
+
+  // The serving SLO epilogue: print the per-model monitor table when it
+  // has anything to say, and honor --check-drift.
+  auto Epilogue = [&]() -> int {
+    if (!ActualsPath.empty() || Monitor.anyDrift())
+      std::fprintf(stderr, "%s", Monitor.renderSummary().c_str());
+    if (CheckDrift && Monitor.anyDrift()) {
+      std::fprintf(stderr,
+                   "msem_predict: drift detected (rolling MAPE exceeds "
+                   "threshold x published MAPE)\n");
+      return 3;
+    }
+    return 0;
+  };
 
   const char *Metric = responseMetricName(Key.Metric);
   if (ComparePlatform.empty()) {
@@ -355,7 +435,7 @@ int runServe(ModelRegistry &Reg, const ModelKey &Key,
       for (double P : Pred)
         std::fprintf(Out, "%.17g\n", P);
     }
-    return 0;
+    return Epilogue();
   }
 
   // Cross-platform mode: the same requests under a second platform's
@@ -370,7 +450,7 @@ int runServe(ModelRegistry &Reg, const ModelKey &Key,
   }
   printArtifactBanner(*B);
   std::vector<double> PredB;
-  if (!predictAll(*B, Requests.Rows, PredB, Error)) {
+  if (!predictAll(*B, Requests.Rows, PredB, Error, &Monitor)) {
     std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
     return 1;
   }
@@ -379,7 +459,7 @@ int runServe(ModelRegistry &Reg, const ModelKey &Key,
   for (size_t I = 0; I < Pred.size(); ++I)
     std::fprintf(Out, "%.17g,%.17g,%.6g\n", Pred[I], PredB[I],
                  PredB[I] != 0 ? Pred[I] / PredB[I] : 0.0);
-  return 0;
+  return Epilogue();
 }
 
 //===----------------------------------------------------------------------===//
@@ -414,6 +494,9 @@ int runSmoke(const std::string &Dir) {
 
   // Serve the campaign's own test design from the artifacts alone, in a
   // fresh registry handle (nothing shared with the campaign's publisher).
+  telemetry::ScopedTimer ServeSpan(
+      "predict.request", telemetry::ScopedTimer::TraceRoot{
+                             telemetry::deriveTraceId("predict-smoke", 0)});
   ModelRegistry Reg({Dir, 4});
   std::string Error;
   ModelKey Key;
@@ -486,16 +569,23 @@ int usage() {
       "usage: msem_predict --registry DIR --list\n"
       "       msem_predict --registry DIR --key W,I,M,T[,P] --in FILE "
       "[--out FILE] [--compare PLATFORM]\n"
+      "           [--actuals FILE] [--drift-threshold X] [--check-drift]\n"
       "       msem_predict --registry DIR --key W,I,M,T[,P] --gen N "
       "[--seed S] [--out FILE]\n"
       "       msem_predict --smoke DIR\n"
+      "       msem_predict --version\n"
       "\n"
       "key fields: workload, input (test|train|ref), metric "
       "(cycles|energy|codesize),\n"
       "            technique (linear|mars|rbf), platform (default: joint)\n"
       "requests:   CSV with a parameter-name header, or JSON-lines arrays; "
       "'-' = stdin\n"
-      "registry:   --registry overrides MSEM_REGISTRY_DIR\n");
+      "registry:   --registry overrides MSEM_REGISTRY_DIR\n"
+      "monitoring: --actuals feeds ground truth to the rolling-error "
+      "monitor;\n"
+      "            --check-drift exits 3 when rolling MAPE exceeds\n"
+      "            threshold x the artifact's published MAPE "
+      "(MSEM_DRIFT_THRESHOLD)\n");
   return 2;
 }
 
@@ -504,9 +594,12 @@ int usage() {
 int main(int Argc, char **Argv) {
   std::string RegistryDir = env().RegistryDir;
   std::string KeySpec, InPath, OutPath, ComparePlatform, SmokeDir;
+  std::string ActualsPath;
   bool List = false;
+  bool CheckDrift = false;
   size_t GenN = 0;
   uint64_t GenSeed = 0x5EED;
+  ServingMonitor::Options MonOpts = ServingMonitor::optionsFromEnv();
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -535,7 +628,17 @@ int main(int Argc, char **Argv) {
       List = true;
     else if (Arg == "--smoke")
       SmokeDir = Value("--smoke");
-    else
+    else if (Arg == "--actuals")
+      ActualsPath = Value("--actuals");
+    else if (Arg == "--drift-threshold")
+      MonOpts.DriftThreshold = std::strtod(Value("--drift-threshold"),
+                                           nullptr);
+    else if (Arg == "--check-drift")
+      CheckDrift = true;
+    else if (Arg == "--version") {
+      std::printf("msem_predict %s\n", buildStamp().c_str());
+      return 0;
+    } else
       return usage();
   }
 
@@ -571,10 +674,12 @@ int main(int Argc, char **Argv) {
   }
 
   int Rc;
+  ServingMonitor Monitor(MonOpts);
   if (GenN)
     Rc = runGen(Reg, Key, GenN, GenSeed, Out);
   else if (!InPath.empty())
-    Rc = runServe(Reg, Key, InPath, ComparePlatform, Out);
+    Rc = runServe(Reg, Key, InPath, ComparePlatform, Out, ActualsPath,
+                  Monitor, CheckDrift);
   else
     Rc = usage();
 

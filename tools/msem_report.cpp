@@ -1,0 +1,388 @@
+//===- tools/msem_report.cpp - Observability report renderer ----------------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Turns the observability artifacts the pipeline writes -- structured
+// span-event logs (MSEM_TELEMETRY=events) and metrics snapshots (JSONL or
+// OpenMetrics) -- into a human-readable report:
+//
+//   msem_report --events msem_events.jsonl [--metrics msem_metrics.jsonl]
+//       terminal report: build identity, per-phase time breakdown (the
+//       slowest phase named), span-tree shape, a collapsed-stack
+//       flamegraph summary, the slowest design-point measurements, the GA
+//       fitness trajectory and the serving SLO table.
+//
+//   msem_report --events E.jsonl --html report.html
+//       the same report as a standalone HTML page.
+//
+//   msem_report --check --events E.jsonl [--metrics M.txt]
+//       validation mode for CI: exits non-zero on schema-invalid events,
+//       an empty span tree, or an OpenMetrics snapshot that fails the
+//       exposition-format parser. Prints nothing but errors.
+//
+// Both flags repeat; multiple event logs concatenate into one report
+// (multi-process campaigns). Metrics files are format-autodetected:
+// OpenMetrics text starts with '#', JSONL with '{'.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+#include "telemetry/EventLog.h"
+#include "telemetry/OpenMetrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+namespace {
+
+double ms(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
+
+/// Quantile over a snapshot histogram, mirroring Histogram::quantile
+/// (linear interpolation within the containing bucket, clamped to the
+/// observed max).
+double snapshotQuantile(const MetricsSnapshot::HistogramValue &H, double Q) {
+  uint64_t Total = 0;
+  for (uint64_t C : H.Counts)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  double Target = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < H.Counts.size(); ++I) {
+    uint64_t Prev = Cum;
+    Cum += H.Counts[I];
+    if (static_cast<double>(Cum) < Target || H.Counts[I] == 0)
+      continue;
+    double Lo = I == 0 ? 0.0 : H.Bounds[I - 1];
+    double Hi = I < H.Bounds.size() ? H.Bounds[I] : H.Max;
+    if (Hi < Lo)
+      Hi = Lo;
+    double Frac = (Target - static_cast<double>(Prev)) /
+                  static_cast<double>(H.Counts[I]);
+    double V = Lo + Frac * (Hi - Lo);
+    return H.Max > 0 && V > H.Max ? H.Max : V;
+  }
+  return H.Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Report assembly
+//===----------------------------------------------------------------------===//
+
+/// Everything the renderers need, precomputed once.
+struct Report {
+  std::string Build;
+  std::vector<SpanEvent> Spans;
+  SpanTree Tree;
+  std::vector<PhaseStat> Phases;
+  std::vector<std::pair<std::string, uint64_t>> Stacks;
+  std::vector<SpanEvent> SlowPoints;
+  MetricsSnapshot Metrics;
+  bool HaveMetrics = false;
+};
+
+void assemble(Report &R, size_t Top) {
+  R.Tree = buildSpanTree(R.Spans);
+  R.Phases = aggregatePhases(R.Spans, R.Tree);
+  R.Stacks = collapseStacks(R.Spans, R.Tree);
+  if (R.Stacks.size() > Top)
+    R.Stacks.resize(Top);
+  R.SlowPoints = slowestSpans(R.Spans, "surface.point", Top);
+}
+
+std::string renderPhaseTable(const Report &R) {
+  TablePrinter T({"Phase", "Count", "Total ms", "Self ms", "Max ms"});
+  for (const PhaseStat &P : R.Phases)
+    T.addRowCells(P.Name, formatString("%zu", P.Count),
+                  formatString("%.3f", ms(P.TotalNs)),
+                  formatString("%.3f", ms(P.SelfNs)),
+                  formatString("%.3f", ms(P.MaxNs)));
+  return T.render();
+}
+
+std::string renderSloTable(const MetricsSnapshot &M) {
+  // serving.latency_us.<model> histograms carry the latency; the rolling
+  // error gauges complete the row.
+  auto GaugeFor = [&](const std::string &Name) -> double {
+    for (const auto &G : M.Gauges)
+      if (G.Name == Name)
+        return G.Value;
+    return 0.0;
+  };
+  auto CounterFor = [&](const std::string &Name) -> uint64_t {
+    for (const auto &C : M.Counters)
+      if (C.Name == Name)
+        return C.Value;
+    return 0;
+  };
+  TablePrinter T({"Model", "Requests", "p50 us", "p95 us", "p99 us",
+                  "Roll MAPE", "Drift", "Flag"});
+  for (const auto &H : M.Histograms) {
+    const std::string Prefix = "serving.latency_us.";
+    if (H.Name.rfind(Prefix, 0) != 0)
+      continue;
+    std::string Model = H.Name.substr(Prefix.size());
+    double Ratio = GaugeFor("serving.drift_ratio." + Model);
+    T.addRowCells(
+        Model,
+        formatString("%llu", (unsigned long long)CounterFor(
+                                 "serving.requests." + Model)),
+        formatString("%.1f", snapshotQuantile(H, 0.50)),
+        formatString("%.1f", snapshotQuantile(H, 0.95)),
+        formatString("%.1f", snapshotQuantile(H, 0.99)),
+        formatString("%.3g%%", GaugeFor("serving.rolling_mape." + Model)),
+        Ratio > 0 ? formatString("%.2fx", Ratio) : std::string("-"),
+        GaugeFor("serving.drift_flag." + Model) > 0 ? std::string("DRIFT")
+                                                    : std::string("ok"));
+  }
+  return T.numRows() ? T.render() : std::string();
+}
+
+std::string renderGaTrajectory(const MetricsSnapshot &M) {
+  std::string Out;
+  for (const auto &S : M.SeriesList) {
+    if (S.Name != "ga.best_fitness" || S.Points.empty())
+      continue;
+    Out += formatString("GA fitness: %zu generations, first %.6g, best %.6g\n",
+                        S.Points.size(), S.Points.front().Y,
+                        [&] {
+                          double Best = S.Points.front().Y;
+                          for (const auto &P : S.Points)
+                            Best = std::min(Best, P.Y);
+                          return Best;
+                        }());
+    size_t Step = std::max<size_t>(1, S.Points.size() / 10);
+    for (size_t I = 0; I < S.Points.size(); I += Step)
+      Out += formatString("  gen %-4.0f best %.6g\n", S.Points[I].X,
+                          S.Points[I].Y);
+  }
+  return Out;
+}
+
+std::string renderText(const Report &R, size_t Top) {
+  std::string Out;
+  Out += formatString("msem_report (reader %s)\n", buildStamp().c_str());
+  if (!R.Build.empty())
+    Out += formatString("events produced by: %s\n", R.Build.c_str());
+  Out += formatString("spans: %zu in %zu trace(s), %zu root(s), depth %zu\n\n",
+                      R.Spans.size(),
+                      [&] {
+                        std::vector<uint64_t> Ids;
+                        for (const SpanEvent &S : R.Spans)
+                          Ids.push_back(S.TraceId);
+                        std::sort(Ids.begin(), Ids.end());
+                        Ids.erase(std::unique(Ids.begin(), Ids.end()),
+                                  Ids.end());
+                        return Ids.size();
+                      }(),
+                      R.Tree.Roots.size(), R.Tree.depth());
+
+  Out += "Per-phase time breakdown (by self time):\n";
+  Out += renderPhaseTable(R);
+  if (!R.Phases.empty())
+    Out += formatString("slowest phase: %s (%.3f ms self across %zu spans)\n",
+                        R.Phases.front().Name.c_str(),
+                        ms(R.Phases.front().SelfNs), R.Phases.front().Count);
+  Out += "\n";
+
+  if (!R.Stacks.empty()) {
+    Out += formatString("Flamegraph summary (top %zu collapsed stacks, "
+                        "self ms):\n",
+                        R.Stacks.size());
+    for (const auto &[Stack, SelfNs] : R.Stacks)
+      Out += formatString("  %10.3f  %s\n", ms(SelfNs), Stack.c_str());
+    Out += "\n";
+  }
+
+  if (!R.SlowPoints.empty()) {
+    Out += formatString("Slowest design points (top %zu):\n", Top);
+    TablePrinter T({"ms", "Point"});
+    for (const SpanEvent &S : R.SlowPoints)
+      T.addRowCells(formatString("%.3f", ms(S.DurationNs)),
+                    S.Detail.empty() ? std::string("(unlabeled)") : S.Detail);
+    Out += T.render();
+    Out += "\n";
+  }
+
+  if (R.HaveMetrics) {
+    std::string Ga = renderGaTrajectory(R.Metrics);
+    if (!Ga.empty())
+      Out += Ga + "\n";
+    std::string Slo = renderSloTable(R.Metrics);
+    if (!Slo.empty()) {
+      Out += "Serving SLOs:\n";
+      Out += Slo;
+    }
+  }
+  return Out;
+}
+
+std::string escapeHtml(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '&')
+      Out += "&amp;";
+    else if (C == '<')
+      Out += "&lt;";
+    else if (C == '>')
+      Out += "&gt;";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string renderHtml(const Report &R, size_t Top) {
+  std::string Out;
+  Out += "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+         "<title>msem report</title><style>body{font-family:monospace;"
+         "margin:2em}pre{background:#f6f6f6;padding:1em;"
+         "border:1px solid #ddd}</style></head><body>\n";
+  Out += "<h1>msem observability report</h1>\n<pre>";
+  Out += escapeHtml(renderText(R, Top));
+  Out += "</pre>\n</body></html>\n";
+  return Out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msem_report [--check] --events FILE [--events FILE ...]\n"
+      "                   [--metrics FILE ...] [--html OUT] [--top N]\n"
+      "       msem_report --version\n"
+      "\n"
+      "events:  structured span JSONL written by MSEM_TELEMETRY=events\n"
+      "metrics: snapshot written by MSEM_TELEMETRY=jsonl (JSONL or\n"
+      "         OpenMetrics text; autodetected)\n"
+      "--check: validate only -- non-zero exit on schema-invalid events,\n"
+      "         an empty span tree, or invalid OpenMetrics\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> EventFiles, MetricFiles;
+  std::string HtmlPath;
+  bool Check = false;
+  size_t Top = 10;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "msem_report: %s wants a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--events")
+      EventFiles.push_back(Value("--events"));
+    else if (Arg == "--metrics")
+      MetricFiles.push_back(Value("--metrics"));
+    else if (Arg == "--html")
+      HtmlPath = Value("--html");
+    else if (Arg == "--check")
+      Check = true;
+    else if (Arg == "--top")
+      Top = static_cast<size_t>(
+          std::strtoull(Value("--top"), nullptr, 10));
+    else if (Arg == "--version") {
+      std::printf("msem_report %s\n", buildStamp().c_str());
+      return 0;
+    } else
+      return usage();
+  }
+  if (EventFiles.empty() && MetricFiles.empty())
+    return usage();
+
+  Report R;
+  std::string Error;
+  for (const std::string &Path : EventFiles) {
+    std::string Text;
+    if (!readFileText(Path, Text, &Error)) {
+      std::fprintf(stderr, "msem_report: %s\n", Error.c_str());
+      return 1;
+    }
+    EventLog Log;
+    if (!parseEventsJsonl(Text, Log, &Error)) {
+      std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    if (R.Build.empty())
+      R.Build = Log.Build;
+    for (SpanEvent &S : Log.Spans)
+      R.Spans.push_back(std::move(S));
+  }
+
+  for (const std::string &Path : MetricFiles) {
+    std::string Text;
+    if (!readFileText(Path, Text, &Error)) {
+      std::fprintf(stderr, "msem_report: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Text.empty() && Text[0] == '#') {
+      // OpenMetrics exposition text: validate; the terminal report reads
+      // the richer JSONL form, so exposition files are check-only.
+      if (!validateOpenMetrics(Text, &Error)) {
+        std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+    } else {
+      MetricsSnapshot M;
+      if (!parseMetricsJsonl(Text, M, &Error)) {
+        std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+      // Concatenate: later files append (multi-process runs).
+      auto &D = R.Metrics;
+      D.Counters.insert(D.Counters.end(), M.Counters.begin(),
+                        M.Counters.end());
+      D.Gauges.insert(D.Gauges.end(), M.Gauges.begin(), M.Gauges.end());
+      D.Timers.insert(D.Timers.end(), M.Timers.begin(), M.Timers.end());
+      D.Histograms.insert(D.Histograms.end(), M.Histograms.begin(),
+                          M.Histograms.end());
+      D.SeriesList.insert(D.SeriesList.end(), M.SeriesList.begin(),
+                          M.SeriesList.end());
+      R.HaveMetrics = true;
+    }
+  }
+
+  assemble(R, Top);
+
+  if (Check) {
+    if (!EventFiles.empty() && R.Tree.Roots.empty()) {
+      std::fprintf(stderr, "msem_report: event log has an empty span tree\n");
+      return 1;
+    }
+    std::printf("msem_report: OK -- %zu spans, depth %zu\n", R.Spans.size(),
+                R.Tree.depth());
+    return 0;
+  }
+
+  if (!HtmlPath.empty()) {
+    if (!writeFileAtomic(HtmlPath, renderHtml(R, Top), &Error)) {
+      std::fprintf(stderr, "msem_report: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", HtmlPath.c_str());
+    return 0;
+  }
+
+  std::fputs(renderText(R, Top).c_str(), stdout);
+  return 0;
+}
