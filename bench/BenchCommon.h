@@ -38,6 +38,7 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Introspection.h"
 
 #include <chrono>
 #include <cstdio>
@@ -138,6 +139,10 @@ class BenchReport {
 public:
   BenchReport(const char *Name, const BenchScale &Scale)
       : Name(Name), Start(std::chrono::steady_clock::now()) {
+    // Benches are long-running: join the live introspection plane (stats
+    // server + sampling profiler; both no-ops unless their env knobs are
+    // set).
+    telemetry::ensureIntrospection();
     Doc = Json::object();
     Doc.set("schema", Json::string("msem.bench.v1"));
     Doc.set("name", Json::string(Name));

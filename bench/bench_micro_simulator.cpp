@@ -7,8 +7,15 @@
 // mispredict-penalty path is exercised (cycles rise when the predictor
 // shrinks).
 //
+// Unlike the other micro suite this one has a custom main: every run's
+// per-iteration time and counters also land in results/
+// BENCH_micro_simulator.json (schema msem.bench.v1) so the regression
+// sentinel (tools/msem_bench_diff) can gate simulator-throughput cliffs
+// against the committed baseline.
+//
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "core/ResponseSurface.h"
 #include "isa/Executor.h"
 #include "sampling/Smarts.h"
@@ -16,8 +23,11 @@
 #include "ir/LoopBuilder.h"
 #include "opt/Passes.h"
 #include "codegen/CodeGenerator.h"
+#include "telemetry/Telemetry.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cctype>
 
 using namespace msem;
 
@@ -30,6 +40,7 @@ const MachineProgram &artProgram() {
 }
 
 void BM_CompileWorkload(benchmark::State &State) {
+  telemetry::ScopedTimer Span("bench.compile_workload");
   for (auto _ : State) {
     MachineProgram P = compileWorkloadBinary("art", InputSet::Test,
                                              OptimizationConfig::O3());
@@ -40,6 +51,7 @@ BENCHMARK(BM_CompileWorkload)->Unit(benchmark::kMillisecond);
 
 void BM_FunctionalExecution(benchmark::State &State) {
   const MachineProgram &Prog = artProgram();
+  telemetry::ScopedTimer Span("bench.functional_execution");
   uint64_t Instrs = 0;
   for (auto _ : State) {
     Executor Exec(Prog);
@@ -82,6 +94,7 @@ BENCHMARK(BM_SmartsSimulation)->Unit(benchmark::kMillisecond);
 
 void BM_CacheAccess(benchmark::State &State) {
   Cache C(32 * 1024, 2, 32);
+  telemetry::ScopedTimer Span("bench.cache_access");
   uint64_t Addr = 0;
   for (auto _ : State) {
     benchmark::DoNotOptimize(C.access(Addr, false));
@@ -92,6 +105,7 @@ BENCHMARK(BM_CacheAccess);
 
 void BM_BranchPredictor(benchmark::State &State) {
   CombinedPredictor P(2048, 8);
+  telemetry::ScopedTimer Span("bench.branch_predictor");
   uint64_t Pc = 0;
   bool Dir = false;
   for (auto _ : State) {
@@ -143,6 +157,7 @@ MachineProgram patternKernel() {
 /// wrong-path fetch modeling) is active.
 void BM_MispredictSensitivity(benchmark::State &State) {
   MachineProgram Prog = patternKernel();
+  telemetry::ScopedTimer Span("bench.mispredict_sensitivity");
   MachineConfig M = MachineConfig::typical();
   M.BranchPredictorSize = static_cast<unsigned>(State.range(0));
   uint64_t Cycles = 0, Misp = 0;
@@ -159,6 +174,60 @@ BENCHMARK(BM_MispredictSensitivity)
     ->Arg(8192)
     ->Unit(benchmark::kMillisecond);
 
+/// "BM_DetailedSimulation/512" -> "detailedsimulation_512": a stable
+/// BENCH-metric key ('/' and ':' become '_'; the BM_ prefix drops).
+std::string metricKey(const std::string &BenchName) {
+  std::string Name = BenchName.rfind("BM_", 0) == 0 ? BenchName.substr(3)
+                                                    : BenchName;
+  std::string Key;
+  for (char C : Name)
+    Key += std::isalnum(static_cast<unsigned char>(C))
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(C)))
+               : '_';
+  return Key;
+}
+
+/// The console reporter, additionally mirroring every iteration run's
+/// per-iteration time and user counters into the BENCH report. Counter
+/// names keep their rate suffix ("instr/s" -> "<key>_instr_per_s") so
+/// msem_bench_diff classifies them as higher-is-better throughput.
+class ReportingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit ReportingReporter(bench::BenchReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      std::string Key = metricKey(R.benchmark_name());
+      double Seconds = R.iterations
+                           ? R.real_accumulated_time /
+                                 static_cast<double>(R.iterations)
+                           : R.real_accumulated_time;
+      Report.metric(Key + "_ms", Seconds * 1e3);
+      for (const auto &[CName, Counter] : R.counters) {
+        std::string CKey = CName == "instr/s" ? "instr_per_s"
+                                              : metricKey(CName);
+        Report.metric(Key + "_" + CKey, Counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  bench::BenchReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  bench::BenchScale Scale = bench::readScale();
+  bench::BenchReport Report("micro_simulator", Scale);
+  ReportingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return 0;
+}

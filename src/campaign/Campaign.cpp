@@ -7,6 +7,9 @@
 #include "support/Env.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Json.h"
+#include "support/StatsServer.h"
+#include "telemetry/Introspection.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -122,8 +125,33 @@ void Campaign::writeCheckpoint() {
     fatalError("campaign checkpoint failed: " + Error);
   ++CheckpointsWritten;
   telemetry::count("campaign.checkpoints");
+  updateHealth("running");
   if (Spec.OnCheckpointWritten)
     Spec.OnCheckpointWritten(CheckpointsWritten);
+}
+
+void Campaign::updateHealth(const char *State) {
+  Json H = Json::object();
+  H.set("state", Json::string(State));
+  size_t Done = 0;
+  for (const JobProgress &P : Progress)
+    if (P.State == JobState::Done)
+      ++Done;
+  H.set("jobs_done", Json::number(static_cast<double>(Done)));
+  H.set("jobs_total", Json::number(static_cast<double>(Progress.size())));
+  H.set("checkpoints",
+        Json::number(static_cast<double>(CheckpointsWritten)));
+  H.set("simulations",
+        Json::number(static_cast<double>(totalSimulations())));
+  H.set("wall_seconds", Json::number(totalWallSeconds()));
+  if (Spec.Budget.MaxSimulations)
+    H.set("budget_simulations",
+          Json::number(static_cast<double>(Spec.Budget.MaxSimulations)));
+  if (Spec.Budget.MaxWallSeconds > 0)
+    H.set("budget_wall_seconds", Json::number(Spec.Budget.MaxWallSeconds));
+  std::string Rendered = H.dump();
+  std::lock_guard<std::mutex> Lock(HealthMutex);
+  HealthJson = std::move(Rendered);
 }
 
 bool Campaign::runBuildPhase(size_t J, ExperimentJobResult &JR,
@@ -321,6 +349,16 @@ ExperimentResult Campaign::run() {
   Span.setDetail(Spec.Name);
   RunStart = std::chrono::steady_clock::now();
 
+  // Live introspection: /metrics, /tracez etc. when MSEM_STATS_PORT is
+  // set (a pure env read otherwise), plus the campaign's own /healthz
+  // fragment for the lifetime of this run.
+  telemetry::ensureIntrospection();
+  updateHealth("running");
+  ScopedHealthProvider Health("campaign", [this] {
+    std::lock_guard<std::mutex> Lock(HealthMutex);
+    return HealthJson;
+  });
+
   ExperimentResult Result;
   Result.CheckpointPath = Spec.CheckpointPath;
 
@@ -354,6 +392,10 @@ ExperimentResult Campaign::run() {
   Result.WallSeconds = totalWallSeconds();
   telemetry::counter("campaign.simulations")
       .add(static_cast<uint64_t>(Result.SimulationsUsed));
+  updateHealth(Result.Status == CampaignStatus::Complete ? "complete"
+               : Result.Status == CampaignStatus::BudgetExhausted
+                   ? "budget_exhausted"
+                   : "failed");
   return Result;
 }
 

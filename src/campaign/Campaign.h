@@ -32,6 +32,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace msem {
 
@@ -76,6 +77,11 @@ private:
   /// (no-op without Spec.CheckpointPath). Invokes OnCheckpointWritten.
   void writeCheckpoint();
 
+  /// Re-renders the /healthz "campaign" fragment (job progress, budget
+  /// spend, checkpoint count). The stats-server thread reads the rendered
+  /// string under HealthMutex, so the engine never races it.
+  void updateHealth(const char *State);
+
   /// Runs job \p J's build loop. Returns false when the campaign must
   /// stop (budget pause or failure), with \p Result updated.
   bool runBuildPhase(size_t J, ExperimentJobResult &JR,
@@ -109,6 +115,10 @@ private:
   std::vector<JobProgress> Progress;
   std::chrono::steady_clock::time_point RunStart;
   size_t CheckpointsWritten = 0;
+
+  /// The pre-rendered /healthz fragment (see updateHealth).
+  mutable std::mutex HealthMutex;
+  std::string HealthJson;
 };
 
 } // namespace msem

@@ -4,6 +4,7 @@
 
 #include "support/Env.h"
 #include "support/Format.h"
+#include "support/StatsServer.h"
 #include "support/TablePrinter.h"
 #include "telemetry/Telemetry.h"
 
@@ -29,7 +30,17 @@ double meanOf(const std::deque<double> &Xs) {
 
 } // namespace
 
-ServingMonitor::ServingMonitor(Options O) : Opts(O) {}
+ServingMonitor::ServingMonitor(Options O) : Opts(O) {
+  StatusSection = std::make_unique<ScopedStatusProvider>(
+      "serving", [this] {
+        std::string Body = renderSummary();
+        if (anyDrift())
+          Body += "\ndrift: FLAGGED";
+        return Body;
+      });
+}
+
+ServingMonitor::~ServingMonitor() = default;
 
 ServingMonitor::Options ServingMonitor::optionsFromEnv() {
   Options O;

@@ -48,11 +48,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace msem {
+
+class ScopedStatusProvider;
 
 /// One model's monitored state, as a value snapshot.
 struct ServingModelStats {
@@ -87,6 +90,7 @@ public:
 
   explicit ServingMonitor(Options O);
   ServingMonitor() : ServingMonitor(Options()) {}
+  ~ServingMonitor(); ///< Out of line: StatusSection's type is incomplete here.
 
   /// Options with DriftThreshold taken from the environment.
   static Options optionsFromEnv();
@@ -131,6 +135,10 @@ private:
   Options Opts;
   mutable std::mutex Mutex;
   std::map<std::string, ModelState> Models;
+
+  /// /statusz "serving" section (the SLO table + drift state). Declared
+  /// last so it deregisters before the state its callback reads.
+  std::unique_ptr<ScopedStatusProvider> StatusSection;
 };
 
 } // namespace msem

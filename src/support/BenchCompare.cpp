@@ -1,0 +1,321 @@
+//===- support/BenchCompare.cpp - Benchmark regression comparison ---------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchCompare.h"
+
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <dirent.h>
+#include <limits>
+#include <map>
+
+using namespace msem;
+using namespace msem::bench;
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+bool bench::parseBenchResult(const std::string &Text, const std::string &Path,
+                             BenchResult &Out, std::string *Error) {
+  std::string ParseError;
+  Json Doc = Json::parse(Text, &ParseError);
+  if (Doc.isNull()) {
+    if (Error)
+      *Error = Path + ": " + ParseError;
+    return false;
+  }
+  if (Doc["schema"].asString() != "msem.bench.v1") {
+    if (Error)
+      *Error = Path + ": unsupported schema \"" + Doc["schema"].asString() +
+               "\" (want msem.bench.v1)";
+    return false;
+  }
+  Out = BenchResult();
+  Out.Name = Doc["name"].asString();
+  Out.Build = Doc["build"].asString();
+  Out.Path = Path;
+  Out.WallSeconds = Doc["wall_seconds"].asDouble();
+  if (Out.Name.empty()) {
+    if (Error)
+      *Error = Path + ": missing bench name";
+    return false;
+  }
+  // Flatten config{} into sorted key=value strings: std::map member order
+  // already sorts keys, and string/number/hex values all render through
+  // their literal JSON text for exact drift detection.
+  for (const auto &[Key, Value] : Doc["config"].members()) {
+    std::string Rendered = Value.kind() == Json::Kind::String
+                               ? Value.asString()
+                               : Value.dump();
+    Out.Config.push_back(Key + "=" + Rendered);
+  }
+  for (const auto &[Key, Value] : Doc["metrics"].members())
+    if (Value.kind() == Json::Kind::Number)
+      Out.Metrics.push_back({Key, Value.asDouble()});
+  return true;
+}
+
+std::vector<BenchResult> bench::loadBenchDir(const std::string &Dir,
+                                             std::vector<std::string> *Errors) {
+  std::vector<BenchResult> Results;
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    if (Errors)
+      Errors->push_back(Dir + ": cannot open directory: " +
+                        std::strerror(errno));
+    return Results;
+  }
+  std::vector<std::string> Names;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() > 11 && Name.rfind("BENCH_", 0) == 0 &&
+        Name.size() >= 5 && Name.substr(Name.size() - 5) == ".json")
+      Names.push_back(Name);
+  }
+  closedir(D);
+  std::sort(Names.begin(), Names.end());
+  for (const std::string &Name : Names) {
+    const std::string Path = Dir + "/" + Name;
+    std::string Text, Error;
+    if (!readFileText(Path, Text, &Error)) {
+      if (Errors)
+        Errors->push_back(Error);
+      continue;
+    }
+    BenchResult R;
+    if (!parseBenchResult(Text, Path, R, &Error)) {
+      if (Errors)
+        Errors->push_back(Error);
+      continue;
+    }
+    Results.push_back(std::move(R));
+  }
+  std::sort(Results.begin(), Results.end(),
+            [](const BenchResult &A, const BenchResult &B) {
+              return A.Name < B.Name;
+            });
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// Metric classification
+//===----------------------------------------------------------------------===//
+
+static bool containsAny(const std::string &Key,
+                        std::initializer_list<const char *> Needles) {
+  for (const char *N : Needles)
+    if (Key.find(N) != std::string::npos)
+      return true;
+  return false;
+}
+
+MetricDirection bench::classifyMetric(const std::string &Key) {
+  std::string K = Key;
+  std::transform(K.begin(), K.end(), K.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  // Rate-like first: "predictions_per_s" must not fall into the
+  // lower-is-better bucket via some future substring collision.
+  if (containsAny(K, {"throughput", "qps", "per_s", "per_sec", "speedup",
+                      "efficiency", "hit_rate", "coverage"}))
+    return MetricDirection::HigherIsBetter;
+  if (containsAny(K, {"mape", "rmse", "error", "seconds", "latency",
+                      "cycles", "_us", "_ms", "wall", "mae", "time"}))
+    return MetricDirection::LowerIsBetter;
+  return MetricDirection::Unknown;
+}
+
+bool bench::isTimingMetric(const std::string &Key) {
+  std::string K = Key;
+  std::transform(K.begin(), K.end(), K.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  // speedup/efficiency are ratios of wall times, so they inherit the
+  // machine-load wobble of their numerator and denominator.
+  return containsAny(K, {"seconds", "latency", "_us", "_ms", "wall", "time",
+                         "throughput", "qps", "per_s", "per_sec", "cycles",
+                         "speedup", "efficiency"});
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison
+//===----------------------------------------------------------------------===//
+
+size_t CompareReport::regressions() const {
+  return static_cast<size_t>(
+      std::count_if(Deltas.begin(), Deltas.end(), [](const MetricDelta &D) {
+        return D.Kind == DeltaKind::Regressed;
+      }));
+}
+
+size_t CompareReport::improvements() const {
+  return static_cast<size_t>(
+      std::count_if(Deltas.begin(), Deltas.end(), [](const MetricDelta &D) {
+        return D.Kind == DeltaKind::Improved;
+      }));
+}
+
+static MetricDelta judgeMetric(const std::string &Bench,
+                               const std::string &Key, double Baseline,
+                               double Current, const CompareOptions &Opts) {
+  MetricDelta D;
+  D.Bench = Bench;
+  D.Key = Key;
+  D.Baseline = Baseline;
+  D.Current = Current;
+  D.Direction = classifyMetric(Key);
+  D.Threshold =
+      isTimingMetric(Key) ? Opts.TimeThreshold : Opts.MetricThreshold;
+  if (Baseline == Current)
+    D.RelChange = 0.0;
+  else if (Baseline == 0.0)
+    D.RelChange = Current > 0 ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity();
+  else
+    D.RelChange = (Current - Baseline) / std::fabs(Baseline);
+  if (D.Direction == MetricDirection::Unknown ||
+      std::fabs(D.RelChange) <= D.Threshold) {
+    D.Kind = DeltaKind::Unchanged;
+    return D;
+  }
+  bool GotWorse = D.Direction == MetricDirection::LowerIsBetter
+                      ? D.RelChange > 0
+                      : D.RelChange < 0;
+  D.Kind = GotWorse ? DeltaKind::Regressed : DeltaKind::Improved;
+  return D;
+}
+
+CompareReport bench::compareBenches(const std::vector<BenchResult> &Baseline,
+                                    const std::vector<BenchResult> &Current,
+                                    const CompareOptions &Opts) {
+  CompareReport R;
+  std::map<std::string, const BenchResult *> BaseByName;
+  for (const BenchResult &B : Baseline)
+    BaseByName[B.Name] = &B;
+  std::map<std::string, const BenchResult *> CurByName;
+  for (const BenchResult &C : Current)
+    CurByName[C.Name] = &C;
+
+  for (const BenchResult &B : Baseline)
+    if (!CurByName.count(B.Name))
+      R.MissingResults.push_back(B.Name);
+
+  for (const BenchResult &C : Current) {
+    auto It = BaseByName.find(C.Name);
+    if (It == BaseByName.end()) {
+      R.MissingBaselines.push_back(C.Name);
+      continue;
+    }
+    const BenchResult &B = *It->second;
+    // Config drift is a hard mismatch: comparing a train=200 run against a
+    // train=40 baseline says nothing about regressions.
+    if (B.Config != C.Config) {
+      R.Mismatches.push_back(C.Name + ": config mismatch: baseline {" +
+                             joinStrings(B.Config, ", ") + "} vs current {" +
+                             joinStrings(C.Config, ", ") + "}");
+      continue;
+    }
+    std::map<std::string, double> BaseMetrics;
+    for (const BenchResult::Metric &M : B.Metrics)
+      BaseMetrics[M.Key] = M.Value;
+    for (const BenchResult::Metric &M : C.Metrics) {
+      auto MIt = BaseMetrics.find(M.Key);
+      if (MIt == BaseMetrics.end())
+        continue; // New metric: no baseline to judge against.
+      R.Deltas.push_back(
+          judgeMetric(C.Name, M.Key, MIt->second, M.Value, Opts));
+    }
+    if (Opts.CompareWallTime)
+      R.Deltas.push_back(judgeMetric(C.Name, "wall_seconds", B.WallSeconds,
+                                     C.WallSeconds, Opts));
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+static const char *kindLabel(DeltaKind K) {
+  switch (K) {
+  case DeltaKind::Unchanged:
+    return "ok";
+  case DeltaKind::Improved:
+    return "IMPROVED";
+  case DeltaKind::Regressed:
+    return "REGRESSED";
+  }
+  return "?";
+}
+
+static std::string relChangeText(double Rel) {
+  if (std::isinf(Rel))
+    return Rel > 0 ? "+inf%" : "-inf%";
+  return formatString("%+.1f%%", Rel * 100.0);
+}
+
+std::string bench::renderCompareText(const CompareReport &R) {
+  std::string Out;
+  size_t BenchW = 5, KeyW = 6;
+  for (const MetricDelta &D : R.Deltas) {
+    BenchW = std::max(BenchW, D.Bench.size());
+    KeyW = std::max(KeyW, D.Key.size());
+  }
+  Out += formatString("%-*s  %-*s  %12s  %12s  %8s  %s\n",
+                      static_cast<int>(BenchW), "bench",
+                      static_cast<int>(KeyW), "metric", "baseline", "current",
+                      "delta", "verdict");
+  for (const MetricDelta &D : R.Deltas)
+    Out += formatString("%-*s  %-*s  %12.6g  %12.6g  %8s  %s\n",
+                        static_cast<int>(BenchW), D.Bench.c_str(),
+                        static_cast<int>(KeyW), D.Key.c_str(), D.Baseline,
+                        D.Current, relChangeText(D.RelChange).c_str(),
+                        kindLabel(D.Kind));
+  for (const std::string &M : R.Mismatches)
+    Out += "MISMATCH: " + M + "\n";
+  for (const std::string &E : R.LoadErrors)
+    Out += "ERROR: " + E + "\n";
+  for (const std::string &N : R.MissingBaselines)
+    Out += "warning: no baseline for bench \"" + N + "\" (run "
+           "tools/msem_bench_baseline.sh to record one)\n";
+  for (const std::string &N : R.MissingResults)
+    Out += "warning: baseline \"" + N + "\" has no fresh result\n";
+  Out += formatString("summary: %zu metrics, %zu regressed, %zu improved, "
+                      "%zu mismatched, %zu errors\n",
+                      R.Deltas.size(), R.regressions(), R.improvements(),
+                      R.Mismatches.size(), R.LoadErrors.size());
+  return Out;
+}
+
+std::string bench::renderCompareMarkdown(const CompareReport &R) {
+  std::string Out;
+  Out += "| Bench | Metric | Baseline | Current | Delta | Verdict |\n";
+  Out += "|---|---|---:|---:|---:|---|\n";
+  for (const MetricDelta &D : R.Deltas) {
+    const char *Mark = D.Kind == DeltaKind::Regressed   ? " :red_circle:"
+                       : D.Kind == DeltaKind::Improved ? " :green_circle:"
+                                                       : "";
+    Out += formatString("| %s | %s | %.6g | %.6g | %s | %s%s |\n",
+                        D.Bench.c_str(), D.Key.c_str(), D.Baseline, D.Current,
+                        relChangeText(D.RelChange).c_str(), kindLabel(D.Kind),
+                        Mark);
+  }
+  for (const std::string &M : R.Mismatches)
+    Out += "\n**MISMATCH:** " + M + "\n";
+  for (const std::string &E : R.LoadErrors)
+    Out += "\n**ERROR:** " + E + "\n";
+  Out += formatString("\n**Summary:** %zu metrics, %zu regressed, "
+                      "%zu improved, %zu mismatched, %zu errors\n",
+                      R.Deltas.size(), R.regressions(), R.improvements(),
+                      R.Mismatches.size(), R.LoadErrors.size());
+  return Out;
+}

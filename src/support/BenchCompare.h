@@ -1,0 +1,152 @@
+//===- support/BenchCompare.h - Benchmark regression comparison --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison engine behind the `msem_bench_diff` regression sentinel:
+/// load "msem.bench.v1" result files (bench/BenchCommon.h BenchReport
+/// output), pair fresh results against committed baselines by bench name,
+/// and classify every shared metric as improved / unchanged / regressed
+/// under noise-tolerant thresholds.
+///
+/// Direction is inferred from the metric key, matching the vocabulary the
+/// harnesses actually emit: error-like and time-like keys (mape, rmse,
+/// error, seconds, latency, cycles, _us, wall) regress when they go up;
+/// rate-like keys (throughput, qps, per_s, speedup) regress when they go
+/// down. Unrecognized keys are compared both ways but only reported, never
+/// failed -- the sentinel refuses to guess which way is good.
+///
+/// Two threshold classes keep the gate honest about noise: model-quality
+/// metrics are near-deterministic at fixed seed (default 10% tolerance
+/// catches real movement), while timing/throughput metrics wobble with
+/// machine load (default 50%, catching order-of-magnitude cliffs without
+/// flaking CI). Config drift (train_n/test_n/input/seed differ from the
+/// baseline) is a hard mismatch: the numbers are not comparable, and
+/// silently passing them would hollow out the gate.
+///
+/// Pure library (no process exit, no printing) so the synthetic-regression
+/// contract is unit-testable; tools/msem_bench_diff.cpp owns argv and exit
+/// codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_BENCHCOMPARE_H
+#define MSEM_SUPPORT_BENCHCOMPARE_H
+
+#include <string>
+#include <vector>
+
+namespace msem {
+namespace bench {
+
+/// One parsed results/BENCH_<name>.json document.
+struct BenchResult {
+  std::string Name;           ///< "micro_simulator", "predict_throughput"...
+  std::string Build;          ///< buildStamp() of the producing binary.
+  std::string Path;           ///< Source file (diagnostics).
+  double WallSeconds = 0.0;
+  /// config{} flattened to deterministic "key=value" strings for drift
+  /// detection (seed kept in hex exactly as written).
+  std::vector<std::string> Config;
+  struct Metric {
+    std::string Key;
+    double Value;
+  };
+  std::vector<Metric> Metrics; ///< Numeric metrics only, file order.
+};
+
+/// Parses one BENCH json document. Returns false with a diagnostic on
+/// malformed input or a schema other than "msem.bench.v1".
+bool parseBenchResult(const std::string &Text, const std::string &Path,
+                      BenchResult &Out, std::string *Error = nullptr);
+
+/// Loads every BENCH_*.json under \p Dir (non-recursive), sorted by bench
+/// name. Unparseable files are reported in \p Errors and skipped; a
+/// missing/unreadable directory yields an empty vector plus a diagnostic.
+std::vector<BenchResult> loadBenchDir(const std::string &Dir,
+                                      std::vector<std::string> *Errors);
+
+/// Which way a metric is allowed to drift before it counts as a
+/// regression.
+enum class MetricDirection {
+  LowerIsBetter,  ///< mape, rmse, error, seconds, latency, cycles...
+  HigherIsBetter, ///< throughput, qps, per_s, speedup...
+  Unknown,        ///< Reported informationally, never gates.
+};
+
+/// Classifies \p Key by substring vocabulary (see file comment).
+MetricDirection classifyMetric(const std::string &Key);
+
+/// True for metrics measured in time/rate units, which get the looser
+/// noise threshold.
+bool isTimingMetric(const std::string &Key);
+
+/// Verdict for one metric shared by baseline and fresh result.
+enum class DeltaKind {
+  Unchanged,  ///< Within threshold (or direction Unknown).
+  Improved,   ///< Beyond threshold in the good direction.
+  Regressed,  ///< Beyond threshold in the bad direction.
+};
+
+struct MetricDelta {
+  std::string Bench;
+  std::string Key;
+  double Baseline = 0.0;
+  double Current = 0.0;
+  /// Signed relative change (Current-Baseline)/|Baseline|; +/-inf when the
+  /// baseline is 0 and the value moved.
+  double RelChange = 0.0;
+  double Threshold = 0.0; ///< The tolerance this metric was judged under.
+  MetricDirection Direction = MetricDirection::Unknown;
+  DeltaKind Kind = DeltaKind::Unchanged;
+};
+
+struct CompareOptions {
+  /// Relative tolerance for model-quality metrics (default 10%).
+  double MetricThreshold = 0.10;
+  /// Relative tolerance for timing/throughput metrics (default 50%).
+  double TimeThreshold = 0.50;
+  /// Also judge wall_seconds (off by default -- whole-harness wall time
+  /// includes one-time cache warmup and flakes hardest).
+  bool CompareWallTime = false;
+};
+
+/// Outcome of comparing one results directory against one baseline
+/// directory.
+struct CompareReport {
+  std::vector<MetricDelta> Deltas;      ///< Every shared metric, bench order.
+  /// Hard failures: config drift between paired files, e.g.
+  /// "micro_simulator: config mismatch: seed=0x... vs seed=0x...".
+  std::vector<std::string> Mismatches;
+  std::vector<std::string> MissingBaselines; ///< Fresh bench, no baseline.
+  std::vector<std::string> MissingResults;   ///< Baseline bench, no result.
+  std::vector<std::string> LoadErrors;       ///< Unparseable files.
+
+  size_t regressions() const;
+  size_t improvements() const;
+  /// True when the gate should fail: any regression, config mismatch or
+  /// load error. Missing benches on either side warn but do not fail --
+  /// the sentinel gates the benches you ran, not the ones you didn't.
+  bool hasFailures() const { return regressions() + Mismatches.size() +
+                                    LoadErrors.size() > 0; }
+};
+
+/// Pairs \p Current against \p Baseline by bench name and judges every
+/// shared numeric metric under \p Opts.
+CompareReport compareBenches(const std::vector<BenchResult> &Baseline,
+                             const std::vector<BenchResult> &Current,
+                             const CompareOptions &Opts);
+
+/// Human-readable summary (aligned text table plus warnings), the tool's
+/// stdout.
+std::string renderCompareText(const CompareReport &R);
+
+/// GitHub-flavoured markdown delta table for PR comments / CI summaries.
+std::string renderCompareMarkdown(const CompareReport &R);
+
+} // namespace bench
+} // namespace msem
+
+#endif // MSEM_SUPPORT_BENCHCOMPARE_H

@@ -50,6 +50,12 @@ EnvConfig msem::parseEnv() {
   C.DriftThreshold =
       std::max(0.0, getEnvDouble("MSEM_DRIFT_THRESHOLD", C.DriftThreshold));
   C.ResultsDir = getEnvString("MSEM_RESULTS_DIR", C.ResultsDir);
+  C.StatsPort =
+      std::clamp<int64_t>(getEnvInt("MSEM_STATS_PORT", C.StatsPort), -1, 65535);
+  C.StatsPortFile = getEnvString("MSEM_STATS_PORT_FILE", C.StatsPortFile);
+  C.ProfilePath = getEnvString("MSEM_PROFILE", C.ProfilePath);
+  C.ProfileHz = std::clamp<int64_t>(
+      getEnvInt("MSEM_PROFILE_HZ", C.ProfileHz), 1, 10000);
   C.FaultRate =
       std::clamp(getEnvDouble("MSEM_FAULT_RATE", C.FaultRate), 0.0, 1.0);
   C.TrainNSet = getEnvInt("MSEM_TRAIN_N", -1) >= 0;

@@ -57,6 +57,19 @@ struct EnvConfig {
   /// MSEM_RESULTS_DIR: directory where bench harnesses write their
   /// machine-readable BENCH_<name>.json results.
   std::string ResultsDir = "results";
+  /// MSEM_STATS_PORT: loopback port for the live introspection plane
+  /// (/metrics, /healthz, /statusz, /tracez). 0 picks an ephemeral port;
+  /// unset (-1) means no server -- no socket, no thread.
+  int64_t StatsPort = -1;
+  /// MSEM_STATS_PORT_FILE: when the stats server starts, the bound port is
+  /// written here (atomic write). How scripts discover an ephemeral port.
+  std::string StatsPortFile;
+  /// MSEM_PROFILE: collapsed-flamegraph-stack output path for the sampling
+  /// profiler ("" = profiler off). Written at profiler stop / process exit.
+  std::string ProfilePath;
+  /// MSEM_PROFILE_HZ: sampling-profiler frequency against process CPU time
+  /// (ITIMER_PROF), in samples per CPU-second.
+  int64_t ProfileHz = 500;
 
   // --- Fault injection (test hook) -----------------------------------------
   /// MSEM_FAULT_RATE: probability in [0, 1] that any single measurement

@@ -1,0 +1,373 @@
+//===- support/StatsServer.cpp - Live introspection HTTP plane ------------===//
+
+#include "support/StatsServer.h"
+
+#include "support/BuildInfo.h"
+#include "support/Env.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Process-wide registries
+//===----------------------------------------------------------------------===//
+
+struct Provider {
+  uint64_t Token;
+  std::function<std::string()> Fn;
+};
+
+struct Registries {
+  std::mutex Mutex;
+  std::map<std::string, StatsServer::Handler> Handlers;
+  std::map<std::string, Provider> Status;
+  std::map<std::string, Provider> Health;
+  uint64_t NextToken = 1;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registries &registries() {
+  static Registries *R = new Registries; // Leaked: outlives static dtors.
+  return *R;
+}
+
+std::string escapeJsonString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += formatString("\\%c", C);
+    else if (static_cast<unsigned char>(C) < 0x20)
+      Out += formatString("\\u%04x", C);
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Built-in endpoints
+//===----------------------------------------------------------------------===//
+
+StatsResponse renderIndex() {
+  StatsResponse Resp;
+  Resp.Body = "msem introspection plane\n\n"
+              "  /healthz   liveness + campaign progress (JSON)\n"
+              "  /statusz   build identity, uptime, component sections\n";
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  for (const auto &[Path, Fn] : registries().Handlers)
+    Resp.Body += "  " + Path + "\n";
+  return Resp;
+}
+
+StatsResponse renderHealthz() {
+  // Compose fragments outside the registry lock: provider callbacks may
+  // take their own locks and must not nest under ours.
+  std::vector<std::pair<std::string, std::function<std::string()>>> Fns;
+  {
+    std::lock_guard<std::mutex> Lock(registries().Mutex);
+    for (const auto &[Name, P] : registries().Health)
+      Fns.emplace_back(Name, P.Fn);
+  }
+  StatsResponse Resp;
+  Resp.ContentType = "application/json; charset=utf-8";
+  Resp.Body = "{\"status\":\"ok\"";
+  for (const auto &[Name, Fn] : Fns)
+    Resp.Body += ",\"" + escapeJsonString(Name) + "\":" + Fn();
+  Resp.Body += "}\n";
+  return Resp;
+}
+
+StatsResponse renderStatusz() {
+  std::vector<std::pair<std::string, std::function<std::string()>>> Fns;
+  std::chrono::steady_clock::time_point Epoch;
+  {
+    std::lock_guard<std::mutex> Lock(registries().Mutex);
+    for (const auto &[Name, P] : registries().Status)
+      Fns.emplace_back(Name, P.Fn);
+    Epoch = registries().Epoch;
+  }
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Epoch)
+                      .count();
+  StatsResponse Resp;
+  Resp.Body = formatString("msem statusz\nbuild: %s\npid: %d\n"
+                           "uptime_seconds: %.1f\n",
+                           buildStamp().c_str(), static_cast<int>(getpid()),
+                           Uptime);
+  for (const auto &[Name, Fn] : Fns) {
+    Resp.Body += "\n== " + Name + " ==\n";
+    std::string Section = Fn();
+    Resp.Body += Section;
+    if (!Section.empty() && Section.back() != '\n')
+      Resp.Body += '\n';
+  }
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP plumbing
+//===----------------------------------------------------------------------===//
+
+const char *statusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Unknown";
+  }
+}
+
+void sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    // MSG_NOSIGNAL: a client that hung up yields EPIPE, not SIGPIPE.
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// StatsServer
+//===----------------------------------------------------------------------===//
+
+StatsServer::~StatsServer() { stop(); }
+
+StatsServer &StatsServer::global() {
+  static StatsServer *S = new StatsServer; // Leaked: atexit handlers may
+  return *S;                               // still serve /metrics.
+}
+
+bool StatsServer::maybeStartFromEnv() {
+  StatsServer &S = global();
+  if (S.running())
+    return true;
+  int64_t Port = env().StatsPort;
+  if (Port < 0)
+    return false;
+  std::string Error;
+  if (!S.start(static_cast<int>(Port), &Error)) {
+    std::fprintf(stderr, "msem stats server: %s\n", Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+void StatsServer::registerHandler(const std::string &Path, Handler Fn) {
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  registries().Handlers[Path] = std::move(Fn);
+}
+
+StatsResponse StatsServer::dispatch(const StatsRequest &Req) {
+  if (Req.Method != "GET" && Req.Method != "HEAD") {
+    StatsResponse Resp;
+    Resp.Status = 405;
+    Resp.Body = "method not allowed\n";
+    return Resp;
+  }
+  if (Req.Path == "/" || Req.Path == "/index")
+    return renderIndex();
+  if (Req.Path == "/healthz")
+    return renderHealthz();
+  if (Req.Path == "/statusz")
+    return renderStatusz();
+  Handler Fn;
+  {
+    std::lock_guard<std::mutex> Lock(registries().Mutex);
+    auto It = registries().Handlers.find(Req.Path);
+    if (It != registries().Handlers.end())
+      Fn = It->second;
+  }
+  if (Fn)
+    return Fn(Req);
+  StatsResponse Resp;
+  Resp.Status = 404;
+  Resp.Body = "not found: " + Req.Path + "\n";
+  return Resp;
+}
+
+bool StatsServer::start(int Port, std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg + " (" + std::strerror(errno) + ")";
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+  if (running()) {
+    if (Error)
+      *Error = "already running";
+    return false;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Introspection only:
+  Addr.sin_port = htons(static_cast<uint16_t>(Port)); // never routable.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail(formatString("bind 127.0.0.1:%d", Port));
+  if (::listen(ListenFd, 16) != 0)
+    return Fail("listen");
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return Fail("getsockname");
+  BoundPort.store(ntohs(Addr.sin_port), std::memory_order_release);
+
+  Running.store(true, std::memory_order_release);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+
+  const std::string &PortFile = env().StatsPortFile;
+  if (!PortFile.empty()) {
+    std::string WriteError;
+    if (!writeFileAtomic(PortFile, formatString("%d\n", port()), &WriteError))
+      std::fprintf(stderr, "msem stats server: cannot write port file: %s\n",
+                   WriteError.c_str());
+  }
+  return true;
+}
+
+void StatsServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    if (AcceptThread.joinable())
+      AcceptThread.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept; close() alone may not.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  ListenFd = -1;
+  BoundPort.store(0, std::memory_order_release);
+}
+
+void StatsServer::acceptLoop() {
+  while (Running.load(std::memory_order_acquire)) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listening socket shut down (stop()) or fatal.
+    }
+    serveConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void StatsServer::serveConnection(int Fd) {
+  // A slow or stuck client must not wedge the introspection plane.
+  timeval Timeout{2, 0};
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+
+  std::string Buf;
+  char Chunk[2048];
+  while (Buf.find("\r\n\r\n") == std::string::npos &&
+         Buf.find("\n\n") == std::string::npos && Buf.size() < 16384) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+
+  StatsRequest Req;
+  StatsResponse Resp;
+  size_t LineEnd = Buf.find_first_of("\r\n");
+  std::string Line = Buf.substr(0, LineEnd == std::string::npos ? 0 : LineEnd);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
+    Resp.Status = 400;
+    Resp.Body = "malformed request line\n";
+  } else {
+    Req.Method = Line.substr(0, Sp1);
+    std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    size_t Q = Target.find('?');
+    Req.Path = Target.substr(0, Q);
+    if (Q != std::string::npos)
+      Req.Query = Target.substr(Q + 1);
+    Resp = dispatch(Req);
+  }
+
+  std::string Out = formatString(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      Resp.Status, statusText(Resp.Status), Resp.ContentType.c_str(),
+      Resp.Body.size());
+  if (Req.Method != "HEAD")
+    Out += Resp.Body;
+  sendAll(Fd, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Scoped providers
+//===----------------------------------------------------------------------===//
+
+ScopedStatusProvider::ScopedStatusProvider(std::string NameIn,
+                                           std::function<std::string()> Fn)
+    : Name(std::move(NameIn)) {
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  Token = registries().NextToken++;
+  registries().Status[Name] = {Token, std::move(Fn)};
+}
+
+ScopedStatusProvider::~ScopedStatusProvider() {
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  auto It = registries().Status.find(Name);
+  // Remove only our own registration: a newer provider under the same
+  // name (e.g. a replacement global pool) must survive our teardown.
+  if (It != registries().Status.end() && It->second.Token == Token)
+    registries().Status.erase(It);
+}
+
+ScopedHealthProvider::ScopedHealthProvider(std::string NameIn,
+                                           std::function<std::string()> Fn)
+    : Name(std::move(NameIn)) {
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  Token = registries().NextToken++;
+  registries().Health[Name] = {Token, std::move(Fn)};
+}
+
+ScopedHealthProvider::~ScopedHealthProvider() {
+  std::lock_guard<std::mutex> Lock(registries().Mutex);
+  auto It = registries().Health.find(Name);
+  if (It != registries().Health.end() && It->second.Token == Token)
+    registries().Health.erase(It);
+}

@@ -1,0 +1,153 @@
+//===- support/StatsServer.h - Live introspection HTTP plane ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free HTTP/1.1 stats server giving long-running binaries
+/// (campaigns, msem_predict, benches) a live introspection plane. Strictly
+/// opt-in: the global server starts only when MSEM_STATS_PORT is set
+/// (support/Env), binds the loopback interface only, and serves one
+/// request per connection from a single background thread. With the knob
+/// unset no socket and no thread exist, so instrumented binaries behave
+/// bitwise identically to uninstrumented ones.
+///
+/// The server itself is routing-only; content comes from two process-wide
+/// registries that any layer may populate without linking anything beyond
+/// msem_support:
+///
+///   - registerHandler(path, fn): full ownership of one URL. The telemetry
+///     layer registers /metrics, /tracez and /profilez this way
+///     (telemetry/Introspection.h) -- support cannot depend on telemetry,
+///     so the arrow points this way.
+///   - ScopedStatusProvider / ScopedHealthProvider: named sections
+///     composed into the built-in /statusz (human-readable text) and
+///     /healthz (JSON liveness + progress) endpoints. The campaign engine,
+///     the thread pool and the serving monitor register these; RAII
+///     deregistration keeps dangling callbacks impossible.
+///
+/// Built-in endpoints: "/" (index of registered paths), "/healthz"
+/// ({"status":"ok",...} liveness plus provider fragments), "/statusz"
+/// (build identity, uptime, provider sections).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_STATSSERVER_H
+#define MSEM_SUPPORT_STATSSERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace msem {
+
+/// One HTTP request, reduced to what introspection handlers need.
+struct StatsRequest {
+  std::string Method; ///< "GET" (anything else earns a 405).
+  std::string Path;   ///< Decoded path, no query string.
+  std::string Query;  ///< Raw query string ("" when absent).
+};
+
+/// One HTTP response. Handlers fill Body (and optionally the rest); the
+/// server adds Content-Length and Connection: close.
+struct StatsResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// The introspection HTTP server. One instance per process is the
+/// expected shape (global()); tests may run private instances -- every
+/// instance serves the same process-wide handler/provider registries.
+class StatsServer {
+public:
+  using Handler = std::function<StatsResponse(const StatsRequest &)>;
+
+  StatsServer() = default;
+  ~StatsServer();
+
+  StatsServer(const StatsServer &) = delete;
+  StatsServer &operator=(const StatsServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port), starts
+  /// the accept thread and, when MSEM_STATS_PORT_FILE is set, publishes
+  /// the bound port there. Returns false with a diagnostic in \p Error on
+  /// bind failure or when already running.
+  bool start(int Port, std::string *Error = nullptr);
+
+  /// Shuts the listening socket and joins the accept thread. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// The bound port (0 when not running).
+  int port() const { return BoundPort.load(std::memory_order_acquire); }
+
+  /// The process-wide server instance (not auto-started).
+  static StatsServer &global();
+
+  /// Starts global() on MSEM_STATS_PORT when the knob is set and the
+  /// server is not yet running. With the knob unset this is a pure read
+  /// of the env snapshot: no socket, no thread. Returns whether the
+  /// global server is running afterwards. Every long-running entry point
+  /// (Campaign::run, msem_predict, the bench harnesses) calls this.
+  static bool maybeStartFromEnv();
+
+  /// Registers (or replaces) the handler owning \p Path. Process-wide and
+  /// thread-safe; reachable through every instance.
+  static void registerHandler(const std::string &Path, Handler Fn);
+
+  /// Dispatches \p Req against the built-in endpoints and the handler
+  /// registry exactly as a live request would be (tests use this to probe
+  /// routing without a socket).
+  static StatsResponse dispatch(const StatsRequest &Req);
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  std::atomic<bool> Running{false};
+  std::atomic<int> BoundPort{0};
+  int ListenFd = -1;
+  std::thread AcceptThread;
+};
+
+/// RAII registration of one named /statusz section. The callback renders
+/// the section body (plain text, trailing newline optional); it runs on
+/// the server thread and must be internally synchronized.
+class ScopedStatusProvider {
+public:
+  ScopedStatusProvider(std::string Name, std::function<std::string()> Fn);
+  ~ScopedStatusProvider();
+
+  ScopedStatusProvider(const ScopedStatusProvider &) = delete;
+  ScopedStatusProvider &operator=(const ScopedStatusProvider &) = delete;
+
+private:
+  std::string Name;
+  uint64_t Token;
+};
+
+/// RAII registration of one named /healthz fragment. The callback returns
+/// a JSON value (object, number, string...) emitted as
+/// {"status":"ok","<name>":<fragment>,...}; same threading contract as
+/// ScopedStatusProvider.
+class ScopedHealthProvider {
+public:
+  ScopedHealthProvider(std::string Name, std::function<std::string()> Fn);
+  ~ScopedHealthProvider();
+
+  ScopedHealthProvider(const ScopedHealthProvider &) = delete;
+  ScopedHealthProvider &operator=(const ScopedHealthProvider &) = delete;
+
+private:
+  std::string Name;
+  uint64_t Token;
+};
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_STATSSERVER_H

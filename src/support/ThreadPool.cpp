@@ -3,6 +3,8 @@
 #include "support/ThreadPool.h"
 
 #include "support/Env.h"
+#include "support/Format.h"
+#include "support/StatsServer.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -55,6 +57,14 @@ ThreadPool::ThreadPool(size_t Threads)
     : NumThreads(Threads ? Threads : defaultThreadCount()) {
   for (size_t I = 0; I + 1 < NumThreads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  // Registered after the workers exist and destroyed (deregistered) before
+  // they are joined, so the /statusz callback never observes a
+  // half-constructed pool.
+  StatusSection = std::make_unique<ScopedStatusProvider>(
+      "pool", [this] {
+        return formatString("threads: %zu\nqueued tasks: %zu", NumThreads,
+                            queueDepth());
+      });
 }
 
 ThreadPool::~ThreadPool() {
@@ -68,6 +78,11 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::inWorker() { return InWorkerThread; }
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size();
+}
 
 void ThreadPool::workerLoop() {
   InWorkerThread = true;

@@ -50,10 +50,15 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+namespace msem {
+class ScopedStatusProvider;
+}
 
 namespace msem {
 
@@ -96,6 +101,10 @@ public:
   /// True on a pool worker thread (used to run nested regions inline).
   static bool inWorker();
 
+  /// Tasks currently enqueued and not yet claimed by a worker (a point-in-
+  /// time read; /statusz reporting).
+  size_t queueDepth() const;
+
 private:
   struct Batch;
 
@@ -105,10 +114,15 @@ private:
   size_t NumThreads;
   std::vector<std::thread> Workers;
 
-  std::mutex QueueMutex;
+  mutable std::mutex QueueMutex;
   std::condition_variable QueueCv;
   std::deque<std::function<void()>> Queue;
   bool Stopping = false;
+
+  /// /statusz "pool" section (thread count + live queue depth). Declared
+  /// last so it deregisters before the members its callback reads are torn
+  /// down.
+  std::unique_ptr<ScopedStatusProvider> StatusSection;
 };
 
 /// The process-wide pool used by the measurement/fitting stack. Created on

@@ -1,0 +1,133 @@
+//===- telemetry/Introspection.cpp - Telemetry HTTP endpoints -------------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Introspection.h"
+
+#include "support/Format.h"
+#include "support/StatsServer.h"
+#include "telemetry/EventLog.h"
+#include "telemetry/OpenMetrics.h"
+#include "telemetry/SampleProfiler.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+namespace {
+
+StatsResponse handleMetrics(const StatsRequest &) {
+  StatsResponse R;
+  // The official OpenMetrics media type; curl and Prometheus scrapers key
+  // on it.
+  R.ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+  R.Body = renderOpenMetrics(snapshotMetrics());
+  return R;
+}
+
+void renderSpanNode(const std::vector<SpanEvent> &Spans, const SpanTree &Tree,
+                    size_t NodeIdx, int Depth, std::string &Out) {
+  const SpanEvent &S = Spans[Tree.Nodes[NodeIdx].SpanIndex];
+  Out += formatString("%*s%s  %.3f ms", Depth * 2, "", S.Name.c_str(),
+                      static_cast<double>(S.DurationNs) / 1e6);
+  if (!S.Detail.empty()) {
+    Out += "  [";
+    Out += S.Detail;
+    Out += ']';
+  }
+  Out += '\n';
+  for (size_t Child : Tree.Nodes[NodeIdx].Children)
+    renderSpanNode(Spans, Tree, Child, Depth + 1, Out);
+}
+
+StatsResponse handleTracez(const StatsRequest &) {
+  StatsResponse R;
+  // Bound the snapshot: a long campaign buffers many thousands of spans,
+  // and /tracez is a glance, not an export (the events sink is the
+  // export). Keep the newest spans so the page shows current activity.
+  constexpr size_t MaxSpans = 2000;
+  std::vector<SpanEvent> All = spans();
+  size_t Total = All.size();
+  if (All.size() > MaxSpans)
+    All.erase(All.begin(), All.end() - static_cast<long>(MaxSpans));
+  SpanTree Tree = buildSpanTree(All);
+
+  R.Body = formatString("tracez: %zu buffered spans (%zu shown), "
+                        "%zu live, depth %zu\n\n",
+                        Total, All.size(), activeSpanCount(), Tree.depth());
+  if (All.empty()) {
+    R.Body += "no buffered spans -- enable a span sink "
+              "(MSEM_TELEMETRY=trace or events) to populate this page\n";
+    return R;
+  }
+  // Newest roots first: the reader wants to see what the process is doing
+  // now, not how it booted.
+  std::vector<size_t> Roots(Tree.Roots.rbegin(), Tree.Roots.rend());
+  for (size_t Root : Roots)
+    renderSpanNode(All, Tree, Root, 0, R.Body);
+  return R;
+}
+
+StatsResponse handleProfilez(const StatsRequest &) {
+  StatsResponse R;
+  uint64_t Total = SampleProfiler::sampleCount();
+  uint64_t Dropped = SampleProfiler::droppedCount();
+  R.Body = formatString("profilez: running=%s samples=%llu dropped=%llu\n",
+                        SampleProfiler::running() ? "yes" : "no",
+                        static_cast<unsigned long long>(Total),
+                        static_cast<unsigned long long>(Dropped));
+  if (Total == 0) {
+    R.Body += "no samples -- set MSEM_PROFILE=<out.collapsed> (and "
+              "optionally MSEM_PROFILE_HZ) to arm the sampling profiler\n";
+    return R;
+  }
+  R.Body += "\n";
+  R.Body += SampleProfiler::renderCollapsed();
+  return R;
+}
+
+std::string telemetryStatusSection() {
+  Config C = currentConfig();
+  std::vector<std::string> Sinks;
+  if (C.Sinks & SinkSummary)
+    Sinks.push_back("summary");
+  if (C.Sinks & SinkJsonl)
+    Sinks.push_back("jsonl(" + C.MetricsFormat + ")");
+  if (C.Sinks & SinkTrace)
+    Sinks.push_back("trace");
+  if (C.Sinks & SinkEvents)
+    Sinks.push_back("events");
+  return formatString(
+      "sinks: %s\nenabled: %s\nactive spans: %zu\nbuffered spans: %zu\n"
+      "trace sample: %.3f\nprofiler: %s (%llu samples, %llu dropped)",
+      Sinks.empty() ? "(none)" : joinStrings(Sinks, ",").c_str(),
+      enabled() ? "yes" : "no", activeSpanCount(), bufferedSpanCount(),
+      C.TraceSample, SampleProfiler::running() ? "running" : "stopped",
+      static_cast<unsigned long long>(SampleProfiler::sampleCount()),
+      static_cast<unsigned long long>(SampleProfiler::droppedCount()));
+}
+
+} // namespace
+
+bool telemetry::ensureIntrospection() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    StatsServer::registerHandler("/metrics", handleMetrics);
+    StatsServer::registerHandler("/tracez", handleTracez);
+    StatsServer::registerHandler("/profilez", handleProfilez);
+    // Leaked on purpose: the telemetry section is process-lifetime, and a
+    // static ScopedStatusProvider would race provider-registry teardown
+    // order at exit.
+    static ScopedStatusProvider *TelemetrySection =
+        new ScopedStatusProvider("telemetry", telemetryStatusSection);
+    (void)TelemetrySection;
+    SampleProfiler::autoStartFromEnv();
+  });
+  return StatsServer::maybeStartFromEnv();
+}

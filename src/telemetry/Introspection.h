@@ -1,0 +1,47 @@
+//===- telemetry/Introspection.h - Telemetry HTTP endpoints -----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the telemetry-backed endpoints into the support-layer stats
+/// server (support/StatsServer.h) and starts it from the environment. The
+/// dependency arrow requires this split: msem_support cannot link
+/// msem_telemetry, so the server is routing-only and this file -- living in
+/// the telemetry layer, which *can* see both -- plugs the content in:
+///
+///   /metrics   live OpenMetrics exposition of the metric registry
+///              (renderOpenMetrics over snapshotMetrics; same bytes the
+///              jsonl sink's openmetrics format writes at exit, but now)
+///   /tracez    recent-span snapshot: the buffered span forest rendered as
+///              an indented tree, newest roots first
+///   /profilez  the sampling profiler's collapsed stacks plus coverage
+///              counters (live flamegraph input)
+///
+/// plus a "telemetry" /statusz section (sink configuration, active span
+/// count, span-buffer depth) -- so every binary that calls
+/// ensureIntrospection() exposes the full plane with zero per-binary code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_INTROSPECTION_H
+#define MSEM_TELEMETRY_INTROSPECTION_H
+
+namespace msem {
+namespace telemetry {
+
+/// Idempotently registers /metrics, /tracez, /profilez and the "telemetry"
+/// status section, starts the stats server when MSEM_STATS_PORT is set
+/// (StatsServer::maybeStartFromEnv) and arms the sampling profiler when
+/// MSEM_PROFILE is set (SampleProfiler::autoStartFromEnv). Cheap after the
+/// first call. Returns whether the global stats server is running.
+///
+/// Call sites: every long-running entry point -- Campaign::run, the
+/// msem_predict serving loop, the bench harnesses (BenchReport).
+bool ensureIntrospection();
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_INTROSPECTION_H

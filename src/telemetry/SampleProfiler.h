@@ -1,0 +1,106 @@
+//===- telemetry/SampleProfiler.h - Signal-based sampling profiler -*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-hosted sampling profiler: ITIMER_PROF fires SIGPROF against the
+/// process CPU clock (the kernel delivers it to a currently-running
+/// thread), and the handler attributes the sample to that thread's live
+/// telemetry-span chain -- so profiles speak the same vocabulary as the
+/// trace ("campaign.run;campaign.build;sim.smarts;smarts.window"), and the
+/// simulator hot loop gets ground-truth self-time data before anyone
+/// optimizes it.
+///
+/// The handler is async-signal-safe by construction: it walks the
+/// interrupted thread's own span chain (telemetry::currentSpanNames -- no
+/// locks, no allocation), folds the names into a collapsed-stack string in
+/// a stack buffer, and aggregates into a preallocated lock-free
+/// open-addressing table keyed by stack hash (CAS claims a slot, atomic
+/// counters accumulate). Samples that lose a claim race or overflow the
+/// probe window are counted as dropped, never blocked on.
+///
+/// Because attribution needs live spans, start() forces metric recording
+/// on (telemetry::setMetricsForced) -- a profiled run does not need any
+/// telemetry sink configured, and no sink means nothing extra is written.
+/// Sampling never perturbs results: simulated cycle counts are a pure
+/// function of the design point, and the profiler only reads.
+///
+/// Output is the classic collapsed flamegraph format, one
+/// "stack;frames;innermost count" line per distinct stack -- directly
+/// consumable by flamegraph.pl and rendered by `msem_report --profile`.
+/// Samples with no live span fold into the "(no span)" bucket, so
+/// coverage (the fraction of samples landing in named spans) is visible.
+///
+/// Environment wiring (support/Env): MSEM_PROFILE names the output file
+/// and arms autoStartFromEnv(); MSEM_PROFILE_HZ sets the sampling rate
+/// (per CPU-second, default 500).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_SAMPLEPROFILER_H
+#define MSEM_TELEMETRY_SAMPLEPROFILER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msem {
+namespace telemetry {
+
+/// Process-wide sampling profiler (SIGPROF has one disposition, so there
+/// is exactly one). All methods are static and thread-safe.
+class SampleProfiler {
+public:
+  struct Options {
+    /// Samples per CPU-second (ITIMER_PROF interval = 1e6/Hz micros).
+    int Hz = 500;
+  };
+
+  /// Arms ITIMER_PROF and installs the SIGPROF handler. Forces telemetry
+  /// metric recording on so span attribution works sinkless. No-op when
+  /// already running.
+  static void start(Options O);
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Collected samples survive stop() (and further start() calls append).
+  static void stop();
+
+  static bool running();
+
+  /// Starts with MSEM_PROFILE_HZ when MSEM_PROFILE is set, and registers
+  /// an atexit hook writing the collapsed profile there. Idempotent; the
+  /// call-sites are the same long-running entry points that start the
+  /// stats server. Returns whether the profiler is running afterwards.
+  static bool autoStartFromEnv();
+
+  /// Total samples taken (including dropped and unattributed).
+  static uint64_t sampleCount();
+
+  /// Samples lost to claim races / probe overflow (diagnostic; expected
+  /// ~0 in practice).
+  static uint64_t droppedCount();
+
+  /// Snapshot of the aggregated profile: (collapsed stack, samples),
+  /// sorted by sample count descending then stack name. Unattributed
+  /// samples appear under "(no span)".
+  static std::vector<std::pair<std::string, uint64_t>> collapsedStacks();
+
+  /// The flamegraph.pl input document: "stack count\n" per entry, in
+  /// collapsedStacks() order.
+  static std::string renderCollapsed();
+
+  /// Writes renderCollapsed() to \p Path atomically. Returns false with a
+  /// diagnostic on IO failure.
+  static bool dump(const std::string &Path, std::string *Error = nullptr);
+
+  /// Clears accumulated samples (tests).
+  static void resetSamples();
+};
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_SAMPLEPROFILER_H

@@ -14,6 +14,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <tuple>
 
@@ -31,8 +32,17 @@ std::atomic<bool> AnyEnabled{false};
 std::atomic<bool> TraceOn{false};
 std::atomic<bool> ConfigLatched{false};
 std::atomic<double> SampleRate{1.0};
+/// setMetricsForced: record metrics/spans even with every sink off.
+std::atomic<bool> MetricsForced{false};
+/// Live ScopedTimer spans across all threads (/statusz reporting).
+std::atomic<size_t> LiveSpans{0};
 /// Set by SIGUSR1 / requestMetricsDump, drained by maybeDumpMetrics.
+/// Async-signal-safety: the handler performs exactly one lock-free store
+/// on this flag -- no allocation, no locks, no IO -- and the snapshot is
+/// rendered later from normal (instrumentation-point) context.
 std::atomic<bool> DumpRequested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the SIGUSR1 handler stores this flag from signal context");
 
 struct Registry {
   std::mutex Mutex;
@@ -66,7 +76,9 @@ extern "C" void msemDumpSignalHandler(int) {
 
 void applyConfigLocked(Registry &R, const Config &C) {
   R.Cfg = C;
-  AnyEnabled.store(C.Sinks != SinkNone, std::memory_order_relaxed);
+  AnyEnabled.store(C.Sinks != SinkNone ||
+                       MetricsForced.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   TraceOn.store((C.Sinks & (SinkTrace | SinkEvents)) != 0,
                 std::memory_order_relaxed);
   SampleRate.store(std::clamp(C.TraceSample, 0.0, 1.0),
@@ -79,7 +91,15 @@ void applyConfigLocked(Registry &R, const Config &C) {
 #ifdef SIGUSR1
   if (C.Sinks != SinkNone && !R.SignalInstalled) {
     R.SignalInstalled = true;
-    std::signal(SIGUSR1, msemDumpSignalHandler);
+    // sigaction over std::signal: SA_RESTART keeps a SIGUSR1 arriving
+    // mid-syscall from surfacing EINTR to code that never expected it,
+    // and the disposition is installed exactly once with known flags.
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = msemDumpSignalHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = SA_RESTART;
+    sigaction(SIGUSR1, &SA, nullptr);
   }
 #endif
 }
@@ -280,6 +300,15 @@ bool telemetry::traceEnabled() {
   return TraceOn.load(std::memory_order_relaxed);
 }
 
+void telemetry::setMetricsForced(bool Forced) {
+  ensureLatched();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MetricsForced.store(Forced, std::memory_order_relaxed);
+  AnyEnabled.store(R.Cfg.Sinks != SinkNone || Forced,
+                   std::memory_order_relaxed);
+}
+
 //===----------------------------------------------------------------------===//
 // Metric types
 //===----------------------------------------------------------------------===//
@@ -438,6 +467,28 @@ TraceContext telemetry::currentContext() {
   return AdoptedCtx;
 }
 
+size_t telemetry::currentSpanNames(const char **Out, size_t Max) {
+  // Async-signal-safe by construction: walks this thread's own span chain
+  // (plain thread_local pointer reads; the interrupted thread cannot be
+  // mid-way through a chain update that matters -- init() links a span
+  // only after its Name is assigned, and ~ScopedTimer unlinks before the
+  // name is moved out).
+  size_t N = 0;
+  for (ScopedTimer *S = CurrentSpan; S && N < Max; S = S->PrevSpan)
+    Out[N++] = S->Name.c_str();
+  return N;
+}
+
+size_t telemetry::activeSpanCount() {
+  return LiveSpans.load(std::memory_order_relaxed);
+}
+
+size_t telemetry::bufferedSpanCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Spans.size();
+}
+
 ContextGuard::ContextGuard(const TraceContext &Ctx) {
   SavedSpan = CurrentSpan;
   SavedCtx = AdoptedCtx;
@@ -492,6 +543,7 @@ void ScopedTimer::init(std::string_view NameIn, bool HasKey, uint64_t Key,
   Capture = traceEnabled() && Sampled;
   PrevSpan = CurrentSpan;
   CurrentSpan = this;
+  LiveSpans.fetch_add(1, std::memory_order_relaxed);
   StartNs = nowNs();
 }
 
@@ -511,6 +563,7 @@ ScopedTimer::~ScopedTimer() {
   if (!Active)
     return;
   CurrentSpan = PrevSpan;
+  LiveSpans.fetch_sub(1, std::memory_order_relaxed);
   uint64_t End = nowNs();
   uint64_t Dur = End > StartNs ? End - StartNs : 0;
   timer(Name).add(Dur);
@@ -814,6 +867,7 @@ void telemetry::reset() {
   R.Series_.clear();
   R.Spans.clear();
   R.Cfg = Config();
+  MetricsForced.store(false, std::memory_order_relaxed);
   AnyEnabled.store(false, std::memory_order_relaxed);
   TraceOn.store(false, std::memory_order_relaxed);
   SampleRate.store(1.0, std::memory_order_relaxed);

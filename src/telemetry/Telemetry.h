@@ -102,11 +102,19 @@ void configure(const Config &C);
 /// The active configuration (latched from the environment on first use).
 Config currentConfig();
 
-/// True when at least one sink is active. One relaxed atomic load.
+/// True when at least one sink is active (or metric recording is forced).
+/// One relaxed atomic load.
 bool enabled();
 
 /// True when a span-buffering sink (trace or events) is active.
 bool traceEnabled();
+
+/// Forces enabled() true even with every sink off, so spans and metrics
+/// are tracked without any output being written. The sampling profiler
+/// (telemetry/SampleProfiler.h) uses this: attribution needs live span
+/// nesting, but a profiled run should not be obliged to configure sinks.
+/// Cleared by the next configure()/reset().
+void setMetricsForced(bool Forced);
 
 //===----------------------------------------------------------------------===//
 // Metric types
@@ -277,6 +285,21 @@ struct TraceContext {
 /// neither exists).
 TraceContext currentContext();
 
+/// Fills \p Out with up to \p Max C-string pointers naming the calling
+/// thread's live span chain, innermost first; returns the count. The
+/// pointers alias the live ScopedTimer objects and are valid only while
+/// those spans are open -- which is guaranteed inside a signal handler
+/// interrupting this thread, the intended caller (the sampling profiler).
+/// Async-signal-safe: no locks, no allocation, thread-local reads only.
+size_t currentSpanNames(const char **Out, size_t Max);
+
+/// Number of ScopedTimer spans currently open across all threads (relaxed
+/// counter; /statusz reporting).
+size_t activeSpanCount();
+
+/// Number of completed spans buffered for the trace/events sinks.
+size_t bufferedSpanCount();
+
 /// RAII adoption of a trace context captured on another thread (or earlier
 /// on this one). While alive, spans created on this thread parent to
 /// \p Ctx.SpanId. ThreadPool wraps every parallel iteration in one, so
@@ -344,6 +367,7 @@ public:
 
 private:
   friend TraceContext currentContext();
+  friend size_t currentSpanNames(const char **Out, size_t Max);
 
   void init(std::string_view NameIn, bool HasKey, uint64_t Key, bool IsRoot,
             uint64_t RootId);

@@ -1,0 +1,217 @@
+//===- tests/bench_compare_test.cpp - Regression sentinel tests -------------===//
+//
+// The contract of support/BenchCompare (the engine behind msem_bench_diff):
+// BENCH json parsing, metric-direction classification, the noise-tolerant
+// threshold split, config-drift hard failures, and the synthetic-regression
+// acceptance criterion -- an injected slowdown must be flagged while the
+// self-diff stays clean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchCompare.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace msem;
+using namespace msem::bench;
+
+namespace {
+
+std::string benchJson(const char *Name, double Mape, double PerSec,
+                      double Seconds, int TrainN = 200) {
+  return formatString(
+      "{\"schema\":\"msem.bench.v1\",\"name\":\"%s\",\"build\":\"t\","
+      "\"config\":{\"train_n\":%d,\"test_n\":50,\"input\":\"train\","
+      "\"seed\":\"0x1324bb3\"},\"wall_seconds\":%g,"
+      "\"metrics\":{\"mape.rbf\":%g,\"rows_per_s\":%g,"
+      "\"fit_seconds\":%g,\"note\":\"free-form\"}}",
+      Name, TrainN, Seconds, Mape, PerSec, Seconds);
+}
+
+BenchResult parse(const std::string &Text) {
+  BenchResult R;
+  std::string Error;
+  EXPECT_TRUE(parseBenchResult(Text, "<test>", R, &Error)) << Error;
+  return R;
+}
+
+TEST(BenchCompare, ParsesBenchV1) {
+  BenchResult R = parse(benchJson("micro", 4.5, 1000.0, 2.0));
+  EXPECT_EQ(R.Name, "micro");
+  EXPECT_EQ(R.Build, "t");
+  EXPECT_DOUBLE_EQ(R.WallSeconds, 2.0);
+  // String metrics ("note") are skipped; three numeric metrics remain.
+  EXPECT_EQ(R.Metrics.size(), 3u);
+  // Config flattens deterministically, seed kept verbatim.
+  ASSERT_EQ(R.Config.size(), 4u);
+  EXPECT_EQ(R.Config[0], "input=train");
+  EXPECT_EQ(R.Config[2], "test_n=50");
+}
+
+TEST(BenchCompare, RejectsWrongSchemaAndGarbage) {
+  BenchResult R;
+  std::string Error;
+  EXPECT_FALSE(parseBenchResult("{\"schema\":\"msem.bench.v2\"}", "p", R,
+                                &Error));
+  EXPECT_NE(Error.find("unsupported schema"), std::string::npos);
+  EXPECT_FALSE(parseBenchResult("not json", "p", R, &Error));
+  EXPECT_FALSE(parseBenchResult(
+      "{\"schema\":\"msem.bench.v1\",\"metrics\":{}}", "p", R, &Error));
+  EXPECT_NE(Error.find("missing bench name"), std::string::npos);
+}
+
+TEST(BenchCompare, ClassifiesMetricDirections) {
+  EXPECT_EQ(classifyMetric("mape.rbf"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(classifyMetric("fit_seconds"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(classifyMetric("latency_us"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(classifyMetric("detailedsim_cycles"),
+            MetricDirection::LowerIsBetter);
+  EXPECT_EQ(classifyMetric("rows_per_s"), MetricDirection::HigherIsBetter);
+  EXPECT_EQ(classifyMetric("speedup.p8"), MetricDirection::HigherIsBetter);
+  EXPECT_EQ(classifyMetric("throughput"), MetricDirection::HigherIsBetter);
+  EXPECT_EQ(classifyMetric("instr_per_s"), MetricDirection::HigherIsBetter);
+  EXPECT_EQ(classifyMetric("mystery_number"), MetricDirection::Unknown);
+
+  EXPECT_TRUE(isTimingMetric("fit_seconds"));
+  EXPECT_TRUE(isTimingMetric("rows_per_s"));
+  EXPECT_TRUE(isTimingMetric("speedup.p2"));
+  EXPECT_FALSE(isTimingMetric("mape.rbf"));
+}
+
+TEST(BenchCompare, SelfDiffIsClean) {
+  std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
+  CompareReport R = compareBenches(Base, Base, CompareOptions());
+  EXPECT_EQ(R.regressions(), 0u);
+  EXPECT_EQ(R.improvements(), 0u);
+  EXPECT_TRUE(R.Mismatches.empty());
+  EXPECT_FALSE(R.hasFailures());
+  EXPECT_EQ(R.Deltas.size(), 3u);
+}
+
+TEST(BenchCompare, FlagsInjectedRegression) {
+  std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
+  // Synthetic regression: MAPE doubles (quality metric, 10% tolerance).
+  std::vector<BenchResult> Cur = {parse(benchJson("micro", 9.0, 1000, 2))};
+  CompareReport R = compareBenches(Base, Cur, CompareOptions());
+  EXPECT_EQ(R.regressions(), 1u);
+  EXPECT_TRUE(R.hasFailures());
+  const MetricDelta *D = nullptr;
+  for (const MetricDelta &X : R.Deltas)
+    if (X.Key == "mape.rbf")
+      D = &X;
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Kind, DeltaKind::Regressed);
+  EXPECT_NEAR(D->RelChange, 1.0, 1e-12);
+}
+
+TEST(BenchCompare, ThroughputDropRegressesAndGainImproves) {
+  std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
+  // Throughput is a timing-class metric: the default 50% tolerance
+  // absorbs a 30% dip but not a 4x cliff.
+  std::vector<BenchResult> Noisy = {parse(benchJson("micro", 4.5, 700, 2))};
+  EXPECT_EQ(compareBenches(Base, Noisy, CompareOptions()).regressions(), 0u);
+  std::vector<BenchResult> Cliff = {parse(benchJson("micro", 4.5, 250, 2))};
+  EXPECT_EQ(compareBenches(Base, Cliff, CompareOptions()).regressions(), 1u);
+  std::vector<BenchResult> Faster = {parse(benchJson("micro", 4.5, 4000, 2))};
+  CompareReport R = compareBenches(Base, Faster, CompareOptions());
+  EXPECT_EQ(R.regressions(), 0u);
+  EXPECT_EQ(R.improvements(), 1u);
+  EXPECT_FALSE(R.hasFailures()); // Improvements never fail the gate.
+}
+
+TEST(BenchCompare, ConfigDriftIsAHardMismatch) {
+  std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
+  std::vector<BenchResult> Cur = {
+      parse(benchJson("micro", 4.5, 1000, 2, /*TrainN=*/40))};
+  CompareReport R = compareBenches(Base, Cur, CompareOptions());
+  ASSERT_EQ(R.Mismatches.size(), 1u);
+  EXPECT_NE(R.Mismatches[0].find("config mismatch"), std::string::npos);
+  EXPECT_TRUE(R.Deltas.empty()); // Incomparable: no metric verdicts.
+  EXPECT_TRUE(R.hasFailures());
+}
+
+TEST(BenchCompare, MissingBenchesWarnButDoNotFail) {
+  std::vector<BenchResult> Base = {parse(benchJson("old", 4.5, 1000, 2))};
+  std::vector<BenchResult> Cur = {parse(benchJson("new", 4.5, 1000, 2))};
+  CompareReport R = compareBenches(Base, Cur, CompareOptions());
+  EXPECT_EQ(R.MissingBaselines, std::vector<std::string>{"new"});
+  EXPECT_EQ(R.MissingResults, std::vector<std::string>{"old"});
+  EXPECT_FALSE(R.hasFailures());
+}
+
+TEST(BenchCompare, UnknownMetricsNeverGate) {
+  std::string Base = "{\"schema\":\"msem.bench.v1\",\"name\":\"m\","
+                     "\"config\":{},\"metrics\":{\"mystery\":1.0}}";
+  std::string Cur = "{\"schema\":\"msem.bench.v1\",\"name\":\"m\","
+                    "\"config\":{},\"metrics\":{\"mystery\":100.0}}";
+  CompareReport R =
+      compareBenches({parse(Base)}, {parse(Cur)}, CompareOptions());
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_EQ(R.Deltas[0].Kind, DeltaKind::Unchanged);
+  EXPECT_EQ(R.Deltas[0].Direction, MetricDirection::Unknown);
+  EXPECT_FALSE(R.hasFailures());
+}
+
+TEST(BenchCompare, ZeroBaselineMovementIsInfiniteChange) {
+  std::string Base = "{\"schema\":\"msem.bench.v1\",\"name\":\"m\","
+                     "\"config\":{},\"metrics\":{\"error_count\":0.0}}";
+  std::string Cur = "{\"schema\":\"msem.bench.v1\",\"name\":\"m\","
+                    "\"config\":{},\"metrics\":{\"error_count\":5.0}}";
+  CompareReport R =
+      compareBenches({parse(Base)}, {parse(Cur)}, CompareOptions());
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_EQ(R.Deltas[0].Kind, DeltaKind::Regressed);
+}
+
+TEST(BenchCompare, RendersTextAndMarkdown) {
+  std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
+  std::vector<BenchResult> Cur = {parse(benchJson("micro", 9.0, 4000, 2))};
+  CompareReport R = compareBenches(Base, Cur, CompareOptions());
+
+  std::string Text = renderCompareText(R);
+  EXPECT_NE(Text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(Text.find("IMPROVED"), std::string::npos);
+  EXPECT_NE(Text.find("summary:"), std::string::npos);
+
+  std::string Md = renderCompareMarkdown(R);
+  EXPECT_NE(Md.find("| Bench | Metric |"), std::string::npos);
+  EXPECT_NE(Md.find("mape.rbf"), std::string::npos);
+  EXPECT_NE(Md.find(":red_circle:"), std::string::npos);
+  EXPECT_NE(Md.find("**Summary:**"), std::string::npos);
+}
+
+TEST(BenchCompare, LoadsDirectorySkippingGarbage) {
+  std::string Dir = formatString("bench_compare_test_%d",
+                                 static_cast<int>(getpid()));
+  ASSERT_TRUE(createDirectories(Dir, nullptr));
+  ASSERT_TRUE(writeFileAtomic(Dir + "/BENCH_a.json",
+                              benchJson("a", 1, 10, 1), nullptr));
+  ASSERT_TRUE(writeFileAtomic(Dir + "/BENCH_b.json",
+                              benchJson("b", 2, 20, 2), nullptr));
+  ASSERT_TRUE(writeFileAtomic(Dir + "/BENCH_bad.json", "oops", nullptr));
+  ASSERT_TRUE(writeFileAtomic(Dir + "/unrelated.txt", "x", nullptr));
+
+  std::vector<std::string> Errors;
+  std::vector<BenchResult> Results = loadBenchDir(Dir, &Errors);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[0].Name, "a");
+  EXPECT_EQ(Results[1].Name, "b");
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("BENCH_bad.json"), std::string::npos);
+
+  Errors.clear();
+  EXPECT_TRUE(loadBenchDir(Dir + "/missing", &Errors).empty());
+  EXPECT_EQ(Errors.size(), 1u);
+
+  for (const char *F : {"/BENCH_a.json", "/BENCH_b.json", "/BENCH_bad.json",
+                        "/unrelated.txt"})
+    std::remove((Dir + F).c_str());
+  ::rmdir(Dir.c_str());
+}
+
+} // namespace

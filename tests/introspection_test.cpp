@@ -1,0 +1,379 @@
+//===- tests/introspection_test.cpp - Live introspection plane tests --------===//
+//
+// The observability contract of the stats server, the telemetry endpoint
+// registrations, the sampling profiler and the msem_report CLI:
+//
+//   - StatsServer routing: built-ins, registered handlers, 404/405, HEAD.
+//   - Scoped providers: register, compose into /statusz and /healthz,
+//     deregister on destruction (token-checked).
+//   - A live loopback socket round-trip against a private server instance.
+//   - /metrics serves a document validateOpenMetrics accepts.
+//   - A running campaign's /healthz reflects checkpoint progress (probed
+//     from the OnCheckpointWritten hook, while the provider is live).
+//   - The sampling profiler attributes >= 90% of samples from a busy
+//     span-instrumented loop to the named span stack.
+//   - msem_report --check / --html / --profile over a traced campaign's
+//     events file, exercised as a subprocess (MSEM_REPORT_BIN).
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+#include "campaign/Experiment.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/StatsServer.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Introspection.h"
+#include "telemetry/OpenMetrics.h"
+#include "telemetry/SampleProfiler.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+/// Minimal HTTP/1.0-style GET against 127.0.0.1:Port; returns the whole
+/// response (headers + body), or "" on connect failure.
+std::string httpGet(int Port, const std::string &Target,
+                    const char *Method = "GET") {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = formatString("%s %s HTTP/1.1\r\nHost: localhost\r\n"
+                                 "Connection: close\r\n\r\n",
+                                 Method, Target.c_str());
+  ::send(Fd, Req.data(), Req.size(), MSG_NOSIGNAL);
+  std::string Out;
+  char Chunk[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Chunk, sizeof(Chunk), 0)) > 0)
+    Out.append(Chunk, static_cast<size_t>(N));
+  ::close(Fd);
+  return Out;
+}
+
+std::string bodyOf(const std::string &Response) {
+  size_t Pos = Response.find("\r\n\r\n");
+  return Pos == std::string::npos ? "" : Response.substr(Pos + 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Routing (no socket)
+//===----------------------------------------------------------------------===//
+
+TEST(StatsServerDispatch, BuiltinsAndErrors) {
+  StatsResponse Index = StatsServer::dispatch({"GET", "/", ""});
+  EXPECT_EQ(Index.Status, 200);
+  EXPECT_NE(Index.Body.find("/healthz"), std::string::npos);
+
+  StatsResponse Health = StatsServer::dispatch({"GET", "/healthz", ""});
+  EXPECT_EQ(Health.Status, 200);
+  EXPECT_NE(Health.Body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(Health.ContentType, "application/json; charset=utf-8");
+
+  StatsResponse Status = StatsServer::dispatch({"GET", "/statusz", ""});
+  EXPECT_EQ(Status.Status, 200);
+  EXPECT_NE(Status.Body.find("build:"), std::string::npos);
+  EXPECT_NE(Status.Body.find("uptime_seconds:"), std::string::npos);
+
+  EXPECT_EQ(StatsServer::dispatch({"GET", "/nope", ""}).Status, 404);
+  EXPECT_EQ(StatsServer::dispatch({"POST", "/healthz", ""}).Status, 405);
+  EXPECT_EQ(StatsServer::dispatch({"PUT", "/", ""}).Status, 405);
+  // HEAD routes like GET (the server suppresses the body on the wire).
+  EXPECT_EQ(StatsServer::dispatch({"HEAD", "/healthz", ""}).Status, 200);
+}
+
+TEST(StatsServerDispatch, RegisteredHandlerOwnsPath) {
+  StatsServer::registerHandler("/test-owned", [](const StatsRequest &Req) {
+    StatsResponse R;
+    R.Body = "owned:" + Req.Query;
+    return R;
+  });
+  StatsResponse Resp = StatsServer::dispatch({"GET", "/test-owned", "x=1"});
+  EXPECT_EQ(Resp.Status, 200);
+  EXPECT_EQ(Resp.Body, "owned:x=1");
+  // The index lists registered paths.
+  EXPECT_NE(StatsServer::dispatch({"GET", "/", ""}).Body.find("/test-owned"),
+            std::string::npos);
+}
+
+TEST(StatsServerDispatch, ScopedProvidersComposeAndDeregister) {
+  {
+    ScopedStatusProvider Status("test-section",
+                                [] { return std::string("s-body"); });
+    ScopedHealthProvider Health("test-health",
+                                [] { return std::string("{\"n\":7}"); });
+    std::string S = StatsServer::dispatch({"GET", "/statusz", ""}).Body;
+    EXPECT_NE(S.find("== test-section =="), std::string::npos);
+    EXPECT_NE(S.find("s-body"), std::string::npos);
+    std::string H = StatsServer::dispatch({"GET", "/healthz", ""}).Body;
+    EXPECT_NE(H.find("\"test-health\":{\"n\":7}"), std::string::npos);
+  }
+  // RAII deregistration: gone after scope exit.
+  EXPECT_EQ(StatsServer::dispatch({"GET", "/statusz", ""})
+                .Body.find("test-section"),
+            std::string::npos);
+  EXPECT_EQ(StatsServer::dispatch({"GET", "/healthz", ""})
+                .Body.find("test-health"),
+            std::string::npos);
+}
+
+TEST(StatsServerDispatch, ReplacementProviderSurvivesOldTeardown) {
+  auto Old = std::make_unique<ScopedStatusProvider>(
+      "test-replace", [] { return std::string("old"); });
+  ScopedStatusProvider New("test-replace", [] { return std::string("new"); });
+  Old.reset(); // Must not remove New's registration (token mismatch).
+  EXPECT_NE(StatsServer::dispatch({"GET", "/statusz", ""}).Body.find("new"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Live socket round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(StatsServerLive, ServesOverLoopback) {
+  StatsServer Server;
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, &Error)) << Error;
+  ASSERT_GT(Server.port(), 0);
+
+  std::string Health = httpGet(Server.port(), "/healthz");
+  EXPECT_NE(Health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(Health.find("Content-Length:"), std::string::npos);
+
+  std::string Missing = httpGet(Server.port(), "/definitely-not-here");
+  EXPECT_NE(Missing.find("HTTP/1.1 404"), std::string::npos);
+
+  std::string Head = httpGet(Server.port(), "/healthz", "HEAD");
+  EXPECT_NE(Head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(bodyOf(Head), ""); // HEAD: headers only.
+
+  Server.stop();
+  EXPECT_FALSE(Server.running());
+  // Stopped: connections fail fast.
+  EXPECT_EQ(httpGet(Server.port() ? Server.port() : 1, "/healthz"), "");
+}
+
+TEST(StatsServerLive, MetricsEndpointServesValidOpenMetrics) {
+  telemetry::ensureIntrospection(); // Registers /metrics et al.
+  telemetry::counter("introspection.test.hits").add(3);
+  telemetry::gauge("introspection.test.level").set(0.5);
+
+  StatsServer Server;
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, &Error)) << Error;
+  std::string Resp = httpGet(Server.port(), "/metrics");
+  Server.stop();
+
+  EXPECT_NE(Resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Resp.find("application/openmetrics-text"), std::string::npos);
+  std::string Body = bodyOf(Resp);
+  EXPECT_TRUE(telemetry::validateOpenMetrics(Body, &Error)) << Error;
+  EXPECT_NE(Body.find("msem_introspection_test_hits_total 3"),
+            std::string::npos);
+}
+
+TEST(StatsServerLive, TracezAndProfilezRespond) {
+  telemetry::ensureIntrospection();
+  StatsResponse Tracez = StatsServer::dispatch({"GET", "/tracez", ""});
+  EXPECT_EQ(Tracez.Status, 200);
+  EXPECT_NE(Tracez.Body.find("tracez:"), std::string::npos);
+  StatsResponse Profilez = StatsServer::dispatch({"GET", "/profilez", ""});
+  EXPECT_EQ(Profilez.Status, 200);
+  EXPECT_NE(Profilez.Body.find("profilez:"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign /healthz progress
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignHealth, HealthzReflectsCheckpointProgress) {
+  telemetry::reset();
+  std::string Ckpt = formatString("introspection_test_%d.ckpt.json",
+                                  static_cast<int>(getpid()));
+  ExperimentSpec Spec;
+  Spec.Name = "introspection-health";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Linear, 0}};
+  Spec.InitialDesignSize = 8;
+  Spec.MaxDesignSize = 8;
+  Spec.TestSize = 4;
+  Spec.TargetMape = 0.0;
+  Spec.CandidateCount = 50;
+  Spec.CheckpointPath = Ckpt;
+
+  std::vector<std::string> HealthBodies;
+  Spec.OnCheckpointWritten = [&HealthBodies](size_t) {
+    // Probed while Campaign::run is live, so the "campaign" provider is
+    // registered and current.
+    HealthBodies.push_back(StatsServer::dispatch({"GET", "/healthz", ""}).Body);
+  };
+
+  ExperimentResult Result = Campaign(Spec).run();
+  EXPECT_EQ(Result.Status, CampaignStatus::Complete);
+  ASSERT_FALSE(HealthBodies.empty());
+  const std::string &Last = HealthBodies.back();
+  EXPECT_NE(Last.find("\"campaign\":{"), std::string::npos) << Last;
+  EXPECT_NE(Last.find("\"state\":\"running\""), std::string::npos) << Last;
+  EXPECT_NE(Last.find("\"checkpoints\":"), std::string::npos) << Last;
+  EXPECT_NE(Last.find("\"jobs_total\":1"), std::string::npos) << Last;
+
+  // Deregistered once run() returned: the fragment is gone.
+  EXPECT_EQ(StatsServer::dispatch({"GET", "/healthz", ""})
+                .Body.find("\"campaign\""),
+            std::string::npos);
+  std::remove(Ckpt.c_str());
+}
+
+TEST(PoolStatus, StatuszShowsThreadPool) {
+  globalThreadPool(); // Materialize the pool (registers its section).
+  std::string S = StatsServer::dispatch({"GET", "/statusz", ""}).Body;
+  EXPECT_NE(S.find("== pool =="), std::string::npos);
+  EXPECT_NE(S.find("threads:"), std::string::npos);
+  EXPECT_NE(S.find("queued tasks:"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling profiler
+//===----------------------------------------------------------------------===//
+
+TEST(SampleProfiler, AttributesSamplesToNamedSpans) {
+  telemetry::reset();
+  telemetry::SampleProfiler::resetSamples();
+  telemetry::SampleProfiler::start({2000});
+
+  // Burn CPU inside a two-deep named span stack until enough samples
+  // accumulated (ITIMER_PROF counts CPU time, and the loop is pure CPU).
+  volatile double Sink = 1.0;
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (telemetry::SampleProfiler::sampleCount() < 100 &&
+         std::chrono::steady_clock::now() < Deadline) {
+    telemetry::ScopedTimer Outer("prof.outer");
+    telemetry::ScopedTimer Inner("prof.inner");
+    for (int I = 0; I < 200000; ++I)
+      Sink = Sink * 1.0000001 + 0.25;
+  }
+  telemetry::SampleProfiler::stop();
+
+  uint64_t Total = 0, Attributed = 0, InNamedStack = 0;
+  for (const auto &[Stack, Count] :
+       telemetry::SampleProfiler::collapsedStacks()) {
+    Total += Count;
+    if (Stack != "(no span)")
+      Attributed += Count;
+    if (Stack == "prof.outer;prof.inner" || Stack == "prof.outer")
+      InNamedStack += Count;
+  }
+  ASSERT_GE(Total, 100u) << "profiler took too few samples";
+  // The acceptance bar: >= 90% of samples land in named spans.
+  EXPECT_GE(static_cast<double>(Attributed),
+            0.9 * static_cast<double>(Total));
+  EXPECT_GE(static_cast<double>(InNamedStack),
+            0.9 * static_cast<double>(Total));
+  EXPECT_EQ(telemetry::SampleProfiler::droppedCount(), 0u);
+
+  // Collapsed rendering is flamegraph.pl input: "stack count" lines.
+  std::string Collapsed = telemetry::SampleProfiler::renderCollapsed();
+  EXPECT_NE(Collapsed.find("prof.outer;prof.inner "), std::string::npos);
+  telemetry::reset();
+}
+
+//===----------------------------------------------------------------------===//
+// msem_report subprocess (--check, --html, --profile)
+//===----------------------------------------------------------------------===//
+
+#ifdef MSEM_REPORT_BIN
+
+int runCommand(const std::string &Cmd) {
+  int Rc = std::system(Cmd.c_str());
+  return WIFEXITED(Rc) ? WEXITSTATUS(Rc) : -1;
+}
+
+TEST(MsemReportCli, ChecksAndRendersTracedCampaign) {
+  telemetry::reset();
+  std::string Tag = formatString("introspection_report_%d",
+                                 static_cast<int>(getpid()));
+  std::string EventsFile = Tag + ".events.jsonl";
+  std::string HtmlFile = Tag + ".html";
+
+  telemetry::Config C;
+  C.Sinks = telemetry::SinkEvents;
+  C.EventsFile = EventsFile;
+  telemetry::configure(C);
+
+  ExperimentSpec Spec;
+  Spec.Name = "introspection-report";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Linear, 0}};
+  Spec.InitialDesignSize = 8;
+  Spec.MaxDesignSize = 8;
+  Spec.TestSize = 4;
+  Spec.TargetMape = 0.0;
+  Spec.CandidateCount = 50;
+  ExperimentResult Result = Campaign(Spec).run();
+  ASSERT_EQ(Result.Status, CampaignStatus::Complete);
+  telemetry::flush();
+  telemetry::reset(); // Drop the sink config before other tests run.
+
+  ASSERT_TRUE(pathExists(EventsFile));
+  const std::string Bin = MSEM_REPORT_BIN;
+
+  // --check: the traced campaign's event log validates.
+  EXPECT_EQ(runCommand(Bin + " --check --events " + EventsFile), 0);
+  // --html: renders a standalone page.
+  EXPECT_EQ(runCommand(Bin + " --html " + HtmlFile + " --events " +
+                       EventsFile),
+            0);
+  std::string Html;
+  ASSERT_TRUE(readFileText(HtmlFile, Html, nullptr));
+  EXPECT_NE(Html.find("campaign.run"), std::string::npos);
+
+  // --check rejects a corrupted log (exit non-zero).
+  std::string BadFile = Tag + ".bad.jsonl";
+  ASSERT_TRUE(writeFileAtomic(BadFile, "{\"event\":\"span\"}\n", nullptr));
+  EXPECT_NE(runCommand(Bin + " --check --events " + BadFile + " 2>/dev/null"),
+            0);
+
+  // --profile renders collapsed stacks with an attribution line.
+  std::string ProfileFile = Tag + ".collapsed";
+  ASSERT_TRUE(writeFileAtomic(
+      ProfileFile, "campaign.run;sim.detailed 90\n(no span) 10\n", nullptr));
+  EXPECT_EQ(runCommand(Bin + " --profile " + ProfileFile + " > " + Tag +
+                       ".profile.txt"),
+            0);
+  std::string ProfileOut;
+  ASSERT_TRUE(readFileText(Tag + ".profile.txt", ProfileOut, nullptr));
+  EXPECT_NE(ProfileOut.find("90.0% attributed"), std::string::npos)
+      << ProfileOut;
+
+  std::remove(EventsFile.c_str());
+  std::remove(HtmlFile.c_str());
+  std::remove(BadFile.c_str());
+  std::remove(ProfileFile.c_str());
+  std::remove((Tag + ".profile.txt").c_str());
+}
+
+#endif // MSEM_REPORT_BIN
+
+} // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# msem_bench_baseline: run the regression-sentinel bench set at its
+# canonical pinned scale and collect the BENCH_*.json results.
+#
+# The four gated harnesses (micro_simulator, predict_throughput,
+# parallel_scaling, table3_model_accuracy) run with a fixed seed, design
+# size and thread count so model-quality metrics are bit-deterministic and
+# timing metrics are comparable across runs of the same machine class.
+# Each run starts from a fresh response cache: cached simulations would
+# turn the throughput metrics into cache-hit benchmarks.
+#
+# By default the results land in results/baselines/ -- commit them to
+# refresh the baseline. CI / msem_lint.sh instead passes -o <dir> to
+# collect a fresh set and gates it with:
+#
+#   msem_bench_diff --against results/baselines --results <dir> --fail-on-regress
+#
+# Usage: tools/msem_bench_baseline.sh [build-dir] [-o out-dir]
+#   build-dir  where the bench binaries live (default: build)
+#   -o DIR     where to put the BENCH_*.json set (default: results/baselines)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT_DIR=results/baselines
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o) OUT_DIR="$2"; shift 2 ;;
+    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    *) BUILD_DIR="$1"; shift ;;
+  esac
+done
+
+BENCHES=(bench_micro_simulator bench_predict_throughput
+         bench_parallel_scaling bench_table3_model_accuracy)
+for B in "${BENCHES[@]}"; do
+  if [ ! -x "$BUILD_DIR/bench/$B" ]; then
+    echo "msem_bench_baseline: missing $BUILD_DIR/bench/$B (build first)" >&2
+    exit 1
+  fi
+done
+
+# The canonical baseline scale. Pinned here -- and only here -- so capture
+# and gate can never drift apart (config drift is a hard msem_bench_diff
+# failure). Timing thresholds assume same-machine-class comparisons.
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+export MSEM_TRAIN_N=30
+export MSEM_TEST_N=10
+export MSEM_INPUT=train
+export MSEM_SEED=20070311
+export MSEM_THREADS=4
+export MSEM_CACHE="$SCRATCH/cache"
+export MSEM_RESULTS_DIR="$SCRATCH/results"
+unset MSEM_TELEMETRY MSEM_STATS_PORT MSEM_PROFILE || true
+
+echo "== bench baseline run (train=$MSEM_TRAIN_N test=$MSEM_TEST_N" \
+     "seed=$MSEM_SEED threads=$MSEM_THREADS) =="
+for B in "${BENCHES[@]}"; do
+  echo "-- $B"
+  if [ "$B" = bench_micro_simulator ]; then
+    # google-benchmark harness: short but still repetition-averaged runs.
+    "$BUILD_DIR/bench/$B" --benchmark_min_time=0.05 \
+        > "$SCRATCH/$B.log" 2>&1
+  else
+    "$BUILD_DIR/bench/$B" > "$SCRATCH/$B.log" 2>&1
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+for B in "${BENCHES[@]}"; do
+  NAME="${B#bench_}"
+  cp "$MSEM_RESULTS_DIR/BENCH_$NAME.json" "$OUT_DIR/"
+done
+
+echo "msem_bench_baseline: wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l)" \
+     "result files to $OUT_DIR"

@@ -1,0 +1,132 @@
+//===- tools/msem_bench_diff.cpp - Benchmark regression sentinel ----------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Compares fresh results/BENCH_*.json files against the committed
+// baselines in results/baselines/ and reports per-metric deltas with
+// noise-tolerant thresholds:
+//
+//   msem_bench_diff --against results/baselines [--results results]
+//       delta table on stdout; exit 0 regardless of verdicts.
+//
+//   msem_bench_diff --against results/baselines --fail-on-regress
+//       the CI gate: exit 1 on any regression, config mismatch or
+//       unparseable file (tools/msem_lint.sh runs this after the fast
+//       benches).
+//
+//   ... --markdown deltas.md
+//       also writes the GitHub-flavoured markdown delta table.
+//
+// Thresholds: --threshold R (default 0.10) for model-quality metrics,
+// --time-threshold R (default 0.50) for timing/throughput metrics; see
+// support/BenchCompare.h for the direction vocabulary. Baselines are
+// recorded with tools/msem_bench_baseline.sh at a pinned scale, so config
+// drift (different MSEM_TRAIN_N etc.) is a hard failure rather than a
+// silent apples-to-oranges pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchCompare.h"
+#include "support/BuildInfo.h"
+#include "support/FileSystem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace msem;
+using namespace msem::bench;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msem_bench_diff --against BASELINE_DIR [--results DIR]\n"
+      "                       [--threshold R] [--time-threshold R]\n"
+      "                       [--wall-time] [--markdown OUT]\n"
+      "                       [--fail-on-regress]\n"
+      "       msem_bench_diff --version\n"
+      "\n"
+      "Compares BENCH_*.json results (default dir: results) against the\n"
+      "committed baselines and classifies every shared metric as ok /\n"
+      "IMPROVED / REGRESSED. --fail-on-regress exits non-zero on any\n"
+      "regression, config mismatch or unreadable file.\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BaselineDir, ResultsDir = "results", MarkdownPath;
+  CompareOptions Opts;
+  bool FailOnRegress = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "msem_bench_diff: %s wants a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--against")
+      BaselineDir = Value("--against");
+    else if (Arg == "--results")
+      ResultsDir = Value("--results");
+    else if (Arg == "--threshold")
+      Opts.MetricThreshold = std::strtod(Value("--threshold"), nullptr);
+    else if (Arg == "--time-threshold")
+      Opts.TimeThreshold = std::strtod(Value("--time-threshold"), nullptr);
+    else if (Arg == "--wall-time")
+      Opts.CompareWallTime = true;
+    else if (Arg == "--markdown")
+      MarkdownPath = Value("--markdown");
+    else if (Arg == "--fail-on-regress")
+      FailOnRegress = true;
+    else if (Arg == "--version") {
+      std::printf("msem_bench_diff %s\n", buildStamp().c_str());
+      return 0;
+    } else
+      return usage();
+  }
+  if (BaselineDir.empty())
+    return usage();
+
+  std::vector<std::string> LoadErrors;
+  std::vector<BenchResult> Baseline = loadBenchDir(BaselineDir, &LoadErrors);
+  std::vector<BenchResult> Current = loadBenchDir(ResultsDir, &LoadErrors);
+  if (Baseline.empty() && LoadErrors.empty()) {
+    std::fprintf(stderr,
+                 "msem_bench_diff: no BENCH_*.json baselines in %s "
+                 "(record them with tools/msem_bench_baseline.sh)\n",
+                 BaselineDir.c_str());
+    return FailOnRegress ? 1 : 0;
+  }
+
+  CompareReport Report = compareBenches(Baseline, Current, Opts);
+  Report.LoadErrors = std::move(LoadErrors);
+
+  std::fputs(renderCompareText(Report).c_str(), stdout);
+  if (!MarkdownPath.empty()) {
+    std::string Error;
+    if (!writeFileAtomic(MarkdownPath, renderCompareMarkdown(Report),
+                         &Error)) {
+      std::fprintf(stderr, "msem_bench_diff: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  if (FailOnRegress && Report.hasFailures()) {
+    std::fprintf(stderr, "msem_bench_diff: FAILED (%zu regressions, %zu "
+                         "mismatches, %zu errors)\n",
+                 Report.regressions(), Report.Mismatches.size(),
+                 Report.LoadErrors.size());
+    return 1;
+  }
+  return 0;
+}

@@ -36,16 +36,44 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" --list
 
 # Observability smoke: a tiny traced campaign (the predict smoke runs a
-# full campaign + serve cycle) with the events and metrics sinks on, then
-# msem_report over the output. --check fails on schema-invalid events or
-# an empty span forest; the OpenMetrics snapshot must pass the
+# full campaign + serve cycle) with the events and metrics sinks on AND
+# the live stats server armed (ephemeral port, discovered via the port
+# file). While the campaign runs, /healthz must expose its progress
+# fragment and /metrics must serve an OpenMetrics page. Afterwards
+# msem_report checks the sink output. --check fails on schema-invalid
+# events or an empty span forest; the OpenMetrics snapshot must pass the
 # promtool-style validator msem_report applies to '#'-prefixed files.
 echo "== observability smoke =="
+rm -f "$SMOKE_DIR/stats.port"
 MSEM_TELEMETRY=events,jsonl \
   MSEM_EVENTS_FILE="$SMOKE_DIR/events.jsonl" \
   MSEM_METRICS_FILE="$SMOKE_DIR/metrics.txt" \
   MSEM_METRICS_FORMAT=openmetrics \
-  "$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/obs-registry"
+  MSEM_STATS_PORT=0 \
+  MSEM_STATS_PORT_FILE="$SMOKE_DIR/stats.port" \
+  "$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/obs-registry" &
+SMOKE_PID=$!
+for _ in $(seq 1 250); do
+  [ -s "$SMOKE_DIR/stats.port" ] && break
+  sleep 0.02
+done
+STATS_PORT="$(cat "$SMOKE_DIR/stats.port")"
+# The campaign fragment registers a moment after the server comes up;
+# retry the liveness probe until it appears.
+HEALTHZ=""
+for _ in $(seq 1 50); do
+  HEALTHZ="$(curl -fsS "http://127.0.0.1:$STATS_PORT/healthz")" || true
+  case "$HEALTHZ" in *'"campaign"'*) break ;; esac
+  sleep 0.02
+done
+echo "healthz: $HEALTHZ"
+case "$HEALTHZ" in
+  *'"status":"ok"'*'"campaign"'*) ;;
+  *) echo "msem_lint: /healthz missing live campaign fragment" >&2; exit 1 ;;
+esac
+curl -fsS "http://127.0.0.1:$STATS_PORT/metrics" > "$SMOKE_DIR/live-metrics.txt"
+grep -q '^# EOF' "$SMOKE_DIR/live-metrics.txt"
+wait "$SMOKE_PID"
 "$BUILD_DIR/tools/msem_report" --check \
   --events "$SMOKE_DIR/events.jsonl" --metrics "$SMOKE_DIR/metrics.txt"
 "$BUILD_DIR/tools/msem_report" \
@@ -53,6 +81,16 @@ MSEM_TELEMETRY=events,jsonl \
   > "$SMOKE_DIR/report.txt"
 grep -q "slowest phase" "$SMOKE_DIR/report.txt"
 
+# Benchmark-regression gate: rerun the sentinel bench set at the pinned
+# baseline scale and compare against the committed baselines. Model-quality
+# metrics are deterministic at fixed seed (tight threshold); throughput
+# metrics get the loose threshold, so this catches cliffs, not wobble.
+echo "== benchmark regression gate =="
+tools/msem_bench_baseline.sh "$BUILD_DIR" -o "$SMOKE_DIR/bench-fresh"
+"$BUILD_DIR/tools/msem_bench_diff" \
+  --against results/baselines --results "$SMOKE_DIR/bench-fresh" \
+  --fail-on-regress
+
 tools/msem_tsan.sh
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, observability smoke reported, tsan clean)"
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, live stats endpoints probed, bench baselines held, tsan clean)"

@@ -12,14 +12,14 @@
 //   msem_predict --registry DIR --list
 //       every published model with its held-out quality
 //
-//   msem_predict --registry DIR --key art,train,cycles,rbf,joint \
+//   msem_predict --registry DIR --key art,train,cycles,rbf,joint
 //                --in requests.csv [--out predictions.csv]
 //       batched serving: requests in (CSV with a parameter-name header, or
 //       JSON-lines arrays), predictions out. Batches run on the global
 //       thread pool (MSEM_THREADS); output is bitwise identical at any
 //       thread count.
 //
-//   msem_predict --registry DIR --key art,train,cycles,rbf,constrained \
+//   msem_predict --registry DIR --key art,train,cycles,rbf,constrained
 //                --compare aggressive --in requests.csv
 //       cross-platform mode (the Table 5/7 question): predicts every
 //       request under two platforms' frozen-machine artifacts and reports
@@ -48,6 +48,7 @@
 #include "support/Env.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Introspection.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -592,6 +593,9 @@ int usage() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Live introspection plane (no-op without MSEM_STATS_PORT/MSEM_PROFILE):
+  // a serving process exposes /metrics, /healthz, /statusz while it runs.
+  telemetry::ensureIntrospection();
   std::string RegistryDir = env().RegistryDir;
   std::string KeySpec, InPath, OutPath, ComparePlatform, SmokeDir;
   std::string ActualsPath;

@@ -255,25 +255,95 @@ std::string renderHtml(const Report &R, size_t Top) {
   return Out;
 }
 
+/// A parsed collapsed-stack profile (SampleProfiler output): per-stack
+/// sample counts plus the attribution split needed for the coverage line.
+struct ProfileData {
+  std::vector<std::pair<std::string, uint64_t>> Stacks;
+  uint64_t Total = 0;
+  uint64_t Attributed = 0; ///< Samples landing in named spans.
+};
+
+/// Parses "stack count" lines (flamegraph.pl collapsed format). Returns
+/// false with a diagnostic on a malformed line.
+bool parseCollapsedProfile(const std::string &Text, ProfileData &Out,
+                           std::string *Error) {
+  size_t LineNo = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    if (trimString(Line).empty())
+      continue;
+    size_t Space = Line.rfind(' ');
+    if (Space == std::string::npos || Space == 0) {
+      if (Error)
+        *Error = formatString("line %zu: want \"stack count\"", LineNo);
+      return false;
+    }
+    char *End = nullptr;
+    uint64_t Count = std::strtoull(Line.c_str() + Space + 1, &End, 10);
+    if (End == Line.c_str() + Space + 1 || *End != '\0') {
+      if (Error)
+        *Error = formatString("line %zu: malformed sample count", LineNo);
+      return false;
+    }
+    std::string Stack = Line.substr(0, Space);
+    Out.Total += Count;
+    if (Stack != "(no span)")
+      Out.Attributed += Count;
+    Out.Stacks.emplace_back(std::move(Stack), Count);
+  }
+  std::sort(Out.Stacks.begin(), Out.Stacks.end(),
+            [](const auto &A, const auto &B) {
+              return A.second != B.second ? A.second > B.second
+                                          : A.first < B.first;
+            });
+  return true;
+}
+
+std::string renderProfileSection(const ProfileData &P, size_t Top) {
+  std::string Out = "== sampling profile ==\n";
+  double Coverage = P.Total ? 100.0 * static_cast<double>(P.Attributed) /
+                                  static_cast<double>(P.Total)
+                            : 0.0;
+  Out += formatString("%llu samples, %.1f%% attributed to named spans\n",
+                      static_cast<unsigned long long>(P.Total), Coverage);
+  TablePrinter T({"samples", "share", "stack"});
+  size_t Shown = 0;
+  for (const auto &[Stack, Count] : P.Stacks) {
+    if (Shown++ >= Top)
+      break;
+    T.addRow({formatString("%llu", static_cast<unsigned long long>(Count)),
+           formatString("%.1f%%", P.Total ? 100.0 *
+                                                static_cast<double>(Count) /
+                                                static_cast<double>(P.Total)
+                                          : 0.0),
+           Stack});
+  }
+  Out += T.render();
+  return Out;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: msem_report [--check] --events FILE [--events FILE ...]\n"
-      "                   [--metrics FILE ...] [--html OUT] [--top N]\n"
+      "                   [--metrics FILE ...] [--profile FILE ...]\n"
+      "                   [--html OUT] [--top N]\n"
       "       msem_report --version\n"
       "\n"
       "events:  structured span JSONL written by MSEM_TELEMETRY=events\n"
       "metrics: snapshot written by MSEM_TELEMETRY=jsonl (JSONL or\n"
       "         OpenMetrics text; autodetected)\n"
+      "profile: collapsed flamegraph stacks written by MSEM_PROFILE\n"
       "--check: validate only -- non-zero exit on schema-invalid events,\n"
-      "         an empty span tree, or invalid OpenMetrics\n");
+      "         an empty span tree, invalid OpenMetrics or a malformed\n"
+      "         profile\n");
   return 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::vector<std::string> EventFiles, MetricFiles;
+  std::vector<std::string> EventFiles, MetricFiles, ProfileFiles;
   std::string HtmlPath;
   bool Check = false;
   size_t Top = 10;
@@ -291,6 +361,8 @@ int main(int Argc, char **Argv) {
       EventFiles.push_back(Value("--events"));
     else if (Arg == "--metrics")
       MetricFiles.push_back(Value("--metrics"));
+    else if (Arg == "--profile")
+      ProfileFiles.push_back(Value("--profile"));
     else if (Arg == "--html")
       HtmlPath = Value("--html");
     else if (Arg == "--check")
@@ -304,7 +376,7 @@ int main(int Argc, char **Argv) {
     } else
       return usage();
   }
-  if (EventFiles.empty() && MetricFiles.empty())
+  if (EventFiles.empty() && MetricFiles.empty() && ProfileFiles.empty())
     return usage();
 
   Report R;
@@ -362,6 +434,19 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  ProfileData Profile;
+  bool HaveProfile = false;
+  for (const std::string &Path : ProfileFiles) {
+    std::string Text;
+    if (!readFileText(Path, Text, &Error) ||
+        !parseCollapsedProfile(Text, Profile, &Error)) {
+      std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    HaveProfile = true;
+  }
+
   assemble(R, Top);
 
   if (Check) {
@@ -383,6 +468,9 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::fputs(renderText(R, Top).c_str(), stdout);
+  if (!EventFiles.empty() || !MetricFiles.empty())
+    std::fputs(renderText(R, Top).c_str(), stdout);
+  if (HaveProfile)
+    std::fputs(renderProfileSection(Profile, Top).c_str(), stdout);
   return 0;
 }
