@@ -20,6 +20,7 @@
 #include "isa/Executor.h"
 #include "sampling/Smarts.h"
 #include "uarch/Simulator.h"
+#include "uarch/TraceCache.h"
 #include "ir/LoopBuilder.h"
 #include "opt/Passes.h"
 #include "codegen/CodeGenerator.h"
@@ -91,6 +92,56 @@ void BM_SmartsSimulation(benchmark::State &State) {
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SmartsSimulation)->Unit(benchmark::kMillisecond);
+
+/// The captured trace of artProgram, built once (the replay benches
+/// measure steady-state re-simulation, not the one-time capture).
+std::shared_ptr<const ReplayImage> artImage() {
+  static std::shared_ptr<const ReplayImage> Image = [] {
+    auto Prog = std::make_shared<const MachineProgram>(compileWorkloadBinary(
+        "art", InputSet::Test, OptimizationConfig::O2()));
+    TraceBuilder Builder;
+    CapturingExecutor Exec(*Prog, 4'000'000'000ull, Builder);
+    Exec.run([](const RetiredInstr &) {});
+    return ReplayImage::build(std::move(Prog),
+                              Builder.finish(Exec.result(),
+                                             4'000'000'000ull));
+  }();
+  return Image;
+}
+
+/// BM_DetailedSimulation with the executor swapped for trace replay:
+/// the gap is the interpreter's share of a detailed point.
+void BM_DetailedReplay(benchmark::State &State) {
+  auto Image = artImage();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    SimulationResult R =
+        simulateDetailedReplay(*Image, MachineConfig::typical());
+    Instrs += R.Pipeline.Instructions;
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+  State.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetailedReplay)->Unit(benchmark::kMillisecond);
+
+/// BM_SmartsSimulation from the trace: what second-and-later machine
+/// configurations of the same binary cost under the level-2 fast path.
+void BM_SmartsReplay(benchmark::State &State) {
+  auto Image = artImage();
+  SmartsConfig SC = ResponseSurface::Options::makeDefaultSmarts();
+  SC.SamplingInterval = 10;
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    SmartsResult R =
+        simulateSmartsReplay(*Image, MachineConfig::typical(), SC);
+    Instrs += R.TotalInstructions;
+    benchmark::DoNotOptimize(R.EstimatedCycles);
+  }
+  State.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmartsReplay)->Unit(benchmark::kMillisecond);
 
 void BM_CacheAccess(benchmark::State &State) {
   Cache C(32 * 1024, 2, 32);

@@ -16,6 +16,7 @@
 
 #include "bench/BenchCommon.h"
 #include "support/ThreadPool.h"
+#include "uarch/TraceCache.h"
 
 #include <chrono>
 #include <vector>
@@ -62,6 +63,34 @@ bool identical(const RunResult &A, const RunResult &B) {
          A.Mape == B.Mape;
 }
 
+/// Wall time of one machine sweep (two flag vectors x three machines) on a
+/// fresh memory-only surface: the level-2 fast path's home turf, since
+/// every machine point of a flag vector replays the same trace.
+double timeMachineSweep(const BenchScale &Scale,
+                        std::vector<double> &Responses) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  ResponseSurface::Options Opts;
+  Opts.Workload = "art";
+  Opts.Input = Scale.Input;
+  if (Scale.Input == InputSet::Test)
+    Opts.Smarts.SamplingInterval = 10;
+  ResponseSurface Surface(Space, Opts);
+
+  std::vector<DesignPoint> Points;
+  for (const OptimizationConfig &Opt :
+       {OptimizationConfig::O1(), OptimizationConfig::O3()})
+    for (const MachineConfig &M :
+         {MachineConfig::constrained(), MachineConfig::typical(),
+          MachineConfig::aggressive()})
+      Points.push_back(Space.fromConfigs(Opt, M));
+
+  auto Start = std::chrono::steady_clock::now();
+  Responses = Surface.measureAll(Points);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
 } // namespace
 
 int main() {
@@ -81,6 +110,15 @@ int main() {
   std::vector<size_t> Counts{1, 2, 4};
   if (defaultThreadCount() > 4)
     Counts.push_back(defaultThreadCount());
+
+  // The trace cache would let every run after the first replay the other
+  // runs' functional executions, crediting thread counts with fast-path
+  // wins. Disable it for the scaling comparison; it gets its own
+  // measurement below.
+  TraceCache &Traces = TraceCache::global();
+  const size_t TraceBudget = Traces.stats().BudgetBytes;
+  Traces.setBudgetBytes(0);
+  Traces.clear();
 
   TablePrinter T({"Threads", "wall s", "speedup vs 1T", "identical output"});
   std::vector<RunResult> Results;
@@ -111,6 +149,30 @@ int main() {
               Results.front().Mape);
   Report.metric("mape", Results.front().Mape);
   Report.metric("deterministic", AllSame ? 1 : 0);
+
+  // Trace-cache effect on a machine sweep at the default thread count:
+  // same sweep with the fast path off, then on (fresh cache, so the run
+  // pays its own captures).
+  std::vector<double> OffResponses, OnResponses;
+  double OffSeconds = timeMachineSweep(Scale, OffResponses);
+  Traces.setBudgetBytes(TraceBudget ? TraceBudget : 256 * 1024 * 1024);
+  Traces.clear();
+  double OnSeconds = timeMachineSweep(Scale, OnResponses);
+  double TraceSpeedup = OnSeconds > 0 ? OffSeconds / OnSeconds : 0.0;
+  bool TraceIdentical = OffResponses == OnResponses;
+  std::printf("\nTrace-replay fast path on one machine sweep (6 points, 2 "
+              "binaries):\n  cache off %.2fs, cache on %.2fs -> %.2fx, "
+              "responses %s\n",
+              OffSeconds, OnSeconds, TraceSpeedup,
+              TraceIdentical ? "identical" : "DIVERGED");
+  Report.metric("trace_cache_off_seconds", OffSeconds);
+  Report.metric("trace_cache_on_seconds", OnSeconds);
+  Report.metric("trace_cache_speedup", TraceSpeedup);
+  Report.metric("trace_cache_identical", TraceIdentical ? 1 : 0);
+  if (!TraceIdentical) {
+    std::printf("\nFAIL: trace replay changed measured responses.\n");
+    return 1;
+  }
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("Note: this host exposes a single hardware thread; wall "
                 "times above measure pool overhead, not scaling.\n");

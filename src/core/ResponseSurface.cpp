@@ -10,6 +10,7 @@
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 #include "uarch/EnergyModel.h"
+#include "uarch/TraceCache.h"
 
 #include <algorithm>
 #include <cassert>
@@ -73,6 +74,13 @@ MachineProgram msem::compileWorkloadBinary(const std::string &Workload,
   return compileToProgram(*M, CG);
 }
 
+/// A level-1 cache entry: the once-flag serializes the compile so that
+/// concurrent first callers of a flag vector run it exactly once.
+struct ResponseSurface::CompiledBinary {
+  std::once_flag Once;
+  std::shared_ptr<const MachineProgram> Prog;
+};
+
 ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
     : Space(Space), Opts(std::move(Opts)) {
   FaultRate = this->Opts.Faults.InjectRate >= 0.0
@@ -83,6 +91,7 @@ ResponseSurface::ResponseSurface(const ParameterSpace &Space, Options Opts)
   DiskKeyPrefix += workloadVersion();
   DiskKeyPrefix += '|';
   DiskKeyPrefix += inputSetName(this->Opts.Input);
+  TraceKeyPrefix = DiskKeyPrefix + "|t";
   DiskKeyPrefix += '|';
   DiskKeyPrefix += responseMetricName(this->Opts.Metric);
   DiskKeyPrefix += this->Opts.UseSmarts ? "|s" : "|d";
@@ -256,19 +265,93 @@ std::vector<std::pair<DesignPoint, double>> ResponseSurface::snapshot() const {
   return Rows;
 }
 
+std::string ResponseSurface::traceKeyFor(const DesignPoint &Point) const {
+  std::string Key = TraceKeyPrefix;
+  size_t NumFlags = Space.numCompilerParams();
+  for (size_t I = 0; I < NumFlags; ++I)
+    Key += formatString(",%lld", static_cast<long long>(Point[I]));
+  return Key;
+}
+
+std::shared_ptr<const MachineProgram>
+ResponseSurface::compiledBinary(const DesignPoint &Point) const {
+  // Bound chosen well above any campaign's distinct-flag-vector count at
+  // one time; FIFO keeps the structure trivial (entries are cheap to
+  // recompile if ever re-requested after eviction).
+  constexpr size_t MaxBinaries = 128;
+
+  DesignPoint FlagKey(Point.begin(),
+                      Point.begin() + Space.numCompilerParams());
+  std::shared_ptr<CompiledBinary> Entry;
+  {
+    std::lock_guard<std::mutex> Lock(BinaryMutex);
+    auto It = BinaryCache.find(FlagKey);
+    if (It != BinaryCache.end()) {
+      Entry = It->second;
+      telemetry::count("surface.binary_cache.hits");
+    } else {
+      Entry = std::make_shared<CompiledBinary>();
+      BinaryCache.emplace(FlagKey, Entry);
+      BinaryOrder.push_back(FlagKey);
+      if (BinaryOrder.size() > MaxBinaries) {
+        BinaryCache.erase(BinaryOrder.front());
+        BinaryOrder.pop_front();
+      }
+      telemetry::count("surface.binary_cache.misses");
+    }
+  }
+  std::call_once(Entry->Once, [&] {
+    // The compile roots its own deterministic trace (keyed by the flag
+    // vector, not the winning design point), so the pass-pipeline span
+    // tree is identical regardless of which concurrent caller compiles.
+    telemetry::ScopedTimer Span(
+        "surface.compile",
+        telemetry::ScopedTimer::TraceRoot{
+            telemetry::deriveTraceId(traceKeyFor(Point), 0)});
+    Entry->Prog = std::make_shared<const MachineProgram>(compileWorkloadBinary(
+        Opts.Workload, Opts.Input, Space.toOptimizationConfig(Point)));
+  });
+  return Entry->Prog;
+}
+
 double ResponseSurface::computeResponse(const DesignPoint &Point) const {
-  OptimizationConfig Opt = Space.toOptimizationConfig(Point);
   MachineConfig Machine = Space.toMachineConfig(Point);
-  MachineProgram Prog =
-      compileWorkloadBinary(Opts.Workload, Opts.Input, Opt);
+  std::shared_ptr<const MachineProgram> Prog = compiledBinary(Point);
 
   if (Opts.Metric == ResponseMetric::CodeBytes) {
     // Static metric: no simulation.
-    return static_cast<double>(Prog.Code.size()) * 4.0;
+    return static_cast<double>(Prog->Code.size()) * 4.0;
   }
+
+  // Level 2: replay the recorded retired-instruction stream when this
+  // program was already functionally executed (by any surface, for any
+  // metric); capture it on the first execution. Two threads racing on the
+  // same uncached key both run live -- identical streams, either insert
+  // wins -- so the race is benign.
+  constexpr uint64_t MaxInstructions = 4'000'000'000ull;
+  TraceCache &Traces = TraceCache::global();
+  std::string TraceKey;
+  std::shared_ptr<const ReplayImage> Image;
+  if (Traces.enabled()) {
+    TraceKey = traceKeyFor(Point);
+    Image = Traces.lookup(TraceKey);
+  }
+
   if (Opts.Metric == ResponseMetric::EnergyNanojoules) {
     // Energy needs the full event counts: always fully detailed.
-    SimulationResult R = simulateDetailed(Prog, Machine);
+    SimulationResult R;
+    if (Image) {
+      R = simulateDetailedReplay(*Image, Machine);
+    } else if (Traces.enabled()) {
+      TraceBuilder Builder;
+      R = simulateDetailed(*Prog, Machine, MaxInstructions, &Builder);
+      if (!R.Exec.Trapped)
+        Traces.insert(TraceKey, ReplayImage::build(
+                                    Prog, Builder.finish(R.Exec,
+                                                         MaxInstructions)));
+    } else {
+      R = simulateDetailed(*Prog, Machine);
+    }
     if (R.Exec.Trapped)
       fatalError("workload trapped during measurement: " +
                  R.Exec.TrapMessage);
@@ -276,13 +359,39 @@ double ResponseSurface::computeResponse(const DesignPoint &Point) const {
   }
 
   if (Opts.UseSmarts) {
-    SmartsResult R = simulateSmarts(Prog, Machine, Opts.Smarts);
+    SmartsResult R;
+    if (Image) {
+      R = simulateSmartsReplay(*Image, Machine, Opts.Smarts);
+    } else if (Traces.enabled()) {
+      TraceBuilder Builder;
+      R = simulateSmarts(*Prog, Machine, Opts.Smarts, MaxInstructions,
+                         &Builder);
+      if (!R.Exec.Trapped)
+        Traces.insert(TraceKey, ReplayImage::build(
+                                    Prog, Builder.finish(R.Exec,
+                                                         MaxInstructions)));
+    } else {
+      R = simulateSmarts(*Prog, Machine, Opts.Smarts);
+    }
     if (R.Exec.Trapped)
       fatalError("workload trapped during measurement: " +
                  R.Exec.TrapMessage);
     return static_cast<double>(R.EstimatedCycles);
   }
-  SimulationResult R = simulateDetailed(Prog, Machine);
+
+  SimulationResult R;
+  if (Image) {
+    R = simulateDetailedReplay(*Image, Machine);
+  } else if (Traces.enabled()) {
+    TraceBuilder Builder;
+    R = simulateDetailed(*Prog, Machine, MaxInstructions, &Builder);
+    if (!R.Exec.Trapped)
+      Traces.insert(TraceKey, ReplayImage::build(
+                                  Prog, Builder.finish(R.Exec,
+                                                       MaxInstructions)));
+  } else {
+    R = simulateDetailed(*Prog, Machine);
+  }
   if (R.Exec.Trapped)
     fatalError("workload trapped during measurement: " +
                R.Exec.TrapMessage);

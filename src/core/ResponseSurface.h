@@ -37,6 +37,8 @@
 #include "sampling/Smarts.h"
 #include "workloads/Workloads.h"
 
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -203,9 +205,25 @@ public:
   const ParameterSpace &space() const { return Space; }
 
 private:
-  /// The compile+simulate kernel: a pure, re-entrant function of the
-  /// point. No surface state is touched.
+  /// The compile+simulate kernel: a pure function of the point. Served by
+  /// the two-level fast path: the per-flag-vector binary cache (level 1,
+  /// compile once per distinct flag vector) and the process-global
+  /// retired-trace replay cache (level 2, functional-execute once per
+  /// distinct flag vector; see uarch/TraceCache.h). Both levels return
+  /// bitwise-identical responses to the uncached pipeline.
   double computeResponse(const DesignPoint &Point) const;
+
+  /// Level 1: the compiled binary for \p Point's compiler coordinates.
+  /// Concurrent callers of the same flag vector share one compile
+  /// (std::call_once); the cache is FIFO-bounded.
+  std::shared_ptr<const MachineProgram>
+  compiledBinary(const DesignPoint &Point) const;
+
+  /// Level-2 cache key: (workload, version, input, compiler coordinates).
+  /// Machine coordinates, the metric and the sampling scheme are excluded
+  /// -- the retired-instruction stream does not depend on them -- so all
+  /// surfaces over the same program share one trace.
+  std::string traceKeyFor(const DesignPoint &Point) const;
 
   /// One fault-aware measurement: attempts computeResponse under the
   /// configured policy. Returns true on success; on failure returns false
@@ -226,7 +244,18 @@ private:
   double FaultRate = 0.0;
   /// Identifies this surface's rows in the shared on-disk cache.
   std::string DiskKeyPrefix;
+  /// Prefix of the trace-cache key (workload, version, input).
+  std::string TraceKeyPrefix;
   std::string CacheFile;
+
+  /// Level-1 binary cache: flag-vector coordinates -> once-compiled
+  /// binary. Defined in the .cpp (holds a std::once_flag).
+  struct CompiledBinary;
+  mutable std::mutex BinaryMutex; ///< Guards the two members below.
+  mutable std::unordered_map<DesignPoint, std::shared_ptr<CompiledBinary>,
+                             DesignPointHash>
+      BinaryCache;
+  mutable std::deque<DesignPoint> BinaryOrder; ///< FIFO eviction order.
 
   mutable std::mutex CacheMutex; ///< Guards the four members below.
   std::unordered_map<DesignPoint, double, DesignPointHash> Cache;

@@ -25,6 +25,7 @@
 #include "ir/Type.h" // For MemKind and CmpPred reuse.
 #include "ir/Instruction.h"
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -98,6 +99,11 @@ constexpr int16_t FpScratch0 = FpBase + 30;
 constexpr int16_t FpScratch1 = FpBase + 31;
 /// First virtual register id used during code generation.
 constexpr int32_t FirstVirtual = 1024;
+/// One past the last physical register: srcRegsPadded() fills unused
+/// source slots with this id so a readiness scoreboard indexed by it can
+/// keep a permanently-zero pad entry and read all three slots without
+/// branching on the operand count.
+constexpr int32_t ScoreboardPad = 64;
 } // namespace reg
 
 /// Functional unit classes (SimpleScalar's resource classes).
@@ -111,6 +117,185 @@ enum class FuClass : uint8_t {
   FpDiv,   ///< FP divider (12 cycles, unpipelined).
   MemPort, ///< Load/store port (address generation + access).
 };
+
+namespace detail {
+
+/// Packed per-opcode classification, built once at compile time so the
+/// hot paths (OoOCore::consume, functional warming, trace capture) pay a
+/// single table load per query instead of a switch dispatch each for
+/// isLoad/isStore/fuClass/accessSize/srcRegs/destReg.
+struct MOpTraits {
+  uint8_t Flags = 0;
+  uint8_t Fu = 0;     ///< FuClass.
+  uint8_t Access = 0; ///< accessSize in bytes.
+  uint8_t SrcPat = 0; ///< Source-register pattern; see srcRegs().
+};
+
+constexpr uint8_t MFlagLoad = 1;
+constexpr uint8_t MFlagStore = 2;
+constexpr uint8_t MFlagPref = 4;
+constexpr uint8_t MFlagCondBr = 8;
+constexpr uint8_t MFlagBranch = 16;
+constexpr uint8_t MFlagNoDest = 32;
+
+constexpr unsigned NumMOps = static_cast<unsigned>(MOp::HALT) + 1;
+
+constexpr MOpTraits mopTraitsFor(MOp Op) {
+  MOpTraits T;
+  switch (Op) {
+  case MOp::LD8:
+  case MOp::LD32:
+  case MOp::LD64:
+  case MOp::LDF:
+    T.Flags |= MFlagLoad;
+    break;
+  case MOp::ST8:
+  case MOp::ST32:
+  case MOp::ST64:
+  case MOp::STF:
+    T.Flags |= MFlagStore;
+    break;
+  case MOp::PREF:
+    T.Flags |= MFlagPref;
+    break;
+  case MOp::BEQZ:
+  case MOp::BNEZ:
+    T.Flags |= MFlagCondBr;
+    break;
+  default:
+    break;
+  }
+  switch (Op) {
+  case MOp::BEQZ:
+  case MOp::BNEZ:
+  case MOp::J:
+  case MOp::JAL:
+  case MOp::JR:
+    T.Flags |= MFlagBranch;
+    break;
+  default:
+    break;
+  }
+  switch (Op) {
+  case MOp::ST8:
+  case MOp::ST32:
+  case MOp::ST64:
+  case MOp::STF:
+  case MOp::PREF:
+  case MOp::BEQZ:
+  case MOp::BNEZ:
+  case MOp::J:
+  case MOp::JR:
+  case MOp::EMIT:
+  case MOp::EMITF:
+  case MOp::HALT:
+    T.Flags |= MFlagNoDest;
+    break;
+  default:
+    break;
+  }
+  switch (Op) {
+  case MOp::LD8:
+  case MOp::ST8:
+    T.Access = 1;
+    break;
+  case MOp::LD32:
+  case MOp::ST32:
+    T.Access = 4;
+    break;
+  case MOp::LD64:
+  case MOp::LDF:
+  case MOp::ST64:
+  case MOp::STF:
+  case MOp::PREF:
+    T.Access = 8;
+    break;
+  default:
+    break;
+  }
+  switch (Op) {
+  case MOp::MUL:
+    T.Fu = static_cast<uint8_t>(FuClass::IntMult);
+    break;
+  case MOp::DIV:
+  case MOp::REM:
+    T.Fu = static_cast<uint8_t>(FuClass::IntDiv);
+    break;
+  case MOp::FADD:
+  case MOp::FSUB:
+  case MOp::FCMP:
+  case MOp::CVTIF:
+  case MOp::CVTFI:
+    T.Fu = static_cast<uint8_t>(FuClass::FpAdd);
+    break;
+  case MOp::FMUL:
+    T.Fu = static_cast<uint8_t>(FuClass::FpMult);
+    break;
+  case MOp::FDIV:
+    T.Fu = static_cast<uint8_t>(FuClass::FpDiv);
+    break;
+  case MOp::LD8:
+  case MOp::LD32:
+  case MOp::LD64:
+  case MOp::LDF:
+  case MOp::ST8:
+  case MOp::ST32:
+  case MOp::ST64:
+  case MOp::STF:
+  case MOp::PREF:
+    T.Fu = static_cast<uint8_t>(FuClass::MemPort);
+    break;
+  case MOp::HALT:
+    T.Fu = static_cast<uint8_t>(FuClass::None);
+    break;
+  default:
+    T.Fu = static_cast<uint8_t>(FuClass::IntAlu);
+    break;
+  }
+  switch (Op) {
+  case MOp::LI:
+  case MOp::FLI:
+  case MOp::J:
+  case MOp::JAL:
+  case MOp::HALT:
+    T.SrcPat = 0; // No sources.
+    break;
+  case MOp::MOV:
+  case MOp::FMOV:
+  case MOp::ADDI:
+  case MOp::CVTIF:
+  case MOp::CVTFI:
+  case MOp::BEQZ:
+  case MOp::BNEZ:
+  case MOp::JR:
+  case MOp::EMIT:
+  case MOp::EMITF:
+  case MOp::PREF:
+  case MOp::LD8:
+  case MOp::LD32:
+  case MOp::LD64:
+  case MOp::LDF:
+    T.SrcPat = 1; // Rs1 only.
+    break;
+  case MOp::CMOV:
+  case MOp::FCMOV:
+    T.SrcPat = 2; // Rs1, Rs2 and Rd (old value survives).
+    break;
+  default:
+    T.SrcPat = 3; // Rs1, Rs2.
+    break;
+  }
+  return T;
+}
+
+inline constexpr std::array<MOpTraits, NumMOps> MOpTraitsTable = [] {
+  std::array<MOpTraits, NumMOps> Table{};
+  for (unsigned I = 0; I < NumMOps; ++I)
+    Table[I] = mopTraitsFor(static_cast<MOp>(I));
+  return Table;
+}();
+
+} // namespace detail
 
 /// One machine instruction. `Rd`/`Rs1`/`Rs2` use the unified register
 /// numbering (or virtual ids >= reg::FirstVirtual during codegen).
@@ -128,142 +313,66 @@ struct MachineInstr {
 
   /// The destination register, or -1.
   int32_t destReg() const {
-    switch (Op) {
-    case MOp::ST8:
-    case MOp::ST32:
-    case MOp::ST64:
-    case MOp::STF:
-    case MOp::PREF:
-    case MOp::BEQZ:
-    case MOp::BNEZ:
-    case MOp::J:
-    case MOp::JR:
-    case MOp::EMIT:
-    case MOp::EMITF:
-    case MOp::HALT:
-      return -1;
-    default:
-      return Rd;
-    }
+    return (traits().Flags & detail::MFlagNoDest) ? -1 : Rd;
   }
 
   /// Source registers into \p Out (size >= 3); returns the count.
   /// CMOV/FCMOV read their destination as well.
   unsigned srcRegs(int32_t Out[3]) const {
     unsigned N = 0;
-    auto Push = [&](int32_t R) {
-      if (R >= 0)
-        Out[N++] = R;
-    };
-    switch (Op) {
-    case MOp::LI:
-    case MOp::FLI:
-    case MOp::J:
-    case MOp::HALT:
+    switch (traits().SrcPat) {
+    case 0: // LI/FLI/J/JAL/HALT.
       break;
-    case MOp::JAL:
+    case 1: // Unary ops, loads, prefetch, branches-on-register.
+      if (Rs1 >= 0)
+        Out[N++] = Rs1;
       break;
-    case MOp::MOV:
-    case MOp::FMOV:
-    case MOp::ADDI:
-    case MOp::CVTIF:
-    case MOp::CVTFI:
-    case MOp::BEQZ:
-    case MOp::BNEZ:
-    case MOp::JR:
-    case MOp::EMIT:
-    case MOp::EMITF:
-    case MOp::PREF:
-    case MOp::LD8:
-    case MOp::LD32:
-    case MOp::LD64:
-    case MOp::LDF:
-      Push(Rs1);
+    case 2: // CMOV/FCMOV: old value survives when the condition is false.
+      if (Rs1 >= 0)
+        Out[N++] = Rs1;
+      if (Rs2 >= 0)
+        Out[N++] = Rs2;
+      if (Rd >= 0)
+        Out[N++] = Rd;
       break;
-    case MOp::CMOV:
-    case MOp::FCMOV:
-      Push(Rs1);
-      Push(Rs2);
-      Push(Rd); // Old value survives when the condition is false.
-      break;
-    default:
-      Push(Rs1);
-      Push(Rs2);
+    default: // Binary register-register ops and stores.
+      if (Rs1 >= 0)
+        Out[N++] = Rs1;
+      if (Rs2 >= 0)
+        Out[N++] = Rs2;
       break;
     }
     return N;
   }
 
-  bool isLoad() const {
-    return Op == MOp::LD8 || Op == MOp::LD32 || Op == MOp::LD64 ||
-           Op == MOp::LDF;
+  /// Branchless variant of srcRegs() for the timing core's operand
+  /// scoreboard: always fills all three slots, padding unused ones with
+  /// reg::ScoreboardPad. Equivalent to srcRegs() followed by padding --
+  /// the slot order matches, only the count return is dropped.
+  void srcRegsPadded(int32_t Out[3]) const {
+    const uint8_t P = traits().SrcPat;
+    Out[0] = (P != 0 && Rs1 >= 0) ? Rs1 : reg::ScoreboardPad;
+    Out[1] = (P >= 2 && Rs2 >= 0) ? Rs2 : reg::ScoreboardPad;
+    Out[2] = (P == 2 && Rd >= 0) ? Rd : reg::ScoreboardPad;
   }
-  bool isStore() const {
-    return Op == MOp::ST8 || Op == MOp::ST32 || Op == MOp::ST64 ||
-           Op == MOp::STF;
-  }
-  bool isPrefetch() const { return Op == MOp::PREF; }
-  bool isBranch() const {
-    return Op == MOp::BEQZ || Op == MOp::BNEZ || Op == MOp::J ||
-           Op == MOp::JAL || Op == MOp::JR;
-  }
+
+  bool isLoad() const { return traits().Flags & detail::MFlagLoad; }
+  bool isStore() const { return traits().Flags & detail::MFlagStore; }
+  bool isPrefetch() const { return traits().Flags & detail::MFlagPref; }
+  bool isBranch() const { return traits().Flags & detail::MFlagBranch; }
   bool isConditionalBranch() const {
-    return Op == MOp::BEQZ || Op == MOp::BNEZ;
+    return traits().Flags & detail::MFlagCondBr;
   }
 
   /// Bytes moved by a memory access (0 for non-memory instructions).
-  unsigned accessSize() const {
-    switch (Op) {
-    case MOp::LD8:
-    case MOp::ST8:
-      return 1;
-    case MOp::LD32:
-    case MOp::ST32:
-      return 4;
-    case MOp::LD64:
-    case MOp::LDF:
-    case MOp::ST64:
-    case MOp::STF:
-    case MOp::PREF:
-      return 8;
-    default:
-      return 0;
-    }
-  }
+  unsigned accessSize() const { return traits().Access; }
 
   /// The functional unit class this instruction occupies.
-  FuClass fuClass() const {
-    switch (Op) {
-    case MOp::MUL:
-      return FuClass::IntMult;
-    case MOp::DIV:
-    case MOp::REM:
-      return FuClass::IntDiv;
-    case MOp::FADD:
-    case MOp::FSUB:
-    case MOp::FCMP:
-    case MOp::CVTIF:
-    case MOp::CVTFI:
-      return FuClass::FpAdd;
-    case MOp::FMUL:
-      return FuClass::FpMult;
-    case MOp::FDIV:
-      return FuClass::FpDiv;
-    case MOp::LD8:
-    case MOp::LD32:
-    case MOp::LD64:
-    case MOp::LDF:
-    case MOp::ST8:
-    case MOp::ST32:
-    case MOp::ST64:
-    case MOp::STF:
-    case MOp::PREF:
-      return FuClass::MemPort;
-    case MOp::HALT:
-      return FuClass::None;
-    default:
-      return FuClass::IntAlu;
-    }
+  FuClass fuClass() const { return static_cast<FuClass>(traits().Fu); }
+
+private:
+  const detail::MOpTraits &traits() const {
+    return detail::MOpTraitsTable[static_cast<unsigned>(Op)];
   }
 };
 

@@ -4,54 +4,22 @@
 
 #include "support/Statistics.h"
 #include "telemetry/Telemetry.h"
+#include "uarch/FunctionalWarming.h"
+#include "uarch/TraceCache.h"
 
 using namespace msem;
 
 namespace {
 
-/// Functional warming: architectural state advances (the executor does
-/// that), caches and predictors are kept warm, no timing is computed.
-class WarmingSink {
-public:
-  WarmingSink(MemoryHierarchy &Memory, CombinedPredictor &Predictor)
-      : Memory(Memory), Predictor(Predictor) {}
-
-  void operator()(const RetiredInstr &RI) {
-    const MachineInstr &MI = *RI.MI;
-    uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
-    uint64_t Line = Pc / MachineConfig::L1LineBytes;
-    if (Line != LastLine) {
-      LastLine = Line;
-      Memory.touchInstr(Pc);
-    }
-    if (MI.isLoad())
-      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
-    else if (MI.isStore())
-      Memory.touchData(RI.MemAddr, /*IsWrite=*/true);
-    else if (MI.isPrefetch())
-      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
-
-    if (MI.isConditionalBranch())
-      Predictor.updateConditional(Pc, RI.BranchTaken);
-    else if (MI.Op == MOp::JAL)
-      Predictor.pushReturn(MachineProgram::codeAddress(RI.CodeIndex + 1));
-    else if (MI.Op == MOp::JR)
-      (void)Predictor.predictReturn(
-          MachineProgram::codeAddress(RI.NextCodeIndex));
-  }
-
-private:
-  MemoryHierarchy &Memory;
-  CombinedPredictor &Predictor;
-  uint64_t LastLine = ~0ull;
-};
-
-} // namespace
-
-SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
-                                  const MachineConfig &Config,
-                                  const SmartsConfig &Sampling,
-                                  uint64_t MaxInstructions) {
+/// The one SMARTS driver, shared by live execution, capture and replay:
+/// \p Exec is anything with Executor's run/halted/result interface, and
+/// \p DetailedFallback re-simulates fully detailed when the program was too
+/// short to sample. Span names and telemetry are identical across modes so
+/// the canonical span tree does not depend on cache state.
+template <typename SourceT, typename FallbackT>
+SmartsResult runSmartsOn(SourceT &Exec, const MachineConfig &Config,
+                         const SmartsConfig &Sampling,
+                         FallbackT &&DetailedFallback) {
   telemetry::ScopedTimer Span("sim.smarts");
 
   MemoryHierarchy Memory(Config);
@@ -61,8 +29,17 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
   WarmingSink Warm(Memory, Predictor);
   auto Detail = [&Core](const RetiredInstr &RI) { Core.consume(RI); };
 
-  Executor Exec(Prog, MaxInstructions);
   OnlineStats WindowCpi;
+
+  // Registry lookups hoisted out of the per-window loop; metric references
+  // are stable for the process lifetime (telemetry/Telemetry.h).
+  telemetry::Histogram *CpiHist = nullptr;
+  telemetry::Series *CiSeries = nullptr;
+  if (telemetry::enabled()) {
+    CpiHist = &telemetry::histogram(
+        "smarts.window_cpi", {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0});
+    CiSeries = &telemetry::series("smarts.ci_rel_error");
+  }
 
   const uint64_t W = Sampling.WindowSize;
   const uint64_t WarmupInstrs = Sampling.DetailedWarmupWindows * W;
@@ -105,16 +82,13 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
       uint64_t Delta = Core.cycles() - Before;
       double Cpi = static_cast<double>(Delta) / static_cast<double>(W);
       WindowCpi.add(Cpi);
-      if (telemetry::enabled()) {
-        telemetry::histogram("smarts.window_cpi",
-                             {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0})
-            .observe(Cpi);
+      if (CpiHist) {
+        CpiHist->observe(Cpi);
         // CI convergence trajectory: relative half-width after each window.
         if (WindowCpi.count() > 1 && WindowCpi.mean() > 0)
-          telemetry::series("smarts.ci_rel_error")
-              .record(static_cast<double>(WindowCpi.count()),
-                      zValueForConfidence(Sampling.Confidence) *
-                          WindowCpi.standardError() / WindowCpi.mean());
+          CiSeries->record(static_cast<double>(WindowCpi.count()),
+                           zValueForConfidence(Sampling.Confidence) *
+                               WindowCpi.standardError() / WindowCpi.mean());
       }
     }
   }
@@ -142,7 +116,7 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
     // re-simulate fully detailed for a usable number.
     R.FellBackToDetailed = true;
     telemetry::count("smarts.detailed_fallbacks");
-    SimulationResult Full = simulateDetailed(Prog, Config, MaxInstructions);
+    SimulationResult Full = DetailedFallback();
     R.EstimatedCpi = Full.cpi();
     R.EstimatedCycles = Full.Cycles;
     return R;
@@ -157,4 +131,31 @@ SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
         Z * WindowCpi.standardError() / WindowCpi.mean();
   telemetry::gaugeSet("smarts.ci_rel_error.last", R.RelativeErrorBound);
   return R;
+}
+
+} // namespace
+
+SmartsResult msem::simulateSmarts(const MachineProgram &Prog,
+                                  const MachineConfig &Config,
+                                  const SmartsConfig &Sampling,
+                                  uint64_t MaxInstructions,
+                                  TraceBuilder *Capture) {
+  // The too-short-to-sample fallback re-runs live *without* capture: the
+  // sampling loop above it already drove the executor to halt, so the
+  // trace is complete by the time the fallback fires.
+  auto Fallback = [&] { return simulateDetailed(Prog, Config, MaxInstructions); };
+  if (Capture) {
+    CapturingExecutor Exec(Prog, MaxInstructions, *Capture);
+    return runSmartsOn(Exec, Config, Sampling, Fallback);
+  }
+  Executor Exec(Prog, MaxInstructions);
+  return runSmartsOn(Exec, Config, Sampling, Fallback);
+}
+
+SmartsResult msem::simulateSmartsReplay(const ReplayImage &Image,
+                                        const MachineConfig &Config,
+                                        const SmartsConfig &Sampling) {
+  ReplaySource Exec(Image);
+  return runSmartsOn(Exec, Config, Sampling,
+                     [&] { return simulateDetailedReplay(Image, Config); });
 }

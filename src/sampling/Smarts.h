@@ -58,10 +58,25 @@ struct SmartsResult {
 /// independent and each is bitwise deterministic in its inputs. The
 /// parallel measurement engine (ResponseSurface::measureAll) depends on
 /// this; keep new simulator state per-call, never static.
+///
+/// When \p Capture is set, the retired-instruction stream is additionally
+/// recorded for later replay (uarch/TraceCache.h). The stream is
+/// sampling-independent -- warming vs detailed windows change only which
+/// sink observes each instruction -- so one capture serves every later
+/// machine config and sampling scheme.
 SmartsResult simulateSmarts(const MachineProgram &Prog,
                             const MachineConfig &Config,
                             const SmartsConfig &Sampling,
-                            uint64_t MaxInstructions = 4'000'000'000ull);
+                            uint64_t MaxInstructions = 4'000'000'000ull,
+                            TraceBuilder *Capture = nullptr);
+
+/// Sampled re-simulation of a captured run: the recorded stream drives
+/// functional warming and the detailed windows instead of the executor.
+/// Bitwise-identical to simulateSmarts of the same program and config
+/// (cycles, CPI, CI fields, window counts).
+SmartsResult simulateSmartsReplay(const ReplayImage &Image,
+                                  const MachineConfig &Config,
+                                  const SmartsConfig &Sampling);
 
 } // namespace msem
 

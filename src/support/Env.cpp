@@ -56,6 +56,8 @@ EnvConfig msem::parseEnv() {
   C.ProfilePath = getEnvString("MSEM_PROFILE", C.ProfilePath);
   C.ProfileHz = std::clamp<int64_t>(
       getEnvInt("MSEM_PROFILE_HZ", C.ProfileHz), 1, 10000);
+  C.TraceCacheMB = std::max<int64_t>(
+      0, getEnvInt("MSEM_TRACE_CACHE_MB", C.TraceCacheMB));
   C.FaultRate =
       std::clamp(getEnvDouble("MSEM_FAULT_RATE", C.FaultRate), 0.0, 1.0);
   C.TrainNSet = getEnvInt("MSEM_TRAIN_N", -1) >= 0;

@@ -71,6 +71,11 @@ struct EnvConfig {
   /// (ITIMER_PROF), in samples per CPU-second.
   int64_t ProfileHz = 500;
 
+  /// MSEM_TRACE_CACHE_MB: byte budget (in MB) of the retired-trace replay
+  /// cache (uarch/TraceCache.h). 0 disables trace capture & replay
+  /// entirely, reproducing the uncached simulation pipeline bit-for-bit.
+  int64_t TraceCacheMB = 256;
+
   // --- Fault injection (test hook) -----------------------------------------
   /// MSEM_FAULT_RATE: probability in [0, 1] that any single measurement
   /// attempt fails with an injected fault (0 = off). Deterministic per

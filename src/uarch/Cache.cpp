@@ -26,59 +26,28 @@ Cache::Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes)
   NumSets = static_cast<unsigned>(NumLines / Assoc);
   assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
   SetShift = log2u(LineBytes);
-  Lines.assign(static_cast<size_t>(NumSets) * Assoc, Line());
-}
-
-bool Cache::access(uint64_t Addr, bool IsWrite, bool *WasDirtyEviction) {
-  uint64_t LineAddr = Addr >> SetShift;
-  unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
-  uint64_t Tag = LineAddr >> log2u(NumSets);
-  Line *SetBase = &Lines[static_cast<size_t>(Set) * Assoc];
-  ++Clock;
-
-  for (unsigned W = 0; W < Assoc; ++W) {
-    Line &L = SetBase[W];
-    if (L.Valid && L.Tag == Tag) {
-      L.LruStamp = Clock;
-      L.Dirty |= IsWrite;
-      ++Hits;
-      return true;
-    }
-  }
-  ++Misses;
-  // Choose the LRU victim (prefer invalid ways).
-  Line *Victim = SetBase;
-  for (unsigned W = 0; W < Assoc; ++W) {
-    Line &L = SetBase[W];
-    if (!L.Valid) {
-      Victim = &L;
-      break;
-    }
-    if (L.LruStamp < Victim->LruStamp)
-      Victim = &L;
-  }
-  if (WasDirtyEviction)
-    *WasDirtyEviction = Victim->Valid && Victim->Dirty;
-  Victim->Valid = true;
-  Victim->Tag = Tag;
-  Victim->Dirty = IsWrite;
-  Victim->LruStamp = Clock;
-  return false;
+  TagShift = log2u(NumSets);
+  size_t Ways = static_cast<size_t>(NumSets) * Assoc;
+  Tags.assign(Ways, ~0ull);
+  Stamps.assign(Ways, 0);
+  Flags.assign(Ways, 0);
 }
 
 bool Cache::probe(uint64_t Addr) const {
   uint64_t LineAddr = Addr >> SetShift;
   unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
-  uint64_t Tag = LineAddr >> log2u(NumSets);
-  const Line *SetBase = &Lines[static_cast<size_t>(Set) * Assoc];
+  uint64_t Tag = LineAddr >> TagShift;
+  size_t Base = static_cast<size_t>(Set) * Assoc;
   for (unsigned W = 0; W < Assoc; ++W)
-    if (SetBase[W].Valid && SetBase[W].Tag == Tag)
+    if (Tags[Base + W] == Tag && (Flags[Base + W] & FlagValid))
       return true;
   return false;
 }
 
 void Cache::reset() {
-  std::fill(Lines.begin(), Lines.end(), Line());
+  std::fill(Tags.begin(), Tags.end(), ~0ull);
+  std::fill(Stamps.begin(), Stamps.end(), 0);
+  std::fill(Flags.begin(), Flags.end(), 0);
   Clock = Hits = Misses = 0;
 }
 
@@ -139,20 +108,3 @@ uint64_t MemoryHierarchy::accessData(uint64_t Addr, bool IsWrite,
   return accessL2(Addr, IsWrite, Cycle + Config.DcacheLatency);
 }
 
-void MemoryHierarchy::touchInstr(uint64_t Pc) {
-  ++Stats.IcacheAccesses;
-  if (!Icache.access(Pc, false)) {
-    ++Stats.IcacheMisses;
-    if (!L2.access(Pc | (1ull << 60), false))
-      ++Stats.L2Misses;
-  }
-}
-
-void MemoryHierarchy::touchData(uint64_t Addr, bool IsWrite) {
-  ++Stats.DcacheAccesses;
-  if (!Dcache.access(Addr, IsWrite)) {
-    ++Stats.DcacheMisses;
-    if (!L2.access(Addr, IsWrite))
-      ++Stats.L2Misses;
-  }
-}

@@ -32,7 +32,44 @@ public:
   /// Looks up \p Addr; on hit updates LRU and returns true. On miss, fills
   /// the line (evicting LRU; *WasDirtyEviction reports a dirty writeback)
   /// and returns false. \p IsWrite marks the line dirty.
-  bool access(uint64_t Addr, bool IsWrite, bool *WasDirtyEviction = nullptr);
+  ///
+  /// Defined inline: this is the innermost call of both functional
+  /// warming and the detailed core's memory path, hot enough that the
+  /// cross-TU call overhead is measurable.
+  bool access(uint64_t Addr, bool IsWrite, bool *WasDirtyEviction = nullptr) {
+    uint64_t LineAddr = Addr >> SetShift;
+    unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
+    uint64_t Tag = LineAddr >> TagShift;
+    size_t Base = static_cast<size_t>(Set) * Assoc;
+    const uint64_t *SetTags = &Tags[Base];
+    ++Clock;
+    for (unsigned W = 0; W < Assoc; ++W) {
+      if (SetTags[W] == Tag && (Flags[Base + W] & FlagValid)) {
+        Stamps[Base + W] = Clock;
+        Flags[Base + W] |= IsWrite ? FlagDirty : 0;
+        ++Hits;
+        return true;
+      }
+    }
+    ++Misses;
+    // Choose the LRU victim (prefer invalid ways).
+    size_t Victim = Base;
+    for (unsigned W = 0; W < Assoc; ++W) {
+      if (!(Flags[Base + W] & FlagValid)) {
+        Victim = Base + W;
+        break;
+      }
+      if (Stamps[Base + W] < Stamps[Victim])
+        Victim = Base + W;
+    }
+    if (WasDirtyEviction)
+      *WasDirtyEviction = (Flags[Victim] & (FlagValid | FlagDirty)) ==
+                          (FlagValid | FlagDirty);
+    Tags[Victim] = Tag;
+    Flags[Victim] = FlagValid | (IsWrite ? FlagDirty : 0);
+    Stamps[Victim] = Clock;
+    return false;
+  }
 
   /// Invalidate-free probe: true if the line is present (no LRU update).
   bool probe(uint64_t Addr) const;
@@ -44,18 +81,20 @@ public:
   unsigned lineBytes() const { return LineBytes; }
 
 private:
-  struct Line {
-    uint64_t Tag = ~0ull;
-    bool Valid = false;
-    bool Dirty = false;
-    uint64_t LruStamp = 0;
-  };
+  /// Line state is split into parallel arrays (tags / LRU stamps / flags)
+  /// so the hit path scans a set's tags in one contiguous 8B*Assoc block
+  /// instead of striding through 24-byte structs.
+  static constexpr uint8_t FlagValid = 1;
+  static constexpr uint8_t FlagDirty = 2;
 
   unsigned NumSets;
   unsigned Assoc;
   unsigned LineBytes;
   unsigned SetShift;
-  std::vector<Line> Lines; // NumSets * Assoc.
+  unsigned TagShift; ///< log2(NumSets), precomputed off the access path.
+  std::vector<uint64_t> Tags;   // NumSets * Assoc.
+  std::vector<uint64_t> Stamps; // NumSets * Assoc.
+  std::vector<uint8_t> Flags;   // NumSets * Assoc.
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
@@ -89,12 +128,33 @@ public:
   /// Timed data access at \p Cycle; returns data-ready cycle. Prefetches
   /// fill caches and consume bus bandwidth but their completion time is
   /// irrelevant to the consumer.
+  ///
+  /// The timed entry points stay out-of-line on purpose: unlike the
+  /// untimed touches they are called from the already-large detailed
+  /// core, where inlining them measurably bloats OoOCore::consume and
+  /// slows it down.
   uint64_t accessData(uint64_t Addr, bool IsWrite, bool IsPrefetch,
                       uint64_t Cycle);
 
-  /// Untimed warming (SMARTS functional warming between detailed windows).
-  void touchInstr(uint64_t Pc);
-  void touchData(uint64_t Addr, bool IsWrite);
+  /// Untimed warming (SMARTS functional warming between detailed
+  /// windows). Inline for the same reason as Cache::access: these are the
+  /// warming loops' only per-event calls.
+  void touchInstr(uint64_t Pc) {
+    ++Stats.IcacheAccesses;
+    if (!Icache.access(Pc, /*IsWrite=*/false)) {
+      ++Stats.IcacheMisses;
+      if (!L2.access(Pc | (1ull << 60), /*IsWrite=*/false))
+        ++Stats.L2Misses;
+    }
+  }
+  void touchData(uint64_t Addr, bool IsWrite) {
+    ++Stats.DcacheAccesses;
+    if (!Dcache.access(Addr, IsWrite)) {
+      ++Stats.DcacheMisses;
+      if (!L2.access(Addr, IsWrite))
+        ++Stats.L2Misses;
+    }
+  }
 
   const MemoryStats &stats() const { return Stats; }
   void resetStats() { Stats = MemoryStats(); }

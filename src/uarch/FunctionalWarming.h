@@ -1,0 +1,78 @@
+//===- uarch/FunctionalWarming.h - SMARTS functional warming ------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional warming (Wunderlich et al., ISCA 2003): between detailed
+/// SMARTS windows, architectural state advances (the executor does that)
+/// while caches and branch predictors are kept warm and no timing is
+/// computed. WarmingSink is the per-retired-instruction form consumed as
+/// an Executor sink; ReplaySource (uarch/TraceCache.h) additionally has a
+/// specialized fast path that performs the identical sequence of cache
+/// touches and predictor updates straight from a captured trace's
+/// pre-decoded steps, skipping the per-instruction sink dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_FUNCTIONALWARMING_H
+#define MSEM_UARCH_FUNCTIONALWARMING_H
+
+#include "isa/Executor.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/MachineConfig.h"
+
+namespace msem {
+
+/// Functional warming: architectural state advances (the executor does
+/// that), caches and predictors are kept warm, no timing is computed.
+///
+/// The sink carries the icache-line dedup state (LastLine) across warming
+/// chunks -- and deliberately NOT across the detailed windows in between,
+/// which drive the timing model's own instruction fetches -- so one sink
+/// object must serve a whole sampled run. ReplaySource::run(WarmingSink&)
+/// reproduces this object's exact touch/update sequence from a trace and
+/// shares its state, so warming may alternate between live and replayed
+/// sources without divergence.
+class WarmingSink {
+public:
+  WarmingSink(MemoryHierarchy &Memory, CombinedPredictor &Predictor)
+      : Memory(Memory), Predictor(Predictor) {}
+
+  void operator()(const RetiredInstr &RI) {
+    const MachineInstr &MI = *RI.MI;
+    uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
+    uint64_t Line = Pc / MachineConfig::L1LineBytes;
+    if (Line != LastLine) {
+      LastLine = Line;
+      Memory.touchInstr(Pc);
+    }
+    if (MI.isLoad())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
+    else if (MI.isStore())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/true);
+    else if (MI.isPrefetch())
+      Memory.touchData(RI.MemAddr, /*IsWrite=*/false);
+
+    if (MI.isConditionalBranch())
+      Predictor.updateConditional(Pc, RI.BranchTaken);
+    else if (MI.Op == MOp::JAL)
+      Predictor.pushReturn(MachineProgram::codeAddress(RI.CodeIndex + 1));
+    else if (MI.Op == MOp::JR)
+      (void)Predictor.predictReturn(
+          MachineProgram::codeAddress(RI.NextCodeIndex));
+  }
+
+private:
+  friend class ReplaySource; ///< The trace-driven warming fast path.
+
+  MemoryHierarchy &Memory;
+  CombinedPredictor &Predictor;
+  uint64_t LastLine = ~0ull;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_FUNCTIONALWARMING_H

@@ -77,26 +77,13 @@ struct MachineConfig {
   }
 
   /// Execution latency for \p Class (cycles until the result is ready).
+  /// Table-indexed: this sits on the timing core's per-instruction path.
+  /// Order matches FuClass: None, IntAlu, IntMult, IntDiv, FpAdd, FpMult,
+  /// FpDiv, MemPort (MemPort is address generation only; the cache access
+  /// adds its own time).
   static unsigned fuLatency(FuClass Class) {
-    switch (Class) {
-    case FuClass::IntAlu:
-      return 1;
-    case FuClass::IntMult:
-      return 3;
-    case FuClass::IntDiv:
-      return 20;
-    case FuClass::FpAdd:
-      return 2;
-    case FuClass::FpMult:
-      return 4;
-    case FuClass::FpDiv:
-      return 12;
-    case FuClass::MemPort:
-      return 1; // Address generation; cache adds the access time.
-    case FuClass::None:
-      return 1;
-    }
-    return 1;
+    constexpr unsigned Lat[8] = {1, 1, 3, 20, 2, 4, 12, 1};
+    return Lat[static_cast<unsigned>(Class)];
   }
 
   /// True when the unit blocks for its full latency (unpipelined).

@@ -3,27 +3,31 @@
 #include "uarch/OoOCore.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace msem;
 
 OoOCore::OoOCore(const MachineConfig &Config, MemoryHierarchy &Memory,
                  CombinedPredictor &Predictor)
-    : Config(Config), Memory(Memory), Predictor(Predictor) {
+    : Config(Config), Memory(Memory), Predictor(Predictor),
+      StoreFwd(Config.lsqSize()) {
+  Width = Config.IssueWidth;
   for (unsigned C = 0; C < 8; ++C) {
-    unsigned N = Config.fuCount(static_cast<FuClass>(C));
-    Units[C].assign(std::max(1u, N), 0);
+    unsigned N = std::max(1u, Config.fuCount(static_cast<FuClass>(C)));
+    for (unsigned U = 0; U < MaxFuPerClass; ++U)
+      Units[C][U] = U < N ? 0 : ~0ull;
   }
-  RuuCommitRing.assign(Config.RuuSize, 0);
-  StoreBuffer.assign(MachineConfig::StoreBufferEntries, 0);
-  StoreDataFifo.assign(Config.lsqSize(), ~0ull);
+  assert(Config.RuuSize <= MaxRuuSize && "RUU larger than the design space");
+  RuuSize = Config.RuuSize;
 }
 
 uint64_t OoOCore::fetch(const RetiredInstr &RI) {
-  // New cycle if the current fetch group is full.
-  if (FetchedThisCycle >= Config.IssueWidth) {
-    ++FetchCycle;
-    FetchedThisCycle = 0;
-  }
+  // New cycle if the current fetch group is full (branchless: the
+  // overflow fires once every IssueWidth instructions, which is exactly
+  // the cadence branch predictors are worst at).
+  unsigned FOver = FetchedThisCycle >= Width;
+  FetchCycle += FOver;
+  FetchedThisCycle = FOver ? 0 : FetchedThisCycle;
   // Instruction cache: one access per new line.
   uint64_t Pc = MachineProgram::codeAddress(RI.CodeIndex);
   uint64_t Line = Pc / MachineConfig::L1LineBytes;
@@ -91,42 +95,40 @@ void OoOCore::consume(const RetiredInstr &RI) {
   uint64_t FetchDone = fetch(RI);
 
   // ---- Dispatch (in-order, width-limited, RUU-limited) -------------------
-  uint64_t Dispatch = FetchDone + 1; // Decode/rename stage.
-  if (Dispatch < DispatchCycle)
-    Dispatch = DispatchCycle;
-  if (Dispatch > DispatchCycle) {
-    DispatchCycle = Dispatch;
-    DispatchedThisCycle = 0;
-  }
-  if (DispatchedThisCycle >= Config.IssueWidth) {
-    ++DispatchCycle;
-    DispatchedThisCycle = 0;
-    Dispatch = DispatchCycle;
-  }
-  ++DispatchedThisCycle;
+  // Branchless form: whether the group advances and whether the width
+  // overflows depend on the instruction mix, so conditional moves beat
+  // unpredictable branches here. The overflow can only fire when the
+  // group did not advance (an advance resets the count to zero first).
+  uint64_t Dispatch = std::max(FetchDone + 1, DispatchCycle);
+  unsigned DCount = Dispatch > DispatchCycle ? 0 : DispatchedThisCycle;
+  unsigned DOver = DCount >= Width;
+  Dispatch += DOver;
+  DispatchCycle = Dispatch;
+  DispatchedThisCycle = (DOver ? 0 : DCount) + 1;
   // RUU space: the entry of the instruction RuuSize older must have
   // committed.
   uint64_t OldestCommit = RuuCommitRing[RuuPos];
-  if (Dispatch < OldestCommit) {
-    Stats.DispatchRuuStallCycles += OldestCommit - Dispatch;
-    Dispatch = OldestCommit;
-  }
+  Stats.DispatchRuuStallCycles +=
+      Dispatch < OldestCommit ? OldestCommit - Dispatch : 0;
+  Dispatch = std::max(Dispatch, OldestCommit);
 
   // ---- Operand readiness --------------------------------------------------
-  uint64_t Ready = Dispatch;
+  // Padded three-slot read: absent operands resolve to the scoreboard's
+  // always-zero pad slot, so there is no data-dependent branch here.
   int32_t Srcs[3];
-  unsigned NS = MI.srcRegs(Srcs);
-  for (unsigned S = 0; S < NS; ++S)
-    Ready = std::max(Ready, RegReady[Srcs[S]]);
+  MI.srcRegsPadded(Srcs);
+  uint64_t Ready = std::max(Dispatch, RegReady[Srcs[0]]);
+  Ready = std::max(Ready, RegReady[Srcs[1]]);
+  Ready = std::max(Ready, RegReady[Srcs[2]]);
   Stats.IssueOperandStallCycles += Ready - Dispatch;
 
   // ---- Issue to a functional unit ----------------------------------------
   FuClass Class = MI.fuClass();
   uint64_t Issue = Ready;
   if (Class != FuClass::None) {
-    auto &Pool = Units[static_cast<unsigned>(Class)];
+    uint64_t *Pool = Units[static_cast<unsigned>(Class)];
     size_t Best = 0;
-    for (size_t U = 1; U < Pool.size(); ++U)
+    for (size_t U = 1; U < MaxFuPerClass; ++U)
       if (Pool[U] < Pool[Best])
         Best = U;
     Issue = std::max(Ready, Pool[Best]);
@@ -142,10 +144,9 @@ void OoOCore::consume(const RetiredInstr &RI) {
     ++Stats.Loads;
     uint64_t AddrReady = Issue + 1; // Address generation.
     uint64_t Key = RI.MemAddr & ~7ull;
-    auto Fwd = StoreData.find(Key);
-    if (Fwd != StoreData.end()) {
+    if (const uint64_t *Fwd = StoreFwd.find(Key)) {
       ++Stats.LoadForwards;
-      Complete = std::max(AddrReady, Fwd->second) + 1;
+      Complete = std::max(AddrReady, *Fwd) + 1;
     } else {
       Complete = Memory.accessData(RI.MemAddr, /*IsWrite=*/false,
                                    /*IsPrefetch=*/false, AddrReady);
@@ -154,13 +155,7 @@ void OoOCore::consume(const RetiredInstr &RI) {
     ++Stats.Stores;
     Complete = Issue + 1;
     // Record for store-to-load forwarding (bounded by LSQ size).
-    uint64_t Key = RI.MemAddr & ~7ull;
-    uint64_t Evict = StoreDataFifo[StoreDataPos];
-    if (Evict != ~0ull)
-      StoreData.erase(Evict);
-    StoreDataFifo[StoreDataPos] = Key;
-    StoreDataPos = (StoreDataPos + 1) % StoreDataFifo.size();
-    StoreData[Key] = Complete;
+    StoreFwd.recordStore(RI.MemAddr & ~7ull, Complete);
   } else if (MI.isPrefetch()) {
     // The prefetch fills caches (consuming bandwidth) but nothing waits
     // for it.
@@ -171,27 +166,29 @@ void OoOCore::consume(const RetiredInstr &RI) {
     Complete = Issue + MachineConfig::fuLatency(Class);
   }
 
+  // Unconditional write-back: no-destination instructions dump into the
+  // discard slot instead of branching around the store.
   int32_t Rd = MI.destReg();
-  if (Rd >= 0)
-    RegReady[Rd] = Complete;
+  RegReady[Rd >= 0 ? Rd : static_cast<int32_t>(DiscardReg)] = Complete;
 
   // ---- Commit (in-order, width-limited) -----------------------------------
+  // Same branchless shape as dispatch. Note the non-overflow case keeps
+  // Commit possibly below the group cycle (the group tracks the latest
+  // commit seen; earlier-completing instructions still commit at their
+  // own cycle).
   uint64_t Commit = std::max(Complete, LastCommitCycle);
-  if (Commit > CommitGroupCycle) {
-    CommitGroupCycle = Commit;
-    CommittedThisCycle = 0;
-  }
-  if (CommittedThisCycle >= Config.IssueWidth) {
-    ++CommitGroupCycle;
-    CommittedThisCycle = 0;
-    Commit = CommitGroupCycle;
-  }
-  ++CommittedThisCycle;
+  unsigned CCount = Commit > CommitGroupCycle ? 0 : CommittedThisCycle;
+  uint64_t CGroup = std::max(Commit, CommitGroupCycle);
+  unsigned COver = CCount >= Width;
+  CGroup += COver;
+  Commit = COver ? CGroup : Commit;
+  CommitGroupCycle = CGroup;
+  CommittedThisCycle = (COver ? 0 : CCount) + 1;
 
   // Stores drain through the store buffer at commit.
   if (MI.isStore()) {
     size_t Best = 0;
-    for (size_t E = 1; E < StoreBuffer.size(); ++E)
+    for (size_t E = 1; E < MachineConfig::StoreBufferEntries; ++E)
       if (StoreBuffer[E] < StoreBuffer[Best])
         Best = E;
     if (StoreBuffer[Best] > Commit) {
@@ -206,7 +203,10 @@ void OoOCore::consume(const RetiredInstr &RI) {
 
   LastCommitCycle = Commit;
   RuuCommitRing[RuuPos] = Commit;
-  RuuPos = (RuuPos + 1) % RuuCommitRing.size();
+  // Increment-wrap instead of modulo: avoids an integer division per
+  // instruction and stays correct for non-power-of-two RUU sizes.
+  ++RuuPos;
+  RuuPos = RuuPos == RuuSize ? 0 : RuuPos;
 
   // ---- Branch resolution ----------------------------------------------------
   if (MI.isBranch())

@@ -34,8 +34,7 @@
 #include "uarch/BranchPredictor.h"
 #include "uarch/Cache.h"
 #include "uarch/MachineConfig.h"
-
-#include <unordered_map>
+#include "uarch/StoreForwardTable.h"
 
 namespace msem {
 
@@ -86,6 +85,11 @@ private:
   CombinedPredictor &Predictor;
   PipelineStats Stats;
 
+  /// Config.IssueWidth, cached by value: the width is read several times
+  /// per instruction and the indirection through the config reference
+  /// would be reloaded after every opaque call on the hot path.
+  unsigned Width = 0;
+
   // Fetch state.
   uint64_t FetchCycle = 0;
   unsigned FetchedThisCycle = 0;
@@ -95,29 +99,44 @@ private:
   uint64_t DispatchCycle = 0;
   unsigned DispatchedThisCycle = 0;
 
-  // Register availability (unified numbering, 64 registers).
-  uint64_t RegReady[64] = {};
+  // Register availability (unified numbering, 64 registers). Slot 64 is
+  // the reg::ScoreboardPad target of srcRegsPadded(); it is never written,
+  // so its permanent zero makes the unconditional three-slot readiness
+  // read a no-op for absent operands. Slot 65 is the mirror for writes:
+  // instructions without a destination dump their completion time there,
+  // making the result write-back unconditional as well.
+  static constexpr unsigned DiscardReg = 65;
+  uint64_t RegReady[66] = {};
 
-  // Functional units: next-free cycle per unit, per class.
-  std::vector<uint64_t> Units[8];
+  // Functional units: next-free cycle per unit, per class. Rows are fixed
+  // width (the largest pool is IntAlu with IssueWidth <= 4 units); slots
+  // beyond the configured count hold ~0ull so the constant-trip min-scan
+  // can never pick them. Fixed rows keep the scan branch-free and avoid a
+  // per-instruction vector indirection.
+  static constexpr unsigned MaxFuPerClass = 4;
+  uint64_t Units[8][MaxFuPerClass];
 
   // RUU occupancy: ring of the commit cycles of the last RuuSize instrs.
-  std::vector<uint64_t> RuuCommitRing;
-  size_t RuuPos = 0;
+  // Flat maximum-size storage (RuuSize <= 128 across the design space);
+  // only the first RuuSize slots are ever touched.
+  static constexpr unsigned MaxRuuSize = 128;
+  uint64_t RuuCommitRing[MaxRuuSize] = {};
+  unsigned RuuSize = 0;
+  unsigned RuuPos = 0;
 
   // Commit state.
   uint64_t LastCommitCycle = 0;
   uint64_t CommitGroupCycle = 0;
   unsigned CommittedThisCycle = 0;
 
-  // Store buffer: next-free cycle per entry.
-  std::vector<uint64_t> StoreBuffer;
+  // Store buffer: next-free cycle per entry (statically sized: the entry
+  // count is a design-space constant).
+  uint64_t StoreBuffer[MachineConfig::StoreBufferEntries] = {};
 
   // In-flight store forwarding: 8-byte-aligned address -> data-ready cycle.
-  // Bounded by the LSQ size with FIFO eviction.
-  std::unordered_map<uint64_t, uint64_t> StoreData;
-  std::vector<uint64_t> StoreDataFifo;
-  size_t StoreDataPos = 0;
+  // Bounded by the LSQ size with FIFO eviction; flat open-addressing table
+  // on the hottest load/store path.
+  StoreForwardTable StoreFwd;
 };
 
 } // namespace msem

@@ -3,8 +3,45 @@
 #include "uarch/Simulator.h"
 
 #include "telemetry/Telemetry.h"
+#include "uarch/TraceCache.h"
 
 using namespace msem;
+
+namespace {
+
+/// The one detailed-simulation driver, shared by live execution, capture
+/// and replay: \p Exec is anything with Executor's run/result interface.
+/// Span names are identical across the three modes so the canonical span
+/// tree does not depend on cache state.
+template <typename SourceT>
+SimulationResult simulateDetailedOn(SourceT &Exec,
+                                    const MachineConfig &Config) {
+  telemetry::ScopedTimer Span("sim.detailed");
+
+  MemoryHierarchy Memory(Config);
+  CombinedPredictor Predictor(Config.BranchPredictorSize,
+                              MachineConfig::ReturnStackEntries);
+  OoOCore Core(Config, Memory, Predictor);
+
+  Exec.run([&Core](const RetiredInstr &RI) { Core.consume(RI); });
+
+  SimulationResult R;
+  R.Exec = Exec.result();
+  R.Cycles = Core.cycles();
+  R.Pipeline = Core.stats();
+  R.Memory = Memory.stats();
+  R.Branch.Lookups = Predictor.lookups();
+  R.Branch.Mispredicts = Predictor.mispredicts();
+
+  exportSimulationTelemetry(R);
+  if (uint64_t Ns = Span.elapsedNs(); Ns > 0 && R.Pipeline.Instructions)
+    telemetry::gauge("sim.detailed.minstr_per_sec")
+        .set(static_cast<double>(R.Pipeline.Instructions) * 1e3 /
+             static_cast<double>(Ns));
+  return R;
+}
+
+} // namespace
 
 /// Exports one simulation's counters into the global telemetry registry.
 /// Counters accumulate across runs, giving campaign-wide totals.
@@ -47,29 +84,18 @@ void msem::exportSimulationTelemetry(const SimulationResult &R) {
 
 SimulationResult msem::simulateDetailed(const MachineProgram &Prog,
                                         const MachineConfig &Config,
-                                        uint64_t MaxInstructions) {
-  telemetry::ScopedTimer Span("sim.detailed");
-
-  MemoryHierarchy Memory(Config);
-  CombinedPredictor Predictor(Config.BranchPredictorSize,
-                              MachineConfig::ReturnStackEntries);
-  OoOCore Core(Config, Memory, Predictor);
-
+                                        uint64_t MaxInstructions,
+                                        TraceBuilder *Capture) {
+  if (Capture) {
+    CapturingExecutor Exec(Prog, MaxInstructions, *Capture);
+    return simulateDetailedOn(Exec, Config);
+  }
   Executor Exec(Prog, MaxInstructions);
-  Exec.run([&Core](const RetiredInstr &RI) { Core.consume(RI); });
+  return simulateDetailedOn(Exec, Config);
+}
 
-  SimulationResult R;
-  R.Exec = Exec.result();
-  R.Cycles = Core.cycles();
-  R.Pipeline = Core.stats();
-  R.Memory = Memory.stats();
-  R.Branch.Lookups = Predictor.lookups();
-  R.Branch.Mispredicts = Predictor.mispredicts();
-
-  exportSimulationTelemetry(R);
-  if (uint64_t Ns = Span.elapsedNs(); Ns > 0 && R.Pipeline.Instructions)
-    telemetry::gauge("sim.detailed.minstr_per_sec")
-        .set(static_cast<double>(R.Pipeline.Instructions) * 1e3 /
-             static_cast<double>(Ns));
-  return R;
+SimulationResult msem::simulateDetailedReplay(const ReplayImage &Image,
+                                              const MachineConfig &Config) {
+  ReplaySource Exec(Image);
+  return simulateDetailedOn(Exec, Config);
 }

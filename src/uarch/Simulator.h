@@ -50,10 +50,23 @@ struct SimulationResult {
   }
 };
 
+class TraceBuilder;
+struct ReplayImage;
+
 /// Runs \p Prog to completion with every instruction simulated in detail.
+/// When \p Capture is set, the retired-instruction stream is additionally
+/// recorded into it for later replay (uarch/TraceCache.h).
 SimulationResult simulateDetailed(const MachineProgram &Prog,
                                   const MachineConfig &Config,
-                                  uint64_t MaxInstructions = 4'000'000'000ull);
+                                  uint64_t MaxInstructions = 4'000'000'000ull,
+                                  TraceBuilder *Capture = nullptr);
+
+/// Re-simulates a captured run under a (typically different) machine
+/// configuration without functional execution: the recorded stream is
+/// replayed through fresh timing models. Bitwise-identical to
+/// simulateDetailed of the same program and config.
+SimulationResult simulateDetailedReplay(const ReplayImage &Image,
+                                        const MachineConfig &Config);
 
 /// Adds one run's pipeline/memory/branch counters to the global telemetry
 /// registry under "sim.*" names. No-op when telemetry is disabled; called

@@ -1,0 +1,130 @@
+//===- uarch/StoreForwardTable.h - Flat store-forwarding table ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-flight store-to-load forwarding table of the OoO core: 8-byte-
+/// aligned address -> data-ready cycle, bounded by the LSQ size with FIFO
+/// aging. One flat open-addressing hash table (linear probing, backward-
+/// shift deletion) sized to twice the LSQ, replacing the former
+/// std::unordered_map + eviction-ring pair on the hottest simulator path:
+/// every load probes it and every store inserts into it, so the node
+/// allocations and pointer chases of a chained map were pure overhead.
+///
+/// Semantics are *bitwise identical* to the map it replaced, including the
+/// duplicate-key aging quirk: the ring may hold the same key in several
+/// slots, and the key's entry dies when the *oldest* such slot ages out,
+/// even if the key was re-inserted since. The trace-replay identity suite
+/// (tests/trace_replay_test.cpp) pins this equivalence against a reference
+/// model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_STOREFORWARDTABLE_H
+#define MSEM_UARCH_STOREFORWARDTABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msem {
+
+/// Fixed-capacity open-addressing map from store address (8-byte aligned,
+/// so ~0 is an impossible key and serves as the empty sentinel) to the
+/// cycle the stored data is ready for forwarding.
+class StoreForwardTable {
+public:
+  /// Sizes the table for \p LsqEntries in-flight stores: the probe array
+  /// has the next power of two >= 2 * LsqEntries slots, so the load factor
+  /// never exceeds 1/2 and probe chains stay short.
+  explicit StoreForwardTable(unsigned LsqEntries) {
+    size_t Cap = 1;
+    while (Cap < 2 * static_cast<size_t>(LsqEntries))
+      Cap <<= 1;
+    Mask = Cap - 1;
+    Keys.assign(Cap, Empty);
+    Vals.assign(Cap, 0);
+    Ring.assign(LsqEntries, Empty);
+  }
+
+  /// Data-ready cycle of an in-flight store to \p Key, or nullptr.
+  const uint64_t *find(uint64_t Key) const {
+    size_t I = slotOf(Key);
+    while (Keys[I] != Empty) {
+      if (Keys[I] == Key)
+        return &Vals[I];
+      I = (I + 1) & Mask;
+    }
+    return nullptr;
+  }
+
+  /// Records a store to \p Key whose data is ready at \p ReadyCycle,
+  /// aging out the store LsqEntries older first.
+  void recordStore(uint64_t Key, uint64_t ReadyCycle) {
+    uint64_t Aged = Ring[Pos];
+    if (Aged != Empty)
+      erase(Aged);
+    Ring[Pos] = Key;
+    Pos = (Pos + 1) % Ring.size();
+    insertOrAssign(Key, ReadyCycle);
+  }
+
+private:
+  static constexpr uint64_t Empty = ~0ull;
+
+  size_t slotOf(uint64_t Key) const {
+    // Fibonacci multiplicative mix; the high bits decide the slot.
+    return static_cast<size_t>((Key * 0x9E3779B97F4A7C15ull) >> 32) & Mask;
+  }
+
+  void insertOrAssign(uint64_t Key, uint64_t Val) {
+    size_t I = slotOf(Key);
+    while (Keys[I] != Empty) {
+      if (Keys[I] == Key) {
+        Vals[I] = Val;
+        return;
+      }
+      I = (I + 1) & Mask;
+    }
+    Keys[I] = Key;
+    Vals[I] = Val;
+  }
+
+  /// Backward-shift deletion keeps probe chains tombstone-free: every
+  /// element after the hole whose home slot lies at or before the hole is
+  /// moved back into it. No-op when \p Key is absent (a ring slot whose
+  /// key already aged out through an older duplicate).
+  void erase(uint64_t Key) {
+    size_t I = slotOf(Key);
+    while (Keys[I] != Key) {
+      if (Keys[I] == Empty)
+        return;
+      I = (I + 1) & Mask;
+    }
+    size_t J = I;
+    for (;;) {
+      J = (J + 1) & Mask;
+      if (Keys[J] == Empty)
+        break;
+      size_t Home = slotOf(Keys[J]);
+      if (((J - Home) & Mask) >= ((J - I) & Mask)) {
+        Keys[I] = Keys[J];
+        Vals[I] = Vals[J];
+        I = J;
+      }
+    }
+    Keys[I] = Empty;
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<uint64_t> Vals;
+  std::vector<uint64_t> Ring; ///< FIFO of inserted keys (aging order).
+  size_t Mask = 0;
+  size_t Pos = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_STOREFORWARDTABLE_H

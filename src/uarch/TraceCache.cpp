@@ -1,0 +1,263 @@
+//===- uarch/TraceCache.cpp - Retired-trace capture & replay --------------===//
+
+#include "uarch/TraceCache.h"
+
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/StatsServer.h"
+#include "telemetry/Telemetry.h"
+
+namespace msem {
+
+size_t CapturedTrace::bytes() const {
+  size_t N = sizeof(CapturedTrace);
+  N += MemDeltas.capacity();
+  N += BranchBits.capacity() * sizeof(uint64_t);
+  N += JrTargets.capacity() * sizeof(uint64_t);
+  N += Exec.TrapMessage.size();
+  N += Exec.Output.capacity() * sizeof(EmitRecord);
+  return N;
+}
+
+size_t ReplayImage::bytes() const {
+  size_t N = sizeof(ReplayImage) + Trace.bytes();
+  N += Steps.capacity() * sizeof(ReplayStep);
+  N += MemAddrs.capacity() * sizeof(uint64_t);
+  N += CtrlRet.capacity() * sizeof(uint64_t);
+  N += CtrlNext.capacity() * sizeof(uint32_t);
+  N += MemSitePrefix.capacity() * sizeof(uint32_t);
+  N += MemSiteIdx.capacity() * sizeof(uint32_t);
+  N += MemSiteIsStore.capacity();
+  N += CondPrefix.capacity() * sizeof(uint32_t);
+  N += CondSitePc.capacity() * sizeof(uint64_t);
+  if (Prog) {
+    N += Prog->Code.capacity() * sizeof(MachineInstr);
+    for (const LinkedGlobal &G : Prog->Globals)
+      N += G.Init.capacity();
+  }
+  return N;
+}
+
+std::shared_ptr<const ReplayImage>
+ReplayImage::build(std::shared_ptr<const MachineProgram> Prog,
+                   CapturedTrace Trace) {
+  auto Image = std::make_shared<ReplayImage>();
+  Image->Steps.resize(Prog->Code.size());
+  for (size_t I = 0; I < Prog->Code.size(); ++I) {
+    const MachineInstr &MI = Prog->Code[I];
+    ReplayStep &S = Image->Steps[I];
+    if (MI.isConditionalBranch()) {
+      S.Kind = ReplayKind::CondBr;
+      S.Target = static_cast<uint32_t>(MI.Target);
+    } else if (MI.Op == MOp::J) {
+      S.Kind = ReplayKind::Jump;
+      S.Target = static_cast<uint32_t>(MI.Target);
+    } else if (MI.Op == MOp::JAL) {
+      S.Kind = ReplayKind::Call;
+      S.Target = static_cast<uint32_t>(MI.Target);
+    } else if (MI.Op == MOp::JR) {
+      S.Kind = ReplayKind::Jr;
+    } else if (MI.accessSize() > 0) {
+      S.Kind = MI.isStore() ? ReplayKind::MemStore : ReplayKind::Mem;
+    } else {
+      S.Kind = ReplayKind::Plain;
+    }
+  }
+  // Static side of the warming tape: per-code-index prefix sums plus the
+  // site lists they slice. Within a straight-line segment execution order
+  // is static order, so a segment's warming events are contiguous runs of
+  // these arrays.
+  const size_t N = Image->Steps.size();
+  Image->MemSitePrefix.resize(N + 1);
+  Image->CondPrefix.resize(N + 1);
+  uint32_t MemCount = 0, CondCount = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Image->MemSitePrefix[I] = MemCount;
+    Image->CondPrefix[I] = CondCount;
+    ReplayKind K = Image->Steps[I].Kind;
+    if (K == ReplayKind::Mem || K == ReplayKind::MemStore) {
+      Image->MemSiteIdx.push_back(static_cast<uint32_t>(I));
+      Image->MemSiteIsStore.push_back(K == ReplayKind::MemStore ? 1 : 0);
+      ++MemCount;
+    } else if (K == ReplayKind::CondBr) {
+      Image->CondSitePc.push_back(MachineProgram::codeAddress(I));
+      ++CondCount;
+    }
+  }
+  Image->MemSitePrefix[N] = MemCount;
+  Image->CondPrefix[N] = CondCount;
+  // Decode the zigzag-varint address stream once; every replay (one per
+  // machine point) then indexes a flat array instead of re-decoding.
+  Image->MemAddrs.reserve(Trace.NumMemOps);
+  const uint8_t *P = Trace.MemDeltas.data();
+  uint64_t Last = 0;
+  for (uint64_t I = 0; I < Trace.NumMemOps; ++I) {
+    uint64_t Z = 0;
+    unsigned Shift = 0;
+    uint8_t B;
+    do {
+      B = *P++;
+      Z |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      Shift += 7;
+    } while (B & 0x80);
+    int64_t Delta = static_cast<int64_t>(Z >> 1) ^ -static_cast<int64_t>(Z & 1);
+    Last = static_cast<uint64_t>(static_cast<int64_t>(Last) + Delta);
+    Image->MemAddrs.push_back(Last);
+  }
+  // Dynamic side: one walk of the trace recording every taken control
+  // transfer (retired index, successor). The warming fast path streams
+  // straight-line segments between consecutive entries.
+  {
+    uint64_t Pc = 0, BrPos = 0;
+    size_t JrP = 0;
+    const uint64_t *Bits = Trace.BranchBits.data();
+    for (uint64_t R = 0; R < Trace.NumRetired; ++R) {
+      const ReplayStep &S = Image->Steps[Pc];
+      uint64_t Next = Pc + 1;
+      switch (S.Kind) {
+      case ReplayKind::CondBr:
+        if ((Bits[BrPos >> 6] >> (BrPos & 63)) & 1) {
+          Next = S.Target;
+          Image->CtrlRet.push_back(R);
+          Image->CtrlNext.push_back(S.Target);
+        }
+        ++BrPos;
+        break;
+      case ReplayKind::Jump:
+      case ReplayKind::Call:
+        Next = S.Target;
+        Image->CtrlRet.push_back(R);
+        Image->CtrlNext.push_back(S.Target);
+        break;
+      case ReplayKind::Jr:
+        Next = Trace.JrTargets[JrP++];
+        Image->CtrlRet.push_back(R);
+        Image->CtrlNext.push_back(static_cast<uint32_t>(Next));
+        break;
+      default:
+        break;
+      }
+      Pc = Next;
+    }
+  }
+  Image->Prog = std::move(Prog);
+  Image->Trace = std::move(Trace);
+  return Image;
+}
+
+TraceCache::TraceCache() {
+  int64_t Mb = env().TraceCacheMB;
+  BudgetBytes = static_cast<size_t>(Mb) * 1024 * 1024;
+}
+
+TraceCache &TraceCache::global() {
+  static TraceCache *Cache = [] {
+    auto *C = new TraceCache();
+    // Process-lifetime /statusz section; intentionally leaked alongside
+    // the cache itself (same pattern as telemetry/Introspection.cpp).
+    new ScopedStatusProvider("trace_cache",
+                             [C] { return C->statusSection(); });
+    return C;
+  }();
+  return *Cache;
+}
+
+bool TraceCache::enabled() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return BudgetBytes > 0;
+}
+
+std::shared_ptr<const ReplayImage>
+TraceCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (BudgetBytes == 0)
+    return nullptr;
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Counters.Misses;
+    telemetry::count("sim.trace_cache.misses");
+    return nullptr;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+  ++Counters.Hits;
+  telemetry::count("sim.trace_cache.hits");
+  return It->second.Image;
+}
+
+bool TraceCache::insert(const std::string &Key,
+                        std::shared_ptr<const ReplayImage> Image) {
+  size_t Need = Image->bytes();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (BudgetBytes == 0)
+    return false;
+  if (Map.count(Key))
+    return true; // Concurrent capture of the same program; keep-first.
+  if (Need > BudgetBytes) {
+    ++Counters.Fallbacks;
+    telemetry::count("sim.trace_cache.fallbacks");
+    return false;
+  }
+  evictToFitLocked(Need);
+  Lru.push_front(Key);
+  Map.emplace(Key, Entry{std::move(Image), Lru.begin(), Need});
+  CurrentBytes += Need;
+  ++Counters.Inserts;
+  if (telemetry::enabled()) {
+    telemetry::count("sim.trace_cache.inserts");
+    telemetry::gaugeSet("sim.trace_cache.bytes",
+                        static_cast<double>(CurrentBytes));
+    telemetry::gaugeSet("sim.trace_cache.entries",
+                        static_cast<double>(Map.size()));
+  }
+  return true;
+}
+
+void TraceCache::evictToFitLocked(size_t NeedBytes) {
+  while (CurrentBytes + NeedBytes > BudgetBytes && !Lru.empty()) {
+    auto It = Map.find(Lru.back());
+    CurrentBytes -= It->second.Bytes;
+    Map.erase(It);
+    Lru.pop_back();
+    ++Counters.Evictions;
+    telemetry::count("sim.trace_cache.evictions");
+  }
+}
+
+void TraceCache::setBudgetBytes(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  BudgetBytes = Bytes;
+  evictToFitLocked(0);
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.clear();
+  Lru.clear();
+  CurrentBytes = 0;
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S = Counters;
+  S.Bytes = CurrentBytes;
+  S.Entries = Map.size();
+  S.BudgetBytes = BudgetBytes;
+  return S;
+}
+
+std::string TraceCache::statusSection() const {
+  Stats S = stats();
+  return formatString("entries: %llu  bytes: %llu / %llu budget\n"
+                      "hits: %llu  misses: %llu  inserts: %llu  "
+                      "evictions: %llu  fallbacks: %llu\n",
+                      (unsigned long long)S.Entries,
+                      (unsigned long long)S.Bytes,
+                      (unsigned long long)S.BudgetBytes,
+                      (unsigned long long)S.Hits,
+                      (unsigned long long)S.Misses,
+                      (unsigned long long)S.Inserts,
+                      (unsigned long long)S.Evictions,
+                      (unsigned long long)S.Fallbacks);
+}
+
+} // namespace msem

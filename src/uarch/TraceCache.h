@@ -1,0 +1,459 @@
+//===- uarch/TraceCache.h - Retired-trace capture & replay --------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The level-2 simulation fast path: capture the retired-instruction
+/// stream of one functional run into a compact structure-of-arrays
+/// encoding and replay it through the timing models for every subsequent
+/// microarchitecture point of the same program.
+///
+/// The functional stream of a (workload, input, flag-vector) is a pure
+/// function of the program: machine knobs change *timing*, never the
+/// instructions retired. So the Executor's switch-dispatch interpretation
+/// only needs to run once per program; afterwards a ReplaySource
+/// regenerates the identical RetiredInstr sequence from the trace in a
+/// handful of branches per instruction.
+///
+/// Encoding (everything not derivable from the static program):
+///   - one taken/not-taken bit per conditional branch (bitset),
+///   - one zigzag-varint address delta per memory access (loads, stores
+///     and prefetches; deltas are small because address streams stride),
+///   - one 8-byte target per indirect jump (JR -- returns; rare),
+///   - the run's ExecResult (return value, emitted output, trap state).
+/// Direct J/JAL targets, opcode classes and register fields all come from
+/// the MachineProgram, which the ReplayImage keeps alive via shared_ptr.
+/// Typical cost is 1-2 bits per retired instruction -- far under the
+/// 12-byte budget -- so multi-million-instruction workloads cache in a
+/// few hundred kilobytes.
+///
+/// Invariant (enforced by tests/trace_replay_test.cpp and the msem_lint
+/// replay smoke): a replayed simulation is *bitwise identical* to the live
+/// one -- cycles, every PipelineStats / MemoryStats / BranchStats field,
+/// and every SMARTS CI field -- because the timing models consume an
+/// identical RetiredInstr sequence. Anything that would break stream
+/// equality (a trapping run truncated by a different instruction budget,
+/// for example) must not be cached.
+///
+/// TraceCache is the process-global bounded store for replay images, keyed
+/// by the caller's (workload, input, flag-vector) string. MSEM_TRACE_CACHE_MB
+/// bounds its footprint (default 256 MB; 0 disables the path entirely);
+/// when an image does not fit even after LRU eviction the caller falls
+/// back to live execution. sim.trace_cache.* telemetry and a /statusz
+/// section expose hits/misses/bytes/evictions/fallbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_UARCH_TRACECACHE_H
+#define MSEM_UARCH_TRACECACHE_H
+
+#include "isa/Executor.h"
+#include "uarch/FunctionalWarming.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msem {
+
+/// The compact structure-of-arrays recording of one functional run.
+struct CapturedTrace {
+  uint64_t NumRetired = 0;      ///< Retired instructions in the stream.
+  uint64_t NumMemOps = 0;       ///< Loads + stores + prefetches.
+  uint64_t NumCondBranches = 0; ///< Conditional branches (bitset bits).
+  std::vector<uint8_t> MemDeltas;    ///< Zigzag-varint address deltas.
+  std::vector<uint64_t> BranchBits;  ///< Taken bits, 64 per word.
+  std::vector<uint64_t> JrTargets;   ///< Indirect-jump targets, in order.
+  ExecResult Exec;                   ///< Architectural outcome of the run.
+  uint64_t MaxInstructions = 0;      ///< Budget the run was captured under.
+
+  /// Approximate heap footprint of the trace payload.
+  size_t bytes() const;
+};
+
+/// Streaming encoder fed every RetiredInstr of a live run (via
+/// CapturingExecutor below) and finished with the run's outcome.
+class TraceBuilder {
+public:
+  void append(const RetiredInstr &RI) {
+    const MachineInstr &MI = *RI.MI;
+    ++Trace.NumRetired;
+    if (MI.accessSize() > 0) {
+      appendMemDelta(RI.MemAddr);
+      ++Trace.NumMemOps;
+    }
+    if (MI.isConditionalBranch()) {
+      if ((Trace.NumCondBranches & 63) == 0)
+        Trace.BranchBits.push_back(0);
+      if (RI.BranchTaken)
+        Trace.BranchBits.back() |= 1ull << (Trace.NumCondBranches & 63);
+      ++Trace.NumCondBranches;
+    } else if (MI.Op == MOp::JR) {
+      Trace.JrTargets.push_back(RI.NextCodeIndex);
+    }
+  }
+
+  /// Seals the trace with the run's architectural outcome and the
+  /// instruction budget it ran under. The builder is spent afterwards.
+  CapturedTrace finish(const ExecResult &Outcome, uint64_t MaxInstructions) {
+    Trace.Exec = Outcome;
+    Trace.MaxInstructions = MaxInstructions;
+    return std::move(Trace);
+  }
+
+private:
+  void appendMemDelta(uint64_t Addr) {
+    int64_t Delta =
+        static_cast<int64_t>(Addr) - static_cast<int64_t>(LastMemAddr);
+    LastMemAddr = Addr;
+    // Zigzag then varint: short strides cost one byte.
+    uint64_t Z = (static_cast<uint64_t>(Delta) << 1) ^
+                 static_cast<uint64_t>(Delta >> 63);
+    while (Z >= 0x80) {
+      Trace.MemDeltas.push_back(static_cast<uint8_t>(Z) | 0x80);
+      Z >>= 7;
+    }
+    Trace.MemDeltas.push_back(static_cast<uint8_t>(Z));
+  }
+
+  CapturedTrace Trace;
+  uint64_t LastMemAddr = 0;
+};
+
+/// Executor-shaped source that forwards a live run to both a TraceBuilder
+/// and the caller's sink. Drop-in for Executor in the simulation drivers.
+class CapturingExecutor {
+public:
+  CapturingExecutor(const MachineProgram &Prog, uint64_t MaxInstructions,
+                    TraceBuilder &Builder)
+      : Exec(Prog, MaxInstructions), Builder(Builder) {}
+
+  bool halted() const { return Exec.halted(); }
+  const ExecResult &result() const { return Exec.result(); }
+
+  template <typename SinkT>
+  uint64_t run(SinkT &&Sink, uint64_t Budget = UINT64_MAX) {
+    return Exec.run(
+        [&](const RetiredInstr &RI) {
+          Builder.append(RI);
+          Sink(RI);
+        },
+        Budget);
+  }
+
+private:
+  Executor Exec;
+  TraceBuilder &Builder;
+};
+
+/// Per-static-instruction replay action, pre-decoded once per image so the
+/// replay loop never re-classifies opcodes. Loads and stores (and J and
+/// JAL) are distinguished so the warming fast path below knows the touch
+/// direction and the return-stack effect without reading the instruction.
+enum class ReplayKind : uint8_t {
+  Plain,    ///< No trace payload; falls through to the next instruction.
+  Mem,      ///< Consumes one address delta; warms as a read (load, PREF).
+  MemStore, ///< Consumes one address delta; warms as a write.
+  CondBr,   ///< Consumes one branch bit; taken jumps to Target.
+  Jump,     ///< Always-taken direct jump to Target (J).
+  Call,     ///< Jump that also pushes a return address (JAL).
+  Jr,       ///< Consumes one indirect target; pops the return stack.
+};
+
+struct ReplayStep {
+  uint32_t Target = 0; ///< Static target of CondBr / Jump / Call.
+  ReplayKind Kind = ReplayKind::Plain;
+};
+
+/// A cached, replayable run: the program (kept alive), its trace, and the
+/// pre-decoded per-instruction steps.
+struct ReplayImage {
+  std::shared_ptr<const MachineProgram> Prog;
+  CapturedTrace Trace;
+  std::vector<ReplayStep> Steps; ///< One per static instruction.
+  /// Trace.MemDeltas decoded once at build time: replay loops index this
+  /// flat array instead of re-running the varint decoder per memory op
+  /// per machine point. Charged against the cache budget like the rest.
+  std::vector<uint64_t> MemAddrs;
+
+  /// Warming tape, precomputed once at build time so the warming fast
+  /// path (ReplaySource::run(WarmingSink&)) can stream whole straight-line
+  /// segments per dispatch instead of re-walking the trace instruction by
+  /// instruction. A "segment" is the linear code between two taken control
+  /// transfers; within one, every warming event position is static.
+  ///
+  /// Dynamic side -- one entry per taken control transfer of the run:
+  std::vector<uint64_t> CtrlRet;  ///< Retired index of the transfer instr.
+  std::vector<uint32_t> CtrlNext; ///< Code index it transfers to.
+  /// Static side -- per-code-index prefix sums and site lists (execution
+  /// order within a linear segment is static order, so a segment's events
+  /// are a contiguous slice of these):
+  std::vector<uint32_t> MemSitePrefix; ///< Code.size()+1: mem sites below i.
+  std::vector<uint32_t> MemSiteIdx;    ///< Code index per mem site.
+  std::vector<uint8_t> MemSiteIsStore; ///< Touch direction per mem site.
+  std::vector<uint32_t> CondPrefix;    ///< Code.size()+1: CondBr sites below i.
+  std::vector<uint64_t> CondSitePc;    ///< Code address per CondBr site.
+
+  /// Decodes \p Prog's static side of the replay (opcode classes and
+  /// direct targets) and adopts \p Trace as the dynamic side.
+  static std::shared_ptr<const ReplayImage>
+  build(std::shared_ptr<const MachineProgram> Prog, CapturedTrace Trace);
+
+  /// Approximate footprint charged against the cache budget (program,
+  /// trace and step array).
+  size_t bytes() const;
+};
+
+/// Executor-compatible source that regenerates the recorded RetiredInstr
+/// stream. Mirrors Executor's run/halted/result interface and its budget
+/// semantics, so the detailed and SMARTS drivers consume either
+/// interchangeably; halting is "the stream is exhausted" and result() is
+/// the captured run's outcome.
+class ReplaySource {
+public:
+  explicit ReplaySource(const ReplayImage &Image) : Img(Image) {}
+
+  bool halted() const { return Pos >= Img.Trace.NumRetired; }
+  const ExecResult &result() const { return Img.Trace.Exec; }
+
+  template <typename SinkT>
+  uint64_t run(SinkT &&Sink, uint64_t Budget = UINT64_MAX) {
+    const ReplayStep *Steps = Img.Steps.data();
+    const MachineInstr *Code = Img.Prog->Code.data();
+    const uint64_t *Addrs = Img.MemAddrs.data();
+    const uint64_t *Bits = Img.Trace.BranchBits.data();
+    const uint64_t *Jr = Img.Trace.JrTargets.data();
+    const uint64_t End = Img.Trace.NumRetired;
+    // Cursor state lives in locals for the whole loop (written back on
+    // exit): keeping it in members costs a through-`this` store per
+    // retired instruction.
+    uint64_t LPos = Pos, LPc = Pc, LBranchPos = BranchPos;
+    size_t LMemPos = MemPos, LJrPos = JrPos;
+    uint64_t Retired = 0;
+    while (LPos < End && Retired < Budget) {
+      RetiredInstr RI;
+      RI.CodeIndex = LPc;
+      RI.MI = &Code[LPc];
+      uint64_t Next = LPc + 1;
+      const ReplayStep S = Steps[LPc];
+      switch (S.Kind) {
+      case ReplayKind::Plain:
+        break;
+      case ReplayKind::Mem:
+      case ReplayKind::MemStore:
+        RI.MemAddr = Addrs[LMemPos++];
+        break;
+      case ReplayKind::CondBr:
+        if ((Bits[LBranchPos >> 6] >> (LBranchPos & 63)) & 1) {
+          Next = S.Target;
+          RI.BranchTaken = true;
+        }
+        ++LBranchPos;
+        break;
+      case ReplayKind::Jump:
+      case ReplayKind::Call:
+        Next = S.Target;
+        RI.BranchTaken = true;
+        break;
+      case ReplayKind::Jr:
+        Next = Jr[LJrPos++];
+        RI.BranchTaken = true;
+        break;
+      }
+      RI.NextCodeIndex = Next;
+      ++LPos;
+      ++Retired;
+      Sink(static_cast<const RetiredInstr &>(RI));
+      LPc = Next;
+    }
+    Pos = LPos;
+    Pc = LPc;
+    BranchPos = LBranchPos;
+    MemPos = LMemPos;
+    JrPos = LJrPos;
+    return Retired;
+  }
+
+  /// Functional-warming fast path: performs the exact touch/update
+  /// sequence WarmingSink would under the generic run() -- same lines,
+  /// addresses and predictor events in the same order, sharing the sink's
+  /// LastLine dedup state -- without materializing RetiredInstr or
+  /// re-walking the trace instruction by instruction. It streams the
+  /// image's precomputed warming tape one straight-line segment at a
+  /// time; within a segment the icache-line crossings sit at static
+  /// 16-instruction boundaries and are merged with the data touches in
+  /// exact program order (the two L1s share the L2, so their interleaving
+  /// is observable), while predictor updates -- an independent subsystem
+  /// -- are batched per segment. This is where most of the fast-path
+  /// speedup comes from: under SMARTS the vast majority of instructions
+  /// pass through warming only.
+  uint64_t run(WarmingSink &Warm, uint64_t Budget = UINT64_MAX) {
+    const ReplayStep *Steps = Img.Steps.data();
+    const uint64_t *Addrs = Img.MemAddrs.data();
+    const uint64_t *Bits = Img.Trace.BranchBits.data();
+    const uint64_t *CtrlRet = Img.CtrlRet.data();
+    const uint32_t *CtrlNext = Img.CtrlNext.data();
+    const size_t NumCtrl = Img.CtrlRet.size();
+    const uint32_t *MemPre = Img.MemSitePrefix.data();
+    const uint32_t *MemIdx = Img.MemSiteIdx.data();
+    const uint8_t *MemSt = Img.MemSiteIsStore.data();
+    const uint32_t *CondPre = Img.CondPrefix.data();
+    const uint64_t *CondPc = Img.CondSitePc.data();
+    const uint64_t End = Img.Trace.NumRetired;
+    MemoryHierarchy &Memory = Warm.Memory;
+    CombinedPredictor &Predictor = Warm.Predictor;
+    // Instructions per icache line; code addresses are linear
+    // (codeAddress = 4 * index), which is what makes crossings static.
+    constexpr uint64_t IPL = MachineConfig::L1LineBytes / 4;
+    // Cursor state in locals for the whole loop (see the generic run()).
+    uint64_t LPos = Pos, LPc = Pc, LBranchPos = BranchPos;
+    size_t LMemPos = MemPos, LJrPos = JrPos, LCtrl = CtrlPos;
+    uint64_t LastLine = Warm.LastLine;
+    const uint64_t Start = LPos;
+    const uint64_t R1 = (Budget >= End - LPos) ? End : LPos + Budget;
+    // Detailed windows advance the shared cursors through the generic
+    // run() without consuming control events; resynchronize first.
+    while (LCtrl < NumCtrl && CtrlRet[LCtrl] < LPos)
+      ++LCtrl;
+    while (LPos < R1) {
+      // Segment: linear code from LPc to the next taken transfer or the
+      // chunk boundary, whichever comes first. PcB is its last instr.
+      const bool EndsAtCtrl = LCtrl < NumCtrl && CtrlRet[LCtrl] < R1;
+      const uint64_t SegRetEnd = EndsAtCtrl ? CtrlRet[LCtrl] : R1 - 1;
+      const uint64_t PcB = LPc + (SegRetEnd - LPos);
+      uint64_t Line = LPc / IPL;
+      if (Line != LastLine)
+        Memory.touchInstr(MachineProgram::codeAddress(LPc));
+      uint64_t NextCross = (Line + 1) * IPL;
+      // Data touches, with the icache-line crossings merged in at their
+      // exact static positions.
+      for (uint32_t K = MemPre[LPc], KE = MemPre[PcB + 1]; K < KE; ++K) {
+        while (NextCross <= MemIdx[K]) {
+          Memory.touchInstr(MachineProgram::codeAddress(NextCross));
+          NextCross += IPL;
+        }
+        Memory.touchData(Addrs[LMemPos++], MemSt[K] != 0);
+      }
+      while (NextCross <= PcB) {
+        Memory.touchInstr(MachineProgram::codeAddress(NextCross));
+        NextCross += IPL;
+      }
+      LastLine = PcB / IPL;
+      // Conditional-direction updates: the predictor shares no state with
+      // the caches, so the segment's batch runs after the touches.
+      for (uint32_t K = CondPre[LPc], KE = CondPre[PcB + 1]; K < KE; ++K) {
+        bool Taken = (Bits[LBranchPos >> 6] >> (LBranchPos & 63)) & 1;
+        ++LBranchPos;
+        Predictor.updateConditional(CondPc[K], Taken);
+      }
+      LPos = SegRetEnd + 1;
+      if (EndsAtCtrl) {
+        // Return-stack effect of the transfer that ended the segment.
+        ReplayKind K = Steps[PcB].Kind;
+        if (K == ReplayKind::Call)
+          Predictor.pushReturn(MachineProgram::codeAddress(PcB + 1));
+        else if (K == ReplayKind::Jr) {
+          ++LJrPos;
+          (void)Predictor.predictReturn(
+              MachineProgram::codeAddress(CtrlNext[LCtrl]));
+        }
+        LPc = CtrlNext[LCtrl];
+        ++LCtrl;
+      } else {
+        LPc = PcB + 1;
+      }
+    }
+    Pos = LPos;
+    Pc = LPc;
+    BranchPos = LBranchPos;
+    MemPos = LMemPos;
+    JrPos = LJrPos;
+    CtrlPos = LCtrl;
+    Warm.LastLine = LastLine;
+    return R1 - Start;
+  }
+
+private:
+  const ReplayImage &Img;
+  uint64_t Pc = 0;        ///< Current static code index.
+  uint64_t Pos = 0;       ///< Retired instructions replayed so far.
+  size_t MemPos = 0;      ///< Cursor into ReplayImage::MemAddrs.
+  uint64_t BranchPos = 0; ///< Bit cursor into BranchBits.
+  size_t JrPos = 0;       ///< Cursor into JrTargets.
+  size_t CtrlPos = 0;     ///< Cursor into the CtrlRet/CtrlNext tape.
+};
+
+/// Process-global bounded LRU store of replay images. Thread-safe; all
+/// entries are shared_ptr so an image stays valid while in use even if
+/// evicted concurrently.
+class TraceCache {
+public:
+  /// Cache statistics (also exported as sim.trace_cache.* telemetry and a
+  /// /statusz section).
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Inserts = 0;
+    uint64_t Evictions = 0;
+    uint64_t Fallbacks = 0; ///< Inserts rejected: image exceeds the budget.
+    size_t Bytes = 0;
+    size_t Entries = 0;
+    size_t BudgetBytes = 0;
+  };
+
+  /// The process-wide cache, budgeted from MSEM_TRACE_CACHE_MB on first
+  /// use. Also registers the "trace_cache" /statusz section.
+  static TraceCache &global();
+
+  /// False when the budget is zero: lookups miss without counting and
+  /// callers should neither capture nor insert, reproducing the uncached
+  /// pipeline bit-for-bit.
+  bool enabled() const;
+
+  /// The image cached under \p Key, refreshing its LRU position, or null.
+  std::shared_ptr<const ReplayImage> lookup(const std::string &Key);
+
+  /// Caches \p Image under \p Key, evicting LRU images until it fits.
+  /// Returns false (counting a fallback) when the image alone exceeds the
+  /// budget; keeps the existing image on a duplicate key (concurrent
+  /// capturers of the same program produce identical traces).
+  bool insert(const std::string &Key, std::shared_ptr<const ReplayImage> Image);
+
+  /// Replaces the byte budget (tests; production uses MSEM_TRACE_CACHE_MB),
+  /// evicting down to the new bound. 0 disables the cache.
+  void setBudgetBytes(size_t Bytes);
+
+  /// Drops every entry (statistics are kept; they are process-cumulative).
+  void clear();
+
+  Stats stats() const;
+
+private:
+  TraceCache();
+
+  void evictToFitLocked(size_t NeedBytes);
+  std::string statusSection() const;
+
+  struct Entry {
+    std::shared_ptr<const ReplayImage> Image;
+    std::list<std::string>::iterator LruPos;
+    size_t Bytes = 0;
+  };
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, Entry> Map;
+  std::list<std::string> Lru; ///< Front = most recent.
+  size_t BudgetBytes = 0;
+  size_t CurrentBytes = 0;
+  Stats Counters;
+};
+
+} // namespace msem
+
+#endif // MSEM_UARCH_TRACECACHE_H

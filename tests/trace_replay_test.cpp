@@ -1,0 +1,441 @@
+//===- tests/trace_replay_test.cpp - Trace capture & replay identity ------===//
+//
+// The bitwise-identity contract of the simulation fast path
+// (uarch/TraceCache.h): a replayed simulation must reproduce the live one
+// exactly -- every cycle count, every pipeline/memory/branch counter,
+// every SMARTS CI field -- across all seven workloads and across machine
+// configurations, because the timing models consume an identical retired-
+// instruction stream. Also covers the flat store-forwarding table against
+// a reference model, the cache's budget/LRU/fallback behavior, the
+// MSEM_TRACE_CACHE_MB=0 kill switch, and thread-count determinism of
+// measureAll with the cache active.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResponseSurface.h"
+#include "sampling/Smarts.h"
+#include "support/ThreadPool.h"
+#include "uarch/StoreForwardTable.h"
+#include "uarch/TraceCache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+using namespace msem;
+
+namespace {
+
+void expectExecEqual(const ExecResult &A, const ExecResult &B) {
+  EXPECT_EQ(A.Trapped, B.Trapped);
+  EXPECT_EQ(A.TrapMessage, B.TrapMessage);
+  EXPECT_EQ(A.ReturnValue, B.ReturnValue);
+  EXPECT_EQ(A.InstructionsExecuted, B.InstructionsExecuted);
+  ASSERT_EQ(A.Output.size(), B.Output.size());
+  for (size_t I = 0; I < A.Output.size(); ++I)
+    EXPECT_TRUE(A.Output[I] == B.Output[I]);
+}
+
+void expectSimEqual(const SimulationResult &A, const SimulationResult &B) {
+  expectExecEqual(A.Exec, B.Exec);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+
+  EXPECT_EQ(A.Pipeline.Instructions, B.Pipeline.Instructions);
+  EXPECT_EQ(A.Pipeline.Branches, B.Pipeline.Branches);
+  EXPECT_EQ(A.Pipeline.TakenBranches, B.Pipeline.TakenBranches);
+  EXPECT_EQ(A.Pipeline.Mispredicts, B.Pipeline.Mispredicts);
+  EXPECT_EQ(A.Pipeline.Loads, B.Pipeline.Loads);
+  EXPECT_EQ(A.Pipeline.Stores, B.Pipeline.Stores);
+  EXPECT_EQ(A.Pipeline.LoadForwards, B.Pipeline.LoadForwards);
+  EXPECT_EQ(A.Pipeline.StoreBufferStalls, B.Pipeline.StoreBufferStalls);
+  EXPECT_EQ(A.Pipeline.FetchIcacheStallCycles,
+            B.Pipeline.FetchIcacheStallCycles);
+  EXPECT_EQ(A.Pipeline.FetchRedirectStallCycles,
+            B.Pipeline.FetchRedirectStallCycles);
+  EXPECT_EQ(A.Pipeline.DispatchRuuStallCycles,
+            B.Pipeline.DispatchRuuStallCycles);
+  EXPECT_EQ(A.Pipeline.IssueOperandStallCycles,
+            B.Pipeline.IssueOperandStallCycles);
+  EXPECT_EQ(A.Pipeline.IssueFuStallCycles, B.Pipeline.IssueFuStallCycles);
+  EXPECT_EQ(A.Pipeline.CommitDrainStallCycles,
+            B.Pipeline.CommitDrainStallCycles);
+
+  EXPECT_EQ(A.Memory.IcacheAccesses, B.Memory.IcacheAccesses);
+  EXPECT_EQ(A.Memory.IcacheMisses, B.Memory.IcacheMisses);
+  EXPECT_EQ(A.Memory.DcacheAccesses, B.Memory.DcacheAccesses);
+  EXPECT_EQ(A.Memory.DcacheMisses, B.Memory.DcacheMisses);
+  EXPECT_EQ(A.Memory.L2Misses, B.Memory.L2Misses);
+  EXPECT_EQ(A.Memory.Writebacks, B.Memory.Writebacks);
+  EXPECT_EQ(A.Memory.Prefetches, B.Memory.Prefetches);
+
+  EXPECT_EQ(A.Branch.Lookups, B.Branch.Lookups);
+  EXPECT_EQ(A.Branch.Mispredicts, B.Branch.Mispredicts);
+}
+
+void expectSmartsEqual(const SmartsResult &A, const SmartsResult &B) {
+  expectExecEqual(A.Exec, B.Exec);
+  EXPECT_EQ(A.TotalInstructions, B.TotalInstructions);
+  EXPECT_EQ(A.SampledInstructions, B.SampledInstructions);
+  EXPECT_EQ(A.MeasuredWindows, B.MeasuredWindows);
+  // Exact double equality is the contract, not a tolerance: identical
+  // streams through identical arithmetic.
+  EXPECT_EQ(A.EstimatedCpi, B.EstimatedCpi);
+  EXPECT_EQ(A.EstimatedCycles, B.EstimatedCycles);
+  EXPECT_EQ(A.RelativeErrorBound, B.RelativeErrorBound);
+  EXPECT_EQ(A.FellBackToDetailed, B.FellBackToDetailed);
+}
+
+std::shared_ptr<const MachineProgram> compileShared(const std::string &W) {
+  return std::make_shared<const MachineProgram>(
+      compileWorkloadBinary(W, InputSet::Test, OptimizationConfig::O2()));
+}
+
+/// Captures \p Prog's functional run into a replay image (no timing).
+std::shared_ptr<const ReplayImage>
+captureImage(std::shared_ptr<const MachineProgram> Prog) {
+  TraceBuilder Builder;
+  CapturingExecutor Exec(*Prog, 4'000'000'000ull, Builder);
+  Exec.run([](const RetiredInstr &) {});
+  return ReplayImage::build(std::move(Prog),
+                            Builder.finish(Exec.result(), 4'000'000'000ull));
+}
+
+//===----------------------------------------------------------------------===//
+// Store-forwarding table
+//===----------------------------------------------------------------------===//
+
+/// Reference model: the exact unordered_map + FIFO-ring structure the flat
+/// table replaced, including the duplicate-key aging quirk.
+class ReferenceStoreTable {
+public:
+  explicit ReferenceStoreTable(unsigned LsqEntries) {
+    Ring.assign(LsqEntries, ~0ull);
+  }
+
+  const uint64_t *find(uint64_t Key) const {
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  void recordStore(uint64_t Key, uint64_t ReadyCycle) {
+    uint64_t Aged = Ring[Pos];
+    if (Aged != ~0ull)
+      Map.erase(Aged);
+    Ring[Pos] = Key;
+    Pos = (Pos + 1) % Ring.size();
+    Map[Key] = ReadyCycle;
+  }
+
+private:
+  std::unordered_map<uint64_t, uint64_t> Map;
+  std::vector<uint64_t> Ring;
+  size_t Pos = 0;
+};
+
+TEST(StoreForwardTable, MatchesReferenceModel) {
+  for (unsigned Lsq : {8u, 16u, 64u}) {
+    StoreForwardTable Flat(Lsq);
+    ReferenceStoreTable Ref(Lsq);
+    std::mt19937_64 Rng(42 + Lsq);
+    // A small address pool forces duplicate keys, so the aging quirk (a
+    // re-inserted key dying when its *older* ring slot expires) is hit.
+    for (int Op = 0; Op < 20000; ++Op) {
+      uint64_t Key = (Rng() % (Lsq * 2)) * 8;
+      if (Rng() % 2) {
+        uint64_t Cycle = Rng() % 1000000;
+        Flat.recordStore(Key, Cycle);
+        Ref.recordStore(Key, Cycle);
+      } else {
+        const uint64_t *F = Flat.find(Key);
+        const uint64_t *R = Ref.find(Key);
+        ASSERT_EQ(F != nullptr, R != nullptr) << "op " << Op;
+        if (F) {
+          ASSERT_EQ(*F, *R) << "op " << Op;
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stream-level identity
+//===----------------------------------------------------------------------===//
+
+struct StreamRecord {
+  uint64_t CodeIndex;
+  MOp Op;
+  uint64_t MemAddr;
+  bool BranchTaken;
+  uint64_t NextCodeIndex;
+};
+
+TEST(TraceReplay, RegeneratesIdenticalRetiredStream) {
+  auto Prog = compileShared("art");
+
+  std::vector<StreamRecord> Live;
+  TraceBuilder Builder;
+  CapturingExecutor Cap(*Prog, 4'000'000'000ull, Builder);
+  Cap.run([&](const RetiredInstr &RI) {
+    Live.push_back({RI.CodeIndex, RI.MI->Op, RI.MemAddr, RI.BranchTaken,
+                    RI.NextCodeIndex});
+  });
+  auto Image = ReplayImage::build(
+      Prog, Builder.finish(Cap.result(), 4'000'000'000ull));
+
+  size_t Pos = 0;
+  ReplaySource Replay(*Image);
+  Replay.run([&](const RetiredInstr &RI) {
+    ASSERT_LT(Pos, Live.size());
+    const StreamRecord &L = Live[Pos++];
+    ASSERT_EQ(L.CodeIndex, RI.CodeIndex);
+    ASSERT_EQ(L.Op, RI.MI->Op);
+    ASSERT_EQ(L.MemAddr, RI.MemAddr);
+    ASSERT_EQ(L.BranchTaken, RI.BranchTaken);
+    ASSERT_EQ(L.NextCodeIndex, RI.NextCodeIndex);
+  });
+  EXPECT_EQ(Pos, Live.size());
+  EXPECT_TRUE(Replay.halted());
+  expectExecEqual(Cap.result(), Replay.result());
+
+  // The encoding must stay far below the 12-bytes-per-instruction budget.
+  EXPECT_LT(static_cast<double>(Image->Trace.bytes()),
+            12.0 * static_cast<double>(Image->Trace.NumRetired));
+}
+
+TEST(TraceReplay, HonorsRunBudgetBoundaries) {
+  auto Prog = compileShared("mcf");
+  auto Image = captureImage(Prog);
+
+  // Replaying in arbitrary chunk sizes must visit the same stream: the
+  // SMARTS loop depends on run(sink, budget) resuming exactly where the
+  // previous call stopped.
+  Executor Liv(*Prog);
+  ReplaySource Rep(*Image);
+  uint64_t Budget = 1;
+  while (!Liv.halted() || !Rep.halted()) {
+    std::vector<uint64_t> A, B;
+    uint64_t RA = Liv.run([&](const RetiredInstr &RI) {
+      A.push_back(RI.CodeIndex);
+    }, Budget);
+    uint64_t RB = Rep.run([&](const RetiredInstr &RI) {
+      B.push_back(RI.CodeIndex);
+    }, Budget);
+    ASSERT_EQ(RA, RB);
+    ASSERT_EQ(A, B);
+    ASSERT_EQ(Liv.halted(), Rep.halted());
+    Budget = Budget * 7 + 3; // Growing, mutually prime chunk sizes.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation-level bitwise identity, all workloads x machine configs
+//===----------------------------------------------------------------------===//
+
+TEST(TraceReplay, DetailedBitwiseIdenticalAcrossWorkloadsAndMachines) {
+  const MachineConfig Configs[] = {MachineConfig::constrained(),
+                                   MachineConfig::typical(),
+                                   MachineConfig::aggressive()};
+  for (const WorkloadSpec &W : allWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    auto Prog = compileShared(W.Name);
+    auto Image = captureImage(Prog);
+    for (const MachineConfig &M : Configs) {
+      SimulationResult Live = simulateDetailed(*Prog, M);
+      SimulationResult Replayed = simulateDetailedReplay(*Image, M);
+      expectSimEqual(Live, Replayed);
+    }
+  }
+}
+
+TEST(TraceReplay, SmartsBitwiseIdenticalAcrossWorkloadsAndMachines) {
+  SmartsConfig SC = ResponseSurface::Options::makeDefaultSmarts();
+  const MachineConfig Configs[] = {MachineConfig::constrained(),
+                                   MachineConfig::aggressive()};
+  for (const WorkloadSpec &W : allWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    auto Prog = compileShared(W.Name);
+    auto Image = captureImage(Prog);
+    for (const MachineConfig &M : Configs) {
+      SmartsResult Live = simulateSmarts(*Prog, M, SC);
+      SmartsResult Replayed = simulateSmartsReplay(*Image, M, SC);
+      expectSmartsEqual(Live, Replayed);
+    }
+  }
+}
+
+TEST(TraceReplay, CaptureModeIsBitwiseTransparent) {
+  // A capturing run must itself be identical to an uninstrumented one.
+  auto Prog = compileShared("vpr");
+  SmartsConfig SC = ResponseSurface::Options::makeDefaultSmarts();
+  SmartsResult Plain = simulateSmarts(*Prog, MachineConfig::typical(), SC);
+  TraceBuilder Builder;
+  SmartsResult Captured = simulateSmarts(*Prog, MachineConfig::typical(), SC,
+                                         4'000'000'000ull, &Builder);
+  expectSmartsEqual(Plain, Captured);
+}
+
+TEST(TraceReplay, TooShortToSampleFallbackMatchesLive) {
+  // A window size larger than the whole program forces the SMARTS
+  // detailed-fallback path; replay must take it identically.
+  auto Prog = compileShared("gzip");
+  auto Image = captureImage(Prog);
+  SmartsConfig SC;
+  SC.WindowSize = 1'000'000'000ull;
+  SC.SamplingInterval = 2;
+  SmartsResult Live = simulateSmarts(*Prog, MachineConfig::typical(), SC);
+  SmartsResult Replayed =
+      simulateSmartsReplay(*Image, MachineConfig::typical(), SC);
+  ASSERT_TRUE(Live.FellBackToDetailed);
+  expectSmartsEqual(Live, Replayed);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCache budget / LRU / kill switch
+//===----------------------------------------------------------------------===//
+
+/// Restores the global cache to its default-budget, empty state around
+/// each test so cases compose in one process.
+class TraceCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCache::global().setBudgetBytes(256 * 1024 * 1024);
+    TraceCache::global().clear();
+  }
+  void TearDown() override {
+    TraceCache::global().setBudgetBytes(256 * 1024 * 1024);
+    TraceCache::global().clear();
+  }
+};
+
+TEST_F(TraceCacheTest, InsertLookupAndKeepFirst) {
+  TraceCache &C = TraceCache::global();
+  auto Image = captureImage(compileShared("gzip"));
+  EXPECT_TRUE(C.insert("k1", Image));
+  EXPECT_EQ(C.lookup("k1").get(), Image.get());
+  EXPECT_EQ(C.lookup("absent"), nullptr);
+
+  // Duplicate key: the first image is kept (concurrent capturers of the
+  // same program produce identical traces, so either is valid).
+  auto Other = captureImage(compileShared("gzip"));
+  EXPECT_TRUE(C.insert("k1", Other));
+  EXPECT_EQ(C.lookup("k1").get(), Image.get());
+}
+
+TEST_F(TraceCacheTest, EvictsLeastRecentlyUsedUnderBudget) {
+  TraceCache &C = TraceCache::global();
+  auto I1 = captureImage(compileShared("gzip"));
+  auto I2 = captureImage(compileShared("art"));
+  auto I3 = captureImage(compileShared("mcf"));
+  // Budget fits I1 plus either of the other two, never all three: so
+  // inserting I3 must evict exactly the LRU entry.
+  C.setBudgetBytes(I1->bytes() + std::max(I2->bytes(), I3->bytes()));
+  ASSERT_TRUE(C.insert("g", I1));
+  ASSERT_TRUE(C.insert("a", I2));
+  // Touch "g" so "a" is the LRU victim.
+  ASSERT_NE(C.lookup("g"), nullptr);
+  ASSERT_TRUE(C.insert("m", I3));
+  EXPECT_EQ(C.lookup("a"), nullptr);
+  EXPECT_NE(C.lookup("g"), nullptr);
+  EXPECT_NE(C.lookup("m"), nullptr);
+  EXPECT_GT(C.stats().Evictions, 0u);
+}
+
+TEST_F(TraceCacheTest, OversizedImageIsRejectedAsFallback) {
+  TraceCache &C = TraceCache::global();
+  auto Image = captureImage(compileShared("gzip"));
+  uint64_t Before = C.stats().Fallbacks;
+  C.setBudgetBytes(Image->bytes() / 2); // Image alone exceeds the budget.
+  EXPECT_FALSE(C.insert("big", Image));
+  EXPECT_EQ(C.lookup("big"), nullptr);
+  EXPECT_EQ(C.stats().Fallbacks, Before + 1);
+}
+
+TEST_F(TraceCacheTest, ZeroBudgetDisablesEntirely) {
+  TraceCache &C = TraceCache::global();
+  C.setBudgetBytes(0);
+  EXPECT_FALSE(C.enabled());
+  auto Image = captureImage(compileShared("gzip"));
+  EXPECT_FALSE(C.insert("k", Image));
+  EXPECT_EQ(C.lookup("k"), nullptr);
+  EXPECT_EQ(C.stats().Entries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end through ResponseSurface / measureAll
+//===----------------------------------------------------------------------===//
+
+std::vector<DesignPoint> machineSweepPoints(const ParameterSpace &Space) {
+  // Two flag vectors x three machines: exercises both cache levels (six
+  // points, two compiles, two functional executions).
+  std::vector<DesignPoint> Points;
+  for (const OptimizationConfig &Opt :
+       {OptimizationConfig::O1(), OptimizationConfig::O3()})
+    for (const MachineConfig &M :
+         {MachineConfig::constrained(), MachineConfig::typical(),
+          MachineConfig::aggressive()})
+      Points.push_back(Space.fromConfigs(Opt, M));
+  return Points;
+}
+
+std::vector<double> measureSweep(const ParameterSpace &Space,
+                                 const std::string &Workload) {
+  ResponseSurface::Options Opts;
+  Opts.Workload = Workload;
+  Opts.Input = InputSet::Test;
+  ResponseSurface Surface(Space, Opts);
+  return Surface.measureAll(machineSweepPoints(Space));
+}
+
+TEST(TraceReplayEndToEnd, CachedAndUncachedResponsesBitwiseIdentical) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  TraceCache &C = TraceCache::global();
+
+  C.setBudgetBytes(0); // Fully disabled: today's pipeline.
+  std::vector<double> Disabled = measureSweep(Space, "vortex");
+
+  C.setBudgetBytes(256 * 1024 * 1024);
+  C.clear();
+  std::vector<double> Cached = measureSweep(Space, "vortex");
+  EXPECT_GT(C.stats().Hits, 0u) << "machine sweep should replay";
+
+  // A budget too small for any trace: every insert is rejected and every
+  // point runs live.
+  C.setBudgetBytes(1);
+  C.clear();
+  std::vector<double> Starved = measureSweep(Space, "vortex");
+
+  C.setBudgetBytes(256 * 1024 * 1024);
+  C.clear();
+
+  ASSERT_EQ(Disabled.size(), Cached.size());
+  ASSERT_EQ(Disabled.size(), Starved.size());
+  for (size_t I = 0; I < Disabled.size(); ++I) {
+    EXPECT_EQ(Disabled[I], Cached[I]) << "point " << I;
+    EXPECT_EQ(Disabled[I], Starved[I]) << "point " << I;
+  }
+}
+
+TEST(TraceReplayEndToEnd, MeasureAllDeterministicAcrossThreadCounts) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  TraceCache &C = TraceCache::global();
+
+  setGlobalThreadCount(1);
+  C.clear();
+  std::vector<double> OneThread = measureSweep(Space, "bzip2");
+
+  setGlobalThreadCount(8);
+  C.clear();
+  std::vector<double> EightThreads = measureSweep(Space, "bzip2");
+
+  setGlobalThreadCount(0);
+  C.clear();
+
+  ASSERT_EQ(OneThread.size(), EightThreads.size());
+  for (size_t I = 0; I < OneThread.size(); ++I)
+    EXPECT_EQ(OneThread[I], EightThreads[I]) << "point " << I;
+}
+
+} // namespace

@@ -81,6 +81,14 @@ wait "$SMOKE_PID"
   > "$SMOKE_DIR/report.txt"
 grep -q "slowest phase" "$SMOKE_DIR/report.txt"
 
+# Replay-identity smoke: one workload simulated live and replayed from a
+# captured trace across the machine sweep; the two must be bitwise
+# identical (cycles, every stats field, every SMARTS CI field). This is
+# the trace-cache fast path's core contract -- identity only, no timing
+# floor, so it cannot flake on loaded machines.
+echo "== trace replay identity smoke =="
+MSEM_INPUT=test "$BUILD_DIR/bench/bench_trace_replay" --smoke vpr
+
 # Benchmark-regression gate: rerun the sentinel bench set at the pinned
 # baseline scale and compare against the committed baselines. Model-quality
 # metrics are deterministic at fixed seed (tight threshold); throughput

@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
-TESTS=(support_test parallel_test telemetry_test sampling_test registry_test campaign_test)
+TESTS=(support_test parallel_test trace_replay_test telemetry_test sampling_test registry_test campaign_test)
 
 cmake -B "$BUILD_DIR" -S . -DMSEM_TSAN=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
