@@ -1,0 +1,418 @@
+//===- bench/bench_serve_load.cpp - msem_serve load generator ---------------===//
+//
+// Drives the networked serving stack end to end -- real sockets, real
+// HTTP/1.1 framing, the same epoll transport and PredictionService that
+// tools/msem_serve runs -- and reports sustained throughput and latency
+// quantiles:
+//
+//   closed loop   C client connections each firing requests back-to-back
+//                 over keep-alive; measures the server at saturation
+//                 (qps.closed, rows_per_sec.closed, p50/p95/p99_us.closed)
+//
+//   open loop     requests arrive on a fixed global schedule at a rate
+//                 below saturation (a fraction of the measured closed-loop
+//                 rate); latency is measured from the *scheduled* arrival,
+//                 so queueing delay counts (qps.open, p99_us.open)
+//
+// The model is a synthetic-trained RBF published into a throwaway
+// registry: load numbers depend on the served model's evaluated form and
+// the transport, not on what the model learned, so no simulator runs.
+// Every response is checked for HTTP 200 and the expected CSV header; any
+// failure exits nonzero.
+//
+//   bench_serve_load [--smoke]
+//       --smoke: tiny fixed scale, no BENCH report -- the lint-gate mode.
+//
+// Scale: C = MSEM_THREADS clients (default pool size), requests sized by
+// MSEM_TEST_N. The BENCH_serve_load.json metrics ride the usual
+// regression gate (timing-class thresholds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/RbfNetwork.h"
+#include "registry/ModelRegistry.h"
+#include "serving/HttpServer.h"
+#include "serving/PredictionService.h"
+#include "support/Error.h"
+#include "support/StatsServer.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace msem;
+using namespace msem::bench;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+//===----------------------------------------------------------------------===//
+// A minimal blocking HTTP/1.1 client (keep-alive, Content-Length framed)
+//===----------------------------------------------------------------------===//
+
+class HttpClient {
+public:
+  bool connectTo(int Port, std::string &Error) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Error = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      Error = "connect: " + std::string(std::strerror(errno));
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~HttpClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  /// One POST round trip. Returns false on any transport or HTTP error.
+  bool post(const std::string &Path, const std::string &Body, int &Status,
+            std::string &RespBody, std::string &Error) {
+    std::string Req = "POST " + Path + " HTTP/1.1\r\n" +
+                      "Host: 127.0.0.1\r\n" +
+                      "Content-Type: application/json\r\n" +
+                      "Content-Length: " + std::to_string(Body.size()) +
+                      "\r\n\r\n" + Body;
+    if (!sendAll(Req, Error))
+      return false;
+    return readResponse(Status, RespBody, Error);
+  }
+
+private:
+  bool sendAll(const std::string &Data, std::string &Error) {
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t N =
+          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = "send: " + std::string(std::strerror(errno));
+        return false;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  bool readResponse(int &Status, std::string &Body, std::string &Error) {
+    // Headers first.
+    size_t HeaderEnd;
+    while ((HeaderEnd = Buf.find("\r\n\r\n")) == std::string::npos)
+      if (!fill(Error))
+        return false;
+    std::string Headers = Buf.substr(0, HeaderEnd + 4);
+    if (Headers.rfind("HTTP/1.", 0) != 0 || Headers.size() < 12) {
+      Error = "malformed status line";
+      return false;
+    }
+    Status = std::atoi(Headers.c_str() + 9);
+
+    size_t ContentLength = 0;
+    size_t Cl = Headers.find("Content-Length:");
+    if (Cl == std::string::npos) {
+      Error = "response without Content-Length";
+      return false;
+    }
+    ContentLength = static_cast<size_t>(
+        std::strtoull(Headers.c_str() + Cl + 15, nullptr, 10));
+
+    while (Buf.size() < HeaderEnd + 4 + ContentLength)
+      if (!fill(Error))
+        return false;
+    Body = Buf.substr(HeaderEnd + 4, ContentLength);
+    Buf.erase(0, HeaderEnd + 4 + ContentLength);
+    return true;
+  }
+
+  bool fill(std::string &Error) {
+    char Tmp[16 * 1024];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N > 0) {
+      Buf.append(Tmp, static_cast<size_t>(N));
+      return true;
+    }
+    if (N < 0 && errno == EINTR)
+      return true;
+    Error = N == 0 ? "peer closed" : "recv: " + std::string(std::strerror(errno));
+    return false;
+  }
+
+  int Fd = -1;
+  std::string Buf; ///< Bytes read past the previous response.
+};
+
+//===----------------------------------------------------------------------===//
+// Load phases
+//===----------------------------------------------------------------------===//
+
+struct LoadResult {
+  size_t Requests = 0;
+  size_t Failures = 0;
+  double WallSeconds = 0;
+  std::vector<double> LatenciesUs; ///< One per successful request.
+
+  double quantileUs(double Q) const {
+    if (LatenciesUs.empty())
+      return 0;
+    std::vector<double> L = LatenciesUs;
+    std::sort(L.begin(), L.end());
+    size_t I = static_cast<size_t>(Q * (L.size() - 1));
+    return L[I];
+  }
+};
+
+/// Closed loop: \p Clients connections each run \p PerClient requests
+/// back-to-back.
+LoadResult runClosedLoop(int Port, const std::string &Body, size_t Clients,
+                         size_t PerClient) {
+  std::vector<std::vector<double>> Lats(Clients);
+  std::atomic<size_t> Failures{0};
+  auto Start = SteadyClock::now();
+  std::vector<std::thread> Workers;
+  for (size_t C = 0; C < Clients; ++C)
+    Workers.emplace_back([&, C] {
+      HttpClient Client;
+      std::string Error;
+      if (!Client.connectTo(Port, Error)) {
+        Failures.fetch_add(PerClient);
+        return;
+      }
+      for (size_t I = 0; I < PerClient; ++I) {
+        auto T0 = SteadyClock::now();
+        int Status = 0;
+        std::string Resp;
+        if (!Client.post("/v1/predict", Body, Status, Resp, Error) ||
+            Status != 200 || Resp.rfind("predicted_", 0) != 0) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        Lats[C].push_back(
+            std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                      T0)
+                .count());
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  LoadResult R;
+  R.WallSeconds = std::chrono::duration<double>(SteadyClock::now() - Start)
+                      .count();
+  for (const std::vector<double> &L : Lats)
+    R.LatenciesUs.insert(R.LatenciesUs.end(), L.begin(), L.end());
+  R.Requests = R.LatenciesUs.size();
+  R.Failures = Failures.load();
+  return R;
+}
+
+/// Open loop: \p Total requests on a fixed global schedule at \p RatePerSec,
+/// served by \p Clients connections pulling the next scheduled slot.
+/// Latency counts from the scheduled arrival (queueing included).
+LoadResult runOpenLoop(int Port, const std::string &Body, size_t Clients,
+                       size_t Total, double RatePerSec) {
+  std::vector<std::vector<double>> Lats(Clients);
+  std::atomic<size_t> Failures{0};
+  std::atomic<size_t> Next{0};
+  auto Start = SteadyClock::now();
+  std::vector<std::thread> Workers;
+  for (size_t C = 0; C < Clients; ++C)
+    Workers.emplace_back([&, C] {
+      HttpClient Client;
+      std::string Error;
+      if (!Client.connectTo(Port, Error))
+        return; // Remaining slots report as failures below.
+      while (true) {
+        size_t Slot = Next.fetch_add(1);
+        if (Slot >= Total)
+          return;
+        auto Arrival =
+            Start + std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(Slot / RatePerSec));
+        std::this_thread::sleep_until(Arrival);
+        int Status = 0;
+        std::string Resp;
+        if (!Client.post("/v1/predict", Body, Status, Resp, Error) ||
+            Status != 200) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        Lats[C].push_back(
+            std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                      Arrival)
+                .count());
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  LoadResult R;
+  R.WallSeconds = std::chrono::duration<double>(SteadyClock::now() - Start)
+                      .count();
+  for (const std::vector<double> &L : Lats)
+    R.LatenciesUs.insert(R.LatenciesUs.end(), L.begin(), L.end());
+  R.Requests = R.LatenciesUs.size();
+  R.Failures = Total - R.Requests;
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--smoke")
+      Smoke = true;
+    else {
+      std::fprintf(stderr, "usage: bench_serve_load [--smoke]\n");
+      return 2;
+    }
+  }
+
+  BenchScale Scale = readScale();
+  size_t Clients = std::max<size_t>(2, defaultThreadCount());
+  size_t RowsPerRequest = 16;
+  size_t PerClient = Smoke ? 10 : std::max<size_t>(50, Scale.TestN * 20);
+  if (Smoke)
+    Clients = 2;
+
+  printBanner("Performance: networked serving under load (msem_serve stack)",
+              Scale);
+  std::unique_ptr<BenchReport> Report;
+  if (!Smoke)
+    Report = std::make_unique<BenchReport>("serve_load", Scale);
+  std::printf("closed loop: %zu clients x %zu requests x %zu rows\n\n",
+              Clients, PerClient, RowsPerRequest);
+
+  // --- Publish a synthetic-trained RBF into a throwaway registry ---------
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  Rng R(Scale.Seed);
+  std::vector<DesignPoint> TrainPoints =
+      generateLatinHypercube(Space, std::max<size_t>(Scale.TrainN, 20), R);
+  Matrix TrainX = encodeMatrix(Space, TrainPoints);
+  std::vector<double> TrainY;
+  for (size_t I = 0; I < TrainX.rows(); ++I) {
+    const std::vector<double> &Row = TrainX.row(I);
+    TrainY.push_back(4e6 + 9.1e5 * Row[0] - 3.3e5 * Row[4] +
+                     2.2e5 * Row[1] * Row[16] + R.normal(0, 5e4));
+  }
+  RbfNetwork M;
+  M.train(TrainX, TrainY);
+
+  std::string RegistryDir =
+      formatString("msem_bench_serve_reg_%d", static_cast<int>(getpid()));
+  std::filesystem::remove_all(RegistryDir);
+  {
+    ModelRegistry Registry({RegistryDir, 8});
+    ModelArtifactInfo Info;
+    Info.Key.Workload = "art";
+    Info.Key.Technique = "rbf";
+    Info.Space = Space;
+    Info.Campaign = "bench-serve-load";
+    Info.Seed = Scale.Seed;
+    Info.TrainSize = TrainPoints.size();
+    std::string Error;
+    if (!Registry.publish(Info, M, &Error))
+      fatalError("publish failed: " + Error);
+  }
+
+  // --- The served stack: PredictionService + epoll transport -------------
+  serving::PredictionService::Options SvcOpts;
+  SvcOpts.RegistryDir = RegistryDir;
+  serving::PredictionService Service(std::move(SvcOpts));
+  Service.registerRoutes(StatsServer::router());
+
+  serving::HttpServer::Options SrvOpts;
+  SrvOpts.Port = 0;
+  SrvOpts.Threads = static_cast<int>(std::max<size_t>(2, Clients / 2));
+  serving::HttpServer Server(StatsServer::router(), SrvOpts);
+  std::string Error;
+  if (!Server.start(&Error))
+    fatalError("server start: " + Error);
+
+  // --- The request body (one fixed batch; every client posts the same) ---
+  serving::PredictRequest Req;
+  Req.Key.Workload = "art";
+  Req.Key.Technique = "rbf";
+  Req.Format = serving::PredictFormat::Csv;
+  Rng ReqR(Scale.Seed ^ 0xBA7C4);
+  for (size_t I = 0; I < RowsPerRequest; ++I)
+    Req.Rows.push_back(Space.randomPoint(ReqR));
+  std::string Body = serving::serializePredictRequest(Req).dump();
+
+  // --- Closed loop (saturation) ------------------------------------------
+  LoadResult Closed = runClosedLoop(Server.port(), Body, Clients, PerClient);
+  if (Closed.Failures)
+    fatalError(formatString("closed loop: %zu failed requests",
+                            Closed.Failures));
+  double ClosedQps = Closed.Requests / Closed.WallSeconds;
+
+  // --- Open loop (below saturation; queueing-inclusive latency) ----------
+  double OpenRate = std::max(1.0, 0.6 * ClosedQps);
+  size_t OpenTotal = Smoke ? Clients * 10 : Closed.Requests;
+  LoadResult Open =
+      runOpenLoop(Server.port(), Body, Clients, OpenTotal, OpenRate);
+  if (Open.Failures)
+    fatalError(formatString("open loop: %zu failed requests",
+                            Open.Failures));
+  double OpenQps = Open.Requests / Open.WallSeconds;
+
+  Server.stop();
+  std::filesystem::remove_all(RegistryDir);
+
+  TablePrinter Table(
+      {"phase", "qps", "rows/s", "p50 us", "p95 us", "p99 us"});
+  Table.addRowCells("closed", formatString("%.0f", ClosedQps),
+                    formatString("%.0f", ClosedQps * RowsPerRequest),
+                    formatString("%.0f", Closed.quantileUs(0.50)),
+                    formatString("%.0f", Closed.quantileUs(0.95)),
+                    formatString("%.0f", Closed.quantileUs(0.99)));
+  Table.addRowCells("open", formatString("%.0f", OpenQps),
+                    formatString("%.0f", OpenQps * RowsPerRequest),
+                    formatString("%.0f", Open.quantileUs(0.50)),
+                    formatString("%.0f", Open.quantileUs(0.95)),
+                    formatString("%.0f", Open.quantileUs(0.99)));
+  Table.print();
+  std::printf("\nopen loop paced at %.0f req/s (0.6 x closed-loop "
+              "saturation); latency counts from scheduled arrival.\n",
+              OpenRate);
+
+  if (Report) {
+    Report->metric("qps.closed", ClosedQps);
+    Report->metric("rows_per_sec.closed", ClosedQps * RowsPerRequest);
+    Report->metric("p50_us.closed", Closed.quantileUs(0.50));
+    Report->metric("p95_us.closed", Closed.quantileUs(0.95));
+    Report->metric("p99_us.closed", Closed.quantileUs(0.99));
+    Report->metric("qps.open", OpenQps);
+    Report->metric("p99_us.open", Open.quantileUs(0.99));
+  }
+  if (Smoke)
+    std::printf("smoke: OK -- %zu closed + %zu open requests served over "
+                "HTTP, 0 failures\n",
+                Closed.Requests, Open.Requests);
+  return 0;
+}

@@ -214,6 +214,20 @@ std::vector<RegistryEntry> ModelRegistry::list(std::string *Error) const {
   return Entries;
 }
 
+size_t ModelRegistry::invalidateCache() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Dropped = CacheById.size();
+  CacheById.clear();
+  Lru.clear();
+  if (Dropped)
+    telemetry::count("registry.invalidations", Dropped);
+  return Dropped;
+}
+
+uint64_t ModelRegistry::manifestSignature() const {
+  return fileSignature(manifestPath());
+}
+
 ModelRegistry::Stats ModelRegistry::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Counts;

@@ -96,6 +96,19 @@ public:
   /// Every manifest row, sorted by id for deterministic output.
   std::vector<RegistryEntry> list(std::string *Error = nullptr) const;
 
+  /// Drops every cached artifact (in-flight shared_ptr holders keep their
+  /// copies; the next fetch of any key re-reads disk). Returns the number
+  /// of entries dropped. The hot-reload primitive: a serving process that
+  /// observes a manifest change invalidates and cuts over with zero
+  /// downtime -- old requests drain on the old artifacts, new requests
+  /// deserialize the new ones.
+  size_t invalidateCache();
+
+  /// Change signature of manifest.json (support/fileSignature): differs
+  /// across any atomic manifest rewrite, 0 when no manifest exists yet.
+  /// Poll it to detect cross-process publishes without parsing anything.
+  uint64_t manifestSignature() const;
+
   /// Absolute-ish path (Dir-relative join) of \p Key's artifact file.
   std::string artifactPath(const ModelKey &Key) const;
   std::string manifestPath() const;

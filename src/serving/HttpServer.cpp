@@ -1,0 +1,375 @@
+//===- serving/HttpServer.cpp - Thread-per-core epoll HTTP server ----------===//
+
+#include "serving/HttpServer.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#ifndef EPOLLEXCLUSIVE
+#define EPOLLEXCLUSIVE 0 // Pre-4.5 kernels: plain (thundering) wakeups.
+#endif
+
+using namespace msem;
+using namespace msem::serving;
+
+using SteadyClock = std::chrono::steady_clock;
+
+//===----------------------------------------------------------------------===//
+// Per-loop state
+//===----------------------------------------------------------------------===//
+
+struct HttpServer::Conn {
+  int Fd = -1;
+  HttpParser Parser;
+  std::string Out;        ///< Bytes queued for the peer.
+  size_t OutPos = 0;      ///< First unsent byte in Out.
+  bool WantWrite = false; ///< EPOLLOUT armed.
+  bool CloseAfterDrain = false;
+  SteadyClock::time_point LastActive;
+
+  explicit Conn(int Fd, HttpParser::Limits Limits)
+      : Fd(Fd), Parser(Limits), LastActive(SteadyClock::now()) {}
+};
+
+struct HttpServer::Loop {
+  int EpollFd = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> Conns;
+  SteadyClock::time_point LastSweep = SteadyClock::now();
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+HttpServer::HttpServer(HttpRouter &Router, Options Opts)
+    : Router(Router), Opts(std::move(Opts)) {
+  if (this->Opts.Threads < 1)
+    this->Opts.Threads = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+static bool failErrno(std::string *Error, const char *What) {
+  if (Error)
+    *Error = std::string(What) + ": " + std::strerror(errno);
+  return false;
+}
+
+bool HttpServer::start(std::string *Error) {
+  if (Running.load())
+    return true;
+  StopFlag.store(false);
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return failErrno(Error, "socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Opts.Port));
+  if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    if (Error)
+      *Error = "bad listen address '" + Opts.Host + "'";
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 512) != 0) {
+    bool Ok = failErrno(Error, "bind/listen");
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Ok;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+
+  // The stop signal: written once by stop(), never read, so its
+  // level-triggered readability wakes every loop no matter which polls
+  // first.
+  WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (WakeFd < 0) {
+    failErrno(Error, "eventfd");
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  auto Abort = [this](std::unique_ptr<Loop> Current) {
+    if (Current && Current->EpollFd >= 0)
+      ::close(Current->EpollFd);
+    for (auto &Prev : Loops)
+      ::close(Prev->EpollFd);
+    Loops.clear();
+    ::close(WakeFd);
+    ::close(ListenFd);
+    WakeFd = ListenFd = -1;
+    return false;
+  };
+
+  Loops.clear();
+  for (int I = 0; I < Opts.Threads; ++I) {
+    auto L = std::make_unique<Loop>();
+    L->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (L->EpollFd < 0) {
+      failErrno(Error, "epoll_create1");
+      return Abort(std::move(L));
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    Ev.data.fd = ListenFd;
+    if (::epoll_ctl(L->EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) != 0) {
+      failErrno(Error, "epoll_ctl(listen)");
+      return Abort(std::move(L));
+    }
+    Ev.events = EPOLLIN;
+    Ev.data.fd = WakeFd;
+    if (::epoll_ctl(L->EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) != 0) {
+      failErrno(Error, "epoll_ctl(wake)");
+      return Abort(std::move(L));
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  Running.store(true);
+  for (auto &L : Loops)
+    Threads.emplace_back([this, Lp = L.get()] { runLoop(*Lp); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!Running.load())
+    return;
+  StopFlag.store(true);
+  uint64_t One = 1;
+  ssize_t W = ::write(WakeFd, &One, sizeof(One));
+  (void)W;
+  for (std::thread &T : Threads)
+    T.join();
+  Threads.clear();
+  for (auto &L : Loops)
+    ::close(L->EpollFd);
+  Loops.clear();
+  ::close(WakeFd);
+  ::close(ListenFd);
+  WakeFd = ListenFd = -1;
+  Running.store(false);
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats S;
+  S.Accepted = StatAccepted.load();
+  S.Requests = StatRequests.load();
+  S.ParseErrors = StatParseErrors.load();
+  S.TimedOut = StatTimedOut.load();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop
+//===----------------------------------------------------------------------===//
+
+void HttpServer::runLoop(Loop &L) {
+  epoll_event Events[64];
+  while (!StopFlag.load()) {
+    int N = ::epoll_wait(L.EpollFd, Events, 64, /*timeout ms=*/500);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I < N && !StopFlag.load(); ++I) {
+      int Fd = Events[I].data.fd;
+      if (Fd == WakeFd)
+        continue; // StopFlag re-checked by the loop condition.
+      if (Fd == ListenFd) {
+        handleAccept(L);
+        continue;
+      }
+      auto It = L.Conns.find(Fd);
+      if (It != L.Conns.end())
+        handleConn(L, *It->second, Events[I].events);
+    }
+    sweepIdle(L);
+  }
+  // Drain on exit: close every connection this loop owns.
+  for (auto &Entry : L.Conns)
+    ::close(Entry.second->Fd);
+  L.Conns.clear();
+}
+
+void HttpServer::handleAccept(Loop &L) {
+  while (true) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN: another loop won the wakeup, or drained.
+    }
+    if (L.Conns.size() >= Opts.MaxConnectionsPerLoop) {
+      ::close(Fd); // Shed load; the client sees a reset.
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    StatAccepted.fetch_add(1, std::memory_order_relaxed);
+    auto C = std::make_unique<Conn>(Fd, Opts.Limits);
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(L.EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+      ::close(Fd);
+      continue;
+    }
+    L.Conns.emplace(Fd, std::move(C));
+  }
+}
+
+void HttpServer::handleConn(Loop &L, Conn &C, uint32_t Events) {
+  if (Events & (EPOLLHUP | EPOLLERR)) {
+    closeConn(L, C);
+    return;
+  }
+  C.LastActive = SteadyClock::now();
+
+  if (Events & EPOLLIN) {
+    char Buf[16 * 1024];
+    while (true) {
+      ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+      if (N > 0) {
+        C.Parser.feed(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N == 0) {
+        // Peer half-closed. Anything already queued still goes out; with
+        // nothing pending there is nothing left to say.
+        C.CloseAfterDrain = true;
+        if (C.Out.size() == C.OutPos && C.Parser.status() != // no response
+                                            HttpParser::Status::Complete) {
+          closeConn(L, C);
+          return;
+        }
+        break;
+      }
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      closeConn(L, C);
+      return;
+    }
+    if (!serviceRequests(L, C))
+      C.CloseAfterDrain = true;
+  }
+
+  if (!flushWrites(L, C))
+    return; // Connection closed.
+}
+
+bool HttpServer::serviceRequests(Loop &, Conn &C) {
+  while (true) {
+    HttpParser::Status St = C.Parser.status();
+    if (St == HttpParser::Status::NeedMore)
+      return true;
+    if (St == HttpParser::Status::Error) {
+      StatParseErrors.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse Resp;
+      Resp.Status = C.Parser.errorStatus();
+      Resp.Body = C.Parser.errorText() + "\n";
+      C.Out += serializeHttpResponse(Resp, /*KeepAlive=*/false,
+                                     /*HeadRequest=*/false);
+      return false; // Framing is lost; close once the 4xx drains.
+    }
+    // Complete: dispatch and queue the response.
+    StatRequests.fetch_add(1, std::memory_order_relaxed);
+    const HttpRequest &Req = C.Parser.request();
+    bool Head = Req.Method == "HEAD";
+    bool KeepAlive = C.Parser.keepAlive();
+    HttpResponse Resp = Router.dispatch(Req);
+    C.Out += serializeHttpResponse(Resp, KeepAlive, Head);
+    if (!KeepAlive)
+      return false;
+    C.Parser.reset(); // May surface a pipelined request immediately.
+  }
+}
+
+bool HttpServer::flushWrites(Loop &L, Conn &C) {
+  while (C.OutPos < C.Out.size()) {
+    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
+                       C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!C.WantWrite) {
+        C.WantWrite = true;
+        epoll_event Ev{};
+        Ev.events = EPOLLIN | EPOLLOUT;
+        Ev.data.fd = C.Fd;
+        ::epoll_ctl(L.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+      }
+      return true; // Parked; EPOLLOUT resumes us.
+    }
+    closeConn(L, C);
+    return false;
+  }
+
+  // Fully drained.
+  C.Out.clear();
+  C.OutPos = 0;
+  if (C.CloseAfterDrain) {
+    closeConn(L, C);
+    return false;
+  }
+  if (C.WantWrite) {
+    C.WantWrite = false;
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = C.Fd;
+    ::epoll_ctl(L.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+  }
+  return true;
+}
+
+void HttpServer::closeConn(Loop &L, Conn &C) {
+  int Fd = C.Fd;
+  ::epoll_ctl(L.EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+  L.Conns.erase(Fd); // Invalidates C.
+}
+
+void HttpServer::sweepIdle(Loop &L) {
+  SteadyClock::time_point Now = SteadyClock::now();
+  if (Now - L.LastSweep < std::chrono::seconds(1))
+    return;
+  L.LastSweep = Now;
+  std::vector<int> Expired;
+  for (auto &[Fd, C] : L.Conns)
+    if (Now - C->LastActive >
+        std::chrono::milliseconds(Opts.IdleTimeoutMs))
+      Expired.push_back(Fd);
+  for (int Fd : Expired) {
+    auto It = L.Conns.find(Fd);
+    if (It != L.Conns.end()) {
+      StatTimedOut.fetch_add(1, std::memory_order_relaxed);
+      closeConn(L, *It->second);
+    }
+  }
+}

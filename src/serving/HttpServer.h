@@ -1,0 +1,131 @@
+//===- serving/HttpServer.h - Thread-per-core epoll HTTP server --*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The networked transport under tools/msem_serve: a dependency-free
+/// HTTP/1.1 server generalizing the loopback StatsServer transport from
+/// one-thread/one-request to a thread-per-core epoll event loop.
+///
+/// Architecture:
+///
+///   * One shared non-blocking listen socket; N loop threads each own a
+///     private epoll instance and register the listen fd EPOLLEXCLUSIVE,
+///     so the kernel wakes exactly one loop per pending accept (no
+///     thundering herd, no accept lock).
+///
+///   * Each accepted connection belongs to exactly one loop: its parser
+///     state, write buffer and idle clock are thread-local to that loop,
+///     so the hot path takes no locks at all.
+///
+///   * Per-connection state machine: EPOLLIN -> read until EAGAIN -> feed
+///     the shared HttpParser -> on Complete, dispatch through the shared
+///     HttpRouter and serialize with the shared serializer (identical
+///     bytes to the loopback plane); pipelined requests drain in one
+///     pass. Partial writes park the remainder and arm EPOLLOUT;
+///     keep-alive connections rearm for the next request; an idle sweep
+///     (epoll_wait timeout) closes connections quiet past IdleTimeoutMs.
+///
+///   * Handlers run inline on loop threads. Blocking handlers are
+///     expected -- prediction handlers park on the admission queue -- and
+///     that is exactly what makes request coalescing work: concurrent
+///     loop threads pile onto the same per-model queue and one of them
+///     predicts for all.
+///
+///   * stop() writes an eventfd every loop polls; loops close their
+///     connections and exit, then start()'s listener closes. Zero
+///     sockets leak across a stop/start cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SERVING_HTTPSERVER_H
+#define MSEM_SERVING_HTTPSERVER_H
+
+#include "support/Http.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msem {
+namespace serving {
+
+class HttpServer {
+public:
+  struct Options {
+    std::string Host = "127.0.0.1";
+    int Port = 0; ///< 0 = kernel-assigned (port() reports it).
+    int Threads = 2;
+    int IdleTimeoutMs = 30000;
+    size_t MaxConnectionsPerLoop = 4096;
+    HttpParser::Limits Limits;
+  };
+
+  struct Stats {
+    uint64_t Accepted = 0;
+    uint64_t Requests = 0;
+    uint64_t ParseErrors = 0;
+    uint64_t TimedOut = 0;
+  };
+
+  /// Serves \p Router (not owned; must outlive the server).
+  HttpServer(HttpRouter &Router, Options Opts);
+  ~HttpServer();
+
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Binds, listens and starts the loop threads. False + \p Error on any
+  /// socket failure (port taken, bad host, ...).
+  bool start(std::string *Error = nullptr);
+
+  /// Stops every loop and joins. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(); }
+  /// The bound port (resolves Options::Port == 0), 0 before start().
+  int port() const { return BoundPort; }
+  const Options &options() const { return Opts; }
+  Stats stats() const;
+
+private:
+  struct Conn;
+  struct Loop;
+
+  void runLoop(Loop &L);
+  void handleAccept(Loop &L);
+  void handleConn(Loop &L, Conn &C, uint32_t Events);
+  /// Parses + dispatches everything buffered on \p C; queues response
+  /// bytes. Returns false when the connection must close once drained.
+  bool serviceRequests(Loop &L, Conn &C);
+  /// Flushes C's write buffer; arms EPOLLOUT on a partial write. Returns
+  /// false when the connection is done (error or drained-and-closing).
+  bool flushWrites(Loop &L, Conn &C);
+  void closeConn(Loop &L, Conn &C);
+  void sweepIdle(Loop &L);
+
+  HttpRouter &Router;
+  Options Opts;
+
+  int ListenFd = -1;
+  int WakeFd = -1; ///< eventfd; stop() signals it, every loop polls it.
+  int BoundPort = 0;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<std::thread> Threads;
+
+  mutable std::atomic<uint64_t> StatAccepted{0}, StatRequests{0},
+      StatParseErrors{0}, StatTimedOut{0};
+};
+
+} // namespace serving
+} // namespace msem
+
+#endif // MSEM_SERVING_HTTPSERVER_H

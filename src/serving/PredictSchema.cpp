@@ -1,0 +1,300 @@
+//===- serving/PredictSchema.cpp - msem.predict.v1 wire schema ------------===//
+
+#include "serving/PredictSchema.h"
+
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <set>
+
+using namespace msem;
+using namespace msem::serving;
+
+//===----------------------------------------------------------------------===//
+// Key specs
+//===----------------------------------------------------------------------===//
+
+bool serving::parseKeySpec(const std::string &Spec, ModelKey &Out,
+                           std::string &Error) {
+  std::vector<std::string> Parts = splitString(Spec, ',');
+  if (Parts.size() < 4 || Parts.size() > 5) {
+    Error = "model key wants workload,input,metric,technique[,platform]";
+    return false;
+  }
+  Out.Workload = trimString(Parts[0]);
+  if (!inputSetFromName(trimString(Parts[1]), Out.Input)) {
+    Error = "unknown input set '" + Parts[1] + "'";
+    return false;
+  }
+  if (!responseMetricFromName(trimString(Parts[2]), Out.Metric)) {
+    Error = "unknown metric '" + Parts[2] + "'";
+    return false;
+  }
+  Out.Technique = trimString(Parts[3]);
+  Out.Platform = Parts.size() == 5 ? trimString(Parts[4]) : "joint";
+  if (Out.Workload.empty() || Out.Technique.empty() || Out.Platform.empty()) {
+    Error = "model key has an empty field";
+    return false;
+  }
+  return true;
+}
+
+std::string serving::keySpec(const ModelKey &Key) {
+  return Key.Workload + "," + inputSetName(Key.Input) + "," +
+         responseMetricName(Key.Metric) + "," + Key.Technique + "," +
+         Key.Platform;
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+static bool failWith(std::string &Error, const std::string &Message) {
+  Error = Message;
+  return false;
+}
+
+/// Every row must agree on width (the artifact decides later whether that
+/// width is the full space or the compiler prefix).
+static bool checkRowWidths(const std::vector<DesignPoint> &Rows,
+                           std::string &Error) {
+  if (Rows.empty())
+    return failWith(Error, "no request rows");
+  for (size_t I = 1; I < Rows.size(); ++I)
+    if (Rows[I].size() != Rows.front().size())
+      return failWith(Error, "request rows disagree on width (row " +
+                                 std::to_string(I + 1) + ")");
+  return true;
+}
+
+bool serving::parsePredictRequest(const Json &Doc, PredictRequest &Out,
+                                  std::string &Error) {
+  if (Doc.kind() != Json::Kind::Object)
+    return failWith(Error, "request is not a JSON object");
+  const std::string &Schema = Doc["schema"].asString();
+  if (Schema != kPredictSchemaV1)
+    return failWith(Error, Schema.empty()
+                               ? std::string("request is missing \"schema\"")
+                               : "unsupported schema '" + Schema +
+                                     "' (this build serves msem.predict.v1)");
+  const std::string &Spec = Doc["model"].asString();
+  if (Spec.empty())
+    return failWith(Error, "request is missing \"model\"");
+  if (!parseKeySpec(Spec, Out.Key, Error))
+    return false;
+
+  const Json &Rows = Doc["rows"];
+  if (Rows.kind() != Json::Kind::Array)
+    return failWith(Error, "request is missing \"rows\"");
+  Out.Rows.clear();
+  Out.Rows.reserve(Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Json &Row = Rows.at(I);
+    if (Row.kind() != Json::Kind::Array)
+      return failWith(Error,
+                      "row " + std::to_string(I + 1) + " is not an array");
+    DesignPoint P;
+    P.reserve(Row.size());
+    for (const Json &V : Row.items()) {
+      if (V.kind() != Json::Kind::Number)
+        return failWith(Error, "row " + std::to_string(I + 1) +
+                                   " holds a non-numeric value");
+      P.push_back(V.asInt());
+    }
+    Out.Rows.push_back(std::move(P));
+  }
+  if (!checkRowWidths(Out.Rows, Error))
+    return false;
+
+  const Json &Options = Doc["options"];
+  Out.Format = PredictFormat::Json;
+  Out.ComparePlatform.clear();
+  if (!Options.isNull()) {
+    if (Options.kind() != Json::Kind::Object)
+      return failWith(Error, "\"options\" is not an object");
+    const std::string &Fmt = Options["format"].asString("json");
+    if (Fmt == "json")
+      Out.Format = PredictFormat::Json;
+    else if (Fmt == "csv")
+      Out.Format = PredictFormat::Csv;
+    else if (Fmt == "jsonl")
+      Out.Format = PredictFormat::Jsonl;
+    else
+      return failWith(Error, "unknown format '" + Fmt +
+                                 "' (json, csv or jsonl)");
+    Out.ComparePlatform = Options["compare"].asString();
+  }
+  return true;
+}
+
+Json serving::serializePredictRequest(const PredictRequest &Req) {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kPredictSchemaV1));
+  Doc.set("model", Json::string(keySpec(Req.Key)));
+  Json Rows = Json::array();
+  for (const DesignPoint &P : Req.Rows) {
+    Json Row = Json::array();
+    for (int64_t V : P)
+      Row.push(Json::number(static_cast<double>(V)));
+    Rows.push(std::move(Row));
+  }
+  Doc.set("rows", std::move(Rows));
+  if (Req.Format != PredictFormat::Json || !Req.ComparePlatform.empty()) {
+    Json Options = Json::object();
+    Options.set("format",
+                Json::string(Req.Format == PredictFormat::Csv     ? "csv"
+                             : Req.Format == PredictFormat::Jsonl ? "jsonl"
+                                                                  : "json"));
+    if (!Req.ComparePlatform.empty())
+      Options.set("compare", Json::string(Req.ComparePlatform));
+    Doc.set("options", std::move(Options));
+  }
+  return Doc;
+}
+
+bool serving::parseRowsText(const std::string &Text,
+                            std::vector<DesignPoint> &Rows, bool &FromJsonl,
+                            std::string &Error) {
+  std::vector<std::string> Lines;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    std::string T = trimString(Line);
+    if (!T.empty())
+      Lines.push_back(std::move(T));
+  }
+  if (Lines.empty())
+    return failWith(Error, "no request rows");
+
+  Rows.clear();
+  FromJsonl = Lines.front()[0] == '[';
+  if (FromJsonl) {
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      std::string ParseError;
+      Json Row = Json::parse(Lines[I], &ParseError);
+      if (!ParseError.empty() || Row.kind() != Json::Kind::Array)
+        return failWith(Error,
+                        "request line " + std::to_string(I + 1) + ": " +
+                            (ParseError.empty() ? "expected an array"
+                                                : ParseError));
+      DesignPoint P;
+      P.reserve(Row.size());
+      for (const Json &V : Row.items())
+        P.push_back(V.asInt());
+      Rows.push_back(std::move(P));
+    }
+  } else {
+    // CSV; line 0 is the parameter-name header.
+    for (size_t I = 1; I < Lines.size(); ++I) {
+      DesignPoint P;
+      for (const std::string &Cell : splitString(Lines[I], ',')) {
+        std::string T = trimString(Cell);
+        char *End = nullptr;
+        long long V = std::strtoll(T.c_str(), &End, 10);
+        if (End == T.c_str() || *End != '\0')
+          return failWith(Error, "request line " + std::to_string(I + 1) +
+                                     ": bad integer '" + T + "'");
+        P.push_back(V);
+      }
+      Rows.push_back(std::move(P));
+    }
+  }
+  return checkRowWidths(Rows, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Response rendering
+//===----------------------------------------------------------------------===//
+
+Json serving::serializePredictResponse(const PredictResponse &Resp) {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kPredictSchemaV1));
+  Doc.set("model", Json::string(Resp.ModelId));
+  Doc.set("build", Json::string(Resp.Build));
+  Doc.set("metric", Json::string(responseMetricName(Resp.Metric)));
+  Doc.set("platform", Json::string(Resp.Platform));
+
+  std::set<size_t> ErrorRows;
+  for (const RowError &E : Resp.Errors)
+    ErrorRows.insert(E.Row);
+
+  Json Predictions = Json::array();
+  for (size_t I = 0; I < Resp.Predictions.size(); ++I) {
+    if (ErrorRows.count(I))
+      continue;
+    Json P = Json::object();
+    P.set("row", Json::number(static_cast<double>(I)));
+    P.set("prediction", Json::number(Resp.Predictions[I]));
+    Predictions.push(std::move(P));
+  }
+  Doc.set("predictions", std::move(Predictions));
+
+  if (!Resp.Errors.empty()) {
+    Json Errors = Json::array();
+    for (const RowError &E : Resp.Errors) {
+      Json J = Json::object();
+      J.set("row", Json::number(static_cast<double>(E.Row)));
+      J.set("error", Json::string(E.Error));
+      Errors.push(std::move(J));
+    }
+    Doc.set("errors", std::move(Errors));
+  }
+
+  if (!Resp.ComparePlatform.empty()) {
+    Json Compare = Json::object();
+    Compare.set("platform", Json::string(Resp.ComparePlatform));
+    Compare.set("predictions", Json::numberArray(Resp.ComparePredictions));
+    std::vector<double> Ratios(Resp.Predictions.size());
+    for (size_t I = 0; I < Resp.Predictions.size() &&
+                       I < Resp.ComparePredictions.size();
+         ++I)
+      Ratios[I] = Resp.ComparePredictions[I] != 0
+                      ? Resp.Predictions[I] / Resp.ComparePredictions[I]
+                      : 0.0;
+    Compare.set("ratios", Json::numberArray(Ratios));
+    Doc.set("compare", std::move(Compare));
+  }
+  return Doc;
+}
+
+std::string serving::renderPredictCsv(const PredictResponse &Resp) {
+  const char *Metric = responseMetricName(Resp.Metric);
+  std::string Out;
+  if (Resp.ComparePlatform.empty()) {
+    Out = formatString("predicted_%s\n", Metric);
+    for (double P : Resp.Predictions)
+      Out += formatString("%.17g\n", P);
+    return Out;
+  }
+  Out = formatString("predicted_%s_%s,predicted_%s_%s,ratio\n", Metric,
+                     Resp.Platform.c_str(), Metric,
+                     Resp.ComparePlatform.c_str());
+  for (size_t I = 0; I < Resp.Predictions.size(); ++I) {
+    double A = Resp.Predictions[I];
+    double B = I < Resp.ComparePredictions.size() ? Resp.ComparePredictions[I]
+                                                  : 0.0;
+    Out += formatString("%.17g,%.17g,%.6g\n", A, B, B != 0 ? A / B : 0.0);
+  }
+  return Out;
+}
+
+std::string serving::renderPredictJsonl(const PredictResponse &Resp) {
+  std::string Out;
+  for (size_t I = 0; I < Resp.Predictions.size(); ++I)
+    Out += formatString("{\"request\": %zu, \"prediction\": %.17g}\n", I,
+                        Resp.Predictions[I]);
+  return Out;
+}
+
+std::string serving::renderRowsCsv(const ParameterSpace &Space,
+                                   const std::vector<DesignPoint> &Rows) {
+  std::string Out;
+  for (size_t I = 0; I < Space.size(); ++I)
+    Out += formatString("%s%s", I ? "," : "", Space.param(I).Name.c_str());
+  Out += "\n";
+  for (const DesignPoint &P : Rows) {
+    for (size_t J = 0; J < P.size(); ++J)
+      Out += formatString("%s%lld", J ? "," : "",
+                          static_cast<long long>(P[J]));
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- serving/PredictSchema.h - msem.predict.v1 wire schema -----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned prediction request/response schema shared by the batch
+/// CLI (tools/msem_predict) and the network server (tools/msem_serve).
+/// One parser and one set of serializers means the two front ends cannot
+/// drift: a row predicted over HTTP and the same row predicted from a CSV
+/// file produce bitwise-identical bytes.
+///
+/// Request document ("msem.predict.v1"):
+///
+///   {
+///     "schema":  "msem.predict.v1",
+///     "model":   "art,train,cycles,rbf,joint",   // CLI --key spec
+///     "rows":    [[...], [...]],                 // raw parameter values
+///     "options": {                               // all optional
+///       "format":  "json" | "csv" | "jsonl",     // response rendering
+///       "compare": "<platform>"                  // cross-platform mode
+///     }
+///   }
+///
+/// Response document (format "json"):
+///
+///   {
+///     "schema": "msem.predict.v1",
+///     "model":  "<artifact id>",
+///     "build":  "<buildStamp of the serving binary>",
+///     "metric": "cycles",
+///     "predictions": [{"row": 0, "prediction": 4.2e6}, ...],
+///     "errors":      [{"row": 3, "error": "..."}, ...],   // absent if none
+///     "compare": {"platform": "...", "predictions": [...],
+///                 "ratios": [...]}                        // compare mode
+///   }
+///
+/// Formats "csv" and "jsonl" render exactly the bytes the CLI has always
+/// written for CSV and JSON-lines inputs -- that is the serve-smoke
+/// bitwise-identity contract, so the renderers live here and nowhere else.
+/// Doubles are serialized with 17 significant digits everywhere (the Json
+/// DOM's convention), so every IEEE-754 prediction round-trips exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SERVING_PREDICTSCHEMA_H
+#define MSEM_SERVING_PREDICTSCHEMA_H
+
+#include "registry/ModelArtifact.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace msem {
+namespace serving {
+
+/// The schema tag this build reads and writes.
+constexpr const char *kPredictSchemaV1 = "msem.predict.v1";
+
+/// Response renderings a request may ask for.
+enum class PredictFormat { Json, Csv, Jsonl };
+
+/// One parsed prediction request.
+struct PredictRequest {
+  ModelKey Key;
+  std::vector<DesignPoint> Rows;
+  PredictFormat Format = PredictFormat::Json;
+  std::string ComparePlatform; ///< "" = single-platform mode.
+};
+
+/// One failed row (index into the request's rows).
+struct RowError {
+  size_t Row;
+  std::string Error;
+};
+
+/// One computed prediction response, ready to render in any format.
+struct PredictResponse {
+  std::string ModelId;          ///< Served artifact id.
+  std::string Build;            ///< buildStamp() of the serving process.
+  ResponseMetric Metric = ResponseMetric::Cycles;
+  std::string Platform;         ///< Served artifact's platform.
+  std::vector<double> Predictions;
+  std::vector<RowError> Errors; ///< Rows rejected before prediction.
+  // --- Cross-platform (Table 5/7) mode -----------------------------------
+  std::string ComparePlatform;  ///< "" = absent.
+  std::vector<double> ComparePredictions;
+};
+
+// --- Key specs -------------------------------------------------------------
+
+/// "workload,input,metric,technique[,platform]" -> ModelKey (the CLI --key
+/// grammar; also the request document's "model" field).
+bool parseKeySpec(const std::string &Spec, ModelKey &Out, std::string &Error);
+
+/// The inverse: a ModelKey rendered back into the 5-field spec form.
+std::string keySpec(const ModelKey &Key);
+
+// --- Request parsing -------------------------------------------------------
+
+/// Parses a msem.predict.v1 request document. Returns false with a
+/// diagnostic on schema mismatch, unknown key fields, absent/ragged rows
+/// or a malformed options block.
+bool parsePredictRequest(const Json &Doc, PredictRequest &Out,
+                         std::string &Error);
+
+/// Builds the request document for \p Req (what --emit-request writes and
+/// every load-generator client posts).
+Json serializePredictRequest(const PredictRequest &Req);
+
+/// Parses request rows from CSV-with-header or JSON-lines text (the CLI's
+/// --in file formats, '-'-compatible). \p FromJsonl reports which form was
+/// detected so the CLI can keep its historical output selection.
+bool parseRowsText(const std::string &Text, std::vector<DesignPoint> &Rows,
+                   bool &FromJsonl, std::string &Error);
+
+// --- Response rendering ----------------------------------------------------
+
+/// The JSON response document (format "json").
+Json serializePredictResponse(const PredictResponse &Resp);
+
+/// Format "csv": the CLI's CSV rendering, byte-for-byte -- the
+/// "predicted_<metric>" header then one %.17g value per line; compare
+/// mode emits the two-platform header and %.17g,%.17g,%.6g rows.
+std::string renderPredictCsv(const PredictResponse &Resp);
+
+/// Format "jsonl": the CLI's JSON-lines rendering, byte-for-byte --
+/// {"request": N, "prediction": %.17g} per row.
+std::string renderPredictJsonl(const PredictResponse &Resp);
+
+/// A request CSV (parameter-name header + raw rows) for --gen and the
+/// load generator.
+std::string renderRowsCsv(const ParameterSpace &Space,
+                          const std::vector<DesignPoint> &Rows);
+
+} // namespace serving
+} // namespace msem
+
+#endif // MSEM_SERVING_PREDICTSCHEMA_H

@@ -1,0 +1,403 @@
+//===- serving/PredictionService.cpp - Shared prediction facade ------------===//
+
+#include "serving/PredictionService.h"
+
+#include "support/BuildInfo.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
+
+#include <chrono>
+
+using namespace msem;
+using namespace msem::serving;
+
+namespace {
+
+/// Turns one raw request row into the full design point the artifact's
+/// model expects: full-width rows pass through, compiler-only rows are
+/// padded, and frozen-machine artifacts pin the Table-2 coordinates.
+/// (Moved verbatim from tools/msem_predict.cpp; the contract is part of
+/// the request format.)
+bool requestToPoint(const DesignPoint &Row, const ModelArtifact &A,
+                    DesignPoint &Out, std::string &Error) {
+  const ParameterSpace &Space = A.Info.Space;
+  if (Row.size() == Space.size()) {
+    Out = Row;
+  } else if (Row.size() == Space.numCompilerParams() &&
+             Row.size() < Space.size()) {
+    if (!A.Info.HasFrozenMachine) {
+      Error = "compiler-only request against artifact '" + A.Info.Key.id() +
+              "', which has no frozen machine configuration";
+      return false;
+    }
+    Out = Row;
+    for (size_t I = Row.size(); I < Space.size(); ++I)
+      Out.push_back(Space.param(I).low());
+  } else {
+    Error = "request width " + std::to_string(Row.size()) +
+            " matches neither the full space (" +
+            std::to_string(Space.size()) + ") nor the compiler prefix (" +
+            std::to_string(Space.numCompilerParams()) + ")";
+    return false;
+  }
+  if (A.Info.HasFrozenMachine)
+    Space.freezeMachine(Out, A.Info.Machine);
+  return true;
+}
+
+HttpResponse jsonError(int Status, const std::string &Message) {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kPredictSchemaV1));
+  Doc.set("error", Json::string(Message));
+  HttpResponse Resp;
+  Resp.Status = Status;
+  Resp.ContentType = "application/json";
+  Resp.Body = Doc.dump() + "\n";
+  return Resp;
+}
+
+} // namespace
+
+PredictionService::PredictionService(Options O)
+    : Opts(O), Reg(ModelRegistry::fromEnv(O.RegistryDir)),
+      Monitor(O.Monitor) {}
+
+PredictionService::~PredictionService() { stopReloadWatch(); }
+
+//===----------------------------------------------------------------------===//
+// Admission queue
+//===----------------------------------------------------------------------===//
+
+PredictionService::ModelQueue &
+PredictionService::queueFor(const std::string &ModelId) {
+  std::lock_guard<std::mutex> Lock(QueuesMutex);
+  std::unique_ptr<ModelQueue> &Slot = Queues[ModelId];
+  if (!Slot)
+    Slot = std::make_unique<ModelQueue>();
+  return *Slot;
+}
+
+void PredictionService::drainAsLeader(ModelQueue &Q,
+                                      std::unique_lock<std::mutex> &L) {
+  while (!Q.Waiting.empty()) {
+    std::vector<Call *> Batch;
+    Batch.swap(Q.Waiting);
+
+    // Flatten the coalesced rows: flat index -> (call, local row).
+    size_t Rows = 0;
+    for (Call *C : Batch)
+      Rows += C->Points.size();
+    Q.QueuedRows -= Rows;
+    L.unlock();
+
+    std::vector<std::pair<Call *, size_t>> Slots;
+    Slots.reserve(Rows);
+    for (Call *C : Batch)
+      for (size_t I = 0; I < C->Points.size(); ++I)
+        Slots.emplace_back(C, I);
+
+    // Same telemetry identity as the historical CLI batch; the coalesced
+    // count is the only addition.
+    telemetry::ScopedTimer Span("predict.batch");
+    if (Span.capturing())
+      Span.setDetail(Batch.front()->Artifact->Info.Key.id());
+    std::vector<double> Flat = globalThreadPool().parallelMap(
+        Rows,
+        [&](size_t I) {
+          telemetry::ScopedTimer RowSpan("predict.row", I);
+          Call *C = Slots[I].first;
+          return C->Artifact->M->predict(
+              C->Artifact->Info.Space.encode(C->Points[Slots[I].second]));
+        },
+        "predict");
+    telemetry::count("predict.requests", Rows);
+    telemetry::count("predict.batches");
+    if (Batch.size() > 1)
+      telemetry::count("predict.coalesced_requests", Batch.size());
+    if (telemetry::enabled() && Rows) {
+      double PerRequestUs =
+          static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows;
+      telemetry::observe("predict.request_us", PerRequestUs,
+                         {1, 10, 100, 1000, 10000});
+    }
+    Monitor.recordBatch(Batch.front()->Artifact->Info.Key.id(), Rows,
+                        Span.elapsedNs(),
+                        Batch.front()->Artifact->Info.Quality.Mape);
+
+    size_t Next = 0;
+    for (Call *C : Batch) {
+      C->Result.assign(Flat.begin() + Next,
+                       Flat.begin() + Next + C->Points.size());
+      Next += C->Points.size();
+    }
+
+    L.lock();
+    for (Call *C : Batch)
+      C->Done = true;
+    Q.Cv.notify_all();
+  }
+}
+
+bool PredictionService::admit(const std::string &ModelId, Call &C,
+                              std::string &Error) {
+  ModelQueue &Q = queueFor(ModelId);
+  std::unique_lock<std::mutex> L(Q.M);
+  if (Q.QueuedRows + C.Points.size() > Opts.MaxQueueRows) {
+    Error = "model '" + ModelId + "' is overloaded (" +
+            std::to_string(Q.QueuedRows) + " rows queued)";
+    telemetry::count("serve.overloads");
+    return false;
+  }
+  Q.Waiting.push_back(&C);
+  Q.QueuedRows += C.Points.size();
+  if (!Q.LeaderActive) {
+    Q.LeaderActive = true;
+    drainAsLeader(Q, L);
+    Q.LeaderActive = false;
+    // A request admitted while we were draining unlocked is impossible to
+    // leave behind (the drain loop re-checks under the lock), but a call
+    // that arrived just as we stepped down must elect itself; wake it.
+    Q.Cv.notify_all();
+  } else {
+    Q.Cv.wait(L, [&] { return C.Done; });
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// predict
+//===----------------------------------------------------------------------===//
+
+int PredictionService::predictOnArtifact(
+    const ModelKey &Key, const std::vector<DesignPoint> &Rows, bool Strict,
+    std::vector<double> &Out, std::vector<RowError> *RowErrors,
+    std::string &Error, std::string *ModelId, double *QualityMape) {
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Key, &Error);
+  if (!A)
+    return 404;
+  if (ModelId)
+    *ModelId = A->Info.Key.id();
+  if (QualityMape)
+    *QualityMape = A->Info.Quality.Mape;
+
+  // Validate every row up front (the historical contract: strict callers
+  // see the first failure before any prediction runs).
+  Call C;
+  C.Artifact = A;
+  std::vector<size_t> ValidRows; ///< Request-row index per queued point.
+  C.Points.reserve(Rows.size());
+  ValidRows.reserve(Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    DesignPoint P;
+    std::string RowError_;
+    if (!requestToPoint(Rows[I], *A, P, RowError_)) {
+      if (Strict) {
+        Error = "request " + std::to_string(I + 1) + ": " + RowError_;
+        Monitor.recordError(A->Info.Key.id());
+        return 400;
+      }
+      if (RowErrors)
+        RowErrors->push_back({I, RowError_});
+      continue;
+    }
+    C.Points.push_back(std::move(P));
+    ValidRows.push_back(I);
+  }
+
+  Out.assign(Rows.size(), 0.0);
+  if (C.Points.empty()) {
+    if (RowErrors && !RowErrors->empty())
+      Monitor.recordError(A->Info.Key.id());
+    return 200; // Tolerant mode: every row failed; Errors says why.
+  }
+
+  if (!admit(A->Info.Key.id(), C, Error))
+    return 503;
+  for (size_t I = 0; I < ValidRows.size(); ++I)
+    Out[ValidRows[I]] = C.Result[I];
+  return 200;
+}
+
+int PredictionService::predict(const PredictRequest &Req,
+                               PredictResponse &Resp, std::string &Error,
+                               bool Strict) {
+  if (Req.Rows.empty()) {
+    Error = "no request rows";
+    return 400;
+  }
+  if (Req.Rows.size() > Opts.MaxBatchRows) {
+    Error = "request holds " + std::to_string(Req.Rows.size()) +
+            " rows; the per-request limit is " +
+            std::to_string(Opts.MaxBatchRows);
+    return 413;
+  }
+
+  Resp = PredictResponse();
+  Resp.Build = buildStamp();
+  Resp.Metric = Req.Key.Metric;
+  Resp.Platform = Req.Key.Platform;
+
+  int Status =
+      predictOnArtifact(Req.Key, Req.Rows, Strict, Resp.Predictions,
+                        &Resp.Errors, Error, &Resp.ModelId, nullptr);
+  if (Status != 200)
+    return Status;
+
+  if (!Req.ComparePlatform.empty()) {
+    ModelKey OtherKey = Req.Key;
+    OtherKey.Platform = Req.ComparePlatform;
+    Resp.ComparePlatform = Req.ComparePlatform;
+    // Compare mode is all-or-nothing even when tolerant: a ratio against
+    // a row the base platform rejected is meaningless, so both platforms
+    // run strict once the base succeeded.
+    std::vector<RowError> Unused;
+    Status = predictOnArtifact(OtherKey, Req.Rows, /*Strict=*/true,
+                               Resp.ComparePredictions,
+                               Strict ? nullptr : &Unused, Error, nullptr,
+                               nullptr);
+    if (Status != 200)
+      return Status;
+  }
+  return 200;
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP handlers
+//===----------------------------------------------------------------------===//
+
+HttpResponse PredictionService::handlePredict(const HttpRequest &Req) {
+  telemetry::ScopedTimer Span("serve.request");
+  telemetry::count("serve.requests");
+
+  std::string ParseError;
+  Json Doc = Json::parse(Req.Body, &ParseError);
+  if (!ParseError.empty()) {
+    telemetry::count("serve.bad_requests");
+    return jsonError(400, "request body: " + ParseError);
+  }
+  PredictRequest PReq;
+  std::string Error;
+  if (!parsePredictRequest(Doc, PReq, Error)) {
+    telemetry::count("serve.bad_requests");
+    return jsonError(400, Error);
+  }
+
+  PredictResponse PResp;
+  int Status = predict(PReq, PResp, Error, /*Strict=*/false);
+  if (Status != 200) {
+    telemetry::count("serve.failed_requests");
+    return jsonError(Status, Error);
+  }
+
+  if (telemetry::enabled())
+    telemetry::observe("serve.request_us",
+                       static_cast<double>(Span.elapsedNs()) / 1000.0,
+                       {100, 1000, 10000, 100000, 1000000});
+
+  HttpResponse Resp;
+  switch (PReq.Format) {
+  case PredictFormat::Csv:
+    Resp.ContentType = "text/csv; charset=utf-8";
+    Resp.Body = renderPredictCsv(PResp);
+    break;
+  case PredictFormat::Jsonl:
+    Resp.ContentType = "application/x-ndjson";
+    Resp.Body = renderPredictJsonl(PResp);
+    break;
+  case PredictFormat::Json:
+    Resp.ContentType = "application/json";
+    Resp.Body = serializePredictResponse(PResp).dump() + "\n";
+    break;
+  }
+  return Resp;
+}
+
+HttpResponse PredictionService::handleModels(const HttpRequest &) {
+  std::string Error;
+  std::vector<RegistryEntry> Entries = Reg.list(&Error);
+  if (!Error.empty())
+    return jsonError(500, Error);
+  Json Models = Json::array();
+  for (const RegistryEntry &E : Entries) {
+    Json M = Json::object();
+    M.set("id", Json::string(E.Key.id()));
+    M.set("model", Json::string(keySpec(E.Key)));
+    M.set("file", Json::string(E.File));
+    Json Quality = Json::object();
+    Quality.set("mape", Json::number(E.Quality.Mape));
+    Quality.set("rmse", Json::number(E.Quality.Rmse));
+    Quality.set("r2", Json::number(E.Quality.R2));
+    M.set("quality", std::move(Quality));
+    Models.push(std::move(M));
+  }
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kPredictSchemaV1));
+  Doc.set("registry", Json::string(Reg.options().Dir));
+  Doc.set("models", std::move(Models));
+  HttpResponse Resp;
+  Resp.ContentType = "application/json";
+  Resp.Body = Doc.dumpPretty();
+  return Resp;
+}
+
+void PredictionService::registerRoutes(HttpRouter &Router) {
+  Routes.emplace_back(Router, "POST", "/v1/predict",
+                      [this](const HttpRequest &R) {
+                        return handlePredict(R);
+                      });
+  Routes.emplace_back(Router, "GET", "/v1/models",
+                      [this](const HttpRequest &R) {
+                        return handleModels(R);
+                      });
+}
+
+//===----------------------------------------------------------------------===//
+// Hot reload
+//===----------------------------------------------------------------------===//
+
+bool PredictionService::pollManifestOnce() {
+  uint64_t Sig = Reg.manifestSignature();
+  {
+    std::lock_guard<std::mutex> Lock(WatchMutex);
+    if (Sig == LastManifestSig)
+      return false;
+    LastManifestSig = Sig;
+  }
+  size_t Dropped = Reg.invalidateCache();
+  Reloads.fetch_add(1);
+  telemetry::count("serve.reloads");
+  telemetry::count("serve.reload_dropped", Dropped);
+  return true;
+}
+
+void PredictionService::startReloadWatch(int PollMs) {
+  stopReloadWatch();
+  {
+    std::lock_guard<std::mutex> Lock(WatchMutex);
+    WatchStop = false;
+    // Start from the current manifest: only future publishes reload.
+    LastManifestSig = Reg.manifestSignature();
+  }
+  WatchThread = std::thread([this, PollMs] {
+    std::unique_lock<std::mutex> Lock(WatchMutex);
+    while (!WatchStop) {
+      if (WatchCv.wait_for(Lock, std::chrono::milliseconds(PollMs),
+                           [this] { return WatchStop; }))
+        break;
+      Lock.unlock();
+      pollManifestOnce();
+      Lock.lock();
+    }
+  });
+}
+
+void PredictionService::stopReloadWatch() {
+  {
+    std::lock_guard<std::mutex> Lock(WatchMutex);
+    if (!WatchThread.joinable())
+      return;
+    WatchStop = true;
+  }
+  WatchCv.notify_all();
+  WatchThread.join();
+}

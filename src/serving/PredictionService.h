@@ -1,0 +1,167 @@
+//===- serving/PredictionService.h - Shared prediction facade ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving facade both front ends sit on: tools/msem_predict calls
+/// predict() directly with strict (fail-the-batch) semantics, and
+/// tools/msem_serve registers handlePredict/handleModels as HTTP routes
+/// with tolerant (per-row error) semantics. Everything between request
+/// validation and response values is shared, which is what makes the
+/// serve-smoke bitwise-identity contract hold.
+///
+/// Pipeline per request:
+///
+///   rows --requestToPoint--> full-width points --admission queue-->
+///       coalesced ThreadPool batch --slice--> per-request predictions
+///
+/// The admission queue is per model id and leader-follower shaped: the
+/// first caller to find the queue idle becomes the leader, drains every
+/// queued request (its own included) into ONE parallelMap batch over the
+/// global thread pool, distributes the slices and hands leadership to
+/// whoever queued meanwhile. Concurrent small requests therefore pay one
+/// batch's scheduling overhead instead of N -- and because each row is a
+/// pure function of its point, coalescing cannot change a single bit of
+/// any response. Each queued call pins the artifact snapshot it resolved
+/// at admission, so a hot reload mid-flight drains old requests on the
+/// old version while new requests see the new one.
+///
+/// Hot reload: startReloadWatch polls ModelRegistry::manifestSignature
+/// and, on any change, drops the artifact LRU (invalidateCache). No lock
+/// is held across a cutover; in-flight shared_ptr holders keep their
+/// artifacts alive until they finish.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SERVING_PREDICTIONSERVICE_H
+#define MSEM_SERVING_PREDICTIONSERVICE_H
+
+#include "registry/ModelRegistry.h"
+#include "registry/ServingMonitor.h"
+#include "serving/PredictSchema.h"
+#include "support/Http.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msem {
+namespace serving {
+
+class PredictionService {
+public:
+  struct Options {
+    /// Registry root ("" = MSEM_REGISTRY_DIR).
+    std::string RegistryDir;
+    /// Rows one request may carry (413 beyond).
+    size_t MaxBatchRows = 4096;
+    /// Rows admitted per model across queued requests (503 beyond).
+    size_t MaxQueueRows = 1 << 16;
+    ServingMonitor::Options Monitor;
+  };
+
+  explicit PredictionService(Options O);
+  ~PredictionService();
+
+  /// Runs \p Req end to end. Returns an HTTP-shaped status: 200 on
+  /// success (Resp filled), 400 for malformed rows (Strict) or an invalid
+  /// request, 404 for an unpublished model, 413 for an oversized batch,
+  /// 503 when the admission queue is full. \p Strict selects the CLI
+  /// contract (first bad row fails the whole request, diagnostic
+  /// "request N: ..."); tolerant mode predicts every valid row and
+  /// reports the bad ones in Resp.Errors.
+  int predict(const PredictRequest &Req, PredictResponse &Resp,
+              std::string &Error, bool Strict);
+
+  /// POST /v1/predict: body is a msem.predict.v1 document; the response
+  /// renders in the requested format (json/csv/jsonl). Tolerant mode.
+  HttpResponse handlePredict(const HttpRequest &Req);
+
+  /// GET /v1/models: the manifest as a JSON inventory.
+  HttpResponse handleModels(const HttpRequest &Req);
+
+  /// Registers both endpoints on \p Router (owned until destruction).
+  void registerRoutes(HttpRouter &Router);
+
+  // --- Hot reload ----------------------------------------------------------
+
+  /// Starts the manifest watch thread, polling every \p PollMs.
+  void startReloadWatch(int PollMs);
+  void stopReloadWatch();
+
+  /// One watch step, synchronously (what the thread runs; tests call it
+  /// directly). Returns true when a manifest change was observed and the
+  /// artifact cache was dropped.
+  bool pollManifestOnce();
+
+  uint64_t reloadCount() const { return Reloads.load(); }
+
+  ModelRegistry &registry() { return Reg; }
+  ServingMonitor &monitor() { return Monitor; }
+  const Options &options() const { return Opts; }
+
+private:
+  /// One admitted request's slice of a coalesced batch.
+  struct Call {
+    std::shared_ptr<const ModelArtifact> Artifact; ///< Pinned at admission.
+    std::vector<DesignPoint> Points;               ///< Full-width, validated.
+    std::vector<double> Result;
+    bool Done = false;
+  };
+
+  /// Per-model admission queue (leader-follower).
+  struct ModelQueue {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::vector<Call *> Waiting;
+    bool LeaderActive = false;
+    size_t QueuedRows = 0;
+  };
+
+  ModelQueue &queueFor(const std::string &ModelId);
+
+  /// Admits \p C on \p ModelId's queue and blocks until its slice is
+  /// predicted (possibly by this thread as leader). Returns false (503)
+  /// when the queue is full.
+  bool admit(const std::string &ModelId, Call &C, std::string &Error);
+
+  /// Leader body: drains \p Q into coalesced batches until it is empty.
+  /// Called with \p L held; returns with it held.
+  void drainAsLeader(ModelQueue &Q, std::unique_lock<std::mutex> &L);
+
+  /// Fetch + validate + admit for one platform of the request.
+  int predictOnArtifact(const ModelKey &Key,
+                        const std::vector<DesignPoint> &Rows, bool Strict,
+                        std::vector<double> &Out,
+                        std::vector<RowError> *RowErrors, std::string &Error,
+                        std::string *ModelId, double *QualityMape);
+
+  Options Opts;
+  ModelRegistry Reg;
+  ServingMonitor Monitor;
+
+  std::mutex QueuesMutex;
+  std::map<std::string, std::unique_ptr<ModelQueue>> Queues;
+
+  // Manifest watch.
+  std::thread WatchThread;
+  std::mutex WatchMutex;
+  std::condition_variable WatchCv;
+  bool WatchStop = false;
+  uint64_t LastManifestSig = 0;
+  std::atomic<uint64_t> Reloads{0};
+
+  std::vector<ScopedRoute> Routes;
+};
+
+} // namespace serving
+} // namespace msem
+
+#endif // MSEM_SERVING_PREDICTIONSERVICE_H

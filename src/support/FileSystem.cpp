@@ -35,6 +35,28 @@ bool msem::pathExists(const std::string &Path) {
   return ::stat(Path.c_str(), &St) == 0;
 }
 
+uint64_t msem::fileSignature(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return 0;
+  // FNV-1a over the fields that change on every atomic rewrite. The inode
+  // matters: writeFileAtomic renames a fresh temp file into place, so even
+  // an identical-timestamp rewrite lands on a new inode.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(static_cast<uint64_t>(St.st_size));
+  Mix(static_cast<uint64_t>(St.st_mtim.tv_sec));
+  Mix(static_cast<uint64_t>(St.st_mtim.tv_nsec));
+  Mix(static_cast<uint64_t>(St.st_ino));
+  // 0 is the "absent" sentinel; dodge a (vanishingly unlikely) collision.
+  return H == 0 ? 1 : H;
+}
+
 bool msem::createDirectories(const std::string &Dir, std::string *Error) {
   if (Dir.empty() || Dir == "." || Dir == "/")
     return true;

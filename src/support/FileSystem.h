@@ -19,6 +19,7 @@
 #ifndef MSEM_SUPPORT_FILESYSTEM_H
 #define MSEM_SUPPORT_FILESYSTEM_H
 
+#include <cstdint>
 #include <string>
 
 namespace msem {
@@ -43,6 +44,12 @@ bool createDirectories(const std::string &Dir, std::string *Error = nullptr);
 
 /// True when \p Path names an existing file or directory.
 bool pathExists(const std::string &Path);
+
+/// A change signature for \p Path: a hash of (size, mtime with nanosecond
+/// precision where the filesystem offers it), 0 when the file is absent.
+/// Two distinct signatures mean the file changed; how the registry's
+/// manifest watch detects cross-process publishes without reparsing.
+uint64_t fileSignature(const std::string &Path);
 
 /// The directory part of \p Path ("." when there is no separator).
 std::string parentPath(const std::string &Path);

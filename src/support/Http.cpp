@@ -1,0 +1,308 @@
+//===- support/Http.cpp - Shared HTTP/1.1 wire layer ----------------------===//
+
+#include "support/Http.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+
+using namespace msem;
+
+//===----------------------------------------------------------------------===//
+// Value types & wire helpers
+//===----------------------------------------------------------------------===//
+
+std::string HttpRequest::header(const std::string &Name) const {
+  for (const auto &[K, V] : Headers)
+    if (K == Name)
+      return V;
+  return "";
+}
+
+const char *msem::httpStatusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 204:
+    return "No Content";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
+  case 413:
+    return "Payload Too Large";
+  case 422:
+    return "Unprocessable Entity";
+  case 429:
+    return "Too Many Requests";
+  case 431:
+    return "Request Header Fields Too Large";
+  case 500:
+    return "Internal Server Error";
+  case 501:
+    return "Not Implemented";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Unknown";
+  }
+}
+
+std::string msem::serializeHttpResponse(const HttpResponse &Resp,
+                                        bool KeepAlive, bool HeadRequest) {
+  std::string Out = formatString(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: %s\r\n\r\n",
+      Resp.Status, httpStatusText(Resp.Status), Resp.ContentType.c_str(),
+      Resp.Body.size(), KeepAlive ? "keep-alive" : "close");
+  if (!HeadRequest)
+    Out += Resp.Body;
+  return Out;
+}
+
+bool msem::httpSendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    // MSG_NOSIGNAL: a client that hung up yields EPIPE, not SIGPIPE.
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // EPIPE, ECONNRESET, send-timeout...
+    }
+    if (N == 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// HttpParser
+//===----------------------------------------------------------------------===//
+
+HttpParser::Status HttpParser::fail(int Status, const std::string &Text) {
+  St = Status::Error;
+  ErrStatus = Status;
+  ErrText = Text;
+  return St;
+}
+
+bool HttpParser::takeLine(std::string &Out) {
+  size_t Nl = Buf.find('\n', Pos);
+  if (Nl == std::string::npos)
+    return false;
+  size_t End = Nl;
+  if (End > Pos && Buf[End - 1] == '\r')
+    --End;
+  Out.assign(Buf, Pos, End - Pos);
+  Pos = Nl + 1;
+  return true;
+}
+
+HttpParser::Status HttpParser::feed(const char *Data, size_t N) {
+  if (St != Status::NeedMore)
+    return St; // Complete/Error latch until reset().
+  Buf.append(Data, N);
+  return parseBuffered();
+}
+
+HttpParser::Status HttpParser::parseBuffered() {
+  while (true) {
+    switch (Ph) {
+    case Phase::RequestLine: {
+      // Tolerate (and skip) the CRLF some clients send between pipelined
+      // requests before giving up on an oversized line.
+      std::string Line;
+      if (!takeLine(Line)) {
+        if (Buf.size() - Pos > Lim.MaxRequestLine)
+          return fail(431, "request line too long");
+        return St;
+      }
+      if (Line.empty())
+        continue;
+      if (Line.size() > Lim.MaxRequestLine)
+        return fail(431, "request line too long");
+      size_t Sp1 = Line.find(' ');
+      size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+      if (Sp1 == std::string::npos || Sp2 == std::string::npos)
+        return fail(400, "malformed request line");
+      Req.Method = Line.substr(0, Sp1);
+      std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+      std::string Version = Line.substr(Sp2 + 1);
+      if (Version.rfind("HTTP/1.", 0) != 0)
+        return fail(400, "unsupported protocol version");
+      // HTTP/1.0 defaults to close, HTTP/1.1 to keep-alive; a Connection
+      // header below overrides either way.
+      KeepAlive = Version != "HTTP/1.0";
+      size_t Q = Target.find('?');
+      Req.Path = Target.substr(0, Q);
+      Req.Query = Q == std::string::npos ? "" : Target.substr(Q + 1);
+      if (Req.Path.empty() || Req.Path[0] != '/')
+        return fail(400, "malformed request target");
+      Ph = Phase::Headers;
+      continue;
+    }
+    case Phase::Headers: {
+      std::string Line;
+      if (!takeLine(Line)) {
+        if (Buf.size() - Pos > Lim.MaxHeaderBytes)
+          return fail(431, "headers too large");
+        return St;
+      }
+      HeaderBytes += Line.size() + 2;
+      if (HeaderBytes > Lim.MaxHeaderBytes)
+        return fail(431, "headers too large");
+      if (!Line.empty()) {
+        size_t Colon = Line.find(':');
+        if (Colon == std::string::npos)
+          return fail(400, "malformed header line");
+        std::string Name = Line.substr(0, Colon);
+        std::transform(Name.begin(), Name.end(), Name.begin(),
+                       [](unsigned char C) { return std::tolower(C); });
+        std::string Value = trimString(Line.substr(Colon + 1));
+        Req.Headers.emplace_back(std::move(Name), std::move(Value));
+        continue;
+      }
+      // Blank line: headers done; decide the body framing.
+      std::string Te = Req.header("transfer-encoding");
+      if (!Te.empty())
+        return fail(501, "transfer-encoding not supported");
+      std::string Cl = Req.header("content-length");
+      if (!Cl.empty()) {
+        char *End = nullptr;
+        unsigned long long V = std::strtoull(Cl.c_str(), &End, 10);
+        if (End == Cl.c_str() || *End != '\0')
+          return fail(400, "malformed content-length");
+        if (V > Lim.MaxBodyBytes)
+          return fail(413, "request body too large");
+        ContentLength = static_cast<size_t>(V);
+      }
+      std::string Conn = Req.header("connection");
+      std::transform(Conn.begin(), Conn.end(), Conn.begin(),
+                     [](unsigned char C) { return std::tolower(C); });
+      if (Conn == "close")
+        KeepAlive = false;
+      else if (Conn == "keep-alive")
+        KeepAlive = true;
+      Ph = Phase::Body;
+      continue;
+    }
+    case Phase::Body: {
+      if (Buf.size() - Pos < ContentLength)
+        return St;
+      Req.Body.assign(Buf, Pos, ContentLength);
+      Pos += ContentLength;
+      Ph = Phase::Done;
+      St = Status::Complete;
+      return St;
+    }
+    case Phase::Done:
+      return St;
+    }
+  }
+}
+
+void HttpParser::reset() {
+  // Keep pipelined leftovers: everything past the last consumed byte is
+  // the start of the next request.
+  std::string Rest = Buf.substr(Pos);
+  Buf = std::move(Rest);
+  Pos = 0;
+  HeaderBytes = 0;
+  ContentLength = 0;
+  KeepAlive = true;
+  ErrStatus = 400;
+  ErrText.clear();
+  Req = HttpRequest();
+  Ph = Phase::RequestLine;
+  St = Status::NeedMore;
+  if (!Buf.empty())
+    parseBuffered();
+}
+
+//===----------------------------------------------------------------------===//
+// HttpRouter
+//===----------------------------------------------------------------------===//
+
+static std::string routeKey(std::string Method, const std::string &Path) {
+  std::transform(Method.begin(), Method.end(), Method.begin(),
+                 [](unsigned char C) { return std::toupper(C); });
+  return Method + " " + Path;
+}
+
+uint64_t HttpRouter::add(const std::string &Method, const std::string &Path,
+                         Handler Fn) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Token = NextToken++;
+  Routes[routeKey(Method, Path)] = {Token, std::move(Fn)};
+  return Token;
+}
+
+void HttpRouter::remove(uint64_t Token) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Routes.begin(); It != Routes.end(); ++It)
+    if (It->second.Token == Token) {
+      Routes.erase(It);
+      return;
+    }
+}
+
+HttpResponse HttpRouter::dispatch(const HttpRequest &Req) const {
+  Handler Fn;
+  bool PathKnown = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Routes.find(routeKey(Req.Method, Req.Path));
+    // HEAD routes like GET; the transport suppresses the body bytes.
+    if (It == Routes.end() && Req.Method == "HEAD")
+      It = Routes.find(routeKey("GET", Req.Path));
+    if (It != Routes.end()) {
+      Fn = It->second.Fn;
+    } else {
+      const std::string Suffix = " " + Req.Path;
+      for (const auto &[Key, R] : Routes)
+        if (Key.size() >= Suffix.size() &&
+            Key.compare(Key.size() - Suffix.size(), Suffix.size(), Suffix) ==
+                0) {
+          PathKnown = true;
+          break;
+        }
+    }
+  }
+  if (Fn)
+    return Fn(Req);
+  HttpResponse Resp;
+  if (PathKnown) {
+    Resp.Status = 405;
+    Resp.Body = "method not allowed\n";
+  } else {
+    Resp.Status = 404;
+    Resp.Body = "not found: " + Req.Path + "\n";
+  }
+  return Resp;
+}
+
+std::vector<std::string> HttpRouter::paths() const {
+  std::vector<std::string> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Key, R] : Routes) {
+      size_t Sp = Key.find(' ');
+      Out.push_back(Key.substr(Sp + 1));
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

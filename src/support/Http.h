@@ -1,0 +1,230 @@
+//===- support/Http.h - Shared HTTP/1.1 wire layer ---------------*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependency-free HTTP/1.1 substrate shared by every server in the
+/// tree: the loopback introspection plane (support/StatsServer) and the
+/// networked prediction server (serving/HttpServer, tools/msem_serve).
+/// Three pieces:
+///
+///   * HttpRequest / HttpResponse -- the value types handlers consume and
+///     produce. Field order of HttpRequest keeps the historical
+///     {Method, Path, Query} aggregate-initialization shape working.
+///
+///   * HttpParser -- an incremental request parser built for event loops:
+///     feed() accepts however many bytes the socket produced (one byte at
+///     a time is fine) and reports NeedMore / Complete / Error. Enforces
+///     request-line, header and body limits so a hostile or broken client
+///     cannot balloon memory, maps violations to precise status codes
+///     (400/413/431/501), understands Content-Length bodies and
+///     Connection/keep-alive semantics, and retains pipelined leftover
+///     bytes across reset() so back-to-back requests on one connection
+///     never lose data.
+///
+///   * HttpRouter -- the route-registration API: (method, path) -> handler
+///     with token-checked removal and a movable ScopedRoute RAII wrapper.
+///     Dispatch semantics: exact (method, path) match; HEAD falls back to
+///     GET (the transport suppresses the body); a known path under a
+///     different method earns 405; anything else 404. Handlers run on
+///     server threads and must be internally synchronized.
+///
+/// Wire helpers (serializeResponse, sendAll) live here too so the two
+/// transports emit identical bytes for identical responses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SUPPORT_HTTP_H
+#define MSEM_SUPPORT_HTTP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msem {
+
+/// One parsed HTTP request. The leading three fields preserve the
+/// historical StatsRequest aggregate shape ({"GET", "/path", "query"}).
+struct HttpRequest {
+  std::string Method; ///< Uppercase verb as sent ("GET", "POST", ...).
+  std::string Path;   ///< Request path, query string stripped.
+  std::string Query;  ///< Raw query string ("" when absent).
+  std::string Body;   ///< Entity body (Content-Length framed).
+  /// Header fields in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> Headers;
+
+  /// First value of header \p Name (lowercase), or "" when absent.
+  std::string header(const std::string &Name) const;
+};
+
+/// One HTTP response. Handlers fill Body (and optionally the rest); the
+/// transport adds Content-Length and connection framing.
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// Reason phrase for \p Status ("OK", "Not Found", ...).
+const char *httpStatusText(int Status);
+
+/// Renders status line + headers + body. \p KeepAlive selects the
+/// Connection header; \p HeadRequest suppresses the body bytes while
+/// keeping the true Content-Length (RFC 7231 HEAD semantics).
+std::string serializeHttpResponse(const HttpResponse &Resp, bool KeepAlive,
+                                  bool HeadRequest);
+
+/// Blocking send of all of \p Data, retrying short writes and EINTR.
+/// Returns false once the peer is gone (EPIPE/ECONNRESET/timeout).
+bool httpSendAll(int Fd, const std::string &Data);
+
+//===----------------------------------------------------------------------===//
+// HttpParser
+//===----------------------------------------------------------------------===//
+
+/// Incremental request parser; one instance per connection. See file
+/// comment for the contract.
+class HttpParser {
+public:
+  struct Limits {
+    size_t MaxRequestLine = 8 * 1024;
+    size_t MaxHeaderBytes = 64 * 1024; ///< All header lines together.
+    size_t MaxBodyBytes = 8 * 1024 * 1024;
+  };
+
+  enum class Status {
+    NeedMore, ///< Feed more bytes when the socket has them.
+    Complete, ///< request() holds a full request.
+    Error     ///< Protocol violation; errorStatus()/errorText() say what.
+  };
+
+  HttpParser() : Lim(Limits()) {}
+  explicit HttpParser(Limits L) : Lim(L) {}
+
+  /// Consumes \p N bytes. Once Complete or Error is returned, further
+  /// feeds are ignored until reset().
+  Status feed(const char *Data, size_t N);
+
+  /// Parser state without new bytes (how pipelined leftovers resume).
+  Status status() const { return St; }
+
+  /// The parsed request; valid only when status() == Complete.
+  const HttpRequest &request() const { return Req; }
+
+  /// True when the request (or HTTP/1.1 default) asks to keep the
+  /// connection open; valid when Complete.
+  bool keepAlive() const { return KeepAlive; }
+
+  /// Suggested response status for an Error (400/413/431/501).
+  int errorStatus() const { return ErrStatus; }
+  const std::string &errorText() const { return ErrText; }
+
+  /// Prepares for the next request on the same connection, re-parsing any
+  /// pipelined bytes already received (so status() may be Complete
+  /// immediately after reset()).
+  void reset();
+
+private:
+  enum class Phase { RequestLine, Headers, Body, Done };
+
+  Status fail(int Status, const std::string &Text);
+  Status parseBuffered();
+  bool takeLine(std::string &Out); ///< Up to CRLF/LF, from Buf[Pos].
+
+  Limits Lim;
+  Phase Ph = Phase::RequestLine;
+  Status St = Status::NeedMore;
+  std::string Buf;   ///< Unconsumed bytes (grows by feed, trimmed by reset).
+  size_t Pos = 0;    ///< Parse cursor into Buf.
+  size_t HeaderBytes = 0;
+  size_t ContentLength = 0;
+  bool KeepAlive = true;
+  int ErrStatus = 400;
+  std::string ErrText;
+  HttpRequest Req;
+};
+
+//===----------------------------------------------------------------------===//
+// HttpRouter
+//===----------------------------------------------------------------------===//
+
+/// Thread-safe (method, path) -> handler table with token-checked
+/// removal. Registering an existing (method, path) replaces the handler
+/// (the newer owner wins); removal by token is a no-op when the route has
+/// since been replaced, so RAII teardown can never evict a successor.
+class HttpRouter {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+  /// Registers \p Fn for (\p Method, \p Path); returns the removal token.
+  uint64_t add(const std::string &Method, const std::string &Path,
+               Handler Fn);
+
+  /// Removes the route that \p Token registered, if still current.
+  void remove(uint64_t Token);
+
+  /// Routes \p Req: exact (method, path) match, HEAD falling back to GET;
+  /// 405 for a known path under an unknown method, 404 otherwise.
+  HttpResponse dispatch(const HttpRequest &Req) const;
+
+  /// Sorted unique registered paths (the index page's inventory).
+  std::vector<std::string> paths() const;
+
+private:
+  struct Route {
+    uint64_t Token;
+    Handler Fn;
+  };
+  mutable std::mutex Mutex;
+  /// Key: "METHOD PATH" (method uppercase).
+  std::map<std::string, Route> Routes;
+  uint64_t NextToken = 1;
+};
+
+/// RAII registration of one route in an HttpRouter. Movable so services
+/// can hold a vector of owned routes.
+class ScopedRoute {
+public:
+  ScopedRoute() = default;
+  ScopedRoute(HttpRouter &R, const std::string &Method,
+              const std::string &Path, HttpRouter::Handler Fn)
+      : Router(&R), Token(R.add(Method, Path, std::move(Fn))) {}
+  ~ScopedRoute() { release(); }
+
+  ScopedRoute(ScopedRoute &&O) noexcept : Router(O.Router), Token(O.Token) {
+    O.Router = nullptr;
+    O.Token = 0;
+  }
+  ScopedRoute &operator=(ScopedRoute &&O) noexcept {
+    if (this != &O) {
+      release();
+      Router = O.Router;
+      Token = O.Token;
+      O.Router = nullptr;
+      O.Token = 0;
+    }
+    return *this;
+  }
+  ScopedRoute(const ScopedRoute &) = delete;
+  ScopedRoute &operator=(const ScopedRoute &) = delete;
+
+private:
+  void release() {
+    if (Router)
+      Router->remove(Token);
+    Router = nullptr;
+  }
+  HttpRouter *Router = nullptr;
+  uint64_t Token = 0;
+};
+
+} // namespace msem
+
+#endif // MSEM_SUPPORT_HTTP_H

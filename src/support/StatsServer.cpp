@@ -34,7 +34,6 @@ struct Provider {
 
 struct Registries {
   std::mutex Mutex;
-  std::map<std::string, StatsServer::Handler> Handlers;
   std::map<std::string, Provider> Status;
   std::map<std::string, Provider> Health;
   uint64_t NextToken = 1;
@@ -65,18 +64,19 @@ std::string escapeJsonString(const std::string &S) {
 // Built-in endpoints
 //===----------------------------------------------------------------------===//
 
-StatsResponse renderIndex() {
+StatsResponse renderIndex(const StatsRequest &) {
   StatsResponse Resp;
   Resp.Body = "msem introspection plane\n\n"
               "  /healthz   liveness + campaign progress (JSON)\n"
               "  /statusz   build identity, uptime, component sections\n";
-  std::lock_guard<std::mutex> Lock(registries().Mutex);
-  for (const auto &[Path, Fn] : registries().Handlers)
-    Resp.Body += "  " + Path + "\n";
+  for (const std::string &Path : StatsServer::router().paths())
+    if (Path != "/" && Path != "/index" && Path != "/healthz" &&
+        Path != "/statusz")
+      Resp.Body += "  " + Path + "\n";
   return Resp;
 }
 
-StatsResponse renderHealthz() {
+StatsResponse renderHealthz(const StatsRequest &) {
   // Compose fragments outside the registry lock: provider callbacks may
   // take their own locks and must not nest under ours.
   std::vector<std::pair<std::string, std::function<std::string()>>> Fns;
@@ -94,7 +94,7 @@ StatsResponse renderHealthz() {
   return Resp;
 }
 
-StatsResponse renderStatusz() {
+StatsResponse renderStatusz(const StatsRequest &) {
   std::vector<std::pair<std::string, std::function<std::string()>>> Fns;
   std::chrono::steady_clock::time_point Epoch;
   {
@@ -121,38 +121,6 @@ StatsResponse renderStatusz() {
   return Resp;
 }
 
-//===----------------------------------------------------------------------===//
-// HTTP plumbing
-//===----------------------------------------------------------------------===//
-
-const char *statusText(int Status) {
-  switch (Status) {
-  case 200:
-    return "OK";
-  case 400:
-    return "Bad Request";
-  case 404:
-    return "Not Found";
-  case 405:
-    return "Method Not Allowed";
-  case 503:
-    return "Service Unavailable";
-  default:
-    return "Unknown";
-  }
-}
-
-void sendAll(int Fd, const std::string &Data) {
-  size_t Off = 0;
-  while (Off < Data.size()) {
-    // MSG_NOSIGNAL: a client that hung up yields EPIPE, not SIGPIPE.
-    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
-    if (N <= 0)
-      return;
-    Off += static_cast<size_t>(N);
-  }
-}
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -164,6 +132,26 @@ StatsServer::~StatsServer() { stop(); }
 StatsServer &StatsServer::global() {
   static StatsServer *S = new StatsServer; // Leaked: atexit handlers may
   return *S;                               // still serve /metrics.
+}
+
+HttpRouter &StatsServer::router() {
+  // Leaked: route handlers registered by static-lifetime owners may
+  // dispatch during atexit teardown. Built-ins are installed once here.
+  static HttpRouter *R = [] {
+    auto *Router = new HttpRouter;
+    Router->add("GET", "/", renderIndex);
+    Router->add("GET", "/index", renderIndex);
+    Router->add("GET", "/healthz", renderHealthz);
+    Router->add("GET", "/statusz", renderStatusz);
+    return Router;
+  }();
+  return *R;
+}
+
+ScopedRoute StatsServer::registerRoute(const std::string &Method,
+                                       const std::string &Path,
+                                       HttpRouter::Handler Fn) {
+  return ScopedRoute(router(), Method, Path, std::move(Fn));
 }
 
 bool StatsServer::maybeStartFromEnv() {
@@ -182,36 +170,11 @@ bool StatsServer::maybeStartFromEnv() {
 }
 
 void StatsServer::registerHandler(const std::string &Path, Handler Fn) {
-  std::lock_guard<std::mutex> Lock(registries().Mutex);
-  registries().Handlers[Path] = std::move(Fn);
+  router().add("GET", Path, std::move(Fn));
 }
 
 StatsResponse StatsServer::dispatch(const StatsRequest &Req) {
-  if (Req.Method != "GET" && Req.Method != "HEAD") {
-    StatsResponse Resp;
-    Resp.Status = 405;
-    Resp.Body = "method not allowed\n";
-    return Resp;
-  }
-  if (Req.Path == "/" || Req.Path == "/index")
-    return renderIndex();
-  if (Req.Path == "/healthz")
-    return renderHealthz();
-  if (Req.Path == "/statusz")
-    return renderStatusz();
-  Handler Fn;
-  {
-    std::lock_guard<std::mutex> Lock(registries().Mutex);
-    auto It = registries().Handlers.find(Req.Path);
-    if (It != registries().Handlers.end())
-      Fn = It->second;
-  }
-  if (Fn)
-    return Fn(Req);
-  StatsResponse Resp;
-  Resp.Status = 404;
-  Resp.Body = "not found: " + Req.Path + "\n";
-  return Resp;
+  return router().dispatch(Req);
 }
 
 bool StatsServer::start(int Port, std::string *Error) {
@@ -292,48 +255,37 @@ void StatsServer::acceptLoop() {
 }
 
 void StatsServer::serveConnection(int Fd) {
-  // A slow or stuck client must not wedge the introspection plane.
+  // A slow or stuck client must not wedge the introspection plane: the
+  // single serving thread imposes hard receive/send timeouts and closes
+  // after one response (no keep-alive on this transport; the serving
+  // plane's event loop is where concurrency lives).
   timeval Timeout{2, 0};
   ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
   ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
 
-  std::string Buf;
-  char Chunk[2048];
-  while (Buf.find("\r\n\r\n") == std::string::npos &&
-         Buf.find("\n\n") == std::string::npos && Buf.size() < 16384) {
+  HttpParser::Limits Limits;
+  Limits.MaxBodyBytes = 1 << 20; // Introspection requests are small.
+  HttpParser Parser(Limits);
+  char Chunk[4096];
+  while (Parser.status() == HttpParser::Status::NeedMore) {
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
     if (N <= 0)
-      break;
-    Buf.append(Chunk, static_cast<size_t>(N));
+      return; // Timeout or hangup before a full request: nothing to say.
+    Parser.feed(Chunk, static_cast<size_t>(N));
   }
 
-  StatsRequest Req;
-  StatsResponse Resp;
-  size_t LineEnd = Buf.find_first_of("\r\n");
-  std::string Line = Buf.substr(0, LineEnd == std::string::npos ? 0 : LineEnd);
-  size_t Sp1 = Line.find(' ');
-  size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
-  if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
-    Resp.Status = 400;
-    Resp.Body = "malformed request line\n";
+  HttpResponse Resp;
+  bool Head = false;
+  if (Parser.status() == HttpParser::Status::Error) {
+    Resp.Status = Parser.errorStatus();
+    Resp.Body = Parser.errorText() + "\n";
   } else {
-    Req.Method = Line.substr(0, Sp1);
-    std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
-    size_t Q = Target.find('?');
-    Req.Path = Target.substr(0, Q);
-    if (Q != std::string::npos)
-      Req.Query = Target.substr(Q + 1);
-    Resp = dispatch(Req);
+    Head = Parser.request().Method == "HEAD";
+    Resp = dispatch(Parser.request());
   }
-
-  std::string Out = formatString(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      Resp.Status, statusText(Resp.Status), Resp.ContentType.c_str(),
-      Resp.Body.size());
-  if (Req.Method != "HEAD")
-    Out += Resp.Body;
-  sendAll(Fd, Out);
+  httpSendAll(Fd, serializeHttpResponse(Resp, /*KeepAlive=*/false, Head));
 }
 
 //===----------------------------------------------------------------------===//

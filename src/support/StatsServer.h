@@ -9,25 +9,29 @@
 /// (campaigns, msem_predict, benches) a live introspection plane. Strictly
 /// opt-in: the global server starts only when MSEM_STATS_PORT is set
 /// (support/Env), binds the loopback interface only, and serves one
-/// request per connection from a single background thread. With the knob
+/// connection at a time from a single background thread. With the knob
 /// unset no socket and no thread exist, so instrumented binaries behave
 /// bitwise identically to uninstrumented ones.
 ///
-/// The server itself is routing-only; content comes from two process-wide
-/// registries that any layer may populate without linking anything beyond
-/// msem_support:
+/// The server itself is transport-only; routing lives in the process-wide
+/// HttpRouter (support/Http.h) exposed as StatsServer::router(), which any
+/// layer may populate without linking anything beyond msem_support:
 ///
-///   - registerHandler(path, fn): full ownership of one URL. The telemetry
-///     layer registers /metrics, /tracez and /profilez this way
-///     (telemetry/Introspection.h) -- support cannot depend on telemetry,
-///     so the arrow points this way.
+///   - router().add / ScopedRoute / registerRoute(): full ownership of one
+///     (method, path). The telemetry layer registers GET /metrics, /tracez
+///     and /profilez this way (telemetry/Introspection.h) -- support cannot
+///     depend on telemetry, so the arrow points this way -- and msem_serve
+///     registers its POST /v1/predict API into the same table, so the
+///     introspection plane and the serving plane share one route registry.
+///   - registerHandler(path, fn): the legacy GET-only registration,
+///     kept as a thin wrapper over the router.
 ///   - ScopedStatusProvider / ScopedHealthProvider: named sections
 ///     composed into the built-in /statusz (human-readable text) and
 ///     /healthz (JSON liveness + progress) endpoints. The campaign engine,
 ///     the thread pool and the serving monitor register these; RAII
 ///     deregistration keeps dangling callbacks impossible.
 ///
-/// Built-in endpoints: "/" (index of registered paths), "/healthz"
+/// Built-in routes: "/" (index of registered paths), "/healthz"
 /// ({"status":"ok",...} liveness plus provider fragments), "/statusz"
 /// (build identity, uptime, provider sections).
 ///
@@ -35,6 +39,8 @@
 
 #ifndef MSEM_SUPPORT_STATSSERVER_H
 #define MSEM_SUPPORT_STATSSERVER_H
+
+#include "support/Http.h"
 
 #include <atomic>
 #include <cstdint>
@@ -44,24 +50,14 @@
 
 namespace msem {
 
-/// One HTTP request, reduced to what introspection handlers need.
-struct StatsRequest {
-  std::string Method; ///< "GET" (anything else earns a 405).
-  std::string Path;   ///< Decoded path, no query string.
-  std::string Query;  ///< Raw query string ("" when absent).
-};
-
-/// One HTTP response. Handlers fill Body (and optionally the rest); the
-/// server adds Content-Length and Connection: close.
-struct StatsResponse {
-  int Status = 200;
-  std::string ContentType = "text/plain; charset=utf-8";
-  std::string Body;
-};
+/// Historical names for the shared HTTP value types; handlers written
+/// against the original stats plane compile unchanged.
+using StatsRequest = HttpRequest;
+using StatsResponse = HttpResponse;
 
 /// The introspection HTTP server. One instance per process is the
 /// expected shape (global()); tests may run private instances -- every
-/// instance serves the same process-wide handler/provider registries.
+/// instance serves the same process-wide route/provider registries.
 class StatsServer {
 public:
   using Handler = std::function<StatsResponse(const StatsRequest &)>;
@@ -96,13 +92,23 @@ public:
   /// (Campaign::run, msem_predict, the bench harnesses) calls this.
   static bool maybeStartFromEnv();
 
-  /// Registers (or replaces) the handler owning \p Path. Process-wide and
-  /// thread-safe; reachable through every instance.
+  /// The process-wide route table every transport dispatches through
+  /// (this server and serving/HttpServer alike). Built-in endpoints are
+  /// installed on first access.
+  static HttpRouter &router();
+
+  /// RAII route registration in the process-wide router.
+  static ScopedRoute registerRoute(const std::string &Method,
+                                   const std::string &Path,
+                                   HttpRouter::Handler Fn);
+
+  /// Legacy GET-only registration: registers (or replaces) the handler
+  /// owning GET \p Path in router(). Process-wide and permanent (no RAII;
+  /// prefer registerRoute for scoped owners).
   static void registerHandler(const std::string &Path, Handler Fn);
 
-  /// Dispatches \p Req against the built-in endpoints and the handler
-  /// registry exactly as a live request would be (tests use this to probe
-  /// routing without a socket).
+  /// Dispatches \p Req against the process-wide router exactly as a live
+  /// request would be (tests use this to probe routing without a socket).
   static StatsResponse dispatch(const StatsRequest &Req);
 
 private:

@@ -44,6 +44,16 @@ using namespace msem;
 
 namespace {
 
+StatsRequest makeRequest(const std::string &Method, const std::string &Path,
+                         const std::string &Query = "") {
+  StatsRequest R;
+  R.Method = Method;
+  R.Path = Path;
+  R.Query = Query;
+  return R;
+}
+
+
 /// Minimal HTTP/1.0-style GET against 127.0.0.1:Port; returns the whole
 /// response (headers + body), or "" on connect failure.
 std::string httpGet(int Port, const std::string &Target,
@@ -82,25 +92,25 @@ std::string bodyOf(const std::string &Response) {
 //===----------------------------------------------------------------------===//
 
 TEST(StatsServerDispatch, BuiltinsAndErrors) {
-  StatsResponse Index = StatsServer::dispatch({"GET", "/", ""});
+  StatsResponse Index = StatsServer::dispatch(makeRequest("GET", "/"));
   EXPECT_EQ(Index.Status, 200);
   EXPECT_NE(Index.Body.find("/healthz"), std::string::npos);
 
-  StatsResponse Health = StatsServer::dispatch({"GET", "/healthz", ""});
+  StatsResponse Health = StatsServer::dispatch(makeRequest("GET", "/healthz"));
   EXPECT_EQ(Health.Status, 200);
   EXPECT_NE(Health.Body.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_EQ(Health.ContentType, "application/json; charset=utf-8");
 
-  StatsResponse Status = StatsServer::dispatch({"GET", "/statusz", ""});
+  StatsResponse Status = StatsServer::dispatch(makeRequest("GET", "/statusz"));
   EXPECT_EQ(Status.Status, 200);
   EXPECT_NE(Status.Body.find("build:"), std::string::npos);
   EXPECT_NE(Status.Body.find("uptime_seconds:"), std::string::npos);
 
-  EXPECT_EQ(StatsServer::dispatch({"GET", "/nope", ""}).Status, 404);
-  EXPECT_EQ(StatsServer::dispatch({"POST", "/healthz", ""}).Status, 405);
-  EXPECT_EQ(StatsServer::dispatch({"PUT", "/", ""}).Status, 405);
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("GET", "/nope")).Status, 404);
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("POST", "/healthz")).Status, 405);
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("PUT", "/")).Status, 405);
   // HEAD routes like GET (the server suppresses the body on the wire).
-  EXPECT_EQ(StatsServer::dispatch({"HEAD", "/healthz", ""}).Status, 200);
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("HEAD", "/healthz")).Status, 200);
 }
 
 TEST(StatsServerDispatch, RegisteredHandlerOwnsPath) {
@@ -109,11 +119,11 @@ TEST(StatsServerDispatch, RegisteredHandlerOwnsPath) {
     R.Body = "owned:" + Req.Query;
     return R;
   });
-  StatsResponse Resp = StatsServer::dispatch({"GET", "/test-owned", "x=1"});
+  StatsResponse Resp = StatsServer::dispatch(makeRequest("GET", "/test-owned", "x=1"));
   EXPECT_EQ(Resp.Status, 200);
   EXPECT_EQ(Resp.Body, "owned:x=1");
   // The index lists registered paths.
-  EXPECT_NE(StatsServer::dispatch({"GET", "/", ""}).Body.find("/test-owned"),
+  EXPECT_NE(StatsServer::dispatch(makeRequest("GET", "/")).Body.find("/test-owned"),
             std::string::npos);
 }
 
@@ -123,17 +133,17 @@ TEST(StatsServerDispatch, ScopedProvidersComposeAndDeregister) {
                                 [] { return std::string("s-body"); });
     ScopedHealthProvider Health("test-health",
                                 [] { return std::string("{\"n\":7}"); });
-    std::string S = StatsServer::dispatch({"GET", "/statusz", ""}).Body;
+    std::string S = StatsServer::dispatch(makeRequest("GET", "/statusz")).Body;
     EXPECT_NE(S.find("== test-section =="), std::string::npos);
     EXPECT_NE(S.find("s-body"), std::string::npos);
-    std::string H = StatsServer::dispatch({"GET", "/healthz", ""}).Body;
+    std::string H = StatsServer::dispatch(makeRequest("GET", "/healthz")).Body;
     EXPECT_NE(H.find("\"test-health\":{\"n\":7}"), std::string::npos);
   }
   // RAII deregistration: gone after scope exit.
-  EXPECT_EQ(StatsServer::dispatch({"GET", "/statusz", ""})
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("GET", "/statusz"))
                 .Body.find("test-section"),
             std::string::npos);
-  EXPECT_EQ(StatsServer::dispatch({"GET", "/healthz", ""})
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("GET", "/healthz"))
                 .Body.find("test-health"),
             std::string::npos);
 }
@@ -143,7 +153,7 @@ TEST(StatsServerDispatch, ReplacementProviderSurvivesOldTeardown) {
       "test-replace", [] { return std::string("old"); });
   ScopedStatusProvider New("test-replace", [] { return std::string("new"); });
   Old.reset(); // Must not remove New's registration (token mismatch).
-  EXPECT_NE(StatsServer::dispatch({"GET", "/statusz", ""}).Body.find("new"),
+  EXPECT_NE(StatsServer::dispatch(makeRequest("GET", "/statusz")).Body.find("new"),
             std::string::npos);
 }
 
@@ -196,10 +206,10 @@ TEST(StatsServerLive, MetricsEndpointServesValidOpenMetrics) {
 
 TEST(StatsServerLive, TracezAndProfilezRespond) {
   telemetry::ensureIntrospection();
-  StatsResponse Tracez = StatsServer::dispatch({"GET", "/tracez", ""});
+  StatsResponse Tracez = StatsServer::dispatch(makeRequest("GET", "/tracez"));
   EXPECT_EQ(Tracez.Status, 200);
   EXPECT_NE(Tracez.Body.find("tracez:"), std::string::npos);
-  StatsResponse Profilez = StatsServer::dispatch({"GET", "/profilez", ""});
+  StatsResponse Profilez = StatsServer::dispatch(makeRequest("GET", "/profilez"));
   EXPECT_EQ(Profilez.Status, 200);
   EXPECT_NE(Profilez.Body.find("profilez:"), std::string::npos);
 }
@@ -227,7 +237,7 @@ TEST(CampaignHealth, HealthzReflectsCheckpointProgress) {
   Spec.OnCheckpointWritten = [&HealthBodies](size_t) {
     // Probed while Campaign::run is live, so the "campaign" provider is
     // registered and current.
-    HealthBodies.push_back(StatsServer::dispatch({"GET", "/healthz", ""}).Body);
+    HealthBodies.push_back(StatsServer::dispatch(makeRequest("GET", "/healthz")).Body);
   };
 
   ExperimentResult Result = Campaign(Spec).run();
@@ -240,7 +250,7 @@ TEST(CampaignHealth, HealthzReflectsCheckpointProgress) {
   EXPECT_NE(Last.find("\"jobs_total\":1"), std::string::npos) << Last;
 
   // Deregistered once run() returned: the fragment is gone.
-  EXPECT_EQ(StatsServer::dispatch({"GET", "/healthz", ""})
+  EXPECT_EQ(StatsServer::dispatch(makeRequest("GET", "/healthz"))
                 .Body.find("\"campaign\""),
             std::string::npos);
   std::remove(Ckpt.c_str());
@@ -248,7 +258,7 @@ TEST(CampaignHealth, HealthzReflectsCheckpointProgress) {
 
 TEST(PoolStatus, StatuszShowsThreadPool) {
   globalThreadPool(); // Materialize the pool (registers its section).
-  std::string S = StatsServer::dispatch({"GET", "/statusz", ""}).Body;
+  std::string S = StatsServer::dispatch(makeRequest("GET", "/statusz")).Body;
   EXPECT_NE(S.find("== pool =="), std::string::npos);
   EXPECT_NE(S.find("threads:"), std::string::npos);
   EXPECT_NE(S.find("queued tasks:"), std::string::npos);

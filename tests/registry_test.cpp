@@ -309,6 +309,53 @@ TEST(RegistryTest, PublishLeavesNoTempFiles) {
   EXPECT_EQ(Artifacts, 3u); // manifest.json + two artifacts.
 }
 
+TEST(RegistryTest, InvalidateCacheDropsEveryEntry) {
+  DirGuard Guard(tempRegistryDir("invalidate"));
+  ModelRegistry Reg({Guard.Dir, 8});
+  std::string Error;
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 50);
+  ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+
+  std::shared_ptr<const ModelArtifact> A = Reg.fetch(Info.Key, &Error);
+  ASSERT_NE(A, nullptr) << Error;
+  EXPECT_EQ(Reg.fetch(Info.Key, &Error), A); // Cache hit.
+
+  EXPECT_EQ(Reg.invalidateCache(), 1u);
+  EXPECT_EQ(Reg.invalidateCache(), 0u); // Idempotent on an empty cache.
+
+  // The next fetch deserializes disk again instead of reusing the
+  // dropped entry...
+  std::shared_ptr<const ModelArtifact> B = Reg.fetch(Info.Key, &Error);
+  ASSERT_NE(B, nullptr) << Error;
+  EXPECT_NE(B, A);
+  ModelRegistry::Stats S = Reg.stats();
+  EXPECT_EQ(S.Loads, 2u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  // ...while the dropped handle keeps serving (zero-downtime contract).
+  Rng R(51);
+  std::vector<double> X = Info.Space.encode(Info.Space.randomPoint(R));
+  EXPECT_EQ(A->M->predict(X), B->M->predict(X));
+}
+
+TEST(RegistryTest, ManifestSignatureTracksPublishes) {
+  DirGuard Guard(tempRegistryDir("signature"));
+  ModelRegistry Reg({Guard.Dir, 4});
+  EXPECT_EQ(Reg.manifestSignature(), 0u); // No manifest yet.
+
+  std::string Error;
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, 52);
+  ASSERT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  uint64_t S1 = Reg.manifestSignature();
+  EXPECT_NE(S1, 0u);
+  EXPECT_EQ(Reg.manifestSignature(), S1); // Stable between rewrites.
+
+  ModelArtifactInfo Info2 = makeInfo("gzip");
+  ASSERT_TRUE(Reg.publish(Info2, *M, &Error)) << Error;
+  EXPECT_NE(Reg.manifestSignature(), S1); // Every rewrite re-signs.
+}
+
 //===----------------------------------------------------------------------===//
 // Campaign integration: every fitted model is published automatically
 //===----------------------------------------------------------------------===//

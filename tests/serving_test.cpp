@@ -1,0 +1,922 @@
+//===- tests/serving_test.cpp - Serving stack tests -------------------------===//
+//
+// Coverage for the serving layer end to end: the shared HTTP/1.1 wire
+// layer (incremental parser, route registration), the msem.predict.v1
+// schema, the PredictionService facade (strict/tolerant semantics,
+// admission coalescing, hot reload) and the epoll HttpServer driven
+// through real loopback sockets -- byte-at-a-time clients, pipelining,
+// keep-alive, oversized request lines and the CLI-vs-HTTP bitwise
+// identity contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/HttpServer.h"
+#include "serving/PredictSchema.h"
+#include "serving/PredictionService.h"
+
+#include "design/Doe.h"
+#include "model/LinearModel.h"
+#include "registry/ModelRegistry.h"
+#include "support/Format.h"
+#include "support/Http.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+using namespace msem;
+using namespace msem::serving;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixtures (mirrors registry_test: temp registry + small trained model)
+//===----------------------------------------------------------------------===//
+
+std::string tempRegistryDir(const char *Tag) {
+  return formatString("serving_test_%s_%d", Tag, static_cast<int>(getpid()));
+}
+
+struct DirGuard {
+  std::string Dir;
+  explicit DirGuard(std::string D) : Dir(std::move(D)) {
+    std::filesystem::remove_all(Dir);
+  }
+  ~DirGuard() { std::filesystem::remove_all(Dir); }
+};
+
+std::unique_ptr<Model> trainSmallModel(const ParameterSpace &Space,
+                                       uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<DesignPoint> Points;
+  std::vector<double> Y;
+  for (int I = 0; I < 60; ++I) {
+    DesignPoint P = Space.randomPoint(R);
+    std::vector<double> X = Space.encode(P);
+    double V = 500 + 33.07 * X[0] - 12.9 * X[3] + 7.77 * X[0] * X[5] +
+               R.normal(0, 2.0);
+    Points.push_back(std::move(P));
+    Y.push_back(V);
+  }
+  Matrix X = encodeMatrix(Space, Points);
+  auto M = std::make_unique<LinearModel>();
+  M->train(X, Y);
+  return M;
+}
+
+ModelArtifactInfo makeInfo(const std::string &Workload,
+                           const std::string &Platform = "joint") {
+  ModelArtifactInfo Info;
+  Info.Key.Workload = Workload;
+  Info.Key.Input = InputSet::Train;
+  Info.Key.Metric = ResponseMetric::Cycles;
+  Info.Key.Technique = "linear";
+  Info.Key.Platform = Platform;
+  Info.Space = ParameterSpace::compilerSpace();
+  Info.Campaign = "serving-test";
+  Info.Seed = 0x5EEDull;
+  Info.TrainSize = 60;
+  Info.TestSize = 8;
+  Info.SimulationsUsed = 68;
+  Info.StopReason = "design-exhausted";
+  Info.Quality = {3.5, 120.25, 0.93};
+  return Info;
+}
+
+/// Publishes a fresh linear model for \p Info into \p Dir and returns it
+/// (the in-process reference the service results must match bitwise).
+std::unique_ptr<Model> publishModel(const std::string &Dir,
+                                    const ModelArtifactInfo &Info,
+                                    uint64_t Seed) {
+  ModelRegistry Reg({Dir, 4});
+  std::unique_ptr<Model> M = trainSmallModel(Info.Space, Seed);
+  std::string Error;
+  EXPECT_TRUE(Reg.publish(Info, *M, &Error)) << Error;
+  return M;
+}
+
+std::vector<DesignPoint> sampleRows(const ParameterSpace &Space, size_t N,
+                                    uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<DesignPoint> Rows;
+  for (size_t I = 0; I < N; ++I)
+    Rows.push_back(Space.randomPoint(R));
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Raw-socket test client
+//===----------------------------------------------------------------------===//
+
+int connectLoopback(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+struct WireResponse {
+  int Status = 0;
+  std::string Head;
+  std::string Body;
+};
+
+/// Reads one framed response from \p Fd. \p Buf persists across calls on
+/// one connection so keep-alive and pipelined responses parse cleanly.
+/// \p HeadOnly skips the body read (HEAD semantics: Content-Length names
+/// bytes that never arrive).
+bool readWireResponse(int Fd, std::string &Buf, WireResponse &Out,
+                      bool HeadOnly = false) {
+  auto FillTo = [&](size_t Want) {
+    char Tmp[4096];
+    while (Buf.size() < Want) {
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0)
+        return false;
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+    return true;
+  };
+  size_t HeadEnd;
+  while ((HeadEnd = Buf.find("\r\n\r\n")) == std::string::npos)
+    if (!FillTo(Buf.size() + 1))
+      return false;
+  Out.Head = Buf.substr(0, HeadEnd + 4);
+  if (sscanf(Out.Head.c_str(), "HTTP/1.1 %d", &Out.Status) != 1)
+    return false;
+  size_t Cl = 0;
+  size_t ClPos = Out.Head.find("Content-Length: ");
+  if (ClPos != std::string::npos)
+    Cl = std::strtoull(Out.Head.c_str() + ClPos + 16, nullptr, 10);
+  if (HeadOnly) {
+    Buf.erase(0, HeadEnd + 4);
+    Out.Body.clear();
+    return true;
+  }
+  if (!FillTo(HeadEnd + 4 + Cl))
+    return false;
+  Out.Body = Buf.substr(HeadEnd + 4, Cl);
+  Buf.erase(0, HeadEnd + 4 + Cl);
+  return true;
+}
+
+std::string postRequest(const std::string &Path, const std::string &Body) {
+  return formatString("POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %zu"
+                      "\r\n\r\n%s",
+                      Path.c_str(), Body.size(), Body.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// HttpParser
+//===----------------------------------------------------------------------===//
+
+TEST(HttpParserTest, ParsesPostedRequestOneByteAtATime) {
+  std::string Wire = postRequest("/v1/predict?x=1", "{\"a\":1}");
+  HttpParser P;
+  for (size_t I = 0; I + 1 < Wire.size(); ++I)
+    ASSERT_EQ(P.feed(&Wire[I], 1), HttpParser::Status::NeedMore)
+        << "completed early at byte " << I;
+  ASSERT_EQ(P.feed(&Wire[Wire.size() - 1], 1), HttpParser::Status::Complete);
+  EXPECT_EQ(P.request().Method, "POST");
+  EXPECT_EQ(P.request().Path, "/v1/predict");
+  EXPECT_EQ(P.request().Query, "x=1");
+  EXPECT_EQ(P.request().Body, "{\"a\":1}");
+  EXPECT_EQ(P.request().header("host"), "t");
+  EXPECT_TRUE(P.keepAlive());
+}
+
+TEST(HttpParserTest, ResetResumesPipelinedLeftovers) {
+  std::string Wire = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n"
+                     "Connection: close\r\n\r\n";
+  HttpParser P;
+  ASSERT_EQ(P.feed(Wire.data(), Wire.size()), HttpParser::Status::Complete);
+  EXPECT_EQ(P.request().Path, "/a");
+  P.reset();
+  // The second request was already buffered: Complete with no new bytes.
+  ASSERT_EQ(P.status(), HttpParser::Status::Complete);
+  EXPECT_EQ(P.request().Path, "/b");
+  EXPECT_FALSE(P.keepAlive());
+}
+
+TEST(HttpParserTest, EnforcesLimitsWithPreciseStatuses) {
+  HttpParser::Limits Lim;
+  Lim.MaxRequestLine = 32;
+  {
+    // Oversized request line fails even before a newline arrives.
+    HttpParser P(Lim);
+    std::string Line(64, 'a');
+    ASSERT_EQ(P.feed(Line.data(), Line.size()), HttpParser::Status::Error);
+    EXPECT_EQ(P.errorStatus(), 431);
+  }
+  {
+    HttpParser::Limits BodyLim;
+    BodyLim.MaxBodyBytes = 16;
+    HttpParser P(BodyLim);
+    std::string W = "POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Error);
+    EXPECT_EQ(P.errorStatus(), 413);
+  }
+  {
+    HttpParser P;
+    std::string W = "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Error);
+    EXPECT_EQ(P.errorStatus(), 501);
+  }
+  {
+    HttpParser P;
+    std::string W = "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Error);
+    EXPECT_EQ(P.errorStatus(), 400);
+  }
+  {
+    HttpParser P;
+    std::string W = "bogus\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Error);
+    EXPECT_EQ(P.errorStatus(), 400);
+  }
+}
+
+TEST(HttpParserTest, HonorsHttp10AndConnectionHeaders) {
+  {
+    HttpParser P;
+    std::string W = "GET / HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Complete);
+    EXPECT_FALSE(P.keepAlive()); // 1.0 defaults to close...
+  }
+  {
+    HttpParser P;
+    std::string W = "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+    ASSERT_EQ(P.feed(W.data(), W.size()), HttpParser::Status::Complete);
+    EXPECT_TRUE(P.keepAlive()); // ...unless the header overrides.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// HttpRouter
+//===----------------------------------------------------------------------===//
+
+HttpResponse textResponse(const std::string &Body) {
+  HttpResponse R;
+  R.Body = Body;
+  return R;
+}
+
+HttpRequest makeRequest(const std::string &Method, const std::string &Path) {
+  HttpRequest R;
+  R.Method = Method;
+  R.Path = Path;
+  return R;
+}
+
+TEST(HttpRouterTest, DispatchesExactHeadFallback405And404) {
+  HttpRouter Router;
+  Router.add("GET", "/ping", [](const HttpRequest &) {
+    return textResponse("pong\n");
+  });
+  EXPECT_EQ(Router.dispatch(makeRequest("GET", "/ping")).Body, "pong\n");
+  // HEAD routes like GET (the transport strips the body bytes).
+  EXPECT_EQ(Router.dispatch(makeRequest("HEAD", "/ping")).Status, 200);
+  EXPECT_EQ(Router.dispatch(makeRequest("POST", "/ping")).Status, 405);
+  EXPECT_EQ(Router.dispatch(makeRequest("GET", "/nope")).Status, 404);
+}
+
+TEST(HttpRouterTest, ScopedRouteUnregistersOnDestruction) {
+  HttpRouter Router;
+  {
+    ScopedRoute R(Router, "GET", "/scoped", [](const HttpRequest &) {
+      return textResponse("in scope\n");
+    });
+    EXPECT_EQ(Router.dispatch(makeRequest("GET", "/scoped")).Status, 200);
+  }
+  EXPECT_EQ(Router.dispatch(makeRequest("GET", "/scoped")).Status, 404);
+}
+
+TEST(HttpRouterTest, StaleTokenCannotEvictReplacementRoute) {
+  HttpRouter Router;
+  uint64_t Old = Router.add("GET", "/x", [](const HttpRequest &) {
+    return textResponse("old\n");
+  });
+  Router.add("GET", "/x", [](const HttpRequest &) {
+    return textResponse("new\n");
+  });
+  EXPECT_EQ(Router.dispatch(makeRequest("GET", "/x")).Body, "new\n");
+  // The replaced registration's teardown must not tear down its successor.
+  Router.remove(Old);
+  EXPECT_EQ(Router.dispatch(makeRequest("GET", "/x")).Body, "new\n");
+}
+
+//===----------------------------------------------------------------------===//
+// msem.predict.v1 schema
+//===----------------------------------------------------------------------===//
+
+TEST(PredictSchemaTest, KeySpecParsesAndRoundTrips) {
+  ModelKey Key;
+  std::string Error;
+  ASSERT_TRUE(parseKeySpec("art,train,cycles,rbf,aggressive", Key, Error))
+      << Error;
+  EXPECT_EQ(Key.Workload, "art");
+  EXPECT_EQ(Key.Input, InputSet::Train);
+  EXPECT_EQ(Key.Metric, ResponseMetric::Cycles);
+  EXPECT_EQ(Key.Technique, "rbf");
+  EXPECT_EQ(Key.Platform, "aggressive");
+  EXPECT_EQ(keySpec(Key), "art,train,cycles,rbf,aggressive");
+
+  // Four fields default the platform to the joint model.
+  ASSERT_TRUE(parseKeySpec("gzip,test,cycles,mars", Key, Error)) << Error;
+  EXPECT_EQ(Key.Platform, "joint");
+
+  for (const char *Bad : {"art,train,cycles", "art,bogus,cycles,rbf",
+                          "art,train,bogus,rbf", "art,train,cycles,,joint",
+                          "a,b,c,d,e,f"})
+    EXPECT_FALSE(parseKeySpec(Bad, Key, Error)) << Bad;
+}
+
+TEST(PredictSchemaTest, RequestDocumentRoundTrips) {
+  PredictRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseKeySpec("art,train,cycles,linear,joint", Req.Key, Error));
+  Req.Rows = {{1, 2, 3}, {4, 5, 6}};
+  Req.Format = PredictFormat::Csv;
+  Req.ComparePlatform = "typical";
+
+  PredictRequest Back;
+  ASSERT_TRUE(parsePredictRequest(serializePredictRequest(Req), Back, Error))
+      << Error;
+  EXPECT_EQ(keySpec(Back.Key), keySpec(Req.Key));
+  EXPECT_EQ(Back.Rows, Req.Rows);
+  EXPECT_EQ(Back.Format, PredictFormat::Csv);
+  EXPECT_EQ(Back.ComparePlatform, "typical");
+
+  // Default options are omitted from the document and restored on parse.
+  Req.Format = PredictFormat::Json;
+  Req.ComparePlatform.clear();
+  Json Doc = serializePredictRequest(Req);
+  EXPECT_FALSE(Doc.has("options"));
+  ASSERT_TRUE(parsePredictRequest(Doc, Back, Error)) << Error;
+  EXPECT_EQ(Back.Format, PredictFormat::Json);
+  EXPECT_TRUE(Back.ComparePlatform.empty());
+}
+
+TEST(PredictSchemaTest, RequestParserRejectsBadDocuments) {
+  auto Fails = [](const std::string &Text, const std::string &Needle) {
+    std::string Error;
+    Json Doc = Json::parse(Text, &Error);
+    ASSERT_TRUE(Error.empty()) << Error;
+    PredictRequest Req;
+    EXPECT_FALSE(parsePredictRequest(Doc, Req, Error)) << Text;
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+  };
+  Fails("{\"model\": \"a,train,cycles,rbf\", \"rows\": [[1]]}", "schema");
+  Fails("{\"schema\": \"msem.predict.v2\", \"model\": \"a,train,cycles,rbf\","
+        " \"rows\": [[1]]}",
+        "unsupported schema");
+  Fails("{\"schema\": \"msem.predict.v1\", \"rows\": [[1]]}", "model");
+  Fails("{\"schema\": \"msem.predict.v1\", \"model\": \"a,train,cycles,rbf\"}",
+        "rows");
+  Fails("{\"schema\": \"msem.predict.v1\", \"model\": \"a,train,cycles,rbf\","
+        " \"rows\": [[1,2],[1]]}",
+        "disagree on width");
+  Fails("{\"schema\": \"msem.predict.v1\", \"model\": \"a,train,cycles,rbf\","
+        " \"rows\": [[1,\"x\"]]}",
+        "non-numeric");
+  Fails("{\"schema\": \"msem.predict.v1\", \"model\": \"a,train,cycles,rbf\","
+        " \"rows\": [[1]], \"options\": {\"format\": \"xml\"}}",
+        "unknown format");
+}
+
+TEST(PredictSchemaTest, RowsTextParsesCsvAndJsonl) {
+  std::vector<DesignPoint> Rows;
+  bool FromJsonl = false;
+  std::string Error;
+
+  ASSERT_TRUE(parseRowsText("a,b,c\n1,2,3\n4,5,6\n", Rows, FromJsonl, Error))
+      << Error;
+  EXPECT_FALSE(FromJsonl);
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0], (DesignPoint{1, 2, 3}));
+  EXPECT_EQ(Rows[1], (DesignPoint{4, 5, 6}));
+
+  ASSERT_TRUE(parseRowsText("[1, 2, 3]\n[4, 5, 6]\n", Rows, FromJsonl, Error))
+      << Error;
+  EXPECT_TRUE(FromJsonl);
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[1], (DesignPoint{4, 5, 6}));
+
+  EXPECT_FALSE(parseRowsText("a,b\n1,nope\n", Rows, FromJsonl, Error));
+  EXPECT_NE(Error.find("bad integer"), std::string::npos) << Error;
+  EXPECT_FALSE(parseRowsText("a,b\n1,2\n3\n", Rows, FromJsonl, Error));
+  EXPECT_FALSE(parseRowsText("\n  \n", Rows, FromJsonl, Error));
+}
+
+TEST(PredictSchemaTest, RenderersEmitHistoricalCliBytes) {
+  PredictResponse Resp;
+  Resp.Metric = ResponseMetric::Cycles;
+  Resp.Platform = "aggressive";
+  Resp.Predictions = {1234.5, 1.0 / 3.0};
+
+  EXPECT_EQ(renderPredictCsv(Resp),
+            formatString("predicted_cycles\n%.17g\n%.17g\n", 1234.5,
+                         1.0 / 3.0));
+  EXPECT_EQ(renderPredictJsonl(Resp),
+            formatString("{\"request\": 0, \"prediction\": %.17g}\n"
+                         "{\"request\": 1, \"prediction\": %.17g}\n",
+                         1234.5, 1.0 / 3.0));
+
+  Resp.ComparePlatform = "typical";
+  Resp.ComparePredictions = {2469.0, 0.0};
+  EXPECT_EQ(renderPredictCsv(Resp),
+            formatString("predicted_cycles_aggressive,predicted_cycles_"
+                         "typical,ratio\n%.17g,%.17g,%.6g\n%.17g,%.17g,%.6g\n",
+                         1234.5, 2469.0, 1234.5 / 2469.0, 1.0 / 3.0, 0.0,
+                         0.0));
+
+  // The JSON document skips error rows in predictions and carries them in
+  // an errors array instead.
+  Resp.ComparePlatform.clear();
+  Resp.ComparePredictions.clear();
+  Resp.Errors = {{0, "bad width"}};
+  Json Doc = serializePredictResponse(Resp);
+  EXPECT_EQ(Doc["predictions"].size(), 1u);
+  EXPECT_EQ(Doc["predictions"].at(0)["row"].asInt(), 1);
+  EXPECT_EQ(Doc["errors"].at(0)["error"].asString(), "bad width");
+}
+
+//===----------------------------------------------------------------------===//
+// PredictionService
+//===----------------------------------------------------------------------===//
+
+PredictionService::Options serviceOptions(const std::string &Dir) {
+  PredictionService::Options O;
+  O.RegistryDir = Dir;
+  return O;
+}
+
+TEST(PredictionServiceTest, MatchesDirectModelPredictionsBitwise) {
+  DirGuard Guard(tempRegistryDir("bitwise"));
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = publishModel(Guard.Dir, Info, 101);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  Req.Rows = sampleRows(Info.Space, 16, 102);
+  PredictResponse Resp;
+  std::string Error;
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, /*Strict=*/true), 200) << Error;
+  EXPECT_EQ(Resp.ModelId, "art-train-cycles-linear-joint");
+  EXPECT_TRUE(Resp.Errors.empty());
+  ASSERT_EQ(Resp.Predictions.size(), Req.Rows.size());
+  for (size_t I = 0; I < Req.Rows.size(); ++I)
+    EXPECT_EQ(Resp.Predictions[I], M->predict(Info.Space.encode(Req.Rows[I])))
+        << "row " << I;
+}
+
+TEST(PredictionServiceTest, StrictFailsFastTolerantReportsPerRow) {
+  DirGuard Guard(tempRegistryDir("strict"));
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = publishModel(Guard.Dir, Info, 110);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  Req.Rows = sampleRows(Info.Space, 3, 111);
+  Req.Rows[1] = {1, 2, 3}; // Matches neither full width nor the prefix.
+
+  PredictResponse Resp;
+  std::string Error;
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, /*Strict=*/true), 400);
+  EXPECT_EQ(Error.rfind("request 2: ", 0), 0u) << Error;
+
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, /*Strict=*/false), 200) << Error;
+  ASSERT_EQ(Resp.Errors.size(), 1u);
+  EXPECT_EQ(Resp.Errors[0].Row, 1u);
+  ASSERT_EQ(Resp.Predictions.size(), 3u);
+  EXPECT_EQ(Resp.Predictions[0], M->predict(Info.Space.encode(Req.Rows[0])));
+  EXPECT_EQ(Resp.Predictions[1], 0.0); // Placeholder under the error row.
+  EXPECT_EQ(Resp.Predictions[2], M->predict(Info.Space.encode(Req.Rows[2])));
+}
+
+TEST(PredictionServiceTest, MapsFailureModesToHttpStatuses) {
+  DirGuard Guard(tempRegistryDir("status"));
+  ModelArtifactInfo Info = makeInfo("art");
+  publishModel(Guard.Dir, Info, 120);
+
+  PredictionService::Options O = serviceOptions(Guard.Dir);
+  O.MaxBatchRows = 4;
+  O.MaxQueueRows = 2;
+  PredictionService Svc(O);
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  PredictResponse Resp;
+  std::string Error;
+
+  Req.Rows.clear();
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, true), 400); // No rows.
+
+  Req.Rows = sampleRows(Info.Space, 5, 121);
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, true), 413); // Over MaxBatchRows.
+  EXPECT_NE(Error.find("per-request limit"), std::string::npos) << Error;
+
+  Req.Rows = sampleRows(Info.Space, 3, 122);
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, true), 503); // Over MaxQueueRows.
+  EXPECT_NE(Error.find("overloaded"), std::string::npos) << Error;
+
+  Req.Rows = sampleRows(Info.Space, 2, 123);
+  Req.Key.Workload = "nonexistent";
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, true), 404);
+}
+
+TEST(PredictionServiceTest, CompareModePredictsBothPlatforms) {
+  DirGuard Guard(tempRegistryDir("compare"));
+  ModelArtifactInfo Alpha = makeInfo("art", "alpha");
+  ModelArtifactInfo Beta = makeInfo("art", "beta");
+  std::unique_ptr<Model> MA = publishModel(Guard.Dir, Alpha, 130);
+  std::unique_ptr<Model> MB = publishModel(Guard.Dir, Beta, 131);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  PredictRequest Req;
+  Req.Key = Alpha.Key;
+  Req.ComparePlatform = "beta";
+  Req.Rows = sampleRows(Alpha.Space, 6, 132);
+  PredictResponse Resp;
+  std::string Error;
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, true), 200) << Error;
+  EXPECT_EQ(Resp.ComparePlatform, "beta");
+  ASSERT_EQ(Resp.ComparePredictions.size(), Req.Rows.size());
+  for (size_t I = 0; I < Req.Rows.size(); ++I) {
+    std::vector<double> X = Alpha.Space.encode(Req.Rows[I]);
+    EXPECT_EQ(Resp.Predictions[I], MA->predict(X));
+    EXPECT_EQ(Resp.ComparePredictions[I], MB->predict(X));
+  }
+  EXPECT_EQ(renderPredictCsv(Resp).rfind(
+                "predicted_cycles_alpha,predicted_cycles_beta,ratio\n", 0),
+            0u);
+
+  // A missing compare platform fails the whole request, even tolerant.
+  Req.ComparePlatform = "gamma";
+  EXPECT_EQ(Svc.predict(Req, Resp, Error, false), 404);
+}
+
+TEST(PredictionServiceTest, ConcurrentRequestsCoalesceBitwiseClean) {
+  DirGuard Guard(tempRegistryDir("coalesce"));
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> M = publishModel(Guard.Dir, Info, 140);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  // Each thread owns a distinct slice of rows; whatever mix of leaders
+  // and followers the schedule produces, every caller must get exactly
+  // the bytes a serial run yields (coalescing is bitwise-neutral).
+  constexpr int Threads = 8, RowsPer = 5;
+  std::vector<DesignPoint> All = sampleRows(Info.Space, Threads * RowsPer, 141);
+  std::vector<std::vector<double>> Got(Threads);
+  std::vector<int> Status(Threads, 0);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      PredictRequest Req;
+      Req.Key = Info.Key;
+      Req.Rows.assign(All.begin() + T * RowsPer,
+                      All.begin() + (T + 1) * RowsPer);
+      PredictResponse Resp;
+      std::string Error;
+      Status[T] = Svc.predict(Req, Resp, Error, true);
+      Got[T] = Resp.Predictions;
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  for (int T = 0; T < Threads; ++T) {
+    ASSERT_EQ(Status[T], 200) << "thread " << T;
+    ASSERT_EQ(Got[T].size(), static_cast<size_t>(RowsPer));
+    for (int I = 0; I < RowsPer; ++I)
+      EXPECT_EQ(Got[T][I],
+                M->predict(Info.Space.encode(All[T * RowsPer + I])))
+          << "thread " << T << " row " << I;
+  }
+}
+
+TEST(PredictionServiceTest, HotReloadCutsOverWithoutDroppingOldHandles) {
+  DirGuard Guard(tempRegistryDir("reload"));
+  ModelArtifactInfo Info = makeInfo("art");
+  std::unique_ptr<Model> V1 = publishModel(Guard.Dir, Info, 150);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  Req.Rows = sampleRows(Info.Space, 4, 151);
+  PredictResponse Resp;
+  std::string Error;
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, true), 200) << Error;
+  std::vector<double> P1 = Resp.Predictions;
+
+  // Seed the watch with the current manifest, then verify quiescence.
+  EXPECT_TRUE(Svc.pollManifestOnce()); // First observation of the manifest.
+  EXPECT_FALSE(Svc.pollManifestOnce());
+  uint64_t ReloadsBefore = Svc.reloadCount();
+
+  // An in-flight holder pins the artifact it resolved at admission.
+  std::shared_ptr<const ModelArtifact> Pinned =
+      Svc.registry().fetch(Info.Key, &Error);
+  ASSERT_NE(Pinned, nullptr) << Error;
+
+  // A second process publishes a new model under the same key...
+  std::unique_ptr<Model> V2 = publishModel(Guard.Dir, Info, 160);
+
+  // ...but until the watch observes the manifest change, the service's
+  // cache keeps serving the pinned version (no torn cutover).
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, true), 200) << Error;
+  EXPECT_EQ(Resp.Predictions, P1);
+
+  ASSERT_TRUE(Svc.pollManifestOnce());
+  EXPECT_EQ(Svc.reloadCount(), ReloadsBefore + 1);
+  ASSERT_EQ(Svc.predict(Req, Resp, Error, true), 200) << Error;
+  EXPECT_NE(Resp.Predictions, P1); // New version now serves...
+  for (size_t I = 0; I < Req.Rows.size(); ++I) {
+    std::vector<double> X = Info.Space.encode(Req.Rows[I]);
+    EXPECT_EQ(Resp.Predictions[I], V2->predict(X));
+    EXPECT_EQ(Pinned->M->predict(X), V1->predict(X)) // ...old handle drains
+        << "pinned artifact must keep serving the old version";
+  }
+}
+
+TEST(PredictionServiceTest, HandlePredictRendersRequestedFormat) {
+  DirGuard Guard(tempRegistryDir("handle"));
+  ModelArtifactInfo Info = makeInfo("art");
+  publishModel(Guard.Dir, Info, 170);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  Req.Rows = sampleRows(Info.Space, 5, 171);
+  Req.Format = PredictFormat::Csv;
+
+  // The HTTP handler must emit exactly the CLI's bytes for these rows.
+  PredictResponse Expected;
+  std::string Error;
+  ASSERT_EQ(Svc.predict(Req, Expected, Error, true), 200) << Error;
+
+  HttpRequest HReq = makeRequest("POST", "/v1/predict");
+  HReq.Body = serializePredictRequest(Req).dump();
+  HttpResponse HResp = Svc.handlePredict(HReq);
+  EXPECT_EQ(HResp.Status, 200);
+  EXPECT_EQ(HResp.ContentType, "text/csv; charset=utf-8");
+  EXPECT_EQ(HResp.Body, renderPredictCsv(Expected));
+
+  // Malformed body and unknown model map to structured JSON errors.
+  HReq.Body = "{not json";
+  EXPECT_EQ(Svc.handlePredict(HReq).Status, 400);
+  Req.Key.Workload = "nonexistent";
+  HReq.Body = serializePredictRequest(Req).dump();
+  HttpResponse Missing = Svc.handlePredict(HReq);
+  EXPECT_EQ(Missing.Status, 404);
+  EXPECT_NE(Missing.Body.find("\"error\""), std::string::npos);
+}
+
+TEST(PredictionServiceTest, HandleModelsListsManifestInventory) {
+  DirGuard Guard(tempRegistryDir("models"));
+  ModelArtifactInfo Info = makeInfo("art");
+  publishModel(Guard.Dir, Info, 180);
+  PredictionService Svc(serviceOptions(Guard.Dir));
+
+  HttpResponse Resp = Svc.handleModels(makeRequest("GET", "/v1/models"));
+  EXPECT_EQ(Resp.Status, 200);
+  EXPECT_NE(Resp.Body.find("\"models\""), std::string::npos);
+  EXPECT_NE(Resp.Body.find("art-train-cycles-linear-joint"),
+            std::string::npos);
+  EXPECT_NE(Resp.Body.find("art,train,cycles,linear,joint"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer (live loopback sockets)
+//===----------------------------------------------------------------------===//
+
+TEST(HttpServerTest, ServesKeepAliveConnectionsAndCounts) {
+  HttpRouter Router;
+  ScopedRoute Ping(Router, "GET", "/ping", [](const HttpRequest &) {
+    return textResponse("pong\n");
+  });
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ASSERT_GT(Server.port(), 0);
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  std::string Buf;
+  WireResponse R;
+  for (int I = 0; I < 3; ++I) {
+    ASSERT_TRUE(httpSendAll(Fd, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+    ASSERT_TRUE(readWireResponse(Fd, Buf, R)) << "request " << I;
+    EXPECT_EQ(R.Status, 200);
+    EXPECT_EQ(R.Body, "pong\n");
+    EXPECT_NE(R.Head.find("Connection: keep-alive"), std::string::npos);
+  }
+  ::close(Fd);
+  Server.stop();
+  EXPECT_FALSE(Server.running());
+  EXPECT_EQ(Server.stats().Accepted, 1u);
+  EXPECT_EQ(Server.stats().Requests, 3u);
+  EXPECT_EQ(Server.stats().ParseErrors, 0u);
+}
+
+TEST(HttpServerTest, SurvivesByteAtATimeClients) {
+  HttpRouter Router;
+  ScopedRoute Echo(Router, "POST", "/echo", [](const HttpRequest &R) {
+    return textResponse(R.Body);
+  });
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  std::string Wire = postRequest("/echo", "slow and steady");
+  for (size_t I = 0; I < Wire.size(); ++I) {
+    ASSERT_TRUE(httpSendAll(Fd, Wire.substr(I, 1)));
+    if (I % 16 == 0) // Let the loop observe genuinely partial reads.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string Buf;
+  WireResponse R;
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "slow and steady");
+  ::close(Fd);
+  Server.stop();
+}
+
+TEST(HttpServerTest, DrainsPipelinedRequestsInOrder) {
+  HttpRouter Router;
+  ScopedRoute Echo(Router, "POST", "/echo", [](const HttpRequest &R) {
+    return textResponse(R.Body);
+  });
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  // Both requests land in one segment; responses must come back in order
+  // on the same connection.
+  ASSERT_TRUE(httpSendAll(Fd, postRequest("/echo", "first") +
+                                  postRequest("/echo", "second")));
+  std::string Buf;
+  WireResponse R1, R2;
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R1));
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R2));
+  EXPECT_EQ(R1.Body, "first");
+  EXPECT_EQ(R2.Body, "second");
+  ::close(Fd);
+  Server.stop();
+  EXPECT_EQ(Server.stats().Requests, 2u);
+}
+
+TEST(HttpServerTest, RejectsOversizedRequestLineAndCloses) {
+  HttpRouter Router;
+  HttpServer::Options O;
+  O.Limits.MaxRequestLine = 128;
+  HttpServer Server(Router, O);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(httpSendAll(Fd, "GET /" + std::string(512, 'a') +
+                                  " HTTP/1.1\r\n\r\n"));
+  std::string Buf;
+  WireResponse R;
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Status, 431);
+  EXPECT_NE(R.Head.find("Connection: close"), std::string::npos);
+  // The server closes after draining the error response.
+  char Tmp[16];
+  EXPECT_EQ(::recv(Fd, Tmp, sizeof(Tmp), 0), 0);
+  ::close(Fd);
+  Server.stop();
+  EXPECT_EQ(Server.stats().ParseErrors, 1u);
+  EXPECT_EQ(Server.stats().Requests, 0u);
+}
+
+TEST(HttpServerTest, HeadSuppressesBodyButKeepsLength) {
+  HttpRouter Router;
+  ScopedRoute Ping(Router, "GET", "/ping", [](const HttpRequest &) {
+    return textResponse("pong\n");
+  });
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(httpSendAll(Fd, "HEAD /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string Buf;
+  WireResponse R;
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R, /*HeadOnly=*/true));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Head.find("Content-Length: 5"), std::string::npos);
+  // No body bytes follow; the next response on this keep-alive connection
+  // starts immediately after the header block.
+  ASSERT_TRUE(httpSendAll(Fd, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Body, "pong\n");
+  ::close(Fd);
+  Server.stop();
+}
+
+TEST(HttpServerTest, RoutesMissesTo404And405) {
+  HttpRouter Router;
+  ScopedRoute Ping(Router, "GET", "/ping", [](const HttpRequest &) {
+    return textResponse("pong\n");
+  });
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  std::string Buf;
+  WireResponse R;
+  ASSERT_TRUE(httpSendAll(Fd, "GET /nope HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Status, 404);
+  ASSERT_TRUE(httpSendAll(Fd, postRequest("/ping", "x")));
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Status, 405);
+  ::close(Fd);
+  Server.stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndPortIsReusable) {
+  HttpRouter Router;
+  auto Serve = [&] {
+    HttpServer Server(Router, HttpServer::Options());
+    std::string Error;
+    ASSERT_TRUE(Server.start(&Error)) << Error;
+    EXPECT_GT(Server.port(), 0);
+    Server.stop();
+    Server.stop(); // Idempotent.
+  };
+  // Two full start/stop cycles: no leaked fds, no lingering threads.
+  Serve();
+  Serve();
+}
+
+TEST(HttpServerTest, ServesPredictionsBitwiseIdenticalToCli) {
+  DirGuard Guard(tempRegistryDir("e2e"));
+  ModelArtifactInfo Info = makeInfo("art");
+  publishModel(Guard.Dir, Info, 190);
+
+  // The router must outlive the service: registerRoutes hands the service
+  // ScopedRoutes that unregister themselves on destruction.
+  HttpRouter Router;
+  PredictionService Svc(serviceOptions(Guard.Dir));
+  Svc.registerRoutes(Router);
+  HttpServer Server(Router, HttpServer::Options());
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  PredictRequest Req;
+  Req.Key = Info.Key;
+  Req.Rows = sampleRows(Info.Space, 12, 191);
+  Req.Format = PredictFormat::Csv;
+
+  // The CLI path: strict predict + the shared CSV renderer.
+  PredictResponse CliResp;
+  ASSERT_EQ(Svc.predict(Req, CliResp, Error, true), 200) << Error;
+  std::string CliBytes = renderPredictCsv(CliResp);
+
+  // The HTTP path: the same document POSTed over a real socket.
+  int Fd = connectLoopback(Server.port());
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(httpSendAll(
+      Fd, postRequest("/v1/predict", serializePredictRequest(Req).dump())));
+  std::string Buf;
+  WireResponse R;
+  ASSERT_TRUE(readWireResponse(Fd, Buf, R));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, CliBytes) << "HTTP bytes must equal the CLI bytes";
+  ::close(Fd);
+  Server.stop();
+}
+
+} // namespace

@@ -2,11 +2,11 @@
 # msem_bench_baseline: run the regression-sentinel bench set at its
 # canonical pinned scale and collect the BENCH_*.json results.
 #
-# The five gated harnesses (micro_simulator, predict_throughput,
-# parallel_scaling, table3_model_accuracy, trace_replay) run with a fixed
-# seed, design size and thread count so model-quality metrics are
-# bit-deterministic and timing metrics are comparable across runs of the
-# same machine class.
+# The six gated harnesses (micro_simulator, predict_throughput,
+# parallel_scaling, table3_model_accuracy, trace_replay, serve_load) run
+# with a fixed seed, design size and thread count so model-quality metrics
+# are bit-deterministic and timing metrics are comparable across runs of
+# the same machine class.
 # Each run starts from a fresh response cache: cached simulations would
 # turn the throughput metrics into cache-hit benchmarks.
 #
@@ -36,7 +36,7 @@ done
 
 BENCHES=(bench_micro_simulator bench_predict_throughput
          bench_parallel_scaling bench_table3_model_accuracy
-         bench_trace_replay)
+         bench_trace_replay bench_serve_load)
 for B in "${BENCHES[@]}"; do
   if [ ! -x "$BUILD_DIR/bench/$B" ]; then
     echo "msem_bench_baseline: missing $BUILD_DIR/bench/$B (build first)" >&2

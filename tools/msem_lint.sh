@@ -35,6 +35,43 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR/tools/msem_predict" --smoke "$SMOKE_DIR/registry"
 "$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" --list
 
+# Serve smoke: the networked server must answer the exact bytes the batch
+# CLI writes for the same rows (the shared-serializer contract). Generate
+# a request set from the published artifact, predict it with the CLI,
+# POST the msem.predict.v1 document to a live msem_serve, and compare
+# bitwise. Then a tiny closed+open load run through the same stack.
+echo "== serve smoke =="
+KEY=art,train,cycles,rbf,joint
+"$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" \
+  --key "$KEY" --gen 32 --seed 7 --out "$SMOKE_DIR/serve-req.csv"
+"$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" \
+  --key "$KEY" --in "$SMOKE_DIR/serve-req.csv" \
+  --out "$SMOKE_DIR/serve-cli.csv"
+"$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" \
+  --key "$KEY" --in "$SMOKE_DIR/serve-req.csv" --emit-request \
+  --format csv --out "$SMOKE_DIR/serve-post.json"
+rm -f "$SMOKE_DIR/serve.port"
+"$BUILD_DIR/tools/msem_serve" --registry "$SMOKE_DIR/registry" \
+  --port 0 --port-file "$SMOKE_DIR/serve.port" --threads 2 \
+  2> "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 250); do
+  [ -s "$SMOKE_DIR/serve.port" ] && break
+  sleep 0.02
+done
+SERVE_PORT="$(cat "$SMOKE_DIR/serve.port")"
+curl -fsS -X POST --data-binary "@$SMOKE_DIR/serve-post.json" \
+  "http://127.0.0.1:$SERVE_PORT/v1/predict" > "$SMOKE_DIR/serve-http.csv"
+cmp "$SMOKE_DIR/serve-cli.csv" "$SMOKE_DIR/serve-http.csv" || {
+  echo "msem_lint: HTTP predictions differ from the CLI bytes" >&2; exit 1; }
+curl -fsS "http://127.0.0.1:$SERVE_PORT/v1/models" | grep -q '"models"'
+curl -fsS "http://127.0.0.1:$SERVE_PORT/healthz" | grep -q '"status":"ok"'
+curl -fsS "http://127.0.0.1:$SERVE_PORT/statusz" | grep -q '== serve =='
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "serve smoke: HTTP bytes == CLI bytes for 32 requests"
+"$BUILD_DIR/bench/bench_serve_load" --smoke
+
 # Observability smoke: a tiny traced campaign (the predict smoke runs a
 # full campaign + serve cycle) with the events and metrics sinks on AND
 # the live stats server armed (ephemeral port, discovered via the port
@@ -101,4 +138,4 @@ tools/msem_bench_baseline.sh "$BUILD_DIR" -o "$SMOKE_DIR/bench-fresh"
 
 tools/msem_tsan.sh
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, live stats endpoints probed, bench baselines held, tsan clean)"
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, HTTP serve smoke bitwise-identical, live stats endpoints probed, bench baselines held, tsan clean)"

@@ -9,6 +9,12 @@
 // answering "how many cycles would this configuration take?" needs no
 // simulator, no workload and no re-fitting, just the registry directory.
 //
+// The prediction pipeline itself lives in serving/PredictionService --
+// the same facade tools/msem_serve exposes over HTTP -- so the CLI and
+// the network server cannot drift: both parse the msem.predict.v1 row
+// formats, run the same admission queue and render through the same
+// serializers, byte for byte.
+//
 //   msem_predict --registry DIR --list
 //       every published model with its held-out quality
 //
@@ -29,6 +35,11 @@
 //       emits a random request CSV for the keyed artifact's space (handy
 //       for smoke tests and benchmarks).
 //
+//   msem_predict --registry DIR --key ... --in FILE --emit-request
+//                [--format json|csv|jsonl]
+//       emits the msem.predict.v1 request document for FILE's rows instead
+//       of predicting -- the POST body a client sends msem_serve.
+//
 //   msem_predict --smoke DIR
 //       end-to-end self-check: runs a tiny campaign that publishes into
 //       DIR, then re-serves the campaign's own test design purely from the
@@ -44,10 +55,11 @@
 #include "campaign/Experiment.h"
 #include "registry/ModelRegistry.h"
 #include "registry/ServingMonitor.h"
+#include "serving/PredictionService.h"
 #include "support/BuildInfo.h"
 #include "support/Env.h"
+#include "support/Format.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
 #include "telemetry/Introspection.h"
 #include "telemetry/Telemetry.h"
 
@@ -62,223 +74,36 @@ using namespace msem;
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Small CLI / IO helpers
+// Small IO helpers
 //===----------------------------------------------------------------------===//
 
-std::vector<std::string> splitOn(const std::string &S, char Sep) {
-  std::vector<std::string> Out;
-  size_t Start = 0;
-  while (true) {
-    size_t End = S.find(Sep, Start);
-    Out.push_back(S.substr(Start, End == std::string::npos ? End
-                                                           : End - Start));
-    if (End == std::string::npos)
-      break;
-    Start = End + 1;
-  }
-  return Out;
-}
-
-std::string trim(const std::string &S) {
-  size_t B = S.find_first_not_of(" \t\r\n");
-  if (B == std::string::npos)
-    return "";
-  size_t E = S.find_last_not_of(" \t\r\n");
-  return S.substr(B, E - B + 1);
-}
-
-/// "workload,input,metric,technique[,platform]" -> ModelKey.
-bool parseKey(const std::string &Spec, ModelKey &Out, std::string &Error) {
-  std::vector<std::string> Parts = splitOn(Spec, ',');
-  if (Parts.size() < 4 || Parts.size() > 5) {
-    Error = "--key wants workload,input,metric,technique[,platform]";
-    return false;
-  }
-  Out.Workload = trim(Parts[0]);
-  if (!inputSetFromName(trim(Parts[1]), Out.Input)) {
-    Error = "unknown input set '" + Parts[1] + "'";
-    return false;
-  }
-  if (!responseMetricFromName(trim(Parts[2]), Out.Metric)) {
-    Error = "unknown metric '" + Parts[2] + "'";
-    return false;
-  }
-  Out.Technique = trim(Parts[3]);
-  Out.Platform = Parts.size() == 5 ? trim(Parts[4]) : "joint";
-  return true;
-}
-
-bool readLines(const std::string &Path, std::vector<std::string> &Out,
-               std::string &Error) {
+bool readFileOrStdin(const std::string &Path, std::string &Out,
+                     std::string &Error) {
   FILE *F = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
   if (!F) {
     Error = "cannot open '" + Path + "'";
     return false;
   }
-  std::string Text;
   char Buf[1 << 14];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Text.append(Buf, N);
+    Out.append(Buf, N);
   if (F != stdin)
     std::fclose(F);
-  for (const std::string &Line : splitOn(Text, '\n')) {
-    std::string T = trim(Line);
-    if (!T.empty())
-      Out.push_back(std::move(T));
-  }
   return true;
 }
 
-//===----------------------------------------------------------------------===//
-// Requests
-//===----------------------------------------------------------------------===//
-
-/// Parsed request file: raw-valued rows, all the same width.
-struct RequestSet {
-  std::vector<DesignPoint> Rows;
-  bool FromJsonl = false;
-};
-
-bool parseCsvRow(const std::string &Line, DesignPoint &Out,
-                 std::string &Error) {
-  for (const std::string &Cell : splitOn(Line, ',')) {
-    std::string T = trim(Cell);
-    char *End = nullptr;
-    long long V = std::strtoll(T.c_str(), &End, 10);
-    if (End == T.c_str() || *End != '\0') {
-      Error = "bad integer '" + T + "'";
-      return false;
-    }
-    Out.push_back(V);
-  }
-  return true;
-}
-
-/// Reads requests from \p Path. JSON-lines when every line starts with
-/// '[' (each line one array of raw values); CSV with a header line of
-/// parameter names otherwise.
-bool readRequests(const std::string &Path, RequestSet &Out,
-                  std::string &Error) {
-  std::vector<std::string> Lines;
-  if (!readLines(Path, Lines, Error))
+/// Reads the --in rows through the shared schema parser.
+bool readRequests(const std::string &Path, std::vector<DesignPoint> &Rows,
+                  bool &FromJsonl, std::string &Error) {
+  std::string Text;
+  if (!readFileOrStdin(Path, Text, Error))
     return false;
-  if (Lines.empty()) {
-    Error = "'" + Path + "' holds no requests";
+  if (!serving::parseRowsText(Text, Rows, FromJsonl, Error)) {
+    if (Error == "no request rows")
+      Error = "'" + Path + "' holds no requests";
     return false;
   }
-
-  if (Lines.front()[0] == '[') {
-    Out.FromJsonl = true;
-    for (size_t I = 0; I < Lines.size(); ++I) {
-      std::string ParseError;
-      Json Row = Json::parse(Lines[I], &ParseError);
-      if (!ParseError.empty() || Row.kind() != Json::Kind::Array) {
-        Error = "request line " + std::to_string(I + 1) + ": " +
-                (ParseError.empty() ? "expected an array" : ParseError);
-        return false;
-      }
-      DesignPoint P;
-      P.reserve(Row.size());
-      for (const Json &V : Row.items())
-        P.push_back(V.asInt());
-      Out.Rows.push_back(std::move(P));
-    }
-  } else {
-    // CSV; line 0 is the parameter-name header.
-    for (size_t I = 1; I < Lines.size(); ++I) {
-      DesignPoint P;
-      if (!parseCsvRow(Lines[I], P, Error)) {
-        Error = "request line " + std::to_string(I + 1) + ": " + Error;
-        return false;
-      }
-      Out.Rows.push_back(std::move(P));
-    }
-  }
-
-  for (size_t I = 1; I < Out.Rows.size(); ++I)
-    if (Out.Rows[I].size() != Out.Rows.front().size()) {
-      Error = "request rows disagree on width";
-      return false;
-    }
-  return !Out.Rows.empty() || (Error = "no request rows", false);
-}
-
-/// Turns one raw request row into the full design point the artifact's
-/// model expects: full-width rows pass through, compiler-only rows are
-/// padded, and frozen-machine artifacts pin the Table-2 coordinates.
-bool requestToPoint(const DesignPoint &Row, const ModelArtifact &A,
-                    DesignPoint &Out, std::string &Error) {
-  const ParameterSpace &Space = A.Info.Space;
-  if (Row.size() == Space.size()) {
-    Out = Row;
-  } else if (Row.size() == Space.numCompilerParams() &&
-             Row.size() < Space.size()) {
-    if (!A.Info.HasFrozenMachine) {
-      Error = "compiler-only request against artifact '" + A.Info.Key.id() +
-              "', which has no frozen machine configuration";
-      return false;
-    }
-    Out = Row;
-    for (size_t I = Row.size(); I < Space.size(); ++I)
-      Out.push_back(Space.param(I).low());
-  } else {
-    Error = "request width " + std::to_string(Row.size()) +
-            " matches neither the full space (" +
-            std::to_string(Space.size()) + ") nor the compiler prefix (" +
-            std::to_string(Space.numCompilerParams()) + ")";
-    return false;
-  }
-  if (A.Info.HasFrozenMachine)
-    Space.freezeMachine(Out, A.Info.Machine);
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Batched prediction
-//===----------------------------------------------------------------------===//
-
-/// Predicts every request with \p A's model on the global thread pool.
-/// Each slot is an independent pure function of its row, so the output is
-/// bitwise identical at any MSEM_THREADS. Returns false on the first
-/// malformed row (checked up front, before any prediction). \p Monitor
-/// (optional) accumulates the serving statistics.
-bool predictAll(const ModelArtifact &A, const std::vector<DesignPoint> &Rows,
-                std::vector<double> &Out, std::string &Error,
-                ServingMonitor *Monitor = nullptr) {
-  std::vector<DesignPoint> Points(Rows.size());
-  for (size_t I = 0; I < Rows.size(); ++I)
-    if (!requestToPoint(Rows[I], A, Points[I], Error)) {
-      Error = "request " + std::to_string(I + 1) + ": " + Error;
-      if (Monitor)
-        Monitor->recordError(A.Info.Key.id());
-      return false;
-    }
-
-  telemetry::ScopedTimer Span("predict.batch");
-  if (Span.capturing())
-    Span.setDetail(A.Info.Key.id());
-  Out = globalThreadPool().parallelMap(
-      Points.size(),
-      [&](size_t I) {
-        // Keyed on the row index: rows run in parallel, so the key keeps
-        // span identity independent of the schedule.
-        telemetry::ScopedTimer RowSpan("predict.row", I);
-        return A.M->predict(A.Info.Space.encode(Points[I]));
-      },
-      "predict");
-  telemetry::count("predict.requests", Rows.size());
-  telemetry::count("predict.batches");
-  if (telemetry::enabled() && !Rows.empty()) {
-    // Per-request latency in microseconds, amortized over the batch.
-    double PerRequestUs =
-        static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows.size();
-    telemetry::observe("predict.request_us", PerRequestUs,
-                       {1, 10, 100, 1000, 10000});
-  }
-  if (Monitor)
-    Monitor->recordBatch(A.Info.Key.id(), Rows.size(), Span.elapsedNs(),
-                         A.Info.Quality.Mape);
   return true;
 }
 
@@ -286,9 +111,15 @@ bool predictAll(const ModelArtifact &A, const std::vector<DesignPoint> &Rows,
 /// unparseable first line is treated as a CSV header and skipped).
 bool readActuals(const std::string &Path, std::vector<double> &Out,
                  std::string &Error) {
-  std::vector<std::string> Lines;
-  if (!readLines(Path, Lines, Error))
+  std::string Text;
+  if (!readFileOrStdin(Path, Text, Error))
     return false;
+  std::vector<std::string> Lines;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    std::string T = trimString(Line);
+    if (!T.empty())
+      Lines.push_back(std::move(T));
+  }
   for (size_t I = 0; I < Lines.size(); ++I) {
     char *End = nullptr;
     double V = std::strtod(Lines[I].c_str(), &End);
@@ -338,17 +169,13 @@ int runGen(ModelRegistry &Reg, const ModelKey &Key, size_t N, uint64_t Seed,
     return 1;
   }
   const ParameterSpace &Space = A->Info.Space;
-  for (size_t I = 0; I < Space.size(); ++I)
-    std::fprintf(Out, "%s%s", I ? "," : "", Space.param(I).Name.c_str());
-  std::fprintf(Out, "\n");
   Rng R(Seed);
-  for (size_t I = 0; I < N; ++I) {
-    DesignPoint P = Space.randomPoint(R);
-    for (size_t J = 0; J < P.size(); ++J)
-      std::fprintf(Out, "%s%lld", J ? "," : "",
-                   static_cast<long long>(P[J]));
-    std::fprintf(Out, "\n");
-  }
+  std::vector<DesignPoint> Rows;
+  Rows.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Rows.push_back(Space.randomPoint(R));
+  std::string Csv = serving::renderRowsCsv(Space, Rows);
+  std::fwrite(Csv.data(), 1, Csv.size(), Out);
   return 0;
 }
 
@@ -362,23 +189,40 @@ void printArtifactBanner(const ModelArtifact &A) {
                A.Info.HasFrozenMachine ? ", frozen machine" : "");
 }
 
-int runServe(ModelRegistry &Reg, const ModelKey &Key,
+/// --emit-request: the rows rendered as the POST body msem_serve accepts.
+int runEmitRequest(const serving::PredictRequest &Req, FILE *Out) {
+  std::string Doc = serving::serializePredictRequest(Req).dumpPretty();
+  std::fwrite(Doc.data(), 1, Doc.size(), Out);
+  return 0;
+}
+
+int runServe(serving::PredictionService &Service, const ModelKey &Key,
              const std::string &InPath, const std::string &ComparePlatform,
-             FILE *Out, const std::string &ActualsPath,
-             ServingMonitor &Monitor, bool CheckDrift) {
+             FILE *Out, const std::string &ActualsPath, bool CheckDrift,
+             bool EmitRequest, serving::PredictFormat EmitFormat) {
   std::string Error;
+  ModelRegistry &Reg = Service.registry();
+
+  serving::PredictRequest Req;
+  Req.Key = Key;
+  Req.ComparePlatform = ComparePlatform;
+  bool FromJsonl = false;
+  if (!readRequests(InPath, Req.Rows, FromJsonl, Error)) {
+    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (EmitRequest) {
+    Req.Format = EmitFormat;
+    return runEmitRequest(Req, Out);
+  }
+
   std::shared_ptr<const ModelArtifact> A = Reg.fetch(Key, &Error);
   if (!A) {
     std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
     return 1;
   }
   printArtifactBanner(*A);
-
-  RequestSet Requests;
-  if (!readRequests(InPath, Requests, Error)) {
-    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
-    return 1;
-  }
 
   // One trace per serving request, rooted on the (artifact, input)
   // identity so re-serving the same file reproduces the same span tree.
@@ -389,78 +233,59 @@ int runServe(ModelRegistry &Reg, const ModelKey &Key,
   if (ReqSpan.capturing())
     ReqSpan.setDetail(A->Info.Key.id());
 
-  std::vector<double> Pred;
-  if (!predictAll(*A, Requests.Rows, Pred, Error, &Monitor)) {
+  if (!ComparePlatform.empty()) {
+    ModelKey OtherKey = Key;
+    OtherKey.Platform = ComparePlatform;
+    std::shared_ptr<const ModelArtifact> B = Reg.fetch(OtherKey, &Error);
+    if (!B) {
+      std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
+      return 1;
+    }
+    printArtifactBanner(*B);
+  }
+
+  serving::PredictResponse Resp;
+  if (Service.predict(Req, Resp, Error, /*Strict=*/true) != 200) {
     std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
     return 1;
   }
 
+  ServingMonitor &Monitor = Service.monitor();
   if (!ActualsPath.empty()) {
     std::vector<double> Actuals;
     if (!readActuals(ActualsPath, Actuals, Error)) {
       std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
       return 1;
     }
-    if (Actuals.size() != Pred.size()) {
-      std::fprintf(stderr,
-                   "msem_predict: %zu actuals for %zu requests\n",
-                   Actuals.size(), Pred.size());
+    if (Actuals.size() != Resp.Predictions.size()) {
+      std::fprintf(stderr, "msem_predict: %zu actuals for %zu requests\n",
+                   Actuals.size(), Resp.Predictions.size());
       return 1;
     }
-    for (size_t I = 0; I < Pred.size(); ++I)
-      Monitor.recordResidual(A->Info.Key.id(), Pred[I], Actuals[I]);
+    for (size_t I = 0; I < Resp.Predictions.size(); ++I)
+      Monitor.recordResidual(A->Info.Key.id(), Resp.Predictions[I],
+                             Actuals[I]);
   }
+
+  // Render through the shared serializers (the serve-smoke bitwise
+  // contract): JSON-lines inputs keep their historical JSON-lines output,
+  // everything else is the CSV rendering.
+  std::string Rendered = ComparePlatform.empty() && FromJsonl
+                             ? serving::renderPredictJsonl(Resp)
+                             : serving::renderPredictCsv(Resp);
+  std::fwrite(Rendered.data(), 1, Rendered.size(), Out);
 
   // The serving SLO epilogue: print the per-model monitor table when it
   // has anything to say, and honor --check-drift.
-  auto Epilogue = [&]() -> int {
-    if (!ActualsPath.empty() || Monitor.anyDrift())
-      std::fprintf(stderr, "%s", Monitor.renderSummary().c_str());
-    if (CheckDrift && Monitor.anyDrift()) {
-      std::fprintf(stderr,
-                   "msem_predict: drift detected (rolling MAPE exceeds "
-                   "threshold x published MAPE)\n");
-      return 3;
-    }
-    return 0;
-  };
-
-  const char *Metric = responseMetricName(Key.Metric);
-  if (ComparePlatform.empty()) {
-    if (Requests.FromJsonl) {
-      for (size_t I = 0; I < Pred.size(); ++I)
-        std::fprintf(Out, "{\"request\": %zu, \"prediction\": %.17g}\n", I,
-                     Pred[I]);
-    } else {
-      std::fprintf(Out, "predicted_%s\n", Metric);
-      for (double P : Pred)
-        std::fprintf(Out, "%.17g\n", P);
-    }
-    return Epilogue();
+  if (!ActualsPath.empty() || Monitor.anyDrift())
+    std::fprintf(stderr, "%s", Monitor.renderSummary().c_str());
+  if (CheckDrift && Monitor.anyDrift()) {
+    std::fprintf(stderr,
+                 "msem_predict: drift detected (rolling MAPE exceeds "
+                 "threshold x published MAPE)\n");
+    return 3;
   }
-
-  // Cross-platform mode: the same requests under a second platform's
-  // artifact, plus the ratio (the Table 5/7 "how much does the best
-  // configuration shift across machines" question).
-  ModelKey OtherKey = Key;
-  OtherKey.Platform = ComparePlatform;
-  std::shared_ptr<const ModelArtifact> B = Reg.fetch(OtherKey, &Error);
-  if (!B) {
-    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
-    return 1;
-  }
-  printArtifactBanner(*B);
-  std::vector<double> PredB;
-  if (!predictAll(*B, Requests.Rows, PredB, Error, &Monitor)) {
-    std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
-    return 1;
-  }
-  std::fprintf(Out, "predicted_%s_%s,predicted_%s_%s,ratio\n", Metric,
-               Key.Platform.c_str(), Metric, ComparePlatform.c_str());
-  for (size_t I = 0; I < Pred.size(); ++I)
-    std::fprintf(Out, "%.17g,%.17g,%.6g\n", Pred[I], PredB[I],
-                 PredB[I] != 0 ? Pred[I] / PredB[I] : 0.0);
-  return Epilogue();
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -493,27 +318,28 @@ int runSmoke(const std::string &Dir) {
   const ModelBuildResult &Build = R.Jobs[0].Build;
   ParameterSpace Space = makeSpace(Spec.Space);
 
-  // Serve the campaign's own test design from the artifacts alone, in a
-  // fresh registry handle (nothing shared with the campaign's publisher).
+  // Serve the campaign's own test design from the artifacts alone,
+  // through a fresh PredictionService (nothing shared with the
+  // campaign's publisher) -- the same facade msem_serve runs.
   telemetry::ScopedTimer ServeSpan(
       "predict.request", telemetry::ScopedTimer::TraceRoot{
                              telemetry::deriveTraceId("predict-smoke", 0)});
-  ModelRegistry Reg({Dir, 4});
-  std::string Error;
-  ModelKey Key;
-  Key.Workload = "art";
-  Key.Input = InputSet::Train;
-  Key.Metric = ResponseMetric::Cycles;
-  Key.Technique = "rbf";
-  Key.Platform = "joint";
-  std::shared_ptr<const ModelArtifact> Joint = Reg.fetch(Key, &Error);
-  if (!Joint) {
-    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
-    return 1;
-  }
+  serving::PredictionService::Options SvcOpts;
+  SvcOpts.RegistryDir = Dir;
+  SvcOpts.Monitor = ServingMonitor::optionsFromEnv();
+  serving::PredictionService Service(std::move(SvcOpts));
 
-  std::vector<double> Served;
-  if (!predictAll(*Joint, Build.TestPoints, Served, Error)) {
+  std::string Error;
+  serving::PredictRequest Req;
+  Req.Key.Workload = "art";
+  Req.Key.Input = InputSet::Train;
+  Req.Key.Metric = ResponseMetric::Cycles;
+  Req.Key.Technique = "rbf";
+  Req.Key.Platform = "joint";
+  Req.Rows = Build.TestPoints;
+
+  serving::PredictResponse Served;
+  if (Service.predict(Req, Served, Error, /*Strict=*/true) != 200) {
     std::fprintf(stderr, "smoke: %s\n", Error.c_str());
     return 1;
   }
@@ -521,19 +347,14 @@ int runSmoke(const std::string &Dir) {
   for (size_t I = 0; I < Build.TestPoints.size(); ++I) {
     double Expected =
         Build.FittedModel->predict(Space.encode(Build.TestPoints[I]));
-    if (Served[I] != Expected) // Bitwise: save/load must be exact.
+    if (Served.Predictions[I] != Expected) // Bitwise: save/load is exact.
       ++Mismatches;
   }
 
   // The frozen-machine artifact must agree with freezing in-process.
-  Key.Platform = "typical";
-  std::shared_ptr<const ModelArtifact> Platform = Reg.fetch(Key, &Error);
-  if (!Platform) {
-    std::fprintf(stderr, "smoke: %s\n", Error.c_str());
-    return 1;
-  }
-  std::vector<double> ServedFrozen;
-  if (!predictAll(*Platform, Build.TestPoints, ServedFrozen, Error)) {
+  Req.Key.Platform = "typical";
+  serving::PredictResponse ServedFrozen;
+  if (Service.predict(Req, ServedFrozen, Error, /*Strict=*/true) != 200) {
     std::fprintf(stderr, "smoke: %s\n", Error.c_str());
     return 1;
   }
@@ -541,11 +362,11 @@ int runSmoke(const std::string &Dir) {
     DesignPoint Frozen = Build.TestPoints[I];
     Space.freezeMachine(Frozen, MachineConfig::typical());
     double Expected = Build.FittedModel->predict(Space.encode(Frozen));
-    if (ServedFrozen[I] != Expected)
+    if (ServedFrozen.Predictions[I] != Expected)
       ++Mismatches;
   }
 
-  std::vector<RegistryEntry> Entries = Reg.list(&Error);
+  std::vector<RegistryEntry> Entries = Service.registry().list(&Error);
   if (Entries.size() < 2) {
     std::fprintf(stderr, "smoke: manifest lists %zu models, expected >= 2\n",
                  Entries.size());
@@ -571,6 +392,8 @@ int usage() {
       "       msem_predict --registry DIR --key W,I,M,T[,P] --in FILE "
       "[--out FILE] [--compare PLATFORM]\n"
       "           [--actuals FILE] [--drift-threshold X] [--check-drift]\n"
+      "       msem_predict --registry DIR --key W,I,M,T[,P] --in FILE "
+      "--emit-request [--format F]\n"
       "       msem_predict --registry DIR --key W,I,M,T[,P] --gen N "
       "[--seed S] [--out FILE]\n"
       "       msem_predict --smoke DIR\n"
@@ -582,6 +405,11 @@ int usage() {
       "requests:   CSV with a parameter-name header, or JSON-lines arrays; "
       "'-' = stdin\n"
       "registry:   --registry overrides MSEM_REGISTRY_DIR\n"
+      "emit:       --emit-request prints the msem.predict.v1 POST body for "
+      "msem_serve\n"
+      "            instead of predicting (--format json|csv|jsonl selects "
+      "the response\n"
+      "            rendering the document asks for)\n"
       "monitoring: --actuals feeds ground truth to the rolling-error "
       "monitor;\n"
       "            --check-drift exits 3 when rolling MAPE exceeds\n"
@@ -601,6 +429,8 @@ int main(int Argc, char **Argv) {
   std::string ActualsPath;
   bool List = false;
   bool CheckDrift = false;
+  bool EmitRequest = false;
+  serving::PredictFormat EmitFormat = serving::PredictFormat::Json;
   size_t GenN = 0;
   uint64_t GenSeed = 0x5EED;
   ServingMonitor::Options MonOpts = ServingMonitor::optionsFromEnv();
@@ -639,7 +469,22 @@ int main(int Argc, char **Argv) {
                                            nullptr);
     else if (Arg == "--check-drift")
       CheckDrift = true;
-    else if (Arg == "--version") {
+    else if (Arg == "--emit-request")
+      EmitRequest = true;
+    else if (Arg == "--format") {
+      std::string F = Value("--format");
+      if (F == "json")
+        EmitFormat = serving::PredictFormat::Json;
+      else if (F == "csv")
+        EmitFormat = serving::PredictFormat::Csv;
+      else if (F == "jsonl")
+        EmitFormat = serving::PredictFormat::Jsonl;
+      else {
+        std::fprintf(stderr, "msem_predict: unknown --format '%s'\n",
+                     F.c_str());
+        return 2;
+      }
+    } else if (Arg == "--version") {
       std::printf("msem_predict %s\n", buildStamp().c_str());
       return 0;
     } else
@@ -655,13 +500,20 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  ModelRegistry Reg = ModelRegistry::fromEnv(RegistryDir);
+  serving::PredictionService::Options SvcOpts;
+  SvcOpts.RegistryDir = RegistryDir;
+  // The CLI has no request-size cap: it serves exactly the file it was
+  // handed, however large.
+  SvcOpts.MaxBatchRows = static_cast<size_t>(-1);
+  SvcOpts.MaxQueueRows = static_cast<size_t>(-1);
+  SvcOpts.Monitor = MonOpts;
+  serving::PredictionService Service(std::move(SvcOpts));
   if (List)
-    return runList(Reg);
+    return runList(Service.registry());
 
   ModelKey Key;
   std::string Error;
-  if (KeySpec.empty() || !parseKey(KeySpec, Key, Error)) {
+  if (KeySpec.empty() || !serving::parseKeySpec(KeySpec, Key, Error)) {
     if (!Error.empty())
       std::fprintf(stderr, "msem_predict: %s\n", Error.c_str());
     return usage();
@@ -678,12 +530,11 @@ int main(int Argc, char **Argv) {
   }
 
   int Rc;
-  ServingMonitor Monitor(MonOpts);
   if (GenN)
-    Rc = runGen(Reg, Key, GenN, GenSeed, Out);
+    Rc = runGen(Service.registry(), Key, GenN, GenSeed, Out);
   else if (!InPath.empty())
-    Rc = runServe(Reg, Key, InPath, ComparePlatform, Out, ActualsPath,
-                  Monitor, CheckDrift);
+    Rc = runServe(Service, Key, InPath, ComparePlatform, Out, ActualsPath,
+                  CheckDrift, EmitRequest, EmitFormat);
   else
     Rc = usage();
 

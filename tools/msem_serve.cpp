@@ -1,0 +1,209 @@
+//===- tools/msem_serve.cpp - Networked prediction server ------------------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The registry, served over the network: msem_serve binds a
+// thread-per-core epoll HTTP/1.1 server (serving/HttpServer) onto the
+// process-wide route table and answers msem.predict.v1 requests from
+// published model artifacts -- the same PredictionService the batch CLI
+// uses, so a row predicted over HTTP is bitwise identical to the same
+// row predicted by `msem_predict --in`.
+//
+//   msem_serve --registry DIR [--host H] [--port P] [--threads N]
+//              [--reload-ms MS] [--port-file FILE]
+//              [--max-rows N] [--drift-threshold X]
+//
+// Endpoints (one port serves them all):
+//
+//   POST /v1/predict   msem.predict.v1 document in; json/csv/jsonl out
+//   GET  /v1/models    the manifest as a JSON inventory
+//   GET  /metrics      live OpenMetrics exposition (serving histograms
+//                      included)
+//   GET  /healthz      liveness + registered health providers
+//   GET  /statusz      status sections (serving SLO table, reload state)
+//   GET  /             endpoint index
+//
+// Hot reload: a watch thread polls the registry manifest's change
+// signature every --reload-ms; any publish drops the artifact cache, so
+// the next request on each key deserializes the new version while
+// requests already in flight drain on the artifacts they pinned at
+// admission. Zero downtime, no locks across the cutover.
+//
+// --port 0 asks the kernel for a free port; --port-file writes the bound
+// port (atomic rename) so scripts can wait for it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "registry/ServingMonitor.h"
+#include "serving/HttpServer.h"
+#include "serving/PredictionService.h"
+#include "support/BuildInfo.h"
+#include "support/Env.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/StatsServer.h"
+#include "telemetry/Introspection.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace msem;
+
+namespace {
+
+volatile std::sig_atomic_t SignalFlag = 0;
+
+void onSignal(int Sig) { SignalFlag = Sig; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msem_serve --registry DIR [options]\n"
+      "       msem_serve --version\n"
+      "\n"
+      "  --registry DIR        registry root (or MSEM_REGISTRY_DIR)\n"
+      "  --host H              listen address (default 127.0.0.1)\n"
+      "  --port P              listen port (default 8707; 0 = kernel-"
+      "assigned)\n"
+      "  --port-file FILE      write the bound port to FILE once listening\n"
+      "  --threads N           event-loop threads (default 2)\n"
+      "  --reload-ms MS        manifest watch period (default 1000; 0 "
+      "disables)\n"
+      "  --max-rows N          per-request row limit (default 4096)\n"
+      "  --idle-timeout-ms MS  close connections idle this long (default "
+      "30000)\n"
+      "  --drift-threshold X   rolling-MAPE drift multiple "
+      "(MSEM_DRIFT_THRESHOLD)\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string RegistryDir = env().RegistryDir;
+  std::string Host = "127.0.0.1";
+  std::string PortFile;
+  int Port = 8707;
+  int Threads = 2;
+  int ReloadMs = 1000;
+  int IdleTimeoutMs = 30000;
+  size_t MaxRows = 4096;
+  ServingMonitor::Options MonOpts = ServingMonitor::optionsFromEnv();
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "msem_serve: %s wants a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--registry")
+      RegistryDir = Value("--registry");
+    else if (Arg == "--host")
+      Host = Value("--host");
+    else if (Arg == "--port")
+      Port = std::atoi(Value("--port"));
+    else if (Arg == "--port-file")
+      PortFile = Value("--port-file");
+    else if (Arg == "--threads")
+      Threads = std::atoi(Value("--threads"));
+    else if (Arg == "--reload-ms")
+      ReloadMs = std::atoi(Value("--reload-ms"));
+    else if (Arg == "--idle-timeout-ms")
+      IdleTimeoutMs = std::atoi(Value("--idle-timeout-ms"));
+    else if (Arg == "--max-rows")
+      MaxRows = static_cast<size_t>(
+          std::strtoull(Value("--max-rows"), nullptr, 10));
+    else if (Arg == "--drift-threshold")
+      MonOpts.DriftThreshold =
+          std::strtod(Value("--drift-threshold"), nullptr);
+    else if (Arg == "--version") {
+      std::printf("msem_serve %s\n", buildStamp().c_str());
+      return 0;
+    } else
+      return usage();
+  }
+
+  if (RegistryDir.empty()) {
+    std::fprintf(
+        stderr,
+        "msem_serve: no registry (--registry or MSEM_REGISTRY_DIR)\n");
+    return 2;
+  }
+
+  // /metrics, /tracez, /profilez and the telemetry status section land on
+  // the process-wide router; the epoll transport below serves the same
+  // table, so the introspection plane rides the serving port.
+  telemetry::ensureIntrospection();
+
+  serving::PredictionService::Options SvcOpts;
+  SvcOpts.RegistryDir = RegistryDir;
+  SvcOpts.MaxBatchRows = MaxRows;
+  SvcOpts.Monitor = MonOpts;
+  serving::PredictionService Service(std::move(SvcOpts));
+  Service.registerRoutes(StatsServer::router());
+  if (ReloadMs > 0)
+    Service.startReloadWatch(ReloadMs);
+
+  serving::HttpServer::Options SrvOpts;
+  SrvOpts.Host = Host;
+  SrvOpts.Port = Port;
+  SrvOpts.Threads = Threads;
+  SrvOpts.IdleTimeoutMs = IdleTimeoutMs;
+  serving::HttpServer Server(StatsServer::router(), SrvOpts);
+
+  ScopedStatusProvider ServeStatus("serve", [&] {
+    serving::HttpServer::Stats S = Server.stats();
+    return formatString(
+        "listen: %s:%d (%d loops)\nregistry: %s\nreloads: %llu\n"
+        "accepted: %llu\nrequests: %llu\nparse_errors: %llu\n"
+        "timed_out: %llu\n",
+        Server.options().Host.c_str(), Server.port(),
+        Server.options().Threads, Service.registry().options().Dir.c_str(),
+        static_cast<unsigned long long>(Service.reloadCount()),
+        static_cast<unsigned long long>(S.Accepted),
+        static_cast<unsigned long long>(S.Requests),
+        static_cast<unsigned long long>(S.ParseErrors),
+        static_cast<unsigned long long>(S.TimedOut));
+  });
+
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "msem_serve: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (!PortFile.empty() &&
+      !writeFileAtomic(PortFile, std::to_string(Server.port()) + "\n",
+                       &Error)) {
+    std::fprintf(stderr, "msem_serve: %s\n", Error.c_str());
+    Server.stop();
+    return 1;
+  }
+
+  std::vector<RegistryEntry> Models = Service.registry().list();
+  std::fprintf(stderr,
+               "msem_serve: listening on %s:%d (%d loops), registry '%s' "
+               "(%zu models), build %s\n",
+               Host.c_str(), Server.port(), Threads, RegistryDir.c_str(),
+               Models.size(), buildStamp().c_str());
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  while (!SignalFlag)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::fprintf(stderr, "msem_serve: signal %d, draining\n",
+               static_cast<int>(SignalFlag));
+  Server.stop();
+  Service.stopReloadWatch();
+  return 0;
+}
