@@ -168,7 +168,9 @@ bool RbfNetwork::load(const Json &In, std::string *Error) {
   if (!checkModelKind(In, "rbf", Error))
     return false;
   const Json &O = In["options"];
-  const std::string &Kernel = O["kernel"].asString("multiquadric");
+  // By value: with no "kernel" key asString returns a reference to its
+  // temporary fallback argument, dead past this expression.
+  std::string Kernel = O["kernel"].asString("multiquadric");
   if (Kernel == "gaussian")
     Opts.Kernel = RbfKernel::Gaussian;
   else if (Kernel == "multiquadric")

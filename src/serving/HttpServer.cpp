@@ -32,7 +32,9 @@ struct HttpServer::Conn {
   HttpParser Parser;
   std::string Out;        ///< Bytes queued for the peer.
   size_t OutPos = 0;      ///< First unsent byte in Out.
-  bool WantWrite = false; ///< EPOLLOUT armed.
+  bool WantWrite = false; ///< Want EPOLLOUT (unsent output parked).
+  bool Paused = false;    ///< Backpressure: dispatch/reads suspended.
+  uint32_t Armed = 0;     ///< Events currently registered with epoll.
   bool CloseAfterDrain = false;
   SteadyClock::time_point LastActive;
 
@@ -228,6 +230,7 @@ void HttpServer::handleAccept(Loop &L) {
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
     StatAccepted.fetch_add(1, std::memory_order_relaxed);
     auto C = std::make_unique<Conn>(Fd, Opts.Limits);
+    C->Armed = EPOLLIN;
     epoll_event Ev{};
     Ev.events = EPOLLIN;
     Ev.data.fd = Fd;
@@ -246,7 +249,7 @@ void HttpServer::handleConn(Loop &L, Conn &C, uint32_t Events) {
   }
   C.LastActive = SteadyClock::now();
 
-  if (Events & EPOLLIN) {
+  if ((Events & EPOLLIN) && !C.Paused) {
     char Buf[16 * 1024];
     while (true) {
       ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
@@ -282,6 +285,13 @@ void HttpServer::handleConn(Loop &L, Conn &C, uint32_t Events) {
 
 bool HttpServer::serviceRequests(Loop &, Conn &C) {
   while (true) {
+    // Backpressure: a pipelining client that never reads its responses
+    // must not grow Out unboundedly. Park dispatch here; flushWrites
+    // resumes it once the buffer drains.
+    if (C.Out.size() - C.OutPos >= Opts.MaxPendingOutBytes) {
+      C.Paused = true;
+      return true;
+    }
     HttpParser::Status St = C.Parser.status();
     if (St == HttpParser::Status::NeedMore)
       return true;
@@ -308,44 +318,57 @@ bool HttpServer::serviceRequests(Loop &, Conn &C) {
 }
 
 bool HttpServer::flushWrites(Loop &L, Conn &C) {
-  while (C.OutPos < C.Out.size()) {
-    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
-                       C.Out.size() - C.OutPos, MSG_NOSIGNAL);
-    if (N > 0) {
-      C.OutPos += static_cast<size_t>(N);
-      continue;
-    }
-    if (N < 0 && errno == EINTR)
-      continue;
-    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!C.WantWrite) {
-        C.WantWrite = true;
-        epoll_event Ev{};
-        Ev.events = EPOLLIN | EPOLLOUT;
-        Ev.data.fd = C.Fd;
-        ::epoll_ctl(L.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+  while (true) {
+    while (C.OutPos < C.Out.size()) {
+      ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
+                         C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+      if (N > 0) {
+        C.OutPos += static_cast<size_t>(N);
+        continue;
       }
-      return true; // Parked; EPOLLOUT resumes us.
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        C.WantWrite = true;
+        updateInterest(L, C); // While paused this also drops EPOLLIN.
+        return true;          // Parked; EPOLLOUT resumes us.
+      }
+      closeConn(L, C);
+      return false;
     }
-    closeConn(L, C);
-    return false;
-  }
 
-  // Fully drained.
-  C.Out.clear();
-  C.OutPos = 0;
-  if (C.CloseAfterDrain) {
-    closeConn(L, C);
-    return false;
+    // Fully drained.
+    C.Out.clear();
+    C.OutPos = 0;
+    if (C.CloseAfterDrain) {
+      closeConn(L, C);
+      return false;
+    }
+    if (!C.Paused)
+      break;
+    // Backpressure released: dispatch the pipelined requests still
+    // buffered in the parser, then loop to flush what they produced.
+    C.Paused = false;
+    if (!serviceRequests(L, C))
+      C.CloseAfterDrain = true;
+    if (C.Out.empty() && !C.CloseAfterDrain)
+      break;
   }
-  if (C.WantWrite) {
-    C.WantWrite = false;
-    epoll_event Ev{};
-    Ev.events = EPOLLIN;
-    Ev.data.fd = C.Fd;
-    ::epoll_ctl(L.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
-  }
+  C.WantWrite = false;
+  updateInterest(L, C);
   return true;
+}
+
+void HttpServer::updateInterest(Loop &L, Conn &C) {
+  uint32_t Want = (C.Paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                  (C.WantWrite ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (Want == C.Armed)
+    return;
+  C.Armed = Want;
+  epoll_event Ev{};
+  Ev.events = Want;
+  Ev.data.fd = C.Fd;
+  ::epoll_ctl(L.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
 }
 
 void HttpServer::closeConn(Loop &L, Conn &C) {

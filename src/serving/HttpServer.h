@@ -27,6 +27,11 @@
 ///     pass. Partial writes park the remainder and arm EPOLLOUT;
 ///     keep-alive connections rearm for the next request; an idle sweep
 ///     (epoll_wait timeout) closes connections quiet past IdleTimeoutMs.
+///     Write backpressure: once MaxPendingOutBytes of responses sit
+///     unsent, the connection stops reading and dispatching (EPOLLIN
+///     dropped, TCP flow control pushes back on the peer) until the
+///     buffer drains, so pipelining clients that never read responses
+///     are bounded per connection.
 ///
 ///   * Handlers run inline on loop threads. Blocking handlers are
 ///     expected -- prediction handlers park on the admission queue -- and
@@ -63,6 +68,11 @@ public:
     int Threads = 2;
     int IdleTimeoutMs = 30000;
     size_t MaxConnectionsPerLoop = 4096;
+    /// Write-backpressure high-water mark: once this many response bytes
+    /// are queued unsent on a connection, request dispatch (and socket
+    /// reads) pause until the buffer drains, so a client that pipelines
+    /// requests without reading responses cannot grow memory unboundedly.
+    size_t MaxPendingOutBytes = 1 << 20;
     HttpParser::Limits Limits;
   };
 
@@ -101,11 +111,16 @@ private:
   void handleAccept(Loop &L);
   void handleConn(Loop &L, Conn &C, uint32_t Events);
   /// Parses + dispatches everything buffered on \p C; queues response
-  /// bytes. Returns false when the connection must close once drained.
+  /// bytes. Pauses (backpressure) once the unsent output exceeds
+  /// MaxPendingOutBytes. Returns false when the connection must close
+  /// once drained.
   bool serviceRequests(Loop &L, Conn &C);
-  /// Flushes C's write buffer; arms EPOLLOUT on a partial write. Returns
-  /// false when the connection is done (error or drained-and-closing).
+  /// Flushes C's write buffer; arms EPOLLOUT on a partial write and
+  /// resumes paused dispatch once the buffer drains. Returns false when
+  /// the connection is done (error or drained-and-closing).
   bool flushWrites(Loop &L, Conn &C);
+  /// Re-arms C's epoll interest from its Paused/WantWrite state.
+  void updateInterest(Loop &L, Conn &C);
   void closeConn(Loop &L, Conn &C);
   void sweepIdle(Loop &L);
 

@@ -112,7 +112,10 @@ bool serving::parsePredictRequest(const Json &Doc, PredictRequest &Out,
   if (!Options.isNull()) {
     if (Options.kind() != Json::Kind::Object)
       return failWith(Error, "\"options\" is not an object");
-    const std::string &Fmt = Options["format"].asString("json");
+    // By value: with no "format" key asString returns a reference to its
+    // temporary fallback argument, which dies at the end of this
+    // expression.
+    std::string Fmt = Options["format"].asString("json");
     if (Fmt == "json")
       Out.Format = PredictFormat::Json;
     else if (Fmt == "csv")
@@ -255,19 +258,36 @@ Json serving::serializePredictResponse(const PredictResponse &Resp) {
   return Doc;
 }
 
+/// Row index -> error text for the rows Resp.Errors rejected, so the
+/// text renderers can mark them instead of emitting their placeholder
+/// 0.0 as if it were a real prediction.
+static std::vector<const std::string *>
+rowErrorIndex(const PredictResponse &Resp) {
+  std::vector<const std::string *> Idx(Resp.Predictions.size(), nullptr);
+  for (const RowError &E : Resp.Errors)
+    if (E.Row < Idx.size())
+      Idx[E.Row] = &E.Error;
+  return Idx;
+}
+
 std::string serving::renderPredictCsv(const PredictResponse &Resp) {
   const char *Metric = responseMetricName(Resp.Metric);
+  std::vector<const std::string *> Errs = rowErrorIndex(Resp);
   std::string Out;
   if (Resp.ComparePlatform.empty()) {
     Out = formatString("predicted_%s\n", Metric);
-    for (double P : Resp.Predictions)
-      Out += formatString("%.17g\n", P);
+    for (size_t I = 0; I < Resp.Predictions.size(); ++I)
+      Out += Errs[I] ? "nan\n" : formatString("%.17g\n", Resp.Predictions[I]);
     return Out;
   }
   Out = formatString("predicted_%s_%s,predicted_%s_%s,ratio\n", Metric,
                      Resp.Platform.c_str(), Metric,
                      Resp.ComparePlatform.c_str());
   for (size_t I = 0; I < Resp.Predictions.size(); ++I) {
+    if (Errs[I]) {
+      Out += "nan,nan,nan\n";
+      continue;
+    }
     double A = Resp.Predictions[I];
     double B = I < Resp.ComparePredictions.size() ? Resp.ComparePredictions[I]
                                                   : 0.0;
@@ -277,10 +297,18 @@ std::string serving::renderPredictCsv(const PredictResponse &Resp) {
 }
 
 std::string serving::renderPredictJsonl(const PredictResponse &Resp) {
+  std::vector<const std::string *> Errs = rowErrorIndex(Resp);
   std::string Out;
-  for (size_t I = 0; I < Resp.Predictions.size(); ++I)
+  for (size_t I = 0; I < Resp.Predictions.size(); ++I) {
+    if (Errs[I]) {
+      // Json::string handles the escaping the raw printf path cannot.
+      Out += formatString("{\"request\": %zu, \"error\": %s}\n", I,
+                          Json::string(*Errs[I]).dump().c_str());
+      continue;
+    }
     Out += formatString("{\"request\": %zu, \"prediction\": %.17g}\n", I,
                         Resp.Predictions[I]);
+  }
   return Out;
 }
 

@@ -123,11 +123,15 @@ Json serializePredictResponse(const PredictResponse &Resp);
 
 /// Format "csv": the CLI's CSV rendering, byte-for-byte -- the
 /// "predicted_<metric>" header then one %.17g value per line; compare
-/// mode emits the two-platform header and %.17g,%.17g,%.6g rows.
+/// mode emits the two-platform header and %.17g,%.17g,%.6g rows. Rows
+/// rejected in tolerant mode (present in Resp.Errors) render as "nan"
+/// cells so a client can never mistake them for a real 0 prediction
+/// (the strict CLI never produces them, so CLI bytes are unchanged).
 std::string renderPredictCsv(const PredictResponse &Resp);
 
 /// Format "jsonl": the CLI's JSON-lines rendering, byte-for-byte --
-/// {"request": N, "prediction": %.17g} per row.
+/// {"request": N, "prediction": %.17g} per row; tolerant-mode rejected
+/// rows render as {"request": N, "error": "..."} instead.
 std::string renderPredictJsonl(const PredictResponse &Resp);
 
 /// A request CSV (parameter-name header + raw rows) for --gen and the

@@ -90,50 +90,70 @@ void PredictionService::drainAsLeader(ModelQueue &Q,
     Q.QueuedRows -= Rows;
     L.unlock();
 
-    std::vector<std::pair<Call *, size_t>> Slots;
-    Slots.reserve(Rows);
-    for (Call *C : Batch)
-      for (size_t I = 0; I < C->Points.size(); ++I)
-        Slots.emplace_back(C, I);
+    // Everything below runs unlocked; a throw (bad_alloc, a model
+    // deserialization bug) must still complete every call in the batch
+    // or the followers parked on Q.Cv wait forever.
+    bool Failed = false;
+    std::string FailMsg;
+    try {
+      std::vector<std::pair<Call *, size_t>> Slots;
+      Slots.reserve(Rows);
+      for (Call *C : Batch)
+        for (size_t I = 0; I < C->Points.size(); ++I)
+          Slots.emplace_back(C, I);
 
-    // Same telemetry identity as the historical CLI batch; the coalesced
-    // count is the only addition.
-    telemetry::ScopedTimer Span("predict.batch");
-    if (Span.capturing())
-      Span.setDetail(Batch.front()->Artifact->Info.Key.id());
-    std::vector<double> Flat = globalThreadPool().parallelMap(
-        Rows,
-        [&](size_t I) {
-          telemetry::ScopedTimer RowSpan("predict.row", I);
-          Call *C = Slots[I].first;
-          return C->Artifact->M->predict(
-              C->Artifact->Info.Space.encode(C->Points[Slots[I].second]));
-        },
-        "predict");
-    telemetry::count("predict.requests", Rows);
-    telemetry::count("predict.batches");
-    if (Batch.size() > 1)
-      telemetry::count("predict.coalesced_requests", Batch.size());
-    if (telemetry::enabled() && Rows) {
-      double PerRequestUs =
-          static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows;
-      telemetry::observe("predict.request_us", PerRequestUs,
-                         {1, 10, 100, 1000, 10000});
-    }
-    Monitor.recordBatch(Batch.front()->Artifact->Info.Key.id(), Rows,
-                        Span.elapsedNs(),
-                        Batch.front()->Artifact->Info.Quality.Mape);
+      // Same telemetry identity as the historical CLI batch; the coalesced
+      // count is the only addition.
+      telemetry::ScopedTimer Span("predict.batch");
+      if (Span.capturing())
+        Span.setDetail(Batch.front()->Artifact->Info.Key.id());
+      std::vector<double> Flat = globalThreadPool().parallelMap(
+          Rows,
+          [&](size_t I) {
+            telemetry::ScopedTimer RowSpan("predict.row", I);
+            Call *C = Slots[I].first;
+            return C->Artifact->M->predict(
+                C->Artifact->Info.Space.encode(C->Points[Slots[I].second]));
+          },
+          "predict");
+      telemetry::count("predict.requests", Rows);
+      telemetry::count("predict.batches");
+      if (Batch.size() > 1)
+        telemetry::count("predict.coalesced_requests", Batch.size());
+      if (telemetry::enabled() && Rows) {
+        double PerRequestUs =
+            static_cast<double>(Span.elapsedNs()) / 1000.0 / Rows;
+        telemetry::observe("predict.request_us", PerRequestUs,
+                           {1, 10, 100, 1000, 10000});
+      }
+      Monitor.recordBatch(Batch.front()->Artifact->Info.Key.id(), Rows,
+                          Span.elapsedNs(),
+                          Batch.front()->Artifact->Info.Quality.Mape);
 
-    size_t Next = 0;
-    for (Call *C : Batch) {
-      C->Result.assign(Flat.begin() + Next,
-                       Flat.begin() + Next + C->Points.size());
-      Next += C->Points.size();
+      size_t Next = 0;
+      for (Call *C : Batch) {
+        C->Result.assign(Flat.begin() + Next,
+                         Flat.begin() + Next + C->Points.size());
+        Next += C->Points.size();
+      }
+    } catch (const std::exception &E) {
+      Failed = true;
+      FailMsg = E.what();
+    } catch (...) {
+      Failed = true;
+      FailMsg = "unknown exception";
     }
 
     L.lock();
-    for (Call *C : Batch)
+    for (Call *C : Batch) {
+      if (Failed) {
+        C->Failed = true;
+        C->FailError = FailMsg;
+      }
       C->Done = true;
+    }
+    if (Failed)
+      telemetry::count("predict.batch_failures");
     Q.Cv.notify_all();
   }
 }
@@ -152,7 +172,18 @@ bool PredictionService::admit(const std::string &ModelId, Call &C,
   Q.QueuedRows += C.Points.size();
   if (!Q.LeaderActive) {
     Q.LeaderActive = true;
-    drainAsLeader(Q, L);
+    try {
+      drainAsLeader(Q, L);
+    } catch (...) {
+      // drainAsLeader absorbs batch exceptions itself; this guards its
+      // own bookkeeping allocations. Step down and wake the queue so
+      // followers re-elect instead of waiting forever.
+      if (!L.owns_lock())
+        L.lock();
+      Q.LeaderActive = false;
+      Q.Cv.notify_all();
+      throw;
+    }
     Q.LeaderActive = false;
     // A request admitted while we were draining unlocked is impossible to
     // leave behind (the drain loop re-checks under the lock), but a call
@@ -160,6 +191,10 @@ bool PredictionService::admit(const std::string &ModelId, Call &C,
     Q.Cv.notify_all();
   } else {
     Q.Cv.wait(L, [&] { return C.Done; });
+  }
+  if (C.Failed) {
+    Error = "predict batch failed: " + C.FailError;
+    return false;
   }
   return true;
 }

@@ -114,6 +114,8 @@ private:
     std::vector<DesignPoint> Points;               ///< Full-width, validated.
     std::vector<double> Result;
     bool Done = false;
+    bool Failed = false;   ///< The batch this call rode threw.
+    std::string FailError; ///< what() of the batch exception.
   };
 
   /// Per-model admission queue (leader-follower).
@@ -129,11 +131,13 @@ private:
 
   /// Admits \p C on \p ModelId's queue and blocks until its slice is
   /// predicted (possibly by this thread as leader). Returns false (503)
-  /// when the queue is full.
+  /// when the queue is full or the batch the call rode threw.
   bool admit(const std::string &ModelId, Call &C, std::string &Error);
 
   /// Leader body: drains \p Q into coalesced batches until it is empty.
-  /// Called with \p L held; returns with it held.
+  /// Called with \p L held; returns with it held. A throw from the
+  /// unlocked batch section is absorbed: every call in the batch is
+  /// completed with Failed set so no follower is left waiting.
   void drainAsLeader(ModelQueue &Q, std::unique_lock<std::mutex> &L);
 
   /// Fetch + validate + admit for one platform of the request.

@@ -459,6 +459,50 @@ TEST(PredictSchemaTest, RenderersEmitHistoricalCliBytes) {
   EXPECT_EQ(Doc["errors"].at(0)["error"].asString(), "bad width");
 }
 
+TEST(PredictSchemaTest, OptionsWithoutFormatDefaultsToJson) {
+  // Regression: an options object without "format" must fall back to
+  // json (the fallback string used to be read through a dangling
+  // reference).
+  std::string Error;
+  Json Doc = Json::parse(
+      "{\"schema\": \"msem.predict.v1\","
+      " \"model\": \"art,train,cycles,linear,joint\","
+      " \"rows\": [[1, 2, 3]],"
+      " \"options\": {\"compare\": \"typical\"}}",
+      &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  PredictRequest Req;
+  ASSERT_TRUE(parsePredictRequest(Doc, Req, Error)) << Error;
+  EXPECT_TRUE(Req.Format == PredictFormat::Json);
+  EXPECT_EQ(Req.ComparePlatform, "typical");
+}
+
+TEST(PredictSchemaTest, TolerantRenderersMarkErrorRows) {
+  // Tolerant-mode rejected rows hold a 0.0 placeholder in Predictions;
+  // the text renderers must mark them instead of emitting it as a real
+  // prediction.
+  PredictResponse Resp;
+  Resp.Metric = ResponseMetric::Cycles;
+  Resp.Platform = "aggressive";
+  Resp.Predictions = {1234.5, 0.0, 42.0};
+  Resp.Errors = {{1, "request width 2 \"bad\""}};
+
+  EXPECT_EQ(renderPredictCsv(Resp),
+            formatString("predicted_cycles\n%.17g\nnan\n%.17g\n", 1234.5,
+                         42.0));
+  EXPECT_EQ(renderPredictJsonl(Resp),
+            formatString("{\"request\": 0, \"prediction\": %.17g}\n"
+                         "{\"request\": 1, \"error\": "
+                         "\"request width 2 \\\"bad\\\"\"}\n"
+                         "{\"request\": 2, \"prediction\": %.17g}\n",
+                         1234.5, 42.0));
+
+  Resp.ComparePlatform = "typical";
+  Resp.ComparePredictions = {2469.0, 0.0, 84.0};
+  std::string Csv = renderPredictCsv(Resp);
+  EXPECT_NE(Csv.find("nan,nan,nan\n"), std::string::npos) << Csv;
+}
+
 //===----------------------------------------------------------------------===//
 // PredictionService
 //===----------------------------------------------------------------------===//
@@ -789,6 +833,54 @@ TEST(HttpServerTest, DrainsPipelinedRequestsInOrder) {
   ::close(Fd);
   Server.stop();
   EXPECT_EQ(Server.stats().Requests, 2u);
+}
+
+TEST(HttpServerTest, BackpressurePausesDispatchThenResumesOnDrain) {
+  // A client that pipelines requests without reading responses must not
+  // grow the server's per-connection output without bound: dispatch
+  // pauses at MaxPendingOutBytes and resumes as the buffer drains, so
+  // every response still arrives, in order.
+  std::string Big(64 * 1024, 'x');
+  HttpRouter Router;
+  ScopedRoute BigRoute(Router, "GET", "/big", [&Big](const HttpRequest &) {
+    return textResponse(Big);
+  });
+  HttpServer::Options O;
+  O.MaxPendingOutBytes = 8 * 1024; // One response already trips the mark.
+  HttpServer Server(Router, O);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  // A tiny receive window forces the server into EAGAIN parking (not
+  // just the in-call pause/resume fast path).
+  int RcvBuf = 4096;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &RcvBuf, sizeof(RcvBuf));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Server.port()));
+  inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+
+  constexpr int N = 32; // 2 MiB of responses against an 8 KiB budget.
+  std::string Wire;
+  for (int I = 0; I < N; ++I)
+    Wire += "GET /big HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_TRUE(httpSendAll(Fd, Wire));
+
+  std::string Buf;
+  WireResponse R;
+  for (int I = 0; I < N; ++I) {
+    ASSERT_TRUE(readWireResponse(Fd, Buf, R)) << "response " << I;
+    EXPECT_EQ(R.Status, 200);
+    EXPECT_EQ(R.Body, Big) << "response " << I;
+  }
+  ::close(Fd);
+  Server.stop();
+  EXPECT_EQ(Server.stats().Requests, static_cast<uint64_t>(N));
 }
 
 TEST(HttpServerTest, RejectsOversizedRequestLineAndCloses) {

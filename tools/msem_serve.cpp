@@ -14,6 +14,7 @@
 //   msem_serve --registry DIR [--host H] [--port P] [--threads N]
 //              [--reload-ms MS] [--port-file FILE]
 //              [--max-rows N] [--drift-threshold X]
+//              [--expose-introspection]
 //
 // Endpoints (one port serves them all):
 //
@@ -24,6 +25,12 @@
 //   GET  /healthz      liveness + registered health providers
 //   GET  /statusz      status sections (serving SLO table, reload state)
 //   GET  /             endpoint index
+//
+// The introspection plane (/metrics, /statusz, /tracez, /profilez) was
+// designed loopback-only, so it rides the serving port only when --host
+// is a loopback address. On any other host the server carries just the
+// serving routes plus /healthz; pass --expose-introspection to serve
+// the full plane anyway (unauthenticated -- put it behind a proxy).
 //
 // Hot reload: a watch thread polls the registry manifest's change
 // signature every --reload-ms; any publish drops the artifact cache, so
@@ -78,8 +85,19 @@ int usage() {
       "  --idle-timeout-ms MS  close connections idle this long (default "
       "30000)\n"
       "  --drift-threshold X   rolling-MAPE drift multiple "
-      "(MSEM_DRIFT_THRESHOLD)\n");
+      "(MSEM_DRIFT_THRESHOLD)\n"
+      "  --expose-introspection\n"
+      "                        serve /metrics, /statusz, /tracez and\n"
+      "                        /profilez on a non-loopback --host too\n"
+      "                        (unauthenticated; loopback hosts always\n"
+      "                        get them)\n");
   return 2;
+}
+
+/// True for the addresses the AF_INET listener treats as loopback (the
+/// whole 127.0.0.0/8 block).
+bool isLoopbackHost(const std::string &Host) {
+  return Host == "localhost" || Host.rfind("127.", 0) == 0;
 }
 
 } // namespace
@@ -93,6 +111,7 @@ int main(int Argc, char **Argv) {
   int ReloadMs = 1000;
   int IdleTimeoutMs = 30000;
   size_t MaxRows = 4096;
+  bool ExposeIntrospection = false;
   ServingMonitor::Options MonOpts = ServingMonitor::optionsFromEnv();
 
   for (int I = 1; I < Argc; ++I) {
@@ -124,6 +143,8 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--drift-threshold")
       MonOpts.DriftThreshold =
           std::strtod(Value("--drift-threshold"), nullptr);
+    else if (Arg == "--expose-introspection")
+      ExposeIntrospection = true;
     else if (Arg == "--version") {
       std::printf("msem_serve %s\n", buildStamp().c_str());
       return 0;
@@ -139,25 +160,55 @@ int main(int Argc, char **Argv) {
   }
 
   // /metrics, /tracez, /profilez and the telemetry status section land on
-  // the process-wide router; the epoll transport below serves the same
-  // table, so the introspection plane rides the serving port.
+  // the process-wide router. That plane is unauthenticated and was
+  // loopback-only by design, so the epoll transport serves it only when
+  // the listen address is loopback (or --expose-introspection says so);
+  // a public host gets a dedicated router carrying just the serving
+  // routes plus /healthz.
   telemetry::ensureIntrospection();
+  bool ServeIntrospection = ExposeIntrospection || isLoopbackHost(Host);
+
+  HttpRouter PublicRouter; ///< Outlives Service's ScopedRoutes below.
+  HttpRouter &ServeRouter =
+      ServeIntrospection ? StatsServer::router() : PublicRouter;
 
   serving::PredictionService::Options SvcOpts;
   SvcOpts.RegistryDir = RegistryDir;
   SvcOpts.MaxBatchRows = MaxRows;
   SvcOpts.Monitor = MonOpts;
   serving::PredictionService Service(std::move(SvcOpts));
-  Service.registerRoutes(StatsServer::router());
+  Service.registerRoutes(ServeRouter);
   if (ReloadMs > 0)
     Service.startReloadWatch(ReloadMs);
+
+  std::vector<ScopedRoute> PublicRoutes;
+  PublicRoutes.reserve(2); // Also sidesteps a GCC-12 -Warray-bounds FP.
+  if (!ServeIntrospection) {
+    PublicRoutes.emplace_back(PublicRouter, "GET", "/healthz",
+                              [](const HttpRequest &R) {
+                                return StatsServer::router().dispatch(R);
+                              });
+    PublicRoutes.emplace_back(
+        PublicRouter, "GET", "/", [&PublicRouter](const HttpRequest &) {
+          HttpResponse Resp;
+          Resp.Body = "msem_serve endpoints:\n";
+          for (const std::string &Path : PublicRouter.paths())
+            Resp.Body += "  " + Path + "\n";
+          return Resp;
+        });
+    std::fprintf(stderr,
+                 "msem_serve: host '%s' is not loopback; /metrics, "
+                 "/statusz, /tracez and /profilez stay off this port "
+                 "(--expose-introspection overrides)\n",
+                 Host.c_str());
+  }
 
   serving::HttpServer::Options SrvOpts;
   SrvOpts.Host = Host;
   SrvOpts.Port = Port;
   SrvOpts.Threads = Threads;
   SrvOpts.IdleTimeoutMs = IdleTimeoutMs;
-  serving::HttpServer Server(StatsServer::router(), SrvOpts);
+  serving::HttpServer Server(ServeRouter, SrvOpts);
 
   ScopedStatusProvider ServeStatus("serve", [&] {
     serving::HttpServer::Stats S = Server.stats();
