@@ -17,16 +17,30 @@
 
 using namespace msem;
 
-namespace {
-
-/// Surface identity within a campaign: jobs agreeing on this key share
-/// measurements (and their checkpoint shard).
-std::string surfaceKey(const ExperimentJob &Job) {
+std::string msem::surfaceKeyFor(const ExperimentJob &Job) {
   return Job.Workload + "|" + inputSetName(Job.Input) + "|" +
          responseMetricName(Job.Metric);
 }
 
-} // namespace
+ResponseSurface::Options
+msem::surfaceOptionsFor(const ExperimentSpec &Spec, const ExperimentJob &Job,
+                        const std::string *CacheDirOverride) {
+  ResponseSurface::Options Opts;
+  Opts.Workload = Job.Workload;
+  Opts.Input = Job.Input;
+  Opts.Metric = Job.Metric;
+  Opts.UseSmarts = Spec.UseSmarts;
+  if (Spec.SmartsInterval > 0)
+    Opts.Smarts.SamplingInterval = Spec.SmartsInterval;
+  else if (Job.Input == InputSet::Test)
+    Opts.Smarts.SamplingInterval = 10; // Short runs want dense sampling.
+  Opts.CacheDir = CacheDirOverride ? *CacheDirOverride : Spec.CacheDir;
+  // The campaign flushes at checkpoint time, keeping the cache file and
+  // the checkpoint that references it in step.
+  Opts.AutoFlush = false;
+  Opts.Faults = Spec.Faults;
+  return Opts;
+}
 
 Campaign::Campaign(ExperimentSpec S)
     : Spec(std::move(S)), Space(makeSpace(Spec.Space)) {
@@ -38,30 +52,21 @@ Campaign::Campaign(ExperimentSpec S)
 Campaign::~Campaign() = default;
 
 ResponseSurface &Campaign::surfaceFor(const ExperimentJob &Job) {
-  std::string Key = surfaceKey(Job);
+  std::string Key = surfaceKeyFor(Job);
   auto It = Surfaces.find(Key);
   if (It != Surfaces.end())
     return *It->second;
 
-  ResponseSurface::Options Opts;
-  Opts.Workload = Job.Workload;
-  Opts.Input = Job.Input;
-  Opts.Metric = Job.Metric;
-  Opts.UseSmarts = Spec.UseSmarts;
-  if (Spec.SmartsInterval > 0)
-    Opts.Smarts.SamplingInterval = Spec.SmartsInterval;
-  else if (Job.Input == InputSet::Test)
-    Opts.Smarts.SamplingInterval = 10; // Short runs want dense sampling.
-  Opts.CacheDir = Spec.CacheDir;
-  // The campaign flushes at checkpoint time, keeping the cache file and
-  // the checkpoint that references it in step.
-  Opts.AutoFlush = false;
-  Opts.Faults = Spec.Faults;
+  ResponseSurface::Options Opts = surfaceOptionsFor(Spec, Job);
+  if (Spec.RemoteMeasure)
+    Opts.Remote = [Remote = Spec.RemoteMeasure, Job,
+                   Key](const std::vector<DesignPoint> &Points) {
+      return Remote(Job, Key, Points);
+    };
 
   auto Surface = std::make_unique<ResponseSurface>(Space, std::move(Opts));
-  auto Restored = RestoredSurfaces.find(Key);
-  if (Restored != RestoredSurfaces.end())
-    Surface->preload(Restored->second.Points, Restored->second.Values);
+  if (const SurfaceShard *Restored = Shards.find(Key))
+    Surface->preload(Restored->Points, Restored->Values);
   return *Surfaces.emplace(Key, std::move(Surface)).first->second;
 }
 
@@ -100,22 +105,15 @@ void Campaign::writeCheckpoint() {
     S->flush();
     if (Ckpt.CachePath.empty())
       Ckpt.CachePath = S->cachePath();
-    SurfaceShard Shard;
-    for (auto &[Point, Value] : S->snapshot()) {
-      Shard.Points.push_back(std::move(Point));
-      Shard.Values.push_back(Value);
-    }
-    Ckpt.Surfaces.emplace(Key, std::move(Shard));
+    // A materialized surface was preloaded from its restored shard, so
+    // its snapshot supersedes what the store holds; restored shards whose
+    // surface has not been materialized yet (e.g. later jobs'
+    // measurements while job 0 replays) stay in the store untouched, so a
+    // second kill cannot lose work RestoredSimulations already charged to
+    // the budget.
+    Shards.update(Key, S->snapshot());
   }
-  // Restored shards whose surface has not been materialized yet (e.g.
-  // later jobs' measurements while job 0 replays) must survive every
-  // checkpoint, or a second kill would lose them -- re-simulating work
-  // that RestoredSimulations already charged to the budget. Materialized
-  // surfaces snapshot a superset of their shard, so only absent keys are
-  // copied.
-  for (const auto &[Key, Shard] : RestoredSurfaces)
-    if (!Ckpt.Surfaces.count(Key))
-      Ckpt.Surfaces.emplace(Key, Shard);
+  Ckpt.Surfaces = Shards.shards();
   Ckpt.SimulationsSpent = totalSimulations();
   Ckpt.WallSecondsSpent = totalWallSeconds();
   Ckpt.Build = buildStamp();
@@ -364,7 +362,7 @@ ExperimentResult Campaign::run() {
 
   for (size_t J = 0; J < Spec.Jobs.size(); ++J) {
     telemetry::ScopedTimer JobSpan("campaign.job", J);
-    JobSpan.setDetail(surfaceKey(Spec.Jobs[J]));
+    JobSpan.setDetail(surfaceKeyFor(Spec.Jobs[J]));
     ExperimentJobResult JR;
     JR.Job = Spec.Jobs[J];
 
@@ -399,8 +397,9 @@ ExperimentResult Campaign::run() {
   return Result;
 }
 
-ExperimentResult Campaign::resume(const std::string &Path,
-                                  const ExperimentBudget *NewBudget) {
+ExperimentResult
+Campaign::resume(const std::string &Path, const ExperimentBudget *NewBudget,
+                 const std::function<void(ExperimentSpec &)> &Customize) {
   CampaignCheckpoint Ckpt;
   std::string Error;
   if (!loadCheckpoint(Path, Ckpt, &Error)) {
@@ -411,13 +410,17 @@ ExperimentResult Campaign::resume(const std::string &Path,
   }
   // Run the *embedded* spec -- the checkpoint is the contract, so a
   // drifted caller cannot silently alter a half-finished campaign. The
-  // budget is the exception: raising it is exactly why one resumes.
+  // budget is the exception: raising it is exactly why one resumes. The
+  // customizer exists to reinstall the non-serialized hooks (progress
+  // callbacks, Coordinator's RemoteMeasure) on the embedded spec.
   if (NewBudget)
     Ckpt.Spec.Budget = *NewBudget;
   Ckpt.Spec.CheckpointPath = Path;
+  if (Customize)
+    Customize(Ckpt.Spec);
 
   Campaign C(std::move(Ckpt.Spec));
-  C.RestoredSurfaces = std::move(Ckpt.Surfaces);
+  C.Shards.restore(std::move(Ckpt.Surfaces));
   C.RestoredJobs = std::move(Ckpt.Jobs);
   C.RestoredSimulations = Ckpt.SimulationsSpent;
   C.RestoredWallSeconds = Ckpt.WallSecondsSpent;

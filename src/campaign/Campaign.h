@@ -56,9 +56,13 @@ public:
   /// Loads the checkpoint at \p Path and continues the campaign it
   /// describes. \p NewBudget, when given, replaces the spec's budget --
   /// the usual way to give a budget-exhausted campaign more headroom.
+  /// \p Customize, when given, runs on the embedded spec before the
+  /// engine starts: the way to reinstall non-serialized hooks (progress
+  /// callbacks, the Coordinator's RemoteMeasure) on a resumed campaign.
   /// A load failure returns CampaignStatus::Failed with a diagnostic.
-  static ExperimentResult resume(const std::string &Path,
-                                 const ExperimentBudget *NewBudget = nullptr);
+  static ExperimentResult
+  resume(const std::string &Path, const ExperimentBudget *NewBudget = nullptr,
+         const std::function<void(ExperimentSpec &)> &Customize = nullptr);
 
 private:
   /// The surface for one job, created (and preloaded from any restored
@@ -102,8 +106,12 @@ private:
   /// hand out references into themselves).
   std::map<std::string, std::unique_ptr<ResponseSurface>> Surfaces;
 
+  /// Shard store: restored checkpoint shards plus live surface snapshots,
+  /// the single code path every checkpoint's "surfaces" section flows
+  /// through (see campaign/ShardStore.h).
+  ShardStore Shards;
+
   /// State carried in from a checkpoint (empty on a fresh campaign).
-  std::map<std::string, SurfaceShard> RestoredSurfaces;
   std::vector<JobProgress> RestoredJobs;
   size_t RestoredSimulations = 0;
   double RestoredWallSeconds = 0;

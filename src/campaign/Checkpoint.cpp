@@ -77,23 +77,9 @@ bool failWith(std::string *Error, const std::string &Message) {
 }
 
 //===----------------------------------------------------------------------===//
-// Leaf serializers
+// Leaf serializers (design points and surface shards encode via the
+// shared helpers in campaign/ShardStore.h)
 //===----------------------------------------------------------------------===//
-
-Json pointToJson(const DesignPoint &Point) {
-  Json A = Json::array();
-  for (int64_t V : Point)
-    A.push(Json::number(static_cast<double>(V)));
-  return A;
-}
-
-DesignPoint pointFromJson(const Json &J) {
-  DesignPoint P;
-  P.reserve(J.size());
-  for (const Json &V : J.items())
-    P.push_back(V.asInt());
-  return P;
-}
 
 Json gaStateToJson(const GaState &S) {
   Json J = Json::object();
@@ -331,6 +317,9 @@ bool msem::deserializeSpec(const Json &Doc, ExperimentSpec &Out,
 
 Json msem::serializeCheckpoint(const CampaignCheckpoint &Ckpt) {
   Json J = Json::object();
+  // The string stamp is authoritative; the numeric version rides along so
+  // pre-stamp builds still load v1 checkpoints.
+  J.set("schema_version", Json::string(kCampaignSchema));
   J.set("version", Json::number(Ckpt.Version));
   J.set("spec", serializeSpec(Ckpt.Spec));
 
@@ -360,18 +349,8 @@ Json msem::serializeCheckpoint(const CampaignCheckpoint &Ckpt) {
   J.set("jobs", std::move(Jobs));
 
   Json Surfaces = Json::object();
-  for (const auto &[Key, Shard] : Ckpt.Surfaces) {
-    Json SJ = Json::object();
-    Json Points = Json::array();
-    for (const DesignPoint &P : Shard.Points)
-      Points.push(pointToJson(P));
-    SJ.set("points", std::move(Points));
-    Json Values = Json::array();
-    for (double V : Shard.Values)
-      Values.push(Json::number(V));
-    SJ.set("values", std::move(Values));
-    Surfaces.set(Key, std::move(SJ));
-  }
+  for (const auto &[Key, Shard] : Ckpt.Surfaces)
+    Surfaces.set(Key, shardToJson(Shard));
   J.set("surfaces", std::move(Surfaces));
 
   J.set("simulations_spent",
@@ -387,8 +366,14 @@ bool msem::deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
                                  std::string *Error) {
   if (Doc.kind() != Json::Kind::Object)
     return failWith(Error, "checkpoint: expected a JSON object");
+  // The string stamp governs when present (v1 or legacy unversioned pass,
+  // future versions are rejected with a clear message); the numeric
+  // version is the pre-stamp compatibility check.
+  if (!checkCampaignSchema(Doc, "checkpoint", Error))
+    return false;
   CampaignCheckpoint Ckpt;
-  Ckpt.Version = static_cast<int>(Doc["version"].asInt(0));
+  Ckpt.Version = static_cast<int>(
+      Doc["version"].asInt(Doc.has("schema_version") ? 1 : 0));
   if (Ckpt.Version != 1)
     return failWith(Error,
                     formatString("checkpoint: unsupported version %d",
@@ -419,13 +404,10 @@ bool msem::deserializeCheckpoint(const Json &Doc, CampaignCheckpoint &Out,
 
   for (const auto &[Key, SJ] : Doc["surfaces"].members()) {
     SurfaceShard Shard;
-    for (const Json &PJ : SJ["points"].items())
-      Shard.Points.push_back(pointFromJson(PJ));
-    for (const Json &V : SJ["values"].items())
-      Shard.Values.push_back(V.asDouble());
-    if (Shard.Points.size() != Shard.Values.size())
-      return failWith(Error, "checkpoint: surface '" + Key +
-                                 "' point/value arity mismatch");
+    std::string ShardError;
+    if (!shardFromJson(SJ, Shard, &ShardError))
+      return failWith(Error,
+                      "checkpoint: surface '" + Key + "': " + ShardError);
     Ckpt.Surfaces.emplace(Key, std::move(Shard));
   }
 

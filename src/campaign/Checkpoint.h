@@ -30,6 +30,7 @@
 #define MSEM_CAMPAIGN_CHECKPOINT_H
 
 #include "campaign/Experiment.h"
+#include "campaign/ShardStore.h"
 #include "support/Json.h"
 
 #include <map>
@@ -58,14 +59,10 @@ struct JobProgress {
   std::string Error; ///< Diagnostic when State == Failed.
 };
 
-/// Measured responses of one surface, as parallel point/value arrays
-/// (sorted by point -- the ResponseSurface::snapshot order).
-struct SurfaceShard {
-  std::vector<DesignPoint> Points;
-  std::vector<double> Values;
-};
-
-/// The whole campaign, durably.
+/// The whole campaign, durably. Stamped "schema_version":
+/// "msem.campaign.v1" on disk (see ShardStore.h); the numeric Version is
+/// kept alongside for pre-stamp readers. SurfaceShard and its JSON
+/// encoding live in campaign/ShardStore.h.
 struct CampaignCheckpoint {
   int Version = 1;
   /// The spec this checkpoint belongs to (hooks are not serialized).

@@ -1,0 +1,640 @@
+//===- campaign/Coordinator.cpp - Multi-process campaign coordinator -------===//
+
+#include "campaign/Coordinator.h"
+
+#include "campaign/Campaign.h"
+#include "support/Env.h"
+#include "support/Error.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/StatsServer.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <memory>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+using namespace msem;
+
+namespace {
+
+std::string dirJoin(const std::string &Dir, const std::string &Name) {
+  if (Dir.empty() || Dir.back() == '/')
+    return Dir + Name;
+  return Dir + "/" + Name;
+}
+
+/// The once-per-directory marker the kill-after test hook writes before
+/// raising SIGKILL, so a respawned worker does not kill itself again.
+std::string killMarkerPath(const std::string &Dir, int Worker) {
+  return dirJoin(Dir, formatString("killed-w%d", Worker));
+}
+
+std::string describeExit(int Wstatus) {
+  if (WIFSIGNALED(Wstatus))
+    return formatString("signal %d", WTERMSIG(Wstatus));
+  if (WIFEXITED(Wstatus))
+    return formatString("exit status %d", WEXITSTATUS(Wstatus));
+  return "unknown exit";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Coordinator
+//===----------------------------------------------------------------------===//
+
+Coordinator::Coordinator(CoordinatorOptions O) : Opts(std::move(O)) {
+  Opts.Workers = std::max(1, Opts.Workers);
+}
+
+Coordinator::~Coordinator() {
+  // Belt and braces: never leak worker processes, even on an error path
+  // that skipped the orderly shutdown.
+  for (Child &C : Children)
+    if (C.Alive && C.Pid > 0) {
+      ::kill(static_cast<pid_t>(C.Pid), SIGKILL);
+      int Wstatus = 0;
+      ::waitpid(static_cast<pid_t>(C.Pid), &Wstatus, 0);
+      C.Alive = false;
+    }
+}
+
+void Coordinator::spawnWorker(int Worker) {
+  // argv / envp are assembled pre-fork: the child only calls execve
+  // (async-signal-safe), never the allocator.
+  std::vector<char *> Argv;
+  for (const std::string &Arg : Opts.WorkerCommand)
+    Argv.push_back(const_cast<char *>(Arg.c_str()));
+  Argv.push_back(nullptr);
+
+  // Children inherit the environment minus the knobs that must not be
+  // shared: worker identity (replaced), and the introspection/profiler
+  // outputs N children would otherwise clobber.
+  std::vector<std::string> EnvStorage;
+  for (char **E = environ; E && *E; ++E) {
+    const char *Entry = *E;
+    if (strncmp(Entry, "MSEM_WORKER_DIR=", 16) == 0 ||
+        strncmp(Entry, "MSEM_WORKER_ID=", 15) == 0 ||
+        strncmp(Entry, "MSEM_STATS_PORT=", 16) == 0 ||
+        strncmp(Entry, "MSEM_STATS_PORT_FILE=", 21) == 0 ||
+        strncmp(Entry, "MSEM_PROFILE=", 13) == 0)
+      continue;
+    EnvStorage.emplace_back(Entry);
+  }
+  EnvStorage.push_back("MSEM_WORKER_DIR=" + Dir);
+  EnvStorage.push_back(formatString("MSEM_WORKER_ID=%d", Worker));
+  std::vector<char *> Envp;
+  for (const std::string &E : EnvStorage)
+    Envp.push_back(const_cast<char *>(E.c_str()));
+  Envp.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    fatalError(formatString("coordinator: fork failed for worker %d: %s",
+                            Worker, strerror(errno)));
+  if (Pid == 0) {
+    ::execve(Argv[0], Argv.data(), Envp.data());
+    // Exec failed; 127 mirrors the shell's convention.
+    _exit(127);
+  }
+  Children[static_cast<size_t>(Worker)].Pid = Pid;
+  Children[static_cast<size_t>(Worker)].Alive = true;
+  telemetry::count("coordinator.spawns");
+}
+
+void Coordinator::superviseChildren(const FaultPolicy &Faults) {
+  if (!Opts.SpawnWorkers)
+    return;
+  for (size_t K = 0; K < Children.size(); ++K) {
+    Child &C = Children[K];
+    if (!C.Alive || C.Pid <= 0)
+      continue;
+    int Wstatus = 0;
+    pid_t Reaped = ::waitpid(static_cast<pid_t>(C.Pid), &Wstatus, WNOHANG);
+    if (Reaped != static_cast<pid_t>(C.Pid))
+      continue;
+    C.Alive = false;
+    std::string How = describeExit(Wstatus);
+    telemetry::count("coordinator.worker_deaths");
+    // A worker's death is a fault, handled by the campaign's fault
+    // policy: Retry respawns it (its partial shard survives, so only the
+    // missing points get re-measured); Skip and Abort give up on the
+    // worker and let measureRound route the consequences through
+    // measureAll's skip/abort handling.
+    if (Faults.OnFault == FaultAction::Retry &&
+        C.Respawns + 1 < std::max(1, Faults.MaxAttempts)) {
+      ++C.Respawns;
+      telemetry::count("coordinator.worker_respawns");
+      fprintf(stderr, "msem coordinator: worker %zu died (%s); respawning "
+                      "(attempt %d)\n",
+              K, How.c_str(), C.Respawns + 1);
+      spawnWorker(static_cast<int>(K));
+      continue;
+    }
+    C.GaveUp = true;
+    DeathNotes[K] = Faults.OnFault == FaultAction::Retry
+                        ? formatString("worker %zu died (%s) after %d "
+                                       "attempt(s)",
+                                       K, How.c_str(), C.Respawns + 1)
+                        : formatString("worker %zu died (%s)", K, How.c_str());
+    fprintf(stderr, "msem coordinator: %s; giving up on it (%s policy)\n",
+            DeathNotes[K].c_str(), faultActionName(Faults.OnFault));
+  }
+}
+
+void Coordinator::refreshStatus() {
+  std::vector<WorkerStatus> Fresh(static_cast<size_t>(Opts.Workers));
+  for (size_t K = 0; K < Fresh.size(); ++K) {
+    WorkerStatus &S = Fresh[K];
+    S.Worker = static_cast<int>(K);
+    if (K < Children.size()) {
+      S.Pid = Children[K].Pid;
+      S.Alive = Children[K].Alive;
+      S.Respawns = Children[K].Respawns;
+    }
+    WorkerHeartbeat Hb;
+    std::string Error;
+    if (loadHeartbeat(heartbeatPath(Dir, static_cast<int>(K)), Hb, &Error)) {
+      S.Round = Hb.Round;
+      S.Measured = Hb.Measured;
+      S.HeartbeatUnixSeconds = Hb.UnixSeconds;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(StatusMutex);
+  Status = std::move(Fresh);
+}
+
+std::vector<WorkerStatus> Coordinator::workerStatus() const {
+  std::lock_guard<std::mutex> Lock(StatusMutex);
+  return Status;
+}
+
+std::vector<PointOutcome>
+Coordinator::measureRound(const ExperimentSpec &Spec, const ExperimentJob &Job,
+                          const std::vector<DesignPoint> &Points) {
+  if (Points.empty())
+    return {};
+  telemetry::ScopedTimer Span("coordinator.round", Round + 1);
+  const size_t N = Points.size();
+  const int W = Opts.Workers;
+  ++Round;
+
+  RoundPlan Plan;
+  Plan.Round = Round;
+  Plan.Epoch = Epoch;
+  Plan.Workers = W;
+  Plan.Surface = {Job.Workload, Job.Input, Job.Metric};
+  Plan.Points = Points;
+  std::string Error;
+  if (!savePlan(Plan, planPath(Dir), &Error))
+    fatalError("coordinator: cannot publish round plan: " + Error);
+
+  std::vector<PointOutcome> Outcomes(N);
+  std::vector<bool> Collected(static_cast<size_t>(W), true);
+  for (size_t I = 0; I < N; ++I)
+    Collected[I % W] = false; // Only workers with assigned points report.
+
+  // Splices worker K's shard into Outcomes; every entry is validated
+  // against the plan so a stale or foreign file can never corrupt the
+  // campaign.
+  auto splice = [&](const WorkerShard &Shard, size_t K) {
+    for (size_t J = 0; J < Shard.Indices.size(); ++J) {
+      size_t Idx = Shard.Indices[J];
+      if (Idx >= N || Idx % W != K || Shard.Points[J] != Points[Idx])
+        fatalError(formatString(
+            "coordinator: worker %zu shard for round %llu does not match "
+            "the plan (index %zu)",
+            K, static_cast<unsigned long long>(Round), Idx));
+      Outcomes[Idx] = Shard.Outcomes[J];
+    }
+  };
+
+  unsigned TicksSinceStatus = ~0u;
+  for (;;) {
+    superviseChildren(Spec.Faults);
+    bool AllDone = true;
+    for (size_t K = 0; K < static_cast<size_t>(W); ++K) {
+      if (Collected[K])
+        continue;
+      WorkerShard Shard;
+      std::string ShardError;
+      bool Loaded =
+          loadWorkerShard(workerShardPath(Dir, Round, static_cast<int>(K)),
+                          Shard, &ShardError) &&
+          Shard.Round == Round && Shard.Epoch == Epoch;
+      if (Loaded && Shard.Done) {
+        splice(Shard, K);
+        Collected[K] = true;
+        continue;
+      }
+      if (!DeathNotes[K].empty()) {
+        // The worker is permanently gone. Its durable partial results are
+        // still valid (responses are pure functions of their points); the
+        // missing ones carry the death note, which measureAll turns into
+        // a skip or an abort per the fault policy.
+        if (Loaded)
+          splice(Shard, K);
+        for (size_t I = K; I < N; I += W)
+          if (!Outcomes[I].Ok && Outcomes[I].Error.empty())
+            Outcomes[I].Error = DeathNotes[K];
+        Collected[K] = true;
+        continue;
+      }
+      AllDone = false;
+    }
+    if (AllDone)
+      break;
+    if (++TicksSinceStatus >= 16) { // ~every 32ms at the default poll
+      refreshStatus();
+      TicksSinceStatus = 0;
+    }
+    ::usleep(Opts.PollMicros);
+  }
+  refreshStatus();
+  return Outcomes;
+}
+
+ExperimentResult Coordinator::runCampaign(
+    const ExperimentSpec &Spec,
+    const std::function<ExperimentResult(const ExperimentSpec &)> &Go) {
+  // Shard-directory layout and lifecycle are documented in ShardStore.h.
+  Dir = !Opts.ShardDir.empty() ? Opts.ShardDir
+        : !Spec.CheckpointPath.empty()
+            ? Spec.CheckpointPath + ".shards"
+            : "msem_cache/shards";
+  std::string Error;
+  if (!createDirectories(Dir, &Error))
+    fatalError("coordinator: cannot create shard directory: " + Error);
+
+  // The epoch tags this incarnation's plan/shard files so leftovers from
+  // an earlier run of the same directory are ignored, not merged. It
+  // never reaches the checkpoint, so it cannot perturb bitwise identity.
+  Epoch = static_cast<uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) ^
+          (static_cast<uint64_t>(::getpid()) << 32) ^ 0x9E3779B97F4A7C15ull;
+  Round = 0;
+  Children.assign(static_cast<size_t>(Opts.Workers), Child{});
+  DeathNotes.assign(static_cast<size_t>(Opts.Workers), std::string());
+
+  CampaignManifest Manifest;
+  Manifest.Workers = Opts.Workers;
+  Manifest.Spec = Spec;
+  if (!saveManifest(Manifest, manifestPath(Dir), &Error))
+    fatalError("coordinator: cannot write campaign manifest: " + Error);
+  // Publish an empty round-0 plan: it overwrites any stale plan (so a
+  // fresh worker cannot act on a previous incarnation's round) and
+  // carries this incarnation's epoch.
+  RoundPlan Boot;
+  Boot.Epoch = Epoch;
+  Boot.Workers = Opts.Workers;
+  if (!savePlan(Boot, planPath(Dir), &Error))
+    fatalError("coordinator: cannot publish boot plan: " + Error);
+
+  if (Opts.SpawnWorkers)
+    for (int K = 0; K < Opts.Workers; ++K)
+      spawnWorker(K);
+  refreshStatus();
+
+  // Live worker progress: a /statusz section and a /healthz fragment for
+  // the lifetime of the distributed run.
+  ScopedStatusProvider StatusSection("workers", [this] {
+    std::string Text;
+    int64_t Now = static_cast<int64_t>(::time(nullptr));
+    for (const WorkerStatus &S : workerStatus())
+      Text += formatString(
+          "worker %d: pid=%lld alive=%d respawns=%d round=%llu "
+          "measured=%zu heartbeat_age_s=%lld\n",
+          S.Worker, static_cast<long long>(S.Pid), S.Alive ? 1 : 0,
+          S.Respawns, static_cast<unsigned long long>(S.Round), S.Measured,
+          S.HeartbeatUnixSeconds
+              ? static_cast<long long>(Now - S.HeartbeatUnixSeconds)
+              : -1ll);
+    return Text;
+  });
+  ScopedHealthProvider HealthSection("workers", [this] {
+    std::vector<WorkerStatus> Snapshot = workerStatus();
+    size_t Alive = 0;
+    int Respawns = 0;
+    uint64_t MaxRound = 0;
+    Json PerWorker = Json::array();
+    for (const WorkerStatus &S : Snapshot) {
+      Alive += S.Alive ? 1 : 0;
+      Respawns += S.Respawns;
+      MaxRound = std::max(MaxRound, S.Round);
+      Json WJ = Json::object();
+      WJ.set("worker", Json::number(S.Worker));
+      WJ.set("alive", Json::boolean(S.Alive));
+      WJ.set("respawns", Json::number(S.Respawns));
+      WJ.set("round", Json::number(static_cast<double>(S.Round)));
+      WJ.set("measured", Json::number(static_cast<double>(S.Measured)));
+      PerWorker.push(std::move(WJ));
+    }
+    Json H = Json::object();
+    H.set("count", Json::number(static_cast<double>(Snapshot.size())));
+    H.set("alive", Json::number(static_cast<double>(Alive)));
+    H.set("respawns", Json::number(Respawns));
+    H.set("round", Json::number(static_cast<double>(MaxRound)));
+    H.set("workers", std::move(PerWorker));
+    return H.dump();
+  });
+
+  ExperimentResult Result = Go(Spec);
+  shutdownWorkers();
+  return Result;
+}
+
+ExperimentResult Coordinator::run(ExperimentSpec Spec) {
+  return runCampaign(Spec, [this](const ExperimentSpec &Prepared) {
+    ExperimentSpec Distributed = Prepared;
+    Distributed.RemoteMeasure =
+        [this, Policy = Prepared](const ExperimentJob &Job,
+                                  const std::string &,
+                                  const std::vector<DesignPoint> &Points) {
+          return measureRound(Policy, Job, Points);
+        };
+    Campaign C(std::move(Distributed));
+    return C.run();
+  });
+}
+
+ExperimentResult Coordinator::resume(const std::string &Path,
+                                     const ExperimentBudget *NewBudget) {
+  // Load the checkpoint first: the manifest the workers read must carry
+  // the *embedded* spec (the resume contract), not anything the caller
+  // has on hand.
+  CampaignCheckpoint Ckpt;
+  std::string Error;
+  if (!loadCheckpoint(Path, Ckpt, &Error)) {
+    ExperimentResult Result;
+    Result.Status = CampaignStatus::Failed;
+    Result.Error = Error;
+    return Result;
+  }
+  Ckpt.Spec.CheckpointPath = Path;
+  return runCampaign(Ckpt.Spec, [&](const ExperimentSpec &Prepared) {
+    FaultPolicy Faults = Prepared.Faults;
+    return Campaign::resume(
+        Path, NewBudget, [this, Faults](ExperimentSpec &Embedded) {
+          Embedded.RemoteMeasure =
+              [this, Faults](const ExperimentJob &Job, const std::string &,
+                             const std::vector<DesignPoint> &Points) {
+                ExperimentSpec Policy;
+                Policy.Faults = Faults;
+                return measureRound(Policy, Job, Points);
+              };
+        });
+  });
+}
+
+void Coordinator::shutdownWorkers() {
+  if (Dir.empty())
+    return;
+  // The Done sentinel: workers exit their poll loop cleanly.
+  RoundPlan Done;
+  Done.Round = Round + 1;
+  Done.Epoch = Epoch;
+  Done.Workers = Opts.Workers;
+  Done.Done = true;
+  std::string Error;
+  if (!savePlan(Done, planPath(Dir), &Error))
+    fprintf(stderr, "msem coordinator: cannot publish shutdown plan: %s\n",
+            Error.c_str());
+
+  if (!Opts.SpawnWorkers)
+    return;
+  // Give workers a grace period to see the sentinel, then force the
+  // issue -- the coordinator must never hang on a wedged child.
+  const int GraceTicks = 5 * 1000 * 1000 / 2000; // ~5s at 2ms ticks
+  for (int Tick = 0; Tick < GraceTicks; ++Tick) {
+    bool AnyAlive = false;
+    for (Child &C : Children) {
+      if (!C.Alive || C.Pid <= 0)
+        continue;
+      int Wstatus = 0;
+      if (::waitpid(static_cast<pid_t>(C.Pid), &Wstatus, WNOHANG) ==
+          static_cast<pid_t>(C.Pid))
+        C.Alive = false;
+      else
+        AnyAlive = true;
+    }
+    if (!AnyAlive)
+      break;
+    ::usleep(2000);
+  }
+  for (Child &C : Children) {
+    if (!C.Alive || C.Pid <= 0)
+      continue;
+    ::kill(static_cast<pid_t>(C.Pid), SIGKILL);
+    int Wstatus = 0;
+    ::waitpid(static_cast<pid_t>(C.Pid), &Wstatus, 0);
+    C.Alive = false;
+  }
+  refreshStatus();
+}
+
+//===----------------------------------------------------------------------===//
+// Worker entrypoint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "w:n" -> kill worker w after n fresh measurements (see
+/// MSEM_WORKER_KILL_AFTER).
+struct KillSwitch {
+  bool Armed = false;
+  int Worker = -1;
+  size_t After = 0;
+};
+
+KillSwitch parseKillAfter(const std::string &Spec) {
+  KillSwitch K;
+  size_t Colon = Spec.find(':');
+  if (Colon == std::string::npos)
+    return K;
+  char *End = nullptr;
+  long W = strtol(Spec.c_str(), &End, 10);
+  unsigned long long N = strtoull(Spec.c_str() + Colon + 1, &End, 10);
+  if (W < 0 || N == 0)
+    return K;
+  K.Armed = true;
+  K.Worker = static_cast<int>(W);
+  K.After = static_cast<size_t>(N);
+  return K;
+}
+
+} // namespace
+
+int msem::runWorker(const WorkerOptions &Opts) {
+  if (Opts.Dir.empty() || Opts.Worker < 0) {
+    fprintf(stderr, "msem worker: MSEM_WORKER_DIR and MSEM_WORKER_ID (>= 0) "
+                    "are required\n");
+    return 2;
+  }
+
+  // The coordinator writes the manifest before spawning; a brief retry
+  // covers the multi-host case where workers start first.
+  CampaignManifest Manifest;
+  std::string Error;
+  for (int Attempt = 0;; ++Attempt) {
+    if (loadManifest(manifestPath(Opts.Dir), Manifest, &Error))
+      break;
+    if (Attempt >= 1000) {
+      fprintf(stderr, "msem worker %d: %s\n", Opts.Worker, Error.c_str());
+      return 2;
+    }
+    ::usleep(Opts.PollMicros);
+  }
+
+  ParameterSpace Space = makeSpace(Manifest.Spec.Space);
+  // Surfaces are memory-only (CacheDir overridden to ""): the worker's
+  // durable memo is its shard file, and the shared binary/trace caches do
+  // the expensive reuse. Keyed like the campaign's own surfaces.
+  const std::string NoCache;
+  std::map<std::string, std::unique_ptr<ResponseSurface>> Surfaces;
+
+  KillSwitch Kill = parseKillAfter(Opts.KillAfter);
+  if (Kill.Armed && Kill.Worker != Opts.Worker)
+    Kill.Armed = false;
+  if (Kill.Armed && pathExists(killMarkerPath(Opts.Dir, Opts.Worker)))
+    Kill.Armed = false; // Already fired once in this directory.
+
+  auto writeBeat = [&](uint64_t Round, size_t Measured) {
+    WorkerHeartbeat Hb;
+    Hb.Worker = Opts.Worker;
+    Hb.Pid = static_cast<int64_t>(::getpid());
+    Hb.Round = Round;
+    Hb.Measured = Measured;
+    Hb.UnixSeconds = static_cast<int64_t>(::time(nullptr));
+    std::string BeatError;
+    saveHeartbeat(Hb, heartbeatPath(Opts.Dir, Opts.Worker), &BeatError);
+  };
+
+  uint64_t LastRound = 0;
+  size_t FreshTotal = 0; // Fresh measurements by this process (kill hook).
+  writeBeat(0, 0);
+
+  for (;;) {
+    RoundPlan Plan;
+    if (!loadPlan(planPath(Opts.Dir), Plan, &Error)) {
+      ::usleep(Opts.PollMicros);
+      continue;
+    }
+    if (Plan.Done) {
+      writeBeat(Plan.Round, 0);
+      return 0;
+    }
+    if (Plan.Round == 0 || Plan.Round == LastRound || Plan.Workers <= 0) {
+      ::usleep(Opts.PollMicros);
+      continue;
+    }
+
+    // --- One round ------------------------------------------------------
+    const int W = Plan.Workers;
+    std::vector<size_t> Mine;
+    for (size_t I = static_cast<size_t>(Opts.Worker); I < Plan.Points.size();
+         I += W)
+      Mine.push_back(I);
+
+    WorkerShard Shard;
+    Shard.Round = Plan.Round;
+    Shard.Epoch = Plan.Epoch;
+    Shard.Worker = Opts.Worker;
+    Shard.Surface = Plan.Surface;
+    const std::string ShardPath =
+        workerShardPath(Opts.Dir, Plan.Round, Opts.Worker);
+
+    // Resume from our own partial shard: a respawned worker re-measures
+    // only the points its previous incarnation had not flushed.
+    std::map<size_t, PointOutcome> Done;
+    {
+      WorkerShard Existing;
+      std::string LoadError;
+      if (loadWorkerShard(ShardPath, Existing, &LoadError) &&
+          Existing.Round == Plan.Round && Existing.Epoch == Plan.Epoch)
+        for (size_t J = 0; J < Existing.Indices.size(); ++J) {
+          size_t Idx = Existing.Indices[J];
+          if (Idx < Plan.Points.size() &&
+              Existing.Points[J] == Plan.Points[Idx])
+            Done.emplace(Idx, Existing.Outcomes[J]);
+        }
+    }
+
+    auto flush = [&](bool Complete) {
+      Shard.Indices.clear();
+      Shard.Points.clear();
+      Shard.Outcomes.clear();
+      for (size_t Idx : Mine) {
+        auto It = Done.find(Idx);
+        if (It == Done.end())
+          continue;
+        Shard.Indices.push_back(Idx);
+        Shard.Points.push_back(Plan.Points[Idx]);
+        Shard.Outcomes.push_back(It->second);
+      }
+      Shard.Done = Complete;
+      std::string FlushError;
+      if (!saveWorkerShard(Shard, ShardPath, &FlushError))
+        fatalError(formatString("msem worker %d: cannot write shard: ",
+                                Opts.Worker) +
+                   FlushError);
+      writeBeat(Plan.Round, Shard.Outcomes.size());
+    };
+
+    ExperimentJob Job;
+    Job.Workload = Plan.Surface.Workload;
+    Job.Input = Plan.Surface.Input;
+    Job.Metric = Plan.Surface.Metric;
+    const std::string Key = surfaceKeyFor(Job);
+    auto SurfaceIt = Surfaces.find(Key);
+    if (SurfaceIt == Surfaces.end())
+      SurfaceIt =
+          Surfaces
+              .emplace(Key, std::make_unique<ResponseSurface>(
+                                Space, surfaceOptionsFor(Manifest.Spec, Job,
+                                                         &NoCache)))
+              .first;
+    ResponseSurface &Surface = *SurfaceIt->second;
+
+    std::vector<size_t> Missing;
+    for (size_t Idx : Mine)
+      if (!Done.count(Idx))
+        Missing.push_back(Idx);
+
+    const size_t Chunk = std::max<size_t>(1, Opts.FlushEvery);
+    for (size_t Begin = 0; Begin < Missing.size(); Begin += Chunk) {
+      size_t End = std::min(Missing.size(), Begin + Chunk);
+      std::vector<DesignPoint> Batch;
+      Batch.reserve(End - Begin);
+      for (size_t J = Begin; J < End; ++J)
+        Batch.push_back(Plan.Points[Missing[J]]);
+      std::vector<PointOutcome> Out = Surface.measureOutcomes(Batch);
+      for (size_t J = Begin; J < End; ++J)
+        Done.emplace(Missing[J], Out[J - Begin]);
+      FreshTotal += End - Begin;
+      flush(false);
+      if (Kill.Armed && FreshTotal >= Kill.After) {
+        // Marker first (atomic), then die without cleanup -- the whole
+        // point is simulating kill -9 at a deterministic moment.
+        writeFileAtomic(killMarkerPath(Opts.Dir, Opts.Worker), "killed\n",
+                        nullptr);
+        ::raise(SIGKILL);
+      }
+    }
+    flush(true);
+    LastRound = Plan.Round;
+  }
+}

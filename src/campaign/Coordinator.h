@@ -1,0 +1,181 @@
+//===- campaign/Coordinator.h - Multi-process campaign coordinator -*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Distributed campaigns: the coordinator breaks the single-process
+/// MSEM_THREADS ceiling by fanning measurement -- and only measurement --
+/// out to N worker processes, while keeping every result bitwise identical
+/// to a single-process run.
+///
+/// ## How bitwise identity survives distribution
+///
+/// The campaign engine is deterministic given measured responses, and a
+/// measured response is a pure function of its design point (fault
+/// injection included: the injection decision is a deterministic hash of
+/// (point, attempt)). So the coordinator runs the *entire* campaign
+/// in-process -- design, fitting, GA, checkpointing, publishing -- and
+/// installs ExperimentSpec::RemoteMeasure so each surface's measureAll
+/// hands its distinct unmeasured batch to workers instead of the local
+/// simulator. Per-point outcomes come back byte-equal to what
+/// ResponseSurface::measureOutcomes would have produced (workers run the
+/// identical measureWithPolicy code via the shared surfaceOptionsFor
+/// path), and the unchanged reduction in measureAll does the rest. The
+/// shard->job assignment is fixed (plan index I -> worker I % N) and the
+/// merge walks workers in sequential order, so the merged checkpoint,
+/// registry artifacts and predictions are bitwise identical at any worker
+/// count and any MSEM_THREADS.
+///
+/// ## How worker death is survived
+///
+/// Workers rewrite their round shard atomically after every chunk, so a
+/// SIGKILLed worker's completed outcomes are durable; its replacement
+/// preloads the partial shard and measures only the missing points -- the
+/// campaign resume-by-replay idiom at shard granularity. Death itself is
+/// routed through the spec's FaultPolicy: Retry respawns the worker (up to
+/// MaxAttempts), Skip lets the dead worker's unmeasured points fall out as
+/// skipped (NaN) responses, Abort fails the campaign with the worker's
+/// death in the diagnostic.
+///
+/// Multi-host note: nothing below requires fork/exec -- workers started by
+/// hand on N machines against a shared (network) shard directory behave
+/// identically, except death-respawn supervision is the operator's job.
+/// Set CoordinatorOptions::SpawnWorkers = false for that mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_COORDINATOR_H
+#define MSEM_CAMPAIGN_COORDINATOR_H
+
+#include "campaign/Experiment.h"
+#include "campaign/ShardStore.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msem {
+
+/// How a campaign is distributed.
+struct CoordinatorOptions {
+  /// Worker processes (>= 1). 1 still exercises the full wire protocol.
+  int Workers = 2;
+  /// Shard directory the coordinator and workers exchange files through
+  /// ("" = "<checkpoint path>.shards", or "msem_cache/shards" when the
+  /// spec has no checkpoint).
+  std::string ShardDir;
+  /// argv of a worker process. The coordinator execs it verbatim with
+  /// MSEM_WORKER_DIR / MSEM_WORKER_ID set (and the introspection /
+  /// profiler knobs scrubbed so N children do not fight over one port
+  /// file). Default: this binary's "worker" subcommand.
+  std::vector<std::string> WorkerCommand = {"/proc/self/exe", "worker"};
+  /// Spawn (and on Retry respawn) workers via fork/exec. False = workers
+  /// are started externally (multi-host); the coordinator only plans,
+  /// polls and merges.
+  bool SpawnWorkers = true;
+  /// Poll interval while waiting on worker shards, microseconds.
+  unsigned PollMicros = 2000;
+};
+
+/// One worker's live status, as surfaced under /statusz and the
+/// /healthz "workers" fragment.
+struct WorkerStatus {
+  int Worker = 0;
+  int64_t Pid = 0;       ///< 0 when not spawned / already reaped.
+  bool Alive = false;
+  int Respawns = 0;      ///< Deaths survived via the Retry policy.
+  uint64_t Round = 0;    ///< Last round seen in its heartbeat.
+  size_t Measured = 0;   ///< Outcomes recorded in that round.
+  int64_t HeartbeatUnixSeconds = 0;
+};
+
+/// Runs campaigns distributed across worker processes. Construct with
+/// options, then call run() or resume() once (mirroring Campaign).
+class Coordinator {
+public:
+  explicit Coordinator(CoordinatorOptions Opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator &) = delete;
+  Coordinator &operator=(const Coordinator &) = delete;
+
+  /// Runs \p Spec distributed: writes the campaign manifest, spawns
+  /// workers, and executes the full campaign engine in-process with
+  /// measurement delegated to the workers. Returns exactly what a
+  /// single-process runExperiment(Spec) would.
+  ExperimentResult run(ExperimentSpec Spec);
+
+  /// Resumes the checkpoint at \p Path distributed, via Campaign::resume
+  /// with the RemoteMeasure hook reinstalled on the embedded spec.
+  ExperimentResult resume(const std::string &Path,
+                          const ExperimentBudget *NewBudget = nullptr);
+
+  /// Per-worker status snapshot (thread-safe; the /statusz provider and
+  /// tests read this while the campaign runs).
+  std::vector<WorkerStatus> workerStatus() const;
+
+private:
+  struct Child {
+    int64_t Pid = 0;
+    bool Alive = false;
+    int Respawns = 0;
+    bool GaveUp = false; ///< Dead and no longer eligible for respawn.
+  };
+
+  ExperimentResult runCampaign(
+      const ExperimentSpec &Spec,
+      const std::function<ExperimentResult(const ExperimentSpec &)> &Go);
+
+  /// The RemoteMeasure implementation: plans one round, waits for every
+  /// worker shard (supervising children), and merges outcomes in worker
+  /// order. \p Spec is the running campaign's spec (fault policy).
+  std::vector<PointOutcome>
+  measureRound(const ExperimentSpec &Spec, const ExperimentJob &Job,
+               const std::vector<DesignPoint> &Points);
+
+  void spawnWorker(int Worker);
+  /// waitpid(WNOHANG) sweep; applies the Retry respawn policy to
+  /// unexpected deaths. Returns a human-readable death note for worker
+  /// \p Worker when it has permanently failed.
+  void superviseChildren(const FaultPolicy &Faults);
+  /// Publishes a Done plan and reaps every child.
+  void shutdownWorkers();
+  void refreshStatus();
+
+  CoordinatorOptions Opts;
+  std::string Dir;
+  uint64_t Epoch = 0;
+  uint64_t Round = 0;
+  std::vector<Child> Children;
+  std::vector<std::string> DeathNotes; ///< Per worker, "" while healthy.
+
+  mutable std::mutex StatusMutex;
+  std::vector<WorkerStatus> Status;
+};
+
+/// A worker process's identity and wiring, normally parsed from
+/// MSEM_WORKER_DIR / MSEM_WORKER_ID (set by the coordinator, or by hand
+/// in multi-host mode).
+struct WorkerOptions {
+  std::string Dir;
+  int Worker = -1;
+  /// Shard flush granularity: outcomes measured between atomic shard
+  /// rewrites (1 = maximum durability; the default balances fsync cost).
+  size_t FlushEvery = 4;
+  /// Poll interval while waiting for a new round plan, microseconds.
+  unsigned PollMicros = 2000;
+  /// "w:n" death injection (see MSEM_WORKER_KILL_AFTER in support/Env.h).
+  std::string KillAfter;
+};
+
+/// The worker entrypoint: joins the campaign at WorkerOptions::Dir and
+/// measures its share of every round until the coordinator publishes the
+/// Done sentinel. Returns a process exit code (0 = clean shutdown).
+int runWorker(const WorkerOptions &Opts);
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_COORDINATOR_H

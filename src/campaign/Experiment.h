@@ -126,7 +126,32 @@ struct ExperimentSpec {
   /// Test/progress hook: called after each checkpoint write with the
   /// number of checkpoints written so far this process. Not serialized.
   std::function<void(size_t)> OnCheckpointWritten;
+
+  /// Distributed-measurement hook: when set, every surface the campaign
+  /// materializes delegates its unmeasured batches here -- (job, surface
+  /// key, distinct unmeasured points) -> per-point outcomes -- instead of
+  /// measuring in-process. The contract is bitwise: outcomes must equal
+  /// what ResponseSurface::measureOutcomes would produce. Installed by
+  /// campaign/Coordinator.h; never serialized, so a resumed distributed
+  /// campaign reinstalls it through Campaign::resume's spec customizer.
+  std::function<std::vector<PointOutcome>(
+      const ExperimentJob &, const std::string &,
+      const std::vector<DesignPoint> &)>
+      RemoteMeasure;
 };
+
+/// Surface identity within a campaign ("workload|input|metric"). Jobs
+/// agreeing on it share one surface -- and one checkpoint shard.
+std::string surfaceKeyFor(const ExperimentJob &Job);
+
+/// The ResponseSurface options \p Spec implies for \p Job: the one code
+/// path turning a spec into measurement configuration, shared by the
+/// campaign engine and distributed worker processes so the two cannot
+/// drift. \p CacheDir overrides the spec's disk cache (workers run
+/// memory-only: their shard file is their durable memo).
+ResponseSurface::Options
+surfaceOptionsFor(const ExperimentSpec &Spec, const ExperimentJob &Job,
+                  const std::string *CacheDirOverride = nullptr);
 
 /// One platform's tuning outcome.
 struct PlatformTuning {

@@ -1,0 +1,375 @@
+//===- campaign/ShardStore.cpp - Measurement shards as a first-class API ---===//
+
+#include "campaign/ShardStore.h"
+
+#include "campaign/Checkpoint.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace msem;
+
+namespace {
+
+bool failWith(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+std::string joinPath(const std::string &Dir, const std::string &Name) {
+  if (Dir.empty())
+    return Name;
+  if (Dir.back() == '/')
+    return Dir + Name;
+  return Dir + "/" + Name;
+}
+
+// Shared by every wire document: stamp, atomic write, parse + schema check.
+bool saveWireDoc(Json Doc, const std::string &Path, std::string *Error) {
+  Doc.set("schema_version", Json::string(kCampaignSchema));
+  return writeFileAtomic(Path, Doc.dump(), Error);
+}
+
+bool loadWireDoc(const std::string &Path, const char *What, Json &Out,
+                 std::string *Error) {
+  std::string Text;
+  if (!readFileText(Path, Text, Error)) {
+    if (Error)
+      *Error = std::string("cannot open ") + What + ": " + *Error;
+    return false;
+  }
+  std::string ParseError;
+  Out = Json::parse(Text, &ParseError);
+  if (!ParseError.empty())
+    return failWith(Error,
+                    std::string(What) + " '" + Path + "': " + ParseError);
+  if (Out.kind() != Json::Kind::Object)
+    return failWith(Error, std::string(What) + " '" + Path +
+                               "': expected a JSON object");
+  return checkCampaignSchema(Out, What, Error);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Schema versioning
+//===----------------------------------------------------------------------===//
+
+bool msem::checkCampaignSchema(const Json &Doc, const char *What,
+                               std::string *Error) {
+  if (!Doc.has("schema_version"))
+    return true; // Legacy document from before the stamp existed.
+  const std::string Schema = Doc["schema_version"].asString();
+  if (Schema == kCampaignSchema)
+    return true;
+  const bool LooksNewer = Schema.rfind("msem.campaign.v", 0) == 0;
+  return failWith(
+      Error,
+      formatString("%s: schema '%s' is not supported by this build (which "
+                   "reads '%s'%s)",
+                   What, Schema.c_str(), kCampaignSchema,
+                   LooksNewer
+                       ? "; it was written by a newer msem -- upgrade to load it"
+                       : ""));
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf encodings
+//===----------------------------------------------------------------------===//
+
+Json msem::designPointToJson(const DesignPoint &Point) {
+  Json A = Json::array();
+  for (int64_t V : Point)
+    A.push(Json::number(static_cast<double>(V)));
+  return A;
+}
+
+DesignPoint msem::designPointFromJson(const Json &Doc) {
+  DesignPoint P;
+  P.reserve(Doc.size());
+  for (const Json &V : Doc.items())
+    P.push_back(V.asInt());
+  return P;
+}
+
+Json msem::shardToJson(const SurfaceShard &Shard) {
+  Json J = Json::object();
+  Json Points = Json::array();
+  for (const DesignPoint &P : Shard.Points)
+    Points.push(designPointToJson(P));
+  J.set("points", std::move(Points));
+  Json Values = Json::array();
+  for (double V : Shard.Values)
+    Values.push(Json::number(V));
+  J.set("values", std::move(Values));
+  return J;
+}
+
+bool msem::shardFromJson(const Json &Doc, SurfaceShard &Out,
+                         std::string *Error) {
+  SurfaceShard Shard;
+  for (const Json &PJ : Doc["points"].items())
+    Shard.Points.push_back(designPointFromJson(PJ));
+  for (const Json &V : Doc["values"].items())
+    Shard.Values.push_back(V.asDouble());
+  if (Shard.Points.size() != Shard.Values.size())
+    return failWith(Error, "surface shard: point/value arity mismatch");
+  Out = std::move(Shard);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardStore
+//===----------------------------------------------------------------------===//
+
+void ShardStore::restore(std::map<std::string, SurfaceShard> Shards) {
+  Store = std::move(Shards);
+}
+
+const SurfaceShard *ShardStore::find(const std::string &Key) const {
+  auto It = Store.find(Key);
+  return It == Store.end() ? nullptr : &It->second;
+}
+
+void ShardStore::update(
+    const std::string &Key,
+    const std::vector<std::pair<DesignPoint, double>> &Snapshot) {
+  SurfaceShard &Shard = Store[Key];
+  Shard.Points.clear();
+  Shard.Values.clear();
+  Shard.Points.reserve(Snapshot.size());
+  Shard.Values.reserve(Snapshot.size());
+  for (const auto &[Point, Value] : Snapshot) {
+    Shard.Points.push_back(Point);
+    Shard.Values.push_back(Value);
+  }
+}
+
+void ShardStore::mergeShard(SurfaceShard &Dst, const SurfaceShard &Src) {
+  // Sorted union via a point-keyed map: Dst's entries land first and win
+  // on duplicates; std::map iteration then rebuilds the sorted arrays.
+  std::map<DesignPoint, double> Union;
+  for (size_t I = 0; I < Dst.Points.size(); ++I)
+    Union.emplace(Dst.Points[I], Dst.Values[I]);
+  for (size_t I = 0; I < Src.Points.size(); ++I)
+    Union.emplace(Src.Points[I], Src.Values[I]);
+  Dst.Points.clear();
+  Dst.Values.clear();
+  Dst.Points.reserve(Union.size());
+  Dst.Values.reserve(Union.size());
+  for (const auto &[Point, Value] : Union) {
+    Dst.Points.push_back(Point);
+    Dst.Values.push_back(Value);
+  }
+}
+
+void ShardStore::merge(const std::string &Key, const SurfaceShard &Incoming) {
+  mergeShard(Store[Key], Incoming);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire-format paths
+//===----------------------------------------------------------------------===//
+
+std::string msem::manifestPath(const std::string &Dir) {
+  return joinPath(Dir, "campaign.json");
+}
+
+std::string msem::planPath(const std::string &Dir) {
+  return joinPath(Dir, "plan.json");
+}
+
+std::string msem::workerShardPath(const std::string &Dir, uint64_t Round,
+                                  int Worker) {
+  return joinPath(Dir, formatString("shard-r%llu-w%d.json",
+                                    static_cast<unsigned long long>(Round),
+                                    Worker));
+}
+
+std::string msem::heartbeatPath(const std::string &Dir, int Worker) {
+  return joinPath(Dir, formatString("worker-%d.json", Worker));
+}
+
+//===----------------------------------------------------------------------===//
+// Wire documents
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json surfaceRefToJson(const SurfaceRef &Ref) {
+  Json J = Json::object();
+  J.set("workload", Json::string(Ref.Workload));
+  J.set("input", Json::string(inputSetName(Ref.Input)));
+  J.set("metric", Json::string(responseMetricName(Ref.Metric)));
+  return J;
+}
+
+bool surfaceRefFromJson(const Json &Doc, SurfaceRef &Out, std::string *Error) {
+  SurfaceRef Ref;
+  Ref.Workload = Doc["workload"].asString(Ref.Workload);
+  if (!inputSetFromName(Doc["input"].asString("train"), Ref.Input))
+    return failWith(Error, "surface ref: unknown input set '" +
+                               Doc["input"].asString() + "'");
+  if (!responseMetricFromName(Doc["metric"].asString("cycles"), Ref.Metric))
+    return failWith(Error, "surface ref: unknown metric '" +
+                               Doc["metric"].asString() + "'");
+  Out = std::move(Ref);
+  return true;
+}
+
+} // namespace
+
+bool msem::saveManifest(const CampaignManifest &M, const std::string &Path,
+                        std::string *Error) {
+  Json J = Json::object();
+  J.set("workers", Json::number(M.Workers));
+  J.set("spec", serializeSpec(M.Spec));
+  return saveWireDoc(std::move(J), Path, Error);
+}
+
+bool msem::loadManifest(const std::string &Path, CampaignManifest &Out,
+                        std::string *Error) {
+  Json Doc;
+  if (!loadWireDoc(Path, "campaign manifest", Doc, Error))
+    return false;
+  CampaignManifest M;
+  M.Workers = static_cast<int>(Doc["workers"].asInt(0));
+  if (M.Workers <= 0)
+    return failWith(Error, "campaign manifest: missing worker count");
+  if (!deserializeSpec(Doc["spec"], M.Spec, Error))
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+bool msem::savePlan(const RoundPlan &Plan, const std::string &Path,
+                    std::string *Error) {
+  Json J = Json::object();
+  J.set("round", Json::number(static_cast<double>(Plan.Round)));
+  J.set("epoch", Json::hexU64(Plan.Epoch));
+  J.set("workers", Json::number(Plan.Workers));
+  J.set("done", Json::boolean(Plan.Done));
+  J.set("surface", surfaceRefToJson(Plan.Surface));
+  Json Points = Json::array();
+  for (const DesignPoint &P : Plan.Points)
+    Points.push(designPointToJson(P));
+  J.set("points", std::move(Points));
+  return saveWireDoc(std::move(J), Path, Error);
+}
+
+bool msem::loadPlan(const std::string &Path, RoundPlan &Out,
+                    std::string *Error) {
+  Json Doc;
+  if (!loadWireDoc(Path, "round plan", Doc, Error))
+    return false;
+  RoundPlan Plan;
+  Plan.Round = static_cast<uint64_t>(Doc["round"].asInt(0));
+  Plan.Epoch = Doc["epoch"].asHexU64(0);
+  Plan.Workers = static_cast<int>(Doc["workers"].asInt(0));
+  Plan.Done = Doc["done"].asBool(false);
+  if (!surfaceRefFromJson(Doc["surface"], Plan.Surface, Error))
+    return false;
+  for (const Json &PJ : Doc["points"].items())
+    Plan.Points.push_back(designPointFromJson(PJ));
+  Out = std::move(Plan);
+  return true;
+}
+
+bool msem::saveWorkerShard(const WorkerShard &Shard, const std::string &Path,
+                           std::string *Error) {
+  Json J = Json::object();
+  J.set("round", Json::number(static_cast<double>(Shard.Round)));
+  J.set("epoch", Json::hexU64(Shard.Epoch));
+  J.set("worker", Json::number(Shard.Worker));
+  J.set("done", Json::boolean(Shard.Done));
+  J.set("surface", surfaceRefToJson(Shard.Surface));
+  Json Indices = Json::array();
+  for (size_t I : Shard.Indices)
+    Indices.push(Json::number(static_cast<double>(I)));
+  J.set("indices", std::move(Indices));
+  Json Points = Json::array();
+  for (const DesignPoint &P : Shard.Points)
+    Points.push(designPointToJson(P));
+  J.set("points", std::move(Points));
+  Json Values = Json::array(), Ok = Json::array(), Faults = Json::array(),
+       Retries = Json::array(), Errors = Json::array();
+  for (const PointOutcome &O : Shard.Outcomes) {
+    Values.push(Json::number(O.Value));
+    Ok.push(Json::boolean(O.Ok));
+    Faults.push(Json::number(static_cast<double>(O.Faults)));
+    Retries.push(Json::number(static_cast<double>(O.Retries)));
+    Errors.push(Json::string(O.Error));
+  }
+  J.set("values", std::move(Values));
+  J.set("ok", std::move(Ok));
+  J.set("faults", std::move(Faults));
+  J.set("retries", std::move(Retries));
+  J.set("errors", std::move(Errors));
+  return saveWireDoc(std::move(J), Path, Error);
+}
+
+bool msem::loadWorkerShard(const std::string &Path, WorkerShard &Out,
+                           std::string *Error) {
+  Json Doc;
+  if (!loadWireDoc(Path, "worker shard", Doc, Error))
+    return false;
+  WorkerShard Shard;
+  Shard.Round = static_cast<uint64_t>(Doc["round"].asInt(0));
+  Shard.Epoch = Doc["epoch"].asHexU64(0);
+  Shard.Worker = static_cast<int>(Doc["worker"].asInt(0));
+  Shard.Done = Doc["done"].asBool(false);
+  if (Doc.has("surface") &&
+      !surfaceRefFromJson(Doc["surface"], Shard.Surface, Error))
+    return false;
+  for (const Json &V : Doc["indices"].items())
+    Shard.Indices.push_back(static_cast<size_t>(V.asInt()));
+  for (const Json &PJ : Doc["points"].items())
+    Shard.Points.push_back(designPointFromJson(PJ));
+  const Json &Values = Doc["values"], &Ok = Doc["ok"], &Faults = Doc["faults"],
+             &Retries = Doc["retries"], &Errors = Doc["errors"];
+  const size_t N = Values.size();
+  if (Shard.Indices.size() != N || Shard.Points.size() != N ||
+      Ok.size() != N || Faults.size() != N || Retries.size() != N ||
+      Errors.size() != N)
+    return failWith(Error, "worker shard '" + Path +
+                               "': outcome array arity mismatch");
+  Shard.Outcomes.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    Shard.Outcomes[I].Value = Values.at(I).asDouble();
+    Shard.Outcomes[I].Ok = Ok.at(I).asBool(false);
+    Shard.Outcomes[I].Faults = static_cast<size_t>(Faults.at(I).asInt(0));
+    Shard.Outcomes[I].Retries = static_cast<size_t>(Retries.at(I).asInt(0));
+    Shard.Outcomes[I].Error = Errors.at(I).asString();
+  }
+  Out = std::move(Shard);
+  return true;
+}
+
+bool msem::saveHeartbeat(const WorkerHeartbeat &Hb, const std::string &Path,
+                         std::string *Error) {
+  Json J = Json::object();
+  J.set("worker", Json::number(Hb.Worker));
+  J.set("pid", Json::number(static_cast<double>(Hb.Pid)));
+  J.set("round", Json::number(static_cast<double>(Hb.Round)));
+  J.set("measured", Json::number(static_cast<double>(Hb.Measured)));
+  J.set("unix_seconds", Json::number(static_cast<double>(Hb.UnixSeconds)));
+  return saveWireDoc(std::move(J), Path, Error);
+}
+
+bool msem::loadHeartbeat(const std::string &Path, WorkerHeartbeat &Out,
+                         std::string *Error) {
+  Json Doc;
+  if (!loadWireDoc(Path, "worker heartbeat", Doc, Error))
+    return false;
+  WorkerHeartbeat Hb;
+  Hb.Worker = static_cast<int>(Doc["worker"].asInt(0));
+  Hb.Pid = Doc["pid"].asInt(0);
+  Hb.Round = static_cast<uint64_t>(Doc["round"].asInt(0));
+  Hb.Measured = static_cast<size_t>(Doc["measured"].asInt(0));
+  Hb.UnixSeconds = Doc["unix_seconds"].asInt(0);
+  Out = std::move(Hb);
+  return true;
+}

@@ -1,0 +1,222 @@
+//===- campaign/ShardStore.h - Measurement shards as a first-class API -*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one home of campaign measurement shards: the in-memory store the
+/// campaign engine checkpoints through, the JSON encoding those shards use
+/// on disk, and the versioned wire format distributed campaigns exchange
+/// through a shared shard directory. Before this header existed the shard
+/// read/merge/write logic lived ad hoc inside Checkpoint.cpp and
+/// Campaign::writeCheckpoint; now every producer and consumer -- the
+/// single-process engine, the multi-process Coordinator, its workers and
+/// the msem_campaign merge tool -- goes through exactly one code path.
+///
+/// ## Schema versioning
+///
+/// Every standalone campaign document (checkpoints, worker shards, round
+/// plans, the campaign manifest) is stamped
+///
+///   "schema_version": "msem.campaign.v1"
+///
+/// mirroring ModelArtifact's strict versioning. Loaders accept v1 and
+/// legacy unversioned documents (checkpoints written before the stamp
+/// existed), and reject anything newer with a clear diagnostic instead of
+/// misparsing it.
+///
+/// ## Distributed wire format (all files atomic temp+rename writes)
+///
+///   <shard-dir>/campaign.json      CampaignManifest: worker count + the
+///                                  embedded ExperimentSpec every worker
+///                                  builds its surfaces from.
+///   <shard-dir>/plan.json          RoundPlan: the current measurement
+///                                  round -- surface identity plus the
+///                                  batch's distinct unmeasured points.
+///                                  Point index I belongs to worker
+///                                  I % Workers (the fixed deterministic
+///                                  shard->job assignment). Done=true is
+///                                  the shutdown sentinel.
+///   <shard-dir>/shard-r<R>-w<K>.json
+///                                  WorkerShard: worker K's PointOutcomes
+///                                  for round R, rewritten incrementally
+///                                  as it measures (so a SIGKILLed worker
+///                                  resumes from its own partial shard)
+///                                  and marked Done when the subset is
+///                                  complete.
+///   <shard-dir>/worker-<K>.json    WorkerHeartbeat: liveness breadcrumb
+///                                  for /statusz and multi-host
+///                                  operators.
+///
+/// The coordinator merges worker shards in sequential order (round by
+/// round, plan index by plan index), so the merged responses -- and
+/// therefore the merged checkpoint, the fitted models and the published
+/// artifacts -- are bitwise identical to a single-process run at any
+/// worker count and any MSEM_THREADS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_CAMPAIGN_SHARDSTORE_H
+#define MSEM_CAMPAIGN_SHARDSTORE_H
+
+#include "campaign/Experiment.h"
+#include "support/Json.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msem {
+
+/// The campaign wire-format version this build reads and writes.
+inline constexpr char kCampaignSchema[] = "msem.campaign.v1";
+
+/// Validates \p Doc's "schema_version" stamp: accepts kCampaignSchema and
+/// legacy unversioned documents, rejects any other version with a clear
+/// error naming \p What (e.g. "checkpoint", "worker shard").
+bool checkCampaignSchema(const Json &Doc, const char *What,
+                         std::string *Error);
+
+/// Measured responses of one surface, as parallel point/value arrays
+/// (sorted by point -- the ResponseSurface::snapshot order).
+struct SurfaceShard {
+  std::vector<DesignPoint> Points;
+  std::vector<double> Values;
+};
+
+// Design points encode as JSON arrays of raw level values.
+Json designPointToJson(const DesignPoint &Point);
+DesignPoint designPointFromJson(const Json &Doc);
+
+/// SurfaceShard <-> {"points": [...], "values": [...]} (the encoding
+/// campaign checkpoints have always used for their "surfaces" members).
+Json shardToJson(const SurfaceShard &Shard);
+bool shardFromJson(const Json &Doc, SurfaceShard &Out, std::string *Error);
+
+/// The in-memory shard store a campaign checkpoints through. Keys are
+/// surface identities (surfaceKeyFor). The store carries both shards
+/// restored from a checkpoint whose surface has not been materialized
+/// yet and the live snapshots of materialized surfaces, so serializing
+/// shards() can never lose measurements across resume cycles.
+class ShardStore {
+public:
+  /// Replaces the store's contents (resume: the checkpoint's shards).
+  void restore(std::map<std::string, SurfaceShard> Shards);
+
+  /// The stored shard for \p Key, or nullptr.
+  const SurfaceShard *find(const std::string &Key) const;
+
+  /// Replaces \p Key's shard with a live surface snapshot. A materialized
+  /// surface is preloaded from its restored shard, so its snapshot is
+  /// always a superset of what the store held.
+  void update(const std::string &Key,
+              const std::vector<std::pair<DesignPoint, double>> &Snapshot);
+
+  /// Merges \p Incoming into \p Key's shard: points absent from the
+  /// stored shard are inserted, existing points keep their stored value
+  /// (both sides agree anyway -- responses are pure functions of their
+  /// points), and the result stays sorted by point.
+  void merge(const std::string &Key, const SurfaceShard &Incoming);
+
+  /// Every stored shard, keyed by surface identity.
+  const std::map<std::string, SurfaceShard> &shards() const {
+    return Store;
+  }
+
+  /// The merge primitive behind merge(): Dst := sorted union, Dst wins
+  /// on duplicate points.
+  static void mergeShard(SurfaceShard &Dst, const SurfaceShard &Src);
+
+private:
+  std::map<std::string, SurfaceShard> Store;
+};
+
+//===----------------------------------------------------------------------===//
+// Distributed wire format
+//===----------------------------------------------------------------------===//
+
+/// Identity of the surface a round measures, in the serialized-name forms
+/// the checkpoint spec uses.
+struct SurfaceRef {
+  std::string Workload = "art";
+  InputSet Input = InputSet::Train;
+  ResponseMetric Metric = ResponseMetric::Cycles;
+};
+
+/// campaign.json: what a worker needs to participate -- the spec its
+/// surfaces are built from and the worker count the shard assignment is
+/// defined over.
+struct CampaignManifest {
+  int Workers = 0;
+  ExperimentSpec Spec;
+};
+
+/// plan.json: one measurement round. Point index I is assigned to worker
+/// I % Workers; Epoch identifies the coordinator incarnation so shard
+/// files from an earlier run of the same directory can never be mistaken
+/// for fresh results.
+struct RoundPlan {
+  uint64_t Round = 0;
+  uint64_t Epoch = 0;
+  int Workers = 0;
+  bool Done = false; ///< Shutdown sentinel: workers exit cleanly.
+  SurfaceRef Surface;
+  std::vector<DesignPoint> Points;
+};
+
+/// shard-r<R>-w<K>.json: worker K's outcomes for its subset of round R,
+/// in plan-index order.
+struct WorkerShard {
+  uint64_t Round = 0;
+  uint64_t Epoch = 0;
+  int Worker = 0;
+  bool Done = false; ///< True once every assigned point has an outcome.
+  /// Echo of the plan's surface, so shards are self-describing -- the
+  /// offline merge subcommand attributes outcomes without a live plan.
+  SurfaceRef Surface;
+  std::vector<size_t> Indices; ///< Plan indices, echoed for validation.
+  std::vector<DesignPoint> Points; ///< The points, echoed for validation.
+  std::vector<PointOutcome> Outcomes;
+};
+
+/// worker-<K>.json: liveness breadcrumb (for /statusz and operators; no
+/// correctness depends on it).
+struct WorkerHeartbeat {
+  int Worker = 0;
+  int64_t Pid = 0;
+  uint64_t Round = 0;
+  size_t Measured = 0;     ///< Outcomes recorded in the current round.
+  int64_t UnixSeconds = 0; ///< Wall-clock time of the last write.
+};
+
+// File names within a shard directory.
+std::string manifestPath(const std::string &Dir);
+std::string planPath(const std::string &Dir);
+std::string workerShardPath(const std::string &Dir, uint64_t Round,
+                            int Worker);
+std::string heartbeatPath(const std::string &Dir, int Worker);
+
+// Atomic save / tolerant load of each wire document. Loads return false
+// with a diagnostic on missing files, malformed JSON, schema or
+// structural mismatches -- never crash.
+bool saveManifest(const CampaignManifest &M, const std::string &Path,
+                  std::string *Error);
+bool loadManifest(const std::string &Path, CampaignManifest &Out,
+                  std::string *Error);
+bool savePlan(const RoundPlan &Plan, const std::string &Path,
+              std::string *Error);
+bool loadPlan(const std::string &Path, RoundPlan &Out, std::string *Error);
+bool saveWorkerShard(const WorkerShard &Shard, const std::string &Path,
+                     std::string *Error);
+bool loadWorkerShard(const std::string &Path, WorkerShard &Out,
+                     std::string *Error);
+bool saveHeartbeat(const WorkerHeartbeat &Hb, const std::string &Path,
+                   std::string *Error);
+bool loadHeartbeat(const std::string &Path, WorkerHeartbeat &Out,
+                   std::string *Error);
+
+} // namespace msem
+
+#endif // MSEM_CAMPAIGN_SHARDSTORE_H

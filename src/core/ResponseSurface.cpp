@@ -458,6 +458,26 @@ double ResponseSurface::measure(const DesignPoint &Point) {
   return Value;
 }
 
+std::vector<PointOutcome> ResponseSurface::measureOutcomes(
+    const std::vector<DesignPoint> &Points) const {
+  std::vector<PointOutcome> Outcomes(Points.size());
+  globalThreadPool().parallelFor(
+      0, Points.size(),
+      [&](size_t I) {
+        // Keyed on the slot index so the span id is order-independent
+        // across thread schedules; the point's disk key identifies it
+        // for trace readers (slowest-point reports).
+        telemetry::ScopedTimer PointSpan("surface.point", I);
+        if (PointSpan.capturing())
+          PointSpan.setDetail(diskKeyFor(Points[I]));
+        Outcomes[I].Ok =
+            measureWithPolicy(Points[I], Outcomes[I].Value,
+                              Outcomes[I].Faults, Outcomes[I].Retries);
+      },
+      "measure");
+  return Outcomes;
+}
+
 std::vector<double>
 ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
                             MeasurementReport *Report) {
@@ -470,7 +490,7 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
   // response is a pure function of the point (workload generation, the
   // pass pipeline and SMARTS are all deterministically seeded per point),
   // so the fan-out below is bitwise deterministic.
-  std::vector<const DesignPoint *> ToMeasure;
+  std::vector<DesignPoint> ToMeasure;
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     std::unordered_map<DesignPoint, size_t, DesignPointHash> Pending;
@@ -478,45 +498,43 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
       if (Cache.count(P) || Pending.count(P))
         continue;
       Pending.emplace(P, ToMeasure.size());
-      ToMeasure.push_back(&P);
+      ToMeasure.push_back(P);
     }
   }
 
-  // Per-slot results; reductions over them run sequentially below, in
-  // index order, so fault statistics are as deterministic as the values.
-  std::vector<double> Fresh(ToMeasure.size());
-  std::vector<uint8_t> Ok(ToMeasure.size(), 1);
-  std::vector<size_t> Faults(ToMeasure.size(), 0);
-  std::vector<size_t> Retries(ToMeasure.size(), 0);
-  globalThreadPool().parallelFor(
-      0, ToMeasure.size(),
-      [&](size_t I) {
-        // Keyed on the slot index so the span id is order-independent
-        // across thread schedules; the point's disk key identifies it
-        // for trace readers (slowest-point reports).
-        telemetry::ScopedTimer PointSpan("surface.point", I);
-        if (PointSpan.capturing())
-          PointSpan.setDetail(diskKeyFor(*ToMeasure[I]));
-        Ok[I] = measureWithPolicy(*ToMeasure[I], Fresh[I], Faults[I],
-                                  Retries[I])
-                    ? 1
-                    : 0;
-      },
-      "measure");
+  // Per-slot outcomes, computed locally or by a distributed delegate;
+  // reductions over them run sequentially below, in index order, so fault
+  // statistics are as deterministic as the values. Remote outcomes are
+  // bitwise identical to local ones (see Options::Remote), so everything
+  // downstream of this line is oblivious to where the simulations ran.
+  std::vector<PointOutcome> Outcomes =
+      Opts.Remote ? Opts.Remote(ToMeasure) : measureOutcomes(ToMeasure);
+  if (Outcomes.size() != ToMeasure.size())
+    fatalError(formatString(
+        "remote measurement returned %zu outcome(s) for %zu point(s) "
+        "(workload %s)",
+        Outcomes.size(), ToMeasure.size(), Opts.Workload.c_str()));
 
   std::unordered_map<DesignPoint, uint8_t, DesignPointHash> Failed;
   for (size_t I = 0; I < ToMeasure.size(); ++I) {
-    Rep.FaultsInjected += Faults[I];
-    Rep.Retries += Retries[I];
-    if (!Ok[I] && !Rep.Aborted) {
-      if (Opts.Faults.OnFault == FaultAction::Skip) {
-        Failed.emplace(*ToMeasure[I], 1);
+    Rep.FaultsInjected += Outcomes[I].Faults;
+    Rep.Retries += Outcomes[I].Retries;
+    if (!Outcomes[I].Ok && !Rep.Aborted) {
+      if (!Outcomes[I].Error.empty() &&
+          Opts.Faults.OnFault != FaultAction::Skip) {
+        // An outcome carrying its own context (a dead worker process)
+        // aborts with that diagnostic rather than the generic per-point
+        // message.
+        Rep.Aborted = true;
+        Rep.Error = Outcomes[I].Error;
+      } else if (Opts.Faults.OnFault == FaultAction::Skip) {
+        Failed.emplace(ToMeasure[I], 1);
       } else if (Opts.Faults.OnFault == FaultAction::Abort) {
         Rep.Aborted = true;
         Rep.Error = formatString(
             "measurement aborted by fault policy at design point %s "
             "(workload %s, %zu injected fault(s) in batch)",
-            diskKeyFor(*ToMeasure[I]).c_str(), Opts.Workload.c_str(),
+            diskKeyFor(ToMeasure[I]).c_str(), Opts.Workload.c_str(),
             Rep.FaultsInjected);
       } else {
         // Retry exhaustion. Callers choosing Retry never opted into
@@ -528,7 +546,7 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
             "(workload %s, %zu injected fault(s) in batch); retry "
             "policy exhausted",
             std::max(1, Opts.Faults.MaxAttempts),
-            diskKeyFor(*ToMeasure[I]).c_str(), Opts.Workload.c_str(),
+            diskKeyFor(ToMeasure[I]).c_str(), Opts.Workload.c_str(),
             Rep.FaultsInjected);
       }
     }
@@ -537,7 +555,8 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
     // Keep the successful measurements: they are valid and paid for.
     std::lock_guard<std::mutex> Lock(CacheMutex);
     for (size_t I = 0; I < ToMeasure.size(); ++I)
-      if (Ok[I] && Cache.emplace(*ToMeasure[I], Fresh[I]).second) {
+      if (Outcomes[I].Ok &&
+          Cache.emplace(ToMeasure[I], Outcomes[I].Value).second) {
         ++Simulations;
         DiskDirty = true;
       }
@@ -553,8 +572,8 @@ ResponseSurface::measureAll(const std::vector<DesignPoint> &Points,
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     for (size_t I = 0; I < ToMeasure.size(); ++I)
-      if (Ok[I])
-        Cache.emplace(*ToMeasure[I], Fresh[I]);
+      if (Outcomes[I].Ok)
+        Cache.emplace(ToMeasure[I], Outcomes[I].Value);
     // Sequential counting semantics: the first occurrence of each new
     // point is a simulation, every other lookup is a hit.
     Simulations += ToMeasure.size() - Failed.size();

@@ -38,11 +38,13 @@
 #include "workloads/Workloads.h"
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace msem {
 
@@ -109,6 +111,23 @@ struct MeasurementReport {
   bool ok() const { return !Aborted && SkippedIndices.empty(); }
 };
 
+/// The outcome of measuring one design point under the fault policy: the
+/// unit of work a distributed campaign ships between processes. Because a
+/// measurement -- injected faults included -- is a pure function of
+/// (point, attempt), an outcome computed by a worker process is bitwise
+/// identical to one computed in-process, which is what lets a coordinator
+/// splice remote outcomes into measureAll's reduction unchanged.
+struct PointOutcome {
+  double Value = 0; ///< The response; meaningful only when Ok.
+  bool Ok = false;  ///< False when the policy gave up on the point.
+  size_t Faults = 0;  ///< Injected faults across this point's attempts.
+  size_t Retries = 0; ///< Attempts beyond the first.
+  /// Optional failure context (e.g. "worker 2 died 3 times"). When a
+  /// failed outcome carries one, measureAll's abort diagnostic uses it
+  /// verbatim; empty failures keep the classic per-point messages.
+  std::string Error;
+};
+
 /// Compiles one workload at the given settings into a linked binary
 /// (pass pipeline + codegen flags derived from the config).
 MachineProgram compileWorkloadBinary(const std::string &Workload,
@@ -145,6 +164,17 @@ public:
     bool AutoFlush = true;
     /// Failure handling for the measurement path.
     FaultPolicy Faults;
+    /// Distributed-measurement delegate. When set, measureAll hands each
+    /// batch's distinct unmeasured points here instead of simulating them
+    /// on the local thread pool; the returned outcomes (one per point, in
+    /// order) feed the exact same reduction, memoization and fault
+    /// handling as local measurement. The bitwise contract: the delegate
+    /// must return what measureOutcomes would have returned in-process
+    /// (campaign/Coordinator.h satisfies it by running measureOutcomes in
+    /// worker processes). Never serialized.
+    std::function<std::vector<PointOutcome>(
+        const std::vector<DesignPoint> &)>
+        Remote;
 
     static SmartsConfig makeDefaultSmarts() {
       SmartsConfig S;
@@ -176,6 +206,17 @@ public:
   /// report, any unrecovered failure is fatal (the legacy contract).
   std::vector<double> measureAll(const std::vector<DesignPoint> &Points,
                                  MeasurementReport *Report = nullptr);
+
+  /// Measures \p Points under the fault policy and returns per-point
+  /// outcomes without consulting or touching the memo: the distributed
+  /// worker's primitive. Points are simulated in parallel on the global
+  /// thread pool; each outcome (value, injected faults, retries, success)
+  /// is a pure function of its point, so outcomes computed here equal the
+  /// ones a single-process measureAll would derive for the same
+  /// first-time-measured points. Callers pass distinct points; duplicates
+  /// are measured (not deduplicated) and simply cost extra simulations.
+  std::vector<PointOutcome>
+  measureOutcomes(const std::vector<DesignPoint> &Points) const;
 
   /// Seeds the in-memory memo with externally known responses (e.g. from a
   /// campaign checkpoint). Preloaded values count as neither simulations

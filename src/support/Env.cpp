@@ -60,6 +60,10 @@ EnvConfig msem::parseEnv() {
       0, getEnvInt("MSEM_TRACE_CACHE_MB", C.TraceCacheMB));
   C.FaultRate =
       std::clamp(getEnvDouble("MSEM_FAULT_RATE", C.FaultRate), 0.0, 1.0);
+  C.Workers = std::max<int64_t>(0, getEnvInt("MSEM_WORKERS", C.Workers));
+  C.ShardDir = getEnvString("MSEM_SHARD_DIR", C.ShardDir);
+  C.WorkerKillAfter =
+      getEnvString("MSEM_WORKER_KILL_AFTER", C.WorkerKillAfter);
   C.TrainNSet = getEnvInt("MSEM_TRAIN_N", -1) >= 0;
   C.TrainN = std::max<int64_t>(1, getEnvInt("MSEM_TRAIN_N", C.TrainN));
   C.TestN = std::max<int64_t>(1, getEnvInt("MSEM_TEST_N", C.TestN));

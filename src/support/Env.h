@@ -83,6 +83,20 @@ struct EnvConfig {
   /// injection. See FaultPolicy in core/ResponseSurface.h.
   double FaultRate = 0.0;
 
+  // --- Distributed campaigns (campaign/Coordinator.h) ----------------------
+  /// MSEM_WORKERS: worker processes a campaign fans measurement out to
+  /// (0 = single-process, the default).
+  int64_t Workers = 0;
+  /// MSEM_SHARD_DIR: shard directory coordinator and workers exchange
+  /// plan/shard files through ("" = derive <checkpoint>.shards next to the
+  /// campaign checkpoint).
+  std::string ShardDir;
+  /// MSEM_WORKER_KILL_AFTER ("w:n", test hook): worker w SIGKILLs itself
+  /// after freshly measuring n points, once per shard directory --
+  /// deterministic process-death injection for the fault-policy tests and
+  /// the lint distributed smoke.
+  std::string WorkerKillAfter;
+
   // --- Campaign / bench scale ----------------------------------------------
   /// MSEM_TRAIN_N: training design size (paper: 400).
   int64_t TrainN = 200;

@@ -1,0 +1,597 @@
+//===- tests/distributed_test.cpp - Distributed campaign tests --------------------===//
+//
+// The distributed-campaign contract of src/campaign/: the versioned wire
+// format round-trips and rejects documents from the future, ShardStore
+// merges deterministically, and a coordinator fanning measurement out to
+// N worker processes produces results -- and merged checkpoints --
+// bitwise identical to a single-process run, including when workers are
+// SIGKILLed mid-round and respawned, at any worker count and any
+// MSEM_THREADS.
+//
+// Worker processes are this binary re-executed with a gtest filter
+// (DistributedWorkerChild.Run reads MSEM_WORKER_DIR / MSEM_WORKER_ID and
+// calls runWorker), the same re-exec idiom campaign_test.cpp uses for
+// its kill test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+#include "campaign/Checkpoint.h"
+#include "campaign/Coordinator.h"
+#include "campaign/Experiment.h"
+#include "campaign/ShardStore.h"
+#include "design/Doe.h"
+#include "support/FileSystem.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace msem;
+
+namespace {
+
+/// Restores the default global pool when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { setGlobalThreadCount(0); }
+};
+
+/// A scratch directory removed on entry and exit.
+struct DirGuard {
+  std::string Dir;
+  explicit DirGuard(std::string D) : Dir(std::move(D)) {
+    std::filesystem::remove_all(Dir);
+  }
+  ~DirGuard() { std::filesystem::remove_all(Dir); }
+};
+
+/// Sets an environment variable for the guard's lifetime (the coordinator
+/// passes the environment through to spawned workers).
+struct EnvGuard {
+  std::string Name;
+  EnvGuard(const char *N, const std::string &Value) : Name(N) {
+    setenv(N, Value.c_str(), 1);
+  }
+  ~EnvGuard() { unsetenv(Name.c_str()); }
+};
+
+std::string tempPath(const char *Tag) {
+  return ::testing::TempDir() +
+         formatString("msem_dist_%s_%d", Tag, static_cast<int>(getpid()));
+}
+
+/// A campaign small enough for a worker-count x thread-count matrix but
+/// still covering both design augmentation and a GA tuning search.
+ExperimentSpec distSpec() {
+  ExperimentSpec Spec;
+  Spec.Name = "distributed-test";
+  Spec.Jobs = {{"art", InputSet::Test, ResponseMetric::Cycles,
+                ModelTechnique::Rbf, 0}};
+  Spec.InitialDesignSize = 16;
+  Spec.AugmentStep = 8;
+  Spec.MaxDesignSize = 24;
+  Spec.TestSize = 6;
+  Spec.TargetMape = 0.1; // Unreachably strict: always runs to MaxDesignSize.
+  Spec.CandidateCount = 150;
+  Spec.TunePlatforms = {{"typical", MachineConfig::typical()}};
+  Spec.Ga.Population = 10;
+  Spec.Ga.Generations = 4;
+  Spec.Ga.StallGenerations = 0; // Exactly 4 generations, deterministically.
+  Spec.GaCheckpointEvery = 2;
+  Spec.VerifyTunings = true;
+  return Spec;
+}
+
+/// Coordinator options that spawn this test binary's worker body.
+CoordinatorOptions coordOpts(int Workers, const std::string &ShardDir) {
+  CoordinatorOptions Opts;
+  Opts.Workers = Workers;
+  Opts.ShardDir = ShardDir;
+  Opts.WorkerCommand = {"/proc/self/exe",
+                        "--gtest_filter=DistributedWorkerChild.Run"};
+  return Opts;
+}
+
+/// The bitwise-identity oracle (the campaign_test one): every number a
+/// campaign produces must match exactly.
+void expectIdenticalResults(const ExperimentResult &A,
+                            const ExperimentResult &B) {
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.SimulationsUsed, B.SimulationsUsed);
+  ASSERT_EQ(A.Jobs.size(), B.Jobs.size());
+  for (size_t J = 0; J < A.Jobs.size(); ++J) {
+    const ModelBuildResult &BA = A.Jobs[J].Build;
+    const ModelBuildResult &BB = B.Jobs[J].Build;
+    EXPECT_EQ(A.Jobs[J].State, B.Jobs[J].State);
+    EXPECT_EQ(BA.TrainPoints, BB.TrainPoints);
+    EXPECT_EQ(BA.TrainY, BB.TrainY);
+    EXPECT_EQ(BA.TestPoints, BB.TestPoints);
+    EXPECT_EQ(BA.TestY, BB.TestY);
+    EXPECT_EQ(BA.ErrorCurve, BB.ErrorCurve);
+    EXPECT_EQ(BA.TestQuality.Mape, BB.TestQuality.Mape);
+    EXPECT_EQ(BA.TestQuality.R2, BB.TestQuality.R2);
+    ASSERT_EQ(BA.FittedModel != nullptr, BB.FittedModel != nullptr);
+    if (BA.FittedModel) {
+      // Model identity, observably: equal predictions at probe points.
+      ParameterSpace Space = ParameterSpace::paperSpace();
+      Rng Probe(0xBEEF);
+      for (const DesignPoint &P :
+           generateRandomCandidates(Space, 5, Probe)) {
+        std::vector<double> X = Space.encode(P);
+        EXPECT_EQ(BA.FittedModel->predict(X), BB.FittedModel->predict(X));
+      }
+    }
+    ASSERT_EQ(A.Jobs[J].Tunings.size(), B.Jobs[J].Tunings.size());
+    for (size_t P = 0; P < A.Jobs[J].Tunings.size(); ++P) {
+      const PlatformTuning &TA = A.Jobs[J].Tunings[P];
+      const PlatformTuning &TB = B.Jobs[J].Tunings[P];
+      EXPECT_EQ(TA.Platform, TB.Platform);
+      EXPECT_EQ(TA.Search.BestPoint, TB.Search.BestPoint);
+      EXPECT_EQ(TA.Search.PredictedResponse, TB.Search.PredictedResponse);
+      EXPECT_EQ(TA.Search.GenerationsRun, TB.Search.GenerationsRun);
+      EXPECT_EQ(TA.MeasuredBest, TB.MeasuredBest);
+      EXPECT_EQ(TA.MeasuredO2, TB.MeasuredO2);
+      EXPECT_EQ(TA.MeasuredO3, TB.MeasuredO3);
+    }
+  }
+}
+
+/// The merged measurements two checkpoints hold must be bitwise equal.
+void expectIdenticalSurfaces(const std::string &PathA,
+                             const std::string &PathB) {
+  CampaignCheckpoint A, B;
+  std::string Error;
+  ASSERT_TRUE(loadCheckpoint(PathA, A, &Error)) << Error;
+  ASSERT_TRUE(loadCheckpoint(PathB, B, &Error)) << Error;
+  ASSERT_EQ(A.Surfaces.size(), B.Surfaces.size());
+  for (const auto &[Key, SA] : A.Surfaces) {
+    auto It = B.Surfaces.find(Key);
+    ASSERT_NE(It, B.Surfaces.end()) << Key;
+    EXPECT_EQ(SA.Points, It->second.Points) << Key;
+    EXPECT_EQ(SA.Values, It->second.Values) << Key;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Schema versioning
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignSchemaTest, CheckpointStampedWithV1) {
+  CampaignCheckpoint Ckpt;
+  Ckpt.Spec = distSpec();
+  Ckpt.Jobs.resize(Ckpt.Spec.Jobs.size());
+  Json Doc = serializeCheckpoint(Ckpt);
+  EXPECT_EQ(Doc["schema_version"].asString(), kCampaignSchema);
+
+  CampaignCheckpoint Back;
+  std::string Error;
+  EXPECT_TRUE(deserializeCheckpoint(Doc, Back, &Error)) << Error;
+}
+
+TEST(CampaignSchemaTest, LegacyUnversionedCheckpointAccepted) {
+  CampaignCheckpoint Ckpt;
+  Ckpt.Spec = distSpec();
+  Ckpt.Jobs.resize(Ckpt.Spec.Jobs.size());
+  Json Doc = serializeCheckpoint(Ckpt);
+
+  // Checkpoints written before the schema_version stamp existed carry
+  // only the numeric "version" member; they must keep loading.
+  Json Legacy = Json::object();
+  for (const auto &[Key, Value] : Doc.members())
+    if (Key != "schema_version")
+      Legacy.set(Key, Value);
+  EXPECT_TRUE(Legacy["schema_version"].isNull());
+
+  CampaignCheckpoint Back;
+  std::string Error;
+  EXPECT_TRUE(deserializeCheckpoint(Legacy, Back, &Error)) << Error;
+  EXPECT_EQ(Back.Spec.Name, "distributed-test");
+}
+
+TEST(CampaignSchemaTest, FutureCheckpointVersionRejected) {
+  CampaignCheckpoint Ckpt;
+  Ckpt.Spec = distSpec();
+  Json Doc = serializeCheckpoint(Ckpt);
+  Doc.set("schema_version", Json::string("msem.campaign.v2"));
+
+  CampaignCheckpoint Back;
+  std::string Error;
+  EXPECT_FALSE(deserializeCheckpoint(Doc, Back, &Error));
+  // The diagnostic names the offending version and says what to do.
+  EXPECT_NE(Error.find("msem.campaign.v2"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("newer"), std::string::npos) << Error;
+}
+
+TEST(CampaignSchemaTest, FutureWorkerShardRejected) {
+  std::string Path = tempPath("shard_schema") + ".json";
+  std::remove(Path.c_str());
+
+  WorkerShard Shard;
+  Shard.Round = 3;
+  Shard.Epoch = 0xABCD;
+  Shard.Worker = 1;
+  std::string Error;
+  ASSERT_TRUE(saveWorkerShard(Shard, Path, &Error)) << Error;
+
+  // The good file round-trips.
+  WorkerShard Back;
+  ASSERT_TRUE(loadWorkerShard(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back.Round, 3u);
+  EXPECT_EQ(Back.Epoch, 0xABCDu);
+  EXPECT_EQ(Back.Worker, 1);
+
+  // The same file from a future build does not.
+  std::string Text;
+  ASSERT_TRUE(readFileText(Path, Text, &Error)) << Error;
+  Json Doc = Json::parse(Text, &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  Doc.set("schema_version", Json::string("msem.campaign.v7"));
+  ASSERT_TRUE(writeFileAtomic(Path, Doc.dump(), &Error)) << Error;
+  EXPECT_FALSE(loadWorkerShard(Path, Back, &Error));
+  EXPECT_NE(Error.find("msem.campaign.v7"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// ShardStore
+//===----------------------------------------------------------------------===//
+
+TEST(ShardStoreTest, MergeShardDedupsAndStaysSorted) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  Rng R(0x5EED);
+  std::vector<DesignPoint> P = generateRandomCandidates(Space, 4, R);
+  std::sort(P.begin(), P.end());
+
+  SurfaceShard Dst;
+  Dst.Points = {P[0], P[2]};
+  Dst.Values = {10.0, 12.0};
+  SurfaceShard Src;
+  Src.Points = {P[1], P[2], P[3]};
+  Src.Values = {21.0, 99.0, 23.0};
+
+  ShardStore::mergeShard(Dst, Src);
+  ASSERT_EQ(Dst.Points.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(Dst.Points.begin(), Dst.Points.end()));
+  EXPECT_EQ(Dst.Points, P);
+  // The stored value wins on the duplicate point.
+  EXPECT_EQ(Dst.Values, (std::vector<double>{10.0, 21.0, 12.0, 23.0}));
+}
+
+TEST(ShardStoreTest, UpdateReplacesAndFindLocates) {
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  Rng R(0x5EED);
+  std::vector<DesignPoint> P = generateRandomCandidates(Space, 3, R);
+  std::sort(P.begin(), P.end());
+
+  ShardStore Store;
+  EXPECT_EQ(Store.find("art|test|cycles"), nullptr);
+
+  Store.merge("art|test|cycles", {{P[0]}, {1.0}});
+  const SurfaceShard *S = Store.find("art|test|cycles");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Points.size(), 1u);
+
+  // update() is authoritative: a live snapshot replaces the stored shard.
+  Store.update("art|test|cycles", {{P[1], 2.0}, {P[2], 3.0}});
+  S = Store.find("art|test|cycles");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Points, (std::vector<DesignPoint>{P[1], P[2]}));
+  EXPECT_EQ(S->Values, (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(Store.shards().size(), 1u);
+
+  Store.restore({});
+  EXPECT_EQ(Store.find("art|test|cycles"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(WireFormatTest, PlanManifestHeartbeatRoundTrip) {
+  DirGuard Guard(tempPath("wire"));
+  std::string Error;
+  ASSERT_TRUE(createDirectories(Guard.Dir, &Error)) << Error;
+
+  CampaignManifest M;
+  M.Workers = 3;
+  M.Spec = distSpec();
+  ASSERT_TRUE(saveManifest(M, manifestPath(Guard.Dir), &Error)) << Error;
+  CampaignManifest MBack;
+  ASSERT_TRUE(loadManifest(manifestPath(Guard.Dir), MBack, &Error)) << Error;
+  EXPECT_EQ(MBack.Workers, 3);
+  EXPECT_EQ(MBack.Spec.Name, "distributed-test");
+  EXPECT_EQ(MBack.Spec.MaxDesignSize, 24u);
+
+  ParameterSpace Space = ParameterSpace::paperSpace();
+  Rng R(0xD15);
+  RoundPlan Plan;
+  Plan.Round = 7;
+  Plan.Epoch = 0xFEEDFACEull << 8;
+  Plan.Workers = 3;
+  Plan.Surface = {"art", InputSet::Test, ResponseMetric::Cycles};
+  Plan.Points = generateRandomCandidates(Space, 5, R);
+  ASSERT_TRUE(savePlan(Plan, planPath(Guard.Dir), &Error)) << Error;
+  RoundPlan PBack;
+  ASSERT_TRUE(loadPlan(planPath(Guard.Dir), PBack, &Error)) << Error;
+  EXPECT_EQ(PBack.Round, 7u);
+  EXPECT_EQ(PBack.Epoch, Plan.Epoch);
+  EXPECT_EQ(PBack.Workers, 3);
+  EXPECT_FALSE(PBack.Done);
+  EXPECT_EQ(PBack.Surface.Workload, "art");
+  EXPECT_EQ(PBack.Surface.Input, InputSet::Test);
+  EXPECT_EQ(PBack.Points, Plan.Points);
+
+  WorkerShard Shard;
+  Shard.Round = 7;
+  Shard.Epoch = Plan.Epoch;
+  Shard.Worker = 2;
+  Shard.Done = true;
+  Shard.Surface = Plan.Surface;
+  Shard.Indices = {2};
+  Shard.Points = {Plan.Points[2]};
+  PointOutcome Out;
+  Out.Value = 1.0 / 3.0; // Bitwise round-trip matters.
+  Out.Ok = true;
+  Out.Faults = 2;
+  Out.Retries = 1;
+  Shard.Outcomes = {Out};
+  std::string ShardFile = workerShardPath(Guard.Dir, 7, 2);
+  ASSERT_TRUE(saveWorkerShard(Shard, ShardFile, &Error)) << Error;
+  WorkerShard SBack;
+  ASSERT_TRUE(loadWorkerShard(ShardFile, SBack, &Error)) << Error;
+  EXPECT_EQ(SBack.Round, 7u);
+  EXPECT_EQ(SBack.Epoch, Plan.Epoch);
+  EXPECT_EQ(SBack.Worker, 2);
+  EXPECT_TRUE(SBack.Done);
+  EXPECT_EQ(SBack.Indices, Shard.Indices);
+  EXPECT_EQ(SBack.Points, Shard.Points);
+  ASSERT_EQ(SBack.Outcomes.size(), 1u);
+  EXPECT_EQ(SBack.Outcomes[0].Value, 1.0 / 3.0);
+  EXPECT_TRUE(SBack.Outcomes[0].Ok);
+  EXPECT_EQ(SBack.Outcomes[0].Faults, 2u);
+  EXPECT_EQ(SBack.Outcomes[0].Retries, 1u);
+
+  WorkerHeartbeat Hb;
+  Hb.Worker = 2;
+  Hb.Pid = 4321;
+  Hb.Round = 7;
+  Hb.Measured = 13;
+  Hb.UnixSeconds = 1700000000;
+  ASSERT_TRUE(saveHeartbeat(Hb, heartbeatPath(Guard.Dir, 2), &Error)) << Error;
+  WorkerHeartbeat HBack;
+  ASSERT_TRUE(loadHeartbeat(heartbeatPath(Guard.Dir, 2), HBack, &Error))
+      << Error;
+  EXPECT_EQ(HBack.Worker, 2);
+  EXPECT_EQ(HBack.Pid, 4321);
+  EXPECT_EQ(HBack.Round, 7u);
+  EXPECT_EQ(HBack.Measured, 13u);
+  EXPECT_EQ(HBack.UnixSeconds, 1700000000);
+
+  // Loads are tolerant of missing files: false plus a diagnostic.
+  RoundPlan Missing;
+  EXPECT_FALSE(loadPlan(Guard.Dir + "/nope.json", Missing, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker child body (spawned by the coordinator tests below)
+//===----------------------------------------------------------------------===//
+
+/// Worker-process body: the coordinator re-executes this binary with
+/// --gtest_filter selecting this test and MSEM_WORKER_DIR/MSEM_WORKER_ID
+/// in the environment. Skipped in a normal test run.
+TEST(DistributedWorkerChild, Run) {
+  const char *Dir = std::getenv("MSEM_WORKER_DIR");
+  const char *Id = std::getenv("MSEM_WORKER_ID");
+  if (!Dir || !Id)
+    GTEST_SKIP() << "worker body; spawned by the coordinator tests only";
+  WorkerOptions Opts;
+  Opts.Dir = Dir;
+  Opts.Worker = std::atoi(Id);
+  Opts.FlushEvery = 2; // Frequent flushes: more durable partial shards.
+  if (const char *Kill = std::getenv("MSEM_WORKER_KILL_AFTER"))
+    Opts.KillAfter = Kill;
+  EXPECT_EQ(runWorker(Opts), 0);
+}
+
+/// Child body for the distributed-resume test: runs the checkpointed
+/// campaign single-process and SIGKILLs itself mid-GA-search.
+TEST(DistributedKillChild, Run) {
+  const char *Path = std::getenv("MSEM_DIST_KILL_CKPT");
+  if (!Path)
+    GTEST_SKIP() << "kill-test child body; run by the parent test only";
+  ExperimentSpec Spec = distSpec();
+  Spec.CheckpointPath = Path;
+  Spec.OnCheckpointWritten = [](size_t N) {
+    if (N >= 3)
+      raise(SIGKILL);
+  };
+  runExperiment(Spec);
+  FAIL() << "child was supposed to die at the third checkpoint";
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed campaigns
+//===----------------------------------------------------------------------===//
+
+TEST(DistributedCampaignTest, TwoWorkersBitwiseIdenticalToSingleProcess) {
+  PoolGuard Pool;
+  DirGuard Shards(tempPath("two_shards"));
+  std::string RefPath = tempPath("two_ref") + ".ckpt.json";
+  std::string DistPath = tempPath("two_dist") + ".ckpt.json";
+  std::remove(RefPath.c_str());
+  std::remove(DistPath.c_str());
+
+  setGlobalThreadCount(1);
+  ExperimentSpec RefSpec = distSpec();
+  RefSpec.CheckpointPath = RefPath;
+  ExperimentResult Ref = runExperiment(RefSpec);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  ExperimentSpec DistSpec = distSpec();
+  DistSpec.CheckpointPath = DistPath;
+  Coordinator C(coordOpts(2, Shards.Dir));
+  ExperimentResult Dist = C.run(DistSpec);
+  ASSERT_TRUE(Dist.ok()) << Dist.Error;
+
+  expectIdenticalResults(Ref, Dist);
+  expectIdenticalSurfaces(RefPath, DistPath);
+
+  // Both workers participated and reported liveness.
+  std::vector<WorkerStatus> Status = C.workerStatus();
+  ASSERT_EQ(Status.size(), 2u);
+  for (const WorkerStatus &S : Status) {
+    EXPECT_GE(S.Round, 1u) << "worker " << S.Worker;
+    EXPECT_GT(S.HeartbeatUnixSeconds, 0) << "worker " << S.Worker;
+    EXPECT_EQ(S.Respawns, 0) << "worker " << S.Worker;
+  }
+
+  std::remove(RefPath.c_str());
+  std::remove(DistPath.c_str());
+}
+
+// The satellite matrix: kill a worker at a deterministic injected point
+// (first fresh measurement), let the Retry policy respawn it, and require
+// results bitwise identical to a single-process single-thread run --
+// across {1, 2, 4} workers x {1, 8} threads, with deterministic fault
+// injection active so retries flow through the wire format too.
+TEST(DistributedCampaignTest, WorkerKillRespawnMatrixBitwiseIdentical) {
+  PoolGuard Pool;
+
+  ExperimentSpec Base = distSpec();
+  Base.Faults.InjectRate = 0.15; // Deterministic hash of (point, attempt).
+  Base.Faults.OnFault = FaultAction::Retry;
+  Base.Faults.MaxAttempts = 16;
+
+  setGlobalThreadCount(1);
+  ExperimentResult Ref = runExperiment(Base);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  for (int Workers : {1, 2, 4}) {
+    for (int Threads : {1, 8}) {
+      SCOPED_TRACE(formatString("workers=%d threads=%d", Workers, Threads));
+      DirGuard Shards(
+          tempPath(formatString("kill_w%d_t%d", Workers, Threads).c_str()));
+
+      // The victim dies after its first fresh measurement; the marker it
+      // leaves disarms the hook in its replacement.
+      int Victim = Workers - 1;
+      EnvGuard Kill("MSEM_WORKER_KILL_AFTER",
+                    formatString("%d:1", Victim));
+      EnvGuard WorkerThreads("MSEM_THREADS", formatString("%d", Threads));
+      setGlobalThreadCount(Threads);
+
+      Coordinator C(coordOpts(Workers, Shards.Dir));
+      ExperimentResult Dist = C.run(Base);
+      ASSERT_TRUE(Dist.ok()) << Dist.Error;
+      expectIdenticalResults(Ref, Dist);
+
+      // The kill actually fired (marker on disk) and was survived by a
+      // respawn, not by luck.
+      EXPECT_TRUE(pathExists(Shards.Dir +
+                             formatString("/killed-w%d", Victim)));
+      std::vector<WorkerStatus> Status = C.workerStatus();
+      ASSERT_EQ(Status.size(), static_cast<size_t>(Workers));
+      EXPECT_GE(Status[static_cast<size_t>(Victim)].Respawns, 1);
+    }
+  }
+}
+
+TEST(DistributedCampaignTest, ResumeDistributedAfterSingleProcessKill) {
+  PoolGuard Pool;
+  DirGuard Shards(tempPath("resume_shards"));
+  std::string Path = tempPath("resume") + ".ckpt.json";
+  std::remove(Path.c_str());
+
+  // Reference: uninterrupted, single-process, 1 thread.
+  setGlobalThreadCount(1);
+  ExperimentResult Ref = runExperiment(distSpec());
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  // Child: the same campaign, SIGKILLed at the third checkpoint.
+  setenv("MSEM_DIST_KILL_CKPT", Path.c_str(), 1);
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    execl("/proc/self/exe", "distributed_test",
+          "--gtest_filter=DistributedKillChild.Run", nullptr);
+    _exit(127); // exec failed.
+  }
+  unsetenv("MSEM_DIST_KILL_CKPT");
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFSIGNALED(Status))
+      << "child should die by signal, status=" << Status;
+  EXPECT_EQ(WTERMSIG(Status), SIGKILL);
+
+  // Resume the mid-flight checkpoint *distributed*: the completed
+  // campaign must be bitwise identical to the never-killed reference.
+  Coordinator C(coordOpts(2, Shards.Dir));
+  ExperimentResult Resumed = C.resume(Path);
+  ASSERT_TRUE(Resumed.ok()) << Resumed.Error;
+  expectIdenticalResults(Ref, Resumed);
+  std::remove(Path.c_str());
+}
+
+TEST(DistributedCampaignTest, AbortPolicyFailsCampaignOnWorkerDeath) {
+  PoolGuard Pool;
+  DirGuard Shards(tempPath("abort_shards"));
+  setGlobalThreadCount(1);
+
+  ExperimentSpec Spec = distSpec();
+  Spec.Faults.OnFault = FaultAction::Abort;
+  EnvGuard Kill("MSEM_WORKER_KILL_AFTER", "1:1");
+
+  Coordinator C(coordOpts(2, Shards.Dir));
+  ExperimentResult Result = C.run(Spec);
+  EXPECT_FALSE(Result.ok());
+  // The diagnostic carries the worker's death, not a generic fault.
+  EXPECT_NE(Result.Error.find("worker 1 died"), std::string::npos)
+      << Result.Error;
+}
+
+TEST(DistributedCampaignTest, SkipPolicyDropsDeadWorkersPoints) {
+  PoolGuard Pool;
+  DirGuard Shards(tempPath("skip_shards"));
+  setGlobalThreadCount(1);
+
+  ExperimentSpec Spec = distSpec();
+  Spec.Faults.OnFault = FaultAction::Skip;
+  // Skip never respawns: the dead worker's unmeasured points fall out as
+  // skipped responses and the campaign completes on the survivors.
+  Spec.TunePlatforms.clear(); // Tuning a half-skipped design is not the point.
+  Spec.VerifyTunings = false;
+  EnvGuard Kill("MSEM_WORKER_KILL_AFTER", "1:1");
+
+  Coordinator C(coordOpts(2, Shards.Dir));
+  ExperimentResult Result = C.run(Spec);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  ASSERT_EQ(Result.Jobs.size(), 1u);
+  EXPECT_NE(Result.Jobs[0].Build.FittedModel, nullptr);
+
+  // The dead worker stayed dead (no respawn under Skip) and the build
+  // really lost its points.
+  std::vector<WorkerStatus> Status = C.workerStatus();
+  ASSERT_EQ(Status.size(), 2u);
+  EXPECT_EQ(Status[1].Respawns, 0);
+  EXPECT_FALSE(Status[1].Alive);
+  setGlobalThreadCount(1);
+  ExperimentSpec Clean = Spec;
+  ExperimentResult Full = runExperiment(Clean);
+  ASSERT_TRUE(Full.ok()) << Full.Error;
+  EXPECT_LT(Result.Jobs[0].Build.TrainY.size(),
+            Full.Jobs[0].Build.TrainY.size());
+}

@@ -2,8 +2,9 @@
 # msem_bench_baseline: run the regression-sentinel bench set at its
 # canonical pinned scale and collect the BENCH_*.json results.
 #
-# The six gated harnesses (micro_simulator, predict_throughput,
-# parallel_scaling, table3_model_accuracy, trace_replay, serve_load) run
+# The seven gated harnesses (micro_simulator, predict_throughput,
+# parallel_scaling, campaign_scaling, table3_model_accuracy, trace_replay,
+# serve_load) run
 # with a fixed seed, design size and thread count so model-quality metrics
 # are bit-deterministic and timing metrics are comparable across runs of
 # the same machine class.
@@ -35,8 +36,8 @@ while [ $# -gt 0 ]; do
 done
 
 BENCHES=(bench_micro_simulator bench_predict_throughput
-         bench_parallel_scaling bench_table3_model_accuracy
-         bench_trace_replay bench_serve_load)
+         bench_parallel_scaling bench_campaign_scaling
+         bench_table3_model_accuracy bench_trace_replay bench_serve_load)
 for B in "${BENCHES[@]}"; do
   if [ ! -x "$BUILD_DIR/bench/$B" ]; then
     echo "msem_bench_baseline: missing $BUILD_DIR/bench/$B (build first)" >&2

@@ -1,0 +1,339 @@
+//===- tools/msem_campaign.cpp - Distributed campaign CLI ------------------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+// The consolidated campaign command surface: run a campaign (single- or
+// multi-process), act as a measurement worker, merge worker shards into a
+// checkpoint offline, or print a canonical checkpoint digest for
+// byte-comparison across runs. See --help for the full inventory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+#include "campaign/Checkpoint.h"
+#include "campaign/Coordinator.h"
+#include "campaign/ShardStore.h"
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "telemetry/Introspection.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace msem;
+
+namespace {
+
+const char *kUsage = R"(msem_campaign -- run, distribute, and inspect measurement campaigns
+
+USAGE
+  msem_campaign run    [--workload NAME]... [--workers N] [--shard-dir DIR]
+                       [--checkpoint PATH] [--registry DIR] [--resume]
+  msem_campaign worker [--dir DIR] [--id K]
+  msem_campaign merge  --dir DIR --checkpoint PATH
+  msem_campaign digest --checkpoint PATH
+  msem_campaign --help
+
+SUBCOMMANDS
+  run     Runs a campaign at the environment-configured scale. With
+          --workers N > 0 (or MSEM_WORKERS), measurement fans out across N
+          worker processes through a shared shard directory; the merged
+          checkpoint, registry artifacts and predictions are bitwise
+          identical to the single-process run at any worker count and any
+          MSEM_THREADS. --resume continues the checkpoint at --checkpoint
+          instead of starting fresh (same distribution rules).
+  worker  Joins the campaign at the shard directory as worker K: measures
+          its share of every round plan (point index I belongs to worker
+          I mod N) and writes incremental atomic shard files, so kill -9
+          costs only the points not yet flushed. Identity comes from
+          --dir/--id or MSEM_WORKER_DIR/MSEM_WORKER_ID (the coordinator
+          sets the latter for spawned workers). Exits when the coordinator
+          publishes the shutdown sentinel.
+  merge   Offline recovery: folds every completed outcome in DIR's worker
+          shard files into the checkpoint at PATH (multi-host runs where
+          the coordinator died; normally the coordinator merges live).
+  digest  Prints the checkpoint's canonical content -- timing, build-stamp
+          and path fields stripped -- so two runs can be byte-compared
+          (`cmp <(msem_campaign digest ...) <(msem_campaign digest ...)`).
+
+ENVIRONMENT
+  MSEM_WORKERS            worker processes for `run` (0 = single-process)
+  MSEM_SHARD_DIR          shard directory ("" = <checkpoint>.shards)
+  MSEM_WORKER_DIR         worker identity: shard directory (set by the
+  MSEM_WORKER_ID            coordinator for the workers it spawns)
+  MSEM_WORKER_KILL_AFTER  "w:n" test hook: worker w SIGKILLs itself after
+                          n fresh measurements, once per shard directory
+  MSEM_THREADS            threads per process (workers inherit it)
+  MSEM_TRAIN_N/MSEM_TEST_N/MSEM_INPUT/MSEM_CACHE/MSEM_SEED
+                          campaign scale (see README)
+  MSEM_REGISTRY_DIR       model registry root ("" = no publishing)
+  MSEM_FAULT_RATE         deterministic fault injection in [0,1]
+  MSEM_STATS_PORT         live introspection: /statusz and /healthz grow a
+                          "workers" section while a campaign is distributed
+
+Campaign checkpoints and every shard-directory file carry
+schema_version "msem.campaign.v1"; loaders accept v1 and legacy
+unversioned checkpoints and reject newer versions.
+)";
+
+int usageError(const char *Message) {
+  std::fprintf(stderr, "msem_campaign: %s\n(run `msem_campaign --help`)\n",
+               Message);
+  return 2;
+}
+
+/// Tiny flag scanner: "--name VALUE" pairs plus bare flags.
+struct Args {
+  std::vector<std::string> Tokens;
+
+  bool flag(const char *Name) {
+    for (auto It = Tokens.begin(); It != Tokens.end(); ++It)
+      if (*It == Name) {
+        Tokens.erase(It);
+        return true;
+      }
+    return false;
+  }
+
+  bool value(const char *Name, std::string &Out) {
+    for (auto It = Tokens.begin(); It != Tokens.end(); ++It)
+      if (*It == Name && It + 1 != Tokens.end()) {
+        Out = *(It + 1);
+        Tokens.erase(It, It + 2);
+        return true;
+      }
+    return false;
+  }
+
+  std::vector<std::string> values(const char *Name) {
+    std::vector<std::string> Out;
+    std::string V;
+    while (value(Name, V))
+      Out.push_back(V);
+    return Out;
+  }
+};
+
+InputSet inputFromEnv() {
+  const std::string &Input = env().Input;
+  return Input == "ref"    ? InputSet::Ref
+         : Input == "test" ? InputSet::Test
+                           : InputSet::Train;
+}
+
+/// The spec `run` executes: the bench-standard scale (one-shot design of
+/// MSEM_TRAIN_N points) over the requested workloads.
+ExperimentSpec specFromEnv(const std::vector<std::string> &Workloads) {
+  const EnvConfig &E = env();
+  ExperimentSpec Spec;
+  Spec.Name = "msem_campaign";
+  Spec.InitialDesignSize = static_cast<size_t>(E.TrainN);
+  Spec.MaxDesignSize = static_cast<size_t>(E.TrainN);
+  Spec.TestSize = static_cast<size_t>(E.TestN);
+  Spec.TargetMape = 0.0; // Fit exactly once at the requested size.
+  Spec.CandidateCount = std::max<size_t>(1200, Spec.InitialDesignSize * 4);
+  Spec.Seed = E.Seed;
+  Spec.CacheDir = E.CacheDir;
+  for (const std::string &W : Workloads) {
+    ExperimentJob Job;
+    Job.Workload = W;
+    Job.Input = inputFromEnv();
+    Spec.Jobs.push_back(std::move(Job));
+  }
+  return Spec;
+}
+
+int reportResult(const ExperimentResult &Result) {
+  std::printf("status: %s\n", campaignStatusName(Result.Status));
+  if (!Result.Error.empty())
+    std::printf("error: %s\n", Result.Error.c_str());
+  std::printf("simulations: %zu  wall_seconds: %.2f\n", Result.SimulationsUsed,
+              Result.WallSeconds);
+  for (const ExperimentJobResult &JR : Result.Jobs)
+    std::printf("job %s|%s|%s: %s  mape=%.4f  r2=%.4f\n",
+                JR.Job.Workload.c_str(), inputSetName(JR.Job.Input),
+                responseMetricName(JR.Job.Metric), jobStateName(JR.State),
+                JR.Build.TestQuality.Mape, JR.Build.TestQuality.R2);
+  return Result.ok() ? 0 : 1;
+}
+
+int runMain(Args Cli) {
+  std::vector<std::string> Workloads = Cli.values("--workload");
+  if (Workloads.empty())
+    Workloads.push_back("art");
+
+  std::string Value;
+  int Workers = static_cast<int>(env().Workers);
+  if (Cli.value("--workers", Value))
+    Workers = std::atoi(Value.c_str());
+  std::string ShardDir = env().ShardDir;
+  Cli.value("--shard-dir", ShardDir);
+  std::string CheckpointPath;
+  Cli.value("--checkpoint", CheckpointPath);
+  std::string RegistryDir;
+  Cli.value("--registry", RegistryDir);
+  bool Resume = Cli.flag("--resume");
+  if (!Cli.Tokens.empty())
+    return usageError(("unknown argument '" + Cli.Tokens.front() +
+                       "' for run")
+                          .c_str());
+  if (Resume && CheckpointPath.empty())
+    return usageError("--resume requires --checkpoint");
+
+  telemetry::ensureIntrospection();
+  ExperimentResult Result;
+  if (Workers > 0) {
+    CoordinatorOptions Opts;
+    Opts.Workers = Workers;
+    Opts.ShardDir = ShardDir;
+    std::printf("distributed campaign: %d worker(s), shard dir %s\n", Workers,
+                !Opts.ShardDir.empty() ? Opts.ShardDir.c_str()
+                                       : "(derived from checkpoint)");
+    Coordinator C(std::move(Opts));
+    if (Resume) {
+      Result = C.resume(CheckpointPath);
+    } else {
+      ExperimentSpec Spec = specFromEnv(Workloads);
+      Spec.CheckpointPath = CheckpointPath;
+      Spec.RegistryDir = RegistryDir;
+      Result = C.run(std::move(Spec));
+    }
+  } else if (Resume) {
+    Result = Campaign::resume(CheckpointPath);
+  } else {
+    ExperimentSpec Spec = specFromEnv(Workloads);
+    Spec.CheckpointPath = CheckpointPath;
+    Spec.RegistryDir = RegistryDir;
+    Result = runExperiment(Spec);
+  }
+  return reportResult(Result);
+}
+
+int workerMain(Args Cli) {
+  WorkerOptions Opts;
+  Opts.Dir = getEnvString("MSEM_WORKER_DIR", "");
+  Opts.Worker = static_cast<int>(getEnvInt("MSEM_WORKER_ID", -1));
+  Opts.KillAfter = env().WorkerKillAfter;
+  std::string Value;
+  if (Cli.value("--dir", Value))
+    Opts.Dir = Value;
+  if (Cli.value("--id", Value))
+    Opts.Worker = std::atoi(Value.c_str());
+  if (!Cli.Tokens.empty())
+    return usageError(("unknown argument '" + Cli.Tokens.front() +
+                       "' for worker")
+                          .c_str());
+  return runWorker(Opts);
+}
+
+int mergeMain(Args Cli) {
+  std::string Dir, CheckpointPath;
+  if (!Cli.value("--dir", Dir) || !Cli.value("--checkpoint", CheckpointPath))
+    return usageError("merge requires --dir and --checkpoint");
+
+  CampaignCheckpoint Ckpt;
+  std::string Error;
+  if (!loadCheckpoint(CheckpointPath, Ckpt, &Error)) {
+    std::fprintf(stderr, "msem_campaign merge: %s\n", Error.c_str());
+    return 1;
+  }
+  CampaignManifest Manifest;
+  if (!loadManifest(manifestPath(Dir), Manifest, &Error)) {
+    std::fprintf(stderr, "msem_campaign merge: %s\n", Error.c_str());
+    return 1;
+  }
+
+  ShardStore Store;
+  Store.restore(std::move(Ckpt.Surfaces));
+  size_t ShardFiles = 0, Merged = 0;
+  // Rounds are dense from 1: stop at the first round with no shard file
+  // from any worker. Within a round, workers merge in sequential order.
+  for (uint64_t Round = 1;; ++Round) {
+    bool Any = false;
+    for (int K = 0; K < Manifest.Workers; ++K) {
+      WorkerShard Shard;
+      if (!loadWorkerShard(workerShardPath(Dir, Round, K), Shard, &Error))
+        continue;
+      Any = true;
+      ++ShardFiles;
+      ExperimentJob Job;
+      Job.Workload = Shard.Surface.Workload;
+      Job.Input = Shard.Surface.Input;
+      Job.Metric = Shard.Surface.Metric;
+      SurfaceShard Incoming;
+      for (size_t J = 0; J < Shard.Outcomes.size(); ++J) {
+        if (!Shard.Outcomes[J].Ok)
+          continue; // Skipped/faulted points are not responses.
+        Incoming.Points.push_back(Shard.Points[J]);
+        Incoming.Values.push_back(Shard.Outcomes[J].Value);
+        ++Merged;
+      }
+      Store.merge(surfaceKeyFor(Job), Incoming);
+    }
+    if (!Any)
+      break;
+  }
+
+  Ckpt.Surfaces = Store.shards();
+  if (!saveCheckpoint(Ckpt, CheckpointPath, &Error)) {
+    std::fprintf(stderr, "msem_campaign merge: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu outcome(s) from %zu shard file(s) into %s\n",
+              Merged, ShardFiles, CheckpointPath.c_str());
+  return 0;
+}
+
+int digestMain(Args Cli) {
+  std::string CheckpointPath;
+  if (!Cli.value("--checkpoint", CheckpointPath))
+    return usageError("digest requires --checkpoint");
+
+  CampaignCheckpoint Ckpt;
+  std::string Error;
+  if (!loadCheckpoint(CheckpointPath, Ckpt, &Error)) {
+    std::fprintf(stderr, "msem_campaign digest: %s\n", Error.c_str());
+    return 1;
+  }
+  // Strip everything that legitimately varies between two runs of the
+  // same campaign -- wall time, build stamp, and the file-system paths the
+  // runs were pointed at -- leaving the deterministic content: jobs,
+  // measured surfaces, simulation spend, design/tuning configuration.
+  Ckpt.WallSecondsSpent = 0;
+  Ckpt.Build.clear();
+  Ckpt.CachePath.clear();
+  Ckpt.Spec.CheckpointPath.clear();
+  Ckpt.Spec.CacheDir.clear();
+  Ckpt.Spec.RegistryDir.clear();
+  std::string Digest = serializeCheckpoint(Ckpt).dumpPretty();
+  std::fwrite(Digest.data(), 1, Digest.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usageError("a subcommand is required");
+  std::string Sub = Argv[1];
+  if (Sub == "--help" || Sub == "-h" || Sub == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  Args Cli;
+  for (int I = 2; I < Argc; ++I)
+    Cli.Tokens.push_back(Argv[I]);
+  if (Sub == "run")
+    return runMain(std::move(Cli));
+  if (Sub == "worker")
+    return workerMain(std::move(Cli));
+  if (Sub == "merge")
+    return mergeMain(std::move(Cli));
+  if (Sub == "digest")
+    return digestMain(std::move(Cli));
+  return usageError(("unknown subcommand '" + Sub + "'").c_str());
+}

@@ -126,6 +126,36 @@ grep -q "slowest phase" "$SMOKE_DIR/report.txt"
 echo "== trace replay identity smoke =="
 MSEM_INPUT=test "$BUILD_DIR/bench/bench_trace_replay" --smoke vpr
 
+# Distributed-campaign smoke: the same tiny campaign single-process and
+# across 3 worker processes, with one worker SIGKILLed mid-run (the
+# MSEM_WORKER_KILL_AFTER hook) and respawned by the Retry policy. The two
+# checkpoints' canonical digests must be byte-identical. Each run gets its
+# own response cache so the distributed run really measures (a cache hit
+# would disarm the kill hook).
+echo "== distributed campaign smoke =="
+MSEM_TRAIN_N=12 MSEM_TEST_N=6 MSEM_INPUT=test MSEM_SEED=20070311 \
+  MSEM_CACHE="$SMOKE_DIR/dist-cache-1" \
+  "$BUILD_DIR/tools/msem_campaign" run --workload art \
+  --checkpoint "$SMOKE_DIR/dist-single.ckpt.json" > /dev/null
+MSEM_TRAIN_N=12 MSEM_TEST_N=6 MSEM_INPUT=test MSEM_SEED=20070311 \
+  MSEM_CACHE="$SMOKE_DIR/dist-cache-3" MSEM_WORKER_KILL_AFTER=1:2 \
+  "$BUILD_DIR/tools/msem_campaign" run --workload art --workers 3 \
+  --shard-dir "$SMOKE_DIR/dist.shards" \
+  --checkpoint "$SMOKE_DIR/dist-multi.ckpt.json" > /dev/null
+[ -f "$SMOKE_DIR/dist.shards/killed-w1" ] || {
+  echo "msem_lint: worker kill hook never fired" >&2; exit 1; }
+"$BUILD_DIR/tools/msem_campaign" digest \
+  --checkpoint "$SMOKE_DIR/dist-single.ckpt.json" \
+  > "$SMOKE_DIR/dist-single.digest"
+"$BUILD_DIR/tools/msem_campaign" digest \
+  --checkpoint "$SMOKE_DIR/dist-multi.ckpt.json" \
+  > "$SMOKE_DIR/dist-multi.digest"
+cmp "$SMOKE_DIR/dist-single.digest" "$SMOKE_DIR/dist-multi.digest" || {
+  echo "msem_lint: distributed campaign diverged from single-process bytes" >&2
+  exit 1; }
+echo "distributed smoke: 3-worker digest (one worker kill -9'd)" \
+     "== single-process digest"
+
 # Benchmark-regression gate: rerun the sentinel bench set at the pinned
 # baseline scale and compare against the committed baselines. Model-quality
 # metrics are deterministic at fixed seed (tight threshold); throughput
