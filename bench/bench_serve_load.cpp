@@ -20,8 +20,15 @@
 // Every response is checked for HTTP 200 and the expected CSV header; any
 // failure exits nonzero.
 //
-//   bench_serve_load [--smoke]
+//   bench_serve_load [--smoke] [--inject-errors N]
 //       --smoke: tiny fixed scale, no BENCH report -- the lint-gate mode.
+//       --inject-errors N: additionally post N malformed requests and
+//       cross-check the SLO tracker counted exactly N 4xx outcomes.
+//
+// The serving RED/SLO engine (serving/SloTracker) is wired in exactly as
+// msem_serve wires it, and the closed-loop phase doubles as its overhead
+// gate: record() self-measures, and (self time per sample) / (mean
+// closed-loop latency) must stay under 2% or the bench exits nonzero.
 //
 // Scale: C = MSEM_THREADS clients (default pool size), requests sized by
 // MSEM_TEST_N. The BENCH_serve_load.json metrics ride the usual
@@ -34,6 +41,7 @@
 #include "registry/ModelRegistry.h"
 #include "serving/HttpServer.h"
 #include "serving/PredictionService.h"
+#include "serving/SloTracker.h"
 #include "support/Error.h"
 #include "support/StatsServer.h"
 #include "support/ThreadPool.h"
@@ -284,11 +292,16 @@ LoadResult runOpenLoop(int Port, const std::string &Body, size_t Clients,
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
+  size_t InjectErrors = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::string(Argv[I]) == "--smoke")
       Smoke = true;
+    else if (std::string(Argv[I]) == "--inject-errors" && I + 1 < Argc)
+      InjectErrors =
+          static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 10));
     else {
-      std::fprintf(stderr, "usage: bench_serve_load [--smoke]\n");
+      std::fprintf(stderr,
+                   "usage: bench_serve_load [--smoke] [--inject-errors N]\n");
       return 2;
     }
   }
@@ -341,14 +354,20 @@ int main(int Argc, char **Argv) {
   }
 
   // --- The served stack: PredictionService + epoll transport -------------
+  // The SLO tracker rides along exactly as in msem_serve, so the closed
+  // loop measures the instrumented path and gates its overhead.
+  serving::SloTracker Slo(serving::SloTracker::Options{});
+
   serving::PredictionService::Options SvcOpts;
   SvcOpts.RegistryDir = RegistryDir;
+  SvcOpts.Slo = &Slo;
   serving::PredictionService Service(std::move(SvcOpts));
   Service.registerRoutes(StatsServer::router());
 
   serving::HttpServer::Options SrvOpts;
   SrvOpts.Port = 0;
   SrvOpts.Threads = static_cast<int>(std::max<size_t>(2, Clients / 2));
+  SrvOpts.Slo = &Slo;
   serving::HttpServer Server(StatsServer::router(), SrvOpts);
   std::string Error;
   if (!Server.start(&Error))
@@ -370,6 +389,63 @@ int main(int Argc, char **Argv) {
     fatalError(formatString("closed loop: %zu failed requests",
                             Closed.Failures));
   double ClosedQps = Closed.Requests / Closed.WallSeconds;
+
+  // --- SLO engine overhead gate (closed-loop path) -----------------------
+  // record() self-measures; amortized per-sample cost against the mean
+  // closed-loop latency is the engine's relative overhead.
+  double SloOverheadPct = 0;
+  {
+    uint64_t SloSamples = Slo.sampleCount();
+    double MeanClosedUs = 0;
+    for (double L : Closed.LatenciesUs)
+      MeanClosedUs += L;
+    MeanClosedUs /= std::max<size_t>(1, Closed.LatenciesUs.size());
+    double SelfUsPerSample =
+        (static_cast<double>(Slo.selfNs()) / 1000.0) /
+        std::max<uint64_t>(1, SloSamples);
+    if (MeanClosedUs > 0)
+      SloOverheadPct = 100.0 * SelfUsPerSample / MeanClosedUs;
+    if (SloSamples < Closed.Requests)
+      fatalError(formatString("slo tracker saw %llu samples, closed loop "
+                              "served %zu",
+                              static_cast<unsigned long long>(SloSamples),
+                              Closed.Requests));
+    if (SloOverheadPct >= 2.0)
+      fatalError(formatString("slo tracker overhead %.3f%% exceeds the 2%% "
+                              "closed-loop budget",
+                              SloOverheadPct));
+  }
+
+  // --- Injected errors: the tracker must count them exactly --------------
+  if (InjectErrors) {
+    uint64_t Before4xx = 0;
+    for (const serving::SloTracker::KeyReport &K : Slo.report())
+      Before4xx += K.Errors4xx;
+    HttpClient Bad;
+    if (!Bad.connectTo(Server.port(), Error))
+      fatalError("inject-errors connect: " + Error);
+    for (size_t I = 0; I < InjectErrors; ++I) {
+      int Status = 0;
+      std::string Resp;
+      if (!Bad.post("/v1/predict", "{not json", Status, Resp, Error))
+        fatalError("inject-errors post: " + Error);
+      if (Status != 400)
+        fatalError(formatString("inject-errors: expected 400, got %d",
+                                Status));
+    }
+    uint64_t After4xx = 0;
+    for (const serving::SloTracker::KeyReport &K : Slo.report())
+      After4xx += K.Errors4xx;
+    if (After4xx - Before4xx != InjectErrors)
+      fatalError(formatString("inject-errors: tracker counted %llu 4xx, "
+                              "injected %zu",
+                              static_cast<unsigned long long>(After4xx -
+                                                              Before4xx),
+                              InjectErrors));
+    std::printf("inject-errors: %zu malformed requests -> %zu 4xx counted "
+                "by the SLO tracker\n\n",
+                InjectErrors, InjectErrors);
+  }
 
   // --- Open loop (below saturation; queueing-inclusive latency) ----------
   double OpenRate = std::max(1.0, 0.6 * ClosedQps);
@@ -400,6 +476,9 @@ int main(int Argc, char **Argv) {
   std::printf("\nopen loop paced at %.0f req/s (0.6 x closed-loop "
               "saturation); latency counts from scheduled arrival.\n",
               OpenRate);
+  std::printf("slo tracker overhead: %.3f%% of mean closed-loop latency "
+              "(budget 2%%)\n",
+              SloOverheadPct);
 
   if (Report) {
     Report->metric("qps.closed", ClosedQps);
@@ -409,6 +488,7 @@ int main(int Argc, char **Argv) {
     Report->metric("p99_us.closed", Closed.quantileUs(0.99));
     Report->metric("qps.open", OpenQps);
     Report->metric("p99_us.open", Open.quantileUs(0.99));
+    Report->metric("slo_overhead_pct", SloOverheadPct);
   }
   if (Smoke)
     std::printf("smoke: OK -- %zu closed + %zu open requests served over "

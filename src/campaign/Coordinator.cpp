@@ -9,6 +9,8 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/StatsServer.h"
+#include "telemetry/EventLog.h"
+#include "telemetry/Introspection.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -20,6 +22,7 @@
 #include <ctime>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -41,6 +44,57 @@ std::string dirJoin(const std::string &Dir, const std::string &Name) {
 /// raising SIGKILL, so a respawned worker does not kill itself again.
 std::string killMarkerPath(const std::string &Dir, int Worker) {
   return dirJoin(Dir, formatString("killed-w%d", Worker));
+}
+
+/// Per-worker telemetry output files inside the shard directory:
+/// "events-w<K>.jsonl", "trace-w<K>.json", "metrics-w<K>.jsonl",
+/// "profile-w<K>.collapsed". The coordinator rewrites the corresponding
+/// MSEM_* env knobs to these paths when spawning, so N children never
+/// clobber one shared file -- and the per-worker events files become the
+/// input to the stitched fleet trace (msem_report --merge-traces) and the
+/// /tracez fleet section.
+std::string workerAuxPath(const std::string &Dir, const char *Kind,
+                          int Worker, const char *Ext) {
+  return dirJoin(Dir, formatString("%s-w%d.%s", Kind, Worker, Ext));
+}
+
+/// The /tracez fleet section: the newest few spans from every worker's
+/// events file, as a flat per-worker list (the full stitched tree is
+/// msem_report --merge-traces territory).
+std::string fleetTracezSection(const std::string &Dir, int Workers) {
+  std::string Out = "\n--- fleet (per-worker recent spans) ---\n";
+  constexpr size_t MaxPerWorker = 15;
+  for (int K = 0; K < Workers; ++K) {
+    std::string Text;
+    if (!readFileText(workerAuxPath(Dir, "events", K, "jsonl"), Text,
+                      nullptr)) {
+      Out += formatString("worker %d: no events file (workers write one "
+                          "when MSEM_TELEMETRY includes 'events')\n",
+                          K);
+      continue;
+    }
+    telemetry::EventLog Log;
+    std::string Error;
+    if (!telemetry::parseEventsJsonl(Text, Log, &Error)) {
+      // Workers rewrite their events file between rounds; a torn read is
+      // a display blip, not an error worth more than a note.
+      Out += formatString("worker %d: unreadable events file (%s)\n", K,
+                          Error.c_str());
+      continue;
+    }
+    Out += formatString("worker %d: %zu spans\n", K, Log.Spans.size());
+    size_t Begin =
+        Log.Spans.size() > MaxPerWorker ? Log.Spans.size() - MaxPerWorker : 0;
+    for (size_t I = Begin; I < Log.Spans.size(); ++I) {
+      const telemetry::SpanEvent &S = Log.Spans[I];
+      Out += formatString("  %s  %.3f ms", S.Name.c_str(),
+                          static_cast<double>(S.DurationNs) / 1e6);
+      if (!S.Detail.empty())
+        Out += "  [" + S.Detail + "]";
+      Out += '\n';
+    }
+  }
+  return Out;
 }
 
 std::string describeExit(int Wstatus) {
@@ -82,8 +136,11 @@ void Coordinator::spawnWorker(int Worker) {
   Argv.push_back(nullptr);
 
   // Children inherit the environment minus the knobs that must not be
-  // shared: worker identity (replaced), and the introspection/profiler
-  // outputs N children would otherwise clobber.
+  // shared: worker identity (replaced), the stats-server port N children
+  // would fight over, and the telemetry/profiler output files -- those are
+  // re-pointed at per-worker paths in the shard directory rather than
+  // dropped, so a child's sinks write "events-w<K>.jsonl" instead of
+  // clobbering the parent's files.
   std::vector<std::string> EnvStorage;
   for (char **E = environ; E && *E; ++E) {
     const char *Entry = *E;
@@ -91,12 +148,27 @@ void Coordinator::spawnWorker(int Worker) {
         strncmp(Entry, "MSEM_WORKER_ID=", 15) == 0 ||
         strncmp(Entry, "MSEM_STATS_PORT=", 16) == 0 ||
         strncmp(Entry, "MSEM_STATS_PORT_FILE=", 21) == 0 ||
-        strncmp(Entry, "MSEM_PROFILE=", 13) == 0)
+        strncmp(Entry, "MSEM_PROFILE=", 13) == 0 ||
+        strncmp(Entry, "MSEM_EVENTS_FILE=", 17) == 0 ||
+        strncmp(Entry, "MSEM_TRACE_FILE=", 16) == 0 ||
+        strncmp(Entry, "MSEM_METRICS_FILE=", 18) == 0)
       continue;
     EnvStorage.emplace_back(Entry);
   }
   EnvStorage.push_back("MSEM_WORKER_DIR=" + Dir);
   EnvStorage.push_back(formatString("MSEM_WORKER_ID=%d", Worker));
+  EnvStorage.push_back("MSEM_EVENTS_FILE=" +
+                       workerAuxPath(Dir, "events", Worker, "jsonl"));
+  EnvStorage.push_back("MSEM_TRACE_FILE=" +
+                       workerAuxPath(Dir, "trace", Worker, "json"));
+  EnvStorage.push_back("MSEM_METRICS_FILE=" +
+                       workerAuxPath(Dir, "metrics", Worker, "jsonl"));
+  // A profiled campaign profiles its whole fleet: each worker collects
+  // its own collapsed stacks, which msem_report --profile merges into one
+  // fleet flamegraph.
+  if (::getenv("MSEM_PROFILE"))
+    EnvStorage.push_back("MSEM_PROFILE=" +
+                         workerAuxPath(Dir, "profile", Worker, "collapsed"));
   std::vector<char *> Envp;
   for (const std::string &E : EnvStorage)
     Envp.push_back(const_cast<char *>(E.c_str()));
@@ -158,6 +230,7 @@ void Coordinator::superviseChildren(const FaultPolicy &Faults) {
 
 void Coordinator::refreshStatus() {
   std::vector<WorkerStatus> Fresh(static_cast<size_t>(Opts.Workers));
+  std::vector<telemetry::FleetMember> FreshFleet;
   for (size_t K = 0; K < Fresh.size(); ++K) {
     WorkerStatus &S = Fresh[K];
     S.Worker = static_cast<int>(K);
@@ -172,15 +245,24 @@ void Coordinator::refreshStatus() {
       S.Round = Hb.Round;
       S.Measured = Hb.Measured;
       S.HeartbeatUnixSeconds = Hb.UnixSeconds;
+      if (Hb.HasTelemetry)
+        FreshFleet.push_back(
+            {std::to_string(K), std::move(Hb.Telemetry)});
     }
   }
   std::lock_guard<std::mutex> Lock(StatusMutex);
   Status = std::move(Fresh);
+  Fleet = std::move(FreshFleet);
 }
 
 std::vector<WorkerStatus> Coordinator::workerStatus() const {
   std::lock_guard<std::mutex> Lock(StatusMutex);
   return Status;
+}
+
+std::vector<telemetry::FleetMember> Coordinator::fleetMembers() const {
+  std::lock_guard<std::mutex> Lock(StatusMutex);
+  return Fleet;
 }
 
 std::vector<PointOutcome>
@@ -271,6 +353,10 @@ Coordinator::measureRound(const ExperimentSpec &Spec, const ExperimentJob &Job,
 ExperimentResult Coordinator::runCampaign(
     const ExperimentSpec &Spec,
     const std::function<ExperimentResult(const ExperimentSpec &)> &Go) {
+  // The fleet hooks below plug into the introspection routes; make sure
+  // they exist even when the caller skipped ensureIntrospection.
+  telemetry::ensureIntrospection();
+
   // Shard-directory layout and lifecycle are documented in ShardStore.h.
   Dir = !Opts.ShardDir.empty() ? Opts.ShardDir
         : !Spec.CheckpointPath.empty()
@@ -290,9 +376,25 @@ ExperimentResult Coordinator::runCampaign(
   Children.assign(static_cast<size_t>(Opts.Workers), Child{});
   DeathNotes.assign(static_cast<size_t>(Opts.Workers), std::string());
 
+  // The fleet trace root. Workers adopt (trace, span) from the manifest,
+  // so campaign -> worker -> point -> simulator spans form one causal
+  // tree across processes, stitched back together by msem_report
+  // --merge-traces. The identity is salted differently from
+  // Campaign::run's own "campaign.run" root, so the two traces -- the
+  // engine's (whose shape the determinism tests pin) and the fleet's --
+  // never collide.
+  telemetry::ScopedTimer FleetSpan(
+      "coordinator.campaign",
+      telemetry::ScopedTimer::TraceRoot{
+          telemetry::deriveTraceId("coordinator:" + Spec.Name, Spec.Seed)});
+  if (FleetSpan.capturing())
+    FleetSpan.setDetail(Spec.Name);
+
   CampaignManifest Manifest;
   Manifest.Workers = Opts.Workers;
   Manifest.Spec = Spec;
+  Manifest.TraceId = FleetSpan.traceId();
+  Manifest.SpanId = FleetSpan.spanId();
   if (!saveManifest(Manifest, manifestPath(Dir), &Error))
     fatalError("coordinator: cannot write campaign manifest: " + Error);
   // Publish an empty round-0 plan: it overwrites any stale plan (so a
@@ -311,7 +413,17 @@ ExperimentResult Coordinator::runCampaign(
 
   // Live worker progress: a /statusz section and a /healthz fragment for
   // the lifetime of the distributed run.
-  ScopedStatusProvider StatusSection("workers", [this] {
+  // heartbeat_age_s is clamped to >= 0: heartbeats carry the *worker's*
+  // wall clock, and on a multi-host shard directory its clock may run
+  // ahead of ours -- a negative age reads as an alert, not as skew. -1
+  // still means "no heartbeat seen yet".
+  auto heartbeatAge = [](int64_t Now, int64_t BeatUnixSeconds) {
+    if (!BeatUnixSeconds)
+      return -1ll;
+    return static_cast<long long>(
+        std::max<int64_t>(0, Now - BeatUnixSeconds));
+  };
+  ScopedStatusProvider StatusSection("workers", [this, heartbeatAge] {
     std::string Text;
     int64_t Now = static_cast<int64_t>(::time(nullptr));
     for (const WorkerStatus &S : workerStatus())
@@ -320,13 +432,25 @@ ExperimentResult Coordinator::runCampaign(
           "measured=%zu heartbeat_age_s=%lld\n",
           S.Worker, static_cast<long long>(S.Pid), S.Alive ? 1 : 0,
           S.Respawns, static_cast<unsigned long long>(S.Round), S.Measured,
-          S.HeartbeatUnixSeconds
-              ? static_cast<long long>(Now - S.HeartbeatUnixSeconds)
-              : -1ll);
+          heartbeatAge(Now, S.HeartbeatUnixSeconds));
     return Text;
   });
-  ScopedHealthProvider HealthSection("workers", [this] {
+  // The fleet telemetry plane at a glance: how much metric state each
+  // worker's latest heartbeat carried (the full exposition is /metrics).
+  ScopedStatusProvider FleetSection("fleet", [this] {
+    std::vector<telemetry::FleetMember> Members = fleetMembers();
+    std::string Text = formatString("reporting workers: %zu\n", Members.size());
+    for (const telemetry::FleetMember &M : Members)
+      Text += formatString(
+          "worker %s: counters=%zu gauges=%zu timers=%zu histograms=%zu\n",
+          M.Worker.c_str(), M.Snapshot.Counters.size(),
+          M.Snapshot.Gauges.size(), M.Snapshot.Timers.size(),
+          M.Snapshot.Histograms.size());
+    return Text;
+  });
+  ScopedHealthProvider HealthSection("workers", [this, heartbeatAge] {
     std::vector<WorkerStatus> Snapshot = workerStatus();
+    int64_t Now = static_cast<int64_t>(::time(nullptr));
     size_t Alive = 0;
     int Respawns = 0;
     uint64_t MaxRound = 0;
@@ -341,6 +465,9 @@ ExperimentResult Coordinator::runCampaign(
       WJ.set("respawns", Json::number(S.Respawns));
       WJ.set("round", Json::number(static_cast<double>(S.Round)));
       WJ.set("measured", Json::number(static_cast<double>(S.Measured)));
+      WJ.set("heartbeat_age_s",
+             Json::number(static_cast<double>(
+                 heartbeatAge(Now, S.HeartbeatUnixSeconds))));
       PerWorker.push(std::move(WJ));
     }
     Json H = Json::object();
@@ -351,6 +478,26 @@ ExperimentResult Coordinator::runCampaign(
     H.set("workers", std::move(PerWorker));
     return H.dump();
   });
+
+  // Fleet observability hooks for the lifetime of the run: /metrics
+  // switches to the worker-labeled fleet exposition (unlabeled rollup +
+  // worker="coordinator" + worker="<K>" series) and /tracez gains a
+  // per-worker recent-span section. RAII-cleared so a finished campaign
+  // leaves the process's introspection exactly as it found it.
+  telemetry::setFleetMetricsProvider([this] {
+    return telemetry::renderOpenMetricsFleet(telemetry::snapshotMetrics(),
+                                             fleetMembers());
+  });
+  telemetry::setTracezSection(
+      [Dir = Dir, Workers = Opts.Workers] {
+        return fleetTracezSection(Dir, Workers);
+      });
+  struct HookGuard {
+    ~HookGuard() {
+      telemetry::setFleetMetricsProvider(nullptr);
+      telemetry::setTracezSection(nullptr);
+    }
+  } Hooks;
 
   ExperimentResult Result = Go(Spec);
   shutdownWorkers();
@@ -485,6 +632,16 @@ int msem::runWorker(const WorkerOptions &Opts) {
     return 2;
   }
 
+  // Workers are full observability citizens: introspection arms the
+  // SIGPROF profiler when the coordinator re-pointed MSEM_PROFILE at this
+  // worker's collapsed-stacks file (the stats server itself stays off --
+  // the coordinator scrubs MSEM_STATS_PORT), and forced metric recording
+  // means every heartbeat carries a meaningful msem.telemetry.v1 snapshot
+  // even when no sink is configured. Neither touches measurement results:
+  // outcomes are pure functions of their design points.
+  telemetry::ensureIntrospection();
+  telemetry::setMetricsForced(true);
+
   // The coordinator writes the manifest before spawning; a brief retry
   // covers the multi-host case where workers start first.
   CampaignManifest Manifest;
@@ -497,6 +654,22 @@ int msem::runWorker(const WorkerOptions &Opts) {
       return 2;
     }
     ::usleep(Opts.PollMicros);
+  }
+
+  // Join the coordinator's causal tree when the manifest carries a trace
+  // context: this process's spans become "worker.run" under the
+  // coordinator's "coordinator.campaign" root, keyed by worker index so
+  // sibling identity is stable at any worker count and spawn order.
+  std::optional<telemetry::ContextGuard> FleetCtxGuard;
+  std::optional<telemetry::ScopedTimer> RunSpan;
+  if (Manifest.TraceId) {
+    telemetry::TraceContext FleetCtx;
+    FleetCtx.TraceId = Manifest.TraceId;
+    FleetCtx.SpanId = Manifest.SpanId;
+    FleetCtxGuard.emplace(FleetCtx);
+    RunSpan.emplace("worker.run", static_cast<uint64_t>(Opts.Worker));
+    if (RunSpan->capturing())
+      RunSpan->setDetail(formatString("worker=%d", Opts.Worker));
   }
 
   ParameterSpace Space = makeSpace(Manifest.Spec.Space);
@@ -519,6 +692,11 @@ int msem::runWorker(const WorkerOptions &Opts) {
     Hb.Round = Round;
     Hb.Measured = Measured;
     Hb.UnixSeconds = static_cast<int64_t>(::time(nullptr));
+    // Every beat carries the full metric state: the heartbeat file is the
+    // transport of the fleet metrics plane (the coordinator folds the
+    // latest snapshot from each worker into its /metrics view).
+    Hb.Telemetry = telemetry::snapshotMetrics();
+    Hb.HasTelemetry = true;
     std::string BeatError;
     saveHeartbeat(Hb, heartbeatPath(Opts.Dir, Opts.Worker), &BeatError);
   };
@@ -543,6 +721,9 @@ int msem::runWorker(const WorkerOptions &Opts) {
     }
 
     // --- One round ------------------------------------------------------
+    // Keyed by round number: a child of worker.run (when the fleet trace
+    // is live), order-independent across resumed/respawned incarnations.
+    telemetry::ScopedTimer RoundSpan("worker.round", Plan.Round);
     const int W = Plan.Workers;
     std::vector<size_t> Mine;
     for (size_t I = static_cast<size_t>(Opts.Worker); I < Plan.Points.size();
@@ -635,6 +816,10 @@ int msem::runWorker(const WorkerOptions &Opts) {
       }
     }
     flush(true);
+    // Re-dump the events sink (when configured) after every round, so the
+    // coordinator's /tracez fleet section shows live-ish spans instead of
+    // only what the atexit flush leaves behind.
+    telemetry::dumpEvents();
     LastRound = Plan.Round;
   }
 }

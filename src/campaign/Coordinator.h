@@ -51,6 +51,7 @@
 
 #include "campaign/Experiment.h"
 #include "campaign/ShardStore.h"
+#include "telemetry/OpenMetrics.h"
 
 #include <cstdint>
 #include <mutex>
@@ -117,6 +118,12 @@ public:
   /// tests read this while the campaign runs).
   std::vector<WorkerStatus> workerStatus() const;
 
+  /// The latest telemetry snapshot from each worker's heartbeat, in
+  /// worker-index order -- the deterministic fold order the fleet
+  /// /metrics view is defined over. Workers whose heartbeat has not yet
+  /// carried a snapshot are absent. Thread-safe.
+  std::vector<telemetry::FleetMember> fleetMembers() const;
+
 private:
   struct Child {
     int64_t Pid = 0;
@@ -154,6 +161,10 @@ private:
 
   mutable std::mutex StatusMutex;
   std::vector<WorkerStatus> Status;
+  /// Latest per-worker telemetry snapshots (see fleetMembers()); replaced
+  /// wholesale on every refresh -- heartbeat snapshots are cumulative per
+  /// worker process, so respawn means replace, never accumulate.
+  std::vector<telemetry::FleetMember> Fleet;
 };
 
 /// A worker process's identity and wiring, normally parsed from

@@ -5,6 +5,7 @@
 #include "campaign/Checkpoint.h"
 #include "support/FileSystem.h"
 #include "support/Format.h"
+#include "telemetry/TelemetrySnapshot.h"
 
 #include <algorithm>
 #include <map>
@@ -227,6 +228,10 @@ bool msem::saveManifest(const CampaignManifest &M, const std::string &Path,
   Json J = Json::object();
   J.set("workers", Json::number(M.Workers));
   J.set("spec", serializeSpec(M.Spec));
+  if (M.TraceId) {
+    J.set("trace", Json::hexU64(M.TraceId));
+    J.set("span", Json::hexU64(M.SpanId));
+  }
   return saveWireDoc(std::move(J), Path, Error);
 }
 
@@ -241,6 +246,8 @@ bool msem::loadManifest(const std::string &Path, CampaignManifest &Out,
     return failWith(Error, "campaign manifest: missing worker count");
   if (!deserializeSpec(Doc["spec"], M.Spec, Error))
     return false;
+  M.TraceId = Doc["trace"].asHexU64(0);
+  M.SpanId = Doc["span"].asHexU64(0);
   Out = std::move(M);
   return true;
 }
@@ -356,6 +363,8 @@ bool msem::saveHeartbeat(const WorkerHeartbeat &Hb, const std::string &Path,
   J.set("round", Json::number(static_cast<double>(Hb.Round)));
   J.set("measured", Json::number(static_cast<double>(Hb.Measured)));
   J.set("unix_seconds", Json::number(static_cast<double>(Hb.UnixSeconds)));
+  if (Hb.HasTelemetry)
+    J.set("telemetry", telemetry::telemetrySnapshotToJson(Hb.Telemetry));
   return saveWireDoc(std::move(J), Path, Error);
 }
 
@@ -370,6 +379,12 @@ bool msem::loadHeartbeat(const std::string &Path, WorkerHeartbeat &Out,
   Hb.Round = static_cast<uint64_t>(Doc["round"].asInt(0));
   Hb.Measured = static_cast<size_t>(Doc["measured"].asInt(0));
   Hb.UnixSeconds = Doc["unix_seconds"].asInt(0);
+  if (Doc.has("telemetry")) {
+    if (!telemetry::telemetrySnapshotFromJson(Doc["telemetry"], Hb.Telemetry,
+                                              Error))
+      return false;
+    Hb.HasTelemetry = true;
+  }
   Out = std::move(Hb);
   return true;
 }

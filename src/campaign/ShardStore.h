@@ -62,6 +62,7 @@
 
 #include "campaign/Experiment.h"
 #include "support/Json.h"
+#include "telemetry/Telemetry.h"
 
 #include <map>
 #include <string>
@@ -151,6 +152,12 @@ struct SurfaceRef {
 struct CampaignManifest {
   int Workers = 0;
   ExperimentSpec Spec;
+  /// The coordinator's trace context, propagated so worker spans join the
+  /// coordinator's causal tree ("coordinator.campaign" -> "worker.run").
+  /// 0 = absent (legacy manifests, or tracing disabled); workers then
+  /// root their own traces exactly as before.
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
 };
 
 /// plan.json: one measurement round. Point index I is assigned to worker
@@ -182,13 +189,21 @@ struct WorkerShard {
 };
 
 /// worker-<K>.json: liveness breadcrumb (for /statusz and operators; no
-/// correctness depends on it).
+/// correctness depends on it). Each beat also carries the worker's full
+/// telemetry snapshot as an embedded msem.telemetry.v1 document, the
+/// transport of the fleet metrics plane: the coordinator folds the latest
+/// snapshot from every worker into the worker-labeled /metrics view.
 struct WorkerHeartbeat {
   int Worker = 0;
   int64_t Pid = 0;
   uint64_t Round = 0;
   size_t Measured = 0;     ///< Outcomes recorded in the current round.
   int64_t UnixSeconds = 0; ///< Wall-clock time of the last write.
+  /// The worker's metric state at the time of the beat (cumulative since
+  /// process start, so the coordinator replaces rather than accumulates
+  /// per-worker state). Absent in legacy heartbeats.
+  telemetry::MetricsSnapshot Telemetry;
+  bool HasTelemetry = false;
 };
 
 // File names within a shard directory.

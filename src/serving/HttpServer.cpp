@@ -2,6 +2,8 @@
 
 #include "serving/HttpServer.h"
 
+#include "serving/SloTracker.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -302,6 +304,14 @@ bool HttpServer::serviceRequests(Loop &, Conn &C) {
       Resp.Body = C.Parser.errorText() + "\n";
       C.Out += serializeHttpResponse(Resp, /*KeepAlive=*/false,
                                      /*HeadRequest=*/false);
+      if (Opts.Slo) {
+        // No route ever saw these bytes; record them under the synthetic
+        // "(parse)" endpoint so transport rejects still burn the budget.
+        SloTracker::Sample S;
+        S.Endpoint = "(parse)";
+        S.Status = Resp.Status;
+        Opts.Slo->record(S);
+      }
       return false; // Framing is lost; close once the 4xx drains.
     }
     // Complete: dispatch and queue the response.

@@ -60,6 +60,8 @@
 namespace msem {
 namespace serving {
 
+class SloTracker;
+
 class HttpServer {
 public:
   struct Options {
@@ -74,6 +76,11 @@ public:
     /// requests without reading responses cannot grow memory unboundedly.
     size_t MaxPendingOutBytes = 1 << 20;
     HttpParser::Limits Limits;
+    /// When set, transport-level failures the router never sees -- parse
+    /// errors -- are recorded as RED samples under endpoint "(parse)"
+    /// (handlers record their own endpoints). Not owned; must outlive
+    /// the server.
+    SloTracker *Slo = nullptr;
   };
 
   struct Stats {

@@ -2,6 +2,7 @@
 
 #include "serving/PredictionService.h"
 
+#include "serving/SloTracker.h"
 #include "support/BuildInfo.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
@@ -301,77 +302,122 @@ int PredictionService::predict(const PredictRequest &Req,
 //===----------------------------------------------------------------------===//
 
 HttpResponse PredictionService::handlePredict(const HttpRequest &Req) {
+  auto T0 = std::chrono::steady_clock::now();
   telemetry::ScopedTimer Span("serve.request");
   telemetry::count("serve.requests");
 
-  std::string ParseError;
-  Json Doc = Json::parse(Req.Body, &ParseError);
-  if (!ParseError.empty()) {
-    telemetry::count("serve.bad_requests");
-    return jsonError(400, "request body: " + ParseError);
-  }
-  PredictRequest PReq;
-  std::string Error;
-  if (!parsePredictRequest(Doc, PReq, Error)) {
-    telemetry::count("serve.bad_requests");
-    return jsonError(400, Error);
-  }
+  // The RED sample's model id: the requested key as soon as the request
+  // parses, upgraded to the resolved artifact id on success.
+  std::string SloModel;
+  uint64_t SloRows = 0;
 
-  PredictResponse PResp;
-  int Status = predict(PReq, PResp, Error, /*Strict=*/false);
-  if (Status != 200) {
-    telemetry::count("serve.failed_requests");
-    return jsonError(Status, Error);
-  }
+  HttpResponse Resp = [&]() -> HttpResponse {
+    std::string ParseError;
+    Json Doc = Json::parse(Req.Body, &ParseError);
+    if (!ParseError.empty()) {
+      telemetry::count("serve.bad_requests");
+      return jsonError(400, "request body: " + ParseError);
+    }
+    PredictRequest PReq;
+    std::string Error;
+    if (!parsePredictRequest(Doc, PReq, Error)) {
+      telemetry::count("serve.bad_requests");
+      return jsonError(400, Error);
+    }
+    SloModel = PReq.Key.id();
+    SloRows = PReq.Rows.size();
 
-  if (telemetry::enabled())
-    telemetry::observe("serve.request_us",
-                       static_cast<double>(Span.elapsedNs()) / 1000.0,
-                       {100, 1000, 10000, 100000, 1000000});
+    PredictResponse PResp;
+    int Status = predict(PReq, PResp, Error, /*Strict=*/false);
+    if (Status != 200) {
+      telemetry::count("serve.failed_requests");
+      return jsonError(Status, Error);
+    }
+    SloModel = PResp.ModelId;
 
-  HttpResponse Resp;
-  switch (PReq.Format) {
-  case PredictFormat::Csv:
-    Resp.ContentType = "text/csv; charset=utf-8";
-    Resp.Body = renderPredictCsv(PResp);
-    break;
-  case PredictFormat::Jsonl:
-    Resp.ContentType = "application/x-ndjson";
-    Resp.Body = renderPredictJsonl(PResp);
-    break;
-  case PredictFormat::Json:
-    Resp.ContentType = "application/json";
-    Resp.Body = serializePredictResponse(PResp).dump() + "\n";
-    break;
+    if (telemetry::enabled())
+      telemetry::observe("serve.request_us",
+                         static_cast<double>(Span.elapsedNs()) / 1000.0,
+                         {100, 1000, 10000, 100000, 1000000});
+
+    HttpResponse Out;
+    switch (PReq.Format) {
+    case PredictFormat::Csv:
+      Out.ContentType = "text/csv; charset=utf-8";
+      Out.Body = renderPredictCsv(PResp);
+      break;
+    case PredictFormat::Jsonl:
+      Out.ContentType = "application/x-ndjson";
+      Out.Body = renderPredictJsonl(PResp);
+      break;
+    case PredictFormat::Json:
+      Out.ContentType = "application/json";
+      Out.Body = serializePredictResponse(PResp).dump() + "\n";
+      break;
+    }
+    return Out;
+  }();
+
+  if (Opts.Slo) {
+    SloTracker::Sample S;
+    S.Method = Req.Method;
+    S.Endpoint = "/v1/predict";
+    S.Model = SloModel;
+    S.Status = Resp.Status;
+    S.Rows = SloRows;
+    S.LatencyUs = static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count()) /
+                  1000.0;
+    S.TraceId = Span.traceId();
+    Opts.Slo->record(S);
   }
   return Resp;
 }
 
-HttpResponse PredictionService::handleModels(const HttpRequest &) {
-  std::string Error;
-  std::vector<RegistryEntry> Entries = Reg.list(&Error);
-  if (!Error.empty())
-    return jsonError(500, Error);
-  Json Models = Json::array();
-  for (const RegistryEntry &E : Entries) {
-    Json M = Json::object();
-    M.set("id", Json::string(E.Key.id()));
-    M.set("model", Json::string(keySpec(E.Key)));
-    M.set("file", Json::string(E.File));
-    Json Quality = Json::object();
-    Quality.set("mape", Json::number(E.Quality.Mape));
-    Quality.set("rmse", Json::number(E.Quality.Rmse));
-    Quality.set("r2", Json::number(E.Quality.R2));
-    M.set("quality", std::move(Quality));
-    Models.push(std::move(M));
+HttpResponse PredictionService::handleModels(const HttpRequest &Req) {
+  auto T0 = std::chrono::steady_clock::now();
+  HttpResponse Resp = [&]() -> HttpResponse {
+    std::string Error;
+    std::vector<RegistryEntry> Entries = Reg.list(&Error);
+    if (!Error.empty())
+      return jsonError(500, Error);
+    Json Models = Json::array();
+    for (const RegistryEntry &E : Entries) {
+      Json M = Json::object();
+      M.set("id", Json::string(E.Key.id()));
+      M.set("model", Json::string(keySpec(E.Key)));
+      M.set("file", Json::string(E.File));
+      Json Quality = Json::object();
+      Quality.set("mape", Json::number(E.Quality.Mape));
+      Quality.set("rmse", Json::number(E.Quality.Rmse));
+      Quality.set("r2", Json::number(E.Quality.R2));
+      M.set("quality", std::move(Quality));
+      Models.push(std::move(M));
+    }
+    Json Doc = Json::object();
+    Doc.set("schema", Json::string(kPredictSchemaV1));
+    Doc.set("registry", Json::string(Reg.options().Dir));
+    Doc.set("models", std::move(Models));
+    HttpResponse Out;
+    Out.ContentType = "application/json";
+    Out.Body = Doc.dumpPretty();
+    return Out;
+  }();
+
+  if (Opts.Slo) {
+    SloTracker::Sample S;
+    S.Method = Req.Method;
+    S.Endpoint = "/v1/models";
+    S.Status = Resp.Status;
+    S.LatencyUs = static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count()) /
+                  1000.0;
+    Opts.Slo->record(S);
   }
-  Json Doc = Json::object();
-  Doc.set("schema", Json::string(kPredictSchemaV1));
-  Doc.set("registry", Json::string(Reg.options().Dir));
-  Doc.set("models", std::move(Models));
-  HttpResponse Resp;
-  Resp.ContentType = "application/json";
-  Resp.Body = Doc.dumpPretty();
   return Resp;
 }
 

@@ -55,6 +55,8 @@
 namespace msem {
 namespace serving {
 
+class SloTracker;
+
 class PredictionService {
 public:
   struct Options {
@@ -65,6 +67,11 @@ public:
     /// Rows admitted per model across queued requests (503 beyond).
     size_t MaxQueueRows = 1 << 16;
     ServingMonitor::Options Monitor;
+    /// When set, every HTTP handler outcome (endpoint, model, status,
+    /// latency, exemplar trace) is recorded as one RED sample. Recording
+    /// happens after the response is fully built and never alters its
+    /// bytes. Not owned; must outlive the service.
+    SloTracker *Slo = nullptr;
   };
 
   explicit PredictionService(Options O);

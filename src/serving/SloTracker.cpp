@@ -1,0 +1,296 @@
+//===- serving/SloTracker.cpp - RED metrics and SLO burn rates ------------===//
+
+#include "serving/SloTracker.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+using namespace msem;
+using namespace msem::serving;
+
+namespace {
+
+/// Estimated Q-quantile over fixed-bound buckets by linear interpolation
+/// within the containing bucket, clamped to the observed maximum (the
+/// same estimate telemetry::Histogram::quantile computes).
+double bucketQuantile(const std::array<double, 8> &Bounds,
+                      const std::array<uint64_t, 9> &Counts, double Max,
+                      double Q) {
+  uint64_t Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    uint64_t Here = Counts[I];
+    if (static_cast<double>(Seen + Here) < Rank || Here == 0) {
+      Seen += Here;
+      continue;
+    }
+    double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+    double Hi = I < Bounds.size() ? Bounds[I] : Max;
+    if (Hi < Lo)
+      Hi = Lo;
+    double Frac = (Rank - static_cast<double>(Seen)) /
+                  static_cast<double>(Here);
+    double V = Lo + (Hi - Lo) * Frac;
+    return std::min(V, Max > 0 ? Max : V);
+  }
+  return Max;
+}
+
+/// bad_fraction / (1 - objective); the burn-rate normalization. 0 when
+/// the window saw nothing (no traffic burns no budget).
+double burnRate(uint64_t Bad, uint64_t Requests, double Objective) {
+  if (Requests == 0)
+    return 0.0;
+  double Budget = 1.0 - Objective;
+  if (Budget <= 0.0)
+    Budget = 1e-9; // A 100% objective still yields a finite, huge burn.
+  return (static_cast<double>(Bad) / static_cast<double>(Requests)) / Budget;
+}
+
+std::string statusClass(int Status) {
+  if (Status >= 500)
+    return "5xx";
+  if (Status >= 400)
+    return "4xx";
+  return "ok";
+}
+
+} // namespace
+
+SloTracker::SloTracker(Options O) : Opts(std::move(O)) {}
+
+SloTracker::~SloTracker() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (AccessLog)
+    std::fclose(AccessLog);
+}
+
+int64_t SloTracker::nowSeconds() const {
+  return Clock ? Clock() : static_cast<int64_t>(::time(nullptr));
+}
+
+void SloTracker::setClockForTest(std::function<int64_t()> ClockFn) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Clock = std::move(ClockFn);
+}
+
+void SloTracker::appendAccessLine(const Sample &S, int64_t UnixMs) {
+  // Called with Mutex held.
+  if (Opts.AccessLogPath.empty() || AccessLogFailed)
+    return;
+  if (!AccessLog) {
+    AccessLog = std::fopen(Opts.AccessLogPath.c_str(), "a");
+    if (!AccessLog) {
+      AccessLogFailed = true;
+      std::fprintf(stderr, "msem slo: cannot open access log '%s'\n",
+                   Opts.AccessLogPath.c_str());
+      return;
+    }
+  }
+  Json Line = Json::object();
+  Line.set("schema", Json::string(kAccessLogSchema));
+  Line.set("unix_ms", Json::number(static_cast<double>(UnixMs)));
+  Line.set("method", Json::string(S.Method));
+  Line.set("endpoint", Json::string(S.Endpoint));
+  if (!S.Model.empty())
+    Line.set("model", Json::string(S.Model));
+  Line.set("status", Json::number(S.Status));
+  Line.set("rows", Json::number(static_cast<double>(S.Rows)));
+  Line.set("latency_us", Json::number(S.LatencyUs));
+  if (S.TraceId)
+    Line.set("trace", Json::hexU64(S.TraceId));
+  std::string Text = Line.dump();
+  Text += '\n';
+  std::fwrite(Text.data(), 1, Text.size(), AccessLog);
+  std::fflush(AccessLog);
+}
+
+void SloTracker::record(const Sample &S) {
+  auto T0 = std::chrono::steady_clock::now();
+  bool Error5xx = S.Status >= 500;
+  bool Error4xx = S.Status >= 400 && S.Status < 500;
+  bool Slow = S.LatencyUs > Opts.LatencyObjectiveMs * 1000.0;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    int64_t Now = nowSeconds();
+    KeyState &K = Keys[{S.Endpoint, S.Model}];
+
+    K.Requests += 1;
+    K.Errors4xx += Error4xx ? 1 : 0;
+    K.Errors5xx += Error5xx ? 1 : 0;
+    K.Slow += Slow ? 1 : 0;
+    K.LatencyMaxUs = std::max(K.LatencyMaxUs, S.LatencyUs);
+    size_t Bucket = kLatencyBoundsUs.size();
+    for (size_t I = 0; I < kLatencyBoundsUs.size(); ++I)
+      if (S.LatencyUs <= kLatencyBoundsUs[I]) {
+        Bucket = I;
+        break;
+      }
+    K.LatencyBuckets[Bucket] += 1;
+    if ((Error5xx || Error4xx || Slow) && S.TraceId)
+      K.ExemplarTraceId = S.TraceId;
+
+    Slot &Sl = K.Ring[static_cast<size_t>(
+        Now % static_cast<int64_t>(K.Ring.size()))];
+    if (Sl.Second != Now)
+      Sl = Slot{Now, 0, 0, 0};
+    Sl.Requests += 1;
+    Sl.Errors5xx += Error5xx ? 1 : 0;
+    Sl.Slow += Slow ? 1 : 0;
+
+    appendAccessLine(S, Now * 1000);
+  }
+
+  // The red.* registry fan-out: multi-label OpenMetrics families (see
+  // mapRedMetricName). Gated like every other instrumentation point.
+  if (telemetry::enabled()) {
+    std::string Key = S.Endpoint + ":" + S.Model;
+    telemetry::count("red.requests." + Key);
+    if (Error4xx || Error5xx)
+      telemetry::count("red.errors." + Key + ":" + statusClass(S.Status));
+    telemetry::observe("red.latency_us." + Key, S.LatencyUs,
+                       {kLatencyBoundsUs.begin(), kLatencyBoundsUs.end()});
+  }
+
+  uint64_t Ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SelfNs += Ns;
+  Samples += 1;
+}
+
+std::vector<SloTracker::KeyReport> SloTracker::report() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int64_t Now = nowSeconds();
+  std::vector<KeyReport> Out;
+  Out.reserve(Keys.size());
+  for (const auto &[Key, K] : Keys) {
+    KeyReport R;
+    R.Endpoint = Key.first;
+    R.Model = Key.second;
+    R.Requests = K.Requests;
+    R.Errors4xx = K.Errors4xx;
+    R.Errors5xx = K.Errors5xx;
+    R.Slow = K.Slow;
+    R.LatencyMaxUs = K.LatencyMaxUs;
+    R.LatencyP50Us =
+        bucketQuantile(kLatencyBoundsUs, K.LatencyBuckets, K.LatencyMaxUs, 0.50);
+    R.LatencyP95Us =
+        bucketQuantile(kLatencyBoundsUs, K.LatencyBuckets, K.LatencyMaxUs, 0.95);
+    R.LatencyP99Us =
+        bucketQuantile(kLatencyBoundsUs, K.LatencyBuckets, K.LatencyMaxUs, 0.99);
+    R.ExemplarTraceId = K.ExemplarTraceId;
+
+    for (int WindowS : kSloWindowsSeconds) {
+      WindowStats W;
+      W.WindowSeconds = WindowS;
+      // Sum the ring slots still inside [Now - W + 1, Now]; stale slots
+      // (lazily unreset seconds from a previous lap) are filtered by the
+      // Second check.
+      for (int64_t Sec = Now - WindowS + 1; Sec <= Now; ++Sec) {
+        const Slot &Sl = K.Ring[static_cast<size_t>(
+            Sec % static_cast<int64_t>(K.Ring.size()))];
+        if (Sl.Second != Sec)
+          continue;
+        W.Requests += Sl.Requests;
+        W.Errors5xx += Sl.Errors5xx;
+        W.Slow += Sl.Slow;
+      }
+      W.AvailabilityBurn =
+          burnRate(W.Errors5xx, W.Requests, Opts.AvailabilityObjective);
+      W.LatencyBurn = burnRate(W.Slow, W.Requests, Opts.AvailabilityObjective);
+      R.Windows.push_back(W);
+    }
+    R.AllTime.WindowSeconds = 0;
+    R.AllTime.Requests = K.Requests;
+    R.AllTime.Errors5xx = K.Errors5xx;
+    R.AllTime.Slow = K.Slow;
+    R.AllTime.AvailabilityBurn =
+        burnRate(K.Errors5xx, K.Requests, Opts.AvailabilityObjective);
+    R.AllTime.LatencyBurn =
+        burnRate(K.Slow, K.Requests, Opts.AvailabilityObjective);
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+Json SloTracker::renderSloz() const {
+  std::vector<KeyReport> Report = report();
+  auto WindowJson = [](const WindowStats &W) {
+    Json J = Json::object();
+    J.set("window_s", Json::number(W.WindowSeconds));
+    J.set("requests", Json::number(static_cast<double>(W.Requests)));
+    J.set("errors_5xx", Json::number(static_cast<double>(W.Errors5xx)));
+    J.set("slow", Json::number(static_cast<double>(W.Slow)));
+    J.set("availability_burn", Json::number(W.AvailabilityBurn));
+    J.set("latency_burn", Json::number(W.LatencyBurn));
+    return J;
+  };
+
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kSlozSchema));
+  Doc.set("latency_objective_ms", Json::number(Opts.LatencyObjectiveMs));
+  Doc.set("availability_objective",
+          Json::number(Opts.AvailabilityObjective));
+  Json Windows = Json::array();
+  for (int W : kSloWindowsSeconds)
+    Windows.push(Json::number(W));
+  Doc.set("windows_s", std::move(Windows));
+
+  Json KeysJson = Json::array();
+  for (const KeyReport &R : Report) {
+    Json K = Json::object();
+    K.set("endpoint", Json::string(R.Endpoint));
+    K.set("model", Json::string(R.Model));
+    K.set("requests", Json::number(static_cast<double>(R.Requests)));
+    K.set("errors_4xx", Json::number(static_cast<double>(R.Errors4xx)));
+    K.set("errors_5xx", Json::number(static_cast<double>(R.Errors5xx)));
+    K.set("slow", Json::number(static_cast<double>(R.Slow)));
+    Json Lat = Json::object();
+    Lat.set("p50_us", Json::number(R.LatencyP50Us));
+    Lat.set("p95_us", Json::number(R.LatencyP95Us));
+    Lat.set("p99_us", Json::number(R.LatencyP99Us));
+    Lat.set("max_us", Json::number(R.LatencyMaxUs));
+    K.set("latency", std::move(Lat));
+    if (R.ExemplarTraceId)
+      K.set("exemplar_trace", Json::hexU64(R.ExemplarTraceId));
+    Json Burn = Json::array();
+    for (const WindowStats &W : R.Windows)
+      Burn.push(WindowJson(W));
+    Burn.push(WindowJson(R.AllTime));
+    K.set("burn", std::move(Burn));
+    KeysJson.push(std::move(K));
+  }
+  Doc.set("keys", std::move(KeysJson));
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Json Self = Json::object();
+    Self.set("samples", Json::number(static_cast<double>(Samples)));
+    Self.set("record_ns", Json::number(static_cast<double>(SelfNs)));
+    Doc.set("tracker", std::move(Self));
+  }
+  return Doc;
+}
+
+uint64_t SloTracker::selfNs() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return SelfNs;
+}
+
+uint64_t SloTracker::sampleCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Samples;
+}

@@ -1,0 +1,196 @@
+//===- serving/SloTracker.h - RED metrics and SLO burn rates ----*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's RED/SLO engine: every request outcome (endpoint,
+/// model, status, latency) is recorded once here, and fans out to three
+/// consumers:
+///
+///   * RED telemetry -- per-(endpoint, model) request counters, error
+///     counters by status class, and latency histograms, registered under
+///     "red.*" names the OpenMetrics renderer maps to multi-label
+///     families (msem_red_requests{endpoint=,model=}, msem_red_errors{
+///     endpoint=,model=,class=}, msem_red_latency_us{endpoint=,model=}).
+///     OpenMetrics text has no exemplar syntax our validator accepts, so
+///     exemplar trace ids live in the /sloz JSON instead.
+///
+///   * SLO burn rates -- multi-window (60s / 300s / 1800s / all-time)
+///     error-budget burn, the Google SRE multi-window multi-burn-rate
+///     alerting shape. Both objectives share one "good fraction" target
+///     (Options::AvailabilityObjective): availability burn counts 5xx
+///     responses as bad, latency burn counts responses slower than
+///     Options::LatencyObjectiveMs as bad, and burn rate is
+///     bad_fraction / (1 - objective) -- 1.0 means "burning the budget
+///     exactly at the sustainable rate", 14.4 is the classic page
+///     threshold. Rendered by renderSloz() as a "msem.sloz.v1" document
+///     (the /sloz endpoint) and by msem_report --slo as a table.
+///
+///   * Access log -- one structured "msem.access.v1" JSONL object per
+///     request appended to Options::AccessLogPath (MSEM_ACCESS_LOG),
+///     carrying the exemplar trace id that links a log line back to its
+///     span tree.
+///
+/// record() is mutex-guarded and self-measuring: cumulative nanoseconds
+/// spent inside it are exposed (selfNs) so bench_serve_load can assert
+/// the engine stays under its overhead budget on the closed-loop path.
+/// The per-second ring windows always update; the red.* registry fan-out
+/// is gated on telemetry::enabled() so a sink-less server pays only for
+/// what /sloz itself needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_SERVING_SLOTRACKER_H
+#define MSEM_SERVING_SLOTRACKER_H
+
+#include "support/Json.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msem {
+namespace serving {
+
+/// The access-log wire-format version this build writes.
+inline constexpr const char *kAccessLogSchema = "msem.access.v1";
+/// The /sloz document version this build renders.
+inline constexpr const char *kSlozSchema = "msem.sloz.v1";
+
+/// Burn-rate windows, seconds, ascending. The largest bounds the
+/// per-key ring size.
+inline constexpr std::array<int, 3> kSloWindowsSeconds = {60, 300, 1800};
+
+class SloTracker {
+public:
+  struct Options {
+    /// Latency objective: a request slower than this is "bad" for the
+    /// latency SLO (--slo-latency-ms).
+    double LatencyObjectiveMs = 100.0;
+    /// Good-fraction objective shared by both SLOs, in (0, 1)
+    /// (--slo-availability): 0.999 = "99.9% of requests are good".
+    double AvailabilityObjective = 0.999;
+    /// "msem.access.v1" JSONL append path ("" = no access log).
+    std::string AccessLogPath;
+  };
+
+  /// One request outcome.
+  struct Sample {
+    std::string Method;   ///< "POST", "GET", ...
+    std::string Endpoint; ///< "/v1/predict", "/v1/models", "(parse)".
+    std::string Model;    ///< Artifact id ("" when not model-scoped).
+    int Status = 200;
+    uint64_t Rows = 0;      ///< Prediction rows carried (0 otherwise).
+    double LatencyUs = 0.0; ///< Wall time serving the request.
+    uint64_t TraceId = 0;   ///< Exemplar span trace id (0 = none).
+  };
+
+  /// Aggregates over one burn window (or all time).
+  struct WindowStats {
+    int WindowSeconds = 0; ///< 0 = all time.
+    uint64_t Requests = 0;
+    uint64_t Errors5xx = 0;
+    uint64_t Slow = 0;
+    /// bad_fraction / (1 - objective); 0 when the window saw no requests.
+    double AvailabilityBurn = 0.0;
+    double LatencyBurn = 0.0;
+  };
+
+  /// Everything known about one (endpoint, model) key.
+  struct KeyReport {
+    std::string Endpoint;
+    std::string Model;
+    uint64_t Requests = 0;
+    uint64_t Errors4xx = 0;
+    uint64_t Errors5xx = 0;
+    uint64_t Slow = 0;
+    double LatencyP50Us = 0.0;
+    double LatencyP95Us = 0.0;
+    double LatencyP99Us = 0.0;
+    double LatencyMaxUs = 0.0;
+    /// Most recent bad (error or slow) request's trace id, 0 when none.
+    uint64_t ExemplarTraceId = 0;
+    std::vector<WindowStats> Windows; ///< kSloWindowsSeconds order...
+    WindowStats AllTime;              ///< ...plus the unwindowed totals.
+  };
+
+  explicit SloTracker(Options O);
+  ~SloTracker();
+
+  SloTracker(const SloTracker &) = delete;
+  SloTracker &operator=(const SloTracker &) = delete;
+
+  /// Records one request outcome: ring windows, totals, the red.*
+  /// telemetry fan-out and the access-log line. Thread-safe.
+  void record(const Sample &S);
+
+  /// Deterministically ordered (endpoint, then model) report over every
+  /// key seen. Thread-safe.
+  std::vector<KeyReport> report() const;
+
+  /// The "msem.sloz.v1" JSON document /sloz serves.
+  Json renderSloz() const;
+
+  /// Cumulative nanoseconds spent inside record() and the number of
+  /// samples, for the bench overhead gate.
+  uint64_t selfNs() const;
+  uint64_t sampleCount() const;
+
+  const Options &options() const { return Opts; }
+
+  /// Replaces the wall clock (unix seconds) record()/report() use -- the
+  /// window tests drive time by hand. nullptr restores the real clock.
+  void setClockForTest(std::function<int64_t()> Clock);
+
+private:
+  /// Latency histogram bounds, microseconds (overflow bucket implicit).
+  static constexpr std::array<double, 8> kLatencyBoundsUs = {
+      100, 500, 1000, 5000, 10000, 50000, 100000, 1000000};
+
+  /// One second of one key's traffic. The ring holds the last
+  /// kSloWindowsSeconds.back() seconds; a slot is lazily reset when its
+  /// second moves on.
+  struct Slot {
+    int64_t Second = -1;
+    uint32_t Requests = 0;
+    uint32_t Errors5xx = 0;
+    uint32_t Slow = 0;
+  };
+
+  struct KeyState {
+    uint64_t Requests = 0;
+    uint64_t Errors4xx = 0;
+    uint64_t Errors5xx = 0;
+    uint64_t Slow = 0;
+    double LatencyMaxUs = 0.0;
+    std::array<uint64_t, kLatencyBoundsUs.size() + 1> LatencyBuckets{};
+    uint64_t ExemplarTraceId = 0;
+    std::vector<Slot> Ring;
+    KeyState() : Ring(static_cast<size_t>(kSloWindowsSeconds.back())) {}
+  };
+
+  int64_t nowSeconds() const;
+  void appendAccessLine(const Sample &S, int64_t UnixMs);
+
+  Options Opts;
+  mutable std::mutex Mutex;
+  /// Key: (endpoint, model) -- std::map for deterministic report order.
+  std::map<std::pair<std::string, std::string>, KeyState> Keys;
+  std::function<int64_t()> Clock; ///< nullptr = ::time.
+  std::FILE *AccessLog = nullptr; ///< Lazily opened append stream.
+  bool AccessLogFailed = false;   ///< Open failed; warned once.
+  uint64_t SelfNs = 0;
+  uint64_t Samples = 0;
+};
+
+} // namespace serving
+} // namespace msem
+
+#endif // MSEM_SERVING_SLOTRACKER_H

@@ -146,6 +146,16 @@ bool bench::isTimingMetric(const std::string &Key) {
                          "speedup", "efficiency"});
 }
 
+bool bench::isTailMetric(const std::string &Key) {
+  std::string K = Key;
+  std::transform(K.begin(), K.end(), K.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  // Only timing-unit quantiles count: "p99" inside a model-quality key
+  // (if one ever appears) should keep the tight threshold.
+  return isTimingMetric(Key) && containsAny(K, {"p95", "p99", "max_us",
+                                                "max_ms"});
+}
+
 //===----------------------------------------------------------------------===//
 // Comparison
 //===----------------------------------------------------------------------===//
@@ -173,8 +183,9 @@ static MetricDelta judgeMetric(const std::string &Bench,
   D.Baseline = Baseline;
   D.Current = Current;
   D.Direction = classifyMetric(Key);
-  D.Threshold =
-      isTimingMetric(Key) ? Opts.TimeThreshold : Opts.MetricThreshold;
+  D.Threshold = isTailMetric(Key)     ? Opts.TailThreshold
+                : isTimingMetric(Key) ? Opts.TimeThreshold
+                                      : Opts.MetricThreshold;
   if (Baseline == Current)
     D.RelChange = 0.0;
   else if (Baseline == 0.0)

@@ -83,6 +83,12 @@ MetricDirection classifyMetric(const std::string &Key);
 /// noise threshold.
 bool isTimingMetric(const std::string &Key);
 
+/// True for tail-latency quantiles (p95/p99/max of a timing metric).
+/// A single-run tail quantile is dominated by scheduler jitter on a
+/// shared machine and routinely moves 2x run-to-run, so it gets its own
+/// even looser threshold.
+bool isTailMetric(const std::string &Key);
+
 /// Verdict for one metric shared by baseline and fresh result.
 enum class DeltaKind {
   Unchanged,  ///< Within threshold (or direction Unknown).
@@ -108,6 +114,10 @@ struct CompareOptions {
   double MetricThreshold = 0.10;
   /// Relative tolerance for timing/throughput metrics (default 50%).
   double TimeThreshold = 0.50;
+  /// Relative tolerance for tail-latency quantiles (default 150%): still
+  /// catches an order-of-magnitude tail blowup without tripping on
+  /// single-run jitter.
+  double TailThreshold = 1.50;
   /// Also judge wall_seconds (off by default -- whole-harness wall time
   /// includes one-time cache warmup and flakes hardest).
   bool CompareWallTime = false;

@@ -53,6 +53,7 @@ EnvConfig msem::parseEnv() {
   C.StatsPort =
       std::clamp<int64_t>(getEnvInt("MSEM_STATS_PORT", C.StatsPort), -1, 65535);
   C.StatsPortFile = getEnvString("MSEM_STATS_PORT_FILE", C.StatsPortFile);
+  C.AccessLog = getEnvString("MSEM_ACCESS_LOG", C.AccessLog);
   C.ProfilePath = getEnvString("MSEM_PROFILE", C.ProfilePath);
   C.ProfileHz = std::clamp<int64_t>(
       getEnvInt("MSEM_PROFILE_HZ", C.ProfileHz), 1, 10000);

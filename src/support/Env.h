@@ -64,6 +64,10 @@ struct EnvConfig {
   /// MSEM_STATS_PORT_FILE: when the stats server starts, the bound port is
   /// written here (atomic write). How scripts discover an ephemeral port.
   std::string StatsPortFile;
+  /// MSEM_ACCESS_LOG: structured JSONL access-log path for the serving
+  /// layer ("" = off). One "msem.access.v1" object per request, written by
+  /// the SLO tracker (serving/SloTracker.h).
+  std::string AccessLog;
   /// MSEM_PROFILE: collapsed-flamegraph-stack output path for the sampling
   /// profiler ("" = profiler off). Written at profiler stop / process exit.
   std::string ProfilePath;

@@ -70,6 +70,9 @@ bool telemetry::parseEventsJsonl(std::string_view Text, EventLog &Out,
       Out.Build = V["build"].asString();
       if (Out.Schema != "msem.events.v1")
         return Fail("unknown schema '" + Out.Schema + "'");
+      // Optional wall-clock anchor (absent in older logs).
+      if (V["unix_ns"].kind() == Json::Kind::String)
+        parseHex64(V["unix_ns"], Out.UnixNs);
       continue;
     }
     if (!SawMeta)

@@ -37,6 +37,10 @@ namespace telemetry {
 struct EventLog {
   std::string Schema; ///< "msem.events.v1".
   std::string Build;  ///< buildStamp() of the producing binary.
+  /// Wall-clock anchor (Unix ns at the producer's telemetry init; span
+  /// StartNs values are offsets from it). 0 for logs written before the
+  /// field existed -- cross-file merges then fall back to raw offsets.
+  uint64_t UnixNs = 0;
   std::vector<SpanEvent> Spans;
 };
 

@@ -22,12 +22,27 @@ using namespace msem::telemetry;
 
 namespace {
 
+/// The coordinator-installed hooks (see setFleetMetricsProvider /
+/// setTracezSection). Copied out under the mutex and invoked outside it,
+/// so a provider may itself take telemetry locks.
+std::mutex HooksMutex;
+std::function<std::string()> FleetMetricsProvider;
+std::function<std::string()> TracezSection;
+
+std::function<std::string()> copyHook(const std::function<std::string()> &H) {
+  std::lock_guard<std::mutex> Lock(HooksMutex);
+  return H;
+}
+
 StatsResponse handleMetrics(const StatsRequest &) {
   StatsResponse R;
   // The official OpenMetrics media type; curl and Prometheus scrapers key
   // on it.
   R.ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8";
-  R.Body = renderOpenMetrics(snapshotMetrics());
+  if (std::function<std::string()> Fleet = copyHook(FleetMetricsProvider))
+    R.Body = Fleet();
+  else
+    R.Body = renderOpenMetrics(snapshotMetrics());
   return R;
 }
 
@@ -64,6 +79,8 @@ StatsResponse handleTracez(const StatsRequest &) {
   if (All.empty()) {
     R.Body += "no buffered spans -- enable a span sink "
               "(MSEM_TELEMETRY=trace or events) to populate this page\n";
+    if (std::function<std::string()> Extra = copyHook(TracezSection))
+      R.Body += Extra();
     return R;
   }
   // Newest roots first: the reader wants to see what the process is doing
@@ -71,6 +88,8 @@ StatsResponse handleTracez(const StatsRequest &) {
   std::vector<size_t> Roots(Tree.Roots.rbegin(), Tree.Roots.rend());
   for (size_t Root : Roots)
     renderSpanNode(All, Tree, Root, 0, R.Body);
+  if (std::function<std::string()> Extra = copyHook(TracezSection))
+    R.Body += Extra();
   return R;
 }
 
@@ -130,4 +149,15 @@ bool telemetry::ensureIntrospection() {
     SampleProfiler::autoStartFromEnv();
   });
   return StatsServer::maybeStartFromEnv();
+}
+
+void telemetry::setFleetMetricsProvider(
+    std::function<std::string()> Provider) {
+  std::lock_guard<std::mutex> Lock(HooksMutex);
+  FleetMetricsProvider = std::move(Provider);
+}
+
+void telemetry::setTracezSection(std::function<std::string()> Section) {
+  std::lock_guard<std::mutex> Lock(HooksMutex);
+  TracezSection = std::move(Section);
 }

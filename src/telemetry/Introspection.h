@@ -28,6 +28,9 @@
 #ifndef MSEM_TELEMETRY_INTROSPECTION_H
 #define MSEM_TELEMETRY_INTROSPECTION_H
 
+#include <functional>
+#include <string>
+
 namespace msem {
 namespace telemetry {
 
@@ -40,6 +43,19 @@ namespace telemetry {
 /// Call sites: every long-running entry point -- Campaign::run, the
 /// msem_predict serving loop, the bench harnesses (BenchReport).
 bool ensureIntrospection();
+
+/// Installs (nullptr clears) the process-wide fleet metrics provider:
+/// while set, /metrics serves its return value instead of the local-only
+/// exposition. The campaign coordinator installs one for the lifetime of
+/// a distributed run (renderOpenMetricsFleet over the local registry plus
+/// every worker's heartbeat snapshot); everything else leaves it unset
+/// and /metrics behaves exactly as before. Thread-safe.
+void setFleetMetricsProvider(std::function<std::string()> Provider);
+
+/// Installs (nullptr clears) an extra /tracez section appended after the
+/// local span tree -- the coordinator's per-worker recent-span view,
+/// stitched from the workers' events files. Thread-safe.
+void setTracezSection(std::function<std::string()> Section);
 
 } // namespace telemetry
 } // namespace msem

@@ -3,6 +3,7 @@
 #include "telemetry/OpenMetrics.h"
 
 #include "support/Format.h"
+#include "telemetry/TelemetrySnapshot.h"
 
 #include <algorithm>
 #include <cctype>
@@ -70,9 +71,53 @@ std::string escapeLabelValue(std::string_view V) {
   return Out;
 }
 
+/// The serving RED metrics ("red.<what>.<endpoint>:<model>[:<class>]")
+/// carry several label dimensions in one name, ':'-separated -- endpoint
+/// paths contain '/' and '.' and model ids contain ',' and '.', so the
+/// single-label prefix rules cannot split them. Order is fixed by the
+/// SloTracker encoder: endpoint, model, then (errors only) status class.
+constexpr std::string_view kRedLabelNames[] = {"endpoint", "model", "class"};
+
+bool mapRedMetricName(const std::string &Name, std::string &Family,
+                      std::string &Labels) {
+  constexpr std::string_view Prefix = "red.";
+  if (Name.size() <= Prefix.size() ||
+      std::string_view(Name).substr(0, Prefix.size()) != Prefix)
+    return false;
+  std::string Rest = Name.substr(Prefix.size());
+  size_t Dot = Rest.find('.');
+  if (Dot == std::string::npos || Dot + 1 >= Rest.size())
+    return false;
+  std::string What = Rest.substr(0, Dot); // "requests", "errors", ...
+  std::string Values = Rest.substr(Dot + 1);
+  Family = "red_" + What; // sanitizeFamily applied by the caller.
+  Labels.clear();
+  size_t LabelIdx = 0, Start = 0;
+  while (LabelIdx < 3) {
+    size_t Colon = LabelIdx + 1 < 3 ? Values.find(':', Start)
+                                    : std::string::npos;
+    std::string Value =
+        Colon == std::string::npos ? Values.substr(Start)
+                                   : Values.substr(Start, Colon - Start);
+    if (!Labels.empty())
+      Labels += ",";
+    Labels += std::string(kRedLabelNames[LabelIdx]) + "=\"" +
+              escapeLabelValue(Value) + "\"";
+    if (Colon == std::string::npos)
+      break;
+    Start = Colon + 1;
+    ++LabelIdx;
+  }
+  return true;
+}
+
 /// Splits a metric name into (family, label string without braces). The
-/// label string is "" for unlabeled metrics, else `key="value"`.
+/// label string is "" for unlabeled metrics, else comma-joined
+/// `key="value"` pairs.
 std::pair<std::string, std::string> mapMetricName(const std::string &Name) {
+  std::string RedFamily, RedLabels;
+  if (mapRedMetricName(Name, RedFamily, RedLabels))
+    return {sanitizeFamily(RedFamily), RedLabels};
   for (const LabelRule &R : kLabelRules) {
     if (Name.size() > R.Prefix.size() &&
         std::string_view(Name).substr(0, R.Prefix.size()) == R.Prefix) {
@@ -114,13 +159,14 @@ struct FamilyOut {
   std::vector<std::string> Lines;
 };
 
-} // namespace
-
-std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
-  // std::map keys keep families sorted; within a family, samples arrive in
-  // snapshot (name-sorted) order, so the document is deterministic.
-  std::map<std::string, FamilyOut> Families;
-
+/// Appends every sample of \p S to \p Families, tagging each with
+/// \p ExtraLabel (e.g. `worker="1"`; "" for no tag). Shared by the
+/// single-process renderer and the fleet renderer -- the fleet document
+/// must keep every label set of a family under one # TYPE header (the
+/// validator forbids interleaving), so rendering accumulates into a
+/// family map first and serializes once at the end.
+void appendSnapshot(std::map<std::string, FamilyOut> &Families,
+                    const MetricsSnapshot &S, const std::string &ExtraLabel) {
   auto Family = [&](const std::string &Name,
                     const char *Type) -> FamilyOut & {
     FamilyOut &F = Families[Name];
@@ -128,28 +174,34 @@ std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
       F.Type = Type;
     return F;
   };
+  auto Tagged = [&](const std::string &Labels) {
+    if (ExtraLabel.empty())
+      return Labels;
+    return Labels.empty() ? ExtraLabel : Labels + "," + ExtraLabel;
+  };
 
   for (const auto &C : S.Counters) {
     auto [Fam, Labels] = mapMetricName(C.Name);
     Family(Fam, "counter")
-        .Lines.push_back(withLabels(Fam + "_total", Labels) + " " +
+        .Lines.push_back(withLabels(Fam + "_total", Tagged(Labels)) + " " +
                          formatString("%llu", (unsigned long long)C.Value));
   }
   for (const auto &G : S.Gauges) {
     auto [Fam, Labels] = mapMetricName(G.Name);
-    Family(Fam, "gauge").Lines.push_back(withLabels(Fam, Labels) + " " +
-                                         formatOmDouble(G.Value));
+    Family(Fam, "gauge").Lines.push_back(
+        withLabels(Fam, Tagged(Labels)) + " " + formatOmDouble(G.Value));
   }
   for (const auto &T : S.Timers) {
     auto [Fam, Labels] = mapMetricName(T.Name);
     FamilyOut &F = Family(Fam, "summary");
-    F.Lines.push_back(withLabels(Fam + "_count", Labels) + " " +
+    F.Lines.push_back(withLabels(Fam + "_count", Tagged(Labels)) + " " +
                       formatString("%llu", (unsigned long long)T.Count));
-    F.Lines.push_back(withLabels(Fam + "_sum", Labels) + " " +
+    F.Lines.push_back(withLabels(Fam + "_sum", Tagged(Labels)) + " " +
                       formatOmDouble(T.TotalNs / 1e9));
   }
   for (const auto &H : S.Histograms) {
     auto [Fam, Labels] = mapMetricName(H.Name);
+    Labels = Tagged(Labels);
     FamilyOut &F = Family(Fam, "histogram");
     uint64_t Cum = 0;
     for (size_t I = 0; I < H.Bounds.size(); ++I) {
@@ -171,7 +223,9 @@ std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
   }
   // Series have no OpenMetrics equivalent and are deliberately omitted
   // (they remain available in the JSONL snapshot and the trace sink).
+}
 
+std::string renderFamilies(const std::map<std::string, FamilyOut> &Families) {
   std::string Out;
   for (const auto &[Name, F] : Families) {
     Out += "# TYPE " + Name + " " + F.Type + "\n";
@@ -180,6 +234,37 @@ std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
   }
   Out += "# EOF\n";
   return Out;
+}
+
+} // namespace
+
+std::string telemetry::renderOpenMetrics(const MetricsSnapshot &S) {
+  // std::map keys keep families sorted; within a family, samples arrive in
+  // snapshot (name-sorted) order, so the document is deterministic.
+  std::map<std::string, FamilyOut> Families;
+  appendSnapshot(Families, S, "");
+  return renderFamilies(Families);
+}
+
+std::string
+telemetry::renderOpenMetricsFleet(const MetricsSnapshot &Local,
+                                  const std::vector<FleetMember> &Members) {
+  // The rollup: the coordinator's own metrics folded with every member
+  // snapshot in the given (worker-index) order, so the unlabeled series
+  // are deterministic for a fixed member set. Gauges are last-write-wins
+  // across the fold -- the highest-indexed member reporting a gauge wins,
+  // which is as meaningful as any other single value for a fleet gauge.
+  MetricsSnapshot Rollup = Local;
+  for (const FleetMember &M : Members)
+    mergeTelemetrySnapshot(Rollup, M.Snapshot);
+
+  std::map<std::string, FamilyOut> Families;
+  appendSnapshot(Families, Rollup, "");
+  appendSnapshot(Families, Local, "worker=\"coordinator\"");
+  for (const FleetMember &M : Members)
+    appendSnapshot(Families, M.Snapshot,
+                   "worker=\"" + escapeLabelValue(M.Worker) + "\"");
+  return renderFamilies(Families);
 }
 
 //===----------------------------------------------------------------------===//

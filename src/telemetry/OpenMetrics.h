@@ -35,6 +35,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace msem {
 namespace telemetry {
@@ -42,6 +43,23 @@ namespace telemetry {
 /// Renders \p S as an OpenMetrics text document (terminated by "# EOF").
 /// Deterministic: families and label sets are emitted in sorted order.
 std::string renderOpenMetrics(const MetricsSnapshot &S);
+
+/// One fleet member's snapshot plus the value its samples carry in the
+/// `worker` label (the campaign coordinator uses worker indices "0",
+/// "1", ...).
+struct FleetMember {
+  std::string Worker;
+  MetricsSnapshot Snapshot;
+};
+
+/// Renders the fleet view of a distributed campaign: for every family,
+/// first the unlabeled rollup samples (\p Local merged with every member
+/// snapshot in the given order, per the msem.telemetry.v1 merge rules),
+/// then the same samples tagged worker="coordinator" for \p Local and
+/// worker="<name>" per member -- all under a single # TYPE header, as the
+/// no-interleaving rule requires. Deterministic for a fixed member list.
+std::string renderOpenMetricsFleet(const MetricsSnapshot &Local,
+                                   const std::vector<FleetMember> &Members);
 
 /// Validates an OpenMetrics text document: TYPE declarations precede their
 /// samples, sample names follow the per-type suffix rules, label syntax

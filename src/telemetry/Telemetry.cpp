@@ -788,11 +788,35 @@ std::string telemetry::renderTraceJson() {
          "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
+namespace {
+
+/// Wall-clock time of telemetry initialization, in Unix nanoseconds:
+/// span StartNs values are monotonic offsets from the registry epoch, so
+/// wall time = anchor + StartNs. This is what lets a cross-process reader
+/// (msem_report --merge-traces) place each process's spans on one shared
+/// timeline. Cached so every render from one process carries the same
+/// anchor.
+uint64_t unixAnchorNs() {
+  static const uint64_t Anchor = [] {
+    uint64_t Wall = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    uint64_t Mono = nowNs();
+    return Wall > Mono ? Wall - Mono : 0;
+  }();
+  return Anchor;
+}
+
+} // namespace
+
 std::string telemetry::renderEventsJsonl() {
   std::vector<SpanEvent> Sorted = sortedSpansCopy();
   std::string Out = formatString(
-      "{\"event\":\"meta\",\"schema\":\"msem.events.v1\",\"build\":\"%s\"}\n",
-      escapeJson(buildStamp()).c_str());
+      "{\"event\":\"meta\",\"schema\":\"msem.events.v1\",\"build\":\"%s\","
+      "\"unix_ns\":\"%016llx\"}\n",
+      escapeJson(buildStamp()).c_str(),
+      (unsigned long long)unixAnchorNs());
   for (const SpanEvent &S : Sorted)
     Out += formatString(
         "{\"event\":\"span\",\"name\":\"%s\",\"detail\":\"%s\","
@@ -842,6 +866,12 @@ void telemetry::flush() {
     writeFileOrWarn(C.EventsFile, renderEventsJsonl());
   // A dump requested just before exit is satisfied by this flush.
   DumpRequested.store(false, std::memory_order_relaxed);
+}
+
+void telemetry::dumpEvents() {
+  Config C = currentConfig();
+  if (C.Sinks & SinkEvents)
+    writeFileOrWarn(C.EventsFile, renderEventsJsonl());
 }
 
 void telemetry::requestMetricsDump() {

@@ -477,6 +477,12 @@ std::string renderCanonicalSpans();
 /// with any sink active, so programs need no explicit call.
 void flush();
 
+/// Writes the events sink now (the same bytes flush() would write), so
+/// live readers -- the campaign coordinator's fleet /tracez view tails
+/// each worker's events file -- see spans before the process exits.
+/// No-op when the events sink is not configured.
+void dumpEvents();
+
 /// Requests an on-demand metrics snapshot: the next maybeDumpMetrics()
 /// call writes the metrics file. Also triggered by SIGUSR1 (the handler
 /// only sets a flag; the write happens at the next instrumentation point).

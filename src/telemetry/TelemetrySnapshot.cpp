@@ -1,0 +1,165 @@
+//===- telemetry/TelemetrySnapshot.cpp - Mergeable snapshot wire doc --------===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TelemetrySnapshot.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace msem;
+using namespace msem::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+Json telemetry::telemetrySnapshotToJson(const MetricsSnapshot &S) {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string(kTelemetrySchema));
+
+  Json Counters = Json::object();
+  for (const MetricsSnapshot::CounterValue &C : S.Counters)
+    Counters.set(C.Name, Json::hexU64(C.Value));
+  Doc.set("counters", std::move(Counters));
+
+  Json Gauges = Json::object();
+  for (const MetricsSnapshot::GaugeValue &G : S.Gauges)
+    Gauges.set(G.Name, Json::number(G.Value));
+  Doc.set("gauges", std::move(Gauges));
+
+  Json Timers = Json::object();
+  for (const MetricsSnapshot::TimerValue &T : S.Timers) {
+    Json Entry = Json::object();
+    Entry.set("count", Json::hexU64(T.Count));
+    Entry.set("total_ns", Json::hexU64(T.TotalNs));
+    Timers.set(T.Name, std::move(Entry));
+  }
+  Doc.set("timers", std::move(Timers));
+
+  Json Histograms = Json::object();
+  for (const MetricsSnapshot::HistogramValue &H : S.Histograms) {
+    Json Entry = Json::object();
+    Entry.set("bounds", Json::numberArray(H.Bounds));
+    Json Counts = Json::array();
+    for (uint64_t C : H.Counts)
+      Counts.push(Json::hexU64(C));
+    Entry.set("counts", std::move(Counts));
+    Entry.set("sum", Json::number(H.Sum));
+    Entry.set("max", Json::number(H.Max));
+    Histograms.set(H.Name, std::move(Entry));
+  }
+  Doc.set("histograms", std::move(Histograms));
+
+  return Doc;
+}
+
+bool telemetry::telemetrySnapshotFromJson(const Json &Doc,
+                                          MetricsSnapshot &Out,
+                                          std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = "telemetry snapshot: " + Msg;
+    return false;
+  };
+
+  if (Doc.kind() != Json::Kind::Object)
+    return Fail("document is not an object");
+  std::string Schema = Doc["schema"].asString();
+  if (Schema != kTelemetrySchema)
+    return Fail(Schema.empty() ? "missing schema tag"
+                               : "foreign schema '" + Schema + "'");
+
+  MetricsSnapshot S;
+
+  for (const auto &[Name, V] : Doc["counters"].members())
+    S.Counters.push_back({Name, V.asHexU64()});
+
+  for (const auto &[Name, V] : Doc["gauges"].members())
+    S.Gauges.push_back({Name, V.asDouble()});
+
+  for (const auto &[Name, V] : Doc["timers"].members())
+    S.Timers.push_back({Name, V["count"].asHexU64(),
+                        V["total_ns"].asHexU64()});
+
+  for (const auto &[Name, V] : Doc["histograms"].members()) {
+    MetricsSnapshot::HistogramValue H;
+    H.Name = Name;
+    H.Bounds = V["bounds"].toDoubleVector();
+    for (const Json &C : V["counts"].items())
+      H.Counts.push_back(C.asHexU64());
+    if (H.Counts.size() != H.Bounds.size() + 1)
+      return Fail(formatString("histogram '%s': %zu counts for %zu bounds",
+                               Name.c_str(), H.Counts.size(),
+                               H.Bounds.size()));
+    H.Sum = V["sum"].asDouble();
+    H.Max = V["max"].asDouble();
+    S.Histograms.push_back(std::move(H));
+  }
+
+  Out = std::move(S);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds a name-keyed section as a sorted vector. The by-name map is
+/// what makes the merge order-insensitive for disjoint names and gives
+/// deterministic (sorted) output.
+template <typename V, typename Fold>
+void mergeSection(std::vector<V> &Dst, const std::vector<V> &Src,
+                  Fold FoldInto) {
+  std::map<std::string, V> ByName;
+  for (V &D : Dst)
+    ByName.emplace(D.Name, std::move(D));
+  for (const V &S : Src) {
+    auto [It, Inserted] = ByName.emplace(S.Name, S);
+    if (!Inserted)
+      FoldInto(It->second, S);
+  }
+  Dst.clear();
+  for (auto &[Name, V2] : ByName)
+    Dst.push_back(std::move(V2));
+}
+
+} // namespace
+
+void telemetry::mergeTelemetrySnapshot(MetricsSnapshot &Dst,
+                                       const MetricsSnapshot &Src) {
+  mergeSection(Dst.Counters, Src.Counters,
+               [](MetricsSnapshot::CounterValue &D,
+                  const MetricsSnapshot::CounterValue &S) {
+                 D.Value += S.Value;
+               });
+  mergeSection(Dst.Gauges, Src.Gauges,
+               [](MetricsSnapshot::GaugeValue &D,
+                  const MetricsSnapshot::GaugeValue &S) {
+                 D.Value = S.Value; // Last write wins (merge order).
+               });
+  mergeSection(Dst.Timers, Src.Timers,
+               [](MetricsSnapshot::TimerValue &D,
+                  const MetricsSnapshot::TimerValue &S) {
+                 D.Count += S.Count;
+                 D.TotalNs += S.TotalNs;
+               });
+  mergeSection(Dst.Histograms, Src.Histograms,
+               [](MetricsSnapshot::HistogramValue &D,
+                  const MetricsSnapshot::HistogramValue &S) {
+                 if (D.Bounds != S.Bounds || D.Counts.size() != S.Counts.size())
+                   return; // Incompatible buckets: keep the destination.
+                 for (size_t I = 0; I < D.Counts.size(); ++I)
+                   D.Counts[I] += S.Counts[I];
+                 D.Sum += S.Sum;
+                 D.Max = std::max(D.Max, S.Max);
+               });
+  // Series never ride the wire doc; whatever the destination holds
+  // locally (typically nothing on the fleet path) stays untouched.
+}

@@ -1,0 +1,76 @@
+//===- telemetry/TelemetrySnapshot.h - Mergeable snapshot wire doc -*- C++ -*-===//
+//
+// Part of the MSEM project (CGO 2007 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-process telemetry wire document ("msem.telemetry.v1"): a
+/// MetricsSnapshot serialized as JSON so worker processes can embed their
+/// metric state in heartbeat writes and the campaign coordinator can fold
+/// every worker's snapshot into one fleet view.
+///
+/// The document is designed around *mergeability*:
+///
+///   - counters sum (each process observed disjoint events),
+///   - gauges are last-write-wins (the merge order is the deterministic
+///     worker order, so "last" is well defined: the highest-indexed worker
+///     reporting the gauge wins),
+///   - timers sum both count and total time,
+///   - histograms add bucket-by-bucket when their bounds agree (the
+///     instrumentation sites use fixed bound sets, so they do); on a
+///     bounds mismatch the destination is kept unchanged -- merging
+///     incompatible buckets would fabricate quantiles. Sums add and
+///     maxima max, so merged p-quantile estimates stay exact at the
+///     bucket resolution.
+///
+/// Series are deliberately NOT carried: they are unbounded trajectories
+/// whose points are only meaningful against their producing process's
+/// monotonic clock, and the fleet plane reads rates and distributions,
+/// not raw trajectories.
+///
+/// All integer state (counter values, bucket counts, timer totals) rides
+/// as hex strings (Json::hexU64) so 64-bit values survive the
+/// doubles-only JSON number space bitwise. Merge output is sorted by
+/// metric name, making fleet rendering deterministic for a fixed input
+/// set regardless of arrival interleavings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MSEM_TELEMETRY_TELEMETRYSNAPSHOT_H
+#define MSEM_TELEMETRY_TELEMETRYSNAPSHOT_H
+
+#include "support/Json.h"
+#include "telemetry/Telemetry.h"
+
+#include <string>
+
+namespace msem {
+namespace telemetry {
+
+/// Schema tag stamped into (and required from) every snapshot document.
+inline constexpr const char *kTelemetrySchema = "msem.telemetry.v1";
+
+/// Serializes \p S as a msem.telemetry.v1 JSON document. Series are
+/// omitted (see file comment). Deterministic: object members are
+/// map-ordered and snapshotMetrics() is name-sorted.
+Json telemetrySnapshotToJson(const MetricsSnapshot &S);
+
+/// Parses a msem.telemetry.v1 document into \p Out (replacing it).
+/// Returns false with a diagnostic in \p Error on a missing/foreign
+/// schema tag or a structurally malformed document (histogram count
+/// arity, non-object sections).
+bool telemetrySnapshotFromJson(const Json &Doc, MetricsSnapshot &Out,
+                               std::string *Error = nullptr);
+
+/// Folds \p Src into \p Dst under the merge rules above. Metrics present
+/// only in one side are kept as-is; every output section ends sorted by
+/// metric name. Associative over a fixed merge order, which is how the
+/// coordinator guarantees a deterministic fleet view: workers are always
+/// folded in worker-index order.
+void mergeTelemetrySnapshot(MetricsSnapshot &Dst, const MetricsSnapshot &Src);
+
+} // namespace telemetry
+} // namespace msem
+
+#endif // MSEM_TELEMETRY_TELEMETRYSNAPSHOT_H

@@ -109,6 +109,47 @@ TEST(BenchCompare, FlagsInjectedRegression) {
   EXPECT_NEAR(D->RelChange, 1.0, 1e-12);
 }
 
+TEST(BenchCompare, TailQuantilesGetTheLoosestThreshold) {
+  EXPECT_TRUE(isTailMetric("p99_us.open"));
+  EXPECT_TRUE(isTailMetric("p95_us.closed"));
+  EXPECT_TRUE(isTailMetric("latency.p99_max_us"));
+  EXPECT_FALSE(isTailMetric("p50_us.closed"));     // Medians are stable.
+  EXPECT_FALSE(isTailMetric("fit_seconds"));       // Timing but not tail.
+  EXPECT_FALSE(isTailMetric("mape.p95"));          // Quality stays tight.
+
+  auto tailJson = [](double P99) {
+    return formatString(
+        "{\"schema\":\"msem.bench.v1\",\"name\":\"serve\",\"build\":\"t\","
+        "\"config\":{\"train_n\":200,\"test_n\":50,\"input\":\"train\","
+        "\"seed\":\"0x1324bb3\"},\"wall_seconds\":1,"
+        "\"metrics\":{\"p99_us.open\":%g,\"p50_us.closed\":100}}",
+        P99);
+  };
+  std::vector<BenchResult> Base = {parse(tailJson(1500))};
+  // A 2x tail wobble is single-run scheduler jitter: inside the 150%
+  // tail tolerance even though it is far past the 50% timing one.
+  std::vector<BenchResult> Jitter = {parse(tailJson(3000))};
+  CompareReport R = compareBenches(Base, Jitter, CompareOptions());
+  EXPECT_EQ(R.regressions(), 0u);
+  for (const MetricDelta &D : R.Deltas) {
+    if (D.Key == "p99_us.open") {
+      EXPECT_NEAR(D.Threshold, 1.50, 1e-12);
+    }
+  }
+  // A genuine tail blowup still gates.
+  std::vector<BenchResult> Blowup = {parse(tailJson(6000))};
+  EXPECT_EQ(compareBenches(Base, Blowup, CompareOptions()).regressions(),
+            1u);
+  // The median rides the normal timing threshold: doubling it regresses.
+  std::vector<BenchResult> MedianDouble = {parse(formatString(
+      "{\"schema\":\"msem.bench.v1\",\"name\":\"serve\",\"build\":\"t\","
+      "\"config\":{\"train_n\":200,\"test_n\":50,\"input\":\"train\","
+      "\"seed\":\"0x1324bb3\"},\"wall_seconds\":1,"
+      "\"metrics\":{\"p99_us.open\":1500,\"p50_us.closed\":220}}"))};
+  EXPECT_EQ(compareBenches(Base, MedianDouble, CompareOptions()).regressions(),
+            1u);
+}
+
 TEST(BenchCompare, ThroughputDropRegressesAndGainImproves) {
   std::vector<BenchResult> Base = {parse(benchJson("micro", 4.5, 1000, 2))};
   // Throughput is a timing-class metric: the default 50% tolerance

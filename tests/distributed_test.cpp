@@ -26,6 +26,8 @@
 #include "support/Json.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "telemetry/OpenMetrics.h"
+#include "telemetry/TelemetrySnapshot.h"
 
 #include <gtest/gtest.h>
 
@@ -308,12 +310,16 @@ TEST(WireFormatTest, PlanManifestHeartbeatRoundTrip) {
   CampaignManifest M;
   M.Workers = 3;
   M.Spec = distSpec();
+  M.TraceId = 0xDEADBEEFCAFEF00Dull; // Full 64 bits must survive JSON.
+  M.SpanId = 0x0123456789ABCDEFull;
   ASSERT_TRUE(saveManifest(M, manifestPath(Guard.Dir), &Error)) << Error;
   CampaignManifest MBack;
   ASSERT_TRUE(loadManifest(manifestPath(Guard.Dir), MBack, &Error)) << Error;
   EXPECT_EQ(MBack.Workers, 3);
   EXPECT_EQ(MBack.Spec.Name, "distributed-test");
   EXPECT_EQ(MBack.Spec.MaxDesignSize, 24u);
+  EXPECT_EQ(MBack.TraceId, M.TraceId);
+  EXPECT_EQ(MBack.SpanId, M.SpanId);
 
   ParameterSpace Space = ParameterSpace::paperSpace();
   Rng R(0xD15);
@@ -370,6 +376,15 @@ TEST(WireFormatTest, PlanManifestHeartbeatRoundTrip) {
   Hb.Round = 7;
   Hb.Measured = 13;
   Hb.UnixSeconds = 1700000000;
+  // The embedded msem.telemetry.v1 snapshot must round-trip bitwise: a
+  // 64-bit counter that doubles cannot survive, and a histogram sum of
+  // 1/3 exercises the full-precision float path.
+  Hb.HasTelemetry = true;
+  Hb.Telemetry.Counters = {{"smarts.runs", (1ull << 63) + 5}};
+  Hb.Telemetry.Gauges = {{"pool.threads", 8.0}};
+  Hb.Telemetry.Timers = {{"worker.round", 3, 123456789}};
+  Hb.Telemetry.Histograms = {
+      {"smarts.window_cpi", {0.5, 1.0, 2.0}, {1, 2, 3, 4}, 1.0 / 3.0, 2.5}};
   ASSERT_TRUE(saveHeartbeat(Hb, heartbeatPath(Guard.Dir, 2), &Error)) << Error;
   WorkerHeartbeat HBack;
   ASSERT_TRUE(loadHeartbeat(heartbeatPath(Guard.Dir, 2), HBack, &Error))
@@ -379,6 +394,27 @@ TEST(WireFormatTest, PlanManifestHeartbeatRoundTrip) {
   EXPECT_EQ(HBack.Round, 7u);
   EXPECT_EQ(HBack.Measured, 13u);
   EXPECT_EQ(HBack.UnixSeconds, 1700000000);
+  ASSERT_TRUE(HBack.HasTelemetry);
+  ASSERT_EQ(HBack.Telemetry.Counters.size(), 1u);
+  EXPECT_EQ(HBack.Telemetry.Counters[0].Name, "smarts.runs");
+  EXPECT_EQ(HBack.Telemetry.Counters[0].Value, (1ull << 63) + 5);
+  ASSERT_EQ(HBack.Telemetry.Timers.size(), 1u);
+  EXPECT_EQ(HBack.Telemetry.Timers[0].Count, 3u);
+  EXPECT_EQ(HBack.Telemetry.Timers[0].TotalNs, 123456789u);
+  ASSERT_EQ(HBack.Telemetry.Histograms.size(), 1u);
+  EXPECT_EQ(HBack.Telemetry.Histograms[0].Bounds, Hb.Telemetry.Histograms[0].Bounds);
+  EXPECT_EQ(HBack.Telemetry.Histograms[0].Counts, Hb.Telemetry.Histograms[0].Counts);
+  EXPECT_EQ(HBack.Telemetry.Histograms[0].Sum, 1.0 / 3.0);
+
+  // A legacy heartbeat (no telemetry section) still loads.
+  WorkerHeartbeat Legacy;
+  Legacy.Worker = 1;
+  ASSERT_TRUE(saveHeartbeat(Legacy, heartbeatPath(Guard.Dir, 1), &Error))
+      << Error;
+  WorkerHeartbeat LBack;
+  ASSERT_TRUE(loadHeartbeat(heartbeatPath(Guard.Dir, 1), LBack, &Error))
+      << Error;
+  EXPECT_FALSE(LBack.HasTelemetry);
 
   // Loads are tolerant of missing files: false plus a diagnostic.
   RoundPlan Missing;
@@ -594,4 +630,104 @@ TEST(DistributedCampaignTest, SkipPolicyDropsDeadWorkersPoints) {
   ASSERT_TRUE(Full.ok()) << Full.Error;
   EXPECT_LT(Result.Jobs[0].Build.TrainY.size(),
             Full.Jobs[0].Build.TrainY.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet metrics plane
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The counter families whose fleet-wide sums are a function of the set of
+/// measured points, not of scheduling: simulation event counts, pass
+/// activity, pipeline runs, measurement task counts and compile-cache
+/// misses. Timers (wall clock), gauges (last-writer wins) and chunking
+/// counters like pool.regions legitimately vary across worker and thread
+/// counts and are excluded.
+std::string deterministicCounterView(const telemetry::MetricsSnapshot &S) {
+  static const char *Prefixes[] = {"opt.",  "pass.",    "pool.tasks.",
+                                   "sim.trace_cache.", "smarts.",
+                                   "surface.binary_cache."};
+  std::string Out;
+  for (const telemetry::MetricsSnapshot::CounterValue &C : S.Counters) {
+    for (const char *P : Prefixes) {
+      if (C.Name.rfind(P, 0) == 0) {
+        Out += formatString("%s %llu\n", C.Name.c_str(),
+                            static_cast<unsigned long long>(C.Value));
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+// The observability satellite: the fleet rollup the coordinator exposes on
+// /metrics is a pure function of the campaign, not of how it was sharded.
+// Run the same campaign at {1, 2, 4} workers x {1, 8} threads, rebuild the
+// fleet view from the final on-disk heartbeats (the same transport the
+// coordinator's /metrics handler reads), and require (a) the deterministic
+// counter families to merge to identical bytes in every configuration and
+// (b) the full worker-labeled exposition to pass the OpenMetrics validator.
+TEST(DistributedCampaignTest, FleetMetricsDeterministicAcrossShardings) {
+  PoolGuard Pool;
+  // Workers inherit the environment: give them a metrics-enabled config so
+  // their heartbeats carry non-empty msem.telemetry.v1 snapshots.
+  EnvGuard Telemetry("MSEM_TELEMETRY", "summary");
+
+  std::string Reference;
+  std::string ReferenceConfig;
+  for (int Workers : {1, 2, 4}) {
+    for (int Threads : {1, 8}) {
+      SCOPED_TRACE(formatString("workers=%d threads=%d", Workers, Threads));
+      DirGuard Shards(
+          tempPath(formatString("fleet_w%d_t%d", Workers, Threads).c_str()));
+      EnvGuard WorkerThreads("MSEM_THREADS", formatString("%d", Threads));
+      setGlobalThreadCount(Threads);
+
+      Coordinator C(coordOpts(Workers, Shards.Dir));
+      ExperimentResult Result = C.run(distSpec());
+      ASSERT_TRUE(Result.ok()) << Result.Error;
+
+      // Rebuild the fleet view from the final heartbeats the workers left
+      // behind (they write a last beat on the Done sentinel, and the
+      // coordinator reaps every worker before run() returns).
+      std::vector<telemetry::FleetMember> Members;
+      telemetry::MetricsSnapshot Fleet;
+      for (int W = 0; W < Workers; ++W) {
+        WorkerHeartbeat Hb;
+        std::string Error;
+        ASSERT_TRUE(loadHeartbeat(heartbeatPath(Shards.Dir, W), Hb, &Error))
+            << Error;
+        ASSERT_TRUE(Hb.HasTelemetry) << "worker " << W;
+        EXPECT_FALSE(Hb.Telemetry.Counters.empty()) << "worker " << W;
+        telemetry::mergeTelemetrySnapshot(Fleet, Hb.Telemetry);
+        Members.push_back({formatString("%d", W), std::move(Hb.Telemetry)});
+      }
+
+      std::string View = deterministicCounterView(Fleet);
+      EXPECT_FALSE(View.empty());
+      if (Reference.empty()) {
+        Reference = View;
+        ReferenceConfig = formatString("workers=%d threads=%d", Workers,
+                                       Threads);
+      } else {
+        EXPECT_EQ(View, Reference) << "fleet rollup diverged from "
+                                   << ReferenceConfig;
+      }
+
+      // The worker-labeled exposition is validator-clean and names every
+      // worker.
+      std::string Doc = telemetry::renderOpenMetricsFleet(
+          telemetry::MetricsSnapshot{}, Members);
+      std::string ValidateError;
+      EXPECT_TRUE(telemetry::validateOpenMetrics(Doc, &ValidateError))
+          << ValidateError;
+      for (int W = 0; W < Workers; ++W)
+        EXPECT_NE(Doc.find(formatString("worker=\"%d\"", W)),
+                  std::string::npos)
+            << "worker " << W << " missing from fleet exposition";
+    }
+  }
 }

@@ -13,13 +13,17 @@
 #include "serving/HttpServer.h"
 #include "serving/PredictSchema.h"
 #include "serving/PredictionService.h"
+#include "serving/SloTracker.h"
 
 #include "design/Doe.h"
 #include "model/LinearModel.h"
 #include "registry/ModelRegistry.h"
 #include "support/Format.h"
 #include "support/Http.h"
+#include "support/Json.h"
 #include "support/Rng.h"
+#include "telemetry/OpenMetrics.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -32,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 using namespace msem;
@@ -1009,6 +1014,188 @@ TEST(HttpServerTest, ServesPredictionsBitwiseIdenticalToCli) {
   EXPECT_EQ(R.Body, CliBytes) << "HTTP bytes must equal the CLI bytes";
   ::close(Fd);
   Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// SloTracker: burn windows, access log, red.* fan-out
+//===----------------------------------------------------------------------===//
+
+TEST(SloTrackerTest, BurnRatesFollowInjectedClockAcrossWindows) {
+  SloTracker::Options O;
+  O.LatencyObjectiveMs = 1.0;    // 1000 us: the 5000 us request is "slow".
+  O.AvailabilityObjective = 0.9; // A 10% error budget, so one bad request
+                                 // in ten burns at exactly 1.0.
+  SloTracker T(O);
+  int64_t Now = 1000000;
+  T.setClockForTest([&Now] { return Now; });
+
+  auto Rec = [&T](int Status, double LatencyUs, uint64_t Trace) {
+    SloTracker::Sample S;
+    S.Method = "POST";
+    S.Endpoint = "/v1/predict";
+    S.Model = "m";
+    S.Status = Status;
+    S.LatencyUs = LatencyUs;
+    S.TraceId = Trace;
+    T.record(S);
+  };
+
+  for (int I = 0; I < 8; ++I)
+    Rec(200, 500.0, 0);
+  Rec(500, 500.0, 0xABCD); // Availability-bad, with an exemplar trace.
+  Rec(200, 5000.0, 0);     // Latency-bad only.
+
+  std::vector<SloTracker::KeyReport> R1 = T.report();
+  ASSERT_EQ(R1.size(), 1u);
+  EXPECT_EQ(R1[0].Endpoint, "/v1/predict");
+  EXPECT_EQ(R1[0].Model, "m");
+  EXPECT_EQ(R1[0].Requests, 10u);
+  EXPECT_EQ(R1[0].Errors5xx, 1u);
+  EXPECT_EQ(R1[0].Slow, 1u);
+  // The slow request carried no trace id; the exemplar stays the 5xx one.
+  EXPECT_EQ(R1[0].ExemplarTraceId, 0xABCDu);
+  ASSERT_EQ(R1[0].Windows.size(), kSloWindowsSeconds.size());
+  EXPECT_DOUBLE_EQ(R1[0].Windows[0].AvailabilityBurn, 1.0);
+  EXPECT_DOUBLE_EQ(R1[0].Windows[0].LatencyBurn, 1.0);
+  EXPECT_DOUBLE_EQ(R1[0].AllTime.AvailabilityBurn, 1.0);
+  EXPECT_DOUBLE_EQ(R1[0].AllTime.LatencyBurn, 1.0);
+  // Quantiles come from fixed buckets: ordered and clamped to the max.
+  EXPECT_LE(R1[0].LatencyP50Us, R1[0].LatencyP95Us);
+  EXPECT_LE(R1[0].LatencyP95Us, R1[0].LatencyP99Us);
+  EXPECT_LE(R1[0].LatencyP99Us, R1[0].LatencyMaxUs);
+  EXPECT_DOUBLE_EQ(R1[0].LatencyMaxUs, 5000.0);
+
+  // 70 simulated seconds later, ten clean requests: the 60 s window has
+  // forgotten the bad minute, the 300 s window still remembers it.
+  Now += 70;
+  for (int I = 0; I < 10; ++I)
+    Rec(200, 500.0, 0);
+  std::vector<SloTracker::KeyReport> R2 = T.report();
+  ASSERT_EQ(R2.size(), 1u);
+  EXPECT_EQ(R2[0].Windows[0].Requests, 10u);
+  EXPECT_DOUBLE_EQ(R2[0].Windows[0].AvailabilityBurn, 0.0);
+  EXPECT_DOUBLE_EQ(R2[0].Windows[0].LatencyBurn, 0.0);
+  EXPECT_EQ(R2[0].Windows[1].Requests, 20u);
+  EXPECT_DOUBLE_EQ(R2[0].Windows[1].AvailabilityBurn, 0.5);
+  EXPECT_DOUBLE_EQ(R2[0].Windows[1].LatencyBurn, 0.5);
+  EXPECT_DOUBLE_EQ(R2[0].AllTime.AvailabilityBurn, 0.5);
+}
+
+TEST(SloTrackerTest, SlozDocumentCarriesBurnTableAndExemplar) {
+  SloTracker::Options O;
+  O.AvailabilityObjective = 0.9;
+  SloTracker T(O);
+  int64_t Now = 5000;
+  T.setClockForTest([&Now] { return Now; });
+
+  SloTracker::Sample S;
+  S.Method = "POST";
+  S.Endpoint = "/v1/predict";
+  S.Model = "m";
+  S.Status = 503;
+  S.TraceId = 0x1234;
+  T.record(S);
+
+  Json Doc = T.renderSloz();
+  EXPECT_EQ(Doc["schema"].asString(), kSlozSchema);
+  EXPECT_EQ(Doc["availability_objective"].asDouble(), 0.9);
+  ASSERT_EQ(Doc["keys"].size(), 1u);
+  const Json &K = Doc["keys"].at(0);
+  EXPECT_EQ(K["endpoint"].asString(), "/v1/predict");
+  EXPECT_EQ(K["model"].asString(), "m");
+  EXPECT_EQ(K["errors_5xx"].asInt(), 1);
+  EXPECT_EQ(K["exemplar_trace"].asHexU64(), 0x1234u);
+  // One burn entry per window plus the all-time row.
+  ASSERT_EQ(K["burn"].size(), kSloWindowsSeconds.size() + 1);
+  EXPECT_EQ(K["burn"].at(0)["window_s"].asInt(), kSloWindowsSeconds[0]);
+  EXPECT_DOUBLE_EQ(K["burn"].at(0)["availability_burn"].asDouble(), 10.0);
+  EXPECT_EQ(K["burn"].at(kSloWindowsSeconds.size())["window_s"].asInt(), 0);
+  EXPECT_EQ(Doc["tracker"]["samples"].asInt(), 1);
+}
+
+TEST(SloTrackerTest, AccessLogLinesAreValidSchemaDocuments) {
+  DirGuard Guard(tempRegistryDir("accesslog"));
+  std::string Error;
+  std::filesystem::create_directories(Guard.Dir);
+  SloTracker::Options O;
+  O.AccessLogPath = Guard.Dir + "/access.jsonl";
+  SloTracker T(O);
+  int64_t Now = 1700000123;
+  T.setClockForTest([&Now] { return Now; });
+
+  SloTracker::Sample A;
+  A.Method = "POST";
+  A.Endpoint = "/v1/predict";
+  A.Model = "art,test,cycles,rbf";
+  A.Status = 200;
+  A.Rows = 3;
+  A.LatencyUs = 42.5;
+  A.TraceId = 0xFEED;
+  T.record(A);
+  SloTracker::Sample B;
+  B.Method = "GET";
+  B.Endpoint = "/v1/models";
+  B.Status = 200;
+  T.record(B);
+
+  std::ifstream In(O.AccessLogPath);
+  ASSERT_TRUE(In.good());
+  std::vector<Json> Lines;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    Json Doc = Json::parse(Line, &Error);
+    ASSERT_TRUE(Error.empty()) << Error << " in: " << Line;
+    EXPECT_EQ(Doc["schema"].asString(), kAccessLogSchema);
+    Lines.push_back(std::move(Doc));
+  }
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0]["method"].asString(), "POST");
+  EXPECT_EQ(Lines[0]["endpoint"].asString(), "/v1/predict");
+  EXPECT_EQ(Lines[0]["model"].asString(), "art,test,cycles,rbf");
+  EXPECT_EQ(Lines[0]["status"].asInt(), 200);
+  EXPECT_EQ(Lines[0]["rows"].asInt(), 3);
+  EXPECT_DOUBLE_EQ(Lines[0]["latency_us"].asDouble(), 42.5);
+  EXPECT_EQ(Lines[0]["trace"].asHexU64(), 0xFEEDu);
+  EXPECT_EQ(Lines[0]["unix_ms"].asInt(), 1700000123000);
+  // Model and trace are omitted, not empty, when absent.
+  EXPECT_FALSE(Lines[1].has("model"));
+  EXPECT_FALSE(Lines[1].has("trace"));
+}
+
+TEST(SloTrackerTest, RedFanOutRendersMultiLabelFamilies) {
+  namespace tl = msem::telemetry;
+  tl::reset();
+  tl::Config C;
+  C.Sinks = tl::SinkSummary;
+  tl::configure(C);
+
+  {
+    SloTracker T(SloTracker::Options{});
+    SloTracker::Sample S;
+    S.Method = "POST";
+    S.Endpoint = "/v1/predict";
+    S.Model = "m.1";
+    S.Status = 503;
+    S.LatencyUs = 250.0;
+    T.record(S);
+    S.Status = 200;
+    T.record(S);
+  }
+
+  std::string Doc = tl::renderOpenMetrics(tl::snapshotMetrics());
+  std::string Error;
+  EXPECT_TRUE(tl::validateOpenMetrics(Doc, &Error)) << Error;
+  EXPECT_NE(
+      Doc.find("msem_red_requests_total{endpoint=\"/v1/predict\",model=\"m.1\"} 2"),
+      std::string::npos)
+      << Doc;
+  EXPECT_NE(Doc.find("msem_red_errors_total{endpoint=\"/v1/predict\","
+                     "model=\"m.1\",class=\"5xx\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Doc.find("msem_red_latency_us_bucket{endpoint=\"/v1/predict\","
+                     "model=\"m.1\",le=\"500\"} 2"),
+            std::string::npos);
+  tl::reset();
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include "support/ThreadPool.h"
 #include "telemetry/EventLog.h"
 #include "telemetry/OpenMetrics.h"
+#include "telemetry/TelemetrySnapshot.h"
 
 #include <gtest/gtest.h>
 
@@ -837,6 +838,137 @@ TEST_F(TraceTest, MetricsJsonlRoundTripsThroughSnapshotParser) {
   ASSERT_EQ(Snap.SeriesList.size(), 1u);
   ASSERT_EQ(Snap.SeriesList[0].Points.size(), 1u);
   EXPECT_DOUBLE_EQ(Snap.SeriesList[0].Points[0].Y, 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// msem.telemetry.v1: the mergeable cross-process snapshot document
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetrySnapshotTest, RoundTripsBitwise) {
+  tl::MetricsSnapshot S;
+  // Values chosen to die in a doubles-only JSON number space: a counter
+  // above 2^53 and non-terminating binary fractions.
+  S.Counters = {{"a.count", (1ull << 63) + 1}, {"b.count", 7}};
+  S.Gauges = {{"a.gauge", 1.0 / 3.0}};
+  S.Timers = {{"a.timer", 5, (1ull << 62) + 3}};
+  S.Histograms = {{"a.hist", {0.5, 2.0}, {1, 2, 3}, 2.0 / 3.0, 123.5}};
+  S.SeriesList = {{"a.series", {{1.0, 2.0, 0}}}}; // Deliberately not carried.
+
+  Json Doc = tl::telemetrySnapshotToJson(S);
+  EXPECT_EQ(Doc["schema"].asString(), tl::kTelemetrySchema);
+
+  // Through text, as the heartbeat transport does.
+  std::string Error;
+  Json Back = Json::parse(Doc.dump(), &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  tl::MetricsSnapshot Out;
+  ASSERT_TRUE(tl::telemetrySnapshotFromJson(Back, Out, &Error)) << Error;
+
+  ASSERT_EQ(Out.Counters.size(), 2u);
+  EXPECT_EQ(Out.Counters[0].Name, "a.count");
+  EXPECT_EQ(Out.Counters[0].Value, (1ull << 63) + 1);
+  EXPECT_EQ(Out.Counters[1].Value, 7u);
+  ASSERT_EQ(Out.Gauges.size(), 1u);
+  EXPECT_EQ(Out.Gauges[0].Value, 1.0 / 3.0);
+  ASSERT_EQ(Out.Timers.size(), 1u);
+  EXPECT_EQ(Out.Timers[0].Count, 5u);
+  EXPECT_EQ(Out.Timers[0].TotalNs, (1ull << 62) + 3);
+  ASSERT_EQ(Out.Histograms.size(), 1u);
+  EXPECT_EQ(Out.Histograms[0].Bounds, S.Histograms[0].Bounds);
+  EXPECT_EQ(Out.Histograms[0].Counts, S.Histograms[0].Counts);
+  EXPECT_EQ(Out.Histograms[0].Sum, 2.0 / 3.0);
+  EXPECT_EQ(Out.Histograms[0].Max, 123.5);
+  // Series are unbounded per-process trajectories; the wire doc drops them.
+  EXPECT_TRUE(Out.SeriesList.empty());
+}
+
+TEST(TelemetrySnapshotTest, RejectsForeignSchema) {
+  Json Doc = tl::telemetrySnapshotToJson(tl::MetricsSnapshot{});
+  Doc.set("schema", Json::string("msem.telemetry.v999"));
+  tl::MetricsSnapshot Out;
+  std::string Error;
+  EXPECT_FALSE(tl::telemetrySnapshotFromJson(Doc, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TelemetrySnapshotTest, MergeFollowsPerKindRules) {
+  tl::MetricsSnapshot Dst;
+  Dst.Counters = {{"shared.count", 10}, {"only.dst", 1}};
+  Dst.Gauges = {{"shared.gauge", 1.0}};
+  Dst.Timers = {{"shared.timer", 2, 100}};
+  Dst.Histograms = {{"shared.hist", {1.0, 2.0}, {1, 1, 1}, 3.0, 2.5},
+                    {"mismatch.hist", {1.0}, {4, 5}, 9.0, 1.0}};
+
+  tl::MetricsSnapshot Src;
+  Src.Counters = {{"only.src", 100}, {"shared.count", 5}};
+  Src.Gauges = {{"shared.gauge", 7.0}};
+  Src.Timers = {{"shared.timer", 3, 50}};
+  Src.Histograms = {{"shared.hist", {1.0, 2.0}, {2, 0, 1}, 1.5, 9.0},
+                    {"mismatch.hist", {1.0, 2.0}, {1, 1, 1}, 1.0, 1.0}};
+
+  tl::mergeTelemetrySnapshot(Dst, Src);
+
+  // Counters sum; the union ends sorted by name.
+  ASSERT_EQ(Dst.Counters.size(), 3u);
+  EXPECT_EQ(Dst.Counters[0].Name, "only.dst");
+  EXPECT_EQ(Dst.Counters[1].Name, "only.src");
+  EXPECT_EQ(Dst.Counters[1].Value, 100u);
+  EXPECT_EQ(Dst.Counters[2].Name, "shared.count");
+  EXPECT_EQ(Dst.Counters[2].Value, 15u);
+  // Gauges: the incoming (later-merged) writer wins.
+  ASSERT_EQ(Dst.Gauges.size(), 1u);
+  EXPECT_EQ(Dst.Gauges[0].Value, 7.0);
+  // Timers sum count and total.
+  ASSERT_EQ(Dst.Timers.size(), 1u);
+  EXPECT_EQ(Dst.Timers[0].Count, 5u);
+  EXPECT_EQ(Dst.Timers[0].TotalNs, 150u);
+  // Histograms with agreeing bounds add bucket-wise, sums add, maxima max.
+  ASSERT_EQ(Dst.Histograms.size(), 2u);
+  const tl::MetricsSnapshot::HistogramValue *Shared = nullptr;
+  const tl::MetricsSnapshot::HistogramValue *Mismatch = nullptr;
+  for (const auto &H : Dst.Histograms)
+    (H.Name == "shared.hist" ? Shared : Mismatch) = &H;
+  ASSERT_NE(Shared, nullptr);
+  EXPECT_EQ(Shared->Counts, (std::vector<uint64_t>{3, 1, 2}));
+  EXPECT_EQ(Shared->Sum, 4.5);
+  EXPECT_EQ(Shared->Max, 9.0);
+  // A bounds mismatch keeps the destination untouched: merging foreign
+  // buckets would fabricate quantiles.
+  ASSERT_NE(Mismatch, nullptr);
+  EXPECT_EQ(Mismatch->Counts, (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(Mismatch->Sum, 9.0);
+
+  // Merge order is the determinism contract: folding A then B must equal
+  // re-folding the same sequence, regardless of arrival interleavings.
+  tl::MetricsSnapshot X, Y;
+  tl::mergeTelemetrySnapshot(X, Dst);
+  tl::mergeTelemetrySnapshot(Y, Dst);
+  EXPECT_EQ(tl::telemetrySnapshotToJson(X).dump(),
+            tl::telemetrySnapshotToJson(Y).dump());
+}
+
+TEST(TelemetrySnapshotTest, FleetRenderLabelsWorkersAndRollsUp) {
+  tl::MetricsSnapshot Local;
+  Local.Counters = {{"fleet.count", 1}};
+  tl::FleetMember W0{"0", {}};
+  W0.Snapshot.Counters = {{"fleet.count", 10}};
+  W0.Snapshot.Histograms = {{"fleet.hist", {1.0}, {2, 3}, 4.0, 1.5}};
+  tl::FleetMember W1{"1", {}};
+  W1.Snapshot.Counters = {{"fleet.count", 100}};
+
+  std::string Doc = tl::renderOpenMetricsFleet(Local, {W0, W1});
+  std::string Error;
+  EXPECT_TRUE(tl::validateOpenMetrics(Doc, &Error)) << Error;
+
+  // The unlabeled rollup is the merge of all three; the labeled samples
+  // attribute each contribution.
+  EXPECT_NE(Doc.find("msem_fleet_count_total 111"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("msem_fleet_count_total{worker=\"coordinator\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Doc.find("msem_fleet_count_total{worker=\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(Doc.find("msem_fleet_count_total{worker=\"1\"} 100"),
+            std::string::npos);
 }
 
 } // namespace

@@ -20,7 +20,9 @@
 //       also writes the GitHub-flavoured markdown delta table.
 //
 // Thresholds: --threshold R (default 0.10) for model-quality metrics,
-// --time-threshold R (default 0.50) for timing/throughput metrics; see
+// --time-threshold R (default 0.50) for timing/throughput metrics,
+// --tail-threshold R (default 1.50) for tail-latency quantiles
+// (p95/p99/max_us), whose single-run values are jitter-dominated; see
 // support/BenchCompare.h for the direction vocabulary. Baselines are
 // recorded with tools/msem_bench_baseline.sh at a pinned scale, so config
 // drift (different MSEM_TRAIN_N etc.) is a hard failure rather than a
@@ -47,6 +49,7 @@ int usage() {
       stderr,
       "usage: msem_bench_diff --against BASELINE_DIR [--results DIR]\n"
       "                       [--threshold R] [--time-threshold R]\n"
+      "                       [--tail-threshold R]\n"
       "                       [--wall-time] [--markdown OUT]\n"
       "                       [--fail-on-regress]\n"
       "       msem_bench_diff --version\n"
@@ -82,6 +85,8 @@ int main(int Argc, char **Argv) {
       Opts.MetricThreshold = std::strtod(Value("--threshold"), nullptr);
     else if (Arg == "--time-threshold")
       Opts.TimeThreshold = std::strtod(Value("--time-threshold"), nullptr);
+    else if (Arg == "--tail-threshold")
+      Opts.TailThreshold = std::strtod(Value("--tail-threshold"), nullptr);
     else if (Arg == "--wall-time")
       Opts.CompareWallTime = true;
     else if (Arg == "--markdown")

@@ -50,9 +50,11 @@ KEY=art,train,cycles,rbf,joint
 "$BUILD_DIR/tools/msem_predict" --registry "$SMOKE_DIR/registry" \
   --key "$KEY" --in "$SMOKE_DIR/serve-req.csv" --emit-request \
   --format csv --out "$SMOKE_DIR/serve-post.json"
-rm -f "$SMOKE_DIR/serve.port"
-"$BUILD_DIR/tools/msem_serve" --registry "$SMOKE_DIR/registry" \
+rm -f "$SMOKE_DIR/serve.port" "$SMOKE_DIR/access.jsonl"
+MSEM_ACCESS_LOG="$SMOKE_DIR/access.jsonl" \
+  "$BUILD_DIR/tools/msem_serve" --registry "$SMOKE_DIR/registry" \
   --port 0 --port-file "$SMOKE_DIR/serve.port" --threads 2 \
+  --slo-latency-ms 50 \
   2> "$SMOKE_DIR/serve.log" &
 SERVE_PID=$!
 for _ in $(seq 1 250); do
@@ -67,9 +69,22 @@ cmp "$SMOKE_DIR/serve-cli.csv" "$SMOKE_DIR/serve-http.csv" || {
 curl -fsS "http://127.0.0.1:$SERVE_PORT/v1/models" | grep -q '"models"'
 curl -fsS "http://127.0.0.1:$SERVE_PORT/healthz" | grep -q '"status":"ok"'
 curl -fsS "http://127.0.0.1:$SERVE_PORT/statusz" | grep -q '== serve =='
+# The RED/SLO plane saw the request: /sloz serves a msem.sloz.v1 burn
+# table naming the predict endpoint, and the access log carries one valid
+# msem.access.v1 line per request (msem_report --check validates every
+# line's schema and would fail on zero keys).
+curl -fsS "http://127.0.0.1:$SERVE_PORT/sloz" > "$SMOKE_DIR/sloz.json"
+grep -q 'msem.sloz.v1' "$SMOKE_DIR/sloz.json"
+grep -q '/v1/predict' "$SMOKE_DIR/sloz.json"
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
-echo "serve smoke: HTTP bytes == CLI bytes for 32 requests"
+[ -s "$SMOKE_DIR/access.jsonl" ] || {
+  echo "msem_lint: serve access log is empty" >&2; exit 1; }
+grep -q '"schema":"msem.access.v1"' "$SMOKE_DIR/access.jsonl"
+"$BUILD_DIR/tools/msem_report" --check --slo "$SMOKE_DIR/access.jsonl"
+"$BUILD_DIR/tools/msem_report" --check --slo "$SMOKE_DIR/sloz.json"
+echo "serve smoke: HTTP bytes == CLI bytes for 32 requests; /sloz +" \
+     "access log valid"
 "$BUILD_DIR/bench/bench_serve_load" --smoke
 
 # Observability smoke: a tiny traced campaign (the predict smoke runs a
@@ -137,13 +152,56 @@ MSEM_TRAIN_N=12 MSEM_TEST_N=6 MSEM_INPUT=test MSEM_SEED=20070311 \
   MSEM_CACHE="$SMOKE_DIR/dist-cache-1" \
   "$BUILD_DIR/tools/msem_campaign" run --workload art \
   --checkpoint "$SMOKE_DIR/dist-single.ckpt.json" > /dev/null
+# The multi-worker leg runs with the whole fleet-observability plane on:
+# stats server armed (the coordinator's /metrics becomes the worker-
+# labeled fleet exposition), events sink on (per-process logs land in the
+# shard dir for trace stitching), and one worker still kill -9'd -- the
+# digest comparison below proves none of it perturbs a byte.
+rm -f "$SMOKE_DIR/dist.port"
+mkdir -p "$SMOKE_DIR/dist.shards"
 MSEM_TRAIN_N=12 MSEM_TEST_N=6 MSEM_INPUT=test MSEM_SEED=20070311 \
   MSEM_CACHE="$SMOKE_DIR/dist-cache-3" MSEM_WORKER_KILL_AFTER=1:2 \
+  MSEM_TELEMETRY=events \
+  MSEM_EVENTS_FILE="$SMOKE_DIR/dist.shards/events-coord.jsonl" \
+  MSEM_STATS_PORT=0 MSEM_STATS_PORT_FILE="$SMOKE_DIR/dist.port" \
   "$BUILD_DIR/tools/msem_campaign" run --workload art --workers 3 \
   --shard-dir "$SMOKE_DIR/dist.shards" \
-  --checkpoint "$SMOKE_DIR/dist-multi.ckpt.json" > /dev/null
+  --checkpoint "$SMOKE_DIR/dist-multi.ckpt.json" > /dev/null &
+DIST_PID=$!
+for _ in $(seq 1 250); do
+  [ -s "$SMOKE_DIR/dist.port" ] && break
+  sleep 0.02
+done
+DIST_PORT="$(cat "$SMOKE_DIR/dist.port")"
+# Workers heartbeat their msem.telemetry.v1 snapshots from round 0; poll
+# the coordinator's /metrics until the worker-labeled series fold in.
+FLEET_OK=""
+for _ in $(seq 1 500); do
+  if curl -fsS "http://127.0.0.1:$DIST_PORT/metrics" \
+       > "$SMOKE_DIR/fleet-metrics.txt" 2>/dev/null \
+     && grep -q 'worker="0"' "$SMOKE_DIR/fleet-metrics.txt" \
+     && grep -q 'worker="2"' "$SMOKE_DIR/fleet-metrics.txt"; then
+    FLEET_OK=1
+    break
+  fi
+  kill -0 "$DIST_PID" 2>/dev/null || break
+  sleep 0.02
+done
+wait "$DIST_PID"
+[ -n "$FLEET_OK" ] || {
+  echo "msem_lint: coordinator /metrics never showed worker-labeled series" >&2
+  exit 1; }
+# The captured fleet exposition must pass the OpenMetrics validator.
+"$BUILD_DIR/tools/msem_report" --check \
+  --metrics "$SMOKE_DIR/fleet-metrics.txt"
 [ -f "$SMOKE_DIR/dist.shards/killed-w1" ] || {
   echo "msem_lint: worker kill hook never fired" >&2; exit 1; }
+# Stitch the coordinator's and workers' event logs into one Chrome trace.
+"$BUILD_DIR/tools/msem_report" --merge-traces "$SMOKE_DIR/dist.shards" \
+  --trace-out "$SMOKE_DIR/dist-trace.json" > "$SMOKE_DIR/dist-report.txt"
+grep -q '"traceEvents"' "$SMOKE_DIR/dist-trace.json"
+grep -q 'coordinator.campaign' "$SMOKE_DIR/dist-trace.json"
+grep -q 'worker.run' "$SMOKE_DIR/dist-trace.json"
 "$BUILD_DIR/tools/msem_campaign" digest \
   --checkpoint "$SMOKE_DIR/dist-single.ckpt.json" \
   > "$SMOKE_DIR/dist-single.digest"
@@ -168,4 +226,4 @@ tools/msem_bench_baseline.sh "$BUILD_DIR" -o "$SMOKE_DIR/bench-fresh"
 
 tools/msem_tsan.sh
 
-echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, HTTP serve smoke bitwise-identical, live stats endpoints probed, bench baselines held, tsan clean)"
+echo "msem_lint: OK (-Werror build clean, tests green with telemetry on, registry smoke served, HTTP serve smoke bitwise-identical with /sloz + access log valid, live stats endpoints probed, fleet /metrics worker-labeled + validator-clean, stitched trace written, bench baselines held, tsan clean)"

@@ -22,15 +22,32 @@
 //       an empty span tree, or an OpenMetrics snapshot that fails the
 //       exposition-format parser. Prints nothing but errors.
 //
+//   msem_report --merge-traces DIR [--trace-out FILE]
+//       splices every events*.jsonl in DIR (the coordinator's per-worker
+//       redirections plus its own log) into one report: each file's
+//       "unix_ns" wall anchor aligns its monotonic span offsets onto a
+//       common timeline, and the cross-process parent links the campaign
+//       manifest propagated stitch the spans into one causal tree. Also
+//       writes a Chrome trace (chrome://tracing / Perfetto) with one pid
+//       per source file to FILE (default DIR/trace-merged.json).
+//
+//   msem_report --slo FILE [--slo-latency-ms MS] [--slo-availability X]
+//       SLO/burn-rate table from either serving source (autodetected):
+//       a /sloz "msem.sloz.v1" document renders as captured; an
+//       "msem.access.v1" access log (MSEM_ACCESS_LOG) is re-aggregated,
+//       with burn windows anchored at the last logged request.
+//
 // Both flags repeat; multiple event logs concatenate into one report
 // (multi-process campaigns). Metrics files are format-autodetected:
-// OpenMetrics text starts with '#', JSONL with '{'.
+// OpenMetrics text starts with '#', JSONL with '{'. Multiple --profile
+// files merge into one fleet flamegraph (duplicate stacks sum).
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/BuildInfo.h"
 #include "support/FileSystem.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/TablePrinter.h"
 #include "telemetry/EventLog.h"
 #include "telemetry/OpenMetrics.h"
@@ -38,7 +55,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 using namespace msem;
@@ -255,6 +275,233 @@ std::string renderHtml(const Report &R, size_t Top) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Stitched distributed traces (--merge-traces)
+//===----------------------------------------------------------------------===//
+
+/// One events file feeding the stitched trace: its label (file stem) and
+/// its spans, already shifted onto the common timeline.
+struct TraceSource {
+  std::string Label;
+  std::vector<SpanEvent> Spans;
+};
+
+/// Chrome trace-event JSON (chrome://tracing, Perfetto): complete "X"
+/// events, one pid per source file so coordinator and workers stack as
+/// separate process tracks over one time axis.
+std::string renderChromeTrace(const std::vector<TraceSource> &Sources) {
+  Json Events = Json::array();
+  for (size_t Pid = 0; Pid < Sources.size(); ++Pid) {
+    Json Meta = Json::object();
+    Meta.set("name", Json::string("process_name"));
+    Meta.set("ph", Json::string("M"));
+    Meta.set("pid", Json::number(static_cast<double>(Pid)));
+    Json MetaArgs = Json::object();
+    MetaArgs.set("name", Json::string(Sources[Pid].Label));
+    Meta.set("args", std::move(MetaArgs));
+    Events.push(std::move(Meta));
+    for (const SpanEvent &S : Sources[Pid].Spans) {
+      Json E = Json::object();
+      E.set("name", Json::string(S.Name));
+      E.set("ph", Json::string("X"));
+      E.set("pid", Json::number(static_cast<double>(Pid)));
+      E.set("tid", Json::number(S.ThreadId));
+      E.set("ts", Json::number(static_cast<double>(S.StartNs) / 1e3));
+      E.set("dur", Json::number(static_cast<double>(S.DurationNs) / 1e3));
+      Json Args = Json::object();
+      if (!S.Detail.empty())
+        Args.set("detail", Json::string(S.Detail));
+      Args.set("trace", Json::hexU64(S.TraceId));
+      Args.set("span", Json::hexU64(S.SpanId));
+      E.set("args", std::move(Args));
+      Events.push(std::move(E));
+    }
+  }
+  Json Doc = Json::object();
+  Doc.set("traceEvents", std::move(Events));
+  Doc.set("displayTimeUnit", Json::string("ms"));
+  return Doc.dump() + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// SLO/burn-rate table (--slo)
+//===----------------------------------------------------------------------===//
+
+/// Burn windows used when re-aggregating an access log (matches the
+/// serving::SloTracker windows; a /sloz document carries its own).
+constexpr int kSloReportWindowsSeconds[] = {60, 300, 1800};
+
+/// One (endpoint, model) row of the burn table, source-independent.
+struct SloRow {
+  std::string Endpoint;
+  std::string Model;
+  uint64_t Requests = 0;
+  uint64_t Errors4xx = 0;
+  uint64_t Errors5xx = 0;
+  uint64_t Slow = 0;
+  double P50Us = 0, P99Us = 0;
+  std::string Exemplar; ///< "0x..." trace id of a bad request, "" = none.
+  /// (window seconds, availability burn, latency burn); 0 s = all time.
+  std::vector<std::tuple<int, double, double>> Burn;
+};
+
+double burnRate(uint64_t Bad, uint64_t Requests, double Objective) {
+  if (Requests == 0)
+    return 0.0;
+  double Budget = 1.0 - Objective;
+  if (Budget <= 0.0)
+    Budget = 1e-9;
+  return (static_cast<double>(Bad) / static_cast<double>(Requests)) / Budget;
+}
+
+/// Rows from a /sloz "msem.sloz.v1" document, as the tracker reported.
+std::vector<SloRow> slozRows(const Json &Doc) {
+  std::vector<SloRow> Rows;
+  for (const Json &K : Doc["keys"].items()) {
+    SloRow R;
+    R.Endpoint = K["endpoint"].asString();
+    R.Model = K["model"].asString();
+    R.Requests = static_cast<uint64_t>(K["requests"].asDouble());
+    R.Errors4xx = static_cast<uint64_t>(K["errors_4xx"].asDouble());
+    R.Errors5xx = static_cast<uint64_t>(K["errors_5xx"].asDouble());
+    R.Slow = static_cast<uint64_t>(K["slow"].asDouble());
+    R.P50Us = K["latency"]["p50_us"].asDouble();
+    R.P99Us = K["latency"]["p99_us"].asDouble();
+    if (K.has("exemplar_trace"))
+      R.Exemplar = K["exemplar_trace"].asString();
+    for (const Json &W : K["burn"].items())
+      R.Burn.emplace_back(static_cast<int>(W["window_s"].asDouble()),
+                          W["availability_burn"].asDouble(),
+                          W["latency_burn"].asDouble());
+    Rows.push_back(std::move(R));
+  }
+  return Rows;
+}
+
+/// Rows re-aggregated from "msem.access.v1" lines: exact latency
+/// quantiles from the raw samples, burn windows anchored at the last
+/// logged request (an offline log has no live "now").
+bool accessRows(const std::string &Text, double LatencyObjectiveMs,
+                double AvailabilityObjective, std::vector<SloRow> &Rows,
+                std::string *Error) {
+  struct Record {
+    int64_t UnixMs = 0;
+    bool Bad5xx = false;
+    bool Slow = false;
+  };
+  struct Agg {
+    std::vector<Record> Records;
+    std::vector<double> LatenciesUs;
+    uint64_t Errors4xx = 0, Errors5xx = 0, Slow = 0;
+    std::string Exemplar;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> Keys;
+  int64_t LastMs = 0;
+  size_t LineNo = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    if (trimString(Line).empty())
+      continue;
+    std::string ParseError;
+    Json V = Json::parse(Line, &ParseError);
+    if (!ParseError.empty()) {
+      if (Error)
+        *Error = formatString("line %zu: %s", LineNo, ParseError.c_str());
+      return false;
+    }
+    if (V["schema"].asString() != "msem.access.v1") {
+      if (Error)
+        *Error = formatString("line %zu: schema '%s' is not msem.access.v1",
+                              LineNo, V["schema"].asString().c_str());
+      return false;
+    }
+    Record Rec;
+    Rec.UnixMs = static_cast<int64_t>(V["unix_ms"].asDouble());
+    int Status = static_cast<int>(V["status"].asDouble());
+    double LatencyUs = V["latency_us"].asDouble();
+    Rec.Bad5xx = Status >= 500;
+    Rec.Slow = LatencyUs > LatencyObjectiveMs * 1000.0;
+    LastMs = std::max(LastMs, Rec.UnixMs);
+    Agg &A = Keys[{V["endpoint"].asString(), V["model"].asString()}];
+    A.LatenciesUs.push_back(LatencyUs);
+    A.Errors4xx += Status >= 400 && Status < 500 ? 1 : 0;
+    A.Errors5xx += Rec.Bad5xx ? 1 : 0;
+    A.Slow += Rec.Slow ? 1 : 0;
+    if ((Status >= 400 || Rec.Slow) && V.has("trace"))
+      A.Exemplar = V["trace"].asString();
+    A.Records.push_back(Rec);
+  }
+
+  for (auto &[Key, A] : Keys) {
+    SloRow R;
+    R.Endpoint = Key.first;
+    R.Model = Key.second;
+    R.Requests = A.Records.size();
+    R.Errors4xx = A.Errors4xx;
+    R.Errors5xx = A.Errors5xx;
+    R.Slow = A.Slow;
+    R.Exemplar = A.Exemplar;
+    std::sort(A.LatenciesUs.begin(), A.LatenciesUs.end());
+    auto Quantile = [&](double Q) {
+      return A.LatenciesUs.empty()
+                 ? 0.0
+                 : A.LatenciesUs[static_cast<size_t>(
+                       Q * (A.LatenciesUs.size() - 1))];
+    };
+    R.P50Us = Quantile(0.50);
+    R.P99Us = Quantile(0.99);
+    for (int WindowS : kSloReportWindowsSeconds) {
+      uint64_t Req = 0, Bad5 = 0, Slow = 0;
+      for (const Record &Rec : A.Records) {
+        if (Rec.UnixMs <= LastMs - static_cast<int64_t>(WindowS) * 1000)
+          continue;
+        ++Req;
+        Bad5 += Rec.Bad5xx ? 1 : 0;
+        Slow += Rec.Slow ? 1 : 0;
+      }
+      R.Burn.emplace_back(WindowS, burnRate(Bad5, Req, AvailabilityObjective),
+                          burnRate(Slow, Req, AvailabilityObjective));
+    }
+    R.Burn.emplace_back(0,
+                        burnRate(A.Errors5xx, R.Requests,
+                                 AvailabilityObjective),
+                        burnRate(A.Slow, R.Requests, AvailabilityObjective));
+    Rows.push_back(std::move(R));
+  }
+  return true;
+}
+
+std::string renderBurnTable(const std::vector<SloRow> &Rows) {
+  std::vector<std::string> Headers = {"Endpoint", "Model",  "Req",
+                                      "4xx",      "5xx",    "Slow",
+                                      "p50 us",   "p99 us"};
+  if (!Rows.empty())
+    for (const auto &[WindowS, AvailBurn, LatBurn] : Rows.front().Burn)
+      Headers.push_back(WindowS ? formatString("burn %ds", WindowS)
+                                : std::string("burn all"));
+  Headers.push_back("exemplar");
+  TablePrinter T(Headers);
+  for (const SloRow &R : Rows) {
+    std::vector<std::string> Cells = {
+        R.Endpoint,
+        R.Model.empty() ? "-" : R.Model,
+        formatString("%llu", static_cast<unsigned long long>(R.Requests)),
+        formatString("%llu", static_cast<unsigned long long>(R.Errors4xx)),
+        formatString("%llu", static_cast<unsigned long long>(R.Errors5xx)),
+        formatString("%llu", static_cast<unsigned long long>(R.Slow)),
+        formatString("%.1f", R.P50Us),
+        formatString("%.1f", R.P99Us)};
+    for (const auto &[WindowS, AvailBurn, LatBurn] : R.Burn)
+      Cells.push_back(formatString("%.2f/%.2f", AvailBurn, LatBurn));
+    Cells.push_back(R.Exemplar.empty() ? "-" : R.Exemplar);
+    T.addRow(Cells);
+  }
+  std::string Out = "Serving SLO burn rates (availability/latency; 1.0 = "
+                    "burning the error budget at the sustainable rate):\n";
+  Out += T.render();
+  return Out;
+}
+
 /// A parsed collapsed-stack profile (SampleProfiler output): per-stack
 /// sample counts plus the attribution split needed for the coverage line.
 struct ProfileData {
@@ -291,12 +538,21 @@ bool parseCollapsedProfile(const std::string &Text, ProfileData &Out,
       Out.Attributed += Count;
     Out.Stacks.emplace_back(std::move(Stack), Count);
   }
-  std::sort(Out.Stacks.begin(), Out.Stacks.end(),
+  return true;
+}
+
+/// Merges duplicate stacks (the same frames sampled in several worker
+/// profiles sum into one fleet-wide count) and sorts by weight.
+void finalizeProfile(ProfileData &P) {
+  std::map<std::string, uint64_t> Summed;
+  for (auto &[Stack, Count] : P.Stacks)
+    Summed[Stack] += Count;
+  P.Stacks.assign(Summed.begin(), Summed.end());
+  std::sort(P.Stacks.begin(), P.Stacks.end(),
             [](const auto &A, const auto &B) {
               return A.second != B.second ? A.second > B.second
                                           : A.first < B.first;
             });
-  return true;
 }
 
 std::string renderProfileSection(const ProfileData &P, size_t Top) {
@@ -327,6 +583,9 @@ int usage() {
       stderr,
       "usage: msem_report [--check] --events FILE [--events FILE ...]\n"
       "                   [--metrics FILE ...] [--profile FILE ...]\n"
+      "                   [--merge-traces DIR] [--trace-out FILE]\n"
+      "                   [--slo FILE] [--slo-latency-ms MS]\n"
+      "                   [--slo-availability X]\n"
       "                   [--html OUT] [--top N]\n"
       "       msem_report --version\n"
       "\n"
@@ -334,19 +593,31 @@ int usage() {
       "metrics: snapshot written by MSEM_TELEMETRY=jsonl (JSONL or\n"
       "         OpenMetrics text; autodetected)\n"
       "profile: collapsed flamegraph stacks written by MSEM_PROFILE\n"
+      "         (several files merge: duplicate stacks sum)\n"
+      "--merge-traces DIR\n"
+      "         splice every events*.jsonl in DIR (a campaign shard dir)\n"
+      "         into one stitched timeline; also writes a Chrome trace to\n"
+      "         --trace-out (default DIR/trace-merged.json)\n"
+      "--slo FILE\n"
+      "         SLO burn-rate table from a /sloz msem.sloz.v1 capture or\n"
+      "         an msem.access.v1 access log (autodetected); objectives\n"
+      "         for access-log aggregation come from --slo-latency-ms\n"
+      "         (default 100) and --slo-availability (default 0.999)\n"
       "--check: validate only -- non-zero exit on schema-invalid events,\n"
-      "         an empty span tree, invalid OpenMetrics or a malformed\n"
-      "         profile\n");
+      "         an empty span tree, invalid OpenMetrics, a malformed\n"
+      "         profile or a malformed SLO source\n");
   return 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::vector<std::string> EventFiles, MetricFiles, ProfileFiles;
-  std::string HtmlPath;
+  std::vector<std::string> EventFiles, MetricFiles, ProfileFiles, SloFiles;
+  std::string HtmlPath, MergeTracesDir, TraceOut;
   bool Check = false;
   size_t Top = 10;
+  double SloLatencyMs = 100.0;
+  double SloAvailability = 0.999;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -363,6 +634,16 @@ int main(int Argc, char **Argv) {
       MetricFiles.push_back(Value("--metrics"));
     else if (Arg == "--profile")
       ProfileFiles.push_back(Value("--profile"));
+    else if (Arg == "--merge-traces")
+      MergeTracesDir = Value("--merge-traces");
+    else if (Arg == "--trace-out")
+      TraceOut = Value("--trace-out");
+    else if (Arg == "--slo")
+      SloFiles.push_back(Value("--slo"));
+    else if (Arg == "--slo-latency-ms")
+      SloLatencyMs = std::strtod(Value("--slo-latency-ms"), nullptr);
+    else if (Arg == "--slo-availability")
+      SloAvailability = std::strtod(Value("--slo-availability"), nullptr);
     else if (Arg == "--html")
       HtmlPath = Value("--html");
     else if (Arg == "--check")
@@ -376,7 +657,8 @@ int main(int Argc, char **Argv) {
     } else
       return usage();
   }
-  if (EventFiles.empty() && MetricFiles.empty() && ProfileFiles.empty())
+  if (EventFiles.empty() && MetricFiles.empty() && ProfileFiles.empty() &&
+      MergeTracesDir.empty() && SloFiles.empty())
     return usage();
 
   Report R;
@@ -397,6 +679,93 @@ int main(int Argc, char **Argv) {
       R.Build = Log.Build;
     for (SpanEvent &S : Log.Spans)
       R.Spans.push_back(std::move(S));
+  }
+
+  // --merge-traces: every events*.jsonl in the directory, wall-anchored
+  // onto one timeline.
+  std::vector<TraceSource> TraceSources;
+  if (!MergeTracesDir.empty()) {
+    std::vector<std::string> Files;
+    std::error_code Ec;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(MergeTracesDir, Ec)) {
+      std::string Name = Entry.path().filename().string();
+      if (Name.rfind("events", 0) == 0 &&
+          Name.size() >= 6 + 6 /* "events" + ".jsonl" */ &&
+          Name.compare(Name.size() - 6, 6, ".jsonl") == 0)
+        Files.push_back(Entry.path().string());
+    }
+    if (Ec) {
+      std::fprintf(stderr, "msem_report: %s: %s\n", MergeTracesDir.c_str(),
+                   Ec.message().c_str());
+      return 1;
+    }
+    if (Files.empty()) {
+      std::fprintf(stderr,
+                   "msem_report: no events*.jsonl under '%s' (workers "
+                   "write them when the campaign runs with "
+                   "MSEM_TELEMETRY=events)\n",
+                   MergeTracesDir.c_str());
+      return 1;
+    }
+    std::sort(Files.begin(), Files.end());
+
+    std::vector<EventLog> Logs;
+    uint64_t BaseUnixNs = 0;
+    for (const std::string &Path : Files) {
+      std::string Text;
+      EventLog Log;
+      if (!readFileText(Path, Text, &Error) ||
+          !parseEventsJsonl(Text, Log, &Error)) {
+        std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+      if (Log.UnixNs && (!BaseUnixNs || Log.UnixNs < BaseUnixNs))
+        BaseUnixNs = Log.UnixNs;
+      Logs.push_back(std::move(Log));
+    }
+    for (size_t I = 0; I < Logs.size(); ++I) {
+      // Each file's spans are monotonic offsets from its own telemetry
+      // init; the unix_ns anchor shifts them onto the earliest file's
+      // axis. Anchor-less (pre-field) logs stay at their raw offsets.
+      uint64_t Offset =
+          Logs[I].UnixNs && BaseUnixNs ? Logs[I].UnixNs - BaseUnixNs : 0;
+      TraceSource Src;
+      Src.Label =
+          std::filesystem::path(Files[I]).filename().stem().string();
+      for (SpanEvent &S : Logs[I].Spans) {
+        S.StartNs += Offset;
+        Src.Spans.push_back(S);
+        R.Spans.push_back(std::move(S));
+      }
+      if (R.Build.empty())
+        R.Build = Logs[I].Build;
+      TraceSources.push_back(std::move(Src));
+    }
+  }
+
+  // --slo: a /sloz capture or an access log, autodetected per file.
+  std::vector<SloRow> SloRows;
+  bool HaveSlo = false;
+  for (const std::string &Path : SloFiles) {
+    std::string Text;
+    if (!readFileText(Path, Text, &Error)) {
+      std::fprintf(stderr, "msem_report: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string ParseError;
+    Json Doc = Json::parse(Text, &ParseError);
+    if (ParseError.empty() && Doc["schema"].asString() == "msem.sloz.v1") {
+      std::vector<SloRow> Rows = slozRows(Doc);
+      SloRows.insert(SloRows.end(), Rows.begin(), Rows.end());
+    } else if (!accessRows(Text, SloLatencyMs, SloAvailability, SloRows,
+                           &Error)) {
+      std::fprintf(stderr, "msem_report: %s: %s\n", Path.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    HaveSlo = true;
   }
 
   for (const std::string &Path : MetricFiles) {
@@ -446,12 +815,36 @@ int main(int Argc, char **Argv) {
     }
     HaveProfile = true;
   }
+  if (HaveProfile)
+    finalizeProfile(Profile);
 
   assemble(R, Top);
 
+  if (!TraceSources.empty() && !Check) {
+    std::string Out = TraceOut.empty()
+                          ? (std::filesystem::path(MergeTracesDir) /
+                             "trace-merged.json")
+                                .string()
+                          : TraceOut;
+    if (!writeFileAtomic(Out, renderChromeTrace(TraceSources), &Error)) {
+      std::fprintf(stderr, "msem_report: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "msem_report: wrote stitched Chrome trace %s "
+                         "(%zu sources)\n",
+                 Out.c_str(), TraceSources.size());
+  }
+
   if (Check) {
-    if (!EventFiles.empty() && R.Tree.Roots.empty()) {
+    if ((!EventFiles.empty() || !TraceSources.empty()) &&
+        R.Tree.Roots.empty()) {
       std::fprintf(stderr, "msem_report: event log has an empty span tree\n");
+      return 1;
+    }
+    if (HaveSlo && SloRows.empty()) {
+      std::fprintf(stderr,
+                   "msem_report: SLO input carries no (endpoint, model) "
+                   "keys\n");
       return 1;
     }
     std::printf("msem_report: OK -- %zu spans, depth %zu\n", R.Spans.size(),
@@ -468,8 +861,10 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (!EventFiles.empty() || !MetricFiles.empty())
+  if (!EventFiles.empty() || !MetricFiles.empty() || !TraceSources.empty())
     std::fputs(renderText(R, Top).c_str(), stdout);
+  if (HaveSlo)
+    std::fputs(renderBurnTable(SloRows).c_str(), stdout);
   if (HaveProfile)
     std::fputs(renderProfileSection(Profile, Top).c_str(), stdout);
   return 0;

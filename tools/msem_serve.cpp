@@ -14,6 +14,7 @@
 //   msem_serve --registry DIR [--host H] [--port P] [--threads N]
 //              [--reload-ms MS] [--port-file FILE]
 //              [--max-rows N] [--drift-threshold X]
+//              [--slo-latency-ms MS] [--slo-availability X]
 //              [--expose-introspection]
 //
 // Endpoints (one port serves them all):
@@ -21,10 +22,19 @@
 //   POST /v1/predict   msem.predict.v1 document in; json/csv/jsonl out
 //   GET  /v1/models    the manifest as a JSON inventory
 //   GET  /metrics      live OpenMetrics exposition (serving histograms
-//                      included)
+//                      and msem_red_* families included)
+//   GET  /sloz         msem.sloz.v1: per-(endpoint, model) RED totals,
+//                      latency quantiles, exemplar trace ids and
+//                      multi-window error-budget burn rates
 //   GET  /healthz      liveness + registered health providers
 //   GET  /statusz      status sections (serving SLO table, reload state)
 //   GET  /             endpoint index
+//
+// Every request outcome is also recorded by a serving::SloTracker:
+// MSEM_ACCESS_LOG=FILE appends one "msem.access.v1" JSONL object per
+// request, carrying the trace id that links the line back to its span
+// tree. Recording happens after the response bytes are built, so the
+// SLO engine can never perturb a prediction.
 //
 // The introspection plane (/metrics, /statusz, /tracez, /profilez) was
 // designed loopback-only, so it rides the serving port only when --host
@@ -46,6 +56,7 @@
 #include "registry/ServingMonitor.h"
 #include "serving/HttpServer.h"
 #include "serving/PredictionService.h"
+#include "serving/SloTracker.h"
 #include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/FileSystem.h"
@@ -86,6 +97,12 @@ int usage() {
       "30000)\n"
       "  --drift-threshold X   rolling-MAPE drift multiple "
       "(MSEM_DRIFT_THRESHOLD)\n"
+      "  --slo-latency-ms MS   latency objective: slower responses burn "
+      "the\n"
+      "                        latency error budget (default 100)\n"
+      "  --slo-availability X  good-fraction objective in (0,1) shared "
+      "by\n"
+      "                        both SLOs (default 0.999)\n"
       "  --expose-introspection\n"
       "                        serve /metrics, /statusz, /tracez and\n"
       "                        /profilez on a non-loopback --host too\n"
@@ -113,6 +130,8 @@ int main(int Argc, char **Argv) {
   size_t MaxRows = 4096;
   bool ExposeIntrospection = false;
   ServingMonitor::Options MonOpts = ServingMonitor::optionsFromEnv();
+  serving::SloTracker::Options SloOpts;
+  SloOpts.AccessLogPath = env().AccessLog;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -143,6 +162,12 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--drift-threshold")
       MonOpts.DriftThreshold =
           std::strtod(Value("--drift-threshold"), nullptr);
+    else if (Arg == "--slo-latency-ms")
+      SloOpts.LatencyObjectiveMs =
+          std::strtod(Value("--slo-latency-ms"), nullptr);
+    else if (Arg == "--slo-availability")
+      SloOpts.AvailabilityObjective =
+          std::strtod(Value("--slo-availability"), nullptr);
     else if (Arg == "--expose-introspection")
       ExposeIntrospection = true;
     else if (Arg == "--version") {
@@ -172,10 +197,29 @@ int main(int Argc, char **Argv) {
   HttpRouter &ServeRouter =
       ServeIntrospection ? StatsServer::router() : PublicRouter;
 
+  if (!(SloOpts.AvailabilityObjective > 0.0 &&
+        SloOpts.AvailabilityObjective < 1.0)) {
+    std::fprintf(stderr,
+                 "msem_serve: --slo-availability wants a value in (0,1)\n");
+    return 2;
+  }
+  serving::SloTracker Slo(SloOpts);
+  // /sloz rides the introspection plane: the loopback StatsServer router
+  // always carries it, and the serving port exposes it exactly when it
+  // exposes /metrics.
+  ScopedRoute SlozRoute(StatsServer::router(), "GET", "/sloz",
+                        [&Slo](const HttpRequest &) {
+                          HttpResponse Resp;
+                          Resp.ContentType = "application/json";
+                          Resp.Body = Slo.renderSloz().dumpPretty();
+                          return Resp;
+                        });
+
   serving::PredictionService::Options SvcOpts;
   SvcOpts.RegistryDir = RegistryDir;
   SvcOpts.MaxBatchRows = MaxRows;
   SvcOpts.Monitor = MonOpts;
+  SvcOpts.Slo = &Slo;
   serving::PredictionService Service(std::move(SvcOpts));
   Service.registerRoutes(ServeRouter);
   if (ReloadMs > 0)
@@ -208,6 +252,7 @@ int main(int Argc, char **Argv) {
   SrvOpts.Port = Port;
   SrvOpts.Threads = Threads;
   SrvOpts.IdleTimeoutMs = IdleTimeoutMs;
+  SrvOpts.Slo = &Slo;
   serving::HttpServer Server(ServeRouter, SrvOpts);
 
   ScopedStatusProvider ServeStatus("serve", [&] {
